@@ -1,0 +1,67 @@
+//===- bench/bench_fig11_logging.cpp - Figure 11 reproduction -----------------===//
+//
+// Figure 11: wall-clock logging time for regions of varying main-thread
+// length across the eight PARSEC-analog benchmarks ('native' input, 4
+// threads). The paper sweeps 10M..1B instructions on a 16-core Xeon; this
+// harness sweeps ~1000x smaller regions and reports one series per
+// benchmark, logging time growing roughly linearly with region length.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench_util.h"
+#include "replay/logger.h"
+#include "workloads/parsec.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <vector>
+
+using namespace drdebug;
+using namespace drdebug::benchutil;
+using namespace drdebug::workloads;
+
+int main() {
+  banner("Figure 11: logging times, PARSEC analogs, 4 threads",
+         "each series grows ~linearly in region length; a few seconds at "
+         "10M (scaled: 10k) up to minutes at 1B (scaled: 1M); total "
+         "instructions are 3-4x the main-thread length");
+
+  std::vector<uint64_t> Lengths = {scaled(10'000), scaled(50'000),
+                                   scaled(200'000), scaled(1'000'000)};
+  std::printf("%-14s |", "benchmark");
+  for (uint64_t L : Lengths)
+    std::printf(" %10lluK |", (unsigned long long)(L / 1000));
+  std::printf("  (columns: log seconds; parenthesis: total instrs / main)\n");
+
+  uint64_t Skip = scaled(5'000); // enter the all-threads-active region
+
+  for (const std::string &Name : parsecNames()) {
+    std::printf("%-14s |", Name.c_str());
+    for (uint64_t Length : Lengths) {
+      Program P = makeParsecAnalogForLength(Name, Skip + Length, 4);
+      RandomScheduler Sched(7, 1, 4);
+      RegionSpec Spec;
+      Spec.SkipMainInstrs = Skip;
+      Spec.LengthMainInstrs = Length;
+
+      Stopwatch Timer;
+      LogResult Log = Logger::logRegion(P, Sched, nullptr, Spec);
+      // Include pinball serialization, as the paper's logging time
+      // includes writing the (compressed) pinball.
+      std::string Dir = scratchDir("fig11");
+      std::string Error;
+      Log.Pb.save(Dir, Error);
+      double Seconds = Timer.seconds();
+      std::filesystem::remove_all(Dir);
+
+      double Ratio = Log.MainThreadInstrs
+                         ? static_cast<double>(Log.TotalInstrs) /
+                               Log.MainThreadInstrs
+                         : 0.0;
+      std::printf(" %7.3fs(%.1fx) |", Seconds, Ratio);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

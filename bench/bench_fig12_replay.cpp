@@ -1,0 +1,60 @@
+//===- bench/bench_fig12_replay.cpp - Figure 12 reproduction ------------------===//
+//
+// Figure 12: wall-clock replay time for the pinballs of Figure 11's
+// regions. The paper's shape: replay is consistently cheaper than logging
+// for the same region (logging pays for event capture and pinball
+// writing), and both grow ~linearly with region length.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench_util.h"
+#include "replay/logger.h"
+#include "replay/replayer.h"
+#include "workloads/parsec.h"
+
+#include <cstdio>
+#include <vector>
+
+using namespace drdebug;
+using namespace drdebug::benchutil;
+using namespace drdebug::workloads;
+
+int main() {
+  banner("Figure 12: replay times, PARSEC analogs, 4 threads",
+         "replay <= logging for every benchmark/length; ~linear growth in "
+         "region length");
+
+  std::vector<uint64_t> Lengths = {scaled(10'000), scaled(50'000),
+                                   scaled(200'000), scaled(1'000'000)};
+  std::printf("%-14s |", "benchmark");
+  for (uint64_t L : Lengths)
+    std::printf(" %12lluK |", (unsigned long long)(L / 1000));
+  std::printf("  (columns: replay seconds [log seconds])\n");
+
+  uint64_t Skip = scaled(5'000);
+
+  for (const std::string &Name : parsecNames()) {
+    std::printf("%-14s |", Name.c_str());
+    for (uint64_t Length : Lengths) {
+      Program P = makeParsecAnalogForLength(Name, Skip + Length, 4);
+      RandomScheduler Sched(7, 1, 4);
+      RegionSpec Spec;
+      Spec.SkipMainInstrs = Skip;
+      Spec.LengthMainInstrs = Length;
+      Stopwatch LogTimer;
+      LogResult Log = Logger::logRegion(P, Sched, nullptr, Spec);
+      double LogSeconds = LogTimer.seconds();
+
+      Stopwatch ReplayTimer;
+      Replayer Rep(Log.Pb);
+      if (!Rep.valid())
+        continue;
+      Rep.run();
+      double ReplaySeconds = ReplayTimer.seconds();
+      std::printf(" %6.3fs[%5.3fs] |", ReplaySeconds, LogSeconds);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,99 @@
+//===- bench/bench_fig14_execslice.cpp - Figure 14 reproduction ---------------===//
+//
+// Figure 14: execution slicing. For each PARSEC analog, record a region,
+// compute 10 slices (the last 10 loads), build the slice pinballs via the
+// relogger, and compare the average slice-pinball replay time with the
+// full region pinball's replay time, plus the average fraction of the
+// region's dynamic instructions that the slice pinballs retain. Paper
+// shape: slice pinballs keep ~41% of instructions on average and replay
+// ~36% faster.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench_util.h"
+#include "replay/logger.h"
+#include "replay/replayer.h"
+#include "slicing/slicer.h"
+#include "workloads/parsec.h"
+
+#include <cstdio>
+
+using namespace drdebug;
+using namespace drdebug::benchutil;
+using namespace drdebug::workloads;
+
+int main() {
+  banner("Figure 14: execution-slice replay vs region replay "
+         "(10 slices per benchmark)",
+         "slice pinballs contain a minority of the region's instructions "
+         "and replay proportionally faster (paper: 41% of instructions, "
+         "36% faster on average)");
+
+  uint64_t Length = scaled(20'000);
+  uint64_t Skip = scaled(2'000);
+  std::printf("%-14s | %12s | %12s | %10s | %8s\n", "benchmark",
+              "region replay", "slice replay", "%instrs", "speedup");
+
+  double SumPct = 0, SumSpeedup = 0;
+  unsigned N = 0;
+  for (const std::string &Name : parsecNames()) {
+    Program P = makeParsecAnalogForLength(Name, Skip + Length, 4);
+    RandomScheduler Sched(9, 1, 4);
+    RegionSpec Spec;
+    Spec.SkipMainInstrs = Skip;
+    Spec.LengthMainInstrs = Length;
+    LogResult Log = Logger::logRegion(P, Sched, nullptr, Spec);
+
+    // Full-region replay time (averaged over 3 runs).
+    Stopwatch FullTimer;
+    for (int I = 0; I != 3; ++I) {
+      Replayer Rep(Log.Pb);
+      Rep.run();
+    }
+    double FullSeconds = FullTimer.seconds() / 3;
+
+    SliceSession Session(Log.Pb);
+    std::string Error;
+    if (!Session.prepare(Error)) {
+      std::printf("%-14s | %s\n", Name.c_str(), Error.c_str());
+      continue;
+    }
+    double SliceSeconds = 0, PctSum = 0;
+    unsigned Slices = 0;
+    for (const SliceCriterion &C : Session.lastLoadCriteria(10)) {
+      auto Sl = Session.computeSlice(C);
+      if (!Sl)
+        continue;
+      Pinball SlicePb;
+      if (!Session.makeSlicePinball(*Sl, SlicePb, Error))
+        continue;
+      Stopwatch Timer;
+      Replayer Rep(SlicePb);
+      if (!Rep.valid())
+        continue;
+      Rep.run();
+      SliceSeconds += Timer.seconds();
+      PctSum += 100.0 * SlicePb.instructionCount() /
+                std::max<uint64_t>(1, Log.Pb.instructionCount());
+      ++Slices;
+    }
+    if (!Slices)
+      continue;
+    SliceSeconds /= Slices;
+    double Pct = PctSum / Slices;
+    double Speedup =
+        SliceSeconds > 0 ? 100.0 * (FullSeconds - SliceSeconds) / FullSeconds
+                         : 0.0;
+    std::printf("%-14s | %10.4f s | %10.4f s | %9.1f%% | %6.1f%%\n",
+                Name.c_str(), FullSeconds, SliceSeconds, Pct, Speedup);
+    std::fflush(stdout);
+    SumPct += Pct;
+    SumSpeedup += Speedup;
+    ++N;
+  }
+  if (N)
+    std::printf("%-14s | %12s | %12s | %9.1f%% | %6.1f%%   "
+                "(paper: 41%% / 36%%)\n",
+                "average", "", "", SumPct / N, SumSpeedup / N);
+  return 0;
+}

@@ -1,0 +1,197 @@
+//===- bench/bench_micro.cpp - Component micro-benchmarks ---------------------===//
+//
+// google-benchmark micro-benchmarks for the individual components: the
+// interpreter's native speed, the instrumentation (observer) overhead, the
+// logger's recording overhead, trace collection, global-trace merging, and
+// the LP slicer with block skipping on/off. These are the ablations behind
+// DESIGN.md's design choices (clustered merge, LP summaries).
+//
+//===----------------------------------------------------------------------===//
+
+#include "arch/assembler.h"
+#include "replay/logger.h"
+#include "replay/replayer.h"
+#include "slicing/control_dep.h"
+#include "slicing/global_trace.h"
+#include "slicing/lp_slicer.h"
+#include "slicing/save_restore.h"
+#include "workloads/parsec.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace drdebug;
+using namespace drdebug::workloads;
+
+namespace {
+
+Program &benchProgram() {
+  static Program P = makeParsecAnalog("canneal", {4, 4000});
+  return P;
+}
+
+void BM_AssembleParsecKernel(benchmark::State &State) {
+  std::string Src = makeParsecAnalog("canneal", {4, 4000}).SourceText;
+  for (auto _ : State) {
+    Program P;
+    std::string Error;
+    bool Ok = assemble(Src, P, Error);
+    benchmark::DoNotOptimize(Ok);
+  }
+}
+BENCHMARK(BM_AssembleParsecKernel);
+
+void BM_InterpreterPlain(benchmark::State &State) {
+  Program &P = benchProgram();
+  for (auto _ : State) {
+    RoundRobinScheduler Sched(8);
+    Machine M(P);
+    M.setScheduler(&Sched);
+    M.run(50'000);
+  }
+  State.SetItemsProcessed(State.iterations() * 50'000);
+}
+BENCHMARK(BM_InterpreterPlain);
+
+void BM_InterpreterWithObserver(benchmark::State &State) {
+  Program &P = benchProgram();
+  struct Null : Observer {
+    uint64_t N = 0;
+    void onExec(const Machine &, const ExecRecord &) override { ++N; }
+  } Obs;
+  for (auto _ : State) {
+    RoundRobinScheduler Sched(8);
+    Machine M(P);
+    M.setScheduler(&Sched);
+    M.addObserver(&Obs);
+    M.run(50'000);
+  }
+  State.SetItemsProcessed(State.iterations() * 50'000);
+}
+BENCHMARK(BM_InterpreterWithObserver);
+
+void BM_LoggerRecording(benchmark::State &State) {
+  Program &P = benchProgram();
+  for (auto _ : State) {
+    RoundRobinScheduler Sched(8);
+    RegionSpec Spec;
+    Spec.LengthMainInstrs = 12'000; // ~50k total over 4 threads
+    LogResult Log = Logger::logRegion(P, Sched, nullptr, Spec);
+    benchmark::DoNotOptimize(Log.TotalInstrs);
+  }
+  State.SetItemsProcessed(State.iterations() * 50'000);
+}
+BENCHMARK(BM_LoggerRecording);
+
+/// Shared pre-recorded pinball + traces for the slicing micro-benches.
+struct SliceFixture {
+  Pinball Pb;
+  Program Prog;
+  TraceSet Traces;
+  GlobalTrace Global;
+  SaveRestoreAnalysis SaveRestores;
+
+  static SliceFixture &get() {
+    static SliceFixture F;
+    return F;
+  }
+
+private:
+  SliceFixture()
+      : Pb(record()), Prog(reprogram()), Traces(Prog),
+        SaveRestores(Prog, 10) {
+    Replayer Rep(Pb);
+    Rep.machine().addObserver(&Traces);
+    Rep.run();
+    CfgSet Cfgs(Prog);
+    computeAllControlDeps(Traces, Cfgs);
+    SaveRestores.run(Traces.threads());
+    Global.build(Traces);
+  }
+  static Pinball record() {
+    RoundRobinScheduler Sched(8);
+    RegionSpec Spec;
+    Spec.LengthMainInstrs = 20'000;
+    return Logger::logRegion(benchProgram(), Sched, nullptr, Spec).Pb;
+  }
+  Program reprogram() {
+    Replayer Rep(Pb);
+    return Rep.program();
+  }
+};
+
+void BM_TraceCollection(benchmark::State &State) {
+  Pinball &Pb = SliceFixture::get().Pb;
+  for (auto _ : State) {
+    Replayer Rep(Pb);
+    TraceSet Traces(Rep.program());
+    Rep.machine().addObserver(&Traces);
+    Rep.run();
+    benchmark::DoNotOptimize(Traces.totalEntries());
+  }
+}
+BENCHMARK(BM_TraceCollection);
+
+void BM_GlobalTraceMerge(benchmark::State &State) {
+  SliceFixture &F = SliceFixture::get();
+  for (auto _ : State) {
+    GlobalTrace GT;
+    GT.build(F.Traces);
+    benchmark::DoNotOptimize(GT.size());
+  }
+  State.counters["thread_switches"] =
+      static_cast<double>(F.Global.threadSwitches());
+  State.counters["entries"] = static_cast<double>(F.Global.size());
+}
+BENCHMARK(BM_GlobalTraceMerge);
+
+void BM_ControlDeps(benchmark::State &State) {
+  SliceFixture &F = SliceFixture::get();
+  for (auto _ : State) {
+    TraceSet Copy = F.Traces; // CtrlDep annotation mutates entries
+    CfgSet Cfgs(F.Prog);
+    computeAllControlDeps(Copy, Cfgs);
+  }
+}
+BENCHMARK(BM_ControlDeps);
+
+void BM_SaveRestoreVerification(benchmark::State &State) {
+  SliceFixture &F = SliceFixture::get();
+  for (auto _ : State) {
+    SaveRestoreAnalysis SR(F.Prog, 10);
+    SR.run(F.Traces.threads());
+    benchmark::DoNotOptimize(SR.pairs().size());
+  }
+}
+BENCHMARK(BM_SaveRestoreVerification);
+
+/// LP ablation: tiny blocks (no skipping possible at summary granularity)
+/// vs the default block size.
+void BM_LpSlicerBlockSize(benchmark::State &State) {
+  SliceFixture &F = SliceFixture::get();
+  SliceOptions Opts;
+  Opts.BlockSize = static_cast<size_t>(State.range(0));
+  Opts.PruneSaveRestore = false;
+  LpSlicer Slicer(F.Global, nullptr, Opts);
+  uint32_t Criterion = static_cast<uint32_t>(F.Global.size() - 1);
+  for (auto _ : State) {
+    Slice Sl = Slicer.compute(Criterion);
+    benchmark::DoNotOptimize(Sl.dynamicSize());
+  }
+  State.counters["blocks_skipped"] =
+      static_cast<double>(Slicer.blocksSkipped());
+}
+BENCHMARK(BM_LpSlicerBlockSize)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_PostDominators(benchmark::State &State) {
+  Program &P = benchProgram();
+  for (auto _ : State) {
+    CfgSet Cfgs(P);
+    for (const Function &F : P.Funcs)
+      benchmark::DoNotOptimize(Cfgs.ipdomPc(F.Begin));
+  }
+}
+BENCHMARK(BM_PostDominators);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,121 @@
+//===- bench/bench_table2_region.cpp - Tables 1 & 2 reproduction --------------===//
+//
+// Table 1: the three data-race bugs. Table 2: time and space overhead for
+// the race bugs when only the *buggy execution region* (root cause to
+// failure point) is captured. Columns as in the paper: #executed
+// instructions, #instructions in the slice pinball (and %), logging time
+// and space, replay time, slicing time.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench_util.h"
+#include "replay/logger.h"
+#include "replay/replayer.h"
+#include "slicing/slicer.h"
+#include "workloads/racebugs.h"
+
+#include <cstdio>
+#include <filesystem>
+
+using namespace drdebug;
+using namespace drdebug::benchutil;
+using namespace drdebug::workloads;
+
+namespace {
+
+/// Captures the buggy region of \p Bug: fast-forward so the region starts
+/// shortly before the failure (the "root cause to failure point" window),
+/// then measure the full Table 2 pipeline.
+void runBug(const RaceBug &Bug, uint64_t Window) {
+  auto Seed = findFailingSeed(Bug.Prog, 500, 50'000'000);
+  if (!Seed) {
+    std::printf("%-8s | no failing schedule found\n", Bug.Name.c_str());
+    return;
+  }
+
+  // Locate the failure point (main-thread instruction count) so the region
+  // can start Window instructions before it.
+  uint64_t MainAtFailure = 0;
+  {
+    RandomScheduler Sched(*Seed, 1, 3);
+    Machine M(Bug.Prog);
+    M.setScheduler(&Sched);
+    M.run(50'000'000);
+    MainAtFailure = M.thread(0).ExecCount;
+  }
+  uint64_t Skip = MainAtFailure > Window ? MainAtFailure - Window : 0;
+
+  // Log the buggy region.
+  Stopwatch LogTimer;
+  RandomScheduler Sched(*Seed, 1, 3);
+  RegionSpec Spec;
+  Spec.SkipMainInstrs = Skip;
+  LogResult Log = Logger::logRegion(Bug.Prog, Sched, nullptr, Spec);
+  std::string Dir = scratchDir(std::string("t2_") + Bug.Name);
+  std::string Error;
+  Log.Pb.save(Dir, Error);
+  double LogSeconds = LogTimer.seconds();
+  double SpaceMB = Pinball::diskSizeBytes(Dir) / (1024.0 * 1024.0);
+  std::filesystem::remove_all(Dir);
+  if (!Log.FailureCaptured) {
+    std::printf("%-8s | region missed the failure\n", Bug.Name.c_str());
+    return;
+  }
+
+  // Replay it.
+  Stopwatch ReplayTimer;
+  Replayer Rep(Log.Pb);
+  Rep.run();
+  double ReplaySeconds = ReplayTimer.seconds();
+
+  // Slice at the failure point and build the slice pinball.
+  SliceSession Session(Log.Pb);
+  if (!Session.prepare(Error)) {
+    std::printf("%-8s | %s\n", Bug.Name.c_str(), Error.c_str());
+    return;
+  }
+  Stopwatch SliceTimer;
+  auto Criterion = Session.failureCriterion();
+  auto Slice = Session.computeSlice(*Criterion);
+  double SliceSeconds = SliceTimer.seconds();
+  Pinball SlicePb;
+  Session.makeSlicePinball(*Slice, SlicePb, Error);
+
+  uint64_t Executed = Log.TotalInstrs;
+  uint64_t InSlicePb = SlicePb.instructionCount();
+  std::printf("%-8s | %12llu | %10llu (%5.2f%%) | %8.3f s %7.3f MB | "
+              "%8.3f s | %8.3f s\n",
+              Bug.Name.c_str(), (unsigned long long)Executed,
+              (unsigned long long)InSlicePb,
+              Executed ? 100.0 * InSlicePb / Executed : 0.0, LogSeconds,
+              SpaceMB, ReplaySeconds, SliceSeconds);
+}
+
+} // namespace
+
+int main() {
+  banner("Table 1 + Table 2: data-race bugs, buggy execution region",
+         "regions of ~10k..1M instructions; logging seconds-scale; slice "
+         "pinballs contain a small fraction of the region; slicing cost "
+         "grows with region size");
+
+  std::printf("Table 1 (bug inventory):\n");
+  RaceBugScale Scale;
+  Scale.PreWork = scaled(2000);
+  Scale.Items = 8;
+  auto Suite = makeRaceBugSuite(Scale);
+  for (const RaceBug &Bug : Suite)
+    std::printf("  %-8s (%s): %s\n", Bug.Name.c_str(), Bug.BugSource.c_str(),
+                Bug.Description.c_str());
+
+  std::printf("\nTable 2 (buggy-region overhead):\n");
+  std::printf("%-8s | %12s | %20s | %20s | %10s | %10s\n", "program",
+              "#executed", "#instr slice pinball", "logging (time/space)",
+              "replay", "slicing");
+  // The paper's buggy regions were <= ~1M instructions; window is the
+  // region length before the failure, in main-thread instructions.
+  runBug(Suite[0], scaled(3000));
+  runBug(Suite[1], scaled(5000));
+  runBug(Suite[2], scaled(2000));
+  return 0;
+}

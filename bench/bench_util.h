@@ -1,0 +1,61 @@
+//===- bench/bench_util.h - Shared benchmark harness helpers ----*- C++ -*-===//
+//
+// Part of the DrDebug reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the table/figure reproduction harnesses: scaled sizes
+/// (the paper's testbed ran 10M..1B-instruction regions on 16 Xeon cores;
+/// this container scales them down ~1000x by default, adjustable via the
+/// DRDEBUG_BENCH_SCALE environment variable), row printing, and a scratch
+/// directory for pinball disk measurements.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRDEBUG_BENCH_BENCH_UTIL_H
+#define DRDEBUG_BENCH_BENCH_UTIL_H
+
+#include "support/stopwatch.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+namespace drdebug {
+namespace benchutil {
+
+/// Multiplier applied to every region size (default 1; set
+/// DRDEBUG_BENCH_SCALE=10 to run 10x larger sweeps).
+inline double scale() {
+  if (const char *Env = std::getenv("DRDEBUG_BENCH_SCALE"))
+    return std::max(0.01, std::atof(Env));
+  return 1.0;
+}
+
+inline uint64_t scaled(uint64_t Base) {
+  return static_cast<uint64_t>(static_cast<double>(Base) * scale());
+}
+
+/// A scratch directory for pinball size measurements; caller removes it.
+inline std::string scratchDir(const std::string &Tag) {
+  auto Dir = std::filesystem::temp_directory_path() / ("drdebug_bench_" + Tag);
+  std::filesystem::remove_all(Dir);
+  return Dir.string();
+}
+
+inline void banner(const char *Title, const char *PaperShape) {
+  std::printf("\n============================================================"
+              "====================\n%s\n", Title);
+  std::printf("paper shape: %s\n", PaperShape);
+  std::printf("(sizes scaled ~1000x down from the paper's testbed; set "
+              "DRDEBUG_BENCH_SCALE to change)\n");
+  std::printf("--------------------------------------------------------------"
+              "------------------\n");
+}
+
+} // namespace benchutil
+} // namespace drdebug
+
+#endif // DRDEBUG_BENCH_BENCH_UTIL_H

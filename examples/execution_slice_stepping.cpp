@@ -1,0 +1,90 @@
+//===- examples/execution_slice_stepping.cpp - Replaying execution slices -----===//
+//
+// The paper's §4 feature in isolation: compute a dynamic slice of a buggy
+// region, turn it into a slice pinball via the relogger, and replay only
+// the execution slice — skipped code regions have their side effects
+// injected — while stepping from one slice statement to the next and
+// examining live state at each stop. No prior slicing tool supports this.
+//
+// Build & run:  ./build/examples/execution_slice_stepping
+//
+//===----------------------------------------------------------------------===//
+
+#include "arch/disasm.h"
+#include "replay/logger.h"
+#include "replay/replayer.h"
+#include "slicing/slicer.h"
+#include "workloads/racebugs.h"
+
+#include <cstdio>
+
+using namespace drdebug;
+using namespace drdebug::workloads;
+
+int main() {
+  // Capture a failing run of the Aget analog (lost update on bwritten).
+  RaceBugScale Scale;
+  Scale.PreWork = 30;
+  Scale.Items = 4;
+  Program Prog = makeAgetAnalog(Scale);
+  auto Seed = findFailingSeed(Prog, 400);
+  if (!Seed) {
+    std::printf("could not find a failing schedule\n");
+    return 1;
+  }
+  RandomScheduler Sched(*Seed, 1, 3);
+  LogResult Log = Logger::logWholeProgram(Prog, Sched);
+  std::printf("captured failing run (seed %llu): %llu instructions\n",
+              (unsigned long long)*Seed,
+              (unsigned long long)Log.TotalInstrs);
+
+  // Slice at the failed assertion.
+  SliceSession Session(Log.Pb);
+  std::string Error;
+  if (!Session.prepare(Error))
+    return 1;
+  auto Criterion = Session.failureCriterion();
+  auto Slice = Session.computeSlice(*Criterion);
+  auto Regions = Session.exclusionRegions(*Slice);
+  std::printf("slice: %zu of %llu dynamic instructions (%.1f%%), "
+              "%zu exclusion regions\n",
+              Slice->dynamicSize(),
+              (unsigned long long)Log.TotalInstrs,
+              100.0 * Slice->dynamicSize() / Log.TotalInstrs,
+              Regions.size());
+
+  // Relog into a slice pinball.
+  Pinball SlicePb;
+  if (!Session.makeSlicePinball(*Slice, SlicePb, Error)) {
+    std::printf("relog error: %s\n", Error.c_str());
+    return 1;
+  }
+  std::printf("slice pinball: %llu instructions, %zu injections\n",
+              (unsigned long long)SlicePb.instructionCount(),
+              SlicePb.Injections.size());
+
+  // Replay the execution slice, stepping statement by statement. At each
+  // stop the full machine state is live: watch bwritten evolve.
+  Replayer Rep(SlicePb);
+  if (!Rep.valid())
+    return 1;
+  const GlobalVar *BWritten = Rep.program().findGlobal("bwritten");
+  std::printf("\nstepping the execution slice (bwritten after each step):\n");
+  uint64_t Step = 0;
+  int64_t LastB = -1;
+  while (Rep.stepOne()) {
+    ++Step;
+    int64_t B = Rep.machine().mem().load(BWritten->Addr);
+    if (B != LastB) {
+      std::printf("  step %5llu: bwritten = %lld\n",
+                  (unsigned long long)Step, (long long)B);
+      LastB = B;
+    }
+  }
+  std::printf("slice replay finished after %llu steps: %s\n",
+              (unsigned long long)Step,
+              Rep.machine().assertFailed()
+                  ? "assertion failure reproduced (updates were lost)"
+                  : "no failure (unexpected)");
+  return Rep.machine().assertFailed() ? 0 : 1;
+}

@@ -1,0 +1,109 @@
+//===- analysis/cfg.cpp - Static CFG with dynamic refinement ----------------===//
+
+#include "analysis/cfg.h"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+
+using namespace drdebug;
+
+Cfg::Cfg(const Program &Prog, uint32_t FuncIdx)
+    : Prog(Prog), Func(Prog.Funcs.at(FuncIdx)) {
+  build();
+}
+
+void Cfg::build() {
+  size_t N = Func.End - Func.Begin;
+  Succ.assign(N, {});
+  for (size_t Local = 0; Local != N; ++Local) {
+    uint64_t Pc = Func.Begin + Local;
+    const Instruction &I = Prog.inst(Pc);
+    auto AddTarget = [&](int64_t Target) {
+      if (Target >= Func.Begin && Target < Func.End)
+        Succ[Local].push_back(static_cast<uint32_t>(Target - Func.Begin));
+      else
+        Succ[Local].push_back(PostDomExit); // leaves the function
+    };
+    auto AddFallthrough = [&] {
+      if (Local + 1 < N)
+        Succ[Local].push_back(static_cast<uint32_t>(Local + 1));
+      // Otherwise control falls off the function end: virtual exit
+      // (empty successor list already means exit).
+    };
+    switch (I.Op) {
+    case Opcode::Jmp:
+      AddTarget(I.Imm);
+      break;
+    case Opcode::IJmp:
+      // No statically known targets: refined dynamically. An unrefined
+      // indirect jump conservatively exits.
+      break;
+    case Opcode::Beq: case Opcode::Bne: case Opcode::Blt: case Opcode::Ble:
+    case Opcode::Bgt: case Opcode::Bge:
+      AddTarget(I.Imm);
+      AddFallthrough();
+      break;
+    case Opcode::Ret:
+    case Opcode::Halt:
+      break; // exit
+    default:
+      // Calls return to the next instruction; everything else falls
+      // through (a failing Assert terminates, but its normal edge is the
+      // fall-through).
+      AddFallthrough();
+      break;
+    }
+  }
+  Dirty = true;
+}
+
+bool Cfg::addIndirectEdge(uint64_t FromPc, uint64_t ToPc) {
+  assert(containsPc(FromPc) && "edge source outside function");
+  if (!containsPc(ToPc))
+    return false; // cross-function target: behaves as an exit, already so
+  uint32_t Local = static_cast<uint32_t>(FromPc - Func.Begin);
+  uint32_t Target = static_cast<uint32_t>(ToPc - Func.Begin);
+  auto &Out = Succ[Local];
+  if (std::find(Out.begin(), Out.end(), Target) != Out.end())
+    return false;
+  Out.push_back(Target);
+  Dirty = true;
+  return true;
+}
+
+void Cfg::ensurePostDoms() {
+  if (!Dirty)
+    return;
+  IPdom = computeImmediatePostDominators(Succ);
+  Dirty = false;
+  ++Recomputes;
+}
+
+uint64_t Cfg::ipdomPc(uint64_t Pc) {
+  assert(containsPc(Pc) && "pc outside function");
+  ensurePostDoms();
+  uint32_t Local = static_cast<uint32_t>(Pc - Func.Begin);
+  uint32_t P = IPdom[Local];
+  return P == PostDomExit ? NoPc : Func.Begin + P;
+}
+
+Cfg &CfgSet::cfgAt(uint64_t Pc) {
+  const Function *F = Prog.functionAt(Pc);
+  assert(F && "pc belongs to no function");
+  size_t Idx = static_cast<size_t>(F - Prog.Funcs.data());
+  if (Cfgs.size() < Prog.Funcs.size())
+    Cfgs.resize(Prog.Funcs.size());
+  if (!Cfgs[Idx])
+    Cfgs[Idx] = std::make_unique<Cfg>(Prog, static_cast<uint32_t>(Idx));
+  return *Cfgs[Idx];
+}
+
+void CfgSet::addIndirectEdge(uint64_t FromPc, uint64_t ToPc) {
+  cfgAt(FromPc).addIndirectEdge(FromPc, ToPc);
+}
+
+void CfgSet::refine(const std::set<std::pair<uint64_t, uint64_t>> &Targets) {
+  for (auto &[From, To] : Targets)
+    addIndirectEdge(From, To);
+}

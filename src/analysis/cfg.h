@@ -1,0 +1,112 @@
+//===- analysis/cfg.h - Static CFG with dynamic refinement ------*- C++ -*-===//
+//
+// Part of the DrDebug reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-function control-flow graphs built by static code discovery, at
+/// instruction granularity. Indirect jumps have no statically known targets
+/// (the imprecision the paper attacks in §5.1): their edges start empty and
+/// are added as execution reveals targets, after which the immediate
+/// post-dominator information is lazily recomputed. This mirrors DrDebug's
+/// approach of building an approximate CFG with Pin's static code discovery
+/// and refining it with dynamic jump targets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRDEBUG_ANALYSIS_CFG_H
+#define DRDEBUG_ANALYSIS_CFG_H
+
+#include "analysis/postdom.h"
+#include "arch/program.h"
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <vector>
+
+namespace drdebug {
+
+/// Control-flow graph of one function, nodes = instructions (local offsets
+/// from the function's first instruction).
+class Cfg {
+public:
+  /// Sentinel: "no pc" (used for ipdomPc results meaning the virtual exit).
+  static constexpr uint64_t NoPc = ~0ULL;
+
+  Cfg(const Program &Prog, uint32_t FuncIdx);
+
+  const Function &function() const { return Func; }
+  size_t size() const { return Succ.size(); }
+  bool containsPc(uint64_t Pc) const {
+    return Pc >= Func.Begin && Pc < Func.End;
+  }
+
+  /// Successor local offsets of the instruction at local offset \p Local
+  /// (PostDomExit entries denote the virtual exit).
+  const std::vector<uint32_t> &succs(uint32_t Local) const {
+    return Succ.at(Local);
+  }
+
+  /// Adds a dynamically observed indirect-jump edge (absolute pcs).
+  /// Targets outside the function are treated as exits and ignored here.
+  /// \returns true if the CFG changed (post-dominators become stale).
+  bool addIndirectEdge(uint64_t FromPc, uint64_t ToPc);
+
+  /// Immediate post-dominator of the instruction at \p Pc as an absolute
+  /// pc, or NoPc if the virtual exit immediately post-dominates it.
+  /// Recomputes post-dominators if the CFG was refined since the last call.
+  uint64_t ipdomPc(uint64_t Pc);
+
+  /// Number of CFG successors of the instruction at \p Pc. An indirect jump
+  /// reports 0 until dynamic targets refine it — the static analyzer cannot
+  /// see it as a branch, which is exactly the §5.1 imprecision.
+  unsigned succCountAt(uint64_t Pc) const {
+    assert(containsPc(Pc) && "pc outside function");
+    return static_cast<unsigned>(Succ[Pc - Func.Begin].size());
+  }
+
+  /// Number of times post-dominators were (re)computed; exposed so tests
+  /// and benches can observe refinement-triggered recomputation.
+  unsigned recomputeCount() const { return Recomputes; }
+
+private:
+  void build();
+  void ensurePostDoms();
+
+  const Program &Prog;
+  const Function &Func;
+  std::vector<std::vector<uint32_t>> Succ;
+  std::vector<uint32_t> IPdom;
+  bool Dirty = true;
+  unsigned Recomputes = 0;
+};
+
+/// Lazily built CFG collection for a whole program.
+class CfgSet {
+public:
+  explicit CfgSet(const Program &Prog) : Prog(Prog) {}
+
+  /// \returns the CFG of the function containing \p Pc (asserts it exists).
+  Cfg &cfgAt(uint64_t Pc);
+
+  /// Routes a dynamically observed indirect edge to the right function.
+  /// Cross-function targets are recorded but add no intra-CFG edge.
+  void addIndirectEdge(uint64_t FromPc, uint64_t ToPc);
+
+  /// Applies a batch of observed (from, to) indirect-jump targets.
+  void refine(const std::set<std::pair<uint64_t, uint64_t>> &Targets);
+
+  /// Convenience: ipdom of \p Pc as absolute pc (Cfg::NoPc for exit).
+  uint64_t ipdomPc(uint64_t Pc) { return cfgAt(Pc).ipdomPc(Pc); }
+
+private:
+  const Program &Prog;
+  std::vector<std::unique_ptr<Cfg>> Cfgs; ///< indexed by function
+};
+
+} // namespace drdebug
+
+#endif // DRDEBUG_ANALYSIS_CFG_H

@@ -1,0 +1,110 @@
+//===- analysis/postdom.cpp - Immediate post-dominators ---------------------===//
+
+#include "analysis/postdom.h"
+
+#include <cassert>
+#include <cstddef>
+
+using namespace drdebug;
+
+namespace {
+
+/// Dense bitset sized once; fits the small per-function graphs this library
+/// analyzes (post-dominator sets are intersected pairwise).
+class BitSet {
+public:
+  explicit BitSet(size_t Bits) : Words((Bits + 63) / 64, 0), Bits(Bits) {}
+
+  void setAll() {
+    for (uint64_t &W : Words)
+      W = ~0ULL;
+    trim();
+  }
+  void set(size_t I) { Words[I / 64] |= 1ULL << (I % 64); }
+  bool test(size_t I) const { return (Words[I / 64] >> (I % 64)) & 1; }
+
+  /// this &= Other; \returns true if this changed.
+  bool intersectWith(const BitSet &Other) {
+    bool Changed = false;
+    for (size_t I = 0, E = Words.size(); I != E; ++I) {
+      uint64_t New = Words[I] & Other.Words[I];
+      Changed |= New != Words[I];
+      Words[I] = New;
+    }
+    return Changed;
+  }
+
+  size_t count() const {
+    size_t N = 0;
+    for (uint64_t W : Words)
+      N += static_cast<size_t>(__builtin_popcountll(W));
+    return N;
+  }
+
+private:
+  void trim() {
+    size_t Extra = Words.size() * 64 - Bits;
+    if (Extra && !Words.empty())
+      Words.back() &= ~0ULL >> Extra;
+  }
+  std::vector<uint64_t> Words;
+  size_t Bits;
+};
+
+} // namespace
+
+std::vector<uint32_t> drdebug::computeImmediatePostDominators(
+    const std::vector<std::vector<uint32_t>> &Succ) {
+  size_t N = Succ.size();
+  if (N == 0)
+    return {};
+  // Node N is the virtual exit. PD[exit] = {exit}; all others start full.
+  size_t Total = N + 1;
+  std::vector<BitSet> PD(Total, BitSet(Total));
+  for (size_t I = 0; I != N; ++I)
+    PD[I].setAll();
+  PD[N].set(N);
+
+  // Iterate to a fixed point: PD[u] = {u} ∪ ∩_{s ∈ succ(u)} PD[s].
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    // Walk nodes backwards: successors tend to have smaller ids ahead, so
+    // information flows from the exit upward faster.
+    for (size_t UI = N; UI-- > 0;) {
+      BitSet New(Total);
+      New.setAll();
+      if (Succ[UI].empty()) {
+        New = PD[N];
+      } else {
+        for (uint32_t S : Succ[UI]) {
+          size_t SId = S == PostDomExit ? N : S;
+          assert(SId <= N && "successor out of range");
+          New.intersectWith(PD[SId]);
+        }
+      }
+      New.set(UI);
+      if (PD[UI].intersectWith(New))
+        Changed = true;
+    }
+  }
+
+  // ipdom(u) = the v in PD[u]\{u} whose own PD set equals PD[u]\{u}; it is
+  // the unique element with count(PD[v]) == count(PD[u]) - 1 when u can
+  // reach the exit.
+  std::vector<uint32_t> IPdom(N, PostDomExit);
+  for (size_t U = 0; U != N; ++U) {
+    size_t Want = PD[U].count() - 1;
+    uint32_t Best = PostDomExit;
+    for (size_t V = 0; V != Total; ++V) {
+      if (V == U || !PD[U].test(V))
+        continue;
+      if (PD[V].count() == Want) {
+        Best = V == N ? PostDomExit : static_cast<uint32_t>(V);
+        break;
+      }
+    }
+    IPdom[U] = Best;
+  }
+  return IPdom;
+}

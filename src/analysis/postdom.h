@@ -1,0 +1,40 @@
+//===- analysis/postdom.h - Immediate post-dominators -----------*- C++ -*-===//
+//
+// Part of the DrDebug reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Immediate post-dominator computation over an arbitrary successor graph
+/// with a virtual exit node. The dynamic control-dependence detector (paper
+/// §5.1, after Xin & Zhang) consumes the result; the CFG module recomputes
+/// it whenever dynamically discovered indirect-jump targets refine the
+/// graph.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRDEBUG_ANALYSIS_POSTDOM_H
+#define DRDEBUG_ANALYSIS_POSTDOM_H
+
+#include <cstdint>
+#include <vector>
+
+namespace drdebug {
+
+/// Sentinel node id for the virtual exit.
+constexpr uint32_t PostDomExit = ~0U;
+
+/// Computes immediate post-dominators.
+///
+/// \param Succ successor lists over nodes 0..n-1; node ids equal vector
+///        indices. A node with an empty successor list flows to the virtual
+///        exit. Successor entries equal to PostDomExit also denote the exit.
+/// \returns for each node its immediate post-dominator id, or PostDomExit if
+///          the exit immediately post-dominates it (or the node cannot reach
+///          the exit at all, e.g. an infinite loop).
+std::vector<uint32_t>
+computeImmediatePostDominators(const std::vector<std::vector<uint32_t>> &Succ);
+
+} // namespace drdebug
+
+#endif // DRDEBUG_ANALYSIS_POSTDOM_H

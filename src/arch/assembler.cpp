@@ -1,0 +1,424 @@
+//===- arch/assembler.cpp - MiniVM two-pass assembler ----------------------===//
+
+#include "arch/assembler.h"
+
+#include <cassert>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+
+using namespace drdebug;
+
+namespace {
+
+/// A reference from instruction Index's Imm field to a yet-unresolved symbol.
+struct Fixup {
+  size_t Index;
+  std::string Symbol; ///< may carry an "@name+K" form for globals
+  uint32_t Line;
+};
+
+class Assembler {
+public:
+  Assembler(const std::string &Text, Program &Out) : Text(Text), Out(Out) {}
+
+  bool run(std::string &Error);
+
+private:
+  bool parseLine(std::string Line);
+  bool parseDirective(const std::string &Head, std::istringstream &Rest);
+  bool parseInstruction(const std::string &Mnemonic, std::string Operands);
+  bool parseReg(const std::string &Tok, uint8_t &Reg);
+  bool parseImm(const std::string &Tok, int64_t &Val);
+  /// Records Tok for later resolution into Instr.Imm (labels, @globals,
+  /// &functions) or parses it immediately if it is a number.
+  bool parseSymbolOrImm(const std::string &Tok, Instruction &Instr);
+  bool resolveFixups(std::string &Error);
+  bool fail(const std::string &Message);
+
+  static std::vector<std::string> splitOperands(const std::string &S);
+
+  const std::string &Text;
+  Program &Out;
+  std::map<std::string, uint64_t> Labels;
+  std::vector<Fixup> Fixups;
+  uint64_t NextGlobalAddr = layout::GlobalBase;
+  uint32_t LineNo = 0;
+  bool InFunction = false;
+  std::string ErrorMessage;
+};
+
+bool Assembler::fail(const std::string &Message) {
+  std::ostringstream OS;
+  OS << "line " << LineNo << ": " << Message;
+  ErrorMessage = OS.str();
+  return false;
+}
+
+bool Assembler::run(std::string &Error) {
+  Out = Program();
+  Out.SourceText = Text;
+
+  std::istringstream Stream(Text);
+  std::string Line;
+  while (std::getline(Stream, Line)) {
+    ++LineNo;
+    if (!parseLine(std::move(Line))) {
+      Error = ErrorMessage;
+      return false;
+    }
+  }
+  if (InFunction)
+    return fail("missing .endfunc at end of input"), Error = ErrorMessage,
+           false;
+  if (Out.findFunction("main") < 0) {
+    Error = "program has no 'main' function";
+    return false;
+  }
+  if (!resolveFixups(Error))
+    return false;
+  return true;
+}
+
+std::vector<std::string> Assembler::splitOperands(const std::string &S) {
+  std::vector<std::string> Toks;
+  std::string Cur;
+  for (char C : S) {
+    if (C == ',') {
+      Toks.push_back(Cur);
+      Cur.clear();
+      continue;
+    }
+    if (!std::isspace(static_cast<unsigned char>(C)))
+      Cur.push_back(C);
+  }
+  if (!Cur.empty())
+    Toks.push_back(Cur);
+  return Toks;
+}
+
+bool Assembler::parseReg(const std::string &Tok, uint8_t &Reg) {
+  if (Tok == "sp") {
+    Reg = RegSp;
+    return true;
+  }
+  if (Tok == "fp") {
+    Reg = RegFp;
+    return true;
+  }
+  if (Tok.size() < 2 || Tok[0] != 'r')
+    return fail("expected register, got '" + Tok + "'");
+  char *End = nullptr;
+  long N = std::strtol(Tok.c_str() + 1, &End, 10);
+  if (*End != '\0' || N < 0 || N >= static_cast<long>(NumRegs))
+    return fail("bad register '" + Tok + "'");
+  Reg = static_cast<uint8_t>(N);
+  return true;
+}
+
+bool Assembler::parseImm(const std::string &Tok, int64_t &Val) {
+  if (Tok.empty())
+    return fail("expected immediate");
+  char *End = nullptr;
+  Val = std::strtoll(Tok.c_str(), &End, 0);
+  if (*End != '\0')
+    return fail("bad immediate '" + Tok + "'");
+  return true;
+}
+
+bool Assembler::parseSymbolOrImm(const std::string &Tok, Instruction &Instr) {
+  if (Tok.empty())
+    return fail("expected symbol or immediate");
+  char First = Tok[0];
+  if (First == '@' || First == '&' || std::isalpha(static_cast<unsigned char>(First)) ||
+      First == '_' || First == '.') {
+    Fixups.push_back({Out.Instrs.size(), Tok, LineNo});
+    return true;
+  }
+  return parseImm(Tok, Instr.Imm);
+}
+
+bool Assembler::parseDirective(const std::string &Head,
+                               std::istringstream &Rest) {
+  if (Head == ".func") {
+    if (InFunction)
+      return fail(".func inside .func");
+    std::string Name;
+    Rest >> Name;
+    if (Name.empty())
+      return fail(".func needs a name");
+    if (Out.findFunction(Name) >= 0 || Labels.count(Name) ||
+        Out.findGlobal(Name))
+      return fail("redefinition of '" + Name + "'");
+    Function F;
+    F.Name = Name;
+    F.Begin = static_cast<uint32_t>(Out.Instrs.size());
+    Out.Funcs.push_back(F);
+    Labels[Name] = F.Begin;
+    InFunction = true;
+    return true;
+  }
+  if (Head == ".endfunc") {
+    if (!InFunction)
+      return fail(".endfunc outside .func");
+    Out.Funcs.back().End = static_cast<uint32_t>(Out.Instrs.size());
+    if (Out.Funcs.back().End == Out.Funcs.back().Begin)
+      return fail("empty function '" + Out.Funcs.back().Name + "'");
+    InFunction = false;
+    return true;
+  }
+  if (Head == ".data" || Head == ".array") {
+    if (InFunction)
+      return fail(Head + " inside .func");
+    std::string Name;
+    Rest >> Name;
+    if (Name.empty())
+      return fail(Head + " needs a name");
+    if (Out.findGlobal(Name) || Labels.count(Name))
+      return fail("redefinition of '" + Name + "'");
+    GlobalVar G;
+    G.Name = Name;
+    G.Addr = NextGlobalAddr;
+    if (Head == ".data") {
+      G.Size = 1;
+      std::string Tok;
+      if (Rest >> Tok) {
+        int64_t V = 0;
+        if (!parseImm(Tok, V))
+          return false;
+        G.Init.push_back(V);
+      }
+    } else {
+      std::string SizeTok;
+      if (!(Rest >> SizeTok))
+        return fail(".array needs a size");
+      int64_t Size = 0;
+      if (!parseImm(SizeTok, Size))
+        return false;
+      if (Size <= 0)
+        return fail(".array size must be positive");
+      G.Size = static_cast<uint64_t>(Size);
+      std::string Tok;
+      while (Rest >> Tok) {
+        int64_t V = 0;
+        if (!parseImm(Tok, V))
+          return false;
+        G.Init.push_back(V);
+      }
+      if (G.Init.size() > G.Size)
+        return fail(".array has more initializers than its size");
+    }
+    NextGlobalAddr += G.Size;
+    Out.Globals.push_back(std::move(G));
+    return true;
+  }
+  return fail("unknown directive '" + Head + "'");
+}
+
+bool Assembler::parseInstruction(const std::string &Mnemonic,
+                                 std::string Operands) {
+  bool Found = false;
+  Opcode Op = opcodeByName(Mnemonic, Found);
+  if (!Found)
+    return fail("unknown instruction '" + Mnemonic + "'");
+
+  Instruction Instr;
+  Instr.Op = Op;
+  Instr.Line = LineNo;
+  std::vector<std::string> Toks = splitOperands(Operands);
+  const OpcodeInfo &Info = opcodeInfo(Op);
+
+  auto Expect = [&](size_t N) {
+    if (Toks.size() == N)
+      return true;
+    std::ostringstream OS;
+    OS << "'" << Mnemonic << "' expects " << N << " operand(s), got "
+       << Toks.size();
+    return fail(OS.str());
+  };
+  // Parses a "[ra]" or "[ra+imm]" or "[ra-imm]" token into Ra/Imm.
+  auto ParseMem = [&](const std::string &Tok) {
+    if (Tok.size() < 3 || Tok.front() != '[' || Tok.back() != ']')
+      return fail("expected memory operand [reg+off], got '" + Tok + "'");
+    std::string Body = Tok.substr(1, Tok.size() - 2);
+    size_t Plus = Body.find_first_of("+-", 1);
+    std::string RegTok = Plus == std::string::npos ? Body : Body.substr(0, Plus);
+    if (!parseReg(RegTok, Instr.Ra))
+      return false;
+    if (Plus == std::string::npos)
+      return true;
+    return parseImm(Body.substr(Plus), Instr.Imm);
+  };
+
+  switch (Info.Operands) {
+  case OperandKind::None:
+    if (!Expect(0))
+      return false;
+    break;
+  case OperandKind::R:
+    if (!Expect(1) || !parseReg(Toks[0], Instr.Rd))
+      return false;
+    break;
+  case OperandKind::RR:
+    if (!Expect(2) || !parseReg(Toks[0], Instr.Rd) ||
+        !parseReg(Toks[1], Instr.Ra))
+      return false;
+    break;
+  case OperandKind::RRR:
+    if (!Expect(3) || !parseReg(Toks[0], Instr.Rd) ||
+        !parseReg(Toks[1], Instr.Ra) || !parseReg(Toks[2], Instr.Rb))
+      return false;
+    break;
+  case OperandKind::RI:
+    if (!Expect(2) || !parseReg(Toks[0], Instr.Rd) ||
+        !parseImm(Toks[1], Instr.Imm))
+      return false;
+    break;
+  case OperandKind::RRI:
+    if (!Expect(3) || !parseReg(Toks[0], Instr.Rd) ||
+        !parseReg(Toks[1], Instr.Ra) || !parseImm(Toks[2], Instr.Imm))
+      return false;
+    break;
+  case OperandKind::RMem:
+    if (!Expect(2) || !parseReg(Toks[0], Instr.Rd) || !ParseMem(Toks[1]))
+      return false;
+    break;
+  case OperandKind::RAbs:
+    if (!Expect(2) || !parseReg(Toks[0], Instr.Rd) ||
+        !parseSymbolOrImm(Toks[1], Instr))
+      return false;
+    break;
+  case OperandKind::Label:
+    if (!Expect(1) || !parseSymbolOrImm(Toks[0], Instr))
+      return false;
+    break;
+  case OperandKind::RRLabel:
+    if (!Expect(3) || !parseReg(Toks[0], Instr.Ra) ||
+        !parseReg(Toks[1], Instr.Rb) || !parseSymbolOrImm(Toks[2], Instr))
+      return false;
+    break;
+  case OperandKind::RMemR:
+    if (!Expect(3) || !parseReg(Toks[0], Instr.Rd) || !ParseMem(Toks[1]) ||
+        !parseReg(Toks[2], Instr.Rb))
+      return false;
+    break;
+  case OperandKind::RLabelR:
+    if (!Expect(3) || !parseReg(Toks[0], Instr.Rd) ||
+        !parseSymbolOrImm(Toks[1], Instr) || !parseReg(Toks[2], Instr.Ra))
+      return false;
+    break;
+  }
+
+  Out.Instrs.push_back(Instr);
+  return true;
+}
+
+bool Assembler::parseLine(std::string Line) {
+  // Strip comments.
+  size_t Hash = Line.find_first_of(";#");
+  if (Hash != std::string::npos)
+    Line.resize(Hash);
+
+  // Peel off any leading "label:" prefixes.
+  for (;;) {
+    size_t FirstNonWs = Line.find_first_not_of(" \t\r");
+    if (FirstNonWs == std::string::npos)
+      return true; // blank line
+    size_t Colon = Line.find(':');
+    if (Colon == std::string::npos)
+      break;
+    // Only treat it as a label if the prefix is a single identifier.
+    std::string Name = Line.substr(FirstNonWs, Colon - FirstNonWs);
+    bool IsIdent = !Name.empty();
+    for (char C : Name)
+      if (!std::isalnum(static_cast<unsigned char>(C)) && C != '_')
+        IsIdent = false;
+    if (!IsIdent)
+      break;
+    if (!InFunction)
+      return fail("label '" + Name + "' outside .func");
+    if (Labels.count(Name) || Out.findGlobal(Name))
+      return fail("redefinition of label '" + Name + "'");
+    Labels[Name] = Out.Instrs.size();
+    Line = Line.substr(Colon + 1);
+  }
+
+  std::istringstream LineStream(Line);
+  std::string Head;
+  if (!(LineStream >> Head))
+    return true;
+
+  if (Head[0] == '.')
+    return parseDirective(Head, LineStream);
+
+  if (!InFunction)
+    return fail("instruction outside .func");
+  std::string Rest;
+  std::getline(LineStream, Rest);
+  return parseInstruction(Head, Rest);
+}
+
+bool Assembler::resolveFixups(std::string &Error) {
+  for (const Fixup &F : Fixups) {
+    LineNo = F.Line;
+    const std::string &Sym = F.Symbol;
+    int64_t Value = 0;
+    if (Sym[0] == '@') {
+      // Global reference, optionally with +K / -K offset.
+      size_t Plus = Sym.find_first_of("+-", 1);
+      std::string Name =
+          Plus == std::string::npos ? Sym.substr(1) : Sym.substr(1, Plus - 1);
+      const GlobalVar *G = Out.findGlobal(Name);
+      if (!G) {
+        fail("unknown global '" + Name + "'");
+        Error = ErrorMessage;
+        return false;
+      }
+      int64_t Off = 0;
+      if (Plus != std::string::npos && !parseImm(Sym.substr(Plus), Off)) {
+        Error = ErrorMessage;
+        return false;
+      }
+      Value = static_cast<int64_t>(G->Addr) + Off;
+    } else if (Sym[0] == '&') {
+      std::string Name = Sym.substr(1);
+      int Idx = Out.findFunction(Name);
+      if (Idx < 0) {
+        fail("unknown function '" + Name + "'");
+        Error = ErrorMessage;
+        return false;
+      }
+      Value = Out.Funcs[static_cast<size_t>(Idx)].Begin;
+    } else {
+      auto It = Labels.find(Sym);
+      if (It == Labels.end()) {
+        fail("unknown label '" + Sym + "'");
+        Error = ErrorMessage;
+        return false;
+      }
+      Value = static_cast<int64_t>(It->second);
+    }
+    Out.Instrs[F.Index].Imm = Value;
+  }
+  return true;
+}
+
+} // namespace
+
+bool drdebug::assemble(const std::string &Text, Program &Out,
+                       std::string &Error) {
+  Assembler A(Text, Out);
+  return A.run(Error);
+}
+
+Program drdebug::assembleOrDie(const std::string &Text) {
+  Program P;
+  std::string Error;
+  if (!assemble(Text, P, Error)) {
+    std::fprintf(stderr, "assembleOrDie: %s\n", Error.c_str());
+    std::abort();
+  }
+  return P;
+}

@@ -1,0 +1,56 @@
+//===- arch/assembler.h - MiniVM two-pass assembler -------------*- C++ -*-===//
+//
+// Part of the DrDebug reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Translates MiniVM assembly text into a Program. Syntax overview:
+///
+/// \code
+///   ; comment (also #)
+///   .data counter 0            ; one word named "counter"
+///   .array buf 16              ; 16 zero words
+///   .array tab 3 5 9 2         ; 3 words with initial values
+///   .func main
+///     movi r1, 10
+///   loop:
+///     subi r1, r1, 1
+///     bne  r1, r0, loop
+///     lea  r2, @counter        ; address of a global
+///     lea  r3, &worker         ; address of a function entry
+///     st   r1, [r2]
+///     halt
+///   .endfunc
+///   .func worker
+///     ret
+///   .endfunc
+/// \endcode
+///
+/// Registers are r0..r15; "sp" aliases r15 and "fp" aliases r14. Labels are
+/// program-wide and every function name doubles as a label at its entry.
+/// Execution starts at "main".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRDEBUG_ARCH_ASSEMBLER_H
+#define DRDEBUG_ARCH_ASSEMBLER_H
+
+#include "arch/program.h"
+
+#include <string>
+
+namespace drdebug {
+
+/// Assembles \p Text into \p Out.
+/// \returns true on success; on failure fills \p Error with a message of the
+/// form "line N: ...". \p Out is unspecified on failure.
+bool assemble(const std::string &Text, Program &Out, std::string &Error);
+
+/// Convenience wrapper that asserts on assembly errors; intended for
+/// programmatically generated (known-good) workload sources.
+Program assembleOrDie(const std::string &Text);
+
+} // namespace drdebug
+
+#endif // DRDEBUG_ARCH_ASSEMBLER_H

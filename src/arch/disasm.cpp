@@ -1,0 +1,87 @@
+//===- arch/disasm.cpp - MiniVM disassembler --------------------------------===//
+
+#include "arch/disasm.h"
+
+#include <sstream>
+
+using namespace drdebug;
+
+namespace {
+
+std::string regName(uint8_t R) {
+  if (R == RegSp)
+    return "sp";
+  if (R == RegFp)
+    return "fp";
+  return "r" + std::to_string(static_cast<int>(R));
+}
+
+} // namespace
+
+std::string drdebug::disassemble(const Instruction &Instr) {
+  const OpcodeInfo &Info = opcodeInfo(Instr.Op);
+  std::ostringstream OS;
+  OS << Info.Name;
+  auto Mem = [&] {
+    OS << "[" << regName(Instr.Ra);
+    if (Instr.Imm > 0)
+      OS << "+" << Instr.Imm;
+    else if (Instr.Imm < 0)
+      OS << Instr.Imm;
+    OS << "]";
+  };
+  switch (Info.Operands) {
+  case OperandKind::None:
+    break;
+  case OperandKind::R:
+    OS << " " << regName(Instr.Rd);
+    break;
+  case OperandKind::RR:
+    OS << " " << regName(Instr.Rd) << ", " << regName(Instr.Ra);
+    break;
+  case OperandKind::RRR:
+    OS << " " << regName(Instr.Rd) << ", " << regName(Instr.Ra) << ", "
+       << regName(Instr.Rb);
+    break;
+  case OperandKind::RI:
+    OS << " " << regName(Instr.Rd) << ", " << Instr.Imm;
+    break;
+  case OperandKind::RRI:
+    OS << " " << regName(Instr.Rd) << ", " << regName(Instr.Ra) << ", "
+       << Instr.Imm;
+    break;
+  case OperandKind::RMem:
+    OS << " " << regName(Instr.Rd) << ", ";
+    Mem();
+    break;
+  case OperandKind::RAbs:
+    OS << " " << regName(Instr.Rd) << ", " << Instr.Imm;
+    break;
+  case OperandKind::Label:
+    OS << " " << Instr.Imm;
+    break;
+  case OperandKind::RRLabel:
+    OS << " " << regName(Instr.Ra) << ", " << regName(Instr.Rb) << ", "
+       << Instr.Imm;
+    break;
+  case OperandKind::RMemR:
+    OS << " " << regName(Instr.Rd) << ", ";
+    Mem();
+    OS << ", " << regName(Instr.Rb);
+    break;
+  case OperandKind::RLabelR:
+    OS << " " << regName(Instr.Rd) << ", " << Instr.Imm << ", "
+       << regName(Instr.Ra);
+    break;
+  }
+  return OS.str();
+}
+
+std::string drdebug::disassembleAt(const Program &Prog, uint64_t Pc) {
+  std::ostringstream OS;
+  OS << Pc << " ";
+  if (const Function *F = Prog.functionAt(Pc))
+    OS << "<" << F->Name << "+" << (Pc - F->Begin) << ">";
+  OS << ": " << disassemble(Prog.inst(Pc));
+  return OS.str();
+}

@@ -1,0 +1,30 @@
+//===- arch/disasm.h - MiniVM disassembler ----------------------*- C++ -*-===//
+//
+// Part of the DrDebug reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders instructions back to assembly-like text for debugger listings,
+/// slice browsing, and tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRDEBUG_ARCH_DISASM_H
+#define DRDEBUG_ARCH_DISASM_H
+
+#include "arch/program.h"
+
+#include <string>
+
+namespace drdebug {
+
+/// \returns a one-line textual rendering of \p Instr, e.g. "add r1, r2, r3".
+std::string disassemble(const Instruction &Instr);
+
+/// \returns "pc <func>+off: <text>" for the instruction at \p Pc of \p Prog.
+std::string disassembleAt(const Program &Prog, uint64_t Pc);
+
+} // namespace drdebug
+
+#endif // DRDEBUG_ARCH_DISASM_H

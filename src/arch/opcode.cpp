@@ -1,0 +1,97 @@
+//===- arch/opcode.cpp - MiniVM instruction set ---------------------------===//
+
+#include "arch/opcode.h"
+
+#include <cassert>
+#include <map>
+
+using namespace drdebug;
+
+namespace {
+
+// Indexed by the integral value of Opcode; keep in sync with the enum.
+const OpcodeInfo Table[] = {
+    {"nop", OperandKind::None, false, false},
+    {"movi", OperandKind::RI, false, false},
+    {"mov", OperandKind::RR, false, false},
+    {"lea", OperandKind::RAbs, false, false},
+    {"add", OperandKind::RRR, false, false},
+    {"sub", OperandKind::RRR, false, false},
+    {"mul", OperandKind::RRR, false, false},
+    {"div", OperandKind::RRR, false, false},
+    {"mod", OperandKind::RRR, false, false},
+    {"and", OperandKind::RRR, false, false},
+    {"or", OperandKind::RRR, false, false},
+    {"xor", OperandKind::RRR, false, false},
+    {"shl", OperandKind::RRR, false, false},
+    {"shr", OperandKind::RRR, false, false},
+    {"addi", OperandKind::RRI, false, false},
+    {"subi", OperandKind::RRI, false, false},
+    {"muli", OperandKind::RRI, false, false},
+    {"divi", OperandKind::RRI, false, false},
+    {"modi", OperandKind::RRI, false, false},
+    {"andi", OperandKind::RRI, false, false},
+    {"ori", OperandKind::RRI, false, false},
+    {"xori", OperandKind::RRI, false, false},
+    {"shli", OperandKind::RRI, false, false},
+    {"shri", OperandKind::RRI, false, false},
+    {"neg", OperandKind::RR, false, false},
+    {"not", OperandKind::RR, false, false},
+    {"ld", OperandKind::RMem, false, false},
+    {"st", OperandKind::RMem, false, false},
+    {"lda", OperandKind::RAbs, false, false},
+    {"sta", OperandKind::RAbs, false, false},
+    {"push", OperandKind::R, false, false},
+    {"pop", OperandKind::R, false, false},
+    {"jmp", OperandKind::Label, false, true},
+    {"ijmp", OperandKind::R, false, true},
+    {"beq", OperandKind::RRLabel, true, true},
+    {"bne", OperandKind::RRLabel, true, true},
+    {"blt", OperandKind::RRLabel, true, true},
+    {"ble", OperandKind::RRLabel, true, true},
+    {"bgt", OperandKind::RRLabel, true, true},
+    {"bge", OperandKind::RRLabel, true, true},
+    {"call", OperandKind::Label, false, true},
+    {"icall", OperandKind::R, false, true},
+    {"ret", OperandKind::None, false, true},
+    {"lock", OperandKind::R, false, false},
+    {"unlock", OperandKind::R, false, false},
+    {"atomicadd", OperandKind::RMemR, false, false},
+    {"spawn", OperandKind::RLabelR, false, false},
+    {"join", OperandKind::R, false, false},
+    {"sysread", OperandKind::R, false, false},
+    {"sysrand", OperandKind::R, false, false},
+    {"systime", OperandKind::R, false, false},
+    {"sysalloc", OperandKind::RR, false, false},
+    {"syswrite", OperandKind::R, false, false},
+    {"assert", OperandKind::R, false, false},
+    {"halt", OperandKind::None, false, false},
+};
+
+constexpr size_t TableSize = sizeof(Table) / sizeof(Table[0]);
+static_assert(TableSize == static_cast<size_t>(Opcode::Halt) + 1,
+              "opcode table out of sync with Opcode enum");
+
+} // namespace
+
+const OpcodeInfo &drdebug::opcodeInfo(Opcode Op) {
+  auto Idx = static_cast<size_t>(Op);
+  assert(Idx < TableSize && "invalid opcode");
+  return Table[Idx];
+}
+
+Opcode drdebug::opcodeByName(std::string_view Name, bool &Found) {
+  static const std::map<std::string_view, Opcode> ByName = [] {
+    std::map<std::string_view, Opcode> M;
+    for (size_t I = 0; I != TableSize; ++I)
+      M.emplace(Table[I].Name, static_cast<Opcode>(I));
+    return M;
+  }();
+  auto It = ByName.find(Name);
+  Found = It != ByName.end();
+  return Found ? It->second : Opcode::Nop;
+}
+
+bool drdebug::isBinaryAlu(Opcode Op) {
+  return Op >= Opcode::Add && Op <= Opcode::ShrI;
+}

@@ -1,0 +1,114 @@
+//===- arch/opcode.h - MiniVM instruction set ------------------*- C++ -*-===//
+//
+// Part of the DrDebug reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MiniVM opcode set. MiniVM is the instrumentable target substrate that
+/// stands in for "x86 binary under Pin" in this reproduction: a 64-bit,
+/// word-addressed, register ISA with calls, indirect jumps, push/pop
+/// (callee-save idioms), threads, mutexes and non-deterministic syscalls —
+/// i.e. everything the paper's slicer and replay system have to cope with.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRDEBUG_ARCH_OPCODE_H
+#define DRDEBUG_ARCH_OPCODE_H
+
+#include <cstdint>
+#include <string_view>
+
+namespace drdebug {
+
+/// Number of general-purpose registers. Register 15 is the stack pointer
+/// ("sp" in assembly); register 14 is conventionally the frame pointer.
+constexpr unsigned NumRegs = 16;
+constexpr unsigned RegSp = 15;
+constexpr unsigned RegFp = 14;
+
+enum class Opcode : uint8_t {
+  Nop,
+  // Data movement.
+  MovI, ///< rd = imm
+  Mov,  ///< rd = ra
+  Lea,  ///< rd = imm (address of a global, function, or label)
+  // Three-register arithmetic: rd = ra OP rb.
+  Add, Sub, Mul, Div, Mod, And, Or, Xor, Shl, Shr,
+  // Register-immediate arithmetic: rd = ra OP imm.
+  AddI, SubI, MulI, DivI, ModI, AndI, OrI, XorI, ShlI, ShrI,
+  // Unary: rd = OP ra.
+  Neg, Not,
+  // Memory.
+  Ld,  ///< rd = mem[ra + imm]
+  St,  ///< mem[ra + imm] = rd
+  LdA, ///< rd = mem[imm]
+  StA, ///< mem[imm] = rd
+  Push, ///< mem[--sp] = rd
+  Pop,  ///< rd = mem[sp++]
+  // Control flow.
+  Jmp,  ///< pc = imm
+  IJmp, ///< pc = ra (indirect jump; target set unknown statically)
+  Beq, Bne, Blt, Ble, Bgt, Bge, ///< if (ra CC rb) pc = imm
+  Call,  ///< push return address; pc = imm
+  ICall, ///< push return address; pc = ra
+  Ret,   ///< pc = pop(); exits the thread if the sentinel is popped
+  // Synchronization (addresses name mutexes; accesses are sequentially
+  // consistent because the interpreter executes one instruction at a time).
+  Lock,      ///< acquire mutex at address ra (blocks)
+  Unlock,    ///< release mutex at address ra
+  AtomicAdd, ///< rd = mem[ra]; mem[ra] += rb (atomically)
+  // Threads.
+  Spawn, ///< rd = tid of new thread entering function at imm with r0 = ra
+  Join,  ///< block until thread with tid ra has exited
+  // Non-deterministic syscalls (their results are what the logger records).
+  SysRead,  ///< rd = next value from the machine's external input
+  SysRand,  ///< rd = machine random value
+  SysTime,  ///< rd = machine clock value
+  SysAlloc, ///< rd = address of ra freshly allocated words
+  SysWrite, ///< append rd to the machine's output
+  // Failure detection.
+  Assert, ///< if rd == 0: assertion failure (the bug "symptom")
+  Halt,   ///< stop the whole machine
+};
+
+/// How an opcode's operands are written in assembly and which Instruction
+/// fields they populate.
+enum class OperandKind : uint8_t {
+  None,    ///< op
+  R,       ///< op rd
+  RR,      ///< op rd, ra
+  RRR,     ///< op rd, ra, rb
+  RI,      ///< op rd, imm
+  RRI,     ///< op rd, ra, imm
+  RMem,    ///< op rd, [ra + imm]
+  RAbs,    ///< op rd, @global | &func | label   (imm = resolved address)
+  Label,   ///< op label                          (imm = code address)
+  RRLabel, ///< op ra, rb, label
+  RMemR,   ///< op rd, [ra], rb
+  RLabelR, ///< op rd, func, ra
+};
+
+/// Static description of one opcode.
+struct OpcodeInfo {
+  std::string_view Name;
+  OperandKind Operands;
+  bool IsCondBranch; ///< conditional branch (source of control dependences)
+  bool IsBranch;     ///< any instruction that can change pc non-sequentially
+};
+
+/// \returns the static description of \p Op.
+const OpcodeInfo &opcodeInfo(Opcode Op);
+
+/// \returns the opcode named \p Name, or Nop with Found=false.
+Opcode opcodeByName(std::string_view Name, bool &Found);
+
+/// \returns the assembly mnemonic of \p Op.
+inline std::string_view opcodeName(Opcode Op) { return opcodeInfo(Op).Name; }
+
+/// \returns true if \p Op is a three-register or register-immediate ALU op.
+bool isBinaryAlu(Opcode Op);
+
+} // namespace drdebug
+
+#endif // DRDEBUG_ARCH_OPCODE_H

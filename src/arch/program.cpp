@@ -1,0 +1,34 @@
+//===- arch/program.cpp - Assembled MiniVM programs ------------------------===//
+
+#include "arch/program.h"
+
+#include <cassert>
+
+using namespace drdebug;
+
+int Program::findFunction(const std::string &Name) const {
+  for (size_t I = 0, E = Funcs.size(); I != E; ++I)
+    if (Funcs[I].Name == Name)
+      return static_cast<int>(I);
+  return -1;
+}
+
+const Function *Program::functionAt(uint64_t Pc) const {
+  for (const Function &F : Funcs)
+    if (Pc >= F.Begin && Pc < F.End)
+      return &F;
+  return nullptr;
+}
+
+uint64_t Program::entryOf(const std::string &Name) const {
+  int Idx = findFunction(Name);
+  assert(Idx >= 0 && "unknown function");
+  return Funcs[static_cast<size_t>(Idx)].Begin;
+}
+
+const GlobalVar *Program::findGlobal(const std::string &Name) const {
+  for (const GlobalVar &G : Globals)
+    if (G.Name == Name)
+      return &G;
+  return nullptr;
+}

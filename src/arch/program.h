@@ -1,0 +1,102 @@
+//===- arch/program.h - Assembled MiniVM programs ---------------*- C++ -*-===//
+//
+// Part of the DrDebug reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// In-memory representation of an assembled MiniVM program: a flat vector of
+/// instructions (code addresses are indices into it), function ranges, and
+/// global data definitions. The original assembly text is retained so that
+/// pinballs can embed the program and remain portable, mirroring how a
+/// PinPlay pinball is usable on any machine with the same binary.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRDEBUG_ARCH_PROGRAM_H
+#define DRDEBUG_ARCH_PROGRAM_H
+
+#include "arch/opcode.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace drdebug {
+
+/// One decoded MiniVM instruction. Field use depends on the opcode's
+/// OperandKind (see arch/opcode.h).
+struct Instruction {
+  Opcode Op = Opcode::Nop;
+  uint8_t Rd = 0;
+  uint8_t Ra = 0;
+  uint8_t Rb = 0;
+  int64_t Imm = 0;
+  /// 1-based line in the assembly source; the "statement" identity used for
+  /// source-level slice reporting (the analog of a C source line).
+  uint32_t Line = 0;
+};
+
+/// A contiguous function [Begin, End) in the instruction vector.
+struct Function {
+  std::string Name;
+  uint32_t Begin = 0;
+  uint32_t End = 0;
+};
+
+/// A named global data object occupying Size words at Addr.
+struct GlobalVar {
+  std::string Name;
+  uint64_t Addr = 0;
+  uint64_t Size = 1;
+  std::vector<int64_t> Init; ///< initial values; missing words are zero
+};
+
+/// Memory layout: word-addressed; these are word addresses.
+namespace layout {
+constexpr uint64_t GlobalBase = 0x10000;
+constexpr uint64_t HeapBase = 0x100000;
+constexpr uint64_t StackRegionBase = 0x1000000;
+constexpr uint64_t StackSize = 0x10000;
+/// \returns the initial (highest) stack address for thread \p Tid; the stack
+/// grows towards lower addresses.
+inline uint64_t stackTop(uint32_t Tid) {
+  return StackRegionBase + (static_cast<uint64_t>(Tid) + 1) * StackSize;
+}
+/// Popping this sentinel return address terminates the thread.
+constexpr int64_t ExitAddr = -1;
+} // namespace layout
+
+/// An assembled program.
+class Program {
+public:
+  std::vector<Instruction> Instrs;
+  std::vector<Function> Funcs;
+  std::vector<GlobalVar> Globals;
+  /// Original assembly text; embedded into pinballs for portability.
+  std::string SourceText;
+
+  /// \returns the index of the function named \p Name, or -1.
+  int findFunction(const std::string &Name) const;
+
+  /// \returns the function containing code address \p Pc, or nullptr.
+  const Function *functionAt(uint64_t Pc) const;
+
+  /// \returns the entry code address of function \p Name; asserts it exists.
+  uint64_t entryOf(const std::string &Name) const;
+
+  /// \returns the global named \p Name, or nullptr.
+  const GlobalVar *findGlobal(const std::string &Name) const;
+
+  /// \returns the instruction at \p Pc; asserts the address is valid.
+  const Instruction &inst(uint64_t Pc) const {
+    return Instrs.at(static_cast<size_t>(Pc));
+  }
+
+  size_t size() const { return Instrs.size(); }
+};
+
+} // namespace drdebug
+
+#endif // DRDEBUG_ARCH_PROGRAM_H

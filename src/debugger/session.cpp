@@ -1,0 +1,977 @@
+//===- debugger/session.cpp - DrDebug command-line debugger -----------------===//
+
+#include "debugger/session.h"
+
+#include "arch/assembler.h"
+#include "arch/disasm.h"
+#include "slicing/report.h"
+
+#include <cassert>
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+using namespace drdebug;
+
+//===----------------------------------------------------------------------===//
+// Breakpoint observer
+//===----------------------------------------------------------------------===//
+
+class DebugSession::BreakpointObserver : public Observer {
+public:
+  BreakpointObserver(DebugSession &S, Machine &M) : Session(S), M(M) {}
+
+  void onPreExec(const Machine &, uint32_t Tid, uint64_t Pc) override {
+    if (!Enabled)
+      return;
+    if (SuppressOnce && SuppressTid == Tid && SuppressPc == Pc) {
+      SuppressOnce = false;
+      return;
+    }
+    for (auto &[Id, BpPc] : Session.Breakpoints) {
+      if (BpPc != Pc)
+        continue;
+      HitId = Id;
+      HitTid = Tid;
+      HitPc = Pc;
+      HaveHit = true;
+      M.requestStop();
+      return;
+    }
+  }
+
+  void onExec(const Machine &, const ExecRecord &R) override {
+    LastTid = R.Tid;
+    LastPc = R.Pc;
+    HaveLast = true;
+    if (!Enabled || Session.Watchpoints.empty())
+      return;
+    for (const auto &D : R.Defs) {
+      if (isRegLoc(D.Loc))
+        continue;
+      for (const auto &[Id, W] : Session.Watchpoints) {
+        if (W.Addr != locAddr(D.Loc))
+          continue;
+        HaveWatchHit = true;
+        WatchId = Id;
+        WatchTid = R.Tid;
+        WatchPc = R.Pc;
+        WatchValue = D.Value;
+        M.requestStop();
+        return;
+      }
+    }
+  }
+
+  bool takeWatchHit(unsigned &Id, uint32_t &Tid, uint64_t &Pc,
+                    int64_t &Value) {
+    if (!HaveWatchHit)
+      return false;
+    Id = WatchId;
+    Tid = WatchTid;
+    Pc = WatchPc;
+    Value = WatchValue;
+    HaveWatchHit = false;
+    return true;
+  }
+
+  /// Disable breakpoint checks entirely (used while a reverse seek replays
+  /// forward internally).
+  void setEnabled(bool On) { Enabled = On; }
+
+  /// Suppress the breakpoint check once for the thread poised at a
+  /// breakpoint (so "continue" makes progress).
+  void suppressAt(uint32_t Tid, uint64_t Pc) {
+    SuppressOnce = true;
+    SuppressTid = Tid;
+    SuppressPc = Pc;
+  }
+
+  bool takeHit(unsigned &Id, uint32_t &Tid, uint64_t &Pc) {
+    if (!HaveHit)
+      return false;
+    Id = HitId;
+    Tid = HitTid;
+    Pc = HitPc;
+    HaveHit = false;
+    return true;
+  }
+
+  bool lastExec(uint32_t &Tid, uint64_t &Pc) const {
+    if (!HaveLast)
+      return false;
+    Tid = LastTid;
+    Pc = LastPc;
+    return true;
+  }
+
+private:
+  DebugSession &Session;
+  Machine &M;
+  bool Enabled = true;
+  bool SuppressOnce = false;
+  uint32_t SuppressTid = 0;
+  uint64_t SuppressPc = 0;
+  bool HaveHit = false;
+  unsigned HitId = 0;
+  uint32_t HitTid = 0;
+  uint64_t HitPc = 0;
+  bool HaveLast = false;
+  uint32_t LastTid = 0;
+  uint64_t LastPc = 0;
+  bool HaveWatchHit = false;
+  unsigned WatchId = 0;
+  uint32_t WatchTid = 0;
+  uint64_t WatchPc = 0;
+  int64_t WatchValue = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Session lifecycle
+//===----------------------------------------------------------------------===//
+
+DebugSession::DebugSession(std::ostream &Out) : Out(Out) {}
+DebugSession::~DebugSession() = default;
+
+Machine *DebugSession::currentMachine() {
+  if (Replay)
+    return &Replay->machine();
+  return Live.get();
+}
+
+bool DebugSession::loadProgramText(const std::string &AsmText) {
+  Program P;
+  std::string Error;
+  if (!assemble(AsmText, P, Error)) {
+    Out << "error: " << Error << "\n";
+    return false;
+  }
+  Prog = std::make_unique<Program>(std::move(P));
+  ProgramText = AsmText;
+  Live.reset();
+  Replay.reset();
+  Slicing.reset();
+  RegionPb.reset();
+  SlicePb.reset();
+  CurrentSlice.reset();
+  SliceReplayActive = false;
+  Out << "loaded program: " << Prog->Funcs.size() << " functions, "
+      << Prog->size() << " instructions\n";
+  return true;
+}
+
+void DebugSession::runScript(const std::vector<std::string> &Commands) {
+  for (const std::string &Cmd : Commands)
+    if (!execute(Cmd))
+      return;
+}
+
+//===----------------------------------------------------------------------===//
+// Helpers
+//===----------------------------------------------------------------------===//
+
+bool DebugSession::parseLocation(const std::string &Tok, uint64_t &Pc) {
+  assert(Prog);
+  // "<func>" or "<func>+off" or a bare pc number.
+  size_t Plus = Tok.find('+');
+  std::string Name = Tok.substr(0, Plus);
+  int FuncIdx = Prog->findFunction(Name);
+  if (FuncIdx >= 0) {
+    uint64_t Off = 0;
+    if (Plus != std::string::npos)
+      Off = std::strtoull(Tok.c_str() + Plus + 1, nullptr, 0);
+    Pc = Prog->Funcs[static_cast<size_t>(FuncIdx)].Begin + Off;
+    return Pc < Prog->size();
+  }
+  char *End = nullptr;
+  Pc = std::strtoull(Tok.c_str(), &End, 0);
+  return *End == '\0' && Pc < Prog->size();
+}
+
+void DebugSession::printCurrentStatement(uint32_t Tid) {
+  Machine *M = currentMachine();
+  if (!M || Tid >= M->numThreads())
+    return;
+  uint64_t Pc = M->thread(Tid).Pc;
+  if (Pc >= Prog->size())
+    return;
+  Out << "  tid " << Tid << " line " << Prog->inst(Pc).Line << ": "
+      << disassembleAt(*Prog, Pc) << "\n";
+}
+
+void DebugSession::reportStop(Machine::StopReason Reason) {
+  unsigned Id;
+  uint32_t Tid;
+  uint64_t Pc;
+  if (BpObserver && BpObserver->takeHit(Id, Tid, Pc)) {
+    CurrentTid = Tid;
+    Out << "breakpoint " << Id << " hit: tid " << Tid << " at "
+        << disassembleAt(*Prog, Pc) << " (line " << Prog->inst(Pc).Line
+        << ")\n";
+    return;
+  }
+  {
+    int64_t Value;
+    if (BpObserver && BpObserver->takeWatchHit(Id, Tid, Pc, Value)) {
+      CurrentTid = Tid;
+      Out << "watchpoint " << Id << " ("
+          << Watchpoints.at(Id).Name << "): new value " << Value
+          << " written by tid " << Tid << " at "
+          << disassembleAt(*Prog, Pc) << " (line " << Prog->inst(Pc).Line
+          << ")\n";
+      return;
+    }
+  }
+  Machine *M = currentMachine();
+  switch (Reason) {
+  case Machine::StopReason::AssertFailed:
+    if (M) {
+      CurrentTid = M->failedTid();
+      Out << "assertion FAILED: tid " << M->failedTid() << " at "
+          << disassembleAt(*Prog, M->failedPc()) << " (line "
+          << Prog->inst(M->failedPc()).Line << ")\n";
+    }
+    break;
+  case Machine::StopReason::Halted:
+    Out << (Replay ? "replay complete\n" : "program exited\n");
+    break;
+  case Machine::StopReason::Deadlock:
+    Out << "deadlock: no runnable threads\n";
+    break;
+  case Machine::StopReason::StepLimit:
+    Out << "stopped (step limit)\n";
+    break;
+  case Machine::StopReason::StopRequested:
+    Out << "stopped\n";
+    break;
+  }
+}
+
+Scheduler &DebugSession::liveScheduler(uint64_t Seed) {
+  LiveSeed = Seed;
+  LiveSched = std::make_unique<RandomScheduler>(Seed, 1, 4);
+  return *LiveSched;
+}
+
+bool DebugSession::ensureSliceSession() {
+  if (Slicing)
+    return true;
+  if (!RegionPb) {
+    Out << "error: no region pinball; use 'record' first\n";
+    return false;
+  }
+  Slicing = std::make_unique<SliceSession>(*RegionPb);
+  std::string Error;
+  if (!Slicing->prepare(Error)) {
+    Out << "error: " << Error << "\n";
+    Slicing.reset();
+    return false;
+  }
+  Out << "slicing ready: " << Slicing->traces().totalEntries()
+      << " trace entries\n";
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Command dispatch
+//===----------------------------------------------------------------------===//
+
+bool DebugSession::execute(const std::string &Line) {
+  std::istringstream Args(Line);
+  std::string Cmd;
+  if (!(Args >> Cmd))
+    return true;
+  if (Cmd == "quit" || Cmd == "q")
+    return false;
+
+  if (Cmd == "load") {
+    std::string Path;
+    if (!(Args >> Path)) {
+      Out << "usage: load <file>\n";
+      return true;
+    }
+    std::ifstream IS(Path);
+    if (!IS) {
+      Out << "error: cannot read " << Path << "\n";
+      return true;
+    }
+    std::ostringstream Buf;
+    Buf << IS.rdbuf();
+    loadProgramText(Buf.str());
+    return true;
+  }
+
+  if (!Prog) {
+    Out << "error: no program loaded\n";
+    return true;
+  }
+
+  if (Cmd == "run")
+    cmdRun(Args);
+  else if (Cmd == "break" || Cmd == "b")
+    cmdBreak(Args);
+  else if (Cmd == "watch")
+    cmdWatch(Args);
+  else if (Cmd == "unwatch") {
+    unsigned Id = 0;
+    if (!(Args >> Id) || !Watchpoints.count(Id))
+      Out << "error: no such watchpoint\n";
+    else {
+      Watchpoints.erase(Id);
+      Out << "deleted watchpoint " << Id << "\n";
+    }
+  } else if (Cmd == "delete")
+    cmdDelete(Args);
+  else if (Cmd == "continue" || Cmd == "c")
+    cmdContinue();
+  else if (Cmd == "stepi" || Cmd == "si")
+    cmdStepi(Args);
+  else if (Cmd == "info")
+    cmdInfo(Args);
+  else if (Cmd == "x")
+    cmdExamine(Args);
+  else if (Cmd == "print" || Cmd == "p")
+    cmdPrint(Args);
+  else if (Cmd == "backtrace" || Cmd == "bt")
+    cmdBacktrace(Args);
+  else if (Cmd == "record")
+    cmdRecord(Args);
+  else if (Cmd == "pinball")
+    cmdPinball(Args);
+  else if (Cmd == "replay")
+    cmdReplay();
+  else if (Cmd == "reverse-stepi" || Cmd == "rsi")
+    cmdReverseStepi(Args);
+  else if (Cmd == "replay-position") {
+    if (!Replay)
+      Out << "error: not replaying\n";
+    else
+      Out << "replay position: " << Replay->position() << " of "
+          << (Replay->position() +
+              (Replay->atEnd() ? 0 : 1)) // approximate remaining marker
+          << "+ instructions (checkpoints: " << Replay->checkpointCount()
+          << ")\n";
+  } else if (Cmd == "replay-seek") {
+    uint64_t Target = 0;
+    std::istringstream &A = Args;
+    if (!Replay || !(A >> Target)) {
+      Out << "usage (while replaying): replay-seek <position>\n";
+    } else {
+      if (BpObserver)
+        BpObserver->setEnabled(false);
+      bool Ok = Replay->seek(Target);
+      if (BpObserver)
+        BpObserver->setEnabled(true);
+      if (!Ok) {
+        Out << "error: position beyond the end of the recording\n";
+        return true;
+      }
+      Out << "replay position: " << Replay->position() << "\n";
+      cmdWhere();
+    }
+  }
+  else if (Cmd == "slice")
+    cmdSlice(Args);
+  else if (Cmd == "where")
+    cmdWhere();
+  else if (Cmd == "list")
+    cmdList(Args);
+  else if (Cmd == "output") {
+    Machine *M = currentMachine();
+    Out << "output:";
+    if (M)
+      for (int64_t V : M->output())
+        Out << " " << V;
+    Out << "\n";
+  } else
+    Out << "error: unknown command '" << Cmd << "'\n";
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Execution commands
+//===----------------------------------------------------------------------===//
+
+void DebugSession::cmdRun(std::istringstream &Args) {
+  uint64_t Seed = LiveSeed;
+  Args >> Seed;
+  Replay.reset();
+  SliceReplayActive = false;
+  Live = std::make_unique<Machine>(*Prog);
+  Live->setScheduler(&liveScheduler(Seed));
+  LiveWorld = std::make_unique<DefaultSyscalls>(Seed);
+  Live->setSyscalls(LiveWorld.get());
+  BpObserver = std::make_unique<BreakpointObserver>(*this, *Live);
+  Live->addObserver(BpObserver.get());
+  Out << "running (seed " << Seed << ")\n";
+  reportStop(Live->run());
+}
+
+void DebugSession::cmdBreak(std::istringstream &Args) {
+  std::string Tok;
+  if (!(Args >> Tok)) {
+    Out << "usage: break <pc>|<func>[+off]\n";
+    return;
+  }
+  uint64_t Pc = 0;
+  if (!parseLocation(Tok, Pc)) {
+    Out << "error: bad location '" << Tok << "'\n";
+    return;
+  }
+  unsigned Id = NextBreakpointId++;
+  Breakpoints[Id] = Pc;
+  Out << "breakpoint " << Id << " at " << disassembleAt(*Prog, Pc) << " (line "
+      << Prog->inst(Pc).Line << ")\n";
+}
+
+void DebugSession::cmdWatch(std::istringstream &Args) {
+  std::string Name;
+  if (!(Args >> Name)) {
+    Out << "usage: watch <global>\n";
+    return;
+  }
+  const GlobalVar *G = Prog->findGlobal(Name);
+  if (!G) {
+    Out << "error: unknown global '" << Name << "'\n";
+    return;
+  }
+  unsigned Id = NextWatchpointId++;
+  Watchpoints[Id] = {G->Addr, Name};
+  Out << "watchpoint " << Id << " on " << Name << " (address " << G->Addr
+      << ")\n";
+}
+
+void DebugSession::cmdDelete(std::istringstream &Args) {
+  unsigned Id = 0;
+  if (!(Args >> Id) || !Breakpoints.count(Id)) {
+    Out << "error: no such breakpoint\n";
+    return;
+  }
+  Breakpoints.erase(Id);
+  Out << "deleted breakpoint " << Id << "\n";
+}
+
+void DebugSession::cmdContinue() {
+  Machine *M = currentMachine();
+  if (!M) {
+    Out << "error: nothing is running; use 'run' or 'replay'\n";
+    return;
+  }
+  // Step past the breakpoint the current thread is poised at.
+  if (BpObserver && CurrentTid < M->numThreads())
+    BpObserver->suppressAt(CurrentTid, M->thread(CurrentTid).Pc);
+  reportStop(Replay ? Replay->runForward() : Live->run());
+}
+
+void DebugSession::cmdStepi(std::istringstream &Args) {
+  Machine *M = currentMachine();
+  if (!M) {
+    Out << "error: nothing is running; use 'run' or 'replay'\n";
+    return;
+  }
+  uint64_t N = 1;
+  Args >> N;
+  if (BpObserver && CurrentTid < M->numThreads())
+    BpObserver->suppressAt(CurrentTid, M->thread(CurrentTid).Pc);
+  Machine::StopReason Reason =
+      Replay ? Replay->runForward(N) : Live->run(N);
+  uint32_t Tid;
+  uint64_t Pc;
+  if (BpObserver && BpObserver->lastExec(Tid, Pc)) {
+    CurrentTid = Tid;
+    Out << "stepped tid " << Tid << ", now at:\n";
+    printCurrentStatement(Tid);
+  }
+  if (Reason != Machine::StopReason::StepLimit)
+    reportStop(Reason);
+}
+
+//===----------------------------------------------------------------------===//
+// State examination
+//===----------------------------------------------------------------------===//
+
+void DebugSession::cmdInfo(std::istringstream &Args) {
+  std::string What;
+  Args >> What;
+  Machine *M = currentMachine();
+  if (What == "breakpoints") {
+    for (auto &[Id, Pc] : Breakpoints)
+      Out << "  " << Id << ": " << disassembleAt(*Prog, Pc) << " (line "
+          << Prog->inst(Pc).Line << ")\n";
+    if (Breakpoints.empty())
+      Out << "  no breakpoints\n";
+    return;
+  }
+  if (What == "watchpoints") {
+    for (auto &[Id, W] : Watchpoints)
+      Out << "  " << Id << ": " << W.Name << " (address " << W.Addr
+          << ")\n";
+    if (Watchpoints.empty())
+      Out << "  no watchpoints\n";
+    return;
+  }
+  if (!M) {
+    Out << "error: nothing is running\n";
+    return;
+  }
+  if (What == "threads") {
+    for (uint32_t T = 0; T != M->numThreads(); ++T) {
+      const ThreadContext &TC = M->thread(T);
+      const char *Status = "runnable";
+      if (TC.Status == ThreadStatus::BlockedOnLock)
+        Status = "blocked-on-lock";
+      else if (TC.Status == ThreadStatus::BlockedOnJoin)
+        Status = "blocked-on-join";
+      else if (TC.Status == ThreadStatus::Exited)
+        Status = "exited";
+      Out << "  tid " << T << " [" << Status << "] pc " << TC.Pc;
+      if (TC.Pc < Prog->size())
+        Out << " (line " << Prog->inst(TC.Pc).Line << ")";
+      Out << " executed " << TC.ExecCount << "\n";
+    }
+    return;
+  }
+  if (What == "regs") {
+    uint32_t Tid = CurrentTid;
+    Args >> Tid;
+    if (Tid >= M->numThreads()) {
+      Out << "error: bad tid\n";
+      return;
+    }
+    const ThreadContext &TC = M->thread(Tid);
+    for (unsigned R = 0; R != NumRegs; ++R)
+      Out << "  r" << R << " = " << TC.Regs[R] << "\n";
+    return;
+  }
+  Out << "usage: info threads|regs|breakpoints\n";
+}
+
+void DebugSession::cmdExamine(std::istringstream &Args) {
+  Machine *M = currentMachine();
+  uint64_t Addr = 0, N = 1;
+  if (!M || !(Args >> Addr)) {
+    Out << "usage (while running): x <addr> [count]\n";
+    return;
+  }
+  Args >> N;
+  for (uint64_t I = 0; I != N; ++I)
+    Out << "  [" << (Addr + I) << "] = " << M->mem().load(Addr + I) << "\n";
+}
+
+void DebugSession::cmdPrint(std::istringstream &Args) {
+  Machine *M = currentMachine();
+  std::string Name;
+  if (!M || !(Args >> Name)) {
+    Out << "usage (while running): print <global>\n";
+    return;
+  }
+  const GlobalVar *G = Prog->findGlobal(Name);
+  if (!G) {
+    Out << "error: unknown global '" << Name << "'\n";
+    return;
+  }
+  Out << "  " << Name << " = " << M->mem().load(G->Addr) << "\n";
+}
+
+void DebugSession::cmdBacktrace(std::istringstream &Args) {
+  Machine *M = currentMachine();
+  if (!M) {
+    Out << "error: nothing is running\n";
+    return;
+  }
+  uint32_t Tid = CurrentTid;
+  Args >> Tid;
+  if (Tid >= M->numThreads()) {
+    Out << "error: bad tid\n";
+    return;
+  }
+  const ThreadContext &TC = M->thread(Tid);
+  Out << "backtrace of tid " << Tid << ":\n";
+  Out << "  #0 " << disassembleAt(*Prog, TC.Pc) << "\n";
+  unsigned Level = 1;
+  for (auto It = TC.CallStack.rbegin(); It != TC.CallStack.rend(); ++It)
+    Out << "  #" << Level++ << " return to " << disassembleAt(*Prog, *It)
+        << "\n";
+}
+
+void DebugSession::cmdWhere() {
+  Machine *M = currentMachine();
+  if (!M) {
+    Out << "error: nothing is running\n";
+    return;
+  }
+  for (uint32_t T = 0; T != M->numThreads(); ++T)
+    if (M->thread(T).Status != ThreadStatus::Exited)
+      printCurrentStatement(T);
+}
+
+void DebugSession::cmdList(std::istringstream &Args) {
+  std::string Name;
+  if (!(Args >> Name)) {
+    Out << "usage: list <func>\n";
+    return;
+  }
+  int Idx = Prog->findFunction(Name);
+  if (Idx < 0) {
+    Out << "error: unknown function '" << Name << "'\n";
+    return;
+  }
+  const Function &F = Prog->Funcs[static_cast<size_t>(Idx)];
+  for (uint64_t Pc = F.Begin; Pc != F.End; ++Pc)
+    Out << "  " << disassembleAt(*Prog, Pc) << "\n";
+}
+
+//===----------------------------------------------------------------------===//
+// Record / replay commands
+//===----------------------------------------------------------------------===//
+
+void DebugSession::cmdRecord(std::istringstream &Args) {
+  std::string What;
+  Args >> What;
+  RegionSpec Spec;
+  uint64_t Seed = LiveSeed;
+  if (What == "region") {
+    if (!(Args >> Spec.SkipMainInstrs >> Spec.LengthMainInstrs)) {
+      Out << "usage: record region <skip> <len> [seed]\n";
+      return;
+    }
+    Args >> Seed;
+  } else if (What == "failure") {
+    Args >> Seed;
+  } else {
+    Out << "usage: record region <skip> <len> [seed] | record failure [seed]\n";
+    return;
+  }
+  RandomScheduler Sched(Seed, 1, 4);
+  DefaultSyscalls World(Seed);
+  LogResult Log = Logger::logRegion(*Prog, Sched, &World, Spec);
+  RegionPb = std::move(Log.Pb);
+  Slicing.reset();
+  CurrentSlice.reset();
+  SlicePb.reset();
+  Out << "recorded region pinball: " << Log.TotalInstrs << " instructions ("
+      << Log.MainThreadInstrs << " in main thread), "
+      << (Log.FailureCaptured ? "failure captured" : "no failure") << "\n";
+}
+
+void DebugSession::cmdPinball(std::istringstream &Args) {
+  std::string What, Dir;
+  if (!(Args >> What >> Dir)) {
+    Out << "usage: pinball save|load <dir>\n";
+    return;
+  }
+  std::string Error;
+  if (What == "save") {
+    if (!RegionPb) {
+      Out << "error: nothing recorded\n";
+      return;
+    }
+    if (!RegionPb->save(Dir, Error))
+      Out << "error: " << Error << "\n";
+    else
+      Out << "pinball saved to " << Dir << " ("
+          << Pinball::diskSizeBytes(Dir) << " bytes)\n";
+    return;
+  }
+  if (What == "load") {
+    Pinball Pb;
+    if (!Pb.load(Dir, Error)) {
+      Out << "error: " << Error << "\n";
+      return;
+    }
+    RegionPb = std::move(Pb);
+    Slicing.reset();
+    CurrentSlice.reset();
+    SlicePb.reset();
+    Out << "pinball loaded from " << Dir << ": "
+        << RegionPb->instructionCount() << " instructions\n";
+    return;
+  }
+  Out << "usage: pinball save|load <dir>\n";
+}
+
+void DebugSession::cmdReplay() {
+  if (!RegionPb) {
+    Out << "error: no region pinball; use 'record' or 'pinball load'\n";
+    return;
+  }
+  Live.reset();
+  SliceReplayActive = false;
+  Replay = std::make_unique<CheckpointedReplay>(*RegionPb, /*Interval=*/256);
+  if (!Replay->valid()) {
+    Out << "error: " << Replay->error() << "\n";
+    Replay.reset();
+    return;
+  }
+  BpObserver = std::make_unique<BreakpointObserver>(*this, Replay->machine());
+  Replay->machine().addObserver(BpObserver.get());
+  Out << "replaying region pinball (" << RegionPb->instructionCount()
+      << " instructions)\n";
+  reportStop(Replay->runForward());
+}
+
+void DebugSession::cmdReverseStepi(std::istringstream &Args) {
+  if (!Replay) {
+    Out << "error: reverse stepping needs an active replay\n";
+    return;
+  }
+  uint64_t N = 1;
+  Args >> N;
+  uint64_t Pos = Replay->position();
+  uint64_t Target = Pos > N ? Pos - N : 0;
+  if (BpObserver)
+    BpObserver->setEnabled(false);
+  bool Ok = Replay->seek(Target);
+  if (BpObserver)
+    BpObserver->setEnabled(true);
+  if (!Ok) {
+    Out << "error: reverse step failed\n";
+    return;
+  }
+  Out << "stepped backwards to position " << Replay->position() << "\n";
+  cmdWhere();
+}
+
+//===----------------------------------------------------------------------===//
+// Slice commands
+//===----------------------------------------------------------------------===//
+
+void DebugSession::cmdSlice(std::istringstream &Args) {
+  std::string Sub;
+  Args >> Sub;
+
+  if (Sub == "fail" || Sub.empty() ||
+      std::isdigit(static_cast<unsigned char>(Sub[0]))) {
+    if (!ensureSliceSession())
+      return;
+    std::optional<SliceCriterion> C;
+    if (Sub == "fail" || Sub.empty()) {
+      C = Slicing->failureCriterion();
+      if (!C) {
+        Out << "error: pinball has no recorded failure point\n";
+        return;
+      }
+    } else {
+      SliceCriterion Crit;
+      Crit.Tid = static_cast<uint32_t>(std::strtoul(Sub.c_str(), nullptr, 10));
+      if (!(Args >> Crit.Pc)) {
+        Out << "usage: slice <tid> <pc> [instance]\n";
+        return;
+      }
+      Args >> Crit.Instance;
+      C = Crit;
+    }
+    auto Sl = Slicing->computeSlice(*C);
+    if (!Sl) {
+      Out << "error: criterion never executed in the region\n";
+      return;
+    }
+    CurrentSlice = std::move(*Sl);
+    auto Lines = CurrentSlice->sourceLines(Slicing->globalTrace());
+    Out << "slice: " << CurrentSlice->dynamicSize()
+        << " dynamic instructions, "
+        << CurrentSlice->staticSize(Slicing->globalTrace())
+        << " static instructions, " << Lines.size() << " source lines\n";
+    Out << "lines:";
+    for (uint32_t L : Lines)
+      Out << " " << L;
+    Out << "\n";
+    return;
+  }
+
+  if (Sub == "forward") {
+    if (!ensureSliceSession())
+      return;
+    SliceCriterion Crit;
+    if (!(Args >> Crit.Tid >> Crit.Pc)) {
+      Out << "usage: slice forward <tid> <pc> [instance]\n";
+      return;
+    }
+    Args >> Crit.Instance;
+    auto Sl = Slicing->computeForwardSlice(Crit);
+    if (!Sl) {
+      Out << "error: criterion never executed in the region\n";
+      return;
+    }
+    CurrentSlice = std::move(*Sl);
+    auto Lines = CurrentSlice->sourceLines(Slicing->globalTrace());
+    Out << "forward slice: " << CurrentSlice->dynamicSize()
+        << " dynamic instructions, " << Lines.size() << " source lines\n";
+    Out << "lines:";
+    for (uint32_t L : Lines)
+      Out << " " << L;
+    Out << "\n";
+    return;
+  }
+
+  if (Sub == "list") {
+    if (!CurrentSlice || !Slicing) {
+      Out << "error: no slice computed\n";
+      return;
+    }
+    const GlobalTrace &GT = Slicing->globalTrace();
+    size_t Shown = 0;
+    for (uint32_t Pos : CurrentSlice->Positions) {
+      const GlobalRef &R = GT.ref(Pos);
+      const TraceEntry &E = GT.entry(Pos);
+      Out << "  [" << Shown << "] pos " << Pos << " tid " << R.Tid << " line "
+          << E.Line << ": " << disassembleAt(*Prog, E.Pc) << "\n";
+      if (++Shown == 200) {
+        Out << "  ... ("
+            << (CurrentSlice->Positions.size() - Shown) << " more)\n";
+        break;
+      }
+    }
+    return;
+  }
+
+  if (Sub == "deps") {
+    size_t N = 0;
+    if (!CurrentSlice || !Slicing || !(Args >> N) ||
+        N >= CurrentSlice->Positions.size()) {
+      Out << "usage: slice deps <entry-index> (after computing a slice)\n";
+      return;
+    }
+    const GlobalTrace &GT = Slicing->globalTrace();
+    uint32_t Pos = CurrentSlice->Positions[N];
+    Out << "dependences of pos " << Pos << " ("
+        << disassembleAt(*Prog, GT.entry(Pos).Pc) << "):\n";
+    for (const DepEdge &E : CurrentSlice->dependencesOf(Pos)) {
+      const TraceEntry &P = GT.entry(E.ToPos);
+      const GlobalRef &R = GT.ref(E.ToPos);
+      Out << "  " << (E.IsControl ? "control" : "data") << " <- pos "
+          << E.ToPos << " tid " << R.Tid << " line " << P.Line << ": "
+          << disassembleAt(*Prog, P.Pc) << "\n";
+    }
+    return;
+  }
+
+  if (Sub == "save") {
+    std::string Path;
+    if (!CurrentSlice || !Slicing || !(Args >> Path)) {
+      Out << "usage: slice save <file> (after computing a slice)\n";
+      return;
+    }
+    std::ofstream OS(Path);
+    if (!OS) {
+      Out << "error: cannot write " << Path << "\n";
+      return;
+    }
+    saveSpecialSliceFile(OS, Slicing->globalTrace(), *CurrentSlice,
+                         Slicing->exclusionRegions(*CurrentSlice));
+    Out << "slice saved to " << Path << "\n";
+    return;
+  }
+
+  if (Sub == "report") {
+    std::string Path;
+    if (!CurrentSlice || !Slicing || !(Args >> Path)) {
+      Out << "usage: slice report <file.html> (after computing a slice)\n";
+      return;
+    }
+    std::ofstream OS(Path);
+    if (!OS) {
+      Out << "error: cannot write " << Path << "\n";
+      return;
+    }
+    writeSliceReportHtml(OS, *Prog, Slicing->globalTrace(), *CurrentSlice);
+    Out << "slice report written to " << Path << "\n";
+    return;
+  }
+
+  if (Sub == "regions") {
+    if (!CurrentSlice || !Slicing) {
+      Out << "error: no slice computed\n";
+      return;
+    }
+    auto Regions = Slicing->exclusionRegions(*CurrentSlice);
+    Out << Regions.size() << " exclusion regions\n";
+    for (const ExclusionRegion &R : Regions) {
+      Out << "  tid " << R.Tid << " [" << R.StartPc << ":" << R.StartInstance
+          << ", ";
+      if (R.EndIndex == ~0ULL)
+        Out << "end";
+      else
+        Out << R.EndPc << ":" << R.EndInstance;
+      Out << ")\n";
+    }
+    return;
+  }
+
+  if (Sub == "pinball") {
+    if (!CurrentSlice || !Slicing) {
+      Out << "error: no slice computed\n";
+      return;
+    }
+    Pinball Pb;
+    std::string Error;
+    if (!Slicing->makeSlicePinball(*CurrentSlice, Pb, Error)) {
+      Out << "error: " << Error << "\n";
+      return;
+    }
+    SlicePb = std::move(Pb);
+    std::string Dir;
+    if (Args >> Dir) {
+      if (!SlicePb->save(Dir, Error)) {
+        Out << "error: " << Error << "\n";
+        return;
+      }
+    }
+    Out << "slice pinball: " << SlicePb->instructionCount()
+        << " instructions (region had " << RegionPb->instructionCount()
+        << ")\n";
+    return;
+  }
+
+  if (Sub == "replay") {
+    if (!SlicePb) {
+      Out << "error: no slice pinball; use 'slice pinball' first\n";
+      return;
+    }
+    Live.reset();
+    Replay = std::make_unique<CheckpointedReplay>(*SlicePb, /*Interval=*/256);
+    if (!Replay->valid()) {
+      Out << "error: " << Replay->error() << "\n";
+      Replay.reset();
+      return;
+    }
+    SliceReplayActive = true;
+    BpObserver =
+        std::make_unique<BreakpointObserver>(*this, Replay->machine());
+    Replay->machine().addObserver(BpObserver.get());
+    Out << "replaying execution slice; use 'slice step' to advance\n";
+    return;
+  }
+
+  if (Sub == "step") {
+    if (!SliceReplayActive || !Replay) {
+      Out << "error: not replaying a slice; use 'slice replay'\n";
+      return;
+    }
+    if (!Replay->stepForward()) {
+      if (Replay->machine().stopRequested()) {
+        Replay->machine().clearStopRequest();
+        reportStop(Machine::StopReason::StopRequested);
+      } else if (Replay->machine().assertFailed()) {
+        reportStop(Machine::StopReason::AssertFailed);
+      } else {
+        Out << "slice replay complete\n";
+      }
+      return;
+    }
+    uint32_t Tid;
+    uint64_t Pc;
+    if (BpObserver->lastExec(Tid, Pc)) {
+      CurrentTid = Tid;
+      Out << "slice step: tid " << Tid << " executed line "
+          << Prog->inst(Pc).Line << ": " << disassembleAt(*Prog, Pc) << "\n";
+    }
+    return;
+  }
+
+  Out << "usage: slice fail | slice <tid> <pc> [inst] | slice "
+         "forward <tid> <pc> [inst] | slice "
+         "list|deps|save|report|regions|pinball|replay|step\n";
+}

@@ -1,0 +1,151 @@
+//===- debugger/session.h - DrDebug command-line debugger ------*- C++ -*-===//
+//
+// Part of the DrDebug reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The debugger front end: the GDB+PinADX+KDbg analog. A DebugSession owns
+/// either a live machine or a replayer (cyclic debugging happens on replay)
+/// and interprets gdb-flavoured commands plus the paper's new ones:
+///
+///   load <file>               load a MiniVM assembly program
+///   run [seed]                run live under a seeded scheduler
+///   break <pc>|<func>[+off]   set a breakpoint; delete <id>; info breakpoints
+///   watch <global>            stop when a global's value changes; unwatch <id>
+///   continue / stepi [n]      resume / single-step (live or replay)
+///   info threads|regs         examine thread state
+///   x <addr> [n]              examine memory; print <global>
+///   backtrace [tid]           call stack from the shadow stack
+///   record region <skip> <len> [seed]   capture a region pinball
+///   record failure [seed]     capture start-to-failure (Table 3 style)
+///   pinball save|load <dir>   persist / import the region pinball
+///   replay                    start replay-based debugging off the pinball
+///   slice fail | slice <tid> <pc> [instance]    compute a dynamic slice
+///   slice list                show slice statements (the KDbg highlight)
+///   slice deps <n>            backwards-navigate the n-th slice entry
+///   slice save <file>         write the slice file
+///   slice pinball [<dir>]     build the slice pinball via the relogger
+///   slice replay              replay the execution slice
+///   slice step                step to the next statement in the slice
+///   reverse-stepi [n]         step backwards (checkpoint + forward replay)
+///   replay-position / replay-seek <n>   inspect / move the replay clock
+///   where / output / quit
+///
+/// All regular debugging commands keep working during replay; state
+/// modification is (deliberately) not offered, matching the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRDEBUG_DEBUGGER_SESSION_H
+#define DRDEBUG_DEBUGGER_SESSION_H
+
+#include "replay/checkpoints.h"
+#include "replay/logger.h"
+#include "replay/replayer.h"
+#include "slicing/slicer.h"
+
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace drdebug {
+
+/// An interactive DrDebug session. Construct, load a program, then feed
+/// commands; output goes to the supplied stream.
+class DebugSession {
+public:
+  explicit DebugSession(std::ostream &Out);
+  ~DebugSession();
+
+  DebugSession(const DebugSession &) = delete;
+  DebugSession &operator=(const DebugSession &) = delete;
+
+  /// Loads a program from assembly text. \returns false on assembly errors
+  /// (reported to the output stream).
+  bool loadProgramText(const std::string &AsmText);
+
+  /// Executes one command line. \returns false when the session ends
+  /// ("quit"); unknown commands print an error and return true.
+  bool execute(const std::string &Line);
+
+  /// Feeds a whole script, stopping at "quit".
+  void runScript(const std::vector<std::string> &Commands);
+
+  // --- Introspection for tests and examples -------------------------------
+  /// The machine currently being debugged (live or replay), or null.
+  Machine *currentMachine();
+  bool inReplay() const { return Replay != nullptr; }
+  bool inSliceReplay() const { return SliceReplayActive; }
+  const std::optional<Pinball> &regionPinball() const { return RegionPb; }
+  const std::optional<Slice> &currentSlice() const { return CurrentSlice; }
+
+private:
+  class BreakpointObserver;
+
+  // Command handlers.
+  void cmdRun(std::istringstream &Args);
+  void cmdBreak(std::istringstream &Args);
+  void cmdWatch(std::istringstream &Args);
+  void cmdDelete(std::istringstream &Args);
+  void cmdContinue();
+  void cmdStepi(std::istringstream &Args);
+  void cmdInfo(std::istringstream &Args);
+  void cmdExamine(std::istringstream &Args);
+  void cmdPrint(std::istringstream &Args);
+  void cmdBacktrace(std::istringstream &Args);
+  void cmdRecord(std::istringstream &Args);
+  void cmdPinball(std::istringstream &Args);
+  void cmdReplay();
+  void cmdReverseStepi(std::istringstream &Args);
+  void cmdSlice(std::istringstream &Args);
+  void cmdWhere();
+  void cmdList(std::istringstream &Args);
+
+  // Helpers.
+  bool ensureSliceSession();
+  void reportStop(Machine::StopReason Reason);
+  void printCurrentStatement(uint32_t Tid);
+  bool parseLocation(const std::string &Tok, uint64_t &Pc);
+  Scheduler &liveScheduler(uint64_t Seed);
+
+  std::ostream &Out;
+  std::unique_ptr<Program> Prog;
+  std::string ProgramText;
+
+  // Live execution.
+  std::unique_ptr<Machine> Live;
+  std::unique_ptr<Scheduler> LiveSched;
+  std::unique_ptr<DefaultSyscalls> LiveWorld;
+  uint64_t LiveSeed = 1;
+
+  // Replay (checkpointed, so backward motion is possible).
+  std::unique_ptr<CheckpointedReplay> Replay;
+  bool SliceReplayActive = false;
+
+  // Record / slice artifacts.
+  std::optional<Pinball> RegionPb;
+  std::optional<Pinball> SlicePb;
+  std::unique_ptr<SliceSession> Slicing;
+  std::optional<Slice> CurrentSlice;
+
+  // Breakpoints.
+  std::map<unsigned, uint64_t> Breakpoints;
+  unsigned NextBreakpointId = 1;
+  // Watchpoints: id -> (watched address, global name for display).
+  struct Watchpoint {
+    uint64_t Addr;
+    std::string Name;
+  };
+  std::map<unsigned, Watchpoint> Watchpoints;
+  unsigned NextWatchpointId = 1;
+  std::unique_ptr<BreakpointObserver> BpObserver;
+  uint32_t CurrentTid = 0;
+};
+
+} // namespace drdebug
+
+#endif // DRDEBUG_DEBUGGER_SESSION_H

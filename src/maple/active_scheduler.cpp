@@ -1,0 +1,58 @@
+//===- maple/active_scheduler.cpp - Forcing candidate iRoots -----------------===//
+
+#include "maple/active_scheduler.h"
+
+#include "vm/machine.h"
+
+#include <cassert>
+
+using namespace drdebug;
+
+uint32_t ActiveScheduler::pickNext(const Machine &M,
+                                   const std::vector<uint32_t> &Runnable) {
+  assert(!Runnable.empty());
+
+  // Detect that the previously scheduled step executed PcA.
+  if (HavePrev && PrevPc == Candidate.PcA)
+    ADone = true;
+
+  // Partition runnable threads by whether they are poised at PcB.
+  std::vector<uint32_t> AtB, Others;
+  for (uint32_t Tid : Runnable) {
+    if (M.thread(Tid).Pc == Candidate.PcB)
+      AtB.push_back(Tid);
+    else
+      Others.push_back(Tid);
+  }
+
+  uint32_t Chosen;
+  if (!ADone) {
+    if (!Others.empty() && !AtB.empty()) {
+      DelayedSomeone = true; // we are actively holding a PcB thread back
+      // Periodically release one delayed thread for a single step so the
+      // rest of the program keeps making progress (PcA may causally depend
+      // on the delayed threads) — the Maple timeout analog.
+      if (++DelayTicks % DelayPeriod == 0)
+        Chosen = AtB[Rand.below(AtB.size())];
+      else
+        Chosen = Others[Rand.below(Others.size())];
+    } else if (!Others.empty()) {
+      Chosen = Others[Rand.below(Others.size())];
+    } else {
+      // Only PcB-poised threads can run: give up the delay for progress.
+      Chosen = AtB[Rand.below(AtB.size())];
+    }
+  } else if (!AtB.empty()) {
+    // A has executed: release a delayed PcB thread immediately.
+    if (DelayedSomeone)
+      Forced = true;
+    Chosen = AtB.front();
+  } else {
+    Chosen = Runnable[Rand.below(Runnable.size())];
+  }
+
+  HavePrev = true;
+  PrevTid = Chosen;
+  PrevPc = M.thread(Chosen).Pc;
+  return Chosen;
+}

@@ -1,0 +1,68 @@
+//===- maple/active_scheduler.h - Forcing candidate iRoots ------*- C++ -*-===//
+//
+// Part of the DrDebug reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Maple's phase (ii): the active scheduler runs the program "on a single
+/// processor and controls thread execution to enforce the dependencies
+/// recorded by the profiler". Here the single processor is the MiniVM
+/// interpreter, and control is exercised directly from the scheduler's
+/// pickNext: while the candidate's first access (PcA) has not executed,
+/// threads poised at PcB are delayed (scheduled only if nothing else can
+/// run); once PcA executes, a thread poised at PcB is scheduled immediately,
+/// enforcing the A -> B order. Because this is a Scheduler, it composes
+/// directly with the Logger, which is exactly the paper's integration:
+/// Maple's active scheduler optionally does PinPlay-style logging of the
+/// buggy execution it exposes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRDEBUG_MAPLE_ACTIVE_SCHEDULER_H
+#define DRDEBUG_MAPLE_ACTIVE_SCHEDULER_H
+
+#include "maple/iroot.h"
+#include "support/rng.h"
+#include "vm/scheduler.h"
+
+namespace drdebug {
+
+/// Schedules to force one candidate iRoot.
+class ActiveScheduler : public Scheduler {
+public:
+  ActiveScheduler(const IRoot &Candidate, uint64_t Seed)
+      : Candidate(Candidate), Rand(Seed) {}
+
+  uint32_t pickNext(const Machine &M,
+                    const std::vector<uint32_t> &Runnable) override;
+
+  /// True once PcA has executed while a PcB-poised thread was being held
+  /// back, and that thread was then released — i.e. the candidate order was
+  /// actually enforced at least once.
+  bool forcedOrder() const { return Forced; }
+
+  /// How many scheduling decisions may favour non-PcB threads in a row
+  /// before a delayed thread is briefly released (Maple's timeout analog;
+  /// prevents livelock when PcA can only execute after PcB threads make
+  /// progress).
+  void setDelayPeriod(uint64_t Period) { DelayPeriod = Period; }
+
+private:
+  IRoot Candidate;
+  Rng Rand;
+  uint64_t DelayPeriod = 16;
+  uint64_t DelayTicks = 0;
+  bool ADone = false;
+  bool Forced = false;
+  bool DelayedSomeone = false;
+  /// Last scheduled (tid, pc) so the next pickNext can detect that PcA or
+  /// PcB just executed.
+  bool HavePrev = false;
+  uint32_t PrevTid = 0;
+  uint64_t PrevPc = 0;
+};
+
+} // namespace drdebug
+
+#endif // DRDEBUG_MAPLE_ACTIVE_SCHEDULER_H

@@ -1,0 +1,22 @@
+//===- maple/iroot.cpp - Inter-thread dependency idioms ----------------------===//
+
+#include "maple/iroot.h"
+
+#include <sstream>
+
+using namespace drdebug;
+
+const char *drdebug::iRootKindName(IRoot::Kind K) {
+  switch (K) {
+  case IRoot::Kind::WriteRead: return "W->R";
+  case IRoot::Kind::ReadWrite: return "R->W";
+  case IRoot::Kind::WriteWrite: return "W->W";
+  }
+  return "?";
+}
+
+std::string IRoot::str() const {
+  std::ostringstream OS;
+  OS << iRootKindName(K) << " " << PcA << " -> " << PcB;
+  return OS.str();
+}

@@ -1,0 +1,69 @@
+//===- maple/iroot.h - Inter-thread dependency idioms -----------*- C++ -*-===//
+//
+// Part of the DrDebug reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// iRoots, after the Maple tool the paper integrates with (§6): an idiom-1
+/// iRoot is an ordered pair of static instructions (PcA then PcB) executed
+/// by *different* threads, accessing the same shared memory location, at
+/// least one of them writing. Maple's profiler records observed iRoots and
+/// predicts untested ones; its active scheduler then forces a predicted
+/// order to expose interleaving bugs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRDEBUG_MAPLE_IROOT_H
+#define DRDEBUG_MAPLE_IROOT_H
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+
+namespace drdebug {
+
+/// An idiom-1 inter-thread dependency: PcA (one thread) happens immediately
+/// before the conflicting PcB (another thread).
+struct IRoot {
+  enum class Kind : uint8_t { WriteRead, ReadWrite, WriteWrite };
+
+  uint64_t PcA = 0;
+  uint64_t PcB = 0;
+  Kind K = Kind::WriteRead;
+
+  bool operator<(const IRoot &O) const {
+    return std::tie(PcA, PcB, K) < std::tie(O.PcA, O.PcB, O.K);
+  }
+  bool operator==(const IRoot &O) const {
+    return PcA == O.PcA && PcB == O.PcB && K == O.K;
+  }
+
+  /// The reversed-order iRoot (Maple's idiom-1 prediction: if A->B was
+  /// observed, B->A is a candidate interleaving to test).
+  IRoot flipped() const {
+    IRoot F;
+    F.PcA = PcB;
+    F.PcB = PcA;
+    switch (K) {
+    case Kind::WriteRead:
+      F.K = Kind::ReadWrite;
+      break;
+    case Kind::ReadWrite:
+      F.K = Kind::WriteRead;
+      break;
+    case Kind::WriteWrite:
+      F.K = Kind::WriteWrite;
+      break;
+    }
+    return F;
+  }
+
+  std::string str() const;
+};
+
+const char *iRootKindName(IRoot::Kind K);
+
+} // namespace drdebug
+
+#endif // DRDEBUG_MAPLE_IROOT_H

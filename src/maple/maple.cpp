@@ -1,0 +1,68 @@
+//===- maple/maple.cpp - Coverage-driven bug exposure driver -----------------===//
+
+#include "maple/maple.h"
+
+#include "maple/active_scheduler.h"
+#include "maple/profiler.h"
+
+using namespace drdebug;
+
+MapleResult drdebug::mapleExposeAndRecord(const Program &Prog,
+                                          const MapleOptions &Opts) {
+  MapleResult Result;
+
+  // Phase (i): profiling runs under random schedules.
+  IRootProfiler Profiler;
+  for (unsigned Run = 0; Run != Opts.ProfileRuns; ++Run) {
+    uint64_t Seed = Opts.Seed + Run;
+    Profiler.resetRunState();
+    RandomScheduler Sched(Seed, 1, 3);
+    DefaultSyscalls World(Seed);
+    World.setInput(Opts.Input);
+    Machine M(Prog);
+    M.setScheduler(&Sched);
+    M.setSyscalls(&World);
+    M.addObserver(&Profiler);
+    Machine::StopReason Reason = M.run(Opts.MaxSteps);
+    if (Reason == Machine::StopReason::AssertFailed) {
+      // The bug reproduced under plain profiling: re-run the same seed with
+      // the logger attached to capture the pinball.
+      RandomScheduler Sched2(Seed, 1, 3);
+      DefaultSyscalls World2(Seed);
+      World2.setInput(Opts.Input);
+      LogResult Log = Logger::logWholeProgram(Prog, Sched2, &World2);
+      Result.Exposed = Log.FailureCaptured;
+      Result.ExposedDuringProfiling = true;
+      Result.Pb = std::move(Log.Pb);
+      Result.ObservedIRoots = Profiler.observed().size();
+      return Result;
+    }
+  }
+  Result.ObservedIRoots = Profiler.observed().size();
+
+  // Phase (ii): force predicted candidates under the active scheduler, with
+  // the logger recording every attempt so an exposed bug is immediately a
+  // replayable pinball.
+  std::vector<IRoot> Candidates = Profiler.predictCandidates();
+  Result.PredictedCandidates = Candidates.size();
+  unsigned Attempts = 0;
+  for (const IRoot &Candidate : Candidates) {
+    if (Attempts >= Opts.MaxAttempts)
+      break;
+    ++Attempts;
+    ActiveScheduler Sched(Candidate, Opts.Seed + 1000 + Attempts);
+    DefaultSyscalls World(Opts.Seed);
+    World.setInput(Opts.Input);
+    RegionSpec Spec; // whole program, stop at failure
+    Spec.MaxTotalInstrs = Opts.MaxSteps;
+    LogResult Log = Logger::logRegion(Prog, Sched, &World, Spec);
+    if (Log.FailureCaptured) {
+      Result.Exposed = true;
+      Result.ExposingCandidate = Candidate;
+      Result.Pb = std::move(Log.Pb);
+      break;
+    }
+  }
+  Result.AttemptsUsed = Attempts;
+  return Result;
+}

@@ -1,0 +1,51 @@
+//===- maple/maple.h - Coverage-driven bug exposure driver ------*- C++ -*-===//
+//
+// Part of the DrDebug reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Maple-analog driver (paper §6, "Integration with Maple"): profiling
+/// runs observe iRoots and predict untested candidates; active-scheduling
+/// runs try to force each candidate; when a forced interleaving trips an
+/// assertion, the run — which was executing under the PinPlay-analog logger
+/// all along — yields a pinball that DrDebug can replay and slice directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRDEBUG_MAPLE_MAPLE_H
+#define DRDEBUG_MAPLE_MAPLE_H
+
+#include "maple/iroot.h"
+#include "replay/logger.h"
+
+#include <vector>
+
+namespace drdebug {
+
+struct MapleOptions {
+  unsigned ProfileRuns = 3;   ///< phase-(i) runs with random schedules
+  unsigned MaxAttempts = 64;  ///< phase-(ii) candidate attempts
+  uint64_t Seed = 1;
+  uint64_t MaxSteps = 2'000'000; ///< per-run instruction budget
+  std::vector<int64_t> Input;    ///< program input fed to every run
+};
+
+struct MapleResult {
+  bool Exposed = false;          ///< a buggy execution was found
+  bool ExposedDuringProfiling = false;
+  IRoot ExposingCandidate;       ///< candidate that triggered it (if forced)
+  Pinball Pb;                    ///< recorded buggy execution (if Exposed)
+  unsigned AttemptsUsed = 0;
+  size_t ObservedIRoots = 0;
+  size_t PredictedCandidates = 0;
+};
+
+/// Runs both Maple phases on \p Prog and records the exposed buggy
+/// execution as a replayable pinball.
+MapleResult mapleExposeAndRecord(const Program &Prog,
+                                 const MapleOptions &Opts = MapleOptions());
+
+} // namespace drdebug
+
+#endif // DRDEBUG_MAPLE_MAPLE_H

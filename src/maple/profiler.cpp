@@ -1,0 +1,43 @@
+//===- maple/profiler.cpp - iRoot profiling phase ----------------------------===//
+
+#include "maple/profiler.h"
+
+#include "vm/machine.h"
+
+using namespace drdebug;
+
+void IRootProfiler::onExec(const Machine &, const ExecRecord &R) {
+  auto Note = [&](uint64_t Addr, bool IsWrite) {
+    auto It = LastAccess.find(Addr);
+    if (It != LastAccess.end()) {
+      const Access &Prev = It->second;
+      if (Prev.Tid != R.Tid && (Prev.IsWrite || IsWrite)) {
+        IRoot Root;
+        Root.PcA = Prev.Pc;
+        Root.PcB = R.Pc;
+        Root.K = Prev.IsWrite
+                     ? (IsWrite ? IRoot::Kind::WriteWrite
+                                : IRoot::Kind::WriteRead)
+                     : IRoot::Kind::ReadWrite;
+        Observed.insert(Root);
+      }
+    }
+    LastAccess[Addr] = {R.Tid, R.Pc, IsWrite};
+  };
+  for (const auto &U : R.Uses)
+    if (!isRegLoc(U.Loc))
+      Note(locAddr(U.Loc), /*IsWrite=*/false);
+  for (const auto &D : R.Defs)
+    if (!isRegLoc(D.Loc))
+      Note(locAddr(D.Loc), /*IsWrite=*/true);
+}
+
+std::vector<IRoot> IRootProfiler::predictCandidates() const {
+  std::vector<IRoot> Result;
+  for (const IRoot &Root : Observed) {
+    IRoot Flip = Root.flipped();
+    if (!Observed.count(Flip))
+      Result.push_back(Flip);
+  }
+  return Result;
+}

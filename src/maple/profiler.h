@@ -1,0 +1,56 @@
+//===- maple/profiler.h - iRoot profiling phase -----------------*- C++ -*-===//
+//
+// Part of the DrDebug reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Maple's phase (i): an Observer that, during profiling runs, records the
+/// set of *observed* idiom-1 iRoots (adjacent conflicting cross-thread
+/// accesses to the same location) and predicts *untested* candidates by
+/// reversing observed orders. Candidates are what the active scheduler
+/// later tries to force.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRDEBUG_MAPLE_PROFILER_H
+#define DRDEBUG_MAPLE_PROFILER_H
+
+#include "maple/iroot.h"
+#include "vm/observer.h"
+
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+namespace drdebug {
+
+/// Collects observed iRoots over one or more profiling runs (attach to each
+/// run's machine; the observed set accumulates).
+class IRootProfiler : public Observer {
+public:
+  void onExec(const Machine &M, const ExecRecord &R) override;
+
+  /// Call between runs so stale last-access state does not leak across
+  /// executions (the observed iRoot set is kept).
+  void resetRunState() { LastAccess.clear(); }
+
+  const std::set<IRoot> &observed() const { return Observed; }
+
+  /// Predicted candidates: reversals of observed iRoots that were never
+  /// themselves observed, in deterministic order.
+  std::vector<IRoot> predictCandidates() const;
+
+private:
+  struct Access {
+    uint32_t Tid;
+    uint64_t Pc;
+    bool IsWrite;
+  };
+  std::unordered_map<uint64_t, Access> LastAccess;
+  std::set<IRoot> Observed;
+};
+
+} // namespace drdebug
+
+#endif // DRDEBUG_MAPLE_PROFILER_H

@@ -1,0 +1,84 @@
+//===- replay/checkpoints.cpp - Reverse debugging over replay -----------------===//
+
+#include "replay/checkpoints.h"
+
+#include <cassert>
+
+using namespace drdebug;
+
+CheckpointedReplay::CheckpointedReplay(const Pinball &Pb, uint64_t Interval)
+    : Pb(Pb), Interval(Interval ? Interval : 1) {
+  Rep = std::make_unique<Replayer>(this->Pb);
+  if (Rep->valid())
+    maybeCheckpoint(); // position 0
+}
+
+bool CheckpointedReplay::valid() const { return Rep && Rep->valid(); }
+const std::string &CheckpointedReplay::error() const { return Rep->error(); }
+Machine &CheckpointedReplay::machine() { return Rep->machine(); }
+const Program &CheckpointedReplay::program() const { return Rep->program(); }
+
+bool CheckpointedReplay::atEnd() const { return Rep->done(); }
+
+void CheckpointedReplay::maybeCheckpoint() {
+  if (Position % Interval != 0 || Checkpoints.count(Position))
+    return;
+  Checkpoints[Position] = {Rep->machine().snapshot(), Rep->cursor()};
+}
+
+bool CheckpointedReplay::stepForward() {
+  if (!Rep->stepOne())
+    return false;
+  ++Position;
+  maybeCheckpoint();
+  return true;
+}
+
+Machine::StopReason CheckpointedReplay::runForward(uint64_t MaxSteps) {
+  uint64_t Steps = 0;
+  while (Steps < MaxSteps) {
+    if (!stepForward()) {
+      if (Rep->machine().stopRequested()) {
+        Rep->machine().clearStopRequest();
+        return Machine::StopReason::StopRequested;
+      }
+      break;
+    }
+    ++Steps;
+  }
+  if (Steps >= MaxSteps && !atEnd())
+    return Machine::StopReason::StepLimit;
+  return Rep->machine().assertFailed() ? Machine::StopReason::AssertFailed
+                                       : Machine::StopReason::Halted;
+}
+
+bool CheckpointedReplay::seek(uint64_t Target) {
+  if (Target == Position)
+    return true;
+  if (Target > Position) {
+    while (Position < Target)
+      if (!stepForward())
+        return false;
+    return true;
+  }
+  // Backward: restore the nearest checkpoint at or before Target, then
+  // replay forward the remaining distance.
+  auto It = Checkpoints.upper_bound(Target);
+  assert(It != Checkpoints.begin() && "position 0 is always checkpointed");
+  --It;
+  uint64_t CkptPos = It->first;
+  Rep->restore(It->second.State, It->second.Cursor);
+  Position = CkptPos;
+  uint64_t Distance = Target - CkptPos;
+  Reexecuted += Distance;
+  while (Position < Target)
+    if (!stepForward())
+      return false;
+  return true;
+}
+
+bool CheckpointedReplay::stepBackward() {
+  if (Position == 0)
+    return false;
+  return seek(Position - 1);
+}

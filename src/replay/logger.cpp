@@ -1,0 +1,161 @@
+//===- replay/logger.cpp - Region logger (PinPlay-analog) -------------------===//
+
+#include "replay/logger.h"
+
+#include <cassert>
+
+using namespace drdebug;
+
+namespace {
+
+/// Phase-A observer: cheap monitoring to find the region start.
+class FastForwardMonitor : public Observer {
+public:
+  FastForwardMonitor(Machine &M, const RegionSpec &Spec) : M(M), Spec(Spec) {}
+
+  bool reachedStart() const { return Reached; }
+
+  void onPreExec(const Machine &, uint32_t Tid, uint64_t Pc) override {
+    if (Reached || !SkipDone || !Spec.HaveStartTrigger)
+      return;
+    if (Tid == Spec.StartTid && Pc == Spec.StartPc &&
+        ++SeenInstances == Spec.StartInstance) {
+      Reached = true;
+      M.requestStop(); // stop *before* executing the trigger instruction
+    }
+  }
+
+  void onExec(const Machine &, const ExecRecord &R) override {
+    if (Reached)
+      return;
+    if (!SkipDone) {
+      if (R.Tid == 0 && ++MainCount >= Spec.SkipMainInstrs) {
+        SkipDone = true;
+        if (!Spec.HaveStartTrigger) {
+          Reached = true;
+          M.requestStop();
+        }
+      }
+      return;
+    }
+  }
+
+  /// Handles the degenerate skip==0 case where no instruction ever runs
+  /// before the region starts.
+  void primeForZeroSkip() {
+    if (Spec.SkipMainInstrs == 0) {
+      SkipDone = true;
+      if (!Spec.HaveStartTrigger)
+        Reached = true;
+    }
+  }
+
+private:
+  Machine &M;
+  const RegionSpec &Spec;
+  uint64_t MainCount = 0;
+  uint64_t SeenInstances = 0;
+  bool SkipDone = false;
+  bool Reached = false;
+};
+
+/// Phase-B observer: records the schedule and syscall values.
+class RecordingObserver : public Observer {
+public:
+  RecordingObserver(Machine &M, const RegionSpec &Spec, Pinball &Pb)
+      : M(M), Spec(Spec), Pb(Pb) {}
+
+  uint64_t mainInstrs() const { return MainCount; }
+  uint64_t totalInstrs() const { return TotalCount; }
+
+  void onExec(const Machine &, const ExecRecord &R) override {
+    Pb.appendStep(R.Tid);
+    ++TotalCount;
+    if (R.Tid == 0)
+      ++MainCount;
+    if (MainCount >= Spec.LengthMainInstrs) {
+      M.requestStop();
+      return;
+    }
+    if (Spec.HaveEndTrigger && R.Tid == Spec.EndTid && R.Pc == Spec.EndPc &&
+        ++EndInstances == Spec.EndInstance)
+      M.requestStop();
+  }
+
+  void onSyscallValue(uint32_t Tid, Opcode Op, int64_t Value) override {
+    Pb.Syscalls.push_back({Tid, Op, Value});
+  }
+
+private:
+  Machine &M;
+  const RegionSpec &Spec;
+  Pinball &Pb;
+  uint64_t MainCount = 0;
+  uint64_t TotalCount = 0;
+  uint64_t EndInstances = 0;
+};
+
+} // namespace
+
+LogResult Logger::logRegion(const Program &Prog, Scheduler &Sched,
+                            SyscallProvider *World, const RegionSpec &Spec) {
+  Machine M(Prog);
+  M.setScheduler(&Sched);
+  if (World)
+    M.setSyscalls(World);
+
+  // Phase A: fast-forward to the region start. Only the lightweight monitor
+  // is attached, so this proceeds at near-native interpreter speed.
+  FastForwardMonitor Monitor(M, Spec);
+  Monitor.primeForZeroSkip();
+  if (!Monitor.reachedStart()) {
+    M.addObserver(&Monitor);
+    Machine::StopReason Reason = M.run(Spec.MaxTotalInstrs);
+    M.removeObserver(&Monitor);
+    if (!Monitor.reachedStart()) {
+      // The program ended before the region start; log an empty region.
+      LogResult Result;
+      Result.Pb.ProgramText = Prog.SourceText;
+      Result.Pb.StartState = M.snapshot();
+      Result.Pb.Meta["kind"] = "region";
+      Result.Reason = Reason;
+      return Result;
+    }
+    M.clearStopRequest();
+  }
+
+  // Phase B: snapshot and record.
+  LogResult Result;
+  Result.Pb.ProgramText = Prog.SourceText;
+  Result.Pb.StartState = M.snapshot();
+  Result.Pb.Meta["kind"] = "region";
+
+  RecordingObserver Recorder(M, Spec, Result.Pb);
+  M.addObserver(&Recorder);
+  uint64_t Budget = Spec.MaxTotalInstrs == ~0ULL
+                        ? ~0ULL
+                        : Spec.MaxTotalInstrs - std::min(Spec.MaxTotalInstrs,
+                                                         M.globalCount());
+  Machine::StopReason Reason = M.run(Budget);
+  if (Reason == Machine::StopReason::AssertFailed && !Spec.StopAtFailure) {
+    // Not modelled: continuing past a failed assertion. The machine always
+    // stops, so just report it.
+  }
+  M.removeObserver(&Recorder);
+
+  Result.Reason = Reason;
+  Result.MainThreadInstrs = Recorder.mainInstrs();
+  Result.TotalInstrs = Recorder.totalInstrs();
+  Result.FailureCaptured = Reason == Machine::StopReason::AssertFailed;
+  if (Result.FailureCaptured) {
+    Result.Pb.Meta["failtid"] = std::to_string(M.failedTid());
+    Result.Pb.Meta["failpc"] = std::to_string(M.failedPc());
+  }
+  return Result;
+}
+
+LogResult Logger::logWholeProgram(const Program &Prog, Scheduler &Sched,
+                                  SyscallProvider *World) {
+  RegionSpec Spec;
+  return logRegion(Prog, Sched, World, Spec);
+}

@@ -1,0 +1,85 @@
+//===- replay/logger.h - Region logger (PinPlay-analog) ---------*- C++ -*-===//
+//
+// Part of the DrDebug reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The logger captures an *execution region* into a pinball: it fast
+/// forwards (with minimal instrumentation, like PinPlay's logger before the
+/// region) to the region start, snapshots the architectural state, then
+/// records the thread schedule and every non-deterministic syscall value
+/// until the region ends. Regions are delimited either by a (skip, length)
+/// pair counted in main-thread instructions — the scheme the paper uses for
+/// the PARSEC experiments — or by pc:instance triggers, or by the program
+/// failing (the Assert symptom), which is how the buggy-region pinballs of
+/// Tables 2 and 3 are captured.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRDEBUG_REPLAY_LOGGER_H
+#define DRDEBUG_REPLAY_LOGGER_H
+
+#include "replay/pinball.h"
+#include "vm/machine.h"
+#include "vm/scheduler.h"
+
+namespace drdebug {
+
+/// Delimits the execution region to capture.
+struct RegionSpec {
+  /// Fast-forward: main-thread instructions to execute before the region.
+  uint64_t SkipMainInstrs = 0;
+  /// Region length in main-thread instructions (~0 = until program end).
+  uint64_t LengthMainInstrs = ~0ULL;
+  /// Stop the region when an Assert fails (captures the failure point).
+  bool StopAtFailure = true;
+  /// Safety budget on total executed instructions (fast-forward plus
+  /// region); ~0 = unlimited. Used e.g. by the Maple driver, whose forced
+  /// schedules could otherwise livelock a spin-waiting program.
+  uint64_t MaxTotalInstrs = ~0ULL;
+
+  /// Optional region-start trigger: snapshot when thread StartTid is poised
+  /// to execute StartPc for the StartInstance-th time (1-based). Applied
+  /// after SkipMainInstrs.
+  bool HaveStartTrigger = false;
+  uint32_t StartTid = 0;
+  uint64_t StartPc = 0;
+  uint64_t StartInstance = 1;
+
+  /// Optional region-end trigger: stop after thread EndTid executes EndPc
+  /// for the EndInstance-th time (counted within the region).
+  bool HaveEndTrigger = false;
+  uint32_t EndTid = 0;
+  uint64_t EndPc = 0;
+  uint64_t EndInstance = 1;
+};
+
+/// Outcome of a logging run.
+struct LogResult {
+  Pinball Pb;
+  Machine::StopReason Reason = Machine::StopReason::Halted;
+  /// Main-thread instructions recorded inside the region.
+  uint64_t MainThreadInstrs = 0;
+  /// Instructions recorded across all threads.
+  uint64_t TotalInstrs = 0;
+  /// True if the region ended because an Assert failed.
+  bool FailureCaptured = false;
+};
+
+/// Captures execution regions into pinballs.
+class Logger {
+public:
+  /// Runs \p Prog from the beginning under \p Sched and \p World (may be
+  /// null for the default world) and logs the region described by \p Spec.
+  static LogResult logRegion(const Program &Prog, Scheduler &Sched,
+                             SyscallProvider *World, const RegionSpec &Spec);
+
+  /// Convenience: log the whole execution (skip 0, until program end).
+  static LogResult logWholeProgram(const Program &Prog, Scheduler &Sched,
+                                   SyscallProvider *World = nullptr);
+};
+
+} // namespace drdebug
+
+#endif // DRDEBUG_REPLAY_LOGGER_H

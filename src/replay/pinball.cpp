@@ -1,0 +1,224 @@
+//===- replay/pinball.cpp - Pinballs (recorded executions) ------------------===//
+
+#include "replay/pinball.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace drdebug;
+namespace fs = std::filesystem;
+
+uint64_t Pinball::instructionCount() const {
+  uint64_t N = 0;
+  for (const ScheduleEvent &E : Schedule)
+    if (E.K == ScheduleEvent::Kind::Step)
+      N += E.Count;
+  return N;
+}
+
+void Pinball::appendStep(uint32_t Tid) {
+  if (!Schedule.empty() && Schedule.back().K == ScheduleEvent::Kind::Step &&
+      Schedule.back().Tid == Tid) {
+    ++Schedule.back().Count;
+    return;
+  }
+  ScheduleEvent E;
+  E.K = ScheduleEvent::Kind::Step;
+  E.Tid = Tid;
+  E.Count = 1;
+  Schedule.push_back(E);
+}
+
+void Pinball::appendInject(uint64_t InjectId) {
+  ScheduleEvent E;
+  E.K = ScheduleEvent::Kind::Inject;
+  E.InjectId = InjectId;
+  Schedule.push_back(E);
+}
+
+bool Pinball::save(const std::string &Dir, std::string &Error) const {
+  std::error_code EC;
+  fs::create_directories(Dir, EC);
+  if (EC) {
+    Error = "cannot create pinball directory " + Dir + ": " + EC.message();
+    return false;
+  }
+  auto Open = [&](const char *Name, std::ofstream &OS) {
+    OS.open(fs::path(Dir) / Name);
+    if (!OS) {
+      Error = std::string("cannot write pinball file ") + Name;
+      return false;
+    }
+    return true;
+  };
+
+  std::ofstream OS;
+  if (!Open("program.asm", OS))
+    return false;
+  OS << ProgramText;
+  OS.close();
+
+  if (!Open("state.txt", OS))
+    return false;
+  StartState.save(OS);
+  OS.close();
+
+  if (!Open("schedule.txt", OS))
+    return false;
+  for (const ScheduleEvent &E : Schedule) {
+    if (E.K == ScheduleEvent::Kind::Step)
+      OS << "s " << E.Tid << " " << E.Count << "\n";
+    else
+      OS << "i " << E.InjectId << "\n";
+  }
+  OS.close();
+
+  if (!Open("syscalls.txt", OS))
+    return false;
+  for (const SyscallRecord &R : Syscalls)
+    OS << R.Tid << " " << static_cast<int>(R.Op) << " " << R.Value << "\n";
+  OS.close();
+
+  if (!Open("injections.txt", OS))
+    return false;
+  for (const Injection &Inj : Injections) {
+    OS << "inject " << Inj.Id << " " << Inj.Tid << " " << Inj.ResumePc << " "
+       << Inj.MemWrites.size();
+    for (auto &[Addr, Val] : Inj.MemWrites)
+      OS << " " << Addr << " " << Val;
+    OS << " " << Inj.RegWrites.size();
+    for (auto &[Reg, Val] : Inj.RegWrites)
+      OS << " " << Reg << " " << Val;
+    OS << "\n";
+  }
+  OS.close();
+
+  if (!Open("meta.txt", OS))
+    return false;
+  for (auto &[Key, Value] : Meta)
+    OS << Key << "=" << Value << "\n";
+  OS.close();
+  return true;
+}
+
+bool Pinball::load(const std::string &Dir, std::string &Error) {
+  *this = Pinball();
+  auto Open = [&](const char *Name, std::ifstream &IS) {
+    IS.open(fs::path(Dir) / Name);
+    if (!IS) {
+      Error = std::string("cannot read pinball file ") + Name + " in " + Dir;
+      return false;
+    }
+    return true;
+  };
+
+  std::ifstream IS;
+  if (!Open("program.asm", IS))
+    return false;
+  std::ostringstream Buf;
+  Buf << IS.rdbuf();
+  ProgramText = Buf.str();
+  IS.close();
+
+  if (!Open("state.txt", IS))
+    return false;
+  if (!StartState.load(IS, Error))
+    return false;
+  IS.close();
+
+  if (!Open("schedule.txt", IS))
+    return false;
+  std::string Kind;
+  while (IS >> Kind) {
+    ScheduleEvent E;
+    if (Kind == "s") {
+      E.K = ScheduleEvent::Kind::Step;
+      if (!(IS >> E.Tid >> E.Count)) {
+        Error = "bad schedule record";
+        return false;
+      }
+    } else if (Kind == "i") {
+      E.K = ScheduleEvent::Kind::Inject;
+      if (!(IS >> E.InjectId)) {
+        Error = "bad inject record";
+        return false;
+      }
+    } else {
+      Error = "bad schedule event kind '" + Kind + "'";
+      return false;
+    }
+    Schedule.push_back(E);
+  }
+  IS.close();
+
+  if (!Open("syscalls.txt", IS))
+    return false;
+  SyscallRecord R;
+  int Op = 0;
+  while (IS >> R.Tid >> Op >> R.Value) {
+    R.Op = static_cast<Opcode>(Op);
+    Syscalls.push_back(R);
+  }
+  IS.close();
+
+  if (!Open("injections.txt", IS))
+    return false;
+  std::string Tag;
+  while (IS >> Tag) {
+    if (Tag != "inject") {
+      Error = "bad injection record";
+      return false;
+    }
+    Injection Inj;
+    size_t NumMem = 0, NumReg = 0;
+    if (!(IS >> Inj.Id >> Inj.Tid >> Inj.ResumePc >> NumMem)) {
+      Error = "bad injection header";
+      return false;
+    }
+    for (size_t I = 0; I != NumMem; ++I) {
+      uint64_t Addr = 0;
+      int64_t Val = 0;
+      if (!(IS >> Addr >> Val)) {
+        Error = "bad injection memory write";
+        return false;
+      }
+      Inj.MemWrites.emplace_back(Addr, Val);
+    }
+    if (!(IS >> NumReg)) {
+      Error = "bad injection register count";
+      return false;
+    }
+    for (size_t I = 0; I != NumReg; ++I) {
+      uint32_t Reg = 0;
+      int64_t Val = 0;
+      if (!(IS >> Reg >> Val)) {
+        Error = "bad injection register write";
+        return false;
+      }
+      Inj.RegWrites.emplace_back(Reg, Val);
+    }
+    Injections.push_back(std::move(Inj));
+  }
+  IS.close();
+
+  if (!Open("meta.txt", IS))
+    return false;
+  std::string Line;
+  while (std::getline(IS, Line)) {
+    size_t Eq = Line.find('=');
+    if (Eq != std::string::npos)
+      Meta[Line.substr(0, Eq)] = Line.substr(Eq + 1);
+  }
+  return true;
+}
+
+uint64_t Pinball::diskSizeBytes(const std::string &Dir) {
+  uint64_t Total = 0;
+  std::error_code EC;
+  for (const auto &Entry : fs::directory_iterator(Dir, EC)) {
+    if (Entry.is_regular_file(EC))
+      Total += Entry.file_size(EC);
+  }
+  return Total;
+}

@@ -1,0 +1,93 @@
+//===- replay/pinball.h - Pinballs (recorded executions) --------*- C++ -*-===//
+//
+// Part of the DrDebug reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A pinball is the PinPlay artifact this reproduction mirrors: everything
+/// needed to deterministically re-create a (region of a) program execution.
+/// It contains the program text, the architectural snapshot at region start,
+/// the thread schedule, the values produced by non-deterministic syscalls,
+/// and — for slice pinballs produced by the relogger — the injection records
+/// that restore the side effects of skipped code regions.
+///
+/// Pinballs serialize to a directory of text files and are portable: a
+/// pinball saved by one process replays identically in another.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRDEBUG_REPLAY_PINBALL_H
+#define DRDEBUG_REPLAY_PINBALL_H
+
+#include "arch/program.h"
+#include "vm/machine.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace drdebug {
+
+/// One element of a pinball's schedule stream.
+struct ScheduleEvent {
+  enum class Kind : uint8_t {
+    Step,   ///< run thread Tid for Count instructions
+    Inject, ///< apply injection record InjectId
+  };
+  Kind K = Kind::Step;
+  uint32_t Tid = 0;
+  uint64_t Count = 0;
+  uint64_t InjectId = 0;
+};
+
+/// Net side effects of one skipped (excluded) code region, applied before
+/// the owning thread resumes at ResumePc. Produced by the relogger using the
+/// same mechanism PinPlay uses for system-call side-effect detection.
+struct Injection {
+  /// ResumePc value meaning "the thread never resumes" (trailing exclusion).
+  static constexpr uint64_t NoResume = ~0ULL;
+
+  uint64_t Id = 0;
+  uint32_t Tid = 0;
+  uint64_t ResumePc = NoResume;
+  std::vector<std::pair<uint64_t, int64_t>> MemWrites;
+  std::vector<std::pair<uint32_t, int64_t>> RegWrites;
+};
+
+/// One recorded non-deterministic syscall result.
+struct SyscallRecord {
+  uint32_t Tid = 0;
+  Opcode Op = Opcode::SysRead;
+  int64_t Value = 0;
+};
+
+/// A recorded execution region.
+class Pinball {
+public:
+  std::string ProgramText;
+  MachineState StartState;
+  std::vector<ScheduleEvent> Schedule;
+  std::vector<SyscallRecord> Syscalls;
+  std::vector<Injection> Injections;
+  std::map<std::string, std::string> Meta;
+
+  /// Total instructions the schedule executes.
+  uint64_t instructionCount() const;
+
+  /// Appends a Step event, coalescing with a preceding Step of the same tid.
+  void appendStep(uint32_t Tid);
+  void appendInject(uint64_t InjectId);
+
+  /// Writes the pinball as a directory of text files. Creates \p Dir.
+  bool save(const std::string &Dir, std::string &Error) const;
+  /// Loads a pinball saved by \c save().
+  bool load(const std::string &Dir, std::string &Error);
+
+  /// \returns the pinball's on-disk size in bytes (0 if never saved there).
+  static uint64_t diskSizeBytes(const std::string &Dir);
+};
+
+} // namespace drdebug
+
+#endif // DRDEBUG_REPLAY_PINBALL_H

@@ -1,0 +1,163 @@
+//===- replay/relogger.cpp - Exclusion relogging (slice pinballs) -----------===//
+
+#include "replay/relogger.h"
+
+#include "replay/replayer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+
+using namespace drdebug;
+
+namespace {
+
+/// Observer that partitions the replayed stream into included/excluded
+/// instructions, accumulates excluded regions' side effects, and emits the
+/// slice pinball's schedule.
+class RelogObserver : public Observer {
+public:
+  RelogObserver(Machine &M, const std::vector<ExclusionRegion> &Excl,
+                Pinball &Out)
+      : M(M), Out(Out) {
+    for (const ExclusionRegion &R : Excl)
+      Regions[R.Tid].push_back(R);
+    for (auto &[Tid, List] : Regions)
+      std::sort(List.begin(), List.end(),
+                [](const ExclusionRegion &A, const ExclusionRegion &B) {
+                  return A.BeginIndex < B.BeginIndex;
+                });
+  }
+
+  void onPreExec(const Machine &, uint32_t Tid, uint64_t Pc) override {
+    uint64_t Idx = M.thread(Tid).ExecCount;
+    CurExcluded = isExcluded(Tid, Idx);
+    CurTid = Tid;
+    ThreadState &TS = States[Tid];
+    if (TS.InExclusion && !CurExcluded)
+      finalize(Tid, /*ResumePc=*/Pc);
+    if (!TS.InExclusion && CurExcluded)
+      open(Tid);
+  }
+
+  void onExec(const Machine &, const ExecRecord &R) override {
+    ThreadState &TS = States[R.Tid];
+    if (TS.InExclusion) {
+      assert(R.Inst->Op != Opcode::Spawn &&
+             "thread-creating instructions must never be excluded");
+      for (const auto &Def : R.Defs)
+        if (!isRegLoc(Def.Loc))
+          TS.TouchedAddrs.insert(locAddr(Def.Loc));
+      return;
+    }
+    Out.appendStep(R.Tid);
+  }
+
+  void onSyscallValue(uint32_t Tid, Opcode Op, int64_t Value) override {
+    assert(Tid == CurTid && "syscall from unexpected thread");
+    if (!CurExcluded)
+      Out.Syscalls.push_back({Tid, Op, Value});
+  }
+
+  void onThreadExited(uint32_t Tid) override {
+    ThreadState &TS = States[Tid];
+    if (TS.InExclusion)
+      finalize(Tid, Injection::NoResume);
+  }
+
+  /// Close any exclusions still open when the replay ends.
+  void finish() {
+    for (auto &[Tid, TS] : States)
+      if (TS.InExclusion)
+        finalize(Tid, Injection::NoResume);
+  }
+
+private:
+  struct ThreadState {
+    bool InExclusion = false;
+    int64_t SavedRegs[NumRegs] = {};
+    std::set<uint64_t> TouchedAddrs;
+  };
+
+  bool isExcluded(uint32_t Tid, uint64_t Idx) const {
+    auto It = Regions.find(Tid);
+    if (It == Regions.end())
+      return false;
+    // Regions per thread are few (gaps between slice points); linear scan
+    // with an advancing cursor would also work, but binary search keeps this
+    // correct even if callers pass unsorted interleavings.
+    const auto &List = It->second;
+    auto Pos = std::upper_bound(
+        List.begin(), List.end(), Idx,
+        [](uint64_t V, const ExclusionRegion &R) { return V < R.BeginIndex; });
+    if (Pos == List.begin())
+      return false;
+    --Pos;
+    return Idx >= Pos->BeginIndex && Idx < Pos->EndIndex;
+  }
+
+  void open(uint32_t Tid) {
+    ThreadState &TS = States[Tid];
+    TS.InExclusion = true;
+    TS.TouchedAddrs.clear();
+    const ThreadContext &T = M.thread(Tid);
+    for (unsigned I = 0; I != NumRegs; ++I)
+      TS.SavedRegs[I] = T.Regs[I];
+  }
+
+  void finalize(uint32_t Tid, uint64_t ResumePc) {
+    ThreadState &TS = States[Tid];
+    assert(TS.InExclusion);
+    Injection Inj;
+    Inj.Id = NextInjectionId++;
+    Inj.Tid = Tid;
+    Inj.ResumePc = ResumePc;
+    // Side-effect detection: for every address the excluded code wrote,
+    // record the value it holds *now* (the region boundary). Using the
+    // boundary value rather than the last excluded write is what keeps
+    // injections correct when another thread overwrote the address in
+    // between (its own included write is replayed too).
+    for (uint64_t Addr : TS.TouchedAddrs)
+      Inj.MemWrites.emplace_back(Addr, M.mem().load(Addr));
+    const ThreadContext &T = M.thread(Tid);
+    for (unsigned I = 0; I != NumRegs; ++I)
+      if (T.Regs[I] != TS.SavedRegs[I])
+        Inj.RegWrites.emplace_back(I, T.Regs[I]);
+    Out.appendInject(Inj.Id);
+    Out.Injections.push_back(std::move(Inj));
+    TS.InExclusion = false;
+  }
+
+  Machine &M;
+  Pinball &Out;
+  std::map<uint32_t, std::vector<ExclusionRegion>> Regions;
+  std::map<uint32_t, ThreadState> States;
+  uint64_t NextInjectionId = 0;
+  bool CurExcluded = false;
+  uint32_t CurTid = 0;
+};
+
+} // namespace
+
+bool Relogger::relog(const Pinball &RegionPb,
+                     const std::vector<ExclusionRegion> &Excl, Pinball &Out,
+                     std::string &Error) {
+  Replayer Rep(RegionPb);
+  if (!Rep.valid()) {
+    Error = "relog: " + Rep.error();
+    return false;
+  }
+  Out = Pinball();
+  Out.ProgramText = RegionPb.ProgramText;
+  Out.StartState = RegionPb.StartState;
+  Out.Meta = RegionPb.Meta;
+  Out.Meta["kind"] = "slice";
+
+  RelogObserver Obs(Rep.machine(), Excl, Out);
+  Rep.machine().addObserver(&Obs);
+  Rep.run();
+  Obs.finish();
+  Rep.machine().removeObserver(&Obs);
+  return true;
+}

@@ -1,0 +1,58 @@
+//===- replay/relogger.h - Exclusion relogging (slice pinballs) -*- C++ -*-===//
+//
+// Part of the DrDebug reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The relogger re-runs a region pinball while *excluding* per-thread code
+/// regions (everything not in an execution slice), detecting each excluded
+/// region's side effects the way PinPlay detects system-call side effects,
+/// and emits a new, smaller "slice pinball" whose schedule only steps the
+/// included instructions and whose Inject events restore the skipped
+/// regions' net memory/register effects at the right points in the global
+/// order (paper §4, Figure 6).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRDEBUG_REPLAY_RELOGGER_H
+#define DRDEBUG_REPLAY_RELOGGER_H
+
+#include "replay/pinball.h"
+
+#include <string>
+#include <vector>
+
+namespace drdebug {
+
+/// A per-thread range of dynamic instructions to exclude from replay.
+/// Operationally the range is [BeginIndex, EndIndex) in the thread's
+/// absolute dynamic instruction count; the pc:instance fields mirror the
+/// paper's [startPc:sinstance:tid, endPc:einstance:tid) notation and are
+/// carried for slice files and display.
+struct ExclusionRegion {
+  uint32_t Tid = 0;
+  uint64_t BeginIndex = 0;
+  uint64_t EndIndex = ~0ULL; ///< ~0 = to the end of the thread/region
+  // Descriptive pc:instance form (informational).
+  uint64_t StartPc = 0;
+  uint64_t StartInstance = 0;
+  uint64_t EndPc = 0;
+  uint64_t EndInstance = 0;
+};
+
+/// Produces slice pinballs by relogging region pinballs with exclusions.
+class Relogger {
+public:
+  /// Replays \p RegionPb, skipping the instructions covered by \p Excl
+  /// (recording their side effects as injections), and fills \p Out with
+  /// the resulting slice pinball.
+  /// \returns false (with \p Error set) if \p RegionPb cannot be replayed.
+  static bool relog(const Pinball &RegionPb,
+                    const std::vector<ExclusionRegion> &Excl, Pinball &Out,
+                    std::string &Error);
+};
+
+} // namespace drdebug
+
+#endif // DRDEBUG_REPLAY_RELOGGER_H

@@ -1,0 +1,138 @@
+//===- replay/replayer.cpp - Deterministic pinball replay -------------------===//
+
+#include "replay/replayer.h"
+
+#include "arch/assembler.h"
+
+#include <cassert>
+
+using namespace drdebug;
+
+//===----------------------------------------------------------------------===//
+// RecordedSyscalls
+//===----------------------------------------------------------------------===//
+
+RecordedSyscalls::RecordedSyscalls(const std::vector<SyscallRecord> &Records) {
+  for (const SyscallRecord &R : Records)
+    PerThread[R.Tid].push_back(R);
+}
+
+int64_t RecordedSyscalls::pop(uint32_t Tid, Opcode Op) {
+  auto It = PerThread.find(Tid);
+  if (It == PerThread.end())
+    return 0;
+  size_t &Cursor = Cursors[Tid];
+  if (Cursor >= It->second.size()) {
+    // Replaying past the recorded region (should not happen when the
+    // schedule drives execution); be forgiving and return zero.
+    return 0;
+  }
+  const SyscallRecord &R = It->second[Cursor++];
+  assert(R.Op == Op && "replay diverged: syscall kind mismatch");
+  (void)Op;
+  return R.Value;
+}
+
+int64_t RecordedSyscalls::sysAlloc(uint32_t Tid, int64_t) {
+  return pop(Tid, Opcode::SysAlloc);
+}
+
+//===----------------------------------------------------------------------===//
+// Replayer
+//===----------------------------------------------------------------------===//
+
+Replayer::Replayer(const Pinball &Pb) : Pb(Pb) {
+  if (!assemble(this->Pb.ProgramText, Prog, ErrorMessage))
+    return;
+  M = std::make_unique<Machine>(Prog);
+  M->restore(this->Pb.StartState);
+  M->setForcedMode(true);
+  Syscalls = std::make_unique<RecordedSyscalls>(this->Pb.Syscalls);
+  M->setSyscalls(Syscalls.get());
+  for (const Injection &Inj : this->Pb.Injections)
+    InjectionById[Inj.Id] = &Inj;
+  Valid = true;
+}
+
+Replayer::~Replayer() = default;
+
+bool Replayer::done() const {
+  assert(Valid && "invalid replayer");
+  return EventIndex >= Pb.Schedule.size();
+}
+
+void Replayer::applyInjection(const Injection &Inj) {
+  for (auto &[Addr, Val] : Inj.MemWrites)
+    M->injectMemory(Addr, Val);
+  for (auto &[Reg, Val] : Inj.RegWrites)
+    M->injectRegister(Inj.Tid, Reg, Val);
+  if (Inj.ResumePc != Injection::NoResume)
+    M->setThreadPc(Inj.Tid, Inj.ResumePc);
+}
+
+bool Replayer::stepOne() {
+  assert(Valid && "invalid replayer");
+  // Apply any pending injections; they are transparent to stepping.
+  while (EventIndex < Pb.Schedule.size() &&
+         Pb.Schedule[EventIndex].K == ScheduleEvent::Kind::Inject) {
+    auto It = InjectionById.find(Pb.Schedule[EventIndex].InjectId);
+    assert(It != InjectionById.end() && "pinball references unknown injection");
+    applyInjection(*It->second);
+    ++EventIndex;
+  }
+  if (EventIndex >= Pb.Schedule.size())
+    return false;
+
+  const ScheduleEvent &E = Pb.Schedule[EventIndex];
+  assert(E.K == ScheduleEvent::Kind::Step);
+  if (!M->stepThread(E.Tid)) {
+    // An observer requested a stop from onPreExec; do not consume the event
+    // so the replay can resume exactly here.
+    return false;
+  }
+  ++Replayed;
+  if (++WithinEvent == E.Count) {
+    WithinEvent = 0;
+    ++EventIndex;
+  }
+  return true;
+}
+
+ReplayCursor Replayer::cursor() const {
+  assert(Valid && "invalid replayer");
+  ReplayCursor C;
+  C.EventIndex = EventIndex;
+  C.WithinEvent = WithinEvent;
+  C.Replayed = Replayed;
+  C.SyscallCursors = Syscalls->cursors();
+  return C;
+}
+
+void Replayer::restore(const MachineState &State, const ReplayCursor &Cursor) {
+  assert(Valid && "invalid replayer");
+  M->restore(State);
+  M->setForcedMode(true);
+  EventIndex = Cursor.EventIndex;
+  WithinEvent = Cursor.WithinEvent;
+  Replayed = Cursor.Replayed;
+  Syscalls->setCursors(Cursor.SyscallCursors);
+}
+
+Machine::StopReason Replayer::run(uint64_t MaxSteps) {
+  assert(Valid && "invalid replayer");
+  uint64_t Steps = 0;
+  while (Steps < MaxSteps) {
+    if (!stepOne()) {
+      if (M->stopRequested()) {
+        M->clearStopRequest();
+        return Machine::StopReason::StopRequested;
+      }
+      break;
+    }
+    ++Steps;
+  }
+  if (Steps >= MaxSteps && !done())
+    return Machine::StopReason::StepLimit;
+  return M->assertFailed() ? Machine::StopReason::AssertFailed
+                           : Machine::StopReason::Halted;
+}

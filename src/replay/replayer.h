@@ -1,0 +1,118 @@
+//===- replay/replayer.h - Deterministic pinball replay ---------*- C++ -*-===//
+//
+// Part of the DrDebug reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The replayer runs off a pinball: it assembles the embedded program,
+/// restores the region-start snapshot, and drives the machine with the
+/// recorded schedule while feeding recorded syscall values, so every replay
+/// of the same pinball observes the exact same program state — the paper's
+/// repeatability guarantee that makes cyclic debugging and cross-session
+/// slices possible. For slice pinballs, Inject events in the schedule apply
+/// the recorded side effects of skipped code regions and move the thread's
+/// pc past them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRDEBUG_REPLAY_REPLAYER_H
+#define DRDEBUG_REPLAY_REPLAYER_H
+
+#include "replay/pinball.h"
+#include "vm/machine.h"
+
+#include <deque>
+#include <map>
+#include <memory>
+
+namespace drdebug {
+
+/// Feeds recorded syscall values back to the machine, per-thread in FIFO
+/// order (each thread executes its own syscalls in program order). The
+/// consumption state is a plain cursor map so checkpointed replay can save
+/// and restore it.
+class RecordedSyscalls : public SyscallProvider {
+public:
+  explicit RecordedSyscalls(const std::vector<SyscallRecord> &Records);
+
+  int64_t sysRead(uint32_t Tid) override { return pop(Tid, Opcode::SysRead); }
+  int64_t sysRand(uint32_t Tid) override { return pop(Tid, Opcode::SysRand); }
+  int64_t sysTime(uint32_t Tid) override { return pop(Tid, Opcode::SysTime); }
+  int64_t sysAlloc(uint32_t Tid, int64_t Size) override;
+
+  const std::map<uint32_t, size_t> &cursors() const { return Cursors; }
+  void setCursors(const std::map<uint32_t, size_t> &C) { Cursors = C; }
+
+private:
+  int64_t pop(uint32_t Tid, Opcode Op);
+  std::map<uint32_t, std::vector<SyscallRecord>> PerThread;
+  std::map<uint32_t, size_t> Cursors;
+};
+
+/// Everything needed to resume a Replayer at an intermediate point; pairs
+/// with a MachineState snapshot taken at the same instant.
+struct ReplayCursor {
+  size_t EventIndex = 0;
+  uint64_t WithinEvent = 0;
+  uint64_t Replayed = 0;
+  std::map<uint32_t, size_t> SyscallCursors;
+};
+
+/// Replays a pinball deterministically.
+class Replayer {
+public:
+  /// Assembles the pinball's program and restores its start state.
+  /// Check \c valid() before use; an invalid pinball reports \c error().
+  explicit Replayer(const Pinball &Pb);
+  ~Replayer();
+
+  Replayer(const Replayer &) = delete;
+  Replayer &operator=(const Replayer &) = delete;
+
+  bool valid() const { return Valid; }
+  const std::string &error() const { return ErrorMessage; }
+
+  Machine &machine() { return *M; }
+  const Program &program() const { return Prog; }
+  const Pinball &pinball() const { return Pb; }
+
+  /// True once the recorded schedule is exhausted.
+  bool done() const;
+
+  /// Advances the replay by one instruction (applying any pending injection
+  /// events first). \returns false without advancing if the schedule is
+  /// exhausted or an observer requested a stop from onPreExec.
+  bool stepOne();
+
+  /// Replays until the schedule is exhausted, a stop is requested, or
+  /// \p MaxSteps instructions have run.
+  Machine::StopReason run(uint64_t MaxSteps = ~0ULL);
+
+  /// Instructions replayed so far.
+  uint64_t replayedInstructions() const { return Replayed; }
+
+  /// Captures / restores the replay position (together with a
+  /// machine-state snapshot taken at the same instant) — the checkpointing
+  /// primitive behind reverse debugging.
+  ReplayCursor cursor() const;
+  void restore(const MachineState &State, const ReplayCursor &Cursor);
+
+private:
+  void applyInjection(const Injection &Inj);
+
+  Pinball Pb;
+  Program Prog;
+  bool Valid = false;
+  std::string ErrorMessage;
+  std::unique_ptr<Machine> M;
+  std::unique_ptr<RecordedSyscalls> Syscalls;
+  std::map<uint64_t, const Injection *> InjectionById;
+  size_t EventIndex = 0;   ///< cursor into Pb.Schedule
+  uint64_t WithinEvent = 0; ///< instructions consumed of the current Step
+  uint64_t Replayed = 0;
+};
+
+} // namespace drdebug
+
+#endif // DRDEBUG_REPLAY_REPLAYER_H

@@ -1,0 +1,44 @@
+//===- slicing/control_dep.h - Dynamic control dependences ------*- C++ -*-===//
+//
+// Part of the DrDebug reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dynamic control-dependence detection over a thread's local trace, after
+/// Xin & Zhang's online region-based algorithm (paper §5.1). A per-frame
+/// stack of open "regions" (branch entry, immediate-post-dominator pc) is
+/// maintained: an instruction is control-dependent on the innermost open
+/// region's branch; reaching a region's post-dominator closes it. Calls push
+/// a new frame seeded with the call entry itself so everything a callee
+/// executes is (transitively) control-dependent on the call site — which is
+/// how the paper's Figure 8 slice pulls in the predicate guarding Q.
+///
+/// This runs as a post-pass, after the CFG has been refined with the
+/// dynamically observed indirect-jump targets; running it with the
+/// unrefined CFG reproduces the §5.1 imprecision (missing control deps at
+/// switch statements), which the tests and Fig. 13 bench exploit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRDEBUG_SLICING_CONTROL_DEP_H
+#define DRDEBUG_SLICING_CONTROL_DEP_H
+
+#include "analysis/cfg.h"
+#include "slicing/trace.h"
+
+namespace drdebug {
+
+/// Fills TraceEntry::CtrlDep for every entry of \p Trace using immediate
+/// post-dominators from \p Cfgs.
+void computeControlDeps(ThreadTrace &Trace, CfgSet &Cfgs);
+
+/// Convenience: runs computeControlDeps on every thread of \p Traces.
+/// If \p RefineFirst is set, first refines \p Cfgs with the traces'
+/// dynamically observed indirect-jump targets (the paper's precision fix).
+void computeAllControlDeps(TraceSet &Traces, CfgSet &Cfgs,
+                           bool RefineFirst = true);
+
+} // namespace drdebug
+
+#endif // DRDEBUG_SLICING_CONTROL_DEP_H

@@ -1,0 +1,129 @@
+//===- slicing/exclusion.cpp - Slice -> code exclusion regions ---------------===//
+
+#include "slicing/exclusion.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <ostream>
+
+using namespace drdebug;
+
+namespace {
+
+/// True for instructions the slice pinball must keep even when they are not
+/// slice members: Spawn creates threads (the replayer cannot skip thread
+/// creation).
+bool mustKeep(Opcode Op) { return Op == Opcode::Spawn; }
+
+/// Per-thread sorted list of kept local indices.
+std::map<uint32_t, std::vector<uint32_t>> keptPerThread(const GlobalTrace &GT,
+                                                        const Slice &S) {
+  std::map<uint32_t, std::vector<uint32_t>> Kept;
+  const auto &Threads = GT.traces().threads();
+  for (const ThreadTrace &T : Threads) {
+    auto &List = Kept[T.Tid]; // ensure every traced thread has an entry
+    for (uint32_t Idx = 0, E = static_cast<uint32_t>(T.Entries.size());
+         Idx != E; ++Idx)
+      if (mustKeep(T.Entries[Idx].Op))
+        List.push_back(Idx);
+  }
+  for (uint32_t Pos : S.Positions) {
+    const GlobalRef &R = GT.ref(Pos);
+    Kept[R.Tid].push_back(R.LocalIdx);
+  }
+  for (auto &[Tid, List] : Kept) {
+    std::sort(List.begin(), List.end());
+    List.erase(std::unique(List.begin(), List.end()), List.end());
+  }
+  return Kept;
+}
+
+/// Fills the descriptive pc:instance fields of \p Region from the trace.
+/// Instance numbers count executions of a pc by the thread within the
+/// region, 1-based, matching the relogger interface in the paper.
+void annotate(ExclusionRegion &Region, const ThreadTrace &T) {
+  auto InstanceOf = [&](uint64_t AbsIdx) -> std::pair<uint64_t, uint64_t> {
+    size_t Local = static_cast<size_t>(AbsIdx - T.StartIndex);
+    if (Local >= T.Entries.size())
+      return {0, 0};
+    uint64_t Pc = T.Entries[Local].Pc;
+    uint64_t Count = 0;
+    for (size_t I = 0; I <= Local; ++I)
+      if (T.Entries[I].Pc == Pc)
+        ++Count;
+    return {Pc, Count};
+  };
+  std::tie(Region.StartPc, Region.StartInstance) =
+      InstanceOf(Region.BeginIndex);
+  if (Region.EndIndex != ~0ULL)
+    std::tie(Region.EndPc, Region.EndInstance) = InstanceOf(Region.EndIndex);
+}
+
+} // namespace
+
+std::vector<ExclusionRegion>
+drdebug::buildExclusionRegions(const GlobalTrace &GT, const Slice &S) {
+  std::vector<ExclusionRegion> Regions;
+  const auto &Threads = GT.traces().threads();
+  auto Kept = keptPerThread(GT, S);
+
+  for (const ThreadTrace &T : Threads) {
+    if (T.Entries.empty())
+      continue;
+    const std::vector<uint32_t> &List = Kept[T.Tid];
+    uint64_t Base = T.StartIndex;
+    uint64_t Cursor = Base; // next absolute index not yet covered
+    auto Emit = [&](uint64_t Begin, uint64_t End) {
+      if (Begin >= End)
+        return;
+      ExclusionRegion R;
+      R.Tid = T.Tid;
+      R.BeginIndex = Begin;
+      R.EndIndex = End;
+      annotate(R, T);
+      Regions.push_back(R);
+    };
+    for (uint32_t Local : List) {
+      uint64_t Abs = Base + Local;
+      Emit(Cursor, Abs);
+      Cursor = Abs + 1;
+    }
+    // Trailing gap runs to the end of the thread within the region.
+    uint64_t TraceEnd = Base + T.Entries.size();
+    if (Cursor < TraceEnd) {
+      ExclusionRegion R;
+      R.Tid = T.Tid;
+      R.BeginIndex = Cursor;
+      R.EndIndex = ~0ULL;
+      annotate(R, T);
+      Regions.push_back(R);
+    }
+  }
+  return Regions;
+}
+
+uint64_t drdebug::includedInstructionCount(const GlobalTrace &GT,
+                                           const Slice &S) {
+  uint64_t N = 0;
+  for (auto &[Tid, List] : keptPerThread(GT, S)) {
+    (void)Tid;
+    N += List.size();
+  }
+  return N;
+}
+
+void drdebug::saveSpecialSliceFile(std::ostream &OS, const GlobalTrace &GT,
+                                   const Slice &S,
+                                   const std::vector<ExclusionRegion> &Regions) {
+  S.save(OS, GT);
+  OS << "exclusions " << Regions.size() << "\n";
+  for (const ExclusionRegion &R : Regions) {
+    OS << "[" << R.StartPc << ":" << R.StartInstance << ":" << R.Tid << ", ";
+    if (R.EndIndex == ~0ULL)
+      OS << "end:" << R.Tid << ")";
+    else
+      OS << R.EndPc << ":" << R.EndInstance << ":" << R.Tid << ")";
+    OS << " idx=[" << R.BeginIndex << "," << R.EndIndex << ")\n";
+  }
+}

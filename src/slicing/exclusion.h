@@ -1,0 +1,46 @@
+//===- slicing/exclusion.h - Slice -> code exclusion regions ----*- C++ -*-===//
+//
+// Part of the DrDebug reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "Slicer & Code Exclusion Regions Builder" back half (paper §4,
+/// Figure 10): converts a computed dynamic slice into the per-thread code
+/// exclusion regions the relogger needs to produce a slice pinball. Each
+/// maximal gap between consecutive slice members of a thread becomes one
+/// exclusion region [startPc:sinstance:tid, endPc:einstance:tid), expressed
+/// operationally as a per-thread dynamic index range. Thread-management
+/// instructions (Spawn) are always kept so skipped code cannot delete a
+/// thread the slice needs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRDEBUG_SLICING_EXCLUSION_H
+#define DRDEBUG_SLICING_EXCLUSION_H
+
+#include "replay/relogger.h"
+#include "slicing/slice.h"
+
+#include <vector>
+
+namespace drdebug {
+
+/// Builds the exclusion regions that complement \p S over \p GT.
+std::vector<ExclusionRegion> buildExclusionRegions(const GlobalTrace &GT,
+                                                   const Slice &S);
+
+/// Count of dynamic instructions the regions keep (i.e. the slice pinball's
+/// instruction count): slice members plus always-kept structural entries.
+uint64_t includedInstructionCount(const GlobalTrace &GT, const Slice &S);
+
+/// Writes the "special slice file": the normal slice plus the exclusion
+/// regions in the paper's [startPc:sinstance:tid, endPc:einstance:tid)
+/// notation, for the relogger.
+void saveSpecialSliceFile(std::ostream &OS, const GlobalTrace &GT,
+                          const Slice &S,
+                          const std::vector<ExclusionRegion> &Regions);
+
+} // namespace drdebug
+
+#endif // DRDEBUG_SLICING_EXCLUSION_H

@@ -1,0 +1,63 @@
+//===- slicing/forward.cpp - Forward dynamic slices ---------------------------===//
+
+#include "slicing/forward.h"
+
+#include <cassert>
+#include <unordered_map>
+
+using namespace drdebug;
+
+Slice drdebug::computeForwardSlice(const GlobalTrace &GT, uint32_t StartPos) {
+  size_t N = GT.size();
+  assert(StartPos < N && "start outside trace");
+
+  Slice Result;
+  Result.CriterionPos = StartPos;
+  std::vector<char> InSlice(N, 0);
+  InSlice[StartPos] = 1;
+  Result.Positions.push_back(StartPos);
+
+  // For each location: the position of its most recent definition, and
+  // whether that definition came from a slice member (i.e. is "tainted").
+  struct DefState {
+    uint32_t Pos;
+    bool Tainted;
+  };
+  std::unordered_map<Location, DefState> LastDef;
+  for (const auto &D : GT.entry(StartPos).Defs)
+    LastDef[D.Loc] = {StartPos, true};
+
+  for (uint32_t Pos = StartPos + 1; Pos < N; ++Pos) {
+    const TraceEntry &E = GT.entry(Pos);
+    bool Joins = false;
+
+    // Data: uses a tainted value?
+    for (const auto &U : E.Uses) {
+      auto It = LastDef.find(U.Loc);
+      if (It == LastDef.end() || !It->second.Tainted)
+        continue;
+      Joins = true;
+      Result.Edges.push_back({Pos, It->second.Pos, /*IsControl=*/false});
+    }
+    // Control: dynamically control-dependent on a slice branch?
+    if (E.CtrlDep >= 0) {
+      const GlobalRef &R = GT.ref(Pos);
+      uint32_t CdPos = static_cast<uint32_t>(
+          GT.posOf(R.Tid, static_cast<uint32_t>(E.CtrlDep)));
+      if (InSlice[CdPos]) {
+        Joins = true;
+        Result.Edges.push_back({Pos, CdPos, /*IsControl=*/true});
+      }
+    }
+
+    if (Joins) {
+      InSlice[Pos] = 1;
+      Result.Positions.push_back(Pos);
+    }
+    // Definitions (tainted iff this entry is in the slice) kill or refresh
+    // liveness.
+    for (const auto &D : E.Defs)
+      LastDef[D.Loc] = {Pos, Joins != 0};
+  }
+  return Result;
+}

@@ -1,0 +1,34 @@
+//===- slicing/forward.h - Forward dynamic slices ---------------*- C++ -*-===//
+//
+// Part of the DrDebug reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Forward dynamic slicing: the set of dynamic instructions *influenced by*
+/// a given instruction's definitions, via data and control dependences —
+/// the dual of the paper's backward slice and the natural complement for
+/// root-cause debugging ("the racy write is the cause; what did it
+/// poison?"). A single forward pass over the global trace suffices:
+/// liveness of slice-produced values is tracked per location and killed by
+/// non-slice redefinitions; an instruction joins when it uses a live slice
+/// value or is control-dependent on a slice branch.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRDEBUG_SLICING_FORWARD_H
+#define DRDEBUG_SLICING_FORWARD_H
+
+#include "slicing/slice.h"
+
+namespace drdebug {
+
+/// Computes the forward slice of the entry at \p StartPos over \p GT.
+/// The result reuses the Slice type; Positions are ascending and include
+/// StartPos, and Edges point backwards (consumer -> producer) exactly as in
+/// backward slices, so browsing works unchanged.
+Slice computeForwardSlice(const GlobalTrace &GT, uint32_t StartPos);
+
+} // namespace drdebug
+
+#endif // DRDEBUG_SLICING_FORWARD_H

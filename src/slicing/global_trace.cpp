@@ -1,0 +1,82 @@
+//===- slicing/global_trace.cpp - Combined global trace ---------------------===//
+
+#include "slicing/global_trace.h"
+
+#include <cassert>
+
+using namespace drdebug;
+
+void GlobalTrace::build(const TraceSet &TS) {
+  Traces = &TS;
+  Order.clear();
+  Switches = 0;
+
+  const auto &Threads = TS.threads();
+  size_t NumThreads = Threads.size();
+  size_t Total = 0;
+  for (const ThreadTrace &T : Threads)
+    Total += T.Entries.size();
+  Order.reserve(Total);
+
+  Pos.assign(NumThreads, {});
+  for (size_t T = 0; T != NumThreads; ++T)
+    Pos[T].assign(Threads[T].Entries.size(), 0);
+
+  // Cross-thread in-degree per entry, and outgoing adjacency.
+  std::vector<std::vector<uint32_t>> InDeg(NumThreads);
+  for (size_t T = 0; T != NumThreads; ++T)
+    InDeg[T].assign(Threads[T].Entries.size(), 0);
+  // Out-edges grouped by source entry.
+  std::vector<std::vector<std::vector<GlobalRef>>> Out(NumThreads);
+  for (size_t T = 0; T != NumThreads; ++T)
+    Out[T].resize(Threads[T].Entries.size());
+  for (const OrderEdge &E : TS.orderEdges()) {
+    assert(E.FromTid < NumThreads && E.ToTid < NumThreads);
+    // Some recorded edges reference an entry index one past a thread's last
+    // recorded instruction (a spawn edge for a thread created but never run
+    // inside the region); skip anything out of range.
+    if (E.FromIdx >= Threads[E.FromTid].Entries.size() ||
+        E.ToIdx >= Threads[E.ToTid].Entries.size())
+      continue;
+    ++InDeg[E.ToTid][E.ToIdx];
+    Out[E.FromTid][E.FromIdx].push_back({E.ToTid, E.ToIdx});
+  }
+
+  // Clustered topological merge: stay on the current thread while its next
+  // entry has no unsatisfied incoming edge.
+  std::vector<uint32_t> Cursor(NumThreads, 0);
+  auto HeadReady = [&](size_t T) {
+    return Cursor[T] < Threads[T].Entries.size() &&
+           InDeg[T][Cursor[T]] == 0;
+  };
+
+  size_t Current = 0;
+  bool HaveCurrent = false;
+  while (Order.size() != Total) {
+    size_t Chosen = NumThreads;
+    if (HaveCurrent && HeadReady(Current)) {
+      Chosen = Current;
+    } else {
+      for (size_t T = 0; T != NumThreads; ++T)
+        if (HeadReady(T)) {
+          Chosen = T;
+          break;
+        }
+    }
+    assert(Chosen != NumThreads &&
+           "cycle in happens-before graph: traces are inconsistent");
+    if (HaveCurrent && Chosen != Current)
+      ++Switches;
+    Current = Chosen;
+    HaveCurrent = true;
+
+    uint32_t Local = Cursor[Chosen]++;
+    GlobalRef Ref{static_cast<uint32_t>(Chosen), Local};
+    Pos[Chosen][Local] = static_cast<uint32_t>(Order.size());
+    Order.push_back(Ref);
+    for (const GlobalRef &Succ : Out[Chosen][Local]) {
+      assert(InDeg[Succ.Tid][Succ.LocalIdx] > 0);
+      --InDeg[Succ.Tid][Succ.LocalIdx];
+    }
+  }
+}

@@ -1,0 +1,178 @@
+//===- slicing/lp_slicer.cpp - LP backwards slicer ---------------------------===//
+
+#include "slicing/lp_slicer.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace drdebug;
+
+LpSlicer::LpSlicer(const GlobalTrace &GT, const SaveRestoreAnalysis *SR,
+                   SliceOptions Opts)
+    : GT(GT), SR(SR), Opts(Opts) {
+  assert(Opts.BlockSize > 0 && "block size must be positive");
+  assert((!Opts.PruneSaveRestore || SR) &&
+         "save/restore pruning needs the analysis");
+  buildSummaries();
+}
+
+void LpSlicer::buildSummaries() {
+  size_t N = GT.size();
+  size_t NumBlocks = (N + Opts.BlockSize - 1) / Opts.BlockSize;
+  BlockDefs.assign(NumBlocks, {});
+  for (size_t Pos = 0; Pos != N; ++Pos) {
+    const TraceEntry &E = GT.entry(Pos);
+    auto &Defs = BlockDefs[Pos / Opts.BlockSize];
+    for (const auto &D : E.Defs)
+      Defs.insert(D.Loc);
+  }
+}
+
+Slice LpSlicer::compute(uint32_t CriterionPos,
+                        const std::vector<Location> &SeedLocs) {
+  size_t N = GT.size();
+  assert(CriterionPos < N && "criterion outside trace");
+
+  Slice Result;
+  Result.CriterionPos = CriterionPos;
+  std::vector<char> InSlice(N, 0);
+  std::vector<uint32_t> Members;
+  std::unordered_map<Location, std::vector<PendingUse>> Unresolved;
+  std::vector<uint32_t> Work;
+
+  auto enqueueUses = [&](uint32_t Pos) {
+    const TraceEntry &E = GT.entry(Pos);
+    for (const auto &U : E.Uses)
+      Unresolved[U.Loc].push_back({Pos, Pos});
+  };
+
+  /// Adds Pos to the slice (if new), enqueues its data uses, and chases its
+  /// control-dependence chain immediately (control producers are known by
+  /// position; only data producers need the backwards scan).
+  auto addMember = [&](uint32_t Pos, bool WithUses) {
+    if (InSlice[Pos])
+      return;
+    InSlice[Pos] = 1;
+    Members.push_back(Pos);
+    if (WithUses)
+      enqueueUses(Pos);
+    Work.push_back(Pos);
+    while (!Work.empty()) {
+      uint32_t P = Work.back();
+      Work.pop_back();
+      const TraceEntry &E = GT.entry(P);
+      if (E.CtrlDep < 0)
+        continue;
+      const GlobalRef &R = GT.ref(P);
+      uint32_t CdPos =
+          static_cast<uint32_t>(GT.posOf(R.Tid, static_cast<uint32_t>(E.CtrlDep)));
+      Result.Edges.push_back({P, CdPos, /*IsControl=*/true});
+      if (InSlice[CdPos])
+        continue;
+      InSlice[CdPos] = 1;
+      Members.push_back(CdPos);
+      enqueueUses(CdPos);
+      Work.push_back(CdPos);
+    }
+  };
+
+  if (SeedLocs.empty()) {
+    addMember(CriterionPos, /*WithUses=*/true);
+  } else {
+    addMember(CriterionPos, /*WithUses=*/false);
+    // Specific-location slicing: resolve each seed strictly before the
+    // criterion.
+    for (Location L : SeedLocs)
+      Unresolved[L].push_back({CriterionPos, CriterionPos});
+  }
+
+  /// Resolves pending uses against the defs of the entry at Pos.
+  auto resolveAt = [&](uint32_t Pos) {
+    const TraceEntry &E = GT.entry(Pos);
+    for (const auto &D : E.Defs) {
+      auto It = Unresolved.find(D.Loc);
+      if (It == Unresolved.end())
+        continue;
+      std::vector<PendingUse> &List = It->second;
+
+      // Is this def a verified restore of the same register? Then pending
+      // uses bypass it: they re-target to just before the matching save.
+      bool Bypass = false;
+      uint32_t SavePos = 0;
+      if (Opts.PruneSaveRestore && isRegLoc(D.Loc)) {
+        const GlobalRef &R = GT.ref(Pos);
+        if (SR->isVerifiedRestore(R.Tid, R.LocalIdx)) {
+          Bypass = true;
+          SavePos = static_cast<uint32_t>(
+              GT.posOf(R.Tid, SR->saveOf(R.Tid, R.LocalIdx)));
+        }
+      }
+
+      std::vector<PendingUse> Keep;
+      bool ResolvedAny = false;
+      for (const PendingUse &PU : List) {
+        if (PU.Bound <= Pos) {
+          Keep.push_back(PU); // this use needs an even earlier def
+          continue;
+        }
+        if (Bypass) {
+          // Spurious dependence: skip the restore/save pair entirely and
+          // look for the definition that reached the save.
+          Keep.push_back({SavePos, PU.Consumer});
+          continue;
+        }
+        Result.Edges.push_back({PU.Consumer, Pos, /*IsControl=*/false});
+        ResolvedAny = true;
+      }
+      if (Keep.empty())
+        Unresolved.erase(It);
+      else
+        List = std::move(Keep);
+      if (ResolvedAny)
+        addMember(Pos, /*WithUses=*/true);
+    }
+  };
+
+  // Backwards LP traversal: visit blocks from the criterion's block down,
+  // skipping blocks whose downward-exposed definition summary intersects no
+  // pending use.
+  size_t BS = Opts.BlockSize;
+  for (size_t Blk = CriterionPos / BS + 1; Blk-- > 0 && !Unresolved.empty();) {
+    const auto &Defs = BlockDefs[Blk];
+    bool Intersects = false;
+    for (const auto &KV : Unresolved)
+      if (Defs.count(KV.first)) {
+        Intersects = true;
+        break;
+      }
+    if (!Intersects) {
+      ++BlocksSkipped;
+      continue;
+    }
+    ++BlocksScanned;
+    size_t Hi = std::min<size_t>((Blk + 1) * BS, CriterionPos);
+    size_t Lo = Blk * BS;
+    for (size_t Pos = Hi; Pos-- > Lo;)
+      resolveAt(static_cast<uint32_t>(Pos));
+  }
+
+  std::sort(Members.begin(), Members.end());
+  Members.erase(std::unique(Members.begin(), Members.end()), Members.end());
+  Result.Positions = std::move(Members);
+
+  // Deduplicate edges (an instruction using the same register twice would
+  // otherwise record the dependence twice).
+  auto &Edges = Result.Edges;
+  std::sort(Edges.begin(), Edges.end(), [](const DepEdge &A, const DepEdge &B) {
+    return std::tie(A.FromPos, A.ToPos, A.IsControl) <
+           std::tie(B.FromPos, B.ToPos, B.IsControl);
+  });
+  Edges.erase(std::unique(Edges.begin(), Edges.end(),
+                          [](const DepEdge &A, const DepEdge &B) {
+                            return A.FromPos == B.FromPos &&
+                                   A.ToPos == B.ToPos &&
+                                   A.IsControl == B.IsControl;
+                          }),
+              Edges.end());
+  return Result;
+}

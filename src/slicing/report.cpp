@@ -1,0 +1,139 @@
+//===- slicing/report.cpp - Slice browsing reports -----------------------------===//
+
+#include "slicing/report.h"
+
+#include "arch/disasm.h"
+
+#include <map>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <vector>
+
+using namespace drdebug;
+
+namespace {
+
+/// Splits the program's retained source text into lines (1-based access).
+std::vector<std::string> sourceLines(const Program &Prog) {
+  std::vector<std::string> Lines;
+  std::istringstream IS(Prog.SourceText);
+  std::string Line;
+  while (std::getline(IS, Line))
+    Lines.push_back(Line);
+  return Lines;
+}
+
+/// Per source line: how many dynamic slice entries landed on it.
+std::map<uint32_t, uint64_t> hitCounts(const GlobalTrace &GT, const Slice &S) {
+  std::map<uint32_t, uint64_t> Hits;
+  for (uint32_t Pos : S.Positions)
+    ++Hits[GT.entry(Pos).Line];
+  return Hits;
+}
+
+std::string htmlEscape(const std::string &In) {
+  std::string Out;
+  for (char C : In) {
+    switch (C) {
+    case '&': Out += "&amp;"; break;
+    case '<': Out += "&lt;"; break;
+    case '>': Out += "&gt;"; break;
+    default: Out.push_back(C);
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+void drdebug::writeSliceReportText(std::ostream &OS, const Program &Prog,
+                                   const GlobalTrace &GT, const Slice &S) {
+  auto Lines = sourceLines(Prog);
+  auto Hits = hitCounts(GT, S);
+  OS << "=== dynamic slice: " << S.dynamicSize() << " dynamic instructions, "
+     << Hits.size() << " source lines (criterion at global pos "
+     << S.CriterionPos << ") ===\n\n";
+  for (size_t I = 0; I != Lines.size(); ++I) {
+    uint32_t LineNo = static_cast<uint32_t>(I + 1);
+    auto It = Hits.find(LineNo);
+    if (It != Hits.end())
+      OS << "*" << (LineNo == GT.entry(S.CriterionPos).Line ? "C" : " ");
+    else
+      OS << "  ";
+    OS << " " << LineNo << "\t" << Lines[I];
+    if (It != Hits.end())
+      OS << "    ; in slice x" << It->second;
+    OS << "\n";
+  }
+  OS << "\n=== backwards dependences ===\n";
+  for (uint32_t Pos : S.Positions) {
+    auto Deps = S.dependencesOf(Pos);
+    if (Deps.empty())
+      continue;
+    const TraceEntry &E = GT.entry(Pos);
+    OS << "pos " << Pos << " (tid " << GT.ref(Pos).Tid << ", line " << E.Line
+       << ", " << disassemble(Prog.inst(E.Pc)) << ") <-\n";
+    for (const DepEdge &D : Deps) {
+      const TraceEntry &PE = GT.entry(D.ToPos);
+      OS << "    " << (D.IsControl ? "[ctrl]" : "[data]") << " pos "
+         << D.ToPos << " (tid " << GT.ref(D.ToPos).Tid << ", line "
+         << PE.Line << ", " << disassemble(Prog.inst(PE.Pc)) << ")\n";
+    }
+  }
+}
+
+void drdebug::writeSliceReportHtml(std::ostream &OS, const Program &Prog,
+                                   const GlobalTrace &GT, const Slice &S) {
+  auto Lines = sourceLines(Prog);
+  auto Hits = hitCounts(GT, S);
+  uint32_t CriterionLine = GT.entry(S.CriterionPos).Line;
+
+  OS << "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">"
+        "<title>DrDebug slice</title>\n<style>\n"
+        "body { font-family: monospace; background: #fff; }\n"
+        ".line { white-space: pre; }\n"
+        ".slice { background: #ffef9e; }\n" /* the KDbg yellow */
+        ".criterion { background: #ffc0c0; font-weight: bold; }\n"
+        ".lineno { color: #888; display: inline-block; width: 4em; }\n"
+        ".hits { color: #a60; }\n"
+        "details { margin-top: 1em; }\n"
+        "</style></head><body>\n"
+        "<h2>Dynamic slice: "
+     << S.dynamicSize() << " dynamic instructions, " << Hits.size()
+     << " source lines</h2>\n<div>\n";
+  for (size_t I = 0; I != Lines.size(); ++I) {
+    uint32_t LineNo = static_cast<uint32_t>(I + 1);
+    auto It = Hits.find(LineNo);
+    const char *Cls = "line";
+    if (It != Hits.end())
+      Cls = LineNo == CriterionLine ? "line criterion" : "line slice";
+    OS << "<div class=\"" << Cls << "\" id=\"L" << LineNo << "\">"
+       << "<span class=\"lineno\">" << LineNo << "</span>"
+       << htmlEscape(Lines[I]);
+    if (It != Hits.end())
+      OS << " <span class=\"hits\">&times;" << It->second << "</span>";
+    OS << "</div>\n";
+  }
+  OS << "</div>\n<details open><summary>Backwards dependences (click a "
+        "producer to jump)</summary>\n<ul>\n";
+  for (uint32_t Pos : S.Positions) {
+    auto Deps = S.dependencesOf(Pos);
+    if (Deps.empty())
+      continue;
+    const TraceEntry &E = GT.entry(Pos);
+    OS << "<li><a href=\"#L" << E.Line << "\">line " << E.Line << "</a> (tid "
+       << GT.ref(Pos).Tid << ", pos " << Pos << ") &larr; ";
+    bool First = true;
+    for (const DepEdge &D : Deps) {
+      const TraceEntry &PE = GT.entry(D.ToPos);
+      if (!First)
+        OS << ", ";
+      First = false;
+      OS << (D.IsControl ? "ctrl " : "data ") << "<a href=\"#L" << PE.Line
+         << "\">line " << PE.Line << "</a>";
+    }
+    OS << "</li>\n";
+  }
+  OS << "</ul></details>\n</body></html>\n";
+}

@@ -1,0 +1,38 @@
+//===- slicing/report.h - Slice browsing reports ----------------*- C++ -*-===//
+//
+// Part of the DrDebug reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a computed slice over the program source the way the paper's
+/// KDbg front end presents it (Figure 9): the full source listing with
+/// every slice statement highlighted, plus a navigable dependence section
+/// (the "Activate"-button backwards navigation). Two renderers: plain text
+/// for terminals and a self-contained HTML file with the familiar yellow
+/// highlight.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRDEBUG_SLICING_REPORT_H
+#define DRDEBUG_SLICING_REPORT_H
+
+#include "arch/program.h"
+#include "slicing/slice.h"
+
+#include <iosfwd>
+
+namespace drdebug {
+
+/// Writes a text report: the assembly source with slice lines marked, then
+/// one block per slice entry listing its backwards dependences.
+void writeSliceReportText(std::ostream &OS, const Program &Prog,
+                          const GlobalTrace &GT, const Slice &S);
+
+/// Writes a self-contained HTML report (the KDbg-screenshot analog).
+void writeSliceReportHtml(std::ostream &OS, const Program &Prog,
+                          const GlobalTrace &GT, const Slice &S);
+
+} // namespace drdebug
+
+#endif // DRDEBUG_SLICING_REPORT_H

@@ -1,0 +1,144 @@
+//===- slicing/save_restore.cpp - Save/restore pair detection ---------------===//
+
+#include "slicing/save_restore.h"
+
+#include <cassert>
+
+using namespace drdebug;
+
+namespace {
+
+/// Push-type: push, or a store through the stack pointer.
+bool isSaveShape(const Instruction &I) {
+  return I.Op == Opcode::Push || (I.Op == Opcode::St && I.Ra == RegSp);
+}
+
+/// Pop-type: pop, or a load through the stack pointer.
+bool isRestoreShape(const Instruction &I) {
+  return I.Op == Opcode::Pop || (I.Op == Opcode::Ld && I.Ra == RegSp);
+}
+
+uint64_t key(uint32_t Tid, uint32_t LocalIdx) {
+  return (static_cast<uint64_t>(Tid) << 32) | LocalIdx;
+}
+
+} // namespace
+
+SaveRestoreAnalysis::SaveRestoreAnalysis(const Program &Prog, unsigned MaxSave)
+    : Prog(Prog), MaxSave(MaxSave) {
+  for (const Function &F : Prog.Funcs)
+    scanFunction(F);
+}
+
+void SaveRestoreAnalysis::scanFunction(const Function &F) {
+  // Saves: leading run of push-type instructions, capped at MaxSave.
+  unsigned Count = 0;
+  for (uint64_t Pc = F.Begin; Pc < F.End && Count < MaxSave; ++Pc, ++Count) {
+    if (!isSaveShape(Prog.inst(Pc)))
+      break;
+    SaveCands.insert(Pc);
+  }
+  // Restores: the run of pop-type instructions immediately before each ret,
+  // capped at MaxSave.
+  for (uint64_t Pc = F.Begin; Pc < F.End; ++Pc) {
+    if (Prog.inst(Pc).Op != Opcode::Ret)
+      continue;
+    unsigned Taken = 0;
+    for (uint64_t Back = Pc; Back > F.Begin && Taken < MaxSave; ++Taken) {
+      --Back;
+      if (!isRestoreShape(Prog.inst(Back)))
+        break;
+      RestoreCands.insert(Back);
+    }
+  }
+}
+
+void SaveRestoreAnalysis::run(const std::vector<ThreadTrace> &Threads) {
+  Pairs.clear();
+  ByRestore.clear();
+
+  struct SavedReg {
+    uint32_t LocalIdx;
+    unsigned Reg;
+    uint64_t Addr;
+    int64_t Value;
+    bool Paired = false;
+  };
+  for (const ThreadTrace &T : Threads) {
+    std::vector<std::vector<SavedReg>> Frames(1);
+    for (size_t Idx = 0, E = T.Entries.size(); Idx != E; ++Idx) {
+      const TraceEntry &Entry = T.Entries[Idx];
+      switch (Entry.Op) {
+      case Opcode::Call:
+      case Opcode::ICall:
+        Frames.emplace_back();
+        continue;
+      case Opcode::Ret:
+        if (Frames.size() > 1)
+          Frames.pop_back();
+        else
+          Frames.back().clear();
+        continue;
+      default:
+        break;
+      }
+      const Instruction &Inst = Prog.inst(Entry.Pc);
+      if (SaveCands.count(Entry.Pc) && isSaveShape(Inst)) {
+        // A save defines one memory word with the register's value.
+        for (const auto &Def : Entry.Defs)
+          if (!isRegLoc(Def.Loc))
+            Frames.back().push_back({static_cast<uint32_t>(Idx), Inst.Rd,
+                                     locAddr(Def.Loc), Def.Value, false});
+        continue;
+      }
+      if (RestoreCands.count(Entry.Pc) && isRestoreShape(Inst)) {
+        // A restore uses one memory word and defines a register.
+        uint64_t Addr = 0;
+        bool HaveAddr = false;
+        for (const auto &Use : Entry.Uses)
+          if (!isRegLoc(Use.Loc)) {
+            Addr = locAddr(Use.Loc);
+            HaveAddr = true;
+          }
+        int64_t Value = 0;
+        bool HaveValue = false;
+        for (const auto &Def : Entry.Defs)
+          if (isRegLoc(Def.Loc) && locReg(Def.Loc) == Inst.Rd) {
+            Value = Def.Value;
+            HaveValue = true;
+          }
+        if (!HaveAddr || !HaveValue)
+          continue;
+        // Match against this activation's unpaired saves: same register,
+        // same slot, same value (the paper's two verification conditions).
+        for (SavedReg &S : Frames.back()) {
+          if (S.Paired || S.Reg != Inst.Rd || S.Addr != Addr ||
+              S.Value != Value)
+            continue;
+          S.Paired = true;
+          SaveRestorePair P;
+          P.Tid = T.Tid;
+          P.SaveIdx = S.LocalIdx;
+          P.RestoreIdx = static_cast<uint32_t>(Idx);
+          P.Reg = Inst.Rd;
+          P.SlotAddr = Addr;
+          ByRestore[key(T.Tid, P.RestoreIdx)] =
+              static_cast<uint32_t>(Pairs.size());
+          Pairs.push_back(P);
+          break;
+        }
+      }
+    }
+  }
+}
+
+bool SaveRestoreAnalysis::isVerifiedRestore(uint32_t Tid,
+                                            uint32_t LocalIdx) const {
+  return ByRestore.count(key(Tid, LocalIdx)) != 0;
+}
+
+uint32_t SaveRestoreAnalysis::saveOf(uint32_t Tid, uint32_t RestoreIdx) const {
+  auto It = ByRestore.find(key(Tid, RestoreIdx));
+  assert(It != ByRestore.end() && "not a verified restore");
+  return Pairs[It->second].SaveIdx;
+}

@@ -1,0 +1,77 @@
+//===- slicing/save_restore.h - Save/restore pair detection -----*- C++ -*-===//
+//
+// Part of the DrDebug reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Detection of callee-save register save/restore pairs (paper §5.2).
+/// Statically, the first MaxSave push-type instructions after a function
+/// entry and the last MaxSave pop-type instructions before each return are
+/// *candidates*. Dynamically, a candidate pair is verified per activation:
+/// the save must copy register r to stack slot s at function entry, and the
+/// restore must copy the same value from s back to r at exit of the same
+/// activation. Verified pairs let the slicer bypass the spurious data
+/// dependence chain use -> restore -> save -> earlier-def, replacing it with
+/// a direct use -> earlier-def edge, so slices stop pulling in the caller's
+/// control context through callee-saved registers (Figure 8).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRDEBUG_SLICING_SAVE_RESTORE_H
+#define DRDEBUG_SLICING_SAVE_RESTORE_H
+
+#include "arch/program.h"
+#include "slicing/trace.h"
+
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+namespace drdebug {
+
+/// A dynamically verified save/restore pair within one thread's trace.
+struct SaveRestorePair {
+  uint32_t Tid = 0;
+  uint32_t SaveIdx = 0;    ///< local trace index of the save
+  uint32_t RestoreIdx = 0; ///< local trace index of the restore
+  unsigned Reg = 0;        ///< the callee-saved register
+  uint64_t SlotAddr = 0;   ///< the stack slot used
+};
+
+/// Runs the static candidate scan and the dynamic verification.
+class SaveRestoreAnalysis {
+public:
+  explicit SaveRestoreAnalysis(const Program &Prog, unsigned MaxSave = 10);
+
+  /// Verifies pairs over all threads' traces.
+  void run(const std::vector<ThreadTrace> &Threads);
+
+  /// \returns true if entry (Tid, LocalIdx) is a verified restore.
+  bool isVerifiedRestore(uint32_t Tid, uint32_t LocalIdx) const;
+
+  /// \returns the matching save's local index for a verified restore.
+  uint32_t saveOf(uint32_t Tid, uint32_t RestoreIdx) const;
+
+  const std::vector<SaveRestorePair> &pairs() const { return Pairs; }
+
+  /// Static candidate sets (absolute pcs), exposed for tests.
+  const std::set<uint64_t> &saveCandidates() const { return SaveCands; }
+  const std::set<uint64_t> &restoreCandidates() const { return RestoreCands; }
+
+private:
+  void scanFunction(const Function &F);
+
+  const Program &Prog;
+  unsigned MaxSave;
+  std::set<uint64_t> SaveCands;
+  std::set<uint64_t> RestoreCands;
+  std::vector<SaveRestorePair> Pairs;
+  /// (tid, restore local idx) -> index into Pairs.
+  std::unordered_map<uint64_t, uint32_t> ByRestore;
+};
+
+} // namespace drdebug
+
+#endif // DRDEBUG_SLICING_SAVE_RESTORE_H

@@ -1,0 +1,67 @@
+//===- slicing/slice.cpp - Dynamic slices ------------------------------------===//
+
+#include "slicing/slice.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <set>
+
+using namespace drdebug;
+
+size_t Slice::staticSize(const GlobalTrace &GT) const {
+  std::set<uint64_t> Pcs;
+  for (uint32_t Pos : Positions)
+    Pcs.insert(GT.entry(Pos).Pc);
+  return Pcs.size();
+}
+
+std::set<uint32_t> Slice::sourceLines(const GlobalTrace &GT) const {
+  std::set<uint32_t> Lines;
+  for (uint32_t Pos : Positions)
+    Lines.insert(GT.entry(Pos).Line);
+  return Lines;
+}
+
+std::vector<DepEdge> Slice::dependencesOf(uint32_t Pos) const {
+  std::vector<DepEdge> Result;
+  for (const DepEdge &E : Edges)
+    if (E.FromPos == Pos)
+      Result.push_back(E);
+  return Result;
+}
+
+void Slice::save(std::ostream &OS, const GlobalTrace &GT) const {
+  OS << "slice " << Positions.size() << " " << Edges.size() << " "
+     << CriterionPos << "\n";
+  for (uint32_t Pos : Positions) {
+    const GlobalRef &R = GT.ref(Pos);
+    const TraceEntry &E = GT.entry(Pos);
+    OS << Pos << " " << R.Tid << " " << E.PerThreadIndex << " " << E.Pc << " "
+       << E.Line << "\n";
+  }
+  for (const DepEdge &E : Edges)
+    OS << (E.IsControl ? "c " : "d ") << E.FromPos << " " << E.ToPos << "\n";
+}
+
+bool Slice::load(std::istream &IS, std::vector<SavedEntry> &Out,
+                 std::string &Error) {
+  Out.clear();
+  std::string Tag;
+  size_t NumEntries = 0, NumEdges = 0;
+  uint32_t Criterion = 0;
+  if (!(IS >> Tag >> NumEntries >> NumEdges >> Criterion) || Tag != "slice") {
+    Error = "slice file: bad header";
+    return false;
+  }
+  for (size_t I = 0; I != NumEntries; ++I) {
+    uint32_t Pos = 0, Line = 0;
+    SavedEntry E{};
+    if (!(IS >> Pos >> E.Tid >> E.PerThreadIndex >> E.Pc >> Line)) {
+      Error = "slice file: bad entry";
+      return false;
+    }
+    Out.push_back(E);
+  }
+  return true;
+}

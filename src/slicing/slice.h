@@ -1,0 +1,83 @@
+//===- slicing/slice.h - Dynamic slices --------------------------*- C++ -*-===//
+//
+// Part of the DrDebug reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The result of a backwards dynamic slice: the set of dynamic instructions
+/// (as positions in the global trace) that influenced the criterion through
+/// data and control dependences, plus the dependence edges themselves for
+/// backwards navigation (the KDbg browsing analog), plus serialization to
+/// the "normal slice file" the paper's tool writes for cross-session reuse.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRDEBUG_SLICING_SLICE_H
+#define DRDEBUG_SLICING_SLICE_H
+
+#include "slicing/global_trace.h"
+
+#include <algorithm>
+#include <iosfwd>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace drdebug {
+
+/// One dependence edge, pointing backwards: the consumer at FromPos depends
+/// on the producer at ToPos.
+struct DepEdge {
+  uint32_t FromPos = 0;
+  uint32_t ToPos = 0;
+  bool IsControl = false;
+};
+
+/// A computed backwards dynamic slice over a GlobalTrace.
+class Slice {
+public:
+  /// Global-trace positions in the slice, sorted ascending. Includes the
+  /// criterion position.
+  std::vector<uint32_t> Positions;
+  /// Backwards dependence edges among slice members.
+  std::vector<DepEdge> Edges;
+  uint32_t CriterionPos = 0;
+
+  bool contains(uint32_t Pos) const {
+    return std::binary_search(Positions.begin(), Positions.end(), Pos);
+  }
+
+  /// Dynamic slice size (number of dynamic instructions) — the measure the
+  /// paper's evaluation reports.
+  size_t dynamicSize() const { return Positions.size(); }
+
+  /// Number of distinct static instructions (pcs) in the slice.
+  size_t staticSize(const GlobalTrace &GT) const;
+
+  /// Distinct source lines in the slice (the statement-level view shown by
+  /// the GUI analog).
+  std::set<uint32_t> sourceLines(const GlobalTrace &GT) const;
+
+  /// Producers of \p Pos within the slice (backwards navigation step).
+  std::vector<DepEdge> dependencesOf(uint32_t Pos) const;
+
+  /// Writes the "normal slice file": one line per slice member
+  /// (tid pc per-thread-instance line) plus the dependence edges.
+  void save(std::ostream &OS, const GlobalTrace &GT) const;
+
+  /// Parses the format written by \c save() into per-entry identities.
+  /// Returns entries as (tid, perThreadIndex, pc) triples for re-anchoring
+  /// in a later session.
+  struct SavedEntry {
+    uint32_t Tid;
+    uint64_t PerThreadIndex;
+    uint64_t Pc;
+  };
+  static bool load(std::istream &IS, std::vector<SavedEntry> &Out,
+                   std::string &Error);
+};
+
+} // namespace drdebug
+
+#endif // DRDEBUG_SLICING_SLICE_H

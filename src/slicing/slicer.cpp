@@ -1,0 +1,186 @@
+//===- slicing/slicer.cpp - Replay-based slicing sessions --------------------===//
+
+#include "slicing/slicer.h"
+
+#include "replay/replayer.h"
+#include "slicing/control_dep.h"
+#include "slicing/forward.h"
+#include "support/stopwatch.h"
+
+#include <cassert>
+#include <cstdlib>
+
+using namespace drdebug;
+
+SliceSession::SliceSession(const Pinball &RegionPb, SliceSessionOptions Opts)
+    : RegionPb(RegionPb), Opts(Opts) {}
+
+SliceSession::~SliceSession() = default;
+
+bool SliceSession::prepare(std::string &Error) {
+  assert(!Prepared && "prepare() called twice");
+  Stopwatch Timer;
+
+  // Replay the region pinball, collecting per-thread traces, conflict
+  // ordering and dynamic jump targets.
+  Replayer Rep(RegionPb);
+  if (!Rep.valid()) {
+    Error = "slice session: " + Rep.error();
+    return false;
+  }
+  Prog = std::make_unique<Program>(Rep.program());
+  Traces = std::make_unique<TraceSet>(*Prog);
+  Rep.machine().addObserver(Traces.get());
+  Rep.run();
+  Rep.machine().removeObserver(Traces.get());
+
+  // Static analysis + §5.1 refinement + dynamic control dependences.
+  Cfgs = std::make_unique<CfgSet>(*Prog);
+  computeAllControlDeps(*Traces, *Cfgs, Opts.RefineCfg);
+
+  // §5.2 save/restore verification.
+  SaveRestores = std::make_unique<SaveRestoreAnalysis>(*Prog, Opts.MaxSave);
+  SaveRestores->run(Traces->threads());
+
+  // Step (ii): combined global trace.
+  Global = std::make_unique<GlobalTrace>();
+  Global->build(*Traces);
+
+  // Step (iii): LP slicer with block summaries.
+  SliceOptions SO;
+  SO.PruneSaveRestore = Opts.PruneSaveRestore;
+  SO.BlockSize = Opts.BlockSize;
+  Slicer = std::make_unique<LpSlicer>(
+      *Global, Opts.PruneSaveRestore ? SaveRestores.get() : nullptr, SO);
+
+  TraceTime = Timer.seconds();
+  Prepared = true;
+  return true;
+}
+
+const Program &SliceSession::program() const {
+  assert(Prepared);
+  return *Prog;
+}
+const TraceSet &SliceSession::traces() const {
+  assert(Prepared);
+  return *Traces;
+}
+const GlobalTrace &SliceSession::globalTrace() const {
+  assert(Prepared);
+  return *Global;
+}
+const SaveRestoreAnalysis &SliceSession::saveRestore() const {
+  assert(Prepared);
+  return *SaveRestores;
+}
+
+std::optional<uint32_t>
+SliceSession::criterionPosition(const SliceCriterion &C) const {
+  assert(Prepared);
+  const auto &Threads = Traces->threads();
+  if (C.Tid >= Threads.size())
+    return std::nullopt;
+  const ThreadTrace &T = Threads[C.Tid];
+  uint64_t Seen = 0;
+  for (uint32_t Idx = 0, E = static_cast<uint32_t>(T.Entries.size()); Idx != E;
+       ++Idx) {
+    if (T.Entries[Idx].Pc != C.Pc)
+      continue;
+    if (++Seen == C.Instance)
+      return static_cast<uint32_t>(Global->posOf(C.Tid, Idx));
+  }
+  return std::nullopt;
+}
+
+std::optional<SliceCriterion> SliceSession::failureCriterion() const {
+  assert(Prepared);
+  auto TidIt = RegionPb.Meta.find("failtid");
+  auto PcIt = RegionPb.Meta.find("failpc");
+  if (TidIt == RegionPb.Meta.end() || PcIt == RegionPb.Meta.end())
+    return std::nullopt;
+  SliceCriterion C;
+  C.Tid = static_cast<uint32_t>(std::strtoul(TidIt->second.c_str(), nullptr, 10));
+  C.Pc = std::strtoull(PcIt->second.c_str(), nullptr, 10);
+  // The failure is the *last* execution of that pc by that thread.
+  const ThreadTrace &T = Traces->threads().at(C.Tid);
+  uint64_t Count = 0;
+  for (const TraceEntry &E : T.Entries)
+    if (E.Pc == C.Pc)
+      ++Count;
+  if (Count == 0)
+    return std::nullopt;
+  C.Instance = Count;
+  return C;
+}
+
+std::vector<SliceCriterion> SliceSession::lastLoadCriteria(unsigned N) const {
+  assert(Prepared);
+  std::vector<SliceCriterion> Result;
+  for (size_t Pos = Global->size(); Pos-- > 0 && Result.size() < N;) {
+    const TraceEntry &E = Global->entry(Pos);
+    if (E.Op != Opcode::Ld && E.Op != Opcode::LdA)
+      continue;
+    const GlobalRef &R = Global->ref(Pos);
+    const ThreadTrace &T = Traces->threads()[R.Tid];
+    SliceCriterion C;
+    C.Tid = R.Tid;
+    C.Pc = E.Pc;
+    uint64_t Instance = 0;
+    for (uint32_t I = 0; I <= R.LocalIdx; ++I)
+      if (T.Entries[I].Pc == E.Pc)
+        ++Instance;
+    C.Instance = Instance;
+    Result.push_back(C);
+  }
+  return Result;
+}
+
+std::optional<Slice> SliceSession::computeSlice(const SliceCriterion &C) {
+  assert(Prepared);
+  std::optional<uint32_t> Pos = criterionPosition(C);
+  if (!Pos)
+    return std::nullopt;
+  return Slicer->compute(*Pos, C.Locs);
+}
+
+Slice SliceSession::computeSliceAt(uint32_t GlobalPos,
+                                   const std::vector<Location> &SeedLocs) {
+  assert(Prepared);
+  return Slicer->compute(GlobalPos, SeedLocs);
+}
+
+std::optional<Slice>
+SliceSession::computeForwardSlice(const SliceCriterion &C) {
+  assert(Prepared);
+  std::optional<uint32_t> Pos = criterionPosition(C);
+  if (!Pos)
+    return std::nullopt;
+  return drdebug::computeForwardSlice(*Global, *Pos);
+}
+
+Slice SliceSession::computeForwardSliceAt(uint32_t GlobalPos) {
+  assert(Prepared);
+  return drdebug::computeForwardSlice(*Global, GlobalPos);
+}
+
+std::vector<ExclusionRegion>
+SliceSession::exclusionRegions(const Slice &S) const {
+  assert(Prepared);
+  return buildExclusionRegions(*Global, S);
+}
+
+bool SliceSession::makeSlicePinball(const Slice &S, Pinball &Out,
+                                    std::string &Error) const {
+  assert(Prepared);
+  return Relogger::relog(RegionPb, exclusionRegions(S), Out, Error);
+}
+
+uint64_t SliceSession::blocksScanned() const {
+  assert(Prepared);
+  return Slicer->blocksScanned();
+}
+uint64_t SliceSession::blocksSkipped() const {
+  assert(Prepared);
+  return Slicer->blocksSkipped();
+}

@@ -1,0 +1,128 @@
+//===- slicing/slicer.h - Replay-based slicing sessions ---------*- C++ -*-===//
+//
+// Part of the DrDebug reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dynamic-slicing pintool analog (paper Figure 10): a SliceSession
+/// replays a region pinball once while collecting per-thread traces and
+/// dynamic jump targets, refines the CFG, computes immediate post-dominators
+/// and dynamic control dependences, verifies save/restore pairs, builds the
+/// combined global trace, and then answers any number of slice queries —
+/// slices found once are reusable across debug sessions because PinPlay-
+/// style replay guarantees the same execution every time. A computed slice
+/// can be turned into exclusion regions and, via the relogger, into a slice
+/// pinball for execution-slice replay (§4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRDEBUG_SLICING_SLICER_H
+#define DRDEBUG_SLICING_SLICER_H
+
+#include "analysis/cfg.h"
+#include "replay/pinball.h"
+#include "replay/relogger.h"
+#include "slicing/exclusion.h"
+#include "slicing/lp_slicer.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+
+namespace drdebug {
+
+/// Identifies the dynamic instruction to slice at.
+struct SliceCriterion {
+  uint32_t Tid = 0;
+  uint64_t Pc = 0;
+  /// Which dynamic occurrence of Pc in the thread's region trace (1-based).
+  uint64_t Instance = 1;
+  /// Empty: slice on everything the instruction used. Non-empty: slice on
+  /// these specific locations (registers/memory), resolved strictly before
+  /// the criterion.
+  std::vector<Location> Locs;
+};
+
+/// Configuration for a slicing session.
+struct SliceSessionOptions {
+  unsigned MaxSave = 10;         ///< save/restore candidate window (§5.2)
+  bool PruneSaveRestore = true;  ///< bypass spurious dependences (§5.2)
+  bool RefineCfg = true;         ///< add dynamic indirect-jump edges (§5.1)
+  size_t BlockSize = 4096;       ///< LP block size
+};
+
+/// One prepared slicing session over a region pinball.
+class SliceSession {
+public:
+  explicit SliceSession(const Pinball &RegionPb,
+                        SliceSessionOptions Opts = SliceSessionOptions());
+  ~SliceSession();
+
+  SliceSession(const SliceSession &) = delete;
+  SliceSession &operator=(const SliceSession &) = delete;
+
+  /// Replays the region and runs all post-passes. Must be called (once)
+  /// before any query below. \returns false with \p Error on bad pinballs.
+  bool prepare(std::string &Error);
+
+  // --- Post-prepare accessors ---------------------------------------------
+  const Program &program() const;
+  const TraceSet &traces() const;
+  const GlobalTrace &globalTrace() const;
+  const SaveRestoreAnalysis &saveRestore() const;
+  const Pinball &regionPinball() const { return RegionPb; }
+
+  /// Wall-clock seconds spent collecting dynamic information in prepare()
+  /// (the paper's "dynamic information tracing time").
+  double traceSeconds() const { return TraceTime; }
+
+  // --- Queries -------------------------------------------------------------
+  /// Resolves \p C to a global-trace position. \returns nullopt if the
+  /// criterion never executed in the region.
+  std::optional<uint32_t> criterionPosition(const SliceCriterion &C) const;
+
+  /// Criterion for the recorded failure point, if this pinball captured an
+  /// assertion failure.
+  std::optional<SliceCriterion> failureCriterion() const;
+
+  /// Criteria for the last \p N load instructions across all threads — the
+  /// paper's §7 slicing-overhead methodology ("slices for the last 10 read
+  /// instructions spread across five threads").
+  std::vector<SliceCriterion> lastLoadCriteria(unsigned N) const;
+
+  /// Computes a backwards dynamic slice.
+  std::optional<Slice> computeSlice(const SliceCriterion &C);
+  Slice computeSliceAt(uint32_t GlobalPos,
+                       const std::vector<Location> &SeedLocs = {});
+
+  /// Computes a forward dynamic slice (what the instruction influenced).
+  std::optional<Slice> computeForwardSlice(const SliceCriterion &C);
+  Slice computeForwardSliceAt(uint32_t GlobalPos);
+
+  /// Exclusion regions complementing \p S.
+  std::vector<ExclusionRegion> exclusionRegions(const Slice &S) const;
+
+  /// Produces the slice pinball for \p S via the relogger.
+  bool makeSlicePinball(const Slice &S, Pinball &Out, std::string &Error) const;
+
+  /// LP statistics of the underlying slicer.
+  uint64_t blocksScanned() const;
+  uint64_t blocksSkipped() const;
+
+private:
+  Pinball RegionPb;
+  SliceSessionOptions Opts;
+  bool Prepared = false;
+  double TraceTime = 0;
+  std::unique_ptr<Program> Prog;
+  std::unique_ptr<TraceSet> Traces;
+  std::unique_ptr<CfgSet> Cfgs;
+  std::unique_ptr<SaveRestoreAnalysis> SaveRestores;
+  std::unique_ptr<GlobalTrace> Global;
+  std::unique_ptr<LpSlicer> Slicer;
+};
+
+} // namespace drdebug
+
+#endif // DRDEBUG_SLICING_SLICER_H

@@ -1,0 +1,80 @@
+//===- slicing/trace.cpp - Per-thread local execution traces ----------------===//
+
+#include "slicing/trace.h"
+
+#include "vm/machine.h"
+
+#include <cassert>
+
+using namespace drdebug;
+
+ThreadTrace &TraceSet::traceFor(uint32_t Tid, uint64_t PerThreadIndex) {
+  if (Threads.size() <= Tid)
+    Threads.resize(Tid + 1);
+  ThreadTrace &T = Threads[Tid];
+  if (T.Entries.empty()) {
+    T.Tid = Tid;
+    T.StartIndex = PerThreadIndex;
+  }
+  return T;
+}
+
+void TraceSet::onThreadCreated(uint32_t Tid, uint64_t, uint32_t ParentTid) {
+  // Happens-before: the spawning instruction (about to be appended to the
+  // parent's trace) precedes the child's first instruction. The spawn's
+  // local index equals the parent's current trace size because onExec for
+  // it fires right after this callback.
+  if (ParentTid >= Threads.size())
+    return; // main thread creation (no parent trace yet)
+  OrderEdge E;
+  E.FromTid = ParentTid;
+  E.FromIdx = static_cast<uint32_t>(Threads[ParentTid].Entries.size());
+  E.ToTid = Tid;
+  E.ToIdx = 0;
+  Edges.push_back(E);
+}
+
+void TraceSet::onExec(const Machine &, const ExecRecord &R) {
+  ThreadTrace &T = traceFor(R.Tid, R.PerThreadIndex);
+  GlobalRef Ref{R.Tid, static_cast<uint32_t>(T.Entries.size())};
+
+  TraceEntry E;
+  E.Pc = R.Pc;
+  E.PerThreadIndex = R.PerThreadIndex;
+  E.Defs = R.Defs;
+  E.Uses = R.Uses;
+  E.Op = R.Inst->Op;
+  E.Line = R.Inst->Line;
+
+  // Shared-memory access ordering (reads first: an instruction that both
+  // reads and writes a location, e.g. AtomicAdd, reads before writing).
+  for (const auto &Use : R.Uses) {
+    if (isRegLoc(Use.Loc))
+      continue;
+    LastAccess &A = MemAccess[locAddr(Use.Loc)];
+    if (A.HaveWrite && A.Writer.Tid != R.Tid)
+      Edges.push_back({A.Writer.Tid, A.Writer.LocalIdx, Ref.Tid, Ref.LocalIdx});
+    A.ReadersSinceWrite.push_back(Ref);
+  }
+  for (const auto &Def : R.Defs) {
+    if (isRegLoc(Def.Loc))
+      continue;
+    LastAccess &A = MemAccess[locAddr(Def.Loc)];
+    if (A.HaveWrite && A.Writer.Tid != R.Tid)
+      Edges.push_back({A.Writer.Tid, A.Writer.LocalIdx, Ref.Tid, Ref.LocalIdx});
+    for (const GlobalRef &Reader : A.ReadersSinceWrite)
+      if (Reader.Tid != R.Tid &&
+          !(Reader.Tid == Ref.Tid && Reader.LocalIdx == Ref.LocalIdx))
+        Edges.push_back({Reader.Tid, Reader.LocalIdx, Ref.Tid, Ref.LocalIdx});
+    A.HaveWrite = true;
+    A.Writer = Ref;
+    A.ReadersSinceWrite.clear();
+  }
+
+  // Dynamic indirect-control targets for CFG refinement.
+  if (R.Inst->Op == Opcode::IJmp || R.Inst->Op == Opcode::ICall)
+    IndirectTargets.emplace(R.Pc, R.NextPc);
+
+  T.Entries.push_back(E);
+  TrueOrder.push_back(Ref);
+}

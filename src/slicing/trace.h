@@ -1,0 +1,120 @@
+//===- slicing/trace.h - Per-thread local execution traces ------*- C++ -*-===//
+//
+// Part of the DrDebug reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Step (i) of the paper's slicing algorithm (§3): during replay of a region
+/// pinball, collect for each thread a local execution trace recording the
+/// locations (memory words and registers) defined and used by every dynamic
+/// instruction, plus the shared-memory access-order edges between threads
+/// that the global-trace construction (step ii) needs, plus the dynamically
+/// observed indirect-jump targets that refine the CFG (§5.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRDEBUG_SLICING_TRACE_H
+#define DRDEBUG_SLICING_TRACE_H
+
+#include "arch/program.h"
+#include "vm/observer.h"
+
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+namespace drdebug {
+
+/// One dynamic instruction in a thread's local trace.
+struct TraceEntry {
+  uint64_t Pc = 0;
+  /// Absolute per-thread dynamic instruction index (continues the counts of
+  /// the pinball's start snapshot, so it is stable across replays).
+  uint64_t PerThreadIndex = 0;
+  AccessList Defs;
+  AccessList Uses;
+  /// Local index (into the same thread's trace) of the entry this one is
+  /// dynamically control-dependent on; -1 if none. Filled by
+  /// computeControlDeps() after CFG refinement.
+  int32_t CtrlDep = -1;
+  Opcode Op = Opcode::Nop;
+  uint32_t Line = 0;
+};
+
+/// A thread's local trace within the replayed region.
+struct ThreadTrace {
+  uint32_t Tid = 0;
+  /// The thread's ExecCount at region start (absolute index of Entries[0]).
+  uint64_t StartIndex = 0;
+  std::vector<TraceEntry> Entries;
+};
+
+/// Identifies one trace entry globally.
+struct GlobalRef {
+  uint32_t Tid = 0;
+  uint32_t LocalIdx = 0;
+};
+
+/// A shared-memory access-order edge: the access at (FromTid, FromIdx)
+/// happens before the conflicting access at (ToTid, ToIdx). Thread-creation
+/// order (spawn -> child's first instruction) is encoded the same way.
+struct OrderEdge {
+  uint32_t FromTid = 0;
+  uint32_t FromIdx = 0;
+  uint32_t ToTid = 0;
+  uint32_t ToIdx = 0;
+};
+
+/// Observer that collects traces during replay.
+class TraceSet : public Observer {
+public:
+  explicit TraceSet(const Program &Prog) : Prog(Prog) {}
+
+  // Observer interface.
+  void onExec(const Machine &M, const ExecRecord &R) override;
+  void onThreadCreated(uint32_t Tid, uint64_t EntryPc,
+                       uint32_t ParentTid) override;
+
+  /// Per-thread traces, indexed by tid (threads that never ran within the
+  /// region have empty traces).
+  const std::vector<ThreadTrace> &threads() const { return Threads; }
+  std::vector<ThreadTrace> &threadsMutable() { return Threads; }
+
+  /// Inter-thread happens-before edges over conflicting shared accesses.
+  const std::vector<OrderEdge> &orderEdges() const { return Edges; }
+
+  /// Observed (jump pc, target pc) pairs for IJmp/ICall instructions.
+  const std::set<std::pair<uint64_t, uint64_t>> &indirectTargets() const {
+    return IndirectTargets;
+  }
+
+  /// The true global interleaving in which entries were recorded; the
+  /// topological merge is validated against it in tests.
+  const std::vector<GlobalRef> &recordedOrder() const { return TrueOrder; }
+
+  uint64_t totalEntries() const { return TrueOrder.size(); }
+
+  const Program &program() const { return Prog; }
+
+private:
+  ThreadTrace &traceFor(uint32_t Tid, uint64_t PerThreadIndex);
+
+  const Program &Prog;
+  std::vector<ThreadTrace> Threads;
+  std::vector<OrderEdge> Edges;
+  std::set<std::pair<uint64_t, uint64_t>> IndirectTargets;
+  std::vector<GlobalRef> TrueOrder;
+
+  /// Conflict tracking per memory location.
+  struct LastAccess {
+    bool HaveWrite = false;
+    GlobalRef Writer;
+    std::vector<GlobalRef> ReadersSinceWrite;
+  };
+  std::unordered_map<uint64_t, LastAccess> MemAccess;
+};
+
+} // namespace drdebug
+
+#endif // DRDEBUG_SLICING_TRACE_H

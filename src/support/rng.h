@@ -1,0 +1,72 @@
+//===- support/rng.h - Deterministic pseudo-random numbers ------*- C++ -*-===//
+//
+// Part of the DrDebug reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fully deterministic xorshift-based RNG. Schedulers, the random
+/// program generator and the synthetic workloads all draw from this type so
+/// that every run of the test/bench suite is reproducible independent of the
+/// platform's std::mt19937 quirks or global state.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRDEBUG_SUPPORT_RNG_H
+#define DRDEBUG_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace drdebug {
+
+/// SplitMix64-seeded xorshift128+ generator. Deterministic across platforms.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ULL) {
+    // SplitMix64 to spread a possibly-small seed over both words of state.
+    auto Mix = [](uint64_t &X) {
+      X += 0x9e3779b97f4a7c15ULL;
+      uint64_t Z = X;
+      Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+      return Z ^ (Z >> 31);
+    };
+    uint64_t S = Seed;
+    State0 = Mix(S);
+    State1 = Mix(S);
+  }
+
+  /// \returns the next raw 64-bit value.
+  uint64_t next() {
+    uint64_t X = State0;
+    const uint64_t Y = State1;
+    State0 = Y;
+    X ^= X << 23;
+    State1 = X ^ Y ^ (X >> 17) ^ (Y >> 26);
+    return State1 + Y;
+  }
+
+  /// \returns a value uniformly distributed in [0, Bound).
+  uint64_t below(uint64_t Bound) {
+    assert(Bound > 0 && "Bound must be positive");
+    return next() % Bound;
+  }
+
+  /// \returns an integer uniformly distributed in [Lo, Hi] inclusive.
+  int64_t range(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + static_cast<int64_t>(below(static_cast<uint64_t>(Hi - Lo + 1)));
+  }
+
+  /// \returns true with probability Num/Den.
+  bool chance(uint64_t Num, uint64_t Den) { return below(Den) < Num; }
+
+private:
+  uint64_t State0 = 0;
+  uint64_t State1 = 0;
+};
+
+} // namespace drdebug
+
+#endif // DRDEBUG_SUPPORT_RNG_H

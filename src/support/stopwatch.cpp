@@ -1,0 +1,12 @@
+//===- support/stopwatch.cpp - Wall-clock timing helper -------------------===//
+
+#include "support/stopwatch.h"
+
+using namespace drdebug;
+
+void Stopwatch::start() { Begin = std::chrono::steady_clock::now(); }
+
+double Stopwatch::seconds() const {
+  auto End = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(End - Begin).count();
+}

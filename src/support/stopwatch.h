@@ -1,0 +1,40 @@
+//===- support/stopwatch.h - Wall-clock timing helper -----------*- C++ -*-===//
+//
+// Part of the DrDebug reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny wall-clock stopwatch used by the logging/replay/slicing benchmark
+/// harnesses to report timing rows shaped like the paper's tables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRDEBUG_SUPPORT_STOPWATCH_H
+#define DRDEBUG_SUPPORT_STOPWATCH_H
+
+#include <chrono>
+
+namespace drdebug {
+
+/// Measures elapsed wall-clock time between \c start() and \c seconds().
+class Stopwatch {
+public:
+  Stopwatch() { start(); }
+
+  /// Resets the stopwatch to the current instant.
+  void start();
+
+  /// \returns seconds elapsed since the last \c start().
+  double seconds() const;
+
+  /// \returns milliseconds elapsed since the last \c start().
+  double millis() const { return seconds() * 1e3; }
+
+private:
+  std::chrono::steady_clock::time_point Begin;
+};
+
+} // namespace drdebug
+
+#endif // DRDEBUG_SUPPORT_STOPWATCH_H

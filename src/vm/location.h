@@ -1,0 +1,55 @@
+//===- vm/location.h - Def/use location encoding ----------------*- C++ -*-===//
+//
+// Part of the DrDebug reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Location names one slicing-relevant storage cell: either a memory word
+/// (global address space, shared between threads) or a register of a
+/// particular thread. The dynamic slicer computes data dependences over
+/// Locations exactly as the paper's slicer does over x86 memory addresses
+/// and registers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRDEBUG_VM_LOCATION_H
+#define DRDEBUG_VM_LOCATION_H
+
+#include <cstdint>
+#include <string>
+
+namespace drdebug {
+
+/// Tagged 64-bit location id. The top bit distinguishes registers from
+/// memory words; registers carry their owning thread id.
+using Location = uint64_t;
+
+constexpr Location LocRegTag = 1ULL << 63;
+
+inline Location regLoc(uint32_t Tid, unsigned Reg) {
+  return LocRegTag | (static_cast<uint64_t>(Tid) << 8) | Reg;
+}
+
+inline Location memLoc(uint64_t Addr) { return Addr; }
+
+inline bool isRegLoc(Location L) { return (L & LocRegTag) != 0; }
+
+inline unsigned locReg(Location L) { return static_cast<unsigned>(L & 0xff); }
+
+inline uint32_t locTid(Location L) {
+  return static_cast<uint32_t>((L & ~LocRegTag) >> 8);
+}
+
+inline uint64_t locAddr(Location L) { return L; }
+
+/// \returns "r3@t1" or "m[0x10000]" style rendering for diagnostics.
+inline std::string locName(Location L) {
+  if (isRegLoc(L))
+    return "r" + std::to_string(locReg(L)) + "@t" + std::to_string(locTid(L));
+  return "m[" + std::to_string(locAddr(L)) + "]";
+}
+
+} // namespace drdebug
+
+#endif // DRDEBUG_VM_LOCATION_H

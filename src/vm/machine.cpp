@@ -1,0 +1,577 @@
+//===- vm/machine.cpp - The MiniVM interpreter -------------------------------===//
+
+#include "vm/machine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <istream>
+#include <ostream>
+
+using namespace drdebug;
+
+//===----------------------------------------------------------------------===//
+// Observer / SyscallProvider defaults
+//===----------------------------------------------------------------------===//
+
+Observer::~Observer() = default;
+void Observer::onPreExec(const Machine &, uint32_t, uint64_t) {}
+void Observer::onExec(const Machine &, const ExecRecord &) {}
+void Observer::onThreadCreated(uint32_t, uint64_t, uint32_t) {}
+void Observer::onThreadExited(uint32_t) {}
+void Observer::onSyscallValue(uint32_t, Opcode, int64_t) {}
+void Observer::onAssertFailed(uint32_t, uint64_t) {}
+
+SyscallProvider::~SyscallProvider() = default;
+int64_t SyscallProvider::sysAlloc(uint32_t, int64_t) { return -1; }
+
+int64_t DefaultSyscalls::sysRead(uint32_t) {
+  if (Cursor < Input.size())
+    return Input[Cursor++];
+  return 0;
+}
+int64_t DefaultSyscalls::sysRand(uint32_t) {
+  return static_cast<int64_t>(Rand.next() >> 1);
+}
+int64_t DefaultSyscalls::sysTime(uint32_t) { return ++Clock; }
+
+//===----------------------------------------------------------------------===//
+// MachineState
+//===----------------------------------------------------------------------===//
+
+static bool threadEquals(const ThreadContext &A, const ThreadContext &B) {
+  if (A.Tid != B.Tid || A.Pc != B.Pc || A.Status != B.Status ||
+      A.WaitAddr != B.WaitAddr || A.WaitTid != B.WaitTid ||
+      A.ExecCount != B.ExecCount || A.CallStack != B.CallStack)
+    return false;
+  for (unsigned I = 0; I != NumRegs; ++I)
+    if (A.Regs[I] != B.Regs[I])
+      return false;
+  return true;
+}
+
+bool MachineState::operator==(const MachineState &Other) const {
+  if (Threads.size() != Other.Threads.size())
+    return false;
+  for (size_t I = 0, E = Threads.size(); I != E; ++I)
+    if (!threadEquals(Threads[I], Other.Threads[I]))
+      return false;
+  return Mem.words() == Other.Mem.words() &&
+         MutexOwner == Other.MutexOwner && HeapNext == Other.HeapNext &&
+         GlobalCount == Other.GlobalCount && NextTid == Other.NextTid &&
+         Output == Other.Output;
+}
+
+void MachineState::save(std::ostream &OS) const {
+  OS << "threads " << Threads.size() << "\n";
+  for (const ThreadContext &T : Threads) {
+    OS << "thread " << T.Tid << " " << T.Pc << " "
+       << static_cast<int>(T.Status) << " " << T.WaitAddr << " " << T.WaitTid
+       << " " << T.ExecCount;
+    for (unsigned I = 0; I != NumRegs; ++I)
+      OS << " " << T.Regs[I];
+    OS << " " << T.CallStack.size();
+    for (uint64_t Pc : T.CallStack)
+      OS << " " << Pc;
+    OS << "\n";
+  }
+  // Sort memory words so the output is deterministic.
+  std::vector<std::pair<uint64_t, int64_t>> Words(Mem.words().begin(),
+                                                  Mem.words().end());
+  std::sort(Words.begin(), Words.end());
+  OS << "mem " << Words.size() << "\n";
+  for (auto &[Addr, Val] : Words)
+    OS << Addr << " " << Val << "\n";
+  OS << "mutex " << MutexOwner.size() << "\n";
+  for (auto &[Addr, Owner] : MutexOwner)
+    OS << Addr << " " << Owner << "\n";
+  OS << "heap " << HeapNext << "\n";
+  OS << "global " << GlobalCount << "\n";
+  OS << "nexttid " << NextTid << "\n";
+  OS << "output " << Output.size();
+  for (int64_t V : Output)
+    OS << " " << V;
+  OS << "\nend\n";
+}
+
+bool MachineState::load(std::istream &IS, std::string &Error) {
+  *this = MachineState();
+  std::string Tag;
+  size_t NumThreads = 0;
+  auto Fail = [&](const char *Msg) {
+    Error = std::string("machine state: ") + Msg;
+    return false;
+  };
+  if (!(IS >> Tag >> NumThreads) || Tag != "threads")
+    return Fail("expected 'threads'");
+  for (size_t I = 0; I != NumThreads; ++I) {
+    ThreadContext T;
+    int Status = 0;
+    if (!(IS >> Tag >> T.Tid >> T.Pc >> Status >> T.WaitAddr >> T.WaitTid >>
+          T.ExecCount) ||
+        Tag != "thread")
+      return Fail("bad thread record");
+    T.Status = static_cast<ThreadStatus>(Status);
+    for (unsigned R = 0; R != NumRegs; ++R)
+      if (!(IS >> T.Regs[R]))
+        return Fail("bad thread registers");
+    size_t Depth = 0;
+    if (!(IS >> Depth))
+      return Fail("bad call stack depth");
+    T.CallStack.resize(Depth);
+    for (size_t D = 0; D != Depth; ++D)
+      if (!(IS >> T.CallStack[D]))
+        return Fail("bad call stack entry");
+    Threads.push_back(std::move(T));
+  }
+  size_t Count = 0;
+  if (!(IS >> Tag >> Count) || Tag != "mem")
+    return Fail("expected 'mem'");
+  for (size_t I = 0; I != Count; ++I) {
+    uint64_t Addr = 0;
+    int64_t Val = 0;
+    if (!(IS >> Addr >> Val))
+      return Fail("bad memory word");
+    Mem.store(Addr, Val);
+  }
+  if (!(IS >> Tag >> Count) || Tag != "mutex")
+    return Fail("expected 'mutex'");
+  for (size_t I = 0; I != Count; ++I) {
+    uint64_t Addr = 0;
+    uint32_t Owner = 0;
+    if (!(IS >> Addr >> Owner))
+      return Fail("bad mutex record");
+    MutexOwner[Addr] = Owner;
+  }
+  if (!(IS >> Tag >> HeapNext) || Tag != "heap")
+    return Fail("expected 'heap'");
+  if (!(IS >> Tag >> GlobalCount) || Tag != "global")
+    return Fail("expected 'global'");
+  if (!(IS >> Tag >> NextTid) || Tag != "nexttid")
+    return Fail("expected 'nexttid'");
+  if (!(IS >> Tag >> Count) || Tag != "output")
+    return Fail("expected 'output'");
+  Output.resize(Count);
+  for (size_t I = 0; I != Count; ++I)
+    if (!(IS >> Output[I]))
+      return Fail("bad output value");
+  if (!(IS >> Tag) || Tag != "end")
+    return Fail("expected 'end'");
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Machine
+//===----------------------------------------------------------------------===//
+
+Machine::Machine(const Program &Prog) : Prog(Prog) {
+  for (const GlobalVar &G : Prog.Globals)
+    for (size_t I = 0, E = G.Init.size(); I != E; ++I)
+      Mem.store(G.Addr + I, G.Init[I]);
+  createThread(Prog.entryOf("main"), /*Arg0=*/0, /*ParentTid=*/0);
+}
+
+void Machine::removeObserver(Observer *O) {
+  Observers.erase(std::remove(Observers.begin(), Observers.end(), O),
+                  Observers.end());
+}
+
+uint32_t Machine::createThread(uint64_t EntryPc, int64_t Arg0,
+                               uint32_t ParentTid) {
+  ThreadContext T;
+  T.Tid = NextTid++;
+  T.Pc = EntryPc;
+  T.Regs[0] = Arg0;
+  T.Regs[RegSp] = static_cast<int64_t>(layout::stackTop(T.Tid));
+  // Seed the sentinel return address: a top-level 'ret' exits the thread.
+  T.Regs[RegSp] -= 1;
+  Mem.store(static_cast<uint64_t>(T.Regs[RegSp]), layout::ExitAddr);
+  Threads.push_back(std::move(T));
+  uint32_t Tid = Threads.back().Tid;
+  for (Observer *O : Observers)
+    O->onThreadCreated(Tid, EntryPc, ParentTid);
+  return Tid;
+}
+
+void Machine::exitThread(ThreadContext &T) {
+  T.Status = ThreadStatus::Exited;
+  // Wake joiners.
+  for (ThreadContext &W : Threads)
+    if (W.Status == ThreadStatus::BlockedOnJoin && W.WaitTid == T.Tid)
+      W.Status = ThreadStatus::Runnable;
+  for (Observer *O : Observers)
+    O->onThreadExited(T.Tid);
+}
+
+bool Machine::finished() const {
+  if (Halted || AssertTripped)
+    return true;
+  for (const ThreadContext &T : Threads)
+    if (T.Status != ThreadStatus::Exited)
+      return false;
+  return true;
+}
+
+std::vector<uint32_t> Machine::runnableThreads() const {
+  std::vector<uint32_t> Result;
+  for (const ThreadContext &T : Threads)
+    if (T.Status == ThreadStatus::Runnable)
+      Result.push_back(T.Tid);
+  return Result;
+}
+
+void Machine::injectRegister(uint32_t Tid, unsigned Reg, int64_t Value) {
+  assert(Reg < NumRegs && "bad register");
+  Threads.at(Tid).Regs[Reg] = Value;
+}
+
+void Machine::setThreadPc(uint32_t Tid, uint64_t Pc) {
+  Threads.at(Tid).Pc = Pc;
+}
+
+void Machine::notifyExec(const ExecRecord &R) {
+  for (Observer *O : Observers)
+    O->onExec(*this, R);
+}
+
+bool Machine::stepThread(uint32_t Tid) {
+  assert(Tid < Threads.size() && "bad tid");
+  ThreadContext &T = Threads[Tid];
+  assert(T.Status != ThreadStatus::Exited && "stepping an exited thread");
+
+  // Blocking checks happen before execution; a blocked attempt does not
+  // count as an executed instruction and produces no trace record.
+  const Instruction &Inst = Prog.inst(T.Pc);
+  if (!ForcedMode) {
+    if (Inst.Op == Opcode::Lock) {
+      uint64_t Addr = static_cast<uint64_t>(T.Regs[Inst.Rd]);
+      auto It = MutexOwner.find(Addr);
+      if (It != MutexOwner.end() && It->second != Tid) {
+        T.Status = ThreadStatus::BlockedOnLock;
+        T.WaitAddr = Addr;
+        return false;
+      }
+    } else if (Inst.Op == Opcode::Join) {
+      uint32_t Target = static_cast<uint32_t>(T.Regs[Inst.Rd]);
+      if (Target < Threads.size() && Target != Tid &&
+          Threads[Target].Status != ThreadStatus::Exited) {
+        T.Status = ThreadStatus::BlockedOnJoin;
+        T.WaitTid = Target;
+        return false;
+      }
+    }
+  }
+
+  // Pre-execution hook: breakpoints or the relogger may need to act (or
+  // stop the machine) at this exact boundary, before the instruction runs.
+  for (Observer *O : Observers)
+    O->onPreExec(*this, Tid, T.Pc);
+  if (StopFlag)
+    return false;
+
+  ExecRecord R;
+  R.Tid = Tid;
+  R.Pc = T.Pc;
+  R.Inst = &Inst;
+  R.PerThreadIndex = T.ExecCount;
+  R.GlobalIndex = GlobalCount;
+  execute(T, R);
+  ++T.ExecCount;
+  ++GlobalCount;
+  R.NextPc = T.Pc;
+  notifyExec(R);
+  if (AssertTripped && FailTid == Tid && FailPc == R.Pc)
+    for (Observer *O : Observers)
+      O->onAssertFailed(Tid, R.Pc);
+  return true;
+}
+
+Machine::StopReason Machine::run(uint64_t MaxSteps) {
+  assert(Sched && "machine needs a scheduler");
+  uint64_t Steps = 0;
+  for (;;) {
+    if (StopFlag) {
+      StopFlag = false;
+      return StopReason::StopRequested;
+    }
+    if (AssertTripped)
+      return StopReason::AssertFailed;
+    if (finished())
+      return StopReason::Halted;
+    if (Steps >= MaxSteps)
+      return StopReason::StepLimit;
+    std::vector<uint32_t> Runnable = runnableThreads();
+    if (Runnable.empty())
+      return StopReason::Deadlock;
+    uint32_t Tid = Sched->pickNext(*this, Runnable);
+    if (stepThread(Tid))
+      ++Steps;
+  }
+}
+
+void Machine::execute(ThreadContext &T, ExecRecord &R) {
+  const Instruction &I = *R.Inst;
+  SyscallProvider *World = Syscalls ? Syscalls : &DefaultWorld;
+  int64_t *Regs = T.Regs;
+  uint64_t NextPc = T.Pc + 1;
+
+  auto UseReg = [&](unsigned Reg) {
+    R.Uses.add(regLoc(T.Tid, Reg), Regs[Reg]);
+    return Regs[Reg];
+  };
+  auto DefReg = [&](unsigned Reg, int64_t V) {
+    Regs[Reg] = V;
+    R.Defs.add(regLoc(T.Tid, Reg), V);
+  };
+  auto UseMem = [&](uint64_t Addr) {
+    int64_t V = Mem.load(Addr);
+    R.Uses.add(memLoc(Addr), V);
+    return V;
+  };
+  auto DefMem = [&](uint64_t Addr, int64_t V) {
+    Mem.store(Addr, V);
+    R.Defs.add(memLoc(Addr), V);
+  };
+  auto PushWord = [&](int64_t V) {
+    Regs[RegSp] -= 1; // sp is deliberately untracked (recomputable state)
+    DefMem(static_cast<uint64_t>(Regs[RegSp]), V);
+  };
+  auto PopWord = [&] {
+    int64_t V = UseMem(static_cast<uint64_t>(Regs[RegSp]));
+    Regs[RegSp] += 1;
+    return V;
+  };
+  auto Alu = [](Opcode Op, int64_t A, int64_t B) -> int64_t {
+    uint64_t UA = static_cast<uint64_t>(A), UB = static_cast<uint64_t>(B);
+    switch (Op) {
+    case Opcode::Add: case Opcode::AddI: return static_cast<int64_t>(UA + UB);
+    case Opcode::Sub: case Opcode::SubI: return static_cast<int64_t>(UA - UB);
+    case Opcode::Mul: case Opcode::MulI: return static_cast<int64_t>(UA * UB);
+    case Opcode::Div: case Opcode::DivI: return B == 0 ? 0 : A / B;
+    case Opcode::Mod: case Opcode::ModI: return B == 0 ? 0 : A % B;
+    case Opcode::And: case Opcode::AndI: return A & B;
+    case Opcode::Or: case Opcode::OrI: return A | B;
+    case Opcode::Xor: case Opcode::XorI: return A ^ B;
+    case Opcode::Shl: case Opcode::ShlI: return static_cast<int64_t>(UA << (UB & 63));
+    case Opcode::Shr: case Opcode::ShrI: return static_cast<int64_t>(UA >> (UB & 63));
+    default: break;
+    }
+    assert(false && "not an ALU opcode");
+    return 0;
+  };
+  auto Syscall = [&](Opcode Op, int64_t V) {
+    for (Observer *O : Observers)
+      O->onSyscallValue(T.Tid, Op, V);
+    return V;
+  };
+
+  switch (I.Op) {
+  case Opcode::Nop:
+    break;
+  case Opcode::MovI:
+    DefReg(I.Rd, I.Imm);
+    break;
+  case Opcode::Mov:
+    DefReg(I.Rd, UseReg(I.Ra));
+    break;
+  case Opcode::Lea:
+    DefReg(I.Rd, I.Imm);
+    break;
+  case Opcode::Add: case Opcode::Sub: case Opcode::Mul: case Opcode::Div:
+  case Opcode::Mod: case Opcode::And: case Opcode::Or: case Opcode::Xor:
+  case Opcode::Shl: case Opcode::Shr: {
+    int64_t A = UseReg(I.Ra), B = UseReg(I.Rb);
+    DefReg(I.Rd, Alu(I.Op, A, B));
+    break;
+  }
+  case Opcode::AddI: case Opcode::SubI: case Opcode::MulI: case Opcode::DivI:
+  case Opcode::ModI: case Opcode::AndI: case Opcode::OrI: case Opcode::XorI:
+  case Opcode::ShlI: case Opcode::ShrI:
+    DefReg(I.Rd, Alu(I.Op, UseReg(I.Ra), I.Imm));
+    break;
+  case Opcode::Neg:
+    DefReg(I.Rd, -UseReg(I.Ra));
+    break;
+  case Opcode::Not:
+    DefReg(I.Rd, ~UseReg(I.Ra));
+    break;
+  case Opcode::Ld: {
+    uint64_t Addr = static_cast<uint64_t>(UseReg(I.Ra) + I.Imm);
+    DefReg(I.Rd, UseMem(Addr));
+    break;
+  }
+  case Opcode::St: {
+    int64_t V = UseReg(I.Rd);
+    uint64_t Addr = static_cast<uint64_t>(UseReg(I.Ra) + I.Imm);
+    DefMem(Addr, V);
+    break;
+  }
+  case Opcode::LdA:
+    DefReg(I.Rd, UseMem(static_cast<uint64_t>(I.Imm)));
+    break;
+  case Opcode::StA:
+    DefMem(static_cast<uint64_t>(I.Imm), UseReg(I.Rd));
+    break;
+  case Opcode::Push:
+    PushWord(UseReg(I.Rd));
+    break;
+  case Opcode::Pop:
+    DefReg(I.Rd, PopWord());
+    break;
+  case Opcode::Jmp:
+    NextPc = static_cast<uint64_t>(I.Imm);
+    break;
+  case Opcode::IJmp:
+    NextPc = static_cast<uint64_t>(UseReg(I.Rd));
+    break;
+  case Opcode::Beq: case Opcode::Bne: case Opcode::Blt: case Opcode::Ble:
+  case Opcode::Bgt: case Opcode::Bge: {
+    int64_t A = UseReg(I.Ra), B = UseReg(I.Rb);
+    bool Taken = false;
+    switch (I.Op) {
+    case Opcode::Beq: Taken = A == B; break;
+    case Opcode::Bne: Taken = A != B; break;
+    case Opcode::Blt: Taken = A < B; break;
+    case Opcode::Ble: Taken = A <= B; break;
+    case Opcode::Bgt: Taken = A > B; break;
+    case Opcode::Bge: Taken = A >= B; break;
+    default: break;
+    }
+    R.TookBranch = Taken;
+    if (Taken)
+      NextPc = static_cast<uint64_t>(I.Imm);
+    break;
+  }
+  case Opcode::Call:
+    PushWord(static_cast<int64_t>(T.Pc + 1));
+    T.CallStack.push_back(T.Pc + 1);
+    NextPc = static_cast<uint64_t>(I.Imm);
+    break;
+  case Opcode::ICall:
+    NextPc = static_cast<uint64_t>(UseReg(I.Rd));
+    PushWord(static_cast<int64_t>(T.Pc + 1));
+    T.CallStack.push_back(T.Pc + 1);
+    break;
+  case Opcode::Ret: {
+    int64_t Target = PopWord();
+    if (!T.CallStack.empty())
+      T.CallStack.pop_back();
+    if (Target == layout::ExitAddr) {
+      exitThread(T);
+      break;
+    }
+    NextPc = static_cast<uint64_t>(Target);
+    break;
+  }
+  case Opcode::Lock: {
+    uint64_t Addr = static_cast<uint64_t>(UseReg(I.Rd));
+    MutexOwner[Addr] = T.Tid; // blocking was already handled in stepThread
+    break;
+  }
+  case Opcode::Unlock: {
+    uint64_t Addr = static_cast<uint64_t>(UseReg(I.Rd));
+    auto It = MutexOwner.find(Addr);
+    if (It != MutexOwner.end() && (ForcedMode || It->second == T.Tid)) {
+      MutexOwner.erase(It);
+      for (ThreadContext &W : Threads)
+        if (W.Status == ThreadStatus::BlockedOnLock && W.WaitAddr == Addr)
+          W.Status = ThreadStatus::Runnable;
+    }
+    break;
+  }
+  case Opcode::AtomicAdd: {
+    uint64_t Addr = static_cast<uint64_t>(UseReg(I.Ra) + I.Imm);
+    int64_t Old = UseMem(Addr);
+    int64_t Inc = UseReg(I.Rb);
+    DefMem(Addr, Old + Inc);
+    DefReg(I.Rd, Old);
+    break;
+  }
+  case Opcode::Spawn: {
+    int64_t Arg = UseReg(I.Ra);
+    uint32_t Child = createThread(static_cast<uint64_t>(I.Imm), Arg, T.Tid);
+    // Seeding the child's r0 is an inter-thread def: record it so slices can
+    // follow data flow into spawned threads.
+    R.Defs.add(regLoc(Child, 0), Arg);
+    DefReg(I.Rd, static_cast<int64_t>(Child));
+    break;
+  }
+  case Opcode::Join:
+    UseReg(I.Rd); // blocking handled in stepThread
+    break;
+  case Opcode::SysRead:
+    DefReg(I.Rd, Syscall(I.Op, World->sysRead(T.Tid)));
+    break;
+  case Opcode::SysRand:
+    DefReg(I.Rd, Syscall(I.Op, World->sysRand(T.Tid)));
+    break;
+  case Opcode::SysTime:
+    DefReg(I.Rd, Syscall(I.Op, World->sysTime(T.Tid)));
+    break;
+  case Opcode::SysAlloc: {
+    int64_t Size = UseReg(I.Ra);
+    if (Size < 1)
+      Size = 1;
+    int64_t Addr = World->sysAlloc(T.Tid, Size);
+    if (Addr < 0) {
+      Addr = static_cast<int64_t>(HeapNext);
+      HeapNext += static_cast<uint64_t>(Size);
+    }
+    DefReg(I.Rd, Syscall(I.Op, Addr));
+    break;
+  }
+  case Opcode::SysWrite:
+    Output.push_back(UseReg(I.Rd));
+    break;
+  case Opcode::Assert:
+    if (UseReg(I.Rd) == 0) {
+      AssertTripped = true;
+      FailTid = T.Tid;
+      FailPc = T.Pc;
+    }
+    break;
+  case Opcode::Halt:
+    Halted = true;
+    break;
+  }
+
+  if (T.Status != ThreadStatus::Exited)
+    T.Pc = NextPc;
+}
+
+MachineState Machine::snapshot() const {
+  MachineState S;
+  S.Threads.assign(Threads.begin(), Threads.end());
+  S.Mem = Mem;
+  S.MutexOwner = MutexOwner;
+  S.HeapNext = HeapNext;
+  S.GlobalCount = GlobalCount;
+  S.NextTid = NextTid;
+  S.Output = Output;
+  return S;
+}
+
+void Machine::restore(const MachineState &State) {
+  Threads.assign(State.Threads.begin(), State.Threads.end());
+  Mem = State.Mem;
+  MutexOwner = State.MutexOwner;
+  HeapNext = State.HeapNext;
+  GlobalCount = State.GlobalCount;
+  NextTid = State.NextTid;
+  Output = State.Output;
+  Halted = false;
+  StopFlag = false;
+  AssertTripped = false;
+  FailTid = 0;
+  FailPc = 0;
+}
+
+const char *drdebug::stopReasonName(Machine::StopReason Reason) {
+  switch (Reason) {
+  case Machine::StopReason::Halted: return "halted";
+  case Machine::StopReason::AssertFailed: return "assert-failed";
+  case Machine::StopReason::Deadlock: return "deadlock";
+  case Machine::StopReason::StepLimit: return "step-limit";
+  case Machine::StopReason::StopRequested: return "stop-requested";
+  }
+  return "unknown";
+}

@@ -1,0 +1,213 @@
+//===- vm/machine.h - The MiniVM interpreter --------------------*- C++ -*-===//
+//
+// Part of the DrDebug reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The multi-threaded MiniVM interpreter. One instruction executes at a time
+/// under a Scheduler, giving every run a total order over instructions; the
+/// non-deterministic inputs are the scheduler's choices and the syscall
+/// values, which is precisely what the PinPlay-analog logger captures into a
+/// pinball. The machine supports full state snapshot/restore (the basis of
+/// region pinballs) and a "forced mode" used during replay in which
+/// lock/join never block — sound because a recorded schedule already honors
+/// synchronization.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRDEBUG_VM_MACHINE_H
+#define DRDEBUG_VM_MACHINE_H
+
+#include "arch/program.h"
+#include "vm/memory.h"
+#include "vm/observer.h"
+#include "vm/scheduler.h"
+
+#include <deque>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace drdebug {
+
+enum class ThreadStatus : uint8_t {
+  Runnable,
+  BlockedOnLock,
+  BlockedOnJoin,
+  Exited,
+};
+
+/// Architectural state of one thread.
+struct ThreadContext {
+  uint32_t Tid = 0;
+  uint64_t Pc = 0;
+  int64_t Regs[NumRegs] = {};
+  ThreadStatus Status = ThreadStatus::Runnable;
+  uint64_t WaitAddr = 0; ///< mutex address when BlockedOnLock
+  uint32_t WaitTid = 0;  ///< joined tid when BlockedOnJoin
+  /// Number of instructions this thread has executed.
+  uint64_t ExecCount = 0;
+  /// Shadow stack of return PCs (for backtraces; not architecturally
+  /// visible — the real return addresses live on the in-memory stack).
+  std::vector<uint64_t> CallStack;
+};
+
+/// A complete architectural snapshot: everything needed to resume execution
+/// at an arbitrary point. This is what a region pinball stores as its
+/// initial state.
+struct MachineState {
+  std::vector<ThreadContext> Threads;
+  Memory Mem;
+  /// Mutex table: address -> owning tid (absent means free).
+  std::map<uint64_t, uint32_t> MutexOwner;
+  uint64_t HeapNext = 0;
+  uint64_t GlobalCount = 0;
+  uint32_t NextTid = 0;
+  std::vector<int64_t> Output;
+
+  /// Serializes to a line-oriented text format.
+  void save(std::ostream &OS) const;
+  /// Parses the format written by \c save().
+  bool load(std::istream &IS, std::string &Error);
+  /// Structural equality (used by snapshot/restore tests).
+  bool operator==(const MachineState &Other) const;
+};
+
+/// Source of non-deterministic syscall results. The default implementation
+/// models the external world; the replayer substitutes recorded values.
+class SyscallProvider {
+public:
+  virtual ~SyscallProvider();
+  virtual int64_t sysRead(uint32_t Tid) = 0;
+  virtual int64_t sysRand(uint32_t Tid) = 0;
+  virtual int64_t sysTime(uint32_t Tid) = 0;
+  /// \returns the address for an allocation of \p Size words, or -1 to let
+  /// the machine's deterministic bump allocator decide.
+  virtual int64_t sysAlloc(uint32_t Tid, int64_t Size);
+};
+
+/// Default "live" world: reads come from a caller-provided input vector
+/// (exhausted reads return 0), rand from a seeded Rng, time from a counter.
+class DefaultSyscalls : public SyscallProvider {
+public:
+  explicit DefaultSyscalls(uint64_t Seed = 1) : Rand(Seed) {}
+  void setInput(std::vector<int64_t> Values) {
+    Input = std::move(Values);
+    Cursor = 0;
+  }
+  int64_t sysRead(uint32_t Tid) override;
+  int64_t sysRand(uint32_t Tid) override;
+  int64_t sysTime(uint32_t Tid) override;
+
+private:
+  Rng Rand;
+  std::vector<int64_t> Input;
+  size_t Cursor = 0;
+  int64_t Clock = 0;
+};
+
+/// The interpreter.
+class Machine {
+public:
+  enum class StopReason {
+    Halted,        ///< Halt executed or every thread exited
+    AssertFailed,  ///< an Assert tripped (the bug symptom)
+    Deadlock,      ///< live threads exist but none is runnable
+    StepLimit,     ///< run() exhausted its step budget
+    StopRequested, ///< an observer (e.g. breakpoint) asked to stop
+  };
+
+  explicit Machine(const Program &Prog);
+
+  /// Sets the scheduling policy (not owned). Required before run().
+  void setScheduler(Scheduler *S) { Sched = S; }
+  /// Sets the syscall provider (not owned); defaults to an internal
+  /// DefaultSyscalls instance.
+  void setSyscalls(SyscallProvider *P) { Syscalls = P; }
+  void addObserver(Observer *O) { Observers.push_back(O); }
+  void removeObserver(Observer *O);
+
+  /// In forced mode Lock/Join never block (used when an externally recorded
+  /// schedule drives execution).
+  void setForcedMode(bool On) { ForcedMode = On; }
+
+  /// Runs until a stop condition, executing at most \p MaxSteps instructions.
+  StopReason run(uint64_t MaxSteps = ~0ULL);
+
+  /// Executes one instruction of thread \p Tid (must be live). In forced
+  /// mode this always executes; otherwise a blocked thread stays blocked and
+  /// false is returned without executing.
+  bool stepThread(uint32_t Tid);
+
+  /// Observers may call this to make run() return StopRequested after the
+  /// current instruction (or, from onPreExec, before it executes).
+  void requestStop() { StopFlag = true; }
+  bool stopRequested() const { return StopFlag; }
+  void clearStopRequest() { StopFlag = false; }
+
+  // --- State access -------------------------------------------------------
+  const Program &program() const { return Prog; }
+  Memory &mem() { return Mem; }
+  const Memory &mem() const { return Mem; }
+  const ThreadContext &thread(uint32_t Tid) const { return Threads.at(Tid); }
+  ThreadContext &threadMutable(uint32_t Tid) { return Threads.at(Tid); }
+  uint32_t numThreads() const { return static_cast<uint32_t>(Threads.size()); }
+  uint64_t globalCount() const { return GlobalCount; }
+  const std::vector<int64_t> &output() const { return Output; }
+  bool finished() const;
+  /// \returns tids of threads that may execute now, sorted.
+  std::vector<uint32_t> runnableThreads() const;
+
+  bool assertFailed() const { return AssertTripped; }
+  uint32_t failedTid() const { return FailTid; }
+  uint64_t failedPc() const { return FailPc; }
+
+  // --- Snapshot / restore --------------------------------------------------
+  MachineState snapshot() const;
+  void restore(const MachineState &State);
+
+  /// Applies externally recorded side effects: used by the slice-pinball
+  /// replayer to inject the net effects of skipped code regions.
+  void injectMemory(uint64_t Addr, int64_t Value) { Mem.store(Addr, Value); }
+  void injectRegister(uint32_t Tid, unsigned Reg, int64_t Value);
+  /// Moves \p Tid's pc without executing (resume point after a skip).
+  void setThreadPc(uint32_t Tid, uint64_t Pc);
+
+private:
+  uint32_t createThread(uint64_t EntryPc, int64_t Arg0, uint32_t ParentTid);
+  void exitThread(ThreadContext &T);
+  void execute(ThreadContext &T, ExecRecord &R);
+  void notifyExec(const ExecRecord &R);
+
+  const Program &Prog;
+  Memory Mem;
+  /// deque: Spawn appends a thread while the spawning thread's context is
+  /// referenced by the interpreter loop; references must stay stable.
+  std::deque<ThreadContext> Threads;
+  std::map<uint64_t, uint32_t> MutexOwner;
+  uint64_t HeapNext = layout::HeapBase;
+  uint64_t GlobalCount = 0;
+  uint32_t NextTid = 0;
+  std::vector<int64_t> Output;
+
+  Scheduler *Sched = nullptr;
+  SyscallProvider *Syscalls = nullptr;
+  DefaultSyscalls DefaultWorld;
+  std::vector<Observer *> Observers;
+
+  bool ForcedMode = false;
+  bool Halted = false;
+  bool StopFlag = false;
+  bool AssertTripped = false;
+  uint32_t FailTid = 0;
+  uint64_t FailPc = 0;
+};
+
+/// \returns a human-readable name for \p Reason.
+const char *stopReasonName(Machine::StopReason Reason);
+
+} // namespace drdebug
+
+#endif // DRDEBUG_VM_MACHINE_H

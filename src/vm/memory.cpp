@@ -1,0 +1,4 @@
+//===- vm/memory.cpp - Sparse word-addressed memory -------------------------===//
+// (Header-only; this file anchors the module in the library.)
+
+#include "vm/memory.h"

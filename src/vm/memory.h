@@ -1,0 +1,54 @@
+//===- vm/memory.h - Sparse word-addressed memory ---------------*- C++ -*-===//
+//
+// Part of the DrDebug reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The machine's shared memory: a sparse map from 64-bit word addresses to
+/// 64-bit values. Unwritten words read as zero, which keeps synthetic
+/// workloads and the random program generator memory-safe by construction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRDEBUG_VM_MEMORY_H
+#define DRDEBUG_VM_MEMORY_H
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+
+namespace drdebug {
+
+/// Sparse word-addressed memory. Copyable (used for snapshots).
+class Memory {
+public:
+  /// \returns the word at \p Addr (zero if never written).
+  int64_t load(uint64_t Addr) const {
+    auto It = Words.find(Addr);
+    return It == Words.end() ? 0 : It->second;
+  }
+
+  /// Stores \p Value at \p Addr.
+  void store(uint64_t Addr, int64_t Value) {
+    if (Value == 0) {
+      Words.erase(Addr); // keep the footprint canonical for snapshot diffs
+      return;
+    }
+    Words[Addr] = Value;
+  }
+
+  /// \returns the number of non-zero words (used to size pinballs).
+  size_t footprint() const { return Words.size(); }
+
+  const std::unordered_map<uint64_t, int64_t> &words() const { return Words; }
+
+  void clear() { Words.clear(); }
+
+private:
+  std::unordered_map<uint64_t, int64_t> Words;
+};
+
+} // namespace drdebug
+
+#endif // DRDEBUG_VM_MEMORY_H

@@ -1,0 +1,105 @@
+//===- vm/observer.h - Pin-style instrumentation interface ------*- C++ -*-===//
+//
+// Part of the DrDebug reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The instrumentation ("pintool") interface. Observers attached to a
+/// Machine receive one ExecRecord per executed instruction, with the
+/// instruction's *resolved* definitions and uses (registers and effective
+/// memory addresses) and the values written/read. The PinPlay-analog logger,
+/// the dynamic slicer, the Maple profiler and the debugger are all Observers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRDEBUG_VM_OBSERVER_H
+#define DRDEBUG_VM_OBSERVER_H
+
+#include "arch/program.h"
+#include "vm/location.h"
+
+#include <cassert>
+#include <cstdint>
+
+namespace drdebug {
+
+class Machine;
+
+/// A small fixed-capacity list of (location, value) accesses. No MiniVM
+/// instruction defines or uses more than four locations.
+struct AccessList {
+  static constexpr unsigned Max = 4;
+  struct Entry {
+    Location Loc;
+    int64_t Value;
+  };
+  Entry Items[Max];
+  unsigned Count = 0;
+
+  void add(Location Loc, int64_t Value) {
+    assert(Count < Max && "too many accesses for one instruction");
+    Items[Count++] = {Loc, Value};
+  }
+  const Entry *begin() const { return Items; }
+  const Entry *end() const { return Items + Count; }
+  unsigned size() const { return Count; }
+  const Entry &operator[](unsigned I) const {
+    assert(I < Count);
+    return Items[I];
+  }
+};
+
+/// Everything an instrumentation tool learns about one executed instruction.
+struct ExecRecord {
+  uint32_t Tid = 0;
+  uint64_t Pc = 0;
+  const Instruction *Inst = nullptr;
+  /// Index of this instruction in its thread's dynamic execution (0-based).
+  uint64_t PerThreadIndex = 0;
+  /// Index in the machine-wide total order (0-based).
+  uint64_t GlobalIndex = 0;
+  /// Locations written, with the values written. For defs of another
+  /// thread's register (Spawn seeding the child's r0) the location carries
+  /// the child's tid.
+  AccessList Defs;
+  /// Locations read, with the values read.
+  AccessList Uses;
+  /// For conditional branches: whether the branch was taken.
+  bool TookBranch = false;
+  /// The pc the thread will execute next (after any branch/injection).
+  uint64_t NextPc = 0;
+};
+
+/// Base class for instrumentation tools. All callbacks default to no-ops.
+class Observer {
+public:
+  virtual ~Observer();
+
+  /// Called just before thread \p Tid executes the instruction at \p Pc
+  /// (blocking checks have already passed, so the instruction will execute
+  /// unless an observer requests a stop). Breakpoints and the relogger's
+  /// exclusion-region boundaries hook in here.
+  virtual void onPreExec(const Machine &M, uint32_t Tid, uint64_t Pc);
+
+  /// Called after each instruction completes.
+  virtual void onExec(const Machine &M, const ExecRecord &R);
+
+  /// Called when \p Tid is created (including the main thread).
+  virtual void onThreadCreated(uint32_t Tid, uint64_t EntryPc,
+                               uint32_t ParentTid);
+
+  /// Called when \p Tid exits.
+  virtual void onThreadExited(uint32_t Tid);
+
+  /// Called when a non-deterministic syscall produced \p Value (the event a
+  /// PinPlay logger must record).
+  virtual void onSyscallValue(uint32_t Tid, Opcode Op, int64_t Value);
+
+  /// Called when an Assert instruction fails.
+  virtual void onAssertFailed(uint32_t Tid, uint64_t Pc);
+};
+
+} // namespace drdebug
+
+#endif // DRDEBUG_VM_OBSERVER_H

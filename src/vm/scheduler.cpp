@@ -1,0 +1,62 @@
+//===- vm/scheduler.cpp - Thread schedulers ---------------------------------===//
+
+#include "vm/scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace drdebug;
+
+Scheduler::~Scheduler() = default;
+
+static bool contains(const std::vector<uint32_t> &V, uint32_t X) {
+  return std::find(V.begin(), V.end(), X) != V.end();
+}
+
+uint32_t RoundRobinScheduler::pickNext(const Machine &,
+                                       const std::vector<uint32_t> &Runnable) {
+  assert(!Runnable.empty() && "scheduler needs a runnable thread");
+  if (HaveCurrent && Remaining > 0 && contains(Runnable, Current)) {
+    --Remaining;
+    return Current;
+  }
+  // Rotate: pick the first runnable tid strictly greater than Current,
+  // wrapping around.
+  uint32_t Next = Runnable.front();
+  if (HaveCurrent)
+    for (uint32_t Tid : Runnable)
+      if (Tid > Current) {
+        Next = Tid;
+        break;
+      }
+  Current = Next;
+  HaveCurrent = true;
+  Remaining = Quantum == 0 ? 0 : Quantum - 1;
+  return Current;
+}
+
+uint32_t RandomScheduler::pickNext(const Machine &,
+                                   const std::vector<uint32_t> &Runnable) {
+  assert(!Runnable.empty() && "scheduler needs a runnable thread");
+  bool MustSwitch = !HaveCurrent || !contains(Runnable, Current);
+  if (MustSwitch || Rand.chance(SwitchNum, SwitchDen)) {
+    Current = Runnable[Rand.below(Runnable.size())];
+    HaveCurrent = true;
+  }
+  return Current;
+}
+
+uint32_t PriorityScheduler::pickNext(const Machine &,
+                                     const std::vector<uint32_t> &Runnable) {
+  assert(!Runnable.empty() && "scheduler needs a runnable thread");
+  uint32_t Best = Runnable.front();
+  int BestPri = priority(Best);
+  for (uint32_t Tid : Runnable) {
+    int Pri = priority(Tid);
+    if (Pri > BestPri) {
+      Best = Tid;
+      BestPri = Pri;
+    }
+  }
+  return Best;
+}

@@ -1,0 +1,94 @@
+//===- vm/scheduler.h - Thread schedulers -----------------------*- C++ -*-===//
+//
+// Part of the DrDebug reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Scheduling policies for the interpreter. The machine executes exactly one
+/// instruction at a time from the thread the scheduler picks, so the chosen
+/// policy fully determines the interleaving; all policies here are
+/// deterministic functions of (seed, machine state), which is what makes
+/// "log once, replay forever" possible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRDEBUG_VM_SCHEDULER_H
+#define DRDEBUG_VM_SCHEDULER_H
+
+#include "support/rng.h"
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace drdebug {
+
+class Machine;
+
+/// Picks which runnable thread executes the next instruction.
+class Scheduler {
+public:
+  virtual ~Scheduler();
+
+  /// Chooses among \p Runnable (non-empty, sorted by tid).
+  /// \returns the chosen tid.
+  virtual uint32_t pickNext(const Machine &M,
+                            const std::vector<uint32_t> &Runnable) = 0;
+};
+
+/// Runs each thread for a fixed quantum of instructions before switching.
+class RoundRobinScheduler : public Scheduler {
+public:
+  explicit RoundRobinScheduler(uint64_t Quantum = 1) : Quantum(Quantum) {}
+  uint32_t pickNext(const Machine &M,
+                    const std::vector<uint32_t> &Runnable) override;
+
+private:
+  uint64_t Quantum;
+  uint64_t Remaining = 0;
+  uint32_t Current = 0;
+  bool HaveCurrent = false;
+};
+
+/// Keeps running the current thread, switching to a uniformly random
+/// runnable thread with probability SwitchNum/SwitchDen per instruction.
+/// Deterministic for a fixed seed.
+class RandomScheduler : public Scheduler {
+public:
+  explicit RandomScheduler(uint64_t Seed, uint64_t SwitchNum = 1,
+                           uint64_t SwitchDen = 20)
+      : Rand(Seed), SwitchNum(SwitchNum), SwitchDen(SwitchDen) {}
+  uint32_t pickNext(const Machine &M,
+                    const std::vector<uint32_t> &Runnable) override;
+
+private:
+  Rng Rand;
+  uint64_t SwitchNum;
+  uint64_t SwitchDen;
+  uint32_t Current = 0;
+  bool HaveCurrent = false;
+};
+
+/// Always runs the highest-priority runnable thread (ties: lowest tid).
+/// The Maple-analog active scheduler manipulates priorities through this
+/// class to force target interleavings, mirroring how Maple changes OS
+/// scheduling priorities.
+class PriorityScheduler : public Scheduler {
+public:
+  uint32_t pickNext(const Machine &M,
+                    const std::vector<uint32_t> &Runnable) override;
+
+  void setPriority(uint32_t Tid, int Priority) { Priorities[Tid] = Priority; }
+  int priority(uint32_t Tid) const {
+    auto It = Priorities.find(Tid);
+    return It == Priorities.end() ? 0 : It->second;
+  }
+
+private:
+  std::map<uint32_t, int> Priorities;
+};
+
+} // namespace drdebug
+
+#endif // DRDEBUG_VM_SCHEDULER_H

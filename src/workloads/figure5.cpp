@@ -1,0 +1,57 @@
+//===- workloads/figure5.cpp - The paper's running example --------------------===//
+
+#include "workloads/figure5.h"
+
+#include "arch/assembler.h"
+
+using namespace drdebug;
+using namespace drdebug::workloads;
+
+Program drdebug::workloads::makeFigure5(Figure5Lines *Lines) {
+  std::string Src =
+      ".data x 1\n.data y 0\n.data f1 0\n.data f2 0\n.data junk 0\n" // 1..5
+      ".func main\n"         // 6: T1
+      "  spawn r9, t2, r0\n" // 7
+      "w1:\n"                // 8
+      "  lda r1, @f1\n"      // 9: wait until T2 entered its atomic region
+      "  beq r1, r0, w1\n"   // 10
+      "  movi r2, 2\n"       // 11: y = 2
+      "  sta r2, @y\n"       // 12
+      "  lda r3, @y\n"       // 13
+      "  muli r3, r3, 3\n"   // 14
+      "  sta r3, @x\n"       // 15: x = y * 3   <- the racy write
+      "  movi r4, 77\n"      // 16: unrelated work
+      "  sta r4, @junk\n"    // 17
+      "  movi r5, 1\n"       // 18
+      "  sta r5, @f2\n"      // 19: let T2 continue
+      "  join r9\n"          // 20
+      "  halt\n"             // 21
+      ".endfunc\n"           // 22
+      ".func t2\n"           // 23
+      "  movi r1, 1\n"       // 24: k = 1  (start of the "atomic" region)
+      "  movi r2, 1\n"       // 25
+      "  sta r2, @f1\n"      // 26
+      "w2:\n"                // 27
+      "  lda r3, @f2\n"      // 28
+      "  beq r3, r0, w2\n"   // 29
+      "  lda r4, @x\n"       // 30: reads x — sees T1's racy value
+      "  add r1, r1, r4\n"   // 31: k = k + x
+      "  movi r5, 2\n"       // 32: expected = 1 + original x
+      "  sub r6, r1, r5\n"   // 33
+      "  movi r7, 1\n"       // 34
+      "  beq r6, r0, okk\n"  // 35
+      "  movi r7, 0\n"       // 36
+      "okk:\n"               // 37
+      "  assert r7\n"        // 38: fails — end of the "atomic" region
+      "  ret\n"              // 39
+      ".endfunc\n";
+  if (Lines) {
+    Lines->AssertLine = 38;
+    Lines->KUpdateLine = 31;
+    Lines->KInitLine = 24;
+    Lines->RacyWriteLine = 15;
+    Lines->YDefLine = 11;
+    Lines->UnrelatedLine = 17;
+  }
+  return assembleOrDie(Src);
+}

@@ -1,0 +1,41 @@
+//===- workloads/figure5.h - The paper's running example --------*- C++ -*-===//
+//
+// Part of the DrDebug reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Figure 5 scenario as a MiniVM program: thread T2 executes a
+/// region the programmer assumes is atomic (k = 1; ...; k = k + x;
+/// assert(k == expected)), while thread T1 races and overwrites the shared
+/// x in the middle, making the assertion fail. Flag handshakes make the
+/// racy interleaving deterministic so the example reproduces under any
+/// scheduler — the pinball then captures it forever.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRDEBUG_WORKLOADS_FIGURE5_H
+#define DRDEBUG_WORKLOADS_FIGURE5_H
+
+#include "arch/program.h"
+
+namespace drdebug {
+namespace workloads {
+
+/// Source-line landmarks of the Figure 5 program, for tests and examples.
+struct Figure5Lines {
+  uint32_t AssertLine;    ///< the failing assert in T2 (the symptom)
+  uint32_t KUpdateLine;   ///< k = k + x in T2
+  uint32_t KInitLine;     ///< k = 1 in T2
+  uint32_t RacyWriteLine; ///< the unexpected write to x in T1 (root cause)
+  uint32_t YDefLine;      ///< y's definition feeding the racy write
+  uint32_t UnrelatedLine; ///< unrelated work that must stay out of slices
+};
+
+/// \returns the Figure 5 program (always fails the T2 assertion).
+Program makeFigure5(Figure5Lines *Lines = nullptr);
+
+} // namespace workloads
+} // namespace drdebug
+
+#endif // DRDEBUG_WORKLOADS_FIGURE5_H

@@ -1,0 +1,199 @@
+//===- workloads/generator.cpp - Random terminating programs ------------------===//
+
+#include "workloads/generator.h"
+
+#include "arch/assembler.h"
+#include "support/rng.h"
+
+#include <sstream>
+
+using namespace drdebug;
+using namespace drdebug::workloads;
+
+namespace {
+
+/// Register conventions inside generated functions:
+///   r0        thread argument (read-only)
+///   r1..r8    random-statement pool
+///   r9, r10   addressing / indirect-jump scratch
+///   r11       loop counter (loops never nest)
+///   r12       constant zero
+class SourceGenerator {
+public:
+  SourceGenerator(uint64_t Seed, const GeneratorOptions &Opts)
+      : Rand(Seed), Opts(Opts) {}
+
+  std::string run() {
+    for (unsigned G = 0; G != Opts.NumGlobals; ++G)
+      OS << ".data g" << G << " " << Rand.range(-3, 9) << "\n";
+    OS << ".array buf 16\n";
+    if (Opts.UseLocks)
+      OS << ".data mtx 0\n";
+    emitMain();
+    for (unsigned F = 0; F != Opts.NumFunctions; ++F)
+      emitFunction(F);
+    return OS.str();
+  }
+
+private:
+  std::string reg() { return "r" + std::to_string(Rand.range(1, 8)); }
+  std::string global() {
+    return "@g" + std::to_string(Rand.below(Opts.NumGlobals));
+  }
+  unsigned freshId() { return NextId++; }
+
+  void emitMain() {
+    OS << ".func main\n  movi r12, 0\n";
+    unsigned Workers =
+        Opts.MaxThreads ? static_cast<unsigned>(Rand.below(Opts.MaxThreads + 1))
+                        : 0;
+    if (Opts.NumFunctions == 0)
+      Workers = 0;
+    for (unsigned W = 0; W != Workers; ++W) {
+      OS << "  movi r1, " << Rand.range(0, 7) << "\n";
+      OS << "  spawn r" << (2 + W) << ", f"
+         << Rand.below(Opts.NumFunctions) << ", r1\n";
+    }
+    if (Opts.NumFunctions)
+      OS << "  call f" << Rand.below(Opts.NumFunctions) << "\n";
+    emitStatements(/*FuncIdx=*/-1, /*Budget=*/4, /*AllowStructured=*/true);
+    for (unsigned W = 0; W != Workers; ++W)
+      OS << "  join r" << (2 + W) << "\n";
+    OS << "  lda r1, @g0\n  syswrite r1\n  halt\n.endfunc\n";
+  }
+
+  void emitFunction(unsigned FuncIdx) {
+    OS << ".func f" << FuncIdx << "\n  movi r12, 0\n";
+    // Candidate callee-save prologue (sometimes): exercises §5.2.
+    unsigned Saved = static_cast<unsigned>(Rand.below(3));
+    for (unsigned S = 0; S != Saved; ++S)
+      OS << "  push r" << (1 + S) << "\n";
+    emitStatements(static_cast<int>(FuncIdx),
+                   Rand.range(3, Opts.MaxBodyLen), true);
+    for (unsigned S = Saved; S-- > 0;)
+      OS << "  pop r" << (1 + S) << "\n";
+    OS << "  ret\n.endfunc\n";
+  }
+
+  /// Emits \p Budget random statements. \p FuncIdx is the enclosing
+  /// function (-1 for main); calls only go to strictly higher indices so
+  /// the call graph is a DAG.
+  void emitStatements(int FuncIdx, int64_t Budget, bool AllowStructured) {
+    for (int64_t N = 0; N != Budget; ++N) {
+      switch (Rand.below(AllowStructured ? 10 : 6)) {
+      case 0: { // register arithmetic
+        static const char *Ops[] = {"add", "sub", "mul", "and", "or", "xor"};
+        OS << "  " << Ops[Rand.below(6)] << " " << reg() << ", " << reg()
+           << ", " << reg() << "\n";
+        break;
+      }
+      case 1: // immediate arithmetic
+        OS << "  addi " << reg() << ", " << reg() << ", "
+           << Rand.range(-9, 9) << "\n";
+        break;
+      case 2: // global load
+        OS << "  lda " << reg() << ", " << global() << "\n";
+        break;
+      case 3: // global store
+        OS << "  sta " << reg() << ", " << global() << "\n";
+        break;
+      case 4: { // indexed access into buf
+        std::string R = reg();
+        OS << "  modi r9, " << R << ", 16\n"
+           << "  lea r10, @buf\n"
+           << "  add r10, r10, r9\n";
+        if (Rand.chance(1, 2))
+          OS << "  ld " << R << ", [r10]\n";
+        else
+          OS << "  st " << R << ", [r10]\n";
+        break;
+      }
+      case 5: // syscall
+        if (Opts.UseSyscalls) {
+          switch (Rand.below(4)) {
+          case 0: OS << "  sysread " << reg() << "\n"; break;
+          case 1: OS << "  sysrand " << reg() << "\n"; break;
+          case 2: OS << "  systime " << reg() << "\n"; break;
+          case 3: OS << "  syswrite " << reg() << "\n"; break;
+          }
+        }
+        break;
+      case 6: { // bounded loop (never nests: statements inside are simple)
+        unsigned Id = freshId();
+        OS << "  movi r11, " << Rand.range(1, Opts.MaxLoopIters) << "\n"
+           << "L" << Id << ":\n";
+        emitStatements(FuncIdx, Rand.range(1, 3), false);
+        OS << "  subi r11, r11, 1\n"
+           << "  bgt r11, r12, L" << Id << "\n";
+        break;
+      }
+      case 7: { // forward conditional
+        unsigned Id = freshId();
+        static const char *Ccs[] = {"beq", "bne", "blt", "bge"};
+        OS << "  " << Ccs[Rand.below(4)] << " " << reg() << ", " << reg()
+           << ", S" << Id << "\n";
+        emitStatements(FuncIdx, Rand.range(1, 3), false);
+        OS << "S" << Id << ":\n";
+        break;
+      }
+      case 8: { // call a higher-numbered function (DAG), or a lock block
+        unsigned Lo = static_cast<unsigned>(FuncIdx + 1);
+        if (Lo < Opts.NumFunctions) {
+          unsigned Callee =
+              Lo + static_cast<unsigned>(Rand.below(Opts.NumFunctions - Lo));
+          bool Wrap = Rand.chance(1, 2);
+          std::string R = reg();
+          if (Wrap)
+            OS << "  push " << R << "\n";
+          OS << "  call f" << Callee << "\n";
+          if (Wrap)
+            OS << "  pop " << R << "\n";
+        } else if (Opts.UseLocks) {
+          OS << "  lea r9, @mtx\n  lock r9\n";
+          emitStatements(FuncIdx, 1, false);
+          OS << "  unlock r9\n";
+        }
+        break;
+      }
+      case 9: { // two-way computed jump (indirect-jump coverage)
+        if (!Opts.UseIndirectJumps)
+          break;
+        unsigned Id = freshId();
+        std::string R = reg();
+        OS << "  modi r9, " << R << ", 2\n"
+           << "  muli r9, r9, 2\n" // each case slot is 2 instructions
+           << "  lea r10, C" << Id << "\n"
+           << "  add r10, r10, r9\n"
+           << "  ijmp r10\n"
+           << "C" << Id << ":\n"
+           << "  addi " << R << ", " << R << ", 1\n"
+           << "  jmp E" << Id << "\n"
+           << "  subi " << R << ", " << R << ", 1\n"
+           << "  jmp E" << Id << "\n"
+           << "E" << Id << ":\n";
+        break;
+      }
+      }
+    }
+  }
+
+  Rng Rand;
+  const GeneratorOptions &Opts;
+  std::ostringstream OS;
+  unsigned NextId = 0;
+};
+
+} // namespace
+
+std::string
+drdebug::workloads::generateRandomSource(uint64_t Seed,
+                                         const GeneratorOptions &Opts) {
+  SourceGenerator Gen(Seed, Opts);
+  return Gen.run();
+}
+
+Program
+drdebug::workloads::generateRandomProgram(uint64_t Seed,
+                                          const GeneratorOptions &Opts) {
+  return assembleOrDie(generateRandomSource(Seed, Opts));
+}

@@ -1,0 +1,53 @@
+//===- workloads/generator.h - Random terminating programs ------*- C++ -*-===//
+//
+// Part of the DrDebug reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A generator of random, guaranteed-terminating, guaranteed-deadlock-free
+/// multi-threaded MiniVM programs, used by the property-test suites: replay
+/// determinism, snapshot equivalence, slice closure, exclusion-replay value
+/// equivalence, and LP block-size invariance all sweep over generated
+/// programs × scheduler seeds.
+///
+/// Termination: every loop is counter-bounded, calls form a DAG (a function
+/// only calls higher-numbered functions), and indirect jumps go through
+/// bounded-selector jump tables. Deadlock freedom: a single global mutex,
+/// always released on every path before any branch back.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRDEBUG_WORKLOADS_GENERATOR_H
+#define DRDEBUG_WORKLOADS_GENERATOR_H
+
+#include "arch/program.h"
+
+#include <string>
+
+namespace drdebug {
+namespace workloads {
+
+struct GeneratorOptions {
+  unsigned NumGlobals = 6;
+  unsigned NumFunctions = 4;  ///< besides main
+  unsigned MaxThreads = 3;    ///< workers spawned by main
+  unsigned MaxLoopIters = 6;
+  unsigned MaxBodyLen = 14;   ///< statements per block
+  bool UseSyscalls = true;
+  bool UseIndirectJumps = true;
+  bool UseLocks = true;
+};
+
+/// Generates the assembly text of a random program from \p Seed.
+std::string generateRandomSource(uint64_t Seed,
+                                 const GeneratorOptions &Opts = GeneratorOptions());
+
+/// Generates and assembles (the generator only emits valid programs).
+Program generateRandomProgram(uint64_t Seed,
+                              const GeneratorOptions &Opts = GeneratorOptions());
+
+} // namespace workloads
+} // namespace drdebug
+
+#endif // DRDEBUG_WORKLOADS_GENERATOR_H

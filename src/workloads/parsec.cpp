@@ -1,0 +1,291 @@
+//===- workloads/parsec.cpp - PARSEC-analog kernels ---------------------------===//
+
+#include "workloads/parsec.h"
+
+#include "arch/assembler.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace drdebug;
+using namespace drdebug::workloads;
+
+namespace {
+
+/// Shared scaffold: globals + main that spawns Threads-1 workers, runs the
+/// kernel itself, then joins. The kernel function receives its iteration
+/// count in r0 and must only assume r0 on entry.
+std::string scaffold(const std::string &Globals, const std::string &KernelBody,
+                     const ParsecParams &P) {
+  std::ostringstream OS;
+  OS << Globals << ".func main\n"
+     << "  movi r1, " << P.Iters << "\n";
+  for (unsigned T = 1; T < P.Threads; ++T)
+    OS << "  spawn r" << (1 + T) << ", kernel, r1\n";
+  OS << "  mov r0, r1\n"
+     << "  call kernel\n";
+  for (unsigned T = 1; T < P.Threads; ++T)
+    OS << "  join r" << (1 + T) << "\n";
+  OS << "  halt\n.endfunc\n"
+     << ".func kernel\n"
+     << KernelBody << "  ret\n.endfunc\n";
+  return OS.str();
+}
+
+// Each kernel body loops r0 times over a characteristic iteration.
+
+/// blackscholes: embarrassingly parallel option pricing — pure private
+/// arithmetic over a read-only input array.
+std::string blackscholesBody() {
+  return "  movi r1, 0\n"
+         "  movi r12, 0\n" // running price state: loads depend on history
+         "bsloop:\n"
+         "  add r2, r1, r12\n"
+         "  andi r2, r2, 63\n"
+         "  lea r3, @prices\n"
+         "  add r3, r3, r2\n"
+         "  ld r4, [r3]\n"
+         "  muli r5, r4, 7\n"
+         "  addi r5, r5, 13\n"
+         "  divi r5, r5, 3\n"
+         "  xor r6, r5, r4\n"
+         "  st r6, [r3]\n"  // write the priced option back
+         "  andi r11, r1, 7\n"
+         "  movi r13, 0\n"
+         "  bne r11, r13, bsskip\n"
+         "  xor r12, r12, r6\n" // fold state into the index now and then
+         "bsskip:\n"
+         "  addi r1, r1, 1\n"
+         "  blt r1, r0, bsloop\n";
+}
+
+/// bodytrack: mostly private particle scoring with a periodic atomic
+/// accumulation into the shared likelihood.
+std::string bodytrackBody() {
+  return "  movi r1, 0\n"
+         "  movi r13, 0\n"
+         "btloop:\n"
+         "  muli r2, r1, 31\n"
+         "  addi r2, r2, 5\n"
+         "  andi r9, r2, 31\n"
+         "  lea r10, @weights\n"
+         "  add r10, r10, r9\n"
+         "  ld r11, [r10]\n"     // particle weight
+         "  add r3, r2, r11\n"
+         "  modi r3, r3, 255\n"
+         "  modi r4, r1, 16\n"
+         "  bne r4, r13, btskip\n"
+         "  lea r5, @likelihood\n"
+         "  atomicadd r6, [r5], r3\n"
+         "btskip:\n"
+         "  addi r1, r1, 1\n"
+         "  blt r1, r0, btloop\n";
+}
+
+/// canneal: simulated-annealing element swaps under a global lock —
+/// synchronization-heavy with random access.
+std::string cannealBody() {
+  return "  movi r1, 0\n"
+         "  movi r7, 12345\n" // private LCG state
+         "cnloop:\n"
+         "  muli r7, r7, 1103515245\n"
+         "  addi r7, r7, 12345\n"
+         "  shri r8, r7, 16\n"
+         "  modi r8, r8, 64\n"     // element index a
+         "  addi r9, r8, 17\n"
+         "  modi r9, r9, 64\n"     // element index b
+         "  lea r2, @netmtx\n"
+         "  lock r2\n"
+         "  lea r3, @elements\n"
+         "  add r4, r3, r8\n"
+         "  add r5, r3, r9\n"
+         "  ld r10, [r4]\n"
+         "  ld r11, [r5]\n"
+         "  st r11, [r4]\n"
+         "  st r10, [r5]\n"
+         "  unlock r2\n"
+         "  addi r1, r1, 1\n"
+         "  blt r1, r0, cnloop\n";
+}
+
+/// dedup: pipeline flavour — compute a chunk hash, then probe/insert into
+/// the shared hash table under its lock.
+std::string dedupBody() {
+  return "  movi r1, 0\n"
+         "  movi r13, 0\n"
+         "ddloop:\n"
+         "  muli r2, r1, 2654435761\n"
+         "  shri r3, r2, 8\n"
+         "  modi r3, r3, 128\n"   // bucket
+         "  lea r4, @htmtx\n"
+         "  lock r4\n"
+         "  lea r5, @htable\n"
+         "  add r5, r5, r3\n"
+         "  ld r6, [r5]\n"
+         "  bne r6, r13, ddhit\n"
+         "  st r2, [r5]\n"        // insert
+         "ddhit:\n"
+         "  unlock r4\n"
+         "  addi r1, r1, 1\n"
+         "  blt r1, r0, ddloop\n";
+}
+
+/// ferret: similarity search — a longer private compute stage (feature
+/// extraction + ranking) with an occasional shared result update.
+std::string ferretBody() {
+  return "  movi r1, 0\n"
+         "  movi r13, 0\n"
+         "frloop:\n"
+         "  muli r2, r1, 97\n"
+         "  addi r2, r2, 11\n"
+         "  mul r3, r2, r2\n"
+         "  shri r3, r3, 5\n"
+         "  xor r4, r3, r2\n"
+         "  andi r4, r4, 1023\n"
+         "  muli r5, r4, 3\n"
+         "  subi r5, r5, 1\n"
+         "  modi r6, r1, 32\n"
+         "  bne r6, r13, frskip\n"
+         "  lea r7, @rankmtx\n"
+         "  lock r7\n"
+         "  lda r8, @bestrank\n"
+         "  bge r8, r5, frkeep\n"
+         "  sta r5, @bestrank\n"
+         "frkeep:\n"
+         "  unlock r7\n"
+         "frskip:\n"
+         "  addi r1, r1, 1\n"
+         "  blt r1, r0, frloop\n";
+}
+
+/// fluidanimate: grid updates with fine-grained (per-cell) locking — the
+/// lock address is computed from the cell, i.e. lock striping.
+std::string fluidanimateBody() {
+  return "  movi r1, 0\n"
+         "flloop:\n"
+         "  modi r2, r1, 63\n"     // cell
+         "  lea r3, @cellmtx\n"
+         "  add r3, r3, r2\n"      // this cell's mutex
+         "  lock r3\n"
+         "  lea r4, @cells\n"
+         "  add r4, r4, r2\n"
+         "  ld r5, [r4]\n"
+         "  addi r5, r5, 1\n"
+         "  st r5, [r4]\n"
+         "  ld r6, [r4+1]\n"       // neighbour contribution
+         "  add r5, r5, r6\n"
+         "  st r5, [r4]\n"
+         "  unlock r3\n"
+         "  addi r1, r1, 1\n"
+         "  blt r1, r0, flloop\n";
+}
+
+/// streamcluster: distance evaluations (private inner math) with a shared
+/// best-cost update under a lock every iteration block.
+std::string streamclusterBody() {
+  return "  movi r1, 0\n"
+         "  movi r13, 0\n"
+         "scloop:\n"
+         "  modi r2, r1, 48\n"
+         "  lea r3, @points\n"
+         "  add r3, r3, r2\n"
+         "  ld r4, [r3]\n"
+         "  sub r5, r4, r2\n"
+         "  mul r5, r5, r5\n"      // squared distance
+         "  modi r6, r1, 24\n"
+         "  bne r6, r13, scskip\n"
+         "  lea r7, @costmtx\n"
+         "  lock r7\n"
+         "  lda r8, @totalcost\n"
+         "  add r8, r8, r5\n"
+         "  sta r8, @totalcost\n"
+         "  unlock r7\n"
+         "scskip:\n"
+         "  addi r1, r1, 1\n"
+         "  blt r1, r0, scloop\n";
+}
+
+/// swaptions: Monte-Carlo simulation — fully private, zero sharing.
+std::string swaptionsBody() {
+  return "  movi r1, 0\n"
+         "  movi r7, 88172645\n" // private RNG state
+         "swloop:\n"
+         "  muli r7, r7, 6364136223846793005\n"
+         "  addi r7, r7, 1442695040888963407\n"
+         "  shri r2, r7, 33\n"
+         "  andi r9, r2, 15\n"
+         "  lea r10, @rates\n"
+         "  add r10, r10, r9\n"
+         "  ld r11, [r10]\n"     // forward rate sample
+         "  modi r3, r2, 1000\n"
+         "  add r4, r3, r11\n"
+         "  addi r4, r4, 1\n"
+         "  div r5, r2, r4\n"
+         "  addi r1, r1, 1\n"
+         "  blt r1, r0, swloop\n";
+}
+
+struct KernelDef {
+  const char *Name;
+  const char *Globals;
+  std::string (*Body)();
+  uint64_t InstrsPerIter;
+};
+
+const KernelDef Kernels[] = {
+    {"blackscholes", ".array prices 64 5 9 3 7 1\n", blackscholesBody, 13},
+    {"bodytrack", ".data likelihood 0\n.array weights 32 3 1 4 1 5\n",
+     bodytrackBody, 12},
+    {"canneal", ".data netmtx 0\n.array elements 64 2 4 6 8\n", cannealBody,
+     17},
+    {"dedup", ".data htmtx 0\n.array htable 128\n", dedupBody, 12},
+    {"ferret", ".data rankmtx 0\n.data bestrank 0\n", ferretBody, 11},
+    {"fluidanimate", ".array cellmtx 64\n.array cells 70 1 2 3\n",
+     fluidanimateBody, 14},
+    {"streamcluster", ".data costmtx 0\n.array points 48 4 8 15 16 23 42\n"
+                      ".data totalcost 0\n",
+     streamclusterBody, 11},
+    {"swaptions", ".array rates 16 7 3 9 2 8\n", swaptionsBody, 12},
+};
+
+const KernelDef *findKernel(const std::string &Name) {
+  for (const KernelDef &K : Kernels)
+    if (Name == K.Name)
+      return &K;
+  return nullptr;
+}
+
+} // namespace
+
+const std::vector<std::string> &drdebug::workloads::parsecNames() {
+  static const std::vector<std::string> Names = [] {
+    std::vector<std::string> V;
+    for (const KernelDef &K : Kernels)
+      V.push_back(K.Name);
+    return V;
+  }();
+  return Names;
+}
+
+Program drdebug::workloads::makeParsecAnalog(const std::string &Name,
+                                             const ParsecParams &Params) {
+  const KernelDef *K = findKernel(Name);
+  assert(K && "unknown PARSEC analog");
+  return assembleOrDie(scaffold(K->Globals, K->Body(), Params));
+}
+
+uint64_t drdebug::workloads::parsecApproxInstrsPerIter(const std::string &Name) {
+  const KernelDef *K = findKernel(Name);
+  assert(K && "unknown PARSEC analog");
+  return K->InstrsPerIter;
+}
+
+Program drdebug::workloads::makeParsecAnalogForLength(const std::string &Name,
+                                                      uint64_t MainInstrs,
+                                                      unsigned Threads) {
+  ParsecParams P;
+  P.Threads = Threads;
+  // Overshoot ~30% so the logger's (skip, length) window always fits.
+  P.Iters = MainInstrs / parsecApproxInstrsPerIter(Name) * 13 / 10 + 64;
+  return makeParsecAnalog(Name, P);
+}

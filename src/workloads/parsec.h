@@ -1,0 +1,53 @@
+//===- workloads/parsec.h - PARSEC-analog kernels ---------------*- C++ -*-===//
+//
+// Part of the DrDebug reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Eight synthetic 4-thread kernels standing in for the PARSEC 2.1
+/// programs of the paper's Figures 11/12/14 (blackscholes, bodytrack,
+/// canneal, dedup, ferret, fluidanimate, streamcluster, swaptions). Each
+/// kernel reproduces the sharing/synchronization *pattern* of its namesake
+/// (data-parallel, pipeline, lock-striped grid, Monte-Carlo, ...), which is
+/// what drives logging/replay cost; iteration counts are a free parameter
+/// so the benchmark harness can sweep region lengths.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRDEBUG_WORKLOADS_PARSEC_H
+#define DRDEBUG_WORKLOADS_PARSEC_H
+
+#include "arch/program.h"
+
+#include <string>
+#include <vector>
+
+namespace drdebug {
+namespace workloads {
+
+struct ParsecParams {
+  unsigned Threads = 4;   ///< total threads (main + workers)
+  uint64_t Iters = 20000; ///< kernel iterations per thread
+};
+
+/// Names of the eight analog benchmarks (5 "apps" + 3 "kernels").
+const std::vector<std::string> &parsecNames();
+
+/// Builds the analog program for \p Name (must be one of parsecNames()).
+Program makeParsecAnalog(const std::string &Name,
+                         const ParsecParams &Params = ParsecParams());
+
+/// Rough main-thread instructions executed per kernel iteration of \p Name
+/// (used to size Iters for a target region length).
+uint64_t parsecApproxInstrsPerIter(const std::string &Name);
+
+/// Convenience: a program whose main thread executes at least
+/// \p MainInstrs instructions inside the kernel.
+Program makeParsecAnalogForLength(const std::string &Name, uint64_t MainInstrs,
+                                  unsigned Threads = 4);
+
+} // namespace workloads
+} // namespace drdebug
+
+#endif // DRDEBUG_WORKLOADS_PARSEC_H

@@ -1,0 +1,246 @@
+//===- workloads/racebugs.cpp - Table 1 race-bug analogs ----------------------===//
+
+#include "workloads/racebugs.h"
+
+#include "arch/assembler.h"
+#include "vm/machine.h"
+#include "vm/scheduler.h"
+
+#include <sstream>
+
+using namespace drdebug;
+using namespace drdebug::workloads;
+
+namespace {
+
+/// Emits a busy-compute loop of \p Iters iterations clobbering only \p Reg
+/// and \p Tmp (used to inflate executions and simulate per-item work).
+void emitCompute(std::ostream &OS, const char *Reg, const char *Tmp,
+                 uint64_t Iters) {
+  static unsigned Counter = 0;
+  unsigned Id = Counter++;
+  OS << "  movi " << Reg << ", " << Iters << "\n"
+     << "compute" << Id << ":\n"
+     << "  muli " << Tmp << ", " << Reg << ", 3\n"
+     << "  addi " << Tmp << ", " << Tmp << ", 1\n"
+     << "  subi " << Reg << ", " << Reg << ", 1\n"
+     << "  bgt " << Reg << ", r0, compute" << Id << "\n";
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// pbzip2: destroy-vs-use race on the FIFO mutex
+//===----------------------------------------------------------------------===//
+
+Program drdebug::workloads::makePbzip2Analog(const RaceBugScale &Scale) {
+  std::ostringstream OS;
+  unsigned Blocks = Scale.Items;
+  OS << ".array queue " << Blocks << "\n"
+     << ".data qhead 0\n.data qtail 0\n"
+     << ".data mut 0\n"       // the fifo->mut mutex cell
+     << ".data mutvalid 1\n"  // whether fifo->mut still exists
+     << ".data done 0\n"      // blocks fully compressed
+     << ".func main\n";
+  emitCompute(OS, "r11", "r12", Scale.PreWork); // reading the input file
+  // Enqueue all blocks.
+  OS << "  lea r1, @queue\n"
+     << "  movi r2, 0\n"
+     << "fill:\n"
+     << "  addi r3, r2, 101\n" // block payload
+     << "  add r4, r1, r2\n"
+     << "  st r3, [r4]\n"
+     << "  addi r2, r2, 1\n"
+     << "  movi r5, " << Blocks << "\n"
+     << "  blt r2, r5, fill\n"
+     << "  sta r2, @qtail\n";
+  // Spawn compressor threads.
+  for (unsigned T = 0; T != Scale.Threads; ++T)
+    OS << "  spawn r" << (6 + T) << ", compressor, r0\n";
+  // Wait until all blocks are compressed ... then destroy the mutex. The
+  // race: a compressor may still be about to touch fifo->mut.
+  OS << "waitdone:\n"
+     << "  lda r1, @done\n"
+     << "  movi r2, " << Blocks << "\n"
+     << "  blt r1, r2, waitdone\n"
+     << "  sta r0, @mutvalid\n"; // <- ROOT CAUSE: fifo->mut destroyed
+  for (unsigned T = 0; T != Scale.Threads; ++T)
+    OS << "  join r" << (6 + T) << "\n";
+  OS << "  halt\n.endfunc\n";
+
+  // Compressor: repeatedly lock the fifo, pop a block, compress it, bump
+  // 'done'. Touching the mutex asserts it still exists — the crash site of
+  // the real bug.
+  OS << ".func compressor\n"
+     << "cloop:\n"
+     << "  lda r1, @mutvalid\n"
+     << "  assert r1\n" // <- SYMPTOM: fifo->mut used after destruction
+     << "  lea r2, @mut\n"
+     << "  lock r2\n"
+     << "  lda r3, @qhead\n"
+     << "  lda r4, @qtail\n"
+     << "  bge r3, r4, cempty\n"
+     << "  lea r5, @queue\n"
+     << "  add r5, r5, r3\n"
+     << "  ld r6, [r5]\n"
+     << "  addi r3, r3, 1\n"
+     << "  sta r3, @qhead\n"
+     << "  unlock r2\n";
+  emitCompute(OS, "r7", "r8", Scale.WorkPerItem); // compress the block
+  // After the final 'done' bump the main thread may destroy the mutex; the
+  // compressor touches fifo->mut once more when it loops back. The window
+  // is only two instructions wide, so the bug is rare under stress testing
+  // (which is what makes Maple's active scheduling worthwhile).
+  OS << "  lea r9, @done\n"
+     << "  movi r10, 1\n"
+     << "  atomicadd r11, [r9], r10\n"
+     << "  jmp cloop\n"
+     << "cempty:\n"
+     << "  unlock r2\n"
+     << "  ret\n.endfunc\n";
+  return assembleOrDie(OS.str());
+}
+
+//===----------------------------------------------------------------------===//
+// Aget: lost updates on the unsynchronized bwritten counter
+//===----------------------------------------------------------------------===//
+
+Program drdebug::workloads::makeAgetAnalog(const RaceBugScale &Scale) {
+  std::ostringstream OS;
+  unsigned Chunk = 64;
+  uint64_t Expected = static_cast<uint64_t>(Scale.Threads) * Scale.Items * Chunk;
+  OS << ".data bwritten 0\n"
+     << ".data sigseen 0\n"
+     << ".func main\n";
+  emitCompute(OS, "r11", "r12", Scale.PreWork); // parse URL, connect...
+  for (unsigned T = 0; T != Scale.Threads; ++T)
+    OS << "  spawn r" << (2 + T) << ", downloader, r0\n";
+  OS << "  spawn r10, sighandler, r0\n";
+  for (unsigned T = 0; T != Scale.Threads; ++T)
+    OS << "  join r" << (2 + T) << "\n";
+  OS << "  join r10\n"
+     << "  lda r1, @bwritten\n"
+     << "  movi r2, " << Expected << "\n"
+     << "  sub r3, r1, r2\n"
+     << "  movi r4, 1\n"
+     << "  beq r3, r0, agood\n"
+     << "  movi r4, 0\n"
+     << "agood:\n"
+     << "  assert r4\n" // <- SYMPTOM: bytes lost, resume offset wrong
+     << "  halt\n.endfunc\n";
+
+  // Downloader: bwritten += chunk, unsynchronized read-modify-write.
+  OS << ".func downloader\n"
+     << "  movi r1, " << Scale.Items << "\n"
+     << "dloop:\n";
+  emitCompute(OS, "r4", "r5", Scale.WorkPerItem); // receive the chunk
+  OS << "  lda r2, @bwritten\n"  // <- ROOT CAUSE: racy load
+     << "  addi r2, r2, " << Chunk << "\n"
+     << "  sta r2, @bwritten\n"  // <- racy store (lost update)
+     << "  subi r1, r1, 1\n"
+     << "  bgt r1, r0, dloop\n"
+     << "  ret\n.endfunc\n";
+
+  // Signal-handler thread: samples bwritten concurrently (the thread the
+  // real Aget races against).
+  OS << ".func sighandler\n"
+     << "  movi r1, " << Scale.Items << "\n"
+     << "sloop:\n"
+     << "  lda r2, @bwritten\n"
+     << "  sta r2, @sigseen\n"
+     << "  subi r1, r1, 1\n"
+     << "  bgt r1, r0, sloop\n"
+     << "  ret\n.endfunc\n";
+  return assembleOrDie(OS.str());
+}
+
+//===----------------------------------------------------------------------===//
+// Mozilla: destroy-vs-sweep race on the script filename table
+//===----------------------------------------------------------------------===//
+
+Program drdebug::workloads::makeMozillaAnalog(const RaceBugScale &Scale) {
+  std::ostringstream OS;
+  unsigned Entries = Scale.Items;
+  OS << ".array table " << Entries << "\n"
+     << ".data tableptr 0\n"
+     << ".func main\n";
+  // Build the hash table.
+  OS << "  lea r1, @table\n"
+     << "  movi r2, 0\n"
+     << "minit:\n"
+     << "  addi r3, r2, 7\n"
+     << "  add r4, r1, r2\n"
+     << "  st r3, [r4]\n"
+     << "  addi r2, r2, 1\n"
+     << "  movi r5, " << Entries << "\n"
+     << "  blt r2, r5, minit\n"
+     << "  sta r1, @tableptr\n"
+     << "  spawn r6, sweeper, r0\n";
+  emitCompute(OS, "r11", "r12", Scale.PreWork); // unrelated browser work
+  // Destroy the table while the sweeper may still be walking it.
+  OS << "  sta r0, @tableptr\n" // <- ROOT CAUSE: table destroyed
+     << "  join r6\n"
+     << "  halt\n.endfunc\n";
+
+  // Sweeper (js_SweepScriptFilenames): re-reads the table pointer per entry
+  // (check-then-use) and "crashes" if it became null mid-sweep.
+  OS << ".func sweeper\n"
+     << "  movi r1, 0\n"
+     << "swloop:\n"
+     << "  lda r2, @tableptr\n"
+     << "  movi r3, 1\n"
+     << "  bne r2, r0, swvalid\n"
+     << "  movi r3, 0\n"
+     << "swvalid:\n"
+     << "  assert r3\n" // <- SYMPTOM: null table dereference (crash)
+     << "  add r4, r2, r1\n"
+     << "  ld r5, [r4]\n";
+  // Per-entry sweep work sized so the destroy lands mid-sweep at any
+  // scale: the sweep takes about twice the main thread's pre-destroy work,
+  // so the crash reproduces reliably (the real Mozilla bug's signature),
+  // while early/late scheduler skew can still dodge it.
+  emitCompute(OS, "r6", "r7",
+              Scale.WorkPerItem + 2 * Scale.PreWork / (Entries ? Entries : 1));
+  OS << "  addi r1, r1, 1\n"
+     << "  movi r8, " << Entries << "\n"
+     << "  blt r1, r8, swloop\n"
+     << "  ret\n.endfunc\n";
+  return assembleOrDie(OS.str());
+}
+
+//===----------------------------------------------------------------------===//
+// Suite
+//===----------------------------------------------------------------------===//
+
+std::vector<RaceBug>
+drdebug::workloads::makeRaceBugSuite(const RaceBugScale &Scale) {
+  std::vector<RaceBug> Suite;
+  Suite.push_back({"pbzip2",
+                   "data race on fifo->mut between the main thread and the "
+                   "compressor threads",
+                   "[31]", makePbzip2Analog(Scale)});
+  Suite.push_back({"Aget",
+                   "data race on bwritten between downloader threads and "
+                   "the signal handler thread",
+                   "[29]", makeAgetAnalog(Scale)});
+  Suite.push_back({"mozilla",
+                   "data race on rt->scriptFilenameTable: one thread "
+                   "destroys the table, another crashes sweeping it",
+                   "[12]", makeMozillaAnalog(Scale)});
+  return Suite;
+}
+
+std::optional<uint64_t>
+drdebug::workloads::findFailingSeed(const Program &Prog, uint64_t MaxSeed,
+                                    uint64_t MaxSteps) {
+  for (uint64_t Seed = 1; Seed <= MaxSeed; ++Seed) {
+    RandomScheduler Sched(Seed, 1, 3);
+    DefaultSyscalls World(Seed);
+    Machine M(Prog);
+    M.setScheduler(&Sched);
+    M.setSyscalls(&World);
+    if (M.run(MaxSteps) == Machine::StopReason::AssertFailed)
+      return Seed;
+  }
+  return std::nullopt;
+}

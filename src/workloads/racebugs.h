@@ -1,0 +1,73 @@
+//===- workloads/racebugs.h - Table 1 race-bug analogs ----------*- C++ -*-===//
+//
+// Part of the DrDebug reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Analogs of the paper's three real concurrency bugs (Table 1):
+///
+///  - pbzip2: a data race on fifo->mut between the main thread and the
+///    compressor threads — the main thread destroys the queue mutex while a
+///    compressor can still be about to use it.
+///  - Aget:   a data race on bwritten between downloader threads (and the
+///    signal-handler thread) — unsynchronized read-modify-write updates
+///    lose increments.
+///  - Mozilla: one thread destroys rt->scriptFilenameTable while another
+///    crashes sweeping it.
+///
+/// Each analog reproduces the same bug *class* (destroy-vs-use on a mutex,
+/// lost update, destroy-vs-sweep on a table), fails through an Assert at
+/// the same structural point the real bug crashes, and is schedule-
+/// dependent: some scheduler seeds expose it, others do not — which is what
+/// makes Maple's active scheduling and pinball capture meaningful.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRDEBUG_WORKLOADS_RACEBUGS_H
+#define DRDEBUG_WORKLOADS_RACEBUGS_H
+
+#include "arch/program.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace drdebug {
+namespace workloads {
+
+/// Size knobs for the race-bug analogs. PreWork inflates the execution
+/// before the buggy section (the paper's whole-program regions are up to
+/// ~30M instructions; buggy regions are much smaller).
+struct RaceBugScale {
+  uint64_t PreWork = 200;   ///< pre-bug compute iterations in main
+  unsigned Threads = 2;     ///< worker thread count
+  unsigned Items = 8;       ///< blocks / chunks / table entries
+  unsigned WorkPerItem = 6; ///< compute iterations per item
+};
+
+/// A ready-to-run buggy program with its Table 1 metadata.
+struct RaceBug {
+  std::string Name;
+  std::string Description;
+  std::string BugSource;
+  Program Prog;
+};
+
+Program makePbzip2Analog(const RaceBugScale &Scale = RaceBugScale());
+Program makeAgetAnalog(const RaceBugScale &Scale = RaceBugScale());
+Program makeMozillaAnalog(const RaceBugScale &Scale = RaceBugScale());
+
+/// The full Table 1 suite.
+std::vector<RaceBug> makeRaceBugSuite(const RaceBugScale &Scale = RaceBugScale());
+
+/// Scans RandomScheduler seeds until \p Prog fails its assertion.
+/// \returns the first failing seed in [1, MaxSeed], or nullopt.
+std::optional<uint64_t> findFailingSeed(const Program &Prog,
+                                        uint64_t MaxSeed = 200,
+                                        uint64_t MaxSteps = 5'000'000);
+
+} // namespace workloads
+} // namespace drdebug
+
+#endif // DRDEBUG_WORKLOADS_RACEBUGS_H

@@ -1,0 +1,141 @@
+//===- workloads/specomp.cpp - SPEC OMP-analog kernels ------------------------===//
+
+#include "workloads/specomp.h"
+
+#include "arch/assembler.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace drdebug;
+using namespace drdebug::workloads;
+
+namespace {
+
+/// Shape parameters giving each analog a distinct call/save profile.
+struct SpecDef {
+  const char *Name;
+  unsigned Helpers;   ///< guarded helper calls per iteration
+  unsigned SavedRegs; ///< callee-saved registers per helper (2..3)
+  unsigned GuardMod;  ///< helper h fires when i % (GuardMod + h) == 0
+  unsigned ExtraOps;  ///< extra arithmetic per helper body / iteration
+  uint64_t InstrsPerIter; ///< rough main-thread cost per outer iteration
+};
+
+const SpecDef Defs[] = {
+    {"ammp", 2, 2, 3, 2, 42},    {"apsi", 1, 3, 2, 4, 38},
+    {"galgel", 3, 2, 4, 1, 48},  {"mgrid", 2, 3, 2, 3, 46},
+    {"wupwise", 1, 2, 5, 5, 40},
+};
+
+const SpecDef *findDef(const std::string &Name) {
+  for (const SpecDef &D : Defs)
+    if (Name == D.Name)
+      return &D;
+  return nullptr;
+}
+
+std::string buildSource(const SpecDef &D, unsigned Threads, uint64_t Iters) {
+  std::ostringstream OS;
+  OS << ".array data 32 3 1 4 1 5 9 2 6\n.data acc 0\n"
+     << ".func main\n"
+     << "  movi r1, " << Iters << "\n";
+  for (unsigned T = 1; T < Threads; ++T)
+    OS << "  spawn r" << (1 + T) << ", kernel, r1\n";
+  OS << "  mov r0, r1\n"
+     << "  call kernel\n";
+  for (unsigned T = 1; T < Threads; ++T)
+    OS << "  join r" << (1 + T) << "\n";
+  OS << "  lda r1, @acc\n"
+     << "  syswrite r1\n"
+     << "  halt\n.endfunc\n";
+
+  // The kernel: carried values r2/r3 stay live across every helper call, so
+  // their later uses flow through the helpers' save/restore pairs.
+  OS << ".func kernel\n"
+     << "  movi r1, 0\n"
+     << "  movi r13, 0\n"
+     << "  movi r8, 0\n"
+     << "kloop:\n"
+     // The access pattern depends on the accumulated state (as in the real
+     // kernels' indirect array accesses), so a slice at any late load
+     // sweeps the computation history — the paper's slices behave the same.
+     << "  andi r9, r8, 31\n"
+     << "  lea r10, @data\n"
+     << "  add r10, r10, r9\n"
+     << "  ld r2, [r10]\n"     // carried value A (a load: slice target)
+     << "  muli r3, r1, 7\n"
+     << "  addi r3, r3, 3\n";  // carried value B
+  for (unsigned H = 0; H != D.Helpers; ++H) {
+    OS << "  modi r4, r1, " << (D.GuardMod + H) << "\n"
+       << "  bne r4, r13, skip" << H << "\n"
+       << "  call helper" << H << "\n"
+       << "  add r8, r8, r5\n"
+       << "skip" << H << ":\n";
+  }
+  // Uses of the carried values *after* the calls: these dependences should
+  // reach the original definitions, not the helpers' restores.
+  OS << "  add r6, r2, r3\n"
+     << "  add r8, r8, r6\n"
+     << "  st r6, [r10]\n"; // write back: later iterations' loads depend
+  for (unsigned E = 0; E != D.ExtraOps; ++E)
+    OS << "  muli r7, r6, " << (3 + E) << "\n"
+       << "  xori r7, r7, " << (E + 1) << "\n";
+  OS << "  addi r1, r1, 1\n"
+     << "  blt r1, r0, kloop\n"
+     << "  lea r9, @acc\n"
+     << "  atomicadd r10, [r9], r8\n"
+     << "  ret\n.endfunc\n";
+
+  // Helpers: classic prologue/epilogue around clobbering compute.
+  for (unsigned H = 0; H != D.Helpers; ++H) {
+    OS << ".func helper" << H << "\n";
+    for (unsigned S = 0; S != D.SavedRegs; ++S)
+      OS << "  push r" << (2 + S) << "\n";
+    OS << "  muli r5, r2, " << (H + 2) << "\n";
+    for (unsigned E = 0; E != D.ExtraOps; ++E)
+      OS << "  addi r2, r5, " << E << "\n"
+         << "  xori r3, r2, 5\n"
+         << "  add r5, r5, r3\n";
+    OS << "  andi r5, r5, 4095\n";
+    for (unsigned S = D.SavedRegs; S-- > 0;)
+      OS << "  pop r" << (2 + S) << "\n";
+    OS << "  ret\n.endfunc\n";
+  }
+  return OS.str();
+}
+
+} // namespace
+
+const std::vector<std::string> &drdebug::workloads::specOmpNames() {
+  static const std::vector<std::string> Names = [] {
+    std::vector<std::string> V;
+    for (const SpecDef &D : Defs)
+      V.push_back(D.Name);
+    return V;
+  }();
+  return Names;
+}
+
+Program drdebug::workloads::makeSpecOmpAnalog(const std::string &Name,
+                                              unsigned Threads,
+                                              uint64_t Iters) {
+  const SpecDef *D = findDef(Name);
+  assert(D && "unknown SPEC OMP analog");
+  return assembleOrDie(buildSource(*D, Threads, Iters));
+}
+
+uint64_t
+drdebug::workloads::specOmpApproxInstrsPerIter(const std::string &Name) {
+  const SpecDef *D = findDef(Name);
+  assert(D && "unknown SPEC OMP analog");
+  return D->InstrsPerIter;
+}
+
+Program drdebug::workloads::makeSpecOmpAnalogForLength(const std::string &Name,
+                                                       uint64_t MainInstrs,
+                                                       unsigned Threads) {
+  uint64_t Iters =
+      MainInstrs / specOmpApproxInstrsPerIter(Name) * 13 / 10 + 32;
+  return makeSpecOmpAnalog(Name, Threads, Iters);
+}

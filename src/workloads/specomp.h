@@ -1,0 +1,50 @@
+//===- workloads/specomp.h - SPEC OMP-analog kernels ------------*- C++ -*-===//
+//
+// Part of the DrDebug reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Five call-dense numeric kernels standing in for the SPEC OMP 2001
+/// programs of the paper's Figure 13 (ammp, apsi, galgel, mgrid, wupwise).
+/// Their defining property for this reproduction: loops keep live values in
+/// callee-saved registers across (often guarded) calls to small helper
+/// functions with push/pop prologues — the exact pattern that creates the
+/// spurious save/restore data-dependence chains of §5.2. Slices computed
+/// with pruning disabled pick up helper prologues and their guarding
+/// predicates; pruning removes them, reproducing Figure 13's single-digit
+/// percentage slice-size reductions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRDEBUG_WORKLOADS_SPECOMP_H
+#define DRDEBUG_WORKLOADS_SPECOMP_H
+
+#include "arch/program.h"
+
+#include <string>
+#include <vector>
+
+namespace drdebug {
+namespace workloads {
+
+/// Names of the five analog benchmarks.
+const std::vector<std::string> &specOmpNames();
+
+/// Builds the analog for \p Name with \p Threads threads, each running
+/// \p Iters outer iterations.
+Program makeSpecOmpAnalog(const std::string &Name, unsigned Threads = 2,
+                          uint64_t Iters = 2000);
+
+/// Rough main-thread instructions per outer iteration of \p Name.
+uint64_t specOmpApproxInstrsPerIter(const std::string &Name);
+
+/// Convenience: sized so the main thread executes at least \p MainInstrs
+/// instructions in its kernel loop.
+Program makeSpecOmpAnalogForLength(const std::string &Name,
+                                   uint64_t MainInstrs, unsigned Threads = 2);
+
+} // namespace workloads
+} // namespace drdebug
+
+#endif // DRDEBUG_WORKLOADS_SPECOMP_H

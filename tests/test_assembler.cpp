@@ -1,0 +1,306 @@
+//===- tests/test_assembler.cpp - Assembler unit tests ----------------------===//
+
+#include "arch/assembler.h"
+#include "arch/disasm.h"
+
+#include <gtest/gtest.h>
+
+using namespace drdebug;
+
+namespace {
+
+Program mustAssemble(const std::string &Text) {
+  Program P;
+  std::string Error;
+  bool Ok = assemble(Text, P, Error);
+  EXPECT_TRUE(Ok) << Error;
+  return P;
+}
+
+std::string mustFail(const std::string &Text) {
+  Program P;
+  std::string Error;
+  bool Ok = assemble(Text, P, Error);
+  EXPECT_FALSE(Ok) << "assembly unexpectedly succeeded";
+  return Error;
+}
+
+TEST(Assembler, MinimalProgram) {
+  Program P = mustAssemble(".func main\n  halt\n.endfunc\n");
+  ASSERT_EQ(P.Funcs.size(), 1u);
+  EXPECT_EQ(P.Funcs[0].Name, "main");
+  ASSERT_EQ(P.Instrs.size(), 1u);
+  EXPECT_EQ(P.Instrs[0].Op, Opcode::Halt);
+  EXPECT_EQ(P.entryOf("main"), 0u);
+}
+
+TEST(Assembler, SourceTextRetained) {
+  std::string Src = ".func main\n  halt\n.endfunc\n";
+  Program P = mustAssemble(Src);
+  EXPECT_EQ(P.SourceText, Src);
+}
+
+TEST(Assembler, RegistersAndAliases) {
+  Program P = mustAssemble(".func main\n"
+                           "  mov r1, r2\n"
+                           "  mov sp, fp\n"
+                           "  mov r15, r14\n"
+                           "  halt\n.endfunc\n");
+  EXPECT_EQ(P.Instrs[1].Rd, RegSp);
+  EXPECT_EQ(P.Instrs[1].Ra, RegFp);
+  EXPECT_EQ(P.Instrs[2].Rd, 15);
+  EXPECT_EQ(P.Instrs[2].Ra, 14);
+}
+
+TEST(Assembler, ImmediateForms) {
+  Program P = mustAssemble(".func main\n"
+                           "  movi r1, -42\n"
+                           "  movi r2, 0x10\n"
+                           "  addi r3, r1, 7\n"
+                           "  halt\n.endfunc\n");
+  EXPECT_EQ(P.Instrs[0].Imm, -42);
+  EXPECT_EQ(P.Instrs[1].Imm, 0x10);
+  EXPECT_EQ(P.Instrs[2].Imm, 7);
+}
+
+TEST(Assembler, MemoryOperands) {
+  Program P = mustAssemble(".func main\n"
+                           "  ld r1, [r2]\n"
+                           "  ld r1, [r2+8]\n"
+                           "  st r1, [r2-3]\n"
+                           "  halt\n.endfunc\n");
+  EXPECT_EQ(P.Instrs[0].Imm, 0);
+  EXPECT_EQ(P.Instrs[1].Imm, 8);
+  EXPECT_EQ(P.Instrs[1].Ra, 2);
+  EXPECT_EQ(P.Instrs[2].Imm, -3);
+}
+
+TEST(Assembler, GlobalsGetSequentialAddresses) {
+  Program P = mustAssemble(".data a 5\n"
+                           ".array buf 4\n"
+                           ".data b -1\n"
+                           ".func main\n  halt\n.endfunc\n");
+  const GlobalVar *A = P.findGlobal("a");
+  const GlobalVar *Buf = P.findGlobal("buf");
+  const GlobalVar *B = P.findGlobal("b");
+  ASSERT_TRUE(A && Buf && B);
+  EXPECT_EQ(A->Addr, layout::GlobalBase);
+  EXPECT_EQ(Buf->Addr, layout::GlobalBase + 1);
+  EXPECT_EQ(Buf->Size, 4u);
+  EXPECT_EQ(B->Addr, layout::GlobalBase + 5);
+  ASSERT_EQ(A->Init.size(), 1u);
+  EXPECT_EQ(A->Init[0], 5);
+}
+
+TEST(Assembler, ArrayInitializers) {
+  Program P = mustAssemble(".array tab 3 10 20 30\n"
+                           ".func main\n  halt\n.endfunc\n");
+  const GlobalVar *Tab = P.findGlobal("tab");
+  ASSERT_TRUE(Tab);
+  ASSERT_EQ(Tab->Init.size(), 3u);
+  EXPECT_EQ(Tab->Init[2], 30);
+}
+
+TEST(Assembler, GlobalReferencesResolve) {
+  Program P = mustAssemble(".data x 1\n"
+                           ".array v 8\n"
+                           ".func main\n"
+                           "  lea r1, @x\n"
+                           "  lea r2, @v+3\n"
+                           "  lda r3, @x\n"
+                           "  sta r3, @v+1\n"
+                           "  halt\n.endfunc\n");
+  uint64_t XAddr = P.findGlobal("x")->Addr;
+  uint64_t VAddr = P.findGlobal("v")->Addr;
+  EXPECT_EQ(P.Instrs[0].Imm, static_cast<int64_t>(XAddr));
+  EXPECT_EQ(P.Instrs[1].Imm, static_cast<int64_t>(VAddr + 3));
+  EXPECT_EQ(P.Instrs[2].Imm, static_cast<int64_t>(XAddr));
+  EXPECT_EQ(P.Instrs[3].Imm, static_cast<int64_t>(VAddr + 1));
+}
+
+TEST(Assembler, LabelsAndBranches) {
+  Program P = mustAssemble(".func main\n"
+                           "  movi r1, 3\n"
+                           "loop:\n"
+                           "  subi r1, r1, 1\n"
+                           "  bne r1, r0, loop\n"
+                           "  jmp done\n"
+                           "done:\n"
+                           "  halt\n.endfunc\n");
+  EXPECT_EQ(P.Instrs[2].Imm, 1); // loop label
+  EXPECT_EQ(P.Instrs[3].Imm, 4); // done label
+}
+
+TEST(Assembler, LabelOnSameLineAsInstruction) {
+  Program P = mustAssemble(".func main\n"
+                           "top: movi r1, 1\n"
+                           "  jmp top\n"
+                           ".endfunc\n");
+  EXPECT_EQ(P.Instrs[1].Imm, 0);
+}
+
+TEST(Assembler, FunctionReferences) {
+  Program P = mustAssemble(".func main\n"
+                           "  call helper\n"
+                           "  lea r1, &helper\n"
+                           "  spawn r2, helper, r3\n"
+                           "  halt\n.endfunc\n"
+                           ".func helper\n  ret\n.endfunc\n");
+  uint64_t Entry = P.entryOf("helper");
+  EXPECT_EQ(P.Instrs[0].Imm, static_cast<int64_t>(Entry));
+  EXPECT_EQ(P.Instrs[1].Imm, static_cast<int64_t>(Entry));
+  EXPECT_EQ(P.Instrs[2].Imm, static_cast<int64_t>(Entry));
+  EXPECT_EQ(P.Instrs[2].Rd, 2);
+  EXPECT_EQ(P.Instrs[2].Ra, 3);
+}
+
+TEST(Assembler, ForwardReferences) {
+  Program P = mustAssemble(".func main\n"
+                           "  jmp fwd\n"
+                           "  nop\n"
+                           "fwd:\n"
+                           "  halt\n.endfunc\n");
+  EXPECT_EQ(P.Instrs[0].Imm, 2);
+}
+
+TEST(Assembler, CommentsAndBlankLines) {
+  Program P = mustAssemble("; leading comment\n"
+                           "\n"
+                           ".func main  ; trailing\n"
+                           "  nop # hash comment\n"
+                           "  halt\n"
+                           ".endfunc\n");
+  EXPECT_EQ(P.Instrs.size(), 2u);
+}
+
+TEST(Assembler, LineNumbersRecorded) {
+  Program P = mustAssemble(".func main\n" // line 1
+                           "  nop\n"      // line 2
+                           "  halt\n"     // line 3
+                           ".endfunc\n");
+  EXPECT_EQ(P.Instrs[0].Line, 2u);
+  EXPECT_EQ(P.Instrs[1].Line, 3u);
+}
+
+TEST(Assembler, FunctionLookupHelpers) {
+  Program P = mustAssemble(".func main\n  nop\n  halt\n.endfunc\n"
+                           ".func f\n  ret\n.endfunc\n");
+  const Function *F = P.functionAt(2);
+  ASSERT_TRUE(F);
+  EXPECT_EQ(F->Name, "f");
+  EXPECT_EQ(P.functionAt(99), nullptr);
+  EXPECT_LT(P.findFunction("f"), 2);
+  EXPECT_EQ(P.findFunction("nope"), -1);
+}
+
+// --- Error cases ---------------------------------------------------------
+
+TEST(AssemblerErrors, UnknownInstruction) {
+  std::string E = mustFail(".func main\n  frobnicate r1\n.endfunc\n");
+  EXPECT_NE(E.find("line 2"), std::string::npos) << E;
+  EXPECT_NE(E.find("unknown instruction"), std::string::npos) << E;
+}
+
+TEST(AssemblerErrors, BadRegister) {
+  mustFail(".func main\n  mov r99, r1\n  halt\n.endfunc\n");
+  mustFail(".func main\n  mov rx, r1\n  halt\n.endfunc\n");
+}
+
+TEST(AssemblerErrors, WrongOperandCount) {
+  std::string E = mustFail(".func main\n  add r1, r2\n  halt\n.endfunc\n");
+  EXPECT_NE(E.find("expects 3"), std::string::npos) << E;
+}
+
+TEST(AssemblerErrors, UnknownLabel) {
+  std::string E = mustFail(".func main\n  jmp nowhere\n.endfunc\n");
+  EXPECT_NE(E.find("unknown label"), std::string::npos) << E;
+}
+
+TEST(AssemblerErrors, UnknownGlobal) {
+  mustFail(".func main\n  lea r1, @ghost\n  halt\n.endfunc\n");
+}
+
+TEST(AssemblerErrors, DuplicateLabel) {
+  mustFail(".func main\na:\n  nop\na:\n  halt\n.endfunc\n");
+}
+
+TEST(AssemblerErrors, DuplicateGlobal) {
+  mustFail(".data x 1\n.data x 2\n.func main\n  halt\n.endfunc\n");
+}
+
+TEST(AssemblerErrors, NoMain) {
+  std::string E = mustFail(".func f\n  ret\n.endfunc\n");
+  EXPECT_NE(E.find("main"), std::string::npos) << E;
+}
+
+TEST(AssemblerErrors, InstructionOutsideFunction) {
+  mustFail("  nop\n.func main\n  halt\n.endfunc\n");
+}
+
+TEST(AssemblerErrors, MissingEndfunc) {
+  mustFail(".func main\n  halt\n");
+}
+
+TEST(AssemblerErrors, EmptyFunction) {
+  mustFail(".func main\n.endfunc\n");
+}
+
+TEST(AssemblerErrors, NestedFunc) {
+  mustFail(".func main\n.func inner\n  halt\n.endfunc\n.endfunc\n");
+}
+
+TEST(AssemblerErrors, TooManyArrayInitializers) {
+  mustFail(".array t 2 1 2 3\n.func main\n  halt\n.endfunc\n");
+}
+
+TEST(AssemblerErrors, BadMemoryOperand) {
+  mustFail(".func main\n  ld r1, r2\n  halt\n.endfunc\n");
+}
+
+// --- Disassembler --------------------------------------------------------
+
+TEST(Disasm, RendersCoreForms) {
+  Program P = mustAssemble(".data g 0\n"
+                           ".func main\n"
+                           "  add r1, r2, r3\n"
+                           "  movi r4, -7\n"
+                           "  ld r5, [r6+2]\n"
+                           "  push sp\n"
+                           "  halt\n.endfunc\n");
+  EXPECT_EQ(disassemble(P.Instrs[0]), "add r1, r2, r3");
+  EXPECT_EQ(disassemble(P.Instrs[1]), "movi r4, -7");
+  EXPECT_EQ(disassemble(P.Instrs[2]), "ld r5, [r6+2]");
+  EXPECT_EQ(disassemble(P.Instrs[3]), "push sp");
+  EXPECT_EQ(disassemble(P.Instrs[4]), "halt");
+}
+
+TEST(Disasm, DisassembleAtIncludesFunction) {
+  Program P = mustAssemble(".func main\n  nop\n  halt\n.endfunc\n");
+  std::string S = disassembleAt(P, 1);
+  EXPECT_NE(S.find("<main+1>"), std::string::npos) << S;
+  EXPECT_NE(S.find("halt"), std::string::npos) << S;
+}
+
+/// Property: every instruction in a representative program disassembles and
+/// the mnemonic matches its opcode table name.
+TEST(Disasm, MnemonicMatchesOpcode) {
+  Program P = mustAssemble(".data g 1\n"
+                           ".func main\n"
+                           "  movi r1, 1\n  mov r2, r1\n  lea r3, @g\n"
+                           "  add r4, r1, r2\n  subi r5, r4, 1\n"
+                           "  neg r6, r5\n  not r7, r6\n"
+                           "  ld r8, [r3]\n  st r8, [r3+1]\n"
+                           "  lda r9, @g\n  sta r9, @g\n"
+                           "  push r1\n  pop r2\n"
+                           "  atomicadd r10, [r3], r1\n"
+                           "  sysread r11\n  sysrand r11\n  systime r11\n"
+                           "  movi r12, 4\n  sysalloc r11, r12\n"
+                           "  syswrite r1\n  assert r1\n"
+                           "  halt\n.endfunc\n");
+  for (const Instruction &I : P.Instrs) {
+    std::string S = disassemble(I);
+    EXPECT_EQ(S.substr(0, S.find_first_of(" ")), opcodeName(I.Op));
+  }
+}
+
+} // namespace

@@ -1,0 +1,180 @@
+//===- tests/test_assembler_more.cpp - Assembler robustness tests -------------===//
+
+#include "test_util.h"
+#include "workloads/figure5.h"
+#include "workloads/parsec.h"
+#include "workloads/racebugs.h"
+#include "workloads/specomp.h"
+
+#include <gtest/gtest.h>
+
+using namespace drdebug;
+using namespace drdebug::testutil;
+using namespace drdebug::workloads;
+
+namespace {
+
+/// Property: a Program's retained SourceText reassembles to the identical
+/// instruction stream — the invariant pinball portability rests on.
+void expectRoundTrip(const Program &P) {
+  Program Q;
+  std::string Error;
+  ASSERT_TRUE(assemble(P.SourceText, Q, Error)) << Error;
+  ASSERT_EQ(Q.Instrs.size(), P.Instrs.size());
+  for (size_t I = 0; I != P.Instrs.size(); ++I) {
+    EXPECT_EQ(Q.Instrs[I].Op, P.Instrs[I].Op) << "instr " << I;
+    EXPECT_EQ(Q.Instrs[I].Rd, P.Instrs[I].Rd) << "instr " << I;
+    EXPECT_EQ(Q.Instrs[I].Ra, P.Instrs[I].Ra) << "instr " << I;
+    EXPECT_EQ(Q.Instrs[I].Rb, P.Instrs[I].Rb) << "instr " << I;
+    EXPECT_EQ(Q.Instrs[I].Imm, P.Instrs[I].Imm) << "instr " << I;
+    EXPECT_EQ(Q.Instrs[I].Line, P.Instrs[I].Line) << "instr " << I;
+  }
+  ASSERT_EQ(Q.Globals.size(), P.Globals.size());
+  for (size_t I = 0; I != P.Globals.size(); ++I) {
+    EXPECT_EQ(Q.Globals[I].Addr, P.Globals[I].Addr);
+    EXPECT_EQ(Q.Globals[I].Init, P.Globals[I].Init);
+  }
+}
+
+TEST(AssemblerRoundTrip, Figure5) { expectRoundTrip(makeFigure5(nullptr)); }
+
+TEST(AssemblerRoundTrip, RaceBugSuite) {
+  for (const RaceBug &Bug : makeRaceBugSuite())
+    expectRoundTrip(Bug.Prog);
+}
+
+TEST(AssemblerRoundTrip, AllParsecAnalogs) {
+  for (const std::string &Name : parsecNames())
+    expectRoundTrip(makeParsecAnalog(Name, {4, 100}));
+}
+
+TEST(AssemblerRoundTrip, AllSpecOmpAnalogs) {
+  for (const std::string &Name : specOmpNames())
+    expectRoundTrip(makeSpecOmpAnalog(Name, 2, 50));
+}
+
+// --- Tokenization torture --------------------------------------------------
+
+TEST(AssemblerTorture, WhitespaceVariations) {
+  Program P = assembleOrDie(".func main\n"
+                            "\tmovi\tr1,\t5\n"       // tabs
+                            "  add   r2 , r1 ,r1\n"  // spaces around commas
+                            "   halt\n"
+                            ".endfunc\n");
+  EXPECT_EQ(P.Instrs[0].Imm, 5);
+  EXPECT_EQ(P.Instrs[1].Ra, 1);
+  EXPECT_EQ(P.Instrs[1].Rb, 1);
+}
+
+TEST(AssemblerTorture, MultipleLabelsOnOneInstruction) {
+  Program P = assembleOrDie(".func main\n"
+                            "a: b: c: nop\n"
+                            "  jmp a\n"
+                            ".endfunc\n");
+  EXPECT_EQ(P.Instrs[1].Imm, 0);
+  // All three labels resolve to the same pc.
+  Program Q = assembleOrDie(".func main\n"
+                            "a: b: c: nop\n"
+                            "  jmp c\n"
+                            ".endfunc\n");
+  EXPECT_EQ(Q.Instrs[1].Imm, 0);
+}
+
+TEST(AssemblerTorture, CommentEverywhere) {
+  Program P = assembleOrDie("; top\n"
+                            ".data g 1 ; trailing on data\n"
+                            ".func main ; on func\n"
+                            "x: ; label-only line with comment\n"
+                            "  nop;packed\n"
+                            "  halt # hash style\n"
+                            ".endfunc ; end\n");
+  EXPECT_EQ(P.Instrs.size(), 2u);
+}
+
+TEST(AssemblerTorture, NegativeAndHexImmediates) {
+  Program P = assembleOrDie(".func main\n"
+                            "  movi r1, -0x10\n"
+                            "  movi r2, 0x7fffffffffffffff\n"
+                            "  movi r3, -9223372036854775807\n"
+                            "  halt\n.endfunc\n");
+  EXPECT_EQ(P.Instrs[0].Imm, -16);
+  EXPECT_EQ(P.Instrs[1].Imm, INT64_MAX);
+  EXPECT_EQ(P.Instrs[2].Imm, INT64_MIN + 1);
+}
+
+TEST(AssemblerTorture, GlobalOffsetsNegative) {
+  Program P = assembleOrDie(".array v 8\n"
+                            ".func main\n"
+                            "  lea r1, @v+7\n"
+                            "  lea r2, @v-1\n" // one before: legal address math
+                            "  halt\n.endfunc\n");
+  uint64_t Base = P.findGlobal("v")->Addr;
+  EXPECT_EQ(P.Instrs[0].Imm, static_cast<int64_t>(Base) + 7);
+  EXPECT_EQ(P.Instrs[1].Imm, static_cast<int64_t>(Base) - 1);
+}
+
+TEST(AssemblerTorture, FunctionNameAsJumpTarget) {
+  // A function name used as a plain label target (tail-call style).
+  Program P = assembleOrDie(".func main\n"
+                            "  jmp helper\n"
+                            ".endfunc\n"
+                            ".func helper\n"
+                            "  halt\n.endfunc\n");
+  EXPECT_EQ(P.Instrs[0].Imm, static_cast<int64_t>(P.entryOf("helper")));
+}
+
+// --- Error reporting quality ------------------------------------------------
+
+TEST(AssemblerErrorsMore, ReportsCorrectLineNumbers) {
+  Program P;
+  std::string Error;
+  ASSERT_FALSE(assemble(".func main\n"  // 1
+                        "  nop\n"       // 2
+                        "  nop\n"       // 3
+                        "  frob r1\n"   // 4 <- error here
+                        "  halt\n.endfunc\n",
+                        P, Error));
+  EXPECT_NE(Error.find("line 4"), std::string::npos) << Error;
+}
+
+TEST(AssemblerErrorsMore, ForwardReferenceToMissingLabelNamesIt) {
+  Program P;
+  std::string Error;
+  ASSERT_FALSE(assemble(".func main\n  jmp ghost\n  halt\n.endfunc\n", P,
+                        Error));
+  EXPECT_NE(Error.find("ghost"), std::string::npos) << Error;
+}
+
+TEST(AssemblerErrorsMore, ArrayNeedsPositiveSize) {
+  Program P;
+  std::string Error;
+  EXPECT_FALSE(assemble(".array v 0\n.func main\n  halt\n.endfunc\n", P,
+                        Error));
+  EXPECT_FALSE(assemble(".array v -3\n.func main\n  halt\n.endfunc\n", P,
+                        Error));
+}
+
+TEST(AssemblerErrorsMore, LabelCollidingWithGlobal) {
+  Program P;
+  std::string Error;
+  EXPECT_FALSE(assemble(".data x 1\n.func main\nx:\n  halt\n.endfunc\n", P,
+                        Error))
+      << "a label may not shadow a global name";
+}
+
+TEST(AssemblerErrorsMore, FunctionCollidingWithGlobal) {
+  Program P;
+  std::string Error;
+  EXPECT_FALSE(
+      assemble(".data main 1\n.func main\n  halt\n.endfunc\n", P, Error));
+}
+
+TEST(AssemblerErrorsMore, DirectiveInsideFunction) {
+  Program P;
+  std::string Error;
+  EXPECT_FALSE(assemble(".func main\n.data g 1\n  halt\n.endfunc\n", P,
+                        Error));
+  EXPECT_NE(Error.find("inside .func"), std::string::npos) << Error;
+}
+
+} // namespace

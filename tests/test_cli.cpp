@@ -1,0 +1,143 @@
+//===- tests/test_cli.cpp - drdebug CLI binary tests --------------------------===//
+//
+// Drives the shippable `drdebug` executable end-to-end: scripted sessions
+// over a program file and the --demo workflow. The binary's path is
+// injected by CMake (DRDEBUG_CLI_PATH).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/figure5.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#ifndef DRDEBUG_CLI_PATH
+#define DRDEBUG_CLI_PATH "drdebug"
+#endif
+
+using namespace drdebug;
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Runs the CLI with arguments, returns (exit code, combined output).
+std::pair<int, std::string> runCli(const std::string &Args) {
+  std::string Cmd = std::string(DRDEBUG_CLI_PATH) + " " + Args + " 2>&1";
+  FILE *Pipe = popen(Cmd.c_str(), "r");
+  EXPECT_NE(Pipe, nullptr);
+  std::string Output;
+  char Buf[512];
+  while (fgets(Buf, sizeof(Buf), Pipe))
+    Output += Buf;
+  int Status = pclose(Pipe);
+  return {WEXITSTATUS(Status), Output};
+}
+
+struct TempFiles {
+  fs::path Dir;
+  TempFiles() {
+    Dir = fs::temp_directory_path() / ("drdebug_cli_" + std::to_string(getpid()));
+    fs::create_directories(Dir);
+  }
+  ~TempFiles() { fs::remove_all(Dir); }
+  fs::path write(const char *Name, const std::string &Content) {
+    fs::path P = Dir / Name;
+    std::ofstream OS(P);
+    OS << Content;
+    return P;
+  }
+};
+
+TEST(Cli, HelpExitsZero) {
+  auto [Rc, Out] = runCli("--help");
+  EXPECT_EQ(Rc, 0);
+  EXPECT_NE(Out.find("record region"), std::string::npos);
+  EXPECT_NE(Out.find("slice fail"), std::string::npos);
+}
+
+TEST(Cli, NoArgumentsPrintsUsage) {
+  auto [Rc, Out] = runCli("");
+  EXPECT_EQ(Rc, 2);
+  EXPECT_NE(Out.find("usage:"), std::string::npos);
+}
+
+TEST(Cli, MissingProgramFileFails) {
+  auto [Rc, Out] = runCli("/nonexistent/prog.asm -x /dev/null");
+  EXPECT_EQ(Rc, 1);
+  EXPECT_NE(Out.find("cannot read"), std::string::npos);
+}
+
+TEST(Cli, ScriptedSessionOnProgramFile) {
+  TempFiles T;
+  auto Prog = T.write("prog.asm", ".data g 0\n"
+                                  ".func main\n"
+                                  "  movi r1, 6\n"
+                                  "  muli r1, r1, 7\n"
+                                  "  sta r1, @g\n"
+                                  "  lda r2, @g\n"
+                                  "  syswrite r2\n"
+                                  "  halt\n.endfunc\n");
+  auto Script = T.write("script", "run\noutput\nprint g\nquit\n");
+  auto [Rc, Out] = runCli(Prog.string() + " -x " + Script.string());
+  EXPECT_EQ(Rc, 0);
+  EXPECT_NE(Out.find("program exited"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("output: 42"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("g = 42"), std::string::npos) << Out;
+}
+
+TEST(Cli, DemoRecordReplaySlice) {
+  TempFiles T;
+  auto Script = T.write("script", "record failure\n"
+                                  "replay\n"
+                                  "slice fail\n"
+                                  "slice pinball\n"
+                                  "slice replay\n"
+                                  "slice step\n"
+                                  "quit\n");
+  auto [Rc, Out] = runCli(std::string("--demo -x ") + Script.string());
+  EXPECT_EQ(Rc, 0);
+  EXPECT_NE(Out.find("failure captured"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("assertion FAILED"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("slice:"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("slice pinball:"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("slice step:"), std::string::npos) << Out;
+}
+
+TEST(Cli, PipedStdinWorks) {
+  TempFiles T;
+  auto Prog = T.write("prog.asm",
+                      ".func main\n  movi r1, 1\n  syswrite r1\n"
+                      "  halt\n.endfunc\n");
+  std::string Cmd = "echo 'run\noutput\nquit' | " +
+                    std::string(DRDEBUG_CLI_PATH) + " " + Prog.string() +
+                    " 2>&1";
+  FILE *Pipe = popen(Cmd.c_str(), "r");
+  ASSERT_NE(Pipe, nullptr);
+  std::string Out;
+  char Buf[256];
+  while (fgets(Buf, sizeof(Buf), Pipe))
+    Out += Buf;
+  pclose(Pipe);
+  EXPECT_NE(Out.find("output: 1"), std::string::npos) << Out;
+}
+
+TEST(Cli, ReverseDebuggingScript) {
+  TempFiles T;
+  auto Script = T.write("script", "record failure\n"
+                                  "replay\n"
+                                  "reverse-stepi 2\n"
+                                  "replay-position\n"
+                                  "continue\n"
+                                  "quit\n");
+  auto [Rc, Out] = runCli(std::string("--demo -x ") + Script.string());
+  EXPECT_EQ(Rc, 0);
+  EXPECT_NE(Out.find("stepped backwards to position"), std::string::npos)
+      << Out;
+  EXPECT_NE(Out.find("replay position:"), std::string::npos) << Out;
+}
+
+} // namespace

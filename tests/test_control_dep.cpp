@@ -1,0 +1,304 @@
+//===- tests/test_control_dep.cpp - CFG & control-dependence tests -----------===//
+
+#include "analysis/cfg.h"
+#include "replay/logger.h"
+#include "replay/replayer.h"
+#include "slicing/control_dep.h"
+#include "test_util.h"
+
+#include <gtest/gtest.h>
+
+using namespace drdebug;
+using namespace drdebug::testutil;
+
+namespace {
+
+/// Records the full program run into traces (whole-program "region").
+TraceSet recordTraces(const Program &P, std::unique_ptr<Program> &Keep,
+                      std::vector<int64_t> Input = {}) {
+  RoundRobinScheduler Sched(1);
+  DefaultSyscalls World(7);
+  World.setInput(std::move(Input));
+  LogResult Log = Logger::logWholeProgram(P, Sched, &World);
+  Replayer Rep(Log.Pb);
+  EXPECT_TRUE(Rep.valid());
+  Keep = std::make_unique<Program>(Rep.program());
+  TraceSet Traces(*Keep);
+  Rep.machine().addObserver(&Traces);
+  Rep.run();
+  return Traces;
+}
+
+/// Finds the local index of the Nth entry at \p Pc in thread \p Tid.
+int findEntry(const TraceSet &TS, uint32_t Tid, uint64_t Pc, unsigned Nth = 1) {
+  const auto &Entries = TS.threads().at(Tid).Entries;
+  unsigned Seen = 0;
+  for (size_t I = 0; I != Entries.size(); ++I)
+    if (Entries[I].Pc == Pc && ++Seen == Nth)
+      return static_cast<int>(I);
+  return -1;
+}
+
+//===----------------------------------------------------------------------===//
+// CFG construction
+//===----------------------------------------------------------------------===//
+
+TEST(Cfg, BranchSuccessors) {
+  Program P = assembleOrDie(".func main\n"
+                            "  beq r1, r2, done\n" // 0
+                            "  nop\n"              // 1
+                            "done:\n"
+                            "  halt\n"             // 2
+                            ".endfunc\n");
+  CfgSet Cfgs(P);
+  Cfg &C = Cfgs.cfgAt(0);
+  EXPECT_EQ(C.succCountAt(0), 2u); // target + fallthrough
+  EXPECT_EQ(C.succCountAt(1), 1u);
+  EXPECT_EQ(C.succCountAt(2), 0u); // halt: exit
+}
+
+TEST(Cfg, CallFallsThrough) {
+  Program P = assembleOrDie(".func main\n  call f\n  halt\n.endfunc\n"
+                            ".func f\n  ret\n.endfunc\n");
+  CfgSet Cfgs(P);
+  EXPECT_EQ(Cfgs.cfgAt(0).succCountAt(0), 1u); // call -> next
+  EXPECT_EQ(Cfgs.cfgAt(2).succCountAt(2), 0u); // ret -> exit
+}
+
+TEST(Cfg, IndirectJumpStartsUnrefined) {
+  Program P = assembleOrDie(".func main\n"
+                            "  lea r1, t\n"
+                            "  ijmp r1\n" // 1
+                            "t:\n  halt\n"
+                            ".endfunc\n");
+  CfgSet Cfgs(P);
+  Cfg &C = Cfgs.cfgAt(1);
+  EXPECT_EQ(C.succCountAt(1), 0u);
+  EXPECT_TRUE(C.addIndirectEdge(1, 2));
+  EXPECT_EQ(C.succCountAt(1), 1u);
+  EXPECT_FALSE(C.addIndirectEdge(1, 2)) << "duplicate edge must be a no-op";
+}
+
+TEST(Cfg, RefinementRecomputesPostDoms) {
+  Program P = assembleOrDie(".func main\n"
+                            "  lea r1, a\n"  // 0
+                            "  ijmp r1\n"    // 1
+                            "a:\n  nop\n"    // 2
+                            "b:\n  halt\n"   // 3
+                            ".endfunc\n");
+  CfgSet Cfgs(P);
+  Cfg &C = Cfgs.cfgAt(1);
+  EXPECT_EQ(C.ipdomPc(1), Cfg::NoPc); // unrefined ijmp exits
+  unsigned Before = C.recomputeCount();
+  C.addIndirectEdge(1, 2);
+  C.addIndirectEdge(1, 3);
+  EXPECT_EQ(C.ipdomPc(1), 3u); // both paths rejoin at 'b'
+  EXPECT_GT(C.recomputeCount(), Before);
+}
+
+TEST(Cfg, IpdomOfStraightLine) {
+  Program P = assembleOrDie(".func main\n  nop\n  nop\n  halt\n.endfunc\n");
+  CfgSet Cfgs(P);
+  EXPECT_EQ(Cfgs.ipdomPc(0), 1u);
+  EXPECT_EQ(Cfgs.ipdomPc(1), 2u);
+  EXPECT_EQ(Cfgs.ipdomPc(2), Cfg::NoPc);
+}
+
+//===----------------------------------------------------------------------===//
+// Dynamic control dependences
+//===----------------------------------------------------------------------===//
+
+TEST(ControlDep, IfThenElse) {
+  Program P = assembleOrDie(".func main\n"
+                            "  movi r1, 1\n"       // 0
+                            "  beq r1, r0, els\n"  // 1 (not taken)
+                            "  movi r2, 10\n"      // 2: dep on 1
+                            "  jmp join\n"         // 3: dep on 1
+                            "els:\n  movi r2, 20\n"// 4
+                            "join:\n  syswrite r2\n" // 5: NOT dep on 1
+                            "  halt\n"             // 6
+                            ".endfunc\n");
+  std::unique_ptr<Program> Keep;
+  TraceSet TS = recordTraces(P, Keep);
+  CfgSet Cfgs(*Keep);
+  computeAllControlDeps(TS, Cfgs);
+
+  const auto &E = TS.threads()[0].Entries;
+  int Branch = findEntry(TS, 0, 1);
+  EXPECT_EQ(E[findEntry(TS, 0, 0)].CtrlDep, -1);
+  EXPECT_EQ(E[findEntry(TS, 0, 2)].CtrlDep, Branch);
+  EXPECT_EQ(E[findEntry(TS, 0, 3)].CtrlDep, Branch);
+  EXPECT_EQ(E[findEntry(TS, 0, 5)].CtrlDep, -1) << "join point is free";
+  EXPECT_EQ(E[findEntry(TS, 0, 6)].CtrlDep, -1);
+}
+
+TEST(ControlDep, LoopIterationsDependOnBackEdgeBranch) {
+  Program P = assembleOrDie(".func main\n"
+                            "  movi r1, 3\n"          // 0
+                            "loop:\n"
+                            "  subi r1, r1, 1\n"      // 1
+                            "  bgt r1, r0, loop\n"    // 2
+                            "  halt\n"                // 3
+                            ".endfunc\n");
+  std::unique_ptr<Program> Keep;
+  TraceSet TS = recordTraces(P, Keep);
+  CfgSet Cfgs(*Keep);
+  computeAllControlDeps(TS, Cfgs);
+
+  const auto &E = TS.threads()[0].Entries;
+  // Trace: movi(0), subi(1), bgt(2), subi(1), bgt(2), subi(1), bgt(2), halt.
+  // The 2nd and 3rd subi depend on the previous bgt; the 1st does not.
+  EXPECT_EQ(E[1].CtrlDep, -1);
+  EXPECT_EQ(E[3].CtrlDep, 2);
+  EXPECT_EQ(E[5].CtrlDep, 4);
+  // The loop exit (halt) is the branch's post-dominator: not dependent.
+  EXPECT_EQ(E[7].CtrlDep, -1);
+}
+
+TEST(ControlDep, NestedBranches) {
+  Program P = assembleOrDie(".func main\n"
+                            "  movi r1, 1\n"        // 0
+                            "  beq r1, r0, out\n"   // 1
+                            "  movi r2, 1\n"        // 2 dep 1
+                            "  beq r2, r0, out\n"   // 3 dep 1
+                            "  movi r3, 5\n"        // 4 dep 3
+                            "out:\n  halt\n"        // 5
+                            ".endfunc\n");
+  std::unique_ptr<Program> Keep;
+  TraceSet TS = recordTraces(P, Keep);
+  CfgSet Cfgs(*Keep);
+  computeAllControlDeps(TS, Cfgs);
+  const auto &E = TS.threads()[0].Entries;
+  EXPECT_EQ(E[2].CtrlDep, 1);
+  EXPECT_EQ(E[3].CtrlDep, 1);
+  EXPECT_EQ(E[4].CtrlDep, 3);
+  EXPECT_EQ(E[5].CtrlDep, -1);
+}
+
+TEST(ControlDep, CalleeDependsOnCallSite) {
+  // Paper Figure 8 shape: everything Q executes is control-dependent on the
+  // call, transitively on the predicate guarding it.
+  Program P = assembleOrDie(".func main\n"
+                            "  movi r1, 1\n"        // 0
+                            "  beq r1, r0, skip\n"  // 1
+                            "  call q\n"            // 2 dep 1
+                            "skip:\n  halt\n"       // 3
+                            ".endfunc\n"
+                            ".func q\n"
+                            "  movi r2, 7\n"        // 4
+                            "  ret\n"               // 5
+                            ".endfunc\n");
+  std::unique_ptr<Program> Keep;
+  TraceSet TS = recordTraces(P, Keep);
+  CfgSet Cfgs(*Keep);
+  computeAllControlDeps(TS, Cfgs);
+  const auto &E = TS.threads()[0].Entries;
+  int CallIdx = findEntry(TS, 0, 2);
+  int BranchIdx = findEntry(TS, 0, 1);
+  EXPECT_EQ(E[CallIdx].CtrlDep, BranchIdx);
+  EXPECT_EQ(E[findEntry(TS, 0, 4)].CtrlDep, CallIdx);
+  EXPECT_EQ(E[findEntry(TS, 0, 5)].CtrlDep, CallIdx);
+  // After the return, main is free again.
+  EXPECT_EQ(E[findEntry(TS, 0, 3)].CtrlDep, -1);
+}
+
+TEST(ControlDep, RecursionKeepsFramesSeparate) {
+  Program P = assembleOrDie(".func main\n"
+                            "  movi r1, 3\n"
+                            "  call f\n"
+                            "  halt\n.endfunc\n"
+                            ".func f\n"             // 3..7
+                            "  ble r1, r0, done\n"  // 3
+                            "  subi r1, r1, 1\n"    // 4
+                            "  call f\n"            // 5
+                            "done:\n"
+                            "  ret\n"               // 6
+                            ".endfunc\n");
+  std::unique_ptr<Program> Keep;
+  TraceSet TS = recordTraces(P, Keep);
+  CfgSet Cfgs(*Keep);
+  computeAllControlDeps(TS, Cfgs);
+  const auto &E = TS.threads()[0].Entries;
+  // Each recursive call's body depends on its own frame's branch/call, and
+  // every ret eventually unwinds without corrupting outer frames: the halt
+  // must be frame-0 free.
+  int HaltIdx = findEntry(TS, 0, 2);
+  ASSERT_GE(HaltIdx, 0);
+  EXPECT_EQ(E[HaltIdx].CtrlDep, -1);
+  // The first ble (frame 1) depends on the call at trace idx 1.
+  EXPECT_EQ(E[2].CtrlDep, 1);
+}
+
+/// Paper Figure 7: without CFG refinement the case body of a jump-table
+/// switch has no control dependence on the indirect jump (missing edges);
+/// with refinement it does.
+TEST(ControlDep, IndirectJumpRefinementRestoresDependence) {
+  // Two loop iterations take different cases so refinement observes both
+  // jump targets (one observed target alone does not make the indirect
+  // jump a branch in either the unrefined or the refined CFG).
+  Program P = assembleOrDie(".array jtab 2\n"
+                            ".func main\n"
+                            "  lea r1, case0\n  sta r1, @jtab\n"   // 0,1
+                            "  lea r1, case1\n  sta r1, @jtab+1\n" // 2,3
+                            "  movi r9, 2\n"                       // 4
+                            "loop:\n"
+                            "  sysread r2\n"                       // 5
+                            "  lea r3, @jtab\n"                    // 6
+                            "  add r3, r3, r2\n"                   // 7
+                            "  ld r4, [r3]\n"                      // 8
+                            "  ijmp r4\n"                          // 9
+                            "case0:\n  movi r5, 100\n  jmp out\n"  // 10,11
+                            "case1:\n  movi r5, 101\n"             // 12
+                            "out:\n  syswrite r5\n"                // 13
+                            "  subi r9, r9, 1\n"                   // 14
+                            "  bgt r9, r0, loop\n"                 // 15
+                            "  halt\n"                             // 16
+                            ".endfunc\n");
+  auto Run = [&](bool Refine) {
+    std::unique_ptr<Program> Keep;
+    TraceSet TS = recordTraces(P, Keep, {0, 1}); // case0 then case1
+    CfgSet Cfgs(*Keep);
+    computeAllControlDeps(TS, Cfgs, Refine);
+    const auto &E = TS.threads()[0].Entries;
+    int CaseBody = findEntry(TS, 0, 10); // movi r5, 100 (first iteration)
+    int Switch = findEntry(TS, 0, 9);
+    EXPECT_GE(CaseBody, 0);
+    return std::make_pair(E[CaseBody].CtrlDep, Switch);
+  };
+  auto [UnrefinedDep, SwitchU] = Run(false);
+  (void)SwitchU;
+  EXPECT_EQ(UnrefinedDep, -1) << "unrefined CFG misses the dependence";
+  auto [RefinedDep, Switch] = Run(true);
+  EXPECT_EQ(RefinedDep, Switch) << "refined CFG restores 6_1 -> 4_1";
+}
+
+TEST(ControlDep, IJmpWithSingleObservedTargetIsNotABranch) {
+  Program P = assembleOrDie(".func main\n"
+                            "  lea r1, t\n" // 0
+                            "  ijmp r1\n"   // 1
+                            "t:\n  nop\n"   // 2
+                            "  halt\n"      // 3
+                            ".endfunc\n");
+  std::unique_ptr<Program> Keep;
+  TraceSet TS = recordTraces(P, Keep);
+  CfgSet Cfgs(*Keep);
+  computeAllControlDeps(TS, Cfgs);
+  const auto &E = TS.threads()[0].Entries;
+  EXPECT_EQ(E[findEntry(TS, 0, 2)].CtrlDep, -1);
+}
+
+TEST(ControlDep, TraceSetCollectsIndirectTargets) {
+  Program P = assembleOrDie(".func main\n"
+                            "  lea r1, t\n"
+                            "  ijmp r1\n"
+                            "t:\n  lea r2, &f\n"
+                            "  icall r2\n"
+                            "  halt\n.endfunc\n"
+                            ".func f\n  ret\n.endfunc\n");
+  std::unique_ptr<Program> Keep;
+  TraceSet TS = recordTraces(P, Keep);
+  EXPECT_EQ(TS.indirectTargets().count({1, 2}), 1u);
+  EXPECT_EQ(TS.indirectTargets().count({3, P.entryOf("f")}), 1u);
+}
+
+} // namespace

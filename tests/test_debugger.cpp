@@ -1,0 +1,285 @@
+//===- tests/test_debugger.cpp - DrDebug session tests -----------------------===//
+
+#include "debugger/session.h"
+#include "workloads/figure5.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+using namespace drdebug;
+using namespace drdebug::workloads;
+
+namespace {
+
+/// A session bound to a string stream so output is assertable.
+struct Fixture {
+  std::ostringstream Out;
+  DebugSession S{Out};
+
+  std::string take() {
+    std::string Text = Out.str();
+    Out.str("");
+    return Text;
+  }
+};
+
+const char *SimpleProg = ".data g 0\n"
+                         ".func main\n"
+                         "  movi r1, 5\n"  // pc 0, line 3
+                         "  addi r1, r1, 2\n"
+                         "  sta r1, @g\n"
+                         "  lda r2, @g\n"
+                         "  syswrite r2\n"
+                         "  halt\n.endfunc\n";
+
+TEST(Debugger, LoadReportsProgramShape) {
+  Fixture F;
+  ASSERT_TRUE(F.S.loadProgramText(SimpleProg));
+  EXPECT_NE(F.take().find("1 functions, 6 instructions"), std::string::npos);
+}
+
+TEST(Debugger, LoadRejectsBadProgram) {
+  Fixture F;
+  EXPECT_FALSE(F.S.loadProgramText(".func main\n  bogus\n.endfunc\n"));
+  EXPECT_NE(F.take().find("error"), std::string::npos);
+}
+
+TEST(Debugger, CommandsRequireProgram) {
+  Fixture F;
+  F.S.execute("run");
+  EXPECT_NE(F.take().find("no program loaded"), std::string::npos);
+}
+
+TEST(Debugger, RunToCompletion) {
+  Fixture F;
+  F.S.loadProgramText(SimpleProg);
+  F.S.execute("run");
+  std::string Text = F.take();
+  EXPECT_NE(Text.find("program exited"), std::string::npos);
+  F.S.execute("output");
+  EXPECT_NE(F.take().find("output: 7"), std::string::npos);
+}
+
+TEST(Debugger, BreakpointByFunctionOffset) {
+  Fixture F;
+  F.S.loadProgramText(SimpleProg);
+  F.S.execute("break main+2");
+  EXPECT_NE(F.take().find("breakpoint 1 at 2"), std::string::npos);
+  F.S.execute("run");
+  std::string Text = F.take();
+  EXPECT_NE(Text.find("breakpoint 1 hit"), std::string::npos);
+  // Poised *before* the store: g is still 0.
+  F.S.execute("print g");
+  EXPECT_NE(F.take().find("g = 0"), std::string::npos);
+  F.S.execute("continue");
+  EXPECT_NE(F.take().find("program exited"), std::string::npos);
+  F.S.execute("print g");
+  EXPECT_NE(F.take().find("g = 7"), std::string::npos);
+}
+
+TEST(Debugger, InfoAndExamineCommands) {
+  Fixture F;
+  F.S.loadProgramText(SimpleProg);
+  F.S.execute("break main+4");
+  F.S.execute("run");
+  F.take();
+  F.S.execute("info threads");
+  EXPECT_NE(F.take().find("tid 0 [runnable]"), std::string::npos);
+  F.S.execute("info regs 0");
+  EXPECT_NE(F.take().find("r1 = 7"), std::string::npos);
+  F.S.execute("info breakpoints");
+  EXPECT_NE(F.take().find("1: 4"), std::string::npos);
+  Machine *M = F.S.currentMachine();
+  ASSERT_TRUE(M);
+  uint64_t G = 0x10000; // first global
+  F.S.execute("x " + std::to_string(G));
+  EXPECT_NE(F.take().find("= 7"), std::string::npos);
+  F.S.execute("where");
+  EXPECT_NE(F.take().find("tid 0"), std::string::npos);
+  F.S.execute("list main");
+  EXPECT_NE(F.take().find("halt"), std::string::npos);
+}
+
+TEST(Debugger, DeleteBreakpoint) {
+  Fixture F;
+  F.S.loadProgramText(SimpleProg);
+  F.S.execute("break 2");
+  F.S.execute("delete 1");
+  F.take();
+  F.S.execute("run");
+  EXPECT_NE(F.take().find("program exited"), std::string::npos);
+}
+
+TEST(Debugger, StepiAdvancesOneInstruction) {
+  Fixture F;
+  F.S.loadProgramText(SimpleProg);
+  F.S.execute("break main");
+  F.S.execute("run");
+  F.take();
+  F.S.execute("stepi");
+  std::string Text = F.take();
+  EXPECT_NE(Text.find("stepped tid 0"), std::string::npos);
+  F.S.execute("info regs 0");
+  EXPECT_NE(F.take().find("r1 = 5"), std::string::npos);
+}
+
+TEST(Debugger, UnknownCommand) {
+  Fixture F;
+  F.S.loadProgramText(SimpleProg);
+  F.S.execute("frobnicate");
+  EXPECT_NE(F.take().find("unknown command"), std::string::npos);
+}
+
+TEST(Debugger, QuitEndsSession) {
+  Fixture F;
+  EXPECT_FALSE(F.S.execute("quit"));
+}
+
+//===----------------------------------------------------------------------===//
+// The full cyclic-debugging workflow on the Figure 5 bug
+//===----------------------------------------------------------------------===//
+
+TEST(Debugger, RecordReplaySliceWorkflow) {
+  Figure5Lines Lines;
+  Program P = makeFigure5(&Lines);
+  Fixture F;
+  ASSERT_TRUE(F.S.loadProgramText(P.SourceText));
+  F.take();
+
+  // Record the failing execution.
+  F.S.execute("record failure");
+  std::string Text = F.take();
+  EXPECT_NE(Text.find("failure captured"), std::string::npos);
+  ASSERT_TRUE(F.S.regionPinball().has_value());
+
+  // Replay: the failure reproduces deterministically.
+  F.S.execute("replay");
+  Text = F.take();
+  EXPECT_NE(Text.find("assertion FAILED"), std::string::npos);
+  EXPECT_NE(Text.find("line " + std::to_string(Lines.AssertLine)),
+            std::string::npos);
+  EXPECT_TRUE(F.S.inReplay());
+
+  // Cyclic: replaying again shows the identical failure.
+  F.S.execute("replay");
+  Text = F.take();
+  EXPECT_NE(Text.find("assertion FAILED"), std::string::npos);
+
+  // Slice at the failure.
+  F.S.execute("slice fail");
+  Text = F.take();
+  EXPECT_NE(Text.find("slice:"), std::string::npos);
+  ASSERT_TRUE(F.S.currentSlice().has_value());
+  // The slice's source lines include the racy write.
+  EXPECT_NE(Text.find(" " + std::to_string(Lines.RacyWriteLine)),
+            std::string::npos);
+
+  // Browse.
+  F.S.execute("slice list");
+  Text = F.take();
+  EXPECT_NE(Text.find("assert"), std::string::npos);
+  F.S.execute("slice deps 0");
+  F.take(); // first entry may have no deps; command must not crash
+
+  // Exclusion regions + slice pinball.
+  F.S.execute("slice regions");
+  Text = F.take();
+  EXPECT_NE(Text.find("exclusion regions"), std::string::npos);
+  F.S.execute("slice pinball");
+  Text = F.take();
+  EXPECT_NE(Text.find("slice pinball:"), std::string::npos);
+
+  // Execution-slice replay with statement stepping.
+  F.S.execute("slice replay");
+  F.take();
+  EXPECT_TRUE(F.S.inSliceReplay());
+  // Step through the whole slice; it must end with the failing assert.
+  std::string Last;
+  for (int Steps = 0; Steps < 10000; ++Steps) {
+    F.S.execute("slice step");
+    std::string StepText = F.take();
+    if (StepText.find("assertion FAILED") != std::string::npos ||
+        StepText.find("slice replay complete") != std::string::npos) {
+      Last = StepText;
+      break;
+    }
+    EXPECT_NE(StepText.find("slice step:"), std::string::npos) << StepText;
+    Last = StepText;
+  }
+  EXPECT_NE(Last.find("assertion FAILED"), std::string::npos) << Last;
+}
+
+TEST(Debugger, SliceStepExaminesIntermediateState) {
+  Figure5Lines Lines;
+  Program P = makeFigure5(&Lines);
+  Fixture F;
+  ASSERT_TRUE(F.S.loadProgramText(P.SourceText));
+  F.S.runScript({"record failure", "slice fail", "slice pinball",
+                 "slice replay"});
+  F.take();
+  // Step a few statements, then examine registers mid-slice: the paper's
+  // "examine the values of variables at each point".
+  F.S.execute("slice step");
+  F.S.execute("slice step");
+  F.take();
+  F.S.execute("info threads");
+  std::string Text = F.take();
+  EXPECT_NE(Text.find("tid 0"), std::string::npos);
+}
+
+TEST(Debugger, PinballSaveLoadAcrossSessions) {
+  namespace fs = std::filesystem;
+  auto Dir = fs::temp_directory_path() / "drdebug_dbg_pinball";
+  fs::remove_all(Dir);
+
+  Program P = makeFigure5(nullptr);
+  {
+    Fixture F;
+    F.S.loadProgramText(P.SourceText);
+    F.S.execute("record failure");
+    F.S.execute("pinball save " + Dir.string());
+    EXPECT_NE(F.take().find("pinball saved"), std::string::npos);
+  }
+  {
+    // A brand-new session (another developer's machine, per the paper's
+    // portability claim) replays the same bug.
+    Fixture F;
+    F.S.loadProgramText(P.SourceText);
+    F.S.execute("pinball load " + Dir.string());
+    EXPECT_NE(F.take().find("pinball loaded"), std::string::npos);
+    F.S.execute("replay");
+    EXPECT_NE(F.take().find("assertion FAILED"), std::string::npos);
+  }
+  fs::remove_all(Dir);
+}
+
+TEST(Debugger, BreakpointDuringReplay) {
+  Figure5Lines Lines;
+  Program P = makeFigure5(&Lines);
+  Fixture F;
+  F.S.loadProgramText(P.SourceText);
+  F.S.execute("record failure");
+  F.take();
+  // Find the racy write's pc: line 15 is "sta r3, @x" in main.
+  uint64_t RacyPc = ~0ULL;
+  for (uint64_t Pc = 0; Pc != P.size(); ++Pc)
+    if (P.inst(Pc).Line == Lines.RacyWriteLine)
+      RacyPc = Pc;
+  ASSERT_NE(RacyPc, ~0ULL);
+  F.S.execute("break " + std::to_string(RacyPc));
+  F.take();
+  F.S.execute("replay");
+  std::string Text = F.take();
+  EXPECT_NE(Text.find("breakpoint 1 hit"), std::string::npos);
+  // x still has its original value (the write has not executed).
+  F.S.execute("print x");
+  EXPECT_NE(F.take().find("x = 1"), std::string::npos);
+  F.S.execute("continue");
+  EXPECT_NE(F.take().find("assertion FAILED"), std::string::npos);
+  F.S.execute("print x");
+  EXPECT_NE(F.take().find("x = 6"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,175 @@
+//===- tests/test_debugger_more.cpp - Additional debugger coverage ------------===//
+
+#include "debugger/session.h"
+#include "test_util.h"
+#include "workloads/figure5.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace drdebug;
+using namespace drdebug::testutil;
+using namespace drdebug::workloads;
+
+namespace {
+
+struct Fixture {
+  std::ostringstream Out;
+  DebugSession S{Out};
+  std::string take() {
+    std::string Text = Out.str();
+    Out.str("");
+    return Text;
+  }
+};
+
+TEST(DebuggerMore, SliceDepsShowsProducers) {
+  Program P = makeFigure5(nullptr);
+  Fixture F;
+  F.S.loadProgramText(P.SourceText);
+  F.S.runScript({"record failure", "slice fail"});
+  F.take();
+  // The last slice entry is the assert; its producers include a data dep.
+  ASSERT_TRUE(F.S.currentSlice().has_value());
+  size_t Last = F.S.currentSlice()->Positions.size() - 1;
+  F.S.execute("slice deps " + std::to_string(Last));
+  std::string Text = F.take();
+  EXPECT_NE(Text.find("dependences of pos"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("data <- pos"), std::string::npos) << Text;
+}
+
+TEST(DebuggerMore, SliceForwardFromRacyWrite) {
+  Figure5Lines Lines;
+  Program P = makeFigure5(&Lines);
+  Fixture F;
+  F.S.loadProgramText(P.SourceText);
+  F.S.execute("record failure");
+  F.take();
+  uint64_t RacyPc = ~0ULL;
+  for (uint64_t Pc = 0; Pc != P.size(); ++Pc)
+    if (P.inst(Pc).Line == Lines.RacyWriteLine)
+      RacyPc = Pc;
+  F.S.execute("slice forward 0 " + std::to_string(RacyPc));
+  std::string Text = F.take();
+  EXPECT_NE(Text.find("forward slice:"), std::string::npos) << Text;
+  ASSERT_TRUE(F.S.currentSlice().has_value());
+  EXPECT_GT(F.S.currentSlice()->dynamicSize(), 1u);
+}
+
+TEST(DebuggerMore, BacktraceShowsCallChain) {
+  Fixture F;
+  F.S.loadProgramText(".func main\n"
+                      "  call outer\n"
+                      "  halt\n.endfunc\n"
+                      ".func outer\n"
+                      "  call inner\n" // pc 2
+                      "  ret\n.endfunc\n"
+                      ".func inner\n"
+                      "  nop\n"        // pc 4: break here
+                      "  ret\n.endfunc\n");
+  F.S.execute("break inner");
+  F.S.execute("run");
+  F.take();
+  F.S.execute("backtrace 0");
+  std::string Text = F.take();
+  EXPECT_NE(Text.find("#0 4 <inner+0>"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("#1 return to 3 <outer+1>"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("#2 return to 1 <main+1>"), std::string::npos) << Text;
+}
+
+TEST(DebuggerMore, StepiExecutesExactCount) {
+  Fixture F;
+  F.S.loadProgramText(".func main\n"
+                      "  movi r1, 1\n  movi r2, 2\n  movi r3, 3\n"
+                      "  halt\n.endfunc\n");
+  F.S.execute("break main");
+  F.S.execute("run");
+  F.take();
+  F.S.execute("stepi 2");
+  F.take();
+  Machine *M = F.S.currentMachine();
+  ASSERT_TRUE(M);
+  EXPECT_EQ(M->thread(0).ExecCount, 2u);
+  EXPECT_EQ(M->thread(0).Regs[2], 2);
+  EXPECT_EQ(M->thread(0).Regs[3], 0);
+}
+
+TEST(DebuggerMore, RecordRegionCommand) {
+  Fixture F;
+  F.S.loadProgramText(".func main\n"
+                      "  movi r1, 50\n"
+                      "l:\n  subi r1, r1, 1\n  bgt r1, r0, l\n"
+                      "  halt\n.endfunc\n");
+  F.S.execute("record region 10 20");
+  std::string Text = F.take();
+  EXPECT_NE(Text.find("20 in main thread"), std::string::npos) << Text;
+  ASSERT_TRUE(F.S.regionPinball().has_value());
+  EXPECT_EQ(F.S.regionPinball()->StartState.Threads[0].ExecCount, 10u);
+  F.S.execute("replay");
+  EXPECT_NE(F.take().find("replay complete"), std::string::npos);
+}
+
+TEST(DebuggerMore, SliceCommandsRequireState) {
+  Fixture F;
+  F.S.loadProgramText(".func main\n  halt\n.endfunc\n");
+  F.S.execute("slice fail");
+  EXPECT_NE(F.take().find("no region pinball"), std::string::npos);
+  F.S.execute("slice list");
+  EXPECT_NE(F.take().find("no slice computed"), std::string::npos);
+  F.S.execute("slice replay");
+  EXPECT_NE(F.take().find("no slice pinball"), std::string::npos);
+  F.S.execute("slice step");
+  EXPECT_NE(F.take().find("not replaying a slice"), std::string::npos);
+  F.S.execute("reverse-stepi");
+  EXPECT_NE(F.take().find("needs an active replay"), std::string::npos);
+}
+
+TEST(DebuggerMore, SliceOnExplicitCriterion) {
+  Fixture F;
+  F.S.loadProgramText(".data g 0\n"
+                      ".func main\n"
+                      "  movi r1, 4\n"   // pc 0
+                      "  addi r1, r1, 1\n"
+                      "  sta r1, @g\n"   // pc 2
+                      "  halt\n.endfunc\n");
+  F.S.execute("record failure"); // runs to completion, no failure
+  F.take();
+  F.S.execute("slice 0 2");
+  std::string Text = F.take();
+  EXPECT_NE(Text.find("slice: 3 dynamic instructions"), std::string::npos)
+      << Text;
+}
+
+TEST(DebuggerMore, SliceOnNeverExecutedPcFails) {
+  Fixture F;
+  F.S.loadProgramText(".func main\n"
+                      "  jmp over\n"
+                      "  nop\n" // pc 1: skipped
+                      "over:\n"
+                      "  halt\n.endfunc\n");
+  F.S.execute("record failure");
+  F.take();
+  F.S.execute("slice 0 1");
+  EXPECT_NE(F.take().find("never executed"), std::string::npos);
+}
+
+TEST(DebuggerMore, OutputDuringReplayMatchesLive) {
+  Fixture F;
+  F.S.loadProgramText(".func main\n"
+                      "  sysrand r1\n  modi r1, r1, 100\n  syswrite r1\n"
+                      "  halt\n.endfunc\n");
+  F.S.execute("run 9");
+  F.S.execute("output");
+  std::string Live = F.take();
+  F.S.execute("record failure 9");
+  F.S.execute("replay");
+  F.take();
+  F.S.execute("output");
+  std::string Replayed = F.take();
+  // Both runs used seed 9, so the recorded value equals the live one.
+  EXPECT_EQ(Live.substr(Live.find("output:")),
+            Replayed.substr(Replayed.find("output:")));
+}
+
+} // namespace

@@ -1,0 +1,192 @@
+//===- tests/test_exclusion.cpp - Exclusion-region builder tests -------------===//
+
+#include "replay/logger.h"
+#include "replay/replayer.h"
+#include "slicing/slicer.h"
+#include "test_util.h"
+#include "workloads/figure5.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace drdebug;
+using namespace drdebug::testutil;
+using namespace drdebug::workloads;
+
+namespace {
+
+struct PreparedSession {
+  Pinball Pb;
+  std::unique_ptr<SliceSession> S;
+
+  explicit PreparedSession(const Program &P, uint64_t Seed = 1) {
+    RandomScheduler Sched(Seed, 1, 3);
+    Pb = Logger::logWholeProgram(P, Sched).Pb;
+    S = std::make_unique<SliceSession>(Pb);
+    std::string Error;
+    EXPECT_TRUE(S->prepare(Error)) << Error;
+  }
+};
+
+TEST(ExclusionBuilder, RegionsAreMaximalGaps) {
+  // Straight-line: slice keeps the data chain of the final store only.
+  Program P = assembleOrDie(".data g 0\n"
+                            ".func main\n"
+                            "  movi r1, 1\n"   // 0: in slice
+                            "  movi r9, 2\n"   // 1: gap
+                            "  movi r8, 3\n"   // 2: gap
+                            "  addi r1, r1, 4\n" // 3: in slice
+                            "  movi r7, 5\n"   // 4: gap
+                            "  sta r1, @g\n"   // 5: in slice (criterion)
+                            "  halt\n.endfunc\n"); // 6: trailing gap
+  PreparedSession PS(P);
+  SliceCriterion C;
+  C.Tid = 0;
+  C.Pc = 5;
+  auto Sl = PS.S->computeSlice(C);
+  ASSERT_TRUE(Sl);
+  ASSERT_EQ(Sl->dynamicSize(), 3u);
+
+  auto Regions = PS.S->exclusionRegions(*Sl);
+  // Gaps: [1,3), [4,5), [6, end).
+  ASSERT_EQ(Regions.size(), 3u);
+  EXPECT_EQ(Regions[0].BeginIndex, 1u);
+  EXPECT_EQ(Regions[0].EndIndex, 3u);
+  EXPECT_EQ(Regions[1].BeginIndex, 4u);
+  EXPECT_EQ(Regions[1].EndIndex, 5u);
+  EXPECT_EQ(Regions[2].BeginIndex, 6u);
+  EXPECT_EQ(Regions[2].EndIndex, ~0ULL);
+}
+
+TEST(ExclusionBuilder, PcInstanceAnnotations) {
+  // A loop so instance numbers exceed 1.
+  Program P = assembleOrDie(".data g 0\n"
+                            ".func main\n"
+                            "  movi r1, 3\n"
+                            "l:\n"
+                            "  movi r9, 7\n"      // pc 1: never in slice
+                            "  subi r1, r1, 1\n"  // pc 2
+                            "  bgt r1, r0, l\n"   // pc 3
+                            "  sta r1, @g\n"      // pc 4: criterion
+                            "  halt\n.endfunc\n");
+  PreparedSession PS(P);
+  SliceCriterion C;
+  C.Tid = 0;
+  C.Pc = 4;
+  auto Sl = PS.S->computeSlice(C);
+  ASSERT_TRUE(Sl);
+  auto Regions = PS.S->exclusionRegions(*Sl);
+  ASSERT_FALSE(Regions.empty());
+  // Each excluded occurrence of pc 1 is annotated with its 1-based
+  // instance; the first region starting at pc 1 must carry instance 1, and
+  // instances never exceed the loop count.
+  bool SawPc1 = false;
+  for (const ExclusionRegion &R : Regions) {
+    if (R.StartPc == 1) {
+      SawPc1 = true;
+      EXPECT_GE(R.StartInstance, 1u);
+      EXPECT_LE(R.StartInstance, 3u);
+    }
+  }
+  EXPECT_TRUE(SawPc1);
+}
+
+TEST(ExclusionBuilder, SpawnsAreNeverExcluded) {
+  Figure5Lines Lines;
+  Program P = makeFigure5(&Lines);
+  PreparedSession PS(P, 3);
+  auto C = PS.S->failureCriterion();
+  ASSERT_TRUE(C.has_value());
+  auto Sl = PS.S->computeSlice(*C);
+  ASSERT_TRUE(Sl);
+  auto Regions = PS.S->exclusionRegions(*Sl);
+  // No exclusion region may cover the spawn instruction (per-thread index
+  // 0 of the main thread is the spawn in Figure 5).
+  const TraceSet &TS = PS.S->traces();
+  for (size_t Idx = 0; Idx != TS.threads()[0].Entries.size(); ++Idx) {
+    if (TS.threads()[0].Entries[Idx].Op != Opcode::Spawn)
+      continue;
+    uint64_t Abs = TS.threads()[0].StartIndex + Idx;
+    for (const ExclusionRegion &R : Regions)
+      if (R.Tid == 0)
+        EXPECT_FALSE(Abs >= R.BeginIndex && Abs < R.EndIndex)
+            << "spawn at abs index " << Abs << " is excluded";
+  }
+}
+
+TEST(ExclusionBuilder, IncludedCountMatchesSlicePinball) {
+  Figure5Lines Lines;
+  Program P = makeFigure5(&Lines);
+  PreparedSession PS(P, 2);
+  auto C = PS.S->failureCriterion();
+  ASSERT_TRUE(C);
+  auto Sl = PS.S->computeSlice(*C);
+  ASSERT_TRUE(Sl);
+  uint64_t Predicted = includedInstructionCount(PS.S->globalTrace(), *Sl);
+  Pinball SlicePb;
+  std::string Error;
+  ASSERT_TRUE(PS.S->makeSlicePinball(*Sl, SlicePb, Error)) << Error;
+  EXPECT_EQ(SlicePb.instructionCount(), Predicted);
+}
+
+TEST(ExclusionBuilder, EmptySliceExcludesWholeThreads) {
+  Program P = assembleOrDie(".data g 0\n"
+                            ".func main\n"
+                            "  movi r1, 1\n" // 0: criterion (only member)
+                            "  movi r2, 2\n"
+                            "  movi r3, 3\n"
+                            "  halt\n.endfunc\n");
+  PreparedSession PS(P);
+  SliceCriterion C;
+  C.Tid = 0;
+  C.Pc = 0;
+  auto Sl = PS.S->computeSlice(C);
+  ASSERT_TRUE(Sl);
+  EXPECT_EQ(Sl->dynamicSize(), 1u);
+  auto Regions = PS.S->exclusionRegions(*Sl);
+  ASSERT_EQ(Regions.size(), 1u);
+  EXPECT_EQ(Regions[0].BeginIndex, 1u);
+  EXPECT_EQ(Regions[0].EndIndex, ~0ULL);
+}
+
+TEST(ExclusionBuilder, SpecialSliceFileListsRegions) {
+  Figure5Lines Lines;
+  Program P = makeFigure5(&Lines);
+  PreparedSession PS(P, 2);
+  auto C = PS.S->failureCriterion();
+  ASSERT_TRUE(C);
+  auto Sl = PS.S->computeSlice(*C);
+  ASSERT_TRUE(Sl);
+  auto Regions = PS.S->exclusionRegions(*Sl);
+  std::ostringstream OS;
+  saveSpecialSliceFile(OS, PS.S->globalTrace(), *Sl, Regions);
+  std::string Text = OS.str();
+  EXPECT_NE(Text.find("slice "), std::string::npos);
+  EXPECT_NE(Text.find("exclusions " + std::to_string(Regions.size())),
+            std::string::npos);
+  // The paper's [startPc:instance:tid, ...) notation appears.
+  EXPECT_NE(Text.find(":"), std::string::npos);
+  EXPECT_NE(Text.find("["), std::string::npos);
+}
+
+/// Round-trip: the normal slice file written by the special file parses
+/// back with the right entry count.
+TEST(ExclusionBuilder, SliceFileWithinSpecialFileParses) {
+  Figure5Lines Lines;
+  Program P = makeFigure5(&Lines);
+  PreparedSession PS(P, 2);
+  auto C = PS.S->failureCriterion();
+  ASSERT_TRUE(C);
+  auto Sl = PS.S->computeSlice(*C);
+  ASSERT_TRUE(Sl);
+  std::stringstream SS;
+  saveSpecialSliceFile(SS, PS.S->globalTrace(), *Sl,
+                       PS.S->exclusionRegions(*Sl));
+  std::vector<Slice::SavedEntry> Entries;
+  std::string Error;
+  ASSERT_TRUE(Slice::load(SS, Entries, Error)) << Error;
+  EXPECT_EQ(Entries.size(), Sl->dynamicSize());
+}
+
+} // namespace

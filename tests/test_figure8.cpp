@@ -1,0 +1,138 @@
+//===- tests/test_figure8.cpp - Paper Figure 8 fidelity test ------------------===//
+//
+// Reproduces the paper's §5.2 running example exactly: function Q saves and
+// restores a register the caller keeps live; the slice for w (computed from
+// a value that flowed through the save/restore pair) wrongly includes the
+// character read (3_1) and the guarding predicate (5_1) when pruning is
+// off, and excludes them when save/restore pairs are bypassed.
+//
+//   1 P(FILE* fin, int d) {        MiniVM analog:
+//   3   char c = fgetc(fin);         sysread r6        (line CLine)
+//   4   int e = d + 1;               addi r1, r5, 1    (line ELine)
+//   5   if (c == 't')                beq/bne guard     (line GuardLine)
+//   6     Q();                       call q            (line CallLine)
+//   7   w = e;                       mov r2, r1        (line WLine)
+//       ...                          syswrite r2       (criterion)
+//   Q: saves r1, clobbers it, restores r1.
+//
+//===----------------------------------------------------------------------===//
+
+#include "replay/logger.h"
+#include "slicing/slicer.h"
+#include "test_util.h"
+
+#include <gtest/gtest.h>
+
+using namespace drdebug;
+using namespace drdebug::testutil;
+
+namespace {
+
+struct Figure8 {
+  Program P;
+  // Source lines of the interesting statements.
+  static constexpr uint32_t CLine = 3;     // c = fgetc(fin)
+  static constexpr uint32_t ELine = 4;     // e = d + 1
+  static constexpr uint32_t GuardLine = 5; // if (c == 't')
+  static constexpr uint32_t CallLine = 6;  // Q()
+  static constexpr uint32_t WLine = 8;     // w = e (line 7 is the label)
+  static constexpr uint64_t CriterionPc = 6; // syswrite w
+
+  Figure8() {
+    P = assembleOrDie(
+        ".func main\n"          // line 1
+        "  movi r5, 41\n"       // line 2:  d = 41
+        "  sysread r6\n"        // line 3:  c = fgetc(fin)
+        "  addi r1, r5, 1\n"    // line 4:  e = d + 1   (kept in r1)
+        "  bne r6, r7, skipq\n" // line 5:  if (c == 't'): r7 == 0 == 't'
+        "  call q\n"            // line 6:  Q()
+        "skipq:\n"
+        "  mov r2, r1\n"        // line 7:  w = e  <- r1 flowed through Q's
+        "  syswrite r2\n"       // line 8:  save/restore when Q ran
+        "  halt\n"              // line 9
+        ".endfunc\n"            // line 10
+        ".func q\n"             // line 11
+        "  push r1\n"           // line 12: save eax-analog
+        "  movi r1, 999\n"      // line 13: Q clobbers it
+        "  muli r1, r1, 3\n"    // line 14
+        "  pop r1\n"            // line 15: restore
+        "  ret\n"               // line 16
+        ".endfunc\n");
+  }
+
+  /// Runs with input 0 (so the guard takes the Q path) and slices at the
+  /// syswrite of w.
+  std::set<uint32_t> sliceLines(bool Prune) {
+    RoundRobinScheduler Sched(1);
+    DefaultSyscalls World(1);
+    World.setInput({0}); // c == 't': call Q
+    LogResult Log = Logger::logWholeProgram(P, Sched, &World);
+    EXPECT_EQ(Log.Reason, Machine::StopReason::Halted);
+    SliceSessionOptions Opts;
+    Opts.PruneSaveRestore = Prune;
+    SliceSession S(Log.Pb, Opts);
+    std::string Error;
+    EXPECT_TRUE(S.prepare(Error)) << Error;
+    SliceCriterion C;
+    C.Tid = 0;
+    C.Pc = CriterionPc; // syswrite r2
+    auto Sl = S.computeSlice(C);
+    EXPECT_TRUE(Sl.has_value());
+    return Sl->sourceLines(S.globalTrace());
+  }
+};
+
+TEST(Figure8, ImpreciseSlicePullsInGuardAndCharRead) {
+  Figure8 F;
+  auto Lines = F.sliceLines(/*Prune=*/false);
+  // The spurious chain: w <- restore <- save <- e's def, and because Q's
+  // body is control-dependent on the call and the guard, 5_1 and 3_1 are
+  // wrongly included (third column of the paper's figure).
+  EXPECT_TRUE(Lines.count(Figure8::WLine));
+  EXPECT_TRUE(Lines.count(Figure8::ELine));
+  EXPECT_TRUE(Lines.count(Figure8::GuardLine)) << "spurious 5_1 missing";
+  EXPECT_TRUE(Lines.count(Figure8::CLine)) << "spurious 3_1 missing";
+  EXPECT_TRUE(Lines.count(Figure8::CallLine));
+  EXPECT_TRUE(Lines.count(13)) << "the save itself";
+  EXPECT_TRUE(Lines.count(16)) << "the restore itself";
+}
+
+TEST(Figure8, RefinedSliceExcludesSpuriousDependences) {
+  Figure8 F;
+  auto Lines = F.sliceLines(/*Prune=*/true);
+  // Fourth column of the figure: w and e (and d) only.
+  EXPECT_TRUE(Lines.count(Figure8::WLine));
+  EXPECT_TRUE(Lines.count(Figure8::ELine));
+  EXPECT_TRUE(Lines.count(2)) << "d's definition feeds e";
+  EXPECT_FALSE(Lines.count(Figure8::GuardLine)) << "5_1 must be pruned";
+  EXPECT_FALSE(Lines.count(Figure8::CLine)) << "3_1 must be pruned";
+  EXPECT_FALSE(Lines.count(Figure8::CallLine));
+  EXPECT_FALSE(Lines.count(13));
+  EXPECT_FALSE(Lines.count(16));
+}
+
+TEST(Figure8, NoQPathIsIdenticalUnderBothModes) {
+  Figure8 F;
+  // Input 1: guard not taken, Q never runs, no save/restore pair exists —
+  // pruning must be a no-op.
+  auto Run = [&](bool Prune) {
+    RoundRobinScheduler Sched(1);
+    DefaultSyscalls World(1);
+    World.setInput({1});
+    LogResult Log = Logger::logWholeProgram(F.P, Sched, &World);
+    SliceSessionOptions Opts;
+    Opts.PruneSaveRestore = Prune;
+    SliceSession S(Log.Pb, Opts);
+    std::string Error;
+    EXPECT_TRUE(S.prepare(Error)) << Error;
+    SliceCriterion C;
+    C.Tid = 0;
+    C.Pc = Figure8::CriterionPc;
+    auto Sl = S.computeSlice(C);
+    EXPECT_TRUE(Sl.has_value());
+    return Sl->Positions;
+  };
+  EXPECT_EQ(Run(false), Run(true));
+}
+
+} // namespace

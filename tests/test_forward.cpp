@@ -1,0 +1,180 @@
+//===- tests/test_forward.cpp - Forward dynamic slicing tests -----------------===//
+
+#include "debugger/session.h"
+#include "replay/logger.h"
+#include "slicing/forward.h"
+#include "slicing/slicer.h"
+#include "test_util.h"
+#include "workloads/figure5.h"
+#include "workloads/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace drdebug;
+using namespace drdebug::testutil;
+using namespace drdebug::workloads;
+
+namespace {
+
+Pinball recordWhole(const Program &P, uint64_t Seed = 1) {
+  RandomScheduler Sched(Seed, 1, 3);
+  return Logger::logWholeProgram(P, Sched).Pb;
+}
+
+/// Prepared session without save/restore pruning (the duality property
+/// requires forward and backward to use identical dependence edges).
+std::unique_ptr<SliceSession> prepared(const Pinball &Pb) {
+  SliceSessionOptions Opts;
+  Opts.PruneSaveRestore = false;
+  auto S = std::make_unique<SliceSession>(Pb, Opts);
+  std::string Error;
+  EXPECT_TRUE(S->prepare(Error)) << Error;
+  return S;
+}
+
+TEST(ForwardSlice, DataChainPropagates) {
+  Program P = assembleOrDie(".data g 0\n"
+                            ".func main\n"
+                            "  movi r1, 5\n"   // pos 0: start
+                            "  addi r2, r1, 1\n" // uses r1 -> in
+                            "  sta r2, @g\n"     // uses r2 -> in
+                            "  lda r3, @g\n"     // uses g -> in
+                            "  movi r4, 9\n"     // independent -> out
+                            "  syswrite r3\n"    // uses r3 -> in
+                            "  halt\n.endfunc\n");
+  auto S = prepared(recordWhole(P));
+  Slice Fwd = S->computeForwardSliceAt(0);
+  EXPECT_EQ(Fwd.dynamicSize(), 5u);
+  EXPECT_TRUE(Fwd.contains(0));
+  EXPECT_TRUE(Fwd.contains(1));
+  EXPECT_TRUE(Fwd.contains(2));
+  EXPECT_TRUE(Fwd.contains(3));
+  EXPECT_FALSE(Fwd.contains(4));
+  EXPECT_TRUE(Fwd.contains(5));
+}
+
+TEST(ForwardSlice, RedefinitionKillsTaint) {
+  Program P = assembleOrDie(".func main\n"
+                            "  movi r1, 5\n"  // pos 0: start
+                            "  movi r1, 7\n"  // pos 1: kills r1's taint
+                            "  addi r2, r1, 1\n" // uses the NEW r1 -> out
+                            "  syswrite r2\n"    // -> out
+                            "  halt\n.endfunc\n");
+  auto S = prepared(recordWhole(P));
+  Slice Fwd = S->computeForwardSliceAt(0);
+  EXPECT_EQ(Fwd.dynamicSize(), 1u) << "only the start itself";
+}
+
+TEST(ForwardSlice, ControlDependentsJoin) {
+  Program P = assembleOrDie(".func main\n"
+                            "  movi r1, 1\n"       // pos 0: start
+                            "  beq r1, r0, skip\n" // pos 1: uses r1 -> in
+                            "  movi r2, 7\n"       // pos 2: CD on branch -> in
+                            "skip:\n"
+                            "  halt\n"             // join: not CD -> out
+                            ".endfunc\n");
+  auto S = prepared(recordWhole(P));
+  Slice Fwd = S->computeForwardSliceAt(0);
+  EXPECT_TRUE(Fwd.contains(1));
+  EXPECT_TRUE(Fwd.contains(2));
+  EXPECT_EQ(Fwd.dynamicSize(), 3u);
+  // The control edge is recorded for navigation.
+  bool SawControl = false;
+  for (const DepEdge &E : Fwd.Edges)
+    if (E.IsControl)
+      SawControl = true;
+  EXPECT_TRUE(SawControl);
+}
+
+TEST(ForwardSlice, CrossThreadPropagation) {
+  Figure5Lines Lines;
+  Program P = makeFigure5(&Lines);
+  RoundRobinScheduler Sched(3);
+  LogResult Log = Logger::logWholeProgram(P, Sched);
+  auto S = prepared(Log.Pb);
+
+  // Forward slice of T1's racy write to x: must reach T2's k update and
+  // the failing assert.
+  const GlobalTrace &GT = S->globalTrace();
+  uint32_t WritePos = ~0U;
+  for (uint32_t Pos = 0; Pos != GT.size(); ++Pos)
+    if (GT.entry(Pos).Line == Lines.RacyWriteLine)
+      WritePos = Pos;
+  ASSERT_NE(WritePos, ~0U);
+  Slice Fwd = S->computeForwardSliceAt(WritePos);
+  auto FwdLines = Fwd.sourceLines(GT);
+  EXPECT_TRUE(FwdLines.count(Lines.KUpdateLine))
+      << "the poisoned k update is influenced by the racy write";
+  EXPECT_TRUE(FwdLines.count(Lines.AssertLine));
+}
+
+/// Duality: x is in the backward slice of y iff y is in the forward slice
+/// of x (both sides computed over identical dependence edges).
+class DualityTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DualityTest, BackwardAndForwardAgree) {
+  Program P = generateRandomProgram(GetParam());
+  auto S = prepared(recordWhole(P, GetParam() + 3));
+  const GlobalTrace &GT = S->globalTrace();
+  if (GT.size() < 10)
+    GTEST_SKIP() << "trivial trace";
+
+  auto Criteria = S->lastLoadCriteria(1);
+  if (Criteria.empty())
+    GTEST_SKIP() << "no loads";
+  auto Back = S->computeSlice(Criteria[0]);
+  ASSERT_TRUE(Back.has_value());
+  uint32_t Y = Back->CriterionPos;
+
+  // Forward direction: for a sample of backward-slice members x, y must be
+  // in fwd(x).
+  size_t Checked = 0;
+  for (uint32_t X : Back->Positions) {
+    if (X == Y || Checked >= 6)
+      break;
+    ++Checked;
+    Slice Fwd = S->computeForwardSliceAt(X);
+    EXPECT_TRUE(Fwd.contains(Y))
+        << "pos " << X << " is in bwd(" << Y << ") but " << Y
+        << " not in fwd(" << X << ")";
+  }
+  // Converse: sample non-members; y must not be in their forward slices.
+  size_t Misses = 0;
+  for (uint32_t X = 0; X < Y && Misses < 6; ++X) {
+    if (Back->contains(X))
+      continue;
+    ++Misses;
+    Slice Fwd = S->computeForwardSliceAt(X);
+    EXPECT_FALSE(Fwd.contains(Y))
+        << "pos " << X << " not in bwd(" << Y << ") but " << Y
+        << " in fwd(" << X << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Programs, DualityTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21));
+
+TEST(ForwardSlice, DebuggerCommand) {
+  Figure5Lines Lines;
+  Program P = makeFigure5(&Lines);
+  std::ostringstream Out;
+  DebugSession S(Out);
+  S.loadProgramText(P.SourceText);
+  S.execute("record failure");
+  Out.str("");
+  // Forward slice of the racy write: main thread, its pc.
+  uint64_t RacyPc = ~0ULL;
+  for (uint64_t Pc = 0; Pc != P.size(); ++Pc)
+    if (P.inst(Pc).Line == Lines.RacyWriteLine)
+      RacyPc = Pc;
+  S.execute("slice forward 0 " + std::to_string(RacyPc));
+  std::string Text = Out.str();
+  EXPECT_NE(Text.find("forward slice:"), std::string::npos) << Text;
+  EXPECT_NE(Text.find(" " + std::to_string(Lines.AssertLine)),
+            std::string::npos)
+      << Text;
+}
+
+} // namespace

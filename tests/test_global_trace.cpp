@@ -1,0 +1,151 @@
+//===- tests/test_global_trace.cpp - Global-trace construction tests ---------===//
+
+#include "replay/logger.h"
+#include "replay/replayer.h"
+#include "slicing/global_trace.h"
+#include "test_util.h"
+
+#include <gtest/gtest.h>
+
+using namespace drdebug;
+using namespace drdebug::testutil;
+
+namespace {
+
+/// Records traces for a whole run under the given scheduler.
+struct Recorded {
+  std::unique_ptr<Program> Prog;
+  std::unique_ptr<TraceSet> Traces;
+  GlobalTrace GT;
+
+  Recorded(const Program &P, Scheduler &&Sched) {
+    LogResult Log = Logger::logWholeProgram(P, Sched, nullptr);
+    Replayer Rep(Log.Pb);
+    EXPECT_TRUE(Rep.valid());
+    Prog = std::make_unique<Program>(Rep.program());
+    Traces = std::make_unique<TraceSet>(*Prog);
+    Rep.machine().addObserver(Traces.get());
+    Rep.run();
+    GT.build(*Traces);
+  }
+};
+
+Program makeSharingProgram() {
+  return assembleOrDie(".data x 0\n.data y 0\n"
+                       ".func main\n"
+                       "  spawn r1, w, r0\n"
+                       "  movi r2, 20\n"
+                       "m:\n  lda r3, @x\n  addi r3, r3, 1\n  sta r3, @x\n"
+                       "  subi r2, r2, 1\n  bgt r2, r0, m\n"
+                       "  join r1\n  halt\n.endfunc\n"
+                       ".func w\n"
+                       "  movi r2, 20\n"
+                       "w1:\n  lda r3, @x\n  addi r3, r3, 2\n  sta r3, @x\n"
+                       "  lda r4, @y\n  addi r4, r4, 1\n  sta r4, @y\n"
+                       "  subi r2, r2, 1\n  bgt r2, r0, w1\n"
+                       "  ret\n.endfunc\n");
+}
+
+TEST(GlobalTrace, CoversEveryEntryExactlyOnce) {
+  Recorded R(makeSharingProgram(), RandomScheduler(3, 1, 2));
+  size_t Total = 0;
+  for (const ThreadTrace &T : R.Traces->threads())
+    Total += T.Entries.size();
+  EXPECT_EQ(R.GT.size(), Total);
+  // posOf is the inverse of ref().
+  for (size_t Pos = 0; Pos != R.GT.size(); ++Pos) {
+    const GlobalRef &Ref = R.GT.ref(Pos);
+    EXPECT_EQ(R.GT.posOf(Ref.Tid, Ref.LocalIdx), Pos);
+  }
+}
+
+TEST(GlobalTrace, HonorsProgramOrder) {
+  Recorded R(makeSharingProgram(), RandomScheduler(5, 1, 2));
+  for (const ThreadTrace &T : R.Traces->threads())
+    for (size_t I = 1; I < T.Entries.size(); ++I)
+      EXPECT_LT(R.GT.posOf(T.Tid, static_cast<uint32_t>(I - 1)),
+                R.GT.posOf(T.Tid, static_cast<uint32_t>(I)));
+}
+
+TEST(GlobalTrace, HonorsConflictEdges) {
+  Recorded R(makeSharingProgram(), RandomScheduler(7, 1, 2));
+  for (const OrderEdge &E : R.Traces->orderEdges()) {
+    if (E.FromIdx >= R.Traces->threads()[E.FromTid].Entries.size() ||
+        E.ToIdx >= R.Traces->threads()[E.ToTid].Entries.size())
+      continue;
+    EXPECT_LT(R.GT.posOf(E.FromTid, E.FromIdx), R.GT.posOf(E.ToTid, E.ToIdx));
+  }
+}
+
+TEST(GlobalTrace, SpawnEdgeOrdersChildAfterParent) {
+  Recorded R(makeSharingProgram(), RandomScheduler(9, 1, 2));
+  // The child's first entry comes after the parent's spawn.
+  const auto &Main = R.Traces->threads()[0];
+  uint32_t SpawnIdx = ~0U;
+  for (uint32_t I = 0; I != Main.Entries.size(); ++I)
+    if (Main.Entries[I].Op == Opcode::Spawn)
+      SpawnIdx = I;
+  ASSERT_NE(SpawnIdx, ~0U);
+  ASSERT_GE(R.Traces->threads().size(), 2u);
+  ASSERT_FALSE(R.Traces->threads()[1].Entries.empty());
+  EXPECT_LT(R.GT.posOf(0, SpawnIdx), R.GT.posOf(1, 0));
+}
+
+/// Clustering: with a heavily interleaved recording, the merged order must
+/// have at most as many thread switches as the recording itself (it only
+/// reorders within the happens-before slack, always preferring to stay).
+TEST(GlobalTrace, ClusteringReducesThreadSwitches) {
+  Recorded R(makeSharingProgram(), RoundRobinScheduler(1));
+  uint64_t RecordedSwitches = 0;
+  const auto &True = R.Traces->recordedOrder();
+  for (size_t I = 1; I < True.size(); ++I)
+    if (True[I].Tid != True[I - 1].Tid)
+      ++RecordedSwitches;
+  EXPECT_LE(R.GT.threadSwitches(), RecordedSwitches);
+  // With quantum-1 alternation and only occasional true conflicts, the
+  // merge should cluster substantially.
+  EXPECT_LT(R.GT.threadSwitches(), RecordedSwitches / 2)
+      << "merged " << R.GT.threadSwitches() << " vs recorded "
+      << RecordedSwitches;
+}
+
+TEST(GlobalTrace, IndependentThreadsFullyCluster) {
+  // No shared data at all: the merge may emit each thread as one block
+  // (switch count = #threads - 1, plus the spawn/join constraints).
+  Program P = assembleOrDie(".func main\n"
+                            "  spawn r1, w, r0\n"
+                            "  movi r2, 10\n"
+                            "m:\n  addi r3, r3, 1\n  subi r2, r2, 1\n"
+                            "  bgt r2, r0, m\n"
+                            "  join r1\n  halt\n.endfunc\n"
+                            ".func w\n"
+                            "  movi r2, 10\n"
+                            "w1:\n  addi r3, r3, 3\n  subi r2, r2, 1\n"
+                            "  bgt r2, r0, w1\n  ret\n.endfunc\n");
+  Recorded R(P, RoundRobinScheduler(1));
+  EXPECT_LE(R.GT.threadSwitches(), 2u);
+}
+
+TEST(GlobalTrace, SingleThreadIsIdentity) {
+  Program P = assembleOrDie(".func main\n  movi r1, 3\n  addi r1, r1, 1\n"
+                            "  halt\n.endfunc\n");
+  Recorded R(P, RoundRobinScheduler(1));
+  ASSERT_EQ(R.GT.size(), 3u);
+  for (uint32_t I = 0; I != 3; ++I) {
+    EXPECT_EQ(R.GT.ref(I).Tid, 0u);
+    EXPECT_EQ(R.GT.ref(I).LocalIdx, I);
+  }
+  EXPECT_EQ(R.GT.threadSwitches(), 0u);
+}
+
+TEST(GlobalTrace, EntriesAccessibleThroughPositions) {
+  Recorded R(makeSharingProgram(), RandomScheduler(2, 1, 2));
+  for (size_t Pos = 0; Pos != R.GT.size(); ++Pos) {
+    const TraceEntry &E = R.GT.entry(Pos);
+    const GlobalRef &Ref = R.GT.ref(Pos);
+    EXPECT_EQ(&E,
+              &R.Traces->threads()[Ref.Tid].Entries[Ref.LocalIdx]);
+  }
+}
+
+} // namespace

@@ -1,0 +1,224 @@
+//===- tests/test_maple_more.cpp - Additional Maple-analog coverage -----------===//
+
+#include "maple/active_scheduler.h"
+#include "maple/maple.h"
+#include "maple/profiler.h"
+#include "replay/replayer.h"
+#include "test_util.h"
+#include "workloads/racebugs.h"
+
+#include <gtest/gtest.h>
+
+using namespace drdebug;
+using namespace drdebug::testutil;
+using namespace drdebug::workloads;
+
+namespace {
+
+TEST(ProfilerMore, ClassifiesAllThreeKinds) {
+  // Deterministic cross-thread sequence on x:
+  //   W_main (pc 2) -> R_t2 (pc 13) -> W_main (pc 8) -> W_t2 (pc 19)
+  // giving observed iRoots of all three kinds.
+  Program P = assembleOrDie(".data x 0\n.data f 0\n"
+                            ".func main\n"
+                            "  spawn r9, t2, r0\n" // 0
+                            "  movi r1, 1\n"       // 1
+                            "  sta r1, @x\n"       // 2: W_main #1
+                            "  sta r1, @f\n"       // 3: f=1, release t2 read
+                            "w:\n"
+                            "  lda r2, @f\n"       // 4
+                            "  movi r3, 2\n"       // 5
+                            "  bne r2, r3, w\n"    // 6: wait f==2
+                            "  movi r4, 5\n"       // 7
+                            "  sta r4, @x\n"       // 8: W_main #2 (after R_t2)
+                            "  movi r5, 3\n"       // 9
+                            "  sta r5, @f\n"       // 10: f=3, release t2 write
+                            "  join r9\n  halt\n.endfunc\n"
+                            ".func t2\n"
+                            "s1:\n"
+                            "  lda r1, @f\n  movi r2, 1\n"
+                            "  bne r1, r2, s1\n"
+                            "  lda r3, @x\n"       // 16: R_t2 (after W_main #1)
+                            "  movi r4, 2\n  sta r4, @f\n"
+                            "s2:\n"
+                            "  lda r5, @f\n  movi r6, 3\n"
+                            "  bne r5, r6, s2\n"
+                            "  movi r7, 9\n"
+                            "  sta r7, @x\n"       // 23: W_t2 (after W_main #2)
+                            "  ret\n.endfunc\n");
+  RoundRobinScheduler Sched(2);
+  Machine M(P);
+  M.setScheduler(&Sched);
+  IRootProfiler Prof;
+  M.addObserver(&Prof);
+  ASSERT_EQ(M.run(), Machine::StopReason::Halted);
+
+  // Find the actual pcs of the x accesses instead of hard-coding them.
+  uint64_t XAddr = P.findGlobal("x")->Addr;
+  std::vector<std::pair<uint64_t, bool>> XAccessPcs; // (pc, isWrite)
+  for (uint64_t Pc = 0; Pc != P.size(); ++Pc) {
+    const Instruction &I = P.inst(Pc);
+    if ((I.Op == Opcode::LdA || I.Op == Opcode::StA) &&
+        I.Imm == static_cast<int64_t>(XAddr))
+      XAccessPcs.emplace_back(Pc, I.Op == Opcode::StA);
+  }
+  ASSERT_EQ(XAccessPcs.size(), 4u);
+  uint64_t WMain1 = XAccessPcs[0].first;
+  uint64_t WMain2 = XAccessPcs[1].first;
+  uint64_t RT2 = XAccessPcs[2].first;
+  uint64_t WT2 = XAccessPcs[3].first;
+
+  auto Has = [&](uint64_t A, uint64_t B, IRoot::Kind K) {
+    IRoot R;
+    R.PcA = A;
+    R.PcB = B;
+    R.K = K;
+    return Prof.observed().count(R) == 1;
+  };
+  EXPECT_TRUE(Has(WMain1, RT2, IRoot::Kind::WriteRead));
+  EXPECT_TRUE(Has(RT2, WMain2, IRoot::Kind::ReadWrite));
+  EXPECT_TRUE(Has(WMain2, WT2, IRoot::Kind::WriteWrite));
+}
+
+TEST(ProfilerMore, ObservationsAccumulateAcrossRuns) {
+  Program P = assembleOrDie(".data x 0\n"
+                            ".func main\n"
+                            "  spawn r1, w, r0\n"
+                            "  movi r2, 1\n  sta r2, @x\n"
+                            "  join r1\n  halt\n.endfunc\n"
+                            ".func w\n  lda r1, @x\n  ret\n.endfunc\n");
+  IRootProfiler Prof;
+  size_t AfterFirst = 0;
+  for (int Run = 0; Run != 4; ++Run) {
+    Prof.resetRunState();
+    RandomScheduler Sched(Run + 1, 1, 2);
+    Machine M(P);
+    M.setScheduler(&Sched);
+    M.addObserver(&Prof);
+    M.run();
+    if (Run == 0)
+      AfterFirst = Prof.observed().size();
+  }
+  // Different interleavings can only add observations, never remove.
+  EXPECT_GE(Prof.observed().size(), AfterFirst);
+}
+
+TEST(ProfilerMore, PredictionsExcludeAlreadyObserved) {
+  IRootProfiler Prof;
+  // Drive both orders of the same conflict: after observing A->B and B->A,
+  // no candidate remains for that pair.
+  Program P = assembleOrDie(".data x 0\n.data f 0\n"
+                            ".func main\n"
+                            "  spawn r9, t2, r0\n"
+                            "  movi r1, 1\n  sta r1, @x\n" // W at pc 2
+                            "  sta r1, @f\n"
+                            "w:\n  lda r2, @f\n  movi r3, 2\n"
+                            "  bne r2, r3, w\n"
+                            "  sta r1, @x\n"               // W again at pc 7
+                            "  join r9\n  halt\n.endfunc\n"
+                            ".func t2\n"
+                            "s:\n  lda r1, @f\n  beq r1, r0, s\n"
+                            "  movi r2, 3\n  sta r2, @x\n" // W_t2
+                            "  movi r3, 2\n  sta r3, @f\n"
+                            "  ret\n.endfunc\n");
+  RoundRobinScheduler Sched(2);
+  Machine M(P);
+  M.setScheduler(&Sched);
+  M.addObserver(&Prof);
+  M.run();
+  for (const IRoot &Candidate : Prof.predictCandidates())
+    EXPECT_EQ(Prof.observed().count(Candidate), 0u)
+        << "predicted an already-observed iRoot: " << Candidate.str();
+}
+
+TEST(ActiveSchedulerMore, GivesUpWhenOnlyDelayedThreadsRemain) {
+  // Candidate whose PcA never executes: the delayed thread must still
+  // finish (periodic release + only-PcB fallback), no livelock.
+  Program P = assembleOrDie(".data x 0\n"
+                            ".func main\n"
+                            "  spawn r1, w, r0\n"
+                            "  join r1\n"
+                            "  halt\n.endfunc\n"
+                            ".func w\n"
+                            "  lda r1, @x\n" // pc 4: PcB
+                            "  ret\n.endfunc\n");
+  IRoot Candidate;
+  Candidate.PcA = 999; // never executed
+  Candidate.PcB = 4;
+  ActiveScheduler Sched(Candidate, 3);
+  Machine M(P);
+  M.setScheduler(&Sched);
+  EXPECT_EQ(M.run(100000), Machine::StopReason::Halted);
+  EXPECT_FALSE(Sched.forcedOrder());
+}
+
+TEST(ActiveSchedulerMore, PeriodicReleaseKeepsDependentProgress) {
+  // PcA is *causally after* the delayed PcB thread's work (the pbzip2
+  // shape): without periodic release this would livelock.
+  RaceBugScale Scale;
+  Scale.PreWork = 20;
+  Scale.Items = 4;
+  Program P = makePbzip2Analog(Scale);
+  // Find the compressor's mutvalid load (PcB) and main's destroy (PcA).
+  uint64_t LoadPc = ~0ULL, StorePc = ~0ULL;
+  const GlobalVar *MutValid = P.findGlobal("mutvalid");
+  for (uint64_t Pc = 0; Pc != P.size(); ++Pc) {
+    const Instruction &I = P.inst(Pc);
+    if (I.Op == Opcode::LdA && I.Imm == (int64_t)MutValid->Addr)
+      LoadPc = Pc;
+    if (I.Op == Opcode::StA && I.Imm == (int64_t)MutValid->Addr)
+      StorePc = Pc;
+  }
+  ASSERT_NE(LoadPc, ~0ULL);
+  ASSERT_NE(StorePc, ~0ULL);
+  IRoot Candidate;
+  Candidate.PcA = StorePc;
+  Candidate.PcB = LoadPc;
+  Candidate.K = IRoot::Kind::WriteRead;
+  ActiveScheduler Sched(Candidate, 11);
+  Machine M(P);
+  M.setScheduler(&Sched);
+  Machine::StopReason Reason = M.run(3'000'000);
+  EXPECT_EQ(Reason, Machine::StopReason::AssertFailed)
+      << "forcing destroy-before-use must expose the pbzip2 bug, got "
+      << stopReasonName(Reason);
+}
+
+TEST(MapleMore, ExposesAgetLostUpdate) {
+  RaceBugScale Scale;
+  Scale.PreWork = 20;
+  Scale.Items = 4;
+  Program P = makeAgetAnalog(Scale);
+  MapleOptions Opts;
+  Opts.ProfileRuns = 3;
+  Opts.MaxAttempts = 128;
+  Opts.Seed = 2;
+  MapleResult Result = mapleExposeAndRecord(P, Opts);
+  ASSERT_TRUE(Result.Exposed);
+  Replayer Rep(Result.Pb);
+  ASSERT_TRUE(Rep.valid());
+  EXPECT_EQ(Rep.run(), Machine::StopReason::AssertFailed);
+}
+
+TEST(MapleMore, CandidateListIsDeterministic) {
+  Program P = makeAgetAnalog();
+  auto Observe = [&] {
+    IRootProfiler Prof;
+    for (int Run = 0; Run != 2; ++Run) {
+      Prof.resetRunState();
+      RandomScheduler Sched(Run + 5, 1, 3);
+      Machine M(P);
+      M.setScheduler(&Sched);
+      M.addObserver(&Prof);
+      M.run(2'000'000);
+    }
+    return Prof.predictCandidates();
+  };
+  auto A = Observe();
+  auto B = Observe();
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I != A.size(); ++I)
+    EXPECT_EQ(A[I], B[I]);
+}
+
+} // namespace

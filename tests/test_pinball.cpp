@@ -1,0 +1,129 @@
+//===- tests/test_pinball.cpp - Pinball serialization tests -----------------===//
+
+#include "replay/pinball.h"
+#include "test_util.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+using namespace drdebug;
+using namespace drdebug::testutil;
+
+namespace {
+
+class PinballTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Dir = std::filesystem::temp_directory_path() /
+          ("drdebug_pinball_test_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(Dir);
+  }
+  void TearDown() override { std::filesystem::remove_all(Dir); }
+  std::filesystem::path Dir;
+};
+
+Pinball makeSamplePinball() {
+  Program P = assembleOrDie(".data g 3\n.func main\n  nop\n  halt\n.endfunc\n");
+  RoundRobinScheduler Sched(1);
+  Machine M(P);
+  M.setScheduler(&Sched);
+  M.run(1);
+
+  Pinball Pb;
+  Pb.ProgramText = P.SourceText;
+  Pb.StartState = M.snapshot();
+  Pb.appendStep(0);
+  Pb.appendStep(0);
+  Pb.appendStep(1);
+  Pb.appendInject(0);
+  Pb.appendStep(0);
+  Pb.Syscalls.push_back({0, Opcode::SysRead, 42});
+  Pb.Syscalls.push_back({1, Opcode::SysRand, -5});
+  Injection Inj;
+  Inj.Id = 0;
+  Inj.Tid = 1;
+  Inj.ResumePc = 7;
+  Inj.MemWrites = {{100, 1}, {200, -2}};
+  Inj.RegWrites = {{3, 9}};
+  Pb.Injections.push_back(Inj);
+  Pb.Meta["kind"] = "slice";
+  Pb.Meta["note"] = "sample";
+  return Pb;
+}
+
+TEST_F(PinballTest, StepCoalescing) {
+  Pinball Pb;
+  Pb.appendStep(0);
+  Pb.appendStep(0);
+  Pb.appendStep(1);
+  Pb.appendStep(0);
+  ASSERT_EQ(Pb.Schedule.size(), 3u);
+  EXPECT_EQ(Pb.Schedule[0].Count, 2u);
+  EXPECT_EQ(Pb.instructionCount(), 4u);
+}
+
+TEST_F(PinballTest, InjectBreaksCoalescing) {
+  Pinball Pb;
+  Pb.appendStep(0);
+  Pb.appendInject(5);
+  Pb.appendStep(0);
+  ASSERT_EQ(Pb.Schedule.size(), 3u);
+  EXPECT_EQ(Pb.Schedule[1].K, ScheduleEvent::Kind::Inject);
+  EXPECT_EQ(Pb.Schedule[1].InjectId, 5u);
+}
+
+TEST_F(PinballTest, SaveLoadRoundTrip) {
+  Pinball Pb = makeSamplePinball();
+  std::string Error;
+  ASSERT_TRUE(Pb.save(Dir.string(), Error)) << Error;
+
+  Pinball Loaded;
+  ASSERT_TRUE(Loaded.load(Dir.string(), Error)) << Error;
+
+  EXPECT_EQ(Loaded.ProgramText, Pb.ProgramText);
+  EXPECT_TRUE(Loaded.StartState == Pb.StartState);
+  ASSERT_EQ(Loaded.Schedule.size(), Pb.Schedule.size());
+  for (size_t I = 0; I != Pb.Schedule.size(); ++I) {
+    EXPECT_EQ(Loaded.Schedule[I].K, Pb.Schedule[I].K);
+    EXPECT_EQ(Loaded.Schedule[I].Tid, Pb.Schedule[I].Tid);
+    EXPECT_EQ(Loaded.Schedule[I].Count, Pb.Schedule[I].Count);
+  }
+  ASSERT_EQ(Loaded.Syscalls.size(), 2u);
+  EXPECT_EQ(Loaded.Syscalls[0].Value, 42);
+  EXPECT_EQ(Loaded.Syscalls[1].Op, Opcode::SysRand);
+  ASSERT_EQ(Loaded.Injections.size(), 1u);
+  EXPECT_EQ(Loaded.Injections[0].ResumePc, 7u);
+  ASSERT_EQ(Loaded.Injections[0].MemWrites.size(), 2u);
+  EXPECT_EQ(Loaded.Injections[0].MemWrites[1].second, -2);
+  ASSERT_EQ(Loaded.Injections[0].RegWrites.size(), 1u);
+  EXPECT_EQ(Loaded.Injections[0].RegWrites[0].first, 3u);
+  EXPECT_EQ(Loaded.Meta.at("kind"), "slice");
+  EXPECT_EQ(Loaded.Meta.at("note"), "sample");
+}
+
+TEST_F(PinballTest, DiskSizeIsPositiveAfterSave) {
+  Pinball Pb = makeSamplePinball();
+  std::string Error;
+  ASSERT_TRUE(Pb.save(Dir.string(), Error)) << Error;
+  EXPECT_GT(Pinball::diskSizeBytes(Dir.string()), 0u);
+}
+
+TEST_F(PinballTest, LoadFromMissingDirectoryFails) {
+  Pinball Pb;
+  std::string Error;
+  EXPECT_FALSE(Pb.load((Dir / "nope").string(), Error));
+  EXPECT_FALSE(Error.empty());
+}
+
+TEST_F(PinballTest, NoResumeSentinelSurvivesRoundTrip) {
+  Pinball Pb = makeSamplePinball();
+  Pb.Injections[0].ResumePc = Injection::NoResume;
+  std::string Error;
+  ASSERT_TRUE(Pb.save(Dir.string(), Error)) << Error;
+  Pinball Loaded;
+  ASSERT_TRUE(Loaded.load(Dir.string(), Error)) << Error;
+  EXPECT_EQ(Loaded.Injections[0].ResumePc, Injection::NoResume);
+}
+
+} // namespace

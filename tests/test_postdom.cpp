@@ -1,0 +1,113 @@
+//===- tests/test_postdom.cpp - Post-dominator tests -------------------------===//
+
+#include "analysis/postdom.h"
+
+#include <gtest/gtest.h>
+
+using namespace drdebug;
+
+namespace {
+
+using Graph = std::vector<std::vector<uint32_t>>;
+
+TEST(PostDom, EmptyGraph) {
+  EXPECT_TRUE(computeImmediatePostDominators({}).empty());
+}
+
+TEST(PostDom, SingleNode) {
+  Graph G = {{}};
+  auto IP = computeImmediatePostDominators(G);
+  ASSERT_EQ(IP.size(), 1u);
+  EXPECT_EQ(IP[0], PostDomExit);
+}
+
+TEST(PostDom, Chain) {
+  Graph G = {{1}, {2}, {}};
+  auto IP = computeImmediatePostDominators(G);
+  EXPECT_EQ(IP[0], 1u);
+  EXPECT_EQ(IP[1], 2u);
+  EXPECT_EQ(IP[2], PostDomExit);
+}
+
+TEST(PostDom, Diamond) {
+  // 0 -> {1,2}; 1 -> 3; 2 -> 3; 3 -> exit.
+  Graph G = {{1, 2}, {3}, {3}, {}};
+  auto IP = computeImmediatePostDominators(G);
+  EXPECT_EQ(IP[0], 3u);
+  EXPECT_EQ(IP[1], 3u);
+  EXPECT_EQ(IP[2], 3u);
+  EXPECT_EQ(IP[3], PostDomExit);
+}
+
+TEST(PostDom, NestedDiamonds) {
+  // Outer: 0 -> {1, 6}; inner diamond at 1: 1 -> {2,3} -> 4 -> 5; 6 -> 5;
+  // 5 -> exit.
+  Graph G = {{1, 6}, {2, 3}, {4}, {4}, {5}, {}, {5}};
+  auto IP = computeImmediatePostDominators(G);
+  EXPECT_EQ(IP[0], 5u);
+  EXPECT_EQ(IP[1], 4u);
+  EXPECT_EQ(IP[2], 4u);
+  EXPECT_EQ(IP[3], 4u);
+  EXPECT_EQ(IP[4], 5u);
+  EXPECT_EQ(IP[5], PostDomExit);
+  EXPECT_EQ(IP[6], 5u);
+}
+
+TEST(PostDom, NaturalLoop) {
+  // 0: body; 1: cond branch back to 0 or to 2; 2: exit block.
+  Graph G = {{1}, {0, 2}, {}};
+  auto IP = computeImmediatePostDominators(G);
+  EXPECT_EQ(IP[0], 1u);
+  EXPECT_EQ(IP[1], 2u);
+  EXPECT_EQ(IP[2], PostDomExit);
+}
+
+TEST(PostDom, SelfLoopCannotReachExit) {
+  Graph G = {{0}};
+  auto IP = computeImmediatePostDominators(G);
+  EXPECT_EQ(IP[0], PostDomExit);
+}
+
+TEST(PostDom, BranchWithEarlyExit) {
+  // 0 -> {1, 2}; 1 -> exit (return); 2 -> 3; 3 -> exit.
+  // Nothing (but exit) post-dominates 0.
+  Graph G = {{1, 2}, {}, {3}, {}};
+  auto IP = computeImmediatePostDominators(G);
+  EXPECT_EQ(IP[0], PostDomExit);
+  EXPECT_EQ(IP[2], 3u);
+}
+
+TEST(PostDom, ExplicitExitSuccessor) {
+  // A successor entry equal to PostDomExit denotes the virtual exit.
+  Graph G = {{1, PostDomExit}, {}};
+  auto IP = computeImmediatePostDominators(G);
+  EXPECT_EQ(IP[0], PostDomExit);
+  EXPECT_EQ(IP[1], PostDomExit);
+}
+
+/// Property over a family of "switch" graphs: node 0 fans out to K cases
+/// that all join at the last node; the join immediately post-dominates the
+/// fan-out node regardless of K.
+class SwitchPostDomTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SwitchPostDomTest, JoinPostDominatesFanOut) {
+  unsigned K = GetParam();
+  Graph G(K + 2);
+  uint32_t Join = K + 1;
+  for (unsigned Case = 1; Case <= K; ++Case) {
+    G[0].push_back(Case);
+    G[Case] = {Join};
+  }
+  G[Join] = {};
+  auto IP = computeImmediatePostDominators(G);
+  EXPECT_EQ(IP[0], Join);
+  for (unsigned Case = 1; Case <= K; ++Case)
+    EXPECT_EQ(IP[Case], Join);
+}
+
+// K = 1 is excluded: with a single case the case node itself, not the join,
+// is the fan-out's immediate post-dominator.
+INSTANTIATE_TEST_SUITE_P(FanOuts, SwitchPostDomTest,
+                         ::testing::Values(2, 3, 5, 8, 16));
+
+} // namespace

@@ -1,0 +1,341 @@
+//===- tests/test_properties.cpp - Random-program property sweeps ------------===//
+//
+// Property-based tests: every invariant below must hold for arbitrary
+// generated programs under arbitrary scheduler seeds.
+//
+//===----------------------------------------------------------------------===//
+
+#include "replay/logger.h"
+#include "replay/relogger.h"
+#include "replay/replayer.h"
+#include "slicing/slicer.h"
+#include "test_util.h"
+#include "workloads/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+using namespace drdebug;
+using namespace drdebug::testutil;
+using namespace drdebug::workloads;
+
+namespace {
+
+constexpr uint64_t StepBudget = 400'000;
+
+struct Case {
+  uint64_t ProgramSeed;
+  uint64_t SchedulerSeed;
+};
+
+class PropertyTest : public ::testing::TestWithParam<Case> {
+protected:
+  Program P;
+  /// Bounded shapes: call-DAG depth multiplies loop costs, so keep the
+  /// generated programs at tens-of-thousands of instructions — large
+  /// enough to be interesting, small enough that tracing-based properties
+  /// stay fast.
+  static GeneratorOptions boundedOptions() {
+    GeneratorOptions Opts;
+    Opts.NumFunctions = 3;
+    Opts.MaxBodyLen = 10;
+    Opts.MaxThreads = 2;
+    return Opts;
+  }
+  void SetUp() override {
+    P = generateRandomProgram(GetParam().ProgramSeed, boundedOptions());
+  }
+  std::unique_ptr<RandomScheduler> sched() {
+    return std::make_unique<RandomScheduler>(GetParam().SchedulerSeed, 1, 3);
+  }
+  std::unique_ptr<DefaultSyscalls> world() {
+    auto W = std::make_unique<DefaultSyscalls>(GetParam().SchedulerSeed + 7);
+    W->setInput({1, -2, 3, 5, 8});
+    return W;
+  }
+};
+
+/// Generated programs terminate (bounded loops, DAG calls, one mutex).
+TEST_P(PropertyTest, GeneratedProgramTerminates) {
+  auto S = sched();
+  auto W = world();
+  Machine M(P);
+  M.setScheduler(S.get());
+  M.setSyscalls(W.get());
+  Machine::StopReason Reason = M.run(StepBudget);
+  EXPECT_TRUE(Reason == Machine::StopReason::Halted ||
+              Reason == Machine::StopReason::AssertFailed)
+      << stopReasonName(Reason);
+}
+
+/// Logging then replaying reproduces the exact instruction/value stream.
+TEST_P(PropertyTest, ReplayReproducesExecution) {
+  uint64_t OriginalHash, OriginalCount;
+  {
+    auto S = sched();
+    auto W = world();
+    Machine M(P);
+    M.setScheduler(S.get());
+    M.setSyscalls(W.get());
+    TraceHashObserver H;
+    M.addObserver(&H);
+    M.run(StepBudget);
+    OriginalHash = H.hash();
+    OriginalCount = H.count();
+  }
+  auto S = sched();
+  auto W = world();
+  LogResult Log = Logger::logWholeProgram(P, *S, W.get());
+  Replayer Rep(Log.Pb);
+  ASSERT_TRUE(Rep.valid()) << Rep.error();
+  TraceHashObserver H;
+  Rep.machine().addObserver(&H);
+  Rep.run();
+  EXPECT_EQ(H.hash(), OriginalHash);
+  EXPECT_EQ(H.count(), OriginalCount);
+}
+
+/// Replaying twice produces identical final states.
+TEST_P(PropertyTest, ReplayIsIdempotent) {
+  auto S = sched();
+  auto W = world();
+  LogResult Log = Logger::logWholeProgram(P, *S, W.get());
+  MachineState States[2];
+  for (int I = 0; I != 2; ++I) {
+    Replayer Rep(Log.Pb);
+    ASSERT_TRUE(Rep.valid());
+    Rep.run();
+    States[I] = Rep.machine().snapshot();
+  }
+  EXPECT_TRUE(States[0] == States[1]);
+}
+
+/// Mid-region snapshots restore exactly.
+TEST_P(PropertyTest, SnapshotRoundTripsMidExecution) {
+  auto S = sched();
+  auto W = world();
+  Machine M(P);
+  M.setScheduler(S.get());
+  M.setSyscalls(W.get());
+  M.run(50);
+  MachineState Snap = M.snapshot();
+  Machine M2(P);
+  M2.restore(Snap);
+  EXPECT_TRUE(M2.snapshot() == Snap);
+}
+
+/// Slices are closed under their recorded dependence edges, and every
+/// member lies at or before the criterion.
+TEST_P(PropertyTest, SlicesAreClosedAndBackward) {
+  auto S = sched();
+  auto W = world();
+  LogResult Log = Logger::logWholeProgram(P, *S, W.get());
+  if (Log.Pb.instructionCount() == 0)
+    GTEST_SKIP() << "empty region";
+  SliceSession Session(Log.Pb);
+  std::string Error;
+  ASSERT_TRUE(Session.prepare(Error)) << Error;
+  auto Criteria = Session.lastLoadCriteria(3);
+  for (const SliceCriterion &C : Criteria) {
+    auto Sl = Session.computeSlice(C);
+    ASSERT_TRUE(Sl.has_value());
+    for (const DepEdge &E : Sl->Edges) {
+      EXPECT_TRUE(Sl->contains(E.FromPos));
+      EXPECT_TRUE(Sl->contains(E.ToPos));
+      EXPECT_LT(E.ToPos, E.FromPos);
+    }
+    for (uint32_t Pos : Sl->Positions)
+      EXPECT_LE(Pos, Sl->CriterionPos);
+  }
+}
+
+/// The LP traversal result does not depend on the block size.
+TEST_P(PropertyTest, LpBlockSizeInvariance) {
+  auto S = sched();
+  auto W = world();
+  LogResult Log = Logger::logWholeProgram(P, *S, W.get());
+  if (Log.Pb.instructionCount() == 0)
+    GTEST_SKIP() << "empty region";
+  std::vector<uint32_t> Baseline;
+  for (size_t BS : {size_t(3), size_t(64), size_t(1) << 20}) {
+    SliceSessionOptions Opts;
+    Opts.BlockSize = BS;
+    SliceSession Session(Log.Pb, Opts);
+    std::string Error;
+    ASSERT_TRUE(Session.prepare(Error)) << Error;
+    auto Criteria = Session.lastLoadCriteria(1);
+    if (Criteria.empty())
+      GTEST_SKIP() << "no loads";
+    auto Sl = Session.computeSlice(Criteria[0]);
+    ASSERT_TRUE(Sl.has_value());
+    if (Baseline.empty())
+      Baseline = Sl->Positions;
+    else
+      EXPECT_EQ(Sl->Positions, Baseline) << "block size " << BS;
+  }
+}
+
+/// The clustered topological merge honors every happens-before edge.
+TEST_P(PropertyTest, GlobalTraceIsAValidTopologicalOrder) {
+  auto S = sched();
+  auto W = world();
+  LogResult Log = Logger::logWholeProgram(P, *S, W.get());
+  if (Log.Pb.instructionCount() == 0)
+    GTEST_SKIP() << "empty region";
+  SliceSession Session(Log.Pb);
+  std::string Error;
+  ASSERT_TRUE(Session.prepare(Error)) << Error;
+  const TraceSet &TS = Session.traces();
+  const GlobalTrace &GT = Session.globalTrace();
+  // Program order.
+  for (const ThreadTrace &T : TS.threads())
+    for (size_t I = 1; I < T.Entries.size(); ++I)
+      EXPECT_LT(GT.posOf(T.Tid, static_cast<uint32_t>(I - 1)),
+                GT.posOf(T.Tid, static_cast<uint32_t>(I)));
+  // Shared-memory access order.
+  for (const OrderEdge &E : TS.orderEdges()) {
+    if (E.FromIdx >= TS.threads()[E.FromTid].Entries.size() ||
+        E.ToIdx >= TS.threads()[E.ToTid].Entries.size())
+      continue;
+    EXPECT_LT(GT.posOf(E.FromTid, E.FromIdx), GT.posOf(E.ToTid, E.ToIdx));
+  }
+}
+
+/// Slicing over the merged order and slicing over the true recorded order
+/// find the same data dependences (the merge preserves last-writers).
+TEST_P(PropertyTest, MergedOrderPreservesSlices) {
+  auto S = sched();
+  auto W = world();
+  LogResult Log = Logger::logWholeProgram(P, *S, W.get());
+  if (Log.Pb.instructionCount() == 0)
+    GTEST_SKIP() << "empty region";
+  if (Log.Pb.instructionCount() > 50'000)
+    GTEST_SKIP() << "trace too large for the quadratic oracle";
+  SliceSession Session(Log.Pb);
+  std::string Error;
+  ASSERT_TRUE(Session.prepare(Error)) << Error;
+  auto Criteria = Session.lastLoadCriteria(2);
+  const TraceSet &TS = Session.traces();
+  const GlobalTrace &GT = Session.globalTrace();
+
+  // Last writer of each location per *recorded* (true) order position.
+  // Maps (tid, local) -> recorded position.
+  std::map<std::pair<uint32_t, uint32_t>, size_t> RecordedPos;
+  const auto &TrueOrder = TS.recordedOrder();
+  for (size_t I = 0; I != TrueOrder.size(); ++I)
+    RecordedPos[{TrueOrder[I].Tid, TrueOrder[I].LocalIdx}] = I;
+  auto LastWriterBefore = [&](Location Loc, size_t RecPos) -> int64_t {
+    for (size_t I = RecPos; I-- > 0;) {
+      const GlobalRef &R = TrueOrder[I];
+      const TraceEntry &E = TS.threads()[R.Tid].Entries[R.LocalIdx];
+      for (const auto &D : E.Defs)
+        if (D.Loc == Loc)
+          return static_cast<int64_t>(I);
+    }
+    return -1;
+  };
+
+  for (const SliceCriterion &C : Criteria) {
+    auto Sl = Session.computeSlice(C);
+    ASSERT_TRUE(Sl.has_value());
+    std::set<std::pair<uint32_t, uint32_t>> Members;
+    for (uint32_t Pos : Sl->Positions)
+      Members.insert({GT.ref(Pos).Tid, GT.ref(Pos).LocalIdx});
+    // For every memory use of every slice member, the true-order last
+    // writer (when inside the region) must itself be a slice member —
+    // i.e. the merged order resolved the same producer.
+    size_t CheckedMembers = 0;
+    for (uint32_t Pos : Sl->Positions) {
+      if (++CheckedMembers > 300)
+        break; // the oracle is O(n) per use; sample the members
+      const GlobalRef &R = GT.ref(Pos);
+      const TraceEntry &E = GT.entry(Pos);
+      size_t RecPos = RecordedPos.at({R.Tid, R.LocalIdx});
+      for (const auto &U : E.Uses) {
+        if (isRegLoc(U.Loc))
+          continue;
+        int64_t W = LastWriterBefore(U.Loc, RecPos);
+        if (W < 0)
+          continue; // defined before the region
+        const GlobalRef &Writer = TrueOrder[static_cast<size_t>(W)];
+        EXPECT_TRUE(Members.count({Writer.Tid, Writer.LocalIdx}))
+            << "true last writer of " << locName(U.Loc) << " missing";
+      }
+    }
+  }
+}
+
+/// Excluding a random chunk and injecting its side effects leaves the final
+/// state unchanged — for a *single-threaded* program, where the injection
+/// point is always the very next executed instruction. (With concurrency
+/// this only holds for dependence-closed exclusions, which the slice-based
+/// tests cover: an arbitrary chunk's effects could be read by another
+/// thread before the injection lands.)
+TEST_P(PropertyTest, RandomExclusionPreservesIncludedValues) {
+  GeneratorOptions Opts = boundedOptions();
+  Opts.MaxThreads = 0;
+  Program P = generateRandomProgram(GetParam().ProgramSeed, Opts);
+  auto S = sched();
+  auto W = world();
+  LogResult Log = Logger::logWholeProgram(P, *S, W.get());
+  uint64_t Total = Log.Pb.instructionCount();
+  if (Total < 20)
+    GTEST_SKIP() << "region too small";
+
+  // Choose a chunk of thread 0 to exclude, avoiding Spawn instructions.
+  Replayer Scan(Log.Pb);
+  ASSERT_TRUE(Scan.valid());
+  struct Collect : Observer {
+    std::vector<std::pair<uint64_t, Opcode>> MainOps;
+    void onExec(const Machine &, const ExecRecord &R) override {
+      if (R.Tid == 0)
+        MainOps.emplace_back(R.PerThreadIndex, R.Inst->Op);
+    }
+  } Ops;
+  Scan.machine().addObserver(&Ops);
+  Scan.run();
+  if (Ops.MainOps.size() < 10)
+    GTEST_SKIP() << "main thread too short";
+
+  Rng Rand(GetParam().ProgramSeed * 31 + GetParam().SchedulerSeed);
+  // Try a few random chunks until one avoids Spawn.
+  for (int Attempt = 0; Attempt != 8; ++Attempt) {
+    size_t Lo = Rand.below(Ops.MainOps.size() - 4);
+    size_t Hi = Lo + 1 + Rand.below(4);
+    bool HasSpawn = false;
+    for (size_t I = Lo; I != Hi; ++I)
+      if (Ops.MainOps[I].second == Opcode::Spawn)
+        HasSpawn = true;
+    if (HasSpawn)
+      continue;
+
+    ExclusionRegion Excl;
+    Excl.Tid = 0;
+    Excl.BeginIndex = Ops.MainOps[Lo].first;
+    Excl.EndIndex = Ops.MainOps[Hi - 1].first + 1;
+    Pinball Slice;
+    std::string Error;
+    ASSERT_TRUE(Relogger::relog(Log.Pb, {Excl}, Slice, Error)) << Error;
+
+    // Final memory must agree between full replay and excluded replay.
+    Replayer Full(Log.Pb), Part(Slice);
+    ASSERT_TRUE(Full.valid() && Part.valid());
+    Full.run();
+    Part.run();
+    EXPECT_EQ(Part.machine().mem().words(), Full.machine().mem().words())
+        << "exclusion [" << Excl.BeginIndex << "," << Excl.EndIndex << ")";
+    return;
+  }
+  GTEST_SKIP() << "no spawn-free chunk found";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PropertyTest,
+    ::testing::Values(Case{1, 1}, Case{1, 2}, Case{2, 1}, Case{3, 7},
+                      Case{4, 3}, Case{5, 5}, Case{6, 11}, Case{7, 2},
+                      Case{8, 9}, Case{9, 4}, Case{10, 13}, Case{11, 1},
+                      Case{12, 6}, Case{13, 8}, Case{14, 10}, Case{15, 15}));
+
+} // namespace

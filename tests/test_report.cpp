@@ -1,0 +1,136 @@
+//===- tests/test_report.cpp - Slice report rendering tests -------------------===//
+
+#include "debugger/session.h"
+#include "replay/logger.h"
+#include "slicing/report.h"
+#include "slicing/slicer.h"
+#include "test_util.h"
+#include "workloads/figure5.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace drdebug;
+using namespace drdebug::testutil;
+using namespace drdebug::workloads;
+
+namespace {
+
+struct Prepared {
+  std::unique_ptr<SliceSession> S;
+  Slice Sl;
+  Figure5Lines Lines;
+
+  Prepared() {
+    Program P = makeFigure5(&Lines);
+    RoundRobinScheduler Sched(3);
+    LogResult Log = Logger::logWholeProgram(P, Sched);
+    S = std::make_unique<SliceSession>(Log.Pb);
+    std::string Error;
+    EXPECT_TRUE(S->prepare(Error)) << Error;
+    auto C = S->failureCriterion();
+    EXPECT_TRUE(C.has_value());
+    Sl = *S->computeSlice(*C);
+  }
+};
+
+TEST(SliceReport, TextMarksSliceAndCriterionLines) {
+  Prepared P;
+  std::ostringstream OS;
+  writeSliceReportText(OS, P.S->program(), P.S->globalTrace(), P.Sl);
+  std::string Text = OS.str();
+  // Header counts.
+  EXPECT_NE(Text.find("dynamic slice: " + std::to_string(P.Sl.dynamicSize())),
+            std::string::npos);
+  // The racy write's line is starred; grab that source line's text.
+  std::istringstream IS(Text);
+  std::string Line;
+  bool SawStarredRacyWrite = false, SawCriterionMark = false;
+  while (std::getline(IS, Line)) {
+    if (Line.rfind("*", 0) == 0) {
+      if (Line.find("\t  sta r3, @x") != std::string::npos)
+        SawStarredRacyWrite = true;
+      if (Line.rfind("*C", 0) == 0 &&
+          Line.find("assert r7") != std::string::npos)
+        SawCriterionMark = true;
+    }
+  }
+  EXPECT_TRUE(SawStarredRacyWrite);
+  EXPECT_TRUE(SawCriterionMark);
+  // Dependence section exists with both kinds.
+  EXPECT_NE(Text.find("[data]"), std::string::npos);
+  EXPECT_NE(Text.find("[ctrl]"), std::string::npos);
+}
+
+TEST(SliceReport, UnrelatedLinesAreNotMarked) {
+  Prepared P;
+  std::ostringstream OS;
+  writeSliceReportText(OS, P.S->program(), P.S->globalTrace(), P.Sl);
+  std::istringstream IS(OS.str());
+  std::string Line;
+  while (std::getline(IS, Line))
+    if (Line.find("sta r4, @junk") != std::string::npos)
+      EXPECT_NE(Line.rfind("*", 0), 0u) << "unrelated line marked: " << Line;
+}
+
+TEST(SliceReport, HtmlHighlightsAndLinks) {
+  Prepared P;
+  std::ostringstream OS;
+  writeSliceReportHtml(OS, P.S->program(), P.S->globalTrace(), P.Sl);
+  std::string Html = OS.str();
+  EXPECT_NE(Html.find("<!DOCTYPE html>"), std::string::npos);
+  EXPECT_NE(Html.find("class=\"line slice\""), std::string::npos);
+  EXPECT_NE(Html.find("class=\"line criterion\""), std::string::npos);
+  // Navigation anchors exist for the racy write's line.
+  EXPECT_NE(Html.find("id=\"L" + std::to_string(P.Lines.RacyWriteLine) + "\""),
+            std::string::npos);
+  EXPECT_NE(Html.find("href=\"#L"), std::string::npos);
+}
+
+TEST(SliceReport, HtmlEscapesSource) {
+  // A program whose source contains HTML-special characters (via comments).
+  Program P = assembleOrDie(".data g 0\n"
+                            ".func main\n"
+                            "  movi r1, 1 ; a < b & c > d\n"
+                            "  sta r1, @g\n"
+                            "  halt\n.endfunc\n");
+  RoundRobinScheduler Sched(1);
+  LogResult Log = Logger::logWholeProgram(P, Sched);
+  SliceSession S(Log.Pb);
+  std::string Error;
+  ASSERT_TRUE(S.prepare(Error)) << Error;
+  SliceCriterion C;
+  C.Tid = 0;
+  C.Pc = 1;
+  auto Sl = S.computeSlice(C);
+  ASSERT_TRUE(Sl);
+  std::ostringstream OS;
+  writeSliceReportHtml(OS, S.program(), S.globalTrace(), *Sl);
+  EXPECT_NE(OS.str().find("a &lt; b &amp; c &gt; d"), std::string::npos);
+}
+
+TEST(SliceReport, DebuggerSliceReportCommand) {
+  namespace fs = std::filesystem;
+  auto Path = fs::temp_directory_path() / "drdebug_slice_report.html";
+  fs::remove(Path);
+
+  Program P = makeFigure5(nullptr);
+  std::ostringstream Out;
+  DebugSession S(Out);
+  S.loadProgramText(P.SourceText);
+  S.runScript({"record failure", "slice fail",
+               "slice report " + Path.string()});
+  EXPECT_NE(Out.str().find("slice report written"), std::string::npos)
+      << Out.str();
+  std::ifstream IS(Path);
+  ASSERT_TRUE(IS.good());
+  std::ostringstream Buf;
+  Buf << IS.rdbuf();
+  EXPECT_NE(Buf.str().find("DrDebug slice"), std::string::npos);
+  fs::remove(Path);
+}
+
+} // namespace

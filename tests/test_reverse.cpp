@@ -1,0 +1,171 @@
+//===- tests/test_reverse.cpp - Reverse debugging tests -----------------------===//
+
+#include "replay/checkpoints.h"
+#include "replay/logger.h"
+#include "test_util.h"
+#include "workloads/figure5.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "debugger/session.h"
+
+using namespace drdebug;
+using namespace drdebug::testutil;
+using namespace drdebug::workloads;
+
+namespace {
+
+Pinball recordCounter(unsigned Iters) {
+  std::ostringstream Src;
+  Src << ".data g 0\n.func main\n  movi r1, " << Iters << "\n"
+      << "l:\n  lda r2, @g\n  addi r2, r2, 1\n  sta r2, @g\n"
+      << "  subi r1, r1, 1\n  bgt r1, r0, l\n  halt\n.endfunc\n";
+  Program P = assembleOrDie(Src.str());
+  RoundRobinScheduler Sched(1);
+  return Logger::logWholeProgram(P, Sched).Pb;
+}
+
+TEST(Reverse, ForwardSteppingTracksPosition) {
+  Pinball Pb = recordCounter(10);
+  CheckpointedReplay CR(Pb, /*Interval=*/8);
+  ASSERT_TRUE(CR.valid());
+  EXPECT_EQ(CR.position(), 0u);
+  for (int I = 0; I != 5; ++I)
+    EXPECT_TRUE(CR.stepForward());
+  EXPECT_EQ(CR.position(), 5u);
+  EXPECT_EQ(CR.runForward(), Machine::StopReason::Halted);
+  EXPECT_EQ(CR.position(), Pb.instructionCount());
+  EXPECT_TRUE(CR.atEnd());
+  EXPECT_FALSE(CR.stepForward());
+}
+
+TEST(Reverse, StepBackwardRestoresPriorState) {
+  Pinball Pb = recordCounter(10);
+  CheckpointedReplay CR(Pb, 8);
+  ASSERT_TRUE(CR.valid());
+  uint64_t G = CR.program().findGlobal("g")->Addr;
+
+  // Walk forward remembering g's value after every instruction.
+  std::vector<int64_t> History;
+  History.push_back(CR.machine().mem().load(G));
+  while (CR.stepForward())
+    History.push_back(CR.machine().mem().load(G));
+
+  // Now walk all the way back, checking the value at each position.
+  for (uint64_t Pos = CR.position(); Pos-- > 0;) {
+    ASSERT_TRUE(CR.stepBackward());
+    EXPECT_EQ(CR.position(), Pos);
+    EXPECT_EQ(CR.machine().mem().load(G), History[Pos]) << "position " << Pos;
+  }
+  EXPECT_FALSE(CR.stepBackward()) << "cannot step before position 0";
+}
+
+TEST(Reverse, SeekJumpsBothDirections) {
+  Pinball Pb = recordCounter(20);
+  CheckpointedReplay CR(Pb, 16);
+  ASSERT_TRUE(CR.valid());
+  uint64_t End = Pb.instructionCount();
+  ASSERT_TRUE(CR.seek(End));
+  MachineState Final = CR.machine().snapshot();
+
+  ASSERT_TRUE(CR.seek(End / 2));
+  ASSERT_TRUE(CR.seek(3));
+  ASSERT_TRUE(CR.seek(End));
+  EXPECT_TRUE(CR.machine().snapshot() == Final)
+      << "re-reaching the end must reproduce the same state";
+  EXPECT_FALSE(CR.seek(End + 1));
+}
+
+TEST(Reverse, CheckpointsBoundReexecution) {
+  Pinball Pb = recordCounter(200);
+  CheckpointedReplay CR(Pb, /*Interval=*/16);
+  ASSERT_TRUE(CR.valid());
+  CR.runForward();
+  EXPECT_GE(CR.checkpointCount(), Pb.instructionCount() / 16);
+  // One backward step re-executes at most Interval-1 instructions.
+  uint64_t Before = CR.reexecutedInstructions();
+  ASSERT_TRUE(CR.stepBackward());
+  EXPECT_LE(CR.reexecutedInstructions() - Before, 16u);
+}
+
+TEST(Reverse, ReverseFindLocatesLastWriteCondition) {
+  Pinball Pb = recordCounter(10);
+  CheckpointedReplay CR(Pb, 8);
+  ASSERT_TRUE(CR.valid());
+  uint64_t G = CR.program().findGlobal("g")->Addr;
+  CR.runForward();
+  // "When did g last become 5?" — reverse-continue with a watch predicate.
+  uint64_t Pos = CR.reverseFind(
+      [&](Machine &M) { return M.mem().load(G) == 5; });
+  ASSERT_NE(Pos, ~0ULL);
+  EXPECT_EQ(CR.machine().mem().load(G), 5);
+  // One more forward step leaves g != 5 only when the next instruction
+  // writes it; stepping to the found position + full forward replay works.
+  ASSERT_TRUE(CR.seek(Pb.instructionCount()));
+  EXPECT_EQ(CR.machine().mem().load(G), 10);
+}
+
+TEST(Reverse, WorksOnMultithreadedPinballs) {
+  Program P = makeFigure5(nullptr);
+  RoundRobinScheduler Sched(3);
+  LogResult Log = Logger::logWholeProgram(P, Sched);
+  ASSERT_TRUE(Log.FailureCaptured);
+  CheckpointedReplay CR(Log.Pb, 8);
+  ASSERT_TRUE(CR.valid());
+  CR.runForward();
+  EXPECT_TRUE(CR.machine().assertFailed());
+  uint64_t FailPos = CR.position();
+  // Rewind past the failure; the assert flag is part of run-state and the
+  // restored machine no longer reports it.
+  ASSERT_TRUE(CR.seek(FailPos / 2));
+  EXPECT_FALSE(CR.machine().assertFailed());
+  // Forward again: the failure reproduces.
+  ASSERT_TRUE(CR.seek(FailPos));
+  EXPECT_TRUE(CR.machine().assertFailed());
+}
+
+//===----------------------------------------------------------------------===//
+// Debugger integration
+//===----------------------------------------------------------------------===//
+
+TEST(Reverse, DebuggerReverseStepi) {
+  Program P = makeFigure5(nullptr);
+  std::ostringstream Out;
+  DebugSession S(Out);
+  S.loadProgramText(P.SourceText);
+  S.execute("record failure");
+  S.execute("replay");
+  Out.str("");
+  S.execute("reverse-stepi 3");
+  std::string Text = Out.str();
+  EXPECT_NE(Text.find("stepped backwards to position"), std::string::npos)
+      << Text;
+  Out.str("");
+  S.execute("replay-position");
+  EXPECT_NE(Out.str().find("replay position:"), std::string::npos);
+  // Continue forward again to the failure.
+  Out.str("");
+  S.execute("continue");
+  EXPECT_NE(Out.str().find("assertion FAILED"), std::string::npos)
+      << Out.str();
+}
+
+TEST(Reverse, DebuggerReplaySeek) {
+  Program P = makeFigure5(nullptr);
+  std::ostringstream Out;
+  DebugSession S(Out);
+  S.loadProgramText(P.SourceText);
+  S.execute("record failure");
+  S.execute("replay");
+  Out.str("");
+  S.execute("replay-seek 0");
+  EXPECT_NE(Out.str().find("replay position: 0"), std::string::npos)
+      << Out.str();
+  Out.str("");
+  S.execute("replay-seek 5");
+  EXPECT_NE(Out.str().find("replay position: 5"), std::string::npos);
+}
+
+} // namespace

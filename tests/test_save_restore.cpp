@@ -1,0 +1,229 @@
+//===- tests/test_save_restore.cpp - Save/restore pair detection tests ------===//
+
+#include "replay/logger.h"
+#include "replay/replayer.h"
+#include "slicing/save_restore.h"
+#include "test_util.h"
+
+#include <gtest/gtest.h>
+
+using namespace drdebug;
+using namespace drdebug::testutil;
+
+namespace {
+
+TraceSet recordTraces(const Program &P, std::unique_ptr<Program> &Keep) {
+  RoundRobinScheduler Sched(1);
+  LogResult Log = Logger::logWholeProgram(P, Sched, nullptr);
+  Replayer Rep(Log.Pb);
+  EXPECT_TRUE(Rep.valid());
+  Keep = std::make_unique<Program>(Rep.program());
+  TraceSet Traces(*Keep);
+  Rep.machine().addObserver(&Traces);
+  Rep.run();
+  return Traces;
+}
+
+/// Classic callee-save prologue/epilogue.
+Program makeCalleeSaveProgram() {
+  return assembleOrDie(".func main\n"
+                       "  movi r1, 7\n"
+                       "  movi r2, 9\n"
+                       "  call q\n"
+                       "  add r4, r1, r2\n"
+                       "  syswrite r4\n"
+                       "  halt\n.endfunc\n"
+                       ".func q\n"  // entry at pc 6
+                       "  push r1\n" // 6: save r1
+                       "  push r2\n" // 7: save r2
+                       "  movi r1, 100\n"
+                       "  movi r2, 200\n"
+                       "  add r3, r1, r2\n"
+                       "  pop r2\n"  // 11: restore r2
+                       "  pop r1\n"  // 12: restore r1
+                       "  ret\n.endfunc\n");
+}
+
+TEST(SaveRestore, StaticCandidates) {
+  Program P = makeCalleeSaveProgram();
+  SaveRestoreAnalysis SR(P, 10);
+  uint64_t QEntry = P.entryOf("q");
+  EXPECT_EQ(SR.saveCandidates().count(QEntry), 1u);
+  EXPECT_EQ(SR.saveCandidates().count(QEntry + 1), 1u);
+  EXPECT_EQ(SR.saveCandidates().count(QEntry + 2), 0u) << "movi is no save";
+  EXPECT_EQ(SR.restoreCandidates().count(QEntry + 5), 1u);
+  EXPECT_EQ(SR.restoreCandidates().count(QEntry + 6), 1u);
+  // main has no push prologue.
+  EXPECT_EQ(SR.saveCandidates().count(P.entryOf("main")), 0u);
+}
+
+TEST(SaveRestore, MaxSaveCapsCandidates) {
+  Program P = makeCalleeSaveProgram();
+  SaveRestoreAnalysis SR(P, 1);
+  uint64_t QEntry = P.entryOf("q");
+  EXPECT_EQ(SR.saveCandidates().count(QEntry), 1u);
+  EXPECT_EQ(SR.saveCandidates().count(QEntry + 1), 0u) << "capped at 1";
+}
+
+TEST(SaveRestore, VerifiesMatchingPairs) {
+  Program P = makeCalleeSaveProgram();
+  std::unique_ptr<Program> Keep;
+  TraceSet TS = recordTraces(P, Keep);
+  SaveRestoreAnalysis SR(*Keep, 10);
+  SR.run(TS.threads());
+
+  ASSERT_EQ(SR.pairs().size(), 2u);
+  // Pairs are (push r1, pop r1) and (push r2, pop r2) in the same frame.
+  for (const SaveRestorePair &Pair : SR.pairs()) {
+    const auto &E = TS.threads()[0].Entries;
+    EXPECT_EQ(E[Pair.SaveIdx].Op, Opcode::Push);
+    EXPECT_EQ(E[Pair.RestoreIdx].Op, Opcode::Pop);
+    EXPECT_TRUE(SR.isVerifiedRestore(0, Pair.RestoreIdx));
+    EXPECT_EQ(SR.saveOf(0, Pair.RestoreIdx), Pair.SaveIdx);
+  }
+  EXPECT_NE(SR.pairs()[0].Reg, SR.pairs()[1].Reg);
+}
+
+TEST(SaveRestore, ValueMismatchRejectsPair) {
+  // The "restore" pops a different value (the function pushes, overwrites
+  // the slot via sp-relative store, then pops): must NOT verify.
+  Program P = assembleOrDie(".func main\n"
+                            "  movi r1, 7\n"
+                            "  call q\n"
+                            "  syswrite r1\n"
+                            "  halt\n.endfunc\n"
+                            ".func q\n"
+                            "  push r1\n"     // candidate save
+                            "  movi r2, 55\n"
+                            "  st r2, [sp]\n" // clobber the saved slot
+                            "  pop r1\n"      // candidate restore: value 55
+                            "  ret\n.endfunc\n");
+  std::unique_ptr<Program> Keep;
+  TraceSet TS = recordTraces(P, Keep);
+  SaveRestoreAnalysis SR(*Keep, 10);
+  SR.run(TS.threads());
+  EXPECT_TRUE(SR.pairs().empty());
+}
+
+TEST(SaveRestore, RegisterMismatchRejectsPair) {
+  // Pushes r1 but pops into r3: a data move, not a save/restore.
+  Program P = assembleOrDie(".func main\n"
+                            "  movi r1, 7\n"
+                            "  call q\n"
+                            "  syswrite r3\n"
+                            "  halt\n.endfunc\n"
+                            ".func q\n"
+                            "  push r1\n"
+                            "  pop r3\n"
+                            "  ret\n.endfunc\n");
+  std::unique_ptr<Program> Keep;
+  TraceSet TS = recordTraces(P, Keep);
+  SaveRestoreAnalysis SR(*Keep, 10);
+  SR.run(TS.threads());
+  EXPECT_TRUE(SR.pairs().empty());
+}
+
+TEST(SaveRestore, CrossFrameNeverPairs) {
+  // The push happens in the caller, the pop in the callee: same register,
+  // same value, but different activations — must not pair.
+  Program P = assembleOrDie(".func main\n"
+                            "  movi r1, 7\n"
+                            "  call outer\n"
+                            "  halt\n.endfunc\n"
+                            ".func outer\n"
+                            "  push r1\n"
+                            "  call inner\n"
+                            "  pop r1\n"
+                            "  ret\n.endfunc\n"
+                            ".func inner\n"
+                            "  pop r1\n"  // pops outer's saved slot!
+                            "  push r1\n" // and pushes it back
+                            "  ret\n.endfunc\n");
+  std::unique_ptr<Program> Keep;
+  TraceSet TS = recordTraces(P, Keep);
+  SaveRestoreAnalysis SR(*Keep, 10);
+  SR.run(TS.threads());
+  // inner's pop reads outer's save slot with the same value/register but in
+  // a different frame; outer's own pop now pops what inner pushed. The only
+  // legitimate pair is outer's push with outer's pop (same value round-
+  // tripped through inner), which the frame rule still accepts; inner's pop
+  // must not pair with outer's push.
+  for (const SaveRestorePair &Pair : SR.pairs()) {
+    const auto &E = TS.threads()[0].Entries;
+    // Save and restore must be in the same function activation: the save's
+    // pc and restore's pc belong to the same function here.
+    const Function *FSave = Keep->functionAt(E[Pair.SaveIdx].Pc);
+    const Function *FRestore = Keep->functionAt(E[Pair.RestoreIdx].Pc);
+    EXPECT_EQ(FSave, FRestore);
+  }
+}
+
+TEST(SaveRestore, RecursionPairsPerActivation) {
+  Program P = assembleOrDie(".func main\n"
+                            "  movi r1, 3\n"
+                            "  call f\n"
+                            "  halt\n.endfunc\n"
+                            ".func f\n"
+                            "  push r1\n"
+                            "  ble r1, r0, base\n"
+                            "  subi r1, r1, 1\n"
+                            "  call f\n"
+                            "base:\n"
+                            "  pop r1\n"
+                            "  ret\n.endfunc\n");
+  std::unique_ptr<Program> Keep;
+  TraceSet TS = recordTraces(P, Keep);
+  SaveRestoreAnalysis SR(*Keep, 10);
+  SR.run(TS.threads());
+  // 4 activations (r1 = 3,2,1,0), each with its own verified pair.
+  EXPECT_EQ(SR.pairs().size(), 4u);
+}
+
+TEST(SaveRestore, StSpLdSpShapesAlsoQualify) {
+  Program P = assembleOrDie(".func main\n"
+                            "  movi r1, 7\n"
+                            "  call q\n"
+                            "  syswrite r1\n  halt\n.endfunc\n"
+                            ".func q\n"
+                            "  subi sp, sp, 1\n" // frame alloc is NOT a save
+                            "  st r1, [sp]\n"    // save via store
+                            "  movi r1, 9\n"
+                            "  ld r1, [sp]\n"    // restore via load
+                            "  addi sp, sp, 1\n"
+                            "  ret\n.endfunc\n");
+  std::unique_ptr<Program> Keep;
+  TraceSet TS = recordTraces(P, Keep);
+  SaveRestoreAnalysis SR(*Keep, 10);
+  SR.run(TS.threads());
+  // The subi-sp prologue stops the save scan at function entry... the save
+  // candidate window only covers a leading run of push-type instructions,
+  // so `st r1,[sp]` at position 2 is not a candidate and nothing pairs.
+  // This documents the (conservative) candidate rule.
+  EXPECT_TRUE(SR.pairs().empty());
+}
+
+TEST(SaveRestore, MultithreadedPairsCarryTid) {
+  Program P = assembleOrDie(".func main\n"
+                            "  movi r1, 5\n"
+                            "  spawn r2, w, r1\n"
+                            "  call q\n"
+                            "  join r2\n"
+                            "  halt\n.endfunc\n"
+                            ".func w\n"
+                            "  mov r1, r0\n"
+                            "  call q\n"
+                            "  ret\n.endfunc\n"
+                            ".func q\n"
+                            "  push r1\n"
+                            "  movi r1, 1\n"
+                            "  pop r1\n"
+                            "  ret\n.endfunc\n");
+  std::unique_ptr<Program> Keep;
+  TraceSet TS = recordTraces(P, Keep);
+  SaveRestoreAnalysis SR(*Keep, 10);
+  SR.run(TS.threads());
+  ASSERT_EQ(SR.pairs().size(), 2u);
+  EXPECT_NE(SR.pairs()[0].Tid, SR.pairs()[1].Tid);
+}
+
+} // namespace

@@ -1,0 +1,201 @@
+//===- tests/test_scheduler_memory.cpp - Memory & scheduler unit tests -------===//
+
+#include "support/rng.h"
+#include "test_util.h"
+#include "vm/memory.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace drdebug;
+using namespace drdebug::testutil;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Memory
+//===----------------------------------------------------------------------===//
+
+TEST(Memory, UnwrittenWordsReadZero) {
+  Memory M;
+  EXPECT_EQ(M.load(0), 0);
+  EXPECT_EQ(M.load(~0ULL), 0);
+  EXPECT_EQ(M.footprint(), 0u);
+}
+
+TEST(Memory, StoreLoadRoundTrip) {
+  Memory M;
+  M.store(100, -42);
+  M.store(0, 7);
+  EXPECT_EQ(M.load(100), -42);
+  EXPECT_EQ(M.load(0), 7);
+  EXPECT_EQ(M.footprint(), 2u);
+}
+
+TEST(Memory, StoringZeroCanonicalizes) {
+  Memory M;
+  M.store(5, 9);
+  M.store(5, 0);
+  EXPECT_EQ(M.load(5), 0);
+  EXPECT_EQ(M.footprint(), 0u) << "zero stores must not grow the footprint";
+  // Equality of two memories must not depend on explicit zeros.
+  Memory M2;
+  EXPECT_TRUE(M.words() == M2.words());
+}
+
+TEST(Memory, OverwriteReplaces) {
+  Memory M;
+  M.store(8, 1);
+  M.store(8, 2);
+  EXPECT_EQ(M.load(8), 2);
+  EXPECT_EQ(M.footprint(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Rng
+//===----------------------------------------------------------------------===//
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng A(42), B(42), C(43);
+  bool AllEqual = true, AnyDiffer = false;
+  for (int I = 0; I != 100; ++I) {
+    uint64_t VA = A.next(), VB = B.next(), VC = C.next();
+    AllEqual &= VA == VB;
+    AnyDiffer |= VA != VC;
+  }
+  EXPECT_TRUE(AllEqual);
+  EXPECT_TRUE(AnyDiffer);
+}
+
+TEST(Rng, RangeIsInclusive) {
+  Rng R(7);
+  std::set<int64_t> Seen;
+  for (int I = 0; I != 200; ++I) {
+    int64_t V = R.range(-2, 2);
+    EXPECT_GE(V, -2);
+    EXPECT_LE(V, 2);
+    Seen.insert(V);
+  }
+  EXPECT_EQ(Seen.size(), 5u) << "all values in a small range must appear";
+}
+
+TEST(Rng, BelowStaysBelow) {
+  Rng R(9);
+  for (int I = 0; I != 200; ++I)
+    EXPECT_LT(R.below(7), 7u);
+}
+
+//===----------------------------------------------------------------------===//
+// Schedulers (driven through real machines)
+//===----------------------------------------------------------------------===//
+
+/// A three-thread program where every thread increments its own counter; the
+/// per-thread progress pattern reveals the scheduling policy.
+Program makeThreeThreadProgram(unsigned Iters) {
+  std::string N = std::to_string(Iters);
+  return assembleOrDie(".data c0 0\n.data c1 0\n.data c2 0\n"
+                       ".func main\n"
+                       "  spawn r1, w1, r0\n"
+                       "  spawn r2, w2, r0\n"
+                       "  movi r3, " + N + "\n"
+                       "m:\n  lda r4, @c0\n  addi r4, r4, 1\n  sta r4, @c0\n"
+                       "  subi r3, r3, 1\n  bgt r3, r0, m\n"
+                       "  join r1\n  join r2\n  halt\n.endfunc\n"
+                       ".func w1\n"
+                       "  movi r3, " + N + "\n"
+                       "a:\n  lda r4, @c1\n  addi r4, r4, 1\n  sta r4, @c1\n"
+                       "  subi r3, r3, 1\n  bgt r3, r0, a\n  ret\n.endfunc\n"
+                       ".func w2\n"
+                       "  movi r3, " + N + "\n"
+                       "b:\n  lda r4, @c2\n  addi r4, r4, 1\n  sta r4, @c2\n"
+                       "  subi r3, r3, 1\n  bgt r3, r0, b\n  ret\n.endfunc\n");
+}
+
+TEST(Schedulers, RoundRobinQuantumControlsSwitchRate) {
+  Program P = makeThreeThreadProgram(50);
+  auto SwitchesWithQuantum = [&](uint64_t Quantum) {
+    RoundRobinScheduler Sched(Quantum);
+    struct Count : Observer {
+      uint32_t Last = ~0U;
+      uint64_t Switches = 0;
+      void onExec(const Machine &, const ExecRecord &R) override {
+        if (Last != ~0U && R.Tid != Last)
+          ++Switches;
+        Last = R.Tid;
+      }
+    } C;
+    Machine M(P);
+    M.setScheduler(&Sched);
+    M.addObserver(&C);
+    EXPECT_EQ(M.run(), Machine::StopReason::Halted);
+    return C.Switches;
+  };
+  EXPECT_GT(SwitchesWithQuantum(1), SwitchesWithQuantum(16));
+}
+
+TEST(Schedulers, RoundRobinIsFair) {
+  Program P = makeThreeThreadProgram(40);
+  RoundRobinScheduler Sched(2);
+  Machine M(P);
+  M.setScheduler(&Sched);
+  ASSERT_EQ(M.run(), Machine::StopReason::Halted);
+  // All three loops completed: counters all reach 40.
+  for (const char *G : {"c0", "c1", "c2"})
+    EXPECT_EQ(M.mem().load(P.findGlobal(G)->Addr), 40);
+}
+
+TEST(Schedulers, RandomSchedulerSwitchProbabilityMatters) {
+  Program P = makeThreeThreadProgram(50);
+  auto Switches = [&](uint64_t Num, uint64_t Den) {
+    RandomScheduler Sched(5, Num, Den);
+    struct Count : Observer {
+      uint32_t Last = ~0U;
+      uint64_t Switches = 0;
+      void onExec(const Machine &, const ExecRecord &R) override {
+        if (Last != ~0U && R.Tid != Last)
+          ++Switches;
+        Last = R.Tid;
+      }
+    } C;
+    Machine M(P);
+    M.setScheduler(&Sched);
+    M.addObserver(&C);
+    EXPECT_EQ(M.run(), Machine::StopReason::Halted);
+    return C.Switches;
+  };
+  EXPECT_GT(Switches(1, 2), Switches(1, 50));
+}
+
+TEST(Schedulers, PrioritySchedulerStarvesLowPriorityUntilBlocked) {
+  Program P = makeThreeThreadProgram(10);
+  PriorityScheduler Sched;
+  Sched.setPriority(0, 5); // main first
+  Machine M(P);
+  M.setScheduler(&Sched);
+  ASSERT_EQ(M.run(), Machine::StopReason::Halted);
+  // Main runs its whole loop before joining; then workers run. Final state
+  // still completes everything.
+  EXPECT_EQ(M.mem().load(P.findGlobal("c0")->Addr), 10);
+  EXPECT_EQ(M.mem().load(P.findGlobal("c1")->Addr), 10);
+}
+
+TEST(Schedulers, PriorityTieBreaksByLowestTid) {
+  Program P = makeThreeThreadProgram(5);
+  PriorityScheduler Sched; // all priorities equal (0)
+  struct First : Observer {
+    std::vector<uint32_t> Order;
+    void onExec(const Machine &, const ExecRecord &R) override {
+      Order.push_back(R.Tid);
+    }
+  } F;
+  Machine M(P);
+  M.setScheduler(&Sched);
+  M.addObserver(&F);
+  ASSERT_EQ(M.run(), Machine::StopReason::Halted);
+  // With equal priorities the lowest tid runs until it blocks (join), so
+  // the first executed tid is always 0.
+  EXPECT_EQ(F.Order.front(), 0u);
+}
+
+} // namespace

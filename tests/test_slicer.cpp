@@ -1,0 +1,511 @@
+//===- tests/test_slicer.cpp - End-to-end dynamic slicing tests --------------===//
+
+#include "replay/logger.h"
+#include "replay/replayer.h"
+#include "slicing/slicer.h"
+#include "test_util.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+
+using namespace drdebug;
+using namespace drdebug::testutil;
+
+namespace {
+
+Pinball recordWhole(const Program &P, Scheduler &&Sched) {
+  LogResult Log = Logger::logWholeProgram(P, Sched, nullptr);
+  return Log.Pb;
+}
+
+Pinball recordToFailure(const Program &P, Scheduler &&Sched) {
+  LogResult Log = Logger::logWholeProgram(P, Sched, nullptr);
+  EXPECT_TRUE(Log.FailureCaptured);
+  return Log.Pb;
+}
+
+/// Source lines present in a slice.
+std::set<uint32_t> sliceLines(const SliceSession &S, const Slice &Sl) {
+  return Sl.sourceLines(S.globalTrace());
+}
+
+//===----------------------------------------------------------------------===//
+// Basic data-dependence slicing
+//===----------------------------------------------------------------------===//
+
+TEST(Slicer, StraightLineDataChain) {
+  // r3 = (r1 + r2); unrelated r9 computations must not appear.
+  Program P = assembleOrDie(".func main\n"
+                            "  movi r1, 2\n"  // line 2: in slice
+                            "  movi r2, 3\n"  // line 3: in slice
+                            "  movi r9, 99\n" // line 4: NOT in slice
+                            "  addi r9, r9, 1\n" // line 5: NOT in slice
+                            "  add r3, r1, r2\n" // line 6: in slice
+                            "  syswrite r3\n" // line 7: criterion
+                            "  halt\n.endfunc\n");
+  SliceSession S(recordWhole(P, RoundRobinScheduler(1)));
+  std::string Error;
+  ASSERT_TRUE(S.prepare(Error)) << Error;
+
+  SliceCriterion C;
+  C.Tid = 0;
+  C.Pc = 5; // syswrite
+  auto Sl = S.computeSlice(C);
+  ASSERT_TRUE(Sl.has_value());
+  auto Lines = sliceLines(S, *Sl);
+  EXPECT_TRUE(Lines.count(2));
+  EXPECT_TRUE(Lines.count(3));
+  EXPECT_TRUE(Lines.count(6));
+  EXPECT_TRUE(Lines.count(7));
+  EXPECT_FALSE(Lines.count(4));
+  EXPECT_FALSE(Lines.count(5));
+  EXPECT_EQ(Sl->dynamicSize(), 4u);
+}
+
+TEST(Slicer, MemoryDataDependences) {
+  Program P = assembleOrDie(".data g 0\n.data h 0\n"
+                            ".func main\n"
+                            "  movi r1, 5\n"   // line 4
+                            "  sta r1, @g\n"   // line 5
+                            "  movi r2, 6\n"   // line 6 (dead for slice)
+                            "  sta r2, @h\n"   // line 7 (dead for slice)
+                            "  lda r3, @g\n"   // line 8
+                            "  syswrite r3\n"  // line 9: criterion
+                            "  halt\n.endfunc\n");
+  SliceSession S(recordWhole(P, RoundRobinScheduler(1)));
+  std::string Error;
+  ASSERT_TRUE(S.prepare(Error)) << Error;
+  SliceCriterion C;
+  C.Tid = 0;
+  C.Pc = 5;
+  auto Sl = S.computeSlice(C);
+  ASSERT_TRUE(Sl);
+  auto Lines = sliceLines(S, *Sl);
+  EXPECT_TRUE(Lines.count(4));
+  EXPECT_TRUE(Lines.count(5));
+  EXPECT_TRUE(Lines.count(8));
+  EXPECT_FALSE(Lines.count(6));
+  EXPECT_FALSE(Lines.count(7));
+}
+
+TEST(Slicer, LastWriterWins) {
+  // Two stores to g; only the later one is in the slice.
+  Program P = assembleOrDie(".data g 0\n"
+                            ".func main\n"
+                            "  movi r1, 1\n"  // line 3: feeds dead store
+                            "  sta r1, @g\n"  // line 4: dead store
+                            "  movi r2, 2\n"  // line 5
+                            "  sta r2, @g\n"  // line 6: last writer
+                            "  lda r3, @g\n"  // line 7
+                            "  syswrite r3\n" // line 8
+                            "  halt\n.endfunc\n");
+  SliceSession S(recordWhole(P, RoundRobinScheduler(1)));
+  std::string Error;
+  ASSERT_TRUE(S.prepare(Error)) << Error;
+  SliceCriterion C;
+  C.Tid = 0;
+  C.Pc = 5;
+  auto Sl = S.computeSlice(C);
+  ASSERT_TRUE(Sl);
+  auto Lines = sliceLines(S, *Sl);
+  EXPECT_FALSE(Lines.count(3));
+  EXPECT_FALSE(Lines.count(4));
+  EXPECT_TRUE(Lines.count(5));
+  EXPECT_TRUE(Lines.count(6));
+}
+
+TEST(Slicer, ControlDependencePullsInBranchAndItsOperands) {
+  Program P = assembleOrDie(".func main\n"
+                            "  movi r1, 1\n"        // line 2
+                            "  beq r1, r0, els\n"   // line 3
+                            "  movi r2, 10\n"       // line 4 (taken path)
+                            "  jmp join\n"
+                            "els:\n"
+                            "  movi r2, 20\n"
+                            "join:\n"
+                            "  syswrite r2\n"       // line 8: criterion
+                            "  halt\n.endfunc\n");
+  SliceSession S(recordWhole(P, RoundRobinScheduler(1)));
+  std::string Error;
+  ASSERT_TRUE(S.prepare(Error)) << Error;
+  SliceCriterion C;
+  C.Tid = 0;
+  C.Pc = 5; // syswrite
+  auto Sl = S.computeSlice(C);
+  ASSERT_TRUE(Sl);
+  auto Lines = sliceLines(S, *Sl);
+  // r2's def (line 4) is control-dependent on the branch (line 3), whose
+  // operand r1 was defined at line 2: all in the slice.
+  EXPECT_TRUE(Lines.count(2));
+  EXPECT_TRUE(Lines.count(3));
+  EXPECT_TRUE(Lines.count(4));
+}
+
+TEST(Slicer, SpecificLocationCriterion) {
+  Program P = assembleOrDie(".data g 0\n"
+                            ".func main\n"
+                            "  movi r1, 5\n"  // line 3: feeds g
+                            "  sta r1, @g\n"  // line 4
+                            "  movi r2, 9\n"  // line 5: feeds r2 only
+                            "  syswrite r2\n" // line 6: criterion stmt
+                            "  halt\n.endfunc\n");
+  SliceSession S(recordWhole(P, RoundRobinScheduler(1)));
+  std::string Error;
+  ASSERT_TRUE(S.prepare(Error)) << Error;
+  uint64_t G = S.program().findGlobal("g")->Addr;
+
+  // Slice for *memory location g* at the syswrite: picks up lines 3-4 and
+  // not r2's def.
+  SliceCriterion C;
+  C.Tid = 0;
+  C.Pc = 3; // syswrite
+  C.Locs = {memLoc(G)};
+  auto Sl = S.computeSlice(C);
+  ASSERT_TRUE(Sl);
+  auto Lines = sliceLines(S, *Sl);
+  EXPECT_TRUE(Lines.count(3));
+  EXPECT_TRUE(Lines.count(4));
+  EXPECT_FALSE(Lines.count(5));
+}
+
+TEST(Slicer, CriterionInstanceSelectsIteration) {
+  Program P = assembleOrDie(".data g 0\n"
+                            ".func main\n"
+                            "  movi r1, 3\n"
+                            "loop:\n"
+                            "  lda r2, @g\n"
+                            "  add r2, r2, r1\n"
+                            "  sta r2, @g\n"    // pc 3
+                            "  subi r1, r1, 1\n"
+                            "  bgt r1, r0, loop\n"
+                            "  halt\n.endfunc\n");
+  SliceSession S(recordWhole(P, RoundRobinScheduler(1)));
+  std::string Error;
+  ASSERT_TRUE(S.prepare(Error)) << Error;
+  SliceCriterion C;
+  C.Tid = 0;
+  C.Pc = 3; // sta
+  C.Instance = 1;
+  auto First = S.computeSlice(C);
+  C.Instance = 3;
+  auto Third = S.computeSlice(C);
+  ASSERT_TRUE(First && Third);
+  // The third iteration's store transitively depends on more work.
+  EXPECT_GT(Third->dynamicSize(), First->dynamicSize());
+  C.Instance = 4;
+  EXPECT_FALSE(S.computeSlice(C).has_value()) << "only 3 iterations exist";
+}
+
+//===----------------------------------------------------------------------===//
+// Multi-threaded slicing (paper §3, Figure 5)
+//===----------------------------------------------------------------------===//
+
+/// The paper's Figure 5 scenario: T2 executes what the programmer assumes
+/// is an atomic region (lines 10-13 analog); T1 races and modifies x in the
+/// middle; T2's assert on k fails. Flag-based handshakes make the racy
+/// interleaving deterministic so the test is stable under any scheduler.
+struct Figure5 {
+  Program P;
+  uint32_t AssertLine, RacyWriteLine, YDefLine, KInitLine, KUpdateLine,
+      UnrelatedLine;
+
+  Figure5() {
+    std::string Src =
+        ".data x 1\n.data y 0\n.data f1 0\n.data f2 0\n.data junk 0\n"
+        ".func main\n"              // T1 after spawn
+        "  spawn r9, t2, r0\n"      // line 7
+        "w1:\n"
+        "  lda r1, @f1\n"           // line 9: wait for T2's first half
+        "  beq r1, r0, w1\n"        // line 10
+        "  movi r2, 2\n"            // line 11: y = 2        (YDef)
+        "  sta r2, @y\n"            // line 12
+        "  lda r3, @y\n"            // line 13
+        "  muli r3, r3, 3\n"        // line 14: x = y * 3    (racy write)
+        "  sta r3, @x\n"            // line 15  <- RACY WRITE to x
+        "  movi r4, 77\n"           // line 16: unrelated
+        "  sta r4, @junk\n"         // line 17: unrelated
+        "  movi r5, 1\n"            // line 18
+        "  sta r5, @f2\n"           // line 19: release T2's second half
+        "  join r9\n"               // line 20
+        "  halt\n"                  // line 21
+        ".endfunc\n"
+        ".func t2\n"
+        "  movi r1, 1\n"            // line 24: k = 1        (KInit)
+        "  movi r2, 1\n"            // line 25
+        "  sta r2, @f1\n"           // line 26: release T1
+        "w2:\n"
+        "  lda r3, @f2\n"           // line 28: wait for T1's write
+        "  beq r3, r0, w2\n"        // line 29
+        "  lda r4, @x\n"            // line 30: read x (sees T1's write!)
+        "  add r1, r1, r4\n"        // line 31: k = k + x    (KUpdate)
+        "  movi r5, 2\n"            // line 32: expected = 1 + initial x
+        "  sub r6, r1, r5\n"        // line 33
+        "  movi r7, 1\n"            // line 34
+        "  beq r6, r0, okk\n"       // line 35
+        "  movi r7, 0\n"            // line 36
+        "okk:\n"
+        "  assert r7\n"             // line 38  <- FAILS
+        "  ret\n"
+        ".endfunc\n";
+    P = assembleOrDie(Src);
+    AssertLine = 38;
+    RacyWriteLine = 15;
+    YDefLine = 11;
+    KInitLine = 24;
+    KUpdateLine = 31;
+    UnrelatedLine = 17;
+  }
+};
+
+TEST(Slicer, Figure5SliceFindsRacyWriteRootCause) {
+  Figure5 F;
+  Pinball Pb = recordToFailure(F.P, RoundRobinScheduler(3));
+
+  SliceSession S(Pb);
+  std::string Error;
+  ASSERT_TRUE(S.prepare(Error)) << Error;
+
+  auto C = S.failureCriterion();
+  ASSERT_TRUE(C.has_value());
+  EXPECT_EQ(C->Tid, 1u);
+  auto Sl = S.computeSlice(*C);
+  ASSERT_TRUE(Sl);
+
+  auto Lines = sliceLines(S, *Sl);
+  // The slice crosses threads: the failing assert depends on k (T2) and on
+  // the racy write to x in T1, which depends on y's definition.
+  EXPECT_TRUE(Lines.count(F.AssertLine));
+  EXPECT_TRUE(Lines.count(F.KUpdateLine));
+  EXPECT_TRUE(Lines.count(F.KInitLine));
+  EXPECT_TRUE(Lines.count(F.RacyWriteLine)) << "root cause missing";
+  EXPECT_TRUE(Lines.count(F.YDefLine));
+  // Unrelated work stays out.
+  EXPECT_FALSE(Lines.count(F.UnrelatedLine));
+}
+
+TEST(Slicer, Figure5SlicePinballReplaysToFailure) {
+  Figure5 F;
+  Pinball Pb = recordToFailure(F.P, RoundRobinScheduler(3));
+  SliceSession S(Pb);
+  std::string Error;
+  ASSERT_TRUE(S.prepare(Error)) << Error;
+  auto C = S.failureCriterion();
+  ASSERT_TRUE(C);
+  auto Sl = S.computeSlice(*C);
+  ASSERT_TRUE(Sl);
+
+  Pinball SlicePb;
+  ASSERT_TRUE(S.makeSlicePinball(*Sl, SlicePb, Error)) << Error;
+  EXPECT_LT(SlicePb.instructionCount(), Pb.instructionCount());
+
+  // Replaying the execution slice still reproduces the assertion failure.
+  Replayer Rep(SlicePb);
+  ASSERT_TRUE(Rep.valid()) << Rep.error();
+  EXPECT_EQ(Rep.run(), Machine::StopReason::AssertFailed);
+}
+
+//===----------------------------------------------------------------------===//
+// Slice properties
+//===----------------------------------------------------------------------===//
+
+/// Closure: every data/control dependence of a slice member resolves to a
+/// slice member (or to before the region/bypassed save-restore pair).
+TEST(Slicer, SliceIsClosedUnderDependences) {
+  Figure5 F;
+  Pinball Pb = recordToFailure(F.P, RoundRobinScheduler(2));
+  SliceSession S(Pb);
+  std::string Error;
+  ASSERT_TRUE(S.prepare(Error)) << Error;
+  auto C = S.failureCriterion();
+  ASSERT_TRUE(C);
+  auto Sl = S.computeSlice(*C);
+  ASSERT_TRUE(Sl);
+
+  const GlobalTrace &GT = S.globalTrace();
+  for (const DepEdge &E : Sl->Edges) {
+    EXPECT_TRUE(Sl->contains(E.FromPos));
+    EXPECT_TRUE(Sl->contains(E.ToPos));
+    EXPECT_LT(E.ToPos, E.FromPos) << "dependences point backwards";
+  }
+  // Control deps of members are members.
+  for (uint32_t Pos : Sl->Positions) {
+    const TraceEntry &E = GT.entry(Pos);
+    if (E.CtrlDep < 0)
+      continue;
+    uint32_t CdPos = static_cast<uint32_t>(
+        GT.posOf(GT.ref(Pos).Tid, static_cast<uint32_t>(E.CtrlDep)));
+    EXPECT_TRUE(Sl->contains(CdPos));
+  }
+}
+
+/// LP block size must not change the slice.
+class BlockSizeTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BlockSizeTest, SliceInvariantUnderBlockSize) {
+  Figure5 F;
+  Pinball Pb = recordToFailure(F.P, RoundRobinScheduler(2));
+
+  auto Compute = [&](size_t BS) {
+    SliceSessionOptions Opts;
+    Opts.BlockSize = BS;
+    SliceSession S(Pb, Opts);
+    std::string Error;
+    EXPECT_TRUE(S.prepare(Error)) << Error;
+    auto C = S.failureCriterion();
+    EXPECT_TRUE(C.has_value());
+    auto Sl = S.computeSlice(*C);
+    EXPECT_TRUE(Sl.has_value());
+    return Sl->Positions;
+  };
+  EXPECT_EQ(Compute(GetParam()), Compute(1 << 20));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BlockSizeTest,
+                         ::testing::Values(1, 2, 7, 16, 64, 1024));
+
+TEST(Slicer, LpSkipsBlocks) {
+  // A long prefix of unrelated work followed by a short dependent tail: LP
+  // must skip prefix blocks wholesale.
+  std::ostringstream Src;
+  Src << ".data g 0\n.func main\n  movi r4, 123\n";
+  for (int I = 0; I != 3000; ++I)
+    Src << "  addi r9, r9, 1\n";
+  Src << "  sta r4, @g\n  lda r5, @g\n  syswrite r5\n  halt\n.endfunc\n";
+  Program P = assembleOrDie(Src.str());
+  SliceSessionOptions Opts;
+  Opts.BlockSize = 256;
+  SliceSession S(recordWhole(P, RoundRobinScheduler(1)), Opts);
+  std::string Error;
+  ASSERT_TRUE(S.prepare(Error)) << Error;
+  SliceCriterion C;
+  C.Tid = 0;
+  C.Pc = 3003; // syswrite
+  auto Sl = S.computeSlice(C);
+  ASSERT_TRUE(Sl);
+  EXPECT_GT(S.blocksSkipped(), 5u);
+  // Slice: movi r4, sta, lda, syswrite.
+  EXPECT_EQ(Sl->dynamicSize(), 4u);
+}
+
+TEST(Slicer, LastLoadCriteriaFindsLoads) {
+  Figure5 F;
+  Pinball Pb = recordToFailure(F.P, RoundRobinScheduler(2));
+  SliceSession S(Pb);
+  std::string Error;
+  ASSERT_TRUE(S.prepare(Error)) << Error;
+  auto Criteria = S.lastLoadCriteria(5);
+  ASSERT_EQ(Criteria.size(), 5u);
+  for (const SliceCriterion &C : Criteria) {
+    auto Sl = S.computeSlice(C);
+    EXPECT_TRUE(Sl.has_value());
+    EXPECT_GE(Sl->dynamicSize(), 1u);
+  }
+}
+
+TEST(Slicer, SliceFileRoundTrips) {
+  Figure5 F;
+  Pinball Pb = recordToFailure(F.P, RoundRobinScheduler(2));
+  SliceSession S(Pb);
+  std::string Error;
+  ASSERT_TRUE(S.prepare(Error)) << Error;
+  auto C = S.failureCriterion();
+  ASSERT_TRUE(C);
+  auto Sl = S.computeSlice(*C);
+  ASSERT_TRUE(Sl);
+
+  std::stringstream SS;
+  Sl->save(SS, S.globalTrace());
+  std::vector<Slice::SavedEntry> Loaded;
+  ASSERT_TRUE(Slice::load(SS, Loaded, Error)) << Error;
+  ASSERT_EQ(Loaded.size(), Sl->dynamicSize());
+  // Entries re-anchor: each saved entry matches the trace.
+  const GlobalTrace &GT = S.globalTrace();
+  for (size_t I = 0; I != Loaded.size(); ++I) {
+    uint32_t Pos = Sl->Positions[I];
+    EXPECT_EQ(Loaded[I].Tid, GT.ref(Pos).Tid);
+    EXPECT_EQ(Loaded[I].Pc, GT.entry(Pos).Pc);
+  }
+}
+
+/// Def values observed at included instructions during slice-pinball replay
+/// equal those of the full region replay (execution-slice correctness).
+TEST(Slicer, SliceReplayValuesMatchFullReplay) {
+  Figure5 F;
+  Pinball Pb = recordToFailure(F.P, RoundRobinScheduler(3));
+  SliceSession S(Pb);
+  std::string Error;
+  ASSERT_TRUE(S.prepare(Error)) << Error;
+  auto C = S.failureCriterion();
+  ASSERT_TRUE(C);
+  auto Sl = S.computeSlice(*C);
+  ASSERT_TRUE(Sl);
+  Pinball SlicePb;
+  ASSERT_TRUE(S.makeSlicePinball(*Sl, SlicePb, Error)) << Error;
+
+  // Per-thread instruction counters shift when instructions are skipped, so
+  // match by sequence: the sliced replay's per-thread (pc, def values)
+  // stream must equal the full replay's stream filtered to the included
+  // (non-excluded) per-thread indices.
+  auto Regions = S.exclusionRegions(*Sl);
+  auto IsExcluded = [&](uint32_t Tid, uint64_t Idx) {
+    for (const ExclusionRegion &R : Regions)
+      if (R.Tid == Tid && Idx >= R.BeginIndex && Idx < R.EndIndex)
+        return true;
+    return false;
+  };
+  struct Step {
+    uint64_t Pc;
+    uint64_t PerThreadIndex;
+    std::vector<int64_t> DefValues;
+    bool operator==(const Step &O) const {
+      return Pc == O.Pc && DefValues == O.DefValues;
+    }
+  };
+  struct Collect : Observer {
+    std::map<uint32_t, std::vector<Step>> Seq;
+    void onExec(const Machine &, const ExecRecord &R) override {
+      Step St;
+      St.Pc = R.Pc;
+      St.PerThreadIndex = R.PerThreadIndex;
+      for (const auto &D : R.Defs)
+        St.DefValues.push_back(D.Value);
+      Seq[R.Tid].push_back(std::move(St));
+    }
+  };
+  Collect Full, Sliced;
+  {
+    Replayer Rep(Pb);
+    ASSERT_TRUE(Rep.valid());
+    Rep.machine().addObserver(&Full);
+    Rep.run();
+  }
+  {
+    Replayer Rep(SlicePb);
+    ASSERT_TRUE(Rep.valid());
+    Rep.machine().addObserver(&Sliced);
+    Rep.run();
+  }
+  ASSERT_FALSE(Sliced.Seq.empty());
+  for (auto &[Tid, FullSeq] : Full.Seq) {
+    std::vector<Step> Expected;
+    for (const Step &St : FullSeq)
+      if (!IsExcluded(Tid, St.PerThreadIndex))
+        Expected.push_back(St);
+    auto It = Sliced.Seq.find(Tid);
+    if (Expected.empty()) {
+      EXPECT_TRUE(It == Sliced.Seq.end() || It->second.empty());
+      continue;
+    }
+    ASSERT_NE(It, Sliced.Seq.end()) << "tid " << Tid;
+    const std::vector<Step> &Got = It->second;
+    ASSERT_EQ(Got.size(), Expected.size()) << "tid " << Tid;
+    for (size_t I = 0; I != Expected.size(); ++I)
+      EXPECT_TRUE(Got[I] == Expected[I])
+          << "tid " << Tid << " step " << I << " pc " << Expected[I].Pc
+          << " vs " << Got[I].Pc;
+  }
+}
+
+} // namespace

@@ -1,0 +1,216 @@
+//===- tests/test_slicer_more.cpp - Additional slicing coverage ---------------===//
+
+#include "replay/logger.h"
+#include "slicing/slicer.h"
+#include "test_util.h"
+
+#include <gtest/gtest.h>
+
+using namespace drdebug;
+using namespace drdebug::testutil;
+
+namespace {
+
+struct Prepared {
+  std::unique_ptr<SliceSession> S;
+  explicit Prepared(const Program &P, uint64_t Seed = 1,
+                    std::vector<int64_t> Input = {}) {
+    RandomScheduler Sched(Seed, 1, 3);
+    DefaultSyscalls World(Seed);
+    World.setInput(std::move(Input));
+    LogResult Log = Logger::logWholeProgram(P, Sched, &World);
+    S = std::make_unique<SliceSession>(Log.Pb);
+    std::string Error;
+    EXPECT_TRUE(S->prepare(Error)) << Error;
+  }
+};
+
+TEST(SlicerMore, RegisterLocationCriterion) {
+  Program P = assembleOrDie(".func main\n"
+                            "  movi r1, 5\n"  // line 2: feeds r1
+                            "  movi r2, 6\n"  // line 3: feeds r2
+                            "  add r3, r1, r2\n" // line 4: criterion stmt
+                            "  halt\n.endfunc\n");
+  Prepared PS(P);
+  SliceCriterion C;
+  C.Tid = 0;
+  C.Pc = 2;
+  C.Locs = {regLoc(0, 1)}; // slice only on r1's value at the add
+  auto Sl = PS.S->computeSlice(C);
+  ASSERT_TRUE(Sl);
+  auto Lines = Sl->sourceLines(PS.S->globalTrace());
+  EXPECT_TRUE(Lines.count(2));
+  EXPECT_FALSE(Lines.count(3)) << "r2's def must stay out";
+}
+
+TEST(SlicerMore, AtomicAddChainsAcrossThreads) {
+  Program P = assembleOrDie(".data c 0\n"
+                            ".func main\n"
+                            "  spawn r1, w, r0\n"
+                            "  lea r2, @c\n"
+                            "  movi r3, 10\n"
+                            "  atomicadd r4, [r2], r3\n" // pc 3
+                            "  join r1\n"
+                            "  lda r5, @c\n"  // pc 5: criterion
+                            "  syswrite r5\n"
+                            "  halt\n.endfunc\n"
+                            ".func w\n"
+                            "  lea r2, @c\n"
+                            "  movi r3, 100\n"
+                            "  atomicadd r4, [r2], r3\n" // pc 10
+                            "  ret\n.endfunc\n");
+  Prepared PS(P, 5);
+  SliceCriterion C;
+  C.Tid = 0;
+  C.Pc = 5;
+  auto Sl = PS.S->computeSlice(C);
+  ASSERT_TRUE(Sl);
+  // Both atomic adds feed the final value (each reads the other's effect
+  // or the initial zero) — both must be in the slice.
+  bool SawMain = false, SawWorker = false;
+  for (uint32_t Pos : Sl->Positions) {
+    const TraceEntry &E = PS.S->globalTrace().entry(Pos);
+    if (E.Op != Opcode::AtomicAdd)
+      continue;
+    if (PS.S->globalTrace().ref(Pos).Tid == 0)
+      SawMain = true;
+    else
+      SawWorker = true;
+  }
+  EXPECT_TRUE(SawMain);
+  EXPECT_TRUE(SawWorker);
+}
+
+TEST(SlicerMore, SyscallValuesAreSliceSources) {
+  Program P = assembleOrDie(".func main\n"
+                            "  sysread r1\n"     // line 2: source
+                            "  addi r2, r1, 1\n" // line 3
+                            "  syswrite r2\n"    // line 4: criterion
+                            "  halt\n.endfunc\n");
+  Prepared PS(P, 1, {41});
+  SliceCriterion C;
+  C.Tid = 0;
+  C.Pc = 2;
+  auto Sl = PS.S->computeSlice(C);
+  ASSERT_TRUE(Sl);
+  auto Lines = Sl->sourceLines(PS.S->globalTrace());
+  EXPECT_TRUE(Lines.count(2)) << "the sysread is the value's origin";
+  EXPECT_EQ(Sl->dynamicSize(), 3u);
+}
+
+TEST(SlicerMore, ThreeThreadChain) {
+  // T1 -> T2 -> main: the slice follows values through two spawned threads.
+  Program P = assembleOrDie(
+      ".data a 0\n.data b 0\n.data f1 0\n.data f2 0\n"
+      ".func main\n"
+      "  spawn r1, t1, r0\n"
+      "  spawn r2, t2, r0\n"
+      "  join r1\n  join r2\n"
+      "  lda r3, @b\n"      // criterion: b == (a's producer value + 1)
+      "  syswrite r3\n"
+      "  halt\n.endfunc\n"
+      ".func t1\n"
+      "  movi r1, 7\n"      // origin value
+      "  sta r1, @a\n"
+      "  movi r2, 1\n  sta r2, @f1\n"
+      "  ret\n.endfunc\n"
+      ".func t2\n"
+      "s:\n  lda r1, @f1\n  beq r1, r0, s\n"
+      "  lda r2, @a\n"      // reads t1's value
+      "  addi r2, r2, 1\n"
+      "  sta r2, @b\n"
+      "  ret\n.endfunc\n");
+  Prepared PS(P, 3);
+  auto Criteria = PS.S->lastLoadCriteria(1); // the lda @b in main
+  ASSERT_EQ(Criteria.size(), 1u);
+  auto Sl = PS.S->computeSlice(Criteria[0]);
+  ASSERT_TRUE(Sl);
+  std::set<uint32_t> Tids;
+  for (uint32_t Pos : Sl->Positions)
+    Tids.insert(PS.S->globalTrace().ref(Pos).Tid);
+  EXPECT_EQ(Tids.size(), 3u) << "slice must span all three threads";
+}
+
+TEST(SlicerMore, RepeatedQueriesAreIdentical) {
+  Program P = assembleOrDie(".data g 0\n"
+                            ".func main\n"
+                            "  movi r1, 3\n"
+                            "l:\n  lda r2, @g\n  add r2, r2, r1\n"
+                            "  sta r2, @g\n  subi r1, r1, 1\n"
+                            "  bgt r1, r0, l\n"
+                            "  halt\n.endfunc\n");
+  Prepared PS(P);
+  SliceCriterion C;
+  C.Tid = 0;
+  C.Pc = 3;
+  C.Instance = 3;
+  auto A = PS.S->computeSlice(C);
+  auto B = PS.S->computeSlice(C);
+  ASSERT_TRUE(A && B);
+  EXPECT_EQ(A->Positions, B->Positions);
+  EXPECT_EQ(A->Edges.size(), B->Edges.size());
+}
+
+TEST(SlicerMore, DisjointCriteriaGiveDisjointChains) {
+  Program P = assembleOrDie(".data x 0\n.data y 0\n"
+                            ".func main\n"
+                            "  movi r1, 1\n  sta r1, @x\n" // chain X
+                            "  movi r2, 2\n  sta r2, @y\n" // chain Y
+                            "  lda r3, @x\n"  // pc 4
+                            "  lda r4, @y\n"  // pc 5
+                            "  halt\n.endfunc\n");
+  Prepared PS(P);
+  SliceCriterion CX, CY;
+  CX.Tid = CY.Tid = 0;
+  CX.Pc = 4;
+  CY.Pc = 5;
+  auto SX = PS.S->computeSlice(CX);
+  auto SY = PS.S->computeSlice(CY);
+  ASSERT_TRUE(SX && SY);
+  for (uint32_t Pos : SX->Positions)
+    if (Pos != SX->CriterionPos)
+      EXPECT_FALSE(SY->contains(Pos))
+          << "independent chains must not overlap";
+}
+
+TEST(SlicerMore, ForwardSliceOfSyscallCoversConsumers) {
+  Program P = assembleOrDie(".data g 0\n"
+                            ".func main\n"
+                            "  sysread r1\n"      // pos 0
+                            "  sta r1, @g\n"      // uses it
+                            "  lda r2, @g\n"      // transitively
+                            "  addi r2, r2, 1\n"
+                            "  syswrite r2\n"
+                            "  movi r9, 5\n"      // unrelated
+                            "  halt\n.endfunc\n");
+  Prepared PS(P, 1, {9});
+  Slice Fwd = PS.S->computeForwardSliceAt(0);
+  EXPECT_EQ(Fwd.dynamicSize(), 5u);
+}
+
+TEST(SlicerMore, CriterionPositionResolvesInstances) {
+  Program P = assembleOrDie(".func main\n"
+                            "  movi r1, 3\n"
+                            "l:\n  subi r1, r1, 1\n" // pc 1, runs 3x
+                            "  bgt r1, r0, l\n"
+                            "  halt\n.endfunc\n");
+  Prepared PS(P);
+  for (uint64_t Inst = 1; Inst <= 3; ++Inst) {
+    SliceCriterion C;
+    C.Tid = 0;
+    C.Pc = 1;
+    C.Instance = Inst;
+    auto Pos = PS.S->criterionPosition(C);
+    ASSERT_TRUE(Pos.has_value()) << "instance " << Inst;
+    EXPECT_EQ(PS.S->globalTrace().entry(*Pos).Pc, 1u);
+  }
+  SliceCriterion C;
+  C.Tid = 0;
+  C.Pc = 1;
+  C.Instance = 4;
+  EXPECT_FALSE(PS.S->criterionPosition(C).has_value());
+  C.Tid = 9;
+  EXPECT_FALSE(PS.S->criterionPosition(C).has_value());
+}
+
+} // namespace

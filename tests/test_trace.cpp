@@ -1,0 +1,165 @@
+//===- tests/test_trace.cpp - Trace collection unit tests ---------------------===//
+
+#include "replay/logger.h"
+#include "replay/replayer.h"
+#include "slicing/trace.h"
+#include "test_util.h"
+
+#include <gtest/gtest.h>
+
+using namespace drdebug;
+using namespace drdebug::testutil;
+
+namespace {
+
+struct Recorded {
+  std::unique_ptr<Program> Prog;
+  std::unique_ptr<TraceSet> Traces;
+
+  Recorded(const Program &P, Scheduler &&Sched, RegionSpec Spec = {}) {
+    LogResult Log = Logger::logRegion(P, Sched, nullptr, Spec);
+    Replayer Rep(Log.Pb);
+    EXPECT_TRUE(Rep.valid());
+    Prog = std::make_unique<Program>(Rep.program());
+    Traces = std::make_unique<TraceSet>(*Prog);
+    Rep.machine().addObserver(Traces.get());
+    Rep.run();
+  }
+};
+
+TEST(TraceSet, EntriesMirrorExecutionExactly) {
+  Program P = assembleOrDie(".data g 3\n"
+                            ".func main\n"
+                            "  lda r1, @g\n"   // pc 0
+                            "  addi r1, r1, 1\n"
+                            "  sta r1, @g\n"
+                            "  halt\n.endfunc\n");
+  Recorded R(P, RoundRobinScheduler(1));
+  const auto &E = R.Traces->threads()[0].Entries;
+  ASSERT_EQ(E.size(), 4u);
+  uint64_t G = P.findGlobal("g")->Addr;
+
+  EXPECT_EQ(E[0].Pc, 0u);
+  ASSERT_EQ(E[0].Uses.size(), 1u);
+  EXPECT_EQ(E[0].Uses[0].Loc, memLoc(G));
+  EXPECT_EQ(E[0].Uses[0].Value, 3);
+  ASSERT_EQ(E[0].Defs.size(), 1u);
+  EXPECT_EQ(E[0].Defs[0].Loc, regLoc(0, 1));
+
+  EXPECT_EQ(E[2].Defs[0].Loc, memLoc(G));
+  EXPECT_EQ(E[2].Defs[0].Value, 4);
+  EXPECT_EQ(E[2].Op, Opcode::StA);
+  EXPECT_EQ(E[3].Op, Opcode::Halt);
+
+  for (size_t I = 0; I != E.size(); ++I)
+    EXPECT_EQ(E[I].PerThreadIndex, I);
+}
+
+TEST(TraceSet, RegionTracesCarryAbsoluteIndices) {
+  Program P = assembleOrDie(".func main\n"
+                            "  movi r1, 20\n"
+                            "l:\n  subi r1, r1, 1\n  bgt r1, r0, l\n"
+                            "  halt\n.endfunc\n");
+  RegionSpec Spec;
+  Spec.SkipMainInstrs = 10;
+  Recorded R(P, RoundRobinScheduler(1), Spec);
+  const ThreadTrace &T = R.Traces->threads()[0];
+  EXPECT_EQ(T.StartIndex, 10u);
+  ASSERT_FALSE(T.Entries.empty());
+  EXPECT_EQ(T.Entries[0].PerThreadIndex, 10u);
+  EXPECT_EQ(T.Entries.back().PerThreadIndex,
+            T.StartIndex + T.Entries.size() - 1);
+}
+
+/// Order-edge classification: write->read, write->write, read->write
+/// conflicts across threads all produce edges; same-thread accesses don't.
+TEST(TraceSet, ConflictEdgeKinds) {
+  // Deterministic two-phase program: T1 writes x, then T2 reads and writes
+  // x, then T1 writes x again (flag-sequenced).
+  Program P = assembleOrDie(
+      ".data x 0\n.data f1 0\n.data f2 0\n"
+      ".func main\n"
+      "  spawn r9, t2, r0\n"
+      "  movi r1, 5\n"
+      "  sta r1, @x\n"   // W_main(x)  (1)
+      "  sta r1, @f1\n"
+      "w1:\n  lda r2, @f2\n  beq r2, r0, w1\n"
+      "  movi r3, 7\n"
+      "  sta r3, @x\n"   // W_main(x)  (2) — after T2's read+write: WAR+WAW
+      "  join r9\n  halt\n.endfunc\n"
+      ".func t2\n"
+      "w2:\n  lda r1, @f1\n  beq r1, r0, w2\n"
+      "  lda r2, @x\n"   // R_t2(x): RAW edge from W_main(1)
+      "  sta r2, @x\n"   // W_t2(x): WAW edge from W_main(1)
+      "  movi r3, 1\n"
+      "  sta r3, @f2\n"
+      "  ret\n.endfunc\n");
+  Recorded R(P, RoundRobinScheduler(2));
+  uint64_t X = P.findGlobal("x")->Addr;
+
+  // Collect cross-thread edges whose endpoints touch x.
+  auto TouchesX = [&](uint32_t Tid, uint32_t Idx) {
+    const TraceEntry &E = R.Traces->threads()[Tid].Entries[Idx];
+    for (const auto &U : E.Uses)
+      if (U.Loc == memLoc(X))
+        return true;
+    for (const auto &D : E.Defs)
+      if (D.Loc == memLoc(X))
+        return true;
+    return false;
+  };
+  unsigned XEdges = 0;
+  for (const OrderEdge &E : R.Traces->orderEdges()) {
+    if (E.FromTid == E.ToTid)
+      continue;
+    if (E.FromIdx < R.Traces->threads()[E.FromTid].Entries.size() &&
+        E.ToIdx < R.Traces->threads()[E.ToTid].Entries.size() &&
+        TouchesX(E.FromTid, E.FromIdx) && TouchesX(E.ToTid, E.ToIdx))
+      ++XEdges;
+  }
+  // At least: W_main(1)->R_t2 (RAW), W_main(1)->W_t2 (WAW or via reset),
+  // R_t2->W_main(2) (WAR), W_t2->W_main(2) (WAW).
+  EXPECT_GE(XEdges, 3u) << "conflict edges on x missing";
+}
+
+TEST(TraceSet, NoEdgesWithinOneThread) {
+  Program P = assembleOrDie(".data g 0\n"
+                            ".func main\n"
+                            "  movi r1, 1\n  sta r1, @g\n  lda r2, @g\n"
+                            "  sta r2, @g\n  halt\n.endfunc\n");
+  Recorded R(P, RoundRobinScheduler(1));
+  for (const OrderEdge &E : R.Traces->orderEdges())
+    EXPECT_NE(E.FromTid, E.ToTid);
+}
+
+TEST(TraceSet, CtrlDepInitializedUnset) {
+  Program P = assembleOrDie(".func main\n  nop\n  halt\n.endfunc\n");
+  Recorded R(P, RoundRobinScheduler(1));
+  for (const TraceEntry &E : R.Traces->threads()[0].Entries)
+    EXPECT_EQ(E.CtrlDep, -1) << "CtrlDep must be unset before the CD pass";
+}
+
+TEST(TraceSet, RecordedOrderMatchesGlobalCounts) {
+  Program P = assembleOrDie(".func main\n"
+                            "  spawn r1, w, r0\n  join r1\n  halt\n.endfunc\n"
+                            ".func w\n  nop\n  ret\n.endfunc\n");
+  Recorded R(P, RoundRobinScheduler(1));
+  size_t Total = 0;
+  for (const ThreadTrace &T : R.Traces->threads())
+    Total += T.Entries.size();
+  EXPECT_EQ(R.Traces->recordedOrder().size(), Total);
+  EXPECT_EQ(R.Traces->totalEntries(), Total);
+}
+
+TEST(TraceSet, LinesComeFromSource) {
+  Program P = assembleOrDie(".func main\n" // line 1
+                            "  nop\n"      // line 2
+                            "  halt\n"     // line 3
+                            ".endfunc\n");
+  Recorded R(P, RoundRobinScheduler(1));
+  const auto &E = R.Traces->threads()[0].Entries;
+  EXPECT_EQ(E[0].Line, 2u);
+  EXPECT_EQ(E[1].Line, 3u);
+}
+
+} // namespace

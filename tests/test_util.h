@@ -1,0 +1,65 @@
+//===- tests/test_util.h - Shared test helpers ------------------*- C++ -*-===//
+
+#ifndef DRDEBUG_TESTS_TEST_UTIL_H
+#define DRDEBUG_TESTS_TEST_UTIL_H
+
+#include "arch/assembler.h"
+#include "vm/machine.h"
+#include "vm/observer.h"
+#include "vm/scheduler.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace drdebug {
+namespace testutil {
+
+/// Runs \p Prog single-scheduler to completion and returns the machine's
+/// stop reason; \p Out receives the SysWrite output stream.
+inline Machine::StopReason runProgram(const Program &Prog,
+                                      std::vector<int64_t> *Out = nullptr,
+                                      uint64_t MaxSteps = 1'000'000) {
+  RoundRobinScheduler Sched(1);
+  Machine M(Prog);
+  M.setScheduler(&Sched);
+  Machine::StopReason Reason = M.run(MaxSteps);
+  if (Out)
+    *Out = M.output();
+  return Reason;
+}
+
+/// Observer that folds every executed instruction (tid, pc, defs with
+/// values) into a hash: two executions with equal hashes behaved
+/// identically for our purposes.
+class TraceHashObserver : public Observer {
+public:
+  uint64_t hash() const { return Hash; }
+  uint64_t count() const { return Count; }
+
+  void onExec(const Machine &, const ExecRecord &R) override {
+    mix(R.Tid);
+    mix(R.Pc);
+    for (const auto &Def : R.Defs) {
+      mix(Def.Loc);
+      mix(static_cast<uint64_t>(Def.Value));
+    }
+    for (const auto &Use : R.Uses) {
+      mix(Use.Loc);
+      mix(static_cast<uint64_t>(Use.Value));
+    }
+    ++Count;
+  }
+
+private:
+  void mix(uint64_t V) {
+    Hash ^= V + 0x9e3779b97f4a7c15ULL + (Hash << 6) + (Hash >> 2);
+  }
+  uint64_t Hash = 0;
+  uint64_t Count = 0;
+};
+
+} // namespace testutil
+} // namespace drdebug
+
+#endif // DRDEBUG_TESTS_TEST_UTIL_H

@@ -1,0 +1,204 @@
+//===- tests/test_vm_edge_cases.cpp - Interpreter corner cases ---------------===//
+
+#include "test_util.h"
+
+#include <gtest/gtest.h>
+
+using namespace drdebug;
+using namespace drdebug::testutil;
+
+namespace {
+
+TEST(VmEdge, ArithmeticWrapsWithoutUb) {
+  Program P = assembleOrDie(".func main\n"
+                            "  movi r1, 0x7fffffffffffffff\n"
+                            "  addi r2, r1, 1\n"   // wraps to INT64_MIN
+                            "  muli r3, r1, 2\n"   // wraps
+                            "  neg r4, r2\n"       // -INT64_MIN wraps
+                            "  syswrite r2\n"
+                            "  halt\n.endfunc\n");
+  std::vector<int64_t> Out;
+  EXPECT_EQ(runProgram(P, &Out), Machine::StopReason::Halted);
+  EXPECT_EQ(Out[0], INT64_MIN);
+}
+
+TEST(VmEdge, ShiftAmountsMaskTo63) {
+  Program P = assembleOrDie(".func main\n"
+                            "  movi r1, 1\n"
+                            "  movi r2, 64\n"
+                            "  shl r3, r1, r2\n"  // 64 & 63 == 0: identity
+                            "  movi r2, 65\n"
+                            "  shl r4, r1, r2\n"  // 65 & 63 == 1: doubles
+                            "  syswrite r3\n  syswrite r4\n"
+                            "  halt\n.endfunc\n");
+  std::vector<int64_t> Out;
+  runProgram(P, &Out);
+  EXPECT_EQ(Out[0], 1);
+  EXPECT_EQ(Out[1], 2);
+}
+
+TEST(VmEdge, SelfLockIsRecursiveNoop) {
+  Program P = assembleOrDie(".data m 0\n"
+                            ".func main\n"
+                            "  lea r1, @m\n"
+                            "  lock r1\n"
+                            "  lock r1\n"  // re-acquire own mutex: proceeds
+                            "  unlock r1\n"
+                            "  halt\n.endfunc\n");
+  EXPECT_EQ(runProgram(P), Machine::StopReason::Halted);
+}
+
+TEST(VmEdge, UnlockingUnownedMutexIsIgnored) {
+  Program P = assembleOrDie(".data m 0\n"
+                            ".func main\n"
+                            "  lea r1, @m\n"
+                            "  unlock r1\n" // never locked: no-op
+                            "  halt\n.endfunc\n");
+  EXPECT_EQ(runProgram(P), Machine::StopReason::Halted);
+}
+
+TEST(VmEdge, JoinSelfDoesNotDeadlock) {
+  // join of an invalid/self tid proceeds immediately (documented
+  // tolerance; a real pthread_join(self) would error).
+  Program P = assembleOrDie(".func main\n"
+                            "  movi r1, 0\n"
+                            "  join r1\n"
+                            "  halt\n.endfunc\n");
+  EXPECT_EQ(runProgram(P), Machine::StopReason::Halted);
+}
+
+TEST(VmEdge, JoinUnknownTidProceeds) {
+  Program P = assembleOrDie(".func main\n"
+                            "  movi r1, 99\n"
+                            "  join r1\n"
+                            "  halt\n.endfunc\n");
+  EXPECT_EQ(runProgram(P), Machine::StopReason::Halted);
+}
+
+TEST(VmEdge, HaltStopsAllThreads) {
+  Program P = assembleOrDie(".func main\n"
+                            "  spawn r1, spin, r0\n"
+                            "  halt\n.endfunc\n"
+                            ".func spin\n"
+                            "s:\n  jmp s\n.endfunc\n");
+  RoundRobinScheduler Sched(1);
+  Machine M(P);
+  M.setScheduler(&Sched);
+  EXPECT_EQ(M.run(1000), Machine::StopReason::Halted);
+  EXPECT_LT(M.globalCount(), 1000u);
+}
+
+TEST(VmEdge, AssertInWorkerThreadReportsWorkerTid) {
+  Program P = assembleOrDie(".func main\n"
+                            "  spawn r1, bad, r0\n"
+                            "  join r1\n"
+                            "  halt\n.endfunc\n"
+                            ".func bad\n"
+                            "  assert r0\n"
+                            "  ret\n.endfunc\n");
+  RoundRobinScheduler Sched(1);
+  Machine M(P);
+  M.setScheduler(&Sched);
+  EXPECT_EQ(M.run(), Machine::StopReason::AssertFailed);
+  EXPECT_EQ(M.failedTid(), 1u);
+  EXPECT_EQ(M.failedPc(), P.entryOf("bad"));
+}
+
+TEST(VmEdge, AtomicAddWithOffset) {
+  Program P = assembleOrDie(".array v 4 10 20 30 40\n"
+                            ".func main\n"
+                            "  lea r1, @v\n"
+                            "  movi r2, 5\n"
+                            "  atomicadd r3, [r1+2], r2\n"
+                            "  lda r4, @v+2\n"
+                            "  syswrite r3\n  syswrite r4\n"
+                            "  halt\n.endfunc\n");
+  std::vector<int64_t> Out;
+  runProgram(P, &Out);
+  EXPECT_EQ(Out[0], 30); // old value returned
+  EXPECT_EQ(Out[1], 35); // memory updated
+}
+
+TEST(VmEdge, DeepCallChainKeepsStacksConsistent) {
+  // 50-deep recursion: the shadow call stack and the memory stack agree.
+  Program P = assembleOrDie(".func main\n"
+                            "  movi r1, 50\n"
+                            "  call down\n"
+                            "  syswrite r2\n"
+                            "  halt\n.endfunc\n"
+                            ".func down\n"
+                            "  ble r1, r0, base\n"
+                            "  subi r1, r1, 1\n"
+                            "  call down\n"
+                            "  addi r2, r2, 1\n"
+                            "  ret\n"
+                            "base:\n"
+                            "  movi r2, 0\n"
+                            "  ret\n.endfunc\n");
+  std::vector<int64_t> Out;
+  EXPECT_EQ(runProgram(P, &Out), Machine::StopReason::Halted);
+  EXPECT_EQ(Out[0], 50);
+}
+
+TEST(VmEdge, ObserverRemovalStopsCallbacks) {
+  Program P = assembleOrDie(".func main\n  nop\n  nop\n  nop\n  nop\n"
+                            "  halt\n.endfunc\n");
+  struct Count : Observer {
+    uint64_t N = 0;
+    void onExec(const Machine &, const ExecRecord &) override { ++N; }
+  } C;
+  RoundRobinScheduler Sched(1);
+  Machine M(P);
+  M.setScheduler(&Sched);
+  M.addObserver(&C);
+  M.run(2);
+  M.removeObserver(&C);
+  M.run();
+  EXPECT_EQ(C.N, 2u);
+}
+
+TEST(VmEdge, StopRequestFromObserverIsPrecise) {
+  Program P = assembleOrDie(".data g 0\n"
+                            ".func main\n"
+                            "  movi r1, 1\n  sta r1, @g\n"  // pcs 0,1
+                            "  movi r2, 2\n  sta r2, @g\n"  // pcs 2,3
+                            "  halt\n.endfunc\n");
+  struct StopAt : Observer {
+    Machine *M = nullptr;
+    void onPreExec(const Machine &, uint32_t, uint64_t Pc) override {
+      if (Pc == 2)
+        M->requestStop();
+    }
+  } S;
+  RoundRobinScheduler Sched(1);
+  Machine M(P);
+  S.M = &M;
+  M.setScheduler(&Sched);
+  M.addObserver(&S);
+  EXPECT_EQ(M.run(), Machine::StopReason::StopRequested);
+  // Stopped *before* pc 2: g holds the first store's value and the thread
+  // is poised at pc 2.
+  EXPECT_EQ(M.mem().load(P.findGlobal("g")->Addr), 1);
+  EXPECT_EQ(M.thread(0).Pc, 2u);
+  // Detaching the stopper and resuming finishes the program.
+  M.removeObserver(&S);
+  EXPECT_EQ(M.run(), Machine::StopReason::Halted);
+  EXPECT_EQ(M.mem().load(P.findGlobal("g")->Addr), 2);
+}
+
+TEST(VmEdge, OutputAccumulatesAcrossThreads) {
+  Program P = assembleOrDie(".func main\n"
+                            "  spawn r1, w, r0\n"
+                            "  join r1\n"
+                            "  movi r2, 2\n  syswrite r2\n"
+                            "  halt\n.endfunc\n"
+                            ".func w\n"
+                            "  movi r2, 1\n  syswrite r2\n  ret\n.endfunc\n");
+  std::vector<int64_t> Out;
+  runProgram(P, &Out);
+  ASSERT_EQ(Out.size(), 2u);
+  EXPECT_EQ(Out[0], 1);
+  EXPECT_EQ(Out[1], 2);
+}
+
+} // namespace

@@ -1,0 +1,346 @@
+//===- tests/test_vm_semantics.cpp - Single-thread interpreter tests --------===//
+
+#include "test_util.h"
+
+#include <gtest/gtest.h>
+
+using namespace drdebug;
+using namespace drdebug::testutil;
+
+namespace {
+
+/// Assembles and runs a single-threaded body, returning the SysWrite output.
+std::vector<int64_t> runBody(const std::string &Body,
+                             const std::string &Data = "") {
+  Program P = assembleOrDie(Data + ".func main\n" + Body + "  halt\n.endfunc\n");
+  std::vector<int64_t> Out;
+  EXPECT_EQ(runProgram(P, &Out), Machine::StopReason::Halted);
+  return Out;
+}
+
+TEST(VmSemantics, MoviMovWrite) {
+  auto Out = runBody("  movi r1, 41\n  mov r2, r1\n  addi r2, r2, 1\n"
+                     "  syswrite r2\n");
+  ASSERT_EQ(Out.size(), 1u);
+  EXPECT_EQ(Out[0], 42);
+}
+
+struct AluCase {
+  const char *Mnemonic;
+  int64_t A;
+  int64_t B;
+  int64_t Expected;
+};
+
+class AluTest : public ::testing::TestWithParam<AluCase> {};
+
+TEST_P(AluTest, ThreeRegisterForm) {
+  const AluCase &C = GetParam();
+  std::string Body = "  movi r1, " + std::to_string(C.A) + "\n  movi r2, " +
+                     std::to_string(C.B) + "\n  " + C.Mnemonic +
+                     " r3, r1, r2\n  syswrite r3\n";
+  auto Out = runBody(Body);
+  ASSERT_EQ(Out.size(), 1u);
+  EXPECT_EQ(Out[0], C.Expected) << C.Mnemonic;
+}
+
+TEST_P(AluTest, ImmediateForm) {
+  const AluCase &C = GetParam();
+  std::string Body = "  movi r1, " + std::to_string(C.A) + "\n  " +
+                     C.Mnemonic + "i r3, r1, " + std::to_string(C.B) +
+                     "\n  syswrite r3\n";
+  auto Out = runBody(Body);
+  ASSERT_EQ(Out.size(), 1u);
+  EXPECT_EQ(Out[0], C.Expected) << C.Mnemonic << "i";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, AluTest,
+    ::testing::Values(AluCase{"add", 7, 5, 12}, AluCase{"add", -7, 5, -2},
+                      AluCase{"sub", 7, 5, 2}, AluCase{"sub", 5, 7, -2},
+                      AluCase{"mul", 7, 5, 35}, AluCase{"mul", -3, 4, -12},
+                      AluCase{"div", 17, 5, 3}, AluCase{"div", -17, 5, -3},
+                      AluCase{"div", 17, 0, 0}, // div-by-zero yields 0
+                      AluCase{"mod", 17, 5, 2}, AluCase{"mod", 17, 0, 0},
+                      AluCase{"and", 12, 10, 8}, AluCase{"or", 12, 10, 14},
+                      AluCase{"xor", 12, 10, 6}, AluCase{"shl", 3, 4, 48},
+                      AluCase{"shr", 48, 4, 3}, AluCase{"shl", 1, 64, 1}));
+
+TEST(VmSemantics, NegNot) {
+  auto Out = runBody("  movi r1, 5\n  neg r2, r1\n  not r3, r1\n"
+                     "  syswrite r2\n  syswrite r3\n");
+  ASSERT_EQ(Out.size(), 2u);
+  EXPECT_EQ(Out[0], -5);
+  EXPECT_EQ(Out[1], ~int64_t{5});
+}
+
+TEST(VmSemantics, GlobalLoadsAndStores) {
+  auto Out = runBody("  lda r1, @x\n"     // 11
+                     "  lea r2, @v\n"
+                     "  ld r3, [r2+1]\n"  // 22
+                     "  addi r3, r3, 1\n"
+                     "  st r3, [r2+2]\n"
+                     "  lda r4, @v+2\n"   // 23
+                     "  sta r1, @v\n"
+                     "  lda r5, @v\n"     // 11
+                     "  syswrite r1\n  syswrite r3\n  syswrite r4\n"
+                     "  syswrite r5\n",
+                     ".data x 11\n.array v 4 21 22\n");
+  ASSERT_EQ(Out.size(), 4u);
+  EXPECT_EQ(Out[0], 11);
+  EXPECT_EQ(Out[1], 23);
+  EXPECT_EQ(Out[2], 23);
+  EXPECT_EQ(Out[3], 11);
+}
+
+TEST(VmSemantics, UninitializedMemoryReadsZero) {
+  auto Out = runBody("  movi r1, 12345\n  ld r2, [r1]\n  syswrite r2\n");
+  EXPECT_EQ(Out[0], 0);
+}
+
+TEST(VmSemantics, PushPopLifo) {
+  auto Out = runBody("  movi r1, 1\n  movi r2, 2\n"
+                     "  push r1\n  push r2\n"
+                     "  pop r3\n  pop r4\n"
+                     "  syswrite r3\n  syswrite r4\n");
+  EXPECT_EQ(Out[0], 2);
+  EXPECT_EQ(Out[1], 1);
+}
+
+TEST(VmSemantics, CallRet) {
+  Program P = assembleOrDie(".func main\n"
+                            "  movi r1, 20\n"
+                            "  call double\n"
+                            "  syswrite r1\n"
+                            "  halt\n.endfunc\n"
+                            ".func double\n"
+                            "  add r1, r1, r1\n"
+                            "  ret\n.endfunc\n");
+  std::vector<int64_t> Out;
+  EXPECT_EQ(runProgram(P, &Out), Machine::StopReason::Halted);
+  ASSERT_EQ(Out.size(), 1u);
+  EXPECT_EQ(Out[0], 40);
+}
+
+TEST(VmSemantics, RecursiveFactorial) {
+  Program P = assembleOrDie(
+      ".func main\n"
+      "  movi r1, 5\n"
+      "  call fact\n"
+      "  syswrite r2\n"
+      "  halt\n.endfunc\n"
+      ".func fact\n" // input r1, output r2, clobbers r3
+      "  movi r3, 1\n"
+      "  bgt r1, r3, rec\n"
+      "  movi r2, 1\n"
+      "  ret\n"
+      "rec:\n"
+      "  push r1\n"
+      "  subi r1, r1, 1\n"
+      "  call fact\n"
+      "  pop r1\n"
+      "  mul r2, r2, r1\n"
+      "  ret\n.endfunc\n");
+  std::vector<int64_t> Out;
+  EXPECT_EQ(runProgram(P, &Out), Machine::StopReason::Halted);
+  ASSERT_EQ(Out.size(), 1u);
+  EXPECT_EQ(Out[0], 120);
+}
+
+TEST(VmSemantics, TopLevelRetExitsThread) {
+  Program P = assembleOrDie(".func main\n  movi r1, 9\n  syswrite r1\n"
+                            "  ret\n.endfunc\n");
+  std::vector<int64_t> Out;
+  EXPECT_EQ(runProgram(P, &Out), Machine::StopReason::Halted);
+  EXPECT_EQ(Out.size(), 1u);
+}
+
+struct BranchCase {
+  const char *Mnemonic;
+  int64_t A;
+  int64_t B;
+  bool Taken;
+};
+
+class BranchTest : public ::testing::TestWithParam<BranchCase> {};
+
+TEST_P(BranchTest, ConditionEvaluation) {
+  const BranchCase &C = GetParam();
+  std::string Body = "  movi r1, " + std::to_string(C.A) + "\n  movi r2, " +
+                     std::to_string(C.B) + "\n  " + C.Mnemonic +
+                     " r1, r2, taken\n  movi r3, 0\n  jmp out\n"
+                     "taken:\n  movi r3, 1\nout:\n  syswrite r3\n";
+  auto Out = runBody(Body);
+  ASSERT_EQ(Out.size(), 1u);
+  EXPECT_EQ(Out[0], C.Taken ? 1 : 0) << C.Mnemonic;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBranches, BranchTest,
+    ::testing::Values(BranchCase{"beq", 3, 3, true},
+                      BranchCase{"beq", 3, 4, false},
+                      BranchCase{"bne", 3, 4, true},
+                      BranchCase{"bne", 3, 3, false},
+                      BranchCase{"blt", 3, 4, true},
+                      BranchCase{"blt", 4, 3, false},
+                      BranchCase{"blt", -5, 0, true},
+                      BranchCase{"ble", 3, 3, true},
+                      BranchCase{"ble", 4, 3, false},
+                      BranchCase{"bgt", 4, 3, true},
+                      BranchCase{"bgt", 3, 3, false},
+                      BranchCase{"bge", 3, 3, true},
+                      BranchCase{"bge", 2, 3, false}));
+
+TEST(VmSemantics, LoopSumsToTen) {
+  auto Out = runBody("  movi r1, 4\n  movi r2, 0\n"
+                     "loop:\n  add r2, r2, r1\n  subi r1, r1, 1\n"
+                     "  bgt r1, r0, loop\n  syswrite r2\n");
+  EXPECT_EQ(Out[0], 10);
+}
+
+TEST(VmSemantics, IndirectJumpThroughTable) {
+  // The switch-statement pattern from paper Figure 7: a jump table indexed
+  // by a runtime value.
+  Program P = assembleOrDie(".array jtab 3\n"
+                            ".func main\n"
+                            "  lea r1, case0\n  sta r1, @jtab\n"
+                            "  lea r1, case1\n  sta r1, @jtab+1\n"
+                            "  lea r1, case2\n  sta r1, @jtab+2\n"
+                            "  sysread r2\n" // selector
+                            "  lea r3, @jtab\n"
+                            "  add r3, r3, r2\n"
+                            "  ld r4, [r3]\n"
+                            "  ijmp r4\n"
+                            "case0:\n  movi r5, 100\n  jmp out\n"
+                            "case1:\n  movi r5, 101\n  jmp out\n"
+                            "case2:\n  movi r5, 102\n  jmp out\n"
+                            "out:\n  syswrite r5\n  halt\n.endfunc\n");
+  for (int64_t Sel = 0; Sel < 3; ++Sel) {
+    RoundRobinScheduler Sched(1);
+    DefaultSyscalls World;
+    World.setInput({Sel});
+    Machine M(P);
+    M.setScheduler(&Sched);
+    M.setSyscalls(&World);
+    EXPECT_EQ(M.run(), Machine::StopReason::Halted);
+    ASSERT_EQ(M.output().size(), 1u);
+    EXPECT_EQ(M.output()[0], 100 + Sel);
+  }
+}
+
+TEST(VmSemantics, IndirectCall) {
+  Program P = assembleOrDie(".func main\n"
+                            "  lea r4, &addone\n"
+                            "  movi r1, 10\n"
+                            "  icall r4\n"
+                            "  syswrite r1\n  halt\n.endfunc\n"
+                            ".func addone\n  addi r1, r1, 1\n  ret\n.endfunc\n");
+  std::vector<int64_t> Out;
+  EXPECT_EQ(runProgram(P, &Out), Machine::StopReason::Halted);
+  EXPECT_EQ(Out[0], 11);
+}
+
+TEST(VmSemantics, SysReadConsumesInputInOrder) {
+  Program P = assembleOrDie(".func main\n"
+                            "  sysread r1\n  sysread r2\n  sysread r3\n"
+                            "  syswrite r1\n  syswrite r2\n  syswrite r3\n"
+                            "  halt\n.endfunc\n");
+  RoundRobinScheduler Sched(1);
+  DefaultSyscalls World;
+  World.setInput({7, 8});
+  Machine M(P);
+  M.setScheduler(&Sched);
+  M.setSyscalls(&World);
+  EXPECT_EQ(M.run(), Machine::StopReason::Halted);
+  ASSERT_EQ(M.output().size(), 3u);
+  EXPECT_EQ(M.output()[0], 7);
+  EXPECT_EQ(M.output()[1], 8);
+  EXPECT_EQ(M.output()[2], 0); // input exhausted
+}
+
+TEST(VmSemantics, SysAllocBumpAllocator) {
+  auto Out = runBody("  movi r1, 4\n  sysalloc r2, r1\n  sysalloc r3, r1\n"
+                     "  sub r4, r3, r2\n  syswrite r4\n"
+                     "  movi r5, 77\n  st r5, [r2]\n  ld r6, [r2]\n"
+                     "  syswrite r6\n");
+  EXPECT_EQ(Out[0], 4); // second allocation starts 4 words later
+  EXPECT_EQ(Out[1], 77);
+}
+
+TEST(VmSemantics, SysRandAndTimeAreRecorded) {
+  Program P = assembleOrDie(".func main\n  sysrand r1\n  systime r2\n"
+                            "  systime r3\n  sub r4, r3, r2\n  syswrite r4\n"
+                            "  halt\n.endfunc\n");
+  std::vector<int64_t> Out;
+  EXPECT_EQ(runProgram(P, &Out), Machine::StopReason::Halted);
+  EXPECT_EQ(Out[0], 1); // clock ticks by one per systime
+}
+
+TEST(VmSemantics, AssertPassAndFail) {
+  Program PPass = assembleOrDie(".func main\n  movi r1, 1\n  assert r1\n"
+                                "  halt\n.endfunc\n");
+  EXPECT_EQ(runProgram(PPass), Machine::StopReason::Halted);
+
+  Program PFail = assembleOrDie(".func main\n  nop\n  assert r0\n"
+                                "  halt\n.endfunc\n");
+  RoundRobinScheduler Sched(1);
+  Machine M(PFail);
+  M.setScheduler(&Sched);
+  EXPECT_EQ(M.run(), Machine::StopReason::AssertFailed);
+  EXPECT_TRUE(M.assertFailed());
+  EXPECT_EQ(M.failedTid(), 0u);
+  EXPECT_EQ(M.failedPc(), 1u);
+}
+
+TEST(VmSemantics, StepLimit) {
+  Program P = assembleOrDie(".func main\nspin:\n  jmp spin\n.endfunc\n");
+  EXPECT_EQ(runProgram(P, nullptr, 100), Machine::StopReason::StepLimit);
+}
+
+TEST(VmSemantics, ExecCountsAdvance) {
+  Program P = assembleOrDie(".func main\n  nop\n  nop\n  halt\n.endfunc\n");
+  RoundRobinScheduler Sched(1);
+  Machine M(P);
+  M.setScheduler(&Sched);
+  M.run();
+  EXPECT_EQ(M.globalCount(), 3u);
+  EXPECT_EQ(M.thread(0).ExecCount, 3u);
+}
+
+/// The def/use stream is the slicer's input; spot-check a store.
+TEST(VmSemantics, ExecRecordDefsUses) {
+  Program P = assembleOrDie(".data g 5\n.func main\n"
+                            "  lda r1, @g\n"
+                            "  sta r1, @g+1\n"
+                            "  halt\n.endfunc\n");
+  struct Collect : Observer {
+    std::vector<ExecRecord> Records;
+    void onExec(const Machine &, const ExecRecord &R) override {
+      Records.push_back(R);
+    }
+  } C;
+  RoundRobinScheduler Sched(1);
+  Machine M(P);
+  M.setScheduler(&Sched);
+  M.addObserver(&C);
+  M.run();
+  ASSERT_EQ(C.Records.size(), 3u);
+  uint64_t G = P.findGlobal("g")->Addr;
+  // lda r1, @g: uses mem[g], defs r1.
+  const ExecRecord &L = C.Records[0];
+  ASSERT_EQ(L.Uses.size(), 1u);
+  EXPECT_EQ(L.Uses[0].Loc, memLoc(G));
+  EXPECT_EQ(L.Uses[0].Value, 5);
+  ASSERT_EQ(L.Defs.size(), 1u);
+  EXPECT_EQ(L.Defs[0].Loc, regLoc(0, 1));
+  EXPECT_EQ(L.Defs[0].Value, 5);
+  // sta r1, @g+1: uses r1, defs mem[g+1].
+  const ExecRecord &S = C.Records[1];
+  ASSERT_EQ(S.Uses.size(), 1u);
+  EXPECT_EQ(S.Uses[0].Loc, regLoc(0, 1));
+  ASSERT_EQ(S.Defs.size(), 1u);
+  EXPECT_EQ(S.Defs[0].Loc, memLoc(G + 1));
+  EXPECT_EQ(S.Defs[0].Value, 5);
+}
+
+} // namespace

@@ -1,0 +1,301 @@
+//===- tests/test_vm_threads.cpp - Multi-thread interpreter tests -----------===//
+
+#include "test_util.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace drdebug;
+using namespace drdebug::testutil;
+
+namespace {
+
+TEST(VmThreads, SpawnJoinPassesArgument) {
+  Program P = assembleOrDie(".data result 0\n"
+                            ".func main\n"
+                            "  movi r1, 21\n"
+                            "  spawn r2, worker, r1\n"
+                            "  join r2\n"
+                            "  lda r3, @result\n"
+                            "  syswrite r3\n"
+                            "  halt\n.endfunc\n"
+                            ".func worker\n" // argument arrives in r0
+                            "  add r1, r0, r0\n"
+                            "  sta r1, @result\n"
+                            "  ret\n.endfunc\n");
+  std::vector<int64_t> Out;
+  EXPECT_EQ(runProgram(P, &Out), Machine::StopReason::Halted);
+  ASSERT_EQ(Out.size(), 1u);
+  EXPECT_EQ(Out[0], 42);
+}
+
+TEST(VmThreads, SpawnReturnsTidsInOrder) {
+  Program P = assembleOrDie(".func main\n"
+                            "  spawn r1, w, r0\n"
+                            "  spawn r2, w, r0\n"
+                            "  syswrite r1\n  syswrite r2\n"
+                            "  join r1\n  join r2\n"
+                            "  halt\n.endfunc\n"
+                            ".func w\n  ret\n.endfunc\n");
+  std::vector<int64_t> Out;
+  EXPECT_EQ(runProgram(P, &Out), Machine::StopReason::Halted);
+  EXPECT_EQ(Out[0], 1);
+  EXPECT_EQ(Out[1], 2);
+}
+
+TEST(VmThreads, ThreadsHaveSeparateStacks) {
+  Program P = assembleOrDie(".data out0 0\n.data out1 0\n"
+                            ".func main\n"
+                            "  movi r1, 7\n"
+                            "  spawn r2, child, r1\n"
+                            "  movi r3, 9\n"
+                            "  push r3\n"
+                            "  join r2\n"
+                            "  pop r4\n"
+                            "  sta r4, @out0\n"
+                            "  lda r5, @out0\n  syswrite r5\n"
+                            "  lda r5, @out1\n  syswrite r5\n"
+                            "  halt\n.endfunc\n"
+                            ".func child\n"
+                            "  push r0\n"
+                            "  pop r1\n"
+                            "  sta r1, @out1\n"
+                            "  ret\n.endfunc\n");
+  std::vector<int64_t> Out;
+  EXPECT_EQ(runProgram(P, &Out), Machine::StopReason::Halted);
+  EXPECT_EQ(Out[0], 9);
+  EXPECT_EQ(Out[1], 7);
+}
+
+TEST(VmThreads, JoinOnExitedThreadSucceedsImmediately) {
+  Program P = assembleOrDie(".func main\n"
+                            "  spawn r1, w, r0\n"
+                            "  join r1\n"
+                            "  join r1\n" // second join: already exited
+                            "  halt\n.endfunc\n"
+                            ".func w\n  ret\n.endfunc\n");
+  EXPECT_EQ(runProgram(P), Machine::StopReason::Halted);
+}
+
+/// Mutual exclusion: with the critical section protected, the final counter
+/// equals the exact sum regardless of the interleaving seed.
+TEST(VmThreads, LockProvidesMutualExclusion) {
+  std::string Src = ".data counter 0\n.data mtx 0\n"
+                    ".func main\n"
+                    "  spawn r1, adder, r0\n"
+                    "  spawn r2, adder, r0\n"
+                    "  join r1\n  join r2\n"
+                    "  lda r3, @counter\n  syswrite r3\n"
+                    "  halt\n.endfunc\n"
+                    ".func adder\n"
+                    "  movi r1, 100\n"
+                    "  lea r2, @mtx\n"
+                    "loop:\n"
+                    "  lock r2\n"
+                    "  lda r3, @counter\n"
+                    "  addi r3, r3, 1\n"
+                    "  sta r3, @counter\n"
+                    "  unlock r2\n"
+                    "  subi r1, r1, 1\n"
+                    "  bgt r1, r0, loop\n"
+                    "  ret\n.endfunc\n";
+  Program P = assembleOrDie(Src);
+  for (uint64_t Seed : {1u, 2u, 3u, 17u, 99u}) {
+    RandomScheduler Sched(Seed, 1, 3);
+    Machine M(P);
+    M.setScheduler(&Sched);
+    ASSERT_EQ(M.run(5'000'000), Machine::StopReason::Halted) << Seed;
+    ASSERT_EQ(M.output().size(), 1u);
+    EXPECT_EQ(M.output()[0], 200) << "seed " << Seed;
+  }
+}
+
+/// Without the lock, some seed exhibits a lost update (the data race the
+/// paper's case studies revolve around).
+TEST(VmThreads, UnprotectedCounterLosesUpdates) {
+  std::string Src = ".data counter 0\n"
+                    ".func main\n"
+                    "  spawn r1, adder, r0\n"
+                    "  spawn r2, adder, r0\n"
+                    "  join r1\n  join r2\n"
+                    "  lda r3, @counter\n  syswrite r3\n"
+                    "  halt\n.endfunc\n"
+                    ".func adder\n"
+                    "  movi r1, 100\n"
+                    "loop:\n"
+                    "  lda r3, @counter\n"
+                    "  addi r3, r3, 1\n"
+                    "  sta r3, @counter\n"
+                    "  subi r1, r1, 1\n"
+                    "  bgt r1, r0, loop\n"
+                    "  ret\n.endfunc\n";
+  Program P = assembleOrDie(Src);
+  bool SawLostUpdate = false;
+  for (uint64_t Seed = 1; Seed <= 20 && !SawLostUpdate; ++Seed) {
+    RandomScheduler Sched(Seed, 1, 2);
+    Machine M(P);
+    M.setScheduler(&Sched);
+    ASSERT_EQ(M.run(5'000'000), Machine::StopReason::Halted);
+    if (M.output()[0] < 200)
+      SawLostUpdate = true;
+  }
+  EXPECT_TRUE(SawLostUpdate);
+}
+
+TEST(VmThreads, AtomicAddNeverLosesUpdates) {
+  std::string Src = ".data counter 0\n"
+                    ".func main\n"
+                    "  spawn r1, adder, r0\n"
+                    "  spawn r2, adder, r0\n"
+                    "  join r1\n  join r2\n"
+                    "  lda r3, @counter\n  syswrite r3\n"
+                    "  halt\n.endfunc\n"
+                    ".func adder\n"
+                    "  movi r1, 100\n"
+                    "  lea r2, @counter\n"
+                    "  movi r4, 1\n"
+                    "loop:\n"
+                    "  atomicadd r5, [r2], r4\n"
+                    "  subi r1, r1, 1\n"
+                    "  bgt r1, r0, loop\n"
+                    "  ret\n.endfunc\n";
+  Program P = assembleOrDie(Src);
+  for (uint64_t Seed : {4u, 8u, 15u}) {
+    RandomScheduler Sched(Seed, 1, 2);
+    Machine M(P);
+    M.setScheduler(&Sched);
+    ASSERT_EQ(M.run(5'000'000), Machine::StopReason::Halted);
+    EXPECT_EQ(M.output()[0], 200) << "seed " << Seed;
+  }
+}
+
+TEST(VmThreads, DeadlockDetected) {
+  // Two threads acquire two mutexes in opposite order; round-robin with
+  // quantum 1 interleaves them into the deadlock.
+  Program P = assembleOrDie(".data m1 0\n.data m2 0\n"
+                            ".func main\n"
+                            "  spawn r1, t1, r0\n"
+                            "  spawn r2, t2, r0\n"
+                            "  join r1\n  join r2\n"
+                            "  halt\n.endfunc\n"
+                            ".func t1\n"
+                            "  lea r1, @m1\n  lea r2, @m2\n"
+                            "  lock r1\n  nop\n  nop\n  nop\n  nop\n"
+                            "  lock r2\n"
+                            "  unlock r2\n  unlock r1\n  ret\n.endfunc\n"
+                            ".func t2\n"
+                            "  lea r1, @m2\n  lea r2, @m1\n"
+                            "  lock r1\n  nop\n  nop\n  nop\n  nop\n"
+                            "  lock r2\n"
+                            "  unlock r2\n  unlock r1\n  ret\n.endfunc\n");
+  RoundRobinScheduler Sched(1);
+  Machine M(P);
+  M.setScheduler(&Sched);
+  EXPECT_EQ(M.run(100000), Machine::StopReason::Deadlock);
+}
+
+TEST(VmThreads, BlockedLockDoesNotCountAsExecution) {
+  Program P = assembleOrDie(".data m 0\n"
+                            ".func main\n"
+                            "  lea r1, @m\n"
+                            "  lock r1\n"
+                            "  spawn r2, w, r0\n"
+                            "  nop\n  nop\n  nop\n  nop\n  nop\n"
+                            "  unlock r1\n"
+                            "  join r2\n"
+                            "  halt\n.endfunc\n"
+                            ".func w\n"
+                            "  lea r1, @m\n"
+                            "  lock r1\n"
+                            "  unlock r1\n"
+                            "  ret\n.endfunc\n");
+  RoundRobinScheduler Sched(1);
+  Machine M(P);
+  M.setScheduler(&Sched);
+  ASSERT_EQ(M.run(), Machine::StopReason::Halted);
+  // Worker executed exactly: lea, lock, unlock, ret.
+  EXPECT_EQ(M.thread(1).ExecCount, 4u);
+}
+
+TEST(VmThreads, SchedulerDeterminismPerSeed) {
+  std::string Src = ".data x 0\n"
+                    ".func main\n"
+                    "  spawn r1, w, r0\n"
+                    "  movi r2, 50\n"
+                    "m1:\n  lda r3, @x\n  addi r3, r3, 1\n  sta r3, @x\n"
+                    "  subi r2, r2, 1\n  bgt r2, r0, m1\n"
+                    "  join r1\n"
+                    "  lda r3, @x\n  syswrite r3\n"
+                    "  halt\n.endfunc\n"
+                    ".func w\n"
+                    "  movi r2, 50\n"
+                    "w1:\n  lda r3, @x\n  muli r3, r3, 2\n  sta r3, @x\n"
+                    "  subi r2, r2, 1\n  bgt r2, r0, w1\n"
+                    "  ret\n.endfunc\n";
+  Program P = assembleOrDie(Src);
+  auto RunWithSeed = [&](uint64_t Seed) {
+    RandomScheduler Sched(Seed, 1, 2);
+    TraceHashObserver H;
+    Machine M(P);
+    M.setScheduler(&Sched);
+    M.addObserver(&H);
+    EXPECT_EQ(M.run(), Machine::StopReason::Halted);
+    return H.hash();
+  };
+  std::set<uint64_t> DistinctHashes;
+  for (uint64_t Seed = 1; Seed <= 6; ++Seed) {
+    uint64_t H1 = RunWithSeed(Seed);
+    uint64_t H2 = RunWithSeed(Seed);
+    EXPECT_EQ(H1, H2) << "same seed must reproduce the same execution";
+    DistinctHashes.insert(H1);
+  }
+  // Different seeds should produce several different interleavings.
+  EXPECT_GT(DistinctHashes.size(), 1u);
+}
+
+TEST(VmThreads, PrioritySchedulerPrefersHighPriority) {
+  Program P = assembleOrDie(".func main\n"
+                            "  spawn r1, w, r0\n"
+                            "  syswrite r0\n" // writes 0
+                            "  join r1\n"
+                            "  halt\n.endfunc\n"
+                            ".func w\n"
+                            "  movi r1, 1\n  syswrite r1\n  ret\n.endfunc\n");
+  PriorityScheduler Sched;
+  Sched.setPriority(1, 10); // boost the worker once it exists
+  Machine M(P);
+  M.setScheduler(&Sched);
+  ASSERT_EQ(M.run(), Machine::StopReason::Halted);
+  // After the spawn, the worker (priority 10) runs to completion before the
+  // main thread writes.
+  ASSERT_EQ(M.output().size(), 2u);
+  EXPECT_EQ(M.output()[0], 1);
+  EXPECT_EQ(M.output()[1], 0);
+}
+
+TEST(VmThreads, SpawnRecordsChildR0Def) {
+  Program P = assembleOrDie(".func main\n"
+                            "  movi r1, 5\n"
+                            "  spawn r2, w, r1\n"
+                            "  join r2\n  halt\n.endfunc\n"
+                            ".func w\n  ret\n.endfunc\n");
+  struct Find : Observer {
+    bool FoundChildDef = false;
+    void onExec(const Machine &, const ExecRecord &R) override {
+      if (R.Inst->Op != Opcode::Spawn)
+        return;
+      for (const auto &Def : R.Defs)
+        if (isRegLoc(Def.Loc) && locTid(Def.Loc) == 1 && locReg(Def.Loc) == 0)
+          FoundChildDef = Def.Value == 5;
+    }
+  } F;
+  RoundRobinScheduler Sched(1);
+  Machine M(P);
+  M.setScheduler(&Sched);
+  M.addObserver(&F);
+  M.run();
+  EXPECT_TRUE(F.FoundChildDef);
+}
+
+} // namespace

@@ -1,0 +1,124 @@
+//===- tests/test_watchpoints.cpp - Watchpoint tests --------------------------===//
+
+#include "debugger/session.h"
+#include "workloads/figure5.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace drdebug;
+using namespace drdebug::workloads;
+
+namespace {
+
+struct Fixture {
+  std::ostringstream Out;
+  DebugSession S{Out};
+  std::string take() {
+    std::string Text = Out.str();
+    Out.str("");
+    return Text;
+  }
+};
+
+const char *CounterProg = ".data g 0\n"
+                          ".func main\n"
+                          "  movi r1, 3\n"
+                          "l:\n"
+                          "  lda r2, @g\n"
+                          "  addi r2, r2, 10\n"
+                          "  sta r2, @g\n"   // writes 10, 20, 30
+                          "  subi r1, r1, 1\n"
+                          "  bgt r1, r0, l\n"
+                          "  halt\n.endfunc\n";
+
+TEST(Watchpoints, StopOnEachWrite) {
+  Fixture F;
+  F.S.loadProgramText(CounterProg);
+  F.S.execute("watch g");
+  std::string Text = F.take();
+  EXPECT_NE(Text.find("watchpoint 1 on g"), std::string::npos) << Text;
+
+  F.S.execute("run");
+  Text = F.take();
+  EXPECT_NE(Text.find("watchpoint 1 (g): new value 10"), std::string::npos)
+      << Text;
+  F.S.execute("continue");
+  Text = F.take();
+  EXPECT_NE(Text.find("new value 20"), std::string::npos) << Text;
+  F.S.execute("continue");
+  EXPECT_NE(F.take().find("new value 30"), std::string::npos);
+  F.S.execute("continue");
+  EXPECT_NE(F.take().find("program exited"), std::string::npos);
+}
+
+TEST(Watchpoints, UnknownGlobalRejected) {
+  Fixture F;
+  F.S.loadProgramText(CounterProg);
+  F.S.execute("watch nope");
+  EXPECT_NE(F.take().find("unknown global"), std::string::npos);
+}
+
+TEST(Watchpoints, UnwatchRemoves) {
+  Fixture F;
+  F.S.loadProgramText(CounterProg);
+  F.S.execute("watch g");
+  F.S.execute("unwatch 1");
+  F.take();
+  F.S.execute("info watchpoints");
+  EXPECT_NE(F.take().find("no watchpoints"), std::string::npos);
+  F.S.execute("run");
+  EXPECT_NE(F.take().find("program exited"), std::string::npos);
+}
+
+TEST(Watchpoints, InfoListsWatchpoints) {
+  Fixture F;
+  F.S.loadProgramText(CounterProg);
+  F.S.execute("watch g");
+  F.take();
+  F.S.execute("info watchpoints");
+  EXPECT_NE(F.take().find("1: g (address"), std::string::npos);
+}
+
+/// The paper's use case: during replay of the Figure 5 race, watching x
+/// stops exactly at the racy write in the other thread.
+TEST(Watchpoints, CatchRacyWriteDuringReplay) {
+  Figure5Lines Lines;
+  Program P = makeFigure5(&Lines);
+  Fixture F;
+  F.S.loadProgramText(P.SourceText);
+  F.S.execute("record failure");
+  F.S.execute("watch x");
+  F.take();
+  F.S.execute("replay");
+  std::string Text = F.take();
+  EXPECT_NE(Text.find("watchpoint 1 (x): new value 6"), std::string::npos)
+      << Text;
+  EXPECT_NE(Text.find("line " + std::to_string(Lines.RacyWriteLine)),
+            std::string::npos)
+      << Text;
+  // And the stop is deterministic: replay again, same stop.
+  F.S.execute("replay");
+  Text = F.take();
+  EXPECT_NE(Text.find("watchpoint 1 (x): new value 6"), std::string::npos);
+  // Continuing reaches the failure.
+  F.S.execute("continue");
+  EXPECT_NE(F.take().find("assertion FAILED"), std::string::npos);
+}
+
+TEST(Watchpoints, RegisterWritesDoNotTrigger) {
+  Fixture F;
+  F.S.loadProgramText(".data g 77\n"
+                      ".func main\n"
+                      "  lda r1, @g\n" // reads g, writes a register
+                      "  addi r1, r1, 1\n"
+                      "  halt\n.endfunc\n");
+  F.S.execute("watch g");
+  F.take();
+  F.S.execute("run");
+  EXPECT_NE(F.take().find("program exited"), std::string::npos)
+      << "reads/register writes must not trigger a memory watchpoint";
+}
+
+} // namespace

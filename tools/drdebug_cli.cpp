@@ -1,0 +1,146 @@
+//===- tools/drdebug_cli.cpp - The DrDebug interactive debugger ---------------===//
+//
+// The shippable front end: an interactive (or scripted) DrDebug session.
+//
+//   drdebug <program.asm>            interactive session on a program
+//   drdebug <program.asm> -x cmds    run a command script, then exit
+//   drdebug --demo                   load the paper's Figure 5 example
+//   echo "record failure" | drdebug <program.asm>   pipe commands
+//
+// Commands: see 'help' inside the session or docs/DEBUGGER.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "debugger/session.h"
+#include "workloads/figure5.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+using namespace drdebug;
+
+namespace {
+
+const char *HelpText = R"(DrDebug commands:
+  load <file>                       load a MiniVM assembly program
+  run [seed]                        run live under a seeded scheduler
+  break <pc>|<func>[+off]           set a breakpoint
+  delete <id> / info breakpoints    manage breakpoints
+  watch <global> / unwatch <id>     stop when a global is written
+  continue | c                      resume
+  stepi [n] | si                    execute n instructions
+  info threads|regs [tid]           examine thread state
+  x <addr> [count]                  examine memory words
+  print <global>                    print a global variable
+  backtrace [tid] | bt              call stack
+  where                             current statement of every live thread
+  list <func>                       disassemble a function
+  output                            program output so far
+  record region <skip> <len> [seed] capture an execution-region pinball
+  record failure [seed]             capture from start to assertion failure
+  pinball save|load <dir>           persist / import the region pinball
+  replay                            deterministic replay off the pinball
+  reverse-stepi [n] | rsi           step backwards during replay
+  replay-position | replay-seek <n> inspect / move the replay clock
+  slice fail                        backwards slice at the failure point
+  slice <tid> <pc> [instance]       backwards slice at any instruction
+  slice forward <tid> <pc> [inst]   forward slice (what it influenced)
+  slice list | slice deps <n>       browse the slice / navigate backwards
+  slice save <file>                 write the (special) slice file
+  slice report <file.html>          write the highlighted HTML report
+  slice regions                     show the code-exclusion regions
+  slice pinball [<dir>]             build the slice pinball (relogger)
+  slice replay                      replay only the execution slice
+  slice step                        step to the next slice statement
+  help                              this text
+  quit | q                          leave
+)";
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: drdebug <program.asm> [-x <script>]\n"
+               "       drdebug --demo [-x <script>]\n");
+  return 2;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string ProgramPath;
+  std::string ScriptPath;
+  bool Demo = false;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--demo") == 0) {
+      Demo = true;
+    } else if (std::strcmp(Argv[I], "-x") == 0 && I + 1 < Argc) {
+      ScriptPath = Argv[++I];
+    } else if (std::strcmp(Argv[I], "--help") == 0 ||
+               std::strcmp(Argv[I], "-h") == 0) {
+      std::printf("%s", HelpText);
+      return 0;
+    } else if (Argv[I][0] != '-' && ProgramPath.empty()) {
+      ProgramPath = Argv[I];
+    } else {
+      return usage();
+    }
+  }
+  if (!Demo && ProgramPath.empty())
+    return usage();
+
+  DebugSession Session(std::cout);
+  if (Demo) {
+    workloads::Figure5Lines Lines;
+    Program P = workloads::makeFigure5(&Lines);
+    std::cout << "demo: the paper's Figure 5 atomicity violation (racy "
+                 "write at line "
+              << Lines.RacyWriteLine << ", failing assert at line "
+              << Lines.AssertLine << ")\ntry: record failure; replay; "
+                 "slice fail; slice pinball; slice replay; slice step\n";
+    if (!Session.loadProgramText(P.SourceText))
+      return 1;
+  } else {
+    std::ifstream IS(ProgramPath);
+    if (!IS) {
+      std::fprintf(stderr, "drdebug: cannot read %s\n", ProgramPath.c_str());
+      return 1;
+    }
+    std::ostringstream Buf;
+    Buf << IS.rdbuf();
+    if (!Session.loadProgramText(Buf.str()))
+      return 1;
+  }
+
+  auto Feed = [&](std::istream &In, bool Prompt) {
+    std::string Line;
+    while (true) {
+      if (Prompt) {
+        std::cout << "(drdebug) " << std::flush;
+      }
+      if (!std::getline(In, Line))
+        return true; // input exhausted
+      if (Line == "help") {
+        std::cout << HelpText;
+        continue;
+      }
+      if (!Session.execute(Line))
+        return false; // quit
+    }
+  };
+
+  if (!ScriptPath.empty()) {
+    std::ifstream Script(ScriptPath);
+    if (!Script) {
+      std::fprintf(stderr, "drdebug: cannot read script %s\n",
+                   ScriptPath.c_str());
+      return 1;
+    }
+    if (!Feed(Script, /*Prompt=*/false))
+      return 0;
+    return 0;
+  }
+  Feed(std::cin, /*Prompt=*/true);
+  return 0;
+}
