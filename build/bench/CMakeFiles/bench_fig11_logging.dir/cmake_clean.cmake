@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_logging.dir/bench_fig11_logging.cpp.o"
+  "CMakeFiles/bench_fig11_logging.dir/bench_fig11_logging.cpp.o.d"
+  "bench_fig11_logging"
+  "bench_fig11_logging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_logging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

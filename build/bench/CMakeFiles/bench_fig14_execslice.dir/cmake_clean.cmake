@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_execslice.dir/bench_fig14_execslice.cpp.o"
+  "CMakeFiles/bench_fig14_execslice.dir/bench_fig14_execslice.cpp.o.d"
+  "bench_fig14_execslice"
+  "bench_fig14_execslice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_execslice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_slicing_overhead.dir/bench_slicing_overhead.cpp.o"
+  "CMakeFiles/bench_slicing_overhead.dir/bench_slicing_overhead.cpp.o.d"
+  "bench_slicing_overhead"
+  "bench_slicing_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_slicing_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_region.dir/bench_table2_region.cpp.o"
+  "CMakeFiles/bench_table2_region.dir/bench_table2_region.cpp.o.d"
+  "bench_table2_region"
+  "bench_table2_region.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_region.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_whole.dir/bench_table3_whole.cpp.o"
+  "CMakeFiles/bench_table3_whole.dir/bench_table3_whole.cpp.o.d"
+  "bench_table3_whole"
+  "bench_table3_whole.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_whole.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

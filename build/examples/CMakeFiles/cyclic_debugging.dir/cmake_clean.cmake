@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyclic_debugging.dir/cyclic_debugging.cpp.o"
+  "CMakeFiles/cyclic_debugging.dir/cyclic_debugging.cpp.o.d"
+  "cyclic_debugging"
+  "cyclic_debugging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyclic_debugging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_race_debugging.dir/data_race_debugging.cpp.o"
+  "CMakeFiles/data_race_debugging.dir/data_race_debugging.cpp.o.d"
+  "data_race_debugging"
+  "data_race_debugging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_race_debugging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

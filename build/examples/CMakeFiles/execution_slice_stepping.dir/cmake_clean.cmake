@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/execution_slice_stepping.dir/execution_slice_stepping.cpp.o"
+  "CMakeFiles/execution_slice_stepping.dir/execution_slice_stepping.cpp.o.d"
+  "execution_slice_stepping"
+  "execution_slice_stepping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/execution_slice_stepping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

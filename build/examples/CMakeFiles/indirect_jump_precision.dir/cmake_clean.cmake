@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/indirect_jump_precision.dir/indirect_jump_precision.cpp.o"
+  "CMakeFiles/indirect_jump_precision.dir/indirect_jump_precision.cpp.o.d"
+  "indirect_jump_precision"
+  "indirect_jump_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/indirect_jump_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for indirect_jump_precision.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maple_expose_and_replay.dir/maple_expose_and_replay.cpp.o"
+  "CMakeFiles/maple_expose_and_replay.dir/maple_expose_and_replay.cpp.o.d"
+  "maple_expose_and_replay"
+  "maple_expose_and_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maple_expose_and_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

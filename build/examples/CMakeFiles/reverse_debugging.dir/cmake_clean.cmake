@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reverse_debugging.dir/reverse_debugging.cpp.o"
+  "CMakeFiles/reverse_debugging.dir/reverse_debugging.cpp.o.d"
+  "reverse_debugging"
+  "reverse_debugging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reverse_debugging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/cfg.cpp" "src/CMakeFiles/drdebug.dir/analysis/cfg.cpp.o" "gcc" "src/CMakeFiles/drdebug.dir/analysis/cfg.cpp.o.d"
+  "/root/repo/src/analysis/postdom.cpp" "src/CMakeFiles/drdebug.dir/analysis/postdom.cpp.o" "gcc" "src/CMakeFiles/drdebug.dir/analysis/postdom.cpp.o.d"
+  "/root/repo/src/arch/assembler.cpp" "src/CMakeFiles/drdebug.dir/arch/assembler.cpp.o" "gcc" "src/CMakeFiles/drdebug.dir/arch/assembler.cpp.o.d"
+  "/root/repo/src/arch/disasm.cpp" "src/CMakeFiles/drdebug.dir/arch/disasm.cpp.o" "gcc" "src/CMakeFiles/drdebug.dir/arch/disasm.cpp.o.d"
+  "/root/repo/src/arch/opcode.cpp" "src/CMakeFiles/drdebug.dir/arch/opcode.cpp.o" "gcc" "src/CMakeFiles/drdebug.dir/arch/opcode.cpp.o.d"
+  "/root/repo/src/arch/program.cpp" "src/CMakeFiles/drdebug.dir/arch/program.cpp.o" "gcc" "src/CMakeFiles/drdebug.dir/arch/program.cpp.o.d"
+  "/root/repo/src/debugger/session.cpp" "src/CMakeFiles/drdebug.dir/debugger/session.cpp.o" "gcc" "src/CMakeFiles/drdebug.dir/debugger/session.cpp.o.d"
+  "/root/repo/src/maple/active_scheduler.cpp" "src/CMakeFiles/drdebug.dir/maple/active_scheduler.cpp.o" "gcc" "src/CMakeFiles/drdebug.dir/maple/active_scheduler.cpp.o.d"
+  "/root/repo/src/maple/iroot.cpp" "src/CMakeFiles/drdebug.dir/maple/iroot.cpp.o" "gcc" "src/CMakeFiles/drdebug.dir/maple/iroot.cpp.o.d"
+  "/root/repo/src/maple/maple.cpp" "src/CMakeFiles/drdebug.dir/maple/maple.cpp.o" "gcc" "src/CMakeFiles/drdebug.dir/maple/maple.cpp.o.d"
+  "/root/repo/src/maple/profiler.cpp" "src/CMakeFiles/drdebug.dir/maple/profiler.cpp.o" "gcc" "src/CMakeFiles/drdebug.dir/maple/profiler.cpp.o.d"
+  "/root/repo/src/replay/checkpoints.cpp" "src/CMakeFiles/drdebug.dir/replay/checkpoints.cpp.o" "gcc" "src/CMakeFiles/drdebug.dir/replay/checkpoints.cpp.o.d"
+  "/root/repo/src/replay/logger.cpp" "src/CMakeFiles/drdebug.dir/replay/logger.cpp.o" "gcc" "src/CMakeFiles/drdebug.dir/replay/logger.cpp.o.d"
+  "/root/repo/src/replay/pinball.cpp" "src/CMakeFiles/drdebug.dir/replay/pinball.cpp.o" "gcc" "src/CMakeFiles/drdebug.dir/replay/pinball.cpp.o.d"
+  "/root/repo/src/replay/relogger.cpp" "src/CMakeFiles/drdebug.dir/replay/relogger.cpp.o" "gcc" "src/CMakeFiles/drdebug.dir/replay/relogger.cpp.o.d"
+  "/root/repo/src/replay/replayer.cpp" "src/CMakeFiles/drdebug.dir/replay/replayer.cpp.o" "gcc" "src/CMakeFiles/drdebug.dir/replay/replayer.cpp.o.d"
+  "/root/repo/src/slicing/control_dep.cpp" "src/CMakeFiles/drdebug.dir/slicing/control_dep.cpp.o" "gcc" "src/CMakeFiles/drdebug.dir/slicing/control_dep.cpp.o.d"
+  "/root/repo/src/slicing/exclusion.cpp" "src/CMakeFiles/drdebug.dir/slicing/exclusion.cpp.o" "gcc" "src/CMakeFiles/drdebug.dir/slicing/exclusion.cpp.o.d"
+  "/root/repo/src/slicing/forward.cpp" "src/CMakeFiles/drdebug.dir/slicing/forward.cpp.o" "gcc" "src/CMakeFiles/drdebug.dir/slicing/forward.cpp.o.d"
+  "/root/repo/src/slicing/global_trace.cpp" "src/CMakeFiles/drdebug.dir/slicing/global_trace.cpp.o" "gcc" "src/CMakeFiles/drdebug.dir/slicing/global_trace.cpp.o.d"
+  "/root/repo/src/slicing/lp_slicer.cpp" "src/CMakeFiles/drdebug.dir/slicing/lp_slicer.cpp.o" "gcc" "src/CMakeFiles/drdebug.dir/slicing/lp_slicer.cpp.o.d"
+  "/root/repo/src/slicing/report.cpp" "src/CMakeFiles/drdebug.dir/slicing/report.cpp.o" "gcc" "src/CMakeFiles/drdebug.dir/slicing/report.cpp.o.d"
+  "/root/repo/src/slicing/save_restore.cpp" "src/CMakeFiles/drdebug.dir/slicing/save_restore.cpp.o" "gcc" "src/CMakeFiles/drdebug.dir/slicing/save_restore.cpp.o.d"
+  "/root/repo/src/slicing/slice.cpp" "src/CMakeFiles/drdebug.dir/slicing/slice.cpp.o" "gcc" "src/CMakeFiles/drdebug.dir/slicing/slice.cpp.o.d"
+  "/root/repo/src/slicing/slicer.cpp" "src/CMakeFiles/drdebug.dir/slicing/slicer.cpp.o" "gcc" "src/CMakeFiles/drdebug.dir/slicing/slicer.cpp.o.d"
+  "/root/repo/src/slicing/trace.cpp" "src/CMakeFiles/drdebug.dir/slicing/trace.cpp.o" "gcc" "src/CMakeFiles/drdebug.dir/slicing/trace.cpp.o.d"
+  "/root/repo/src/support/stopwatch.cpp" "src/CMakeFiles/drdebug.dir/support/stopwatch.cpp.o" "gcc" "src/CMakeFiles/drdebug.dir/support/stopwatch.cpp.o.d"
+  "/root/repo/src/vm/machine.cpp" "src/CMakeFiles/drdebug.dir/vm/machine.cpp.o" "gcc" "src/CMakeFiles/drdebug.dir/vm/machine.cpp.o.d"
+  "/root/repo/src/vm/memory.cpp" "src/CMakeFiles/drdebug.dir/vm/memory.cpp.o" "gcc" "src/CMakeFiles/drdebug.dir/vm/memory.cpp.o.d"
+  "/root/repo/src/vm/scheduler.cpp" "src/CMakeFiles/drdebug.dir/vm/scheduler.cpp.o" "gcc" "src/CMakeFiles/drdebug.dir/vm/scheduler.cpp.o.d"
+  "/root/repo/src/workloads/figure5.cpp" "src/CMakeFiles/drdebug.dir/workloads/figure5.cpp.o" "gcc" "src/CMakeFiles/drdebug.dir/workloads/figure5.cpp.o.d"
+  "/root/repo/src/workloads/generator.cpp" "src/CMakeFiles/drdebug.dir/workloads/generator.cpp.o" "gcc" "src/CMakeFiles/drdebug.dir/workloads/generator.cpp.o.d"
+  "/root/repo/src/workloads/parsec.cpp" "src/CMakeFiles/drdebug.dir/workloads/parsec.cpp.o" "gcc" "src/CMakeFiles/drdebug.dir/workloads/parsec.cpp.o.d"
+  "/root/repo/src/workloads/racebugs.cpp" "src/CMakeFiles/drdebug.dir/workloads/racebugs.cpp.o" "gcc" "src/CMakeFiles/drdebug.dir/workloads/racebugs.cpp.o.d"
+  "/root/repo/src/workloads/specomp.cpp" "src/CMakeFiles/drdebug.dir/workloads/specomp.cpp.o" "gcc" "src/CMakeFiles/drdebug.dir/workloads/specomp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_assembler.cpp" "tests/CMakeFiles/drdebug_tests.dir/test_assembler.cpp.o" "gcc" "tests/CMakeFiles/drdebug_tests.dir/test_assembler.cpp.o.d"
+  "/root/repo/tests/test_assembler_more.cpp" "tests/CMakeFiles/drdebug_tests.dir/test_assembler_more.cpp.o" "gcc" "tests/CMakeFiles/drdebug_tests.dir/test_assembler_more.cpp.o.d"
+  "/root/repo/tests/test_cli.cpp" "tests/CMakeFiles/drdebug_tests.dir/test_cli.cpp.o" "gcc" "tests/CMakeFiles/drdebug_tests.dir/test_cli.cpp.o.d"
+  "/root/repo/tests/test_control_dep.cpp" "tests/CMakeFiles/drdebug_tests.dir/test_control_dep.cpp.o" "gcc" "tests/CMakeFiles/drdebug_tests.dir/test_control_dep.cpp.o.d"
+  "/root/repo/tests/test_debugger.cpp" "tests/CMakeFiles/drdebug_tests.dir/test_debugger.cpp.o" "gcc" "tests/CMakeFiles/drdebug_tests.dir/test_debugger.cpp.o.d"
+  "/root/repo/tests/test_debugger_more.cpp" "tests/CMakeFiles/drdebug_tests.dir/test_debugger_more.cpp.o" "gcc" "tests/CMakeFiles/drdebug_tests.dir/test_debugger_more.cpp.o.d"
+  "/root/repo/tests/test_exclusion.cpp" "tests/CMakeFiles/drdebug_tests.dir/test_exclusion.cpp.o" "gcc" "tests/CMakeFiles/drdebug_tests.dir/test_exclusion.cpp.o.d"
+  "/root/repo/tests/test_figure8.cpp" "tests/CMakeFiles/drdebug_tests.dir/test_figure8.cpp.o" "gcc" "tests/CMakeFiles/drdebug_tests.dir/test_figure8.cpp.o.d"
+  "/root/repo/tests/test_forward.cpp" "tests/CMakeFiles/drdebug_tests.dir/test_forward.cpp.o" "gcc" "tests/CMakeFiles/drdebug_tests.dir/test_forward.cpp.o.d"
+  "/root/repo/tests/test_global_trace.cpp" "tests/CMakeFiles/drdebug_tests.dir/test_global_trace.cpp.o" "gcc" "tests/CMakeFiles/drdebug_tests.dir/test_global_trace.cpp.o.d"
+  "/root/repo/tests/test_logger_replayer.cpp" "tests/CMakeFiles/drdebug_tests.dir/test_logger_replayer.cpp.o" "gcc" "tests/CMakeFiles/drdebug_tests.dir/test_logger_replayer.cpp.o.d"
+  "/root/repo/tests/test_maple.cpp" "tests/CMakeFiles/drdebug_tests.dir/test_maple.cpp.o" "gcc" "tests/CMakeFiles/drdebug_tests.dir/test_maple.cpp.o.d"
+  "/root/repo/tests/test_maple_more.cpp" "tests/CMakeFiles/drdebug_tests.dir/test_maple_more.cpp.o" "gcc" "tests/CMakeFiles/drdebug_tests.dir/test_maple_more.cpp.o.d"
+  "/root/repo/tests/test_pinball.cpp" "tests/CMakeFiles/drdebug_tests.dir/test_pinball.cpp.o" "gcc" "tests/CMakeFiles/drdebug_tests.dir/test_pinball.cpp.o.d"
+  "/root/repo/tests/test_pinball_robustness.cpp" "tests/CMakeFiles/drdebug_tests.dir/test_pinball_robustness.cpp.o" "gcc" "tests/CMakeFiles/drdebug_tests.dir/test_pinball_robustness.cpp.o.d"
+  "/root/repo/tests/test_postdom.cpp" "tests/CMakeFiles/drdebug_tests.dir/test_postdom.cpp.o" "gcc" "tests/CMakeFiles/drdebug_tests.dir/test_postdom.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/drdebug_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/drdebug_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_relogger.cpp" "tests/CMakeFiles/drdebug_tests.dir/test_relogger.cpp.o" "gcc" "tests/CMakeFiles/drdebug_tests.dir/test_relogger.cpp.o.d"
+  "/root/repo/tests/test_report.cpp" "tests/CMakeFiles/drdebug_tests.dir/test_report.cpp.o" "gcc" "tests/CMakeFiles/drdebug_tests.dir/test_report.cpp.o.d"
+  "/root/repo/tests/test_reverse.cpp" "tests/CMakeFiles/drdebug_tests.dir/test_reverse.cpp.o" "gcc" "tests/CMakeFiles/drdebug_tests.dir/test_reverse.cpp.o.d"
+  "/root/repo/tests/test_save_restore.cpp" "tests/CMakeFiles/drdebug_tests.dir/test_save_restore.cpp.o" "gcc" "tests/CMakeFiles/drdebug_tests.dir/test_save_restore.cpp.o.d"
+  "/root/repo/tests/test_scheduler_memory.cpp" "tests/CMakeFiles/drdebug_tests.dir/test_scheduler_memory.cpp.o" "gcc" "tests/CMakeFiles/drdebug_tests.dir/test_scheduler_memory.cpp.o.d"
+  "/root/repo/tests/test_slicer.cpp" "tests/CMakeFiles/drdebug_tests.dir/test_slicer.cpp.o" "gcc" "tests/CMakeFiles/drdebug_tests.dir/test_slicer.cpp.o.d"
+  "/root/repo/tests/test_slicer_more.cpp" "tests/CMakeFiles/drdebug_tests.dir/test_slicer_more.cpp.o" "gcc" "tests/CMakeFiles/drdebug_tests.dir/test_slicer_more.cpp.o.d"
+  "/root/repo/tests/test_snapshot.cpp" "tests/CMakeFiles/drdebug_tests.dir/test_snapshot.cpp.o" "gcc" "tests/CMakeFiles/drdebug_tests.dir/test_snapshot.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/drdebug_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/drdebug_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_vm_edge_cases.cpp" "tests/CMakeFiles/drdebug_tests.dir/test_vm_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/drdebug_tests.dir/test_vm_edge_cases.cpp.o.d"
+  "/root/repo/tests/test_vm_semantics.cpp" "tests/CMakeFiles/drdebug_tests.dir/test_vm_semantics.cpp.o" "gcc" "tests/CMakeFiles/drdebug_tests.dir/test_vm_semantics.cpp.o.d"
+  "/root/repo/tests/test_vm_threads.cpp" "tests/CMakeFiles/drdebug_tests.dir/test_vm_threads.cpp.o" "gcc" "tests/CMakeFiles/drdebug_tests.dir/test_vm_threads.cpp.o.d"
+  "/root/repo/tests/test_watchpoints.cpp" "tests/CMakeFiles/drdebug_tests.dir/test_watchpoints.cpp.o" "gcc" "tests/CMakeFiles/drdebug_tests.dir/test_watchpoints.cpp.o.d"
+  "/root/repo/tests/test_workloads.cpp" "tests/CMakeFiles/drdebug_tests.dir/test_workloads.cpp.o" "gcc" "tests/CMakeFiles/drdebug_tests.dir/test_workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/drdebug.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

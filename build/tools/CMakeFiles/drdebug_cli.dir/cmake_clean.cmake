@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drdebug_cli.dir/drdebug_cli.cpp.o"
+  "CMakeFiles/drdebug_cli.dir/drdebug_cli.cpp.o.d"
+  "drdebug"
+  "drdebug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drdebug_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
