@@ -1,0 +1,154 @@
+//===- bench/bench_server_throughput.cpp - drdebugd throughput ----------------===//
+//
+// Commands/sec through the debug server for 1, 4, and 16 concurrent
+// sessions replaying the same recording, with the shared pinball cache
+// enabled ("cached") vs. defeated ("cold", the repository is flushed before
+// every load — what one-process-per-user costs). Each session performs a
+// full cyclic-debugging iteration per round: pinball load, replay,
+// replay-position, where. Results are appended to BENCH_server.json (path
+// overridable via argv[1]).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench_util.h"
+
+#include "replay/logger.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "server/transport.h"
+#include "vm/scheduler.h"
+#include "workloads/figure5.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+using namespace drdebug;
+using namespace drdebug::benchutil;
+
+namespace {
+
+struct Row {
+  unsigned Sessions;
+  const char *Mode;
+  uint64_t Commands;
+  double Seconds;
+  double CommandsPerSec() const {
+    return Seconds > 0 ? static_cast<double>(Commands) / Seconds : 0;
+  }
+};
+
+Row runScenario(unsigned NumSessions, bool Cold, const std::string &PinballDir,
+                const std::string &ProgText, uint64_t Rounds) {
+  ServerConfig Cfg;
+  Cfg.Workers = NumSessions;
+  DebugServer Srv(Cfg);
+
+  std::vector<std::unique_ptr<Transport>> ClientEnds, ServerEnds;
+  std::vector<std::thread> ServeThreads;
+  for (unsigned I = 0; I != NumSessions; ++I) {
+    auto [C, S] = makePipePair();
+    ClientEnds.push_back(std::move(C));
+    ServerEnds.push_back(std::move(S));
+    ServeThreads.emplace_back(
+        [&Srv, T = ServerEnds.back().get()] { Srv.serve(*T); });
+  }
+
+  std::atomic<uint64_t> Commands{0};
+  Stopwatch SW;
+  std::vector<std::thread> Clients;
+  for (unsigned I = 0; I != NumSessions; ++I) {
+    Clients.emplace_back([&, T = ClientEnds[I].get()] {
+      ProtocolClient Client(*T);
+      std::string Out, Error;
+      uint64_t Sid = 0;
+      if (!Client.open(Sid, Error) ||
+          !Client.load(Sid, ProgText, Out, Error)) {
+        std::fprintf(stderr, "bench client setup failed: %s\n", Error.c_str());
+        return;
+      }
+      const std::vector<std::string> Round = {
+          "pinball load " + PinballDir, "replay", "replay-position", "where"};
+      for (uint64_t R = 0; R != Rounds; ++R) {
+        if (Cold)
+          Srv.repository().clear();
+        for (const std::string &C : Round) {
+          if (!Client.cmd(Sid, C, Out, Error)) {
+            std::fprintf(stderr, "bench cmd failed: %s\n", Error.c_str());
+            return;
+          }
+          Commands.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread &T : Clients)
+    T.join();
+  double Seconds = SW.seconds();
+  for (auto &E : ClientEnds)
+    E->close();
+  for (std::thread &T : ServeThreads)
+    T.join();
+  return Row{NumSessions, Cold ? "cold" : "cached", Commands.load(), Seconds};
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  const char *JsonPath = Argc > 1 ? Argv[1] : "BENCH_server.json";
+  banner("drdebugd throughput: concurrent sessions on one cached pinball",
+         "N users cyclically debugging the same recording through the "
+         "resident server");
+
+  Program P = workloads::makeFigure5();
+  RandomScheduler Sched(1, 1, 4);
+  DefaultSyscalls World(1);
+  LogResult Log = Logger::logRegion(P, Sched, &World, RegionSpec{});
+  std::string Dir = scratchDir("server_throughput");
+  std::string Error;
+  if (!Log.Pb.save(Dir, Error)) {
+    std::fprintf(stderr, "cannot save pinball: %s\n", Error.c_str());
+    return 1;
+  }
+  uint64_t Rounds = scaled(150);
+  if (Rounds == 0)
+    Rounds = 1;
+  std::printf("pinball: %llu instructions, %llu bytes on disk, %llu "
+              "rounds/session\n\n",
+              static_cast<unsigned long long>(Log.Pb.instructionCount()),
+              static_cast<unsigned long long>(Pinball::diskSizeBytes(Dir)),
+              static_cast<unsigned long long>(Rounds));
+  std::printf("%10s %8s %10s %10s %14s\n", "sessions", "mode", "commands",
+              "seconds", "commands/sec");
+
+  std::vector<Row> Rows;
+  for (unsigned Sessions : {1u, 4u, 16u}) {
+    for (bool Cold : {true, false}) {
+      Row R = runScenario(Sessions, Cold, Dir, P.SourceText, Rounds);
+      Rows.push_back(R);
+      std::printf("%10u %8s %10llu %10.3f %14.0f\n", R.Sessions, R.Mode,
+                  static_cast<unsigned long long>(R.Commands), R.Seconds,
+                  R.CommandsPerSec());
+    }
+  }
+
+  std::ofstream JS(JsonPath);
+  if (JS) {
+    JS << "{\n  \"bench\": \"server_throughput\",\n"
+       << "  \"pinball_instructions\": " << Log.Pb.instructionCount() << ",\n"
+       << "  \"rounds_per_session\": " << Rounds << ",\n  \"rows\": [\n";
+    for (size_t I = 0; I != Rows.size(); ++I) {
+      const Row &R = Rows[I];
+      JS << "    {\"sessions\": " << R.Sessions << ", \"mode\": \"" << R.Mode
+         << "\", \"commands\": " << R.Commands << ", \"seconds\": " << R.Seconds
+         << ", \"commands_per_sec\": " << R.CommandsPerSec() << "}"
+         << (I + 1 == Rows.size() ? "\n" : ",\n");
+    }
+    JS << "  ]\n}\n";
+    std::printf("\nwrote %s\n", JsonPath);
+  }
+  std::filesystem::remove_all(Dir);
+  return 0;
+}

@@ -1,0 +1,71 @@
+//===- debugger/commands.cpp - The debugger command table --------------------===//
+
+#include "debugger/commands.h"
+
+#include <sstream>
+
+using namespace drdebug;
+
+const std::vector<CommandInfo> &drdebug::commandTable() {
+  static const std::vector<CommandInfo> Table = {
+      {"load <file>", "load a MiniVM assembly program", "load", ""},
+      {"run [seed]", "run live under a seeded scheduler", "run", ""},
+      {"break <pc>|<func>[+off]", "set a breakpoint", "break", "b"},
+      {"delete <id> / info breakpoints", "manage breakpoints", "delete", ""},
+      {"watch <global> / unwatch <id>", "stop when a global is written",
+       "watch", "unwatch"},
+      {"continue | c", "resume", "continue", "c"},
+      {"stepi [n] | si", "execute n instructions", "stepi", "si"},
+      {"info threads|regs [tid]", "examine thread state", "info", ""},
+      {"x <addr> [count]", "examine memory words", "x", ""},
+      {"print <global>", "print a global variable", "print", "p"},
+      {"backtrace [tid] | bt", "call stack", "backtrace", "bt"},
+      {"where", "current statement of every live thread", "where", ""},
+      {"list <func>", "disassemble a function", "list", ""},
+      {"output", "program output so far", "output", ""},
+      {"record region <skip> <len> [seed]",
+       "capture an execution-region pinball", "record", ""},
+      {"record failure [seed]", "capture from start to assertion failure",
+       "record", ""},
+      {"pinball save|load <dir>", "persist / import the region pinball",
+       "pinball", ""},
+      {"replay", "deterministic replay off the pinball", "replay", ""},
+      {"reverse-stepi [n] | rsi", "step backwards during replay",
+       "reverse-stepi", "rsi"},
+      {"replay-position", "inspect the replay clock", "replay-position", ""},
+      {"replay-seek <n>", "move the replay clock", "replay-seek", ""},
+      {"slice fail", "backwards slice at the failure point", "slice", ""},
+      {"slice <tid> <pc> [instance]", "backwards slice at any instruction",
+       "slice", ""},
+      {"slice forward <tid> <pc> [inst]", "forward slice (what it influenced)",
+       "slice", ""},
+      {"slice list | slice deps <n>", "browse the slice / navigate backwards",
+       "slice", ""},
+      {"slice save <file>", "write the (special) slice file", "slice", ""},
+      {"slice report <file.html>", "write the highlighted HTML report",
+       "slice", ""},
+      {"slice regions", "show the code-exclusion regions", "slice", ""},
+      {"slice pinball [<dir>]", "build the slice pinball (relogger)", "slice",
+       ""},
+      {"slice replay", "replay only the execution slice", "slice", ""},
+      {"slice step", "step to the next slice statement", "slice", ""},
+      {"help", "this text", "help", ""},
+      {"quit | q", "leave", "quit", "q"},
+  };
+  return Table;
+}
+
+const std::string &drdebug::helpText() {
+  static const std::string Text = [] {
+    std::ostringstream OS;
+    OS << "DrDebug commands:\n";
+    for (const CommandInfo &C : commandTable()) {
+      OS << "  " << C.Usage;
+      for (size_t Pad = std::string(C.Usage).size(); Pad < 34; ++Pad)
+        OS << ' ';
+      OS << ' ' << C.Help << "\n";
+    }
+    return OS.str();
+  }();
+  return Text;
+}

@@ -1,0 +1,44 @@
+//===- debugger/commands.h - The debugger command table ---------*- C++ -*-===//
+//
+// Part of the DrDebug reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The single source of truth for the debugger command set. The CLI help
+/// text, the remote server's command validation, and the drift test in
+/// tests/test_cli.cpp are all generated from this table, so the
+/// documentation can never diverge from what DebugSession::execute accepts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRDEBUG_DEBUGGER_COMMANDS_H
+#define DRDEBUG_DEBUGGER_COMMANDS_H
+
+#include <string>
+#include <vector>
+
+namespace drdebug {
+
+/// Version reported by `drdebug --version`, `drdebugd`, and the wire
+/// protocol's `hello` verb.
+inline constexpr const char *DrDebugVersion = "0.2.0";
+
+/// One debugger command, as shown in help and accepted by
+/// DebugSession::execute.
+struct CommandInfo {
+  const char *Usage;   ///< e.g. "record region <skip> <len> [seed]"
+  const char *Help;    ///< one-line description
+  const char *Word;    ///< the dispatch keyword ("record", "slice", ...)
+  const char *Aliases; ///< space-separated alias keywords, "" if none
+};
+
+/// The full command table, in help-display order.
+const std::vector<CommandInfo> &commandTable();
+
+/// The "DrDebug commands:" help text, generated from commandTable().
+const std::string &helpText();
+
+} // namespace drdebug
+
+#endif // DRDEBUG_DEBUGGER_COMMANDS_H

@@ -4,6 +4,8 @@
 
 #include "arch/assembler.h"
 #include "arch/disasm.h"
+#include "debugger/commands.h"
+#include "replay/repository.h"
 #include "slicing/report.h"
 
 #include <cassert>
@@ -132,7 +134,34 @@ private:
 // Session lifecycle
 //===----------------------------------------------------------------------===//
 
+/// Forwards everything written to the session's ostream to a callback, so a
+/// non-ostream consumer (the debug server) can capture per-command output.
+class DebugSession::SinkStreambuf : public std::streambuf {
+public:
+  explicit SinkStreambuf(OutputFn Fn) : Fn(std::move(Fn)) {}
+
+protected:
+  int overflow(int Ch) override {
+    if (Ch != traits_type::eof())
+      Fn(std::string(1, static_cast<char>(Ch)));
+    return Ch;
+  }
+  std::streamsize xsputn(const char *S, std::streamsize N) override {
+    Fn(std::string(S, static_cast<size_t>(N)));
+    return N;
+  }
+
+private:
+  OutputFn Fn;
+};
+
 DebugSession::DebugSession(std::ostream &Out) : Out(Out) {}
+
+DebugSession::DebugSession(OutputFn Sink)
+    : OwnedBuf(std::make_unique<SinkStreambuf>(std::move(Sink))),
+      OwnedOut(std::make_unique<std::ostream>(OwnedBuf.get())),
+      Out(*OwnedOut) {}
+
 DebugSession::~DebugSession() = default;
 
 Machine *DebugSession::currentMachine() {
@@ -285,6 +314,10 @@ bool DebugSession::execute(const std::string &Line) {
     return true;
   if (Cmd == "quit" || Cmd == "q")
     return false;
+  if (Cmd == "help") {
+    Out << helpText();
+    return true;
+  }
 
   if (Cmd == "load") {
     std::string Path;
@@ -676,12 +709,21 @@ void DebugSession::cmdPinball(std::istringstream &Args) {
     return;
   }
   if (What == "load") {
-    Pinball Pb;
-    if (!Pb.load(Dir, Error)) {
-      Out << "error: " << Error << "\n";
-      return;
+    if (PbRepo) {
+      std::shared_ptr<const Pinball> Cached = PbRepo->load(Dir, Error);
+      if (!Cached) {
+        Out << "error: " << Error << "\n";
+        return;
+      }
+      RegionPb = *Cached; // the repository keeps the parsed master copy
+    } else {
+      Pinball Pb;
+      if (!Pb.load(Dir, Error)) {
+        Out << "error: " << Error << "\n";
+        return;
+      }
+      RegionPb = std::move(Pb);
     }
-    RegionPb = std::move(Pb);
     Slicing.reset();
     CurrentSlice.reset();
     SlicePb.reset();

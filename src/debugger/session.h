@@ -45,6 +45,7 @@
 #include "replay/replayer.h"
 #include "slicing/slicer.h"
 
+#include <functional>
 #include <iosfwd>
 #include <map>
 #include <memory>
@@ -54,11 +55,18 @@
 
 namespace drdebug {
 
+class PinballRepository;
+
 /// An interactive DrDebug session. Construct, load a program, then feed
-/// commands; output goes to the supplied stream.
+/// commands; output goes to the supplied stream or sink callback.
 class DebugSession {
 public:
+  /// A non-ostream output sink: receives each chunk of session output.
+  /// Used by the remote debug server to capture per-command output.
+  using OutputFn = std::function<void(const std::string &)>;
+
   explicit DebugSession(std::ostream &Out);
+  explicit DebugSession(OutputFn Sink);
   ~DebugSession();
 
   DebugSession(const DebugSession &) = delete;
@@ -75,6 +83,10 @@ public:
   /// Feeds a whole script, stopping at "quit".
   void runScript(const std::vector<std::string> &Commands);
 
+  /// Uses \p Repo for `pinball load`, so sessions sharing a repository
+  /// parse each recording once (the server's shared pinball cache).
+  void setPinballRepository(PinballRepository *Repo) { PbRepo = Repo; }
+
   // --- Introspection for tests and examples -------------------------------
   /// The machine currently being debugged (live or replay), or null.
   Machine *currentMachine();
@@ -85,6 +97,7 @@ public:
 
 private:
   class BreakpointObserver;
+  class SinkStreambuf;
 
   // Command handlers.
   void cmdRun(std::istringstream &Args);
@@ -112,7 +125,12 @@ private:
   bool parseLocation(const std::string &Tok, uint64_t &Pc);
   Scheduler &liveScheduler(uint64_t Seed);
 
+  // When constructed with a sink, these own the stream Out refers to; they
+  // are declared first so Out can bind to *OwnedOut in the initializer list.
+  std::unique_ptr<SinkStreambuf> OwnedBuf;
+  std::unique_ptr<std::ostream> OwnedOut;
   std::ostream &Out;
+  PinballRepository *PbRepo = nullptr;
   std::unique_ptr<Program> Prog;
   std::string ProgramText;
 

@@ -213,6 +213,13 @@ bool Pinball::load(const std::string &Dir, std::string &Error) {
   return true;
 }
 
+const std::vector<const char *> &Pinball::fileNames() {
+  static const std::vector<const char *> Names = {
+      "program.asm", "state.txt",      "schedule.txt",
+      "syscalls.txt", "injections.txt", "meta.txt"};
+  return Names;
+}
+
 uint64_t Pinball::diskSizeBytes(const std::string &Dir) {
   uint64_t Total = 0;
   std::error_code EC;

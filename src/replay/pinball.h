@@ -86,6 +86,11 @@ public:
 
   /// \returns the pinball's on-disk size in bytes (0 if never saved there).
   static uint64_t diskSizeBytes(const std::string &Dir);
+
+  /// The file names a saved pinball directory contains, in save order.
+  /// Exposed so the PinballRepository can fingerprint a directory for
+  /// cache invalidation without loading it.
+  static const std::vector<const char *> &fileNames();
 };
 
 } // namespace drdebug

@@ -1,0 +1,68 @@
+//===- replay/repository.cpp - Shared pinball repository ---------------------===//
+
+#include "replay/repository.h"
+
+#include <filesystem>
+
+using namespace drdebug;
+namespace fs = std::filesystem;
+
+uint64_t PinballRepository::dirFingerprint(const std::string &Dir) {
+  uint64_t Fp = 0;
+  bool Any = false;
+  for (const char *Name : Pinball::fileNames()) {
+    std::error_code EC;
+    fs::path P = fs::path(Dir) / Name;
+    uint64_t Size = fs::file_size(P, EC);
+    if (EC)
+      continue;
+    Any = true;
+    uint64_t MTime = static_cast<uint64_t>(
+        fs::last_write_time(P, EC).time_since_epoch().count());
+    // FNV-1a over (size, mtime) of each file.
+    for (uint64_t V : {Size, MTime}) {
+      for (int Byte = 0; Byte != 8; ++Byte) {
+        Fp = (Fp == 0 ? 1469598103934665603ULL : Fp) ^ ((V >> (8 * Byte)) & 0xFF);
+        Fp *= 1099511628211ULL;
+      }
+    }
+  }
+  return Any ? (Fp ? Fp : 1) : 0;
+}
+
+std::shared_ptr<const Pinball> PinballRepository::load(const std::string &Dir,
+                                                      std::string &Error) {
+  std::error_code EC;
+  fs::path Canon = fs::weakly_canonical(Dir, EC);
+  std::string Key = EC ? Dir : Canon.string();
+
+  uint64_t Fp = dirFingerprint(Dir);
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Cache.find(Key);
+  if (It != Cache.end() && Fp != 0 && It->second.Fingerprint == Fp) {
+    Hits.fetch_add(1, std::memory_order_relaxed);
+    return It->second.Pb;
+  }
+  Misses.fetch_add(1, std::memory_order_relaxed);
+  auto Pb = std::make_shared<Pinball>();
+  if (!Pb->load(Dir, Error)) {
+    Cache.erase(Key);
+    return nullptr;
+  }
+  Entry E;
+  E.Fingerprint = Fp;
+  E.Pb = std::move(Pb);
+  std::shared_ptr<const Pinball> Result = E.Pb;
+  Cache[Key] = std::move(E);
+  return Result;
+}
+
+void PinballRepository::clear() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Cache.clear();
+}
+
+size_t PinballRepository::cachedCount() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Cache.size();
+}

@@ -1,0 +1,63 @@
+//===- replay/repository.h - Shared pinball repository ----------*- C++ -*-===//
+//
+// Part of the DrDebug reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A process-wide cache of loaded pinballs, keyed by directory path. When N
+/// debug sessions replay the same recording (the common cyclic-debugging
+/// pattern the server is built for), the directory is read and parsed once;
+/// later loads are served from memory. Entries are invalidated when any of
+/// the pinball's files changes size or mtime, so re-recording into the same
+/// directory is picked up transparently. Thread-safe.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRDEBUG_REPLAY_REPOSITORY_H
+#define DRDEBUG_REPLAY_REPOSITORY_H
+
+#include "replay/pinball.h"
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace drdebug {
+
+/// A thread-safe cache of parsed pinballs with mtime/size invalidation.
+class PinballRepository {
+public:
+  /// Loads the pinball saved in \p Dir, from cache when fresh. \returns null
+  /// (with \p Error set) when the directory cannot be read or parsed.
+  std::shared_ptr<const Pinball> load(const std::string &Dir,
+                                      std::string &Error);
+
+  /// Drops every cached entry (the next load of each dir re-reads disk).
+  void clear();
+
+  uint64_t hits() const { return Hits.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return Misses.load(std::memory_order_relaxed); }
+  size_t cachedCount() const;
+
+  /// A fingerprint of the pinball files in \p Dir (sizes + mtimes).
+  /// \returns 0 when the directory holds no readable pinball files.
+  static uint64_t dirFingerprint(const std::string &Dir);
+
+private:
+  struct Entry {
+    uint64_t Fingerprint = 0;
+    std::shared_ptr<const Pinball> Pb;
+  };
+
+  mutable std::mutex Mu;
+  std::map<std::string, Entry> Cache;
+  std::atomic<uint64_t> Hits{0};
+  std::atomic<uint64_t> Misses{0};
+};
+
+} // namespace drdebug
+
+#endif // DRDEBUG_REPLAY_REPOSITORY_H

@@ -1,0 +1,64 @@
+//===- server/client.cpp - drdebugd protocol client --------------------------===//
+
+#include "server/client.h"
+
+#include <sstream>
+
+using namespace drdebug;
+
+bool ProtocolClient::request(const std::string &VerbAndArgs,
+                             std::string &Payload, std::string &Error) {
+  LastCode = 0;
+  uint64_t Seq = NextSeq++;
+  if (!T.send(encodeFrame(std::to_string(Seq) + " " + VerbAndArgs))) {
+    Error = "transport closed";
+    return false;
+  }
+  std::string Bytes, Body;
+  for (;;) {
+    FrameBuffer::Poll P = FB.poll(Body);
+    if (P == FrameBuffer::Poll::None) {
+      if (!T.recv(Bytes)) {
+        Error = "transport closed";
+        return false;
+      }
+      FB.append(Bytes);
+      Bytes.clear();
+      continue;
+    }
+    if (P != FrameBuffer::Poll::Frame)
+      continue; // drop noise; keep waiting for our response
+    uint64_t RespSeq = 0;
+    unsigned Code = 0;
+    std::string Text;
+    if (!parseResponseBody(Body, RespSeq, Code, Text) || RespSeq != Seq)
+      continue; // not a response to this request
+    if (Code != 0) {
+      LastCode = Code;
+      Error = std::string(wireErrorName(static_cast<WireError>(Code))) +
+              ": " + Text;
+      return false;
+    }
+    Payload = std::move(Text);
+    return true;
+  }
+}
+
+bool ProtocolClient::open(uint64_t &Sid, std::string &Error) {
+  std::string Payload;
+  if (!request("open", Payload, Error))
+    return false;
+  std::istringstream IS(Payload);
+  std::string Tag;
+  if (!(IS >> Tag >> Sid) || Tag != "sid") {
+    Error = "malformed open response '" + Payload + "'";
+    return false;
+  }
+  return true;
+}
+
+bool ProtocolClient::load(uint64_t Sid, const std::string &ProgramText,
+                          std::string &Output, std::string &Error) {
+  return request("load " + std::to_string(Sid) + " " + escapeText(ProgramText),
+                 Output, Error);
+}

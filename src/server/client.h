@@ -1,0 +1,67 @@
+//===- server/client.h - drdebugd protocol client ---------------*- C++ -*-===//
+//
+// Part of the DrDebug reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The client half of the wire protocol: issues requests over a Transport
+/// and matches up responses by sequence number. Used by `drdebug --connect`,
+/// the server tests, and the throughput benchmark.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRDEBUG_SERVER_CLIENT_H
+#define DRDEBUG_SERVER_CLIENT_H
+
+#include "server/protocol.h"
+#include "server/transport.h"
+
+#include <cstdint>
+#include <string>
+
+namespace drdebug {
+
+class ProtocolClient {
+public:
+  explicit ProtocolClient(Transport &T) : T(T) {}
+
+  /// Sends "<seq> <VerbAndArgs>" and waits for the matching response.
+  /// \returns false on transport failure or an err response (\p Error then
+  /// holds "<code-name>: <message>"). On success \p Payload is unescaped.
+  bool request(const std::string &VerbAndArgs, std::string &Payload,
+               std::string &Error);
+
+  bool hello(std::string &Banner, std::string &Error) {
+    return request("hello", Banner, Error);
+  }
+  /// Opens a fresh session; \p Sid receives its id.
+  bool open(uint64_t &Sid, std::string &Error);
+  /// Loads program text into session \p Sid. The session's "loaded
+  /// program: ..." message (or assembly error) lands in \p Output.
+  bool load(uint64_t Sid, const std::string &ProgramText, std::string &Output,
+            std::string &Error);
+  /// Runs one debugger command; \p Output is exactly what the command
+  /// printed in-session.
+  bool cmd(uint64_t Sid, const std::string &Line, std::string &Output,
+           std::string &Error) {
+    return request("cmd " + std::to_string(Sid) + " " + escapeText(Line),
+                   Output, Error);
+  }
+  bool stats(std::string &Report, std::string &Error) {
+    return request("stats", Report, Error);
+  }
+
+  /// Error code of the last err response (0 when none).
+  unsigned lastErrorCode() const { return LastCode; }
+
+private:
+  Transport &T;
+  FrameBuffer FB;
+  uint64_t NextSeq = 1;
+  unsigned LastCode = 0;
+};
+
+} // namespace drdebug
+
+#endif // DRDEBUG_SERVER_CLIENT_H

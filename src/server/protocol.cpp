@@ -1,0 +1,189 @@
+//===- server/protocol.cpp - drdebugd framed wire protocol -------------------===//
+
+#include "server/protocol.h"
+
+#include <sstream>
+
+using namespace drdebug;
+
+const char *drdebug::wireErrorName(WireError E) {
+  switch (E) {
+  case WireError::Malformed:
+    return "malformed-frame";
+  case WireError::BadChecksum:
+    return "bad-checksum";
+  case WireError::UnknownVerb:
+    return "unknown-verb";
+  case WireError::BadArguments:
+    return "bad-arguments";
+  case WireError::NoSuchSession:
+    return "no-such-session";
+  case WireError::SessionFailed:
+    return "session-failed";
+  }
+  return "unknown-error";
+}
+
+std::string drdebug::escapeText(const std::string &Text) {
+  std::string Out;
+  Out.reserve(Text.size());
+  for (char C : Text) {
+    if (C == '%')
+      Out += "%25";
+    else if (C == '$')
+      Out += "%24";
+    else if (C == '#')
+      Out += "%23";
+    else if (C == '\n')
+      Out += "%0a";
+    else if (C == '\r')
+      Out += "%0d";
+    else
+      Out += C;
+  }
+  return Out;
+}
+
+std::string drdebug::unescapeText(const std::string &Text) {
+  std::string Out;
+  Out.reserve(Text.size());
+  for (size_t I = 0; I != Text.size(); ++I) {
+    if (Text[I] == '%' && I + 2 < Text.size()) {
+      if (Text.compare(I, 3, "%25") == 0) {
+        Out += '%';
+        I += 2;
+        continue;
+      }
+      if (Text.compare(I, 3, "%24") == 0) {
+        Out += '$';
+        I += 2;
+        continue;
+      }
+      if (Text.compare(I, 3, "%23") == 0) {
+        Out += '#';
+        I += 2;
+        continue;
+      }
+      if (Text.compare(I, 3, "%0a") == 0) {
+        Out += '\n';
+        I += 2;
+        continue;
+      }
+      if (Text.compare(I, 3, "%0d") == 0) {
+        Out += '\r';
+        I += 2;
+        continue;
+      }
+    }
+    Out += Text[I];
+  }
+  return Out;
+}
+
+static unsigned bodyChecksum(const std::string &Body) {
+  unsigned Sum = 0;
+  for (unsigned char C : Body)
+    Sum = (Sum + C) & 0xFF;
+  return Sum;
+}
+
+std::string drdebug::encodeFrame(const std::string &Body) {
+  static const char *Hex = "0123456789abcdef";
+  unsigned Sum = bodyChecksum(Body);
+  std::string Frame;
+  Frame.reserve(Body.size() + 4);
+  Frame += '$';
+  Frame += Body;
+  Frame += '#';
+  Frame += Hex[Sum >> 4];
+  Frame += Hex[Sum & 0xF];
+  return Frame;
+}
+
+std::string drdebug::okBody(uint64_t Seq, const std::string &Payload) {
+  std::string Body = std::to_string(Seq) + " ok";
+  if (!Payload.empty()) {
+    Body += ' ';
+    Body += escapeText(Payload);
+  }
+  return Body;
+}
+
+std::string drdebug::errBody(uint64_t Seq, WireError E,
+                             const std::string &Message) {
+  return std::to_string(Seq) + " err " +
+         std::to_string(static_cast<unsigned>(E)) + " " +
+         escapeText(Message);
+}
+
+bool drdebug::parseResponseBody(const std::string &Body, uint64_t &Seq,
+                                unsigned &Code, std::string &Payload) {
+  std::istringstream IS(Body);
+  std::string Status;
+  if (!(IS >> Seq >> Status))
+    return false;
+  if (Status == "ok") {
+    Code = 0;
+    std::string Rest;
+    std::getline(IS, Rest);
+    if (!Rest.empty() && Rest.front() == ' ')
+      Rest.erase(0, 1);
+    Payload = unescapeText(Rest);
+    return true;
+  }
+  if (Status == "err") {
+    if (!(IS >> Code) || Code == 0)
+      return false;
+    std::string Rest;
+    std::getline(IS, Rest);
+    if (!Rest.empty() && Rest.front() == ' ')
+      Rest.erase(0, 1);
+    Payload = unescapeText(Rest);
+    return true;
+  }
+  return false;
+}
+
+static int hexDigit(char C) {
+  if (C >= '0' && C <= '9')
+    return C - '0';
+  if (C >= 'a' && C <= 'f')
+    return C - 'a' + 10;
+  if (C >= 'A' && C <= 'F')
+    return C - 'A' + 10;
+  return -1;
+}
+
+FrameBuffer::Poll FrameBuffer::poll(std::string &Body) {
+  // Drop any bytes before the next frame start; they are noise.
+  size_t Start = Buf.find('$');
+  if (Start == std::string::npos) {
+    bool HadGarbage = !Buf.empty();
+    Buf.clear();
+    return HadGarbage ? Poll::Malformed : Poll::None;
+  }
+  if (Start != 0) {
+    Buf.erase(0, Start);
+    return Poll::Malformed;
+  }
+  size_t End = Buf.find('#');
+  if (End == std::string::npos) {
+    if (Buf.size() > MaxFrameBytes) {
+      Buf.clear();
+      return Poll::Malformed;
+    }
+    return Poll::None;
+  }
+  if (Buf.size() < End + 3)
+    return Poll::None; // checksum digits not arrived yet
+  int Hi = hexDigit(Buf[End + 1]);
+  int Lo = hexDigit(Buf[End + 2]);
+  std::string Candidate = Buf.substr(1, End - 1);
+  Buf.erase(0, End + 3);
+  if (Hi < 0 || Lo < 0)
+    return Poll::Malformed;
+  if (static_cast<unsigned>(Hi * 16 + Lo) != bodyChecksum(Candidate))
+    return Poll::BadChecksum;
+  Body = std::move(Candidate);
+  return Poll::Frame;
+}

@@ -1,0 +1,97 @@
+//===- server/protocol.h - drdebugd framed wire protocol --------*- C++ -*-===//
+//
+// Part of the DrDebug reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The framed request/response protocol spoken between drdebug front ends
+/// and drdebugd (this repo's PinADX analog). GDB-RSP-flavoured text frames:
+///
+///   $<body>#<xx>
+///
+/// where <xx> is the two-digit lowercase-hex checksum (sum of the body
+/// bytes mod 256). Free-text fields inside a body (program text, command
+/// lines, command output) are percent-escaped so they can never contain the
+/// frame delimiters or a newline (request/response bodies stay single-line):
+/// '%' -> %25, '$' -> %24, '#' -> %23, '\n' -> %0a, '\r' -> %0d.
+///
+/// Request bodies:   <seq> <verb> [<args>...]
+/// Response bodies:  <seq> ok [<escaped payload>]
+///                   <seq> err <code> <message>
+///
+/// Verbs and error codes are documented in docs/SERVER.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRDEBUG_SERVER_PROTOCOL_H
+#define DRDEBUG_SERVER_PROTOCOL_H
+
+#include <cstdint>
+#include <string>
+
+namespace drdebug {
+
+/// Wire protocol version, reported by the `hello` verb.
+inline constexpr unsigned ProtocolVersion = 1;
+
+/// Protocol-level error codes (the <code> field of an err response).
+enum class WireError : unsigned {
+  Malformed = 1,    ///< unframed bytes, oversized frame, or bad hex
+  BadChecksum = 2,  ///< frame checksum mismatch
+  UnknownVerb = 3,  ///< verb not in the protocol
+  BadArguments = 4, ///< verb present but arguments unparsable
+  NoSuchSession = 5,///< session id unknown (or already evicted)
+  SessionFailed = 6,///< the session rejected the operation
+};
+
+/// Short stable name for an error code ("malformed-frame", ...).
+const char *wireErrorName(WireError E);
+
+/// Percent-escapes '%', '$', '#', '\n', '\r' so \p Text can travel inside a
+/// single-line frame body.
+std::string escapeText(const std::string &Text);
+/// Reverses escapeText (unknown escapes are kept verbatim).
+std::string unescapeText(const std::string &Text);
+
+/// Wraps \p Body into a checksummed frame.
+std::string encodeFrame(const std::string &Body);
+
+/// Builds the body of an ok response (escapes \p Payload).
+std::string okBody(uint64_t Seq, const std::string &Payload);
+/// Builds the body of an err response.
+std::string errBody(uint64_t Seq, WireError E, const std::string &Message);
+
+/// Parses a response body. \returns false when \p Body is not a response.
+/// On an ok response, \p Payload holds the unescaped payload; on an err
+/// response, \p Code is non-zero and \p Payload holds the message.
+bool parseResponseBody(const std::string &Body, uint64_t &Seq, unsigned &Code,
+                       std::string &Payload);
+
+/// Incremental frame decoder: feed raw bytes, poll out complete frames.
+class FrameBuffer {
+public:
+  enum class Poll {
+    None,        ///< no complete frame buffered yet
+    Frame,       ///< a valid frame was extracted into Body
+    Malformed,   ///< unframed garbage or bad hex was dropped
+    BadChecksum, ///< a well-framed body failed its checksum
+  };
+
+  /// Frames larger than this are rejected as malformed (sanity bound; the
+  /// largest legitimate payloads are program texts and slice listings).
+  static constexpr size_t MaxFrameBytes = 16u << 20;
+
+  void append(const char *Bytes, size_t N) { Buf.append(Bytes, N); }
+  void append(const std::string &Bytes) { Buf += Bytes; }
+
+  /// Extracts the next frame body, if any. Call repeatedly until None.
+  Poll poll(std::string &Body);
+
+private:
+  std::string Buf;
+};
+
+} // namespace drdebug
+
+#endif // DRDEBUG_SERVER_PROTOCOL_H

@@ -1,0 +1,245 @@
+//===- server/server.cpp - drdebugd: the remote debug server -----------------===//
+
+#include "server/server.h"
+
+#include "debugger/commands.h"
+#include "server/protocol.h"
+#include "support/stopwatch.h"
+
+#include <sstream>
+
+using namespace drdebug;
+
+//===----------------------------------------------------------------------===//
+// WorkerPool
+//===----------------------------------------------------------------------===//
+
+WorkerPool::WorkerPool(unsigned N) {
+  if (N == 0)
+    N = 1;
+  Threads.reserve(N);
+  for (unsigned I = 0; I != N; ++I)
+    Threads.emplace_back([this] { workerMain(); });
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Stopping = true;
+  }
+  Cv.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+std::future<std::string> WorkerPool::submit(std::function<std::string()> Fn) {
+  std::packaged_task<std::string()> Task(std::move(Fn));
+  std::future<std::string> Fut = Task.get_future();
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Queue.push_back(std::move(Task));
+  }
+  Cv.notify_one();
+  return Fut;
+}
+
+void WorkerPool::workerMain() {
+  for (;;) {
+    std::packaged_task<std::string()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(Mu);
+      Cv.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+      if (Queue.empty())
+        return; // stopping and drained
+      Task = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    Task();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// DebugServer
+//===----------------------------------------------------------------------===//
+
+DebugServer::DebugServer(ServerConfig CfgIn)
+    : Cfg(CfgIn), Mgr(Repo, Stats, Cfg.IdleTimeout), Pool(Cfg.Workers) {
+  if (Cfg.JanitorPeriod.count() > 0) {
+    Janitor = std::thread([this] {
+      std::unique_lock<std::mutex> Lock(JanitorMu);
+      while (!JanitorCv.wait_for(Lock, Cfg.JanitorPeriod,
+                                 [this] { return JanitorStop; }))
+        Mgr.evictIdle();
+    });
+  }
+}
+
+DebugServer::~DebugServer() {
+  if (Janitor.joinable()) {
+    {
+      std::lock_guard<std::mutex> Lock(JanitorMu);
+      JanitorStop = true;
+    }
+    JanitorCv.notify_all();
+    Janitor.join();
+  }
+}
+
+void DebugServer::serve(Transport &T) {
+  FrameBuffer FB;
+  std::set<uint64_t> Attached;
+  std::string Bytes;
+  bool Open = true;
+  while (Open && T.recv(Bytes)) {
+    FB.append(Bytes);
+    Bytes.clear();
+    std::string Body;
+    for (;;) {
+      FrameBuffer::Poll P = FB.poll(Body);
+      if (P == FrameBuffer::Poll::None)
+        break;
+      if (P != FrameBuffer::Poll::Frame) {
+        Stats.FramesMalformed.fetch_add(1, std::memory_order_relaxed);
+        Stats.ErrorsReturned.fetch_add(1, std::memory_order_relaxed);
+        WireError E = P == FrameBuffer::Poll::BadChecksum
+                          ? WireError::BadChecksum
+                          : WireError::Malformed;
+        T.send(encodeFrame(errBody(0, E, wireErrorName(E))));
+        continue;
+      }
+      T.send(encodeFrame(handleBody(Body, Attached)));
+      if (shutdownRequested()) {
+        Open = false;
+        break;
+      }
+    }
+  }
+  for (uint64_t Id : Attached)
+    Mgr.detach(Id);
+}
+
+std::string DebugServer::handleBody(const std::string &Body,
+                                    std::set<uint64_t> &Attached) {
+  std::istringstream IS(Body);
+  uint64_t Seq = 0;
+  std::string Verb;
+  if (!(IS >> Seq >> Verb)) {
+    Stats.ErrorsReturned.fetch_add(1, std::memory_order_relaxed);
+    return errBody(0, WireError::Malformed, "missing sequence number or verb");
+  }
+  auto Err = [&](WireError E, const std::string &Msg) {
+    Stats.ErrorsReturned.fetch_add(1, std::memory_order_relaxed);
+    return errBody(Seq, E, Msg);
+  };
+  auto RestOf = [&IS]() {
+    std::string Rest;
+    std::getline(IS, Rest);
+    if (!Rest.empty() && Rest.front() == ' ')
+      Rest.erase(0, 1);
+    return Rest;
+  };
+
+  if (Verb == "hello")
+    return okBody(Seq, std::string("drdebugd ") + DrDebugVersion + " proto " +
+                           std::to_string(ProtocolVersion));
+
+  if (Verb == "open") {
+    uint64_t Id = Mgr.create();
+    Attached.insert(Id);
+    return okBody(Seq, "sid " + std::to_string(Id));
+  }
+
+  if (Verb == "attach" || Verb == "detach" || Verb == "close") {
+    uint64_t Sid = 0;
+    if (!(IS >> Sid))
+      return Err(WireError::BadArguments, "usage: " + Verb + " <sid>");
+    if (Verb == "attach") {
+      std::string Why;
+      if (!Mgr.attach(Sid, Why))
+        return Err(Mgr.exists(Sid) ? WireError::SessionFailed
+                                   : WireError::NoSuchSession,
+                   Why);
+      Attached.insert(Sid);
+      return okBody(Seq, "sid " + std::to_string(Sid));
+    }
+    if (Verb == "detach") {
+      if (!Mgr.detach(Sid))
+        return Err(WireError::NoSuchSession, "no such session");
+      Attached.erase(Sid);
+      return okBody(Seq, "");
+    }
+    if (!Mgr.close(Sid))
+      return Err(WireError::NoSuchSession, "no such session");
+    Attached.erase(Sid);
+    return okBody(Seq, "");
+  }
+
+  if (Verb == "load" || Verb == "cmd") {
+    uint64_t Sid = 0;
+    if (!(IS >> Sid))
+      return Err(WireError::BadArguments,
+                 "usage: " + Verb + " <sid> <text>");
+    std::string Text = unescapeText(RestOf());
+    Stopwatch SW;
+    std::string Output;
+    SessionManager::ExecStatus Status;
+    bool LoadOk = true;
+    // Run the session command on the worker pool; this connection thread
+    // just waits, so W workers bound how many sessions execute at once.
+    std::future<std::string> Fut = Pool.submit([&]() -> std::string {
+      std::string Out;
+      if (Verb == "load")
+        Status = Mgr.loadProgram(Sid, Text, Out, LoadOk);
+      else
+        Status = Mgr.execute(Sid, Text, Out);
+      return Out;
+    });
+    Output = Fut.get();
+    Stats.CmdLatencyUs.record(static_cast<uint64_t>(SW.seconds() * 1e6));
+    if (Status == SessionManager::ExecStatus::NoSuchSession)
+      return Err(WireError::NoSuchSession, "no such session");
+    if (Status == SessionManager::ExecStatus::Ended)
+      Attached.erase(Sid);
+    if (Verb == "load" && !LoadOk)
+      return Err(WireError::SessionFailed, Output);
+    return okBody(Seq, Output);
+  }
+
+  if (Verb == "stats")
+    return okBody(Seq, statsReport());
+
+  if (Verb == "evict")
+    return okBody(Seq, "evicted " + std::to_string(Mgr.evictIdle()));
+
+  if (Verb == "shutdown") {
+    Shutdown.store(true, std::memory_order_release);
+    return okBody(Seq, "shutting down");
+  }
+
+  return Err(WireError::UnknownVerb, "unknown verb '" + Verb + "'");
+}
+
+std::string DebugServer::statsReport() const {
+  std::ostringstream OS;
+  OS << "server.version " << DrDebugVersion << "\n"
+     << "protocol.version " << ProtocolVersion << "\n"
+     << "sessions.created " << Stats.SessionsCreated.load() << "\n"
+     << "sessions.active " << Mgr.activeCount() << "\n"
+     << "sessions.closed " << Stats.SessionsClosed.load() << "\n"
+     << "sessions.evicted " << Stats.SessionsEvicted.load() << "\n"
+     << "commands.served " << Stats.CommandsServed.load() << "\n"
+     << "frames.malformed " << Stats.FramesMalformed.load() << "\n"
+     << "errors.returned " << Stats.ErrorsReturned.load() << "\n"
+     << "pinballs.cached " << Repo.cachedCount() << "\n"
+     << "pinballs.cache_hits " << Repo.hits() << "\n"
+     << "pinballs.cache_misses " << Repo.misses() << "\n"
+     << "latency.cmd_us.count " << Stats.CmdLatencyUs.total() << "\n"
+     << "latency.cmd_us.p50 " << Stats.CmdLatencyUs.quantileUpperBoundUs(0.50)
+     << "\n"
+     << "latency.cmd_us.p90 " << Stats.CmdLatencyUs.quantileUpperBoundUs(0.90)
+     << "\n"
+     << "latency.cmd_us.p99 " << Stats.CmdLatencyUs.quantileUpperBoundUs(0.99)
+     << "\n"
+     << Stats.CmdLatencyUs.report("latency.cmd_us");
+  return OS.str();
+}

@@ -1,0 +1,112 @@
+//===- server/server.h - drdebugd: the remote debug server ------*- C++ -*-===//
+//
+// Part of the DrDebug reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The resident debug server — the PinADX analog. Hosts many concurrent
+/// DebugSessions behind the framed wire protocol (server/protocol.h):
+/// debugger front ends connect over a Transport, open or attach sessions,
+/// and drive every existing debugger command remotely. Commands execute on
+/// a worker-thread pool (serialized per session by the SessionManager), all
+/// sessions share one PinballRepository so a recording is parsed once no
+/// matter how many users replay it, and an optional janitor thread evicts
+/// idle sessions.
+///
+/// Verbs: hello, open, attach, detach, close, load, cmd, stats, evict,
+/// shutdown — see docs/SERVER.md for the full wire grammar.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRDEBUG_SERVER_SERVER_H
+#define DRDEBUG_SERVER_SERVER_H
+
+#include "replay/repository.h"
+#include "server/session_manager.h"
+#include "server/stats.h"
+#include "server/transport.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace drdebug {
+
+/// A fixed pool of worker threads executing string-producing tasks.
+class WorkerPool {
+public:
+  explicit WorkerPool(unsigned N);
+  ~WorkerPool();
+
+  /// Enqueues \p Fn; the returned future yields its result.
+  std::future<std::string> submit(std::function<std::string()> Fn);
+
+private:
+  void workerMain();
+
+  std::mutex Mu;
+  std::condition_variable Cv;
+  std::deque<std::packaged_task<std::string()>> Queue;
+  bool Stopping = false;
+  std::vector<std::thread> Threads;
+};
+
+struct ServerConfig {
+  unsigned Workers = 4;
+  /// Sessions idle at least this long are evicted (0 disables eviction).
+  std::chrono::milliseconds IdleTimeout{std::chrono::minutes(5)};
+  /// Period of the background eviction sweep (0: sweep only on `evict`).
+  std::chrono::milliseconds JanitorPeriod{0};
+};
+
+class DebugServer {
+public:
+  explicit DebugServer(ServerConfig Cfg = {});
+  ~DebugServer();
+
+  DebugServer(const DebugServer &) = delete;
+  DebugServer &operator=(const DebugServer &) = delete;
+
+  /// Serves one client connection until its peer disconnects (or asks for
+  /// shutdown). Blocking; call from one thread per connection. Sessions
+  /// the client attached and never detached are auto-detached on return.
+  void serve(Transport &T);
+
+  /// True once some client issued the `shutdown` verb.
+  bool shutdownRequested() const {
+    return Shutdown.load(std::memory_order_acquire);
+  }
+
+  /// The `stats` verb payload ("key value" lines).
+  std::string statsReport() const;
+
+  SessionManager &sessions() { return Mgr; }
+  PinballRepository &repository() { return Repo; }
+  ServerStats &stats() { return Stats; }
+
+private:
+  /// Dispatches one request body; \returns the response body.
+  std::string handleBody(const std::string &Body, std::set<uint64_t> &Attached);
+
+  ServerConfig Cfg;
+  PinballRepository Repo;
+  ServerStats Stats;
+  SessionManager Mgr;
+  WorkerPool Pool;
+  std::atomic<bool> Shutdown{false};
+
+  std::mutex JanitorMu;
+  std::condition_variable JanitorCv;
+  bool JanitorStop = false;
+  std::thread Janitor;
+};
+
+} // namespace drdebug
+
+#endif // DRDEBUG_SERVER_SERVER_H

@@ -1,0 +1,172 @@
+//===- server/session_manager.cpp - Concurrent debug sessions ----------------===//
+
+#include "server/session_manager.h"
+
+#include "replay/repository.h"
+
+#include <vector>
+
+using namespace drdebug;
+
+/// One resident session: the DebugSession, its captured output, and the
+/// mutex that serializes commands against it. LastUsed and Buffer are
+/// guarded by CmdMu; Attached is guarded by the manager's Mu.
+struct SessionManager::ManagedSession {
+  ManagedSession(uint64_t Id, PinballRepository &Repo)
+      : Id(Id), Session([this](const std::string &Chunk) { Buffer += Chunk; }) {
+    Session.setPinballRepository(&Repo);
+    LastUsed = Clock::now();
+  }
+
+  const uint64_t Id;
+  std::mutex CmdMu;
+  std::string Buffer;
+  DebugSession Session;
+  Clock::time_point LastUsed;
+  bool Attached = true;
+};
+
+SessionManager::SessionManager(PinballRepository &Repo, ServerStats &Stats,
+                               std::chrono::milliseconds IdleTimeout)
+    : Repo(Repo), Stats(Stats), IdleTimeout(IdleTimeout) {}
+
+uint64_t SessionManager::create() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  uint64_t Id = NextId++;
+  Sessions.emplace(Id, std::make_shared<ManagedSession>(Id, Repo));
+  Stats.SessionsCreated.fetch_add(1, std::memory_order_relaxed);
+  return Id;
+}
+
+bool SessionManager::attach(uint64_t Id, std::string &Error) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Sessions.find(Id);
+  if (It == Sessions.end()) {
+    Error = "no such session";
+    return false;
+  }
+  if (It->second->Attached) {
+    Error = "session is attached by another client";
+    return false;
+  }
+  It->second->Attached = true;
+  return true;
+}
+
+bool SessionManager::detach(uint64_t Id) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Sessions.find(Id);
+  if (It == Sessions.end())
+    return false;
+  It->second->Attached = false;
+  return true;
+}
+
+bool SessionManager::close(uint64_t Id) {
+  std::shared_ptr<ManagedSession> Doomed;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    auto It = Sessions.find(Id);
+    if (It == Sessions.end())
+      return false;
+    Doomed = std::move(It->second);
+    Sessions.erase(It);
+  }
+  // Let any in-flight command drain before destruction.
+  std::lock_guard<std::mutex> CmdLock(Doomed->CmdMu);
+  Stats.SessionsClosed.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool SessionManager::exists(uint64_t Id) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Sessions.count(Id) != 0;
+}
+
+size_t SessionManager::activeCount() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Sessions.size();
+}
+
+std::shared_ptr<SessionManager::ManagedSession>
+SessionManager::find(uint64_t Id) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Sessions.find(Id);
+  return It == Sessions.end() ? nullptr : It->second;
+}
+
+void SessionManager::remove(uint64_t Id) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Sessions.erase(Id);
+}
+
+SessionManager::ExecStatus
+SessionManager::execute(uint64_t Id, const std::string &Line,
+                        std::string &Output) {
+  std::shared_ptr<ManagedSession> S = find(Id);
+  if (!S)
+    return ExecStatus::NoSuchSession;
+  bool Alive;
+  {
+    std::lock_guard<std::mutex> CmdLock(S->CmdMu);
+    S->Buffer.clear();
+    Alive = S->Session.execute(Line);
+    Output = std::move(S->Buffer);
+    S->Buffer.clear();
+    S->LastUsed = Clock::now();
+  }
+  Stats.CommandsServed.fetch_add(1, std::memory_order_relaxed);
+  if (!Alive) {
+    remove(Id);
+    Stats.SessionsClosed.fetch_add(1, std::memory_order_relaxed);
+    return ExecStatus::Ended;
+  }
+  return ExecStatus::Ok;
+}
+
+SessionManager::ExecStatus
+SessionManager::loadProgram(uint64_t Id, const std::string &Text,
+                            std::string &Output, bool &LoadOk) {
+  std::shared_ptr<ManagedSession> S = find(Id);
+  if (!S)
+    return ExecStatus::NoSuchSession;
+  {
+    std::lock_guard<std::mutex> CmdLock(S->CmdMu);
+    S->Buffer.clear();
+    LoadOk = S->Session.loadProgramText(Text);
+    Output = std::move(S->Buffer);
+    S->Buffer.clear();
+    S->LastUsed = Clock::now();
+  }
+  Stats.CommandsServed.fetch_add(1, std::memory_order_relaxed);
+  return ExecStatus::Ok;
+}
+
+size_t SessionManager::evictIdle() {
+  if (IdleTimeout.count() == 0)
+    return 0;
+  Clock::time_point Now = Clock::now();
+  std::vector<std::shared_ptr<ManagedSession>> Evicted;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    for (auto It = Sessions.begin(); It != Sessions.end();) {
+      ManagedSession &S = *It->second;
+      // A busy session is never evicted: LastUsed may only be read with
+      // CmdMu held, and holding it proves no command is in flight.
+      if (!S.CmdMu.try_lock()) {
+        ++It;
+        continue;
+      }
+      bool Idle = Now - S.LastUsed >= IdleTimeout;
+      S.CmdMu.unlock();
+      if (Idle) {
+        Evicted.push_back(std::move(It->second));
+        It = Sessions.erase(It);
+      } else {
+        ++It;
+      }
+    }
+  }
+  Stats.SessionsEvicted.fetch_add(Evicted.size(), std::memory_order_relaxed);
+  return Evicted.size();
+}

@@ -1,0 +1,95 @@
+//===- server/session_manager.h - Concurrent debug sessions -----*- C++ -*-===//
+//
+// Part of the DrDebug reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Owns the server's DebugSessions. Each session is identified by a
+/// numeric id, captures its output through the DebugSession sink (no
+/// ostream involved), and is driven by at most one command at a time (a
+/// per-session mutex serializes them); different sessions run freely in
+/// parallel on the server's worker threads. Sessions idle longer than the
+/// configured timeout are evicted; a session busy executing a command is
+/// never evicted mid-command.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRDEBUG_SERVER_SESSION_MANAGER_H
+#define DRDEBUG_SERVER_SESSION_MANAGER_H
+
+#include "debugger/session.h"
+#include "server/stats.h"
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace drdebug {
+
+class PinballRepository;
+
+class SessionManager {
+public:
+  using Clock = std::chrono::steady_clock;
+
+  /// All sessions share \p Repo (the pinball cache) and report into
+  /// \p Stats. \p IdleTimeout of zero disables eviction.
+  SessionManager(PinballRepository &Repo, ServerStats &Stats,
+                 std::chrono::milliseconds IdleTimeout);
+
+  /// Creates a new (attached) session. \returns its id.
+  uint64_t create();
+
+  /// Attaches to an existing detached session. \returns false when the id
+  /// is unknown or the session is already attached.
+  bool attach(uint64_t Id, std::string &Error);
+
+  /// Detaches (the session stays resident and re-attachable).
+  bool detach(uint64_t Id);
+
+  /// Destroys a session. \returns false when the id is unknown.
+  bool close(uint64_t Id);
+
+  bool exists(uint64_t Id) const;
+  size_t activeCount() const;
+  std::chrono::milliseconds idleTimeout() const { return IdleTimeout; }
+
+  enum class ExecStatus {
+    Ok,            ///< command ran; output captured
+    NoSuchSession, ///< id unknown (never existed, closed, or evicted)
+    Ended,         ///< command was "quit": output captured, session gone
+  };
+
+  /// Runs one debugger command in session \p Id, capturing its output.
+  ExecStatus execute(uint64_t Id, const std::string &Line,
+                     std::string &Output);
+
+  /// Loads program text into session \p Id. \p LoadOk reports assembly
+  /// success; \p Output carries the session's message either way.
+  ExecStatus loadProgram(uint64_t Id, const std::string &Text,
+                         std::string &Output, bool &LoadOk);
+
+  /// Evicts every session idle for at least the configured timeout.
+  /// \returns the number evicted. No-op when the timeout is zero.
+  size_t evictIdle();
+
+private:
+  struct ManagedSession;
+
+  std::shared_ptr<ManagedSession> find(uint64_t Id) const;
+  void remove(uint64_t Id);
+
+  PinballRepository &Repo;
+  ServerStats &Stats;
+  const std::chrono::milliseconds IdleTimeout;
+
+  mutable std::mutex Mu;
+  std::map<uint64_t, std::shared_ptr<ManagedSession>> Sessions;
+  uint64_t NextId = 1;
+};
+
+} // namespace drdebug
+
+#endif // DRDEBUG_SERVER_SESSION_MANAGER_H

@@ -1,0 +1,91 @@
+//===- server/stats.h - Server-level counters -------------------*- C++ -*-===//
+//
+// Part of the DrDebug reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Counters the server exposes via the `stats` protocol verb: session
+/// lifecycle counts, commands served, pinball-cache effectiveness, and a
+/// lock-free power-of-two latency histogram for command service times.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRDEBUG_SERVER_STATS_H
+#define DRDEBUG_SERVER_STATS_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace drdebug {
+
+/// Power-of-two-bucketed latency histogram (microseconds). Bucket I holds
+/// samples in [2^I, 2^(I+1)) us; bucket 0 also holds sub-microsecond ones.
+class LatencyHistogram {
+public:
+  static constexpr size_t NumBuckets = 24; // up to ~16.8 s
+
+  void record(uint64_t Micros) {
+    size_t B = 0;
+    while ((1ULL << (B + 1)) <= Micros && B + 1 < NumBuckets)
+      ++B;
+    Buckets[B].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  uint64_t total() const {
+    uint64_t N = 0;
+    for (const auto &B : Buckets)
+      N += B.load(std::memory_order_relaxed);
+    return N;
+  }
+
+  /// Upper bound (us) of the bucket containing the \p Q quantile (0..1).
+  uint64_t quantileUpperBoundUs(double Q) const {
+    uint64_t N = total();
+    if (N == 0)
+      return 0;
+    uint64_t Rank = static_cast<uint64_t>(Q * static_cast<double>(N));
+    if (Rank >= N)
+      Rank = N - 1;
+    uint64_t Seen = 0;
+    for (size_t I = 0; I != NumBuckets; ++I) {
+      Seen += Buckets[I].load(std::memory_order_relaxed);
+      if (Seen > Rank)
+        return 1ULL << (I + 1);
+    }
+    return 1ULL << NumBuckets;
+  }
+
+  /// One line per non-empty bucket: "latency.cmd_us.le_<bound> <count>".
+  std::string report(const char *Prefix) const {
+    std::ostringstream OS;
+    for (size_t I = 0; I != NumBuckets; ++I) {
+      uint64_t C = Buckets[I].load(std::memory_order_relaxed);
+      if (C)
+        OS << Prefix << ".le_" << (1ULL << (I + 1)) << " " << C << "\n";
+    }
+    return OS.str();
+  }
+
+private:
+  std::array<std::atomic<uint64_t>, NumBuckets> Buckets{};
+};
+
+/// All server-level counters. Every field is independently atomic; the
+/// `stats` verb renders them as "key value" lines.
+struct ServerStats {
+  std::atomic<uint64_t> SessionsCreated{0};
+  std::atomic<uint64_t> SessionsClosed{0};
+  std::atomic<uint64_t> SessionsEvicted{0};
+  std::atomic<uint64_t> CommandsServed{0};
+  std::atomic<uint64_t> FramesMalformed{0};
+  std::atomic<uint64_t> ErrorsReturned{0};
+  LatencyHistogram CmdLatencyUs;
+};
+
+} // namespace drdebug
+
+#endif // DRDEBUG_SERVER_STATS_H

@@ -1,0 +1,209 @@
+//===- server/transport.cpp - Byte transports for the server -----------------===//
+
+#include "server/transport.h"
+
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace drdebug;
+
+//===----------------------------------------------------------------------===//
+// In-process duplex pipe
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// One direction of a pipe: a byte queue with blocking reads.
+struct ByteQueue {
+  std::mutex Mu;
+  std::condition_variable Cv;
+  std::string Buf;
+  bool Closed = false;
+
+  bool write(const std::string &Bytes) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (Closed)
+      return false;
+    Buf += Bytes;
+    Cv.notify_all();
+    return true;
+  }
+
+  bool read(std::string &Bytes) {
+    std::unique_lock<std::mutex> Lock(Mu);
+    Cv.wait(Lock, [&] { return !Buf.empty() || Closed; });
+    if (Buf.empty())
+      return false;
+    Bytes += Buf;
+    Buf.clear();
+    return true;
+  }
+
+  void close() {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Closed = true;
+    Cv.notify_all();
+  }
+};
+
+class PipeTransport : public Transport {
+public:
+  PipeTransport(std::shared_ptr<ByteQueue> In, std::shared_ptr<ByteQueue> Out)
+      : In(std::move(In)), Out(std::move(Out)) {}
+  ~PipeTransport() override { close(); }
+
+  bool send(const std::string &Bytes) override { return Out->write(Bytes); }
+  bool recv(std::string &Bytes) override { return In->read(Bytes); }
+  void close() override {
+    In->close();
+    Out->close();
+  }
+
+private:
+  std::shared_ptr<ByteQueue> In;
+  std::shared_ptr<ByteQueue> Out;
+};
+
+} // namespace
+
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
+drdebug::makePipePair() {
+  auto AtoB = std::make_shared<ByteQueue>();
+  auto BtoA = std::make_shared<ByteQueue>();
+  return {std::make_unique<PipeTransport>(BtoA, AtoB),
+          std::make_unique<PipeTransport>(AtoB, BtoA)};
+}
+
+//===----------------------------------------------------------------------===//
+// TCP
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class TcpTransport : public Transport {
+public:
+  explicit TcpTransport(int Fd) : Fd(Fd) {}
+  ~TcpTransport() override { close(); }
+
+  bool send(const std::string &Bytes) override {
+    size_t Sent = 0;
+    while (Sent < Bytes.size()) {
+      ssize_t N = ::send(Fd, Bytes.data() + Sent, Bytes.size() - Sent,
+                         MSG_NOSIGNAL);
+      if (N <= 0)
+        return false;
+      Sent += static_cast<size_t>(N);
+    }
+    return true;
+  }
+
+  bool recv(std::string &Bytes) override {
+    char Buf[4096];
+    ssize_t N = ::recv(Fd, Buf, sizeof(Buf), 0);
+    if (N <= 0)
+      return false;
+    Bytes.append(Buf, static_cast<size_t>(N));
+    return true;
+  }
+
+  void close() override {
+    if (Fd >= 0) {
+      ::shutdown(Fd, SHUT_RDWR);
+      ::close(Fd);
+      Fd = -1;
+    }
+  }
+
+private:
+  int Fd;
+};
+
+} // namespace
+
+TcpListener::TcpListener() = default;
+TcpListener::~TcpListener() { close(); }
+
+bool TcpListener::listen(uint16_t Port, std::string &Error) {
+  int S = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (S < 0) {
+    Error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  Fd.store(S);
+  int One = 1;
+  ::setsockopt(S, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(Port);
+  if (::bind(S, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    Error = std::string("bind: ") + std::strerror(errno);
+    close();
+    return false;
+  }
+  if (::listen(S, 16) < 0) {
+    Error = std::string("listen: ") + std::strerror(errno);
+    close();
+    return false;
+  }
+  socklen_t Len = sizeof(Addr);
+  if (::getsockname(S, reinterpret_cast<sockaddr *>(&Addr), &Len) == 0)
+    BoundPort = ntohs(Addr.sin_port);
+  return true;
+}
+
+std::unique_ptr<Transport> TcpListener::accept() {
+  int S = Fd.load();
+  if (S < 0)
+    return nullptr;
+  int Client = ::accept(S, nullptr, nullptr);
+  if (Client < 0)
+    return nullptr;
+  return std::make_unique<TcpTransport>(Client);
+}
+
+void TcpListener::close() {
+  int S = Fd.exchange(-1);
+  if (S >= 0) {
+    ::shutdown(S, SHUT_RDWR);
+    ::close(S);
+  }
+}
+
+std::unique_ptr<Transport> drdebug::tcpConnect(const std::string &Host,
+                                               uint16_t Port,
+                                               std::string &Error) {
+  addrinfo Hints{};
+  Hints.ai_family = AF_INET;
+  Hints.ai_socktype = SOCK_STREAM;
+  addrinfo *Res = nullptr;
+  int Rc = ::getaddrinfo(Host.c_str(), std::to_string(Port).c_str(), &Hints,
+                         &Res);
+  if (Rc != 0) {
+    Error = std::string("resolve ") + Host + ": " + ::gai_strerror(Rc);
+    return nullptr;
+  }
+  int Fd = -1;
+  for (addrinfo *AI = Res; AI; AI = AI->ai_next) {
+    Fd = ::socket(AI->ai_family, AI->ai_socktype, AI->ai_protocol);
+    if (Fd < 0)
+      continue;
+    if (::connect(Fd, AI->ai_addr, AI->ai_addrlen) == 0)
+      break;
+    ::close(Fd);
+    Fd = -1;
+  }
+  ::freeaddrinfo(Res);
+  if (Fd < 0) {
+    Error = "cannot connect to " + Host + ":" + std::to_string(Port);
+    return nullptr;
+  }
+  return std::make_unique<TcpTransport>(Fd);
+}

@@ -1,0 +1,80 @@
+//===- server/transport.h - Byte transports for the server ------*- C++ -*-===//
+//
+// Part of the DrDebug reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The byte-stream transports the debug server speaks over. Two concrete
+/// transports exist: an in-process duplex pipe (deterministic, no OS
+/// resources, used by every test and by the in-process benchmarks) and a
+/// TCP socket for real remote use. Framing lives one layer up, in
+/// server/protocol.h — a Transport only moves bytes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRDEBUG_SERVER_TRANSPORT_H
+#define DRDEBUG_SERVER_TRANSPORT_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace drdebug {
+
+/// A blocking, duplex byte stream. Thread-safety: one reader plus one
+/// writer may use an endpoint concurrently; multiple concurrent readers
+/// (or writers) are not supported.
+class Transport {
+public:
+  virtual ~Transport() = default;
+
+  /// Writes all of \p Bytes. \returns false once the peer is closed.
+  virtual bool send(const std::string &Bytes) = 0;
+
+  /// Blocks for at least one byte; appends what arrived to \p Bytes.
+  /// \returns false on end-of-stream (peer closed and buffer drained).
+  virtual bool recv(std::string &Bytes) = 0;
+
+  /// Closes this endpoint; unblocks any reader on either side.
+  virtual void close() = 0;
+};
+
+/// Creates a connected in-process duplex pipe. Bytes sent on one endpoint
+/// arrive at the other. Both endpoints may outlive each other.
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
+makePipePair();
+
+/// A TCP server socket. Bind with port 0 for an ephemeral port.
+class TcpListener {
+public:
+  TcpListener();
+  ~TcpListener();
+
+  /// Binds and listens on 127.0.0.1:\p Port. \returns false on error.
+  bool listen(uint16_t Port, std::string &Error);
+
+  /// The bound port (useful after listening on port 0).
+  uint16_t port() const { return BoundPort; }
+
+  /// Accepts one connection; null once the listener is closed.
+  std::unique_ptr<Transport> accept();
+
+  /// Closes the listening socket; unblocks a blocked accept(). Safe to
+  /// call from a thread other than the accepting one.
+  void close();
+
+private:
+  std::atomic<int> Fd{-1};
+  uint16_t BoundPort = 0;
+};
+
+/// Connects to a drdebugd at \p Host:\p Port. \returns null on error.
+std::unique_ptr<Transport> tcpConnect(const std::string &Host, uint16_t Port,
+                                      std::string &Error);
+
+} // namespace drdebug
+
+#endif // DRDEBUG_SERVER_TRANSPORT_H

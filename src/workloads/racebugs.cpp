@@ -6,6 +6,7 @@
 #include "vm/machine.h"
 #include "vm/scheduler.h"
 
+#include <atomic>
 #include <sstream>
 
 using namespace drdebug;
@@ -17,8 +18,9 @@ namespace {
 /// and \p Tmp (used to inflate executions and simulate per-item work).
 void emitCompute(std::ostream &OS, const char *Reg, const char *Tmp,
                  uint64_t Iters) {
-  static unsigned Counter = 0;
-  unsigned Id = Counter++;
+  // Atomic: workload programs may be generated from concurrent sessions.
+  static std::atomic<unsigned> Counter{0};
+  unsigned Id = Counter.fetch_add(1, std::memory_order_relaxed);
   OS << "  movi " << Reg << ", " << Iters << "\n"
      << "compute" << Id << ":\n"
      << "  muli " << Tmp << ", " << Reg << ", 3\n"

@@ -6,6 +6,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "debugger/commands.h"
+#include "debugger/session.h"
 #include "workloads/figure5.h"
 
 #include <gtest/gtest.h>
@@ -13,6 +15,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <string>
 
 #ifndef DRDEBUG_CLI_PATH
@@ -57,6 +60,37 @@ TEST(Cli, HelpExitsZero) {
   EXPECT_EQ(Rc, 0);
   EXPECT_NE(Out.find("record region"), std::string::npos);
   EXPECT_NE(Out.find("slice fail"), std::string::npos);
+}
+
+TEST(Cli, VersionFlag) {
+  auto [Rc, Out] = runCli("--version");
+  EXPECT_EQ(Rc, 0);
+  EXPECT_NE(Out.find(std::string("drdebug ") + DrDebugVersion),
+            std::string::npos)
+      << Out;
+}
+
+// Every word in the shared command table must be accepted by the session
+// dispatcher: the generated help text and the executable commands cannot
+// drift apart.
+TEST(Cli, HelpTableMatchesDispatcher) {
+  std::ostringstream OS;
+  DebugSession S(OS);
+  S.loadProgramText(workloads::makeFigure5().SourceText);
+  for (const CommandInfo &Info : commandTable()) {
+    std::vector<std::string> Words = {Info.Word};
+    std::istringstream AliasIS(Info.Aliases);
+    for (std::string A; AliasIS >> A;)
+      Words.push_back(A);
+    for (const std::string &Word : Words) {
+      if (Word == "quit" || Word == "q")
+        continue; // would end the session
+      OS.str("");
+      S.execute(Word);
+      EXPECT_EQ(OS.str().find("unknown command"), std::string::npos)
+          << "table entry '" << Word << "' is not dispatched";
+    }
+  }
 }
 
 TEST(Cli, NoArgumentsPrintsUsage) {

@@ -1,0 +1,469 @@
+//===- tests/test_server.cpp - drdebugd server tests --------------------------===//
+//
+// The remote debug-session server end-to-end: frame codec, error paths,
+// concurrent sessions over the pipe transport (byte-for-byte identical to
+// single-session runs), idle eviction, the shared pinball cache, and a TCP
+// smoke test. These are the tests the `tsan` CTest preset builds under
+// ThreadSanitizer.
+//
+//===----------------------------------------------------------------------===//
+
+#include "debugger/session.h"
+#include "replay/logger.h"
+#include "replay/repository.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "server/server.h"
+#include "server/transport.h"
+#include "workloads/figure5.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <unistd.h>
+
+using namespace drdebug;
+namespace fs = std::filesystem;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Helpers
+//===----------------------------------------------------------------------===//
+
+/// A scratch directory removed on destruction.
+struct TempDir {
+  fs::path Dir;
+  explicit TempDir(const char *Tag) {
+    Dir = fs::temp_directory_path() /
+          (std::string("drdebug_server_") + Tag + "_" +
+           std::to_string(::getpid()));
+    fs::remove_all(Dir);
+    fs::create_directories(Dir);
+  }
+  ~TempDir() { fs::remove_all(Dir); }
+};
+
+/// Runs \p Cmds in a plain single-threaded DebugSession (the reference the
+/// server must match byte for byte).
+std::string localTranscript(const std::string &AsmText,
+                            const std::vector<std::string> &Cmds) {
+  std::ostringstream OS;
+  DebugSession S(OS);
+  S.loadProgramText(AsmText);
+  for (const std::string &C : Cmds)
+    if (!S.execute(C))
+      break;
+  return OS.str();
+}
+
+/// Drives one remote session over \p T: open, load \p AsmText, run \p Cmds,
+/// returning the concatenated output (load message + per-command output).
+std::string remoteTranscript(Transport &T, const std::string &AsmText,
+                             const std::vector<std::string> &Cmds) {
+  ProtocolClient Client(T);
+  std::string Out, Chunk, Error;
+  uint64_t Sid = 0;
+  EXPECT_TRUE(Client.open(Sid, Error)) << Error;
+  EXPECT_TRUE(Client.load(Sid, AsmText, Chunk, Error)) << Error;
+  Out += Chunk;
+  for (const std::string &C : Cmds) {
+    if (!Client.cmd(Sid, C, Chunk, Error)) {
+      ADD_FAILURE() << "cmd '" << C << "' failed: " << Error;
+      break;
+    }
+    Out += Chunk;
+    std::string Word = C.substr(0, C.find(' '));
+    if (Word == "quit" || Word == "q")
+      break;
+  }
+  return Out;
+}
+
+/// The Figure 5 cyclic-debugging script the acceptance criteria name.
+const std::vector<std::string> Figure5Script = {
+    "record failure", "replay",       "slice fail", "slice pinball",
+    "slice replay",   "slice step",   "slice step", "where",
+    "quit",
+};
+
+/// Saves a recorded Figure 5 failure pinball into \p Dir.
+void saveFigure5Pinball(const fs::path &Dir) {
+  Program P = workloads::makeFigure5();
+  RandomScheduler Sched(1, 1, 4);
+  DefaultSyscalls World(1);
+  LogResult Log = Logger::logRegion(P, Sched, &World, RegionSpec{});
+  std::string Error;
+  ASSERT_TRUE(Log.Pb.save(Dir.string(), Error)) << Error;
+}
+
+//===----------------------------------------------------------------------===//
+// Protocol codec
+//===----------------------------------------------------------------------===//
+
+TEST(Protocol, EscapeRoundTrip) {
+  std::string Nasty = "a$b#c%d\nnewline %24 literal\n";
+  std::string Esc = escapeText(Nasty);
+  EXPECT_EQ(Esc.find('$'), std::string::npos);
+  EXPECT_EQ(Esc.find('#'), std::string::npos);
+  EXPECT_EQ(unescapeText(Esc), Nasty);
+}
+
+TEST(Protocol, FrameRoundTripBytewise) {
+  std::string Body = "7 cmd 3 print k";
+  std::string Frame = encodeFrame(Body);
+  FrameBuffer FB;
+  std::string Got;
+  // Deliver one byte at a time: must yield exactly one frame at the end.
+  for (size_t I = 0; I != Frame.size(); ++I) {
+    FB.append(&Frame[I], 1);
+    FrameBuffer::Poll P = FB.poll(Got);
+    if (I + 1 < Frame.size())
+      EXPECT_EQ(P, FrameBuffer::Poll::None);
+    else
+      EXPECT_EQ(P, FrameBuffer::Poll::Frame);
+  }
+  EXPECT_EQ(Got, Body);
+}
+
+TEST(Protocol, MalformedGarbageAndBadChecksum) {
+  FrameBuffer FB;
+  std::string Body;
+  FB.append("noise before any frame");
+  EXPECT_EQ(FB.poll(Body), FrameBuffer::Poll::Malformed);
+  EXPECT_EQ(FB.poll(Body), FrameBuffer::Poll::None);
+
+  FB.append("$1 hello#00"); // wrong checksum
+  EXPECT_EQ(FB.poll(Body), FrameBuffer::Poll::BadChecksum);
+
+  // The decoder resyncs: a valid frame after garbage still parses.
+  FB.append("junk" + encodeFrame("2 hello"));
+  EXPECT_EQ(FB.poll(Body), FrameBuffer::Poll::Malformed);
+  EXPECT_EQ(FB.poll(Body), FrameBuffer::Poll::Frame);
+  EXPECT_EQ(Body, "2 hello");
+}
+
+TEST(Protocol, ResponseBodyParse) {
+  uint64_t Seq = 0;
+  unsigned Code = 0;
+  std::string Payload;
+  ASSERT_TRUE(parseResponseBody(okBody(5, "line one\nline $ two"), Seq, Code,
+                                Payload));
+  EXPECT_EQ(Seq, 5u);
+  EXPECT_EQ(Code, 0u);
+  EXPECT_EQ(Payload, "line one\nline $ two");
+  ASSERT_TRUE(parseResponseBody(
+      errBody(9, WireError::NoSuchSession, "no such session"), Seq, Code,
+      Payload));
+  EXPECT_EQ(Seq, 9u);
+  EXPECT_EQ(Code, 5u);
+  EXPECT_EQ(Payload, "no such session");
+}
+
+//===----------------------------------------------------------------------===//
+// Server over the pipe transport
+//===----------------------------------------------------------------------===//
+
+TEST(Server, HelloStatsAndErrorPaths) {
+  DebugServer Srv;
+  auto [ClientEnd, ServerEnd] = makePipePair();
+  std::thread ServerThread([&, SE = ServerEnd.get()] { Srv.serve(*SE); });
+
+  {
+    ProtocolClient Client(*ClientEnd);
+    std::string Payload, Error;
+    ASSERT_TRUE(Client.hello(Payload, Error)) << Error;
+    EXPECT_NE(Payload.find("drdebugd"), std::string::npos);
+    EXPECT_NE(Payload.find("proto 1"), std::string::npos);
+
+    // Unknown verb.
+    EXPECT_FALSE(Client.request("frobnicate 1 2", Payload, Error));
+    EXPECT_EQ(Client.lastErrorCode(),
+              static_cast<unsigned>(WireError::UnknownVerb));
+
+    // Command against a session that never existed.
+    EXPECT_FALSE(Client.cmd(424242, "where", Payload, Error));
+    EXPECT_EQ(Client.lastErrorCode(),
+              static_cast<unsigned>(WireError::NoSuchSession));
+
+    // Malformed bytes: the server answers with an err frame (seq 0) and
+    // keeps serving.
+    ASSERT_TRUE(ClientEnd->send("garbage off the wire"));
+    ASSERT_TRUE(ClientEnd->send(encodeFrame("zz not-a-seq")));
+    ASSERT_TRUE(Client.hello(Payload, Error)) << Error;
+
+    ASSERT_TRUE(Client.stats(Payload, Error)) << Error;
+    EXPECT_NE(Payload.find("frames.malformed 1"), std::string::npos)
+        << Payload;
+    EXPECT_NE(Payload.find("errors.returned"), std::string::npos);
+  }
+  ClientEnd->close();
+  ServerThread.join();
+  EXPECT_GE(Srv.stats().FramesMalformed.load(), 1u);
+}
+
+TEST(Server, TwoClientsConcurrentFigure5ByteForByte) {
+  Program P = workloads::makeFigure5();
+  const std::string Reference = localTranscript(P.SourceText, Figure5Script);
+  ASSERT_NE(Reference.find("assertion FAILED"), std::string::npos);
+  ASSERT_NE(Reference.find("slice:"), std::string::npos);
+
+  DebugServer Srv;
+  auto [C1, S1] = makePipePair();
+  auto [C2, S2] = makePipePair();
+  std::thread Srv1([&, T = S1.get()] { Srv.serve(*T); });
+  std::thread Srv2([&, T = S2.get()] { Srv.serve(*T); });
+
+  std::string Out1, Out2;
+  std::thread Cl1([&, T = C1.get()] {
+    Out1 = remoteTranscript(*T, P.SourceText, Figure5Script);
+    T->close();
+  });
+  std::thread Cl2([&, T = C2.get()] {
+    Out2 = remoteTranscript(*T, P.SourceText, Figure5Script);
+    T->close();
+  });
+  Cl1.join();
+  Cl2.join();
+  Srv1.join();
+  Srv2.join();
+
+  // Both concurrent sessions must match the single-session run exactly.
+  EXPECT_EQ(Out1, Reference);
+  EXPECT_EQ(Out2, Reference);
+  EXPECT_GE(Srv.stats().SessionsCreated.load(), 2u);
+  EXPECT_GE(Srv.stats().CommandsServed.load(), 2 * Figure5Script.size());
+}
+
+TEST(Server, SharedPinballRepositoryAcrossSessions) {
+  TempDir Tmp("repo_shared");
+  fs::path PinballDir = Tmp.Dir / "fig5_pinball";
+  saveFigure5Pinball(PinballDir);
+
+  DebugServer Srv;
+  auto [ClientEnd, ServerEnd] = makePipePair();
+  std::thread ServerThread([&, SE = ServerEnd.get()] { Srv.serve(*SE); });
+  {
+    ProtocolClient Client(*ClientEnd);
+    std::string Out, Error;
+    Program P = workloads::makeFigure5();
+    // Two sessions load the same recording: the second is served from the
+    // shared repository without re-reading the directory.
+    for (int I = 0; I != 2; ++I) {
+      uint64_t Sid = 0;
+      ASSERT_TRUE(Client.open(Sid, Error)) << Error;
+      ASSERT_TRUE(Client.load(Sid, P.SourceText, Out, Error)) << Error;
+      ASSERT_TRUE(
+          Client.cmd(Sid, "pinball load " + PinballDir.string(), Out, Error))
+          << Error;
+      EXPECT_NE(Out.find("pinball loaded from"), std::string::npos) << Out;
+      ASSERT_TRUE(Client.cmd(Sid, "replay", Out, Error)) << Error;
+      EXPECT_NE(Out.find("assertion FAILED"), std::string::npos) << Out;
+    }
+    ASSERT_TRUE(Client.stats(Out, Error)) << Error;
+    EXPECT_NE(Out.find("pinballs.cache_hits 1"), std::string::npos) << Out;
+    EXPECT_NE(Out.find("pinballs.cache_misses 1"), std::string::npos) << Out;
+  }
+  ClientEnd->close();
+  ServerThread.join();
+  EXPECT_EQ(Srv.repository().hits(), 1u);
+  EXPECT_EQ(Srv.repository().misses(), 1u);
+}
+
+TEST(Server, EvictionOnIdleTimeout) {
+  ServerConfig Cfg;
+  Cfg.IdleTimeout = std::chrono::milliseconds(40);
+  DebugServer Srv(Cfg);
+  auto [ClientEnd, ServerEnd] = makePipePair();
+  std::thread ServerThread([&, SE = ServerEnd.get()] { Srv.serve(*SE); });
+  {
+    ProtocolClient Client(*ClientEnd);
+    std::string Out, Error;
+    uint64_t Sid = 0;
+    ASSERT_TRUE(Client.open(Sid, Error)) << Error;
+    EXPECT_EQ(Srv.sessions().activeCount(), 1u);
+
+    // Not yet idle: the sweep must keep it.
+    ASSERT_TRUE(Client.request("evict", Out, Error)) << Error;
+    EXPECT_EQ(Out, "evicted 0");
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(80));
+    ASSERT_TRUE(Client.request("evict", Out, Error)) << Error;
+    EXPECT_EQ(Out, "evicted 1");
+    EXPECT_EQ(Srv.sessions().activeCount(), 0u);
+
+    // The evicted session id is gone.
+    EXPECT_FALSE(Client.cmd(Sid, "where", Out, Error));
+    EXPECT_EQ(Client.lastErrorCode(),
+              static_cast<unsigned>(WireError::NoSuchSession));
+    ASSERT_TRUE(Client.stats(Out, Error)) << Error;
+    EXPECT_NE(Out.find("sessions.evicted 1"), std::string::npos) << Out;
+  }
+  ClientEnd->close();
+  ServerThread.join();
+}
+
+TEST(Server, JanitorThreadEvicts) {
+  ServerConfig Cfg;
+  Cfg.IdleTimeout = std::chrono::milliseconds(30);
+  Cfg.JanitorPeriod = std::chrono::milliseconds(10);
+  DebugServer Srv(Cfg);
+  uint64_t Sid = Srv.sessions().create();
+  ASSERT_TRUE(Srv.sessions().exists(Sid));
+  for (int I = 0; I != 100 && Srv.sessions().activeCount() != 0; ++I)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(Srv.sessions().activeCount(), 0u);
+  EXPECT_EQ(Srv.stats().SessionsEvicted.load(), 1u);
+}
+
+TEST(Server, AttachDetachLifecycle) {
+  DebugServer Srv;
+  auto [ClientEnd, ServerEnd] = makePipePair();
+  std::thread ServerThread([&, SE = ServerEnd.get()] { Srv.serve(*SE); });
+  {
+    ProtocolClient Client(*ClientEnd);
+    std::string Out, Error;
+    uint64_t Sid = 0;
+    ASSERT_TRUE(Client.open(Sid, Error)) << Error;
+
+    // A second attach must be refused while the session is held.
+    EXPECT_FALSE(Client.request("attach " + std::to_string(Sid), Out, Error));
+    EXPECT_EQ(Client.lastErrorCode(),
+              static_cast<unsigned>(WireError::SessionFailed));
+
+    ASSERT_TRUE(Client.request("detach " + std::to_string(Sid), Out, Error))
+        << Error;
+    ASSERT_TRUE(Client.request("attach " + std::to_string(Sid), Out, Error))
+        << Error;
+    EXPECT_EQ(Out, "sid " + std::to_string(Sid));
+
+    ASSERT_TRUE(Client.request("close " + std::to_string(Sid), Out, Error))
+        << Error;
+    EXPECT_FALSE(Client.request("attach " + std::to_string(Sid), Out, Error));
+    EXPECT_EQ(Client.lastErrorCode(),
+              static_cast<unsigned>(WireError::NoSuchSession));
+  }
+  ClientEnd->close();
+  ServerThread.join();
+}
+
+TEST(Server, DisconnectAutoDetaches) {
+  DebugServer Srv;
+  uint64_t Sid = 0;
+  {
+    auto [ClientEnd, ServerEnd] = makePipePair();
+    std::thread ServerThread([&, SE = ServerEnd.get()] { Srv.serve(*SE); });
+    ProtocolClient Client(*ClientEnd);
+    std::string Error;
+    ASSERT_TRUE(Client.open(Sid, Error)) << Error;
+    ClientEnd->close(); // vanish without detaching
+    ServerThread.join();
+  }
+  // A new connection can attach: the server released the dead client's hold.
+  auto [ClientEnd, ServerEnd] = makePipePair();
+  std::thread ServerThread([&, SE = ServerEnd.get()] { Srv.serve(*SE); });
+  {
+    ProtocolClient Client(*ClientEnd);
+    std::string Out, Error;
+    EXPECT_TRUE(Client.request("attach " + std::to_string(Sid), Out, Error))
+        << Error;
+  }
+  ClientEnd->close();
+  ServerThread.join();
+}
+
+//===----------------------------------------------------------------------===//
+// PinballRepository
+//===----------------------------------------------------------------------===//
+
+TEST(Repository, SecondLoadIsServedFromCache) {
+  TempDir Tmp("repo_cache");
+  fs::path Dir = Tmp.Dir / "pb";
+  saveFigure5Pinball(Dir);
+
+  PinballRepository Repo;
+  std::string Error;
+  std::shared_ptr<const Pinball> First = Repo.load(Dir.string(), Error);
+  ASSERT_NE(First, nullptr) << Error;
+  std::shared_ptr<const Pinball> Second = Repo.load(Dir.string(), Error);
+  ASSERT_NE(Second, nullptr) << Error;
+  // Same parsed object: the directory was read exactly once.
+  EXPECT_EQ(First.get(), Second.get());
+  EXPECT_EQ(Repo.hits(), 1u);
+  EXPECT_EQ(Repo.misses(), 1u);
+  EXPECT_EQ(Repo.cachedCount(), 1u);
+}
+
+TEST(Repository, ModifiedDirectoryInvalidatesEntry) {
+  TempDir Tmp("repo_inval");
+  fs::path Dir = Tmp.Dir / "pb";
+  saveFigure5Pinball(Dir);
+
+  PinballRepository Repo;
+  std::string Error;
+  std::shared_ptr<const Pinball> First = Repo.load(Dir.string(), Error);
+  ASSERT_NE(First, nullptr) << Error;
+  {
+    std::ofstream OS(Dir / "meta.txt", std::ios::app);
+    OS << "touched=1\n";
+  }
+  std::shared_ptr<const Pinball> Second = Repo.load(Dir.string(), Error);
+  ASSERT_NE(Second, nullptr) << Error;
+  EXPECT_NE(First.get(), Second.get());
+  EXPECT_EQ(Repo.hits(), 0u);
+  EXPECT_EQ(Repo.misses(), 2u);
+  EXPECT_EQ(Second->Meta.count("touched"), 1u);
+}
+
+TEST(Repository, MissingDirectoryReportsError) {
+  PinballRepository Repo;
+  std::string Error;
+  EXPECT_EQ(Repo.load("/nonexistent/drdebug_pinball", Error), nullptr);
+  EXPECT_FALSE(Error.empty());
+  EXPECT_EQ(Repo.misses(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// TCP transport
+//===----------------------------------------------------------------------===//
+
+TEST(Transport, TcpEndToEnd) {
+  TcpListener Listener;
+  std::string Error;
+  ASSERT_TRUE(Listener.listen(0, Error)) << Error;
+  ASSERT_NE(Listener.port(), 0);
+
+  DebugServer Srv;
+  std::string Payload;
+  std::thread ClientThread([&] {
+    std::string Err;
+    std::unique_ptr<Transport> Conn =
+        tcpConnect("127.0.0.1", Listener.port(), Err);
+    ASSERT_NE(Conn, nullptr) << Err;
+    ProtocolClient Client(*Conn);
+    ASSERT_TRUE(Client.hello(Payload, Err)) << Err;
+    uint64_t Sid = 0;
+    ASSERT_TRUE(Client.open(Sid, Err)) << Err;
+    std::string Out;
+    ASSERT_TRUE(Client.load(Sid, ".func main\n  movi r1, 41\n  addi r1, r1, "
+                                 "1\n  syswrite r1\n  halt\n.endfunc\n",
+                            Out, Err))
+        << Err;
+    ASSERT_TRUE(Client.cmd(Sid, "run", Out, Err)) << Err;
+    ASSERT_TRUE(Client.cmd(Sid, "output", Out, Err)) << Err;
+    EXPECT_NE(Out.find("output: 42"), std::string::npos) << Out;
+    Conn->close();
+  });
+
+  std::unique_ptr<Transport> ServerSide = Listener.accept();
+  ASSERT_NE(ServerSide, nullptr);
+  Srv.serve(*ServerSide);
+  ClientThread.join();
+  Listener.close();
+  EXPECT_NE(Payload.find("drdebugd"), std::string::npos);
+}
+
+} // namespace

@@ -1,17 +1,22 @@
 //===- tools/drdebug_cli.cpp - The DrDebug interactive debugger ---------------===//
 //
-// The shippable front end: an interactive (or scripted) DrDebug session.
+// The shippable front end: an interactive (or scripted) DrDebug session,
+// either in-process or against a remote drdebugd.
 //
 //   drdebug <program.asm>            interactive session on a program
 //   drdebug <program.asm> -x cmds    run a command script, then exit
 //   drdebug --demo                   load the paper's Figure 5 example
+//   drdebug --connect host:port ...  drive a session on a drdebugd server
 //   echo "record failure" | drdebug <program.asm>   pipe commands
 //
 // Commands: see 'help' inside the session or docs/DEBUGGER.md.
 //
 //===----------------------------------------------------------------------===//
 
+#include "debugger/commands.h"
 #include "debugger/session.h"
+#include "server/client.h"
+#include "server/transport.h"
 #include "workloads/figure5.h"
 
 #include <cstdio>
@@ -24,46 +29,109 @@ using namespace drdebug;
 
 namespace {
 
-const char *HelpText = R"(DrDebug commands:
-  load <file>                       load a MiniVM assembly program
-  run [seed]                        run live under a seeded scheduler
-  break <pc>|<func>[+off]           set a breakpoint
-  delete <id> / info breakpoints    manage breakpoints
-  watch <global> / unwatch <id>     stop when a global is written
-  continue | c                      resume
-  stepi [n] | si                    execute n instructions
-  info threads|regs [tid]           examine thread state
-  x <addr> [count]                  examine memory words
-  print <global>                    print a global variable
-  backtrace [tid] | bt              call stack
-  where                             current statement of every live thread
-  list <func>                       disassemble a function
-  output                            program output so far
-  record region <skip> <len> [seed] capture an execution-region pinball
-  record failure [seed]             capture from start to assertion failure
-  pinball save|load <dir>           persist / import the region pinball
-  replay                            deterministic replay off the pinball
-  reverse-stepi [n] | rsi           step backwards during replay
-  replay-position | replay-seek <n> inspect / move the replay clock
-  slice fail                        backwards slice at the failure point
-  slice <tid> <pc> [instance]       backwards slice at any instruction
-  slice forward <tid> <pc> [inst]   forward slice (what it influenced)
-  slice list | slice deps <n>       browse the slice / navigate backwards
-  slice save <file>                 write the (special) slice file
-  slice report <file.html>          write the highlighted HTML report
-  slice regions                     show the code-exclusion regions
-  slice pinball [<dir>]             build the slice pinball (relogger)
-  slice replay                      replay only the execution slice
-  slice step                        step to the next slice statement
-  help                              this text
-  quit | q                          leave
-)";
-
 int usage() {
   std::fprintf(stderr,
                "usage: drdebug <program.asm> [-x <script>]\n"
-               "       drdebug --demo [-x <script>]\n");
+               "       drdebug --demo [-x <script>]\n"
+               "       drdebug --connect <host:port> [<program.asm>] "
+               "[-x <script>]\n");
   return 2;
+}
+
+/// Reads a whole file; \returns false (with a message) when unreadable.
+bool readFile(const std::string &Path, std::string &Text) {
+  std::ifstream IS(Path);
+  if (!IS) {
+    std::fprintf(stderr, "drdebug: cannot read %s\n", Path.c_str());
+    return false;
+  }
+  std::ostringstream Buf;
+  Buf << IS.rdbuf();
+  Text = Buf.str();
+  return true;
+}
+
+/// Feeds command lines from \p In to \p Execute (which returns false on
+/// "quit"). \returns true when input was exhausted without quitting.
+template <typename ExecuteFn>
+bool feedCommands(std::istream &In, bool Prompt, ExecuteFn Execute) {
+  std::string Line;
+  while (true) {
+    if (Prompt)
+      std::cout << "(drdebug) " << std::flush;
+    if (!std::getline(In, Line))
+      return true;
+    if (!Execute(Line))
+      return false;
+  }
+}
+
+/// The --connect mode: drives a remote session over the wire protocol.
+int runConnected(const std::string &HostPort, const std::string &ProgramPath,
+                 const std::string &ScriptPath) {
+  size_t Colon = HostPort.rfind(':');
+  if (Colon == std::string::npos || Colon + 1 == HostPort.size())
+    return usage();
+  std::string Host = HostPort.substr(0, Colon);
+  int Port = std::atoi(HostPort.c_str() + Colon + 1);
+  if (Port <= 0 || Port > 65535)
+    return usage();
+
+  std::string Error;
+  std::unique_ptr<Transport> Conn =
+      tcpConnect(Host, static_cast<uint16_t>(Port), Error);
+  if (!Conn) {
+    std::fprintf(stderr, "drdebug: %s\n", Error.c_str());
+    return 1;
+  }
+  ProtocolClient Client(*Conn);
+  std::string Banner;
+  if (!Client.hello(Banner, Error)) {
+    std::fprintf(stderr, "drdebug: handshake failed: %s\n", Error.c_str());
+    return 1;
+  }
+  std::cerr << "connected: " << Banner << "\n";
+  uint64_t Sid = 0;
+  if (!Client.open(Sid, Error)) {
+    std::fprintf(stderr, "drdebug: cannot open session: %s\n", Error.c_str());
+    return 1;
+  }
+
+  if (!ProgramPath.empty()) {
+    std::string Text, Output;
+    if (!readFile(ProgramPath, Text))
+      return 1;
+    if (!Client.load(Sid, Text, Output, Error)) {
+      // An assembly failure carries the session's message in the error.
+      std::cout << Error << "\n";
+      return 1;
+    }
+    std::cout << Output;
+  }
+
+  auto Execute = [&](const std::string &Line) {
+    std::string Output;
+    if (!Client.cmd(Sid, Line, Output, Error)) {
+      std::fprintf(stderr, "drdebug: %s\n", Error.c_str());
+      return false;
+    }
+    std::cout << Output;
+    std::string Cmd = Line.substr(0, Line.find(' '));
+    return Cmd != "quit" && Cmd != "q";
+  };
+
+  if (!ScriptPath.empty()) {
+    std::ifstream Script(ScriptPath);
+    if (!Script) {
+      std::fprintf(stderr, "drdebug: cannot read script %s\n",
+                   ScriptPath.c_str());
+      return 1;
+    }
+    feedCommands(Script, /*Prompt=*/false, Execute);
+    return 0;
+  }
+  feedCommands(std::cin, /*Prompt=*/true, Execute);
+  return 0;
 }
 
 } // namespace
@@ -71,21 +139,33 @@ int usage() {
 int main(int Argc, char **Argv) {
   std::string ProgramPath;
   std::string ScriptPath;
+  std::string ConnectTo;
   bool Demo = false;
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--demo") == 0) {
       Demo = true;
+    } else if (std::strcmp(Argv[I], "--connect") == 0 && I + 1 < Argc) {
+      ConnectTo = Argv[++I];
     } else if (std::strcmp(Argv[I], "-x") == 0 && I + 1 < Argc) {
       ScriptPath = Argv[++I];
+    } else if (std::strcmp(Argv[I], "--version") == 0) {
+      std::printf("drdebug %s\n", DrDebugVersion);
+      return 0;
     } else if (std::strcmp(Argv[I], "--help") == 0 ||
                std::strcmp(Argv[I], "-h") == 0) {
-      std::printf("%s", HelpText);
+      std::printf("%s", helpText().c_str());
       return 0;
     } else if (Argv[I][0] != '-' && ProgramPath.empty()) {
       ProgramPath = Argv[I];
     } else {
       return usage();
     }
+  }
+
+  if (!ConnectTo.empty()) {
+    if (Demo)
+      return usage();
+    return runConnected(ConnectTo, ProgramPath, ScriptPath);
   }
   if (!Demo && ProgramPath.empty())
     return usage();
@@ -102,34 +182,14 @@ int main(int Argc, char **Argv) {
     if (!Session.loadProgramText(P.SourceText))
       return 1;
   } else {
-    std::ifstream IS(ProgramPath);
-    if (!IS) {
-      std::fprintf(stderr, "drdebug: cannot read %s\n", ProgramPath.c_str());
+    std::string Text;
+    if (!readFile(ProgramPath, Text))
       return 1;
-    }
-    std::ostringstream Buf;
-    Buf << IS.rdbuf();
-    if (!Session.loadProgramText(Buf.str()))
+    if (!Session.loadProgramText(Text))
       return 1;
   }
 
-  auto Feed = [&](std::istream &In, bool Prompt) {
-    std::string Line;
-    while (true) {
-      if (Prompt) {
-        std::cout << "(drdebug) " << std::flush;
-      }
-      if (!std::getline(In, Line))
-        return true; // input exhausted
-      if (Line == "help") {
-        std::cout << HelpText;
-        continue;
-      }
-      if (!Session.execute(Line))
-        return false; // quit
-    }
-  };
-
+  auto Execute = [&](const std::string &Line) { return Session.execute(Line); };
   if (!ScriptPath.empty()) {
     std::ifstream Script(ScriptPath);
     if (!Script) {
@@ -137,10 +197,9 @@ int main(int Argc, char **Argv) {
                    ScriptPath.c_str());
       return 1;
     }
-    if (!Feed(Script, /*Prompt=*/false))
-      return 0;
+    feedCommands(Script, /*Prompt=*/false, Execute);
     return 0;
   }
-  Feed(std::cin, /*Prompt=*/true);
+  feedCommands(std::cin, /*Prompt=*/true, Execute);
   return 0;
 }

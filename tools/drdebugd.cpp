@@ -1,0 +1,104 @@
+//===- tools/drdebugd.cpp - The DrDebug remote debug server -------------------===//
+//
+// The resident debug server (the PinADX analog): hosts many concurrent
+// DebugSessions behind the framed wire protocol, one worker pool, and a
+// shared pinball repository.
+//
+//   drdebugd                          serve on 127.0.0.1:7321
+//   drdebugd --port 0                 serve on an ephemeral port (printed)
+//   drdebugd --workers 8 --idle-timeout-ms 60000
+//   drdebugd --once                   exit after the first client disconnects
+//
+// Connect with: drdebug --connect 127.0.0.1:<port> [program.asm] [-x script]
+//
+//===----------------------------------------------------------------------===//
+
+#include "debugger/commands.h"
+#include "server/server.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+using namespace drdebug;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: drdebugd [--port N] [--workers N] "
+               "[--idle-timeout-ms N] [--once]\n");
+  return 2;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  uint16_t Port = 7321;
+  bool Once = false;
+  ServerConfig Cfg;
+  for (int I = 1; I < Argc; ++I) {
+    auto IntArg = [&](long &Out) {
+      if (I + 1 >= Argc)
+        return false;
+      Out = std::strtol(Argv[++I], nullptr, 10);
+      return true;
+    };
+    long V = 0;
+    if (std::strcmp(Argv[I], "--port") == 0 && IntArg(V)) {
+      Port = static_cast<uint16_t>(V);
+    } else if (std::strcmp(Argv[I], "--workers") == 0 && IntArg(V)) {
+      Cfg.Workers = static_cast<unsigned>(V);
+    } else if (std::strcmp(Argv[I], "--idle-timeout-ms") == 0 && IntArg(V)) {
+      Cfg.IdleTimeout = std::chrono::milliseconds(V);
+    } else if (std::strcmp(Argv[I], "--once") == 0) {
+      Once = true;
+    } else if (std::strcmp(Argv[I], "--version") == 0) {
+      std::printf("drdebugd %s\n", DrDebugVersion);
+      return 0;
+    } else {
+      return usage();
+    }
+  }
+  if (Cfg.IdleTimeout.count() > 0)
+    Cfg.JanitorPeriod = std::max<std::chrono::milliseconds>(
+        std::chrono::milliseconds(100), Cfg.IdleTimeout / 2);
+
+  DebugServer Server(Cfg);
+  TcpListener Listener;
+  std::string Error;
+  if (!Listener.listen(Port, Error)) {
+    std::fprintf(stderr, "drdebugd: %s\n", Error.c_str());
+    return 1;
+  }
+  std::printf("drdebugd %s listening on 127.0.0.1:%u (%u workers, "
+              "idle timeout %lld ms)\n",
+              DrDebugVersion, Listener.port(), Cfg.Workers,
+              static_cast<long long>(Cfg.IdleTimeout.count()));
+  std::fflush(stdout);
+
+  std::vector<std::thread> Connections;
+  while (!Server.shutdownRequested()) {
+    std::unique_ptr<Transport> Conn = Listener.accept();
+    if (!Conn)
+      break;
+    if (Once) {
+      Server.serve(*Conn);
+      break;
+    }
+    Connections.emplace_back(
+        [&Server, &Listener, C = std::shared_ptr<Transport>(std::move(Conn))] {
+          Server.serve(*C);
+          // A client asked for shutdown: unblock the accept loop.
+          if (Server.shutdownRequested())
+            Listener.close();
+        });
+  }
+  Listener.close();
+  for (std::thread &T : Connections)
+    T.join();
+  std::printf("drdebugd: bye\n");
+  return 0;
+}
