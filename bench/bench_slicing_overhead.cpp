@@ -8,20 +8,80 @@
 // the LP block-skipping effectiveness that makes interactive slicing
 // practical.
 //
+// It additionally benchmarks the parallel slicing engine on a 4-thread
+// generator workload and writes BENCH_slicing.json: sequential vs pooled
+// prepare (replay is inherently sequential, so the speedup figures are
+// reported for the analysis pipeline and for the total separately, both
+// against pool 1 and against the seed configuration's block-summary
+// prepare), per-criterion indexed vs block-scan compute() times, and the
+// shared slice-session cache's aggregate prepare-time win when several
+// debug sessions attach to the same pinball. Pool-scaling wall numbers are
+// bounded by the hardware (cpu_cores is recorded in the JSON; on a single
+// core the sweep only measures that the pooled pipeline adds no overhead —
+// the cache section is where prepare time actually drops).
+//
+// Usage:
+//   bench_slicing_overhead [--threads 1,2,4] [--json PATH] [--smoke]
+//                          [--no-parsec]
+//
+// --smoke shrinks everything to a sub-second run for the ctest smoke test.
+//
 //===----------------------------------------------------------------------===//
 
 #include "bench_util.h"
 #include "replay/logger.h"
+#include "slicing/slice_repository.h"
 #include "slicing/slicer.h"
+#include "workloads/generator.h"
 #include "workloads/parsec.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
 
 using namespace drdebug;
 using namespace drdebug::benchutil;
 using namespace drdebug::workloads;
 
-int main() {
+namespace {
+
+bool sameSlice(const Slice &A, const Slice &B) {
+  if (A.CriterionPos != B.CriterionPos || A.Positions != B.Positions ||
+      A.Edges.size() != B.Edges.size())
+    return false;
+  for (size_t I = 0; I != A.Edges.size(); ++I)
+    if (A.Edges[I].FromPos != B.Edges[I].FromPos ||
+        A.Edges[I].ToPos != B.Edges[I].ToPos ||
+        A.Edges[I].IsControl != B.Edges[I].IsControl)
+      return false;
+  return true;
+}
+
+std::vector<unsigned> parseThreadList(const char *Arg) {
+  std::vector<unsigned> Out;
+  unsigned Cur = 0;
+  bool Have = false;
+  for (const char *P = Arg;; ++P) {
+    if (*P >= '0' && *P <= '9') {
+      Cur = Cur * 10 + static_cast<unsigned>(*P - '0');
+      Have = true;
+    } else {
+      if (Have && Cur)
+        Out.push_back(Cur);
+      Cur = 0;
+      Have = false;
+      if (!*P)
+        break;
+    }
+  }
+  return Out;
+}
+
+/// The paper-shape PARSEC table (unchanged from the sequential harness).
+void runParsecTable() {
   banner("Section 7 'Slicing overhead': tracing time, slice sizes, slicing "
          "time (last 10 loads per region)",
          "tracing is a one-time cost reusable across slicing sessions; "
@@ -80,5 +140,289 @@ int main() {
     std::printf("%-14s | %8.3f s | %10.0f i | %10.3f s |   (paper: 51 s / "
                 "218k / 585 s at 1M)\n",
                 "average", SumTrace / N, SumSlice / N, SumTime / N);
-  return 0;
+}
+
+struct PrepareRow {
+  unsigned Pool = 1;
+  double ReplayS = 0, AnalysisS = 0, TotalS = 0;
+};
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::vector<unsigned> Pools = {1, 2, 4};
+  std::string JsonPath = "BENCH_slicing.json";
+  bool Smoke = false, Parsec = true;
+  for (int I = 1; I < Argc; ++I) {
+    if (!std::strcmp(Argv[I], "--threads") && I + 1 < Argc)
+      Pools = parseThreadList(Argv[++I]);
+    else if (!std::strcmp(Argv[I], "--json") && I + 1 < Argc)
+      JsonPath = Argv[++I];
+    else if (!std::strcmp(Argv[I], "--smoke"))
+      Smoke = true;
+    else if (!std::strcmp(Argv[I], "--no-parsec"))
+      Parsec = false;
+    else {
+      std::fprintf(stderr,
+                   "usage: %s [--threads 1,2,4] [--json PATH] [--smoke] "
+                   "[--no-parsec]\n",
+                   Argv[0]);
+      return 2;
+    }
+  }
+  if (Pools.empty())
+    Pools = {1};
+  if (std::find(Pools.begin(), Pools.end(), 1u) == Pools.end())
+    Pools.insert(Pools.begin(), 1);
+  if (Smoke)
+    Parsec = false;
+
+  if (Parsec)
+    runParsecTable();
+
+  //===--------------------------------------------------------------------===//
+  // Parallel engine: sequential vs pooled prepare on a 4-thread generator
+  // workload, and indexed vs block-scan compute().
+  //===--------------------------------------------------------------------===//
+
+  banner("Parallel slicing engine: prepare() thread sweep + indexed compute "
+         "(4-thread generator workload)",
+         "replay is inherently sequential; the analysis pipeline (control "
+         "deps, save/restore, index builds) parallelizes across trace "
+         "threads");
+
+  GeneratorOptions GO;
+  GO.MaxThreads = 3;
+  GO.MinThreads = 3; // 3 workers + main = the 4-thread workload
+  GO.WorkerCalls = static_cast<unsigned>(scaled(Smoke ? 4 : 400));
+  GO.NumFunctions = 6;
+  GO.MaxLoopIters = Smoke ? 4 : 12;
+  GO.MaxBodyLen = Smoke ? 8 : 22;
+  GO.NumGlobals = 8;
+  const std::vector<uint64_t> Seeds =
+      Smoke ? std::vector<uint64_t>{11} : std::vector<uint64_t>{3, 11, 42};
+  const unsigned PrepReps = Smoke ? 1 : 3;
+  const unsigned ComputeReps = Smoke ? 2 : 5;
+
+  std::vector<Pinball> Pinballs;
+  uint64_t TotalEntries = 0;
+  for (uint64_t Seed : Seeds) {
+    Program P = generateRandomProgram(Seed, GO);
+    RandomScheduler Sched(Seed, 1, 3);
+    DefaultSyscalls World(Seed + 7);
+    Pinballs.push_back(Logger::logWholeProgram(P, Sched, &World).Pb);
+  }
+
+  // --- prepare() sweep: min-of-reps per seed, summed over seeds ------------
+  // "seed" is the pre-engine configuration (sequential pipeline + block
+  // summaries); the pool rows run the full parallel engine.
+  unsigned Cores = std::max(1u, std::thread::hardware_concurrency());
+  bool CountedEntries = false;
+  auto measureRow = [&](unsigned Pool, bool DefIdx, PrepareRow &Row) {
+    Row.Pool = Pool;
+    for (const Pinball &Pb : Pinballs) {
+      double BestTotal = 0, BestReplay = 0, BestAnalysis = 0;
+      for (unsigned R = 0; R != PrepReps; ++R) {
+        SliceSessionOptions O;
+        O.PrepareThreads = Pool;
+        O.UseDefIndex = DefIdx;
+        SliceSession S(Pb, O);
+        std::string Error;
+        if (!S.prepare(Error)) {
+          std::fprintf(stderr, "prepare failed: %s\n", Error.c_str());
+          return false;
+        }
+        if (R == 0 && !CountedEntries)
+          TotalEntries += S.traces().totalEntries();
+        if (R == 0 || S.traceSeconds() < BestTotal) {
+          BestTotal = S.traceSeconds();
+          BestReplay = S.replaySeconds();
+          BestAnalysis = S.analysisSeconds();
+        }
+      }
+      Row.TotalS += BestTotal;
+      Row.ReplayS += BestReplay;
+      Row.AnalysisS += BestAnalysis;
+    }
+    CountedEntries = true;
+    return true;
+  };
+
+  std::printf("(%u hardware core%s available)\n", Cores, Cores == 1 ? "" : "s");
+  std::printf("%-6s | %10s | %12s | %10s | %10s | %10s\n", "pool", "replay",
+              "analysis", "total", "analysis x", "total x");
+  PrepareRow Base;
+  if (!measureRow(1, /*DefIdx=*/false, Base))
+    return 1;
+  std::printf("%-6s | %8.3f s | %10.3f s | %8.3f s | %10s | %10s\n", "seed",
+              Base.ReplayS, Base.AnalysisS, Base.TotalS, "-", "-");
+  std::vector<PrepareRow> Rows;
+  for (unsigned Pool : Pools) {
+    PrepareRow Row;
+    if (!measureRow(Pool, /*DefIdx=*/true, Row))
+      return 1;
+    Rows.push_back(Row);
+    double AX = Rows.front().AnalysisS / std::max(Row.AnalysisS, 1e-9);
+    double TX = Rows.front().TotalS / std::max(Row.TotalS, 1e-9);
+    std::printf("%-6u | %8.3f s | %10.3f s | %8.3f s | %9.2fx | %9.2fx\n",
+                Pool, Row.ReplayS, Row.AnalysisS, Row.TotalS, AX, TX);
+    std::fflush(stdout);
+  }
+
+  // --- indexed vs block-scan compute(), and pool-N determinism -------------
+  // All sessions prepared over the first pinball; criteria are the paper's
+  // last-10-loads set.
+  struct CritRow {
+    SliceCriterion C;
+    double BlockScanUs = 0, IndexedUs = 0;
+  };
+  std::vector<CritRow> Crits;
+  bool ParallelIdentical = true;
+  {
+    SliceSessionOptions Indexed;
+    Indexed.UseDefIndex = true;
+    SliceSessionOptions Scan = Indexed;
+    Scan.UseDefIndex = false;
+    Scan.BlockSize = 1024;
+    SliceSessionOptions Pooled = Indexed;
+    Pooled.PrepareThreads = Pools.back();
+
+    SliceSession SIdx(Pinballs[0], Indexed), SScan(Pinballs[0], Scan),
+        SPool(Pinballs[0], Pooled);
+    std::string Error;
+    if (!SIdx.prepare(Error) || !SScan.prepare(Error) ||
+        !SPool.prepare(Error)) {
+      std::fprintf(stderr, "prepare failed: %s\n", Error.c_str());
+      return 1;
+    }
+
+    std::printf("%-26s | %14s | %14s\n", "criterion (tid:pc:inst)",
+                "block-scan", "indexed");
+    for (const SliceCriterion &C : SIdx.lastLoadCriteria(10)) {
+      CritRow Row;
+      Row.C = C;
+      for (unsigned R = 0; R != ComputeReps; ++R) {
+        Stopwatch T1;
+        auto A = SScan.computeSlice(C);
+        double ScanUs = T1.seconds() * 1e6;
+        Stopwatch T2;
+        auto B = SIdx.computeSlice(C);
+        double IdxUs = T2.seconds() * 1e6;
+        if (R == 0 || ScanUs < Row.BlockScanUs)
+          Row.BlockScanUs = ScanUs;
+        if (R == 0 || IdxUs < Row.IndexedUs)
+          Row.IndexedUs = IdxUs;
+        if (R == 0) {
+          auto P = SPool.computeSlice(C);
+          if (!A || !B || !P || !sameSlice(*A, *B) || !sameSlice(*A, *P))
+            ParallelIdentical = false;
+        }
+      }
+      char Label[64];
+      std::snprintf(Label, sizeof(Label), "%u:%llu:%llu", Row.C.Tid,
+                    static_cast<unsigned long long>(Row.C.Pc),
+                    static_cast<unsigned long long>(Row.C.Instance));
+      std::printf("%-26s | %11.1f us | %11.1f us\n", Label, Row.BlockScanUs,
+                  Row.IndexedUs);
+      Crits.push_back(Row);
+    }
+    std::printf("parallel slices identical to sequential: %s\n",
+                ParallelIdentical ? "yes" : "NO");
+  }
+
+  // --- shared slice-session cache: N sessions, one prepare -----------------
+  // Concurrent debug sessions attached to the same pinball share a single
+  // prepared session; the first acquire pays the full prepare, later ones
+  // get it for the cost of a map lookup.
+  const unsigned CacheSessions = 3;
+  double CacheUncachedS = 0, CacheCachedS = 0;
+  {
+    SliceSessionOptions O;
+    O.PrepareThreads = Pools.back();
+    for (unsigned R = 0; R != PrepReps; ++R) {
+      SliceSessionRepository Repo(4);
+      std::string Error;
+      double Total = 0, Cold = 0;
+      for (unsigned S = 0; S != CacheSessions; ++S) {
+        Stopwatch T;
+        auto Sess = Repo.acquire(0x5eed, Pinballs[0], O, Error);
+        double Sec = T.seconds();
+        if (!Sess) {
+          std::fprintf(stderr, "cache acquire failed: %s\n", Error.c_str());
+          return 1;
+        }
+        Total += Sec;
+        if (S == 0)
+          Cold = Sec;
+      }
+      if (R == 0 || Total < CacheCachedS) {
+        CacheCachedS = Total;
+        CacheUncachedS = Cold * CacheSessions;
+      }
+    }
+  }
+  double CacheSpeedup = CacheUncachedS / std::max(CacheCachedS, 1e-9);
+  std::printf("shared cache: %u sessions on one pinball (pool %u): %.3f s "
+              "uncached -> %.3f s cached = %.2fx prepare speedup\n",
+              CacheSessions, Pools.back(), CacheUncachedS, CacheCachedS,
+              CacheSpeedup);
+
+  // --- BENCH_slicing.json --------------------------------------------------
+  std::FILE *J = std::fopen(JsonPath.c_str(), "w");
+  if (!J) {
+    std::fprintf(stderr, "cannot write %s\n", JsonPath.c_str());
+    return 1;
+  }
+  std::fprintf(J, "{\n  \"workload\": {\"kind\": \"generator\", \"threads\": "
+                  "4, \"cpu_cores\": %u, \"seeds\": [", Cores);
+  for (size_t I = 0; I != Seeds.size(); ++I)
+    std::fprintf(J, "%s%llu", I ? ", " : "",
+                 static_cast<unsigned long long>(Seeds[I]));
+  std::fprintf(J, "], \"total_entries\": %llu},\n",
+               static_cast<unsigned long long>(TotalEntries));
+  std::fprintf(J,
+               "  \"prepare_seed_baseline\": {\"replay_s\": %.6f, "
+               "\"analysis_s\": %.6f, \"total_s\": %.6f},\n",
+               Base.ReplayS, Base.AnalysisS, Base.TotalS);
+  std::fprintf(J, "  \"prepare\": [\n");
+  for (size_t I = 0; I != Rows.size(); ++I) {
+    const PrepareRow &R = Rows[I];
+    std::fprintf(J,
+                 "    {\"pool\": %u, \"replay_s\": %.6f, \"analysis_s\": "
+                 "%.6f, \"total_s\": %.6f, \"analysis_speedup\": %.3f, "
+                 "\"total_speedup\": %.3f, \"analysis_speedup_vs_seed\": "
+                 "%.3f}%s\n",
+                 R.Pool, R.ReplayS, R.AnalysisS, R.TotalS,
+                 Rows.front().AnalysisS / std::max(R.AnalysisS, 1e-9),
+                 Rows.front().TotalS / std::max(R.TotalS, 1e-9),
+                 Base.AnalysisS / std::max(R.AnalysisS, 1e-9),
+                 I + 1 != Rows.size() ? "," : "");
+  }
+  std::fprintf(J, "  ],\n  \"compute\": [\n");
+  bool NotSlowerAll = true;
+  for (size_t I = 0; I != Crits.size(); ++I) {
+    const CritRow &R = Crits[I];
+    if (R.IndexedUs > R.BlockScanUs)
+      NotSlowerAll = false;
+    std::fprintf(J,
+                 "    {\"tid\": %u, \"pc\": %llu, \"instance\": %llu, "
+                 "\"block_scan_us\": %.2f, \"indexed_us\": %.2f}%s\n",
+                 R.C.Tid, static_cast<unsigned long long>(R.C.Pc),
+                 static_cast<unsigned long long>(R.C.Instance), R.BlockScanUs,
+                 R.IndexedUs, I + 1 != Crits.size() ? "," : "");
+  }
+  std::fprintf(J,
+               "  ],\n  \"cache\": {\"sessions\": %u, \"pool\": %u, "
+               "\"uncached_prepare_s\": %.6f, \"cached_prepare_s\": %.6f, "
+               "\"prepare_speedup\": %.3f},\n",
+               CacheSessions, Pools.back(), CacheUncachedS, CacheCachedS,
+               CacheSpeedup);
+  std::fprintf(J,
+               "  \"indexed_not_slower_all\": %s,\n"
+               "  \"parallel_identical\": %s\n}\n",
+               NotSlowerAll ? "true" : "false",
+               ParallelIdentical ? "true" : "false");
+  std::fclose(J);
+  std::printf("wrote %s\n", JsonPath.c_str());
+  return ParallelIdentical ? 0 : 1;
 }

@@ -2,6 +2,8 @@
 
 #include "analysis/cfg.h"
 
+#include "support/thread_pool.h"
+
 #include <algorithm>
 #include <cassert>
 #include <memory>
@@ -106,4 +108,23 @@ void CfgSet::addIndirectEdge(uint64_t FromPc, uint64_t ToPc) {
 void CfgSet::refine(const std::set<std::pair<uint64_t, uint64_t>> &Targets) {
   for (auto &[From, To] : Targets)
     addIndirectEdge(From, To);
+}
+
+void CfgSet::warm(ThreadPool *Pool) {
+  // Construct the per-function Cfg slots sequentially (cheap vector work),
+  // then compute each function's post-dominators — the expensive part —
+  // independently per function.
+  if (Cfgs.size() < Prog.Funcs.size())
+    Cfgs.resize(Prog.Funcs.size());
+  for (size_t Idx = 0; Idx != Prog.Funcs.size(); ++Idx)
+    if (!Cfgs[Idx])
+      Cfgs[Idx] = std::make_unique<Cfg>(Prog, static_cast<uint32_t>(Idx));
+  if (Pool) {
+    Pool->parallelFor(Cfgs.size(), [this](size_t Idx) {
+      Cfgs[Idx]->precompute();
+    });
+  } else {
+    for (auto &C : Cfgs)
+      C->precompute();
+  }
 }

@@ -29,6 +29,8 @@
 
 namespace drdebug {
 
+class ThreadPool;
+
 /// Control-flow graph of one function, nodes = instructions (local offsets
 /// from the function's first instruction).
 class Cfg {
@@ -68,6 +70,11 @@ public:
     return static_cast<unsigned>(Succ[Pc - Func.Begin].size());
   }
 
+  /// Forces the (re)computation of post-dominators now. After this, ipdomPc
+  /// is read-only until the next refinement — which is what lets the
+  /// per-thread control-dependence passes share one CfgSet concurrently.
+  void precompute() { ensurePostDoms(); }
+
   /// Number of times post-dominators were (re)computed; exposed so tests
   /// and benches can observe refinement-triggered recomputation.
   unsigned recomputeCount() const { return Recomputes; }
@@ -98,6 +105,12 @@ public:
 
   /// Applies a batch of observed (from, to) indirect-jump targets.
   void refine(const std::set<std::pair<uint64_t, uint64_t>> &Targets);
+
+  /// Eagerly builds every function's CFG and post-dominator tree, the
+  /// per-function work optionally spread over \p Pool. Once warmed (and
+  /// until the next refine()), cfgAt/ipdomPc/succCountAt perform no writes,
+  /// so the set may be queried from multiple threads concurrently.
+  void warm(ThreadPool *Pool = nullptr);
 
   /// Convenience: ipdom of \p Pc as absolute pc (Cfg::NoPc for exit).
   uint64_t ipdomPc(uint64_t Pc) { return cfgAt(Pc).ipdomPc(Pc); }

@@ -7,6 +7,7 @@
 #include "debugger/commands.h"
 #include "replay/repository.h"
 #include "slicing/report.h"
+#include "slicing/slice_repository.h"
 
 #include <cassert>
 #include <cctype>
@@ -182,7 +183,9 @@ bool DebugSession::loadProgramText(const std::string &AsmText) {
   Live.reset();
   Replay.reset();
   Slicing.reset();
+  SharedSlicing.reset();
   RegionPb.reset();
+  RegionPbFingerprint = 0;
   SlicePb.reset();
   CurrentSlice.reset();
   SliceReplayActive = false;
@@ -285,20 +288,31 @@ Scheduler &DebugSession::liveScheduler(uint64_t Seed) {
 }
 
 bool DebugSession::ensureSliceSession() {
-  if (Slicing)
+  if (slicing())
     return true;
   if (!RegionPb) {
     Out << "error: no region pinball; use 'record' first\n";
     return false;
   }
-  Slicing = std::make_unique<SliceSession>(*RegionPb);
   std::string Error;
-  if (!Slicing->prepare(Error)) {
-    Out << "error: " << Error << "\n";
-    Slicing.reset();
-    return false;
+  if (SliceRepo && RegionPbFingerprint != 0) {
+    // A fingerprinted (disk-loaded) pinball prepares once per server: the
+    // repository hands every attached session the same prepared instance.
+    SharedSlicing =
+        SliceRepo->acquire(RegionPbFingerprint, *RegionPb, SliceOpts, Error);
+    if (!SharedSlicing) {
+      Out << "error: " << Error << "\n";
+      return false;
+    }
+  } else {
+    Slicing = std::make_unique<SliceSession>(*RegionPb, SliceOpts);
+    if (!Slicing->prepare(Error)) {
+      Out << "error: " << Error << "\n";
+      Slicing.reset();
+      return false;
+    }
   }
-  Out << "slicing ready: " << Slicing->traces().totalEntries()
+  Out << "slicing ready: " << slicing()->traces().totalEntries()
       << " trace entries\n";
   return true;
 }
@@ -681,7 +695,9 @@ void DebugSession::cmdRecord(std::istringstream &Args) {
   DefaultSyscalls World(Seed);
   LogResult Log = Logger::logRegion(*Prog, Sched, &World, Spec);
   RegionPb = std::move(Log.Pb);
+  RegionPbFingerprint = 0; // in-memory recording: not shareable by key
   Slicing.reset();
+  SharedSlicing.reset();
   CurrentSlice.reset();
   SlicePb.reset();
   Out << "recorded region pinball: " << Log.TotalInstrs << " instructions ("
@@ -724,7 +740,9 @@ void DebugSession::cmdPinball(std::istringstream &Args) {
       }
       RegionPb = std::move(Pb);
     }
+    RegionPbFingerprint = PinballRepository::dirFingerprint(Dir);
     Slicing.reset();
+    SharedSlicing.reset();
     CurrentSlice.reset();
     SlicePb.reset();
     Out << "pinball loaded from " << Dir << ": "
@@ -790,7 +808,7 @@ void DebugSession::cmdSlice(std::istringstream &Args) {
       return;
     std::optional<SliceCriterion> C;
     if (Sub == "fail" || Sub.empty()) {
-      C = Slicing->failureCriterion();
+      C = slicing()->failureCriterion();
       if (!C) {
         Out << "error: pinball has no recorded failure point\n";
         return;
@@ -805,16 +823,16 @@ void DebugSession::cmdSlice(std::istringstream &Args) {
       Args >> Crit.Instance;
       C = Crit;
     }
-    auto Sl = Slicing->computeSlice(*C);
+    auto Sl = slicing()->computeSlice(*C);
     if (!Sl) {
       Out << "error: criterion never executed in the region\n";
       return;
     }
     CurrentSlice = std::move(*Sl);
-    auto Lines = CurrentSlice->sourceLines(Slicing->globalTrace());
+    auto Lines = CurrentSlice->sourceLines(slicing()->globalTrace());
     Out << "slice: " << CurrentSlice->dynamicSize()
         << " dynamic instructions, "
-        << CurrentSlice->staticSize(Slicing->globalTrace())
+        << CurrentSlice->staticSize(slicing()->globalTrace())
         << " static instructions, " << Lines.size() << " source lines\n";
     Out << "lines:";
     for (uint32_t L : Lines)
@@ -832,13 +850,13 @@ void DebugSession::cmdSlice(std::istringstream &Args) {
       return;
     }
     Args >> Crit.Instance;
-    auto Sl = Slicing->computeForwardSlice(Crit);
+    auto Sl = slicing()->computeForwardSlice(Crit);
     if (!Sl) {
       Out << "error: criterion never executed in the region\n";
       return;
     }
     CurrentSlice = std::move(*Sl);
-    auto Lines = CurrentSlice->sourceLines(Slicing->globalTrace());
+    auto Lines = CurrentSlice->sourceLines(slicing()->globalTrace());
     Out << "forward slice: " << CurrentSlice->dynamicSize()
         << " dynamic instructions, " << Lines.size() << " source lines\n";
     Out << "lines:";
@@ -849,11 +867,11 @@ void DebugSession::cmdSlice(std::istringstream &Args) {
   }
 
   if (Sub == "list") {
-    if (!CurrentSlice || !Slicing) {
+    if (!CurrentSlice || !slicing()) {
       Out << "error: no slice computed\n";
       return;
     }
-    const GlobalTrace &GT = Slicing->globalTrace();
+    const GlobalTrace &GT = slicing()->globalTrace();
     size_t Shown = 0;
     for (uint32_t Pos : CurrentSlice->Positions) {
       const GlobalRef &R = GT.ref(Pos);
@@ -871,12 +889,12 @@ void DebugSession::cmdSlice(std::istringstream &Args) {
 
   if (Sub == "deps") {
     size_t N = 0;
-    if (!CurrentSlice || !Slicing || !(Args >> N) ||
+    if (!CurrentSlice || !slicing() || !(Args >> N) ||
         N >= CurrentSlice->Positions.size()) {
       Out << "usage: slice deps <entry-index> (after computing a slice)\n";
       return;
     }
-    const GlobalTrace &GT = Slicing->globalTrace();
+    const GlobalTrace &GT = slicing()->globalTrace();
     uint32_t Pos = CurrentSlice->Positions[N];
     Out << "dependences of pos " << Pos << " ("
         << disassembleAt(*Prog, GT.entry(Pos).Pc) << "):\n";
@@ -892,7 +910,7 @@ void DebugSession::cmdSlice(std::istringstream &Args) {
 
   if (Sub == "save") {
     std::string Path;
-    if (!CurrentSlice || !Slicing || !(Args >> Path)) {
+    if (!CurrentSlice || !slicing() || !(Args >> Path)) {
       Out << "usage: slice save <file> (after computing a slice)\n";
       return;
     }
@@ -901,15 +919,15 @@ void DebugSession::cmdSlice(std::istringstream &Args) {
       Out << "error: cannot write " << Path << "\n";
       return;
     }
-    saveSpecialSliceFile(OS, Slicing->globalTrace(), *CurrentSlice,
-                         Slicing->exclusionRegions(*CurrentSlice));
+    saveSpecialSliceFile(OS, slicing()->globalTrace(), *CurrentSlice,
+                         slicing()->exclusionRegions(*CurrentSlice));
     Out << "slice saved to " << Path << "\n";
     return;
   }
 
   if (Sub == "report") {
     std::string Path;
-    if (!CurrentSlice || !Slicing || !(Args >> Path)) {
+    if (!CurrentSlice || !slicing() || !(Args >> Path)) {
       Out << "usage: slice report <file.html> (after computing a slice)\n";
       return;
     }
@@ -918,17 +936,17 @@ void DebugSession::cmdSlice(std::istringstream &Args) {
       Out << "error: cannot write " << Path << "\n";
       return;
     }
-    writeSliceReportHtml(OS, *Prog, Slicing->globalTrace(), *CurrentSlice);
+    writeSliceReportHtml(OS, *Prog, slicing()->globalTrace(), *CurrentSlice);
     Out << "slice report written to " << Path << "\n";
     return;
   }
 
   if (Sub == "regions") {
-    if (!CurrentSlice || !Slicing) {
+    if (!CurrentSlice || !slicing()) {
       Out << "error: no slice computed\n";
       return;
     }
-    auto Regions = Slicing->exclusionRegions(*CurrentSlice);
+    auto Regions = slicing()->exclusionRegions(*CurrentSlice);
     Out << Regions.size() << " exclusion regions\n";
     for (const ExclusionRegion &R : Regions) {
       Out << "  tid " << R.Tid << " [" << R.StartPc << ":" << R.StartInstance
@@ -943,13 +961,13 @@ void DebugSession::cmdSlice(std::istringstream &Args) {
   }
 
   if (Sub == "pinball") {
-    if (!CurrentSlice || !Slicing) {
+    if (!CurrentSlice || !slicing()) {
       Out << "error: no slice computed\n";
       return;
     }
     Pinball Pb;
     std::string Error;
-    if (!Slicing->makeSlicePinball(*CurrentSlice, Pb, Error)) {
+    if (!slicing()->makeSlicePinball(*CurrentSlice, Pb, Error)) {
       Out << "error: " << Error << "\n";
       return;
     }

@@ -56,6 +56,7 @@
 namespace drdebug {
 
 class PinballRepository;
+class SliceSessionRepository;
 
 /// An interactive DrDebug session. Construct, load a program, then feed
 /// commands; output goes to the supplied stream or sink callback.
@@ -86,6 +87,17 @@ public:
   /// Uses \p Repo for `pinball load`, so sessions sharing a repository
   /// parse each recording once (the server's shared pinball cache).
   void setPinballRepository(PinballRepository *Repo) { PbRepo = Repo; }
+
+  /// Uses \p Repo to share *prepared* slice sessions between debug
+  /// sessions attached to the same on-disk pinball: the first `slice`
+  /// command prepares, everyone else reuses. Only pinballs loaded from
+  /// disk (which have a fingerprint) are shared; in-memory recordings
+  /// still prepare privately.
+  void setSliceRepository(SliceSessionRepository *Repo) { SliceRepo = Repo; }
+
+  /// Tunables forwarded to SliceSession::prepare (the server raises
+  /// PrepareThreads here).
+  void setSliceOptions(const SliceSessionOptions &O) { SliceOpts = O; }
 
   // --- Introspection for tests and examples -------------------------------
   /// The machine currently being debugged (live or replay), or null.
@@ -120,6 +132,11 @@ private:
 
   // Helpers.
   bool ensureSliceSession();
+  /// The active prepared slice session: privately owned or repository-
+  /// shared. All slice queries are const, so both cases read-only.
+  const SliceSession *slicing() const {
+    return SharedSlicing ? SharedSlicing.get() : Slicing.get();
+  }
   void reportStop(Machine::StopReason Reason);
   void printCurrentStatement(uint32_t Tid);
   bool parseLocation(const std::string &Tok, uint64_t &Pc);
@@ -131,6 +148,8 @@ private:
   std::unique_ptr<std::ostream> OwnedOut;
   std::ostream &Out;
   PinballRepository *PbRepo = nullptr;
+  SliceSessionRepository *SliceRepo = nullptr;
+  SliceSessionOptions SliceOpts;
   std::unique_ptr<Program> Prog;
   std::string ProgramText;
 
@@ -146,8 +165,13 @@ private:
 
   // Record / slice artifacts.
   std::optional<Pinball> RegionPb;
+  /// Fingerprint of the directory RegionPb was loaded from (0 when the
+  /// pinball was recorded in-memory or saved only) — the slice-repository
+  /// sharing key.
+  uint64_t RegionPbFingerprint = 0;
   std::optional<Pinball> SlicePb;
   std::unique_ptr<SliceSession> Slicing;
+  std::shared_ptr<const SliceSession> SharedSlicing;
   std::optional<Slice> CurrentSlice;
 
   // Breakpoints.

@@ -11,65 +11,32 @@
 using namespace drdebug;
 
 //===----------------------------------------------------------------------===//
-// WorkerPool
-//===----------------------------------------------------------------------===//
-
-WorkerPool::WorkerPool(unsigned N) {
-  if (N == 0)
-    N = 1;
-  Threads.reserve(N);
-  for (unsigned I = 0; I != N; ++I)
-    Threads.emplace_back([this] { workerMain(); });
-}
-
-WorkerPool::~WorkerPool() {
-  {
-    std::lock_guard<std::mutex> Lock(Mu);
-    Stopping = true;
-  }
-  Cv.notify_all();
-  for (std::thread &T : Threads)
-    T.join();
-}
-
-std::future<std::string> WorkerPool::submit(std::function<std::string()> Fn) {
-  std::packaged_task<std::string()> Task(std::move(Fn));
-  std::future<std::string> Fut = Task.get_future();
-  {
-    std::lock_guard<std::mutex> Lock(Mu);
-    Queue.push_back(std::move(Task));
-  }
-  Cv.notify_one();
-  return Fut;
-}
-
-void WorkerPool::workerMain() {
-  for (;;) {
-    std::packaged_task<std::string()> Task;
-    {
-      std::unique_lock<std::mutex> Lock(Mu);
-      Cv.wait(Lock, [this] { return Stopping || !Queue.empty(); });
-      if (Queue.empty())
-        return; // stopping and drained
-      Task = std::move(Queue.front());
-      Queue.pop_front();
-    }
-    Task();
-  }
-}
-
-//===----------------------------------------------------------------------===//
 // DebugServer
 //===----------------------------------------------------------------------===//
 
+namespace {
+
+/// Session tunables derived from the server config.
+SliceSessionOptions sliceOptionsFor(const ServerConfig &Cfg) {
+  SliceSessionOptions SO;
+  SO.PrepareThreads = Cfg.SlicePrepareThreads;
+  return SO;
+}
+
+} // namespace
+
 DebugServer::DebugServer(ServerConfig CfgIn)
-    : Cfg(CfgIn), Mgr(Repo, Stats, Cfg.IdleTimeout), Pool(Cfg.Workers) {
+    : Cfg(CfgIn), SliceRepo(Cfg.SliceCacheEntries),
+      Mgr(Repo, SliceRepo, Stats, Cfg.IdleTimeout, sliceOptionsFor(Cfg)),
+      Pool(Cfg.Workers) {
   if (Cfg.JanitorPeriod.count() > 0) {
     Janitor = std::thread([this] {
       std::unique_lock<std::mutex> Lock(JanitorMu);
       while (!JanitorCv.wait_for(Lock, Cfg.JanitorPeriod,
-                                 [this] { return JanitorStop; }))
+                                 [this] { return JanitorStop; })) {
         Mgr.evictIdle();
+        SliceRepo.evictIdle(Cfg.IdleTimeout);
+      }
     });
   }
 }
@@ -127,6 +94,19 @@ std::string DebugServer::handleBody(const std::string &Body,
     Stats.ErrorsReturned.fetch_add(1, std::memory_order_relaxed);
     return errBody(0, WireError::Malformed, "missing sequence number or verb");
   }
+  Stopwatch VerbTimer;
+  std::string Resp = dispatchVerb(Seq, Verb, IS, Attached);
+  if (int VI = verbIndex(Verb); VI >= 0) {
+    VerbStats &VS = Stats.Verbs[static_cast<size_t>(VI)];
+    VS.Count.fetch_add(1, std::memory_order_relaxed);
+    VS.LatencyUs.record(static_cast<uint64_t>(VerbTimer.seconds() * 1e6));
+  }
+  return Resp;
+}
+
+std::string DebugServer::dispatchVerb(uint64_t Seq, const std::string &Verb,
+                                      std::istringstream &IS,
+                                      std::set<uint64_t> &Attached) {
   auto Err = [&](WireError E, const std::string &Msg) {
     Stats.ErrorsReturned.fetch_add(1, std::memory_order_relaxed);
     return errBody(Seq, E, Msg);
@@ -186,7 +166,7 @@ std::string DebugServer::handleBody(const std::string &Body,
     bool LoadOk = true;
     // Run the session command on the worker pool; this connection thread
     // just waits, so W workers bound how many sessions execute at once.
-    std::future<std::string> Fut = Pool.submit([&]() -> std::string {
+    std::future<std::string> Fut = Pool.async([&]() -> std::string {
       std::string Out;
       if (Verb == "load")
         Status = Mgr.loadProgram(Sid, Text, Out, LoadOk);
@@ -208,8 +188,13 @@ std::string DebugServer::handleBody(const std::string &Body,
   if (Verb == "stats")
     return okBody(Seq, statsReport());
 
-  if (Verb == "evict")
-    return okBody(Seq, "evicted " + std::to_string(Mgr.evictIdle()));
+  if (Verb == "evict") {
+    // The reply counts evicted *sessions* (stable wire contract); the
+    // slice cache is trimmed on the same sweep and reported via stats.
+    size_t N = Mgr.evictIdle();
+    SliceRepo.evictIdle(Cfg.IdleTimeout);
+    return okBody(Seq, "evicted " + std::to_string(N));
+  }
 
   if (Verb == "shutdown") {
     Shutdown.store(true, std::memory_order_release);
@@ -233,6 +218,10 @@ std::string DebugServer::statsReport() const {
      << "pinballs.cached " << Repo.cachedCount() << "\n"
      << "pinballs.cache_hits " << Repo.hits() << "\n"
      << "pinballs.cache_misses " << Repo.misses() << "\n"
+     << "slices.cached " << SliceRepo.cachedCount() << "\n"
+     << "slices.cache_hits " << SliceRepo.hits() << "\n"
+     << "slices.cache_misses " << SliceRepo.misses() << "\n"
+     << "slices.evicted " << SliceRepo.evicted() << "\n"
      << "latency.cmd_us.count " << Stats.CmdLatencyUs.total() << "\n"
      << "latency.cmd_us.p50 " << Stats.CmdLatencyUs.quantileUpperBoundUs(0.50)
      << "\n"
@@ -241,5 +230,16 @@ std::string DebugServer::statsReport() const {
      << "latency.cmd_us.p99 " << Stats.CmdLatencyUs.quantileUpperBoundUs(0.99)
      << "\n"
      << Stats.CmdLatencyUs.report("latency.cmd_us");
+  for (size_t I = 0; I != NumServerVerbs; ++I) {
+    const VerbStats &VS = Stats.Verbs[I];
+    uint64_t N = VS.Count.load(std::memory_order_relaxed);
+    if (N == 0)
+      continue;
+    OS << "verb." << ServerVerbNames[I] << ".count " << N << "\n"
+       << "verb." << ServerVerbNames[I] << ".us.p50 "
+       << VS.LatencyUs.quantileUpperBoundUs(0.50) << "\n"
+       << "verb." << ServerVerbNames[I] << ".us.p99 "
+       << VS.LatencyUs.quantileUpperBoundUs(0.99) << "\n";
+  }
   return OS.str();
 }

@@ -26,36 +26,15 @@
 #include "server/session_manager.h"
 #include "server/stats.h"
 #include "server/transport.h"
+#include "slicing/slice_repository.h"
+#include "support/thread_pool.h"
 
 #include <atomic>
 #include <condition_variable>
-#include <deque>
-#include <functional>
-#include <future>
 #include <set>
 #include <thread>
-#include <vector>
 
 namespace drdebug {
-
-/// A fixed pool of worker threads executing string-producing tasks.
-class WorkerPool {
-public:
-  explicit WorkerPool(unsigned N);
-  ~WorkerPool();
-
-  /// Enqueues \p Fn; the returned future yields its result.
-  std::future<std::string> submit(std::function<std::string()> Fn);
-
-private:
-  void workerMain();
-
-  std::mutex Mu;
-  std::condition_variable Cv;
-  std::deque<std::packaged_task<std::string()>> Queue;
-  bool Stopping = false;
-  std::vector<std::thread> Threads;
-};
 
 struct ServerConfig {
   unsigned Workers = 4;
@@ -63,6 +42,10 @@ struct ServerConfig {
   std::chrono::milliseconds IdleTimeout{std::chrono::minutes(5)};
   /// Period of the background eviction sweep (0: sweep only on `evict`).
   std::chrono::milliseconds JanitorPeriod{0};
+  /// Threads each SliceSession::prepare may use for its analysis pipeline.
+  unsigned SlicePrepareThreads = 4;
+  /// LRU capacity of the shared prepared-slice-session cache.
+  size_t SliceCacheEntries = 8;
 };
 
 class DebugServer {
@@ -88,17 +71,23 @@ public:
 
   SessionManager &sessions() { return Mgr; }
   PinballRepository &repository() { return Repo; }
+  SliceSessionRepository &sliceRepository() { return SliceRepo; }
   ServerStats &stats() { return Stats; }
 
 private:
-  /// Dispatches one request body; \returns the response body.
+  /// Dispatches one request body; \returns the response body. Also stamps
+  /// the per-verb counters/latency histograms.
   std::string handleBody(const std::string &Body, std::set<uint64_t> &Attached);
+  std::string dispatchVerb(uint64_t Seq, const std::string &Verb,
+                           std::istringstream &IS,
+                           std::set<uint64_t> &Attached);
 
   ServerConfig Cfg;
   PinballRepository Repo;
+  SliceSessionRepository SliceRepo;
   ServerStats Stats;
   SessionManager Mgr;
-  WorkerPool Pool;
+  ThreadPool Pool;
   std::atomic<bool> Shutdown{false};
 
   std::mutex JanitorMu;

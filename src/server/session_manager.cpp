@@ -3,6 +3,7 @@
 #include "server/session_manager.h"
 
 #include "replay/repository.h"
+#include "slicing/slice_repository.h"
 
 #include <vector>
 
@@ -12,9 +13,13 @@ using namespace drdebug;
 /// mutex that serializes commands against it. LastUsed and Buffer are
 /// guarded by CmdMu; Attached is guarded by the manager's Mu.
 struct SessionManager::ManagedSession {
-  ManagedSession(uint64_t Id, PinballRepository &Repo)
+  ManagedSession(uint64_t Id, PinballRepository &Repo,
+                 SliceSessionRepository &SliceRepo,
+                 const SliceSessionOptions &SliceOpts)
       : Id(Id), Session([this](const std::string &Chunk) { Buffer += Chunk; }) {
     Session.setPinballRepository(&Repo);
+    Session.setSliceRepository(&SliceRepo);
+    Session.setSliceOptions(SliceOpts);
     LastUsed = Clock::now();
   }
 
@@ -26,14 +31,19 @@ struct SessionManager::ManagedSession {
   bool Attached = true;
 };
 
-SessionManager::SessionManager(PinballRepository &Repo, ServerStats &Stats,
-                               std::chrono::milliseconds IdleTimeout)
-    : Repo(Repo), Stats(Stats), IdleTimeout(IdleTimeout) {}
+SessionManager::SessionManager(PinballRepository &Repo,
+                               SliceSessionRepository &SliceRepo,
+                               ServerStats &Stats,
+                               std::chrono::milliseconds IdleTimeout,
+                               SliceSessionOptions SliceOpts)
+    : Repo(Repo), SliceRepo(SliceRepo), Stats(Stats), IdleTimeout(IdleTimeout),
+      SliceOpts(SliceOpts) {}
 
 uint64_t SessionManager::create() {
   std::lock_guard<std::mutex> Lock(Mu);
   uint64_t Id = NextId++;
-  Sessions.emplace(Id, std::make_shared<ManagedSession>(Id, Repo));
+  Sessions.emplace(
+      Id, std::make_shared<ManagedSession>(Id, Repo, SliceRepo, SliceOpts));
   Stats.SessionsCreated.fetch_add(1, std::memory_order_relaxed);
   return Id;
 }

@@ -29,15 +29,19 @@
 namespace drdebug {
 
 class PinballRepository;
+class SliceSessionRepository;
 
 class SessionManager {
 public:
   using Clock = std::chrono::steady_clock;
 
-  /// All sessions share \p Repo (the pinball cache) and report into
-  /// \p Stats. \p IdleTimeout of zero disables eviction.
-  SessionManager(PinballRepository &Repo, ServerStats &Stats,
-                 std::chrono::milliseconds IdleTimeout);
+  /// All sessions share \p Repo (the pinball cache) and \p SliceRepo (the
+  /// prepared-slice-session cache), and report into \p Stats. \p SliceOpts
+  /// is forwarded to every session (the server's PrepareThreads tuning).
+  /// \p IdleTimeout of zero disables eviction.
+  SessionManager(PinballRepository &Repo, SliceSessionRepository &SliceRepo,
+                 ServerStats &Stats, std::chrono::milliseconds IdleTimeout,
+                 SliceSessionOptions SliceOpts = SliceSessionOptions());
 
   /// Creates a new (attached) session. \returns its id.
   uint64_t create();
@@ -82,8 +86,10 @@ private:
   void remove(uint64_t Id);
 
   PinballRepository &Repo;
+  SliceSessionRepository &SliceRepo;
   ServerStats &Stats;
   const std::chrono::milliseconds IdleTimeout;
+  const SliceSessionOptions SliceOpts;
 
   mutable std::mutex Mu;
   std::map<uint64_t, std::shared_ptr<ManagedSession>> Sessions;

@@ -74,6 +74,28 @@ private:
   std::array<std::atomic<uint64_t>, NumBuckets> Buckets{};
 };
 
+/// Every verb the protocol knows, in dispatch order. Per-verb counters are
+/// indexed by position in this table.
+inline constexpr const char *ServerVerbNames[] = {
+    "hello", "open",  "attach", "detach", "close",
+    "load",  "cmd",   "stats",  "evict",  "shutdown"};
+inline constexpr size_t NumServerVerbs =
+    sizeof(ServerVerbNames) / sizeof(ServerVerbNames[0]);
+
+/// Index of \p Verb in ServerVerbNames, or -1 for unknown verbs.
+inline int verbIndex(const std::string &Verb) {
+  for (size_t I = 0; I != NumServerVerbs; ++I)
+    if (Verb == ServerVerbNames[I])
+      return static_cast<int>(I);
+  return -1;
+}
+
+/// Per-verb service counters: request count + latency distribution.
+struct VerbStats {
+  std::atomic<uint64_t> Count{0};
+  LatencyHistogram LatencyUs;
+};
+
 /// All server-level counters. Every field is independently atomic; the
 /// `stats` verb renders them as "key value" lines.
 struct ServerStats {
@@ -84,6 +106,7 @@ struct ServerStats {
   std::atomic<uint64_t> FramesMalformed{0};
   std::atomic<uint64_t> ErrorsReturned{0};
   LatencyHistogram CmdLatencyUs;
+  std::array<VerbStats, NumServerVerbs> Verbs;
 };
 
 } // namespace drdebug

@@ -2,6 +2,8 @@
 
 #include "slicing/control_dep.h"
 
+#include "support/thread_pool.h"
+
 #include <cassert>
 #include <vector>
 
@@ -89,9 +91,19 @@ void drdebug::computeControlDeps(ThreadTrace &Trace, CfgSet &Cfgs) {
 }
 
 void drdebug::computeAllControlDeps(TraceSet &Traces, CfgSet &Cfgs,
-                                    bool RefineFirst) {
+                                    bool RefineFirst, ThreadPool *Pool) {
   if (RefineFirst)
     Cfgs.refine(Traces.indirectTargets());
-  for (ThreadTrace &T : Traces.threadsMutable())
+  auto &Threads = Traces.threadsMutable();
+  if (Pool) {
+    // Warm the CFG set so the concurrent per-thread passes never trigger a
+    // lazy CFG build or post-dominator recomputation.
+    Cfgs.warm(Pool);
+    Pool->parallelFor(Threads.size(), [&](size_t T) {
+      computeControlDeps(Threads[T], Cfgs);
+    });
+    return;
+  }
+  for (ThreadTrace &T : Threads)
     computeControlDeps(T, Cfgs);
 }

@@ -29,15 +29,21 @@
 
 namespace drdebug {
 
+class ThreadPool;
+
 /// Fills TraceEntry::CtrlDep for every entry of \p Trace using immediate
-/// post-dominators from \p Cfgs.
+/// post-dominators from \p Cfgs. \p Cfgs must already be warmed (see
+/// CfgSet::warm) if multiple threads' traces are processed concurrently.
 void computeControlDeps(ThreadTrace &Trace, CfgSet &Cfgs);
 
 /// Convenience: runs computeControlDeps on every thread of \p Traces.
 /// If \p RefineFirst is set, first refines \p Cfgs with the traces'
 /// dynamically observed indirect-jump targets (the paper's precision fix).
+/// With a \p Pool, the per-thread passes run concurrently (the CFG set is
+/// warmed first so they only read it); results are identical either way.
 void computeAllControlDeps(TraceSet &Traces, CfgSet &Cfgs,
-                           bool RefineFirst = true);
+                           bool RefineFirst = true,
+                           ThreadPool *Pool = nullptr);
 
 } // namespace drdebug
 

@@ -42,8 +42,7 @@ Slice drdebug::computeForwardSlice(const GlobalTrace &GT, uint32_t StartPos) {
     // Control: dynamically control-dependent on a slice branch?
     if (E.CtrlDep >= 0) {
       const GlobalRef &R = GT.ref(Pos);
-      uint32_t CdPos = static_cast<uint32_t>(
-          GT.posOf(R.Tid, static_cast<uint32_t>(E.CtrlDep)));
+      uint32_t CdPos = GT.posOf(R.Tid, static_cast<uint32_t>(E.CtrlDep));
       if (InSlice[CdPos]) {
         Joins = true;
         Result.Edges.push_back({Pos, CdPos, /*IsControl=*/true});

@@ -7,6 +7,11 @@
 using namespace drdebug;
 
 void GlobalTrace::build(const TraceSet &TS) {
+  mergeOrder(TS);
+  fillPositionIndex();
+}
+
+void GlobalTrace::mergeOrder(const TraceSet &TS) {
   Traces = &TS;
   Order.clear();
   Switches = 0;
@@ -16,6 +21,8 @@ void GlobalTrace::build(const TraceSet &TS) {
   size_t Total = 0;
   for (const ThreadTrace &T : Threads)
     Total += T.Entries.size();
+  assert(Total <= MaxEntries &&
+         "region trace exceeds the 32-bit position space");
   Order.reserve(Total);
 
   Pos.assign(NumThreads, {});
@@ -71,12 +78,17 @@ void GlobalTrace::build(const TraceSet &TS) {
     HaveCurrent = true;
 
     uint32_t Local = Cursor[Chosen]++;
-    GlobalRef Ref{static_cast<uint32_t>(Chosen), Local};
-    Pos[Chosen][Local] = static_cast<uint32_t>(Order.size());
-    Order.push_back(Ref);
+    Order.push_back(GlobalRef{static_cast<uint32_t>(Chosen), Local});
     for (const GlobalRef &Succ : Out[Chosen][Local]) {
       assert(InDeg[Succ.Tid][Succ.LocalIdx] > 0);
       --InDeg[Succ.Tid][Succ.LocalIdx];
     }
+  }
+}
+
+void GlobalTrace::fillPositionIndex() {
+  for (size_t P = 0, N = Order.size(); P != N; ++P) {
+    const GlobalRef &R = Order[P];
+    Pos[R.Tid][R.LocalIdx] = static_cast<uint32_t>(P);
   }
 }

@@ -26,13 +26,30 @@
 
 namespace drdebug {
 
-/// The combined, fully ordered trace of all threads.
+/// The combined, fully ordered trace of all threads. Positions are uint32_t
+/// end-to-end (Slice, DepEdge, and the LP slicer all use 32-bit positions);
+/// build() rejects traces that would overflow that.
 class GlobalTrace {
 public:
+  /// Largest trace this index can address.
+  static constexpr size_t MaxEntries = 0xffffffffu;
+
   /// Builds the global order from \p Traces (which must outlive this
   /// object). Asserts the happens-before graph is acyclic (it is, for
-  /// traces recorded from a real execution).
+  /// traces recorded from a real execution). Equivalent to mergeOrder()
+  /// followed by fillPositionIndex().
   void build(const TraceSet &Traces);
+
+  /// Step 1 of build(): the clustered topological merge producing the
+  /// global order. ref()/entry() are valid afterwards; posOf() is not until
+  /// fillPositionIndex() ran.
+  void mergeOrder(const TraceSet &Traces);
+
+  /// Step 2 of build(): fills the (tid, local idx) -> global position index
+  /// backing posOf(). Reads only the merged order, so it may run
+  /// concurrently with other read-only consumers of ref()/entry() — the
+  /// prepare pipeline overlaps it with the LP slicer's index build.
+  void fillPositionIndex();
 
   size_t size() const { return Order.size(); }
 
@@ -44,7 +61,7 @@ public:
   }
 
   /// Global position of the entry (Tid, LocalIdx).
-  size_t posOf(uint32_t Tid, uint32_t LocalIdx) const {
+  uint32_t posOf(uint32_t Tid, uint32_t LocalIdx) const {
     return Pos.at(Tid).at(LocalIdx);
   }
 

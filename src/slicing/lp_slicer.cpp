@@ -2,21 +2,54 @@
 
 #include "slicing/lp_slicer.h"
 
+#include "support/thread_pool.h"
+
 #include <algorithm>
 #include <cassert>
+#include <queue>
 
 using namespace drdebug;
 
+namespace {
+
+/// Sorts/dedups members and edges so both traversal strategies emit the
+/// same normalized slice regardless of resolution order.
+void finalizeSlice(Slice &Result, std::vector<uint32_t> Members) {
+  std::sort(Members.begin(), Members.end());
+  Members.erase(std::unique(Members.begin(), Members.end()), Members.end());
+  Result.Positions = std::move(Members);
+
+  // Deduplicate edges (an instruction using the same register twice would
+  // otherwise record the dependence twice).
+  auto &Edges = Result.Edges;
+  std::sort(Edges.begin(), Edges.end(), [](const DepEdge &A, const DepEdge &B) {
+    return std::tie(A.FromPos, A.ToPos, A.IsControl) <
+           std::tie(B.FromPos, B.ToPos, B.IsControl);
+  });
+  Edges.erase(std::unique(Edges.begin(), Edges.end(),
+                          [](const DepEdge &A, const DepEdge &B) {
+                            return A.FromPos == B.FromPos &&
+                                   A.ToPos == B.ToPos &&
+                                   A.IsControl == B.IsControl;
+                          }),
+              Edges.end());
+}
+
+} // namespace
+
 LpSlicer::LpSlicer(const GlobalTrace &GT, const SaveRestoreAnalysis *SR,
-                   SliceOptions Opts)
+                   SliceOptions Opts, ThreadPool *Pool)
     : GT(GT), SR(SR), Opts(Opts) {
   assert(Opts.BlockSize > 0 && "block size must be positive");
   assert((!Opts.PruneSaveRestore || SR) &&
          "save/restore pruning needs the analysis");
-  buildSummaries();
+  if (Opts.UseDefIndex)
+    buildDefIndex(Pool);
+  else
+    buildBlockSummaries();
 }
 
-void LpSlicer::buildSummaries() {
+void LpSlicer::buildBlockSummaries() {
   size_t N = GT.size();
   size_t NumBlocks = (N + Opts.BlockSize - 1) / Opts.BlockSize;
   BlockDefs.assign(NumBlocks, {});
@@ -28,8 +61,56 @@ void LpSlicer::buildSummaries() {
   }
 }
 
+void LpSlicer::buildDefIndex(ThreadPool *Pool) {
+  size_t N = GT.size();
+  size_t Chunks = Pool ? Pool->size() : 1;
+  if (Chunks <= 1 || N < 2 * Chunks) {
+    for (size_t Pos = 0; Pos != N; ++Pos)
+      for (const auto &D : GT.entry(Pos).Defs) {
+        auto &Ds = DefIndex[D.Loc];
+        if (Ds.empty() || Ds.back() != Pos)
+          Ds.push_back(static_cast<uint32_t>(Pos));
+      }
+    return;
+  }
+  // Chunked parallel build: task c indexes the contiguous position range
+  // [c*Len, (c+1)*Len) into a chunk-local map, so the trace is scanned once
+  // in total no matter the pool size. Merging the chunk maps in chunk order
+  // concatenates ascending runs (a position never spans two chunks, and an
+  // entry's duplicate defs collapse within its own chunk), so the index is
+  // identical to the sequential build.
+  size_t Len = (N + Chunks - 1) / Chunks;
+  std::vector<std::unordered_map<Location, std::vector<uint32_t>>> Parts(
+      Chunks);
+  Pool->parallelFor(Chunks, [&](size_t C) {
+    auto &Part = Parts[C];
+    size_t Lo = C * Len, Hi = std::min(N, Lo + Len);
+    for (size_t Pos = Lo; Pos < Hi; ++Pos)
+      for (const auto &D : GT.entry(Pos).Defs) {
+        auto &Ds = Part[D.Loc];
+        if (Ds.empty() || Ds.back() != Pos)
+          Ds.push_back(static_cast<uint32_t>(Pos));
+      }
+  });
+  DefIndex.reserve(Parts.front().size() * 2);
+  for (auto &Part : Parts)
+    for (auto &KV : Part) {
+      auto &Ds = DefIndex[KV.first];
+      if (Ds.empty())
+        Ds = std::move(KV.second);
+      else
+        Ds.insert(Ds.end(), KV.second.begin(), KV.second.end());
+    }
+}
+
 Slice LpSlicer::compute(uint32_t CriterionPos,
-                        const std::vector<Location> &SeedLocs) {
+                        const std::vector<Location> &SeedLocs) const {
+  return Opts.UseDefIndex ? computeIndexed(CriterionPos, SeedLocs)
+                          : computeBlockScan(CriterionPos, SeedLocs);
+}
+
+Slice LpSlicer::computeBlockScan(uint32_t CriterionPos,
+                                 const std::vector<Location> &SeedLocs) const {
   size_t N = GT.size();
   assert(CriterionPos < N && "criterion outside trace");
 
@@ -64,8 +145,7 @@ Slice LpSlicer::compute(uint32_t CriterionPos,
       if (E.CtrlDep < 0)
         continue;
       const GlobalRef &R = GT.ref(P);
-      uint32_t CdPos =
-          static_cast<uint32_t>(GT.posOf(R.Tid, static_cast<uint32_t>(E.CtrlDep)));
+      uint32_t CdPos = GT.posOf(R.Tid, static_cast<uint32_t>(E.CtrlDep));
       Result.Edges.push_back({P, CdPos, /*IsControl=*/true});
       if (InSlice[CdPos])
         continue;
@@ -103,8 +183,7 @@ Slice LpSlicer::compute(uint32_t CriterionPos,
         const GlobalRef &R = GT.ref(Pos);
         if (SR->isVerifiedRestore(R.Tid, R.LocalIdx)) {
           Bypass = true;
-          SavePos = static_cast<uint32_t>(
-              GT.posOf(R.Tid, SR->saveOf(R.Tid, R.LocalIdx)));
+          SavePos = GT.posOf(R.Tid, SR->saveOf(R.Tid, R.LocalIdx));
         }
       }
 
@@ -136,6 +215,7 @@ Slice LpSlicer::compute(uint32_t CriterionPos,
   // Backwards LP traversal: visit blocks from the criterion's block down,
   // skipping blocks whose downward-exposed definition summary intersects no
   // pending use.
+  uint64_t Scanned = 0, Skipped = 0;
   size_t BS = Opts.BlockSize;
   for (size_t Blk = CriterionPos / BS + 1; Blk-- > 0 && !Unresolved.empty();) {
     const auto &Defs = BlockDefs[Blk];
@@ -146,33 +226,194 @@ Slice LpSlicer::compute(uint32_t CriterionPos,
         break;
       }
     if (!Intersects) {
-      ++BlocksSkipped;
+      ++Skipped;
       continue;
     }
-    ++BlocksScanned;
+    ++Scanned;
     size_t Hi = std::min<size_t>((Blk + 1) * BS, CriterionPos);
     size_t Lo = Blk * BS;
     for (size_t Pos = Hi; Pos-- > Lo;)
       resolveAt(static_cast<uint32_t>(Pos));
   }
+  BlocksScanned.fetch_add(Scanned, std::memory_order_relaxed);
+  BlocksSkipped.fetch_add(Skipped, std::memory_order_relaxed);
 
-  std::sort(Members.begin(), Members.end());
-  Members.erase(std::unique(Members.begin(), Members.end()), Members.end());
-  Result.Positions = std::move(Members);
+  finalizeSlice(Result, std::move(Members));
+  return Result;
+}
 
-  // Deduplicate edges (an instruction using the same register twice would
-  // otherwise record the dependence twice).
-  auto &Edges = Result.Edges;
-  std::sort(Edges.begin(), Edges.end(), [](const DepEdge &A, const DepEdge &B) {
-    return std::tie(A.FromPos, A.ToPos, A.IsControl) <
-           std::tie(B.FromPos, B.ToPos, B.IsControl);
-  });
-  Edges.erase(std::unique(Edges.begin(), Edges.end(),
-                          [](const DepEdge &A, const DepEdge &B) {
-                            return A.FromPos == B.FromPos &&
-                                   A.ToPos == B.ToPos &&
-                                   A.IsControl == B.IsControl;
-                          }),
-              Edges.end());
+Slice LpSlicer::computeIndexed(uint32_t CriterionPos,
+                               const std::vector<Location> &SeedLocs) const {
+  size_t N = GT.size();
+  assert(CriterionPos < N && "criterion outside trace");
+
+  Slice Result;
+  Result.CriterionPos = CriterionPos;
+  std::vector<char> InSlice(N, 0);
+  std::vector<uint32_t> Members;
+  std::unordered_map<Location, std::vector<PendingUse>> Unresolved;
+  std::vector<uint32_t> Work;
+
+  // Resolution events, greatest position first — the same order the block
+  // scan visits definitions, so bypass re-targeting behaves identically.
+  using Event = std::pair<uint32_t, Location>;
+  std::priority_queue<Event> Heap;
+
+  // At most one live event per location: the greatest definition position
+  // any of its pending uses can resolve at. When that event fires it
+  // reschedules the leftovers, so heap traffic stays proportional to the
+  // definitions actually visited rather than to the pending uses — on dense
+  // slices the per-use heap churn would otherwise cost more than a scan.
+  std::unordered_map<Location, uint32_t> EventAt;
+
+  // Schedules L's event at the greatest definition strictly below Bound (a
+  // use with no earlier definition simply stays unresolved, exactly as it
+  // would survive the full backwards scan). An already-scheduled later
+  // event covers this one: it keeps the use pending and reschedules it.
+  auto schedule = [&](Location L, uint32_t Bound) {
+    auto It = DefIndex.find(L);
+    if (It == DefIndex.end())
+      return;
+    const std::vector<uint32_t> &Ds = It->second;
+    auto Lb = std::lower_bound(Ds.begin(), Ds.end(), Bound);
+    if (Lb == Ds.begin())
+      return;
+    uint32_t Pos = *std::prev(Lb);
+    auto [EIt, New] = EventAt.try_emplace(L, Pos);
+    if (!New) {
+      if (EIt->second >= Pos)
+        return;
+      EIt->second = Pos; // the superseded heap entry is skipped on pop
+    }
+    Heap.push({Pos, L});
+  };
+
+  auto enqueueUses = [&](uint32_t Pos) {
+    const TraceEntry &E = GT.entry(Pos);
+    for (const auto &U : E.Uses) {
+      Unresolved[U.Loc].push_back({Pos, Pos});
+      schedule(U.Loc, Pos);
+    }
+  };
+
+  auto addMember = [&](uint32_t Pos, bool WithUses) {
+    if (InSlice[Pos])
+      return;
+    InSlice[Pos] = 1;
+    Members.push_back(Pos);
+    if (WithUses)
+      enqueueUses(Pos);
+    Work.push_back(Pos);
+    while (!Work.empty()) {
+      uint32_t P = Work.back();
+      Work.pop_back();
+      const TraceEntry &E = GT.entry(P);
+      if (E.CtrlDep < 0)
+        continue;
+      const GlobalRef &R = GT.ref(P);
+      uint32_t CdPos = GT.posOf(R.Tid, static_cast<uint32_t>(E.CtrlDep));
+      Result.Edges.push_back({P, CdPos, /*IsControl=*/true});
+      if (InSlice[CdPos])
+        continue;
+      InSlice[CdPos] = 1;
+      Members.push_back(CdPos);
+      enqueueUses(CdPos);
+      Work.push_back(CdPos);
+    }
+  };
+
+  if (SeedLocs.empty()) {
+    addMember(CriterionPos, /*WithUses=*/true);
+  } else {
+    addMember(CriterionPos, /*WithUses=*/false);
+    for (Location L : SeedLocs) {
+      Unresolved[L].push_back({CriterionPos, CriterionPos});
+      schedule(L, CriterionPos);
+    }
+  }
+
+  // Compat stats: reconstruct what a block-granular scan would have visited
+  // from the blocks the heap actually touched.
+  uint64_t Scanned = 0, Skipped = 0;
+  size_t BS = Opts.BlockSize;
+  size_t CritBlk = CriterionPos / BS;
+  size_t LastBlk = 0;
+  bool HaveLastBlk = false;
+
+  // Events pop in decreasing position order: every event's position is a
+  // definition strictly below the Bound that queued it, and follow-up
+  // events (new uses, bypass re-targets) are queued below the position
+  // being processed.
+  while (!Heap.empty()) {
+    uint32_t Pos = Heap.top().first;
+    Location L = Heap.top().second;
+    Heap.pop();
+
+    auto EIt = EventAt.find(L);
+    if (EIt == EventAt.end() || EIt->second != Pos)
+      continue; // superseded or already fired
+    EventAt.erase(EIt);
+
+    auto It = Unresolved.find(L);
+    if (It == Unresolved.end())
+      continue; // stale: everything waiting on L already resolved
+    std::vector<PendingUse> &List = It->second;
+
+    bool Bypass = false;
+    uint32_t SavePos = 0;
+    if (Opts.PruneSaveRestore && isRegLoc(L)) {
+      const GlobalRef &R = GT.ref(Pos);
+      if (SR->isVerifiedRestore(R.Tid, R.LocalIdx)) {
+        Bypass = true;
+        SavePos = GT.posOf(R.Tid, SR->saveOf(R.Tid, R.LocalIdx));
+      }
+    }
+
+    std::vector<PendingUse> Keep;
+    uint32_t MaxKeepBound = 0;
+    bool ResolvedAny = false;
+    bool Examined = false;
+    for (const PendingUse &PU : List) {
+      if (PU.Bound <= Pos) {
+        Keep.push_back(PU); // needs an even earlier definition
+        MaxKeepBound = std::max(MaxKeepBound, PU.Bound);
+        continue;
+      }
+      Examined = true;
+      if (Bypass) {
+        Keep.push_back({SavePos, PU.Consumer});
+        MaxKeepBound = std::max(MaxKeepBound, SavePos);
+        continue;
+      }
+      Result.Edges.push_back({PU.Consumer, Pos, /*IsControl=*/false});
+      ResolvedAny = true;
+    }
+    if (Keep.empty()) {
+      Unresolved.erase(It);
+    } else {
+      List = std::move(Keep);
+      schedule(L, MaxKeepBound);
+    }
+    if (ResolvedAny)
+      addMember(Pos, /*WithUses=*/true);
+
+    if (Examined) {
+      size_t Blk = Pos / BS;
+      if (!HaveLastBlk) {
+        ++Scanned;
+        Skipped += CritBlk - Blk;
+        HaveLastBlk = true;
+        LastBlk = Blk;
+      } else if (Blk < LastBlk) {
+        ++Scanned;
+        Skipped += LastBlk - Blk - 1;
+        LastBlk = Blk;
+      }
+    }
+  }
+  BlocksScanned.fetch_add(Scanned, std::memory_order_relaxed);
+  BlocksSkipped.fetch_add(Skipped, std::memory_order_relaxed);
+
+  finalizeSlice(Result, std::move(Members));
   return Result;
 }

@@ -7,13 +7,23 @@
 /// \file
 /// Step (iii) of the paper's slicing algorithm (§3): backwards traversal of
 /// the global trace to recover the dynamic dependences forming the slice,
-/// using Zhang et al.'s Limited Preprocessing (LP) scheme — the trace is
-/// divided into fixed-size blocks, each summarized by the set of locations
-/// it defines, so the traversal skips blocks that cannot resolve any
-/// pending use. Verified save/restore pairs are bypassed during the
-/// traversal (§5.2): a register use resolving at a verified restore is
-/// re-targeted to just before the matching save, eliminating the spurious
-/// chain without adding the restore/save to the slice.
+/// using Zhang et al.'s Limited Preprocessing (LP) scheme. Two traversal
+/// strategies are available:
+///
+///  - Block scan (the original LP formulation): the trace is divided into
+///    fixed-size blocks, each summarized by the set of locations it defines,
+///    so the traversal skips blocks that cannot resolve any pending use.
+///  - Def-site index (default): a location -> sorted-def-positions index
+///    lets each pending use jump directly to the nearest earlier definition
+///    via binary search; resolutions are processed off a max-heap of
+///    (position, location) events so they happen in the same backwards
+///    order as the scan. Both strategies produce bit-identical slices; the
+///    index also feeds the block-skip counters as a compatibility stat.
+///
+/// Verified save/restore pairs are bypassed during the traversal (§5.2): a
+/// register use resolving at a verified restore is re-targeted to just
+/// before the matching save, eliminating the spurious chain without adding
+/// the restore/save to the slice.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -23,40 +33,53 @@
 #include "slicing/save_restore.h"
 #include "slicing/slice.h"
 
+#include <atomic>
 #include <unordered_map>
 #include <unordered_set>
 
 namespace drdebug {
+
+class ThreadPool;
 
 /// Tunables for the LP traversal.
 struct SliceOptions {
   /// Bypass spurious save/restore data dependences (§5.2). Requires a
   /// SaveRestoreAnalysis to be supplied.
   bool PruneSaveRestore = true;
-  /// LP block size in trace entries.
+  /// LP block size in trace entries (granularity of the skip counters, and
+  /// of the summaries when UseDefIndex is false).
   size_t BlockSize = 4096;
+  /// Use the location -> sorted-def-positions index instead of per-block
+  /// summary scans. Slices are identical either way.
+  bool UseDefIndex = true;
 };
 
 /// Backwards dynamic slicer over a built GlobalTrace. Construct once per
-/// trace (block summaries are preprocessed), then compute any number of
-/// slices — the cross-session reuse the paper gets from PinPlay's
-/// repeatability.
+/// trace (the def index / block summaries are preprocessed), then compute
+/// any number of slices — the cross-session reuse the paper gets from
+/// PinPlay's repeatability. compute() is const and safe to call from
+/// multiple threads concurrently (the skip counters are atomic).
 class LpSlicer {
 public:
-  /// \p SR may be null when PruneSaveRestore is false.
+  /// \p SR may be null when PruneSaveRestore is false. With a \p Pool the
+  /// def index is built in parallel over contiguous trace chunks (the trace
+  /// is scanned once in total); the result is identical to the sequential
+  /// build.
   LpSlicer(const GlobalTrace &GT, const SaveRestoreAnalysis *SR,
-           SliceOptions Opts = SliceOptions());
+           SliceOptions Opts = SliceOptions(), ThreadPool *Pool = nullptr);
 
   /// Computes the backwards slice for the entry at \p CriterionPos. By
   /// default the criterion's data seeds are all its uses; pass a non-empty
   /// \p SeedLocs to slice on specific locations instead (the "slice on
   /// variable v" form of the debugger's slice command).
   Slice compute(uint32_t CriterionPos,
-                const std::vector<Location> &SeedLocs = {});
+                const std::vector<Location> &SeedLocs = {}) const;
 
-  // LP effectiveness counters (cumulative across compute() calls).
-  uint64_t blocksScanned() const { return BlocksScanned; }
-  uint64_t blocksSkipped() const { return BlocksSkipped; }
+  // LP effectiveness counters (cumulative across compute() calls). In
+  // indexed mode these reflect the blocks a summary scan would have visited
+  // or skipped, derived from the positions the heap actually touched.
+  uint64_t blocksScanned() const { return BlocksScanned.load(); }
+  uint64_t blocksSkipped() const { return BlocksSkipped.load(); }
 
 private:
   struct PendingUse {
@@ -64,15 +87,24 @@ private:
     uint32_t Consumer; ///< slice member waiting on this use (for edges)
   };
 
-  void buildSummaries();
+  void buildBlockSummaries();
+  void buildDefIndex(ThreadPool *Pool);
+
+  Slice computeBlockScan(uint32_t CriterionPos,
+                         const std::vector<Location> &SeedLocs) const;
+  Slice computeIndexed(uint32_t CriterionPos,
+                       const std::vector<Location> &SeedLocs) const;
 
   const GlobalTrace &GT;
   const SaveRestoreAnalysis *SR;
   SliceOptions Opts;
-  /// Per block: set of locations defined within it.
+  /// Per block: set of locations defined within it (block-scan mode only).
   std::vector<std::unordered_set<Location>> BlockDefs;
-  uint64_t BlocksScanned = 0;
-  uint64_t BlocksSkipped = 0;
+  /// Location -> ascending global positions of its definitions (indexed
+  /// mode only).
+  std::unordered_map<Location, std::vector<uint32_t>> DefIndex;
+  mutable std::atomic<uint64_t> BlocksScanned{0};
+  mutable std::atomic<uint64_t> BlocksSkipped{0};
 };
 
 } // namespace drdebug

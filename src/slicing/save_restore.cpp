@@ -2,6 +2,8 @@
 
 #include "slicing/save_restore.h"
 
+#include "support/thread_pool.h"
+
 #include <cassert>
 
 using namespace drdebug;
@@ -53,9 +55,9 @@ void SaveRestoreAnalysis::scanFunction(const Function &F) {
   }
 }
 
-void SaveRestoreAnalysis::run(const std::vector<ThreadTrace> &Threads) {
-  Pairs.clear();
-  ByRestore.clear();
+std::vector<SaveRestorePair>
+SaveRestoreAnalysis::verifyThread(const ThreadTrace &T) const {
+  std::vector<SaveRestorePair> Result;
 
   struct SavedReg {
     uint32_t LocalIdx;
@@ -64,72 +66,94 @@ void SaveRestoreAnalysis::run(const std::vector<ThreadTrace> &Threads) {
     int64_t Value;
     bool Paired = false;
   };
-  for (const ThreadTrace &T : Threads) {
-    std::vector<std::vector<SavedReg>> Frames(1);
-    for (size_t Idx = 0, E = T.Entries.size(); Idx != E; ++Idx) {
-      const TraceEntry &Entry = T.Entries[Idx];
-      switch (Entry.Op) {
-      case Opcode::Call:
-      case Opcode::ICall:
-        Frames.emplace_back();
-        continue;
-      case Opcode::Ret:
-        if (Frames.size() > 1)
-          Frames.pop_back();
-        else
-          Frames.back().clear();
-        continue;
-      default:
-        break;
-      }
-      const Instruction &Inst = Prog.inst(Entry.Pc);
-      if (SaveCands.count(Entry.Pc) && isSaveShape(Inst)) {
-        // A save defines one memory word with the register's value.
-        for (const auto &Def : Entry.Defs)
-          if (!isRegLoc(Def.Loc))
-            Frames.back().push_back({static_cast<uint32_t>(Idx), Inst.Rd,
-                                     locAddr(Def.Loc), Def.Value, false});
-        continue;
-      }
-      if (RestoreCands.count(Entry.Pc) && isRestoreShape(Inst)) {
-        // A restore uses one memory word and defines a register.
-        uint64_t Addr = 0;
-        bool HaveAddr = false;
-        for (const auto &Use : Entry.Uses)
-          if (!isRegLoc(Use.Loc)) {
-            Addr = locAddr(Use.Loc);
-            HaveAddr = true;
-          }
-        int64_t Value = 0;
-        bool HaveValue = false;
-        for (const auto &Def : Entry.Defs)
-          if (isRegLoc(Def.Loc) && locReg(Def.Loc) == Inst.Rd) {
-            Value = Def.Value;
-            HaveValue = true;
-          }
-        if (!HaveAddr || !HaveValue)
-          continue;
-        // Match against this activation's unpaired saves: same register,
-        // same slot, same value (the paper's two verification conditions).
-        for (SavedReg &S : Frames.back()) {
-          if (S.Paired || S.Reg != Inst.Rd || S.Addr != Addr ||
-              S.Value != Value)
-            continue;
-          S.Paired = true;
-          SaveRestorePair P;
-          P.Tid = T.Tid;
-          P.SaveIdx = S.LocalIdx;
-          P.RestoreIdx = static_cast<uint32_t>(Idx);
-          P.Reg = Inst.Rd;
-          P.SlotAddr = Addr;
-          ByRestore[key(T.Tid, P.RestoreIdx)] =
-              static_cast<uint32_t>(Pairs.size());
-          Pairs.push_back(P);
-          break;
+  std::vector<std::vector<SavedReg>> Frames(1);
+  for (size_t Idx = 0, E = T.Entries.size(); Idx != E; ++Idx) {
+    const TraceEntry &Entry = T.Entries[Idx];
+    switch (Entry.Op) {
+    case Opcode::Call:
+    case Opcode::ICall:
+      Frames.emplace_back();
+      continue;
+    case Opcode::Ret:
+      if (Frames.size() > 1)
+        Frames.pop_back();
+      else
+        Frames.back().clear();
+      continue;
+    default:
+      break;
+    }
+    const Instruction &Inst = Prog.inst(Entry.Pc);
+    if (SaveCands.count(Entry.Pc) && isSaveShape(Inst)) {
+      // A save defines one memory word with the register's value.
+      for (const auto &Def : Entry.Defs)
+        if (!isRegLoc(Def.Loc))
+          Frames.back().push_back({static_cast<uint32_t>(Idx), Inst.Rd,
+                                   locAddr(Def.Loc), Def.Value, false});
+      continue;
+    }
+    if (RestoreCands.count(Entry.Pc) && isRestoreShape(Inst)) {
+      // A restore uses one memory word and defines a register.
+      uint64_t Addr = 0;
+      bool HaveAddr = false;
+      for (const auto &Use : Entry.Uses)
+        if (!isRegLoc(Use.Loc)) {
+          Addr = locAddr(Use.Loc);
+          HaveAddr = true;
         }
+      int64_t Value = 0;
+      bool HaveValue = false;
+      for (const auto &Def : Entry.Defs)
+        if (isRegLoc(Def.Loc) && locReg(Def.Loc) == Inst.Rd) {
+          Value = Def.Value;
+          HaveValue = true;
+        }
+      if (!HaveAddr || !HaveValue)
+        continue;
+      // Match against this activation's unpaired saves: same register,
+      // same slot, same value (the paper's two verification conditions).
+      for (SavedReg &S : Frames.back()) {
+        if (S.Paired || S.Reg != Inst.Rd || S.Addr != Addr ||
+            S.Value != Value)
+          continue;
+        S.Paired = true;
+        SaveRestorePair P;
+        P.Tid = T.Tid;
+        P.SaveIdx = S.LocalIdx;
+        P.RestoreIdx = static_cast<uint32_t>(Idx);
+        P.Reg = Inst.Rd;
+        P.SlotAddr = Addr;
+        Result.push_back(P);
+        break;
       }
     }
   }
+  return Result;
+}
+
+void SaveRestoreAnalysis::adopt(
+    std::vector<std::vector<SaveRestorePair>> PerThread) {
+  Pairs.clear();
+  ByRestore.clear();
+  for (std::vector<SaveRestorePair> &Thread : PerThread)
+    for (SaveRestorePair &P : Thread) {
+      ByRestore[key(P.Tid, P.RestoreIdx)] = static_cast<uint32_t>(Pairs.size());
+      Pairs.push_back(P);
+    }
+}
+
+void SaveRestoreAnalysis::run(const std::vector<ThreadTrace> &Threads,
+                              ThreadPool *Pool) {
+  std::vector<std::vector<SaveRestorePair>> PerThread(Threads.size());
+  if (Pool) {
+    Pool->parallelFor(Threads.size(), [&](size_t T) {
+      PerThread[T] = verifyThread(Threads[T]);
+    });
+  } else {
+    for (size_t T = 0; T != Threads.size(); ++T)
+      PerThread[T] = verifyThread(Threads[T]);
+  }
+  adopt(std::move(PerThread));
 }
 
 bool SaveRestoreAnalysis::isVerifiedRestore(uint32_t Tid,

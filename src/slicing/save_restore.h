@@ -40,13 +40,24 @@ struct SaveRestorePair {
   uint64_t SlotAddr = 0;   ///< the stack slot used
 };
 
+class ThreadPool;
+
 /// Runs the static candidate scan and the dynamic verification.
 class SaveRestoreAnalysis {
 public:
   explicit SaveRestoreAnalysis(const Program &Prog, unsigned MaxSave = 10);
 
-  /// Verifies pairs over all threads' traces.
-  void run(const std::vector<ThreadTrace> &Threads);
+  /// Verifies pairs over all threads' traces. With a \p Pool, each thread's
+  /// trace is verified on its own task; results are merged in tid order, so
+  /// they are identical to the sequential run.
+  void run(const std::vector<ThreadTrace> &Threads, ThreadPool *Pool = nullptr);
+
+  /// Verifies one thread's trace in isolation (the parallel unit of run()).
+  std::vector<SaveRestorePair> verifyThread(const ThreadTrace &T) const;
+
+  /// Replaces the verified pairs with the given per-thread results,
+  /// concatenated in vector order (i.e. tid order).
+  void adopt(std::vector<std::vector<SaveRestorePair>> PerThread);
 
   /// \returns true if entry (Tid, LocalIdx) is a verified restore.
   bool isVerifiedRestore(uint32_t Tid, uint32_t LocalIdx) const;

@@ -1,0 +1,101 @@
+//===- slicing/slice_repository.cpp - Shared prepared sessions ---------------===//
+
+#include "slicing/slice_repository.h"
+
+using namespace drdebug;
+
+std::shared_ptr<const SliceSession>
+SliceSessionRepository::acquire(uint64_t Fingerprint, const Pinball &RegionPb,
+                                const SliceSessionOptions &Opts,
+                                std::string &Error) {
+  std::shared_ptr<std::promise<Prepared>> Prom;
+  std::shared_future<Prepared> Fut;
+  uint64_t Seq = 0;
+  {
+    std::lock_guard<std::mutex> Lk(Mu);
+    auto It = Entries.find(Fingerprint);
+    if (It != Entries.end()) {
+      Hits.fetch_add(1, std::memory_order_relaxed);
+      It->second.LastUsed = std::chrono::steady_clock::now();
+      Fut = It->second.Future;
+    } else {
+      Misses.fetch_add(1, std::memory_order_relaxed);
+      Prom = std::make_shared<std::promise<Prepared>>();
+      Entry E;
+      E.Future = Prom->get_future().share();
+      E.LastUsed = std::chrono::steady_clock::now();
+      E.Seq = ++SeqCounter;
+      Seq = E.Seq;
+      Fut = E.Future;
+      Entries.emplace(Fingerprint, std::move(E));
+      enforceCapLocked();
+    }
+  }
+
+  if (Prom) {
+    // This caller owns the prepare; it runs outside the lock so concurrent
+    // acquires for other fingerprints proceed, and same-fingerprint callers
+    // wait on the future instead of preparing again.
+    Prepared P;
+    auto Session = std::make_shared<SliceSession>(RegionPb, Opts);
+    std::string Err;
+    if (Session->prepare(Err))
+      P.Session = std::move(Session);
+    else
+      P.Error = std::move(Err);
+    Prom->set_value(P);
+    if (!P.Session) {
+      std::lock_guard<std::mutex> Lk(Mu);
+      auto It = Entries.find(Fingerprint);
+      if (It != Entries.end() && It->second.Seq == Seq)
+        Entries.erase(It);
+    }
+  }
+
+  Prepared P = Fut.get();
+  if (!P.Session) {
+    Error = P.Error;
+    return nullptr;
+  }
+  return P.Session;
+}
+
+void SliceSessionRepository::enforceCapLocked() {
+  while (Entries.size() > MaxEntries) {
+    auto Victim = Entries.end();
+    for (auto It = Entries.begin(); It != Entries.end(); ++It)
+      if (Victim == Entries.end() || It->second.LastUsed < Victim->second.LastUsed)
+        Victim = It;
+    if (Victim == Entries.end())
+      return;
+    Entries.erase(Victim);
+    Evicted.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+size_t SliceSessionRepository::evictIdle(
+    std::chrono::steady_clock::duration MaxIdle) {
+  auto Now = std::chrono::steady_clock::now();
+  size_t Count = 0;
+  std::lock_guard<std::mutex> Lk(Mu);
+  for (auto It = Entries.begin(); It != Entries.end();) {
+    if (Now - It->second.LastUsed > MaxIdle) {
+      It = Entries.erase(It);
+      ++Count;
+    } else {
+      ++It;
+    }
+  }
+  Evicted.fetch_add(Count, std::memory_order_relaxed);
+  return Count;
+}
+
+void SliceSessionRepository::clear() {
+  std::lock_guard<std::mutex> Lk(Mu);
+  Entries.clear();
+}
+
+size_t SliceSessionRepository::cachedCount() const {
+  std::lock_guard<std::mutex> Lk(Mu);
+  return Entries.size();
+}

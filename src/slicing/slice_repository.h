@@ -1,0 +1,91 @@
+//===- slicing/slice_repository.h - Shared prepared sessions ----*- C++ -*-===//
+//
+// Part of the DrDebug reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A process-wide cache of *prepared* SliceSessions keyed by region-pinball
+/// fingerprint. Deterministic replay makes a prepared session a pure
+/// function of the pinball bytes, so concurrent debug sessions attached to
+/// the same pinball can share one replay + analysis pass instead of each
+/// paying for their own — the slicing-side analog of the PinballRepository.
+/// The first caller for a fingerprint prepares the session outside the
+/// lock; concurrent callers for the same fingerprint block on a shared
+/// future until it is ready. Prepared sessions are immutable (all slice
+/// queries are const), so sharing them across server worker threads is
+/// safe. Failed prepares are reported but never cached.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRDEBUG_SLICING_SLICE_REPOSITORY_H
+#define DRDEBUG_SLICING_SLICE_REPOSITORY_H
+
+#include "slicing/slicer.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace drdebug {
+
+/// Cache of prepared slice sessions, LRU-capped and idle-evictable.
+class SliceSessionRepository {
+public:
+  /// \p MaxEntries caps the number of cached sessions; the least recently
+  /// used entries are evicted when a new fingerprint would exceed it.
+  explicit SliceSessionRepository(size_t MaxEntries = 8)
+      : MaxEntries(MaxEntries ? MaxEntries : 1) {}
+
+  /// Returns the prepared session for \p Fingerprint, running
+  /// SliceSession::prepare() on \p RegionPb (once, in the calling thread)
+  /// if it is not cached yet. \returns nullptr with \p Error set when the
+  /// prepare failed; failures are not cached, so a later call retries.
+  std::shared_ptr<const SliceSession>
+  acquire(uint64_t Fingerprint, const Pinball &RegionPb,
+          const SliceSessionOptions &Opts, std::string &Error);
+
+  /// Drops every session idle for longer than \p MaxIdle. \returns the
+  /// number of sessions evicted (wired into the server janitor).
+  size_t evictIdle(std::chrono::steady_clock::duration MaxIdle);
+
+  /// Drops all cached sessions (in-flight acquires are unaffected: waiters
+  /// hold the shared future).
+  void clear();
+
+  size_t cachedCount() const;
+  uint64_t hits() const { return Hits.load(); }
+  uint64_t misses() const { return Misses.load(); }
+  uint64_t evicted() const { return Evicted.load(); }
+
+private:
+  /// Outcome of one prepare, broadcast to every waiter.
+  struct Prepared {
+    std::shared_ptr<const SliceSession> Session; ///< null on failure
+    std::string Error;
+  };
+  struct Entry {
+    std::shared_future<Prepared> Future;
+    std::chrono::steady_clock::time_point LastUsed;
+    uint64_t Seq = 0; ///< guards failure-erase against entry replacement
+  };
+
+  void enforceCapLocked();
+
+  size_t MaxEntries;
+  mutable std::mutex Mu;
+  std::unordered_map<uint64_t, Entry> Entries;
+  uint64_t SeqCounter = 0;
+  std::atomic<uint64_t> Hits{0};
+  std::atomic<uint64_t> Misses{0};
+  std::atomic<uint64_t> Evicted{0};
+};
+
+} // namespace drdebug
+
+#endif // DRDEBUG_SLICING_SLICE_REPOSITORY_H

@@ -6,9 +6,12 @@
 #include "slicing/control_dep.h"
 #include "slicing/forward.h"
 #include "support/stopwatch.h"
+#include "support/thread_pool.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdlib>
+#include <future>
 
 using namespace drdebug;
 
@@ -33,29 +36,88 @@ bool SliceSession::prepare(std::string &Error) {
   Rep.machine().addObserver(Traces.get());
   Rep.run();
   Rep.machine().removeObserver(Traces.get());
+  if (Traces->totalEntries() > GlobalTrace::MaxEntries) {
+    Error = "slice session: region trace exceeds the 32-bit position space";
+    return false;
+  }
+  ReplayTime = Timer.seconds();
 
-  // Static analysis + §5.1 refinement + dynamic control dependences.
+  // The analysis pipeline. Replay above is inherently sequential; from here
+  // on the per-thread passes and index builds can run on a pool. Every
+  // parallel stage merges in a fixed order, so the prepared session is
+  // bit-identical to a PrepareThreads=1 run.
+  Stopwatch AnalysisTimer;
+  std::unique_ptr<ThreadPool> Pool;
+  if (Opts.PrepareThreads > 1)
+    Pool = std::make_unique<ThreadPool>(Opts.PrepareThreads);
+
+  // Static analysis + §5.1 refinement + dynamic control dependences,
+  // overlapped with §5.2 save/restore verification (both decompose by
+  // thread and touch disjoint state once the CFG set is warmed).
   Cfgs = std::make_unique<CfgSet>(*Prog);
-  computeAllControlDeps(*Traces, *Cfgs, Opts.RefineCfg);
-
-  // §5.2 save/restore verification.
   SaveRestores = std::make_unique<SaveRestoreAnalysis>(*Prog, Opts.MaxSave);
-  SaveRestores->run(Traces->threads());
+  if (Pool) {
+    if (Opts.RefineCfg)
+      Cfgs->refine(Traces->indirectTargets());
+    Cfgs->warm(Pool.get());
+    auto &Threads = Traces->threadsMutable();
+    std::vector<std::vector<SaveRestorePair>> PerThread(Threads.size());
+    std::vector<std::future<void>> Wave;
+    for (size_t T = 0; T != Threads.size(); ++T) {
+      Wave.push_back(Pool->async(
+          [this, &Threads, T] { computeControlDeps(Threads[T], *Cfgs); }));
+      Wave.push_back(Pool->async([this, &Threads, &PerThread, T] {
+        PerThread[T] = SaveRestores->verifyThread(Threads[T]);
+      }));
+    }
+    for (auto &W : Wave)
+      W.get();
+    SaveRestores->adopt(std::move(PerThread));
+  } else {
+    computeAllControlDeps(*Traces, *Cfgs, Opts.RefineCfg);
+    SaveRestores->run(Traces->threads());
+  }
 
-  // Step (ii): combined global trace.
+  // Step (ii): combined global trace. The topological merge is sequential;
+  // the position-index fill only reads the merged order, so it overlaps
+  // with the pc-occurrence index and the LP slicer's def-site index build
+  // (step (iii)), neither of which calls posOf().
   Global = std::make_unique<GlobalTrace>();
-  Global->build(*Traces);
-
-  // Step (iii): LP slicer with block summaries.
+  Global->mergeOrder(*Traces);
   SliceOptions SO;
   SO.PruneSaveRestore = Opts.PruneSaveRestore;
   SO.BlockSize = Opts.BlockSize;
-  Slicer = std::make_unique<LpSlicer>(
-      *Global, Opts.PruneSaveRestore ? SaveRestores.get() : nullptr, SO);
+  SO.UseDefIndex = Opts.UseDefIndex;
+  const SaveRestoreAnalysis *SR =
+      Opts.PruneSaveRestore ? SaveRestores.get() : nullptr;
+  if (Pool) {
+    auto PosFill = Pool->async([this] { Global->fillPositionIndex(); });
+    auto PcIdx = Pool->async([this] { buildPcIndex(); });
+    Slicer = std::make_unique<LpSlicer>(*Global, SR, SO, Pool.get());
+    PosFill.get();
+    PcIdx.get();
+  } else {
+    Global->fillPositionIndex();
+    buildPcIndex();
+    Slicer = std::make_unique<LpSlicer>(*Global, SR, SO);
+  }
 
+  AnalysisTime = AnalysisTimer.seconds();
   TraceTime = Timer.seconds();
   Prepared = true;
   return true;
+}
+
+void SliceSession::buildPcIndex() {
+  const auto &Threads = Traces->threads();
+  PcIndex.assign(Threads.size(), {});
+  for (size_t T = 0; T != Threads.size(); ++T) {
+    auto &Map = PcIndex[T];
+    const auto &Entries = Threads[T].Entries;
+    for (uint32_t Idx = 0, E = static_cast<uint32_t>(Entries.size()); Idx != E;
+         ++Idx)
+      Map[Entries[Idx].Pc].push_back(Idx);
+  }
 }
 
 const Program &SliceSession::program() const {
@@ -78,19 +140,12 @@ const SaveRestoreAnalysis &SliceSession::saveRestore() const {
 std::optional<uint32_t>
 SliceSession::criterionPosition(const SliceCriterion &C) const {
   assert(Prepared);
-  const auto &Threads = Traces->threads();
-  if (C.Tid >= Threads.size())
+  if (C.Tid >= PcIndex.size() || C.Instance == 0)
     return std::nullopt;
-  const ThreadTrace &T = Threads[C.Tid];
-  uint64_t Seen = 0;
-  for (uint32_t Idx = 0, E = static_cast<uint32_t>(T.Entries.size()); Idx != E;
-       ++Idx) {
-    if (T.Entries[Idx].Pc != C.Pc)
-      continue;
-    if (++Seen == C.Instance)
-      return static_cast<uint32_t>(Global->posOf(C.Tid, Idx));
-  }
-  return std::nullopt;
+  auto It = PcIndex[C.Tid].find(C.Pc);
+  if (It == PcIndex[C.Tid].end() || C.Instance > It->second.size())
+    return std::nullopt;
+  return Global->posOf(C.Tid, It->second[C.Instance - 1]);
 }
 
 std::optional<SliceCriterion> SliceSession::failureCriterion() const {
@@ -103,14 +158,12 @@ std::optional<SliceCriterion> SliceSession::failureCriterion() const {
   C.Tid = static_cast<uint32_t>(std::strtoul(TidIt->second.c_str(), nullptr, 10));
   C.Pc = std::strtoull(PcIt->second.c_str(), nullptr, 10);
   // The failure is the *last* execution of that pc by that thread.
-  const ThreadTrace &T = Traces->threads().at(C.Tid);
-  uint64_t Count = 0;
-  for (const TraceEntry &E : T.Entries)
-    if (E.Pc == C.Pc)
-      ++Count;
-  if (Count == 0)
+  if (C.Tid >= PcIndex.size())
     return std::nullopt;
-  C.Instance = Count;
+  auto It = PcIndex[C.Tid].find(C.Pc);
+  if (It == PcIndex[C.Tid].end())
+    return std::nullopt;
+  C.Instance = It->second.size();
   return C;
 }
 
@@ -122,21 +175,21 @@ std::vector<SliceCriterion> SliceSession::lastLoadCriteria(unsigned N) const {
     if (E.Op != Opcode::Ld && E.Op != Opcode::LdA)
       continue;
     const GlobalRef &R = Global->ref(Pos);
-    const ThreadTrace &T = Traces->threads()[R.Tid];
     SliceCriterion C;
     C.Tid = R.Tid;
     C.Pc = E.Pc;
-    uint64_t Instance = 0;
-    for (uint32_t I = 0; I <= R.LocalIdx; ++I)
-      if (T.Entries[I].Pc == E.Pc)
-        ++Instance;
-    C.Instance = Instance;
+    // The occurrence number is the rank of LocalIdx among the pc's
+    // executions — a binary search, where a trace scan per criterion made
+    // this quadratic in the region length.
+    const std::vector<uint32_t> &Occ = PcIndex[R.Tid].at(E.Pc);
+    C.Instance = static_cast<uint64_t>(
+        std::upper_bound(Occ.begin(), Occ.end(), R.LocalIdx) - Occ.begin());
     Result.push_back(C);
   }
   return Result;
 }
 
-std::optional<Slice> SliceSession::computeSlice(const SliceCriterion &C) {
+std::optional<Slice> SliceSession::computeSlice(const SliceCriterion &C) const {
   assert(Prepared);
   std::optional<uint32_t> Pos = criterionPosition(C);
   if (!Pos)
@@ -145,13 +198,13 @@ std::optional<Slice> SliceSession::computeSlice(const SliceCriterion &C) {
 }
 
 Slice SliceSession::computeSliceAt(uint32_t GlobalPos,
-                                   const std::vector<Location> &SeedLocs) {
+                                   const std::vector<Location> &SeedLocs) const {
   assert(Prepared);
   return Slicer->compute(GlobalPos, SeedLocs);
 }
 
 std::optional<Slice>
-SliceSession::computeForwardSlice(const SliceCriterion &C) {
+SliceSession::computeForwardSlice(const SliceCriterion &C) const {
   assert(Prepared);
   std::optional<uint32_t> Pos = criterionPosition(C);
   if (!Pos)
@@ -159,7 +212,7 @@ SliceSession::computeForwardSlice(const SliceCriterion &C) {
   return drdebug::computeForwardSlice(*Global, *Pos);
 }
 
-Slice SliceSession::computeForwardSliceAt(uint32_t GlobalPos) {
+Slice SliceSession::computeForwardSliceAt(uint32_t GlobalPos) const {
   assert(Prepared);
   return drdebug::computeForwardSlice(*Global, GlobalPos);
 }

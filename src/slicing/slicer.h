@@ -50,6 +50,12 @@ struct SliceSessionOptions {
   bool PruneSaveRestore = true;  ///< bypass spurious dependences (§5.2)
   bool RefineCfg = true;         ///< add dynamic indirect-jump edges (§5.1)
   size_t BlockSize = 4096;       ///< LP block size
+  bool UseDefIndex = true;       ///< def-site index vs block-summary scans
+  /// Worker threads for the prepare() analysis pipeline. 1 = fully
+  /// sequential; >1 runs per-thread control-dependence and save/restore
+  /// passes concurrently and overlaps the index builds. Results are
+  /// bit-identical regardless of the value.
+  unsigned PrepareThreads = 1;
 };
 
 /// One prepared slicing session over a region pinball.
@@ -76,6 +82,10 @@ public:
   /// Wall-clock seconds spent collecting dynamic information in prepare()
   /// (the paper's "dynamic information tracing time").
   double traceSeconds() const { return TraceTime; }
+  /// Portion of traceSeconds() spent replaying the region (inherently
+  /// sequential) vs running the analysis pipeline (parallelizable).
+  double replaySeconds() const { return ReplayTime; }
+  double analysisSeconds() const { return AnalysisTime; }
 
   // --- Queries -------------------------------------------------------------
   /// Resolves \p C to a global-trace position. \returns nullopt if the
@@ -91,14 +101,15 @@ public:
   /// instructions spread across five threads").
   std::vector<SliceCriterion> lastLoadCriteria(unsigned N) const;
 
-  /// Computes a backwards dynamic slice.
-  std::optional<Slice> computeSlice(const SliceCriterion &C);
+  /// Computes a backwards dynamic slice. Queries are const and safe to run
+  /// concurrently on a shared prepared session.
+  std::optional<Slice> computeSlice(const SliceCriterion &C) const;
   Slice computeSliceAt(uint32_t GlobalPos,
-                       const std::vector<Location> &SeedLocs = {});
+                       const std::vector<Location> &SeedLocs = {}) const;
 
   /// Computes a forward dynamic slice (what the instruction influenced).
-  std::optional<Slice> computeForwardSlice(const SliceCriterion &C);
-  Slice computeForwardSliceAt(uint32_t GlobalPos);
+  std::optional<Slice> computeForwardSlice(const SliceCriterion &C) const;
+  Slice computeForwardSliceAt(uint32_t GlobalPos) const;
 
   /// Exclusion regions complementing \p S.
   std::vector<ExclusionRegion> exclusionRegions(const Slice &S) const;
@@ -111,16 +122,24 @@ public:
   uint64_t blocksSkipped() const;
 
 private:
+  void buildPcIndex();
+
   Pinball RegionPb;
   SliceSessionOptions Opts;
   bool Prepared = false;
   double TraceTime = 0;
+  double ReplayTime = 0;
+  double AnalysisTime = 0;
   std::unique_ptr<Program> Prog;
   std::unique_ptr<TraceSet> Traces;
   std::unique_ptr<CfgSet> Cfgs;
   std::unique_ptr<SaveRestoreAnalysis> SaveRestores;
   std::unique_ptr<GlobalTrace> Global;
   std::unique_ptr<LpSlicer> Slicer;
+  /// Per thread: pc -> ascending local indices of its executions. Replaces
+  /// the O(trace) scans in criterionPosition/failureCriterion/
+  /// lastLoadCriteria with direct lookups.
+  std::vector<std::unordered_map<uint64_t, std::vector<uint32_t>>> PcIndex;
 };
 
 } // namespace drdebug

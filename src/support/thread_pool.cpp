@@ -1,0 +1,46 @@
+//===- support/thread_pool.cpp - Fixed-size task pool ------------------------===//
+
+#include "support/thread_pool.h"
+
+using namespace drdebug;
+
+ThreadPool::ThreadPool(unsigned N) {
+  if (N == 0)
+    N = 1;
+  Threads.reserve(N);
+  for (unsigned I = 0; I != N; ++I)
+    Threads.emplace_back([this] { workerMain(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Stopping = true;
+  }
+  Cv.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+void ThreadPool::submit(std::function<void()> Fn) {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Queue.push_back(std::move(Fn));
+  }
+  Cv.notify_one();
+}
+
+void ThreadPool::workerMain() {
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(Mu);
+      Cv.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+      if (Queue.empty())
+        return; // stopping and drained
+      Task = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    Task();
+  }
+}

@@ -1,0 +1,80 @@
+//===- support/thread_pool.h - Fixed-size task pool -------------*- C++ -*-===//
+//
+// Part of the DrDebug reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, work-stealing-free thread pool: a fixed set of workers draining
+/// one FIFO task queue. It backs both the server's per-command worker pool
+/// and the parallel slicing prepare pipeline (per-thread control-dependence
+/// refinement, save/restore verification, and the global-trace / LP-index
+/// builds run as tasks on one of these). Tasks must not block on other
+/// tasks submitted to the same pool; the prepare pipeline only ever waits
+/// from outside the pool, so the no-nesting rule holds by construction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRDEBUG_SUPPORT_THREAD_POOL_H
+#define DRDEBUG_SUPPORT_THREAD_POOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace drdebug {
+
+/// A fixed pool of worker threads executing queued tasks in FIFO order.
+class ThreadPool {
+public:
+  /// Spawns \p N workers (at least one).
+  explicit ThreadPool(unsigned N);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(Threads.size()); }
+
+  /// Enqueues \p Fn for execution on some worker.
+  void submit(std::function<void()> Fn);
+
+  /// Enqueues \p Fn and \returns a future for its result.
+  template <class Fn> auto async(Fn F) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    auto Task = std::make_shared<std::packaged_task<R()>>(std::move(F));
+    std::future<R> Fut = Task->get_future();
+    submit([Task] { (*Task)(); });
+    return Fut;
+  }
+
+  /// Runs Fn(I) for every I in [0, N) across the pool and blocks until all
+  /// iterations finished. Must not be called from inside a pool task.
+  template <class Fn> void parallelFor(size_t N, Fn F) {
+    std::vector<std::future<void>> Futs;
+    Futs.reserve(N);
+    for (size_t I = 0; I != N; ++I)
+      Futs.push_back(async([&F, I] { F(I); }));
+    for (std::future<void> &Fut : Futs)
+      Fut.get();
+  }
+
+private:
+  void workerMain();
+
+  std::mutex Mu;
+  std::condition_variable Cv;
+  std::deque<std::function<void()>> Queue;
+  bool Stopping = false;
+  std::vector<std::thread> Threads;
+};
+
+} // namespace drdebug
+
+#endif // DRDEBUG_SUPPORT_THREAD_POOL_H

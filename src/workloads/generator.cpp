@@ -5,7 +5,9 @@
 #include "arch/assembler.h"
 #include "support/rng.h"
 
+#include <algorithm>
 #include <sstream>
+#include <vector>
 
 using namespace drdebug;
 using namespace drdebug::workloads;
@@ -32,6 +34,8 @@ public:
     emitMain();
     for (unsigned F = 0; F != Opts.NumFunctions; ++F)
       emitFunction(F);
+    for (size_t W = 0; W != WrapperTargets.size(); ++W)
+      emitWorkerWrapper(W, WrapperTargets[W]);
     return OS.str();
   }
 
@@ -47,12 +51,22 @@ private:
     unsigned Workers =
         Opts.MaxThreads ? static_cast<unsigned>(Rand.below(Opts.MaxThreads + 1))
                         : 0;
+    if (Workers < Opts.MinThreads)
+      Workers = std::min(Opts.MinThreads, Opts.MaxThreads);
     if (Opts.NumFunctions == 0)
       Workers = 0;
     for (unsigned W = 0; W != Workers; ++W) {
       OS << "  movi r1, " << Rand.range(0, 7) << "\n";
-      OS << "  spawn r" << (2 + W) << ", f"
-         << Rand.below(Opts.NumFunctions) << ", r1\n";
+      unsigned Target = static_cast<unsigned>(Rand.below(Opts.NumFunctions));
+      if (Opts.WorkerCalls > 1) {
+        // Worker wrappers re-run the target in a bounded loop; emitted
+        // after the ordinary functions, see run().
+        WrapperTargets.push_back(Target);
+        OS << "  spawn r" << (2 + W) << ", w"
+           << (WrapperTargets.size() - 1) << ", r1\n";
+      } else {
+        OS << "  spawn r" << (2 + W) << ", f" << Target << ", r1\n";
+      }
     }
     if (Opts.NumFunctions)
       OS << "  call f" << Rand.below(Opts.NumFunctions) << "\n";
@@ -73,6 +87,18 @@ private:
     for (unsigned S = Saved; S-- > 0;)
       OS << "  pop r" << (1 + S) << "\n";
     OS << "  ret\n.endfunc\n";
+  }
+
+  /// A bounded re-run loop around worker \p W's target function. The
+  /// callee may use r11 for its own loops, so the counter is saved
+  /// around the call; nothing calls wrappers, so the call graph stays a
+  /// DAG and every loop stays counter-bounded.
+  void emitWorkerWrapper(size_t W, unsigned Target) {
+    OS << ".func w" << W << "\n  movi r12, 0\n  movi r11, "
+       << Opts.WorkerCalls << "\nW" << W << ":\n"
+       << "  push r11\n  call f" << Target << "\n  pop r11\n"
+       << "  subi r11, r11, 1\n  bgt r11, r12, W" << W << "\n"
+       << "  ret\n.endfunc\n";
   }
 
   /// Emits \p Budget random statements. \p FuncIdx is the enclosing
@@ -181,6 +207,7 @@ private:
   const GeneratorOptions &Opts;
   std::ostringstream OS;
   unsigned NextId = 0;
+  std::vector<unsigned> WrapperTargets;
 };
 
 } // namespace

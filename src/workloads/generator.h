@@ -37,6 +37,13 @@ struct GeneratorOptions {
   bool UseSyscalls = true;
   bool UseIndirectJumps = true;
   bool UseLocks = true;
+  /// Lower bound on spawned workers (0 keeps the purely random roll).
+  /// Lets benchmarks pin the thread count (e.g. 3 workers + main = 4).
+  unsigned MinThreads = 0;
+  /// Each worker runs its function this many times (bounded loop in a
+  /// per-worker wrapper). 1 = the classic single call; larger values
+  /// scale the per-thread trace linearly for benchmarking.
+  unsigned WorkerCalls = 1;
 };
 
 /// Generates the assembly text of a random program from \p Seed.

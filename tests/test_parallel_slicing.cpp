@@ -1,0 +1,375 @@
+//===- tests/test_parallel_slicing.cpp - Parallel slicing engine ---------------===//
+//
+// The parallel prepare pipeline and the shared slice-session cache. Parallel
+// prepares must be bit-identical to sequential ones (same slices, same
+// criteria, same global trace), the def-site-indexed LP traversal must match
+// the block-summary scan at every block size, and concurrent debug sessions
+// attached to the same disk pinball must share exactly one prepared session.
+// The `SliceRepository` suite runs under the tsan CTest preset.
+//
+//===----------------------------------------------------------------------===//
+
+#include "debugger/session.h"
+#include "replay/logger.h"
+#include "replay/repository.h"
+#include "server/server.h"
+#include "slicing/slice_repository.h"
+#include "slicing/slicer.h"
+#include "support/thread_pool.h"
+#include "workloads/figure5.h"
+#include "workloads/generator.h"
+#include "workloads/racebugs.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <unistd.h>
+
+using namespace drdebug;
+using namespace drdebug::workloads;
+namespace fs = std::filesystem;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Helpers
+//===----------------------------------------------------------------------===//
+
+/// A scratch directory removed on destruction.
+struct TempDir {
+  fs::path Dir;
+  explicit TempDir(const char *Tag) {
+    Dir = fs::temp_directory_path() /
+          (std::string("drdebug_parslice_") + Tag + "_" +
+           std::to_string(::getpid()));
+    fs::remove_all(Dir);
+    fs::create_directories(Dir);
+  }
+  ~TempDir() { fs::remove_all(Dir); }
+};
+
+/// Prepares a slicing session over \p Pb, failing the test on error.
+std::unique_ptr<SliceSession> prepared(const Pinball &Pb, unsigned Threads,
+                                       bool UseDefIndex = true,
+                                       size_t BlockSize = 4096) {
+  SliceSessionOptions O;
+  O.PrepareThreads = Threads;
+  O.UseDefIndex = UseDefIndex;
+  O.BlockSize = BlockSize;
+  auto S = std::make_unique<SliceSession>(Pb, O);
+  std::string Error;
+  EXPECT_TRUE(S->prepare(Error)) << Error;
+  return S;
+}
+
+/// Field-wise slice equality (Slice has no operator==).
+void expectSameSlice(const Slice &A, const Slice &B, const std::string &What) {
+  EXPECT_EQ(A.CriterionPos, B.CriterionPos) << What;
+  EXPECT_EQ(A.Positions, B.Positions) << What;
+  ASSERT_EQ(A.Edges.size(), B.Edges.size()) << What;
+  for (size_t I = 0; I != A.Edges.size(); ++I) {
+    EXPECT_EQ(A.Edges[I].FromPos, B.Edges[I].FromPos) << What << " edge " << I;
+    EXPECT_EQ(A.Edges[I].ToPos, B.Edges[I].ToPos) << What << " edge " << I;
+    EXPECT_EQ(A.Edges[I].IsControl, B.Edges[I].IsControl)
+        << What << " edge " << I;
+  }
+}
+
+/// Every slice both sessions can answer must come out identical: the failure
+/// slice (if any), backwards + forward slices for the last \p NLoads load
+/// criteria, and the criterion resolutions themselves.
+void expectSessionsAgree(const SliceSession &A, const SliceSession &B,
+                         unsigned NLoads, const std::string &What) {
+  ASSERT_EQ(A.traces().totalEntries(), B.traces().totalEntries()) << What;
+
+  auto FailA = A.failureCriterion();
+  auto FailB = B.failureCriterion();
+  ASSERT_EQ(FailA.has_value(), FailB.has_value()) << What;
+
+  std::vector<SliceCriterion> Crits = A.lastLoadCriteria(NLoads);
+  std::vector<SliceCriterion> CritsB = B.lastLoadCriteria(NLoads);
+  ASSERT_EQ(Crits.size(), CritsB.size()) << What;
+  for (size_t I = 0; I != Crits.size(); ++I) {
+    EXPECT_EQ(Crits[I].Tid, CritsB[I].Tid) << What;
+    EXPECT_EQ(Crits[I].Pc, CritsB[I].Pc) << What;
+    EXPECT_EQ(Crits[I].Instance, CritsB[I].Instance) << What;
+  }
+  if (FailA)
+    Crits.push_back(*FailA);
+
+  for (const SliceCriterion &C : Crits) {
+    std::string Tag = What + " crit tid=" + std::to_string(C.Tid) +
+                      " pc=" + std::to_string(C.Pc) +
+                      " inst=" + std::to_string(C.Instance);
+    EXPECT_EQ(A.criterionPosition(C), B.criterionPosition(C)) << Tag;
+    auto SlA = A.computeSlice(C);
+    auto SlB = B.computeSlice(C);
+    ASSERT_EQ(SlA.has_value(), SlB.has_value()) << Tag;
+    if (SlA) {
+      expectSameSlice(*SlA, *SlB, Tag);
+      std::vector<ExclusionRegion> ExA = A.exclusionRegions(*SlA);
+      std::vector<ExclusionRegion> ExB = B.exclusionRegions(*SlB);
+      ASSERT_EQ(ExA.size(), ExB.size()) << Tag;
+      for (size_t I = 0; I != ExA.size(); ++I) {
+        EXPECT_EQ(ExA[I].Tid, ExB[I].Tid) << Tag << " region " << I;
+        EXPECT_EQ(ExA[I].BeginIndex, ExB[I].BeginIndex) << Tag;
+        EXPECT_EQ(ExA[I].EndIndex, ExB[I].EndIndex) << Tag;
+        EXPECT_EQ(ExA[I].StartPc, ExB[I].StartPc) << Tag;
+        EXPECT_EQ(ExA[I].StartInstance, ExB[I].StartInstance) << Tag;
+      }
+    }
+    auto FwA = A.computeForwardSlice(C);
+    auto FwB = B.computeForwardSlice(C);
+    ASSERT_EQ(FwA.has_value(), FwB.has_value()) << Tag;
+    if (FwA)
+      expectSameSlice(*FwA, *FwB, Tag + " (forward)");
+  }
+}
+
+/// Records the Figure 5 region with the schedule the server tests use (it
+/// captures the assertion failure).
+Pinball figure5Pinball() {
+  Program P = workloads::makeFigure5();
+  RandomScheduler Sched(1, 1, 4);
+  DefaultSyscalls World(1);
+  return Logger::logRegion(P, Sched, &World, RegionSpec{}).Pb;
+}
+
+//===----------------------------------------------------------------------===//
+// ThreadPool
+//===----------------------------------------------------------------------===//
+
+TEST(ParallelSlicing, ThreadPoolRunsTasks) {
+  ThreadPool Pool(4);
+  EXPECT_EQ(Pool.size(), 4u);
+
+  std::future<int> F = Pool.async([] { return 41 + 1; });
+  EXPECT_EQ(F.get(), 42);
+
+  // Each iteration owns a distinct slot, so plain writes suffice.
+  std::vector<int> Hits(64, 0);
+  Pool.parallelFor(Hits.size(), [&](size_t I) { Hits[I] += 1; });
+  for (int H : Hits)
+    EXPECT_EQ(H, 1);
+}
+
+TEST(ParallelSlicing, ThreadPoolClampsToOneWorker) {
+  ThreadPool Pool(0);
+  EXPECT_EQ(Pool.size(), 1u);
+  EXPECT_EQ(Pool.async([] { return 7; }).get(), 7);
+}
+
+//===----------------------------------------------------------------------===//
+// Parallel prepare is bit-identical to sequential
+//===----------------------------------------------------------------------===//
+
+TEST(ParallelSlicing, Figure5PoolMatchesSequential) {
+  Pinball Pb = figure5Pinball();
+  auto Seq = prepared(Pb, 1);
+  auto Par = prepared(Pb, 4);
+  ASSERT_TRUE(Seq->failureCriterion().has_value());
+  expectSessionsAgree(*Seq, *Par, 5, "figure5 pool1-vs-pool4");
+}
+
+TEST(ParallelSlicing, RaceBugsPoolMatchesSequential) {
+  RaceBugScale Scale;
+  Scale.PreWork = 60;
+  auto Suite = makeRaceBugSuite(Scale);
+  for (const RaceBug &Bug : Suite) {
+    auto Seed = findFailingSeed(Bug.Prog, 300, 2'000'000);
+    ASSERT_TRUE(Seed.has_value()) << Bug.Name << " never failed";
+    RandomScheduler Sched(*Seed, 1, 3);
+    Pinball Pb = Logger::logWholeProgram(Bug.Prog, Sched, nullptr).Pb;
+    auto Seq = prepared(Pb, 1);
+    auto Par = prepared(Pb, 3);
+    expectSessionsAgree(*Seq, *Par, 4, Bug.Name + " pool1-vs-pool3");
+  }
+}
+
+TEST(ParallelSlicing, GeneratorPoolMatchesSequential) {
+  for (uint64_t Seed : {3u, 11u, 42u}) {
+    Program P = workloads::generateRandomProgram(Seed);
+    RandomScheduler Sched(Seed, 1, 3);
+    DefaultSyscalls World(Seed + 7);
+    Pinball Pb = Logger::logWholeProgram(P, Sched, &World).Pb;
+    std::string Tag = "generator seed " + std::to_string(Seed);
+    auto Seq = prepared(Pb, 1);
+    auto Par = prepared(Pb, 4);
+    expectSessionsAgree(*Seq, *Par, 5, Tag + " pool1-vs-pool4");
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Def-site index vs block-summary scan
+//===----------------------------------------------------------------------===//
+
+TEST(ParallelSlicing, IndexedMatchesBlockScanAcrossBlockSizes) {
+  Pinball Pb = figure5Pinball();
+  auto Indexed = prepared(Pb, 1, /*UseDefIndex=*/true);
+  for (size_t BlockSize : {size_t(1), size_t(7), size_t(4096)}) {
+    auto Scan = prepared(Pb, 1, /*UseDefIndex=*/false, BlockSize);
+    expectSessionsAgree(*Indexed, *Scan, 5,
+                        "figure5 indexed-vs-blocksize " +
+                            std::to_string(BlockSize));
+  }
+}
+
+TEST(ParallelSlicing, IndexedMatchesBlockScanOnGenerated) {
+  for (uint64_t Seed : {5u, 19u}) {
+    Program P = workloads::generateRandomProgram(Seed);
+    RandomScheduler Sched(Seed + 1, 1, 3);
+    Pinball Pb = Logger::logWholeProgram(P, Sched, nullptr).Pb;
+    auto Indexed = prepared(Pb, 4, /*UseDefIndex=*/true);
+    auto Scan = prepared(Pb, 1, /*UseDefIndex=*/false, /*BlockSize=*/64);
+    expectSessionsAgree(*Indexed, *Scan, 5,
+                        "generator seed " + std::to_string(Seed) +
+                            " indexed-vs-scan");
+  }
+}
+
+TEST(ParallelSlicing, IndexedModeKeepsBlockCounters) {
+  Pinball Pb = figure5Pinball();
+  auto S = prepared(Pb, 1, /*UseDefIndex=*/true, /*BlockSize=*/8);
+  auto Fail = S->failureCriterion();
+  ASSERT_TRUE(Fail.has_value());
+  ASSERT_TRUE(S->computeSlice(*Fail).has_value());
+  // The compat counters still advance so the paper's Table-2-style LP stats
+  // remain reportable in indexed mode.
+  EXPECT_GT(S->blocksScanned() + S->blocksSkipped(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Shared slice-session repository
+//===----------------------------------------------------------------------===//
+
+TEST(SliceRepository, ConcurrentSessionsShareOnePrepare) {
+  TempDir Tmp("share");
+  Pinball Pb = figure5Pinball();
+  std::string Error;
+  ASSERT_TRUE(Pb.save(Tmp.Dir.string(), Error)) << Error;
+
+  const std::string Source = workloads::makeFigure5().SourceText;
+  const std::vector<std::string> Cmds = {"pinball load " + Tmp.Dir.string(),
+                                         "slice fail"};
+
+  // The reference transcript: a lone session preparing privately.
+  std::string Reference;
+  {
+    std::ostringstream OS;
+    DebugSession S(OS);
+    S.loadProgramText(Source);
+    for (const std::string &C : Cmds)
+      S.execute(C);
+    Reference = OS.str();
+  }
+  ASSERT_NE(Reference.find("slicing ready:"), std::string::npos) << Reference;
+  ASSERT_NE(Reference.find("slice:"), std::string::npos) << Reference;
+
+  SliceSessionRepository Repo(4);
+  std::string Out[2];
+  std::thread Workers[2];
+  for (int I = 0; I != 2; ++I)
+    Workers[I] = std::thread([&, I] {
+      std::ostringstream OS;
+      DebugSession S(OS);
+      S.setSliceRepository(&Repo);
+      S.loadProgramText(Source);
+      for (const std::string &C : Cmds)
+        S.execute(C);
+      Out[I] = OS.str();
+    });
+  for (std::thread &W : Workers)
+    W.join();
+
+  // Byte-identical to the private-prepare transcript, one prepare total.
+  EXPECT_EQ(Out[0], Reference);
+  EXPECT_EQ(Out[1], Reference);
+  EXPECT_EQ(Repo.misses(), 1u);
+  EXPECT_EQ(Repo.hits(), 1u);
+  EXPECT_EQ(Repo.cachedCount(), 1u);
+}
+
+TEST(SliceRepository, LruEvictsLeastRecentlyUsed) {
+  Pinball PbA = figure5Pinball();
+  RandomScheduler Sched(9, 1, 2);
+  Pinball PbB =
+      Logger::logWholeProgram(workloads::makeFigure5(), Sched, nullptr).Pb;
+
+  SliceSessionRepository Repo(1);
+  std::string Error;
+  SliceSessionOptions O;
+  ASSERT_NE(Repo.acquire(111, PbA, O, Error), nullptr) << Error;
+  ASSERT_NE(Repo.acquire(222, PbB, O, Error), nullptr) << Error;
+  EXPECT_EQ(Repo.cachedCount(), 1u);
+  EXPECT_EQ(Repo.evicted(), 1u);
+
+  // The evicted fingerprint must re-prepare on its next use.
+  ASSERT_NE(Repo.acquire(111, PbA, O, Error), nullptr) << Error;
+  EXPECT_EQ(Repo.misses(), 3u);
+  EXPECT_EQ(Repo.hits(), 0u);
+
+  Repo.clear();
+  EXPECT_EQ(Repo.cachedCount(), 0u);
+}
+
+TEST(SliceRepository, FailedPrepareIsNotCached) {
+  SliceSessionRepository Repo(4);
+  Pinball Bogus; // empty pinball: the replayer rejects it
+  std::string Error;
+  SliceSessionOptions O;
+  EXPECT_EQ(Repo.acquire(77, Bogus, O, Error), nullptr);
+  EXPECT_FALSE(Error.empty());
+  EXPECT_EQ(Repo.cachedCount(), 0u);
+
+  // Retrying is a fresh miss, not a cached failure.
+  Error.clear();
+  EXPECT_EQ(Repo.acquire(77, Bogus, O, Error), nullptr);
+  EXPECT_FALSE(Error.empty());
+  EXPECT_EQ(Repo.misses(), 2u);
+  EXPECT_EQ(Repo.hits(), 0u);
+}
+
+TEST(SliceRepository, ServerSessionsShareCachedSlices) {
+  TempDir Tmp("server");
+  Pinball Pb = figure5Pinball();
+  std::string Error;
+  ASSERT_TRUE(Pb.save(Tmp.Dir.string(), Error)) << Error;
+
+  DebugServer Srv;
+  const std::string Source = workloads::makeFigure5().SourceText;
+  uint64_t Sids[2] = {Srv.sessions().create(), Srv.sessions().create()};
+
+  std::string Out[2];
+  std::thread Workers[2];
+  for (int I = 0; I != 2; ++I)
+    Workers[I] = std::thread([&, I] {
+      std::string Chunk;
+      bool LoadOk = false;
+      ASSERT_EQ(Srv.sessions().loadProgram(Sids[I], Source, Chunk, LoadOk),
+                SessionManager::ExecStatus::Ok);
+      ASSERT_TRUE(LoadOk) << Chunk;
+      ASSERT_EQ(Srv.sessions().execute(
+                    Sids[I], "pinball load " + Tmp.Dir.string(), Chunk),
+                SessionManager::ExecStatus::Ok);
+      ASSERT_EQ(Srv.sessions().execute(Sids[I], "slice fail", Out[I]),
+                SessionManager::ExecStatus::Ok);
+    });
+  for (std::thread &W : Workers)
+    W.join();
+
+  EXPECT_EQ(Out[0], Out[1]);
+  EXPECT_NE(Out[0].find("slice:"), std::string::npos) << Out[0];
+  EXPECT_EQ(Srv.sliceRepository().misses(), 1u);
+  EXPECT_EQ(Srv.sliceRepository().hits(), 1u);
+
+  std::string Report = Srv.statsReport();
+  EXPECT_NE(Report.find("slices.cached 1"), std::string::npos) << Report;
+  EXPECT_NE(Report.find("slices.cache_hits 1"), std::string::npos) << Report;
+  EXPECT_NE(Report.find("slices.cache_misses 1"), std::string::npos) << Report;
+}
+
+} // namespace

@@ -199,6 +199,12 @@ TEST(Server, HelloStatsAndErrorPaths) {
     EXPECT_NE(Payload.find("frames.malformed 1"), std::string::npos)
         << Payload;
     EXPECT_NE(Payload.find("errors.returned"), std::string::npos);
+    // Per-verb counters: two hellos and one (failed) cmd so far; unknown
+    // verbs and malformed frames are not attributed to any verb.
+    EXPECT_NE(Payload.find("verb.hello.count 2"), std::string::npos)
+        << Payload;
+    EXPECT_NE(Payload.find("verb.cmd.count 1"), std::string::npos) << Payload;
+    EXPECT_NE(Payload.find("verb.hello.us.p50"), std::string::npos);
   }
   ClientEnd->close();
   ServerThread.join();
