@@ -6,7 +6,13 @@
 // every load — what one-process-per-user costs). Each session performs a
 // full cyclic-debugging iteration per round: pinball load, replay,
 // replay-position, where. Results are appended to BENCH_server.json (path
-// overridable via argv[1]).
+// overridable via argv[1] or --json).
+//
+// --faults switches to the robustness benchmark: the same workload clean
+// vs. over a transport dropping 1-in-100 responses (clients retry with
+// backoff; the duplicate cache absorbs retransmissions), plus the manifest
+// verification overhead of Pinball::load — written to BENCH_robustness.json.
+// --smoke shrinks everything to a sub-second run for the ctest smoke test.
 //
 //===----------------------------------------------------------------------===//
 
@@ -16,10 +22,12 @@
 #include "server/client.h"
 #include "server/server.h"
 #include "server/transport.h"
+#include "support/fault_injector.h"
 #include "vm/scheduler.h"
 #include "workloads/figure5.h"
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <thread>
@@ -35,13 +43,16 @@ struct Row {
   const char *Mode;
   uint64_t Commands;
   double Seconds;
+  uint64_t Retries = 0;
+  uint64_t P99Us = 0;
   double CommandsPerSec() const {
     return Seconds > 0 ? static_cast<double>(Commands) / Seconds : 0;
   }
 };
 
 Row runScenario(unsigned NumSessions, bool Cold, const std::string &PinballDir,
-                const std::string &ProgText, uint64_t Rounds) {
+                const std::string &ProgText, uint64_t Rounds,
+                bool Faulty = false, const RetryPolicy *Policy = nullptr) {
   ServerConfig Cfg;
   Cfg.Workers = NumSessions;
   DebugServer Srv(Cfg);
@@ -51,17 +62,20 @@ Row runScenario(unsigned NumSessions, bool Cold, const std::string &PinballDir,
   for (unsigned I = 0; I != NumSessions; ++I) {
     auto [C, S] = makePipePair();
     ClientEnds.push_back(std::move(C));
+    if (Faulty)
+      S = makeFaultyTransport(std::move(S), "bench");
     ServerEnds.push_back(std::move(S));
     ServeThreads.emplace_back(
         [&Srv, T = ServerEnds.back().get()] { Srv.serve(*T); });
   }
 
-  std::atomic<uint64_t> Commands{0};
+  std::atomic<uint64_t> Commands{0}, Retries{0};
   Stopwatch SW;
   std::vector<std::thread> Clients;
   for (unsigned I = 0; I != NumSessions; ++I) {
     Clients.emplace_back([&, T = ClientEnds[I].get()] {
-      ProtocolClient Client(*T);
+      ProtocolClient Client = Policy ? ProtocolClient(*T, *Policy)
+                                     : ProtocolClient(*T);
       std::string Out, Error;
       uint64_t Sid = 0;
       if (!Client.open(Sid, Error) ||
@@ -82,6 +96,7 @@ Row runScenario(unsigned NumSessions, bool Cold, const std::string &PinballDir,
           Commands.fetch_add(1, std::memory_order_relaxed);
         }
       }
+      Retries.fetch_add(Client.retries(), std::memory_order_relaxed);
     });
   }
   for (std::thread &T : Clients)
@@ -91,16 +106,142 @@ Row runScenario(unsigned NumSessions, bool Cold, const std::string &PinballDir,
     E->close();
   for (std::thread &T : ServeThreads)
     T.join();
-  return Row{NumSessions, Cold ? "cold" : "cached", Commands.load(), Seconds};
+  Row R{NumSessions, Faulty ? "faulty" : (Cold ? "cold" : "cached"),
+        Commands.load(), Seconds};
+  R.Retries = Retries.load();
+  R.P99Us = Srv.stats().CmdLatencyUs.quantileUpperBoundUs(0.99);
+  return R;
+}
+
+/// Mean microseconds per Pinball::load over \p Iters iterations.
+double loadMicros(const std::string &Dir, bool Verify, uint64_t Iters) {
+  PinballLoadOptions Opts;
+  Opts.Verify = Verify;
+  Stopwatch SW;
+  for (uint64_t I = 0; I != Iters; ++I) {
+    Pinball Pb;
+    std::string Error;
+    if (!Pb.load(Dir, Error, Opts)) {
+      std::fprintf(stderr, "bench load failed: %s\n", Error.c_str());
+      return 0;
+    }
+  }
+  return SW.seconds() * 1e6 / static_cast<double>(Iters);
+}
+
+/// The --faults robustness benchmark. \returns the process exit code.
+int runFaultsBench(const Pinball &Pb, const std::string &Dir,
+                   const std::string &ProgText, uint64_t Rounds,
+                   const char *JsonPath) {
+  banner("drdebugd robustness: throughput under injected faults",
+         "same cyclic-debugging workload, clean vs. a transport dropping "
+         "1-in-100 responses");
+
+  std::printf("%10s %8s %10s %10s %14s %9s %9s\n", "sessions", "mode",
+              "commands", "seconds", "commands/sec", "retries", "p99_us");
+  auto Print = [](const Row &R) {
+    std::printf("%10u %8s %10llu %10.3f %14.0f %9llu %9llu\n", R.Sessions,
+                R.Mode, static_cast<unsigned long long>(R.Commands), R.Seconds,
+                R.CommandsPerSec(), static_cast<unsigned long long>(R.Retries),
+                static_cast<unsigned long long>(R.P99Us));
+  };
+
+  const unsigned Sessions = 4;
+  Row Clean = runScenario(Sessions, /*Cold=*/false, Dir, ProgText, Rounds);
+  Print(Clean);
+
+  FaultInjector::global().reset();
+  FaultInjector::global().arm("bench.send", FaultKind::ShortWrite,
+                              /*Period=*/100);
+  RetryPolicy Policy;
+  Policy.MaxRetries = 8;
+  Policy.RecvTimeoutMs = 100;
+  Policy.InitialBackoffMs = 1;
+  Row Faulty = runScenario(Sessions, /*Cold=*/false, Dir, ProgText, Rounds,
+                           /*Faulty=*/true, &Policy);
+  uint64_t Fired = FaultInjector::global().totalFired();
+  FaultInjector::global().reset();
+  Print(Faulty);
+
+  // Manifest verification overhead on the pinball-open path, measured on a
+  // pinball large enough that per-byte costs dominate the six file opens
+  // (the paper's regions run millions of instructions; the figure-5 demo
+  // pinball is a few hundred bytes and would only measure syscall noise).
+  Pinball Big = Pb;
+  size_t Factor = Rounds < 10 ? 100 : 1000;
+  Big.Schedule.reserve(Pb.Schedule.size() * Factor);
+  Big.Syscalls.reserve(Pb.Syscalls.size() * Factor);
+  for (size_t I = 1; I != Factor; ++I) {
+    Big.Schedule.insert(Big.Schedule.end(), Pb.Schedule.begin(),
+                        Pb.Schedule.end());
+    Big.Syscalls.insert(Big.Syscalls.end(), Pb.Syscalls.begin(),
+                        Pb.Syscalls.end());
+  }
+  std::string BigDir = scratchDir("server_robustness_big");
+  std::string Error;
+  if (!Big.save(BigDir, Error)) {
+    std::fprintf(stderr, "cannot save pinball: %s\n", Error.c_str());
+    return 1;
+  }
+  uint64_t Iters = Rounds < 10 ? 20 : 100;
+  loadMicros(BigDir, true, 2); // warm the page cache and allocator
+  double VerifiedUs = loadMicros(BigDir, /*Verify=*/true, Iters);
+  double UnverifiedUs = loadMicros(BigDir, /*Verify=*/false, Iters);
+  double OverheadPct =
+      UnverifiedUs > 0 ? (VerifiedUs / UnverifiedUs - 1.0) * 100.0 : 0;
+  std::printf("\npinball load (%llu bytes): %.1f us verified, %.1f us "
+              "unverified (checksum overhead %.2f%%)\n",
+              static_cast<unsigned long long>(Pinball::diskSizeBytes(BigDir)),
+              VerifiedUs, UnverifiedUs, OverheadPct);
+  std::filesystem::remove_all(BigDir);
+
+  std::ofstream JS(JsonPath);
+  if (JS) {
+    auto Emit = [&JS](const Row &R, bool Last) {
+      JS << "    {\"sessions\": " << R.Sessions << ", \"mode\": \"" << R.Mode
+         << "\", \"commands\": " << R.Commands
+         << ", \"seconds\": " << R.Seconds
+         << ", \"commands_per_sec\": " << R.CommandsPerSec()
+         << ", \"retries\": " << R.Retries << ", \"p99_us\": " << R.P99Us
+         << "}" << (Last ? "\n" : ",\n");
+    };
+    JS << "{\n  \"bench\": \"server_robustness\",\n"
+       << "  \"fault_period\": 100,\n"
+       << "  \"faults_fired\": " << Fired << ",\n"
+       << "  \"rows\": [\n";
+    Emit(Clean, false);
+    Emit(Faulty, true);
+    JS << "  ],\n  \"pinball_load\": {\"verified_us\": " << VerifiedUs
+       << ", \"unverified_us\": " << UnverifiedUs
+       << ", \"verify_overhead_pct\": " << OverheadPct << "}\n}\n";
+    std::printf("wrote %s\n", JsonPath);
+  }
+  return 0;
 }
 
 } // namespace
 
 int main(int Argc, char **Argv) {
-  const char *JsonPath = Argc > 1 ? Argv[1] : "BENCH_server.json";
-  banner("drdebugd throughput: concurrent sessions on one cached pinball",
-         "N users cyclically debugging the same recording through the "
-         "resident server");
+  const char *JsonPath = nullptr;
+  bool Faults = false;
+  bool Smoke = false;
+  for (int I = 1; I < Argc; ++I) {
+    if (!std::strcmp(Argv[I], "--faults"))
+      Faults = true;
+    else if (!std::strcmp(Argv[I], "--smoke"))
+      Smoke = true;
+    else if (!std::strcmp(Argv[I], "--json") && I + 1 < Argc)
+      JsonPath = Argv[++I];
+    else if (Argv[I][0] != '-' && !JsonPath)
+      JsonPath = Argv[I]; // legacy positional JSON path
+    else {
+      std::fprintf(stderr, "usage: %s [--faults] [--smoke] [--json PATH]\n",
+                   Argv[0]);
+      return 2;
+    }
+  }
+  if (!JsonPath)
+    JsonPath = Faults ? "BENCH_robustness.json" : "BENCH_server.json";
 
   Program P = workloads::makeFigure5();
   RandomScheduler Sched(1, 1, 4);
@@ -112,9 +253,19 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "cannot save pinball: %s\n", Error.c_str());
     return 1;
   }
-  uint64_t Rounds = scaled(150);
+  uint64_t Rounds = Smoke ? 3 : scaled(150);
   if (Rounds == 0)
     Rounds = 1;
+
+  if (Faults) {
+    int Rc = runFaultsBench(Log.Pb, Dir, P.SourceText, Rounds, JsonPath);
+    std::filesystem::remove_all(Dir);
+    return Rc;
+  }
+
+  banner("drdebugd throughput: concurrent sessions on one cached pinball",
+         "N users cyclically debugging the same recording through the "
+         "resident server");
   std::printf("pinball: %llu instructions, %llu bytes on disk, %llu "
               "rounds/session\n\n",
               static_cast<unsigned long long>(Log.Pb.instructionCount()),

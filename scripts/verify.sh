@@ -1,0 +1,23 @@
+#!/bin/sh
+# Tier-1 verification: the plain build + full test suite, optionally
+# followed by the sanitizer presets (which rebuild in build-asan/ and
+# build-tsan/ and run the subsets that matter under each tool).
+#
+#   scripts/verify.sh             # tier-1 only
+#   scripts/verify.sh --sanitize  # tier-1 + asan + tsan presets
+set -eu
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j
+(cd build && ctest --output-on-failure -j)
+
+if [ "${1:-}" = "--sanitize" ]; then
+  cmake --preset asan
+  cmake --build --preset asan -j
+  ctest --preset asan --output-on-failure -j
+  cmake --preset tsan
+  cmake --build --preset tsan -j
+  ctest --preset tsan --output-on-failure -j
+fi
+echo "verify: OK"

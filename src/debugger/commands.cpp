@@ -27,7 +27,9 @@ const std::vector<CommandInfo> &drdebug::commandTable() {
        "capture an execution-region pinball", "record", ""},
       {"record failure [seed]", "capture from start to assertion failure",
        "record", ""},
-      {"pinball save|load <dir>", "persist / import the region pinball",
+      {"pinball save|load <dir> [--no-verify]",
+       "persist / import the region pinball", "pinball", ""},
+      {"pinball verify <dir>", "check a pinball against its manifest",
        "pinball", ""},
       {"replay", "deterministic replay off the pinball", "replay", ""},
       {"reverse-stepi [n] | rsi", "step backwards during replay",

@@ -276,6 +276,16 @@ void DebugSession::reportStop(Machine::StopReason Reason) {
     Out << "stopped (step limit)\n";
     break;
   case Machine::StopReason::StopRequested:
+    if (Replay && Replay->divergence() &&
+        divergenceIsFatal(Replay->divergence().Kind)) {
+      Out << Replay->divergence().describe() << "\n";
+      if (!DivergenceAnnounced) {
+        DivergenceAnnounced = true;
+        if (DivergenceCtr)
+          DivergenceCtr->fetch_add(1, std::memory_order_relaxed);
+      }
+      break;
+    }
     Out << "stopped\n";
     break;
   }
@@ -708,7 +718,7 @@ void DebugSession::cmdRecord(std::istringstream &Args) {
 void DebugSession::cmdPinball(std::istringstream &Args) {
   std::string What, Dir;
   if (!(Args >> What >> Dir)) {
-    Out << "usage: pinball save|load <dir>\n";
+    Out << "usage: pinball save|load|verify <dir> [--no-verify]\n";
     return;
   }
   std::string Error;
@@ -724,17 +734,48 @@ void DebugSession::cmdPinball(std::istringstream &Args) {
           << Pinball::diskSizeBytes(Dir) << " bytes)\n";
     return;
   }
+  if (What == "verify") {
+    Pinball Pb;
+    PinballIntegrity Info;
+    if (!Pb.load(Dir, Error, PinballLoadOptions(), &Info)) {
+      Out << (Info.IntegrityViolation ? "integrity FAILED: " : "error: ")
+          << Error << "\n";
+      return;
+    }
+    if (!Info.ManifestPresent) {
+      Out << "warning: " << Info.Warning << "\n";
+      return;
+    }
+    Out << "integrity OK: manifest v" << Info.FormatVersion << ", "
+        << Pb.instructionCount() << " instructions\n";
+    return;
+  }
   if (What == "load") {
-    if (PbRepo) {
-      std::shared_ptr<const Pinball> Cached = PbRepo->load(Dir, Error);
+    bool Verify = PbVerifyDefault;
+    std::string Flag;
+    while (Args >> Flag) {
+      if (Flag == "--no-verify")
+        Verify = false;
+      else {
+        Out << "usage: pinball load <dir> [--no-verify]\n";
+        return;
+      }
+    }
+    PinballIntegrity Info;
+    if (PbRepo && Verify) {
+      std::shared_ptr<const Pinball> Cached = PbRepo->load(Dir, Error, &Info);
       if (!Cached) {
         Out << "error: " << Error << "\n";
         return;
       }
       RegionPb = *Cached; // the repository keeps the parsed master copy
     } else {
+      // --no-verify bypasses the shared cache: an escape hatch must not
+      // seed other sessions with an unchecked pinball.
       Pinball Pb;
-      if (!Pb.load(Dir, Error)) {
+      PinballLoadOptions Opts;
+      Opts.Verify = Verify;
+      if (!Pb.load(Dir, Error, Opts, &Info)) {
         Out << "error: " << Error << "\n";
         return;
       }
@@ -745,11 +786,13 @@ void DebugSession::cmdPinball(std::istringstream &Args) {
     SharedSlicing.reset();
     CurrentSlice.reset();
     SlicePb.reset();
+    if (!Info.Warning.empty())
+      Out << "warning: " << Info.Warning << "\n";
     Out << "pinball loaded from " << Dir << ": "
         << RegionPb->instructionCount() << " instructions\n";
     return;
   }
-  Out << "usage: pinball save|load <dir>\n";
+  Out << "usage: pinball save|load|verify <dir> [--no-verify]\n";
 }
 
 void DebugSession::cmdReplay() {
@@ -759,6 +802,7 @@ void DebugSession::cmdReplay() {
   }
   Live.reset();
   SliceReplayActive = false;
+  DivergenceAnnounced = false;
   Replay = std::make_unique<CheckpointedReplay>(*RegionPb, /*Interval=*/256);
   if (!Replay->valid()) {
     Out << "error: " << Replay->error() << "\n";
@@ -991,6 +1035,7 @@ void DebugSession::cmdSlice(std::istringstream &Args) {
       return;
     }
     Live.reset();
+    DivergenceAnnounced = false;
     Replay = std::make_unique<CheckpointedReplay>(*SlicePb, /*Interval=*/256);
     if (!Replay->valid()) {
       Out << "error: " << Replay->error() << "\n";
@@ -1011,7 +1056,10 @@ void DebugSession::cmdSlice(std::istringstream &Args) {
       return;
     }
     if (!Replay->stepForward()) {
-      if (Replay->machine().stopRequested()) {
+      if (Replay->divergence() &&
+          divergenceIsFatal(Replay->divergence().Kind)) {
+        reportStop(Machine::StopReason::StopRequested);
+      } else if (Replay->machine().stopRequested()) {
         Replay->machine().clearStopRequest();
         reportStop(Machine::StopReason::StopRequested);
       } else if (Replay->machine().assertFailed()) {

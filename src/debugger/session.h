@@ -45,6 +45,7 @@
 #include "replay/replayer.h"
 #include "slicing/slicer.h"
 
+#include <atomic>
 #include <functional>
 #include <iosfwd>
 #include <map>
@@ -98,6 +99,14 @@ public:
   /// Tunables forwarded to SliceSession::prepare (the server raises
   /// PrepareThreads here).
   void setSliceOptions(const SliceSessionOptions &O) { SliceOpts = O; }
+
+  /// If set, bumped once per replay that stops on a fatal divergence — the
+  /// server's integrity.divergences stat.
+  void setDivergenceCounter(std::atomic<uint64_t> *C) { DivergenceCtr = C; }
+
+  /// Default integrity-checking mode for `pinball load` (false when the
+  /// front end was started with --no-verify).
+  void setPinballVerify(bool On) { PbVerifyDefault = On; }
 
   // --- Introspection for tests and examples -------------------------------
   /// The machine currently being debugged (live or replay), or null.
@@ -162,6 +171,10 @@ private:
   // Replay (checkpointed, so backward motion is possible).
   std::unique_ptr<CheckpointedReplay> Replay;
   bool SliceReplayActive = false;
+  /// A fatal divergence is described (and counted) only once per replay.
+  bool DivergenceAnnounced = false;
+  std::atomic<uint64_t> *DivergenceCtr = nullptr;
+  bool PbVerifyDefault = true;
 
   // Record / slice artifacts.
   std::optional<Pinball> RegionPb;

@@ -20,6 +20,10 @@ const Program &CheckpointedReplay::program() const { return Rep->program(); }
 
 bool CheckpointedReplay::atEnd() const { return Rep->done(); }
 
+const DivergenceReport &CheckpointedReplay::divergence() const {
+  return Rep->divergence();
+}
+
 void CheckpointedReplay::maybeCheckpoint() {
   if (Position % Interval != 0 || Checkpoints.count(Position))
     return;
@@ -38,6 +42,8 @@ Machine::StopReason CheckpointedReplay::runForward(uint64_t MaxSteps) {
   uint64_t Steps = 0;
   while (Steps < MaxSteps) {
     if (!stepForward()) {
+      if (divergence() && divergenceIsFatal(divergence().Kind))
+        return Machine::StopReason::StopRequested;
       if (Rep->machine().stopRequested()) {
         Rep->machine().clearStopRequest();
         return Machine::StopReason::StopRequested;
@@ -48,6 +54,11 @@ Machine::StopReason CheckpointedReplay::runForward(uint64_t MaxSteps) {
   }
   if (Steps >= MaxSteps && !atEnd())
     return Machine::StopReason::StepLimit;
+  if (atEnd()) {
+    Rep->checkEndState();
+    if (divergence() && divergenceIsFatal(divergence().Kind))
+      return Machine::StopReason::StopRequested;
+  }
   return Rep->machine().assertFailed() ? Machine::StopReason::AssertFailed
                                        : Machine::StopReason::Halted;
 }

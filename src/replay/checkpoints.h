@@ -46,6 +46,10 @@ public:
   /// True when the recorded schedule is exhausted at the current position.
   bool atEnd() const;
 
+  /// The underlying replayer's divergence report (kind None while the
+  /// replay matches the recording).
+  const DivergenceReport &divergence() const;
+
   /// Steps forward one instruction (taking a checkpoint when due).
   /// \returns false at the end of the schedule or on an observer stop.
   bool stepForward();

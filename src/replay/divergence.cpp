@@ -1,0 +1,45 @@
+//===- replay/divergence.cpp - Replay divergence reports ---------------------===//
+
+#include "replay/divergence.h"
+
+#include <sstream>
+
+using namespace drdebug;
+
+const char *drdebug::divergenceKindName(DivergenceKind K) {
+  switch (K) {
+  case DivergenceKind::None:
+    return "none";
+  case DivergenceKind::UnknownInjection:
+    return "unknown-injection";
+  case DivergenceKind::UnknownThread:
+    return "unknown-thread";
+  case DivergenceKind::ThreadExited:
+    return "thread-exited";
+  case DivergenceKind::SyscallKindMismatch:
+    return "syscall-kind-mismatch";
+  case DivergenceKind::SyscallStreamExhausted:
+    return "syscall-stream-exhausted";
+  case DivergenceKind::ScheduleNotExhausted:
+    return "schedule-not-exhausted";
+  case DivergenceKind::InstructionCountDrift:
+    return "instruction-count-drift";
+  case DivergenceKind::EndPcDrift:
+    return "end-pc-drift";
+  }
+  return "unknown";
+}
+
+std::string DivergenceReport::describe() const {
+  if (Kind == DivergenceKind::None)
+    return "no divergence";
+  std::ostringstream OS;
+  OS << "replay divergence: " << divergenceKindName(Kind)
+     << " at schedule event " << Position << " (tid " << Tid;
+  if (Pc)
+    OS << ", pc " << Pc;
+  OS << ")";
+  if (!Detail.empty())
+    OS << ": " << Detail;
+  return OS.str();
+}

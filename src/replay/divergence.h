@@ -1,0 +1,69 @@
+//===- replay/divergence.h - Replay divergence reports ----------*- C++ -*-===//
+//
+// Part of the DrDebug reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// When a pinball no longer matches the program it replays — hand-edited
+/// artifacts, version skew, a corrupted-but-checksum-valid file, or a
+/// genuine replayer bug — the replay *diverges* from the recording. The
+/// paper's workflow (a customer mails a pinball to a vendor) makes this a
+/// first-class error, not an assertion: the debugger and server must report
+/// what diverged, where, and keep the process alive. A DivergenceReport is
+/// that structured answer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRDEBUG_REPLAY_DIVERGENCE_H
+#define DRDEBUG_REPLAY_DIVERGENCE_H
+
+#include <cstdint>
+#include <string>
+
+namespace drdebug {
+
+/// How a replay can contradict its pinball.
+enum class DivergenceKind : uint8_t {
+  None,                   ///< no divergence observed
+  UnknownInjection,       ///< schedule names an injection id with no record
+  UnknownThread,          ///< schedule steps a tid the machine never had
+  ThreadExited,           ///< schedule steps a tid that already exited
+  SyscallKindMismatch,    ///< recorded syscall is for a different opcode
+  SyscallStreamExhausted, ///< replay consumed more syscalls than recorded
+  ScheduleNotExhausted,   ///< machine finished with schedule events left
+  InstructionCountDrift,  ///< executed instructions != meta "instrs"
+  EndPcDrift,             ///< a thread's final pc != meta "endpcs"
+};
+
+const char *divergenceKindName(DivergenceKind K);
+
+/// \returns true for kinds that stop the replay where it stands. Soft kinds
+/// (syscall stream exhaustion) are recorded but replay continues — some
+/// legitimate pinballs carry truncated syscall streams and tolerate the
+/// zero-fill the replayer substitutes.
+inline bool divergenceIsFatal(DivergenceKind K) {
+  return K != DivergenceKind::None &&
+         K != DivergenceKind::SyscallStreamExhausted;
+}
+
+/// A structured account of one observed divergence.
+struct DivergenceReport {
+  DivergenceKind Kind = DivergenceKind::None;
+  /// Schedule position (event index) where the divergence was observed.
+  uint64_t Position = 0;
+  uint32_t Tid = 0;
+  uint64_t Pc = 0;
+  /// Human-readable specifics (expected vs observed values).
+  std::string Detail;
+
+  explicit operator bool() const { return Kind != DivergenceKind::None; }
+
+  /// One-line description, e.g.
+  /// "replay divergence: unknown-injection at schedule event 12 (tid 0): ...".
+  std::string describe() const;
+};
+
+} // namespace drdebug
+
+#endif // DRDEBUG_REPLAY_DIVERGENCE_H

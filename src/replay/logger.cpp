@@ -3,6 +3,7 @@
 #include "replay/logger.h"
 
 #include <cassert>
+#include <sstream>
 
 using namespace drdebug;
 
@@ -146,6 +147,18 @@ LogResult Logger::logRegion(const Program &Prog, Scheduler &Sched,
   Result.Reason = Reason;
   Result.MainThreadInstrs = Recorder.mainInstrs();
   Result.TotalInstrs = Recorder.totalInstrs();
+  // Drift anchors: the replayer cross-checks these against what it actually
+  // executed, catching edited or subtly corrupted pinballs that still parse.
+  Result.Pb.Meta["instrs"] = std::to_string(Recorder.totalInstrs());
+  {
+    std::ostringstream EndPcs;
+    for (uint32_t T = 0; T != M.numThreads(); ++T) {
+      if (T)
+        EndPcs << " ";
+      EndPcs << T << ":" << M.thread(T).Pc;
+    }
+    Result.Pb.Meta["endpcs"] = EndPcs.str();
+  }
   Result.FailureCaptured = Reason == Machine::StopReason::AssertFailed;
   if (Result.FailureCaptured) {
     Result.Pb.Meta["failtid"] = std::to_string(M.failedTid());

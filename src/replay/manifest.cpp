@@ -1,0 +1,225 @@
+//===- replay/manifest.cpp - Pinball integrity manifest ----------------------===//
+
+#include "replay/manifest.h"
+
+#include "support/crc32c.h"
+#include "support/fault_injector.h"
+
+#include <cstdio>
+#include <fcntl.h>
+#include <filesystem>
+#include <sstream>
+#include <unistd.h>
+
+using namespace drdebug;
+namespace fs = std::filesystem;
+
+void PinballManifest::add(const std::string &Name,
+                          const std::string &Content) {
+  FileEntry &E = Files[Name];
+  E.Bytes = Content.size();
+  E.Crc = crc32c(Content);
+}
+
+std::string PinballManifest::serialize() const {
+  std::ostringstream OS;
+  OS << "drdebug-pinball " << Version << "\n";
+  char Hex[16];
+  for (const auto &[Name, E] : Files) {
+    std::snprintf(Hex, sizeof(Hex), "%08x", E.Crc);
+    OS << "file " << Name << " " << E.Bytes << " " << Hex << "\n";
+  }
+  OS << "end\n";
+  return OS.str();
+}
+
+bool PinballManifest::parse(const std::string &Text, std::string &Error) {
+  Files.clear();
+  std::istringstream IS(Text);
+  std::string Magic;
+  if (!(IS >> Magic >> Version) || Magic != "drdebug-pinball") {
+    Error = "manifest.txt: bad header (want 'drdebug-pinball <version>')";
+    return false;
+  }
+  if (Version > FormatVersion) {
+    Error = "manifest.txt: pinball format version " + std::to_string(Version) +
+            " is newer than this build understands (max " +
+            std::to_string(FormatVersion) + ")";
+    return false;
+  }
+  std::string Tag;
+  bool SawEnd = false;
+  while (IS >> Tag) {
+    if (Tag == "end") {
+      SawEnd = true;
+      break;
+    }
+    if (Tag != "file") {
+      Error = "manifest.txt: unexpected token '" + Tag + "'";
+      return false;
+    }
+    std::string Name, Hex;
+    uint64_t Bytes = 0;
+    if (!(IS >> Name >> Bytes >> Hex)) {
+      Error = "manifest.txt: bad file record";
+      return false;
+    }
+    FileEntry E;
+    E.Bytes = Bytes;
+    char *End = nullptr;
+    E.Crc = static_cast<uint32_t>(std::strtoul(Hex.c_str(), &End, 16));
+    if (End == Hex.c_str() || *End) {
+      Error = "manifest.txt: bad checksum '" + Hex + "' for " + Name;
+      return false;
+    }
+    Files[Name] = E;
+  }
+  if (!SawEnd) {
+    Error = "manifest.txt: truncated (missing 'end' marker)";
+    return false;
+  }
+  return true;
+}
+
+bool PinballManifest::verify(const std::string &Name,
+                             const std::string &Content,
+                             std::string &Error) const {
+  auto It = Files.find(Name);
+  if (It == Files.end()) {
+    Error = Name + ": not listed in manifest.txt";
+    return false;
+  }
+  const FileEntry &E = It->second;
+  if (Content.size() != E.Bytes) {
+    Error = Name + ": " +
+            (Content.size() < E.Bytes ? std::string("truncated")
+                                      : std::string("oversized")) +
+            " (" + std::to_string(Content.size()) + " bytes, manifest says " +
+            std::to_string(E.Bytes) + ")";
+    return false;
+  }
+  uint32_t Crc = crc32c(Content);
+  if (Crc != E.Crc) {
+    char Got[16], Want[16];
+    std::snprintf(Got, sizeof(Got), "%08x", Crc);
+    std::snprintf(Want, sizeof(Want), "%08x", E.Crc);
+    Error = Name + ": checksum mismatch (crc32c " + Got + ", manifest says " +
+            Want + ")";
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Writes \p Content to \p Path and fsyncs it, probing the pinball fault
+/// sites. ShortWrite leaves a prefix behind before reporting failure —
+/// exactly the partial state a real interrupted write produces.
+bool writeFileDurably(const fs::path &Path, const std::string &Content,
+                      std::string &Error) {
+  FaultInjector &FI = FaultInjector::global();
+  if (FI.shouldFail("pinball.write", FaultKind::DiskFull)) {
+    Error = Path.filename().string() + ": no space left on device (injected)";
+    return false;
+  }
+  bool Short = FI.shouldFail("pinball.write", FaultKind::ShortWrite);
+  int Fd = ::open(Path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (Fd < 0) {
+    Error = "cannot create " + Path.filename().string();
+    return false;
+  }
+  size_t N = Short ? Content.size() / 2 : Content.size();
+  size_t Off = 0;
+  while (Off < N) {
+    ssize_t W = ::write(Fd, Content.data() + Off, N - Off);
+    if (W < 0) {
+      ::close(Fd);
+      Error = "write failed for " + Path.filename().string();
+      return false;
+    }
+    Off += static_cast<size_t>(W);
+  }
+  if (::fsync(Fd) != 0) {
+    ::close(Fd);
+    Error = "fsync failed for " + Path.filename().string();
+    return false;
+  }
+  ::close(Fd);
+  if (Short) {
+    Error = Path.filename().string() + ": short write (injected)";
+    return false;
+  }
+  return true;
+}
+
+/// fsyncs a directory so renames/creations inside it are durable.
+void syncDir(const fs::path &Dir) {
+  int Fd = ::open(Dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (Fd >= 0) {
+    ::fsync(Fd);
+    ::close(Fd);
+  }
+}
+
+} // namespace
+
+bool drdebug::writeDirAtomically(
+    const std::string &Dir,
+    const std::vector<std::pair<std::string, std::string>> &Files,
+    std::string &Error) {
+  fs::path Target(Dir);
+  fs::path Parent = Target.parent_path();
+  if (Parent.empty())
+    Parent = ".";
+  std::error_code EC;
+  fs::create_directories(Parent, EC);
+  if (EC) {
+    Error = "cannot create " + Parent.string() + ": " + EC.message();
+    return false;
+  }
+
+  // The temp dir is a sibling (same filesystem, so the final rename is
+  // atomic) with a pid-qualified suffix. A stale one from a crashed earlier
+  // save is removed first — it is by construction incomplete.
+  fs::path Tmp = Target;
+  Tmp += ".tmp-" + std::to_string(static_cast<unsigned long>(::getpid()));
+  fs::remove_all(Tmp, EC);
+  fs::create_directories(Tmp, EC);
+  if (EC) {
+    Error = "cannot create temp directory " + Tmp.string() + ": " +
+            EC.message();
+    return false;
+  }
+
+  auto Fail = [&](const std::string &Why) {
+    std::error_code Ignored;
+    fs::remove_all(Tmp, Ignored);
+    Error = "pinball save to " + Dir + " failed: " + Why;
+    return false;
+  };
+
+  for (const auto &[Name, Content] : Files) {
+    std::string FileError;
+    if (!writeFileDurably(Tmp / Name, Content, FileError))
+      return Fail(FileError);
+  }
+  syncDir(Tmp);
+
+  // Crash probe: simulates kill -9 after the payload is on disk but before
+  // the rename commits. The temp dir stays behind (as after a real crash);
+  // the target directory must be untouched.
+  if (FaultInjector::global().shouldFail("pinball.crash", FaultKind::Crash)) {
+    Error = "pinball save to " + Dir + " failed: crashed before commit "
+            "(injected)";
+    return false;
+  }
+
+  fs::remove_all(Target, EC);
+  if (EC)
+    return Fail("cannot remove previous " + Dir + ": " + EC.message());
+  fs::rename(Tmp, Target, EC);
+  if (EC)
+    return Fail("cannot rename into place: " + EC.message());
+  syncDir(Parent);
+  return true;
+}

@@ -1,0 +1,85 @@
+//===- replay/manifest.h - Pinball integrity manifest -----------*- C++ -*-===//
+//
+// Part of the DrDebug reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pinball manifest: a per-directory `manifest.txt` recording the format
+/// version and, for every payload file, its byte count and CRC32C. Pinballs
+/// exist to be shipped between machines ("a customer can mail a pinball to
+/// a vendor"), so a loader must be able to say *which* file arrived
+/// truncated, corrupted, or from a newer format — not silently replay
+/// garbage. The manifest also anchors crash-safe saves: Pinball::save
+/// writes everything (manifest last) into a temp directory, fsyncs, and
+/// atomically renames it into place, so a crash mid-save can never leave a
+/// loadable-but-wrong pinball behind.
+///
+/// Format (line-oriented text, like every other artifact):
+///
+///   drdebug-pinball <version>
+///   file <name> <bytes> <crc32c-hex>
+///   ...
+///   end
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRDEBUG_REPLAY_MANIFEST_H
+#define DRDEBUG_REPLAY_MANIFEST_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace drdebug {
+
+/// The manifest of one pinball directory.
+class PinballManifest {
+public:
+  /// Current pinball format version, written by Pinball::save.
+  static constexpr unsigned FormatVersion = 1;
+  /// The manifest's own file name inside a pinball directory.
+  static constexpr const char *FileName = "manifest.txt";
+
+  struct FileEntry {
+    uint64_t Bytes = 0;
+    uint32_t Crc = 0;
+  };
+
+  unsigned Version = FormatVersion;
+  /// Payload file name -> expected size and checksum.
+  std::map<std::string, FileEntry> Files;
+
+  /// Records \p Content as the expected bytes of \p Name.
+  void add(const std::string &Name, const std::string &Content);
+
+  /// Serializes to the manifest text format.
+  std::string serialize() const;
+
+  /// Parses \p Text. \returns false (with \p Error set) on malformed text
+  /// or a format version newer than this build understands.
+  bool parse(const std::string &Text, std::string &Error);
+
+  /// Checks \p Content against the recorded entry for \p Name. \returns
+  /// false with a diagnostic naming the file and the failure mode
+  /// (truncated / oversized / checksum mismatch / not in manifest).
+  bool verify(const std::string &Name, const std::string &Content,
+              std::string &Error) const;
+};
+
+/// Atomically replaces directory \p Dir with the given files: writes them
+/// into a sibling temp directory, fsyncs every file and the directory, then
+/// renames over \p Dir (removing any previous version). On failure the temp
+/// directory is cleaned up and \p Error says what went wrong. Probes the
+/// FaultInjector sites "pinball.write" (ShortWrite/DiskFull, per file) and
+/// "pinball.crash" (Crash, before the final rename — simulating kill -9
+/// mid-save, which must leave \p Dir untouched).
+bool writeDirAtomically(const std::string &Dir,
+                        const std::vector<std::pair<std::string, std::string>>
+                            &Files,
+                        std::string &Error);
+
+} // namespace drdebug
+
+#endif // DRDEBUG_REPLAY_MANIFEST_H

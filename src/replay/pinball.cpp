@@ -2,6 +2,9 @@
 
 #include "replay/pinball.h"
 
+#include "replay/manifest.h"
+#include "support/fault_injector.h"
+
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -37,173 +40,253 @@ void Pinball::appendInject(uint64_t InjectId) {
   Schedule.push_back(E);
 }
 
-bool Pinball::save(const std::string &Dir, std::string &Error) const {
-  std::error_code EC;
-  fs::create_directories(Dir, EC);
-  if (EC) {
-    Error = "cannot create pinball directory " + Dir + ": " + EC.message();
-    return false;
+std::vector<std::pair<std::string, std::string>>
+Pinball::serializeFiles() const {
+  std::vector<std::pair<std::string, std::string>> Files;
+  Files.emplace_back("program.asm", ProgramText);
+
+  {
+    std::ostringstream OS;
+    StartState.save(OS);
+    Files.emplace_back("state.txt", OS.str());
   }
-  auto Open = [&](const char *Name, std::ofstream &OS) {
-    OS.open(fs::path(Dir) / Name);
-    if (!OS) {
-      Error = std::string("cannot write pinball file ") + Name;
-      return false;
+
+  {
+    std::ostringstream OS;
+    for (const ScheduleEvent &E : Schedule) {
+      if (E.K == ScheduleEvent::Kind::Step)
+        OS << "s " << E.Tid << " " << E.Count << "\n";
+      else
+        OS << "i " << E.InjectId << "\n";
     }
-    return true;
-  };
-
-  std::ofstream OS;
-  if (!Open("program.asm", OS))
-    return false;
-  OS << ProgramText;
-  OS.close();
-
-  if (!Open("state.txt", OS))
-    return false;
-  StartState.save(OS);
-  OS.close();
-
-  if (!Open("schedule.txt", OS))
-    return false;
-  for (const ScheduleEvent &E : Schedule) {
-    if (E.K == ScheduleEvent::Kind::Step)
-      OS << "s " << E.Tid << " " << E.Count << "\n";
-    else
-      OS << "i " << E.InjectId << "\n";
+    Files.emplace_back("schedule.txt", OS.str());
   }
-  OS.close();
 
-  if (!Open("syscalls.txt", OS))
-    return false;
-  for (const SyscallRecord &R : Syscalls)
-    OS << R.Tid << " " << static_cast<int>(R.Op) << " " << R.Value << "\n";
-  OS.close();
-
-  if (!Open("injections.txt", OS))
-    return false;
-  for (const Injection &Inj : Injections) {
-    OS << "inject " << Inj.Id << " " << Inj.Tid << " " << Inj.ResumePc << " "
-       << Inj.MemWrites.size();
-    for (auto &[Addr, Val] : Inj.MemWrites)
-      OS << " " << Addr << " " << Val;
-    OS << " " << Inj.RegWrites.size();
-    for (auto &[Reg, Val] : Inj.RegWrites)
-      OS << " " << Reg << " " << Val;
-    OS << "\n";
+  {
+    std::ostringstream OS;
+    for (const SyscallRecord &R : Syscalls)
+      OS << R.Tid << " " << static_cast<int>(R.Op) << " " << R.Value << "\n";
+    Files.emplace_back("syscalls.txt", OS.str());
   }
-  OS.close();
 
-  if (!Open("meta.txt", OS))
+  {
+    std::ostringstream OS;
+    for (const Injection &Inj : Injections) {
+      OS << "inject " << Inj.Id << " " << Inj.Tid << " " << Inj.ResumePc
+         << " " << Inj.MemWrites.size();
+      for (auto &[Addr, Val] : Inj.MemWrites)
+        OS << " " << Addr << " " << Val;
+      OS << " " << Inj.RegWrites.size();
+      for (auto &[Reg, Val] : Inj.RegWrites)
+        OS << " " << Reg << " " << Val;
+      OS << "\n";
+    }
+    Files.emplace_back("injections.txt", OS.str());
+  }
+
+  {
+    std::ostringstream OS;
+    for (auto &[Key, Value] : Meta)
+      OS << Key << "=" << Value << "\n";
+    Files.emplace_back("meta.txt", OS.str());
+  }
+
+  // The manifest covers every payload file and goes last: its presence in a
+  // directory implies the payload was fully written before it.
+  PinballManifest M;
+  for (const auto &[Name, Content] : Files)
+    M.add(Name, Content);
+  Files.emplace_back(PinballManifest::FileName, M.serialize());
+  return Files;
+}
+
+bool Pinball::save(const std::string &Dir, std::string &Error) const {
+  return writeDirAtomically(Dir, serializeFiles(), Error);
+}
+
+namespace {
+
+/// Reads \p Name under \p Dir into \p Out. The "pinball.read" ShortRead
+/// probe delivers only half the bytes — modeling an interrupted transfer
+/// that manifest verification must catch.
+bool readFile(const fs::path &Dir, const char *Name, std::string &Out,
+              std::string &Error) {
+  std::ifstream IS(Dir / Name, std::ios::binary);
+  if (!IS) {
+    Error = std::string("cannot read pinball file ") + Name + " in " +
+            Dir.string();
     return false;
-  for (auto &[Key, Value] : Meta)
-    OS << Key << "=" << Value << "\n";
-  OS.close();
+  }
+  std::ostringstream Buf;
+  Buf << IS.rdbuf();
+  Out = Buf.str();
+  if (FaultInjector::global().shouldFail("pinball.read",
+                                         FaultKind::ShortRead))
+    Out.resize(Out.size() / 2);
   return true;
 }
 
-bool Pinball::load(const std::string &Dir, std::string &Error) {
-  *this = Pinball();
-  auto Open = [&](const char *Name, std::ifstream &IS) {
-    IS.open(fs::path(Dir) / Name);
-    if (!IS) {
-      Error = std::string("cannot read pinball file ") + Name + " in " + Dir;
-      return false;
-    }
-    return true;
-  };
-
-  std::ifstream IS;
-  if (!Open("program.asm", IS))
-    return false;
-  std::ostringstream Buf;
-  Buf << IS.rdbuf();
-  ProgramText = Buf.str();
-  IS.close();
-
-  if (!Open("state.txt", IS))
-    return false;
-  if (!StartState.load(IS, Error))
-    return false;
-  IS.close();
-
-  if (!Open("schedule.txt", IS))
-    return false;
+bool parseSchedule(const std::string &Text,
+                   std::vector<ScheduleEvent> &Schedule, std::string &Error) {
+  std::istringstream IS(Text);
   std::string Kind;
   while (IS >> Kind) {
     ScheduleEvent E;
     if (Kind == "s") {
       E.K = ScheduleEvent::Kind::Step;
       if (!(IS >> E.Tid >> E.Count)) {
-        Error = "bad schedule record";
+        Error = "schedule.txt: bad schedule record";
         return false;
       }
     } else if (Kind == "i") {
       E.K = ScheduleEvent::Kind::Inject;
       if (!(IS >> E.InjectId)) {
-        Error = "bad inject record";
+        Error = "schedule.txt: bad inject record";
         return false;
       }
     } else {
-      Error = "bad schedule event kind '" + Kind + "'";
+      Error = "schedule.txt: bad schedule event kind '" + Kind + "'";
       return false;
     }
     Schedule.push_back(E);
   }
-  IS.close();
+  return true;
+}
 
-  if (!Open("syscalls.txt", IS))
-    return false;
+bool parseSyscalls(const std::string &Text,
+                   std::vector<SyscallRecord> &Syscalls, std::string &Error) {
+  std::istringstream IS(Text);
   SyscallRecord R;
   int Op = 0;
   while (IS >> R.Tid >> Op >> R.Value) {
     R.Op = static_cast<Opcode>(Op);
     Syscalls.push_back(R);
   }
-  IS.close();
-
-  if (!Open("injections.txt", IS))
+  if (!IS.eof()) {
+    Error = "syscalls.txt: bad syscall record";
     return false;
+  }
+  return true;
+}
+
+bool parseInjections(const std::string &Text,
+                     std::vector<Injection> &Injections, std::string &Error) {
+  std::istringstream IS(Text);
   std::string Tag;
   while (IS >> Tag) {
     if (Tag != "inject") {
-      Error = "bad injection record";
+      Error = "injections.txt: bad injection record";
       return false;
     }
     Injection Inj;
-    size_t NumMem = 0, NumReg = 0;
+    uint64_t NumMem = 0, NumReg = 0;
     if (!(IS >> Inj.Id >> Inj.Tid >> Inj.ResumePc >> NumMem)) {
-      Error = "bad injection header";
+      Error = "injections.txt: bad injection header";
       return false;
     }
-    for (size_t I = 0; I != NumMem; ++I) {
+    if (NumMem > Pinball::MaxInjectionWrites) {
+      Error = "injections.txt: memory write count " + std::to_string(NumMem) +
+              " exceeds limit " + std::to_string(Pinball::MaxInjectionWrites);
+      return false;
+    }
+    Inj.MemWrites.reserve(NumMem);
+    for (uint64_t I = 0; I != NumMem; ++I) {
       uint64_t Addr = 0;
       int64_t Val = 0;
       if (!(IS >> Addr >> Val)) {
-        Error = "bad injection memory write";
+        Error = "injections.txt: bad injection memory write";
         return false;
       }
       Inj.MemWrites.emplace_back(Addr, Val);
     }
     if (!(IS >> NumReg)) {
-      Error = "bad injection register count";
+      Error = "injections.txt: bad injection register count";
       return false;
     }
-    for (size_t I = 0; I != NumReg; ++I) {
+    if (NumReg > Pinball::MaxInjectionWrites) {
+      Error = "injections.txt: register write count " +
+              std::to_string(NumReg) + " exceeds limit " +
+              std::to_string(Pinball::MaxInjectionWrites);
+      return false;
+    }
+    Inj.RegWrites.reserve(NumReg);
+    for (uint64_t I = 0; I != NumReg; ++I) {
       uint32_t Reg = 0;
       int64_t Val = 0;
       if (!(IS >> Reg >> Val)) {
-        Error = "bad injection register write";
+        Error = "injections.txt: bad injection register write";
         return false;
       }
       Inj.RegWrites.emplace_back(Reg, Val);
     }
     Injections.push_back(std::move(Inj));
   }
-  IS.close();
+  return true;
+}
 
-  if (!Open("meta.txt", IS))
+} // namespace
+
+bool Pinball::load(const std::string &Dir, std::string &Error,
+                   const PinballLoadOptions &Opts, PinballIntegrity *Info) {
+  *this = Pinball();
+  PinballIntegrity LocalInfo;
+  PinballIntegrity &I = Info ? *Info : LocalInfo;
+  I = PinballIntegrity();
+  fs::path Base(Dir);
+
+  // Read every payload file up front so verification sees exactly the bytes
+  // parsing will see.
+  std::map<std::string, std::string> Contents;
+  for (const char *Name : fileNames())
+    if (!readFile(Base, Name, Contents[Name], Error))
+      return false;
+
+  PinballManifest M;
+  std::error_code EC;
+  if (fs::exists(Base / PinballManifest::FileName, EC)) {
+    std::string ManifestText;
+    if (!readFile(Base, PinballManifest::FileName, ManifestText, Error))
+      return false;
+    if (!M.parse(ManifestText, Error)) {
+      I.IntegrityViolation = true;
+      Error = "pinball " + Dir + ": " + Error;
+      return false;
+    }
+    I.ManifestPresent = true;
+    I.FormatVersion = M.Version;
+    if (Opts.Verify) {
+      for (const char *Name : fileNames()) {
+        std::string VerifyError;
+        if (!M.verify(Name, Contents[Name], VerifyError)) {
+          I.IntegrityViolation = true;
+          Error = "pinball " + Dir + ": " + VerifyError;
+          return false;
+        }
+      }
+    }
+  } else {
+    I.Warning = "pinball " + Dir +
+                ": no manifest.txt (legacy pinball); integrity not verified";
+  }
+
+  ProgramText = Contents["program.asm"];
+
+  {
+    std::istringstream IS(Contents["state.txt"]);
+    if (!StartState.load(IS, Error)) {
+      Error = "state.txt: " + Error;
+      return false;
+    }
+  }
+
+  if (!parseSchedule(Contents["schedule.txt"], Schedule, Error))
     return false;
+  if (!parseSyscalls(Contents["syscalls.txt"], Syscalls, Error))
+    return false;
+  if (!parseInjections(Contents["injections.txt"], Injections, Error))
+    return false;
+
+  std::istringstream IS(Contents["meta.txt"]);
   std::string Line;
   while (std::getline(IS, Line)) {
     size_t Eq = Line.find('=');

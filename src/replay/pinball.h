@@ -13,7 +13,12 @@
 /// that restore the side effects of skipped code regions.
 ///
 /// Pinballs serialize to a directory of text files and are portable: a
-/// pinball saved by one process replays identically in another.
+/// pinball saved by one process replays identically in another. Because they
+/// are shipped between machines, every save writes a manifest.txt (format
+/// version + per-file byte count and CRC32C) through an atomic
+/// temp-dir-then-rename commit, and every load verifies it — a truncated,
+/// bit-flipped, or half-saved pinball is rejected with a diagnostic naming
+/// the offending file, never replayed as garbage.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -62,6 +67,27 @@ struct SyscallRecord {
   int64_t Value = 0;
 };
 
+/// Knobs for Pinball::load.
+struct PinballLoadOptions {
+  /// Verify file sizes and CRC32C checksums against manifest.txt. Off is
+  /// the `--no-verify` escape hatch for debugging deliberately hand-edited
+  /// pinballs.
+  bool Verify = true;
+};
+
+/// What the loader learned about a pinball's integrity metadata.
+struct PinballIntegrity {
+  /// False for legacy pinballs saved before the manifest existed.
+  bool ManifestPresent = false;
+  /// Format version from the manifest header (0 when absent).
+  unsigned FormatVersion = 0;
+  /// Set when the load *failed* because verification caught a bad file
+  /// (as opposed to a parse error in intact content).
+  bool IntegrityViolation = false;
+  /// Non-fatal advisory, e.g. "legacy pinball without manifest.txt".
+  std::string Warning;
+};
+
 /// A recorded execution region.
 class Pinball {
 public:
@@ -72,6 +98,10 @@ public:
   std::vector<Injection> Injections;
   std::map<std::string, std::string> Meta;
 
+  /// Hard cap on per-injection write counts accepted by the loader; a
+  /// corrupted count must not drive allocation.
+  static constexpr uint64_t MaxInjectionWrites = 1ull << 20;
+
   /// Total instructions the schedule executes.
   uint64_t instructionCount() const;
 
@@ -79,17 +109,30 @@ public:
   void appendStep(uint32_t Tid);
   void appendInject(uint64_t InjectId);
 
-  /// Writes the pinball as a directory of text files. Creates \p Dir.
+  /// Writes the pinball as a directory of text files plus a manifest,
+  /// committed atomically (temp dir + fsync + rename): a crash mid-save
+  /// leaves either the old pinball or none, never a partial one.
   bool save(const std::string &Dir, std::string &Error) const;
-  /// Loads a pinball saved by \c save().
-  bool load(const std::string &Dir, std::string &Error);
+
+  /// Loads a pinball saved by \c save(), verifying the manifest by default.
+  /// On failure \p Error names the offending file. \p Info (optional)
+  /// receives integrity metadata — including the legacy-pinball warning
+  /// when manifest.txt is absent (such pinballs still load).
+  bool load(const std::string &Dir, std::string &Error,
+            const PinballLoadOptions &Opts, PinballIntegrity *Info = nullptr);
+  bool load(const std::string &Dir, std::string &Error) {
+    return load(Dir, Error, PinballLoadOptions());
+  }
+
+  /// Serializes to the (name, content) pairs save() writes, manifest last.
+  std::vector<std::pair<std::string, std::string>> serializeFiles() const;
 
   /// \returns the pinball's on-disk size in bytes (0 if never saved there).
   static uint64_t diskSizeBytes(const std::string &Dir);
 
-  /// The file names a saved pinball directory contains, in save order.
-  /// Exposed so the PinballRepository can fingerprint a directory for
-  /// cache invalidation without loading it.
+  /// The payload file names a saved pinball directory contains, in save
+  /// order (excludes manifest.txt). Exposed so the PinballRepository can
+  /// fingerprint a directory for cache invalidation without loading it.
   static const std::vector<const char *> &fileNames();
 };
 

@@ -153,6 +153,10 @@ bool Relogger::relog(const Pinball &RegionPb,
   Out.StartState = RegionPb.StartState;
   Out.Meta = RegionPb.Meta;
   Out.Meta["kind"] = "slice";
+  // The drift anchors describe the full region execution; the sliced replay
+  // legitimately runs fewer instructions and ends at injection resume points.
+  Out.Meta.erase("instrs");
+  Out.Meta.erase("endpcs");
 
   RelogObserver Obs(Rep.machine(), Excl, Out);
   Rep.machine().addObserver(&Obs);

@@ -3,8 +3,11 @@
 #include "replay/replayer.h"
 
 #include "arch/assembler.h"
+#include "arch/opcode.h"
 
 #include <cassert>
+#include <cstdlib>
+#include <sstream>
 
 using namespace drdebug;
 
@@ -19,17 +22,27 @@ RecordedSyscalls::RecordedSyscalls(const std::vector<SyscallRecord> &Records) {
 
 int64_t RecordedSyscalls::pop(uint32_t Tid, Opcode Op) {
   auto It = PerThread.find(Tid);
-  if (It == PerThread.end())
-    return 0;
-  size_t &Cursor = Cursors[Tid];
-  if (Cursor >= It->second.size()) {
-    // Replaying past the recorded region (should not happen when the
-    // schedule drives execution); be forgiving and return zero.
+  if (It == PerThread.end() || Cursors[Tid] >= It->second.size()) {
+    // Replaying past the thread's recorded stream. Soft divergence: report
+    // it, keep replaying with zeros — truncated syscall streams occur in
+    // legitimately trimmed pinballs and the schedule still bounds execution.
+    if (OnDivergence)
+      OnDivergence(DivergenceKind::SyscallStreamExhausted, Tid,
+                   "tid " + std::to_string(Tid) +
+                       " requested more syscall values than were recorded");
     return 0;
   }
+  size_t &Cursor = Cursors[Tid];
   const SyscallRecord &R = It->second[Cursor++];
-  assert(R.Op == Op && "replay diverged: syscall kind mismatch");
-  (void)Op;
+  if (R.Op != Op) {
+    // Hard divergence: the program asked for a different syscall than the
+    // recording has next, so every value from here on would be garbage.
+    if (OnDivergence)
+      OnDivergence(DivergenceKind::SyscallKindMismatch, Tid,
+                   std::string("recorded ") + std::string(opcodeName(R.Op)) +
+                       ", replay requested " + std::string(opcodeName(Op)));
+    return 0;
+  }
   return R.Value;
 }
 
@@ -48,6 +61,10 @@ Replayer::Replayer(const Pinball &Pb) : Pb(Pb) {
   M->restore(this->Pb.StartState);
   M->setForcedMode(true);
   Syscalls = std::make_unique<RecordedSyscalls>(this->Pb.Syscalls);
+  Syscalls->setDivergenceHandler(
+      [this](DivergenceKind K, uint32_t Tid, const std::string &Detail) {
+        reportDivergence(K, Tid, Detail);
+      });
   M->setSyscalls(Syscalls.get());
   for (const Injection &Inj : this->Pb.Injections)
     InjectionById[Inj.Id] = &Inj;
@@ -70,13 +87,36 @@ void Replayer::applyInjection(const Injection &Inj) {
     M->setThreadPc(Inj.Tid, Inj.ResumePc);
 }
 
+void Replayer::reportDivergence(DivergenceKind Kind, uint32_t Tid,
+                                const std::string &Detail) {
+  // Keep the first report, except that a fatal divergence may supersede an
+  // earlier soft one — the fatal stop is what the user must see.
+  if (Diverged &&
+      (divergenceIsFatal(Diverged.Kind) || !divergenceIsFatal(Kind)))
+    return;
+  Diverged.Kind = Kind;
+  Diverged.Position = EventIndex;
+  Diverged.Tid = Tid;
+  Diverged.Pc = Tid < M->numThreads() ? M->thread(Tid).Pc : 0;
+  Diverged.Detail = Detail;
+}
+
 bool Replayer::stepOne() {
   assert(Valid && "invalid replayer");
+  if (Diverged && divergenceIsFatal(Diverged.Kind))
+    return false;
   // Apply any pending injections; they are transparent to stepping.
   while (EventIndex < Pb.Schedule.size() &&
          Pb.Schedule[EventIndex].K == ScheduleEvent::Kind::Inject) {
     auto It = InjectionById.find(Pb.Schedule[EventIndex].InjectId);
-    assert(It != InjectionById.end() && "pinball references unknown injection");
+    if (It == InjectionById.end()) {
+      reportDivergence(
+          DivergenceKind::UnknownInjection, 0,
+          "schedule references injection id " +
+              std::to_string(Pb.Schedule[EventIndex].InjectId) +
+              " but injections.txt has no such record");
+      return false;
+    }
     applyInjection(*It->second);
     ++EventIndex;
   }
@@ -85,6 +125,29 @@ bool Replayer::stepOne() {
 
   const ScheduleEvent &E = Pb.Schedule[EventIndex];
   assert(E.K == ScheduleEvent::Kind::Step);
+  // Validate the event against the machine before stepping: a pinball whose
+  // schedule outlives the program (or names threads the program never
+  // created) must stop with a report, not trip interpreter assertions.
+  if (M->finished()) {
+    reportDivergence(DivergenceKind::ScheduleNotExhausted, E.Tid,
+                     std::to_string(Pb.Schedule.size() - EventIndex) +
+                         " schedule event(s) remain after the program "
+                         "finished");
+    return false;
+  }
+  if (E.Tid >= M->numThreads()) {
+    reportDivergence(DivergenceKind::UnknownThread, E.Tid,
+                     "schedule steps tid " + std::to_string(E.Tid) +
+                         " but the machine has only " +
+                         std::to_string(M->numThreads()) + " thread(s)");
+    return false;
+  }
+  if (M->thread(E.Tid).Status == ThreadStatus::Exited) {
+    reportDivergence(DivergenceKind::ThreadExited, E.Tid,
+                     "schedule steps tid " + std::to_string(E.Tid) +
+                         " which already exited");
+    return false;
+  }
   if (!M->stepThread(E.Tid)) {
     // An observer requested a stop from onPreExec; do not consume the event
     // so the replay can resume exactly here.
@@ -94,6 +157,11 @@ bool Replayer::stepOne() {
   if (++WithinEvent == E.Count) {
     WithinEvent = 0;
     ++EventIndex;
+  }
+  if (Diverged && divergenceIsFatal(Diverged.Kind)) {
+    // A syscall-kind mismatch surfaced inside this instruction; the step
+    // itself completed, but nothing after it can be trusted.
+    return false;
   }
   return true;
 }
@@ -116,6 +184,52 @@ void Replayer::restore(const MachineState &State, const ReplayCursor &Cursor) {
   WithinEvent = Cursor.WithinEvent;
   Replayed = Cursor.Replayed;
   Syscalls->setCursors(Cursor.SyscallCursors);
+  // The divergence (if any) lies ahead of the restored position; replaying
+  // forward will rediscover it deterministically.
+  Diverged = DivergenceReport();
+  EndChecked = false;
+}
+
+void Replayer::checkEndState() {
+  if (EndChecked)
+    return;
+  EndChecked = true;
+  auto It = Pb.Meta.find("instrs");
+  if (It != Pb.Meta.end()) {
+    uint64_t Want = std::strtoull(It->second.c_str(), nullptr, 10);
+    if (Want != Replayed)
+      reportDivergence(DivergenceKind::InstructionCountDrift, 0,
+                       "replayed " + std::to_string(Replayed) +
+                           " instructions, recording says " +
+                           std::to_string(Want));
+  }
+  It = Pb.Meta.find("endpcs");
+  if (It == Pb.Meta.end())
+    return;
+  std::istringstream IS(It->second);
+  std::string Pair;
+  while (IS >> Pair) {
+    size_t Colon = Pair.find(':');
+    if (Colon == std::string::npos)
+      continue;
+    uint32_t Tid =
+        static_cast<uint32_t>(std::strtoul(Pair.c_str(), nullptr, 10));
+    uint64_t WantPc = std::strtoull(Pair.c_str() + Colon + 1, nullptr, 10);
+    if (Tid >= M->numThreads()) {
+      reportDivergence(DivergenceKind::EndPcDrift, Tid,
+                       "recording ended with tid " + std::to_string(Tid) +
+                           " which the replay never created");
+      return;
+    }
+    uint64_t GotPc = M->thread(Tid).Pc;
+    if (GotPc != WantPc) {
+      reportDivergence(DivergenceKind::EndPcDrift, Tid,
+                       "tid " + std::to_string(Tid) + " ended at pc " +
+                           std::to_string(GotPc) + ", recording says " +
+                           std::to_string(WantPc));
+      return;
+    }
+  }
 }
 
 Machine::StopReason Replayer::run(uint64_t MaxSteps) {
@@ -123,6 +237,8 @@ Machine::StopReason Replayer::run(uint64_t MaxSteps) {
   uint64_t Steps = 0;
   while (Steps < MaxSteps) {
     if (!stepOne()) {
+      if (Diverged && divergenceIsFatal(Diverged.Kind))
+        return Machine::StopReason::StopRequested;
       if (M->stopRequested()) {
         M->clearStopRequest();
         return Machine::StopReason::StopRequested;
@@ -133,6 +249,11 @@ Machine::StopReason Replayer::run(uint64_t MaxSteps) {
   }
   if (Steps >= MaxSteps && !done())
     return Machine::StopReason::StepLimit;
+  if (done()) {
+    checkEndState();
+    if (Diverged && divergenceIsFatal(Diverged.Kind))
+      return Machine::StopReason::StopRequested;
+  }
   return M->assertFailed() ? Machine::StopReason::AssertFailed
                            : Machine::StopReason::Halted;
 }

@@ -19,10 +19,12 @@
 #ifndef DRDEBUG_REPLAY_REPLAYER_H
 #define DRDEBUG_REPLAY_REPLAYER_H
 
+#include "replay/divergence.h"
 #include "replay/pinball.h"
 #include "vm/machine.h"
 
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 
@@ -34,7 +36,15 @@ namespace drdebug {
 /// and restore it.
 class RecordedSyscalls : public SyscallProvider {
 public:
+  /// Called when consumption contradicts the recording: a kind mismatch
+  /// (hard divergence) or running off the end of a thread's stream (soft —
+  /// pop() keeps returning zeros so replay can continue).
+  using DivergenceHandler =
+      std::function<void(DivergenceKind, uint32_t, const std::string &)>;
+
   explicit RecordedSyscalls(const std::vector<SyscallRecord> &Records);
+
+  void setDivergenceHandler(DivergenceHandler H) { OnDivergence = std::move(H); }
 
   int64_t sysRead(uint32_t Tid) override { return pop(Tid, Opcode::SysRead); }
   int64_t sysRand(uint32_t Tid) override { return pop(Tid, Opcode::SysRand); }
@@ -48,6 +58,7 @@ private:
   int64_t pop(uint32_t Tid, Opcode Op);
   std::map<uint32_t, std::vector<SyscallRecord>> PerThread;
   std::map<uint32_t, size_t> Cursors;
+  DivergenceHandler OnDivergence;
 };
 
 /// Everything needed to resume a Replayer at an intermediate point; pairs
@@ -92,6 +103,18 @@ public:
   /// Instructions replayed so far.
   uint64_t replayedInstructions() const { return Replayed; }
 
+  /// The first divergence observed (kind None when replay matches the
+  /// recording). Fatal divergences make \c stepOne() return false and
+  /// \c run() return StopRequested; soft ones are recorded and replay
+  /// continues. Cleared by \c restore().
+  const DivergenceReport &divergence() const { return Diverged; }
+
+  /// End-of-replay cross-checks against the recording's meta anchors
+  /// ("instrs", "endpcs"); run() calls this when the schedule is exhausted,
+  /// and drivers that step manually should call it at \c done(). Idempotent
+  /// until the next \c restore().
+  void checkEndState();
+
   /// Captures / restores the replay position (together with a
   /// machine-state snapshot taken at the same instant) — the checkpointing
   /// primitive behind reverse debugging.
@@ -100,6 +123,10 @@ public:
 
 private:
   void applyInjection(const Injection &Inj);
+  /// Records a divergence (keeping an earlier fatal one over a later or
+  /// softer report).
+  void reportDivergence(DivergenceKind Kind, uint32_t Tid,
+                        const std::string &Detail);
 
   Pinball Pb;
   Program Prog;
@@ -111,6 +138,8 @@ private:
   size_t EventIndex = 0;   ///< cursor into Pb.Schedule
   uint64_t WithinEvent = 0; ///< instructions consumed of the current Step
   uint64_t Replayed = 0;
+  DivergenceReport Diverged;
+  bool EndChecked = false;
 };
 
 } // namespace drdebug

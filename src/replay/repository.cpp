@@ -2,6 +2,8 @@
 
 #include "replay/repository.h"
 
+#include "replay/manifest.h"
+
 #include <filesystem>
 
 using namespace drdebug;
@@ -10,7 +12,11 @@ namespace fs = std::filesystem;
 uint64_t PinballRepository::dirFingerprint(const std::string &Dir) {
   uint64_t Fp = 0;
   bool Any = false;
-  for (const char *Name : Pinball::fileNames()) {
+  // The manifest participates so that editing it (or deleting it) also
+  // invalidates a cached entry.
+  std::vector<const char *> Names = Pinball::fileNames();
+  Names.push_back(PinballManifest::FileName);
+  for (const char *Name : Names) {
     std::error_code EC;
     fs::path P = fs::path(Dir) / Name;
     uint64_t Size = fs::file_size(P, EC);
@@ -31,7 +37,8 @@ uint64_t PinballRepository::dirFingerprint(const std::string &Dir) {
 }
 
 std::shared_ptr<const Pinball> PinballRepository::load(const std::string &Dir,
-                                                      std::string &Error) {
+                                                      std::string &Error,
+                                                      PinballIntegrity *Info) {
   std::error_code EC;
   fs::path Canon = fs::weakly_canonical(Dir, EC);
   std::string Key = EC ? Dir : Canon.string();
@@ -41,17 +48,29 @@ std::shared_ptr<const Pinball> PinballRepository::load(const std::string &Dir,
   auto It = Cache.find(Key);
   if (It != Cache.end() && Fp != 0 && It->second.Fingerprint == Fp) {
     Hits.fetch_add(1, std::memory_order_relaxed);
+    if (Info)
+      *Info = It->second.Integrity;
     return It->second.Pb;
   }
   Misses.fetch_add(1, std::memory_order_relaxed);
   auto Pb = std::make_shared<Pinball>();
-  if (!Pb->load(Dir, Error)) {
+  PinballLoadOptions Opts;
+  Opts.Verify = Verify.load(std::memory_order_relaxed);
+  PinballIntegrity Integrity;
+  if (!Pb->load(Dir, Error, Opts, &Integrity)) {
+    if (Integrity.IntegrityViolation)
+      IntegrityFailures.fetch_add(1, std::memory_order_relaxed);
+    if (Info)
+      *Info = Integrity;
     Cache.erase(Key);
     return nullptr;
   }
   Entry E;
   E.Fingerprint = Fp;
   E.Pb = std::move(Pb);
+  E.Integrity = Integrity;
+  if (Info)
+    *Info = Integrity;
   std::shared_ptr<const Pinball> Result = E.Pb;
   Cache[Key] = std::move(E);
   return Result;

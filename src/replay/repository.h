@@ -31,15 +31,28 @@ namespace drdebug {
 class PinballRepository {
 public:
   /// Loads the pinball saved in \p Dir, from cache when fresh. \returns null
-  /// (with \p Error set) when the directory cannot be read or parsed.
+  /// (with \p Error set) when the directory cannot be read, fails integrity
+  /// verification, or cannot be parsed. \p Info (optional) receives the
+  /// integrity metadata — cached along with the pinball, so a cache hit
+  /// reports the same legacy-pinball warning the original load did.
   std::shared_ptr<const Pinball> load(const std::string &Dir,
-                                      std::string &Error);
+                                      std::string &Error,
+                                      PinballIntegrity *Info = nullptr);
+
+  /// Disables (or re-enables) manifest verification for subsequent loads —
+  /// the repository-level `--no-verify` switch.
+  void setVerify(bool On) { Verify.store(On, std::memory_order_relaxed); }
+  bool verifying() const { return Verify.load(std::memory_order_relaxed); }
 
   /// Drops every cached entry (the next load of each dir re-reads disk).
   void clear();
 
   uint64_t hits() const { return Hits.load(std::memory_order_relaxed); }
   uint64_t misses() const { return Misses.load(std::memory_order_relaxed); }
+  /// Loads rejected because manifest verification caught a bad file.
+  uint64_t integrityFailures() const {
+    return IntegrityFailures.load(std::memory_order_relaxed);
+  }
   size_t cachedCount() const;
 
   /// A fingerprint of the pinball files in \p Dir (sizes + mtimes).
@@ -50,12 +63,15 @@ private:
   struct Entry {
     uint64_t Fingerprint = 0;
     std::shared_ptr<const Pinball> Pb;
+    PinballIntegrity Integrity;
   };
 
   mutable std::mutex Mu;
   std::map<std::string, Entry> Cache;
   std::atomic<uint64_t> Hits{0};
   std::atomic<uint64_t> Misses{0};
+  std::atomic<uint64_t> IntegrityFailures{0};
+  std::atomic<bool> Verify{true};
 };
 
 } // namespace drdebug

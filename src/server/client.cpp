@@ -2,39 +2,96 @@
 
 #include "server/client.h"
 
+#include <chrono>
 #include <sstream>
+#include <thread>
 
 using namespace drdebug;
+
+bool ProtocolClient::retransmit(const std::string &Frame, unsigned &Attempt) {
+  if (Attempt >= Policy.MaxRetries)
+    return false;
+  ++Attempt;
+  ++RetriesTotal;
+  // Exponential backoff with deterministic jitter: 2^(n-1) * initial, plus
+  // up to one initial-backoff of spread so retrying peers desynchronize.
+  uint64_t BackoffMs = Policy.InitialBackoffMs << (Attempt - 1);
+  BackoffMs += Jitter.below(Policy.InitialBackoffMs ? Policy.InitialBackoffMs
+                                                    : 1);
+  if (BackoffMs)
+    std::this_thread::sleep_for(std::chrono::milliseconds(BackoffMs));
+  return T.send(Frame);
+}
 
 bool ProtocolClient::request(const std::string &VerbAndArgs,
                              std::string &Payload, std::string &Error) {
   LastCode = 0;
+  LastTransient = false;
   uint64_t Seq = NextSeq++;
-  if (!T.send(encodeFrame(std::to_string(Seq) + " " + VerbAndArgs))) {
+  const std::string Frame =
+      encodeFrame(std::to_string(Seq) + " " + VerbAndArgs);
+  if (!T.send(Frame)) {
     Error = "transport closed";
     return false;
   }
+  unsigned Attempt = 0;
   std::string Bytes, Body;
   for (;;) {
     FrameBuffer::Poll P = FB.poll(Body);
     if (P == FrameBuffer::Poll::None) {
-      if (!T.recv(Bytes)) {
+      RecvStatus S = T.recvTimed(Bytes, Policy.RecvTimeoutMs);
+      if (S == RecvStatus::Closed) {
         Error = "transport closed";
         return false;
+      }
+      if (S == RecvStatus::Timeout) {
+        // The request or its response was lost in transit. Retransmitting
+        // the same sequence number is safe: if the verb already executed,
+        // the server's duplicate cache replays the stored response.
+        if (!retransmit(Frame, Attempt)) {
+          Error = "timed out waiting for response (after " +
+                  std::to_string(Attempt) + " retransmission(s))";
+          return false;
+        }
+        continue;
       }
       FB.append(Bytes);
       Bytes.clear();
       continue;
     }
-    if (P != FrameBuffer::Poll::Frame)
-      continue; // drop noise; keep waiting for our response
+    if (P != FrameBuffer::Poll::Frame) {
+      // A frame arrived damaged — possibly our response. Retransmit while
+      // budget remains; otherwise keep waiting (the timed recv, if
+      // configured, bounds the wait).
+      retransmit(Frame, Attempt);
+      continue;
+    }
     uint64_t RespSeq = 0;
     unsigned Code = 0;
+    bool Transient = false;
     std::string Text;
-    if (!parseResponseBody(Body, RespSeq, Code, Text) || RespSeq != Seq)
-      continue; // not a response to this request
+    if (!parseResponseBody(Body, RespSeq, Code, Text, &Transient))
+      continue; // not a response at all; keep waiting
+    if (RespSeq == 0 && Code != 0) {
+      // The server could not attribute a sequence number. Transient (a
+      // checksum-damaged frame — possibly ours): retransmit, since no
+      // response for our seq will come from that copy. Permanent (malformed
+      // bytes of unknown origin): not attributable to this request, so keep
+      // waiting — the timed recv, if configured, bounds the wait.
+      if (Transient && !retransmit(Frame, Attempt)) {
+        LastCode = Code;
+        LastTransient = Transient;
+        Error = std::string(wireErrorName(static_cast<WireError>(Code))) +
+                ": " + Text;
+        return false;
+      }
+      continue;
+    }
+    if (RespSeq != Seq)
+      continue; // stale response (e.g. to an earlier retransmission)
     if (Code != 0) {
       LastCode = Code;
+      LastTransient = Transient;
       Error = std::string(wireErrorName(static_cast<WireError>(Code))) +
               ": " + Text;
       return false;

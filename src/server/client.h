@@ -16,15 +16,44 @@
 
 #include "server/protocol.h"
 #include "server/transport.h"
+#include "support/rng.h"
 
 #include <cstdint>
 #include <string>
 
 namespace drdebug {
 
+/// How the client reacts to transient failures: lost or damaged frames and
+/// server-side checksum rejections. Retransmissions reuse the original
+/// sequence number, so the server's duplicate-response cache guarantees the
+/// verb executes at most once no matter how many times it is resent.
+struct RetryPolicy {
+  /// Retransmissions allowed per request (0 restores fire-and-hang).
+  unsigned MaxRetries = 4;
+  /// How long to wait for a response before suspecting a lost frame.
+  /// 0 waits forever — retries then trigger only on damaged frames and
+  /// transient server errors, never on silence.
+  uint64_t RecvTimeoutMs = 0;
+  /// First backoff; doubles per retransmission, plus deterministic jitter.
+  uint64_t InitialBackoffMs = 5;
+  /// Seed for the jitter sequence (deterministic for tests).
+  uint64_t JitterSeed = 1;
+};
+
 class ProtocolClient {
 public:
-  explicit ProtocolClient(Transport &T) : T(T) {}
+  explicit ProtocolClient(Transport &T) : T(T), Jitter(1) {}
+  ProtocolClient(Transport &T, const RetryPolicy &P)
+      : T(T), Policy(P), Jitter(P.JitterSeed) {}
+
+  void setRetryPolicy(const RetryPolicy &P) {
+    Policy = P;
+    Jitter = Rng(P.JitterSeed);
+  }
+  const RetryPolicy &retryPolicy() const { return Policy; }
+
+  /// Retransmissions performed so far (the retries.* client counter).
+  uint64_t retries() const { return RetriesTotal; }
 
   /// Sends "<seq> <VerbAndArgs>" and waits for the matching response.
   /// \returns false on transport failure or an err response (\p Error then
@@ -54,12 +83,22 @@ public:
 
   /// Error code of the last err response (0 when none).
   unsigned lastErrorCode() const { return LastCode; }
+  /// Whether the last err response was classified transient.
+  bool lastErrorTransient() const { return LastTransient; }
 
 private:
+  /// Backs off (exponential + jitter) and retransmits \p Frame. \returns
+  /// false when the retry budget is exhausted or the transport is closed.
+  bool retransmit(const std::string &Frame, unsigned &Attempt);
+
   Transport &T;
   FrameBuffer FB;
+  RetryPolicy Policy;
+  Rng Jitter;
   uint64_t NextSeq = 1;
   unsigned LastCode = 0;
+  bool LastTransient = false;
+  uint64_t RetriesTotal = 0;
 };
 
 } // namespace drdebug

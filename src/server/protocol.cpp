@@ -20,8 +20,14 @@ const char *drdebug::wireErrorName(WireError E) {
     return "no-such-session";
   case WireError::SessionFailed:
     return "session-failed";
+  case WireError::Timeout:
+    return "deadline-timeout";
   }
   return "unknown-error";
+}
+
+bool drdebug::wireErrorIsTransient(WireError E) {
+  return E == WireError::BadChecksum || E == WireError::Timeout;
 }
 
 std::string drdebug::escapeText(const std::string &Text) {
@@ -113,13 +119,17 @@ std::string drdebug::errBody(uint64_t Seq, WireError E,
                              const std::string &Message) {
   return std::to_string(Seq) + " err " +
          std::to_string(static_cast<unsigned>(E)) + " " +
+         (wireErrorIsTransient(E) ? "transient" : "permanent") + " " +
          escapeText(Message);
 }
 
 bool drdebug::parseResponseBody(const std::string &Body, uint64_t &Seq,
-                                unsigned &Code, std::string &Payload) {
+                                unsigned &Code, std::string &Payload,
+                                bool *Transient) {
   std::istringstream IS(Body);
   std::string Status;
+  if (Transient)
+    *Transient = false;
   if (!(IS >> Seq >> Status))
     return false;
   if (Status == "ok") {
@@ -138,6 +148,18 @@ bool drdebug::parseResponseBody(const std::string &Body, uint64_t &Seq,
     std::getline(IS, Rest);
     if (!Rest.empty() && Rest.front() == ' ')
       Rest.erase(0, 1);
+    // v2 peers prefix the message with a transient/permanent class token;
+    // v1 peers do not — derive the class from the code for them.
+    bool IsTransient = wireErrorIsTransient(static_cast<WireError>(Code));
+    if (Rest.compare(0, 10, "transient ") == 0 || Rest == "transient") {
+      IsTransient = true;
+      Rest.erase(0, Rest == "transient" ? 9 : 10);
+    } else if (Rest.compare(0, 10, "permanent ") == 0 || Rest == "permanent") {
+      IsTransient = false;
+      Rest.erase(0, Rest == "permanent" ? 9 : 10);
+    }
+    if (Transient)
+      *Transient = IsTransient;
     Payload = unescapeText(Rest);
     return true;
   }
@@ -166,7 +188,15 @@ FrameBuffer::Poll FrameBuffer::poll(std::string &Body) {
     Buf.erase(0, Start);
     return Poll::Malformed;
   }
+  // Bodies escape '$', so a '$' before the '#' terminator can only be the
+  // start of the *next* frame — the current one was truncated in transit.
+  // Resync at the inner '$' so one damaged frame doesn't eat its successor.
+  size_t Inner = Buf.find('$', 1);
   size_t End = Buf.find('#');
+  if (Inner != std::string::npos && Inner < End) {
+    Buf.erase(0, Inner);
+    return Poll::Malformed;
+  }
   if (End == std::string::npos) {
     if (Buf.size() > MaxFrameBytes) {
       Buf.clear();

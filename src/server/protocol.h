@@ -32,8 +32,9 @@
 
 namespace drdebug {
 
-/// Wire protocol version, reported by the `hello` verb.
-inline constexpr unsigned ProtocolVersion = 1;
+/// Wire protocol version, reported by the `hello` verb. Version 2 added the
+/// transient/permanent class token in err responses and the Timeout code.
+inline constexpr unsigned ProtocolVersion = 2;
 
 /// Protocol-level error codes (the <code> field of an err response).
 enum class WireError : unsigned {
@@ -43,10 +44,16 @@ enum class WireError : unsigned {
   BadArguments = 4, ///< verb present but arguments unparsable
   NoSuchSession = 5,///< session id unknown (or already evicted)
   SessionFailed = 6,///< the session rejected the operation
+  Timeout = 7,      ///< the verb exceeded the server's per-verb deadline
 };
 
 /// Short stable name for an error code ("malformed-frame", ...).
 const char *wireErrorName(WireError E);
+
+/// True for failures a client may safely retry (the fault was in transit or
+/// scheduling, not in the request): BadChecksum and Timeout. Everything else
+/// is permanent — retrying the same bytes yields the same answer.
+bool wireErrorIsTransient(WireError E);
 
 /// Percent-escapes '%', '$', '#', '\n', '\r' so \p Text can travel inside a
 /// single-line frame body.
@@ -59,14 +66,18 @@ std::string encodeFrame(const std::string &Body);
 
 /// Builds the body of an ok response (escapes \p Payload).
 std::string okBody(uint64_t Seq, const std::string &Payload);
-/// Builds the body of an err response.
+/// Builds the body of an err response:
+///   <seq> err <code> <transient|permanent> <message>
 std::string errBody(uint64_t Seq, WireError E, const std::string &Message);
 
 /// Parses a response body. \returns false when \p Body is not a response.
 /// On an ok response, \p Payload holds the unescaped payload; on an err
 /// response, \p Code is non-zero and \p Payload holds the message.
+/// Accepts both the v2 form (with a transient/permanent class token) and
+/// the v1 form without one; \p Transient (optional) receives the class
+/// (derived from the code for v1 peers).
 bool parseResponseBody(const std::string &Body, uint64_t &Seq, unsigned &Code,
-                       std::string &Payload);
+                       std::string &Payload, bool *Transient = nullptr);
 
 /// Incremental frame decoder: feed raw bytes, poll out complete frames.
 class FrameBuffer {

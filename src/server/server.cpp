@@ -4,9 +4,12 @@
 
 #include "debugger/commands.h"
 #include "server/protocol.h"
+#include "support/fault_injector.h"
 #include "support/stopwatch.h"
 
+#include <deque>
 #include <sstream>
+#include <unordered_map>
 
 using namespace drdebug;
 
@@ -29,6 +32,7 @@ DebugServer::DebugServer(ServerConfig CfgIn)
     : Cfg(CfgIn), SliceRepo(Cfg.SliceCacheEntries),
       Mgr(Repo, SliceRepo, Stats, Cfg.IdleTimeout, sliceOptionsFor(Cfg)),
       Pool(Cfg.Workers) {
+  Repo.setVerify(Cfg.VerifyPinballs);
   if (Cfg.JanitorPeriod.count() > 0) {
     Janitor = std::thread([this] {
       std::unique_lock<std::mutex> Lock(JanitorMu);
@@ -57,6 +61,14 @@ void DebugServer::serve(Transport &T) {
   std::set<uint64_t> Attached;
   std::string Bytes;
   bool Open = true;
+  // At-most-once execution under client retries: remember the last few
+  // responses by sequence number, so a request retransmitted because its
+  // *response* was lost or damaged is answered from here instead of being
+  // executed twice. One serve thread processes this connection's frames
+  // serially, so a retransmit can never race its original.
+  constexpr size_t DedupCapacity = 32;
+  std::unordered_map<uint64_t, std::string> DedupCache;
+  std::deque<uint64_t> DedupOrder;
   while (Open && T.recv(Bytes)) {
     FB.append(Bytes);
     Bytes.clear();
@@ -74,7 +86,26 @@ void DebugServer::serve(Transport &T) {
         T.send(encodeFrame(errBody(0, E, wireErrorName(E))));
         continue;
       }
-      T.send(encodeFrame(handleBody(Body, Attached)));
+      uint64_t Seq = 0;
+      bool HasSeq = (std::istringstream(Body) >> Seq) && Seq != 0;
+      if (HasSeq) {
+        auto It = DedupCache.find(Seq);
+        if (It != DedupCache.end()) {
+          Stats.RetriesDeduped.fetch_add(1, std::memory_order_relaxed);
+          T.send(encodeFrame(It->second));
+          continue;
+        }
+      }
+      std::string Resp = handleBody(Body, Attached);
+      if (HasSeq) {
+        if (DedupOrder.size() >= DedupCapacity) {
+          DedupCache.erase(DedupOrder.front());
+          DedupOrder.pop_front();
+        }
+        DedupCache.emplace(Seq, Resp);
+        DedupOrder.push_back(Seq);
+      }
+      T.send(encodeFrame(Resp));
       if (shutdownRequested()) {
         Open = false;
         break;
@@ -159,30 +190,57 @@ std::string DebugServer::dispatchVerb(uint64_t Seq, const std::string &Verb,
     if (!(IS >> Sid))
       return Err(WireError::BadArguments,
                  "usage: " + Verb + " <sid> <text>");
+    // The job owns its state on the heap: when the per-verb deadline fires
+    // this thread returns an error while the job may still be running, so
+    // nothing the job touches can live on this stack frame.
+    struct CmdJob {
+      std::string Output;
+      SessionManager::ExecStatus Status =
+          SessionManager::ExecStatus::NoSuchSession;
+      bool LoadOk = true;
+      std::atomic<bool> TimedOut{false};
+      std::atomic<bool> Completed{false};
+      std::atomic<bool> OverdueSettled{false};
+    };
+    auto Job = std::make_shared<CmdJob>();
     std::string Text = unescapeText(RestOf());
+    bool IsLoad = Verb == "load";
     Stopwatch SW;
-    std::string Output;
-    SessionManager::ExecStatus Status;
-    bool LoadOk = true;
     // Run the session command on the worker pool; this connection thread
     // just waits, so W workers bound how many sessions execute at once.
-    std::future<std::string> Fut = Pool.async([&]() -> std::string {
-      std::string Out;
-      if (Verb == "load")
-        Status = Mgr.loadProgram(Sid, Text, Out, LoadOk);
+    std::future<void> Fut = Pool.async([this, Job, IsLoad, Sid, Text] {
+      if (IsLoad)
+        Job->Status = Mgr.loadProgram(Sid, Text, Job->Output, Job->LoadOk);
       else
-        Status = Mgr.execute(Sid, Text, Out);
-      return Out;
+        Job->Status = Mgr.execute(Sid, Text, Job->Output);
+      Job->Completed.store(true, std::memory_order_release);
+      // If the deadline fired while we ran, settle the watchdog gauge
+      // (exactly one of us — this job or the dispatcher — decrements it).
+      if (Job->TimedOut.load(std::memory_order_acquire) &&
+          !Job->OverdueSettled.exchange(true))
+        Stats.OverdueJobs.fetch_sub(1, std::memory_order_relaxed);
     });
-    Output = Fut.get();
+    if (Cfg.CmdDeadline.count() > 0 &&
+        Fut.wait_for(Cfg.CmdDeadline) == std::future_status::timeout) {
+      Stats.DeadlineTimeouts.fetch_add(1, std::memory_order_relaxed);
+      Stats.OverdueJobs.fetch_add(1, std::memory_order_relaxed);
+      Job->TimedOut.store(true, std::memory_order_release);
+      if (Job->Completed.load(std::memory_order_acquire) &&
+          !Job->OverdueSettled.exchange(true))
+        Stats.OverdueJobs.fetch_sub(1, std::memory_order_relaxed);
+      return Err(WireError::Timeout,
+                 Verb + " exceeded the " +
+                     std::to_string(Cfg.CmdDeadline.count()) + "ms deadline");
+    }
+    Fut.wait();
     Stats.CmdLatencyUs.record(static_cast<uint64_t>(SW.seconds() * 1e6));
-    if (Status == SessionManager::ExecStatus::NoSuchSession)
+    if (Job->Status == SessionManager::ExecStatus::NoSuchSession)
       return Err(WireError::NoSuchSession, "no such session");
-    if (Status == SessionManager::ExecStatus::Ended)
+    if (Job->Status == SessionManager::ExecStatus::Ended)
       Attached.erase(Sid);
-    if (Verb == "load" && !LoadOk)
-      return Err(WireError::SessionFailed, Output);
-    return okBody(Seq, Output);
+    if (IsLoad && !Job->LoadOk)
+      return Err(WireError::SessionFailed, Job->Output);
+    return okBody(Seq, Job->Output);
   }
 
   if (Verb == "stats")
@@ -218,6 +276,11 @@ std::string DebugServer::statsReport() const {
      << "pinballs.cached " << Repo.cachedCount() << "\n"
      << "pinballs.cache_hits " << Repo.hits() << "\n"
      << "pinballs.cache_misses " << Repo.misses() << "\n"
+     << "integrity.pinball_failures " << Repo.integrityFailures() << "\n"
+     << "integrity.divergences " << Stats.DivergencesDetected.load() << "\n"
+     << "retries.deduped " << Stats.RetriesDeduped.load() << "\n"
+     << "deadline.timeouts " << Stats.DeadlineTimeouts.load() << "\n"
+     << "watchdog.overdue " << Stats.OverdueJobs.load() << "\n"
      << "slices.cached " << SliceRepo.cachedCount() << "\n"
      << "slices.cache_hits " << SliceRepo.hits() << "\n"
      << "slices.cache_misses " << SliceRepo.misses() << "\n"
@@ -241,5 +304,9 @@ std::string DebugServer::statsReport() const {
        << "verb." << ServerVerbNames[I] << ".us.p99 "
        << VS.LatencyUs.quantileUpperBoundUs(0.99) << "\n";
   }
+  FaultInjector &FI = FaultInjector::global();
+  OS << "faults.injected.total " << FI.totalFired() << "\n";
+  for (const auto &[SiteName, Fired] : FI.firedCounts())
+    OS << "faults.injected." << SiteName << " " << Fired << "\n";
   return OS.str();
 }

@@ -46,6 +46,12 @@ struct ServerConfig {
   unsigned SlicePrepareThreads = 4;
   /// LRU capacity of the shared prepared-slice-session cache.
   size_t SliceCacheEntries = 8;
+  /// Per-verb deadline for load/cmd (0 disables): a verb still running when
+  /// it expires gets an `err deadline-timeout` response while the job
+  /// finishes in the background under the watchdog gauge.
+  std::chrono::milliseconds CmdDeadline{0};
+  /// Verify pinball manifests on load (the server-side --no-verify switch).
+  bool VerifyPinballs = true;
 };
 
 class DebugServer {

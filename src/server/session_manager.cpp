@@ -4,6 +4,7 @@
 
 #include "replay/repository.h"
 #include "slicing/slice_repository.h"
+#include "support/fault_injector.h"
 
 #include <vector>
 
@@ -15,11 +16,12 @@ using namespace drdebug;
 struct SessionManager::ManagedSession {
   ManagedSession(uint64_t Id, PinballRepository &Repo,
                  SliceSessionRepository &SliceRepo,
-                 const SliceSessionOptions &SliceOpts)
+                 const SliceSessionOptions &SliceOpts, ServerStats &Stats)
       : Id(Id), Session([this](const std::string &Chunk) { Buffer += Chunk; }) {
     Session.setPinballRepository(&Repo);
     Session.setSliceRepository(&SliceRepo);
     Session.setSliceOptions(SliceOpts);
+    Session.setDivergenceCounter(&Stats.DivergencesDetected);
     LastUsed = Clock::now();
   }
 
@@ -42,8 +44,8 @@ SessionManager::SessionManager(PinballRepository &Repo,
 uint64_t SessionManager::create() {
   std::lock_guard<std::mutex> Lock(Mu);
   uint64_t Id = NextId++;
-  Sessions.emplace(
-      Id, std::make_shared<ManagedSession>(Id, Repo, SliceRepo, SliceOpts));
+  Sessions.emplace(Id, std::make_shared<ManagedSession>(Id, Repo, SliceRepo,
+                                                        SliceOpts, Stats));
   Stats.SessionsCreated.fetch_add(1, std::memory_order_relaxed);
   return Id;
 }
@@ -119,6 +121,9 @@ SessionManager::execute(uint64_t Id, const std::string &Line,
   bool Alive;
   {
     std::lock_guard<std::mutex> CmdLock(S->CmdMu);
+    // Deterministic slow-command hook: lets the deadline tests make a verb
+    // overrun its budget without depending on machine speed.
+    FaultInjector::global().maybeDelay("session.execute");
     S->Buffer.clear();
     Alive = S->Session.execute(Line);
     Output = std::move(S->Buffer);

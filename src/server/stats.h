@@ -105,6 +105,17 @@ struct ServerStats {
   std::atomic<uint64_t> CommandsServed{0};
   std::atomic<uint64_t> FramesMalformed{0};
   std::atomic<uint64_t> ErrorsReturned{0};
+  /// Replays that stopped on a divergence report (integrity.divergences).
+  std::atomic<uint64_t> DivergencesDetected{0};
+  /// Verbs cut short by the per-verb deadline (deadline.timeouts).
+  std::atomic<uint64_t> DeadlineTimeouts{0};
+  /// Duplicate requests answered from the per-connection response cache
+  /// instead of re-executing (retries.deduped).
+  std::atomic<uint64_t> RetriesDeduped{0};
+  /// Gauge: verb jobs past their deadline that are still running
+  /// (watchdog.overdue). Incremented when a deadline fires, decremented
+  /// when the overdue job finally finishes.
+  std::atomic<int64_t> OverdueJobs{0};
   LatencyHistogram CmdLatencyUs;
   std::array<VerbStats, NumServerVerbs> Verbs;
 };

@@ -2,6 +2,9 @@
 
 #include "server/transport.h"
 
+#include "support/fault_injector.h"
+
+#include <chrono>
 #include <condition_variable>
 #include <cstring>
 #include <mutex>
@@ -9,10 +12,17 @@
 #include <arpa/inet.h>
 #include <netdb.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 using namespace drdebug;
+
+RecvStatus Transport::recvTimed(std::string &Bytes, uint64_t TimeoutMs) {
+  // Conservative default for transports without a native timed wait: block.
+  (void)TimeoutMs;
+  return recv(Bytes) ? RecvStatus::Data : RecvStatus::Closed;
+}
 
 //===----------------------------------------------------------------------===//
 // In-process duplex pipe
@@ -46,6 +56,18 @@ struct ByteQueue {
     return true;
   }
 
+  RecvStatus readTimed(std::string &Bytes, uint64_t TimeoutMs) {
+    std::unique_lock<std::mutex> Lock(Mu);
+    if (!Cv.wait_for(Lock, std::chrono::milliseconds(TimeoutMs),
+                     [&] { return !Buf.empty() || Closed; }))
+      return RecvStatus::Timeout;
+    if (Buf.empty())
+      return RecvStatus::Closed;
+    Bytes += Buf;
+    Buf.clear();
+    return RecvStatus::Data;
+  }
+
   void close() {
     std::lock_guard<std::mutex> Lock(Mu);
     Closed = true;
@@ -61,6 +83,11 @@ public:
 
   bool send(const std::string &Bytes) override { return Out->write(Bytes); }
   bool recv(std::string &Bytes) override { return In->read(Bytes); }
+  RecvStatus recvTimed(std::string &Bytes, uint64_t TimeoutMs) override {
+    if (TimeoutMs == 0)
+      return Transport::recvTimed(Bytes, 0);
+    return In->readTimed(Bytes, TimeoutMs);
+  }
   void close() override {
     In->close();
     Out->close();
@@ -111,6 +138,20 @@ public:
       return false;
     Bytes.append(Buf, static_cast<size_t>(N));
     return true;
+  }
+
+  RecvStatus recvTimed(std::string &Bytes, uint64_t TimeoutMs) override {
+    if (TimeoutMs == 0)
+      return recv(Bytes) ? RecvStatus::Data : RecvStatus::Closed;
+    pollfd Pfd{};
+    Pfd.fd = Fd;
+    Pfd.events = POLLIN;
+    int Rc = ::poll(&Pfd, 1, static_cast<int>(TimeoutMs));
+    if (Rc == 0)
+      return RecvStatus::Timeout;
+    if (Rc < 0)
+      return RecvStatus::Closed;
+    return recv(Bytes) ? RecvStatus::Data : RecvStatus::Closed;
   }
 
   void close() override {
@@ -206,4 +247,68 @@ std::unique_ptr<Transport> drdebug::tcpConnect(const std::string &Host,
     return nullptr;
   }
   return std::make_unique<TcpTransport>(Fd);
+}
+
+//===----------------------------------------------------------------------===//
+// Fault-injecting decorator
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Wraps another transport and damages traffic according to the process
+/// FaultInjector — the deterministic stand-in for flaky networks and lossy
+/// links that the retry/robustness tests and `bench --faults` run against.
+class FaultyTransport : public Transport {
+public:
+  FaultyTransport(std::unique_ptr<Transport> Inner, std::string SitePrefix)
+      : Inner(std::move(Inner)), SendSite(SitePrefix + ".send"),
+        RecvSite(SitePrefix + ".recv"), LatencySite(SitePrefix + ".latency") {}
+
+  bool send(const std::string &Bytes) override {
+    FaultInjector &FI = FaultInjector::global();
+    if (!FI.enabled())
+      return Inner->send(Bytes);
+    FI.maybeDelay(LatencySite);
+    if (FI.shouldFail(SendSite, FaultKind::ShortWrite)) {
+      // The whole payload vanishes (a dropped frame); the connection lives.
+      return true;
+    }
+    std::string Damaged = Bytes;
+    FI.maybeCorrupt(SendSite, Damaged);
+    FI.maybeTruncate(SendSite, Damaged);
+    return Inner->send(Damaged);
+  }
+
+  bool recv(std::string &Bytes) override {
+    std::string Fresh;
+    if (!Inner->recv(Fresh))
+      return false;
+    FaultInjector::global().maybeCorrupt(RecvSite, Fresh);
+    Bytes += Fresh;
+    return true;
+  }
+
+  RecvStatus recvTimed(std::string &Bytes, uint64_t TimeoutMs) override {
+    std::string Fresh;
+    RecvStatus S = Inner->recvTimed(Fresh, TimeoutMs);
+    if (S == RecvStatus::Data) {
+      FaultInjector::global().maybeCorrupt(RecvSite, Fresh);
+      Bytes += Fresh;
+    }
+    return S;
+  }
+
+  void close() override { Inner->close(); }
+
+private:
+  std::unique_ptr<Transport> Inner;
+  std::string SendSite, RecvSite, LatencySite;
+};
+
+} // namespace
+
+std::unique_ptr<Transport>
+drdebug::makeFaultyTransport(std::unique_ptr<Transport> Inner,
+                             const std::string &SitePrefix) {
+  return std::make_unique<FaultyTransport>(std::move(Inner), SitePrefix);
 }

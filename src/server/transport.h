@@ -24,6 +24,13 @@
 
 namespace drdebug {
 
+/// Outcome of a timed receive.
+enum class RecvStatus {
+  Data,    ///< at least one byte arrived
+  Timeout, ///< the wait expired with nothing received
+  Closed,  ///< end-of-stream (peer closed and buffer drained)
+};
+
 /// A blocking, duplex byte stream. Thread-safety: one reader plus one
 /// writer may use an endpoint concurrently; multiple concurrent readers
 /// (or writers) are not supported.
@@ -37,6 +44,11 @@ public:
   /// Blocks for at least one byte; appends what arrived to \p Bytes.
   /// \returns false on end-of-stream (peer closed and buffer drained).
   virtual bool recv(std::string &Bytes) = 0;
+
+  /// Like recv() but gives up after \p TimeoutMs milliseconds — the
+  /// primitive the retrying client needs to detect a lost response.
+  /// \p TimeoutMs of 0 waits forever.
+  virtual RecvStatus recvTimed(std::string &Bytes, uint64_t TimeoutMs);
 
   /// Closes this endpoint; unblocks any reader on either side.
   virtual void close() = 0;
@@ -74,6 +86,14 @@ private:
 /// Connects to a drdebugd at \p Host:\p Port. \returns null on error.
 std::unique_ptr<Transport> tcpConnect(const std::string &Host, uint16_t Port,
                                       std::string &Error);
+
+/// Wraps \p Inner in a fault-injecting decorator probing the FaultInjector
+/// at "<SitePrefix>.send" (ShortWrite drops the whole payload, BitFlip
+/// flips one bit, Truncate drops the tail half), "<SitePrefix>.recv"
+/// (BitFlip on the newly received bytes), and "<SitePrefix>.latency"
+/// (Latency before each send). With no armed sites it forwards verbatim.
+std::unique_ptr<Transport> makeFaultyTransport(std::unique_ptr<Transport> Inner,
+                                               const std::string &SitePrefix);
 
 } // namespace drdebug
 

@@ -1,0 +1,36 @@
+//===- support/crc32c.h - CRC32C (Castagnoli) checksums ---------*- C++ -*-===//
+//
+// Part of the DrDebug reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Software CRC32C (the Castagnoli polynomial, reflected form 0x82F63B78) —
+/// the checksum the pinball manifest uses to detect truncated or corrupted
+/// artifact files. Chosen over plain CRC32 for its better error-detection
+/// properties and because it matches what storage systems (and SSE4.2
+/// hardware) standardize on; this table-driven implementation is portable
+/// and fast enough for pinball-sized payloads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRDEBUG_SUPPORT_CRC32C_H
+#define DRDEBUG_SUPPORT_CRC32C_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace drdebug {
+
+/// Computes the CRC32C of \p N bytes at \p Data. Pass a previous return
+/// value as \p Crc to checksum a stream incrementally (start with 0).
+uint32_t crc32c(const void *Data, size_t N, uint32_t Crc = 0);
+
+inline uint32_t crc32c(const std::string &Bytes, uint32_t Crc = 0) {
+  return crc32c(Bytes.data(), Bytes.size(), Crc);
+}
+
+} // namespace drdebug
+
+#endif // DRDEBUG_SUPPORT_CRC32C_H

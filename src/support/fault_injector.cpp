@@ -1,0 +1,199 @@
+//===- support/fault_injector.cpp - Deterministic fault injection -------------===//
+
+#include "support/fault_injector.h"
+
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+using namespace drdebug;
+
+const char *drdebug::faultKindName(FaultKind K) {
+  switch (K) {
+  case FaultKind::ShortRead:
+    return "shortread";
+  case FaultKind::ShortWrite:
+    return "shortwrite";
+  case FaultKind::DiskFull:
+    return "diskfull";
+  case FaultKind::BitFlip:
+    return "bitflip";
+  case FaultKind::Truncate:
+    return "truncate";
+  case FaultKind::Latency:
+    return "latency";
+  case FaultKind::Crash:
+    return "crash";
+  }
+  return "unknown";
+}
+
+static bool parseKind(const std::string &Name, FaultKind &K) {
+  for (FaultKind Kind :
+       {FaultKind::ShortRead, FaultKind::ShortWrite, FaultKind::DiskFull,
+        FaultKind::BitFlip, FaultKind::Truncate, FaultKind::Latency,
+        FaultKind::Crash}) {
+    if (Name == faultKindName(Kind)) {
+      K = Kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+FaultInjector &FaultInjector::global() {
+  static FaultInjector Instance;
+  return Instance;
+}
+
+void FaultInjector::arm(const std::string &SiteName, FaultKind Kind,
+                        uint64_t Period, uint64_t Phase, uint64_t Arg) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Site &S = Sites[SiteName];
+  S.Kind = Kind;
+  S.Period = Period ? Period : 1;
+  S.Phase = Phase % S.Period;
+  S.Arg = Arg;
+  S.Probes = 0;
+  S.Fired = 0;
+  // Seed the per-site RNG from the global seed and the site name so bit
+  // positions are stable per site but uncorrelated across sites.
+  uint64_t H = Seed;
+  for (unsigned char C : SiteName)
+    H = (H ^ C) * 1099511628211ULL;
+  S.R = Rng(H);
+  Armed.store(true, std::memory_order_relaxed);
+}
+
+bool FaultInjector::armFromSpec(const std::string &Spec, std::string &Error) {
+  std::istringstream Specs(Spec);
+  std::string One;
+  bool Any = false;
+  while (std::getline(Specs, One, ',')) {
+    if (One.empty())
+      continue;
+    std::istringstream Fields(One);
+    std::string SiteName, KindName, Tok;
+    uint64_t Period = 0, Phase = 0, Arg = 0;
+    if (!std::getline(Fields, SiteName, ':') ||
+        !std::getline(Fields, KindName, ':') ||
+        !std::getline(Fields, Tok, ':')) {
+      Error = "bad fault spec '" + One + "' (want site:kind:period[:phase[:arg]])";
+      return false;
+    }
+    FaultKind Kind;
+    if (!parseKind(KindName, Kind)) {
+      Error = "unknown fault kind '" + KindName + "'";
+      return false;
+    }
+    Period = std::strtoull(Tok.c_str(), nullptr, 10);
+    if (Period == 0) {
+      Error = "bad fault period '" + Tok + "'";
+      return false;
+    }
+    if (std::getline(Fields, Tok, ':'))
+      Phase = std::strtoull(Tok.c_str(), nullptr, 10);
+    if (std::getline(Fields, Tok, ':'))
+      Arg = std::strtoull(Tok.c_str(), nullptr, 10);
+    arm(SiteName, Kind, Period, Phase, Arg);
+    Any = true;
+  }
+  if (!Any) {
+    Error = "empty fault spec";
+    return false;
+  }
+  return true;
+}
+
+void FaultInjector::reset(uint64_t NewSeed) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Sites.clear();
+  Seed = NewSeed;
+  Armed.store(false, std::memory_order_relaxed);
+}
+
+FaultInjector::Site *FaultInjector::dueLocked(const std::string &SiteName,
+                                              FaultKind Kind) {
+  auto It = Sites.find(SiteName);
+  if (It == Sites.end() || It->second.Kind != Kind)
+    return nullptr;
+  Site &S = It->second;
+  bool Due = (S.Probes % S.Period) == S.Phase;
+  ++S.Probes;
+  if (!Due)
+    return nullptr;
+  ++S.Fired;
+  return &S;
+}
+
+bool FaultInjector::shouldFail(const std::string &SiteName, FaultKind Kind) {
+  if (!enabled())
+    return false;
+  std::lock_guard<std::mutex> Lock(Mu);
+  return dueLocked(SiteName, Kind) != nullptr;
+}
+
+bool FaultInjector::maybeCorrupt(const std::string &SiteName,
+                                 std::string &Bytes) {
+  if (!enabled() || Bytes.empty())
+    return false;
+  std::lock_guard<std::mutex> Lock(Mu);
+  Site *S = dueLocked(SiteName, FaultKind::BitFlip);
+  if (!S)
+    return false;
+  uint64_t Bit = S->R.below(Bytes.size() * 8);
+  Bytes[Bit / 8] = static_cast<char>(
+      static_cast<unsigned char>(Bytes[Bit / 8]) ^ (1u << (Bit % 8)));
+  return true;
+}
+
+bool FaultInjector::maybeTruncate(const std::string &SiteName,
+                                  std::string &Bytes) {
+  if (!enabled() || Bytes.empty())
+    return false;
+  std::lock_guard<std::mutex> Lock(Mu);
+  Site *S = dueLocked(SiteName, FaultKind::Truncate);
+  if (!S)
+    return false;
+  Bytes.resize(Bytes.size() / 2);
+  return true;
+}
+
+void FaultInjector::maybeDelay(const std::string &SiteName) {
+  if (!enabled())
+    return;
+  uint64_t Ms = 0;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Site *S = dueLocked(SiteName, FaultKind::Latency);
+    if (!S)
+      return;
+    Ms = S->Arg ? S->Arg : 10;
+  }
+  // Sleep outside the lock: latency injection must not serialize peers.
+  std::this_thread::sleep_for(std::chrono::milliseconds(Ms));
+}
+
+uint64_t FaultInjector::firedCount(const std::string &SiteName) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Sites.find(SiteName);
+  return It == Sites.end() ? 0 : It->second.Fired;
+}
+
+uint64_t FaultInjector::totalFired() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  uint64_t N = 0;
+  for (const auto &[Name, S] : Sites)
+    N += S.Fired;
+  return N;
+}
+
+std::vector<std::pair<std::string, uint64_t>>
+FaultInjector::firedCounts() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::vector<std::pair<std::string, uint64_t>> Out;
+  for (const auto &[Name, S] : Sites)
+    if (S.Fired)
+      Out.emplace_back(Name, S.Fired);
+  return Out;
+}

@@ -1,0 +1,116 @@
+//===- support/fault_injector.h - Deterministic fault injection -*- C++ -*-===//
+//
+// Part of the DrDebug reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic, site-keyed fault injector: the test/bench harness arms
+/// named probe sites ("transport.send", "pinball.write", ...) with a fault
+/// kind and a period, and the code under test probes its site on every
+/// I/O operation. The N-th probe of an armed site fires — counter-based, so
+/// a run injects the exact same faults every time regardless of wall clock
+/// or platform RNG. Disarmed (the default), every probe is a single relaxed
+/// atomic load, so production paths pay nothing measurable.
+///
+/// Faults modeled: short reads/writes, ENOSPC, single-bit flips, frame
+/// truncation, injected latency, and a simulated crash (the kill -9 in the
+/// middle of Pinball::save that the atomic-rename design must survive).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRDEBUG_SUPPORT_FAULT_INJECTOR_H
+#define DRDEBUG_SUPPORT_FAULT_INJECTOR_H
+
+#include "support/rng.h"
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace drdebug {
+
+enum class FaultKind : uint8_t {
+  ShortRead,  ///< a read delivers only a prefix of the requested bytes
+  ShortWrite, ///< a write persists only a prefix, then fails
+  DiskFull,   ///< the write fails outright (ENOSPC)
+  BitFlip,    ///< one bit of the payload is inverted in flight
+  Truncate,   ///< the tail of an outgoing frame is dropped
+  Latency,    ///< the operation is delayed by a fixed number of ms
+  Crash,      ///< the operation dies mid-way (simulated kill -9)
+};
+
+/// Stable lowercase name ("bitflip", "diskfull", ...) for spec strings.
+const char *faultKindName(FaultKind K);
+
+/// The process-wide injector. Thread-safe; all decisions are per-site
+/// probe-counter based, hence deterministic for a deterministic probe order.
+class FaultInjector {
+public:
+  static FaultInjector &global();
+
+  /// Arms \p Site: every probe whose per-site ordinal satisfies
+  /// ordinal % Period == Phase fires a \p Kind fault. \p Arg parameterizes
+  /// the fault (latency ms; crash step index); 0 picks the default.
+  void arm(const std::string &Site, FaultKind Kind, uint64_t Period,
+           uint64_t Phase = 0, uint64_t Arg = 0);
+
+  /// Arms sites from a spec string:
+  ///   <site>:<kind>:<period>[:<phase>[:<arg>]][,<more>...]
+  /// e.g. "transport.send:bitflip:64,transport.recv:bitflip:100:3".
+  /// \returns false (with \p Error set) on an unparsable spec.
+  bool armFromSpec(const std::string &Spec, std::string &Error);
+
+  /// Disarms every site and resets probe/fired counters and the seed.
+  void reset(uint64_t Seed = 1);
+
+  /// Fast path: false when no site is armed (a single relaxed load).
+  bool enabled() const { return Armed.load(std::memory_order_relaxed); }
+
+  /// Probes \p Site for \p Kind. \returns true when the armed fault fires
+  /// on this call. Unarmed sites and mismatched kinds never fire.
+  bool shouldFail(const std::string &Site, FaultKind Kind);
+
+  /// BitFlip probe: flips one deterministic bit of \p Bytes when due.
+  bool maybeCorrupt(const std::string &Site, std::string &Bytes);
+
+  /// Truncate probe: drops the tail half of \p Bytes when due.
+  bool maybeTruncate(const std::string &Site, std::string &Bytes);
+
+  /// Latency probe: sleeps the armed duration (default 10 ms) when due.
+  void maybeDelay(const std::string &Site);
+
+  /// Faults fired at \p Site since the last reset().
+  uint64_t firedCount(const std::string &Site) const;
+  /// Faults fired across all sites since the last reset().
+  uint64_t totalFired() const;
+  /// Per-site fired counts ("site" -> n), for the server's faults.* stats.
+  std::vector<std::pair<std::string, uint64_t>> firedCounts() const;
+
+private:
+  struct Site {
+    FaultKind Kind = FaultKind::BitFlip;
+    uint64_t Period = 1;
+    uint64_t Phase = 0;
+    uint64_t Arg = 0;
+    uint64_t Probes = 0;
+    uint64_t Fired = 0;
+    Rng R{1};
+  };
+
+  /// \returns the site entry if armed for \p Kind and due now (advancing
+  /// the probe counter either way), else nullptr. Caller holds Mu.
+  Site *dueLocked(const std::string &SiteName, FaultKind Kind);
+
+  mutable std::mutex Mu;
+  std::map<std::string, Site> Sites;
+  std::atomic<bool> Armed{false};
+  uint64_t Seed = 1;
+};
+
+} // namespace drdebug
+
+#endif // DRDEBUG_SUPPORT_FAULT_INJECTOR_H

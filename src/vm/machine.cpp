@@ -101,8 +101,17 @@ bool MachineState::load(std::istream &IS, std::string &Error) {
     Error = std::string("machine state: ") + Msg;
     return false;
   };
+  // Every count is bounded before it drives an allocation or a read loop: a
+  // corrupted state file must fail with a diagnostic, not OOM the loader.
+  auto FailBound = [&](const char *What, uint64_t Got, uint64_t Max) {
+    Error = std::string("machine state: ") + What + " count " +
+            std::to_string(Got) + " exceeds limit " + std::to_string(Max);
+    return false;
+  };
   if (!(IS >> Tag >> NumThreads) || Tag != "threads")
     return Fail("expected 'threads'");
+  if (NumThreads > MaxThreads)
+    return FailBound("thread", NumThreads, MaxThreads);
   for (size_t I = 0; I != NumThreads; ++I) {
     ThreadContext T;
     int Status = 0;
@@ -117,6 +126,8 @@ bool MachineState::load(std::istream &IS, std::string &Error) {
     size_t Depth = 0;
     if (!(IS >> Depth))
       return Fail("bad call stack depth");
+    if (Depth > MaxCallDepth)
+      return FailBound("call stack", Depth, MaxCallDepth);
     T.CallStack.resize(Depth);
     for (size_t D = 0; D != Depth; ++D)
       if (!(IS >> T.CallStack[D]))
@@ -126,6 +137,8 @@ bool MachineState::load(std::istream &IS, std::string &Error) {
   size_t Count = 0;
   if (!(IS >> Tag >> Count) || Tag != "mem")
     return Fail("expected 'mem'");
+  if (Count > MaxMemWords)
+    return FailBound("memory word", Count, MaxMemWords);
   for (size_t I = 0; I != Count; ++I) {
     uint64_t Addr = 0;
     int64_t Val = 0;
@@ -135,6 +148,8 @@ bool MachineState::load(std::istream &IS, std::string &Error) {
   }
   if (!(IS >> Tag >> Count) || Tag != "mutex")
     return Fail("expected 'mutex'");
+  if (Count > MaxMutexes)
+    return FailBound("mutex", Count, MaxMutexes);
   for (size_t I = 0; I != Count; ++I) {
     uint64_t Addr = 0;
     uint32_t Owner = 0;
@@ -150,6 +165,8 @@ bool MachineState::load(std::istream &IS, std::string &Error) {
     return Fail("expected 'nexttid'");
   if (!(IS >> Tag >> Count) || Tag != "output")
     return Fail("expected 'output'");
+  if (Count > MaxOutput)
+    return FailBound("output", Count, MaxOutput);
   Output.resize(Count);
   for (size_t I = 0; I != Count; ++I)
     if (!(IS >> Output[I]))

@@ -67,6 +67,15 @@ struct MachineState {
   uint32_t NextTid = 0;
   std::vector<int64_t> Output;
 
+  /// Hard caps enforced by \c load() before any count drives an allocation;
+  /// far above anything a legitimate snapshot produces, low enough that a
+  /// corrupted count cannot OOM the loader.
+  static constexpr uint64_t MaxThreads = 1ull << 16;
+  static constexpr uint64_t MaxCallDepth = 1ull << 20;
+  static constexpr uint64_t MaxMemWords = 1ull << 26;
+  static constexpr uint64_t MaxMutexes = 1ull << 20;
+  static constexpr uint64_t MaxOutput = 1ull << 24;
+
   /// Serializes to a line-oriented text format.
   void save(std::ostream &OS) const;
   /// Parses the format written by \c save().

@@ -1,0 +1,572 @@
+//===- tests/test_fault_injection.cpp - Robustness under injected faults ------===//
+//
+// The corruption matrix and fault-injection harness: every pinball file is
+// damaged every way (bit flip, truncation, deletion) and the loader must
+// name the culprit; saves survive injected crashes and full disks without
+// leaving partial state; replay stops with a structured divergence report
+// on every kind of recording drift; and the protocol client retries its way
+// to a byte-identical transcript over a lossy transport.
+//
+//===----------------------------------------------------------------------===//
+
+#include "replay/logger.h"
+#include "replay/manifest.h"
+#include "replay/replayer.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "server/transport.h"
+#include "support/fault_injector.h"
+#include "test_util.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <unistd.h>
+
+using namespace drdebug;
+using namespace drdebug::testutil;
+namespace fs = std::filesystem;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Helpers
+//===----------------------------------------------------------------------===//
+
+std::string slurp(const fs::path &P) {
+  std::ifstream IS(P, std::ios::binary);
+  std::ostringstream Buf;
+  Buf << IS.rdbuf();
+  return Buf.str();
+}
+
+void spit(const fs::path &P, const std::string &Content) {
+  std::ofstream OS(P, std::ios::binary | std::ios::trunc);
+  OS << Content;
+}
+
+/// Base fixture: a saved pinball in a scratch directory, and a pristine
+/// FaultInjector before and after every test.
+class FaultInjection : public ::testing::Test {
+protected:
+  fs::path Base, Dir;
+
+  void SetUp() override {
+    FaultInjector::global().reset();
+    Base = fs::temp_directory_path() /
+           ("drdebug_faults_" + std::to_string(::getpid()));
+    fs::remove_all(Base);
+    fs::create_directories(Base);
+    Dir = Base / "pinball";
+    Program P = assembleOrDie(".data g 0\n"
+                              ".func main\n"
+                              "  sysrand r1\n  sta r1, @g\n"
+                              "  halt\n.endfunc\n");
+    RoundRobinScheduler Sched(1);
+    LogResult Log = Logger::logWholeProgram(P, Sched);
+    std::string Error;
+    ASSERT_TRUE(Log.Pb.save(Dir.string(), Error)) << Error;
+  }
+  void TearDown() override {
+    FaultInjector::global().reset();
+    fs::remove_all(Base);
+  }
+
+  bool load(Pinball &Pb, std::string &Error, bool Verify = true,
+            PinballIntegrity *Info = nullptr) {
+    PinballLoadOptions Opts;
+    Opts.Verify = Verify;
+    return Pb.load(Dir.string(), Error, Opts, Info);
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// The corruption matrix
+//===----------------------------------------------------------------------===//
+
+TEST_F(FaultInjection, CorruptionMatrixNamesTheDamagedFile) {
+  // Every payload file x {bit flip, truncate, delete}: the load must fail
+  // and the diagnostic must name the file. Each case starts from a pristine
+  // copy so damage never accumulates.
+  fs::path Master = Base / "master";
+  fs::copy(Dir, Master, fs::copy_options::recursive);
+
+  enum class Damage { BitFlip, Truncate, Delete };
+  for (const char *Name : Pinball::fileNames()) {
+    for (Damage D : {Damage::BitFlip, Damage::Truncate, Damage::Delete}) {
+      fs::remove_all(Dir);
+      fs::copy(Master, Dir, fs::copy_options::recursive);
+      std::string Content = slurp(Dir / Name);
+      switch (D) {
+      case Damage::BitFlip:
+        if (Content.empty())
+          continue; // nothing to flip (e.g. empty injections.txt)
+        Content[Content.size() / 2] ^= 0x20;
+        spit(Dir / Name, Content);
+        break;
+      case Damage::Truncate:
+        if (Content.empty())
+          continue;
+        spit(Dir / Name, Content.substr(0, Content.size() / 2));
+        break;
+      case Damage::Delete:
+        fs::remove(Dir / Name);
+        break;
+      }
+      Pinball Pb;
+      std::string Error;
+      EXPECT_FALSE(load(Pb, Error))
+          << Name << " damage " << static_cast<int>(D)
+          << " was not detected";
+      EXPECT_NE(Error.find(Name), std::string::npos)
+          << "diagnostic does not name " << Name << ": " << Error;
+    }
+  }
+
+  // The pristine copy still loads: no sticky state from the failures above.
+  fs::remove_all(Dir);
+  fs::copy(Master, Dir, fs::copy_options::recursive);
+  Pinball Pb;
+  std::string Error;
+  PinballIntegrity Info;
+  EXPECT_TRUE(load(Pb, Error, true, &Info)) << Error;
+  EXPECT_TRUE(Info.ManifestPresent);
+  EXPECT_EQ(Info.FormatVersion, PinballManifest::FormatVersion);
+  EXPECT_TRUE(Info.Warning.empty());
+}
+
+TEST_F(FaultInjection, ManifestDeletionMeansLegacyPinball) {
+  // A pinball without manifest.txt predates the manifest: it loads, with a
+  // warning, and replays.
+  fs::remove(Dir / PinballManifest::FileName);
+  Pinball Pb;
+  std::string Error;
+  PinballIntegrity Info;
+  ASSERT_TRUE(load(Pb, Error, true, &Info)) << Error;
+  EXPECT_FALSE(Info.ManifestPresent);
+  EXPECT_NE(Info.Warning.find("legacy"), std::string::npos) << Info.Warning;
+  Replayer Rep(Pb);
+  ASSERT_TRUE(Rep.valid());
+  EXPECT_EQ(Rep.run(), Machine::StopReason::Halted);
+}
+
+TEST_F(FaultInjection, NewerFormatVersionIsRejected) {
+  std::string Text = slurp(Dir / PinballManifest::FileName);
+  size_t Pos = Text.find("drdebug-pinball ");
+  ASSERT_NE(Pos, std::string::npos);
+  Text.replace(Pos, std::string("drdebug-pinball 1").size(),
+               "drdebug-pinball 99");
+  spit(Dir / PinballManifest::FileName, Text);
+  Pinball Pb;
+  std::string Error;
+  PinballIntegrity Info;
+  EXPECT_FALSE(load(Pb, Error, true, &Info));
+  EXPECT_TRUE(Info.IntegrityViolation);
+  EXPECT_NE(Error.find("newer"), std::string::npos) << Error;
+}
+
+TEST_F(FaultInjection, NoVerifyIsAnEscapeHatch) {
+  // A hand-edited syscall value breaks the checksum but not the parser.
+  std::string Text = slurp(Dir / "syscalls.txt");
+  size_t LastDigit = Text.find_last_of("0123456789");
+  ASSERT_NE(LastDigit, std::string::npos);
+  Text[LastDigit] = '0' + (Text[LastDigit] - '0' + 1) % 10;
+  spit(Dir / "syscalls.txt", Text);
+
+  Pinball Pb;
+  std::string Error;
+  EXPECT_FALSE(load(Pb, Error)) << "checksum should catch the edit";
+  EXPECT_NE(Error.find("syscalls.txt"), std::string::npos) << Error;
+  EXPECT_TRUE(load(Pb, Error, /*Verify=*/false)) << Error;
+}
+
+TEST_F(FaultInjection, ShortReadIsCaughtByTheManifest) {
+  // The ShortRead probe halves the first file read off disk — an
+  // interrupted transfer the size check must catch.
+  FaultInjector::global().arm("pinball.read", FaultKind::ShortRead,
+                              /*Period=*/1);
+  Pinball Pb;
+  std::string Error;
+  EXPECT_FALSE(load(Pb, Error));
+  EXPECT_NE(Error.find("truncated"), std::string::npos) << Error;
+  EXPECT_GE(FaultInjector::global().firedCount("pinball.read"), 1u);
+
+  FaultInjector::global().reset();
+  EXPECT_TRUE(load(Pb, Error)) << Error;
+}
+
+//===----------------------------------------------------------------------===//
+// Crash-safe persistence
+//===----------------------------------------------------------------------===//
+
+TEST_F(FaultInjection, CrashDuringSaveLeavesOldPinballIntact) {
+  Pinball Old;
+  std::string Error;
+  ASSERT_TRUE(load(Old, Error)) << Error;
+
+  Pinball Updated = Old;
+  Updated.Meta["tag"] = "updated";
+  FaultInjector::global().arm("pinball.crash", FaultKind::Crash, 1);
+  EXPECT_FALSE(Updated.save(Dir.string(), Error));
+  EXPECT_NE(Error.find("crash"), std::string::npos) << Error;
+  FaultInjector::global().reset();
+
+  // The crash left the temp directory behind (as kill -9 would) and the
+  // target untouched: it still verifies and carries the old metadata.
+  fs::path Tmp = Dir;
+  Tmp += ".tmp-" + std::to_string(static_cast<unsigned long>(::getpid()));
+  EXPECT_TRUE(fs::exists(Tmp));
+  Pinball Pb;
+  ASSERT_TRUE(load(Pb, Error)) << Error;
+  EXPECT_EQ(Pb.Meta.count("tag"), 0u);
+
+  // The next save sweeps the stale temp dir and commits.
+  ASSERT_TRUE(Updated.save(Dir.string(), Error)) << Error;
+  EXPECT_FALSE(fs::exists(Tmp));
+  ASSERT_TRUE(load(Pb, Error)) << Error;
+  EXPECT_EQ(Pb.Meta["tag"], "updated");
+}
+
+TEST_F(FaultInjection, FailedSaveLeavesNoPartialDirectory) {
+  for (FaultKind K : {FaultKind::DiskFull, FaultKind::ShortWrite}) {
+    FaultInjector::global().reset();
+    // Phase 2: the first two files write fine, the third fails — the
+    // half-written temp dir must be cleaned up and the target never appear.
+    FaultInjector::global().arm("pinball.write", K, /*Period=*/1000,
+                                /*Phase=*/2);
+    Pinball Pb;
+    std::string Error;
+    ASSERT_TRUE(load(Pb, Error)) << Error;
+    fs::path Fresh = Base / ("fresh_" + std::string(faultKindName(K)));
+    EXPECT_FALSE(Pb.save(Fresh.string(), Error));
+    EXPECT_NE(Error.find("failed"), std::string::npos) << Error;
+    EXPECT_FALSE(fs::exists(Fresh)) << "partial pinball left behind";
+    fs::path Tmp = Fresh;
+    Tmp += ".tmp-" + std::to_string(static_cast<unsigned long>(::getpid()));
+    EXPECT_FALSE(fs::exists(Tmp)) << "temp directory left behind";
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Allocation bounds
+//===----------------------------------------------------------------------===//
+
+TEST_F(FaultInjection, CorruptedCountsNeverDriveAllocation) {
+  // A damaged count field must be rejected by a bound check, not handed to
+  // a vector resize. (Verify=false: this guards the parser itself.)
+  spit(Dir / "injections.txt", "inject 0 0 0 184467440737095516\n");
+  Pinball Pb;
+  std::string Error;
+  EXPECT_FALSE(load(Pb, Error, /*Verify=*/false));
+  EXPECT_NE(Error.find("exceeds limit"), std::string::npos) << Error;
+
+  spit(Dir / "state.txt", "threads 4294967295\n");
+  EXPECT_FALSE(load(Pb, Error, /*Verify=*/false));
+  EXPECT_NE(Error.find("exceeds limit"), std::string::npos) << Error;
+}
+
+//===----------------------------------------------------------------------===//
+// Replay divergence detection
+//===----------------------------------------------------------------------===//
+
+class Divergence : public FaultInjection {
+protected:
+  /// Loads without verification (these tests hand-edit the recording),
+  /// replays to the end, and returns the report.
+  DivergenceReport replayEdited(Machine::StopReason Expect) {
+    Pinball Pb;
+    std::string Error;
+    PinballLoadOptions Opts;
+    Opts.Verify = false;
+    EXPECT_TRUE(Pb.load(Dir.string(), Error, Opts)) << Error;
+    Replayer Rep(Pb);
+    EXPECT_TRUE(Rep.valid());
+    EXPECT_EQ(Rep.run(), Expect);
+    return Rep.divergence();
+  }
+};
+
+TEST_F(Divergence, UnknownInjectionId) {
+  std::string Sched = slurp(Dir / "schedule.txt");
+  spit(Dir / "schedule.txt", "i 42\n" + Sched);
+  DivergenceReport R = replayEdited(Machine::StopReason::StopRequested);
+  EXPECT_EQ(R.Kind, DivergenceKind::UnknownInjection);
+  EXPECT_NE(R.describe().find("42"), std::string::npos) << R.describe();
+}
+
+TEST_F(Divergence, ScheduleOutlivesTheProgram) {
+  std::string Sched = slurp(Dir / "schedule.txt");
+  spit(Dir / "schedule.txt", Sched + "s 0 5\n");
+  DivergenceReport R = replayEdited(Machine::StopReason::StopRequested);
+  EXPECT_EQ(R.Kind, DivergenceKind::ScheduleNotExhausted);
+}
+
+TEST_F(Divergence, SyscallKindMismatch) {
+  // Rewrite the recorded syscall's opcode: replay then requests a
+  // different kind than the recording holds.
+  std::istringstream IS(slurp(Dir / "syscalls.txt"));
+  uint32_t Tid;
+  int Op;
+  int64_t Value;
+  ASSERT_TRUE(IS >> Tid >> Op >> Value);
+  std::ostringstream OS;
+  OS << Tid << " " << (Op + 1) << " " << Value << "\n";
+  spit(Dir / "syscalls.txt", OS.str());
+  DivergenceReport R = replayEdited(Machine::StopReason::StopRequested);
+  EXPECT_EQ(R.Kind, DivergenceKind::SyscallKindMismatch);
+  EXPECT_NE(R.describe().find("recorded"), std::string::npos)
+      << R.describe();
+}
+
+TEST_F(Divergence, InstructionCountDrift) {
+  std::string Meta = slurp(Dir / "meta.txt");
+  size_t Pos = Meta.find("instrs=");
+  ASSERT_NE(Pos, std::string::npos) << Meta;
+  Meta.insert(Pos + std::string("instrs=").size(), "9");
+  spit(Dir / "meta.txt", Meta);
+  DivergenceReport R = replayEdited(Machine::StopReason::StopRequested);
+  EXPECT_EQ(R.Kind, DivergenceKind::InstructionCountDrift);
+}
+
+TEST_F(Divergence, EndPcDrift) {
+  std::string Meta = slurp(Dir / "meta.txt");
+  size_t Pos = Meta.find("endpcs=0:");
+  ASSERT_NE(Pos, std::string::npos) << Meta;
+  Meta.insert(Pos + std::string("endpcs=0:").size(), "9");
+  spit(Dir / "meta.txt", Meta);
+  DivergenceReport R = replayEdited(Machine::StopReason::StopRequested);
+  EXPECT_EQ(R.Kind, DivergenceKind::EndPcDrift);
+  EXPECT_NE(R.describe().find("pc"), std::string::npos) << R.describe();
+}
+
+TEST_F(Divergence, RestoreClearsAndRediscoversTheReport) {
+  // A fatal divergence found while seeking forward must be rediscovered
+  // deterministically after restoring an earlier checkpoint.
+  std::string Sched = slurp(Dir / "schedule.txt");
+  spit(Dir / "schedule.txt", Sched + "s 7 1\n");
+  Pinball Pb;
+  std::string Error;
+  PinballLoadOptions Opts;
+  Opts.Verify = false;
+  ASSERT_TRUE(Pb.load(Dir.string(), Error, Opts)) << Error;
+  Replayer Rep(Pb);
+  ASSERT_TRUE(Rep.valid());
+  MachineState Start = Rep.machine().snapshot();
+  ReplayCursor Cursor = Rep.cursor();
+  EXPECT_EQ(Rep.run(), Machine::StopReason::StopRequested);
+  EXPECT_EQ(Rep.divergence().Kind, DivergenceKind::ScheduleNotExhausted);
+  Rep.restore(Start, Cursor);
+  EXPECT_FALSE(Rep.divergence());
+  EXPECT_EQ(Rep.run(), Machine::StopReason::StopRequested);
+  EXPECT_EQ(Rep.divergence().Kind, DivergenceKind::ScheduleNotExhausted);
+}
+
+//===----------------------------------------------------------------------===//
+// The server under faults
+//===----------------------------------------------------------------------===//
+
+/// A tiny deterministic program + script for transcript comparison.
+const char *TinyAsm = ".data g 0\n"
+                      ".func main\n"
+                      "  movi r1, 6\n  muli r1, r1, 7\n  sta r1, @g\n"
+                      "  lda r2, @g\n  syswrite r2\n  halt\n.endfunc\n";
+const std::vector<std::string> TinyScript = {
+    "run", "output", "print g", "info threads", "where",
+};
+
+/// Drives one session through \p Client; returns load + command output
+/// concatenated.
+std::string transcriptOver(ProtocolClient &Client) {
+  std::string Out, Chunk, Error;
+  uint64_t Sid = 0;
+  EXPECT_TRUE(Client.open(Sid, Error)) << Error;
+  EXPECT_TRUE(Client.load(Sid, TinyAsm, Chunk, Error)) << Error;
+  Out += Chunk;
+  for (const std::string &C : TinyScript) {
+    EXPECT_TRUE(Client.cmd(Sid, C, Chunk, Error)) << "cmd '" << C
+                                                  << "': " << Error;
+    Out += Chunk;
+  }
+  return Out;
+}
+
+TEST_F(FaultInjection, ClientRetriesToAByteIdenticalTranscript) {
+  // Reference run: no faults.
+  std::string Reference;
+  {
+    DebugServer Srv;
+    auto [ClientEnd, ServerEnd] = makePipePair();
+    std::thread ServerThread([&, SE = ServerEnd.get()] { Srv.serve(*SE); });
+    ProtocolClient Client(*ClientEnd);
+    Reference = transcriptOver(Client);
+    ClientEnd->close();
+    ServerThread.join();
+  }
+  ASSERT_NE(Reference.find("42"), std::string::npos) << Reference;
+
+  // Faulty run: the server's responses cross a transport that drops every
+  // third frame. The client times out, retransmits, and the server's
+  // duplicate cache answers without re-executing — same bytes, exactly.
+  FaultInjector::global().arm("srv.send", FaultKind::ShortWrite,
+                              /*Period=*/3, /*Phase=*/1);
+  DebugServer Srv;
+  auto [ClientEnd, ServerEnd] = makePipePair();
+  std::thread ServerThread([&Srv, SE = std::move(ServerEnd)]() mutable {
+    std::unique_ptr<Transport> Faulty =
+        makeFaultyTransport(std::move(SE), "srv");
+    Srv.serve(*Faulty);
+  });
+  RetryPolicy Policy;
+  Policy.MaxRetries = 6;
+  Policy.RecvTimeoutMs = 200;
+  Policy.InitialBackoffMs = 1;
+  Policy.JitterSeed = 7;
+  ProtocolClient Client(*ClientEnd, Policy);
+  std::string FaultyRun = transcriptOver(Client);
+  EXPECT_EQ(FaultyRun, Reference);
+  EXPECT_GT(Client.retries(), 0u);
+  EXPECT_GT(FaultInjector::global().firedCount("srv.send"), 0u);
+  EXPECT_GT(Srv.stats().RetriesDeduped.load(), 0u);
+
+  // The stats verb reports the retry and fault counters. Disarm first so
+  // the stats response itself cannot be dropped; the keys are emitted even
+  // at zero. (Same client: a fresh one would reuse low sequence numbers and
+  // be answered from the duplicate cache.)
+  FaultInjector::global().reset();
+  std::string Report, Error;
+  ASSERT_TRUE(Client.stats(Report, Error)) << Error;
+  EXPECT_NE(Report.find("retries.deduped"), std::string::npos) << Report;
+  EXPECT_NE(Report.find("faults.injected.total"), std::string::npos)
+      << Report;
+  ClientEnd->close();
+  ServerThread.join();
+}
+
+TEST_F(FaultInjection, VerbDeadlineReturnsTimeoutErrorFrame) {
+  // Arm the session-execute latency probe so the command takes ~200 ms,
+  // then give the server a 40 ms deadline: the verb must come back as a
+  // structured, transient deadline-timeout error while the job finishes in
+  // the background and settles the watchdog gauge.
+  ServerConfig Cfg;
+  Cfg.CmdDeadline = std::chrono::milliseconds(40);
+  DebugServer Srv(Cfg);
+  auto [ClientEnd, ServerEnd] = makePipePair();
+  std::thread ServerThread([&, SE = ServerEnd.get()] { Srv.serve(*SE); });
+  {
+    ProtocolClient Client(*ClientEnd);
+    std::string Out, Error;
+    uint64_t Sid = 0;
+    ASSERT_TRUE(Client.open(Sid, Error)) << Error;
+    ASSERT_TRUE(Client.load(Sid, TinyAsm, Out, Error)) << Error;
+    FaultInjector::global().arm("session.execute", FaultKind::Latency,
+                                /*Period=*/1, /*Phase=*/0, /*Arg=*/200);
+    EXPECT_FALSE(Client.cmd(Sid, "run", Out, Error));
+    EXPECT_EQ(Client.lastErrorCode(),
+              static_cast<unsigned>(WireError::Timeout));
+    EXPECT_TRUE(Client.lastErrorTransient());
+    EXPECT_NE(Error.find("deadline"), std::string::npos) << Error;
+
+    // Let the overdue job drain, then check the counters.
+    FaultInjector::global().reset();
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    ASSERT_TRUE(Client.stats(Out, Error)) << Error;
+    EXPECT_NE(Out.find("deadline.timeouts 1"), std::string::npos) << Out;
+    EXPECT_NE(Out.find("watchdog.overdue 0"), std::string::npos) << Out;
+  }
+  ClientEnd->close();
+  ServerThread.join();
+  EXPECT_EQ(Srv.stats().DeadlineTimeouts.load(), 1u);
+  EXPECT_EQ(Srv.stats().OverdueJobs.load(), 0);
+}
+
+TEST_F(FaultInjection, ServerCountsIntegrityFailuresAndDivergences) {
+  // A session that loads a corrupted pinball and replays a drifted one:
+  // both incidents must land in the server's integrity.* stats.
+  fs::path BadDir = Base / "bad";
+  fs::copy(Dir, BadDir, fs::copy_options::recursive);
+  std::string State = slurp(BadDir / "state.txt");
+  State[State.size() / 2] ^= 0x01;
+  spit(BadDir / "state.txt", State);
+
+  fs::path DriftDir = Base / "drift";
+  fs::copy(Dir, DriftDir, fs::copy_options::recursive);
+  {
+    // Make the drift survive manifest verification: re-point the manifest
+    // at the edited schedule (the drift is in the *recording*, not the
+    // files).
+    std::string Sched = slurp(DriftDir / "schedule.txt") + "s 7 1\n";
+    spit(DriftDir / "schedule.txt", Sched);
+    std::string Text = slurp(DriftDir / PinballManifest::FileName);
+    PinballManifest M;
+    std::string Error;
+    ASSERT_TRUE(M.parse(Text, Error)) << Error;
+    M.add("schedule.txt", Sched);
+    spit(DriftDir / PinballManifest::FileName, M.serialize());
+  }
+
+  DebugServer Srv;
+  auto [ClientEnd, ServerEnd] = makePipePair();
+  std::thread ServerThread([&, SE = ServerEnd.get()] { Srv.serve(*SE); });
+  {
+    ProtocolClient Client(*ClientEnd);
+    std::string Out, Error;
+    uint64_t Sid = 0;
+    ASSERT_TRUE(Client.open(Sid, Error)) << Error;
+    ASSERT_TRUE(Client.load(Sid, TinyAsm, Out, Error)) << Error;
+
+    ASSERT_TRUE(
+        Client.cmd(Sid, "pinball load " + BadDir.string(), Out, Error))
+        << Error;
+    EXPECT_NE(Out.find("state.txt"), std::string::npos) << Out;
+
+    ASSERT_TRUE(
+        Client.cmd(Sid, "pinball load " + DriftDir.string(), Out, Error))
+        << Error;
+    EXPECT_NE(Out.find("pinball loaded"), std::string::npos) << Out;
+    ASSERT_TRUE(Client.cmd(Sid, "replay", Out, Error)) << Error;
+    EXPECT_NE(Out.find("replay divergence"), std::string::npos) << Out;
+
+    ASSERT_TRUE(Client.stats(Out, Error)) << Error;
+    EXPECT_NE(Out.find("integrity.pinball_failures 1"), std::string::npos)
+        << Out;
+    EXPECT_NE(Out.find("integrity.divergences 1"), std::string::npos) << Out;
+  }
+  ClientEnd->close();
+  ServerThread.join();
+}
+
+TEST_F(FaultInjection, FaultSpecParsing) {
+  FaultInjector &FI = FaultInjector::global();
+  std::string Error;
+  EXPECT_TRUE(FI.armFromSpec(
+      "t.send:bitflip:64,t.recv:shortread:100:3,s.x:latency:1:0:25", Error))
+      << Error;
+  EXPECT_TRUE(FI.enabled());
+  EXPECT_FALSE(FI.armFromSpec("nokind", Error));
+  EXPECT_FALSE(FI.armFromSpec("site:frobnicate:1", Error));
+  EXPECT_FALSE(FI.armFromSpec("site:bitflip:0", Error));
+  FI.reset();
+  EXPECT_FALSE(FI.enabled());
+}
+
+TEST_F(FaultInjection, FaultInjectionIsDeterministic) {
+  // Two identical probe sequences fire on exactly the same ordinals and
+  // corrupt exactly the same bits.
+  auto RunOnce = [&] {
+    FaultInjector::global().reset(1);
+    FaultInjector::global().arm("d.send", FaultKind::BitFlip, 3, 1);
+    std::vector<std::string> Damaged;
+    for (int I = 0; I != 12; ++I) {
+      std::string Bytes = "payload-" + std::to_string(I);
+      FaultInjector::global().maybeCorrupt("d.send", Bytes);
+      Damaged.push_back(Bytes);
+    }
+    return Damaged;
+  };
+  EXPECT_EQ(RunOnce(), RunOnce());
+}
+
+} // namespace

@@ -3,6 +3,10 @@
 // Pinballs travel between machines (developer to developer, customer to
 // vendor); loading one must fail cleanly, never crash, on damaged files.
 //
+// These tests target the *parsers*, so they load with Verify=false: with
+// verification on the manifest catches the edit first (that layer is covered
+// by tests/test_fault_injection.cpp's corruption matrix).
+//
 //===----------------------------------------------------------------------===//
 
 #include "replay/logger.h"
@@ -45,10 +49,12 @@ protected:
   }
   void truncate(const char *File) { corrupt(File, ""); }
 
-  bool loads(std::string *ErrorOut = nullptr) {
+  bool loads(std::string *ErrorOut = nullptr, bool Verify = false) {
     Pinball Pb;
     std::string Error;
-    bool Ok = Pb.load(Dir.string(), Error);
+    PinballLoadOptions Opts;
+    Opts.Verify = Verify;
+    bool Ok = Pb.load(Dir.string(), Error, Opts);
     if (ErrorOut)
       *ErrorOut = Error;
     return Ok;
@@ -58,10 +64,11 @@ protected:
 TEST_F(PinballRobustness, IntactPinballLoadsAndReplays) {
   Pinball Pb;
   std::string Error;
-  ASSERT_TRUE(Pb.load(Dir.string(), Error)) << Error;
+  ASSERT_TRUE(Pb.load(Dir.string(), Error)) << Error; // verification on
   Replayer Rep(Pb);
   ASSERT_TRUE(Rep.valid());
   EXPECT_EQ(Rep.run(), Machine::StopReason::Halted);
+  EXPECT_FALSE(Rep.divergence());
 }
 
 TEST_F(PinballRobustness, MissingFileFails) {
@@ -106,11 +113,22 @@ TEST_F(PinballRobustness, NonInjectTagInInjectionsFails) {
   EXPECT_FALSE(loads(&Error));
 }
 
+TEST_F(PinballRobustness, PostSaveEditIsCaughtByTheManifest) {
+  // The same edit the parser tests sneak past with Verify=false is exactly
+  // what default verification exists to catch.
+  corrupt("state.txt", "not a machine state at all");
+  std::string Error;
+  EXPECT_FALSE(loads(&Error, /*Verify=*/true));
+  EXPECT_NE(Error.find("state.txt"), std::string::npos) << Error;
+}
+
 TEST_F(PinballRobustness, CorruptProgramFailsAtReplayerConstruction) {
   corrupt("program.asm", ".func main\n  frobnicate\n.endfunc\n");
   Pinball Pb;
   std::string Error;
-  ASSERT_TRUE(Pb.load(Dir.string(), Error)) << Error; // files parse fine
+  PinballLoadOptions Opts;
+  Opts.Verify = false;
+  ASSERT_TRUE(Pb.load(Dir.string(), Error, Opts)) << Error; // files parse fine
   Replayer Rep(Pb);
   EXPECT_FALSE(Rep.valid());
   EXPECT_NE(Rep.error().find("frobnicate"), std::string::npos)
@@ -122,29 +140,40 @@ TEST_F(PinballRobustness, EmptyMetaIsTolerated) {
   EXPECT_TRUE(loads());
 }
 
-TEST_F(PinballRobustness, EmptySyscallsIsTolerated) {
+TEST_F(PinballRobustness, EmptySyscallsIsSoftDivergence) {
   truncate("syscalls.txt");
-  // The pinball parses; replay feeds zeros past the recording (documented
-  // forgiving behaviour) and still terminates.
+  // The pinball parses; replay feeds zeros past the recording and still
+  // terminates, but the exhausted stream is reported as a soft divergence.
   Pinball Pb;
   std::string Error;
-  ASSERT_TRUE(Pb.load(Dir.string(), Error));
+  PinballLoadOptions Opts;
+  Opts.Verify = false;
+  ASSERT_TRUE(Pb.load(Dir.string(), Error, Opts));
   Replayer Rep(Pb);
   ASSERT_TRUE(Rep.valid());
   EXPECT_EQ(Rep.run(), Machine::StopReason::Halted);
+  ASSERT_TRUE(Rep.divergence());
+  EXPECT_EQ(Rep.divergence().Kind, DivergenceKind::SyscallStreamExhausted);
+  EXPECT_FALSE(divergenceIsFatal(Rep.divergence().Kind));
 }
 
-TEST_F(PinballRobustness, ScheduleForUnknownThreadIsRejectedByAssert) {
-  // A schedule referencing a thread that does not exist cannot replay;
-  // in this build (assertions on) the replayer refuses via stepThread's
-  // precondition, which we verify with a death test.
+TEST_F(PinballRobustness, ScheduleForUnknownThreadDivergesGracefully) {
+  // A schedule referencing a thread that does not exist cannot replay; the
+  // replayer must stop with a structured report, not trip an assertion.
   corrupt("schedule.txt", "s 7 2\n");
   Pinball Pb;
   std::string Error;
-  ASSERT_TRUE(Pb.load(Dir.string(), Error));
+  PinballLoadOptions Opts;
+  Opts.Verify = false;
+  ASSERT_TRUE(Pb.load(Dir.string(), Error, Opts));
   Replayer Rep(Pb);
   ASSERT_TRUE(Rep.valid());
-  EXPECT_DEATH({ Rep.run(); }, "bad tid");
+  EXPECT_EQ(Rep.run(), Machine::StopReason::StopRequested);
+  ASSERT_TRUE(Rep.divergence());
+  EXPECT_EQ(Rep.divergence().Kind, DivergenceKind::UnknownThread);
+  EXPECT_TRUE(divergenceIsFatal(Rep.divergence().Kind));
+  EXPECT_NE(Rep.divergence().describe().find("tid 7"), std::string::npos)
+      << Rep.divergence().describe();
 }
 
 } // namespace

@@ -177,7 +177,7 @@ TEST(Server, HelloStatsAndErrorPaths) {
     std::string Payload, Error;
     ASSERT_TRUE(Client.hello(Payload, Error)) << Error;
     EXPECT_NE(Payload.find("drdebugd"), std::string::npos);
-    EXPECT_NE(Payload.find("proto 1"), std::string::npos);
+    EXPECT_NE(Payload.find("proto 2"), std::string::npos);
 
     // Unknown verb.
     EXPECT_FALSE(Client.request("frobnicate 1 2", Payload, Error));
@@ -413,8 +413,12 @@ TEST(Repository, ModifiedDirectoryInvalidatesEntry) {
   std::shared_ptr<const Pinball> First = Repo.load(Dir.string(), Error);
   ASSERT_NE(First, nullptr) << Error;
   {
-    std::ofstream OS(Dir / "meta.txt", std::ios::app);
-    OS << "touched=1\n";
+    // A proper re-save (the re-recorded-pinball scenario): raw in-place
+    // edits are exactly what manifest verification exists to reject.
+    Pinball Pb;
+    ASSERT_TRUE(Pb.load(Dir.string(), Error)) << Error;
+    Pb.Meta["touched"] = "1";
+    ASSERT_TRUE(Pb.save(Dir.string(), Error)) << Error;
   }
   std::shared_ptr<const Pinball> Second = Repo.load(Dir.string(), Error);
   ASSERT_NE(Second, nullptr) << Error;

@@ -17,9 +17,11 @@
 #include "debugger/session.h"
 #include "server/client.h"
 #include "server/transport.h"
+#include "support/fault_injector.h"
 #include "workloads/figure5.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -31,10 +33,14 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: drdebug <program.asm> [-x <script>]\n"
+               "usage: drdebug <program.asm> [-x <script>] [--no-verify]\n"
                "       drdebug --demo [-x <script>]\n"
                "       drdebug --connect <host:port> [<program.asm>] "
-               "[-x <script>]\n");
+               "[-x <script>]\n"
+               "               [--retries N] [--retry-timeout-ms N] "
+               "[--retry-backoff-ms N]\n"
+               "       common: [--inject <site:kind:period[:phase[:arg]]>,...]"
+               "\n");
   return 2;
 }
 
@@ -68,7 +74,8 @@ bool feedCommands(std::istream &In, bool Prompt, ExecuteFn Execute) {
 
 /// The --connect mode: drives a remote session over the wire protocol.
 int runConnected(const std::string &HostPort, const std::string &ProgramPath,
-                 const std::string &ScriptPath) {
+                 const std::string &ScriptPath, const RetryPolicy &Policy,
+                 bool Faulty) {
   size_t Colon = HostPort.rfind(':');
   if (Colon == std::string::npos || Colon + 1 == HostPort.size())
     return usage();
@@ -84,7 +91,9 @@ int runConnected(const std::string &HostPort, const std::string &ProgramPath,
     std::fprintf(stderr, "drdebug: %s\n", Error.c_str());
     return 1;
   }
-  ProtocolClient Client(*Conn);
+  if (Faulty)
+    Conn = makeFaultyTransport(std::move(Conn), "client");
+  ProtocolClient Client(*Conn, Policy);
   std::string Banner;
   if (!Client.hello(Banner, Error)) {
     std::fprintf(stderr, "drdebug: handshake failed: %s\n", Error.c_str());
@@ -141,13 +150,39 @@ int main(int Argc, char **Argv) {
   std::string ScriptPath;
   std::string ConnectTo;
   bool Demo = false;
+  bool Verify = true;
+  bool Faulty = false;
+  RetryPolicy Policy;
   for (int I = 1; I < Argc; ++I) {
+    auto IntArg = [&](uint64_t &Out) {
+      if (I + 1 >= Argc)
+        return false;
+      Out = std::strtoull(Argv[++I], nullptr, 10);
+      return true;
+    };
+    uint64_t V = 0;
     if (std::strcmp(Argv[I], "--demo") == 0) {
       Demo = true;
     } else if (std::strcmp(Argv[I], "--connect") == 0 && I + 1 < Argc) {
       ConnectTo = Argv[++I];
     } else if (std::strcmp(Argv[I], "-x") == 0 && I + 1 < Argc) {
       ScriptPath = Argv[++I];
+    } else if (std::strcmp(Argv[I], "--no-verify") == 0) {
+      Verify = false;
+    } else if (std::strcmp(Argv[I], "--retries") == 0 && IntArg(V)) {
+      Policy.MaxRetries = static_cast<unsigned>(V);
+    } else if (std::strcmp(Argv[I], "--retry-timeout-ms") == 0 && IntArg(V)) {
+      Policy.RecvTimeoutMs = V;
+    } else if (std::strcmp(Argv[I], "--retry-backoff-ms") == 0 && IntArg(V)) {
+      Policy.InitialBackoffMs = V;
+    } else if (std::strcmp(Argv[I], "--inject") == 0 && I + 1 < Argc) {
+      std::string Error;
+      if (!FaultInjector::global().armFromSpec(Argv[++I], Error)) {
+        std::fprintf(stderr, "drdebug: bad --inject spec: %s\n",
+                     Error.c_str());
+        return 2;
+      }
+      Faulty = true;
     } else if (std::strcmp(Argv[I], "--version") == 0) {
       std::printf("drdebug %s\n", DrDebugVersion);
       return 0;
@@ -165,12 +200,13 @@ int main(int Argc, char **Argv) {
   if (!ConnectTo.empty()) {
     if (Demo)
       return usage();
-    return runConnected(ConnectTo, ProgramPath, ScriptPath);
+    return runConnected(ConnectTo, ProgramPath, ScriptPath, Policy, Faulty);
   }
   if (!Demo && ProgramPath.empty())
     return usage();
 
   DebugSession Session(std::cout);
+  Session.setPinballVerify(Verify);
   if (Demo) {
     workloads::Figure5Lines Lines;
     Program P = workloads::makeFigure5(&Lines);

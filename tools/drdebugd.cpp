@@ -15,6 +15,7 @@
 
 #include "debugger/commands.h"
 #include "server/server.h"
+#include "support/fault_injector.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -29,7 +30,8 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: drdebugd [--port N] [--workers N] "
-               "[--idle-timeout-ms N] [--once]\n");
+               "[--idle-timeout-ms N] [--deadline-ms N] [--no-verify] "
+               "[--inject <site:kind:period[:phase[:arg]]>,...] [--once]\n");
   return 2;
 }
 
@@ -38,7 +40,9 @@ int usage() {
 int main(int Argc, char **Argv) {
   uint16_t Port = 7321;
   bool Once = false;
+  bool Faulty = false;
   ServerConfig Cfg;
+  Cfg.CmdDeadline = std::chrono::milliseconds(30000);
   for (int I = 1; I < Argc; ++I) {
     auto IntArg = [&](long &Out) {
       if (I + 1 >= Argc)
@@ -53,6 +57,18 @@ int main(int Argc, char **Argv) {
       Cfg.Workers = static_cast<unsigned>(V);
     } else if (std::strcmp(Argv[I], "--idle-timeout-ms") == 0 && IntArg(V)) {
       Cfg.IdleTimeout = std::chrono::milliseconds(V);
+    } else if (std::strcmp(Argv[I], "--deadline-ms") == 0 && IntArg(V)) {
+      Cfg.CmdDeadline = std::chrono::milliseconds(V);
+    } else if (std::strcmp(Argv[I], "--no-verify") == 0) {
+      Cfg.VerifyPinballs = false;
+    } else if (std::strcmp(Argv[I], "--inject") == 0 && I + 1 < Argc) {
+      std::string Error;
+      if (!FaultInjector::global().armFromSpec(Argv[++I], Error)) {
+        std::fprintf(stderr, "drdebugd: bad --inject spec: %s\n",
+                     Error.c_str());
+        return 2;
+      }
+      Faulty = true;
     } else if (std::strcmp(Argv[I], "--once") == 0) {
       Once = true;
     } else if (std::strcmp(Argv[I], "--version") == 0) {
@@ -84,6 +100,8 @@ int main(int Argc, char **Argv) {
     std::unique_ptr<Transport> Conn = Listener.accept();
     if (!Conn)
       break;
+    if (Faulty)
+      Conn = makeFaultyTransport(std::move(Conn), "server");
     if (Once) {
       Server.serve(*Conn);
       break;
