@@ -5,35 +5,99 @@
 // for the same region (logging pays for event capture and pinball
 // writing), and both grow ~linearly with region length.
 //
+// Doubles as the observability-overhead harness: the same replay is timed
+// with the trace/metrics instrumentation idle and with tracing armed, and
+// the delta lands in BENCH_observability.json (target: < 3%).
+//
+//   bench_fig12_replay [--json PATH] [--smoke]
+//
+// --smoke shrinks everything to a sub-second run for the ctest smoke test.
+//
 //===----------------------------------------------------------------------===//
 
 #include "bench_util.h"
 #include "replay/logger.h"
 #include "replay/replayer.h"
+#include "support/tracing.h"
 #include "workloads/parsec.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 using namespace drdebug;
 using namespace drdebug::benchutil;
 using namespace drdebug::workloads;
 
-int main() {
+namespace {
+
+struct Row {
+  std::string Benchmark;
+  uint64_t Length;
+  double ReplaySeconds;
+  double LogSeconds;
+};
+
+/// Replays \p Pb once; \returns the wall-clock seconds (0 when invalid).
+double timeReplay(const Pinball &Pb) {
+  Stopwatch SW;
+  Replayer Rep(Pb);
+  if (!Rep.valid())
+    return 0.0;
+  Rep.run();
+  return SW.seconds();
+}
+
+/// Best-of-\p Reps replay time (min absorbs scheduler noise).
+double bestReplay(const Pinball &Pb, unsigned Reps) {
+  double Best = 0.0;
+  for (unsigned R = 0; R != Reps; ++R) {
+    double S = timeReplay(Pb);
+    if (R == 0 || S < Best)
+      Best = S;
+  }
+  return Best;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string JsonPath = "BENCH_observability.json";
+  bool Smoke = false;
+  for (int I = 1; I < Argc; ++I) {
+    if (!std::strcmp(Argv[I], "--json") && I + 1 < Argc)
+      JsonPath = Argv[++I];
+    else if (!std::strcmp(Argv[I], "--smoke"))
+      Smoke = true;
+    else {
+      std::fprintf(stderr, "usage: %s [--json PATH] [--smoke]\n", Argv[0]);
+      return 2;
+    }
+  }
+
   banner("Figure 12: replay times, PARSEC analogs, 4 threads",
          "replay <= logging for every benchmark/length; ~linear growth in "
          "region length");
 
-  std::vector<uint64_t> Lengths = {scaled(10'000), scaled(50'000),
-                                   scaled(200'000), scaled(1'000'000)};
+  std::vector<uint64_t> Lengths =
+      Smoke ? std::vector<uint64_t>{scaled(2'000), scaled(8'000)}
+            : std::vector<uint64_t>{scaled(10'000), scaled(50'000),
+                                    scaled(200'000), scaled(1'000'000)};
+  std::vector<std::string> Names = parsecNames();
+  if (Smoke)
+    Names.resize(std::min<size_t>(Names.size(), 2));
+
   std::printf("%-14s |", "benchmark");
   for (uint64_t L : Lengths)
     std::printf(" %12lluK |", (unsigned long long)(L / 1000));
   std::printf("  (columns: replay seconds [log seconds])\n");
 
-  uint64_t Skip = scaled(5'000);
+  uint64_t Skip = Smoke ? scaled(500) : scaled(5'000);
+  std::vector<Row> Rows;
 
-  for (const std::string &Name : parsecNames()) {
+  for (const std::string &Name : Names) {
     std::printf("%-14s |", Name.c_str());
     for (uint64_t Length : Lengths) {
       Program P = makeParsecAnalogForLength(Name, Skip + Length, 4);
@@ -45,16 +109,70 @@ int main() {
       LogResult Log = Logger::logRegion(P, Sched, nullptr, Spec);
       double LogSeconds = LogTimer.seconds();
 
-      Stopwatch ReplayTimer;
-      Replayer Rep(Log.Pb);
-      if (!Rep.valid())
-        continue;
-      Rep.run();
-      double ReplaySeconds = ReplayTimer.seconds();
+      double ReplaySeconds = timeReplay(Log.Pb);
+      Rows.push_back({Name, Length, ReplaySeconds, LogSeconds});
       std::printf(" %6.3fs[%5.3fs] |", ReplaySeconds, LogSeconds);
       std::fflush(stdout);
     }
     std::printf("\n");
   }
+
+  //===--------------------------------------------------------------------===//
+  // Observability overhead: the same replay, instrumentation idle vs armed.
+  //===--------------------------------------------------------------------===//
+  const unsigned Reps = Smoke ? 3 : 5;
+  uint64_t OverheadLen = Lengths.back();
+  Program P = makeParsecAnalogForLength(Names.front(), Skip + OverheadLen, 4);
+  RandomScheduler Sched(7, 1, 4);
+  RegionSpec Spec;
+  Spec.SkipMainInstrs = Skip;
+  Spec.LengthMainInstrs = OverheadLen;
+  LogResult Log = Logger::logRegion(P, Sched, nullptr, Spec);
+
+  trace::Tracer &T = trace::Tracer::global();
+  T.setEnabled(false);
+  double OffSeconds = bestReplay(Log.Pb, Reps);
+  T.clear();
+  T.setEnabled(true);
+  double OnSeconds = bestReplay(Log.Pb, Reps);
+  T.setEnabled(false);
+  T.clear();
+
+  double OverheadPct =
+      OffSeconds > 0 ? (OnSeconds - OffSeconds) / OffSeconds * 100.0 : 0.0;
+  const double TargetPct = 3.0;
+  std::printf("\nobservability overhead (%s, %lluK region, best of %u):\n"
+              "  tracing off %.4fs, tracing on %.4fs -> %+.2f%% "
+              "(target < %.1f%%)\n",
+              Names.front().c_str(),
+              (unsigned long long)(OverheadLen / 1000), Reps, OffSeconds,
+              OnSeconds, OverheadPct, TargetPct);
+
+  // --- BENCH_observability.json -------------------------------------------
+  std::FILE *J = std::fopen(JsonPath.c_str(), "w");
+  if (!J) {
+    std::fprintf(stderr, "cannot write %s\n", JsonPath.c_str());
+    return 1;
+  }
+  std::fprintf(J, "{\n  \"rows\": [\n");
+  for (size_t I = 0; I != Rows.size(); ++I)
+    std::fprintf(J,
+                 "    {\"benchmark\": \"%s\", \"length\": %llu, "
+                 "\"replay_s\": %.6f, \"log_s\": %.6f}%s\n",
+                 Rows[I].Benchmark.c_str(),
+                 static_cast<unsigned long long>(Rows[I].Length),
+                 Rows[I].ReplaySeconds, Rows[I].LogSeconds,
+                 I + 1 != Rows.size() ? "," : "");
+  std::fprintf(J,
+               "  ],\n  \"overhead\": {\"benchmark\": \"%s\", \"length\": "
+               "%llu, \"reps\": %u, \"replay_off_s\": %.6f, \"replay_on_s\": "
+               "%.6f, \"overhead_pct\": %.3f, \"target_pct\": %.1f, "
+               "\"within_target\": %s}\n}\n",
+               Names.front().c_str(),
+               static_cast<unsigned long long>(OverheadLen), Reps, OffSeconds,
+               OnSeconds, OverheadPct, TargetPct,
+               OverheadPct < TargetPct ? "true" : "false");
+  std::fclose(J);
+  std::printf("wrote %s\n", JsonPath.c_str());
   return 0;
 }

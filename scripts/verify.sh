@@ -3,10 +3,32 @@
 # followed by the sanitizer presets (which rebuild in build-asan/ and
 # build-tsan/ and run the subsets that matter under each tool).
 #
-#   scripts/verify.sh             # tier-1 only
-#   scripts/verify.sh --sanitize  # tier-1 + asan + tsan presets
+#   scripts/verify.sh                # tier-1 only
+#   scripts/verify.sh --sanitize     # tier-1 + asan + tsan presets
+#   scripts/verify.sh --metrics-lint # docs/OBSERVABILITY.md covers the
+#                                    # metric_names.h catalog; no build
 set -eu
 cd "$(dirname "$0")/.."
+
+# --metrics-lint: every metric name declared in src/support/metric_names.h
+# must be documented in docs/OBSERVABILITY.md (the other direction is the
+# drift test in tests/test_metrics.cpp). Pure grep: runs without a build.
+if [ "${1:-}" = "--metrics-lint" ]; then
+  missing=0
+  for name in $(grep -o '"drdebug_[a-z0-9_]*"' src/support/metric_names.h |
+                tr -d '"' | sort -u); do
+    if ! grep -q "$name" docs/OBSERVABILITY.md; then
+      echo "metrics-lint: $name is not documented in docs/OBSERVABILITY.md" >&2
+      missing=$((missing + 1))
+    fi
+  done
+  if [ "$missing" -ne 0 ]; then
+    echo "metrics-lint: $missing undocumented metric(s)" >&2
+    exit 1
+  fi
+  echo "metrics-lint: OK"
+  exit 0
+fi
 
 cmake -B build -S .
 cmake --build build -j

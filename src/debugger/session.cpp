@@ -8,6 +8,7 @@
 #include "replay/repository.h"
 #include "slicing/report.h"
 #include "slicing/slice_repository.h"
+#include "support/tracing.h"
 
 #include <cassert>
 #include <cctype>
@@ -175,7 +176,7 @@ bool DebugSession::loadProgramText(const std::string &AsmText) {
   Program P;
   std::string Error;
   if (!assemble(AsmText, P, Error)) {
-    Out << "error: " << Error << "\n";
+    err() << "error: " << Error << "\n";
     return false;
   }
   Prog = std::make_unique<Program>(std::move(P));
@@ -282,7 +283,7 @@ void DebugSession::reportStop(Machine::StopReason Reason) {
       if (!DivergenceAnnounced) {
         DivergenceAnnounced = true;
         if (DivergenceCtr)
-          DivergenceCtr->fetch_add(1, std::memory_order_relaxed);
+          DivergenceCtr->inc();
       }
       break;
     }
@@ -301,7 +302,7 @@ bool DebugSession::ensureSliceSession() {
   if (slicing())
     return true;
   if (!RegionPb) {
-    Out << "error: no region pinball; use 'record' first\n";
+    err() << "error: no region pinball; use 'record' first\n";
     return false;
   }
   std::string Error;
@@ -311,13 +312,13 @@ bool DebugSession::ensureSliceSession() {
     SharedSlicing =
         SliceRepo->acquire(RegionPbFingerprint, *RegionPb, SliceOpts, Error);
     if (!SharedSlicing) {
-      Out << "error: " << Error << "\n";
+      err() << "error: " << Error << "\n";
       return false;
     }
   } else {
     Slicing = std::make_unique<SliceSession>(*RegionPb, SliceOpts);
     if (!Slicing->prepare(Error)) {
-      Out << "error: " << Error << "\n";
+      err() << "error: " << Error << "\n";
       Slicing.reset();
       return false;
     }
@@ -331,7 +332,67 @@ bool DebugSession::ensureSliceSession() {
 // Command dispatch
 //===----------------------------------------------------------------------===//
 
+namespace {
+
+/// Swapped in for the session stream's rdbuf while one command runs: bytes
+/// still reach the original sink, and a copy lands in the CommandResult.
+class TeeStreambuf : public std::streambuf {
+public:
+  TeeStreambuf(std::streambuf *Downstream, std::string &Captured)
+      : Downstream(Downstream), Captured(Captured) {}
+
+protected:
+  int overflow(int Ch) override {
+    if (Ch != traits_type::eof()) {
+      Captured.push_back(static_cast<char>(Ch));
+      if (Downstream)
+        Downstream->sputc(static_cast<char>(Ch));
+    }
+    return Ch;
+  }
+  std::streamsize xsputn(const char *S, std::streamsize N) override {
+    Captured.append(S, static_cast<size_t>(N));
+    if (Downstream)
+      Downstream->sputn(S, N);
+    return N;
+  }
+
+private:
+  std::streambuf *Downstream;
+  std::string &Captured;
+};
+
+} // namespace
+
+CommandResult DebugSession::executeCommand(const std::string &Line) {
+  trace::TraceSpan Span("session.execute", "debugger");
+  CommandResult R;
+  TeeStreambuf Tee(Out.rdbuf(), R.Text);
+  std::streambuf *Orig = Out.rdbuf(&Tee);
+  CmdFailed = false;
+  bool Alive = dispatchCommand(Line);
+  Out.rdbuf(Orig);
+  R.Status = !Alive    ? CommandStatus::Exited
+             : CmdFailed ? CommandStatus::Error
+                         : CommandStatus::Ok;
+  return R;
+}
+
+CommandResult DebugSession::loadProgram(const std::string &AsmText) {
+  CommandResult R;
+  TeeStreambuf Tee(Out.rdbuf(), R.Text);
+  std::streambuf *Orig = Out.rdbuf(&Tee);
+  bool Ok = loadProgramText(AsmText);
+  Out.rdbuf(Orig);
+  R.Status = Ok ? CommandStatus::Ok : CommandStatus::Error;
+  return R;
+}
+
 bool DebugSession::execute(const std::string &Line) {
+  return executeCommand(Line).Status != CommandStatus::Exited;
+}
+
+bool DebugSession::dispatchCommand(const std::string &Line) {
   std::istringstream Args(Line);
   std::string Cmd;
   if (!(Args >> Cmd))
@@ -346,12 +407,12 @@ bool DebugSession::execute(const std::string &Line) {
   if (Cmd == "load") {
     std::string Path;
     if (!(Args >> Path)) {
-      Out << "usage: load <file>\n";
+      err() << "usage: load <file>\n";
       return true;
     }
     std::ifstream IS(Path);
     if (!IS) {
-      Out << "error: cannot read " << Path << "\n";
+      err() << "error: cannot read " << Path << "\n";
       return true;
     }
     std::ostringstream Buf;
@@ -361,7 +422,7 @@ bool DebugSession::execute(const std::string &Line) {
   }
 
   if (!Prog) {
-    Out << "error: no program loaded\n";
+    err() << "error: no program loaded\n";
     return true;
   }
 
@@ -374,7 +435,7 @@ bool DebugSession::execute(const std::string &Line) {
   else if (Cmd == "unwatch") {
     unsigned Id = 0;
     if (!(Args >> Id) || !Watchpoints.count(Id))
-      Out << "error: no such watchpoint\n";
+      err() << "error: no such watchpoint\n";
     else {
       Watchpoints.erase(Id);
       Out << "deleted watchpoint " << Id << "\n";
@@ -403,7 +464,7 @@ bool DebugSession::execute(const std::string &Line) {
     cmdReverseStepi(Args);
   else if (Cmd == "replay-position") {
     if (!Replay)
-      Out << "error: not replaying\n";
+      err() << "error: not replaying\n";
     else
       Out << "replay position: " << Replay->position() << " of "
           << (Replay->position() +
@@ -414,7 +475,7 @@ bool DebugSession::execute(const std::string &Line) {
     uint64_t Target = 0;
     std::istringstream &A = Args;
     if (!Replay || !(A >> Target)) {
-      Out << "usage (while replaying): replay-seek <position>\n";
+      err() << "usage (while replaying): replay-seek <position>\n";
     } else {
       if (BpObserver)
         BpObserver->setEnabled(false);
@@ -422,7 +483,7 @@ bool DebugSession::execute(const std::string &Line) {
       if (BpObserver)
         BpObserver->setEnabled(true);
       if (!Ok) {
-        Out << "error: position beyond the end of the recording\n";
+        err() << "error: position beyond the end of the recording\n";
         return true;
       }
       Out << "replay position: " << Replay->position() << "\n";
@@ -443,7 +504,7 @@ bool DebugSession::execute(const std::string &Line) {
         Out << " " << V;
     Out << "\n";
   } else
-    Out << "error: unknown command '" << Cmd << "'\n";
+    err() << "error: unknown command '" << Cmd << "'\n";
   return true;
 }
 
@@ -469,12 +530,12 @@ void DebugSession::cmdRun(std::istringstream &Args) {
 void DebugSession::cmdBreak(std::istringstream &Args) {
   std::string Tok;
   if (!(Args >> Tok)) {
-    Out << "usage: break <pc>|<func>[+off]\n";
+    err() << "usage: break <pc>|<func>[+off]\n";
     return;
   }
   uint64_t Pc = 0;
   if (!parseLocation(Tok, Pc)) {
-    Out << "error: bad location '" << Tok << "'\n";
+    err() << "error: bad location '" << Tok << "'\n";
     return;
   }
   unsigned Id = NextBreakpointId++;
@@ -486,12 +547,12 @@ void DebugSession::cmdBreak(std::istringstream &Args) {
 void DebugSession::cmdWatch(std::istringstream &Args) {
   std::string Name;
   if (!(Args >> Name)) {
-    Out << "usage: watch <global>\n";
+    err() << "usage: watch <global>\n";
     return;
   }
   const GlobalVar *G = Prog->findGlobal(Name);
   if (!G) {
-    Out << "error: unknown global '" << Name << "'\n";
+    err() << "error: unknown global '" << Name << "'\n";
     return;
   }
   unsigned Id = NextWatchpointId++;
@@ -503,7 +564,7 @@ void DebugSession::cmdWatch(std::istringstream &Args) {
 void DebugSession::cmdDelete(std::istringstream &Args) {
   unsigned Id = 0;
   if (!(Args >> Id) || !Breakpoints.count(Id)) {
-    Out << "error: no such breakpoint\n";
+    err() << "error: no such breakpoint\n";
     return;
   }
   Breakpoints.erase(Id);
@@ -513,7 +574,7 @@ void DebugSession::cmdDelete(std::istringstream &Args) {
 void DebugSession::cmdContinue() {
   Machine *M = currentMachine();
   if (!M) {
-    Out << "error: nothing is running; use 'run' or 'replay'\n";
+    err() << "error: nothing is running; use 'run' or 'replay'\n";
     return;
   }
   // Step past the breakpoint the current thread is poised at.
@@ -525,7 +586,7 @@ void DebugSession::cmdContinue() {
 void DebugSession::cmdStepi(std::istringstream &Args) {
   Machine *M = currentMachine();
   if (!M) {
-    Out << "error: nothing is running; use 'run' or 'replay'\n";
+    err() << "error: nothing is running; use 'run' or 'replay'\n";
     return;
   }
   uint64_t N = 1;
@@ -570,7 +631,7 @@ void DebugSession::cmdInfo(std::istringstream &Args) {
     return;
   }
   if (!M) {
-    Out << "error: nothing is running\n";
+    err() << "error: nothing is running\n";
     return;
   }
   if (What == "threads") {
@@ -594,7 +655,7 @@ void DebugSession::cmdInfo(std::istringstream &Args) {
     uint32_t Tid = CurrentTid;
     Args >> Tid;
     if (Tid >= M->numThreads()) {
-      Out << "error: bad tid\n";
+      err() << "error: bad tid\n";
       return;
     }
     const ThreadContext &TC = M->thread(Tid);
@@ -602,14 +663,14 @@ void DebugSession::cmdInfo(std::istringstream &Args) {
       Out << "  r" << R << " = " << TC.Regs[R] << "\n";
     return;
   }
-  Out << "usage: info threads|regs|breakpoints\n";
+  err() << "usage: info threads|regs|breakpoints\n";
 }
 
 void DebugSession::cmdExamine(std::istringstream &Args) {
   Machine *M = currentMachine();
   uint64_t Addr = 0, N = 1;
   if (!M || !(Args >> Addr)) {
-    Out << "usage (while running): x <addr> [count]\n";
+    err() << "usage (while running): x <addr> [count]\n";
     return;
   }
   Args >> N;
@@ -621,12 +682,12 @@ void DebugSession::cmdPrint(std::istringstream &Args) {
   Machine *M = currentMachine();
   std::string Name;
   if (!M || !(Args >> Name)) {
-    Out << "usage (while running): print <global>\n";
+    err() << "usage (while running): print <global>\n";
     return;
   }
   const GlobalVar *G = Prog->findGlobal(Name);
   if (!G) {
-    Out << "error: unknown global '" << Name << "'\n";
+    err() << "error: unknown global '" << Name << "'\n";
     return;
   }
   Out << "  " << Name << " = " << M->mem().load(G->Addr) << "\n";
@@ -635,13 +696,13 @@ void DebugSession::cmdPrint(std::istringstream &Args) {
 void DebugSession::cmdBacktrace(std::istringstream &Args) {
   Machine *M = currentMachine();
   if (!M) {
-    Out << "error: nothing is running\n";
+    err() << "error: nothing is running\n";
     return;
   }
   uint32_t Tid = CurrentTid;
   Args >> Tid;
   if (Tid >= M->numThreads()) {
-    Out << "error: bad tid\n";
+    err() << "error: bad tid\n";
     return;
   }
   const ThreadContext &TC = M->thread(Tid);
@@ -656,7 +717,7 @@ void DebugSession::cmdBacktrace(std::istringstream &Args) {
 void DebugSession::cmdWhere() {
   Machine *M = currentMachine();
   if (!M) {
-    Out << "error: nothing is running\n";
+    err() << "error: nothing is running\n";
     return;
   }
   for (uint32_t T = 0; T != M->numThreads(); ++T)
@@ -667,12 +728,12 @@ void DebugSession::cmdWhere() {
 void DebugSession::cmdList(std::istringstream &Args) {
   std::string Name;
   if (!(Args >> Name)) {
-    Out << "usage: list <func>\n";
+    err() << "usage: list <func>\n";
     return;
   }
   int Idx = Prog->findFunction(Name);
   if (Idx < 0) {
-    Out << "error: unknown function '" << Name << "'\n";
+    err() << "error: unknown function '" << Name << "'\n";
     return;
   }
   const Function &F = Prog->Funcs[static_cast<size_t>(Idx)];
@@ -691,14 +752,14 @@ void DebugSession::cmdRecord(std::istringstream &Args) {
   uint64_t Seed = LiveSeed;
   if (What == "region") {
     if (!(Args >> Spec.SkipMainInstrs >> Spec.LengthMainInstrs)) {
-      Out << "usage: record region <skip> <len> [seed]\n";
+      err() << "usage: record region <skip> <len> [seed]\n";
       return;
     }
     Args >> Seed;
   } else if (What == "failure") {
     Args >> Seed;
   } else {
-    Out << "usage: record region <skip> <len> [seed] | record failure [seed]\n";
+    err() << "usage: record region <skip> <len> [seed] | record failure [seed]\n";
     return;
   }
   RandomScheduler Sched(Seed, 1, 4);
@@ -718,17 +779,17 @@ void DebugSession::cmdRecord(std::istringstream &Args) {
 void DebugSession::cmdPinball(std::istringstream &Args) {
   std::string What, Dir;
   if (!(Args >> What >> Dir)) {
-    Out << "usage: pinball save|load|verify <dir> [--no-verify]\n";
+    err() << "usage: pinball save|load|verify <dir> [--no-verify]\n";
     return;
   }
   std::string Error;
   if (What == "save") {
     if (!RegionPb) {
-      Out << "error: nothing recorded\n";
+      err() << "error: nothing recorded\n";
       return;
     }
     if (!RegionPb->save(Dir, Error))
-      Out << "error: " << Error << "\n";
+      err() << "error: " << Error << "\n";
     else
       Out << "pinball saved to " << Dir << " ("
           << Pinball::diskSizeBytes(Dir) << " bytes)\n";
@@ -738,7 +799,7 @@ void DebugSession::cmdPinball(std::istringstream &Args) {
     Pinball Pb;
     PinballIntegrity Info;
     if (!Pb.load(Dir, Error, PinballLoadOptions(), &Info)) {
-      Out << (Info.IntegrityViolation ? "integrity FAILED: " : "error: ")
+      err() << (Info.IntegrityViolation ? "integrity FAILED: " : "error: ")
           << Error << "\n";
       return;
     }
@@ -757,7 +818,7 @@ void DebugSession::cmdPinball(std::istringstream &Args) {
       if (Flag == "--no-verify")
         Verify = false;
       else {
-        Out << "usage: pinball load <dir> [--no-verify]\n";
+        err() << "usage: pinball load <dir> [--no-verify]\n";
         return;
       }
     }
@@ -765,7 +826,7 @@ void DebugSession::cmdPinball(std::istringstream &Args) {
     if (PbRepo && Verify) {
       std::shared_ptr<const Pinball> Cached = PbRepo->load(Dir, Error, &Info);
       if (!Cached) {
-        Out << "error: " << Error << "\n";
+        err() << "error: " << Error << "\n";
         return;
       }
       RegionPb = *Cached; // the repository keeps the parsed master copy
@@ -776,7 +837,7 @@ void DebugSession::cmdPinball(std::istringstream &Args) {
       PinballLoadOptions Opts;
       Opts.Verify = Verify;
       if (!Pb.load(Dir, Error, Opts, &Info)) {
-        Out << "error: " << Error << "\n";
+        err() << "error: " << Error << "\n";
         return;
       }
       RegionPb = std::move(Pb);
@@ -792,12 +853,12 @@ void DebugSession::cmdPinball(std::istringstream &Args) {
         << RegionPb->instructionCount() << " instructions\n";
     return;
   }
-  Out << "usage: pinball save|load|verify <dir> [--no-verify]\n";
+  err() << "usage: pinball save|load|verify <dir> [--no-verify]\n";
 }
 
 void DebugSession::cmdReplay() {
   if (!RegionPb) {
-    Out << "error: no region pinball; use 'record' or 'pinball load'\n";
+    err() << "error: no region pinball; use 'record' or 'pinball load'\n";
     return;
   }
   Live.reset();
@@ -805,7 +866,7 @@ void DebugSession::cmdReplay() {
   DivergenceAnnounced = false;
   Replay = std::make_unique<CheckpointedReplay>(*RegionPb, /*Interval=*/256);
   if (!Replay->valid()) {
-    Out << "error: " << Replay->error() << "\n";
+    err() << "error: " << Replay->error() << "\n";
     Replay.reset();
     return;
   }
@@ -818,7 +879,7 @@ void DebugSession::cmdReplay() {
 
 void DebugSession::cmdReverseStepi(std::istringstream &Args) {
   if (!Replay) {
-    Out << "error: reverse stepping needs an active replay\n";
+    err() << "error: reverse stepping needs an active replay\n";
     return;
   }
   uint64_t N = 1;
@@ -831,7 +892,7 @@ void DebugSession::cmdReverseStepi(std::istringstream &Args) {
   if (BpObserver)
     BpObserver->setEnabled(true);
   if (!Ok) {
-    Out << "error: reverse step failed\n";
+    err() << "error: reverse step failed\n";
     return;
   }
   Out << "stepped backwards to position " << Replay->position() << "\n";
@@ -854,14 +915,14 @@ void DebugSession::cmdSlice(std::istringstream &Args) {
     if (Sub == "fail" || Sub.empty()) {
       C = slicing()->failureCriterion();
       if (!C) {
-        Out << "error: pinball has no recorded failure point\n";
+        err() << "error: pinball has no recorded failure point\n";
         return;
       }
     } else {
       SliceCriterion Crit;
       Crit.Tid = static_cast<uint32_t>(std::strtoul(Sub.c_str(), nullptr, 10));
       if (!(Args >> Crit.Pc)) {
-        Out << "usage: slice <tid> <pc> [instance]\n";
+        err() << "usage: slice <tid> <pc> [instance]\n";
         return;
       }
       Args >> Crit.Instance;
@@ -869,7 +930,7 @@ void DebugSession::cmdSlice(std::istringstream &Args) {
     }
     auto Sl = slicing()->computeSlice(*C);
     if (!Sl) {
-      Out << "error: criterion never executed in the region\n";
+      err() << "error: criterion never executed in the region\n";
       return;
     }
     CurrentSlice = std::move(*Sl);
@@ -890,13 +951,13 @@ void DebugSession::cmdSlice(std::istringstream &Args) {
       return;
     SliceCriterion Crit;
     if (!(Args >> Crit.Tid >> Crit.Pc)) {
-      Out << "usage: slice forward <tid> <pc> [instance]\n";
+      err() << "usage: slice forward <tid> <pc> [instance]\n";
       return;
     }
     Args >> Crit.Instance;
     auto Sl = slicing()->computeForwardSlice(Crit);
     if (!Sl) {
-      Out << "error: criterion never executed in the region\n";
+      err() << "error: criterion never executed in the region\n";
       return;
     }
     CurrentSlice = std::move(*Sl);
@@ -912,7 +973,7 @@ void DebugSession::cmdSlice(std::istringstream &Args) {
 
   if (Sub == "list") {
     if (!CurrentSlice || !slicing()) {
-      Out << "error: no slice computed\n";
+      err() << "error: no slice computed\n";
       return;
     }
     const GlobalTrace &GT = slicing()->globalTrace();
@@ -935,7 +996,7 @@ void DebugSession::cmdSlice(std::istringstream &Args) {
     size_t N = 0;
     if (!CurrentSlice || !slicing() || !(Args >> N) ||
         N >= CurrentSlice->Positions.size()) {
-      Out << "usage: slice deps <entry-index> (after computing a slice)\n";
+      err() << "usage: slice deps <entry-index> (after computing a slice)\n";
       return;
     }
     const GlobalTrace &GT = slicing()->globalTrace();
@@ -955,12 +1016,12 @@ void DebugSession::cmdSlice(std::istringstream &Args) {
   if (Sub == "save") {
     std::string Path;
     if (!CurrentSlice || !slicing() || !(Args >> Path)) {
-      Out << "usage: slice save <file> (after computing a slice)\n";
+      err() << "usage: slice save <file> (after computing a slice)\n";
       return;
     }
     std::ofstream OS(Path);
     if (!OS) {
-      Out << "error: cannot write " << Path << "\n";
+      err() << "error: cannot write " << Path << "\n";
       return;
     }
     saveSpecialSliceFile(OS, slicing()->globalTrace(), *CurrentSlice,
@@ -972,12 +1033,12 @@ void DebugSession::cmdSlice(std::istringstream &Args) {
   if (Sub == "report") {
     std::string Path;
     if (!CurrentSlice || !slicing() || !(Args >> Path)) {
-      Out << "usage: slice report <file.html> (after computing a slice)\n";
+      err() << "usage: slice report <file.html> (after computing a slice)\n";
       return;
     }
     std::ofstream OS(Path);
     if (!OS) {
-      Out << "error: cannot write " << Path << "\n";
+      err() << "error: cannot write " << Path << "\n";
       return;
     }
     writeSliceReportHtml(OS, *Prog, slicing()->globalTrace(), *CurrentSlice);
@@ -987,7 +1048,7 @@ void DebugSession::cmdSlice(std::istringstream &Args) {
 
   if (Sub == "regions") {
     if (!CurrentSlice || !slicing()) {
-      Out << "error: no slice computed\n";
+      err() << "error: no slice computed\n";
       return;
     }
     auto Regions = slicing()->exclusionRegions(*CurrentSlice);
@@ -1006,20 +1067,20 @@ void DebugSession::cmdSlice(std::istringstream &Args) {
 
   if (Sub == "pinball") {
     if (!CurrentSlice || !slicing()) {
-      Out << "error: no slice computed\n";
+      err() << "error: no slice computed\n";
       return;
     }
     Pinball Pb;
     std::string Error;
     if (!slicing()->makeSlicePinball(*CurrentSlice, Pb, Error)) {
-      Out << "error: " << Error << "\n";
+      err() << "error: " << Error << "\n";
       return;
     }
     SlicePb = std::move(Pb);
     std::string Dir;
     if (Args >> Dir) {
       if (!SlicePb->save(Dir, Error)) {
-        Out << "error: " << Error << "\n";
+        err() << "error: " << Error << "\n";
         return;
       }
     }
@@ -1031,14 +1092,14 @@ void DebugSession::cmdSlice(std::istringstream &Args) {
 
   if (Sub == "replay") {
     if (!SlicePb) {
-      Out << "error: no slice pinball; use 'slice pinball' first\n";
+      err() << "error: no slice pinball; use 'slice pinball' first\n";
       return;
     }
     Live.reset();
     DivergenceAnnounced = false;
     Replay = std::make_unique<CheckpointedReplay>(*SlicePb, /*Interval=*/256);
     if (!Replay->valid()) {
-      Out << "error: " << Replay->error() << "\n";
+      err() << "error: " << Replay->error() << "\n";
       Replay.reset();
       return;
     }
@@ -1052,7 +1113,7 @@ void DebugSession::cmdSlice(std::istringstream &Args) {
 
   if (Sub == "step") {
     if (!SliceReplayActive || !Replay) {
-      Out << "error: not replaying a slice; use 'slice replay'\n";
+      err() << "error: not replaying a slice; use 'slice replay'\n";
       return;
     }
     if (!Replay->stepForward()) {
@@ -1079,7 +1140,7 @@ void DebugSession::cmdSlice(std::istringstream &Args) {
     return;
   }
 
-  Out << "usage: slice fail | slice <tid> <pc> [inst] | slice "
+  err() << "usage: slice fail | slice <tid> <pc> [inst] | slice "
          "forward <tid> <pc> [inst] | slice "
          "list|deps|save|report|regions|pinball|replay|step\n";
 }

@@ -44,6 +44,7 @@
 #include "replay/logger.h"
 #include "replay/replayer.h"
 #include "slicing/slicer.h"
+#include "support/metrics.h"
 
 #include <atomic>
 #include <functional>
@@ -58,6 +59,21 @@ namespace drdebug {
 
 class PinballRepository;
 class SliceSessionRepository;
+
+/// How one debugger command ended.
+enum class CommandStatus {
+  Ok,     ///< the command ran (the output may still describe program events)
+  Error,  ///< the command itself failed: bad usage, unknown command, I/O
+  Exited, ///< the session ended ("quit")
+};
+
+/// Structured outcome of one debugger command: the classification the old
+/// bool-returning execute() could not express (callers used to substring-
+/// match the output for "error:"), plus exactly the bytes the command wrote.
+struct CommandResult {
+  CommandStatus Status = CommandStatus::Ok;
+  std::string Text;
+};
 
 /// An interactive DrDebug session. Construct, load a program, then feed
 /// commands; output goes to the supplied stream or sink callback.
@@ -74,12 +90,22 @@ public:
   DebugSession(const DebugSession &) = delete;
   DebugSession &operator=(const DebugSession &) = delete;
 
-  /// Loads a program from assembly text. \returns false on assembly errors
-  /// (reported to the output stream).
+  /// Loads a program from assembly text, capturing the diagnostics.
+  /// Status is Error on assembly failures.
+  CommandResult loadProgram(const std::string &AsmText);
+
+  /// Executes one command line: the primary execution API. Output is
+  /// captured into the result (and still forwarded to the session's
+  /// stream/sink), and the outcome is classified without the caller having
+  /// to pattern-match the text.
+  CommandResult executeCommand(const std::string &Line);
+
+  /// Back-compat shim over loadProgram(). \returns false on assembly
+  /// errors (reported to the output stream).
   bool loadProgramText(const std::string &AsmText);
 
-  /// Executes one command line. \returns false when the session ends
-  /// ("quit"); unknown commands print an error and return true.
+  /// Back-compat shim over executeCommand(). \returns false when the
+  /// session ends ("quit"); failed commands print an error and return true.
   bool execute(const std::string &Line);
 
   /// Feeds a whole script, stopping at "quit".
@@ -101,8 +127,8 @@ public:
   void setSliceOptions(const SliceSessionOptions &O) { SliceOpts = O; }
 
   /// If set, bumped once per replay that stops on a fatal divergence — the
-  /// server's integrity.divergences stat.
-  void setDivergenceCounter(std::atomic<uint64_t> *C) { DivergenceCtr = C; }
+  /// server's integrity.divergences metric.
+  void setDivergenceCounter(metrics::Counter *C) { DivergenceCtr = C; }
 
   /// Default integrity-checking mode for `pinball load` (false when the
   /// front end was started with --no-verify).
@@ -119,6 +145,18 @@ public:
 private:
   class BreakpointObserver;
   class SinkStreambuf;
+
+  /// Runs one command line against the handlers below. \returns false on
+  /// "quit". Error classification happens via err(): handlers report
+  /// command failures through it so executeCommand can set the status.
+  bool dispatchCommand(const std::string &Line);
+
+  /// The stream for command-failure diagnostics: marks the in-flight
+  /// command failed, then behaves like Out.
+  std::ostream &err() {
+    CmdFailed = true;
+    return Out;
+  }
 
   // Command handlers.
   void cmdRun(std::istringstream &Args);
@@ -173,8 +211,10 @@ private:
   bool SliceReplayActive = false;
   /// A fatal divergence is described (and counted) only once per replay.
   bool DivergenceAnnounced = false;
-  std::atomic<uint64_t> *DivergenceCtr = nullptr;
+  metrics::Counter *DivergenceCtr = nullptr;
   bool PbVerifyDefault = true;
+  /// Set by err() while a command runs; read by executeCommand.
+  bool CmdFailed = false;
 
   // Record / slice artifacts.
   std::optional<Pinball> RegionPb;

@@ -2,6 +2,10 @@
 
 #include "replay/checkpoints.h"
 
+#include "support/metric_names.h"
+#include "support/metrics.h"
+#include "support/tracing.h"
+
 #include <cassert>
 
 using namespace drdebug;
@@ -39,7 +43,17 @@ bool CheckpointedReplay::stepForward() {
 }
 
 Machine::StopReason CheckpointedReplay::runForward(uint64_t MaxSteps) {
+  // One span per debugger command (continue/stepi under replay), not per
+  // instruction; the replayed-step counter is shared with Replayer::run.
+  static metrics::Counter &Instrs = metrics::MetricsRegistry::global().counter(
+      metricnames::ReplayInstructions);
+  trace::TraceSpan Span("replay.forward", "replay");
   uint64_t Steps = 0;
+  struct StepScope {
+    metrics::Counter &Instrs;
+    uint64_t &Steps;
+    ~StepScope() { Instrs.inc(Steps); }
+  } Scope{Instrs, Steps};
   while (Steps < MaxSteps) {
     if (!stepForward()) {
       if (divergence() && divergenceIsFatal(divergence().Kind))
@@ -74,6 +88,12 @@ bool CheckpointedReplay::seek(uint64_t Target) {
   }
   // Backward: restore the nearest checkpoint at or before Target, then
   // replay forward the remaining distance.
+  namespace mn = drdebug::metricnames;
+  static metrics::Counter &Restores =
+      metrics::MetricsRegistry::global().counter(mn::ReplayCheckpointRestores);
+  static metrics::Counter &Reexec = metrics::MetricsRegistry::global().counter(
+      mn::ReplayReexecutedInstructions);
+  trace::TraceSpan Span("replay.checkpoint_restore", "replay");
   auto It = Checkpoints.upper_bound(Target);
   assert(It != Checkpoints.begin() && "position 0 is always checkpointed");
   --It;
@@ -82,6 +102,8 @@ bool CheckpointedReplay::seek(uint64_t Target) {
   Position = CkptPos;
   uint64_t Distance = Target - CkptPos;
   Reexecuted += Distance;
+  Restores.inc();
+  Reexec.inc(Distance);
   while (Position < Target)
     if (!stepForward())
       return false;

@@ -2,6 +2,11 @@
 
 #include "replay/logger.h"
 
+#include "support/metric_names.h"
+#include "support/metrics.h"
+#include "support/stopwatch.h"
+#include "support/tracing.h"
+
 #include <cassert>
 #include <sstream>
 
@@ -100,6 +105,17 @@ private:
 
 LogResult Logger::logRegion(const Program &Prog, Scheduler &Sched,
                             SyscallProvider *World, const RegionSpec &Spec) {
+  namespace mn = drdebug::metricnames;
+  static metrics::Counter &Regions =
+      metrics::MetricsRegistry::global().counter(mn::LogRegions);
+  static metrics::Counter &Instrs =
+      metrics::MetricsRegistry::global().counter(mn::LogInstructions);
+  static metrics::LatencyHistogram &FastForwardUs =
+      metrics::MetricsRegistry::global().histogram(mn::LogFastForwardUs);
+  static metrics::LatencyHistogram &RecordUs =
+      metrics::MetricsRegistry::global().histogram(mn::LogRecordUs);
+  Regions.inc();
+
   Machine M(Prog);
   M.setScheduler(&Sched);
   if (World)
@@ -110,9 +126,12 @@ LogResult Logger::logRegion(const Program &Prog, Scheduler &Sched,
   FastForwardMonitor Monitor(M, Spec);
   Monitor.primeForZeroSkip();
   if (!Monitor.reachedStart()) {
+    trace::TraceSpan Span("log.fastforward", "logger");
+    Stopwatch SW;
     M.addObserver(&Monitor);
     Machine::StopReason Reason = M.run(Spec.MaxTotalInstrs);
     M.removeObserver(&Monitor);
+    FastForwardUs.record(static_cast<uint64_t>(SW.seconds() * 1e6));
     if (!Monitor.reachedStart()) {
       // The program ended before the region start; log an empty region.
       LogResult Result;
@@ -126,6 +145,8 @@ LogResult Logger::logRegion(const Program &Prog, Scheduler &Sched,
   }
 
   // Phase B: snapshot and record.
+  trace::TraceSpan RecordSpan("log.record", "logger");
+  Stopwatch RecordSW;
   LogResult Result;
   Result.Pb.ProgramText = Prog.SourceText;
   Result.Pb.StartState = M.snapshot();
@@ -143,6 +164,8 @@ LogResult Logger::logRegion(const Program &Prog, Scheduler &Sched,
     // stops, so just report it.
   }
   M.removeObserver(&Recorder);
+  RecordUs.record(static_cast<uint64_t>(RecordSW.seconds() * 1e6));
+  Instrs.inc(Recorder.totalInstrs());
 
   Result.Reason = Reason;
   Result.MainThreadInstrs = Recorder.mainInstrs();

@@ -4,6 +4,9 @@
 
 #include "replay/manifest.h"
 #include "support/fault_injector.h"
+#include "support/metric_names.h"
+#include "support/metrics.h"
+#include "support/tracing.h"
 
 #include <filesystem>
 #include <fstream>
@@ -11,6 +14,15 @@
 
 using namespace drdebug;
 namespace fs = std::filesystem;
+namespace mn = drdebug::metricnames;
+
+namespace {
+
+metrics::Counter &pinballCounter(const char *Name) {
+  return metrics::MetricsRegistry::global().counter(Name);
+}
+
+} // namespace
 
 uint64_t Pinball::instructionCount() const {
   uint64_t N = 0;
@@ -101,7 +113,16 @@ Pinball::serializeFiles() const {
 }
 
 bool Pinball::save(const std::string &Dir, std::string &Error) const {
-  return writeDirAtomically(Dir, serializeFiles(), Error);
+  trace::TraceSpan Span("pinball.save", "pinball");
+  std::vector<std::pair<std::string, std::string>> Files = serializeFiles();
+  uint64_t Bytes = 0;
+  for (const auto &[Name, Content] : Files)
+    Bytes += Content.size();
+  bool Ok = writeDirAtomically(Dir, Files, Error);
+  pinballCounter(mn::PinballSaves).inc();
+  if (Ok)
+    pinballCounter(mn::PinballBytesWritten).inc(Bytes);
+  return Ok;
 }
 
 namespace {
@@ -228,6 +249,17 @@ bool parseInjections(const std::string &Text,
 
 bool Pinball::load(const std::string &Dir, std::string &Error,
                    const PinballLoadOptions &Opts, PinballIntegrity *Info) {
+  trace::TraceSpan Span("pinball.load", "pinball");
+  pinballCounter(mn::PinballLoads).inc();
+  // Any early-out below is a failed load; the single success path flips Ok.
+  struct LoadScope {
+    bool Ok = false;
+    ~LoadScope() {
+      if (!Ok)
+        pinballCounter(mn::PinballLoadFailures).inc();
+    }
+  } Scope;
+
   *this = Pinball();
   PinballIntegrity LocalInfo;
   PinballIntegrity &I = Info ? *Info : LocalInfo;
@@ -240,6 +272,12 @@ bool Pinball::load(const std::string &Dir, std::string &Error,
   for (const char *Name : fileNames())
     if (!readFile(Base, Name, Contents[Name], Error))
       return false;
+  {
+    uint64_t Bytes = 0;
+    for (const auto &[Name, Content] : Contents)
+      Bytes += Content.size();
+    pinballCounter(mn::PinballBytesRead).inc(Bytes);
+  }
 
   PinballManifest M;
   std::error_code EC;
@@ -255,9 +293,12 @@ bool Pinball::load(const std::string &Dir, std::string &Error,
     I.ManifestPresent = true;
     I.FormatVersion = M.Version;
     if (Opts.Verify) {
+      trace::TraceSpan VerifySpan("manifest.verify", "pinball");
+      pinballCounter(mn::ManifestVerifications).inc();
       for (const char *Name : fileNames()) {
         std::string VerifyError;
         if (!M.verify(Name, Contents[Name], VerifyError)) {
+          pinballCounter(mn::ManifestVerifyFailures).inc();
           I.IntegrityViolation = true;
           Error = "pinball " + Dir + ": " + VerifyError;
           return false;
@@ -293,6 +334,7 @@ bool Pinball::load(const std::string &Dir, std::string &Error,
     if (Eq != std::string::npos)
       Meta[Line.substr(0, Eq)] = Line.substr(Eq + 1);
   }
+  Scope.Ok = true;
   return true;
 }
 

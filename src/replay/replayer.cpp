@@ -4,6 +4,10 @@
 
 #include "arch/assembler.h"
 #include "arch/opcode.h"
+#include "support/metric_names.h"
+#include "support/metrics.h"
+#include "support/stopwatch.h"
+#include "support/tracing.h"
 
 #include <cassert>
 #include <cstdlib>
@@ -234,7 +238,29 @@ void Replayer::checkEndState() {
 
 Machine::StopReason Replayer::run(uint64_t MaxSteps) {
   assert(Valid && "invalid replayer");
+  // Per-run instrumentation only: the stepping loop itself stays untouched
+  // so instruction throughput is unaffected.
+  namespace mn = drdebug::metricnames;
+  static metrics::Counter &Runs =
+      metrics::MetricsRegistry::global().counter(mn::ReplayRuns);
+  static metrics::Counter &Instrs =
+      metrics::MetricsRegistry::global().counter(mn::ReplayInstructions);
+  static metrics::LatencyHistogram &RegionUs =
+      metrics::MetricsRegistry::global().histogram(mn::ReplayRegionUs);
+  trace::TraceSpan Span("replay.run", "replay");
+  Stopwatch SW;
+  Runs.inc();
   uint64_t Steps = 0;
+  struct RunScope {
+    metrics::Counter &Instrs;
+    metrics::LatencyHistogram &RegionUs;
+    Stopwatch &SW;
+    uint64_t &Steps;
+    ~RunScope() {
+      Instrs.inc(Steps);
+      RegionUs.record(static_cast<uint64_t>(SW.seconds() * 1e6));
+    }
+  } Scope{Instrs, RegionUs, SW, Steps};
   while (Steps < MaxSteps) {
     if (!stepOne()) {
       if (Diverged && divergenceIsFatal(Diverged.Kind))

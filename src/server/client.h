@@ -80,6 +80,10 @@ public:
   bool stats(std::string &Report, std::string &Error) {
     return request("stats", Report, Error);
   }
+  /// Prometheus text exposition of the server's metrics registry.
+  bool metrics(std::string &Exposition, std::string &Error) {
+    return request("metrics", Exposition, Error);
+  }
 
   /// Error code of the last err response (0 when none).
   unsigned lastErrorCode() const { return LastCode; }

@@ -6,12 +6,16 @@
 #include "server/protocol.h"
 #include "support/fault_injector.h"
 #include "support/stopwatch.h"
+#include "support/tracing.h"
 
 #include <deque>
+#include <optional>
 #include <sstream>
 #include <unordered_map>
 
 using namespace drdebug;
+
+namespace mn = drdebug::metricnames;
 
 //===----------------------------------------------------------------------===//
 // DebugServer
@@ -29,10 +33,49 @@ SliceSessionOptions sliceOptionsFor(const ServerConfig &Cfg) {
 } // namespace
 
 DebugServer::DebugServer(ServerConfig CfgIn)
-    : Cfg(CfgIn), SliceRepo(Cfg.SliceCacheEntries),
+    : Cfg(CfgIn), SliceRepo(Cfg.SliceCacheEntries), Stats(Registry),
       Mgr(Repo, SliceRepo, Stats, Cfg.IdleTimeout, sliceOptionsFor(Cfg)),
       Pool(Cfg.Workers) {
   Repo.setVerify(Cfg.VerifyPinballs);
+  // Values owned by the manager and the two caches are exposed as callback
+  // metrics: one source of truth, sampled at scrape/stats time.
+  using metrics::MetricType;
+  Registry.registerCallback(
+      mn::ServerSessionsActive, MetricType::CallbackGauge,
+      [this] { return static_cast<int64_t>(Mgr.activeCount()); }, {},
+      "Resident debug sessions");
+  Registry.registerCallback(
+      mn::ServerPinballsCached, MetricType::CallbackGauge,
+      [this] { return static_cast<int64_t>(Repo.cachedCount()); }, {},
+      "Pinballs resident in the shared repository");
+  Registry.registerCallback(
+      mn::ServerPinballCacheHits, MetricType::CallbackCounter,
+      [this] { return static_cast<int64_t>(Repo.hits()); }, {},
+      "Pinball repository cache hits");
+  Registry.registerCallback(
+      mn::ServerPinballCacheMisses, MetricType::CallbackCounter,
+      [this] { return static_cast<int64_t>(Repo.misses()); }, {},
+      "Pinball repository cache misses");
+  Registry.registerCallback(
+      mn::ServerPinballIntegrityFailures, MetricType::CallbackCounter,
+      [this] { return static_cast<int64_t>(Repo.integrityFailures()); }, {},
+      "Pinball loads rejected by manifest verification");
+  Registry.registerCallback(
+      mn::ServerSlicesCached, MetricType::CallbackGauge,
+      [this] { return static_cast<int64_t>(SliceRepo.cachedCount()); }, {},
+      "Prepared slice sessions resident in the cache");
+  Registry.registerCallback(
+      mn::ServerSliceCacheHits, MetricType::CallbackCounter,
+      [this] { return static_cast<int64_t>(SliceRepo.hits()); }, {},
+      "Slice-session cache hits");
+  Registry.registerCallback(
+      mn::ServerSliceCacheMisses, MetricType::CallbackCounter,
+      [this] { return static_cast<int64_t>(SliceRepo.misses()); }, {},
+      "Slice-session cache misses");
+  Registry.registerCallback(
+      mn::ServerSliceCacheEvicted, MetricType::CallbackCounter,
+      [this] { return static_cast<int64_t>(SliceRepo.evicted()); }, {},
+      "Slice-session cache evictions");
   if (Cfg.JanitorPeriod.count() > 0) {
     Janitor = std::thread([this] {
       std::unique_lock<std::mutex> Lock(JanitorMu);
@@ -78,8 +121,8 @@ void DebugServer::serve(Transport &T) {
       if (P == FrameBuffer::Poll::None)
         break;
       if (P != FrameBuffer::Poll::Frame) {
-        Stats.FramesMalformed.fetch_add(1, std::memory_order_relaxed);
-        Stats.ErrorsReturned.fetch_add(1, std::memory_order_relaxed);
+        Stats.FramesMalformed.inc();
+        Stats.ErrorsReturned.inc();
         WireError E = P == FrameBuffer::Poll::BadChecksum
                           ? WireError::BadChecksum
                           : WireError::Malformed;
@@ -91,7 +134,7 @@ void DebugServer::serve(Transport &T) {
       if (HasSeq) {
         auto It = DedupCache.find(Seq);
         if (It != DedupCache.end()) {
-          Stats.RetriesDeduped.fetch_add(1, std::memory_order_relaxed);
+          Stats.RetriesDeduped.inc();
           T.send(encodeFrame(It->second));
           continue;
         }
@@ -122,15 +165,20 @@ std::string DebugServer::handleBody(const std::string &Body,
   uint64_t Seq = 0;
   std::string Verb;
   if (!(IS >> Seq >> Verb)) {
-    Stats.ErrorsReturned.fetch_add(1, std::memory_order_relaxed);
+    Stats.ErrorsReturned.inc();
     return errBody(0, WireError::Malformed, "missing sequence number or verb");
   }
+  // Registry label lookup (the verbIndex() linear scan is gone). Unknown
+  // verbs get no handle: they are not attributed to any verb, as before.
+  ServerStats::VerbHandle *VH = Stats.verb(Verb);
+  std::optional<trace::TraceSpan> Span;
+  if (VH)
+    Span.emplace(VH->Name, "server");
   Stopwatch VerbTimer;
   std::string Resp = dispatchVerb(Seq, Verb, IS, Attached);
-  if (int VI = verbIndex(Verb); VI >= 0) {
-    VerbStats &VS = Stats.Verbs[static_cast<size_t>(VI)];
-    VS.Count.fetch_add(1, std::memory_order_relaxed);
-    VS.LatencyUs.record(static_cast<uint64_t>(VerbTimer.seconds() * 1e6));
+  if (VH) {
+    VH->Count.inc();
+    VH->LatencyUs.record(static_cast<uint64_t>(VerbTimer.seconds() * 1e6));
   }
   return Resp;
 }
@@ -139,7 +187,7 @@ std::string DebugServer::dispatchVerb(uint64_t Seq, const std::string &Verb,
                                       std::istringstream &IS,
                                       std::set<uint64_t> &Attached) {
   auto Err = [&](WireError E, const std::string &Msg) {
-    Stats.ErrorsReturned.fetch_add(1, std::memory_order_relaxed);
+    Stats.ErrorsReturned.inc();
     return errBody(Seq, E, Msg);
   };
   auto RestOf = [&IS]() {
@@ -208,7 +256,10 @@ std::string DebugServer::dispatchVerb(uint64_t Seq, const std::string &Verb,
     Stopwatch SW;
     // Run the session command on the worker pool; this connection thread
     // just waits, so W workers bound how many sessions execute at once.
-    std::future<void> Fut = Pool.async([this, Job, IsLoad, Sid, Text] {
+    // SW doubles as the queue-wait clock: the gap between submission and
+    // the job's first instruction is the server-side schedule wait.
+    std::future<void> Fut = Pool.async([this, Job, IsLoad, Sid, Text, SW] {
+      Stats.QueueWaitUs.record(static_cast<uint64_t>(SW.seconds() * 1e6));
       if (IsLoad)
         Job->Status = Mgr.loadProgram(Sid, Text, Job->Output, Job->LoadOk);
       else
@@ -218,16 +269,16 @@ std::string DebugServer::dispatchVerb(uint64_t Seq, const std::string &Verb,
       // (exactly one of us — this job or the dispatcher — decrements it).
       if (Job->TimedOut.load(std::memory_order_acquire) &&
           !Job->OverdueSettled.exchange(true))
-        Stats.OverdueJobs.fetch_sub(1, std::memory_order_relaxed);
+        Stats.OverdueJobs.sub();
     });
     if (Cfg.CmdDeadline.count() > 0 &&
         Fut.wait_for(Cfg.CmdDeadline) == std::future_status::timeout) {
-      Stats.DeadlineTimeouts.fetch_add(1, std::memory_order_relaxed);
-      Stats.OverdueJobs.fetch_add(1, std::memory_order_relaxed);
+      Stats.DeadlineTimeouts.inc();
+      Stats.OverdueJobs.add();
       Job->TimedOut.store(true, std::memory_order_release);
       if (Job->Completed.load(std::memory_order_acquire) &&
           !Job->OverdueSettled.exchange(true))
-        Stats.OverdueJobs.fetch_sub(1, std::memory_order_relaxed);
+        Stats.OverdueJobs.sub();
       return Err(WireError::Timeout,
                  Verb + " exceeded the " +
                      std::to_string(Cfg.CmdDeadline.count()) + "ms deadline");
@@ -246,6 +297,9 @@ std::string DebugServer::dispatchVerb(uint64_t Seq, const std::string &Verb,
   if (Verb == "stats")
     return okBody(Seq, statsReport());
 
+  if (Verb == "metrics")
+    return okBody(Seq, metricsReport());
+
   if (Verb == "evict") {
     // The reply counts evicted *sessions* (stable wire contract); the
     // slice cache is trimmed on the same sweep and reported via stats.
@@ -262,30 +316,48 @@ std::string DebugServer::dispatchVerb(uint64_t Seq, const std::string &Verb,
   return Err(WireError::UnknownVerb, "unknown verb '" + Verb + "'");
 }
 
+namespace {
+
+/// The legacy `stats`-verb alias map: each old key, in its original output
+/// order, renders the value of a registry metric. Keeping the old names
+/// (and ordering) here is what lets PR-1/PR-3 transcripts and tests keep
+/// passing on top of the redesigned backend.
+struct LegacyStatAlias {
+  const char *Key;    ///< the key the `stats` verb has always emitted
+  const char *Metric; ///< the registry family it now reads from
+};
+
+constexpr LegacyStatAlias kLegacyStatAliases[] = {
+    {"sessions.created", mn::ServerSessionsCreated},
+    {"sessions.active", mn::ServerSessionsActive},
+    {"sessions.closed", mn::ServerSessionsClosed},
+    {"sessions.evicted", mn::ServerSessionsEvicted},
+    {"commands.served", mn::ServerCommandsServed},
+    {"frames.malformed", mn::ServerFramesMalformed},
+    {"errors.returned", mn::ServerErrorsReturned},
+    {"pinballs.cached", mn::ServerPinballsCached},
+    {"pinballs.cache_hits", mn::ServerPinballCacheHits},
+    {"pinballs.cache_misses", mn::ServerPinballCacheMisses},
+    {"integrity.pinball_failures", mn::ServerPinballIntegrityFailures},
+    {"integrity.divergences", mn::ServerDivergences},
+    {"retries.deduped", mn::ServerRetriesDeduped},
+    {"deadline.timeouts", mn::ServerDeadlineTimeouts},
+    {"watchdog.overdue", mn::ServerOverdueJobs},
+    {"slices.cached", mn::ServerSlicesCached},
+    {"slices.cache_hits", mn::ServerSliceCacheHits},
+    {"slices.cache_misses", mn::ServerSliceCacheMisses},
+    {"slices.evicted", mn::ServerSliceCacheEvicted},
+};
+
+} // namespace
+
 std::string DebugServer::statsReport() const {
   std::ostringstream OS;
   OS << "server.version " << DrDebugVersion << "\n"
-     << "protocol.version " << ProtocolVersion << "\n"
-     << "sessions.created " << Stats.SessionsCreated.load() << "\n"
-     << "sessions.active " << Mgr.activeCount() << "\n"
-     << "sessions.closed " << Stats.SessionsClosed.load() << "\n"
-     << "sessions.evicted " << Stats.SessionsEvicted.load() << "\n"
-     << "commands.served " << Stats.CommandsServed.load() << "\n"
-     << "frames.malformed " << Stats.FramesMalformed.load() << "\n"
-     << "errors.returned " << Stats.ErrorsReturned.load() << "\n"
-     << "pinballs.cached " << Repo.cachedCount() << "\n"
-     << "pinballs.cache_hits " << Repo.hits() << "\n"
-     << "pinballs.cache_misses " << Repo.misses() << "\n"
-     << "integrity.pinball_failures " << Repo.integrityFailures() << "\n"
-     << "integrity.divergences " << Stats.DivergencesDetected.load() << "\n"
-     << "retries.deduped " << Stats.RetriesDeduped.load() << "\n"
-     << "deadline.timeouts " << Stats.DeadlineTimeouts.load() << "\n"
-     << "watchdog.overdue " << Stats.OverdueJobs.load() << "\n"
-     << "slices.cached " << SliceRepo.cachedCount() << "\n"
-     << "slices.cache_hits " << SliceRepo.hits() << "\n"
-     << "slices.cache_misses " << SliceRepo.misses() << "\n"
-     << "slices.evicted " << SliceRepo.evicted() << "\n"
-     << "latency.cmd_us.count " << Stats.CmdLatencyUs.total() << "\n"
+     << "protocol.version " << ProtocolVersion << "\n";
+  for (const LegacyStatAlias &A : kLegacyStatAliases)
+    OS << A.Key << " " << Registry.sampleValue(A.Metric) << "\n";
+  OS << "latency.cmd_us.count " << Stats.CmdLatencyUs.total() << "\n"
      << "latency.cmd_us.p50 " << Stats.CmdLatencyUs.quantileUpperBoundUs(0.50)
      << "\n"
      << "latency.cmd_us.p90 " << Stats.CmdLatencyUs.quantileUpperBoundUs(0.90)
@@ -293,20 +365,28 @@ std::string DebugServer::statsReport() const {
      << "latency.cmd_us.p99 " << Stats.CmdLatencyUs.quantileUpperBoundUs(0.99)
      << "\n"
      << Stats.CmdLatencyUs.report("latency.cmd_us");
-  for (size_t I = 0; I != NumServerVerbs; ++I) {
-    const VerbStats &VS = Stats.Verbs[I];
-    uint64_t N = VS.Count.load(std::memory_order_relaxed);
+  for (const char *Name : ServerVerbNames) {
+    const ServerStats::VerbHandle *VH = Stats.verb(Name);
+    uint64_t N = VH->Count.value();
     if (N == 0)
       continue;
-    OS << "verb." << ServerVerbNames[I] << ".count " << N << "\n"
-       << "verb." << ServerVerbNames[I] << ".us.p50 "
-       << VS.LatencyUs.quantileUpperBoundUs(0.50) << "\n"
-       << "verb." << ServerVerbNames[I] << ".us.p99 "
-       << VS.LatencyUs.quantileUpperBoundUs(0.99) << "\n";
+    OS << "verb." << Name << ".count " << N << "\n"
+       << "verb." << Name << ".us.p50 "
+       << VH->LatencyUs.quantileUpperBoundUs(0.50) << "\n"
+       << "verb." << Name << ".us.p99 "
+       << VH->LatencyUs.quantileUpperBoundUs(0.99) << "\n";
   }
   FaultInjector &FI = FaultInjector::global();
   OS << "faults.injected.total " << FI.totalFired() << "\n";
   for (const auto &[SiteName, Fired] : FI.firedCounts())
     OS << "faults.injected." << SiteName << " " << Fired << "\n";
   return OS.str();
+}
+
+std::string DebugServer::metricsReport() const {
+  // Per-server registry first, then the process-global library metrics
+  // (replay, slicing, pinball I/O). Family names are disjoint, so the
+  // concatenation is one valid exposition document.
+  return Registry.renderPrometheus() +
+         metrics::MetricsRegistry::global().renderPrometheus();
 }

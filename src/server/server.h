@@ -14,8 +14,14 @@
 /// matter how many users replay it, and an optional janitor thread evicts
 /// idle sessions.
 ///
-/// Verbs: hello, open, attach, detach, close, load, cmd, stats, evict,
-/// shutdown — see docs/SERVER.md for the full wire grammar.
+/// Verbs: hello, open, attach, detach, close, load, cmd, stats, metrics,
+/// evict, shutdown — see docs/SERVER.md for the full wire grammar.
+///
+/// Every server owns a MetricsRegistry: ServerStats registers its handles
+/// there, live values (active sessions, cache sizes) are exposed through
+/// callback metrics, the `metrics` verb renders the registry (plus the
+/// process-global one) as Prometheus text, and the legacy `stats` verb is
+/// re-rendered from the same registry through an alias map.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -72,13 +78,19 @@ public:
     return Shutdown.load(std::memory_order_acquire);
   }
 
-  /// The `stats` verb payload ("key value" lines).
+  /// The `stats` verb payload ("key value" lines): the legacy keys,
+  /// re-rendered from the metrics registry via the alias map.
   std::string statsReport() const;
+
+  /// The `metrics` verb payload: Prometheus text exposition of this
+  /// server's registry followed by the process-global one.
+  std::string metricsReport() const;
 
   SessionManager &sessions() { return Mgr; }
   PinballRepository &repository() { return Repo; }
   SliceSessionRepository &sliceRepository() { return SliceRepo; }
   ServerStats &stats() { return Stats; }
+  metrics::MetricsRegistry &registry() { return Registry; }
 
 private:
   /// Dispatches one request body; \returns the response body. Also stamps
@@ -89,6 +101,8 @@ private:
                            std::set<uint64_t> &Attached);
 
   ServerConfig Cfg;
+  /// Declared before Stats/Mgr: the handles they hold point into it.
+  metrics::MetricsRegistry Registry;
   PinballRepository Repo;
   SliceSessionRepository SliceRepo;
   ServerStats Stats;

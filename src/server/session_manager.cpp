@@ -10,14 +10,15 @@
 
 using namespace drdebug;
 
-/// One resident session: the DebugSession, its captured output, and the
-/// mutex that serializes commands against it. LastUsed and Buffer are
-/// guarded by CmdMu; Attached is guarded by the manager's Mu.
+/// One resident session: the DebugSession and the mutex that serializes
+/// commands against it. Output capture moved into the session itself
+/// (CommandResult::Text), so the sink just discards; LastUsed is guarded
+/// by CmdMu, Attached by the manager's Mu.
 struct SessionManager::ManagedSession {
   ManagedSession(uint64_t Id, PinballRepository &Repo,
                  SliceSessionRepository &SliceRepo,
                  const SliceSessionOptions &SliceOpts, ServerStats &Stats)
-      : Id(Id), Session([this](const std::string &Chunk) { Buffer += Chunk; }) {
+      : Id(Id), Session([](const std::string &) {}) {
     Session.setPinballRepository(&Repo);
     Session.setSliceRepository(&SliceRepo);
     Session.setSliceOptions(SliceOpts);
@@ -27,7 +28,6 @@ struct SessionManager::ManagedSession {
 
   const uint64_t Id;
   std::mutex CmdMu;
-  std::string Buffer;
   DebugSession Session;
   Clock::time_point LastUsed;
   bool Attached = true;
@@ -46,7 +46,7 @@ uint64_t SessionManager::create() {
   uint64_t Id = NextId++;
   Sessions.emplace(Id, std::make_shared<ManagedSession>(Id, Repo, SliceRepo,
                                                         SliceOpts, Stats));
-  Stats.SessionsCreated.fetch_add(1, std::memory_order_relaxed);
+  Stats.SessionsCreated.inc();
   return Id;
 }
 
@@ -86,7 +86,7 @@ bool SessionManager::close(uint64_t Id) {
   }
   // Let any in-flight command drain before destruction.
   std::lock_guard<std::mutex> CmdLock(Doomed->CmdMu);
-  Stats.SessionsClosed.fetch_add(1, std::memory_order_relaxed);
+  Stats.SessionsClosed.inc();
   return true;
 }
 
@@ -118,22 +118,23 @@ SessionManager::execute(uint64_t Id, const std::string &Line,
   std::shared_ptr<ManagedSession> S = find(Id);
   if (!S)
     return ExecStatus::NoSuchSession;
-  bool Alive;
+  CommandStatus Status;
   {
     std::lock_guard<std::mutex> CmdLock(S->CmdMu);
     // Deterministic slow-command hook: lets the deadline tests make a verb
     // overrun its budget without depending on machine speed.
     FaultInjector::global().maybeDelay("session.execute");
-    S->Buffer.clear();
-    Alive = S->Session.execute(Line);
-    Output = std::move(S->Buffer);
-    S->Buffer.clear();
+    CommandResult R = S->Session.executeCommand(Line);
+    Status = R.Status;
+    Output = std::move(R.Text);
     S->LastUsed = Clock::now();
   }
-  Stats.CommandsServed.fetch_add(1, std::memory_order_relaxed);
-  if (!Alive) {
+  Stats.CommandsServed.inc();
+  if (Status == CommandStatus::Error)
+    Stats.CommandsFailed.inc();
+  if (Status == CommandStatus::Exited) {
     remove(Id);
-    Stats.SessionsClosed.fetch_add(1, std::memory_order_relaxed);
+    Stats.SessionsClosed.inc();
     return ExecStatus::Ended;
   }
   return ExecStatus::Ok;
@@ -147,13 +148,14 @@ SessionManager::loadProgram(uint64_t Id, const std::string &Text,
     return ExecStatus::NoSuchSession;
   {
     std::lock_guard<std::mutex> CmdLock(S->CmdMu);
-    S->Buffer.clear();
-    LoadOk = S->Session.loadProgramText(Text);
-    Output = std::move(S->Buffer);
-    S->Buffer.clear();
+    CommandResult R = S->Session.loadProgram(Text);
+    LoadOk = R.Status != CommandStatus::Error;
+    Output = std::move(R.Text);
     S->LastUsed = Clock::now();
   }
-  Stats.CommandsServed.fetch_add(1, std::memory_order_relaxed);
+  Stats.CommandsServed.inc();
+  if (!LoadOk)
+    Stats.CommandsFailed.inc();
   return ExecStatus::Ok;
 }
 
@@ -182,6 +184,6 @@ size_t SessionManager::evictIdle() {
       }
     }
   }
-  Stats.SessionsEvicted.fetch_add(Evicted.size(), std::memory_order_relaxed);
+  Stats.SessionsEvicted.inc(Evicted.size());
   return Evicted.size();
 }

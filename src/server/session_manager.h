@@ -6,8 +6,8 @@
 ///
 /// \file
 /// Owns the server's DebugSessions. Each session is identified by a
-/// numeric id, captures its output through the DebugSession sink (no
-/// ostream involved), and is driven by at most one command at a time (a
+/// numeric id, returns per-command output through CommandResult (the
+/// structured execute API), and is driven by at most one command at a time (a
 /// per-session mutex serializes them); different sessions run freely in
 /// parallel on the server's worker threads. Sessions idle longer than the
 /// configured timeout are evicted; a session busy executing a command is

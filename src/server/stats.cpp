@@ -1,0 +1,50 @@
+//===- server/stats.cpp - Registry-backed server counters --------------------===//
+
+#include "server/stats.h"
+
+using namespace drdebug;
+
+namespace mn = drdebug::metricnames;
+
+ServerStats::ServerStats(metrics::MetricsRegistry &Reg)
+    : SessionsCreated(Reg.counter(mn::ServerSessionsCreated, {},
+                                  "Sessions created via the open verb")),
+      SessionsClosed(
+          Reg.counter(mn::ServerSessionsClosed, {}, "Sessions closed")),
+      SessionsEvicted(Reg.counter(mn::ServerSessionsEvicted, {},
+                                  "Sessions evicted after idling")),
+      CommandsServed(Reg.counter(mn::ServerCommandsServed, {},
+                                 "Debugger commands executed")),
+      CommandsFailed(Reg.counter(mn::ServerCommandsFailed, {},
+                                 "Commands whose result status was error")),
+      FramesMalformed(Reg.counter(mn::ServerFramesMalformed, {},
+                                  "Wire frames dropped as malformed")),
+      ErrorsReturned(
+          Reg.counter(mn::ServerErrorsReturned, {}, "Error responses sent")),
+      DivergencesDetected(Reg.counter(
+          mn::ServerDivergences, {}, "Replays stopped on a fatal divergence")),
+      DeadlineTimeouts(Reg.counter(mn::ServerDeadlineTimeouts, {},
+                                   "Verbs cut short by the per-verb deadline")),
+      RetriesDeduped(Reg.counter(mn::ServerRetriesDeduped, {},
+                                 "Retransmits answered from the dedup cache")),
+      OverdueJobs(Reg.gauge(mn::ServerOverdueJobs, {},
+                            "Overdue verb jobs still running")),
+      CmdLatencyUs(Reg.histogram(mn::ServerCmdLatencyUs, {},
+                                 "load/cmd service latency (us)")),
+      QueueWaitUs(Reg.histogram(
+          mn::ServerQueueWaitUs, {},
+          "Worker-pool schedule wait before a load/cmd job runs (us)")) {
+  // Eager per-verb registration: every protocol verb has its counter and
+  // latency histogram from the first scrape, and the drift test can assert
+  // the table and the registry never diverge.
+  for (const char *Name : ServerVerbNames) {
+    metrics::Labels L{{"verb", Name}};
+    Verbs.emplace(
+        Name,
+        VerbHandle{Name,
+                   Reg.counter(mn::ServerVerbRequests, L,
+                               "Requests per protocol verb"),
+                   Reg.histogram(mn::ServerVerbLatencyUs, L,
+                                 "Per-verb service latency (us)")});
+  }
+}

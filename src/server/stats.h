@@ -1,123 +1,103 @@
-//===- server/stats.h - Server-level counters -------------------*- C++ -*-===//
+//===- server/stats.h - Registry-backed server counters ---------*- C++ -*-===//
 //
 // Part of the DrDebug reproduction. MIT license.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Counters the server exposes via the `stats` protocol verb: session
-/// lifecycle counts, commands served, pinball-cache effectiveness, and a
-/// lock-free power-of-two latency histogram for command service times.
+/// The counters the server exposes via the `stats` and `metrics` protocol
+/// verbs. Since the observability redesign these are *handles into a
+/// MetricsRegistry* (support/metrics.h), not bespoke atomics: ServerStats
+/// registers every counter/gauge/histogram — including one counter and one
+/// latency histogram per protocol verb, labelled `verb="<name>"` — and the
+/// legacy `stats` rendering in server.cpp re-reads them through the same
+/// registry the Prometheus exposition uses. The old bespoke rendering and
+/// `verbIndex()`'s linear scan are gone; verb lookup is a registry-shaped
+/// label lookup (`ServerStats::verb`).
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef DRDEBUG_SERVER_STATS_H
 #define DRDEBUG_SERVER_STATS_H
 
-#include <array>
-#include <atomic>
-#include <cstdint>
-#include <sstream>
+#include "support/metric_names.h"
+#include "support/metrics.h"
+
+#include <cstddef>
 #include <string>
+#include <unordered_map>
 
 namespace drdebug {
 
-/// Power-of-two-bucketed latency histogram (microseconds). Bucket I holds
-/// samples in [2^I, 2^(I+1)) us; bucket 0 also holds sub-microsecond ones.
-class LatencyHistogram {
-public:
-  static constexpr size_t NumBuckets = 24; // up to ~16.8 s
+/// The legacy histogram type now lives in support/ (generalized, and with
+/// the bucket-boundary off-by-one fixed); server code keeps the old name.
+using LatencyHistogram = metrics::LatencyHistogram;
 
-  void record(uint64_t Micros) {
-    size_t B = 0;
-    while ((1ULL << (B + 1)) <= Micros && B + 1 < NumBuckets)
-      ++B;
-    Buckets[B].fetch_add(1, std::memory_order_relaxed);
-  }
-
-  uint64_t total() const {
-    uint64_t N = 0;
-    for (const auto &B : Buckets)
-      N += B.load(std::memory_order_relaxed);
-    return N;
-  }
-
-  /// Upper bound (us) of the bucket containing the \p Q quantile (0..1).
-  uint64_t quantileUpperBoundUs(double Q) const {
-    uint64_t N = total();
-    if (N == 0)
-      return 0;
-    uint64_t Rank = static_cast<uint64_t>(Q * static_cast<double>(N));
-    if (Rank >= N)
-      Rank = N - 1;
-    uint64_t Seen = 0;
-    for (size_t I = 0; I != NumBuckets; ++I) {
-      Seen += Buckets[I].load(std::memory_order_relaxed);
-      if (Seen > Rank)
-        return 1ULL << (I + 1);
-    }
-    return 1ULL << NumBuckets;
-  }
-
-  /// One line per non-empty bucket: "latency.cmd_us.le_<bound> <count>".
-  std::string report(const char *Prefix) const {
-    std::ostringstream OS;
-    for (size_t I = 0; I != NumBuckets; ++I) {
-      uint64_t C = Buckets[I].load(std::memory_order_relaxed);
-      if (C)
-        OS << Prefix << ".le_" << (1ULL << (I + 1)) << " " << C << "\n";
-    }
-    return OS.str();
-  }
-
-private:
-  std::array<std::atomic<uint64_t>, NumBuckets> Buckets{};
-};
-
-/// Every verb the protocol knows, in dispatch order. Per-verb counters are
-/// indexed by position in this table.
+/// Every verb the protocol knows, in dispatch order.
 inline constexpr const char *ServerVerbNames[] = {
-    "hello", "open",  "attach", "detach", "close",
-    "load",  "cmd",   "stats",  "evict",  "shutdown"};
+    "hello", "open",  "attach",  "detach", "close", "load",
+    "cmd",   "stats", "metrics", "evict",  "shutdown"};
 inline constexpr size_t NumServerVerbs =
     sizeof(ServerVerbNames) / sizeof(ServerVerbNames[0]);
 
-/// Index of \p Verb in ServerVerbNames, or -1 for unknown verbs.
-inline int verbIndex(const std::string &Verb) {
-  for (size_t I = 0; I != NumServerVerbs; ++I)
-    if (Verb == ServerVerbNames[I])
-      return static_cast<int>(I);
-  return -1;
-}
+/// All server-level counters, as stable handles into one MetricsRegistry.
+/// Field names (and `load()` on the handles) match the pre-registry struct
+/// so existing call sites read unchanged.
+class ServerStats {
+public:
+  explicit ServerStats(metrics::MetricsRegistry &Reg);
 
-/// Per-verb service counters: request count + latency distribution.
-struct VerbStats {
-  std::atomic<uint64_t> Count{0};
-  LatencyHistogram LatencyUs;
-};
+  ServerStats(const ServerStats &) = delete;
+  ServerStats &operator=(const ServerStats &) = delete;
 
-/// All server-level counters. Every field is independently atomic; the
-/// `stats` verb renders them as "key value" lines.
-struct ServerStats {
-  std::atomic<uint64_t> SessionsCreated{0};
-  std::atomic<uint64_t> SessionsClosed{0};
-  std::atomic<uint64_t> SessionsEvicted{0};
-  std::atomic<uint64_t> CommandsServed{0};
-  std::atomic<uint64_t> FramesMalformed{0};
-  std::atomic<uint64_t> ErrorsReturned{0};
+  metrics::Counter &SessionsCreated;
+  metrics::Counter &SessionsClosed;
+  metrics::Counter &SessionsEvicted;
+  metrics::Counter &CommandsServed;
+  /// Commands whose CommandResult came back with status `error` — the
+  /// classification that used to require substring-matching the output.
+  metrics::Counter &CommandsFailed;
+  metrics::Counter &FramesMalformed;
+  metrics::Counter &ErrorsReturned;
   /// Replays that stopped on a divergence report (integrity.divergences).
-  std::atomic<uint64_t> DivergencesDetected{0};
+  metrics::Counter &DivergencesDetected;
   /// Verbs cut short by the per-verb deadline (deadline.timeouts).
-  std::atomic<uint64_t> DeadlineTimeouts{0};
+  metrics::Counter &DeadlineTimeouts;
   /// Duplicate requests answered from the per-connection response cache
   /// instead of re-executing (retries.deduped).
-  std::atomic<uint64_t> RetriesDeduped{0};
+  metrics::Counter &RetriesDeduped;
   /// Gauge: verb jobs past their deadline that are still running
   /// (watchdog.overdue). Incremented when a deadline fires, decremented
   /// when the overdue job finally finishes.
-  std::atomic<int64_t> OverdueJobs{0};
-  LatencyHistogram CmdLatencyUs;
-  std::array<VerbStats, NumServerVerbs> Verbs;
+  metrics::Gauge &OverdueJobs;
+  metrics::LatencyHistogram &CmdLatencyUs;
+  /// Time a load/cmd job spent queued before a pool worker picked it up —
+  /// the server-side schedule-wait.
+  metrics::LatencyHistogram &QueueWaitUs;
+
+  /// Per-verb service handles. `Name` is the canonical (static) verb
+  /// string, usable as a trace-span name.
+  struct VerbHandle {
+    const char *Name;
+    metrics::Counter &Count;
+    metrics::LatencyHistogram &LatencyUs;
+  };
+
+  /// The registry label lookup that replaced verbIndex(): \returns the
+  /// handle for \p Verb, or null for unknown verbs. Every ServerVerbNames
+  /// entry is registered eagerly at construction, so `metrics` exposition
+  /// and the drift test see all verbs even before first use.
+  VerbHandle *verb(const std::string &Verb) {
+    auto It = Verbs.find(Verb);
+    return It == Verbs.end() ? nullptr : &It->second;
+  }
+  const VerbHandle *verb(const std::string &Verb) const {
+    auto It = Verbs.find(Verb);
+    return It == Verbs.end() ? nullptr : &It->second;
+  }
+
+private:
+  std::unordered_map<std::string, VerbHandle> Verbs;
 };
 
 } // namespace drdebug

@@ -3,6 +3,7 @@
 #include "slicing/lp_slicer.h"
 
 #include "support/thread_pool.h"
+#include "support/tracing.h"
 
 #include <algorithm>
 #include <cassert>
@@ -83,6 +84,9 @@ void LpSlicer::buildDefIndex(ThreadPool *Pool) {
   std::vector<std::unordered_map<Location, std::vector<uint32_t>>> Parts(
       Chunks);
   Pool->parallelFor(Chunks, [&](size_t C) {
+    // One span per pool worker's chunk: the Chrome trace shows the index
+    // build fanning out across worker tids.
+    trace::TraceSpan Span("slice.defindex.chunk", "slicing");
     auto &Part = Parts[C];
     size_t Lo = C * Len, Hi = std::min(N, Lo + Len);
     for (size_t Pos = Lo; Pos < Hi; ++Pos)

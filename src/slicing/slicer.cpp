@@ -5,8 +5,11 @@
 #include "replay/replayer.h"
 #include "slicing/control_dep.h"
 #include "slicing/forward.h"
+#include "support/metric_names.h"
+#include "support/metrics.h"
 #include "support/stopwatch.h"
 #include "support/thread_pool.h"
+#include "support/tracing.h"
 
 #include <algorithm>
 #include <cassert>
@@ -15,6 +18,16 @@
 
 using namespace drdebug;
 
+namespace {
+
+namespace mn = drdebug::metricnames;
+
+metrics::LatencyHistogram &sliceHistogram(const char *Name) {
+  return metrics::MetricsRegistry::global().histogram(Name);
+}
+
+} // namespace
+
 SliceSession::SliceSession(const Pinball &RegionPb, SliceSessionOptions Opts)
     : RegionPb(RegionPb), Opts(Opts) {}
 
@@ -22,25 +35,32 @@ SliceSession::~SliceSession() = default;
 
 bool SliceSession::prepare(std::string &Error) {
   assert(!Prepared && "prepare() called twice");
+  metrics::MetricsRegistry::global().counter(mn::SlicePrepares).inc();
+  trace::TraceSpan PrepareSpan("slice.prepare", "slicing");
   Stopwatch Timer;
 
   // Replay the region pinball, collecting per-thread traces, conflict
   // ordering and dynamic jump targets.
-  Replayer Rep(RegionPb);
-  if (!Rep.valid()) {
-    Error = "slice session: " + Rep.error();
-    return false;
+  {
+    trace::TraceSpan ReplaySpan("slice.replay", "slicing");
+    Replayer Rep(RegionPb);
+    if (!Rep.valid()) {
+      Error = "slice session: " + Rep.error();
+      return false;
+    }
+    Prog = std::make_unique<Program>(Rep.program());
+    Traces = std::make_unique<TraceSet>(*Prog);
+    Rep.machine().addObserver(Traces.get());
+    Rep.run();
+    Rep.machine().removeObserver(Traces.get());
   }
-  Prog = std::make_unique<Program>(Rep.program());
-  Traces = std::make_unique<TraceSet>(*Prog);
-  Rep.machine().addObserver(Traces.get());
-  Rep.run();
-  Rep.machine().removeObserver(Traces.get());
   if (Traces->totalEntries() > GlobalTrace::MaxEntries) {
     Error = "slice session: region trace exceeds the 32-bit position space";
     return false;
   }
   ReplayTime = Timer.seconds();
+  sliceHistogram(mn::SliceReplayUs)
+      .record(static_cast<uint64_t>(ReplayTime * 1e6));
 
   // The analysis pipeline. Replay above is inherently sequential; from here
   // on the per-thread passes and index builds can run on a pool. Every
@@ -56,34 +76,43 @@ bool SliceSession::prepare(std::string &Error) {
   // thread and touch disjoint state once the CFG set is warmed).
   Cfgs = std::make_unique<CfgSet>(*Prog);
   SaveRestores = std::make_unique<SaveRestoreAnalysis>(*Prog, Opts.MaxSave);
-  if (Pool) {
-    if (Opts.RefineCfg)
-      Cfgs->refine(Traces->indirectTargets());
-    Cfgs->warm(Pool.get());
-    auto &Threads = Traces->threadsMutable();
-    std::vector<std::vector<SaveRestorePair>> PerThread(Threads.size());
-    std::vector<std::future<void>> Wave;
-    for (size_t T = 0; T != Threads.size(); ++T) {
-      Wave.push_back(Pool->async(
-          [this, &Threads, T] { computeControlDeps(Threads[T], *Cfgs); }));
-      Wave.push_back(Pool->async([this, &Threads, &PerThread, T] {
-        PerThread[T] = SaveRestores->verifyThread(Threads[T]);
-      }));
+  {
+    trace::TraceSpan WaveSpan("slice.controldep", "slicing");
+    if (Pool) {
+      if (Opts.RefineCfg)
+        Cfgs->refine(Traces->indirectTargets());
+      Cfgs->warm(Pool.get());
+      auto &Threads = Traces->threadsMutable();
+      std::vector<std::vector<SaveRestorePair>> PerThread(Threads.size());
+      std::vector<std::future<void>> Wave;
+      for (size_t T = 0; T != Threads.size(); ++T) {
+        Wave.push_back(Pool->async([this, &Threads, T] {
+          trace::TraceSpan S("slice.controldep.thread", "slicing");
+          computeControlDeps(Threads[T], *Cfgs);
+        }));
+        Wave.push_back(Pool->async([this, &Threads, &PerThread, T] {
+          trace::TraceSpan S("slice.saverestore.thread", "slicing");
+          PerThread[T] = SaveRestores->verifyThread(Threads[T]);
+        }));
+      }
+      for (auto &W : Wave)
+        W.get();
+      SaveRestores->adopt(std::move(PerThread));
+    } else {
+      computeAllControlDeps(*Traces, *Cfgs, Opts.RefineCfg);
+      SaveRestores->run(Traces->threads());
     }
-    for (auto &W : Wave)
-      W.get();
-    SaveRestores->adopt(std::move(PerThread));
-  } else {
-    computeAllControlDeps(*Traces, *Cfgs, Opts.RefineCfg);
-    SaveRestores->run(Traces->threads());
   }
 
   // Step (ii): combined global trace. The topological merge is sequential;
   // the position-index fill only reads the merged order, so it overlaps
   // with the pc-occurrence index and the LP slicer's def-site index build
   // (step (iii)), neither of which calls posOf().
-  Global = std::make_unique<GlobalTrace>();
-  Global->mergeOrder(*Traces);
+  {
+    trace::TraceSpan MergeSpan("slice.merge", "slicing");
+    Global = std::make_unique<GlobalTrace>();
+    Global->mergeOrder(*Traces);
+  }
   SliceOptions SO;
   SO.PruneSaveRestore = Opts.PruneSaveRestore;
   SO.BlockSize = Opts.BlockSize;
@@ -91,8 +120,14 @@ bool SliceSession::prepare(std::string &Error) {
   const SaveRestoreAnalysis *SR =
       Opts.PruneSaveRestore ? SaveRestores.get() : nullptr;
   if (Pool) {
-    auto PosFill = Pool->async([this] { Global->fillPositionIndex(); });
-    auto PcIdx = Pool->async([this] { buildPcIndex(); });
+    auto PosFill = Pool->async([this] {
+      trace::TraceSpan S("slice.posindex", "slicing");
+      Global->fillPositionIndex();
+    });
+    auto PcIdx = Pool->async([this] {
+      trace::TraceSpan S("slice.pcindex", "slicing");
+      buildPcIndex();
+    });
     Slicer = std::make_unique<LpSlicer>(*Global, SR, SO, Pool.get());
     PosFill.get();
     PcIdx.get();
@@ -104,6 +139,10 @@ bool SliceSession::prepare(std::string &Error) {
 
   AnalysisTime = AnalysisTimer.seconds();
   TraceTime = Timer.seconds();
+  sliceHistogram(mn::SliceAnalysisUs)
+      .record(static_cast<uint64_t>(AnalysisTime * 1e6));
+  sliceHistogram(mn::SlicePrepareUs)
+      .record(static_cast<uint64_t>(TraceTime * 1e6));
   Prepared = true;
   return true;
 }
@@ -194,7 +233,13 @@ std::optional<Slice> SliceSession::computeSlice(const SliceCriterion &C) const {
   std::optional<uint32_t> Pos = criterionPosition(C);
   if (!Pos)
     return std::nullopt;
-  return Slicer->compute(*Pos, C.Locs);
+  metrics::MetricsRegistry::global().counter(mn::SliceQueries).inc();
+  trace::TraceSpan Span("slice.lp_traverse", "slicing");
+  Stopwatch SW;
+  Slice S = Slicer->compute(*Pos, C.Locs);
+  sliceHistogram(mn::SliceQueryUs)
+      .record(static_cast<uint64_t>(SW.seconds() * 1e6));
+  return S;
 }
 
 Slice SliceSession::computeSliceAt(uint32_t GlobalPos,
@@ -209,7 +254,13 @@ SliceSession::computeForwardSlice(const SliceCriterion &C) const {
   std::optional<uint32_t> Pos = criterionPosition(C);
   if (!Pos)
     return std::nullopt;
-  return drdebug::computeForwardSlice(*Global, *Pos);
+  metrics::MetricsRegistry::global().counter(mn::SliceQueries).inc();
+  trace::TraceSpan Span("slice.forward_traverse", "slicing");
+  Stopwatch SW;
+  Slice S = drdebug::computeForwardSlice(*Global, *Pos);
+  sliceHistogram(mn::SliceQueryUs)
+      .record(static_cast<uint64_t>(SW.seconds() * 1e6));
+  return S;
 }
 
 Slice SliceSession::computeForwardSliceAt(uint32_t GlobalPos) const {

@@ -1,0 +1,172 @@
+//===- support/metric_names.h - The metric-name catalog ---------*- C++ -*-===//
+//
+// Part of the DrDebug reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Every metric name this codebase registers, in one place. Instrumented
+/// code refers to these constants (never string literals), the drift test
+/// in tests/test_metrics.cpp checks that whatever a live server registers
+/// is listed here, and `scripts/verify.sh --metrics-lint` greps this file
+/// against docs/OBSERVABILITY.md so the documented catalog cannot rot.
+///
+/// Naming: `drdebug_<subsystem>_<what>[_total]`, Prometheus-style. Server
+/// metrics (per-DebugServer registry) carry the `drdebug_server_` prefix;
+/// everything else lives in the process-global registry.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRDEBUG_SUPPORT_METRIC_NAMES_H
+#define DRDEBUG_SUPPORT_METRIC_NAMES_H
+
+namespace drdebug {
+namespace metricnames {
+
+// --- Server (per-DebugServer registry) -----------------------------------
+inline constexpr const char *ServerSessionsCreated =
+    "drdebug_server_sessions_created_total";
+inline constexpr const char *ServerSessionsClosed =
+    "drdebug_server_sessions_closed_total";
+inline constexpr const char *ServerSessionsEvicted =
+    "drdebug_server_sessions_evicted_total";
+inline constexpr const char *ServerSessionsActive =
+    "drdebug_server_sessions_active";
+inline constexpr const char *ServerCommandsServed =
+    "drdebug_server_commands_served_total";
+inline constexpr const char *ServerCommandsFailed =
+    "drdebug_server_commands_failed_total";
+inline constexpr const char *ServerFramesMalformed =
+    "drdebug_server_frames_malformed_total";
+inline constexpr const char *ServerErrorsReturned =
+    "drdebug_server_errors_returned_total";
+inline constexpr const char *ServerDivergences =
+    "drdebug_server_divergences_total";
+inline constexpr const char *ServerDeadlineTimeouts =
+    "drdebug_server_deadline_timeouts_total";
+inline constexpr const char *ServerRetriesDeduped =
+    "drdebug_server_retries_deduped_total";
+inline constexpr const char *ServerOverdueJobs = "drdebug_server_overdue_jobs";
+inline constexpr const char *ServerCmdLatencyUs =
+    "drdebug_server_cmd_latency_us";
+inline constexpr const char *ServerQueueWaitUs =
+    "drdebug_server_queue_wait_us";
+inline constexpr const char *ServerVerbRequests =
+    "drdebug_server_verb_requests_total";
+inline constexpr const char *ServerVerbLatencyUs =
+    "drdebug_server_verb_latency_us";
+inline constexpr const char *ServerPinballsCached =
+    "drdebug_server_pinballs_cached";
+inline constexpr const char *ServerPinballCacheHits =
+    "drdebug_server_pinball_cache_hits_total";
+inline constexpr const char *ServerPinballCacheMisses =
+    "drdebug_server_pinball_cache_misses_total";
+inline constexpr const char *ServerPinballIntegrityFailures =
+    "drdebug_server_pinball_integrity_failures_total";
+inline constexpr const char *ServerSlicesCached =
+    "drdebug_server_slices_cached";
+inline constexpr const char *ServerSliceCacheHits =
+    "drdebug_server_slice_cache_hits_total";
+inline constexpr const char *ServerSliceCacheMisses =
+    "drdebug_server_slice_cache_misses_total";
+inline constexpr const char *ServerSliceCacheEvicted =
+    "drdebug_server_slice_cache_evicted_total";
+
+// --- Logger (global registry) --------------------------------------------
+inline constexpr const char *LogRegions = "drdebug_log_regions_total";
+inline constexpr const char *LogInstructions =
+    "drdebug_log_instructions_total";
+inline constexpr const char *LogFastForwardUs = "drdebug_log_fastforward_us";
+inline constexpr const char *LogRecordUs = "drdebug_log_record_us";
+
+// --- Replayer / checkpoints (global registry) ----------------------------
+inline constexpr const char *ReplayRuns = "drdebug_replay_runs_total";
+inline constexpr const char *ReplayInstructions =
+    "drdebug_replay_instructions_total";
+inline constexpr const char *ReplayRegionUs = "drdebug_replay_region_us";
+inline constexpr const char *ReplayCheckpointRestores =
+    "drdebug_replay_checkpoint_restores_total";
+inline constexpr const char *ReplayReexecutedInstructions =
+    "drdebug_replay_reexecuted_instructions_total";
+
+// --- Pinball I/O + integrity (global registry) ---------------------------
+inline constexpr const char *PinballSaves = "drdebug_pinball_saves_total";
+inline constexpr const char *PinballLoads = "drdebug_pinball_loads_total";
+inline constexpr const char *PinballLoadFailures =
+    "drdebug_pinball_load_failures_total";
+inline constexpr const char *PinballBytesWritten =
+    "drdebug_pinball_bytes_written_total";
+inline constexpr const char *PinballBytesRead =
+    "drdebug_pinball_bytes_read_total";
+inline constexpr const char *ManifestVerifications =
+    "drdebug_manifest_verifications_total";
+inline constexpr const char *ManifestVerifyFailures =
+    "drdebug_manifest_verify_failures_total";
+
+// --- Slicing (global registry) -------------------------------------------
+inline constexpr const char *SlicePrepares = "drdebug_slice_prepares_total";
+inline constexpr const char *SlicePrepareUs = "drdebug_slice_prepare_us";
+inline constexpr const char *SliceReplayUs = "drdebug_slice_replay_us";
+inline constexpr const char *SliceAnalysisUs = "drdebug_slice_analysis_us";
+inline constexpr const char *SliceQueries = "drdebug_slice_queries_total";
+inline constexpr const char *SliceQueryUs = "drdebug_slice_query_us";
+
+/// One row per catalogued metric, for the drift test and the docs lint.
+struct MetricInfo {
+  const char *Name;
+  const char *Type; ///< "counter", "gauge" or "histogram"
+};
+
+inline constexpr MetricInfo AllMetrics[] = {
+    {ServerSessionsCreated, "counter"},
+    {ServerSessionsClosed, "counter"},
+    {ServerSessionsEvicted, "counter"},
+    {ServerSessionsActive, "gauge"},
+    {ServerCommandsServed, "counter"},
+    {ServerCommandsFailed, "counter"},
+    {ServerFramesMalformed, "counter"},
+    {ServerErrorsReturned, "counter"},
+    {ServerDivergences, "counter"},
+    {ServerDeadlineTimeouts, "counter"},
+    {ServerRetriesDeduped, "counter"},
+    {ServerOverdueJobs, "gauge"},
+    {ServerCmdLatencyUs, "histogram"},
+    {ServerQueueWaitUs, "histogram"},
+    {ServerVerbRequests, "counter"},
+    {ServerVerbLatencyUs, "histogram"},
+    {ServerPinballsCached, "gauge"},
+    {ServerPinballCacheHits, "counter"},
+    {ServerPinballCacheMisses, "counter"},
+    {ServerPinballIntegrityFailures, "counter"},
+    {ServerSlicesCached, "gauge"},
+    {ServerSliceCacheHits, "counter"},
+    {ServerSliceCacheMisses, "counter"},
+    {ServerSliceCacheEvicted, "counter"},
+    {LogRegions, "counter"},
+    {LogInstructions, "counter"},
+    {LogFastForwardUs, "histogram"},
+    {LogRecordUs, "histogram"},
+    {ReplayRuns, "counter"},
+    {ReplayInstructions, "counter"},
+    {ReplayRegionUs, "histogram"},
+    {ReplayCheckpointRestores, "counter"},
+    {ReplayReexecutedInstructions, "counter"},
+    {PinballSaves, "counter"},
+    {PinballLoads, "counter"},
+    {PinballLoadFailures, "counter"},
+    {PinballBytesWritten, "counter"},
+    {PinballBytesRead, "counter"},
+    {ManifestVerifications, "counter"},
+    {ManifestVerifyFailures, "counter"},
+    {SlicePrepares, "counter"},
+    {SlicePrepareUs, "histogram"},
+    {SliceReplayUs, "histogram"},
+    {SliceAnalysisUs, "histogram"},
+    {SliceQueries, "counter"},
+    {SliceQueryUs, "histogram"},
+};
+
+} // namespace metricnames
+} // namespace drdebug
+
+#endif // DRDEBUG_SUPPORT_METRIC_NAMES_H

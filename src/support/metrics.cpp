@@ -1,0 +1,232 @@
+//===- support/metrics.cpp - Process-wide metrics registry -------------------===//
+
+#include "support/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace drdebug;
+using namespace drdebug::metrics;
+
+std::string LatencyHistogram::report(const char *Prefix) const {
+  std::ostringstream OS;
+  for (size_t I = 0; I != NumBuckets; ++I) {
+    uint64_t C = Buckets[I].load(std::memory_order_relaxed);
+    if (C)
+      OS << Prefix << ".le_" << (1ULL << (I + 1)) << " " << C << "\n";
+  }
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// MetricsRegistry
+//===----------------------------------------------------------------------===//
+
+MetricsRegistry &MetricsRegistry::global() {
+  static MetricsRegistry R;
+  return R;
+}
+
+namespace {
+
+/// Prometheus label-value escaping: backslash, double quote, newline.
+std::string escapeLabelValue(const std::string &V) {
+  std::string Out;
+  Out.reserve(V.size());
+  for (char C : V) {
+    if (C == '\\')
+      Out += "\\\\";
+    else if (C == '"')
+      Out += "\\\"";
+    else if (C == '\n')
+      Out += "\\n";
+    else
+      Out += C;
+  }
+  return Out;
+}
+
+/// Canonical key for a label set; also the exact text rendered between
+/// braces, so lookup and exposition can never disagree.
+std::string labelKey(const Labels &L) {
+  if (L.empty())
+    return "";
+  Labels Sorted = L;
+  std::sort(Sorted.begin(), Sorted.end());
+  std::string Key;
+  for (const auto &[K, V] : Sorted) {
+    if (!Key.empty())
+      Key += ",";
+    Key += K + "=\"" + escapeLabelValue(V) + "\"";
+  }
+  return Key;
+}
+
+const char *typeName(MetricType T) {
+  switch (T) {
+  case MetricType::Counter:
+  case MetricType::CallbackCounter:
+    return "counter";
+  case MetricType::Gauge:
+  case MetricType::CallbackGauge:
+    return "gauge";
+  case MetricType::Histogram:
+    return "histogram";
+  }
+  return "untyped";
+}
+
+} // namespace
+
+MetricsRegistry::Instance &
+MetricsRegistry::instanceFor(const std::string &Name, MetricType T,
+                             const Labels &L, const std::string &Help) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Family &F = Families[Name];
+  if (F.ByLabel.empty()) {
+    F.T = T;
+    F.Help = Help;
+  }
+  auto &Slot = F.ByLabel[labelKey(L)];
+  if (!Slot) {
+    Slot = std::make_unique<Instance>();
+    Slot->L = L;
+    switch (F.T) {
+    case MetricType::Counter:
+      Slot->C = std::make_unique<Counter>();
+      break;
+    case MetricType::Gauge:
+      Slot->G = std::make_unique<Gauge>();
+      break;
+    case MetricType::Histogram:
+      Slot->H = std::make_unique<LatencyHistogram>();
+      break;
+    case MetricType::CallbackCounter:
+    case MetricType::CallbackGauge:
+      break; // Fn installed by registerCallback
+    }
+  }
+  return *Slot;
+}
+
+Counter &MetricsRegistry::counter(const std::string &Name, const Labels &L,
+                                  const std::string &Help) {
+  Instance &I = instanceFor(Name, MetricType::Counter, L, Help);
+  if (!I.C) // name was first registered under another type; degrade safely
+    I.C = std::make_unique<Counter>();
+  return *I.C;
+}
+
+Gauge &MetricsRegistry::gauge(const std::string &Name, const Labels &L,
+                              const std::string &Help) {
+  Instance &I = instanceFor(Name, MetricType::Gauge, L, Help);
+  if (!I.G)
+    I.G = std::make_unique<Gauge>();
+  return *I.G;
+}
+
+LatencyHistogram &MetricsRegistry::histogram(const std::string &Name,
+                                             const Labels &L,
+                                             const std::string &Help) {
+  Instance &I = instanceFor(Name, MetricType::Histogram, L, Help);
+  if (!I.H)
+    I.H = std::make_unique<LatencyHistogram>();
+  return *I.H;
+}
+
+void MetricsRegistry::registerCallback(const std::string &Name, MetricType T,
+                                       std::function<int64_t()> Fn,
+                                       const Labels &L,
+                                       const std::string &Help) {
+  Instance &I = instanceFor(Name, T, L, Help);
+  I.Fn = std::move(Fn);
+}
+
+const MetricsRegistry::Instance *
+MetricsRegistry::find(const std::string &Name, const Labels &L) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto FIt = Families.find(Name);
+  if (FIt == Families.end())
+    return nullptr;
+  auto IIt = FIt->second.ByLabel.find(labelKey(L));
+  return IIt == FIt->second.ByLabel.end() ? nullptr : IIt->second.get();
+}
+
+const Counter *MetricsRegistry::findCounter(const std::string &Name,
+                                            const Labels &L) const {
+  const Instance *I = find(Name, L);
+  return I ? I->C.get() : nullptr;
+}
+
+const LatencyHistogram *
+MetricsRegistry::findHistogram(const std::string &Name,
+                               const Labels &L) const {
+  const Instance *I = find(Name, L);
+  return I ? I->H.get() : nullptr;
+}
+
+int64_t MetricsRegistry::sampleValue(const std::string &Name,
+                                     const Labels &L) const {
+  const Instance *I = find(Name, L);
+  if (!I)
+    return 0;
+  if (I->C)
+    return static_cast<int64_t>(I->C->value());
+  if (I->G)
+    return I->G->value();
+  if (I->Fn)
+    return I->Fn();
+  return 0;
+}
+
+std::vector<std::string> MetricsRegistry::familyNames() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::vector<std::string> Names;
+  Names.reserve(Families.size());
+  for (const auto &[Name, F] : Families)
+    Names.push_back(Name);
+  return Names;
+}
+
+std::string MetricsRegistry::renderPrometheus() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::ostringstream OS;
+  for (const auto &[Name, F] : Families) {
+    if (!F.Help.empty())
+      OS << "# HELP " << Name << " " << F.Help << "\n";
+    OS << "# TYPE " << Name << " " << typeName(F.T) << "\n";
+    for (const auto &[Key, I] : F.ByLabel) {
+      std::string Braced = Key.empty() ? "" : "{" + Key + "}";
+      if (F.T == MetricType::Histogram && I->H) {
+        // Cumulative bucket series. Buckets that don't change the running
+        // count are skipped (except +Inf): compact but still a valid
+        // monotone `le` series.
+        std::string Sep = Key.empty() ? "" : ",";
+        uint64_t Cumulative = 0;
+        for (size_t B = 0; B != LatencyHistogram::NumBuckets; ++B) {
+          uint64_t C = I->H->bucketCount(B);
+          if (C == 0)
+            continue;
+          Cumulative += C;
+          OS << Name << "_bucket{" << Key << Sep << "le=\""
+             << LatencyHistogram::bucketUpperBoundUs(B) << "\"} "
+             << Cumulative << "\n";
+        }
+        OS << Name << "_bucket{" << Key << Sep << "le=\"+Inf\"} "
+           << I->H->total() << "\n";
+        OS << Name << "_sum" << Braced << " " << I->H->sumUs() << "\n";
+        OS << Name << "_count" << Braced << " " << I->H->total() << "\n";
+        continue;
+      }
+      int64_t V = 0;
+      if (I->C)
+        V = static_cast<int64_t>(I->C->value());
+      else if (I->G)
+        V = I->G->value();
+      else if (I->Fn)
+        V = I->Fn();
+      OS << Name << Braced << " " << V << "\n";
+    }
+  }
+  return OS.str();
+}

@@ -1,0 +1,216 @@
+//===- support/metrics.h - Process-wide metrics registry --------*- C++ -*-===//
+//
+// Part of the DrDebug reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The observability spine: a registry of named atomic counters, gauges and
+/// power-of-two latency histograms, with Prometheus-style labels. Every
+/// subsystem (logger, replayer, slicer, pinball I/O, server verbs) reports
+/// into a MetricsRegistry; the registry renders itself three ways:
+///
+///  - Prometheus text exposition (`renderPrometheus`, the `metrics` verb),
+///  - single-value samples (`sampleValue`, backing the legacy `stats` verb
+///    keys via an alias map in server.cpp),
+///  - direct handle reads in tests and benches (`Counter::value()` etc.).
+///
+/// Handles returned by the registry are stable for the registry's lifetime
+/// and lock-free to update; registration takes a mutex and is expected to
+/// happen once per call site (cache the reference).
+///
+/// Library-level instrumentation uses `MetricsRegistry::global()`. The
+/// server keeps a *per-instance* registry so several DebugServers in one
+/// process (the test suite) don't share counters.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRDEBUG_SUPPORT_METRICS_H
+#define DRDEBUG_SUPPORT_METRICS_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace drdebug {
+namespace metrics {
+
+/// Label set attached to one metric instance, e.g. {{"verb", "cmd"}}.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing counter. `load()` mirrors the std::atomic
+/// spelling the pre-registry ServerStats fields had, so existing test and
+/// bench call sites keep reading naturally.
+class Counter {
+public:
+  void inc(uint64_t N = 1) { V.fetch_add(N, std::memory_order_relaxed); }
+  uint64_t value() const { return V.load(std::memory_order_relaxed); }
+  uint64_t load() const { return value(); }
+
+private:
+  std::atomic<uint64_t> V{0};
+};
+
+/// Up/down instantaneous value (e.g. watchdog.overdue).
+class Gauge {
+public:
+  void add(int64_t N = 1) { V.fetch_add(N, std::memory_order_relaxed); }
+  void sub(int64_t N = 1) { V.fetch_sub(N, std::memory_order_relaxed); }
+  void set(int64_t X) { V.store(X, std::memory_order_relaxed); }
+  int64_t value() const { return V.load(std::memory_order_relaxed); }
+  int64_t load() const { return value(); }
+
+private:
+  std::atomic<int64_t> V{0};
+};
+
+/// Power-of-two-bucketed latency histogram (microseconds), lock-free.
+/// Bucket I counts samples in (2^I, 2^(I+1)]; bucket 0 also takes samples
+/// of at most 2 us. The upper bound is inclusive — a sample of exactly
+/// 2^(I+1) us is counted by the `le_2^(I+1)` line, matching Prometheus
+/// `le` semantics (the old server/stats.h copy credited it to the next
+/// bucket up).
+class LatencyHistogram {
+public:
+  static constexpr size_t NumBuckets = 24; // up to ~16.8 s
+
+  void record(uint64_t Micros) {
+    size_t B = 0;
+    while ((1ULL << (B + 1)) < Micros && B + 1 < NumBuckets)
+      ++B;
+    Buckets[B].fetch_add(1, std::memory_order_relaxed);
+    SumUs.fetch_add(Micros, std::memory_order_relaxed);
+  }
+
+  uint64_t total() const {
+    uint64_t N = 0;
+    for (const auto &B : Buckets)
+      N += B.load(std::memory_order_relaxed);
+    return N;
+  }
+
+  uint64_t sumUs() const { return SumUs.load(std::memory_order_relaxed); }
+
+  uint64_t bucketCount(size_t I) const {
+    return Buckets[I].load(std::memory_order_relaxed);
+  }
+  static uint64_t bucketUpperBoundUs(size_t I) { return 1ULL << (I + 1); }
+
+  /// Upper bound (us) of the bucket containing the \p Q quantile (0..1).
+  uint64_t quantileUpperBoundUs(double Q) const {
+    uint64_t N = total();
+    if (N == 0)
+      return 0;
+    uint64_t Rank = static_cast<uint64_t>(Q * static_cast<double>(N));
+    if (Rank >= N)
+      Rank = N - 1;
+    uint64_t Seen = 0;
+    for (size_t I = 0; I != NumBuckets; ++I) {
+      Seen += Buckets[I].load(std::memory_order_relaxed);
+      if (Seen > Rank)
+        return 1ULL << (I + 1);
+    }
+    return 1ULL << NumBuckets;
+  }
+
+  /// One line per non-empty bucket: "<prefix>.le_<bound> <count>" — the
+  /// legacy `stats`-verb rendering.
+  std::string report(const char *Prefix) const;
+
+private:
+  std::array<std::atomic<uint64_t>, NumBuckets> Buckets{};
+  std::atomic<uint64_t> SumUs{0};
+};
+
+/// What a registered name is. Callback variants are sampled at render time
+/// from a std::function (used to expose values owned elsewhere, e.g. the
+/// pinball repository's hit counters, without double bookkeeping).
+enum class MetricType {
+  Counter,
+  Gauge,
+  Histogram,
+  CallbackCounter,
+  CallbackGauge,
+};
+
+class MetricsRegistry {
+public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry &) = delete;
+  MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+  /// The process-wide registry library code reports into.
+  static MetricsRegistry &global();
+
+  /// Find-or-create. The returned reference stays valid for the registry's
+  /// lifetime. Re-registering an existing (name, labels) pair returns the
+  /// same instance; registering a name under two different types is a
+  /// programming error (the first type wins and the mismatch is ignored
+  /// rather than crashing a release build).
+  Counter &counter(const std::string &Name, const Labels &L = {},
+                   const std::string &Help = "");
+  Gauge &gauge(const std::string &Name, const Labels &L = {},
+               const std::string &Help = "");
+  LatencyHistogram &histogram(const std::string &Name, const Labels &L = {},
+                              const std::string &Help = "");
+
+  /// Registers a metric whose value is computed at render/sample time.
+  /// \p T must be CallbackCounter or CallbackGauge.
+  void registerCallback(const std::string &Name, MetricType T,
+                        std::function<int64_t()> Fn, const Labels &L = {},
+                        const std::string &Help = "");
+
+  /// The registry label lookup that replaced ServerVerbNames' linear scan:
+  /// \returns the counter registered under (name, labels), or null.
+  const Counter *findCounter(const std::string &Name,
+                             const Labels &L = {}) const;
+  const LatencyHistogram *findHistogram(const std::string &Name,
+                                        const Labels &L = {}) const;
+
+  /// Samples a counter, gauge or callback as one integer (0 when the
+  /// metric does not exist). Histograms are not sampleable this way.
+  int64_t sampleValue(const std::string &Name, const Labels &L = {}) const;
+
+  /// All registered family names, sorted (for drift tests and the lint).
+  std::vector<std::string> familyNames() const;
+
+  /// Prometheus text exposition format: `# TYPE` comments, `name{labels}
+  /// value` samples, histograms as cumulative `_bucket{le=...}` series
+  /// plus `_sum`/`_count`.
+  std::string renderPrometheus() const;
+
+private:
+  struct Instance {
+    Labels L;
+    std::unique_ptr<Counter> C;
+    std::unique_ptr<Gauge> G;
+    std::unique_ptr<LatencyHistogram> H;
+    std::function<int64_t()> Fn;
+  };
+  struct Family {
+    MetricType T = MetricType::Counter;
+    std::string Help;
+    // Keyed by the serialized label set: the lookup is one hash/tree probe
+    // no matter how many instances the family has.
+    std::map<std::string, std::unique_ptr<Instance>> ByLabel;
+  };
+
+  Instance &instanceFor(const std::string &Name, MetricType T,
+                        const Labels &L, const std::string &Help);
+  const Instance *find(const std::string &Name, const Labels &L) const;
+
+  mutable std::mutex Mu;
+  std::map<std::string, Family> Families;
+};
+
+} // namespace metrics
+} // namespace drdebug
+
+#endif // DRDEBUG_SUPPORT_METRICS_H

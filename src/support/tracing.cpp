@@ -1,0 +1,186 @@
+//===- support/tracing.cpp - RAII trace spans -> Chrome trace ----------------===//
+
+#include "support/tracing.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+using namespace drdebug;
+using namespace drdebug::trace;
+
+//===----------------------------------------------------------------------===//
+// Tracer
+//===----------------------------------------------------------------------===//
+
+/// One thread's bounded span buffer. Only its owner thread writes; the
+/// per-ring mutex makes snapshot/clear from other threads safe. Spans are
+/// recorded at phase granularity, so the lock is essentially uncontended.
+struct Tracer::ThreadRing {
+  std::mutex Mu;
+  uint32_t Tid = 0;
+  std::vector<SpanEvent> Buf; ///< capacity RingCapacity, circular
+  size_t Next = 0;            ///< index the next span goes to
+  uint64_t Total = 0;         ///< spans ever recorded (detects wrap)
+};
+
+Tracer &Tracer::global() {
+  static Tracer T;
+  return T;
+}
+
+Tracer::Tracer() : Epoch(std::chrono::steady_clock::now()) {}
+
+uint64_t Tracer::nowUs() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - Epoch)
+          .count());
+}
+
+Tracer::ThreadRing &Tracer::ringForThisThread() {
+  thread_local ThreadRing *Mine = nullptr;
+  if (!Mine) {
+    auto Ring = std::make_unique<ThreadRing>();
+    Ring->Tid = NextTid.fetch_add(1, std::memory_order_relaxed);
+    Mine = Ring.get();
+    std::lock_guard<std::mutex> Lock(Mu);
+    Rings.push_back(std::move(Ring));
+  }
+  return *Mine;
+}
+
+void Tracer::record(const char *Name, const char *Category, uint64_t StartUs,
+                    uint64_t DurUs, uint32_t Depth) {
+  ThreadRing &R = ringForThisThread();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  SpanEvent E;
+  E.Name = Name;
+  E.Category = Category;
+  E.Tid = R.Tid;
+  E.Depth = Depth;
+  E.StartUs = StartUs;
+  E.DurUs = DurUs;
+  if (R.Buf.size() < RingCapacity) {
+    R.Buf.push_back(E);
+  } else {
+    R.Buf[R.Next] = E;
+  }
+  R.Next = (R.Next + 1) % RingCapacity;
+  ++R.Total;
+}
+
+std::vector<SpanEvent> Tracer::snapshot() const {
+  std::vector<SpanEvent> Out;
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (const auto &Ring : Rings) {
+    std::lock_guard<std::mutex> RLock(Ring->Mu);
+    if (Ring->Buf.size() < RingCapacity || Ring->Total <= Ring->Buf.size()) {
+      Out.insert(Out.end(), Ring->Buf.begin(), Ring->Buf.end());
+    } else {
+      // Wrapped: oldest span sits at Next.
+      Out.insert(Out.end(), Ring->Buf.begin() + Ring->Next, Ring->Buf.end());
+      Out.insert(Out.end(), Ring->Buf.begin(), Ring->Buf.begin() + Ring->Next);
+    }
+  }
+  return Out;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (const auto &Ring : Rings) {
+    std::lock_guard<std::mutex> RLock(Ring->Mu);
+    Ring->Buf.clear();
+    Ring->Next = 0;
+    Ring->Total = 0;
+  }
+}
+
+namespace {
+
+void appendJsonString(std::ostringstream &OS, const char *S) {
+  OS << '"';
+  for (; S && *S; ++S) {
+    char C = *S;
+    if (C == '"' || C == '\\')
+      OS << '\\' << C;
+    else if (C == '\n')
+      OS << "\\n";
+    else
+      OS << C;
+  }
+  OS << '"';
+}
+
+} // namespace
+
+std::string Tracer::exportChromeJson() const {
+  std::vector<SpanEvent> Spans = snapshot();
+  // Stable presentation: by thread, then by start time, outer spans first.
+  std::sort(Spans.begin(), Spans.end(),
+            [](const SpanEvent &A, const SpanEvent &B) {
+              if (A.Tid != B.Tid)
+                return A.Tid < B.Tid;
+              if (A.StartUs != B.StartUs)
+                return A.StartUs < B.StartUs;
+              return A.Depth < B.Depth;
+            });
+  std::ostringstream OS;
+  OS << "{\"traceEvents\": [";
+  bool First = true;
+  for (const SpanEvent &E : Spans) {
+    if (!First)
+      OS << ",";
+    First = false;
+    OS << "\n{\"name\": ";
+    appendJsonString(OS, E.Name);
+    OS << ", \"cat\": ";
+    appendJsonString(OS, E.Category);
+    OS << ", \"ph\": \"X\", \"ts\": " << E.StartUs << ", \"dur\": " << E.DurUs
+       << ", \"pid\": 1, \"tid\": " << E.Tid << ", \"args\": {\"depth\": "
+       << E.Depth << "}}";
+  }
+  OS << "\n]}\n";
+  return OS.str();
+}
+
+bool Tracer::writeChromeJson(const std::string &Path,
+                             std::string &Error) const {
+  std::ofstream OSF(Path, std::ios::binary | std::ios::trunc);
+  if (!OSF) {
+    Error = "cannot write trace file " + Path;
+    return false;
+  }
+  OSF << exportChromeJson();
+  if (!OSF) {
+    Error = "short write to trace file " + Path;
+    return false;
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// TraceSpan
+//===----------------------------------------------------------------------===//
+
+namespace {
+thread_local uint32_t SpanDepth = 0;
+} // namespace
+
+TraceSpan::TraceSpan(const char *Name, const char *Category)
+    : Name(Name), Category(Category) {
+  Tracer &T = Tracer::global();
+  Active = T.enabled();
+  Depth = SpanDepth++;
+  if (Active)
+    StartUs = T.nowUs();
+}
+
+TraceSpan::~TraceSpan() {
+  --SpanDepth;
+  if (!Active)
+    return;
+  Tracer &T = Tracer::global();
+  uint64_t End = T.nowUs();
+  T.record(Name, Category, StartUs, End - StartUs, Depth);
+}

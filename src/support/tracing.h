@@ -1,0 +1,117 @@
+//===- support/tracing.h - RAII trace spans -> Chrome trace -----*- C++ -*-===//
+//
+// Part of the DrDebug reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight wall-clock tracing: `TraceSpan` is an RAII guard that, when
+/// tracing is enabled, records {name, thread, start, duration, depth} into
+/// a fixed-size per-thread ring buffer. The collected spans export as
+/// Chrome `trace_event` JSON (`{"traceEvents": [...]}`) loadable in
+/// chrome://tracing or Perfetto — the `drdebug --trace-out <file>` flag.
+///
+/// Cost model: when disabled, constructing a span is one relaxed atomic
+/// load plus a depth bump; instrumented hot paths therefore only place
+/// spans at *phase* granularity (one per replay run, per prepare stage,
+/// per server verb), never per instruction, keeping the measured overhead
+/// of a fully-enabled run under the 3% budget (BENCH_observability.json).
+///
+/// Rings are bounded (oldest spans are overwritten), so an arbitrarily
+/// long session can keep tracing without growing memory.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRDEBUG_SUPPORT_TRACING_H
+#define DRDEBUG_SUPPORT_TRACING_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace drdebug {
+namespace trace {
+
+/// One completed span. Name/Category must be string literals (the ring
+/// stores the pointers).
+struct SpanEvent {
+  const char *Name = nullptr;
+  const char *Category = nullptr;
+  uint32_t Tid = 0;     ///< process-local thread number (1-based)
+  uint32_t Depth = 0;   ///< nesting depth within the thread at entry
+  uint64_t StartUs = 0; ///< monotonic, since tracer start
+  uint64_t DurUs = 0;
+};
+
+class Tracer {
+public:
+  /// Spans per thread kept before the oldest are overwritten.
+  static constexpr size_t RingCapacity = 16384;
+
+  static Tracer &global();
+
+  void setEnabled(bool On) { Enabled.store(On, std::memory_order_relaxed); }
+  bool enabled() const { return Enabled.load(std::memory_order_relaxed); }
+
+  /// Appends one completed span to the calling thread's ring.
+  void record(const char *Name, const char *Category, uint64_t StartUs,
+              uint64_t DurUs, uint32_t Depth);
+
+  /// Microseconds since the tracer was constructed (monotonic clock).
+  uint64_t nowUs() const;
+
+  /// All buffered spans, oldest first per thread.
+  std::vector<SpanEvent> snapshot() const;
+
+  /// Drops every buffered span (thread registrations are kept).
+  void clear();
+
+  /// `{"traceEvents": [...]}` with one `"ph": "X"` complete event per
+  /// span (`args.depth` carries the nesting level).
+  std::string exportChromeJson() const;
+
+  /// Writes exportChromeJson() to \p Path. \returns false with \p Error
+  /// set when the file cannot be written.
+  bool writeChromeJson(const std::string &Path, std::string &Error) const;
+
+  Tracer();
+  Tracer(const Tracer &) = delete;
+  Tracer &operator=(const Tracer &) = delete;
+
+private:
+  struct ThreadRing;
+  ThreadRing &ringForThisThread();
+
+  std::atomic<bool> Enabled{false};
+  std::chrono::steady_clock::time_point Epoch;
+  mutable std::mutex Mu; ///< guards Rings (the vector, not the contents)
+  std::vector<std::unique_ptr<ThreadRing>> Rings;
+  std::atomic<uint32_t> NextTid{1};
+};
+
+/// RAII span: times the enclosing scope. Records into Tracer::global()
+/// only when tracing was enabled at construction.
+class TraceSpan {
+public:
+  explicit TraceSpan(const char *Name, const char *Category = "drdebug");
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan &) = delete;
+  TraceSpan &operator=(const TraceSpan &) = delete;
+
+private:
+  const char *Name;
+  const char *Category;
+  uint64_t StartUs = 0;
+  uint32_t Depth = 0;
+  bool Active = false;
+};
+
+} // namespace trace
+} // namespace drdebug
+
+#endif // DRDEBUG_SUPPORT_TRACING_H

@@ -1,0 +1,442 @@
+//===- tests/test_metrics.cpp - Observability layer tests ---------------------===//
+//
+// The unified observability layer: MetricsRegistry concurrency (these run
+// under the `tsan` CTest preset), Prometheus exposition format, the
+// histogram bucket-boundary fix, TraceSpan nesting and Chrome JSON export,
+// the `metrics` protocol verb on a live server, the drift test tying
+// ServerVerbNames to registered per-verb metrics, and the CommandResult
+// status classification that replaced DebugSession::execute's bool.
+//
+//===----------------------------------------------------------------------===//
+
+#include "debugger/session.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "server/stats.h"
+#include "server/transport.h"
+#include "support/metric_names.h"
+#include "support/metrics.h"
+#include "support/tracing.h"
+#include "workloads/figure5.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace drdebug;
+namespace mn = drdebug::metricnames;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// MetricsRegistry: handles, lookup, sampling
+//===----------------------------------------------------------------------===//
+
+TEST(MetricsRegistry, CounterGaugeHistogramHandles) {
+  metrics::MetricsRegistry R;
+  metrics::Counter &C = R.counter("t_counter");
+  C.inc();
+  C.inc(9);
+  EXPECT_EQ(C.value(), 10u);
+  EXPECT_EQ(C.load(), 10u);
+  // Re-registering the same (name, labels) returns the same instance.
+  EXPECT_EQ(&R.counter("t_counter"), &C);
+
+  metrics::Gauge &G = R.gauge("t_gauge");
+  G.add(5);
+  G.sub(2);
+  EXPECT_EQ(G.value(), 3);
+  G.set(-7);
+  EXPECT_EQ(G.value(), -7);
+
+  metrics::LatencyHistogram &H = R.histogram("t_hist");
+  H.record(3);
+  EXPECT_EQ(H.total(), 1u);
+  EXPECT_EQ(H.sumUs(), 3u);
+}
+
+TEST(MetricsRegistry, LabelledInstancesAreDistinct) {
+  metrics::MetricsRegistry R;
+  metrics::Counter &A = R.counter("t_verbs", {{"verb", "cmd"}});
+  metrics::Counter &B = R.counter("t_verbs", {{"verb", "load"}});
+  EXPECT_NE(&A, &B);
+  A.inc(2);
+  B.inc(5);
+  EXPECT_EQ(R.sampleValue("t_verbs", {{"verb", "cmd"}}), 2);
+  EXPECT_EQ(R.sampleValue("t_verbs", {{"verb", "load"}}), 5);
+  EXPECT_EQ(R.findCounter("t_verbs", {{"verb", "cmd"}}), &A);
+  EXPECT_EQ(R.findCounter("t_verbs", {{"verb", "nosuch"}}), nullptr);
+  // Label order must not matter for lookup.
+  metrics::Counter &A2 =
+      R.counter("t_multi", {{"a", "1"}, {"b", "2"}});
+  EXPECT_EQ(R.findCounter("t_multi", {{"b", "2"}, {"a", "1"}}), &A2);
+}
+
+TEST(MetricsRegistry, SampleValueAndCallbacks) {
+  metrics::MetricsRegistry R;
+  R.counter("t_c").inc(42);
+  EXPECT_EQ(R.sampleValue("t_c"), 42);
+  R.gauge("t_g").set(-3);
+  EXPECT_EQ(R.sampleValue("t_g"), -3);
+  EXPECT_EQ(R.sampleValue("t_never_registered"), 0);
+
+  int64_t Live = 17;
+  R.registerCallback("t_cb", metrics::MetricType::CallbackGauge,
+                     [&Live] { return Live; });
+  EXPECT_EQ(R.sampleValue("t_cb"), 17);
+  Live = 23;
+  EXPECT_EQ(R.sampleValue("t_cb"), 23);
+}
+
+TEST(MetricsRegistry, ConcurrentUpdatesAndRender) {
+  // The tsan preset builds this test: concurrent inc/record/render on one
+  // registry must be race-free.
+  metrics::MetricsRegistry R;
+  constexpr unsigned NumThreads = 8;
+  constexpr unsigned IncsPerThread = 2000;
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T != NumThreads; ++T) {
+    Threads.emplace_back([&R, T] {
+      metrics::Counter &C = R.counter("t_shared");
+      metrics::Counter &Mine =
+          R.counter("t_per_thread", {{"tid", std::to_string(T)}});
+      metrics::LatencyHistogram &H = R.histogram("t_latency");
+      for (unsigned I = 0; I != IncsPerThread; ++I) {
+        C.inc();
+        Mine.inc();
+        H.record(I % 500);
+        if (I % 256 == 0)
+          (void)R.renderPrometheus(); // render while writers are live
+      }
+    });
+  }
+  for (auto &T : Threads)
+    T.join();
+  EXPECT_EQ(R.sampleValue("t_shared"), NumThreads * IncsPerThread);
+  for (unsigned T = 0; T != NumThreads; ++T)
+    EXPECT_EQ(R.sampleValue("t_per_thread", {{"tid", std::to_string(T)}}),
+              IncsPerThread);
+  EXPECT_EQ(R.histogram("t_latency").total(),
+            uint64_t(NumThreads) * IncsPerThread);
+}
+
+//===----------------------------------------------------------------------===//
+// Histogram bucket boundaries (the off-by-one fix)
+//===----------------------------------------------------------------------===//
+
+TEST(MetricsHistogram, PowerOfTwoBoundariesAreInclusive) {
+  // A sample of exactly 2^(I+1) us belongs to the `le_2^(I+1)` bucket —
+  // Prometheus `le` semantics. The pre-registry server/stats.h copy pushed
+  // boundary samples one bucket up.
+  metrics::LatencyHistogram H;
+  H.record(2); // boundary of bucket 0 (le_2)
+  EXPECT_EQ(H.bucketCount(0), 1u);
+  H.record(8); // boundary of bucket 2 (le_8)
+  EXPECT_EQ(H.bucketCount(2), 1u);
+  EXPECT_EQ(H.bucketCount(3), 0u);
+  H.record(9); // just past the boundary -> next bucket (le_16)
+  EXPECT_EQ(H.bucketCount(3), 1u);
+  H.record(0);
+  H.record(1); // sub-2us samples also land in bucket 0
+  EXPECT_EQ(H.bucketCount(0), 3u);
+  EXPECT_EQ(H.total(), 5u);
+  EXPECT_EQ(H.sumUs(), 2u + 8u + 9u + 0u + 1u);
+  // The legacy report() rendering names buckets by their upper bound.
+  std::string Rep = H.report("lat");
+  EXPECT_NE(Rep.find("lat.le_2 3"), std::string::npos) << Rep;
+  EXPECT_NE(Rep.find("lat.le_8 1"), std::string::npos) << Rep;
+  EXPECT_NE(Rep.find("lat.le_16 1"), std::string::npos) << Rep;
+}
+
+TEST(MetricsHistogram, QuantileUpperBound) {
+  metrics::LatencyHistogram H;
+  EXPECT_EQ(H.quantileUpperBoundUs(0.5), 0u); // empty
+  for (int I = 0; I != 90; ++I)
+    H.record(3); // bucket 1 (le_4)
+  for (int I = 0; I != 10; ++I)
+    H.record(1000); // bucket 9 (le_1024)
+  EXPECT_EQ(H.quantileUpperBoundUs(0.5), 4u);
+  EXPECT_EQ(H.quantileUpperBoundUs(0.99), 1024u);
+}
+
+//===----------------------------------------------------------------------===//
+// Prometheus exposition
+//===----------------------------------------------------------------------===//
+
+/// Every non-comment, non-blank line of a Prometheus text document must be
+/// `name{labels} value` or `name value`. \returns the first bad line.
+std::string firstInvalidPrometheusLine(const std::string &Text) {
+  std::istringstream IS(Text);
+  std::string Line;
+  while (std::getline(IS, Line)) {
+    if (Line.empty() || Line[0] == '#')
+      continue;
+    size_t Sp = Line.rfind(' ');
+    if (Sp == std::string::npos || Sp == 0 || Sp + 1 == Line.size())
+      return Line;
+    std::string Name = Line.substr(0, Sp);
+    std::string Value = Line.substr(Sp + 1);
+    // Name: metric chars, optionally followed by one balanced {...}.
+    size_t Brace = Name.find('{');
+    std::string Bare = Brace == std::string::npos ? Name : Name.substr(0, Brace);
+    if (Brace != std::string::npos && Name.back() != '}')
+      return Line;
+    if (Bare.empty() || std::isdigit(static_cast<unsigned char>(Bare[0])))
+      return Line;
+    for (char C : Bare)
+      if (!(std::isalnum(static_cast<unsigned char>(C)) || C == '_' ||
+            C == ':'))
+        return Line;
+    for (char C : Value)
+      if (!(std::isdigit(static_cast<unsigned char>(C)) || C == '-' ||
+            C == '+' || C == '.' || C == 'e' || C == 'E'))
+        return Line;
+  }
+  return "";
+}
+
+TEST(MetricsPrometheus, GoldenExposition) {
+  metrics::MetricsRegistry R;
+  R.counter("t_requests_total", {}, "Requests served.").inc(3);
+  R.gauge("t_active").set(2);
+  R.counter("t_by_verb", {{"verb", "cmd"}}).inc(7);
+  metrics::LatencyHistogram &H = R.histogram("t_lat_us");
+  H.record(2);  // bucket le_2
+  H.record(8);  // bucket le_8
+  H.record(8);  // same bucket: cumulative series must show 3 at le_8
+
+  std::string Text = R.renderPrometheus();
+  // std::map ordering makes the document deterministic.
+  EXPECT_EQ(Text,
+            "# TYPE t_active gauge\n"
+            "t_active 2\n"
+            "# TYPE t_by_verb counter\n"
+            "t_by_verb{verb=\"cmd\"} 7\n"
+            "# TYPE t_lat_us histogram\n"
+            "t_lat_us_bucket{le=\"2\"} 1\n"
+            "t_lat_us_bucket{le=\"8\"} 3\n"
+            "t_lat_us_bucket{le=\"+Inf\"} 3\n"
+            "t_lat_us_sum 18\n"
+            "t_lat_us_count 3\n"
+            "# HELP t_requests_total Requests served.\n"
+            "# TYPE t_requests_total counter\n"
+            "t_requests_total 3\n");
+  EXPECT_EQ(firstInvalidPrometheusLine(Text), "");
+}
+
+TEST(MetricsPrometheus, LabelValuesAreEscaped) {
+  metrics::MetricsRegistry R;
+  R.counter("t_esc", {{"k", "a\"b\\c\nd"}}).inc();
+  std::string Text = R.renderPrometheus();
+  EXPECT_NE(Text.find("t_esc{k=\"a\\\"b\\\\c\\nd\"} 1"), std::string::npos)
+      << Text;
+}
+
+//===----------------------------------------------------------------------===//
+// Trace spans and Chrome JSON export
+//===----------------------------------------------------------------------===//
+
+TEST(MetricsTracing, SpanNestingDepthAndExport) {
+  trace::Tracer &T = trace::Tracer::global();
+  T.setEnabled(true);
+  T.clear();
+  {
+    trace::TraceSpan Outer("test.outer", "test");
+    {
+      trace::TraceSpan Inner("test.inner", "test");
+    }
+  }
+  {
+    trace::TraceSpan Sibling("test.sibling", "test");
+  }
+  T.setEnabled(false);
+
+  std::vector<trace::SpanEvent> Spans = T.snapshot();
+  // Spans complete innermost-first.
+  ASSERT_EQ(Spans.size(), 3u);
+  EXPECT_STREQ(Spans[0].Name, "test.inner");
+  EXPECT_EQ(Spans[0].Depth, 1u);
+  EXPECT_STREQ(Spans[1].Name, "test.outer");
+  EXPECT_EQ(Spans[1].Depth, 0u);
+  EXPECT_STREQ(Spans[2].Name, "test.sibling");
+  EXPECT_EQ(Spans[2].Depth, 0u);
+  // The outer span contains the inner one in time.
+  EXPECT_LE(Spans[1].StartUs, Spans[0].StartUs);
+  EXPECT_GE(Spans[1].StartUs + Spans[1].DurUs,
+            Spans[0].StartUs + Spans[0].DurUs);
+
+  std::string Json = T.exportChromeJson();
+  EXPECT_EQ(Json.rfind("{\"traceEvents\": [", 0), 0u) << Json;
+  EXPECT_NE(Json.find("\"name\": \"test.inner\""), std::string::npos);
+  EXPECT_NE(Json.find("\"cat\": \"test\""), std::string::npos);
+  EXPECT_NE(Json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(Json.find("\"depth\": 1"), std::string::npos);
+
+  T.clear();
+  EXPECT_TRUE(T.snapshot().empty());
+}
+
+TEST(MetricsTracing, DisabledTracerRecordsNothing) {
+  trace::Tracer &T = trace::Tracer::global();
+  T.setEnabled(false);
+  T.clear();
+  {
+    trace::TraceSpan S("test.ignored", "test");
+  }
+  EXPECT_TRUE(T.snapshot().empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Live server: the `metrics` verb, the alias-mapped `stats` verb, drift
+//===----------------------------------------------------------------------===//
+
+TEST(MetricsServer, MetricsVerbRendersValidPrometheus) {
+  // Make sure at least one process-global family exists (registration is
+  // find-or-create): the verb must append the global registry's families
+  // after the server's own.
+  metrics::MetricsRegistry::global().counter(mn::ReplayRuns);
+  DebugServer Srv;
+  auto [ClientEnd, ServerEnd] = makePipePair();
+  std::thread ServerThread([&, SE = ServerEnd.get()] { Srv.serve(*SE); });
+  {
+    ProtocolClient Client(*ClientEnd);
+    std::string Payload, Error;
+    ASSERT_TRUE(Client.hello(Payload, Error)) << Error;
+    ASSERT_TRUE(Client.metrics(Payload, Error)) << Error;
+    EXPECT_EQ(firstInvalidPrometheusLine(Payload), "") << Payload;
+    // The hello that preceded this request is visible per-verb...
+    EXPECT_NE(
+        Payload.find(std::string(mn::ServerVerbRequests) +
+                     "{verb=\"hello\"} 1"),
+        std::string::npos)
+        << Payload;
+    // ...and verbs never exercised are still exposed (eager registration).
+    EXPECT_NE(Payload.find(std::string(mn::ServerVerbRequests) +
+                           "{verb=\"shutdown\"} 0"),
+              std::string::npos)
+        << Payload;
+    EXPECT_NE(Payload.find(std::string(mn::ServerSessionsActive) + " 0"),
+              std::string::npos)
+        << Payload;
+    // The document also carries the process-global families.
+    EXPECT_NE(Payload.find(mn::ReplayRuns), std::string::npos) << Payload;
+  }
+  ClientEnd->close();
+  ServerThread.join();
+}
+
+TEST(MetricsServer, StatsVerbKeepsLegacyKeys) {
+  DebugServer Srv;
+  Srv.stats().SessionsCreated.inc(4);
+  Srv.stats().SessionsClosed.inc(3);
+  std::string Report = Srv.statsReport();
+  // The redesigned `stats` verb renders the old key names from the registry
+  // via the alias map; existing scrapers must not notice the redesign.
+  for (const char *Key :
+       {"sessions.created 4", "sessions.closed 3", "sessions.active",
+        "sessions.evicted", "commands.served", "frames.malformed",
+        "errors.returned", "pinballs.cached", "pinballs.cache_hits",
+        "pinballs.cache_misses", "integrity.pinball_failures",
+        "integrity.divergences", "retries.deduped", "deadline.timeouts",
+        "watchdog.overdue", "slices.cached", "slices.cache_hits",
+        "slices.cache_misses", "slices.evicted", "latency.cmd_us.count"})
+    EXPECT_NE(Report.find(Key), std::string::npos)
+        << "missing legacy key '" << Key << "' in:\n"
+        << Report;
+}
+
+TEST(MetricsServer, VerbNameDriftAgainstRegistry) {
+  // Every ServerVerbNames entry must have an eagerly-registered VerbHandle
+  // AND a labelled counter in the registry: adding a verb without metrics
+  // (or renaming one) fails here.
+  DebugServer Srv;
+  for (const char *Name : ServerVerbNames) {
+    EXPECT_NE(Srv.stats().verb(Name), nullptr) << Name;
+    EXPECT_NE(
+        Srv.registry().findCounter(mn::ServerVerbRequests, {{"verb", Name}}),
+        nullptr)
+        << Name;
+    EXPECT_NE(
+        Srv.registry().findHistogram(mn::ServerVerbLatencyUs,
+                                     {{"verb", Name}}),
+        nullptr)
+        << Name;
+  }
+}
+
+TEST(MetricsServer, RegisteredNamesAreCatalogued) {
+  // Whatever a live server (and the library's global registry) registers
+  // must appear in the metric_names.h catalog — the drift test backing
+  // `scripts/verify.sh --metrics-lint`.
+  std::set<std::string> Catalog;
+  for (const auto &M : mn::AllMetrics)
+    Catalog.insert(M.Name);
+  DebugServer Srv;
+  for (const std::string &Name : Srv.registry().familyNames())
+    EXPECT_TRUE(Catalog.count(Name)) << "uncatalogued metric: " << Name;
+  for (const std::string &Name :
+       metrics::MetricsRegistry::global().familyNames())
+    EXPECT_TRUE(Catalog.count(Name)) << "uncatalogued metric: " << Name;
+}
+
+//===----------------------------------------------------------------------===//
+// CommandResult: the typed DebugSession::execute replacement
+//===----------------------------------------------------------------------===//
+
+TEST(MetricsCommandResult, StatusClassification) {
+  std::ostringstream OS;
+  DebugSession S(OS);
+  Program P = workloads::makeFigure5();
+
+  CommandResult Load = S.loadProgram(P.SourceText);
+  EXPECT_EQ(Load.Status, CommandStatus::Ok);
+  EXPECT_NE(Load.Text.find("loaded program"), std::string::npos) << Load.Text;
+
+  CommandResult Bad = S.executeCommand("frobnicate");
+  EXPECT_EQ(Bad.Status, CommandStatus::Error);
+  EXPECT_NE(Bad.Text.find("error"), std::string::npos) << Bad.Text;
+
+  CommandResult Usage = S.executeCommand("break");
+  EXPECT_EQ(Usage.Status, CommandStatus::Error) << Usage.Text;
+
+  CommandResult Good = S.executeCommand("help");
+  EXPECT_EQ(Good.Status, CommandStatus::Ok) << Good.Text;
+  EXPECT_FALSE(Good.Text.empty());
+
+  CommandResult Quit = S.executeCommand("quit");
+  EXPECT_EQ(Quit.Status, CommandStatus::Exited);
+}
+
+TEST(MetricsCommandResult, TextMatchesSessionStream) {
+  // The captured CommandResult::Text must be exactly what the session wrote
+  // to its output stream (the tee duplicates, it doesn't divert).
+  std::ostringstream OS;
+  DebugSession S(OS);
+  Program P = workloads::makeFigure5();
+  std::string Before = OS.str();
+  CommandResult Load = S.loadProgram(P.SourceText);
+  EXPECT_EQ(OS.str().substr(Before.size()), Load.Text);
+
+  Before = OS.str();
+  CommandResult R = S.executeCommand("info threads");
+  EXPECT_EQ(OS.str().substr(Before.size()), R.Text);
+
+  // The bool shim still drives the same machinery.
+  EXPECT_TRUE(S.execute("info threads"));
+  EXPECT_FALSE(S.execute("quit"));
+}
+
+TEST(MetricsCommandResult, LoadFailureIsError) {
+  std::ostringstream OS;
+  DebugSession S(OS);
+  CommandResult Load = S.loadProgram("this is not assembly {{{");
+  EXPECT_EQ(Load.Status, CommandStatus::Error) << Load.Text;
+}
+
+} // namespace

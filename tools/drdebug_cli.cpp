@@ -18,6 +18,7 @@
 #include "server/client.h"
 #include "server/transport.h"
 #include "support/fault_injector.h"
+#include "support/tracing.h"
 #include "workloads/figure5.h"
 
 #include <cstdio>
@@ -40,9 +41,29 @@ int usage() {
                "               [--retries N] [--retry-timeout-ms N] "
                "[--retry-backoff-ms N]\n"
                "       common: [--inject <site:kind:period[:phase[:arg]]>,...]"
-               "\n");
+               " [--trace-out <file>]\n");
   return 2;
 }
+
+/// Arms the process-wide tracer for --trace-out and writes the Chrome
+/// trace on destruction, so every exit path of main produces the file.
+class TraceOutGuard {
+public:
+  explicit TraceOutGuard(std::string Path) : Path(std::move(Path)) {
+    if (!this->Path.empty())
+      trace::Tracer::global().setEnabled(true);
+  }
+  ~TraceOutGuard() {
+    if (Path.empty())
+      return;
+    std::string Error;
+    if (!trace::Tracer::global().writeChromeJson(Path, Error))
+      std::fprintf(stderr, "drdebug: %s\n", Error.c_str());
+  }
+
+private:
+  std::string Path;
+};
 
 /// Reads a whole file; \returns false (with a message) when unreadable.
 bool readFile(const std::string &Path, std::string &Text) {
@@ -149,6 +170,7 @@ int main(int Argc, char **Argv) {
   std::string ProgramPath;
   std::string ScriptPath;
   std::string ConnectTo;
+  std::string TraceOut;
   bool Demo = false;
   bool Verify = true;
   bool Faulty = false;
@@ -169,6 +191,8 @@ int main(int Argc, char **Argv) {
       ScriptPath = Argv[++I];
     } else if (std::strcmp(Argv[I], "--no-verify") == 0) {
       Verify = false;
+    } else if (std::strcmp(Argv[I], "--trace-out") == 0 && I + 1 < Argc) {
+      TraceOut = Argv[++I];
     } else if (std::strcmp(Argv[I], "--retries") == 0 && IntArg(V)) {
       Policy.MaxRetries = static_cast<unsigned>(V);
     } else if (std::strcmp(Argv[I], "--retry-timeout-ms") == 0 && IntArg(V)) {
@@ -197,6 +221,7 @@ int main(int Argc, char **Argv) {
     }
   }
 
+  TraceOutGuard Tracing(TraceOut);
   if (!ConnectTo.empty()) {
     if (Demo)
       return usage();
@@ -225,7 +250,9 @@ int main(int Argc, char **Argv) {
       return 1;
   }
 
-  auto Execute = [&](const std::string &Line) { return Session.execute(Line); };
+  auto Execute = [&](const std::string &Line) {
+    return Session.executeCommand(Line).Status != CommandStatus::Exited;
+  };
   if (!ScriptPath.empty()) {
     std::ifstream Script(ScriptPath);
     if (!Script) {

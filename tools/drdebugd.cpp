@@ -16,6 +16,7 @@
 #include "debugger/commands.h"
 #include "server/server.h"
 #include "support/fault_injector.h"
+#include "support/tracing.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -31,7 +32,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: drdebugd [--port N] [--workers N] "
                "[--idle-timeout-ms N] [--deadline-ms N] [--no-verify] "
-               "[--inject <site:kind:period[:phase[:arg]]>,...] [--once]\n");
+               "[--inject <site:kind:period[:phase[:arg]]>,...] "
+               "[--trace-out <file>] [--once]\n");
   return 2;
 }
 
@@ -39,6 +41,7 @@ int usage() {
 
 int main(int Argc, char **Argv) {
   uint16_t Port = 7321;
+  std::string TraceOut;
   bool Once = false;
   bool Faulty = false;
   ServerConfig Cfg;
@@ -69,6 +72,8 @@ int main(int Argc, char **Argv) {
         return 2;
       }
       Faulty = true;
+    } else if (std::strcmp(Argv[I], "--trace-out") == 0 && I + 1 < Argc) {
+      TraceOut = Argv[++I];
     } else if (std::strcmp(Argv[I], "--once") == 0) {
       Once = true;
     } else if (std::strcmp(Argv[I], "--version") == 0) {
@@ -81,6 +86,8 @@ int main(int Argc, char **Argv) {
   if (Cfg.IdleTimeout.count() > 0)
     Cfg.JanitorPeriod = std::max<std::chrono::milliseconds>(
         std::chrono::milliseconds(100), Cfg.IdleTimeout / 2);
+  if (!TraceOut.empty())
+    trace::Tracer::global().setEnabled(true);
 
   DebugServer Server(Cfg);
   TcpListener Listener;
@@ -117,6 +124,13 @@ int main(int Argc, char **Argv) {
   Listener.close();
   for (std::thread &T : Connections)
     T.join();
+  if (!TraceOut.empty()) {
+    std::string TraceError;
+    if (!trace::Tracer::global().writeChromeJson(TraceOut, TraceError))
+      std::fprintf(stderr, "drdebugd: %s\n", TraceError.c_str());
+    else
+      std::printf("drdebugd: trace written to %s\n", TraceOut.c_str());
+  }
   std::printf("drdebugd: bye\n");
   return 0;
 }
