@@ -1,0 +1,236 @@
+//===- bench/bench_reverse.cpp - reverse-execution scaling ------------------===//
+//
+// Measures the cost of reverse execution over a recorded region three ways:
+//
+//  * naive      — per-position reverse scan (reverseFindLinear): one
+//                 checkpoint restore + up to Interval replayed instructions
+//                 for *every* position walked, O(region * Interval).
+//  * segment    — the rr-style segment scan behind reverse-continue /
+//                 reverse-watch: each inter-checkpoint segment is restored
+//                 once and replayed forward once, O(region).
+//  * budgeted   — the same segment scan with delta checkpoints
+//                 (AnchorEvery > 1) and a checkpoint-memory budget, to show
+//                 time travel stays cheap while memory stays bounded.
+//
+// The predicate targets a write near the start of the region, so both scans
+// traverse (almost) the whole recording — the worst case for reverse-continue.
+// All three must land on the same position with bit-identical machine state.
+//
+//   bench_reverse [--json PATH] [--smoke]
+//
+// --smoke shrinks the region list to a sub-second run for the ctest smoke
+// test; the full run includes a >= 100k-instruction region.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench_util.h"
+#include "arch/assembler.h"
+#include "replay/checkpoints.h"
+#include "replay/logger.h"
+#include "support/stopwatch.h"
+#include "vm/scheduler.h"
+
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace drdebug;
+using namespace drdebug::benchutil;
+
+namespace {
+
+/// A single-threaded region that dirties memory as it runs: a counter in
+/// `g` plus a rotating write across a 512-word buffer (spread over many
+/// pages, so delta checkpoints have real dirty-page sets to carry).
+Pinball recordRegion(uint64_t Iters) {
+  std::ostringstream Src;
+  Src << ".data g 0\n.array buf 512\n.func main\n"
+      << "  movi r1, " << Iters << "\n"
+      << "loop:\n"
+      << "  lda r2, @g\n"
+      << "  addi r2, r2, 1\n"
+      << "  sta r2, @g\n"
+      << "  andi r3, r2, 511\n"
+      << "  lea r4, @buf\n"
+      << "  add r4, r4, r3\n"
+      << "  st r2, [r4]\n"
+      << "  subi r1, r1, 1\n"
+      << "  bgt r1, r0, loop\n"
+      << "  halt\n.endfunc\n";
+  Program P = assembleOrDie(Src.str());
+  RoundRobinScheduler Sched(1);
+  return Logger::logWholeProgram(P, Sched).Pb;
+}
+
+struct Row {
+  uint64_t Instructions;
+  double NaiveSeconds;
+  double SegmentSeconds;
+  double BudgetSeconds;
+  double Speedup;          // naive / segment
+  uint64_t NaiveReexec;    // instructions re-executed by the naive scan
+  uint64_t SegmentReexec;  // ... and by the segment scan
+  uint64_t FullBytes;      // checkpoint bytes, full snapshots, no budget
+  uint64_t PeakBytes;      // peak checkpoint bytes under the budget
+  uint64_t BudgetBytes;
+  bool Identical;          // all three scans landed bit-identically
+};
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string JsonPath = "BENCH_reverse.json";
+  bool Smoke = false;
+  for (int I = 1; I < Argc; ++I) {
+    if (!std::strcmp(Argv[I], "--json") && I + 1 < Argc)
+      JsonPath = Argv[++I];
+    else if (!std::strcmp(Argv[I], "--smoke"))
+      Smoke = true;
+    else {
+      std::fprintf(stderr, "usage: %s [--json PATH] [--smoke]\n", Argv[0]);
+      return 2;
+    }
+  }
+
+  banner("Reverse execution: naive per-position scan vs segment scan",
+         "segment scan ~O(region), naive ~O(region * interval); >= 10x on "
+         "the 100k+ region, checkpoint memory bounded by the budget");
+
+  const uint64_t Interval = 256;
+  const uint64_t BudgetBytes = 256 * 1024;
+  std::vector<uint64_t> Targets =
+      Smoke ? std::vector<uint64_t>{scaled(2'000), scaled(8'000)}
+            : std::vector<uint64_t>{scaled(10'000), scaled(40'000),
+                                    scaled(120'000)};
+
+  std::printf("%12s | %9s | %9s | %9s | %7s | %10s | %9s\n", "instructions",
+              "naive", "segment", "budgeted", "speedup", "peak bytes",
+              "identical");
+  std::vector<Row> Rows;
+  bool AllIdentical = true;
+  bool AllUnderBudget = true;
+
+  for (uint64_t Target : Targets) {
+    // ~9 instructions per loop iteration (plus movi/halt).
+    Pinball Pb = recordRegion(Target / 9);
+    uint64_t Instrs = Pb.instructionCount();
+
+    // The last write of g == 3 lands a few iterations in: scanning back
+    // from the end covers essentially the whole region.
+    auto MakePred = [](const CheckpointedReplay &CR) {
+      uint64_t Addr = CR.program().findGlobal("g")->Addr;
+      return [Addr](const Machine &M) { return M.mem().load(Addr) == 3; };
+    };
+
+    Row R{};
+    R.Instructions = Instrs;
+    R.BudgetBytes = BudgetBytes;
+
+    // --- naive: one seek per position walked -----------------------------
+    uint64_t NaivePos;
+    MachineState NaiveState;
+    {
+      CheckpointOptions Opts;
+      Opts.Interval = Interval;
+      Opts.AnchorEvery = 1;
+      CheckpointedReplay CR(Pb, Opts);
+      CR.runForward();
+      R.FullBytes = CR.checkpointBytes();
+      uint64_t Before = CR.reexecutedInstructions();
+      Stopwatch SW;
+      NaivePos = CR.reverseFindLinear(MakePred(CR));
+      R.NaiveSeconds = SW.seconds();
+      R.NaiveReexec = CR.reexecutedInstructions() - Before;
+      NaiveState = CR.machine().snapshot();
+    }
+
+    // --- segment scan, full checkpoints ----------------------------------
+    uint64_t SegPos;
+    MachineState SegState;
+    {
+      CheckpointOptions Opts;
+      Opts.Interval = Interval;
+      Opts.AnchorEvery = 1;
+      CheckpointedReplay CR(Pb, Opts);
+      CR.runForward();
+      uint64_t Before = CR.reexecutedInstructions();
+      Stopwatch SW;
+      SegPos = CR.reverseFind(MakePred(CR));
+      R.SegmentSeconds = SW.seconds();
+      R.SegmentReexec = CR.reexecutedInstructions() - Before;
+      SegState = CR.machine().snapshot();
+    }
+
+    // --- segment scan, delta checkpoints under a byte budget -------------
+    uint64_t BudgetPos;
+    MachineState BudgetState;
+    {
+      CheckpointOptions Opts;
+      Opts.Interval = Interval;
+      Opts.AnchorEvery = 8;
+      Opts.MemoryBudgetBytes = BudgetBytes;
+      CheckpointedReplay CR(Pb, Opts);
+      CR.runForward();
+      Stopwatch SW;
+      BudgetPos = CR.reverseFind(MakePred(CR));
+      R.BudgetSeconds = SW.seconds();
+      R.PeakBytes = CR.peakCheckpointBytes();
+      BudgetState = CR.machine().snapshot();
+    }
+
+    R.Identical = NaivePos == SegPos && SegPos == BudgetPos &&
+                  NaivePos != CheckpointedReplay::NotFound &&
+                  NaiveState == SegState && SegState == BudgetState;
+    R.Speedup = R.SegmentSeconds > 0 ? R.NaiveSeconds / R.SegmentSeconds : 0;
+    AllIdentical = AllIdentical && R.Identical;
+    AllUnderBudget = AllUnderBudget && R.PeakBytes <= BudgetBytes;
+    Rows.push_back(R);
+
+    std::printf("%12llu | %8.3fs | %8.3fs | %8.3fs | %6.1fx | %10llu | %9s\n",
+                (unsigned long long)R.Instructions, R.NaiveSeconds,
+                R.SegmentSeconds, R.BudgetSeconds, R.Speedup,
+                (unsigned long long)R.PeakBytes,
+                R.Identical ? "yes" : "NO");
+    std::fflush(stdout);
+  }
+
+  std::printf("\ncheckpoint memory: budget %llu bytes; full-snapshot bytes "
+              "and budgeted peak per row above\n",
+              (unsigned long long)BudgetBytes);
+
+  // --- BENCH_reverse.json --------------------------------------------------
+  std::FILE *J = std::fopen(JsonPath.c_str(), "w");
+  if (!J) {
+    std::fprintf(stderr, "cannot write %s\n", JsonPath.c_str());
+    return 1;
+  }
+  std::fprintf(J, "{\n  \"interval\": %llu,\n  \"rows\": [\n",
+               (unsigned long long)Interval);
+  for (size_t I = 0; I != Rows.size(); ++I) {
+    const Row &R = Rows[I];
+    std::fprintf(
+        J,
+        "    {\"instructions\": %llu, \"naive_s\": %.6f, \"segment_s\": "
+        "%.6f, \"budgeted_s\": %.6f, \"speedup\": %.2f, \"naive_reexec\": "
+        "%llu, \"segment_reexec\": %llu, \"full_checkpoint_bytes\": %llu, "
+        "\"peak_checkpoint_bytes\": %llu, \"budget_bytes\": %llu, "
+        "\"identical\": %s}%s\n",
+        (unsigned long long)R.Instructions, R.NaiveSeconds, R.SegmentSeconds,
+        R.BudgetSeconds, R.Speedup, (unsigned long long)R.NaiveReexec,
+        (unsigned long long)R.SegmentReexec, (unsigned long long)R.FullBytes,
+        (unsigned long long)R.PeakBytes, (unsigned long long)R.BudgetBytes,
+        R.Identical ? "true" : "false", I + 1 != Rows.size() ? "," : "");
+  }
+  std::fprintf(J,
+               "  ],\n  \"summary\": {\"all_identical\": %s, "
+               "\"all_under_budget\": %s, \"largest_region_speedup\": %.2f}\n"
+               "}\n",
+               AllIdentical ? "true" : "false",
+               AllUnderBudget ? "true" : "false",
+               Rows.empty() ? 0.0 : Rows.back().Speedup);
+  std::fclose(J);
+  std::printf("wrote %s\n", JsonPath.c_str());
+  return 0;
+}

@@ -34,6 +34,12 @@ const std::vector<CommandInfo> &drdebug::commandTable() {
       {"replay", "deterministic replay off the pinball", "replay", ""},
       {"reverse-stepi [n] | rsi", "step backwards during replay",
        "reverse-stepi", "rsi"},
+      {"reverse-continue | rc", "run backwards to the last break/watch hit",
+       "reverse-continue", "rc"},
+      {"reverse-next | rn", "back to the current thread's previous instruction",
+       "reverse-next", "rn"},
+      {"reverse-watch <global> | rw", "back to the last write of a global",
+       "reverse-watch", "rw"},
       {"replay-position", "inspect the replay clock", "replay-position", ""},
       {"replay-seek <n>", "move the replay clock", "replay-seek", ""},
       {"slice fail", "backwards slice at the failure point", "slice", ""},

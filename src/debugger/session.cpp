@@ -462,15 +462,20 @@ bool DebugSession::dispatchCommand(const std::string &Line) {
     cmdReplay();
   else if (Cmd == "reverse-stepi" || Cmd == "rsi")
     cmdReverseStepi(Args);
+  else if (Cmd == "reverse-continue" || Cmd == "rc")
+    cmdReverseContinue();
+  else if (Cmd == "reverse-next" || Cmd == "rn")
+    cmdReverseNext();
+  else if (Cmd == "reverse-watch" || Cmd == "rw")
+    cmdReverseWatch(Args);
   else if (Cmd == "replay-position") {
     if (!Replay)
       err() << "error: not replaying\n";
     else
       Out << "replay position: " << Replay->position() << " of "
-          << (Replay->position() +
-              (Replay->atEnd() ? 0 : 1)) // approximate remaining marker
-          << "+ instructions (checkpoints: " << Replay->checkpointCount()
-          << ")\n";
+          << Replay->scheduleLength() << " recorded instructions (checkpoints: "
+          << Replay->checkpointCount() << ", ~" << Replay->checkpointBytes()
+          << " bytes)\n";
   } else if (Cmd == "replay-seek") {
     uint64_t Target = 0;
     std::istringstream &A = Args;
@@ -483,7 +488,11 @@ bool DebugSession::dispatchCommand(const std::string &Line) {
       if (BpObserver)
         BpObserver->setEnabled(true);
       if (!Ok) {
-        err() << "error: position beyond the end of the recording\n";
+        if (!Replay->lastError().empty())
+          err() << "error: " << Replay->lastError() << " (landed at position "
+                << Replay->position() << ")\n";
+        else
+          err() << "error: position beyond the end of the recording\n";
         return true;
       }
       Out << "replay position: " << Replay->position() << "\n";
@@ -885,6 +894,9 @@ void DebugSession::cmdReverseStepi(std::istringstream &Args) {
   uint64_t N = 1;
   Args >> N;
   uint64_t Pos = Replay->position();
+  // One seek, whatever n is: the checkpointed replayer restores the nearest
+  // checkpoint before the target once and replays forward, so the cost is
+  // O(Interval), not O(n x Interval).
   uint64_t Target = Pos > N ? Pos - N : 0;
   if (BpObserver)
     BpObserver->setEnabled(false);
@@ -892,10 +904,172 @@ void DebugSession::cmdReverseStepi(std::istringstream &Args) {
   if (BpObserver)
     BpObserver->setEnabled(true);
   if (!Ok) {
-    err() << "error: reverse step failed\n";
+    // Partial landing: say where the replay actually stopped and why,
+    // instead of a bare failure with the position silently wrong.
+    err() << "error: reverse step stopped at position " << Replay->position()
+          << " (wanted " << Target << ")";
+    if (!Replay->lastError().empty())
+      err() << ": " << Replay->lastError();
+    err() << "\n";
     return;
   }
   Out << "stepped backwards to position " << Replay->position() << "\n";
+  cmdWhere();
+}
+
+void DebugSession::cmdReverseContinue() {
+  if (!Replay) {
+    err() << "error: reverse execution needs an active replay\n";
+    return;
+  }
+  if (Breakpoints.empty() && Watchpoints.empty()) {
+    // Nothing to stop at: rewind to the region start, like gdb.
+    if (BpObserver)
+      BpObserver->setEnabled(false);
+    Replay->seek(0);
+    if (BpObserver)
+      BpObserver->setEnabled(true);
+    Out << "reached the beginning of the recording (position 0)\n";
+    cmdWhere();
+    return;
+  }
+  // One forward scan per checkpoint segment, newest first; a position is a
+  // breakpoint hit when the recorded schedule's next thread is poised at a
+  // breakpoint pc (the exact condition the forward observer checks in
+  // onPreExec), and a watchpoint hit when a watched value differs from the
+  // previous position's.
+  struct HitInfo {
+    bool IsWatch = false;
+    unsigned Id = 0;
+    int64_t Old = 0, New = 0;
+  };
+  std::map<uint64_t, HitInfo> Hits;
+  std::map<unsigned, int64_t> LastVal;
+  if (BpObserver)
+    BpObserver->setEnabled(false);
+  uint64_t Hit = Replay->scanBackward([&](Machine &M, uint64_t Pos,
+                                          bool SegmentStart) {
+    bool IsHit = false;
+    int64_t NextTid = Replay->nextScheduledTid();
+    if (NextTid >= 0 && static_cast<uint32_t>(NextTid) < M.numThreads()) {
+      uint64_t Pc = M.thread(static_cast<uint32_t>(NextTid)).Pc;
+      for (const auto &[Id, BpPc] : Breakpoints)
+        if (BpPc == Pc) {
+          Hits[Pos] = {false, Id, 0, 0};
+          IsHit = true;
+          break;
+        }
+    }
+    for (const auto &[Id, W] : Watchpoints) {
+      int64_t V = M.mem().load(W.Addr);
+      if (!SegmentStart) {
+        auto It = LastVal.find(Id);
+        if (It != LastVal.end() && It->second != V) {
+          Hits[Pos] = {true, Id, It->second, V};
+          IsHit = true;
+        }
+      }
+      LastVal[Id] = V;
+    }
+    return IsHit;
+  });
+  if (BpObserver)
+    BpObserver->setEnabled(true);
+  if (Hit == CheckpointedReplay::NotFound) {
+    if (!Replay->lastError().empty()) {
+      err() << "error: " << Replay->lastError() << "\n";
+      return;
+    }
+    Out << "no breakpoint or watchpoint hit before position "
+        << Replay->position() << "; not moving\n";
+    return;
+  }
+  const HitInfo &H = Hits[Hit];
+  int64_t NextTid = Replay->nextScheduledTid();
+  if (NextTid >= 0)
+    CurrentTid = static_cast<uint32_t>(NextTid);
+  if (H.IsWatch)
+    Out << "reverse-continue: watchpoint " << H.Id << " ("
+        << Watchpoints.at(H.Id).Name << ") last changed " << H.Old << " -> "
+        << H.New << " at position " << Hit << "\n";
+  else
+    Out << "reverse-continue: breakpoint " << H.Id << " hit at position "
+        << Hit << " (tid " << CurrentTid << ")\n";
+  cmdWhere();
+}
+
+void DebugSession::cmdReverseNext() {
+  if (!Replay) {
+    err() << "error: reverse execution needs an active replay\n";
+    return;
+  }
+  uint32_t Tid = CurrentTid;
+  if (BpObserver)
+    BpObserver->setEnabled(false);
+  // Land just before the current thread's previous scheduled instruction.
+  uint64_t Hit = Replay->scanBackward([&](Machine &, uint64_t, bool) {
+    return Replay->nextScheduledTid() == static_cast<int64_t>(Tid);
+  });
+  if (BpObserver)
+    BpObserver->setEnabled(true);
+  if (Hit == CheckpointedReplay::NotFound) {
+    if (!Replay->lastError().empty()) {
+      err() << "error: " << Replay->lastError() << "\n";
+      return;
+    }
+    Out << "tid " << Tid << " does not run earlier in the recording; "
+        << "not moving\n";
+    return;
+  }
+  Out << "reverse-next: tid " << Tid << " about to execute at position " << Hit
+      << "\n";
+  printCurrentStatement(Tid);
+}
+
+void DebugSession::cmdReverseWatch(std::istringstream &Args) {
+  if (!Replay) {
+    err() << "error: reverse execution needs an active replay\n";
+    return;
+  }
+  std::string Name;
+  if (!(Args >> Name)) {
+    err() << "usage (while replaying): reverse-watch <global>\n";
+    return;
+  }
+  const GlobalVar *G = Prog->findGlobal(Name);
+  if (!G) {
+    err() << "error: unknown global '" << Name << "'\n";
+    return;
+  }
+  uint64_t Addr = G->Addr;
+  int64_t Last = 0;
+  int64_t Old = 0, New = 0;
+  if (BpObserver)
+    BpObserver->setEnabled(false);
+  uint64_t Hit =
+      Replay->scanBackward([&](Machine &M, uint64_t, bool SegmentStart) {
+        int64_t V = M.mem().load(Addr);
+        bool Changed = !SegmentStart && V != Last;
+        if (Changed) {
+          Old = Last;
+          New = V;
+        }
+        Last = V;
+        return Changed;
+      });
+  if (BpObserver)
+    BpObserver->setEnabled(true);
+  if (Hit == CheckpointedReplay::NotFound) {
+    if (!Replay->lastError().empty()) {
+      err() << "error: " << Replay->lastError() << "\n";
+      return;
+    }
+    Out << Name << " is never written before position " << Replay->position()
+        << "; not moving\n";
+    return;
+  }
+  Out << "reverse-watch: " << Name << " last changed " << Old << " -> " << New
+      << " at position " << Hit << "\n";
   cmdWhere();
 }
 

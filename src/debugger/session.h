@@ -29,6 +29,10 @@
 ///   slice replay              replay the execution slice
 ///   slice step                step to the next statement in the slice
 ///   reverse-stepi [n]         step backwards (checkpoint + forward replay)
+///   reverse-continue          run backwards to the previous break/watch hit
+///   reverse-next              run backwards to the current thread's previous
+///                             instruction
+///   reverse-watch <global>    run backwards to the last write of a global
 ///   replay-position / replay-seek <n>   inspect / move the replay clock
 ///   where / output / quit
 ///
@@ -173,6 +177,9 @@ private:
   void cmdPinball(std::istringstream &Args);
   void cmdReplay();
   void cmdReverseStepi(std::istringstream &Args);
+  void cmdReverseContinue();
+  void cmdReverseNext();
+  void cmdReverseWatch(std::istringstream &Args);
   void cmdSlice(std::istringstream &Args);
   void cmdWhere();
   void cmdList(std::istringstream &Args);

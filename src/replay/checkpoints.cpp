@@ -1,20 +1,66 @@
-//===- replay/checkpoints.cpp - Reverse debugging over replay -----------------===//
+//===- replay/checkpoints.cpp - Reverse debugging over replay ---------------===//
 
 #include "replay/checkpoints.h"
 
 #include "support/metric_names.h"
 #include "support/metrics.h"
-#include "support/tracing.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace drdebug;
 
+namespace {
+
+/// The checkpoint subsystem's global instruments, registered once.
+struct CkptMetrics {
+  metrics::Counter &Restores;
+  metrics::Counter &Reexec;
+  metrics::Counter &Taken;
+  metrics::Counter &Thinned;
+  metrics::Counter &Scans;
+  metrics::Gauge &Bytes;
+
+  static CkptMetrics &get() {
+    namespace mn = drdebug::metricnames;
+    auto &Reg = metrics::MetricsRegistry::global();
+    static CkptMetrics M{Reg.counter(mn::ReplayCheckpointRestores),
+                         Reg.counter(mn::ReplayReexecutedInstructions),
+                         Reg.counter(mn::ReplayCheckpointsTaken),
+                         Reg.counter(mn::ReplayCheckpointsThinned),
+                         Reg.counter(mn::ReplaySegmentScans),
+                         Reg.gauge(mn::ReplayCheckpointBytes)};
+    return M;
+  }
+};
+
+} // namespace
+
 CheckpointedReplay::CheckpointedReplay(const Pinball &Pb, uint64_t Interval)
-    : Pb(Pb), Interval(Interval ? Interval : 1) {
+    : CheckpointedReplay(Pb, [Interval] {
+        CheckpointOptions O;
+        O.Interval = Interval;
+        return O;
+      }()) {}
+
+CheckpointedReplay::CheckpointedReplay(const Pinball &Pb,
+                                       const CheckpointOptions &Options)
+    : Pb(Pb), Opts(Options) {
+  if (Opts.Interval == 0)
+    Opts.Interval = 1;
+  if (Opts.AnchorEvery == 0)
+    Opts.AnchorEvery = 1;
   Rep = std::make_unique<Replayer>(this->Pb);
-  if (Rep->valid())
-    maybeCheckpoint(); // position 0
+  if (Rep->valid()) {
+    ScheduleInstrs = this->Pb.instructionCount();
+    Rep->machine().mem().enableDirtyTracking();
+    maybeCheckpoint(); // position 0, always an anchor
+  }
+}
+
+CheckpointedReplay::~CheckpointedReplay() {
+  if (TotalBytes)
+    CkptMetrics::get().Bytes.sub(static_cast<int64_t>(TotalBytes));
 }
 
 bool CheckpointedReplay::valid() const { return Rep && Rep->valid(); }
@@ -28,10 +74,184 @@ const DivergenceReport &CheckpointedReplay::divergence() const {
   return Rep->divergence();
 }
 
+int64_t CheckpointedReplay::nextScheduledTid() const {
+  return Rep->peekNextTid();
+}
+
 void CheckpointedReplay::maybeCheckpoint() {
-  if (Position % Interval != 0 || Checkpoints.count(Position))
+  if (SuppressCheckpoints || Position % Opts.Interval != 0 ||
+      Checkpoints.count(Position))
     return;
-  Checkpoints[Position] = {Rep->machine().snapshot(), Rep->cursor()};
+  takeCheckpoint();
+}
+
+void CheckpointedReplay::takeCheckpoint() {
+  Memory &Mem = Rep->machine().mem();
+  // Fold the pages written since the last checkpoint into the running
+  // since-anchor set; deltas are always anchor-relative so any one of them
+  // restores without touching its siblings.
+  for (uint64_t Page : Mem.dirtyPages())
+    DirtySinceAnchor.insert(Page);
+  Mem.clearDirtyPages();
+
+  auto AnchorIt = Checkpoints.find(LastAnchorPos);
+  bool HaveAnchor = AnchorIt != Checkpoints.end() &&
+                    AnchorIt->second.IsAnchor && LastAnchorPos <= Position;
+  bool Anchor = !HaveAnchor || Opts.AnchorEvery <= 1 ||
+                (Position / Opts.Interval) % Opts.AnchorEvery == 0;
+
+  Checkpoint C;
+  C.Cursor = Rep->cursor();
+  if (Anchor) {
+    C.IsAnchor = true;
+    C.Full = Rep->machine().snapshot();
+    C.Bytes = C.Full.approxBytes();
+  } else {
+    C.IsAnchor = false;
+    C.AnchorPos = LastAnchorPos;
+    C.Thin = Rep->machine().snapshot(/*IncludeMemory=*/false);
+    C.DirtyPages.assign(DirtySinceAnchor.begin(), DirtySinceAnchor.end());
+    std::sort(C.DirtyPages.begin(), C.DirtyPages.end());
+    for (uint64_t Page : C.DirtyPages)
+      Mem.collectPage(Page, C.PageWords);
+    C.Bytes = C.Thin.approxBytes() + C.DirtyPages.size() * sizeof(uint64_t) +
+              C.PageWords.size() * sizeof(std::pair<uint64_t, int64_t>);
+    ++DeltaRefs[C.AnchorPos];
+  }
+
+  TotalBytes += C.Bytes;
+  CkptMetrics::get().Bytes.add(static_cast<int64_t>(C.Bytes));
+  CkptMetrics::get().Taken.inc();
+  Checkpoints.emplace(Position, std::move(C));
+  if (Anchor) {
+    LastAnchorPos = Position;
+    DirtySinceAnchor.clear();
+  }
+  enforceBudget();
+  // Sample the high-water mark after enforcement: the peak reports the
+  // bounded resident set, not the one-checkpoint transient evicted above.
+  PeakBytes = std::max(PeakBytes, TotalBytes);
+}
+
+void CheckpointedReplay::restoreCheckpoint(CkptMap::const_iterator It) {
+  const Checkpoint &C = It->second;
+  if (C.IsAnchor) {
+    Rep->restore(C.Full, C.Cursor);
+  } else {
+    // Reconstruct the full state: the governing anchor's memory image with
+    // the dirtied pages replaced wholesale, everything else from the thin
+    // snapshot. Erase-then-store reproduces the page exactly — including
+    // words that were non-zero at the anchor and zero at the delta.
+    auto AnchorIt = Checkpoints.find(C.AnchorPos);
+    assert(AnchorIt != Checkpoints.end() && AnchorIt->second.IsAnchor &&
+           "delta checkpoint outlived its anchor");
+    MachineState S = AnchorIt->second.Full;
+    S.Threads = C.Thin.Threads;
+    S.MutexOwner = C.Thin.MutexOwner;
+    S.HeapNext = C.Thin.HeapNext;
+    S.GlobalCount = C.Thin.GlobalCount;
+    S.NextTid = C.Thin.NextTid;
+    S.Output = C.Thin.Output;
+    for (uint64_t Page : C.DirtyPages)
+      S.Mem.erasePage(Page);
+    for (const auto &[Addr, Val] : C.PageWords)
+      S.Mem.store(Addr, Val);
+    Rep->restore(S, C.Cursor);
+  }
+  Position = It->first;
+  // Re-seed the dirty-page bookkeeping to match the restored instant, so
+  // deltas taken after further forward motion stay anchor-relative.
+  Memory &Mem = Rep->machine().mem();
+  Mem.enableDirtyTracking();
+  Mem.clearDirtyPages();
+  DirtySinceAnchor.clear();
+  if (C.IsAnchor) {
+    LastAnchorPos = Position;
+  } else {
+    LastAnchorPos = C.AnchorPos;
+    DirtySinceAnchor.insert(C.DirtyPages.begin(), C.DirtyPages.end());
+  }
+  CkptMetrics::get().Restores.inc();
+}
+
+CheckpointedReplay::CkptMap::iterator
+CheckpointedReplay::eraseCheckpoint(CkptMap::iterator It, bool CountThinned) {
+  const Checkpoint &C = It->second;
+  assert(TotalBytes >= C.Bytes && "checkpoint byte accounting drifted");
+  TotalBytes -= C.Bytes;
+  CkptMetrics::get().Bytes.sub(static_cast<int64_t>(C.Bytes));
+  if (CountThinned)
+    CkptMetrics::get().Thinned.inc();
+  if (!C.IsAnchor) {
+    auto RefIt = DeltaRefs.find(C.AnchorPos);
+    assert(RefIt != DeltaRefs.end() && RefIt->second > 0 &&
+           "delta refcount drifted");
+    if (RefIt != DeltaRefs.end() && RefIt->second > 0 && --RefIt->second == 0)
+      DeltaRefs.erase(RefIt);
+  }
+  return Checkpoints.erase(It);
+}
+
+void CheckpointedReplay::enforceBudget() {
+  if (!Opts.MemoryBudgetBytes)
+    return;
+  while (TotalBytes > Opts.MemoryBudgetBytes) {
+    // Geometric thinning: evict the checkpoint whose removal creates the
+    // smallest gap relative to its distance from the cursor. Near the cursor
+    // the tolerated gap is ~Interval; far back it grows with distance, so
+    // the retained set ends up dense where reverse motion is likely and
+    // sparse in deep history.
+    auto Victim = Checkpoints.end();
+    double BestScore = 0;
+    for (auto It = std::next(Checkpoints.begin()); It != Checkpoints.end();
+         ++It) {
+      uint64_t P = It->first;
+      if (P == LastAnchorPos)
+        continue; // pending deltas will reference it
+      auto RefIt = DeltaRefs.find(P);
+      if (It->second.IsAnchor && RefIt != DeltaRefs.end() && RefIt->second > 0)
+        continue; // live deltas depend on it
+      uint64_t NextPos =
+          std::next(It) == Checkpoints.end() ? P : std::next(It)->first;
+      uint64_t Gap = NextPos - std::prev(It)->first;
+      uint64_t Dist = P > Position ? P - Position : Position - P;
+      double Score =
+          static_cast<double>(Gap) / static_cast<double>(Dist + Opts.Interval);
+      if (Victim == Checkpoints.end() || Score < BestScore) {
+        BestScore = Score;
+        Victim = It;
+      }
+    }
+    if (Victim == Checkpoints.end())
+      break; // everything left is load-bearing; tolerate the overshoot
+    eraseCheckpoint(Victim, /*CountThinned=*/true);
+  }
+}
+
+size_t CheckpointedReplay::dropCheckpointsBefore(uint64_t Pos) {
+  size_t Dropped = 0;
+  // Deltas first, so anchors they referenced become free to drop second.
+  for (auto It = Checkpoints.begin();
+       It != Checkpoints.end() && It->first < Pos;) {
+    if (!It->second.IsAnchor) {
+      It = eraseCheckpoint(It, /*CountThinned=*/false);
+      ++Dropped;
+    } else {
+      ++It;
+    }
+  }
+  for (auto It = Checkpoints.begin();
+       It != Checkpoints.end() && It->first < Pos;) {
+    auto RefIt = DeltaRefs.find(It->first);
+    bool Referenced = RefIt != DeltaRefs.end() && RefIt->second > 0;
+    if (!Referenced && It->first != LastAnchorPos) {
+      It = eraseCheckpoint(It, /*CountThinned=*/false);
+      ++Dropped;
+    } else {
+      ++It;
+    }
+  }
+  return Dropped;
 }
 
 bool CheckpointedReplay::stepForward() {
@@ -77,7 +297,29 @@ Machine::StopReason CheckpointedReplay::runForward(uint64_t MaxSteps) {
                                        : Machine::StopReason::Halted;
 }
 
+std::string CheckpointedReplay::noRestorePointMessage(uint64_t Target) const {
+  std::string Msg =
+      "no checkpoint at or before position " + std::to_string(Target);
+  if (Checkpoints.empty())
+    Msg += " (no checkpoints retained)";
+  else
+    Msg += "; earliest retained is at position " +
+           std::to_string(Checkpoints.begin()->first);
+  return Msg;
+}
+
+void CheckpointedReplay::chargeReexecution(uint64_t N) {
+  Reexecuted += N;
+  CkptMetrics::get().Reexec.inc(N);
+}
+
+void CheckpointedReplay::noteScanStart() {
+  ++ScanCount;
+  CkptMetrics::get().Scans.inc();
+}
+
 bool CheckpointedReplay::seek(uint64_t Target) {
+  CkptError.clear();
   if (Target == Position)
     return true;
   if (Target > Position) {
@@ -88,26 +330,31 @@ bool CheckpointedReplay::seek(uint64_t Target) {
   }
   // Backward: restore the nearest checkpoint at or before Target, then
   // replay forward the remaining distance.
-  namespace mn = drdebug::metricnames;
-  static metrics::Counter &Restores =
-      metrics::MetricsRegistry::global().counter(mn::ReplayCheckpointRestores);
-  static metrics::Counter &Reexec = metrics::MetricsRegistry::global().counter(
-      mn::ReplayReexecutedInstructions);
   trace::TraceSpan Span("replay.checkpoint_restore", "replay");
   auto It = Checkpoints.upper_bound(Target);
-  assert(It != Checkpoints.begin() && "position 0 is always checkpointed");
+  if (It == Checkpoints.begin()) {
+    // Possible after dropCheckpointsBefore() freed the early history; a
+    // diagnostic beats the release-build UB the old assert compiled to.
+    CkptError = noRestorePointMessage(Target);
+    return false;
+  }
   --It;
-  uint64_t CkptPos = It->first;
-  Rep->restore(It->second.State, It->second.Cursor);
-  Position = CkptPos;
-  uint64_t Distance = Target - CkptPos;
-  Reexecuted += Distance;
-  Restores.inc();
-  Reexec.inc(Distance);
-  while (Position < Target)
-    if (!stepForward())
-      return false;
-  return true;
+  restoreCheckpoint(It);
+  // Count only what actually re-executes: an observer stop or a divergence
+  // can interrupt the catch-up replay partway, and both the re-execution
+  // metric and position() must then report where the replay really landed.
+  uint64_t From = Position;
+  bool Ok = true;
+  while (Position < Target) {
+    if (!stepForward()) {
+      Ok = false;
+      break;
+    }
+  }
+  chargeReexecution(Position - From);
+  if (!Ok && divergence() && divergenceIsFatal(divergence().Kind))
+    CkptError = divergence().describe();
+  return Ok;
 }
 
 bool CheckpointedReplay::stepBackward() {

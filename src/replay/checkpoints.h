@@ -9,12 +9,28 @@
 /// debugging can be supported in the DrDebug tool-chain by recording
 /// multiple pinballs and then replaying forward using the right pinball
 /// ... using PinPlay's user-level check-pointing". A CheckpointedReplay
-/// wraps a Replayer, takes periodic architectural snapshots while replaying
-/// forward, and implements backward motion (reverse-stepi, or "rewind to
-/// the k-th instruction") by restoring the nearest earlier checkpoint and
-/// replaying forward the remaining distance — deterministic thanks to the
-/// pinball, and far cheaper than GDB's record-everything approach the
-/// paper's related work criticizes.
+/// wraps a Replayer, takes periodic snapshots while replaying forward, and
+/// implements backward motion by restoring the nearest earlier checkpoint
+/// and replaying forward the remaining distance — deterministic thanks to
+/// the pinball.
+///
+/// Two things keep this cheap on large regions (see docs/REVERSE.md):
+///
+///  - **Delta checkpoints.** Only every AnchorEvery-th checkpoint stores a
+///    full MachineState (an *anchor*). The ones between store register/
+///    thread state plus the contents of the memory pages dirtied since the
+///    anchor (tracked by vm/memory's dirty-page set), and are reconstructed
+///    at restore time as anchor-image + page patches. A configurable byte
+///    budget triggers geometric thinning — checkpoints stay dense near the
+///    cursor and grow sparse far back — so memory is bounded on
+///    million-instruction regions.
+///
+///  - **Segment-scan reverse execution.** reverseFind/scanBackward restore
+///    each checkpoint once and replay forward through its segment while
+///    watching for hits, remembering the *last* hit before the cursor (the
+///    rr reverse-continue algorithm): O(region) re-execution instead of the
+///    per-position O(region x Interval) of the naive scheme (kept as
+///    reverseFindLinear for comparison benchmarks).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -22,20 +38,49 @@
 #define DRDEBUG_REPLAY_CHECKPOINTS_H
 
 #include "replay/replayer.h"
+#include "support/tracing.h"
 
 #include <map>
 #include <memory>
+#include <unordered_set>
+#include <vector>
 
 namespace drdebug {
+
+/// Tunables for CheckpointedReplay.
+struct CheckpointOptions {
+  /// Instructions between checkpoints.
+  uint64_t Interval = 1024;
+  /// Every AnchorEvery-th checkpoint is a full snapshot (an anchor); the
+  /// rest are dirty-page deltas against the previous anchor. 1 = every
+  /// checkpoint is a full snapshot (the pre-delta behaviour).
+  uint64_t AnchorEvery = 8;
+  /// Approximate cap on bytes retained by checkpoints; 0 = unbounded.
+  /// When exceeded, checkpoints are thinned geometrically: the retained set
+  /// stays dense near the replay cursor and grows sparse far back. The
+  /// position-0 anchor is never dropped, so backward seeks always succeed
+  /// (they just re-execute more).
+  uint64_t MemoryBudgetBytes = 0;
+};
 
 /// A replayer with periodic checkpoints and backward motion.
 class CheckpointedReplay {
 public:
-  /// \p Interval: instructions between checkpoints.
+  /// \p Interval: instructions between checkpoints (full snapshots every
+  /// CheckpointOptions default AnchorEvery-th one).
   explicit CheckpointedReplay(const Pinball &Pb, uint64_t Interval = 1024);
+  CheckpointedReplay(const Pinball &Pb, const CheckpointOptions &Opts);
+  ~CheckpointedReplay();
+
+  CheckpointedReplay(const CheckpointedReplay &) = delete;
+  CheckpointedReplay &operator=(const CheckpointedReplay &) = delete;
 
   bool valid() const;
   const std::string &error() const;
+  /// Diagnostic for the most recent failed backward operation (empty when
+  /// the last seek/scan succeeded): a missing restore point, or the
+  /// description of a divergence that interrupted re-execution.
+  const std::string &lastError() const { return CkptError; }
 
   Machine &machine();
   const Program &program() const;
@@ -43,12 +88,19 @@ public:
   /// Replay position: instructions executed since region start.
   uint64_t position() const { return Position; }
 
+  /// Total instructions in the recorded schedule (the true region length,
+  /// independent of the current position).
+  uint64_t scheduleLength() const { return ScheduleInstrs; }
+
   /// True when the recorded schedule is exhausted at the current position.
   bool atEnd() const;
 
   /// The underlying replayer's divergence report (kind None while the
   /// replay matches the recording).
   const DivergenceReport &divergence() const;
+
+  /// The tid the schedule runs next at the current position (-1 at end).
+  int64_t nextScheduledTid() const;
 
   /// Steps forward one instruction (taking a checkpoint when due).
   /// \returns false at the end of the schedule or on an observer stop.
@@ -62,44 +114,176 @@ public:
   bool stepBackward();
 
   /// Rewinds (or fast-forwards) so that exactly \p Target instructions
-  /// have executed. \returns false if Target is beyond the schedule end.
+  /// have executed. \returns false if Target is beyond the schedule end,
+  /// no restore point at or before Target survives (see \c lastError()),
+  /// or re-execution is interrupted (divergence / observer stop); in the
+  /// failure cases \c position() reports where the replay actually landed
+  /// and \c reexecutedInstructions() counts only what actually re-ran.
   bool seek(uint64_t Target);
 
+  /// Sentinel for "no matching position".
+  static constexpr uint64_t NotFound = ~0ULL;
+
   /// Runs backward until \p Pred(machine) holds just after some earlier
-  /// instruction, scanning positions Position-1, Position-2, ...
-  /// \returns the found position, or ~0 if no earlier position matches.
-  /// (This is "reverse-continue to a watch condition".)
+  /// instruction; lands on (and returns) the *last* position before the
+  /// cursor where it holds, or NotFound — in which case the cursor is put
+  /// back where it started. ("Reverse-continue to a watch condition".)
+  /// Implemented as a segment scan: one checkpoint restore per segment.
   template <typename PredT> uint64_t reverseFind(PredT Pred) {
+    return scanBackward(
+        [&Pred](Machine &M, uint64_t, bool) { return Pred(M); });
+  }
+
+  /// The naive per-position baseline reverseFind (restore + re-execute for
+  /// every candidate position). Kept for the bench_reverse comparison and
+  /// bit-identity tests; O(region x Interval) — do not use on large regions.
+  template <typename PredT> uint64_t reverseFindLinear(PredT Pred) {
     for (uint64_t Pos = Position; Pos-- > 0;) {
       if (!seek(Pos))
-        return ~0ULL;
+        return NotFound;
       if (Pred(machine()))
         return Pos;
     }
-    return ~0ULL;
+    return NotFound;
   }
+
+  /// The segment-scan engine behind reverseFind and the debugger's
+  /// reverse-continue/reverse-next/reverse-watch: walks checkpoint segments
+  /// newest-first; within a segment restores the checkpoint once, replays
+  /// forward, and calls \p Visit(machine, pos, segmentStart) after every
+  /// position. SegmentStart=true marks the first visit of a segment (state
+  /// freshly restored, *not* reached by stepping) — transition-style
+  /// visitors (value-changed watchpoints) use it to rebaseline. Segments
+  /// overlap by one position so transitions across checkpoint boundaries
+  /// are still observed. Lands on the last hit before the cursor and
+  /// returns it; on no hit restores the cursor and returns NotFound.
+  template <typename VisitT> uint64_t scanBackward(VisitT Visit) {
+    CkptError.clear();
+    if (Position == 0)
+      return NotFound;
+    const uint64_t Cursor = Position;
+    trace::TraceSpan Span("replay.reverse_scan", "replay");
+    noteScanStart();
+    auto It = Checkpoints.upper_bound(Cursor - 1);
+    if (It == Checkpoints.begin()) {
+      CkptError = noRestorePointMessage(Cursor - 1);
+      return NotFound;
+    }
+    --It;
+    // Checkpoint churn (re-taking thinned positions, budget enforcement)
+    // would invalidate the segment iterators; suppress it for the scan.
+    SuppressCheckpoints = true;
+    struct Guard {
+      bool &Flag;
+      ~Guard() { Flag = false; }
+    } G{SuppressCheckpoints};
+    for (;;) {
+      const uint64_t SegStart = It->first;
+      auto Next = std::next(It);
+      const uint64_t SegEnd = Next == Checkpoints.end()
+                                  ? Cursor - 1
+                                  : std::min<uint64_t>(Next->first, Cursor - 1);
+      restoreCheckpoint(It);
+      uint64_t Hit =
+          Visit(machine(), Position, /*SegmentStart=*/true) ? Position
+                                                            : NotFound;
+      bool Interrupted = false;
+      while (Position < SegEnd) {
+        if (!stepForward()) {
+          Interrupted = true;
+          break;
+        }
+        if (Visit(machine(), Position, /*SegmentStart=*/false))
+          Hit = Position;
+      }
+      chargeReexecution(Position - SegStart);
+      if (Interrupted) {
+        if (divergence() && divergenceIsFatal(divergence().Kind))
+          CkptError = divergence().describe();
+        else
+          CkptError = "segment replay stopped at position " +
+                      std::to_string(Position);
+        return NotFound;
+      }
+      if (Hit != NotFound) {
+        if (!seek(Hit))
+          return NotFound;
+        return Hit;
+      }
+      if (It == Checkpoints.begin())
+        break;
+      --It;
+    }
+    seek(Cursor); // no hit: put the cursor back where the caller left it
+    return NotFound;
+  }
+
+  /// Drops every checkpoint strictly before \p Pos except anchors still
+  /// needed by surviving deltas. Frees the memory of distant history when
+  /// only the recent past matters; rewinding before the earliest retained
+  /// checkpoint then fails gracefully (seek returns false, \c lastError()
+  /// explains). \returns the number of checkpoints dropped.
+  size_t dropCheckpointsBefore(uint64_t Pos);
 
   /// Number of checkpoints currently held (for tests/diagnostics).
   size_t checkpointCount() const { return Checkpoints.size(); }
+  /// Approximate bytes retained by checkpoints right now / at the peak.
+  size_t checkpointBytes() const { return TotalBytes; }
+  size_t peakCheckpointBytes() const { return PeakBytes; }
   /// Forward instructions re-executed by backward motion so far.
   uint64_t reexecutedInstructions() const { return Reexecuted; }
+  /// Segment scans (reverseFind/scanBackward invocations) so far.
+  uint64_t segmentScans() const { return ScanCount; }
 
 private:
-  void maybeCheckpoint();
-
-  /// A checkpoint: the architectural snapshot plus the replay cursor
-  /// (schedule position and syscall consumption) at the same instant.
+  /// A checkpoint: either an anchor (full architectural snapshot) or a
+  /// delta (registers/threads plus the pages dirtied since its anchor),
+  /// plus the replay cursor at the same instant.
   struct Checkpoint {
-    MachineState State;
+    bool IsAnchor = true;
+    MachineState Full;      ///< anchors: the complete snapshot
+    uint64_t AnchorPos = 0; ///< deltas: position of the governing anchor
+    MachineState Thin;      ///< deltas: everything but the memory image
+    std::vector<uint64_t> DirtyPages; ///< deltas: pages dirtied since anchor
+    std::vector<std::pair<uint64_t, int64_t>> PageWords; ///< their contents
     ReplayCursor Cursor;
+    size_t Bytes = 0; ///< approximate retained bytes (budget accounting)
   };
+  using CkptMap = std::map<uint64_t, Checkpoint>;
+
+  void maybeCheckpoint();
+  void takeCheckpoint();
+  /// Restores the machine+cursor to the checkpoint at \p It and resets the
+  /// dirty-page bookkeeping to match.
+  void restoreCheckpoint(CkptMap::const_iterator It);
+  /// Removes one checkpoint, keeping byte totals and anchor refcounts true.
+  CkptMap::iterator eraseCheckpoint(CkptMap::iterator It, bool CountThinned);
+  /// Thins checkpoints geometrically until under the byte budget.
+  void enforceBudget();
+  /// Adds \p N to the re-execution counters (local and global metric).
+  void chargeReexecution(uint64_t N);
+  void noteScanStart();
+  std::string noRestorePointMessage(uint64_t Target) const;
 
   Pinball Pb;
-  uint64_t Interval;
+  CheckpointOptions Opts;
   std::unique_ptr<Replayer> Rep;
   uint64_t Position = 0;
-  std::map<uint64_t, Checkpoint> Checkpoints; ///< keyed by position
+  uint64_t ScheduleInstrs = 0;
+  CkptMap Checkpoints; ///< keyed by position
+  /// Position of the anchor DirtySinceAnchor accumulates against.
+  uint64_t LastAnchorPos = 0;
+  /// Pages dirtied since LastAnchorPos (drained from Memory's tracker at
+  /// every checkpoint; reset at anchors and after restores).
+  std::unordered_set<uint64_t> DirtySinceAnchor;
+  /// Deltas referencing each anchor (an anchor is only removable at 0).
+  std::map<uint64_t, size_t> DeltaRefs;
+  bool SuppressCheckpoints = false;
+  size_t TotalBytes = 0;
+  size_t PeakBytes = 0;
   uint64_t Reexecuted = 0;
+  uint64_t ScanCount = 0;
+  std::string CkptError;
 };
 
 } // namespace drdebug

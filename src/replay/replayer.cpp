@@ -82,6 +82,14 @@ bool Replayer::done() const {
   return EventIndex >= Pb.Schedule.size();
 }
 
+int64_t Replayer::peekNextTid() const {
+  assert(Valid && "invalid replayer");
+  for (size_t I = EventIndex; I != Pb.Schedule.size(); ++I)
+    if (Pb.Schedule[I].K == ScheduleEvent::Kind::Step)
+      return Pb.Schedule[I].Tid;
+  return -1;
+}
+
 void Replayer::applyInjection(const Injection &Inj) {
   for (auto &[Addr, Val] : Inj.MemWrites)
     M->injectMemory(Addr, Val);

@@ -103,6 +103,13 @@ public:
   /// Instructions replayed so far.
   uint64_t replayedInstructions() const { return Replayed; }
 
+  /// The tid the recorded schedule runs next (peeking past pending Inject
+  /// events without applying them), or -1 when the schedule is exhausted.
+  /// Reverse-continue uses this to reproduce forward breakpoint semantics:
+  /// a breakpoint "fires" at a position exactly when the next scheduled
+  /// thread is poised at its pc.
+  int64_t peekNextTid() const;
+
   /// The first divergence observed (kind None when replay matches the
   /// recording). Fatal divergences make \c stepOne() return false and
   /// \c run() return StopRequested; soft ones are recorded and replay

@@ -77,6 +77,32 @@ public:
     return request("cmd " + std::to_string(Sid) + " " + escapeText(Line),
                    Output, Error);
   }
+  // Reverse-execution verbs (session must be replaying a pinball).
+  /// Steps session \p Sid backwards \p N instructions.
+  bool reverseStep(uint64_t Sid, uint64_t N, std::string &Output,
+                   std::string &Error) {
+    return request("rstep " + std::to_string(Sid) + " " + std::to_string(N),
+                   Output, Error);
+  }
+  /// Runs backwards to the last breakpoint/watchpoint hit.
+  bool reverseContinue(uint64_t Sid, std::string &Output, std::string &Error) {
+    return request("rcont " + std::to_string(Sid), Output, Error);
+  }
+  /// Runs backwards to the current thread's previous instruction.
+  bool reverseNext(uint64_t Sid, std::string &Output, std::string &Error) {
+    return request("rnext " + std::to_string(Sid), Output, Error);
+  }
+  /// Runs backwards to the last write of \p Global.
+  bool reverseWatch(uint64_t Sid, const std::string &Global,
+                    std::string &Output, std::string &Error) {
+    return request("rwatch " + std::to_string(Sid) + " " + Global, Output,
+                   Error);
+  }
+  /// Reports the session's replay clock and checkpoint memory.
+  bool replayPosition(uint64_t Sid, std::string &Output, std::string &Error) {
+    return request("rpos " + std::to_string(Sid), Output, Error);
+  }
+
   bool stats(std::string &Report, std::string &Error) {
     return request("stats", Report, Error);
   }

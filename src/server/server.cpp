@@ -238,60 +238,36 @@ std::string DebugServer::dispatchVerb(uint64_t Seq, const std::string &Verb,
     if (!(IS >> Sid))
       return Err(WireError::BadArguments,
                  "usage: " + Verb + " <sid> <text>");
-    // The job owns its state on the heap: when the per-verb deadline fires
-    // this thread returns an error while the job may still be running, so
-    // nothing the job touches can live on this stack frame.
-    struct CmdJob {
-      std::string Output;
-      SessionManager::ExecStatus Status =
-          SessionManager::ExecStatus::NoSuchSession;
-      bool LoadOk = true;
-      std::atomic<bool> TimedOut{false};
-      std::atomic<bool> Completed{false};
-      std::atomic<bool> OverdueSettled{false};
-    };
-    auto Job = std::make_shared<CmdJob>();
-    std::string Text = unescapeText(RestOf());
-    bool IsLoad = Verb == "load";
-    Stopwatch SW;
-    // Run the session command on the worker pool; this connection thread
-    // just waits, so W workers bound how many sessions execute at once.
-    // SW doubles as the queue-wait clock: the gap between submission and
-    // the job's first instruction is the server-side schedule wait.
-    std::future<void> Fut = Pool.async([this, Job, IsLoad, Sid, Text, SW] {
-      Stats.QueueWaitUs.record(static_cast<uint64_t>(SW.seconds() * 1e6));
-      if (IsLoad)
-        Job->Status = Mgr.loadProgram(Sid, Text, Job->Output, Job->LoadOk);
-      else
-        Job->Status = Mgr.execute(Sid, Text, Job->Output);
-      Job->Completed.store(true, std::memory_order_release);
-      // If the deadline fired while we ran, settle the watchdog gauge
-      // (exactly one of us — this job or the dispatcher — decrements it).
-      if (Job->TimedOut.load(std::memory_order_acquire) &&
-          !Job->OverdueSettled.exchange(true))
-        Stats.OverdueJobs.sub();
-    });
-    if (Cfg.CmdDeadline.count() > 0 &&
-        Fut.wait_for(Cfg.CmdDeadline) == std::future_status::timeout) {
-      Stats.DeadlineTimeouts.inc();
-      Stats.OverdueJobs.add();
-      Job->TimedOut.store(true, std::memory_order_release);
-      if (Job->Completed.load(std::memory_order_acquire) &&
-          !Job->OverdueSettled.exchange(true))
-        Stats.OverdueJobs.sub();
-      return Err(WireError::Timeout,
-                 Verb + " exceeded the " +
-                     std::to_string(Cfg.CmdDeadline.count()) + "ms deadline");
+    return runSessionJob(Seq, Verb, Sid, unescapeText(RestOf()),
+                         /*IsLoad=*/Verb == "load", Attached);
+  }
+
+  // Reverse-execution verbs: first-class wire names for the time-travel
+  // commands, so remote front ends don't have to know the session command
+  // language. Each translates to its debugger command line and runs through
+  // the same worker-pool/deadline path as `cmd`.
+  if (Verb == "rstep" || Verb == "rcont" || Verb == "rnext" ||
+      Verb == "rwatch" || Verb == "rpos") {
+    uint64_t Sid = 0;
+    if (!(IS >> Sid))
+      return Err(WireError::BadArguments, "usage: " + Verb + " <sid> ...");
+    std::string Line;
+    if (Verb == "rstep") {
+      uint64_t N = 0;
+      Line = IS >> N ? "reverse-stepi " + std::to_string(N) : "reverse-stepi";
+    } else if (Verb == "rcont") {
+      Line = "reverse-continue";
+    } else if (Verb == "rnext") {
+      Line = "reverse-next";
+    } else if (Verb == "rwatch") {
+      std::string Global;
+      if (!(IS >> Global))
+        return Err(WireError::BadArguments, "usage: rwatch <sid> <global>");
+      Line = "reverse-watch " + Global;
+    } else {
+      Line = "replay-position";
     }
-    Fut.wait();
-    Stats.CmdLatencyUs.record(static_cast<uint64_t>(SW.seconds() * 1e6));
-    if (Job->Status == SessionManager::ExecStatus::NoSuchSession)
-      return Err(WireError::NoSuchSession, "no such session");
-    if (Job->Status == SessionManager::ExecStatus::Ended)
-      Attached.erase(Sid);
-    if (IsLoad && !Job->LoadOk)
-      return Err(WireError::SessionFailed, Job->Output);
-    return okBody(Seq, Job->Output);
+    return runSessionJob(Seq, Verb, Sid, Line, /*IsLoad=*/false, Attached);
   }
 
   if (Verb == "stats")
@@ -314,6 +290,68 @@ std::string DebugServer::dispatchVerb(uint64_t Seq, const std::string &Verb,
   }
 
   return Err(WireError::UnknownVerb, "unknown verb '" + Verb + "'");
+}
+
+std::string DebugServer::runSessionJob(uint64_t Seq, const std::string &Verb,
+                                       uint64_t Sid, const std::string &Text,
+                                       bool IsLoad,
+                                       std::set<uint64_t> &Attached) {
+  auto Err = [&](WireError E, const std::string &Msg) {
+    Stats.ErrorsReturned.inc();
+    return errBody(Seq, E, Msg);
+  };
+  // The job owns its state on the heap: when the per-verb deadline fires
+  // this thread returns an error while the job may still be running, so
+  // nothing the job touches can live on this stack frame.
+  struct CmdJob {
+    std::string Output;
+    SessionManager::ExecStatus Status =
+        SessionManager::ExecStatus::NoSuchSession;
+    bool LoadOk = true;
+    std::atomic<bool> TimedOut{false};
+    std::atomic<bool> Completed{false};
+    std::atomic<bool> OverdueSettled{false};
+  };
+  auto Job = std::make_shared<CmdJob>();
+  Stopwatch SW;
+  // Run the session command on the worker pool; this connection thread
+  // just waits, so W workers bound how many sessions execute at once.
+  // SW doubles as the queue-wait clock: the gap between submission and
+  // the job's first instruction is the server-side schedule wait.
+  std::future<void> Fut = Pool.async([this, Job, IsLoad, Sid, Text, SW] {
+    Stats.QueueWaitUs.record(static_cast<uint64_t>(SW.seconds() * 1e6));
+    if (IsLoad)
+      Job->Status = Mgr.loadProgram(Sid, Text, Job->Output, Job->LoadOk);
+    else
+      Job->Status = Mgr.execute(Sid, Text, Job->Output);
+    Job->Completed.store(true, std::memory_order_release);
+    // If the deadline fired while we ran, settle the watchdog gauge
+    // (exactly one of us — this job or the dispatcher — decrements it).
+    if (Job->TimedOut.load(std::memory_order_acquire) &&
+        !Job->OverdueSettled.exchange(true))
+      Stats.OverdueJobs.sub();
+  });
+  if (Cfg.CmdDeadline.count() > 0 &&
+      Fut.wait_for(Cfg.CmdDeadline) == std::future_status::timeout) {
+    Stats.DeadlineTimeouts.inc();
+    Stats.OverdueJobs.add();
+    Job->TimedOut.store(true, std::memory_order_release);
+    if (Job->Completed.load(std::memory_order_acquire) &&
+        !Job->OverdueSettled.exchange(true))
+      Stats.OverdueJobs.sub();
+    return Err(WireError::Timeout,
+               Verb + " exceeded the " +
+                   std::to_string(Cfg.CmdDeadline.count()) + "ms deadline");
+  }
+  Fut.wait();
+  Stats.CmdLatencyUs.record(static_cast<uint64_t>(SW.seconds() * 1e6));
+  if (Job->Status == SessionManager::ExecStatus::NoSuchSession)
+    return Err(WireError::NoSuchSession, "no such session");
+  if (Job->Status == SessionManager::ExecStatus::Ended)
+    Attached.erase(Sid);
+  if (IsLoad && !Job->LoadOk)
+    return Err(WireError::SessionFailed, Job->Output);
+  return okBody(Seq, Job->Output);
 }
 
 namespace {

@@ -99,6 +99,12 @@ private:
   std::string dispatchVerb(uint64_t Seq, const std::string &Verb,
                            std::istringstream &IS,
                            std::set<uint64_t> &Attached);
+  /// Runs one session command (a `load`/`cmd` body, or a reverse-execution
+  /// verb translated to its debugger command line) on the worker pool with
+  /// the per-verb deadline; the shared back half of every session verb.
+  std::string runSessionJob(uint64_t Seq, const std::string &Verb,
+                            uint64_t Sid, const std::string &Text, bool IsLoad,
+                            std::set<uint64_t> &Attached);
 
   ServerConfig Cfg;
   /// Declared before Stats/Mgr: the handles they hold point into it.

@@ -88,6 +88,14 @@ inline constexpr const char *ReplayCheckpointRestores =
     "drdebug_replay_checkpoint_restores_total";
 inline constexpr const char *ReplayReexecutedInstructions =
     "drdebug_replay_reexecuted_instructions_total";
+inline constexpr const char *ReplayCheckpointBytes =
+    "drdebug_replay_checkpoint_bytes";
+inline constexpr const char *ReplayCheckpointsTaken =
+    "drdebug_replay_checkpoints_taken_total";
+inline constexpr const char *ReplayCheckpointsThinned =
+    "drdebug_replay_checkpoints_thinned_total";
+inline constexpr const char *ReplaySegmentScans =
+    "drdebug_replay_segment_scans_total";
 
 // --- Pinball I/O + integrity (global registry) ---------------------------
 inline constexpr const char *PinballSaves = "drdebug_pinball_saves_total";
@@ -151,6 +159,10 @@ inline constexpr MetricInfo AllMetrics[] = {
     {ReplayRegionUs, "histogram"},
     {ReplayCheckpointRestores, "counter"},
     {ReplayReexecutedInstructions, "counter"},
+    {ReplayCheckpointBytes, "gauge"},
+    {ReplayCheckpointsTaken, "counter"},
+    {ReplayCheckpointsThinned, "counter"},
+    {ReplaySegmentScans, "counter"},
     {PinballSaves, "counter"},
     {PinballLoads, "counter"},
     {PinballLoadFailures, "counter"},

@@ -555,10 +555,23 @@ void Machine::execute(ThreadContext &T, ExecRecord &R) {
     T.Pc = NextPc;
 }
 
-MachineState Machine::snapshot() const {
+size_t MachineState::approxBytes() const {
+  size_t Bytes = sizeof(MachineState);
+  Bytes += Threads.size() * sizeof(ThreadContext);
+  for (const ThreadContext &T : Threads)
+    Bytes += T.CallStack.size() * sizeof(uint64_t);
+  // Hash-map nodes carry pointer/bucket overhead well beyond the payload.
+  Bytes += Mem.footprint() * 32;
+  Bytes += MutexOwner.size() * 48;
+  Bytes += Output.size() * sizeof(int64_t);
+  return Bytes;
+}
+
+MachineState Machine::snapshot(bool IncludeMemory) const {
   MachineState S;
   S.Threads.assign(Threads.begin(), Threads.end());
-  S.Mem = Mem;
+  if (IncludeMemory)
+    S.Mem = Mem;
   S.MutexOwner = MutexOwner;
   S.HeapNext = HeapNext;
   S.GlobalCount = GlobalCount;

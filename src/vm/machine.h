@@ -82,6 +82,9 @@ struct MachineState {
   bool load(std::istream &IS, std::string &Error);
   /// Structural equality (used by snapshot/restore tests).
   bool operator==(const MachineState &Other) const;
+  /// Rough retained-heap estimate (container payloads plus per-node
+  /// overhead) — the unit of the checkpoint memory budget.
+  size_t approxBytes() const;
 };
 
 /// Source of non-deterministic syscall results. The default implementation
@@ -174,7 +177,9 @@ public:
   uint64_t failedPc() const { return FailPc; }
 
   // --- Snapshot / restore --------------------------------------------------
-  MachineState snapshot() const;
+  /// \p IncludeMemory false skips copying the memory image — for delta
+  /// checkpoints, which store dirty pages separately.
+  MachineState snapshot(bool IncludeMemory = true) const;
   void restore(const MachineState &State);
 
   /// Applies externally recorded side effects: used by the slice-pinball

@@ -9,6 +9,13 @@
 /// 64-bit values. Unwritten words read as zero, which keeps synthetic
 /// workloads and the random program generator memory-safe by construction.
 ///
+/// Memory can optionally track which *pages* (PageWords-word aligned spans)
+/// have been written since the last \c clearDirtyPages(). The checkpointed
+/// replayer uses this to store delta checkpoints — register state plus the
+/// contents of the pages dirtied since the previous full snapshot — instead
+/// of a full memory image every interval. Tracking is off by default, so the
+/// logger and slicer pay nothing for it.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DRDEBUG_VM_MEMORY_H
@@ -17,12 +24,24 @@
 #include <cstddef>
 #include <cstdint>
 #include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
 
 namespace drdebug {
 
-/// Sparse word-addressed memory. Copyable (used for snapshots).
+/// Sparse word-addressed memory. Copyable (used for snapshots); copies carry
+/// the dirty-tracking flag and set verbatim — consumers that care (the
+/// checkpointed replayer) reset tracking explicitly after a restore.
 class Memory {
 public:
+  /// Dirty tracking granularity: 1 << PageShift words per page.
+  static constexpr unsigned PageShift = 6;
+  static constexpr uint64_t PageWords = 1ull << PageShift;
+
+  /// \returns the page id covering \p Addr.
+  static uint64_t pageOf(uint64_t Addr) { return Addr >> PageShift; }
+
   /// \returns the word at \p Addr (zero if never written).
   int64_t load(uint64_t Addr) const {
     auto It = Words.find(Addr);
@@ -31,6 +50,8 @@ public:
 
   /// Stores \p Value at \p Addr.
   void store(uint64_t Addr, int64_t Value) {
+    if (TrackDirty)
+      Dirty.insert(Addr >> PageShift);
     if (Value == 0) {
       Words.erase(Addr); // keep the footprint canonical for snapshot diffs
       return;
@@ -43,10 +64,43 @@ public:
 
   const std::unordered_map<uint64_t, int64_t> &words() const { return Words; }
 
-  void clear() { Words.clear(); }
+  void clear() { Words.clear(); Dirty.clear(); }
+
+  // --- Dirty-page tracking -------------------------------------------------
+
+  /// Starts recording the page of every subsequent store. Idempotent.
+  void enableDirtyTracking() { TrackDirty = true; }
+  bool dirtyTrackingEnabled() const { return TrackDirty; }
+
+  /// Pages written since the last \c clearDirtyPages() (only populated while
+  /// tracking is enabled).
+  const std::unordered_set<uint64_t> &dirtyPages() const { return Dirty; }
+  void clearDirtyPages() { Dirty.clear(); }
+
+  /// Removes every word in page \p Page (used when applying a page delta:
+  /// erase-then-insert reconstructs the page exactly, including words that
+  /// became zero).
+  void erasePage(uint64_t Page) {
+    uint64_t Base = Page << PageShift;
+    for (uint64_t Off = 0; Off != PageWords; ++Off)
+      Words.erase(Base + Off);
+  }
+
+  /// Appends every (addr, value) pair currently present in page \p Page.
+  void collectPage(uint64_t Page,
+                   std::vector<std::pair<uint64_t, int64_t>> &Out) const {
+    uint64_t Base = Page << PageShift;
+    for (uint64_t Off = 0; Off != PageWords; ++Off) {
+      auto It = Words.find(Base + Off);
+      if (It != Words.end())
+        Out.emplace_back(It->first, It->second);
+    }
+  }
 
 private:
   std::unordered_map<uint64_t, int64_t> Words;
+  std::unordered_set<uint64_t> Dirty;
+  bool TrackDirty = false;
 };
 
 } // namespace drdebug

@@ -2,7 +2,10 @@
 
 #include "replay/checkpoints.h"
 #include "replay/logger.h"
+#include "support/metric_names.h"
+#include "support/metrics.h"
 #include "test_util.h"
+#include "vm/observer.h"
 #include "workloads/figure5.h"
 
 #include <gtest/gtest.h>
@@ -150,6 +153,376 @@ TEST(Reverse, DebuggerReverseStepi) {
   S.execute("continue");
   EXPECT_NE(Out.str().find("assertion FAILED"), std::string::npos)
       << Out.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Seek edge cases and failure handling
+//===----------------------------------------------------------------------===//
+
+TEST(Reverse, SeekExactlyOntoCheckpoint) {
+  Pinball Pb = recordCounter(20);
+  CheckpointedReplay CR(Pb, /*Interval=*/8);
+  ASSERT_TRUE(CR.valid());
+  uint64_t G = CR.program().findGlobal("g")->Addr;
+  std::vector<int64_t> History;
+  History.push_back(CR.machine().mem().load(G));
+  while (CR.stepForward())
+    History.push_back(CR.machine().mem().load(G));
+  // Landing exactly on a checkpointed position restores it directly — no
+  // catch-up replay at all.
+  for (uint64_t Pos : {uint64_t(16), uint64_t(8), uint64_t(0)}) {
+    uint64_t Before = CR.reexecutedInstructions();
+    ASSERT_TRUE(CR.seek(Pos));
+    EXPECT_EQ(CR.position(), Pos);
+    EXPECT_EQ(CR.reexecutedInstructions(), Before)
+        << "seek onto checkpoint " << Pos << " must not re-execute";
+    EXPECT_EQ(CR.machine().mem().load(G), History[Pos]);
+  }
+}
+
+TEST(Reverse, StepBackwardAtZeroAfterDivergentReplay) {
+  Pinball Pb = recordCounter(10);
+  // Tamper: the schedule outlives the program, a fatal divergence.
+  Pb.Schedule.push_back({ScheduleEvent::Kind::Step, 0, 5, 0});
+  CheckpointedReplay CR(Pb, /*Interval=*/8);
+  ASSERT_TRUE(CR.valid());
+  EXPECT_EQ(CR.runForward(), Machine::StopReason::StopRequested);
+  ASSERT_TRUE(CR.divergence());
+  EXPECT_EQ(CR.divergence().Kind, DivergenceKind::ScheduleNotExhausted);
+  uint64_t Stopped = CR.position();
+  EXPECT_LT(Stopped, CR.scheduleLength()) << "tampered tail never executes";
+  // Rewinding out of the divergent stop works (the clean prefix replays
+  // cleanly), all the way to position 0 — where one more backward step
+  // reports false instead of asserting or corrupting the position.
+  ASSERT_TRUE(CR.seek(0));
+  EXPECT_EQ(CR.position(), 0u);
+  EXPECT_FALSE(CR.divergence());
+  EXPECT_FALSE(CR.stepBackward());
+  EXPECT_EQ(CR.position(), 0u);
+}
+
+TEST(Reverse, SeekReportsPartialLandingOnObserverStop) {
+  Pinball Pb = recordCounter(20);
+  CheckpointedReplay CR(Pb, /*Interval=*/16);
+  ASSERT_TRUE(CR.valid());
+  CR.runForward();
+  ASSERT_GT(CR.position(), 40u);
+  ASSERT_TRUE(CR.seek(44));
+  // An observer that stops the machine partway through the catch-up replay:
+  // seek must report the true landing position and charge only the
+  // instructions that actually re-ran.
+  struct Stopper : Observer {
+    Machine &M;
+    unsigned Left;
+    explicit Stopper(Machine &M, unsigned Left) : M(M), Left(Left) {}
+    void onPreExec(const Machine &, uint32_t, uint64_t) override {
+      if (Left-- == 0)
+        M.requestStop();
+    }
+  } Stop(CR.machine(), 4);
+  CR.machine().addObserver(&Stop);
+  uint64_t Before = CR.reexecutedInstructions();
+  bool Ok = CR.seek(40); // checkpoint at 32, so 8 instructions of catch-up
+  CR.machine().removeObserver(&Stop);
+  CR.machine().clearStopRequest();
+  EXPECT_FALSE(Ok);
+  EXPECT_EQ(CR.position(), 36u) << "restored to 32, then 4 steps";
+  EXPECT_EQ(CR.reexecutedInstructions() - Before, CR.position() - 32)
+      << "only instructions that actually re-ran are charged";
+}
+
+TEST(Reverse, DropCheckpointsBeforeMakesEarlySeeksFailGracefully) {
+  Pinball Pb = recordCounter(100);
+  // Full checkpoints only: with deltas in play, early anchors stay alive
+  // for as long as later deltas reference them, and the early seek would
+  // still be served.
+  CheckpointOptions Opts;
+  Opts.Interval = 16;
+  Opts.AnchorEvery = 1;
+  CheckpointedReplay CR(Pb, Opts);
+  ASSERT_TRUE(CR.valid());
+  CR.runForward();
+  uint64_t End = CR.position();
+  ASSERT_GT(CR.checkpointCount(), 4u);
+  EXPECT_GT(CR.dropCheckpointsBefore(64), 0u);
+  size_t BytesAfter = CR.checkpointBytes();
+  EXPECT_LT(BytesAfter, CR.peakCheckpointBytes());
+  // Seeking into the dropped region fails with a diagnostic, leaving the
+  // cursor where it was (the old code hit UB via a release-build assert).
+  EXPECT_FALSE(CR.seek(10));
+  EXPECT_EQ(CR.position(), End);
+  EXPECT_NE(CR.lastError().find("no checkpoint at or before position 10"),
+            std::string::npos)
+      << CR.lastError();
+  // Seeks at or after the earliest retained checkpoint still work.
+  ASSERT_TRUE(CR.seek(70));
+  EXPECT_EQ(CR.position(), 70u);
+  EXPECT_TRUE(CR.lastError().empty());
+}
+
+//===----------------------------------------------------------------------===//
+// reverseFind: segment scan semantics
+//===----------------------------------------------------------------------===//
+
+TEST(Reverse, ReverseFindMatchesAtPositionZero) {
+  Pinball Pb = recordCounter(10);
+  CheckpointedReplay CR(Pb, /*Interval=*/8);
+  ASSERT_TRUE(CR.valid());
+  uint64_t EntryPc = CR.machine().thread(0).Pc;
+  CR.runForward();
+  // The entry pc is only current at position 0 (the first instruction moves
+  // past it and the loop never returns): the scan must check the segment
+  // base positions themselves, not just stepped-to positions.
+  uint64_t Pos = CR.reverseFind(
+      [&](Machine &M) { return M.thread(0).Pc == EntryPc; });
+  EXPECT_EQ(Pos, 0u);
+  EXPECT_EQ(CR.position(), 0u);
+}
+
+TEST(Reverse, ReverseFindNeverMatchingRestoresCursor) {
+  Pinball Pb = recordCounter(10);
+  CheckpointedReplay CR(Pb, /*Interval=*/8);
+  ASSERT_TRUE(CR.valid());
+  uint64_t G = CR.program().findGlobal("g")->Addr;
+  CR.runForward();
+  uint64_t Cursor = CR.position();
+  MachineState At = CR.machine().snapshot();
+  uint64_t Pos =
+      CR.reverseFind([&](Machine &M) { return M.mem().load(G) == 999; });
+  EXPECT_EQ(Pos, CheckpointedReplay::NotFound);
+  EXPECT_EQ(CR.position(), Cursor) << "cursor must be restored on no-hit";
+  EXPECT_TRUE(CR.machine().snapshot() == At);
+  EXPECT_TRUE(CR.lastError().empty());
+  EXPECT_GE(CR.segmentScans(), 1u);
+}
+
+TEST(Reverse, SegmentScanAgreesWithLinearBaseline) {
+  Pinball Pb = recordCounter(30);
+  CheckpointedReplay Fast(Pb, /*Interval=*/8);
+  CheckpointedReplay Slow(Pb, /*Interval=*/8);
+  ASSERT_TRUE(Fast.valid());
+  ASSERT_TRUE(Slow.valid());
+  uint64_t G = Fast.program().findGlobal("g")->Addr;
+  Fast.runForward();
+  Slow.runForward();
+  for (int64_t Want : {1, 7, 15, 30, 31}) {
+    auto Pred = [&](Machine &M) { return M.mem().load(G) == Want; };
+    uint64_t A = Fast.reverseFind(Pred);
+    uint64_t B = Slow.reverseFindLinear(Pred);
+    EXPECT_EQ(A, B) << "g == " << Want;
+    if (A != CheckpointedReplay::NotFound) {
+      EXPECT_TRUE(Fast.machine().snapshot() == Slow.machine().snapshot())
+          << "states at the found position must be bit-identical (g == "
+          << Want << ")";
+      // Re-sync both cursors to the end for the next query.
+      ASSERT_TRUE(Fast.seek(Fast.scheduleLength()));
+      ASSERT_TRUE(Slow.seek(Slow.scheduleLength()));
+    }
+  }
+  EXPECT_LT(Fast.reexecutedInstructions(), Slow.reexecutedInstructions())
+      << "the segment scan must re-execute far less than the naive loop";
+}
+
+//===----------------------------------------------------------------------===//
+// Delta checkpoints and the memory budget
+//===----------------------------------------------------------------------===//
+
+TEST(Reverse, DeltaCheckpointsRestoreBitIdentically) {
+  Pinball Pb = recordCounter(60);
+  CheckpointOptions FullOpts;
+  FullOpts.Interval = 8;
+  FullOpts.AnchorEvery = 1; // every checkpoint a full snapshot
+  CheckpointOptions DeltaOpts;
+  DeltaOpts.Interval = 8;
+  DeltaOpts.AnchorEvery = 4; // three of four checkpoints are page deltas
+  CheckpointedReplay Full(Pb, FullOpts);
+  CheckpointedReplay Delta(Pb, DeltaOpts);
+  ASSERT_TRUE(Full.valid());
+  ASSERT_TRUE(Delta.valid());
+  Full.runForward();
+  Delta.runForward();
+  uint64_t End = Full.position();
+  ASSERT_EQ(Delta.position(), End);
+  for (uint64_t Pos : {End - 1, End / 2, uint64_t(17), uint64_t(9),
+                       uint64_t(8), uint64_t(1), uint64_t(0)}) {
+    ASSERT_TRUE(Full.seek(Pos));
+    ASSERT_TRUE(Delta.seek(Pos));
+    EXPECT_TRUE(Full.machine().snapshot() == Delta.machine().snapshot())
+        << "delta-restored state differs at position " << Pos;
+  }
+  EXPECT_LT(Delta.checkpointBytes(), Full.checkpointBytes())
+      << "page deltas must be cheaper than full snapshots";
+}
+
+TEST(Reverse, MemoryBudgetBoundsCheckpointBytes) {
+  Pinball Pb = recordCounter(600);
+  CheckpointOptions Unbounded;
+  Unbounded.Interval = 16;
+  Unbounded.AnchorEvery = 4;
+  CheckpointedReplay Free(Pb, Unbounded);
+  ASSERT_TRUE(Free.valid());
+  Free.runForward();
+  ASSERT_GT(Free.checkpointBytes(), 0u);
+
+  CheckpointOptions Capped = Unbounded;
+  Capped.MemoryBudgetBytes = Free.checkpointBytes() / 2;
+  CheckpointedReplay Tight(Pb, Capped);
+  ASSERT_TRUE(Tight.valid());
+  Tight.runForward();
+  EXPECT_LE(Tight.checkpointBytes(), Capped.MemoryBudgetBytes);
+  EXPECT_LT(Tight.checkpointCount(), Free.checkpointCount());
+  // Thinning must never break correctness — only cost. Every position is
+  // still reachable (the position-0 anchor survives) and bit-identical.
+  for (uint64_t Pos : {Free.position() - 3, Free.position() / 3, uint64_t(5)}) {
+    ASSERT_TRUE(Free.seek(Pos));
+    ASSERT_TRUE(Tight.seek(Pos));
+    EXPECT_TRUE(Free.machine().snapshot() == Tight.machine().snapshot())
+        << "budget-thinned replay diverges at position " << Pos;
+  }
+}
+
+TEST(Reverse, ReverseSeekCostIsIntervalNotDistance) {
+  // The cyclic-debugging regression this PR exists for: stepping backwards
+  // n instructions costs one checkpoint restore plus at most ~Interval of
+  // catch-up replay, however large n is.
+  Pinball Pb = recordCounter(400);
+  const uint64_t Interval = 16;
+  CheckpointedReplay CR(Pb, Interval);
+  ASSERT_TRUE(CR.valid());
+  CR.runForward();
+  uint64_t End = CR.position();
+  ASSERT_GT(End, 1000u);
+  for (uint64_t N : {uint64_t(5), uint64_t(100), uint64_t(1000)}) {
+    ASSERT_TRUE(CR.seek(End));
+    uint64_t Before = CR.reexecutedInstructions();
+    ASSERT_TRUE(CR.seek(End - N));
+    EXPECT_LT(CR.reexecutedInstructions() - Before, Interval)
+        << "reverse-stepi " << N << " must cost O(Interval), not O(n)";
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Debugger integration: reverse-continue / reverse-next / reverse-watch
+//===----------------------------------------------------------------------===//
+
+/// A single-threaded counter program as debugger source text.
+std::string counterSource(unsigned Iters) {
+  std::ostringstream Src;
+  Src << ".data g 0\n.func main\n  movi r1, " << Iters << "\n"
+      << "l:\n  lda r2, @g\n  addi r2, r2, 1\n  sta r2, @g\n"
+      << "  subi r1, r1, 1\n  bgt r1, r0, l\n  halt\n.endfunc\n";
+  return Src.str();
+}
+
+TEST(Reverse, DebuggerReverseContinueToBreakpoint) {
+  std::ostringstream Out;
+  DebugSession S(Out);
+  S.loadProgramText(counterSource(10));
+  S.execute("record region 0 40");
+  S.execute("replay");
+  Out.str("");
+  S.execute("break 3"); // the sta instruction inside the loop
+  S.execute("reverse-continue");
+  std::string Text = Out.str();
+  EXPECT_NE(Text.find("reverse-continue: breakpoint 1 hit at position"),
+            std::string::npos)
+      << Text;
+}
+
+TEST(Reverse, DebuggerReverseContinueToWatchpoint) {
+  std::ostringstream Out;
+  DebugSession S(Out);
+  S.loadProgramText(counterSource(10));
+  S.execute("record region 0 200");
+  S.execute("replay");
+  Out.str("");
+  S.execute("watch g");
+  S.execute("reverse-continue");
+  std::string Text = Out.str();
+  EXPECT_NE(Text.find("reverse-continue: watchpoint 1 (g) last changed 9 -> "
+                      "10 at position"),
+            std::string::npos)
+      << Text;
+}
+
+TEST(Reverse, DebuggerReverseContinueWithoutStopsRewindsToStart) {
+  std::ostringstream Out;
+  DebugSession S(Out);
+  S.loadProgramText(counterSource(5));
+  S.execute("record region 0 40");
+  S.execute("replay");
+  Out.str("");
+  S.execute("reverse-continue");
+  EXPECT_NE(Out.str().find("reached the beginning of the recording"),
+            std::string::npos)
+      << Out.str();
+  Out.str("");
+  S.execute("reverse-next");
+  EXPECT_NE(Out.str().find("does not run earlier"), std::string::npos)
+      << Out.str();
+}
+
+TEST(Reverse, DebuggerReverseNextAndWatch) {
+  std::ostringstream Out;
+  DebugSession S(Out);
+  S.loadProgramText(counterSource(10));
+  S.execute("record region 0 200");
+  S.execute("replay");
+  S.execute("replay-seek 20");
+  Out.str("");
+  S.execute("reverse-next");
+  EXPECT_NE(Out.str().find("reverse-next: tid 0 about to execute at position "
+                           "19"),
+            std::string::npos)
+      << Out.str();
+  Out.str("");
+  S.execute("reverse-watch g");
+  EXPECT_NE(Out.str().find("reverse-watch: g last changed"), std::string::npos)
+      << Out.str();
+  Out.str("");
+  S.execute("reverse-watch nosuch");
+  EXPECT_NE(Out.str().find("unknown global"), std::string::npos);
+}
+
+TEST(Reverse, DebuggerReverseStepiCostRegression) {
+  std::ostringstream Out;
+  DebugSession S(Out);
+  S.loadProgramText(counterSource(400));
+  S.execute("record region 0 2000");
+  S.execute("replay");
+  // reverse-stepi n must issue ONE seek: a single checkpoint restore plus
+  // at most ~Interval (256 in the debugger) of catch-up, not n x Interval.
+  auto &Reexec = metrics::MetricsRegistry::global().counter(
+      metricnames::ReplayReexecutedInstructions);
+  uint64_t Before = Reexec.value();
+  Out.str("");
+  S.execute("reverse-stepi 1500");
+  EXPECT_NE(Out.str().find("stepped backwards to position"),
+            std::string::npos)
+      << Out.str();
+  EXPECT_LT(Reexec.value() - Before, 256u)
+      << "reverse-stepi 1500 re-executed O(n x Interval) instructions";
+}
+
+TEST(Reverse, DebuggerReplayPositionReportsScheduleLength) {
+  std::ostringstream Out;
+  DebugSession S(Out);
+  S.loadProgramText(counterSource(10));
+  S.execute("record region 0 40");
+  S.execute("replay");
+  S.execute("replay-seek 7");
+  Out.str("");
+  S.execute("replay-position");
+  // The honest report: true recorded length (not the old cursor+1 guess)
+  // and the checkpoint memory held.
+  std::string Text = Out.str();
+  EXPECT_NE(Text.find("replay position: 7 of "), std::string::npos) << Text;
+  EXPECT_EQ(Text.find("replay position: 7 of 8"), std::string::npos)
+      << "still reporting cursor+1 instead of the schedule length: " << Text;
+  EXPECT_NE(Text.find(" recorded instructions (checkpoints: "),
+            std::string::npos)
+      << Text;
+  EXPECT_NE(Text.find("bytes)"), std::string::npos) << Text;
 }
 
 TEST(Reverse, DebuggerReplaySeek) {

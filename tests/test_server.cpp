@@ -211,6 +211,56 @@ TEST(Server, HelloStatsAndErrorPaths) {
   EXPECT_GE(Srv.stats().FramesMalformed.load(), 1u);
 }
 
+TEST(Server, ReverseExecutionVerbs) {
+  DebugServer Srv;
+  auto [ClientEnd, ServerEnd] = makePipePair();
+  std::thread ServerThread([&, SE = ServerEnd.get()] { Srv.serve(*SE); });
+  {
+    ProtocolClient Client(*ClientEnd);
+    std::string Out, Error;
+    uint64_t Sid = 0;
+    ASSERT_TRUE(Client.open(Sid, Error)) << Error;
+    ASSERT_TRUE(Client.load(Sid,
+                            ".data g 0\n.func main\n  movi r1, 10\n"
+                            "l:\n  lda r2, @g\n  addi r2, r2, 1\n"
+                            "  sta r2, @g\n  subi r1, r1, 1\n"
+                            "  bgt r1, r0, l\n  halt\n.endfunc\n",
+                            Out, Error))
+        << Error;
+    ASSERT_TRUE(Client.cmd(Sid, "record region 0 40", Out, Error)) << Error;
+    ASSERT_TRUE(Client.cmd(Sid, "replay", Out, Error)) << Error;
+
+    // rstep: one backward step of n instructions.
+    ASSERT_TRUE(Client.reverseStep(Sid, 3, Out, Error)) << Error;
+    EXPECT_NE(Out.find("stepped backwards to position"), std::string::npos)
+        << Out;
+    // rpos: the honest replay clock.
+    ASSERT_TRUE(Client.replayPosition(Sid, Out, Error)) << Error;
+    EXPECT_NE(Out.find("replay position: "), std::string::npos) << Out;
+    EXPECT_NE(Out.find(" recorded instructions"), std::string::npos) << Out;
+    // rwatch: back to the last write of g.
+    ASSERT_TRUE(Client.reverseWatch(Sid, "g", Out, Error)) << Error;
+    EXPECT_NE(Out.find("reverse-watch: g last changed"), std::string::npos)
+        << Out;
+    // rcont without breakpoints rewinds to the region start...
+    ASSERT_TRUE(Client.reverseContinue(Sid, Out, Error)) << Error;
+    EXPECT_NE(Out.find("reached the beginning of the recording"),
+              std::string::npos)
+        << Out;
+    // ...after which rnext has nowhere earlier to go.
+    ASSERT_TRUE(Client.reverseNext(Sid, Out, Error)) << Error;
+    EXPECT_NE(Out.find("does not run earlier"), std::string::npos) << Out;
+
+    // The per-verb counters picked the new names up.
+    ASSERT_TRUE(Client.stats(Out, Error)) << Error;
+    EXPECT_NE(Out.find("verb.rstep.count 1"), std::string::npos) << Out;
+    EXPECT_NE(Out.find("verb.rcont.count 1"), std::string::npos) << Out;
+    EXPECT_NE(Out.find("verb.rpos.count 1"), std::string::npos) << Out;
+  }
+  ClientEnd->close();
+  ServerThread.join();
+}
+
 TEST(Server, TwoClientsConcurrentFigure5ByteForByte) {
   Program P = workloads::makeFigure5();
   const std::string Reference = localTranscript(P.SourceText, Figure5Script);
