@@ -1,0 +1,288 @@
+//===- bench/bench_flight.cpp - always-on flight recorder overhead ----------===//
+//
+// Measures what the always-on epoch-ring recorder costs against the two
+// baselines that bracket it:
+//
+//  * plain     — the bare machine, no observers: the floor.
+//  * logging   — the conventional whole-program logger (Logger::
+//                logWholeProgram): unbounded memory, full-history pinball.
+//  * flight    — FlightRecorder with bounded epochs + a byte budget: the
+//                steady-state "black box" mode. Memory stays under the
+//                budget no matter how long the run; dump() materializes the
+//                retained suffix window.
+//
+// Every row also proves correctness end to end: the flight dump replays
+// divergence-free to a machine state bit-identical to the live run's end
+// state (and to the conventional pinball's replay of the same execution).
+//
+//   bench_flight [--json PATH] [--smoke]
+//
+// --smoke shrinks the sweep to a sub-second run for the ctest smoke test.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench_util.h"
+#include "arch/assembler.h"
+#include "replay/flight_recorder.h"
+#include "replay/logger.h"
+#include "replay/replayer.h"
+#include "support/stopwatch.h"
+#include "vm/scheduler.h"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace drdebug;
+using namespace drdebug::benchutil;
+
+namespace {
+
+/// Two threads hammering a shared buffer with sysrand-derived indices:
+/// every instruction carries schedule and syscall nondeterminism, the
+/// worst case for any recorder. ~19 instructions per Iters unit.
+Program makeWorkload(uint64_t Iters) {
+  std::ostringstream Src;
+  Src << ".data g 0\n.array buf 256\n"
+      << ".func main\n"
+      << "  movi r1, " << Iters << "\n"
+      << "  spawn r9, worker, r1\n"
+      << "loop:\n"
+      << "  lda r2, @g\n  addi r2, r2, 1\n  sta r2, @g\n"
+      << "  sysrand r3\n  andi r3, r3, 255\n"
+      << "  lea r4, @buf\n  add r4, r4, r3\n  st r2, [r4]\n"
+      << "  subi r1, r1, 1\n  bgt r1, r0, loop\n"
+      << "  join r9\n  halt\n.endfunc\n"
+      << ".func worker\n"
+      << "  addi r1, r0, 0\n  movi r5, 0\n"
+      << "wl:\n"
+      << "  sysrand r3\n  andi r3, r3, 255\n"
+      << "  lea r4, @buf\n  add r4, r4, r3\n"
+      << "  ld r6, [r4]\n  addi r6, r6, 1\n  st r6, [r4]\n"
+      << "  subi r1, r1, 1\n  bgt r1, r5, wl\n"
+      << "  ret\n.endfunc\n";
+  return assembleOrDie(Src.str());
+}
+
+struct Row {
+  uint64_t Instructions;     // whole-execution length
+  uint64_t WindowInstrs;     // instructions retained by the recorder
+  double PlainSeconds;
+  double LogSeconds;
+  double FlightSeconds;
+  double LogOverhead;        // logging / plain
+  double FlightOverhead;     // flight / plain
+  uint64_t FullPinballBytes; // conventional pinball on disk
+  uint64_t DumpBytes;        // flight dump on disk
+  uint64_t PeakBytes;        // recorder rings + checkpoints high-water mark
+  uint64_t BudgetBytes;
+  uint64_t EpochsEvicted;
+  double DumpSeconds;        // dump() + crash-safe save latency
+  bool Identical;            // dump replays bit-identically to the live end
+};
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string JsonPath = "BENCH_flight.json";
+  bool Smoke = false;
+  for (int I = 1; I < Argc; ++I) {
+    if (!std::strcmp(Argv[I], "--json") && I + 1 < Argc)
+      JsonPath = Argv[++I];
+    else if (!std::strcmp(Argv[I], "--smoke"))
+      Smoke = true;
+    else {
+      std::fprintf(stderr, "usage: %s [--json PATH] [--smoke]\n", Argv[0]);
+      return 2;
+    }
+  }
+
+  banner("Always-on flight recorder: steady-state overhead and memory bound",
+         "black-box recording must stay near full-logging speed while "
+         "memory stays O(window), not O(execution)");
+
+  const uint64_t Seed = 7;
+  const uint64_t EpochInstrs = 2048;
+  const size_t MaxEpochs = 8;
+  const size_t BudgetBytes = 256 * 1024;
+  std::vector<uint64_t> Targets =
+      Smoke ? std::vector<uint64_t>{scaled(4'000), scaled(16'000)}
+            : std::vector<uint64_t>{scaled(40'000), scaled(150'000),
+                                    scaled(400'000)};
+
+  std::string Scratch = scratchDir("flight");
+  std::printf("%12s | %8s | %8s | %8s | %8s | %10s | %10s | %9s\n",
+              "instructions", "plain", "logging", "flight", "window",
+              "peak bytes", "dump bytes", "identical");
+
+  std::vector<Row> Rows;
+  bool AllIdentical = true;
+  bool AllUnderBudget = true;
+
+  for (uint64_t Target : Targets) {
+    Program P = makeWorkload(Target / 19);
+    Row R{};
+    R.BudgetBytes = BudgetBytes;
+
+    // --- plain: the floor -------------------------------------------------
+    MachineState PlainEnd;
+    {
+      RandomScheduler Sched(Seed, 1, 4);
+      DefaultSyscalls World(Seed);
+      Machine M(P);
+      M.setScheduler(&Sched);
+      M.setSyscalls(&World);
+      Stopwatch SW;
+      if (M.run() != Machine::StopReason::Halted) {
+        std::fprintf(stderr, "workload did not halt\n");
+        return 1;
+      }
+      R.PlainSeconds = SW.seconds();
+      R.Instructions = M.globalCount();
+      PlainEnd = M.snapshot();
+    }
+
+    // --- conventional whole-program logging ------------------------------
+    Pinball FullPb;
+    {
+      RandomScheduler Sched(Seed, 1, 4);
+      DefaultSyscalls World(Seed);
+      Stopwatch SW;
+      LogResult Log = Logger::logWholeProgram(P, Sched, &World);
+      R.LogSeconds = SW.seconds();
+      FullPb = std::move(Log.Pb);
+      std::string Dir = Scratch + "/full";
+      std::string Error;
+      if (!FullPb.save(Dir, Error)) {
+        std::fprintf(stderr, "save: %s\n", Error.c_str());
+        return 1;
+      }
+      R.FullPinballBytes = Pinball::diskSizeBytes(Dir);
+    }
+
+    // --- flight: bounded epoch rings + budget -----------------------------
+    Pinball FlightPb;
+    MachineState FlightEnd;
+    {
+      RandomScheduler Sched(Seed, 1, 4);
+      DefaultSyscalls World(Seed);
+      Machine M(P);
+      M.setScheduler(&Sched);
+      M.setSyscalls(&World);
+      FlightOptions FO;
+      FO.EpochInstrs = EpochInstrs;
+      FO.MaxEpochs = MaxEpochs;
+      FO.MemoryBudgetBytes = BudgetBytes;
+      FlightRecorder Rec(M, FO);
+      Stopwatch SW;
+      if (M.run() != Machine::StopReason::Halted) {
+        std::fprintf(stderr, "flight run did not halt\n");
+        return 1;
+      }
+      R.FlightSeconds = SW.seconds();
+      FlightEnd = M.snapshot();
+
+      FlightStatus St = Rec.status();
+      R.PeakBytes = St.PeakBytes;
+      R.EpochsEvicted = St.EpochsEvicted;
+      R.WindowInstrs = St.WindowEnd - St.WindowStart;
+
+      std::string Dir = Scratch + "/dump";
+      std::string Error;
+      Stopwatch DumpSW;
+      if (!Rec.dumpTo(Dir, FlightPb, Error)) {
+        std::fprintf(stderr, "dump: %s\n", Error.c_str());
+        return 1;
+      }
+      R.DumpSeconds = DumpSW.seconds();
+      R.DumpBytes = Pinball::diskSizeBytes(Dir);
+    }
+
+    // --- correctness: both recordings replay to the same endpoint --------
+    {
+      Replayer FlightRep(FlightPb);
+      Replayer FullRep(FullPb);
+      bool Ok = FlightRep.valid() && FullRep.valid();
+      if (Ok) {
+        FlightRep.run();
+        FullRep.run();
+        Ok = FlightRep.done() && !FlightRep.divergence() && FullRep.done() &&
+             !FullRep.divergence() &&
+             FlightRep.machine().snapshot() == FlightEnd &&
+             FullRep.machine().snapshot() == PlainEnd &&
+             FlightEnd == PlainEnd;
+      }
+      R.Identical = Ok;
+    }
+
+    R.LogOverhead = R.PlainSeconds > 0 ? R.LogSeconds / R.PlainSeconds : 0;
+    R.FlightOverhead =
+        R.PlainSeconds > 0 ? R.FlightSeconds / R.PlainSeconds : 0;
+    AllIdentical = AllIdentical && R.Identical;
+    AllUnderBudget = AllUnderBudget && R.PeakBytes <= BudgetBytes;
+    Rows.push_back(R);
+
+    std::printf("%12llu | %7.3fs | %7.3fs | %7.3fs | %8llu | %10llu | "
+                "%10llu | %9s\n",
+                (unsigned long long)R.Instructions, R.PlainSeconds,
+                R.LogSeconds, R.FlightSeconds,
+                (unsigned long long)R.WindowInstrs,
+                (unsigned long long)R.PeakBytes,
+                (unsigned long long)R.DumpBytes, R.Identical ? "yes" : "NO");
+    std::fflush(stdout);
+  }
+  std::filesystem::remove_all(Scratch);
+
+  std::printf("\nrecorder memory: budget %zu bytes, window %llu instrs max; "
+              "the full pinball grows with the execution, the dump does "
+              "not\n",
+              BudgetBytes, (unsigned long long)(EpochInstrs * MaxEpochs));
+
+  // --- BENCH_flight.json ---------------------------------------------------
+  std::FILE *J = std::fopen(JsonPath.c_str(), "w");
+  if (!J) {
+    std::fprintf(stderr, "cannot write %s\n", JsonPath.c_str());
+    return 1;
+  }
+  std::fprintf(J,
+               "{\n  \"epoch_instrs\": %llu,\n  \"max_epochs\": %zu,\n"
+               "  \"budget_bytes\": %zu,\n  \"rows\": [\n",
+               (unsigned long long)EpochInstrs, MaxEpochs, BudgetBytes);
+  for (size_t I = 0; I != Rows.size(); ++I) {
+    const Row &R = Rows[I];
+    std::fprintf(
+        J,
+        "    {\"instructions\": %llu, \"window_instrs\": %llu, "
+        "\"plain_s\": %.6f, \"logging_s\": %.6f, \"flight_s\": %.6f, "
+        "\"logging_overhead\": %.3f, \"flight_overhead\": %.3f, "
+        "\"full_pinball_bytes\": %llu, \"dump_bytes\": %llu, "
+        "\"peak_recorder_bytes\": %llu, \"budget_bytes\": %llu, "
+        "\"epochs_evicted\": %llu, \"dump_s\": %.6f, \"identical\": %s}%s\n",
+        (unsigned long long)R.Instructions,
+        (unsigned long long)R.WindowInstrs, R.PlainSeconds, R.LogSeconds,
+        R.FlightSeconds, R.LogOverhead, R.FlightOverhead,
+        (unsigned long long)R.FullPinballBytes,
+        (unsigned long long)R.DumpBytes, (unsigned long long)R.PeakBytes,
+        (unsigned long long)R.BudgetBytes,
+        (unsigned long long)R.EpochsEvicted, R.DumpSeconds,
+        R.Identical ? "true" : "false", I + 1 != Rows.size() ? "," : "");
+  }
+  const Row &Last = Rows.back();
+  std::fprintf(J,
+               "  ],\n  \"summary\": {\"all_identical\": %s, "
+               "\"all_under_budget\": %s, \"steady_state_overhead\": %.3f, "
+               "\"logging_overhead\": %.3f, \"memory_ratio\": %.1f}\n}\n",
+               AllIdentical ? "true" : "false",
+               AllUnderBudget ? "true" : "false", Last.FlightOverhead,
+               Last.LogOverhead,
+               Last.PeakBytes
+                   ? static_cast<double>(Last.FullPinballBytes) /
+                         static_cast<double>(Last.PeakBytes)
+                   : 0.0);
+  std::fclose(J);
+  std::printf("wrote %s\n", JsonPath.c_str());
+  return AllIdentical && AllUnderBudget ? 0 : 1;
+}

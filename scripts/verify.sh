@@ -5,6 +5,8 @@
 #
 #   scripts/verify.sh                # tier-1 only
 #   scripts/verify.sh --sanitize     # tier-1 + asan + tsan presets
+#   scripts/verify.sh --flight       # flight-recorder smoke: bench_flight
+#                                    # --smoke + a --flight CLI dump
 #   scripts/verify.sh --metrics-lint # docs/OBSERVABILITY.md covers the
 #                                    # metric_names.h catalog; no build
 set -eu
@@ -27,6 +29,24 @@ if [ "${1:-}" = "--metrics-lint" ]; then
     exit 1
   fi
   echo "metrics-lint: OK"
+  exit 0
+fi
+
+# --flight: end-to-end smoke of the always-on recorder. bench_flight proves
+# the dumped window replays bit-identically under the memory budget; the
+# CLI leg proves --flight writes a manifest-verified pinball.
+if [ "${1:-}" = "--flight" ]; then
+  cmake -B build -S .
+  cmake --build build -j --target bench_flight drdebug_cli
+  build/bench/bench_flight --smoke --json build/BENCH_flight_smoke.json
+  rm -rf build/flight_smoke
+  build/tools/drdebug --demo --flight build/flight_smoke \
+    --flight-epoch 64 --flight-epochs 4
+  if [ ! -f build/flight_smoke/manifest.txt ]; then
+    echo "flight: no manifest in the --flight dump" >&2
+    exit 1
+  fi
+  echo "flight: OK"
   exit 0
 fi
 

@@ -27,6 +27,12 @@ const std::vector<CommandInfo> &drdebug::commandTable() {
        "capture an execution-region pinball", "record", ""},
       {"record failure [seed]", "capture from start to assertion failure",
        "record", ""},
+      {"record attach [seed [epoch [max]]]",
+       "always-on flight recorder (attach or fresh run)", "record", ""},
+      {"record status", "flight recorder window / memory report", "record",
+       ""},
+      {"record dump [<dir>]", "materialize the flight window as a pinball",
+       "record", ""},
       {"pinball save|load <dir> [--no-verify]",
        "persist / import the region pinball", "pinball", ""},
       {"pinball verify <dir>", "check a pinball against its manifest",

@@ -181,6 +181,7 @@ bool DebugSession::loadProgramText(const std::string &AsmText) {
   }
   Prog = std::make_unique<Program>(std::move(P));
   ProgramText = AsmText;
+  Flight.reset();
   Live.reset();
   Replay.reset();
   Slicing.reset();
@@ -469,7 +470,15 @@ bool DebugSession::dispatchCommand(const std::string &Line) {
   else if (Cmd == "reverse-watch" || Cmd == "rw")
     cmdReverseWatch(Args);
   else if (Cmd == "replay-position") {
-    if (!Replay)
+    if (!Replay && Flight) {
+      // Not replaying but recording: report the recorder's window instead
+      // of only checkpoint counts.
+      FlightStatus S = Flight->status();
+      Out << "flight recorder: window [" << S.WindowStart << ", "
+          << S.WindowEnd << "), " << S.EpochsRetained
+          << " epochs retained, ~" << (S.RingBytes + S.CheckpointBytes)
+          << " bytes\n";
+    } else if (!Replay)
       err() << "error: not replaying\n";
     else
       Out << "replay position: " << Replay->position() << " of "
@@ -524,6 +533,7 @@ bool DebugSession::dispatchCommand(const std::string &Line) {
 void DebugSession::cmdRun(std::istringstream &Args) {
   uint64_t Seed = LiveSeed;
   Args >> Seed;
+  Flight.reset();
   Replay.reset();
   SliceReplayActive = false;
   Live = std::make_unique<Machine>(*Prog);
@@ -757,6 +767,18 @@ void DebugSession::cmdList(std::istringstream &Args) {
 void DebugSession::cmdRecord(std::istringstream &Args) {
   std::string What;
   Args >> What;
+  if (What == "attach") {
+    cmdRecordAttach(Args);
+    return;
+  }
+  if (What == "status") {
+    cmdRecordStatus();
+    return;
+  }
+  if (What == "dump") {
+    cmdRecordDump(Args);
+    return;
+  }
   RegionSpec Spec;
   uint64_t Seed = LiveSeed;
   if (What == "region") {
@@ -768,7 +790,9 @@ void DebugSession::cmdRecord(std::istringstream &Args) {
   } else if (What == "failure") {
     Args >> Seed;
   } else {
-    err() << "usage: record region <skip> <len> [seed] | record failure [seed]\n";
+    err() << "usage: record region <skip> <len> [seed] | record failure "
+             "[seed] | record attach [seed [epoch [max]]] | record status | "
+             "record dump [<dir>]\n";
     return;
   }
   RandomScheduler Sched(Seed, 1, 4);
@@ -783,6 +807,99 @@ void DebugSession::cmdRecord(std::istringstream &Args) {
   Out << "recorded region pinball: " << Log.TotalInstrs << " instructions ("
       << Log.MainThreadInstrs << " in main thread), "
       << (Log.FailureCaptured ? "failure captured" : "no failure") << "\n";
+}
+
+void DebugSession::cmdRecordAttach(std::istringstream &Args) {
+  uint64_t Seed = LiveSeed;
+  uint64_t EpochInstrs = 0;
+  uint64_t MaxEpochs = 0;
+  Args >> Seed >> EpochInstrs >> MaxEpochs;
+  FlightOptions FO;
+  if (EpochInstrs)
+    FO.EpochInstrs = EpochInstrs;
+  if (MaxEpochs)
+    FO.MaxEpochs = static_cast<size_t>(MaxEpochs);
+  // Live attach: a machine is stopped mid-run (breakpoint, step limit) —
+  // recording starts at its current position without executing anything.
+  if (Live && !Live->finished() && !Live->assertFailed() && !Replay) {
+    Flight.reset();
+    Flight = std::make_unique<FlightRecorder>(*Live, FO);
+    Out << "flight recorder attached at instruction " << Live->globalCount()
+        << " (epoch " << FO.EpochInstrs << " instrs, max "
+        << FO.MaxEpochs << " epochs)\n";
+    return;
+  }
+  // Otherwise start a fresh live run with the recorder on from instruction 0.
+  Flight.reset();
+  Replay.reset();
+  SliceReplayActive = false;
+  Live = std::make_unique<Machine>(*Prog);
+  Live->setScheduler(&liveScheduler(Seed));
+  LiveWorld = std::make_unique<DefaultSyscalls>(Seed);
+  Live->setSyscalls(LiveWorld.get());
+  Flight = std::make_unique<FlightRecorder>(*Live, FO);
+  BpObserver = std::make_unique<BreakpointObserver>(*this, *Live);
+  Live->addObserver(BpObserver.get());
+  Out << "recording in flight mode (seed " << Seed << ", epoch "
+      << FO.EpochInstrs << " instrs, max " << FO.MaxEpochs << " epochs)\n";
+  reportStop(Live->run());
+}
+
+void DebugSession::cmdRecordStatus() {
+  if (!Flight) {
+    err() << "error: no flight recorder; use 'record attach'\n";
+    return;
+  }
+  FlightStatus S = Flight->status();
+  const FlightOptions &O = Flight->options();
+  Out << "flight recorder: window [" << S.WindowStart << ", " << S.WindowEnd
+      << ") — " << (S.WindowEnd - S.WindowStart) << " of " << S.WindowEnd
+      << " executed instructions retained\n"
+      << "  epochs: " << S.EpochsRetained << " retained, " << S.EpochsEvicted
+      << " evicted, " << S.EpochsRecorded << " recorded (epoch "
+      << O.EpochInstrs << " instrs)\n"
+      << "  memory: rings " << S.RingBytes << " bytes + checkpoints "
+      << S.CheckpointBytes << " bytes (peak " << S.PeakBytes << ", budget ";
+  if (O.MemoryBudgetBytes)
+    Out << O.MemoryBudgetBytes << " bytes)\n";
+  else
+    Out << "unbounded)\n";
+  Out << "  dumps: " << S.Dumps << ", failure captured: "
+      << (S.FailureSeen ? "yes" : "no") << "\n";
+}
+
+void DebugSession::cmdRecordDump(std::istringstream &Args) {
+  if (!Flight) {
+    err() << "error: no flight recorder; use 'record attach'\n";
+    return;
+  }
+  std::string Dir;
+  Args >> Dir;
+  Pinball Pb;
+  std::string Error;
+  if (!Flight->dump(Pb, Error)) {
+    err() << "error: " << Error << "\n";
+    return;
+  }
+  FlightStatus S = Flight->status();
+  RegionPb = std::move(Pb);
+  RegionPbFingerprint = 0; // in-memory dump: not shareable by key
+  Slicing.reset();
+  SharedSlicing.reset();
+  CurrentSlice.reset();
+  SlicePb.reset();
+  Out << "flight dump: " << RegionPb->instructionCount()
+      << " instructions (window [" << S.WindowStart << ", " << S.WindowEnd
+      << ")), "
+      << (RegionPb->Meta.count("failtid") ? "failure captured" : "no failure")
+      << "\n";
+  if (!Dir.empty()) {
+    if (!RegionPb->save(Dir, Error))
+      err() << "error: " << Error << "\n";
+    else
+      Out << "pinball saved to " << Dir << " (" << Pinball::diskSizeBytes(Dir)
+          << " bytes)\n";
+  }
 }
 
 void DebugSession::cmdPinball(std::istringstream &Args) {
@@ -870,6 +987,7 @@ void DebugSession::cmdReplay() {
     err() << "error: no region pinball; use 'record' or 'pinball load'\n";
     return;
   }
+  Flight.reset();
   Live.reset();
   SliceReplayActive = false;
   DivergenceAnnounced = false;

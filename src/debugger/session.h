@@ -19,6 +19,11 @@
 ///   backtrace [tid]           call stack from the shadow stack
 ///   record region <skip> <len> [seed]   capture a region pinball
 ///   record failure [seed]     capture start-to-failure (Table 3 style)
+///   record attach [seed [epoch [max]]]  always-on flight recorder: attach to
+///                             the stopped live machine, or start a fresh run
+///   record status             flight-recorder window / epoch / memory report
+///   record dump [<dir>]       materialize the retained window as the region
+///                             pinball (optionally saving it to <dir>)
 ///   pinball save|load <dir>   persist / import the region pinball
 ///   replay                    start replay-based debugging off the pinball
 ///   slice fail | slice <tid> <pc> [instance]    compute a dynamic slice
@@ -45,6 +50,7 @@
 #define DRDEBUG_DEBUGGER_SESSION_H
 
 #include "replay/checkpoints.h"
+#include "replay/flight_recorder.h"
 #include "replay/logger.h"
 #include "replay/replayer.h"
 #include "slicing/slicer.h"
@@ -174,6 +180,9 @@ private:
   void cmdPrint(std::istringstream &Args);
   void cmdBacktrace(std::istringstream &Args);
   void cmdRecord(std::istringstream &Args);
+  void cmdRecordAttach(std::istringstream &Args);
+  void cmdRecordStatus();
+  void cmdRecordDump(std::istringstream &Args);
   void cmdPinball(std::istringstream &Args);
   void cmdReplay();
   void cmdReverseStepi(std::istringstream &Args);
@@ -212,6 +221,10 @@ private:
   std::unique_ptr<Scheduler> LiveSched;
   std::unique_ptr<DefaultSyscalls> LiveWorld;
   uint64_t LiveSeed = 1;
+  /// The always-on flight recorder over Live. Declared after Live: its
+  /// destructor detaches from the machine, so it must run first, and every
+  /// reset/reassignment of Live resets Flight beforehand.
+  std::unique_ptr<FlightRecorder> Flight;
 
   // Replay (checkpointed, so backward motion is possible).
   std::unique_ptr<CheckpointedReplay> Replay;

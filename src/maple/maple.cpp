@@ -4,8 +4,24 @@
 
 #include "maple/active_scheduler.h"
 #include "maple/profiler.h"
+#include "replay/flight_recorder.h"
+
+#include <memory>
 
 using namespace drdebug;
+
+namespace {
+
+/// Saves the exposing pinball the instant the exposure happens, when the
+/// caller asked for it.
+void autoDump(const MapleOptions &Opts, MapleResult &Result) {
+  if (!Result.Exposed || Opts.AutoDumpDir.empty())
+    return;
+  if (Result.Pb.save(Opts.AutoDumpDir, Result.AutoDumpError))
+    Result.AutoDumpPath = Opts.AutoDumpDir;
+}
+
+} // namespace
 
 MapleResult drdebug::mapleExposeAndRecord(const Program &Prog,
                                           const MapleOptions &Opts) {
@@ -23,18 +39,38 @@ MapleResult drdebug::mapleExposeAndRecord(const Program &Prog,
     M.setScheduler(&Sched);
     M.setSyscalls(&World);
     M.addObserver(&Profiler);
+    // Flight mode: the recorder rides along with profiling, so an exposure
+    // is captured in situ and the re-run below becomes unnecessary.
+    std::unique_ptr<FlightRecorder> Flight;
+    if (Opts.FlightEpochInstrs > 0) {
+      FlightOptions FO;
+      FO.EpochInstrs = Opts.FlightEpochInstrs;
+      FO.MaxEpochs = Opts.FlightMaxEpochs;
+      FO.MemoryBudgetBytes = Opts.FlightBudgetBytes;
+      Flight = std::make_unique<FlightRecorder>(M, FO);
+    }
     Machine::StopReason Reason = M.run(Opts.MaxSteps);
     if (Reason == Machine::StopReason::AssertFailed) {
-      // The bug reproduced under plain profiling: re-run the same seed with
-      // the logger attached to capture the pinball.
-      RandomScheduler Sched2(Seed, 1, 3);
-      DefaultSyscalls World2(Seed);
-      World2.setInput(Opts.Input);
-      LogResult Log = Logger::logWholeProgram(Prog, Sched2, &World2);
-      Result.Exposed = Log.FailureCaptured;
+      if (Flight) {
+        // Dump the retained window at the instant of exposure: the pinball
+        // replays straight to the failing assert.
+        std::string Error;
+        Result.Exposed = Flight->dump(Result.Pb, Error);
+        if (!Result.Exposed)
+          Result.AutoDumpError = Error;
+      } else {
+        // The bug reproduced under plain profiling: re-run the same seed
+        // with the logger attached to capture the pinball.
+        RandomScheduler Sched2(Seed, 1, 3);
+        DefaultSyscalls World2(Seed);
+        World2.setInput(Opts.Input);
+        LogResult Log = Logger::logWholeProgram(Prog, Sched2, &World2);
+        Result.Exposed = Log.FailureCaptured;
+        Result.Pb = std::move(Log.Pb);
+      }
       Result.ExposedDuringProfiling = true;
-      Result.Pb = std::move(Log.Pb);
       Result.ObservedIRoots = Profiler.observed().size();
+      autoDump(Opts, Result);
       return Result;
     }
   }
@@ -64,5 +100,6 @@ MapleResult drdebug::mapleExposeAndRecord(const Program &Prog,
     }
   }
   Result.AttemptsUsed = Attempts;
+  autoDump(Opts, Result);
   return Result;
 }

@@ -29,6 +29,17 @@ struct MapleOptions {
   uint64_t Seed = 1;
   uint64_t MaxSteps = 2'000'000; ///< per-run instruction budget
   std::vector<int64_t> Input;    ///< program input fed to every run
+
+  /// >0 runs phase-(i) profiling with an always-on FlightRecorder of this
+  /// epoch length attached: when the bug fires under plain profiling the
+  /// failure window is dumped from the recorder *in situ* — no re-run with
+  /// the logger needed. 0 keeps the classic re-run-under-logger behaviour.
+  uint64_t FlightEpochInstrs = 0;
+  size_t FlightMaxEpochs = 8;      ///< recorder epoch cap when flight is on
+  size_t FlightBudgetBytes = 0;    ///< recorder memory budget (0 = unbounded)
+  /// When non-empty, the exposing pinball is auto-saved here (crash-safe
+  /// manifest save) the instant an exposure happens.
+  std::string AutoDumpDir;
 };
 
 struct MapleResult {
@@ -39,6 +50,10 @@ struct MapleResult {
   unsigned AttemptsUsed = 0;
   size_t ObservedIRoots = 0;
   size_t PredictedCandidates = 0;
+  /// Where the exposing pinball was auto-saved (empty if not requested or
+  /// the save failed — see AutoDumpError).
+  std::string AutoDumpPath;
+  std::string AutoDumpError;
 };
 
 /// Runs both Maple phases on \p Prog and records the exposed buggy

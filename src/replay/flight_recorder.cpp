@@ -1,0 +1,322 @@
+//===- replay/flight_recorder.cpp - Always-on epoch-ring recorder -----------===//
+
+#include "replay/flight_recorder.h"
+
+#include "support/metric_names.h"
+#include "support/metrics.h"
+#include "support/tracing.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <sstream>
+
+using namespace drdebug;
+
+namespace {
+
+/// The flight-recorder subsystem's global instruments, registered once.
+struct FlightMetrics {
+  metrics::Gauge &Retained;
+  metrics::Counter &Gc;
+  metrics::Gauge &Bytes;
+  metrics::Counter &Dumps;
+  metrics::LatencyHistogram &DumpLatency;
+
+  static FlightMetrics &get() {
+    namespace mn = drdebug::metricnames;
+    auto &Reg = metrics::MetricsRegistry::global();
+    static FlightMetrics M{Reg.gauge(mn::FlightEpochsRetained),
+                           Reg.counter(mn::FlightEpochsGc),
+                           Reg.gauge(mn::FlightRingBytes),
+                           Reg.counter(mn::FlightDumps),
+                           Reg.histogram(mn::FlightDumpLatencyUs)};
+    return M;
+  }
+};
+
+} // namespace
+
+FlightRecorder::FlightRecorder(Machine &M, const FlightOptions &Options)
+    : M(M), Opts(Options) {
+  if (Opts.EpochInstrs == 0)
+    Opts.EpochInstrs = 1;
+  if (Opts.AnchorEvery == 0)
+    Opts.AnchorEvery = 1;
+  Position = M.globalCount();
+  M.mem().enableDirtyTracking();
+  M.mem().clearDirtyPages();
+  openEpoch(); // epoch 0, always an anchor (live attach starts "now")
+  samplePeak();
+  M.addObserver(this);
+}
+
+FlightRecorder::~FlightRecorder() {
+  M.removeObserver(this);
+  FlightMetrics &FM = FlightMetrics::get();
+  FM.Retained.sub(static_cast<int64_t>(Epochs.size()));
+  FM.Bytes.sub(static_cast<int64_t>(totalBytes()));
+}
+
+void FlightRecorder::openEpoch() {
+  // Fold the pages written since the previous epoch checkpoint into the
+  // running since-anchor set; deltas are anchor-relative and *cumulative*,
+  // so a later delta's page set is a superset of an earlier one's — the
+  // property GC relies on when it re-anchors the window front.
+  Memory &Mem = M.mem();
+  for (uint64_t Page : Mem.dirtyPages())
+    DirtySinceAnchor.insert(Page);
+  Mem.clearDirtyPages();
+
+  bool Anchor = Epochs.empty() || Opts.AnchorEvery <= 1 ||
+                (EpochsOpened % Opts.AnchorEvery) == 0;
+  Epoch E;
+  E.StartPos = Position;
+  if (Anchor) {
+    E.IsAnchor = true;
+    E.Full = M.snapshot();
+    E.CkptBytes = E.Full.approxBytes();
+    DirtySinceAnchor.clear();
+  } else {
+    E.IsAnchor = false;
+    E.Thin = M.snapshot(/*IncludeMemory=*/false);
+    E.DirtyPages.assign(DirtySinceAnchor.begin(), DirtySinceAnchor.end());
+    std::sort(E.DirtyPages.begin(), E.DirtyPages.end());
+    for (uint64_t Page : E.DirtyPages)
+      Mem.collectPage(Page, E.PageWords);
+    E.CkptBytes = E.Thin.approxBytes() +
+                  E.DirtyPages.size() * sizeof(uint64_t) +
+                  E.PageWords.size() * sizeof(std::pair<uint64_t, int64_t>);
+  }
+  TotalCkptBytes += E.CkptBytes;
+  ++EpochsOpened;
+  FlightMetrics &FM = FlightMetrics::get();
+  FM.Retained.add(1);
+  FM.Bytes.add(static_cast<int64_t>(E.CkptBytes));
+  Epochs.push_back(std::move(E));
+}
+
+void FlightRecorder::materializeSecond() {
+  assert(Epochs.size() > 1 && Epochs.front().IsAnchor &&
+         !Epochs[1].IsAnchor && "front invariant violated");
+  Epoch &A = Epochs.front();
+  Epoch &D = Epochs[1];
+  // The delta's page set is cumulative since its governing anchor, so even
+  // when A is itself a materialized ex-delta the erase-then-store below
+  // touches a superset of A's patches: the reconstruction is exact.
+  MachineState S = A.Full;
+  S.Threads = D.Thin.Threads;
+  S.MutexOwner = D.Thin.MutexOwner;
+  S.HeapNext = D.Thin.HeapNext;
+  S.GlobalCount = D.Thin.GlobalCount;
+  S.NextTid = D.Thin.NextTid;
+  S.Output = D.Thin.Output;
+  for (uint64_t Page : D.DirtyPages)
+    S.Mem.erasePage(Page);
+  for (const auto &[Addr, Val] : D.PageWords)
+    S.Mem.store(Addr, Val);
+
+  size_t OldBytes = D.CkptBytes;
+  D.Full = std::move(S);
+  D.IsAnchor = true;
+  D.Thin = MachineState();
+  D.DirtyPages.clear();
+  D.DirtyPages.shrink_to_fit();
+  D.PageWords.clear();
+  D.PageWords.shrink_to_fit();
+  D.CkptBytes = D.Full.approxBytes();
+  TotalCkptBytes += D.CkptBytes;
+  TotalCkptBytes -= OldBytes;
+  FlightMetrics &FM = FlightMetrics::get();
+  FM.Bytes.add(static_cast<int64_t>(D.CkptBytes));
+  FM.Bytes.sub(static_cast<int64_t>(OldBytes));
+}
+
+void FlightRecorder::collectGarbage() {
+  FlightMetrics &FM = FlightMetrics::get();
+  while (Epochs.size() > 1 &&
+         ((Opts.MaxEpochs && Epochs.size() > Opts.MaxEpochs) ||
+          (Opts.MemoryBudgetBytes && totalBytes() > Opts.MemoryBudgetBytes))) {
+    // The new window front must be able to seed a dump, so promote it to a
+    // full anchor before its predecessor (and that predecessor's memory
+    // image) disappears.
+    if (!Epochs[1].IsAnchor)
+      materializeSecond();
+    const Epoch &Old = Epochs.front();
+    assert(TotalRingBytes >= Old.RingBytes &&
+           TotalCkptBytes >= Old.CkptBytes && "flight byte accounting drifted");
+    TotalRingBytes -= Old.RingBytes;
+    TotalCkptBytes -= Old.CkptBytes;
+    FM.Bytes.sub(static_cast<int64_t>(Old.RingBytes + Old.CkptBytes));
+    FM.Retained.sub(1);
+    FM.Gc.inc();
+    ++EpochsEvicted;
+    Epochs.pop_front();
+  }
+}
+
+void FlightRecorder::samplePeak() {
+  // High-water mark after GC: the peak reports the bounded resident set,
+  // not the one-epoch transient evicted above.
+  PeakBytes = std::max(PeakBytes, totalBytes());
+}
+
+void FlightRecorder::onExec(const Machine &, const ExecRecord &R) {
+  Position = R.GlobalIndex + 1;
+  Epoch &E = Epochs.back();
+  if (R.Tid != LastTid) {
+    ++SeqCounter;
+    LastTid = R.Tid;
+  }
+  ThreadRing &TR = E.Rings[R.Tid];
+  if (TR.Runs.empty() || TR.Runs.back().Seq != SeqCounter) {
+    TR.Runs.push_back({SeqCounter, 1});
+    E.RingBytes += sizeof(ThreadRun);
+    TotalRingBytes += sizeof(ThreadRun);
+    FlightMetrics::get().Bytes.add(sizeof(ThreadRun));
+  } else {
+    ++TR.Runs.back().Count;
+  }
+  if (Position - E.StartPos >= Opts.EpochInstrs) {
+    trace::TraceSpan Span("flight.epoch", "flight");
+    openEpoch();
+    collectGarbage();
+    samplePeak();
+  } else if (Opts.MemoryBudgetBytes && totalBytes() > Opts.MemoryBudgetBytes) {
+    // Rings can outgrow the budget mid-epoch (e.g. heavy thread ping-pong);
+    // evict old history eagerly instead of waiting for the rotation.
+    collectGarbage();
+    samplePeak();
+  }
+}
+
+void FlightRecorder::onSyscallValue(uint32_t Tid, Opcode Op, int64_t Value) {
+  // Fires before the consuming instruction's onExec, so the value lands in
+  // the same epoch as its instruction (rotation happens post-onExec).
+  Epoch &E = Epochs.back();
+  E.Rings[Tid].Syscalls.push_back({Tid, Op, Value});
+  E.RingBytes += sizeof(SyscallRecord);
+  TotalRingBytes += sizeof(SyscallRecord);
+  FlightMetrics::get().Bytes.add(sizeof(SyscallRecord));
+}
+
+void FlightRecorder::onAssertFailed(uint32_t Tid, uint64_t Pc) {
+  FailureSeen = true;
+  FailTid = Tid;
+  FailPc = Pc;
+}
+
+FlightStatus FlightRecorder::status() const {
+  FlightStatus S;
+  S.WindowStart = Epochs.empty() ? Position : Epochs.front().StartPos;
+  S.WindowEnd = Position;
+  S.EpochsRecorded = EpochsOpened;
+  S.EpochsRetained = Epochs.size();
+  S.EpochsEvicted = EpochsEvicted;
+  S.RingBytes = TotalRingBytes;
+  S.CheckpointBytes = TotalCkptBytes;
+  S.PeakBytes = PeakBytes;
+  S.Dumps = Dumps;
+  S.FailureSeen = FailureSeen;
+  return S;
+}
+
+bool FlightRecorder::dump(Pinball &Out, std::string &Error) {
+  trace::TraceSpan Span("flight.dump", "flight");
+  auto T0 = std::chrono::steady_clock::now();
+  if (Epochs.empty()) {
+    Error = "flight recorder holds no epochs";
+    return false;
+  }
+  const Epoch &Front = Epochs.front();
+  if (!Front.IsAnchor) {
+    Error = "flight window front is not an anchor (GC invariant violated)";
+    return false;
+  }
+
+  Out = Pinball();
+  Out.ProgramText = M.program().SourceText;
+  Out.StartState = Front.Full;
+
+  // Rebuild the global schedule from the per-thread rings: each run carries
+  // the Seq of the thread switch that started it; an epoch boundary splits
+  // a run into equal-Seq pieces whose epoch order restores chronology.
+  struct Piece {
+    uint64_t Seq;
+    uint64_t Order;
+    uint32_t Tid;
+    uint64_t Count;
+  };
+  std::vector<Piece> Pieces;
+  uint64_t Order = 0;
+  for (const Epoch &E : Epochs)
+    for (const auto &[Tid, Ring] : E.Rings)
+      for (const ThreadRun &Run : Ring.Runs)
+        Pieces.push_back({Run.Seq, Order++, Tid, Run.Count});
+  std::sort(Pieces.begin(), Pieces.end(), [](const Piece &A, const Piece &B) {
+    return A.Seq != B.Seq ? A.Seq < B.Seq : A.Order < B.Order;
+  });
+  for (const Piece &P : Pieces) {
+    if (!Out.Schedule.empty() &&
+        Out.Schedule.back().K == ScheduleEvent::Kind::Step &&
+        Out.Schedule.back().Tid == P.Tid) {
+      Out.Schedule.back().Count += P.Count;
+    } else {
+      ScheduleEvent Ev;
+      Ev.K = ScheduleEvent::Kind::Step;
+      Ev.Tid = P.Tid;
+      Ev.Count = P.Count;
+      Out.Schedule.push_back(Ev);
+    }
+  }
+
+  // Syscall values: replay consumes them as per-thread FIFOs, so epoch-order
+  // concatenation per thread is exactly the recorded order.
+  for (const Epoch &E : Epochs)
+    for (const auto &[Tid, Ring] : E.Rings)
+      Out.Syscalls.insert(Out.Syscalls.end(), Ring.Syscalls.begin(),
+                          Ring.Syscalls.end());
+
+  uint64_t Instrs = Position - Front.StartPos;
+  if (Out.instructionCount() != Instrs) {
+    Error = "flight dump schedule covers " +
+            std::to_string(Out.instructionCount()) + " instructions, window " +
+            std::to_string(Instrs);
+    return false;
+  }
+
+  // The same drift anchors a conventionally logged region pinball carries,
+  // so the replayer's end-state checks apply to dumps unchanged.
+  Out.Meta["kind"] = "region";
+  Out.Meta["instrs"] = std::to_string(Instrs);
+  std::ostringstream EndPcs;
+  for (uint32_t T = 0; T != M.numThreads(); ++T) {
+    if (T)
+      EndPcs << " ";
+    EndPcs << T << ":" << M.thread(T).Pc;
+  }
+  Out.Meta["endpcs"] = EndPcs.str();
+  Out.Meta["flight"] = "1";
+  Out.Meta["flight_window_start"] = std::to_string(Front.StartPos);
+  Out.Meta["flight_epochs"] = std::to_string(Epochs.size());
+  if (M.assertFailed()) {
+    Out.Meta["failtid"] = std::to_string(M.failedTid());
+    Out.Meta["failpc"] = std::to_string(M.failedPc());
+  }
+
+  ++Dumps;
+  FlightMetrics &FM = FlightMetrics::get();
+  FM.Dumps.inc();
+  FM.DumpLatency.record(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - T0)
+          .count()));
+  return true;
+}
+
+bool FlightRecorder::dumpTo(const std::string &Dir, Pinball &Out,
+                            std::string &Error) {
+  if (!dump(Out, Error))
+    return false;
+  return Out.save(Dir, Error);
+}

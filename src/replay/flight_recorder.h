@@ -1,0 +1,166 @@
+//===- replay/flight_recorder.h - Always-on epoch-ring recorder -*- C++ -*-===//
+//
+// Part of the DrDebug reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The always-on flight recorder: in-situ recording that keeps only the
+/// *recent* past, so the moment a bug fires the window containing it already
+/// exists — no start-to-finish pinball required. This is the iReplayer-style
+/// epoch design grafted onto the PinPlay-analog logger:
+///
+///  - Execution is cut into epochs of K instructions. Each epoch owns
+///    per-thread event rings (schedule runs + non-deterministic syscall
+///    values) and a checkpoint of the machine state at its start.
+///  - Checkpoints reuse the dirty-page delta machinery of
+///    CheckpointedReplay: every AnchorEvery-th epoch stores a full snapshot,
+///    the rest store thin snapshots plus the pages dirtied since their
+///    anchor (cumulative, so any delta reconstructs from any earlier
+///    materialized epoch of the same anchor chain).
+///  - When the epoch count or the total memory budget is exceeded the oldest
+///    epoch (ring segment + checkpoint) is garbage collected; if its
+///    successor is a delta it is first materialized into a full anchor, so
+///    the invariant "the oldest retained epoch is an anchor" always holds.
+///  - dump() materializes the retained window into a normal, manifest-
+///    verified pinball (Meta-anchored: instrs + endpcs drift anchors), so
+///    replay, reverse execution, slicing and drdebugd sessions consume a
+///    flight dump unchanged.
+///
+/// The recorder is an Observer over an externally owned Machine and can
+/// attach mid-run ("live attach"): epoch 0 starts at the machine's current
+/// position, whatever that is.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRDEBUG_REPLAY_FLIGHT_RECORDER_H
+#define DRDEBUG_REPLAY_FLIGHT_RECORDER_H
+
+#include "replay/pinball.h"
+#include "vm/machine.h"
+#include "vm/observer.h"
+
+#include <deque>
+#include <map>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace drdebug {
+
+/// Knobs for a FlightRecorder.
+struct FlightOptions {
+  /// Instructions per epoch (the ring granularity).
+  uint64_t EpochInstrs = 2048;
+  /// Maximum retained epochs, including the open one (0 = unbounded).
+  size_t MaxEpochs = 8;
+  /// Total memory budget over rings + checkpoints, in approx bytes
+  /// (0 = unbounded). Enforced by evicting oldest epochs; the open epoch
+  /// and its checkpoint are never evicted, so a budget smaller than one
+  /// epoch degrades to "keep the current epoch only".
+  size_t MemoryBudgetBytes = 0;
+  /// Every Nth epoch checkpoint is a full snapshot; the rest are
+  /// dirty-page deltas (<=1 means every checkpoint is full).
+  uint64_t AnchorEvery = 4;
+};
+
+/// A point-in-time report of recorder state (the `record status` payload).
+struct FlightStatus {
+  uint64_t WindowStart = 0;   ///< global instr index of the oldest retained
+  uint64_t WindowEnd = 0;     ///< global instr index "now" (exclusive)
+  uint64_t EpochsRecorded = 0;///< epochs ever opened
+  size_t EpochsRetained = 0;  ///< epochs currently held (incl. the open one)
+  uint64_t EpochsEvicted = 0; ///< epochs garbage-collected so far
+  size_t RingBytes = 0;       ///< approx bytes in event rings
+  size_t CheckpointBytes = 0; ///< approx bytes in epoch checkpoints
+  size_t PeakBytes = 0;       ///< high-water mark of rings + checkpoints
+  uint64_t Dumps = 0;         ///< successful dump() calls
+  bool FailureSeen = false;   ///< an Assert failed inside the window
+};
+
+/// The always-on recorder. Attach to a live Machine; detachment happens in
+/// the destructor, which must therefore run before the machine is destroyed.
+class FlightRecorder : public Observer {
+public:
+  FlightRecorder(Machine &M, const FlightOptions &Options = FlightOptions());
+  ~FlightRecorder() override;
+  FlightRecorder(const FlightRecorder &) = delete;
+  FlightRecorder &operator=(const FlightRecorder &) = delete;
+
+  const FlightOptions &options() const { return Opts; }
+  FlightStatus status() const;
+
+  /// Materializes the retained window (all closed epochs plus the open
+  /// partial one) into a pinball that replays to the machine's *current*
+  /// state. \returns false with \p Error set on an internal inconsistency.
+  bool dump(Pinball &Out, std::string &Error);
+
+  /// dump() followed by the crash-safe manifest-verified save to \p Dir.
+  bool dumpTo(const std::string &Dir, Pinball &Out, std::string &Error);
+
+  // --- Observer ------------------------------------------------------------
+  void onExec(const Machine &M, const ExecRecord &R) override;
+  void onSyscallValue(uint32_t Tid, Opcode Op, int64_t Value) override;
+  void onAssertFailed(uint32_t Tid, uint64_t Pc) override;
+
+private:
+  /// A maximal run of one thread in the global schedule. Seq orders runs
+  /// across threads; an epoch boundary can split one run into two pieces
+  /// with the same Seq (re-joined at dump time by stable order).
+  struct ThreadRun {
+    uint64_t Seq = 0;
+    uint64_t Count = 0;
+  };
+  /// One thread's slice of an epoch: its schedule runs and the syscall
+  /// values it consumed. Only this thread appends (under the machine's
+  /// single-stepped execution), so no synchronization is needed.
+  struct ThreadRing {
+    std::vector<ThreadRun> Runs;
+    std::vector<SyscallRecord> Syscalls;
+  };
+  /// One epoch: the checkpoint at its start plus the event rings recorded
+  /// during it.
+  struct Epoch {
+    uint64_t StartPos = 0; ///< global instr index at epoch start
+    bool IsAnchor = true;
+    MachineState Full;                               ///< anchors only
+    MachineState Thin;                               ///< deltas only
+    std::vector<uint64_t> DirtyPages;                ///< deltas only
+    std::vector<std::pair<uint64_t, int64_t>> PageWords; ///< deltas only
+    std::map<uint32_t, ThreadRing> Rings;
+    size_t CkptBytes = 0;
+    size_t RingBytes = 0;
+  };
+
+  void openEpoch();
+  void collectGarbage();
+  /// Rewrites Epochs[1] (a delta) into a full anchor using Epochs[0]'s
+  /// memory image, so the front can be evicted.
+  void materializeSecond();
+  size_t totalBytes() const { return TotalRingBytes + TotalCkptBytes; }
+  void samplePeak();
+
+  Machine &M;
+  FlightOptions Opts;
+  std::deque<Epoch> Epochs;
+  /// Pages dirtied since the last anchor checkpoint (cumulative — cleared
+  /// only when an anchor is taken, exactly like CheckpointedReplay).
+  std::unordered_set<uint64_t> DirtySinceAnchor;
+
+  uint64_t Position = 0;   ///< global instr index "now"
+  uint64_t SeqCounter = 0; ///< bumped on every executing-thread switch
+  uint32_t LastTid = ~0u;
+  uint64_t EpochsOpened = 0;
+  uint64_t EpochsEvicted = 0;
+  size_t TotalRingBytes = 0;
+  size_t TotalCkptBytes = 0;
+  size_t PeakBytes = 0;
+  uint64_t Dumps = 0;
+  bool FailureSeen = false;
+  uint32_t FailTid = 0;
+  uint64_t FailPc = 0;
+};
+
+} // namespace drdebug
+
+#endif // DRDEBUG_REPLAY_FLIGHT_RECORDER_H

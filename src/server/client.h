@@ -102,6 +102,30 @@ public:
   bool replayPosition(uint64_t Sid, std::string &Output, std::string &Error) {
     return request("rpos " + std::to_string(Sid), Output, Error);
   }
+  // Flight-recorder verbs (the always-on epoch-ring recorder).
+  /// Attaches the flight recorder to session \p Sid (live machine, or a
+  /// fresh seeded run when nothing is stopped mid-run).
+  bool recordAttach(uint64_t Sid, std::string &Output, std::string &Error) {
+    return request("rattach " + std::to_string(Sid), Output, Error);
+  }
+  bool recordAttach(uint64_t Sid, uint64_t Seed, std::string &Output,
+                    std::string &Error) {
+    return request("rattach " + std::to_string(Sid) + " " +
+                       std::to_string(Seed),
+                   Output, Error);
+  }
+  /// Reports the recorder's retained window, epochs and memory.
+  bool recordStatus(uint64_t Sid, std::string &Output, std::string &Error) {
+    return request("rstatus " + std::to_string(Sid), Output, Error);
+  }
+  /// Materializes the retained window as the session's region pinball,
+  /// optionally saving it to \p Dir on the server's filesystem.
+  bool recordDump(uint64_t Sid, const std::string &Dir, std::string &Output,
+                  std::string &Error) {
+    return request("rdump " + std::to_string(Sid) +
+                       (Dir.empty() ? "" : " " + escapeText(Dir)),
+                   Output, Error);
+  }
 
   bool stats(std::string &Report, std::string &Error) {
     return request("stats", Report, Error);

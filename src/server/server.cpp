@@ -270,6 +270,26 @@ std::string DebugServer::dispatchVerb(uint64_t Seq, const std::string &Verb,
     return runSessionJob(Seq, Verb, Sid, Line, /*IsLoad=*/false, Attached);
   }
 
+  // Flight-recorder verbs: wire names for the always-on recorder, same
+  // translate-and-run-through-the-pool shape as the reverse verbs.
+  if (Verb == "rattach" || Verb == "rstatus" || Verb == "rdump") {
+    uint64_t Sid = 0;
+    if (!(IS >> Sid))
+      return Err(WireError::BadArguments, "usage: " + Verb + " <sid> ...");
+    std::string Line;
+    if (Verb == "rattach") {
+      uint64_t Seed = 0;
+      Line = IS >> Seed ? "record attach " + std::to_string(Seed)
+                        : "record attach";
+    } else if (Verb == "rstatus") {
+      Line = "record status";
+    } else {
+      std::string Dir = unescapeText(RestOf());
+      Line = Dir.empty() ? "record dump" : "record dump " + Dir;
+    }
+    return runSessionJob(Seq, Verb, Sid, Line, /*IsLoad=*/false, Attached);
+  }
+
   if (Verb == "stats")
     return okBody(Seq, statsReport());
 
@@ -414,6 +434,15 @@ std::string DebugServer::statsReport() const {
        << "verb." << Name << ".us.p99 "
        << VH->LatencyUs.quantileUpperBoundUs(0.99) << "\n";
   }
+  // Flight-recorder state lives in the process-global registry (recorders
+  // belong to sessions, not to one server); sampleValue returns 0 when no
+  // recorder ever registered, so the keys are always present.
+  auto &Global = metrics::MetricsRegistry::global();
+  OS << "flight.epochs_retained " << Global.sampleValue(mn::FlightEpochsRetained)
+     << "\n"
+     << "flight.epochs_gc " << Global.sampleValue(mn::FlightEpochsGc) << "\n"
+     << "flight.ring_bytes " << Global.sampleValue(mn::FlightRingBytes) << "\n"
+     << "flight.dumps " << Global.sampleValue(mn::FlightDumps) << "\n";
   FaultInjector &FI = FaultInjector::global();
   OS << "faults.injected.total " << FI.totalFired() << "\n";
   for (const auto &[SiteName, Fired] : FI.firedCounts())

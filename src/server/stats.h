@@ -35,8 +35,9 @@ using LatencyHistogram = metrics::LatencyHistogram;
 
 /// Every verb the protocol knows, in dispatch order.
 inline constexpr const char *ServerVerbNames[] = {
-    "hello",  "open",  "attach", "detach",  "close", "load",
+    "hello",  "open",  "attach", "detach",  "close",  "load",
     "cmd",    "rstep", "rcont",  "rnext",   "rwatch", "rpos",
+    "rattach", "rstatus", "rdump",
     "stats",  "metrics", "evict", "shutdown"};
 inline constexpr size_t NumServerVerbs =
     sizeof(ServerVerbNames) / sizeof(ServerVerbNames[0]);

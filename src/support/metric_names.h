@@ -111,6 +111,15 @@ inline constexpr const char *ManifestVerifications =
 inline constexpr const char *ManifestVerifyFailures =
     "drdebug_manifest_verify_failures_total";
 
+// --- Flight recorder (global registry) -----------------------------------
+inline constexpr const char *FlightEpochsRetained =
+    "drdebug_flight_epochs_retained";
+inline constexpr const char *FlightEpochsGc = "drdebug_flight_epochs_gc_total";
+inline constexpr const char *FlightRingBytes = "drdebug_flight_ring_bytes";
+inline constexpr const char *FlightDumps = "drdebug_flight_dumps_total";
+inline constexpr const char *FlightDumpLatencyUs =
+    "drdebug_flight_dump_latency_us";
+
 // --- Slicing (global registry) -------------------------------------------
 inline constexpr const char *SlicePrepares = "drdebug_slice_prepares_total";
 inline constexpr const char *SlicePrepareUs = "drdebug_slice_prepare_us";
@@ -170,6 +179,11 @@ inline constexpr MetricInfo AllMetrics[] = {
     {PinballBytesRead, "counter"},
     {ManifestVerifications, "counter"},
     {ManifestVerifyFailures, "counter"},
+    {FlightEpochsRetained, "gauge"},
+    {FlightEpochsGc, "counter"},
+    {FlightRingBytes, "gauge"},
+    {FlightDumps, "counter"},
+    {FlightDumpLatencyUs, "histogram"},
     {SlicePrepares, "counter"},
     {SlicePrepareUs, "histogram"},
     {SliceReplayUs, "histogram"},

@@ -211,10 +211,15 @@ uint32_t Machine::createThread(uint64_t EntryPc, int64_t Arg0,
 
 void Machine::exitThread(ThreadContext &T) {
   T.Status = ThreadStatus::Exited;
-  // Wake joiners.
+  // Wake joiners. The wait fields are meaningful only while blocked; clear
+  // them on wake so a machine that blocked here and one that never did
+  // (a replay only steps threads at their recorded, runnable positions)
+  // reach structurally identical states.
   for (ThreadContext &W : Threads)
-    if (W.Status == ThreadStatus::BlockedOnJoin && W.WaitTid == T.Tid)
+    if (W.Status == ThreadStatus::BlockedOnJoin && W.WaitTid == T.Tid) {
       W.Status = ThreadStatus::Runnable;
+      W.WaitTid = 0;
+    }
   for (Observer *O : Observers)
     O->onThreadExited(T.Tid);
 }
@@ -490,8 +495,10 @@ void Machine::execute(ThreadContext &T, ExecRecord &R) {
     if (It != MutexOwner.end() && (ForcedMode || It->second == T.Tid)) {
       MutexOwner.erase(It);
       for (ThreadContext &W : Threads)
-        if (W.Status == ThreadStatus::BlockedOnLock && W.WaitAddr == Addr)
+        if (W.Status == ThreadStatus::BlockedOnLock && W.WaitAddr == Addr) {
           W.Status = ThreadStatus::Runnable;
+          W.WaitAddr = 0; // meaningful only while blocked; see exitThread
+        }
     }
     break;
   }

@@ -1,0 +1,503 @@
+//===- tests/test_flight_recorder.cpp - Always-on flight recorder tests -----===//
+//
+// The epoch-ring in-situ recorder: partial-epoch dumps, eviction + delta
+// materialization correctness (the acceptance test: a dump taken after GC
+// replays bit-identically to a conventional pinball of the same window),
+// memory-budget bounds, debugger attach/dump reuse, live mid-run attach,
+// the rattach/rstatus/rdump server verbs, and Maple auto-dump. All tests
+// carry the Flight prefix so the tsan CTest preset picks them up.
+//
+//===----------------------------------------------------------------------===//
+
+#include "debugger/session.h"
+#include "maple/maple.h"
+#include "replay/flight_recorder.h"
+#include "replay/logger.h"
+#include "replay/replayer.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "server/transport.h"
+#include "test_util.h"
+#include "workloads/figure5.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+#include <thread>
+#include <unistd.h>
+
+using namespace drdebug;
+using namespace drdebug::testutil;
+namespace fs = std::filesystem;
+
+namespace {
+
+/// A scratch directory removed on destruction.
+struct TempDir {
+  fs::path Dir;
+  explicit TempDir(const char *Tag) {
+    Dir = fs::temp_directory_path() /
+          (std::string("drdebug_flight_") + Tag + "_" +
+           std::to_string(::getpid()));
+    fs::remove_all(Dir);
+    fs::create_directories(Dir);
+  }
+  ~TempDir() { fs::remove_all(Dir); }
+};
+
+/// Two threads hammering a shared buffer with sysrand-derived indices:
+/// every instruction matters for replay (schedule + syscall values), and
+/// the run is long enough to roll through many small epochs.
+const char *multiThreadedSource() {
+  return ".data g 0\n"
+         ".array buf 64\n"
+         ".func main\n"
+         "  movi r1, 120\n"
+         "  spawn r9, worker, r1\n"
+         "loop:\n"
+         "  lda r2, @g\n"
+         "  addi r2, r2, 1\n"
+         "  sta r2, @g\n"
+         "  sysrand r3\n"
+         "  andi r3, r3, 63\n"
+         "  lea r4, @buf\n"
+         "  add r4, r4, r3\n"
+         "  st r2, [r4]\n"
+         "  subi r1, r1, 1\n"
+         "  bgt r1, r0, loop\n"
+         "  join r9\n"
+         "  halt\n"
+         ".endfunc\n"
+         ".func worker\n"
+         "  addi r1, r0, 0\n" // r0 carries the spawn argument
+         "  movi r5, 0\n"
+         "wl:\n"
+         "  sysrand r3\n"
+         "  andi r3, r3, 63\n"
+         "  lea r4, @buf\n"
+         "  add r4, r4, r3\n"
+         "  ld r6, [r4]\n"
+         "  addi r6, r6, 1\n"
+         "  st r6, [r4]\n"
+         "  subi r1, r1, 1\n"
+         "  bgt r1, r5, wl\n"
+         "  ret\n"
+         ".endfunc\n";
+}
+
+/// Single-threaded variant (deterministic ordering, still syscall-heavy).
+Program makeSingleThreaded(int64_t Iters) {
+  std::ostringstream OS;
+  OS << ".data g 0\n.array buf 64\n.func main\n  movi r1, " << Iters
+     << "\nloop:\n  lda r2, @g\n  addi r2, r2, 1\n  sta r2, @g\n"
+        "  sysrand r3\n  andi r3, r3, 63\n  lea r4, @buf\n"
+        "  add r4, r4, r3\n  st r2, [r4]\n  subi r1, r1, 1\n"
+        "  bgt r1, r0, loop\n  halt\n.endfunc\n";
+  return assembleOrDie(OS.str());
+}
+
+//===----------------------------------------------------------------------===//
+// Core recorder semantics
+//===----------------------------------------------------------------------===//
+
+// A dump taken before the first epoch rotation: the whole execution lives
+// in one partial epoch and replays to the exact end state.
+TEST(Flight, SinglePartialEpochDump) {
+  Program P = makeSingleThreaded(40);
+  RoundRobinScheduler Sched(1);
+  DefaultSyscalls World(7);
+  Machine M(P);
+  M.setScheduler(&Sched);
+  M.setSyscalls(&World);
+
+  FlightOptions FO;
+  FO.EpochInstrs = 1 << 20; // never rotates
+  FlightRecorder Rec(M, FO);
+  ASSERT_EQ(M.run(), Machine::StopReason::Halted);
+
+  FlightStatus St = Rec.status();
+  EXPECT_EQ(St.WindowStart, 0u);
+  EXPECT_EQ(St.WindowEnd, M.globalCount());
+  EXPECT_EQ(St.EpochsRetained, 1u);
+  EXPECT_EQ(St.EpochsEvicted, 0u);
+  EXPECT_FALSE(St.FailureSeen);
+
+  Pinball Pb;
+  std::string Error;
+  ASSERT_TRUE(Rec.dump(Pb, Error)) << Error;
+  EXPECT_EQ(Pb.instructionCount(), M.globalCount());
+  EXPECT_EQ(Pb.Meta.at("flight"), "1");
+  EXPECT_EQ(Pb.Meta.at("flight_window_start"), "0");
+
+  Replayer Rep(Pb);
+  ASSERT_TRUE(Rep.valid()) << Rep.error();
+  Rep.run();
+  EXPECT_TRUE(Rep.done());
+  EXPECT_FALSE(Rep.divergence()) << Rep.divergence().Detail;
+  EXPECT_TRUE(Rep.machine().snapshot() == M.snapshot());
+}
+
+// The acceptance test: force heavy eviction (delta checkpoints must be
+// materialized into anchors as the window slides), then prove the dumped
+// suffix window replays bit-identically — same registers, memory, output —
+// to both the live machine and a conventional whole-program pinball of the
+// same execution, divergence-free.
+TEST(Flight, DumpAfterEvictionBitIdentical) {
+  Program P = assembleOrDie(multiThreadedSource());
+  const uint64_t Seed = 11;
+
+  // Live run under the recorder, with epochs small enough that most of the
+  // execution is evicted (and AnchorEvery > 1 so deltas are exercised).
+  RandomScheduler Sched(Seed, 1, 4);
+  DefaultSyscalls World(Seed);
+  Machine Live(P);
+  Live.setScheduler(&Sched);
+  Live.setSyscalls(&World);
+  FlightOptions FO;
+  FO.EpochInstrs = 64;
+  FO.MaxEpochs = 3;
+  FO.AnchorEvery = 4;
+  FlightRecorder Rec(Live, FO);
+  ASSERT_EQ(Live.run(), Machine::StopReason::Halted);
+
+  FlightStatus St = Rec.status();
+  ASSERT_GT(St.EpochsEvicted, 0u) << "workload too short to force GC";
+  EXPECT_LE(St.EpochsRetained, FO.MaxEpochs);
+  EXPECT_EQ(St.WindowEnd, Live.globalCount());
+  EXPECT_GT(St.WindowStart, 0u);
+
+  Pinball FlightPb;
+  std::string Error;
+  ASSERT_TRUE(Rec.dump(FlightPb, Error)) << Error;
+  EXPECT_EQ(FlightPb.instructionCount(), St.WindowEnd - St.WindowStart);
+
+  // The same execution recorded conventionally (identical seeds).
+  RandomScheduler Sched2(Seed, 1, 4);
+  DefaultSyscalls World2(Seed);
+  LogResult Log = Logger::logWholeProgram(P, Sched2, &World2);
+  ASSERT_EQ(Log.Reason, Machine::StopReason::Halted);
+  ASSERT_GT(Log.Pb.instructionCount(), FlightPb.instructionCount());
+
+  // Both pinballs replay divergence-free to the same endpoint.
+  Replayer FlightRep(FlightPb);
+  ASSERT_TRUE(FlightRep.valid()) << FlightRep.error();
+  FlightRep.run();
+  EXPECT_TRUE(FlightRep.done());
+  EXPECT_FALSE(FlightRep.divergence()) << FlightRep.divergence().Detail;
+
+  Replayer FullRep(Log.Pb);
+  ASSERT_TRUE(FullRep.valid()) << FullRep.error();
+  FullRep.run();
+  EXPECT_TRUE(FullRep.done());
+  EXPECT_FALSE(FullRep.divergence()) << FullRep.divergence().Detail;
+
+  MachineState LiveEnd = Live.snapshot();
+  EXPECT_TRUE(FlightRep.machine().snapshot() == LiveEnd);
+  EXPECT_TRUE(FullRep.machine().snapshot() == FlightRep.machine().snapshot());
+  EXPECT_EQ(FlightRep.machine().output(), Live.output());
+}
+
+// Dump taken *immediately* after the first eviction — the window's front
+// has just been rewritten from a delta into a materialized anchor.
+TEST(Flight, DumpImmediatelyAfterEviction) {
+  Program P = assembleOrDie(multiThreadedSource());
+  RandomScheduler Sched(5, 1, 4);
+  DefaultSyscalls World(5);
+  Machine M(P);
+  M.setScheduler(&Sched);
+  M.setSyscalls(&World);
+  FlightOptions FO;
+  FO.EpochInstrs = 32;
+  FO.MaxEpochs = 2;
+  FO.AnchorEvery = 3;
+  FlightRecorder Rec(M, FO);
+
+  // Single-step until the first epoch is garbage collected.
+  while (Rec.status().EpochsEvicted == 0) {
+    Machine::StopReason R = M.run(1);
+    ASSERT_TRUE(R == Machine::StopReason::StepLimit ||
+                R == Machine::StopReason::Halted);
+    ASSERT_NE(R, Machine::StopReason::Halted)
+        << "program ended before any eviction";
+  }
+
+  Pinball Pb;
+  std::string Error;
+  ASSERT_TRUE(Rec.dump(Pb, Error)) << Error;
+  Replayer Rep(Pb);
+  ASSERT_TRUE(Rep.valid()) << Rep.error();
+  Rep.run();
+  EXPECT_TRUE(Rep.done());
+  EXPECT_FALSE(Rep.divergence()) << Rep.divergence().Detail;
+  EXPECT_TRUE(Rep.machine().snapshot() == M.snapshot());
+}
+
+// The memory budget is a hard bound: measure an unbounded run's peak, then
+// re-run the identical execution under half that budget and check the
+// recorder stayed under it (and still dumps a correct window).
+TEST(Flight, MemoryBudgetBounds) {
+  Program P = assembleOrDie(multiThreadedSource());
+  const uint64_t Seed = 21;
+
+  auto RunOnce = [&](size_t Budget, FlightStatus &St, Pinball *Pb,
+                     MachineState *End) {
+    RandomScheduler Sched(Seed, 1, 4);
+    DefaultSyscalls World(Seed);
+    Machine M(P);
+    M.setScheduler(&Sched);
+    M.setSyscalls(&World);
+    FlightOptions FO;
+    FO.EpochInstrs = 48;
+    FO.MaxEpochs = 0; // only the budget evicts
+    FO.AnchorEvery = 1;
+    FO.MemoryBudgetBytes = Budget;
+    FlightRecorder Rec(M, FO);
+    ASSERT_EQ(M.run(), Machine::StopReason::Halted);
+    St = Rec.status();
+    if (Pb) {
+      std::string Error;
+      ASSERT_TRUE(Rec.dump(*Pb, Error)) << Error;
+    }
+    if (End)
+      *End = M.snapshot();
+  };
+
+  FlightStatus Unbounded;
+  RunOnce(0, Unbounded, nullptr, nullptr);
+  ASSERT_EQ(Unbounded.EpochsEvicted, 0u);
+  ASSERT_GT(Unbounded.PeakBytes, 0u);
+
+  const size_t Budget = Unbounded.PeakBytes / 2;
+  FlightStatus Bounded;
+  Pinball Pb;
+  MachineState End;
+  RunOnce(Budget, Bounded, &Pb, &End);
+  EXPECT_GT(Bounded.EpochsEvicted, 0u);
+  EXPECT_LE(Bounded.PeakBytes, Budget);
+  EXPECT_LE(Bounded.RingBytes + Bounded.CheckpointBytes, Budget);
+
+  Replayer Rep(Pb);
+  ASSERT_TRUE(Rep.valid()) << Rep.error();
+  Rep.run();
+  EXPECT_TRUE(Rep.done());
+  EXPECT_FALSE(Rep.divergence()) << Rep.divergence().Detail;
+  EXPECT_TRUE(Rep.machine().snapshot() == End);
+}
+
+// Rings written from several threads' machines at once (each thread owns
+// its machine + recorder): the metrics handles are the only shared state,
+// and they must be TSan-clean.
+TEST(Flight, ConcurrentRings) {
+  Program P = assembleOrDie(multiThreadedSource());
+  std::vector<std::thread> Threads;
+  std::vector<int> Ok(4, 0);
+  for (int I = 0; I != 4; ++I)
+    Threads.emplace_back([&, I] {
+      RandomScheduler Sched(100 + I, 1, 4);
+      DefaultSyscalls World(100 + I);
+      Machine M(P);
+      M.setScheduler(&Sched);
+      M.setSyscalls(&World);
+      FlightOptions FO;
+      FO.EpochInstrs = 64;
+      FO.MaxEpochs = 3;
+      FlightRecorder Rec(M, FO);
+      if (M.run() != Machine::StopReason::Halted)
+        return;
+      Pinball Pb;
+      std::string Error;
+      if (!Rec.dump(Pb, Error))
+        return;
+      Replayer Rep(Pb);
+      if (!Rep.valid())
+        return;
+      Rep.run();
+      if (Rep.done() && !Rep.divergence() &&
+          Rep.machine().snapshot() == M.snapshot())
+        Ok[I] = 1;
+    });
+  for (auto &T : Threads)
+    T.join();
+  for (int I = 0; I != 4; ++I)
+    EXPECT_EQ(Ok[I], 1) << "worker " << I;
+}
+
+//===----------------------------------------------------------------------===//
+// Debugger surface
+//===----------------------------------------------------------------------===//
+
+// attach → dump → attach → dump: the recorder is recreated cleanly and the
+// saved pinballs load and replay.
+TEST(Flight, AttachDumpAttachReuse) {
+  TempDir Scratch("reuse");
+  std::ostringstream OS;
+  DebugSession S(OS);
+  ASSERT_TRUE(S.loadProgramText(multiThreadedSource()));
+
+  std::string D1 = (Scratch.Dir / "one").string();
+  std::string D2 = (Scratch.Dir / "two").string();
+  EXPECT_EQ(S.executeCommand("record attach 5 64 4").Status,
+            CommandStatus::Ok);
+  EXPECT_EQ(S.executeCommand("record dump " + D1).Status, CommandStatus::Ok);
+  EXPECT_EQ(S.executeCommand("record attach 6 64 4").Status,
+            CommandStatus::Ok);
+  EXPECT_EQ(S.executeCommand("record dump " + D2).Status, CommandStatus::Ok);
+
+  std::string Text = OS.str();
+  EXPECT_NE(Text.find("recording in flight mode"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("flight dump:"), std::string::npos) << Text;
+
+  for (const std::string &D : {D1, D2}) {
+    ASSERT_TRUE(fs::exists(fs::path(D) / "manifest.txt")) << D;
+    Pinball Pb;
+    std::string Error;
+    ASSERT_TRUE(Pb.load(D, Error)) << Error;
+    Replayer Rep(Pb);
+    ASSERT_TRUE(Rep.valid()) << Rep.error();
+    Rep.run();
+    EXPECT_TRUE(Rep.done());
+    EXPECT_FALSE(Rep.divergence()) << Rep.divergence().Detail;
+  }
+}
+
+// Live attach mid-run: break, run to the breakpoint, attach there, continue
+// into the failure, dump — the pinball replays straight to the assert.
+TEST(Flight, LiveAttachMidRun) {
+  workloads::Figure5Lines Lines;
+  Program P = workloads::makeFigure5(&Lines);
+  std::ostringstream OS;
+  DebugSession S(OS);
+  ASSERT_TRUE(S.loadProgramText(P.SourceText));
+
+  ASSERT_EQ(S.executeCommand("break main+3").Status, CommandStatus::Ok);
+  ASSERT_EQ(S.executeCommand("run 1").Status, CommandStatus::Ok);
+  ASSERT_NE(OS.str().find("breakpoint"), std::string::npos) << OS.str();
+
+  CommandResult Attach = S.executeCommand("record attach");
+  EXPECT_EQ(Attach.Status, CommandStatus::Ok);
+  EXPECT_NE(OS.str().find("flight recorder attached at instruction"),
+            std::string::npos)
+      << OS.str();
+
+  // replay-position reports the live recorder while nothing is replaying.
+  S.executeCommand("replay-position");
+  EXPECT_NE(OS.str().find("flight recorder: window"), std::string::npos)
+      << OS.str();
+
+  ASSERT_EQ(S.executeCommand("continue").Status, CommandStatus::Ok);
+  ASSERT_NE(OS.str().find("assertion FAILED"), std::string::npos) << OS.str();
+
+  EXPECT_EQ(S.executeCommand("record status").Status, CommandStatus::Ok);
+  EXPECT_NE(OS.str().find("failure captured: yes"), std::string::npos)
+      << OS.str();
+
+  EXPECT_EQ(S.executeCommand("record dump").Status, CommandStatus::Ok);
+  // Drop the breakpoint: the dumped window starts right at it, and replay
+  // would otherwise stop there instead of running into the assert.
+  EXPECT_EQ(S.executeCommand("delete 1").Status, CommandStatus::Ok);
+  size_t Before = OS.str().size();
+  EXPECT_EQ(S.executeCommand("replay").Status, CommandStatus::Ok);
+  std::string ReplayOut = OS.str().substr(Before);
+  EXPECT_NE(ReplayOut.find("assertion FAILED"), std::string::npos)
+      << ReplayOut;
+}
+
+//===----------------------------------------------------------------------===//
+// Server surface
+//===----------------------------------------------------------------------===//
+
+TEST(Flight, ServerVerbs) {
+  TempDir Scratch("server");
+  DebugServer Srv;
+  auto [ClientEnd, ServerEnd] = makePipePair();
+  std::thread ServerThread([&, SE = ServerEnd.get()] { Srv.serve(*SE); });
+  {
+    ProtocolClient Client(*ClientEnd);
+    std::string Out, Error;
+    uint64_t Sid = 0;
+    ASSERT_TRUE(Client.open(Sid, Error)) << Error;
+    ASSERT_TRUE(Client.load(Sid, multiThreadedSource(), Out, Error)) << Error;
+
+    ASSERT_TRUE(Client.recordAttach(Sid, /*Seed=*/3, Out, Error)) << Error;
+    EXPECT_NE(Out.find("recording in flight mode"), std::string::npos) << Out;
+
+    ASSERT_TRUE(Client.recordStatus(Sid, Out, Error)) << Error;
+    EXPECT_NE(Out.find("flight recorder: window"), std::string::npos) << Out;
+
+    std::string Dir = (Scratch.Dir / "dump").string();
+    ASSERT_TRUE(Client.recordDump(Sid, Dir, Out, Error)) << Error;
+    EXPECT_NE(Out.find("flight dump:"), std::string::npos) << Out;
+    EXPECT_TRUE(fs::exists(fs::path(Dir) / "manifest.txt"));
+
+    // The dumped pinball is a normal pinball: load + replay on our side.
+    Pinball Pb;
+    ASSERT_TRUE(Pb.load(Dir, Error)) << Error;
+    Replayer Rep(Pb);
+    ASSERT_TRUE(Rep.valid()) << Rep.error();
+    Rep.run();
+    EXPECT_TRUE(Rep.done());
+    EXPECT_FALSE(Rep.divergence()) << Rep.divergence().Detail;
+
+    // stats reports the flight.* block and the per-verb counters.
+    ASSERT_TRUE(Client.stats(Out, Error)) << Error;
+    EXPECT_NE(Out.find("flight.epochs_retained"), std::string::npos) << Out;
+    EXPECT_NE(Out.find("flight.dumps"), std::string::npos) << Out;
+    EXPECT_NE(Out.find("verb.rattach.count 1"), std::string::npos) << Out;
+    EXPECT_NE(Out.find("verb.rstatus.count 1"), std::string::npos) << Out;
+    EXPECT_NE(Out.find("verb.rdump.count 1"), std::string::npos) << Out;
+  }
+  ClientEnd->close();
+  ServerThread.join();
+}
+
+//===----------------------------------------------------------------------===//
+// Maple auto-dump
+//===----------------------------------------------------------------------===//
+
+// Classic mode: the exposing pinball is auto-saved the instant the bug is
+// exposed, and the saved copy replays to the failure.
+TEST(Flight, MapleAutoDumpClassic) {
+  TempDir Scratch("maple");
+  Program P = workloads::makeFigure5();
+  MapleOptions Opts;
+  Opts.ProfileRuns = 12;
+  Opts.Seed = 1;
+  Opts.AutoDumpDir = (Scratch.Dir / "exposed").string();
+  MapleResult Result = mapleExposeAndRecord(P, Opts);
+  ASSERT_TRUE(Result.Exposed) << Result.AutoDumpError;
+  ASSERT_EQ(Result.AutoDumpPath, Opts.AutoDumpDir) << Result.AutoDumpError;
+
+  Pinball Pb;
+  std::string Error;
+  ASSERT_TRUE(Pb.load(Result.AutoDumpPath, Error)) << Error;
+  Replayer Rep(Pb);
+  ASSERT_TRUE(Rep.valid()) << Rep.error();
+  EXPECT_EQ(Rep.run(), Machine::StopReason::AssertFailed);
+}
+
+// Flight mode: profiling runs under the recorder, and the exposure is
+// dumped in situ — no re-run — yet still replays to the assert.
+TEST(Flight, MapleAutoDumpInFlight) {
+  TempDir Scratch("maplef");
+  Program P = workloads::makeFigure5();
+  MapleOptions Opts;
+  Opts.ProfileRuns = 12;
+  Opts.Seed = 1;
+  Opts.FlightEpochInstrs = 16;
+  Opts.FlightMaxEpochs = 4;
+  Opts.AutoDumpDir = (Scratch.Dir / "exposed").string();
+  MapleResult Result = mapleExposeAndRecord(P, Opts);
+  ASSERT_TRUE(Result.Exposed) << Result.AutoDumpError;
+  EXPECT_TRUE(Result.ExposedDuringProfiling);
+  EXPECT_EQ(Result.Pb.Meta.at("flight"), "1");
+  EXPECT_EQ(Result.AutoDumpPath, Opts.AutoDumpDir) << Result.AutoDumpError;
+
+  Replayer Rep(Result.Pb);
+  ASSERT_TRUE(Rep.valid()) << Rep.error();
+  EXPECT_EQ(Rep.run(), Machine::StopReason::AssertFailed);
+  EXPECT_FALSE(divergenceIsFatal(Rep.divergence().Kind))
+      << Rep.divergence().Detail;
+}
+
+} // namespace

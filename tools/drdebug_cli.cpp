@@ -6,6 +6,8 @@
 //   drdebug <program.asm>            interactive session on a program
 //   drdebug <program.asm> -x cmds    run a command script, then exit
 //   drdebug --demo                   load the paper's Figure 5 example
+//   drdebug --demo --flight <dir>    run under the always-on flight recorder
+//                                    and dump the retained window as a pinball
 //   drdebug --connect host:port ...  drive a session on a drdebugd server
 //   echo "record failure" | drdebug <program.asm>   pipe commands
 //
@@ -36,6 +38,9 @@ int usage() {
   std::fprintf(stderr,
                "usage: drdebug <program.asm> [-x <script>] [--no-verify]\n"
                "       drdebug --demo [-x <script>]\n"
+               "       drdebug [--demo|<program.asm>] --flight <dir>\n"
+               "               [--flight-seed N] [--flight-epoch N] "
+               "[--flight-epochs N]\n"
                "       drdebug --connect <host:port> [<program.asm>] "
                "[-x <script>]\n"
                "               [--retries N] [--retry-timeout-ms N] "
@@ -171,6 +176,10 @@ int main(int Argc, char **Argv) {
   std::string ScriptPath;
   std::string ConnectTo;
   std::string TraceOut;
+  std::string FlightDir;
+  uint64_t FlightSeed = 1;
+  uint64_t FlightEpochInstrs = 2048;
+  uint64_t FlightMaxEpochs = 8;
   bool Demo = false;
   bool Verify = true;
   bool Faulty = false;
@@ -191,6 +200,14 @@ int main(int Argc, char **Argv) {
       ScriptPath = Argv[++I];
     } else if (std::strcmp(Argv[I], "--no-verify") == 0) {
       Verify = false;
+    } else if (std::strcmp(Argv[I], "--flight") == 0 && I + 1 < Argc) {
+      FlightDir = Argv[++I];
+    } else if (std::strcmp(Argv[I], "--flight-seed") == 0 && IntArg(V)) {
+      FlightSeed = V;
+    } else if (std::strcmp(Argv[I], "--flight-epoch") == 0 && IntArg(V)) {
+      FlightEpochInstrs = V;
+    } else if (std::strcmp(Argv[I], "--flight-epochs") == 0 && IntArg(V)) {
+      FlightMaxEpochs = V;
     } else if (std::strcmp(Argv[I], "--trace-out") == 0 && I + 1 < Argc) {
       TraceOut = Argv[++I];
     } else if (std::strcmp(Argv[I], "--retries") == 0 && IntArg(V)) {
@@ -223,7 +240,7 @@ int main(int Argc, char **Argv) {
 
   TraceOutGuard Tracing(TraceOut);
   if (!ConnectTo.empty()) {
-    if (Demo)
+    if (Demo || !FlightDir.empty())
       return usage();
     return runConnected(ConnectTo, ProgramPath, ScriptPath, Policy, Faulty);
   }
@@ -248,6 +265,21 @@ int main(int Argc, char **Argv) {
       return 1;
     if (!Session.loadProgramText(Text))
       return 1;
+  }
+
+  // --flight: run the whole program under the always-on recorder, then
+  // materialize the retained window into a pinball at <dir>.
+  if (!FlightDir.empty()) {
+    std::ostringstream Attach;
+    Attach << "record attach " << FlightSeed << " " << FlightEpochInstrs << " "
+           << FlightMaxEpochs;
+    if (Session.executeCommand(Attach.str()).Status != CommandStatus::Ok)
+      return 1;
+    Session.executeCommand("record status");
+    return Session.executeCommand("record dump " + FlightDir).Status ==
+                   CommandStatus::Ok
+               ? 0
+               : 1;
   }
 
   auto Execute = [&](const std::string &Line) {
