@@ -1387,6 +1387,7 @@ void DebugSession::cmdSlice(std::istringstream &Args) {
       err() << "error: no slice pinball; use 'slice pinball' first\n";
       return;
     }
+    Flight.reset();
     Live.reset();
     DivergenceAnnounced = false;
     Replay = std::make_unique<CheckpointedReplay>(*SlicePb, /*Interval=*/256);

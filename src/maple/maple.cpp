@@ -58,9 +58,11 @@ MapleResult drdebug::mapleExposeAndRecord(const Program &Prog,
         Result.Exposed = Flight->dump(Result.Pb, Error);
         if (!Result.Exposed)
           Result.AutoDumpError = Error;
-      } else {
-        // The bug reproduced under plain profiling: re-run the same seed
-        // with the logger attached to capture the pinball.
+      }
+      if (!Result.Exposed) {
+        // The bug reproduced under plain profiling (or the flight dump
+        // failed): re-run the same seed with the logger attached to capture
+        // the pinball.
         RandomScheduler Sched2(Seed, 1, 3);
         DefaultSyscalls World2(Seed);
         World2.setInput(Opts.Input);

@@ -99,6 +99,14 @@ TEST(Cli, NoArgumentsPrintsUsage) {
   EXPECT_NE(Out.find("usage:"), std::string::npos);
 }
 
+// --flight drives the session itself, so combining it with a command script
+// is rejected up front instead of silently ignoring the script.
+TEST(Cli, FlightRejectsScript) {
+  auto [Rc, Out] = runCli("--demo --flight /tmp/never_written -x /dev/null");
+  EXPECT_EQ(Rc, 2);
+  EXPECT_NE(Out.find("usage:"), std::string::npos) << Out;
+}
+
 TEST(Cli, MissingProgramFileFails) {
   auto [Rc, Out] = runCli("/nonexistent/prog.asm -x /dev/null");
   EXPECT_EQ(Rc, 1);

@@ -361,6 +361,37 @@ TEST(Flight, AttachDumpAttachReuse) {
   }
 }
 
+// Regression: 'slice replay' tears down the live machine, so a recorder
+// attached to it must be detached first — otherwise a later 'record dump'
+// (or the session destructor) touches the destroyed machine. Sequence from
+// the report: record attach → record dump → slice fail → slice pinball →
+// slice replay → record dump.
+TEST(Flight, SliceReplayDetachesRecorder) {
+  workloads::Figure5Lines Lines;
+  Program P = workloads::makeFigure5(&Lines);
+  std::ostringstream OS;
+  DebugSession S(OS);
+  ASSERT_TRUE(S.loadProgramText(P.SourceText));
+
+  ASSERT_EQ(S.executeCommand("record attach").Status, CommandStatus::Ok);
+  ASSERT_NE(OS.str().find("assertion FAILED"), std::string::npos) << OS.str();
+  ASSERT_EQ(S.executeCommand("record dump").Status, CommandStatus::Ok);
+  ASSERT_EQ(S.executeCommand("slice fail").Status, CommandStatus::Ok);
+  ASSERT_EQ(S.executeCommand("slice pinball").Status, CommandStatus::Ok);
+  ASSERT_EQ(S.executeCommand("slice replay").Status, CommandStatus::Ok);
+
+  // The recorder rode on the torn-down live machine; it must be gone now
+  // rather than dangling (use-after-free under sanitizers before the fix).
+  size_t Before = OS.str().size();
+  EXPECT_EQ(S.executeCommand("record status").Status, CommandStatus::Error);
+  EXPECT_EQ(S.executeCommand("record dump").Status, CommandStatus::Error);
+  EXPECT_NE(OS.str().find("no flight recorder", Before), std::string::npos)
+      << OS.str().substr(Before);
+
+  // The slice replay itself still works after the detach.
+  EXPECT_EQ(S.executeCommand("slice step").Status, CommandStatus::Ok);
+}
+
 // Live attach mid-run: break, run to the breakpoint, attach there, continue
 // into the failure, dump — the pinball replays straight to the assert.
 TEST(Flight, LiveAttachMidRun) {

@@ -239,6 +239,10 @@ int main(int Argc, char **Argv) {
   }
 
   TraceOutGuard Tracing(TraceOut);
+  // --flight drives the session itself (attach/status/dump), so a command
+  // script cannot also run; reject the combination instead of ignoring -x.
+  if (!FlightDir.empty() && !ScriptPath.empty())
+    return usage();
   if (!ConnectTo.empty()) {
     if (Demo || !FlightDir.empty())
       return usage();
