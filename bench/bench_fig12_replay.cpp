@@ -38,16 +38,25 @@ struct Row {
   uint64_t Length;
   double ReplaySeconds;
   double LogSeconds;
+  uint64_t CompiledInstrs; // executed via compiled superblock traces
+  uint64_t InterpInstrs;   // executed by the interpreter
 };
 
-/// Replays \p Pb once; \returns the wall-clock seconds (0 when invalid).
-double timeReplay(const Pinball &Pb) {
+/// Replays \p Pb once; \returns the wall-clock seconds (0 when invalid) and,
+/// when given, the compiled/interpreted instruction split of the run.
+double timeReplay(const Pinball &Pb, uint64_t *Compiled = nullptr,
+                  uint64_t *Interp = nullptr) {
   Stopwatch SW;
   Replayer Rep(Pb);
   if (!Rep.valid())
     return 0.0;
   Rep.run();
-  return SW.seconds();
+  double Seconds = SW.seconds();
+  if (Compiled)
+    *Compiled = Rep.compiledInstructions();
+  if (Interp)
+    *Interp = Rep.interpretedInstructions();
+  return Seconds;
 }
 
 /// Best-of-\p Reps replay time (min absorbs scheduler noise).
@@ -59,6 +68,11 @@ double bestReplay(const Pinball &Pb, unsigned Reps) {
       Best = S;
   }
   return Best;
+}
+
+double fraction(const Row &R) {
+  uint64_t Total = R.CompiledInstrs + R.InterpInstrs;
+  return Total ? static_cast<double>(R.CompiledInstrs) / Total : 0.0;
 }
 
 } // namespace
@@ -109,13 +123,32 @@ int main(int Argc, char **Argv) {
       LogResult Log = Logger::logRegion(P, Sched, nullptr, Spec);
       double LogSeconds = LogTimer.seconds();
 
-      double ReplaySeconds = timeReplay(Log.Pb);
-      Rows.push_back({Name, Length, ReplaySeconds, LogSeconds});
+      uint64_t Compiled = 0, Interp = 0;
+      double ReplaySeconds = timeReplay(Log.Pb, &Compiled, &Interp);
+      Rows.push_back({Name, Length, ReplaySeconds, LogSeconds, Compiled,
+                      Interp});
       std::printf(" %6.3fs[%5.3fs] |", ReplaySeconds, LogSeconds);
       std::fflush(stdout);
     }
     std::printf("\n");
   }
+
+  //===--------------------------------------------------------------------===//
+  // Compiled fraction: these replays are observer-free, so the superblock
+  // trace compiler (docs/COMPILE.md) must carry the bulk of the work.
+  //===--------------------------------------------------------------------===//
+  const bool Compiling = TraceExecutor::available();
+  const double FractionTarget = 0.90;
+  double MinFraction = Compiling ? 1.0 : 0.0;
+  for (const Row &R : Rows)
+    MinFraction = std::min(MinFraction, fraction(R));
+  if (Compiling)
+    std::printf("\ncompiled fraction across rows: min %.1f%% "
+                "(target > %.0f%% on observer-free replay)\n",
+                MinFraction * 100.0, FractionTarget * 100.0);
+  else
+    std::printf("\ntrace executor unavailable on this compiler; "
+                "compiled-fraction target not enforced\n");
 
   //===--------------------------------------------------------------------===//
   // Observability overhead: the same replay, instrumentation idle vs armed.
@@ -158,13 +191,23 @@ int main(int Argc, char **Argv) {
   for (size_t I = 0; I != Rows.size(); ++I)
     std::fprintf(J,
                  "    {\"benchmark\": \"%s\", \"length\": %llu, "
-                 "\"replay_s\": %.6f, \"log_s\": %.6f}%s\n",
+                 "\"replay_s\": %.6f, \"log_s\": %.6f, "
+                 "\"compiled_instrs\": %llu, \"interp_instrs\": %llu, "
+                 "\"compiled_fraction\": %.4f}%s\n",
                  Rows[I].Benchmark.c_str(),
                  static_cast<unsigned long long>(Rows[I].Length),
                  Rows[I].ReplaySeconds, Rows[I].LogSeconds,
-                 I + 1 != Rows.size() ? "," : "");
+                 static_cast<unsigned long long>(Rows[I].CompiledInstrs),
+                 static_cast<unsigned long long>(Rows[I].InterpInstrs),
+                 fraction(Rows[I]), I + 1 != Rows.size() ? "," : "");
   std::fprintf(J,
-               "  ],\n  \"overhead\": {\"benchmark\": \"%s\", \"length\": "
+               "  ],\n  \"compiled\": {\"available\": %s, "
+               "\"min_fraction\": %.4f, \"fraction_target\": %.2f, "
+               "\"meets_target\": %s},\n",
+               Compiling ? "true" : "false", MinFraction, FractionTarget,
+               !Compiling || MinFraction > FractionTarget ? "true" : "false");
+  std::fprintf(J,
+               "  \"overhead\": {\"benchmark\": \"%s\", \"length\": "
                "%llu, \"reps\": %u, \"replay_off_s\": %.6f, \"replay_on_s\": "
                "%.6f, \"overhead_pct\": %.3f, \"target_pct\": %.1f, "
                "\"within_target\": %s}\n}\n",
@@ -174,5 +217,15 @@ int main(int Argc, char **Argv) {
                OverheadPct < TargetPct ? "true" : "false");
   std::fclose(J);
   std::printf("wrote %s\n", JsonPath.c_str());
+
+  // Observer-free replay must be carried by compiled traces wherever the
+  // executor exists at all; a regression here means traces stopped forming.
+  if (Compiling && MinFraction <= FractionTarget) {
+    std::fprintf(stderr,
+                 "FAIL: compiled fraction %.1f%% <= %.0f%% on an "
+                 "observer-free replay\n",
+                 MinFraction * 100.0, FractionTarget * 100.0);
+    return 1;
+  }
   return 0;
 }

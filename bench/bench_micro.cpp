@@ -82,6 +82,53 @@ void BM_LoggerRecording(benchmark::State &State) {
 }
 BENCHMARK(BM_LoggerRecording);
 
+/// Shared ALU-heavy hot-loop pinball (~56k instructions) for the replay
+/// engine ablation: interpreter vs the superblock trace compiler
+/// (docs/COMPILE.md). The loop body matches bench_compile's hot-loop row.
+Pinball &hotLoopPinball() {
+  static Pinball Pb = [] {
+    Program P = assembleOrDie(
+        ".data acc 0\n.func main\n"
+        "  movi r1, 4000\n  movi r2, 0x9e3779b9\n"
+        "loop:\n"
+        "  add r3, r3, r2\n  xor r4, r4, r3\n  shli r5, r3, 13\n"
+        "  xor r4, r4, r5\n  shri r5, r4, 7\n  add r3, r3, r5\n"
+        "  mul r6, r4, r2\n  addi r6, r6, 17\n  andi r7, r1, 63\n"
+        "  bne r7, r0, skip\n  sta r6, @acc\n"
+        "skip:\n  subi r1, r1, 1\n  bgt r1, r0, loop\n  halt\n.endfunc\n");
+    RoundRobinScheduler Sched(1);
+    return Logger::logWholeProgram(P, Sched).Pb;
+  }();
+  return Pb;
+}
+
+void BM_ReplayInterpreted(benchmark::State &State) {
+  Pinball &Pb = hotLoopPinball();
+  ReplayOptions Opts;
+  Opts.CompileTraces = false;
+  for (auto _ : State) {
+    Replayer Rep(Pb, Opts);
+    Rep.run();
+    benchmark::DoNotOptimize(Rep.replayedInstructions());
+  }
+  State.SetItemsProcessed(State.iterations() * Pb.instructionCount());
+}
+BENCHMARK(BM_ReplayInterpreted);
+
+void BM_ReplayCompiled(benchmark::State &State) {
+  Pinball &Pb = hotLoopPinball();
+  uint64_t Compiled = 0;
+  for (auto _ : State) {
+    Replayer Rep(Pb); // defaults: CompileTraces on
+    Rep.run();
+    Compiled = Rep.compiledInstructions();
+    benchmark::DoNotOptimize(Rep.replayedInstructions());
+  }
+  State.SetItemsProcessed(State.iterations() * Pb.instructionCount());
+  State.counters["compiled_instrs"] = static_cast<double>(Compiled);
+}
+BENCHMARK(BM_ReplayCompiled);
+
 /// Shared pre-recorded pinball + traces for the slicing micro-benches.
 struct SliceFixture {
   Pinball Pb;

@@ -7,6 +7,8 @@
 #   scripts/verify.sh --sanitize     # tier-1 + asan + tsan presets
 #   scripts/verify.sh --flight       # flight-recorder smoke: bench_flight
 #                                    # --smoke + a --flight CLI dump
+#   scripts/verify.sh --compile      # trace-compiler leg: differential
+#                                    # fuzz tests + bench_compile --smoke
 #   scripts/verify.sh --metrics-lint # docs/OBSERVABILITY.md covers the
 #                                    # metric_names.h catalog; no build
 set -eu
@@ -47,6 +49,17 @@ if [ "${1:-}" = "--flight" ]; then
     exit 1
   fi
   echo "flight: OK"
+  exit 0
+fi
+
+# --compile: the trace-compiler leg. The differential fuzz suite proves the
+# compiled replay bit-identical to the interpreter (incl. forced mid-trace
+# deopts); bench_compile --smoke proves every benchmark row identical too.
+if [ "${1:-}" = "--compile" ]; then
+  cmake -B build -S .
+  cmake --build build -j --target drdebug_tests bench_compile
+  (cd build && ctest --output-on-failure -R 'TraceCompiler|BenchCompileSmoke' -j)
+  echo "compile: OK"
   exit 0
 fi
 

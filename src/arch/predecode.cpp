@@ -1,0 +1,56 @@
+//===- arch/predecode.cpp - Pre-decoded instruction stream -------------------===//
+
+#include "arch/predecode.h"
+
+using namespace drdebug;
+
+static uint32_t flagsFor(Opcode Op) {
+  switch (Op) {
+  case Opcode::Beq:
+  case Opcode::Bne:
+  case Opcode::Blt:
+  case Opcode::Ble:
+  case Opcode::Bgt:
+  case Opcode::Bge:
+  case Opcode::IJmp:
+  case Opcode::ICall:
+  case Opcode::Ret:
+  case Opcode::Halt:
+    return DecodedInst::FlagEndsBlock;
+  case Opcode::Jmp:
+  case Opcode::Call:
+    return DecodedInst::FlagDirect;
+  case Opcode::SysRead:
+  case Opcode::SysRand:
+  case Opcode::SysTime:
+  case Opcode::SysAlloc:
+    return DecodedInst::FlagSyscall;
+  default:
+    return 0;
+  }
+}
+
+DecodedProgram::DecodedProgram(const Program &P) {
+  Insts.reserve(P.Instrs.size());
+  uint64_t H = 1469598103934665603ull; // FNV-1a offset basis
+  auto Mix = [&H](uint64_t V) {
+    for (unsigned I = 0; I != 8; ++I) {
+      H ^= (V >> (I * 8)) & 0xff;
+      H *= 1099511628211ull;
+    }
+  };
+  for (const Instruction &I : P.Instrs) {
+    DecodedInst D;
+    D.Op = I.Op;
+    D.Rd = I.Rd;
+    D.Ra = I.Ra;
+    D.Rb = I.Rb;
+    D.Imm = I.Imm;
+    D.Flags = flagsFor(I.Op);
+    Mix(static_cast<uint64_t>(D.Op) | (uint64_t(D.Rd) << 8) |
+        (uint64_t(D.Ra) << 16) | (uint64_t(D.Rb) << 24));
+    Mix(static_cast<uint64_t>(D.Imm));
+    Insts.push_back(D);
+  }
+  Fp = H;
+}

@@ -1,0 +1,81 @@
+//===- arch/predecode.h - Pre-decoded instruction stream --------*- C++ -*-===//
+//
+// Part of the DrDebug reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A compact, semantics-only view of an assembled program, decoded once so
+/// the hot replay machinery never re-reads `Instruction` operand fields (or
+/// pays `vector::at` bounds checks) per dispatch. `DecodedInst` drops the
+/// source `Line` — two programs whose decoded streams compare equal execute
+/// identically — which is what lets independently assembled copies of the
+/// same program share one trace cache (see vm/trace_cache.h). The stream
+/// carries a FNV-1a fingerprint over the semantic fields for cheap registry
+/// bucketing; equality is always confirmed structurally, never by hash.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRDEBUG_ARCH_PREDECODE_H
+#define DRDEBUG_ARCH_PREDECODE_H
+
+#include "arch/program.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace drdebug {
+
+/// One pre-decoded instruction: the semantic fields of `Instruction`,
+/// densely packed (16 bytes vs 24), with superblock-formation flags
+/// computed once at decode time.
+struct DecodedInst {
+  Opcode Op = Opcode::Nop;
+  uint8_t Rd = 0;
+  uint8_t Ra = 0;
+  uint8_t Rb = 0;
+  /// Or-combination of the Flag* bits below.
+  uint32_t Flags = 0;
+  int64_t Imm = 0;
+
+  /// Instruction ends a superblock: its successor pc is data-dependent
+  /// (conditional branch, indirect jump/call, ret) or it stops the machine.
+  static constexpr uint32_t FlagEndsBlock = 1u << 0;
+  /// Instruction consumes a recorded non-deterministic value.
+  static constexpr uint32_t FlagSyscall = 1u << 1;
+  /// Direct control transfer whose target is an immediate (Jmp/Call):
+  /// translation can continue at the target inside the same superblock.
+  static constexpr uint32_t FlagDirect = 1u << 2;
+
+  bool operator==(const DecodedInst &O) const {
+    return Op == O.Op && Rd == O.Rd && Ra == O.Ra && Rb == O.Rb &&
+           Imm == O.Imm;
+  }
+};
+
+/// The whole program, decoded once. Immutable after construction; safe to
+/// share across threads.
+class DecodedProgram {
+public:
+  explicit DecodedProgram(const Program &P);
+
+  size_t size() const { return Insts.size(); }
+  bool inRange(uint64_t Pc) const { return Pc < Insts.size(); }
+  const DecodedInst &inst(uint64_t Pc) const { return Insts[Pc]; }
+
+  /// FNV-1a over the semantic fields (bucketing key; not an identity).
+  uint64_t fingerprint() const { return Fp; }
+
+  /// Exact semantic equality: same instruction stream, ignoring source
+  /// lines. Programs for which this holds execute identically from equal
+  /// start states, so they may share compiled traces.
+  bool sameCode(const DecodedProgram &O) const { return Insts == O.Insts; }
+
+private:
+  std::vector<DecodedInst> Insts;
+  uint64_t Fp = 0;
+};
+
+} // namespace drdebug
+
+#endif // DRDEBUG_ARCH_PREDECODE_H

@@ -50,7 +50,7 @@ CheckpointedReplay::CheckpointedReplay(const Pinball &Pb,
     Opts.Interval = 1;
   if (Opts.AnchorEvery == 0)
     Opts.AnchorEvery = 1;
-  Rep = std::make_unique<Replayer>(this->Pb);
+  Rep = std::make_unique<Replayer>(this->Pb, Opts.Replay);
   if (Rep->valid()) {
     ScheduleInstrs = this->Pb.instructionCount();
     Rep->machine().mem().enableDirtyTracking();
@@ -262,6 +262,27 @@ bool CheckpointedReplay::stepForward() {
   return true;
 }
 
+uint64_t CheckpointedReplay::advanceBy(uint64_t MaxInstrs) {
+  uint64_t Done = 0;
+  while (Done < MaxInstrs) {
+    uint64_t Want = MaxInstrs - Done;
+    if (!SuppressCheckpoints) {
+      // Stop each slice exactly where the next checkpoint is due, so the
+      // batched path takes the same checkpoint set the per-step path would.
+      uint64_t ToBoundary = Opts.Interval - Position % Opts.Interval;
+      Want = std::min(Want, ToBoundary);
+    }
+    uint64_t Got = Rep->replayChunk(Want);
+    Position += Got;
+    Done += Got;
+    if (Got)
+      maybeCheckpoint();
+    if (Got < Want)
+      break;
+  }
+  return Done;
+}
+
 Machine::StopReason CheckpointedReplay::runForward(uint64_t MaxSteps) {
   // One span per debugger command (continue/stepi under replay), not per
   // instruction; the replayed-step counter is shared with Replayer::run.
@@ -274,17 +295,14 @@ Machine::StopReason CheckpointedReplay::runForward(uint64_t MaxSteps) {
     uint64_t &Steps;
     ~StepScope() { Instrs.inc(Steps); }
   } Scope{Instrs, Steps};
-  while (Steps < MaxSteps) {
-    if (!stepForward()) {
-      if (divergence() && divergenceIsFatal(divergence().Kind))
-        return Machine::StopReason::StopRequested;
-      if (Rep->machine().stopRequested()) {
-        Rep->machine().clearStopRequest();
-        return Machine::StopReason::StopRequested;
-      }
-      break;
+  Steps = advanceBy(MaxSteps);
+  if (Steps < MaxSteps) {
+    if (divergence() && divergenceIsFatal(divergence().Kind))
+      return Machine::StopReason::StopRequested;
+    if (Rep->machine().stopRequested()) {
+      Rep->machine().clearStopRequest();
+      return Machine::StopReason::StopRequested;
     }
-    ++Steps;
   }
   if (Steps >= MaxSteps && !atEnd())
     return Machine::StopReason::StepLimit;
@@ -323,10 +341,8 @@ bool CheckpointedReplay::seek(uint64_t Target) {
   if (Target == Position)
     return true;
   if (Target > Position) {
-    while (Position < Target)
-      if (!stepForward())
-        return false;
-    return true;
+    advanceBy(Target - Position);
+    return Position == Target;
   }
   // Backward: restore the nearest checkpoint at or before Target, then
   // replay forward the remaining distance.
@@ -344,13 +360,8 @@ bool CheckpointedReplay::seek(uint64_t Target) {
   // can interrupt the catch-up replay partway, and both the re-execution
   // metric and position() must then report where the replay really landed.
   uint64_t From = Position;
-  bool Ok = true;
-  while (Position < Target) {
-    if (!stepForward()) {
-      Ok = false;
-      break;
-    }
-  }
+  advanceBy(Target - Position);
+  bool Ok = Position == Target;
   chargeReexecution(Position - From);
   if (!Ok && divergence() && divergenceIsFatal(divergence().Kind))
     CkptError = divergence().describe();

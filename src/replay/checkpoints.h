@@ -61,6 +61,10 @@ struct CheckpointOptions {
   /// position-0 anchor is never dropped, so backward seeks always succeed
   /// (they just re-execute more).
   uint64_t MemoryBudgetBytes = 0;
+  /// Execution tunables for the wrapped Replayer (trace compilation).
+  /// Forward motion and backward catch-up replay both batch through
+  /// Replayer::replayChunk, so checkpoint seeks ride the compiled traces.
+  ReplayOptions Replay;
 };
 
 /// A replayer with periodic checkpoints and backward motion.
@@ -253,6 +257,12 @@ private:
 
   void maybeCheckpoint();
   void takeCheckpoint();
+  /// Advances up to \p MaxInstrs via Replayer::replayChunk in slices that
+  /// end exactly on checkpoint boundaries (full-width when checkpointing is
+  /// suppressed), taking checkpoints between slices. \returns instructions
+  /// executed; a short count means the replay was interrupted (schedule
+  /// end, observer stop, fatal divergence).
+  uint64_t advanceBy(uint64_t MaxInstrs);
   /// Restores the machine+cursor to the checkpoint at \p It and resets the
   /// dirty-page bookkeeping to match.
   void restoreCheckpoint(CkptMap::const_iterator It);

@@ -9,6 +9,7 @@
 #include "support/stopwatch.h"
 #include "support/tracing.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdlib>
 #include <sstream>
@@ -58,7 +59,10 @@ int64_t RecordedSyscalls::sysAlloc(uint32_t Tid, int64_t) {
 // Replayer
 //===----------------------------------------------------------------------===//
 
-Replayer::Replayer(const Pinball &Pb) : Pb(Pb) {
+Replayer::Replayer(const Pinball &Pb) : Replayer(Pb, ReplayOptions()) {}
+
+Replayer::Replayer(const Pinball &Pb, const ReplayOptions &Options)
+    : Pb(Pb), Opts(Options) {
   if (!assemble(this->Pb.ProgramText, Prog, ErrorMessage))
     return;
   M = std::make_unique<Machine>(Prog);
@@ -72,6 +76,12 @@ Replayer::Replayer(const Pinball &Pb) : Pb(Pb) {
   M->setSyscalls(Syscalls.get());
   for (const Injection &Inj : this->Pb.Injections)
     InjectionById[Inj.Id] = &Inj;
+  if (Opts.CompileTraces && TraceExecutor::available()) {
+    TraceCache::Options CO;
+    CO.HotThreshold = Opts.HotThreshold;
+    CO.MaxTraceInstrs = Opts.MaxTraceInstrs;
+    Traces = TraceCache::acquire(Prog, CO);
+  }
   Valid = true;
 }
 
@@ -111,13 +121,11 @@ void Replayer::reportDivergence(DivergenceKind Kind, uint32_t Tid,
   Diverged.Tid = Tid;
   Diverged.Pc = Tid < M->numThreads() ? M->thread(Tid).Pc : 0;
   Diverged.Detail = Detail;
+  FatalFlag = divergenceIsFatal(Diverged.Kind);
 }
 
-bool Replayer::stepOne() {
-  assert(Valid && "invalid replayer");
-  if (Diverged && divergenceIsFatal(Diverged.Kind))
-    return false;
-  // Apply any pending injections; they are transparent to stepping.
+bool Replayer::applyPendingInjections() {
+  // Injections are transparent to stepping: apply them and move on.
   while (EventIndex < Pb.Schedule.size() &&
          Pb.Schedule[EventIndex].K == ScheduleEvent::Kind::Inject) {
     auto It = InjectionById.find(Pb.Schedule[EventIndex].InjectId);
@@ -132,6 +140,15 @@ bool Replayer::stepOne() {
     applyInjection(*It->second);
     ++EventIndex;
   }
+  return true;
+}
+
+bool Replayer::stepOne() {
+  assert(Valid && "invalid replayer");
+  if (FatalFlag)
+    return false;
+  if (!applyPendingInjections())
+    return false;
   if (EventIndex >= Pb.Schedule.size())
     return false;
 
@@ -166,16 +183,76 @@ bool Replayer::stepOne() {
     return false;
   }
   ++Replayed;
+  ++TotalExecuted;
   if (++WithinEvent == E.Count) {
     WithinEvent = 0;
     ++EventIndex;
   }
-  if (Diverged && divergenceIsFatal(Diverged.Kind)) {
+  if (FatalFlag) {
     // A syscall-kind mismatch surfaced inside this instruction; the step
     // itself completed, but nothing after it can be trusted.
     return false;
   }
   return true;
+}
+
+uint64_t Replayer::fastForward(uint64_t Budget) {
+  uint64_t Done = 0;
+  while (Done < Budget) {
+    // Entry guards of the deopt contract (docs/COMPILE.md): compiled code
+    // runs only while the interpreter path would be a pure Step sequence
+    // with nobody watching. Any guard failing hands back to stepOne(),
+    // which produces the exact divergence report / stop at this boundary.
+    if (FatalFlag || !M->observersEmpty() || M->stopRequested())
+      break;
+    if (EventIndex >= Pb.Schedule.size() ||
+        Pb.Schedule[EventIndex].K != ScheduleEvent::Kind::Step)
+      break;
+    const ScheduleEvent &E = Pb.Schedule[EventIndex];
+    if (M->finished() || E.Tid >= M->numThreads() ||
+        M->thread(E.Tid).Status != ThreadStatus::Runnable)
+      break;
+    uint64_t Remaining = std::min<uint64_t>(E.Count - WithinEvent,
+                                            Budget - Done);
+    TraceRunResult R =
+        TraceExecutor::run(*M, E.Tid, Remaining, *Traces, LocalTraces,
+                           &FatalFlag);
+    if (R.Executed) {
+      Done += R.Executed;
+      Replayed += R.Executed;
+      TotalExecuted += R.Executed;
+      CompiledInstrs += R.Executed;
+      WithinEvent += R.Executed;
+      if (WithinEvent == E.Count) {
+        WithinEvent = 0;
+        ++EventIndex;
+      }
+    }
+    if (R.MidTrace)
+      ++Deopts;
+    if (R.Executed == 0 || R.Exit == TraceExit::Stopped ||
+        R.Exit == TraceExit::Aborted)
+      break;
+  }
+  return Done;
+}
+
+uint64_t Replayer::replayChunk(uint64_t MaxInstrs) {
+  assert(Valid && "invalid replayer");
+  uint64_t Done = 0;
+  while (Done < MaxInstrs) {
+    if (Traces)
+      Done += fastForward(MaxInstrs - Done);
+    if (Done >= MaxInstrs)
+      break;
+    // One interpreted step covers whatever the fast path could not: cold
+    // code, terminator instructions, injection events, divergence
+    // validation, and every observer notification.
+    if (!stepOne())
+      break;
+    ++Done;
+  }
+  return Done;
 }
 
 ReplayCursor Replayer::cursor() const {
@@ -197,8 +274,11 @@ void Replayer::restore(const MachineState &State, const ReplayCursor &Cursor) {
   Replayed = Cursor.Replayed;
   Syscalls->setCursors(Cursor.SyscallCursors);
   // The divergence (if any) lies ahead of the restored position; replaying
-  // forward will rediscover it deterministically.
+  // forward will rediscover it deterministically. TotalExecuted /
+  // CompiledInstrs / Deopts are deliberately NOT rewound: they are work
+  // counters, not position.
   Diverged = DivergenceReport();
+  FatalFlag = false;
   EndChecked = false;
 }
 
@@ -269,17 +349,14 @@ Machine::StopReason Replayer::run(uint64_t MaxSteps) {
       RegionUs.record(static_cast<uint64_t>(SW.seconds() * 1e6));
     }
   } Scope{Instrs, RegionUs, SW, Steps};
-  while (Steps < MaxSteps) {
-    if (!stepOne()) {
-      if (Diverged && divergenceIsFatal(Diverged.Kind))
-        return Machine::StopReason::StopRequested;
-      if (M->stopRequested()) {
-        M->clearStopRequest();
-        return Machine::StopReason::StopRequested;
-      }
-      break;
+  Steps = replayChunk(MaxSteps);
+  if (Steps < MaxSteps) {
+    if (FatalFlag)
+      return Machine::StopReason::StopRequested;
+    if (M->stopRequested()) {
+      M->clearStopRequest();
+      return Machine::StopReason::StopRequested;
     }
-    ++Steps;
   }
   if (Steps >= MaxSteps && !done())
     return Machine::StopReason::StepLimit;

@@ -22,6 +22,8 @@
 #include "replay/divergence.h"
 #include "replay/pinball.h"
 #include "vm/machine.h"
+#include "vm/trace_cache.h"
+#include "vm/trace_compiler.h"
 
 #include <deque>
 #include <functional>
@@ -70,12 +72,25 @@ struct ReplayCursor {
   std::map<uint32_t, size_t> SyscallCursors;
 };
 
+/// Tunables for replay execution.
+struct ReplayOptions {
+  /// Compile hot code into superblock traces and execute them while no
+  /// observer is attached (see docs/COMPILE.md). On by default: attaching
+  /// any observer deoptimizes to the interpreter automatically, so
+  /// breakpoints/watchpoints/recorders behave identically either way.
+  bool CompileTraces = true;
+  /// Trace-cache tuning (see vm/trace_cache.h).
+  uint32_t HotThreshold = 8;
+  uint32_t MaxTraceInstrs = 64;
+};
+
 /// Replays a pinball deterministically.
 class Replayer {
 public:
   /// Assembles the pinball's program and restores its start state.
   /// Check \c valid() before use; an invalid pinball reports \c error().
   explicit Replayer(const Pinball &Pb);
+  Replayer(const Pinball &Pb, const ReplayOptions &Opts);
   ~Replayer();
 
   Replayer(const Replayer &) = delete;
@@ -100,8 +115,31 @@ public:
   /// \p MaxSteps instructions have run.
   Machine::StopReason run(uint64_t MaxSteps = ~0ULL);
 
+  /// Advances up to \p MaxInstrs instructions, using compiled traces for
+  /// every stretch the deopt contract allows and the interpreter for the
+  /// rest. Unlike run() it never clears a stop request and never triggers
+  /// the end-state check — it is the composable work primitive run() and
+  /// CheckpointedReplay batch through. \returns instructions executed; a
+  /// short count means the schedule ended, a stop was requested, or a
+  /// fatal divergence surfaced (inspect \c divergence()).
+  uint64_t replayChunk(uint64_t MaxInstrs);
+
   /// Instructions replayed so far.
   uint64_t replayedInstructions() const { return Replayed; }
+
+  /// Monotonic work counters since construction (not rewound by restore):
+  /// instructions executed from compiled traces vs. by the interpreter.
+  /// bench_fig12_replay asserts the compiled fraction stays > 90% on
+  /// observer-free replays, catching silent deopt regressions.
+  uint64_t compiledInstructions() const { return CompiledInstrs; }
+  uint64_t interpretedInstructions() const {
+    return TotalExecuted - CompiledInstrs;
+  }
+  /// Mid-trace deoptimizations (side exits) so far.
+  uint64_t deopts() const { return Deopts; }
+  /// The shared trace cache driving this replay (null when compilation is
+  /// disabled or unavailable on this compiler).
+  const TraceCache *traceCache() const { return Traces.get(); }
 
   /// The tid the recorded schedule runs next (peeking past pending Inject
   /// events without applying them), or -1 when the schedule is exhausted.
@@ -130,6 +168,13 @@ public:
 
 private:
   void applyInjection(const Injection &Inj);
+  /// Applies Inject events pending at the cursor. \returns false when the
+  /// schedule references an unknown injection (fatal divergence reported).
+  bool applyPendingInjections();
+  /// Compiled-trace fast path: executes schedule Step events from traces
+  /// while the entry guards hold. \returns instructions executed (0 when
+  /// the guards fail or the entry pc is cold).
+  uint64_t fastForward(uint64_t Budget);
   /// Records a divergence (keeping an earlier fatal one over a later or
   /// softer report).
   void reportDivergence(DivergenceKind Kind, uint32_t Tid,
@@ -137,15 +182,24 @@ private:
 
   Pinball Pb;
   Program Prog;
+  ReplayOptions Opts;
   bool Valid = false;
   std::string ErrorMessage;
   std::unique_ptr<Machine> M;
   std::unique_ptr<RecordedSyscalls> Syscalls;
   std::map<uint64_t, const Injection *> InjectionById;
+  std::shared_ptr<TraceCache> Traces; ///< shared across replays of this code
+  TraceExecutor::LocalView LocalTraces;
   size_t EventIndex = 0;   ///< cursor into Pb.Schedule
   uint64_t WithinEvent = 0; ///< instructions consumed of the current Step
   uint64_t Replayed = 0;
+  uint64_t TotalExecuted = 0;  ///< monotonic: never rewound by restore()
+  uint64_t CompiledInstrs = 0; ///< monotonic: executed from traces
+  uint64_t Deopts = 0;         ///< monotonic: mid-trace side exits
   DivergenceReport Diverged;
+  /// Mirror of "Diverged is fatal", readable by the trace executor after
+  /// every syscall (the abort flag of the deopt contract).
+  bool FatalFlag = false;
   bool EndChecked = false;
 };
 

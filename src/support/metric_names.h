@@ -96,6 +96,14 @@ inline constexpr const char *ReplayCheckpointsThinned =
     "drdebug_replay_checkpoints_thinned_total";
 inline constexpr const char *ReplaySegmentScans =
     "drdebug_replay_segment_scans_total";
+inline constexpr const char *ReplayTracesCompiled =
+    "drdebug_replay_traces_compiled_total";
+inline constexpr const char *ReplayTraceExecInstrs =
+    "drdebug_replay_trace_exec_instrs_total";
+inline constexpr const char *ReplayDeopts = "drdebug_replay_deopts_total";
+
+// --- VM (global registry) -------------------------------------------------
+inline constexpr const char *VmDivByZero = "drdebug_vm_div_by_zero_total";
 
 // --- Pinball I/O + integrity (global registry) ---------------------------
 inline constexpr const char *PinballSaves = "drdebug_pinball_saves_total";
@@ -172,6 +180,10 @@ inline constexpr MetricInfo AllMetrics[] = {
     {ReplayCheckpointsTaken, "counter"},
     {ReplayCheckpointsThinned, "counter"},
     {ReplaySegmentScans, "counter"},
+    {ReplayTracesCompiled, "counter"},
+    {ReplayTraceExecInstrs, "counter"},
+    {ReplayDeopts, "counter"},
+    {VmDivByZero, "counter"},
     {PinballSaves, "counter"},
     {PinballLoads, "counter"},
     {PinballLoadFailures, "counter"},

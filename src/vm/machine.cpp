@@ -2,6 +2,8 @@
 
 #include "vm/machine.h"
 
+#include "vm/vm_arith.h"
+
 #include <algorithm>
 #include <cassert>
 #include <istream>
@@ -190,6 +192,7 @@ Machine::Machine(const Program &Prog) : Prog(Prog) {
 void Machine::removeObserver(Observer *O) {
   Observers.erase(std::remove(Observers.begin(), Observers.end(), O),
                   Observers.end());
+  ObserversEmpty = Observers.empty();
 }
 
 uint32_t Machine::createThread(uint64_t EntryPc, int64_t Arg0,
@@ -204,8 +207,9 @@ uint32_t Machine::createThread(uint64_t EntryPc, int64_t Arg0,
   Mem.store(static_cast<uint64_t>(T.Regs[RegSp]), layout::ExitAddr);
   Threads.push_back(std::move(T));
   uint32_t Tid = Threads.back().Tid;
-  for (Observer *O : Observers)
-    O->onThreadCreated(Tid, EntryPc, ParentTid);
+  if (!ObserversEmpty)
+    for (Observer *O : Observers)
+      O->onThreadCreated(Tid, EntryPc, ParentTid);
   return Tid;
 }
 
@@ -220,8 +224,9 @@ void Machine::exitThread(ThreadContext &T) {
       W.Status = ThreadStatus::Runnable;
       W.WaitTid = 0;
     }
-  for (Observer *O : Observers)
-    O->onThreadExited(T.Tid);
+  if (!ObserversEmpty)
+    for (Observer *O : Observers)
+      O->onThreadExited(T.Tid);
 }
 
 bool Machine::finished() const {
@@ -283,6 +288,22 @@ bool Machine::stepThread(uint32_t Tid) {
     }
   }
 
+  // Observer-free fast path: no pre/post hooks can fire and nobody reads
+  // the ExecRecord's def/use lists, so skip the notification loops and the
+  // AccessList bookkeeping inside execute() entirely.
+  if (ObserversEmpty) {
+    if (StopFlag)
+      return false; // same boundary the pre-exec hook check honors
+    ExecRecord R;
+    R.Tid = Tid;
+    R.Pc = T.Pc;
+    R.Inst = &Inst;
+    execute(T, R);
+    ++T.ExecCount;
+    ++GlobalCount;
+    return true;
+  }
+
   // Pre-execution hook: breakpoints or the relogger may need to act (or
   // stop the machine) at this exact boundary, before the instruction runs.
   for (Observer *O : Observers)
@@ -336,22 +357,29 @@ void Machine::execute(ThreadContext &T, ExecRecord &R) {
   int64_t *Regs = T.Regs;
   uint64_t NextPc = T.Pc + 1;
 
+  // Def/use resolution feeds Observers only (the slicer, logger, …); with
+  // none attached the AccessList writes are dead work — skip them.
+  const bool Track = !ObserversEmpty;
   auto UseReg = [&](unsigned Reg) {
-    R.Uses.add(regLoc(T.Tid, Reg), Regs[Reg]);
+    if (Track)
+      R.Uses.add(regLoc(T.Tid, Reg), Regs[Reg]);
     return Regs[Reg];
   };
   auto DefReg = [&](unsigned Reg, int64_t V) {
     Regs[Reg] = V;
-    R.Defs.add(regLoc(T.Tid, Reg), V);
+    if (Track)
+      R.Defs.add(regLoc(T.Tid, Reg), V);
   };
   auto UseMem = [&](uint64_t Addr) {
     int64_t V = Mem.load(Addr);
-    R.Uses.add(memLoc(Addr), V);
+    if (Track)
+      R.Uses.add(memLoc(Addr), V);
     return V;
   };
   auto DefMem = [&](uint64_t Addr, int64_t V) {
     Mem.store(Addr, V);
-    R.Defs.add(memLoc(Addr), V);
+    if (Track)
+      R.Defs.add(memLoc(Addr), V);
   };
   auto PushWord = [&](int64_t V) {
     Regs[RegSp] -= 1; // sp is deliberately untracked (recomputable state)
@@ -368,8 +396,8 @@ void Machine::execute(ThreadContext &T, ExecRecord &R) {
     case Opcode::Add: case Opcode::AddI: return static_cast<int64_t>(UA + UB);
     case Opcode::Sub: case Opcode::SubI: return static_cast<int64_t>(UA - UB);
     case Opcode::Mul: case Opcode::MulI: return static_cast<int64_t>(UA * UB);
-    case Opcode::Div: case Opcode::DivI: return B == 0 ? 0 : A / B;
-    case Opcode::Mod: case Opcode::ModI: return B == 0 ? 0 : A % B;
+    case Opcode::Div: case Opcode::DivI: return vmarith::divide(A, B);
+    case Opcode::Mod: case Opcode::ModI: return vmarith::remainder(A, B);
     case Opcode::And: case Opcode::AndI: return A & B;
     case Opcode::Or: case Opcode::OrI: return A | B;
     case Opcode::Xor: case Opcode::XorI: return A ^ B;
@@ -381,8 +409,9 @@ void Machine::execute(ThreadContext &T, ExecRecord &R) {
     return 0;
   };
   auto Syscall = [&](Opcode Op, int64_t V) {
-    for (Observer *O : Observers)
-      O->onSyscallValue(T.Tid, Op, V);
+    if (Track)
+      for (Observer *O : Observers)
+        O->onSyscallValue(T.Tid, Op, V);
     return V;
   };
 
@@ -411,19 +440,23 @@ void Machine::execute(ThreadContext &T, ExecRecord &R) {
     DefReg(I.Rd, Alu(I.Op, UseReg(I.Ra), I.Imm));
     break;
   case Opcode::Neg:
-    DefReg(I.Rd, -UseReg(I.Ra));
+    DefReg(I.Rd, vmarith::negate(UseReg(I.Ra)));
     break;
   case Opcode::Not:
     DefReg(I.Rd, ~UseReg(I.Ra));
     break;
   case Opcode::Ld: {
-    uint64_t Addr = static_cast<uint64_t>(UseReg(I.Ra) + I.Imm);
+    // Unsigned address arithmetic: same value mod 2^64, no signed-overflow
+    // UB on wild base registers (see docs/FORMATS.md).
+    uint64_t Addr =
+        static_cast<uint64_t>(UseReg(I.Ra)) + static_cast<uint64_t>(I.Imm);
     DefReg(I.Rd, UseMem(Addr));
     break;
   }
   case Opcode::St: {
     int64_t V = UseReg(I.Rd);
-    uint64_t Addr = static_cast<uint64_t>(UseReg(I.Ra) + I.Imm);
+    uint64_t Addr =
+        static_cast<uint64_t>(UseReg(I.Ra)) + static_cast<uint64_t>(I.Imm);
     DefMem(Addr, V);
     break;
   }
@@ -503,10 +536,12 @@ void Machine::execute(ThreadContext &T, ExecRecord &R) {
     break;
   }
   case Opcode::AtomicAdd: {
-    uint64_t Addr = static_cast<uint64_t>(UseReg(I.Ra) + I.Imm);
+    uint64_t Addr =
+        static_cast<uint64_t>(UseReg(I.Ra)) + static_cast<uint64_t>(I.Imm);
     int64_t Old = UseMem(Addr);
     int64_t Inc = UseReg(I.Rb);
-    DefMem(Addr, Old + Inc);
+    DefMem(Addr, static_cast<int64_t>(static_cast<uint64_t>(Old) +
+                                      static_cast<uint64_t>(Inc)));
     DefReg(I.Rd, Old);
     break;
   }

@@ -138,8 +138,15 @@ public:
   /// Sets the syscall provider (not owned); defaults to an internal
   /// DefaultSyscalls instance.
   void setSyscalls(SyscallProvider *P) { Syscalls = P; }
-  void addObserver(Observer *O) { Observers.push_back(O); }
+  void addObserver(Observer *O) {
+    Observers.push_back(O);
+    ObserversEmpty = false;
+  }
   void removeObserver(Observer *O);
+  /// True when no observer is attached — the gate for every notification
+  /// loop in the interpreter and for entering compiled traces (which must
+  /// deoptimize the moment any Pin-style callback could fire).
+  bool observersEmpty() const { return ObserversEmpty; }
 
   /// In forced mode Lock/Join never block (used when an externally recorded
   /// schedule drives execution).
@@ -190,6 +197,11 @@ public:
   void setThreadPc(uint32_t Tid, uint64_t Pc);
 
 private:
+  /// The replay trace executor (vm/trace_compiler.cpp) mutates the
+  /// architectural state directly; its handlers mirror execute() and run
+  /// only under the entry guards documented in docs/COMPILE.md.
+  friend class TraceExecutor;
+
   uint32_t createThread(uint64_t EntryPc, int64_t Arg0, uint32_t ParentTid);
   void exitThread(ThreadContext &T);
   void execute(ThreadContext &T, ExecRecord &R);
@@ -210,6 +222,9 @@ private:
   SyscallProvider *Syscalls = nullptr;
   DefaultSyscalls DefaultWorld;
   std::vector<Observer *> Observers;
+  /// Hoisted Observers.empty(): checked once per instruction on the hot
+  /// path instead of touching the vector per notification site.
+  bool ObserversEmpty = true;
 
   bool ForcedMode = false;
   bool Halted = false;

@@ -1,0 +1,109 @@
+//===- vm/trace_cache.cpp - Shared per-program trace cache -------------------===//
+
+#include "vm/trace_cache.h"
+
+#include "support/metric_names.h"
+#include "support/metrics.h"
+#include "support/tracing.h"
+
+#include <map>
+#include <mutex>
+
+using namespace drdebug;
+
+namespace {
+/// Published for uncompilable entry pcs; distinguishable from real traces
+/// by address only.
+const CompiledTrace DeadMarker;
+} // namespace
+
+TraceCache::TraceCache(DecodedProgram DP, const Options &O)
+    : Decoded(std::move(DP)), Opts(O) {
+  if (Opts.HotThreshold == 0)
+    Opts.HotThreshold = 1;
+  if (Opts.MaxTraceInstrs == 0)
+    Opts.MaxTraceInstrs = 1;
+}
+
+std::shared_ptr<TraceCache> TraceCache::acquire(const Program &P,
+                                                const Options &O) {
+  // Registry of live caches, bucketed by fingerprint. Weak pointers: a
+  // cache lives as long as some replayer holds it; a dead entry is pruned
+  // on the next acquisition that hashes into its bucket.
+  static std::mutex RegMu;
+  static std::map<uint64_t, std::vector<std::weak_ptr<TraceCache>>> *Registry =
+      new std::map<uint64_t, std::vector<std::weak_ptr<TraceCache>>>();
+
+  DecodedProgram DP(P);
+  std::lock_guard<std::mutex> Lk(RegMu);
+  auto &Bucket = (*Registry)[DP.fingerprint()];
+  for (auto It = Bucket.begin(); It != Bucket.end();) {
+    if (std::shared_ptr<TraceCache> C = It->lock()) {
+      if (C->decoded().sameCode(DP))
+        return C;
+      ++It;
+    } else {
+      It = Bucket.erase(It);
+    }
+  }
+  auto C = std::make_shared<TraceCache>(std::move(DP), O);
+  Bucket.push_back(C);
+  return C;
+}
+
+const CompiledTrace *TraceCache::lookup(uint64_t EntryPc) {
+  {
+    std::shared_lock<std::shared_mutex> Lk(Mu);
+    auto It = Slots.find(EntryPc);
+    if (It != Slots.end()) {
+      const CompiledTrace *T = It->second.Trace.load(std::memory_order_acquire);
+      if (T)
+        return T == &DeadMarker ? nullptr : T;
+      // Exactly one visitor observes the transition to HotThreshold and
+      // compiles; later visitors keep returning null until publication.
+      if (It->second.Heat.fetch_add(1, std::memory_order_relaxed) + 1 !=
+          Opts.HotThreshold)
+        return nullptr;
+    } else {
+      Lk.unlock();
+      std::unique_lock<std::shared_mutex> ULk(Mu);
+      Slot &S = Slots[EntryPc];
+      if (S.Heat.fetch_add(1, std::memory_order_relaxed) + 1 !=
+          Opts.HotThreshold)
+        return nullptr;
+    }
+  }
+
+  const CompiledTrace *T = compileAndPublish(EntryPc);
+  return T == &DeadMarker ? nullptr : T;
+}
+
+const CompiledTrace *TraceCache::compileAndPublish(uint64_t EntryPc) {
+  namespace mn = drdebug::metricnames;
+  static metrics::Counter &CompiledCtr =
+      metrics::MetricsRegistry::global().counter(mn::ReplayTracesCompiled);
+
+  CompiledTrace T;
+  {
+    trace::TraceSpan Span("replay.trace_compile", "replay");
+    T = TraceCompiler::compile(Decoded, EntryPc, Opts.MaxTraceInstrs);
+  }
+
+  std::unique_lock<std::shared_mutex> Lk(Mu);
+  Slot &S = Slots[EntryPc];
+  if (const CompiledTrace *Existing = S.Trace.load(std::memory_order_acquire))
+    return Existing;
+  if (T.NumInstrs == 0) {
+    // Not compilable (entry pc outside the program). Publish the dead
+    // marker so the slot is never profiled again; the interpreter keeps
+    // owning the pc (and reports the error the same way it always did).
+    S.Trace.store(&DeadMarker, std::memory_order_release);
+    return &DeadMarker;
+  }
+  Storage.push_back(std::make_unique<CompiledTrace>(std::move(T)));
+  const CompiledTrace *Published = Storage.back().get();
+  S.Trace.store(Published, std::memory_order_release);
+  Compiled.fetch_add(1, std::memory_order_relaxed);
+  CompiledCtr.inc();
+  return Published;
+}

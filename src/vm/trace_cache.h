@@ -1,0 +1,93 @@
+//===- vm/trace_cache.h - Shared per-program trace cache --------*- C++ -*-===//
+//
+// Part of the DrDebug reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The trace cache: per-program profiling counters and published compiled
+/// superblocks, keyed by entry pc. Caches are shared across replayers of
+/// the same code via a process-wide registry keyed by the decoded program's
+/// fingerprint (confirmed structurally — see arch/predecode.h), so the N
+/// replays of one pinball that slicing, reverse scans and the server all
+/// perform warm each other's traces. Thread-safe: parallel slice-prepare
+/// replays of the same program profile and execute from one cache
+/// concurrently (covered by the tsan preset).
+///
+/// Publication protocol: a trace is compiled outside the lock, installed
+/// under it, and exposed through an atomic pointer whose lifetime is owned
+/// by the cache (traces are never invalidated or freed before the cache).
+/// Entry pcs that cannot be compiled (out of program range) are published
+/// as a dead marker so they are probed once, not re-profiled forever.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRDEBUG_VM_TRACE_CACHE_H
+#define DRDEBUG_VM_TRACE_CACHE_H
+
+#include "arch/predecode.h"
+#include "vm/trace_compiler.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace drdebug {
+
+class TraceCache {
+public:
+  struct Options {
+    /// Profiling visits of an entry pc before it is compiled. 1 compiles
+    /// on first sight (differential tests use this to force coverage).
+    uint32_t HotThreshold = 8;
+    /// Superblock length cap, in executable operations.
+    uint32_t MaxTraceInstrs = 64;
+  };
+
+  /// Returns the process-wide shared cache for \p P's code, creating it on
+  /// first acquisition. Two programs share a cache iff their decoded
+  /// streams are semantically identical. The first acquirer's \p O wins;
+  /// later option sets are ignored (the traces are the same either way).
+  static std::shared_ptr<TraceCache> acquire(const Program &P,
+                                             const Options &O);
+  static std::shared_ptr<TraceCache> acquire(const Program &P) {
+    return acquire(P, Options());
+  }
+
+  TraceCache(DecodedProgram DP, const Options &O);
+
+  const DecodedProgram &decoded() const { return Decoded; }
+  const Options &options() const { return Opts; }
+
+  /// Profiles a visit of \p EntryPc and returns its published trace, or
+  /// nullptr while it is still cold (or not compilable). Compilation
+  /// triggers on the HotThreshold-th visit.
+  const CompiledTrace *lookup(uint64_t EntryPc);
+
+  /// Compiled traces published so far (diagnostics/tests).
+  size_t compiledCount() const {
+    return Compiled.load(std::memory_order_relaxed);
+  }
+
+private:
+  struct Slot {
+    std::atomic<uint32_t> Heat{0};
+    std::atomic<const CompiledTrace *> Trace{nullptr};
+  };
+
+  const CompiledTrace *compileAndPublish(uint64_t EntryPc);
+
+  DecodedProgram Decoded;
+  Options Opts;
+  mutable std::shared_mutex Mu;
+  std::unordered_map<uint64_t, Slot> Slots; ///< node-stable; Slot addresses live
+  std::vector<std::unique_ptr<CompiledTrace>> Storage;
+  std::atomic<size_t> Compiled{0};
+};
+
+} // namespace drdebug
+
+#endif // DRDEBUG_VM_TRACE_CACHE_H

@@ -1,0 +1,589 @@
+//===- vm/trace_compiler.cpp - Superblock compiler for replay ----------------===//
+//
+// Two halves: TraceCompiler::compile turns a pre-decoded program region
+// into a threaded-code superblock; TraceExecutor::run dispatches published
+// superblocks with computed gotos, chaining trace to trace. Every handler
+// reproduces the corresponding Machine::execute case bit for bit (the
+// invariant the differential fuzz in tests/test_trace_compiler.cpp and the
+// deopt contract in docs/COMPILE.md rest on), minus the def/use AccessList
+// bookkeeping that exists only for Observers — which are guaranteed absent
+// while compiled code runs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/trace_compiler.h"
+
+#include "support/metric_names.h"
+#include "support/metrics.h"
+#include "vm/machine.h"
+#include "vm/trace_cache.h"
+#include "vm/vm_arith.h"
+
+#include <cassert>
+
+#if defined(__GNUC__) || defined(__clang__)
+#define DRDEBUG_HAVE_COMPUTED_GOTO 1
+#else
+#define DRDEBUG_HAVE_COMPUTED_GOTO 0
+#endif
+
+using namespace drdebug;
+
+//===----------------------------------------------------------------------===//
+// TraceCompiler
+//===----------------------------------------------------------------------===//
+
+CompiledTrace TraceCompiler::compile(const DecodedProgram &DP,
+                                     uint64_t EntryPc, uint32_t MaxInstrs) {
+  CompiledTrace Tr;
+  Tr.EntryPc = EntryPc;
+  if (!DP.inRange(EntryPc))
+    return Tr; // empty: not compilable, the cache publishes it as dead
+
+  uint64_t Pc = EntryPc;
+  auto Emit = [&Tr](uint8_t Code, const DecodedInst &D, uint64_t At) {
+    TraceOp Op;
+    Op.Code = Code;
+    Op.Rd = D.Rd;
+    Op.Ra = D.Ra;
+    Op.Rb = D.Rb;
+    Op.Imm = D.Imm;
+    Op.Pc = At;
+    Tr.Ops.push_back(Op);
+    ++Tr.NumInstrs;
+  };
+  auto EndChainAt = [&Tr](uint64_t Next) {
+    TraceOp Op;
+    Op.Code = XEndChain;
+    Op.Pc = Next; // successor pc, not an own address
+    Tr.Ops.push_back(Op);
+  };
+  // Continue translation through a direct transfer to \p Tgt, or close the
+  // trace when it would re-enter itself (self-loops chain, not unroll) or
+  // leave the program (the interpreter owns the fault, identically).
+  auto Continue = [&](uint64_t Tgt) {
+    if (Tgt == EntryPc || !DP.inRange(Tgt)) {
+      EndChainAt(Tgt);
+      return false;
+    }
+    Pc = Tgt;
+    return true;
+  };
+
+  for (;;) {
+    if (Tr.NumInstrs >= MaxInstrs) {
+      EndChainAt(Pc);
+      return Tr;
+    }
+    const DecodedInst &D = DP.inst(Pc);
+    switch (D.Op) {
+    case Opcode::Nop:
+      Emit(XGhost, D, Pc);
+      if (!Continue(Pc + 1))
+        return Tr;
+      break;
+    case Opcode::Jmp:
+      // The jump itself is pure instruction-count bookkeeping; translation
+      // continues at the target (superblock formation across direct jumps).
+      Emit(XGhost, D, Pc);
+      if (!Continue(static_cast<uint64_t>(D.Imm)))
+        return Tr;
+      break;
+    case Opcode::Call:
+      Emit(XCall, D, Pc);
+      if (!Continue(static_cast<uint64_t>(D.Imm)))
+        return Tr;
+      break;
+    case Opcode::MovI:
+    case Opcode::Lea: // fused: identical semantics (rd = imm)
+      Emit(XMovI, D, Pc);
+      if (!Continue(Pc + 1))
+        return Tr;
+      break;
+
+#define DRDEBUG_STRAIGHT(OPC, XCODE)                                           \
+  case Opcode::OPC:                                                            \
+    Emit(XCODE, D, Pc);                                                        \
+    if (!Continue(Pc + 1))                                                     \
+      return Tr;                                                               \
+    break;
+      DRDEBUG_STRAIGHT(Mov, XMov)
+      DRDEBUG_STRAIGHT(Add, XAdd)
+      DRDEBUG_STRAIGHT(Sub, XSub)
+      DRDEBUG_STRAIGHT(Mul, XMul)
+      DRDEBUG_STRAIGHT(Div, XDiv)
+      DRDEBUG_STRAIGHT(Mod, XMod)
+      DRDEBUG_STRAIGHT(And, XAnd)
+      DRDEBUG_STRAIGHT(Or, XOr)
+      DRDEBUG_STRAIGHT(Xor, XXor)
+      DRDEBUG_STRAIGHT(Shl, XShl)
+      DRDEBUG_STRAIGHT(Shr, XShr)
+      DRDEBUG_STRAIGHT(AddI, XAddI)
+      DRDEBUG_STRAIGHT(SubI, XSubI)
+      DRDEBUG_STRAIGHT(MulI, XMulI)
+      DRDEBUG_STRAIGHT(DivI, XDivI)
+      DRDEBUG_STRAIGHT(ModI, XModI)
+      DRDEBUG_STRAIGHT(AndI, XAndI)
+      DRDEBUG_STRAIGHT(OrI, XOrI)
+      DRDEBUG_STRAIGHT(XorI, XXorI)
+      DRDEBUG_STRAIGHT(ShlI, XShlI)
+      DRDEBUG_STRAIGHT(ShrI, XShrI)
+      DRDEBUG_STRAIGHT(Neg, XNeg)
+      DRDEBUG_STRAIGHT(Not, XNot)
+      DRDEBUG_STRAIGHT(Ld, XLd)
+      DRDEBUG_STRAIGHT(St, XSt)
+      DRDEBUG_STRAIGHT(LdA, XLdA)
+      DRDEBUG_STRAIGHT(StA, XStA)
+      DRDEBUG_STRAIGHT(Push, XPush)
+      DRDEBUG_STRAIGHT(Pop, XPop)
+      DRDEBUG_STRAIGHT(Lock, XLock)
+      DRDEBUG_STRAIGHT(Unlock, XUnlock)
+      DRDEBUG_STRAIGHT(AtomicAdd, XAtomicAdd)
+      DRDEBUG_STRAIGHT(Spawn, XSpawn)
+      DRDEBUG_STRAIGHT(Join, XJoin)
+      DRDEBUG_STRAIGHT(SysRead, XSysRead)
+      DRDEBUG_STRAIGHT(SysRand, XSysRand)
+      DRDEBUG_STRAIGHT(SysTime, XSysTime)
+      DRDEBUG_STRAIGHT(SysAlloc, XSysAlloc)
+      DRDEBUG_STRAIGHT(SysWrite, XSysWrite)
+      DRDEBUG_STRAIGHT(Assert, XAssert)
+#undef DRDEBUG_STRAIGHT
+
+    // Terminators: the successor pc is data-dependent (or the machine
+    // stops); the executor computes it and chains to the next trace.
+    case Opcode::Beq:
+      Emit(XBeq, D, Pc);
+      return Tr;
+    case Opcode::Bne:
+      Emit(XBne, D, Pc);
+      return Tr;
+    case Opcode::Blt:
+      Emit(XBlt, D, Pc);
+      return Tr;
+    case Opcode::Ble:
+      Emit(XBle, D, Pc);
+      return Tr;
+    case Opcode::Bgt:
+      Emit(XBgt, D, Pc);
+      return Tr;
+    case Opcode::Bge:
+      Emit(XBge, D, Pc);
+      return Tr;
+    case Opcode::IJmp:
+      Emit(XIJmp, D, Pc);
+      return Tr;
+    case Opcode::ICall:
+      Emit(XICall, D, Pc);
+      return Tr;
+    case Opcode::Ret:
+      Emit(XRet, D, Pc);
+      return Tr;
+    case Opcode::Halt:
+      Emit(XHalt, D, Pc);
+      return Tr;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// TraceExecutor
+//===----------------------------------------------------------------------===//
+
+bool TraceExecutor::available() { return DRDEBUG_HAVE_COMPUTED_GOTO != 0; }
+
+namespace {
+
+struct ExecMetrics {
+  metrics::Counter &Instrs;
+  metrics::Counter &Deopts;
+  static ExecMetrics &get() {
+    namespace mn = drdebug::metricnames;
+    auto &Reg = metrics::MetricsRegistry::global();
+    static ExecMetrics M{Reg.counter(mn::ReplayTraceExecInstrs),
+                         Reg.counter(mn::ReplayDeopts)};
+    return M;
+  }
+};
+
+/// Local-memo trace lookup: lock-free after the first (locked) hit per pc.
+inline const CompiledTrace *lookupTrace(TraceExecutor::LocalView &Local,
+                                        TraceCache &Cache, uint64_t Pc) {
+  if (Local.ByPc.empty())
+    Local.ByPc.assign(Cache.decoded().size(), nullptr);
+  if (Pc >= Local.ByPc.size())
+    return Cache.lookup(Pc); // out-of-program pc: profiled once, then dead
+  if (const CompiledTrace *T = Local.ByPc[Pc])
+    return T;
+  const CompiledTrace *T = Cache.lookup(Pc);
+  Local.ByPc[Pc] = T;
+  return T;
+}
+
+} // namespace
+
+TraceRunResult TraceExecutor::run(Machine &M, uint32_t Tid, uint64_t Budget,
+                                  TraceCache &Cache, LocalView &Local,
+                                  const bool *Abort) {
+#if !DRDEBUG_HAVE_COMPUTED_GOTO
+  (void)M;
+  (void)Tid;
+  (void)Budget;
+  (void)Cache;
+  (void)Local;
+  (void)Abort;
+  return TraceRunResult();
+#else
+  assert(M.ForcedMode && "compiled replay requires forced mode");
+  assert(M.Observers.empty() && "compiled replay requires no observers");
+  assert(Tid < M.Threads.size() && "bad tid");
+  assert(Budget >= 1 && "executor needs a budget");
+
+  ThreadContext &T = M.Threads[Tid];
+  assert(T.Status == ThreadStatus::Runnable && "thread must be runnable");
+  int64_t *const Regs = T.Regs;
+  Memory &Mem = M.Mem;
+  SyscallProvider *const World = M.Syscalls ? M.Syscalls : &M.DefaultWorld;
+  ExecMetrics &EM = ExecMetrics::get();
+
+  uint64_t Executed = 0;
+  TraceExit ExitKind = TraceExit::Chained;
+  bool Mid = false;
+
+  // Dispatch table: order must match the XOp enum exactly.
+  static const void *Tbl[XOpCount] = {
+      &&L_MovI, &&L_Mov,
+      &&L_Add,  &&L_Sub,  &&L_Mul,  &&L_Div,  &&L_Mod,  &&L_And,
+      &&L_Or,   &&L_Xor,  &&L_Shl,  &&L_Shr,
+      &&L_AddI, &&L_SubI, &&L_MulI, &&L_DivI, &&L_ModI, &&L_AndI,
+      &&L_OrI,  &&L_XorI, &&L_ShlI, &&L_ShrI,
+      &&L_Neg,  &&L_Not,
+      &&L_Ld,   &&L_St,   &&L_LdA,  &&L_StA,  &&L_Push, &&L_Pop,
+      &&L_Ghost,
+      &&L_Beq,  &&L_Bne,  &&L_Blt,  &&L_Ble,  &&L_Bgt,  &&L_Bge,
+      &&L_IJmp, &&L_Call, &&L_ICall, &&L_Ret,
+      &&L_Lock, &&L_Unlock, &&L_AtomicAdd, &&L_Spawn, &&L_Join,
+      &&L_SysRead, &&L_SysRand, &&L_SysTime, &&L_SysAlloc, &&L_SysWrite,
+      &&L_Assert, &&L_Halt,
+      &&L_EndChain,
+  };
+
+// Advance to the next op. The following op always records the successor pc
+// (its own address, or for XEndChain the chain target), so syncing T.Pc at
+// the budget boundary is one load — the exact-instruction-boundary exit.
+#define TC_NEXT()                                                              \
+  do {                                                                         \
+    ++Executed;                                                                \
+    ++Op;                                                                      \
+    if (Executed == Budget) {                                                  \
+      T.Pc = Op->Pc;                                                           \
+      goto budget_exit;                                                        \
+    }                                                                          \
+    goto *Tbl[Op->Code];                                                       \
+  } while (0)
+// Same, with the fatal-divergence check replay requires after a syscall:
+// the interpreter completes the faulting instruction and then stops, so
+// the exit pc is the syscall's successor.
+#define TC_SYSNEXT()                                                           \
+  do {                                                                         \
+    ++Executed;                                                                \
+    if (Abort && *Abort) {                                                     \
+      T.Pc = Op->Pc + 1;                                                       \
+      goto abort_exit;                                                         \
+    }                                                                          \
+    ++Op;                                                                      \
+    if (Executed == Budget) {                                                  \
+      T.Pc = Op->Pc;                                                           \
+      goto budget_exit;                                                        \
+    }                                                                          \
+    goto *Tbl[Op->Code];                                                       \
+  } while (0)
+
+  while (Executed < Budget) {
+    const CompiledTrace *Tr = lookupTrace(Local, Cache, T.Pc);
+    if (!Tr)
+      break; // cold or dead entry: the interpreter takes over at T.Pc
+    {
+      const TraceOp *Op = Tr->Ops.data();
+      goto *Tbl[Op->Code];
+
+    L_MovI: // also Lea (fused)
+      Regs[Op->Rd] = Op->Imm;
+      TC_NEXT();
+    L_Mov:
+      Regs[Op->Rd] = Regs[Op->Ra];
+      TC_NEXT();
+
+#define TC_ALU_RRR(LABEL, EXPR)                                                \
+  LABEL : {                                                                    \
+    const int64_t A = Regs[Op->Ra], B = Regs[Op->Rb];                          \
+    const uint64_t UA = static_cast<uint64_t>(A),                              \
+                   UB = static_cast<uint64_t>(B);                              \
+    (void)A;                                                                   \
+    (void)B;                                                                   \
+    (void)UA;                                                                  \
+    (void)UB;                                                                  \
+    Regs[Op->Rd] = (EXPR);                                                     \
+    TC_NEXT();                                                                 \
+  }
+#define TC_ALU_RRI(LABEL, EXPR)                                                \
+  LABEL : {                                                                    \
+    const int64_t A = Regs[Op->Ra], B = Op->Imm;                               \
+    const uint64_t UA = static_cast<uint64_t>(A),                              \
+                   UB = static_cast<uint64_t>(B);                              \
+    (void)A;                                                                   \
+    (void)B;                                                                   \
+    (void)UA;                                                                  \
+    (void)UB;                                                                  \
+    Regs[Op->Rd] = (EXPR);                                                     \
+    TC_NEXT();                                                                 \
+  }
+      TC_ALU_RRR(L_Add, static_cast<int64_t>(UA + UB))
+      TC_ALU_RRR(L_Sub, static_cast<int64_t>(UA - UB))
+      TC_ALU_RRR(L_Mul, static_cast<int64_t>(UA * UB))
+      TC_ALU_RRR(L_Div, vmarith::divide(A, B))
+      TC_ALU_RRR(L_Mod, vmarith::remainder(A, B))
+      TC_ALU_RRR(L_And, A & B)
+      TC_ALU_RRR(L_Or, A | B)
+      TC_ALU_RRR(L_Xor, A ^ B)
+      TC_ALU_RRR(L_Shl, static_cast<int64_t>(UA << (UB & 63)))
+      TC_ALU_RRR(L_Shr, static_cast<int64_t>(UA >> (UB & 63)))
+      TC_ALU_RRI(L_AddI, static_cast<int64_t>(UA + UB))
+      TC_ALU_RRI(L_SubI, static_cast<int64_t>(UA - UB))
+      TC_ALU_RRI(L_MulI, static_cast<int64_t>(UA * UB))
+      TC_ALU_RRI(L_DivI, vmarith::divide(A, B))
+      TC_ALU_RRI(L_ModI, vmarith::remainder(A, B))
+      TC_ALU_RRI(L_AndI, A & B)
+      TC_ALU_RRI(L_OrI, A | B)
+      TC_ALU_RRI(L_XorI, A ^ B)
+      TC_ALU_RRI(L_ShlI, static_cast<int64_t>(UA << (UB & 63)))
+      TC_ALU_RRI(L_ShrI, static_cast<int64_t>(UA >> (UB & 63)))
+#undef TC_ALU_RRR
+#undef TC_ALU_RRI
+
+    L_Neg:
+      Regs[Op->Rd] = vmarith::negate(Regs[Op->Ra]);
+      TC_NEXT();
+    L_Not:
+      Regs[Op->Rd] = ~Regs[Op->Ra];
+      TC_NEXT();
+
+    L_Ld:
+      Regs[Op->Rd] = Mem.load(static_cast<uint64_t>(Regs[Op->Ra]) +
+                              static_cast<uint64_t>(Op->Imm));
+      TC_NEXT();
+    L_St:
+      Mem.store(static_cast<uint64_t>(Regs[Op->Ra]) +
+                    static_cast<uint64_t>(Op->Imm),
+                Regs[Op->Rd]);
+      TC_NEXT();
+    L_LdA:
+      Regs[Op->Rd] = Mem.load(static_cast<uint64_t>(Op->Imm));
+      TC_NEXT();
+    L_StA:
+      Mem.store(static_cast<uint64_t>(Op->Imm), Regs[Op->Rd]);
+      TC_NEXT();
+    L_Push: {
+      // Read rd before moving sp (they may be the same register).
+      const int64_t V = Regs[Op->Rd];
+      Regs[RegSp] -= 1;
+      Mem.store(static_cast<uint64_t>(Regs[RegSp]), V);
+      TC_NEXT();
+    }
+    L_Pop: {
+      // Load, bump sp, then write rd — rd == sp must end as the popped
+      // value, exactly as the interpreter's DefReg-after-PopWord order.
+      const int64_t V = Mem.load(static_cast<uint64_t>(Regs[RegSp]));
+      Regs[RegSp] += 1;
+      Regs[Op->Rd] = V;
+      TC_NEXT();
+    }
+
+    L_Ghost: // Nop, or a direct Jmp folded into the superblock
+      TC_NEXT();
+
+#define TC_BRANCH(LABEL, CMP)                                                  \
+  LABEL : {                                                                    \
+    const int64_t A = Regs[Op->Ra], B = Regs[Op->Rb];                          \
+    T.Pc = (A CMP B) ? static_cast<uint64_t>(Op->Imm) : Op->Pc + 1;            \
+    ++Executed;                                                                \
+    goto chain_exit;                                                           \
+  }
+      TC_BRANCH(L_Beq, ==)
+      TC_BRANCH(L_Bne, !=)
+      TC_BRANCH(L_Blt, <)
+      TC_BRANCH(L_Ble, <=)
+      TC_BRANCH(L_Bgt, >)
+      TC_BRANCH(L_Bge, >=)
+#undef TC_BRANCH
+
+    L_IJmp:
+      T.Pc = static_cast<uint64_t>(Regs[Op->Rd]);
+      ++Executed;
+      goto chain_exit;
+    L_Call: {
+      const int64_t Ret = static_cast<int64_t>(Op->Pc + 1);
+      Regs[RegSp] -= 1;
+      Mem.store(static_cast<uint64_t>(Regs[RegSp]), Ret);
+      T.CallStack.push_back(Op->Pc + 1);
+      TC_NEXT();
+    }
+    L_ICall: {
+      // Target is read before the push touches sp/memory (rd may be sp).
+      const uint64_t Target = static_cast<uint64_t>(Regs[Op->Rd]);
+      Regs[RegSp] -= 1;
+      Mem.store(static_cast<uint64_t>(Regs[RegSp]),
+                static_cast<int64_t>(Op->Pc + 1));
+      T.CallStack.push_back(Op->Pc + 1);
+      T.Pc = Target;
+      ++Executed;
+      goto chain_exit;
+    }
+    L_Ret: {
+      const int64_t Target = Mem.load(static_cast<uint64_t>(Regs[RegSp]));
+      Regs[RegSp] += 1;
+      if (!T.CallStack.empty())
+        T.CallStack.pop_back();
+      ++Executed;
+      if (Target == layout::ExitAddr) {
+        // Thread exit: the pc stays at the ret (the interpreter skips the
+        // pc update for exited threads), so sync it from the op.
+        T.Pc = Op->Pc;
+        M.exitThread(T);
+        goto stopped_end_exit;
+      }
+      T.Pc = static_cast<uint64_t>(Target);
+      goto chain_exit;
+    }
+
+    L_Lock:
+      // Forced mode: blocking was recorded away; acquisition always wins.
+      M.MutexOwner[static_cast<uint64_t>(Regs[Op->Rd])] = T.Tid;
+      TC_NEXT();
+    L_Unlock: {
+      const uint64_t Addr = static_cast<uint64_t>(Regs[Op->Rd]);
+      auto It = M.MutexOwner.find(Addr);
+      if (It != M.MutexOwner.end()) { // forced mode: ownership not checked
+        M.MutexOwner.erase(It);
+        for (ThreadContext &W : M.Threads)
+          if (W.Status == ThreadStatus::BlockedOnLock && W.WaitAddr == Addr) {
+            W.Status = ThreadStatus::Runnable;
+            W.WaitAddr = 0;
+          }
+      }
+      TC_NEXT();
+    }
+    L_AtomicAdd: {
+      const uint64_t Addr = static_cast<uint64_t>(Regs[Op->Ra]) +
+                            static_cast<uint64_t>(Op->Imm);
+      const int64_t Old = Mem.load(Addr);
+      const int64_t Inc = Regs[Op->Rb];
+      Mem.store(Addr, static_cast<int64_t>(static_cast<uint64_t>(Old) +
+                                           static_cast<uint64_t>(Inc)));
+      Regs[Op->Rd] = Old;
+      TC_NEXT();
+    }
+    L_Spawn: {
+      const int64_t Arg = Regs[Op->Ra];
+      const uint32_t Child =
+          M.createThread(static_cast<uint64_t>(Op->Imm), Arg, T.Tid);
+      Regs[Op->Rd] = static_cast<int64_t>(Child);
+      TC_NEXT();
+    }
+    L_Join:
+      // Forced mode: join never blocks and has no architectural effect.
+      TC_NEXT();
+
+    L_SysRead:
+      T.Pc = Op->Pc; // divergence reports cite the faulting instruction
+      Regs[Op->Rd] = World->sysRead(T.Tid);
+      TC_SYSNEXT();
+    L_SysRand:
+      T.Pc = Op->Pc;
+      Regs[Op->Rd] = World->sysRand(T.Tid);
+      TC_SYSNEXT();
+    L_SysTime:
+      T.Pc = Op->Pc;
+      Regs[Op->Rd] = World->sysTime(T.Tid);
+      TC_SYSNEXT();
+    L_SysAlloc: {
+      int64_t Size = Regs[Op->Ra];
+      if (Size < 1)
+        Size = 1;
+      T.Pc = Op->Pc;
+      int64_t Addr = World->sysAlloc(T.Tid, Size);
+      if (Addr < 0) {
+        Addr = static_cast<int64_t>(M.HeapNext);
+        M.HeapNext += static_cast<uint64_t>(Size);
+      }
+      Regs[Op->Rd] = Addr;
+      TC_SYSNEXT();
+    }
+    L_SysWrite:
+      M.Output.push_back(Regs[Op->Rd]);
+      TC_NEXT();
+
+    L_Assert:
+      if (Regs[Op->Rd] == 0) {
+        M.AssertTripped = true;
+        M.FailTid = T.Tid;
+        M.FailPc = Op->Pc;
+        T.Pc = Op->Pc + 1;
+        ++Executed;
+        goto stopped_mid_exit;
+      }
+      TC_NEXT();
+    L_Halt:
+      M.Halted = true;
+      T.Pc = Op->Pc + 1;
+      ++Executed;
+      goto stopped_end_exit;
+
+    L_EndChain:
+      T.Pc = Op->Pc;
+      goto chain_exit;
+
+    chain_exit:
+      continue; // next iteration: budget check + lookup of the successor
+
+    budget_exit:
+      ExitKind = TraceExit::Budget;
+      // A boundary landing (next op is the chain point) is normal
+      // scheduling; anything else is a genuine mid-trace deoptimization.
+      Mid = Op->Code != XEndChain;
+      goto out;
+    abort_exit:
+      ExitKind = TraceExit::Aborted;
+      Mid = true;
+      goto out;
+    stopped_mid_exit:
+      ExitKind = TraceExit::Stopped;
+      Mid = true;
+      goto out;
+    stopped_end_exit:
+      ExitKind = TraceExit::Stopped;
+      Mid = false;
+      goto out;
+    }
+  }
+  // Fell out of the loop: budget exhausted at a trace boundary, or a cold
+  // entry pc (Executed may be 0; the caller interprets to make progress).
+  ExitKind = Executed >= Budget ? TraceExit::Budget : TraceExit::Chained;
+  Mid = false;
+
+out:
+#undef TC_NEXT
+#undef TC_SYSNEXT
+  if (Executed) {
+    M.GlobalCount += Executed;
+    T.ExecCount += Executed;
+    EM.Instrs.inc(Executed);
+    if (Mid)
+      EM.Deopts.inc();
+  }
+  TraceRunResult Res;
+  Res.Executed = Executed;
+  Res.Exit = ExitKind;
+  Res.MidTrace = Mid;
+  return Res;
+#endif // DRDEBUG_HAVE_COMPUTED_GOTO
+}

@@ -1,0 +1,155 @@
+//===- vm/trace_compiler.h - Superblock compiler for replay -----*- C++ -*-===//
+//
+// Part of the DrDebug reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The replay trace compiler. Hot entry pcs (profiled by vm/trace_cache)
+/// are compiled into *superblocks*: straight-line runs of pre-decoded
+/// instructions that follow direct jumps/calls through the code and end at
+/// the first instruction whose successor is data-dependent (conditional
+/// branch, indirect jump/call, ret) or that can stop the machine. The
+/// executor dispatches the resulting threaded-code stubs with computed
+/// gotos (GCC/Clang `&&label`; other compilers fall back to the plain
+/// interpreter), chaining superblock to superblock without returning to the
+/// per-instruction loop.
+///
+/// The correctness contract (docs/COMPILE.md spells it out in full):
+///
+///  - **Entry guards.** Compiled execution only starts when the machine is
+///    in forced mode, has no Observers attached, and no stop is pending.
+///    Attaching any observer — breakpoint, watchpoint, flight recorder,
+///    divergence anchor — makes the replayer stop entering traces, so every
+///    Pin-style callback fires from the interpreter exactly as before.
+///  - **Side exits at exact boundaries.** A trace leaves early when the
+///    instruction budget (scheduler quantum / MaxSteps remainder) is
+///    reached, when an Assert trips, Halt executes, the thread exits, or
+///    the replayer flags a fatal divergence after a syscall. At every exit
+///    the thread's pc, registers, memory, and counts equal what the
+///    interpreter would have produced at the same instruction boundary —
+///    "deoptimizing" to the interpreter is simply returning.
+///  - **Identical semantics.** Each handler reproduces Machine::execute
+///    bit for bit (div/mod edge cases included; see docs/FORMATS.md),
+///    minus the def/use tracking that only observers consume.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRDEBUG_VM_TRACE_COMPILER_H
+#define DRDEBUG_VM_TRACE_COMPILER_H
+
+#include "arch/predecode.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace drdebug {
+
+class Machine;
+class TraceCache;
+
+/// Threaded-code operation codes. Mostly 1:1 with Opcode (the ISA already
+/// distinguishes reg/reg from reg/imm forms); the differences are fusions
+/// and pseudo-ops: MovI/Lea fuse to XMovI, Nop and in-trace direct Jmp
+/// become XGhost (pure instruction-count bookkeeping), and XEndChain
+/// terminates a trace whose successor pc is known but lies outside it.
+enum XOp : uint8_t {
+  XMovI, XMov,
+  XAdd, XSub, XMul, XDiv, XMod, XAnd, XOr, XXor, XShl, XShr,
+  XAddI, XSubI, XMulI, XDivI, XModI, XAndI, XOrI, XXorI, XShlI, XShrI,
+  XNeg, XNot,
+  XLd, XSt, XLdA, XStA, XPush, XPop,
+  XGhost,
+  XBeq, XBne, XBlt, XBle, XBgt, XBge,
+  XIJmp, XCall, XICall, XRet,
+  XLock, XUnlock, XAtomicAdd, XSpawn, XJoin,
+  XSysRead, XSysRand, XSysTime, XSysAlloc, XSysWrite,
+  XAssert, XHalt,
+  XEndChain,
+  XOpCount,
+};
+
+/// One threaded-code operation. `Pc` is the operation's own code address
+/// (needed to sync the thread pc at side exits and before syscalls); for
+/// XEndChain it is the *successor* pc the next trace starts at.
+struct TraceOp {
+  uint8_t Code = XEndChain;
+  uint8_t Rd = 0, Ra = 0, Rb = 0;
+  int64_t Imm = 0;
+  uint64_t Pc = 0;
+};
+
+/// A compiled superblock. Immutable once published by the trace cache.
+struct CompiledTrace {
+  uint64_t EntryPc = 0;
+  /// Executable operations (excludes the trailing XEndChain, if any).
+  uint32_t NumInstrs = 0;
+  std::vector<TraceOp> Ops;
+};
+
+/// Why TraceExecutor::run returned.
+enum class TraceExit : uint8_t {
+  /// Ran out of compiled code: natural end of a trace with no compiled
+  /// successor (or a cold entry pc — Executed == 0). The interpreter
+  /// continues from the thread's pc.
+  Chained,
+  /// The instruction budget was reached exactly.
+  Budget,
+  /// Architectural stop: Assert tripped, Halt executed, or the running
+  /// thread exited. Mirrors the interpreter stopping after that step.
+  Stopped,
+  /// The abort flag was observed after a syscall (fatal replay
+  /// divergence); nothing after the syscall instruction was executed.
+  Aborted,
+};
+
+struct TraceRunResult {
+  uint64_t Executed = 0;
+  TraceExit Exit = TraceExit::Chained;
+  /// True when the exit left from the middle of a trace body (a genuine
+  /// deoptimization) rather than a trace boundary.
+  bool MidTrace = false;
+};
+
+/// Builds superblocks from a pre-decoded program.
+class TraceCompiler {
+public:
+  /// Compiles the superblock entered at \p EntryPc, bounded by
+  /// \p MaxInstrs executable operations. An empty trace (NumInstrs == 0)
+  /// means the pc is not compilable (out of range); the cache records it
+  /// as dead and the interpreter keeps handling it.
+  static CompiledTrace compile(const DecodedProgram &DP, uint64_t EntryPc,
+                               uint32_t MaxInstrs);
+};
+
+/// Runs compiled traces against a Machine (a friend: it mutates the
+/// architectural state exactly as Machine::execute would).
+class TraceExecutor {
+public:
+  /// True when this build has the threaded-code backend (GCC/Clang
+  /// computed goto). When false, run() always returns Executed == 0 and
+  /// replay stays on the interpreter.
+  static bool available();
+
+  /// Per-replayer memo of published traces: after the first (locked) cache
+  /// hit, chaining hits this lock-free map instead. Traces are never
+  /// invalidated, so the memo cannot go stale.
+  struct LocalView {
+    std::vector<const CompiledTrace *> ByPc; ///< indexed by entry pc
+  };
+
+  /// Executes up to \p Budget instructions of thread \p Tid from compiled
+  /// traces, chaining while successors are hot. Requirements: forced mode,
+  /// no observers attached, \p Tid live and runnable, Budget >= 1. If
+  /// \p Abort is non-null it is checked after every syscall; when set the
+  /// executor exits at that instruction boundary (TraceExit::Aborted).
+  /// Executed == 0 means the entry pc has no compiled trace yet (the
+  /// caller interprets at least one instruction to make progress).
+  static TraceRunResult run(Machine &M, uint32_t Tid, uint64_t Budget,
+                            TraceCache &Cache, LocalView &Local,
+                            const bool *Abort);
+};
+
+} // namespace drdebug
+
+#endif // DRDEBUG_VM_TRACE_COMPILER_H

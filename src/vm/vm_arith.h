@@ -1,0 +1,66 @@
+//===- vm/vm_arith.h - Edge-case VM arithmetic ------------------*- C++ -*-===//
+//
+// Part of the DrDebug reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The arithmetic edge cases where naive C++ would be UB or a trap, in one
+/// place so the interpreter (vm/machine.cpp) and the trace compiler
+/// (vm/trace_compiler.cpp) provably agree — the semantics are documented
+/// in docs/FORMATS.md and exercised by the ubsan preset:
+///
+///  - Division/modulo by zero yields 0 (and increments the
+///    `drdebug_vm_div_by_zero_total` counter, so silently absorbed
+///    divide-by-zeros are finally observable).
+///  - INT64_MIN / -1 wraps to INT64_MIN (two's-complement negation, like
+///    Neg/Sub/Mul wrap); the matching remainder is exactly 0.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRDEBUG_VM_VM_ARITH_H
+#define DRDEBUG_VM_VM_ARITH_H
+
+#include "support/metric_names.h"
+#include "support/metrics.h"
+
+#include <cstdint>
+
+namespace drdebug {
+namespace vmarith {
+
+inline metrics::Counter &divByZeroCounter() {
+  static metrics::Counter &C =
+      metrics::MetricsRegistry::global().counter(metricnames::VmDivByZero);
+  return C;
+}
+
+/// Two's-complement negation without signed-overflow UB (-INT64_MIN).
+inline int64_t negate(int64_t V) {
+  return static_cast<int64_t>(0 - static_cast<uint64_t>(V));
+}
+
+inline int64_t divide(int64_t A, int64_t B) {
+  if (B == 0) {
+    divByZeroCounter().inc();
+    return 0;
+  }
+  if (B == -1) // INT64_MIN / -1 overflows in hardware; wrap instead
+    return negate(A);
+  return A / B;
+}
+
+inline int64_t remainder(int64_t A, int64_t B) {
+  if (B == 0) {
+    divByZeroCounter().inc();
+    return 0;
+  }
+  if (B == -1) // consistent with divide()'s wrap: remainder is exactly 0
+    return 0;
+  return A % B;
+}
+
+} // namespace vmarith
+} // namespace drdebug
+
+#endif // DRDEBUG_VM_VM_ARITH_H

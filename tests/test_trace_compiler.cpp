@@ -1,0 +1,530 @@
+//===- tests/test_trace_compiler.cpp - Compiled replay identity tests --------===//
+//
+// The trace compiler's contract is absolute: with or without compiled
+// traces, a replay of the same pinball produces bit-identical machine
+// state, output, schedule position, and divergence verdict — at the end
+// and at every instruction boundary in between (observer-exact
+// deoptimization, docs/COMPILE.md). These tests are differential: every
+// property is checked interpreter-vs-compiled, never against golden data.
+//
+//===----------------------------------------------------------------------===//
+
+#include "replay/checkpoints.h"
+#include "replay/flight_recorder.h"
+#include "replay/logger.h"
+#include "replay/replayer.h"
+#include "support/metric_names.h"
+#include "support/metrics.h"
+#include "test_util.h"
+#include "vm/trace_cache.h"
+#include "workloads/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <random>
+#include <thread>
+#include <vector>
+
+using namespace drdebug;
+using namespace drdebug::testutil;
+using namespace drdebug::workloads;
+
+namespace {
+
+constexpr uint64_t StepBudget = 400'000;
+
+ReplayOptions interpOnly() {
+  ReplayOptions O;
+  O.CompileTraces = false;
+  return O;
+}
+
+/// HotThreshold 1 compiles every entry pc on first sight — maximum trace
+/// coverage, so the differential sweep exercises every handler.
+ReplayOptions compileEager() {
+  ReplayOptions O;
+  O.CompileTraces = true;
+  O.HotThreshold = 1;
+  return O;
+}
+
+GeneratorOptions fuzzShape() {
+  GeneratorOptions Opts;
+  Opts.NumFunctions = 3;
+  Opts.MaxBodyLen = 10;
+  Opts.MaxThreads = 2;
+  return Opts;
+}
+
+/// Records a whole-program pinball for generated program \p ProgramSeed
+/// under scheduler seed \p SchedSeed.
+Pinball recordPinball(uint64_t ProgramSeed, uint64_t SchedSeed,
+                      Machine::StopReason *Reason = nullptr) {
+  Program P = generateRandomProgram(ProgramSeed, fuzzShape());
+  RandomScheduler Sched(SchedSeed, 1, 3);
+  DefaultSyscalls World(SchedSeed + 7);
+  World.setInput({1, -2, 3, 5, 8});
+  LogResult Log = Logger::logWholeProgram(P, Sched, &World);
+  if (Reason)
+    *Reason = Log.Reason;
+  return Log.Pb;
+}
+
+/// Everything a replay can observe about itself, for exact comparison.
+struct ReplayOutcome {
+  Machine::StopReason Reason;
+  MachineState End;
+  std::vector<int64_t> Output;
+  uint64_t Replayed;
+  DivergenceKind Divergence;
+  ReplayCursor Cursor;
+};
+
+ReplayOutcome replayAll(const Pinball &Pb, const ReplayOptions &Opts) {
+  Replayer Rep(Pb, Opts);
+  EXPECT_TRUE(Rep.valid()) << Rep.error();
+  ReplayOutcome R;
+  R.Reason = Rep.run(StepBudget);
+  R.End = Rep.machine().snapshot();
+  R.Output = Rep.machine().output();
+  R.Replayed = Rep.replayedInstructions();
+  R.Divergence = Rep.divergence().Kind;
+  R.Cursor = Rep.cursor();
+  return R;
+}
+
+void expectSameOutcome(const ReplayOutcome &A, const ReplayOutcome &B,
+                       const std::string &What) {
+  EXPECT_EQ(A.Reason, B.Reason) << What;
+  EXPECT_TRUE(A.End == B.End) << What << ": end states differ";
+  EXPECT_EQ(A.Output, B.Output) << What;
+  EXPECT_EQ(A.Replayed, B.Replayed) << What;
+  EXPECT_EQ(A.Divergence, B.Divergence) << What;
+  EXPECT_EQ(A.Cursor.EventIndex, B.Cursor.EventIndex) << What;
+  EXPECT_EQ(A.Cursor.WithinEvent, B.Cursor.WithinEvent) << What;
+  EXPECT_EQ(A.Cursor.SyscallCursors, B.Cursor.SyscallCursors) << What;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Differential fuzz: whole-replay identity over generated programs
+//===----------------------------------------------------------------------===//
+
+TEST(TraceCompiler, DifferentialFuzzWholeReplay) {
+  if (!TraceExecutor::available())
+    GTEST_SKIP() << "no computed-goto support on this compiler";
+  uint64_t CompiledTotal = 0;
+  for (uint64_t Seed = 1; Seed <= 12; ++Seed) {
+    Pinball Pb = recordPinball(Seed, Seed * 31 + 5);
+    ReplayOutcome Interp = replayAll(Pb, interpOnly());
+
+    Replayer Rep(Pb, compileEager());
+    ASSERT_TRUE(Rep.valid()) << Rep.error();
+    ReplayOutcome Compiled;
+    Compiled.Reason = Rep.run(StepBudget);
+    Compiled.End = Rep.machine().snapshot();
+    Compiled.Output = Rep.machine().output();
+    Compiled.Replayed = Rep.replayedInstructions();
+    Compiled.Divergence = Rep.divergence().Kind;
+    Compiled.Cursor = Rep.cursor();
+    expectSameOutcome(Interp, Compiled, "seed " + std::to_string(Seed));
+    CompiledTotal += Rep.compiledInstructions();
+  }
+  // The sweep as a whole must actually exercise compiled code, or the
+  // identity above is vacuous.
+  EXPECT_GT(CompiledTotal, 0u);
+}
+
+/// The default options (HotThreshold 8) must agree with the interpreter
+/// too: mixed cold/hot execution crosses the interpreter/trace boundary in
+/// both directions constantly.
+TEST(TraceCompiler, DifferentialFuzzDefaultThreshold) {
+  if (!TraceExecutor::available())
+    GTEST_SKIP() << "no computed-goto support on this compiler";
+  for (uint64_t Seed = 20; Seed <= 26; ++Seed) {
+    Pinball Pb = recordPinball(Seed, Seed * 17 + 3);
+    ReplayOutcome Interp = replayAll(Pb, interpOnly());
+    ReplayOutcome Compiled = replayAll(Pb, ReplayOptions());
+    expectSameOutcome(Interp, Compiled, "seed " + std::to_string(Seed));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Forced deopt at every instruction boundary
+//===----------------------------------------------------------------------===//
+
+/// replayChunk(1) gives the executor a budget of one instruction, forcing
+/// a mid-trace side exit at literally every boundary inside every trace.
+/// Lockstep with an interpreted replay, the full machine state must match
+/// after each instruction — the strongest form of the deopt contract.
+TEST(TraceCompiler, DeoptAtEveryBoundaryIsExact) {
+  if (!TraceExecutor::available())
+    GTEST_SKIP() << "no computed-goto support on this compiler";
+  for (uint64_t Seed : {3u, 7u}) {
+    Pinball Pb = recordPinball(Seed, Seed + 11);
+    Replayer Interp(Pb, interpOnly());
+    Replayer Compiled(Pb, compileEager());
+    ASSERT_TRUE(Interp.valid() && Compiled.valid());
+    uint64_t Steps = 0;
+    for (; Steps < StepBudget; ++Steps) {
+      uint64_t I = Interp.replayChunk(1);
+      uint64_t C = Compiled.replayChunk(1);
+      ASSERT_EQ(I, C) << "step " << Steps;
+      if (I == 0)
+        break;
+      // Compare snapshots sparsely at first (they are expensive), then
+      // densely near the start where traces are still being compiled.
+      if (Steps < 256 || Steps % 97 == 0)
+        ASSERT_TRUE(Interp.machine().snapshot() ==
+                    Compiled.machine().snapshot())
+            << "state diverged at step " << Steps;
+    }
+    EXPECT_TRUE(Interp.machine().snapshot() == Compiled.machine().snapshot());
+    EXPECT_EQ(Interp.replayedInstructions(), Compiled.replayedInstructions());
+    // Budget 1 makes every multi-op trace exit mid-trace.
+    if (Compiled.compiledInstructions() > 0)
+      EXPECT_GT(Compiled.deopts(), 0u);
+  }
+}
+
+/// Random chunk sizes stress every interleaving of trace entry, chaining,
+/// budget exit and interpreter fallback; state must match at every sync
+/// point.
+TEST(TraceCompiler, RandomChunkSizesAgree) {
+  if (!TraceExecutor::available())
+    GTEST_SKIP() << "no computed-goto support on this compiler";
+  std::mt19937_64 Rng(99);
+  for (uint64_t Seed : {5u, 9u}) {
+    Pinball Pb = recordPinball(Seed, Seed * 13 + 1);
+    Replayer Interp(Pb, interpOnly());
+    Replayer Compiled(Pb, compileEager());
+    ASSERT_TRUE(Interp.valid() && Compiled.valid());
+    for (;;) {
+      uint64_t Chunk = 1 + Rng() % 61;
+      uint64_t I = Interp.replayChunk(Chunk);
+      uint64_t C = Compiled.replayChunk(Chunk);
+      ASSERT_EQ(I, C);
+      ASSERT_TRUE(Interp.machine().snapshot() == Compiled.machine().snapshot())
+          << "state diverged at instruction " << Interp.replayedInstructions();
+      if (I < Chunk)
+        break;
+    }
+    EXPECT_EQ(Interp.done(), Compiled.done());
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Observer attach mid-replay
+//===----------------------------------------------------------------------===//
+
+/// Attaching an observer halfway through a compiled replay must (a) stop
+/// all trace execution from that point, and (b) deliver exactly the
+/// callback stream an interpreted replay with the same observer delivers.
+TEST(TraceCompiler, ObserverAttachMidReplayIsExact) {
+  if (!TraceExecutor::available())
+    GTEST_SKIP() << "no computed-goto support on this compiler";
+  Pinball Pb = recordPinball(4, 21);
+  uint64_t Total = Pb.instructionCount();
+  ASSERT_GT(Total, 10u);
+  uint64_t Half = Total / 2;
+
+  auto RunWithAttach = [&](const ReplayOptions &Opts, uint64_t *CompiledAfter) {
+    Replayer Rep(Pb, Opts);
+    EXPECT_TRUE(Rep.valid()) << Rep.error();
+    EXPECT_EQ(Rep.replayChunk(Half), Half);
+    TraceHashObserver H;
+    Rep.machine().addObserver(&H);
+    uint64_t CompiledAtAttach = Rep.compiledInstructions();
+    Rep.run(StepBudget);
+    if (CompiledAfter)
+      *CompiledAfter = Rep.compiledInstructions() - CompiledAtAttach;
+    ReplayOutcome R;
+    R.Reason = Machine::StopReason::Halted;
+    R.End = Rep.machine().snapshot();
+    R.Output = Rep.machine().output();
+    R.Replayed = Rep.replayedInstructions();
+    R.Divergence = Rep.divergence().Kind;
+    R.Cursor = Rep.cursor();
+    return std::make_pair(R, std::make_pair(H.hash(), H.count()));
+  };
+
+  auto [InterpOut, InterpHash] = RunWithAttach(interpOnly(), nullptr);
+  uint64_t CompiledWhileObserved = ~0ULL;
+  auto [CompOut, CompHash] = RunWithAttach(compileEager(),
+                                           &CompiledWhileObserved);
+  expectSameOutcome(InterpOut, CompOut, "observer attach");
+  EXPECT_EQ(InterpHash, CompHash) << "observer callback streams differ";
+  // The deopt contract: not one instruction ran compiled while observed.
+  EXPECT_EQ(CompiledWhileObserved, 0u);
+}
+
+/// Detaching the observer re-enables trace execution.
+TEST(TraceCompiler, ObserverDetachReenablesTraces) {
+  if (!TraceExecutor::available())
+    GTEST_SKIP() << "no computed-goto support on this compiler";
+  Pinball Pb = recordPinball(6, 33);
+  uint64_t Total = Pb.instructionCount();
+  ASSERT_GT(Total, 30u);
+
+  Replayer Rep(Pb, compileEager());
+  ASSERT_TRUE(Rep.valid());
+  TraceHashObserver H;
+  Rep.machine().addObserver(&H);
+  EXPECT_EQ(Rep.replayChunk(Total / 3), Total / 3);
+  EXPECT_EQ(Rep.compiledInstructions(), 0u);
+  Rep.machine().removeObserver(&H);
+  Rep.run(StepBudget);
+  EXPECT_GT(Rep.compiledInstructions(), 0u);
+
+  ReplayOutcome Interp = replayAll(Pb, interpOnly());
+  EXPECT_TRUE(Interp.End == Rep.machine().snapshot());
+  EXPECT_EQ(Interp.Output, Rep.machine().output());
+}
+
+//===----------------------------------------------------------------------===//
+// Arithmetic edge semantics (docs/FORMATS.md)
+//===----------------------------------------------------------------------===//
+
+TEST(TraceCompiler, DivModEdgeSemanticsAgree) {
+  // Every documented edge: div/mod by zero (result 0, counted), INT64_MIN
+  // divided by -1 (two's-complement wrap), mod by -1 (always 0).
+  Program P = assembleOrDie(
+      ".func main\n"
+      "  movi r1, 7\n  movi r2, 0\n"
+      "  div r3, r1, r2\n  syswrite r3\n"  // 7/0 = 0
+      "  mod r4, r1, r2\n  syswrite r4\n"  // 7%0 = 0
+      "  movi r5, -9223372036854775808\n  movi r6, -1\n"
+      "  div r7, r5, r6\n  syswrite r7\n"  // INT64_MIN/-1 wraps to itself
+      "  mod r8, r5, r6\n  syswrite r8\n"  // INT64_MIN%-1 = 0
+      "  divi r9, r1, 0\n  syswrite r9\n"
+      "  modi r10, r1, 0\n  syswrite r10\n"
+      "  neg r11, r5\n  syswrite r11\n"    // -INT64_MIN wraps to itself
+      "  halt\n.endfunc\n");
+  RoundRobinScheduler Sched(1);
+  LogResult Log = Logger::logWholeProgram(P, Sched);
+  ASSERT_EQ(Log.Reason, Machine::StopReason::Halted);
+
+  namespace mn = drdebug::metricnames;
+  metrics::Counter &DivZero =
+      metrics::MetricsRegistry::global().counter(mn::VmDivByZero);
+  ReplayOutcome Interp = replayAll(Log.Pb, interpOnly());
+  uint64_t AfterInterp = DivZero.value();
+  std::vector<int64_t> Want = {0, 0, INT64_MIN, 0, 0, 0, INT64_MIN};
+  EXPECT_EQ(Interp.Output, Want);
+
+  if (!TraceExecutor::available())
+    GTEST_SKIP() << "no computed-goto support on this compiler";
+  ReplayOutcome Compiled = replayAll(Log.Pb, compileEager());
+  expectSameOutcome(Interp, Compiled, "div/mod edges");
+  // Both engines count the same four divide/mod-by-zero events per replay.
+  EXPECT_EQ(DivZero.value() - AfterInterp, 4u);
+}
+
+//===----------------------------------------------------------------------===//
+// Trace-cache sharing
+//===----------------------------------------------------------------------===//
+
+TEST(TraceCompiler, CacheSharedAcrossReplayersOfSameCode) {
+  if (!TraceExecutor::available())
+    GTEST_SKIP() << "no computed-goto support on this compiler";
+  Pinball Pb = recordPinball(8, 44);
+  Replayer A(Pb, compileEager());
+  Replayer B(Pb, compileEager());
+  ASSERT_TRUE(A.valid() && B.valid());
+  // Same decoded code stream → the process-wide registry hands out the
+  // same cache, so B warms up on A's traces.
+  EXPECT_EQ(A.traceCache(), B.traceCache());
+  A.run(StepBudget);
+  size_t AfterA = A.traceCache()->compiledCount();
+  B.run(StepBudget);
+  EXPECT_TRUE(A.machine().snapshot() == B.machine().snapshot());
+  // B compiled nothing new (everything was already published), or at most
+  // entries A never reached — never fewer than A left behind.
+  EXPECT_GE(B.traceCache()->compiledCount(), AfterA);
+}
+
+TEST(TraceCompiler, ConcurrentReplaysShareOneCache) {
+  if (!TraceExecutor::available())
+    GTEST_SKIP() << "no computed-goto support on this compiler";
+  // Parallel slice-prepare replays hammer one cache: N threads replay the
+  // same pinball concurrently with eager compilation. Covered by the tsan
+  // preset (scripts/verify.sh --sanitize).
+  Pinball Pb = recordPinball(10, 55);
+  ReplayOutcome Reference = replayAll(Pb, interpOnly());
+  constexpr int N = 8;
+  std::vector<std::unique_ptr<ReplayOutcome>> Results(N);
+  std::vector<std::thread> Threads;
+  for (int I = 0; I < N; ++I)
+    Threads.emplace_back([&, I] {
+      Replayer Rep(Pb, compileEager());
+      if (!Rep.valid())
+        return;
+      auto R = std::make_unique<ReplayOutcome>();
+      R->Reason = Rep.run(StepBudget);
+      R->End = Rep.machine().snapshot();
+      R->Output = Rep.machine().output();
+      R->Replayed = Rep.replayedInstructions();
+      R->Divergence = Rep.divergence().Kind;
+      R->Cursor = Rep.cursor();
+      Results[I] = std::move(R);
+    });
+  for (auto &T : Threads)
+    T.join();
+  for (int I = 0; I < N; ++I) {
+    ASSERT_NE(Results[I], nullptr) << "replayer " << I << " was invalid";
+    expectSameOutcome(Reference, *Results[I],
+                      "concurrent replay " + std::to_string(I));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Checkpointed (reverse) replay over compiled traces
+//===----------------------------------------------------------------------===//
+
+TEST(TraceCompiler, CheckpointedSeeksMatchInterpreted) {
+  if (!TraceExecutor::available())
+    GTEST_SKIP() << "no computed-goto support on this compiler";
+  Pinball Pb = recordPinball(11, 66);
+  uint64_t Total = Pb.instructionCount();
+  ASSERT_GT(Total, 100u);
+
+  CheckpointOptions Interp;
+  Interp.Interval = 64;
+  Interp.Replay.CompileTraces = false;
+  CheckpointOptions Comp;
+  Comp.Interval = 64;
+  Comp.Replay = compileEager();
+
+  CheckpointedReplay A(Pb, Interp);
+  CheckpointedReplay B(Pb, Comp);
+  ASSERT_TRUE(A.valid() && B.valid());
+  EXPECT_EQ(A.runForward(StepBudget), B.runForward(StepBudget));
+  EXPECT_TRUE(A.machine().snapshot() == B.machine().snapshot());
+  // Batched forward motion must leave the same checkpoint set behind.
+  EXPECT_EQ(A.checkpointCount(), B.checkpointCount());
+
+  // Seeks (backward = restore + compiled catch-up replay) land on
+  // identical states at arbitrary positions.
+  std::mt19937_64 Rng(7);
+  for (int I = 0; I < 12; ++I) {
+    uint64_t Target = Rng() % (Total + 1);
+    ASSERT_TRUE(A.seek(Target)) << A.lastError();
+    ASSERT_TRUE(B.seek(Target)) << B.lastError();
+    ASSERT_EQ(A.position(), B.position());
+    ASSERT_TRUE(A.machine().snapshot() == B.machine().snapshot())
+        << "seek to " << Target << " diverged";
+  }
+}
+
+TEST(TraceCompiler, ReverseFindMatchesInterpreted) {
+  if (!TraceExecutor::available())
+    GTEST_SKIP() << "no computed-goto support on this compiler";
+  Pinball Pb = recordPinball(13, 77);
+  CheckpointOptions Interp;
+  Interp.Interval = 128;
+  Interp.Replay.CompileTraces = false;
+  CheckpointOptions Comp;
+  Comp.Interval = 128;
+  Comp.Replay = compileEager();
+
+  CheckpointedReplay A(Pb, Interp);
+  CheckpointedReplay B(Pb, Comp);
+  ASSERT_TRUE(A.valid() && B.valid());
+  A.runForward(StepBudget);
+  B.runForward(StepBudget);
+  // Find the last point where thread 0 sat at an even pc with output
+  // already emitted — an arbitrary but deterministic predicate. scanBackward
+  // visits every position per segment, so its per-step path and the batched
+  // seek path cross-check each other here.
+  auto Pred = [](Machine &M) {
+    return !M.output().empty() && M.thread(0).Pc % 2 == 0;
+  };
+  uint64_t HitA = A.reverseFind(Pred);
+  uint64_t HitB = B.reverseFind(Pred);
+  EXPECT_EQ(HitA, HitB);
+  if (HitA != CheckpointedReplay::NotFound)
+    EXPECT_TRUE(A.machine().snapshot() == B.machine().snapshot());
+}
+
+//===----------------------------------------------------------------------===//
+// Flight-recorder interplay
+//===----------------------------------------------------------------------===//
+
+/// A pinball dumped by the always-on flight recorder replays identically
+/// under both engines (the recorder's dumps are ordinary pinballs, but the
+/// path start-state + partial epochs is worth pinning down).
+TEST(TraceCompiler, FlightRecorderDumpReplaysCompiled) {
+  if (!TraceExecutor::available())
+    GTEST_SKIP() << "no computed-goto support on this compiler";
+  Program P = generateRandomProgram(14, fuzzShape());
+  RandomScheduler Sched(88, 1, 3);
+  Machine M(P);
+  M.setScheduler(&Sched);
+  FlightOptions FO;
+  FO.EpochInstrs = 256;
+  FO.MaxEpochs = 8;
+  FlightRecorder Rec(M, FO);
+  M.run(StepBudget);
+  Pinball Pb;
+  std::string Error;
+  ASSERT_TRUE(Rec.dump(Pb, Error)) << Error;
+
+  ReplayOutcome Interp = replayAll(Pb, interpOnly());
+  ReplayOutcome Compiled = replayAll(Pb, compileEager());
+  expectSameOutcome(Interp, Compiled, "flight dump");
+}
+
+//===----------------------------------------------------------------------===//
+// Compiler-level invariants
+//===----------------------------------------------------------------------===//
+
+TEST(TraceCompiler, SuperblockShapeInvariants) {
+  Program P = generateRandomProgram(2, fuzzShape());
+  DecodedProgram DP(P);
+  TraceCache::Options O;
+  for (uint64_t Pc = 0; Pc < DP.size(); ++Pc) {
+    CompiledTrace Tr = TraceCompiler::compile(DP, Pc, O.MaxTraceInstrs);
+    ASSERT_FALSE(Tr.Ops.empty());
+    EXPECT_LE(Tr.NumInstrs, O.MaxTraceInstrs);
+    const TraceOp &Last = Tr.Ops.back();
+    // A trace ends in exactly one of: an explicit chain point carrying the
+    // successor pc, or a terminator whose successor is data-dependent.
+    bool EndsWithChain = Last.Code == XEndChain;
+    bool EndsWithTerminator =
+        (Last.Code >= XBeq && Last.Code <= XBge) || Last.Code == XIJmp ||
+        Last.Code == XICall || Last.Code == XRet || Last.Code == XHalt;
+    EXPECT_TRUE(EndsWithChain || EndsWithTerminator) << "entry pc " << Pc;
+    // No interior op may be a terminator or chain point.
+    for (size_t I = 0; I + 1 < Tr.Ops.size(); ++I) {
+      EXPECT_NE(Tr.Ops[I].Code, XEndChain);
+      EXPECT_FALSE(Tr.Ops[I].Code >= XBeq && Tr.Ops[I].Code <= XBge);
+    }
+  }
+}
+
+TEST(TraceCompiler, FingerprintIgnoresLinesMatchesCode) {
+  // Two assemblies of the same source share a fingerprint and sameCode;
+  // a one-instruction change breaks both.
+  std::string Src = generateRandomSource(15, fuzzShape());
+  Program A = assembleOrDie(Src);
+  Program B = assembleOrDie(Src);
+  DecodedProgram DA(A), DB(B);
+  EXPECT_EQ(DA.fingerprint(), DB.fingerprint());
+  EXPECT_TRUE(DA.sameCode(DB));
+
+  Program C = assembleOrDie(".func main\n  movi r1, 1\n  halt\n.endfunc\n");
+  DecodedProgram DC(C);
+  EXPECT_FALSE(DA.sameCode(DC));
+}
+
+TEST(TraceCompiler, DisabledOptionNeverCompiles) {
+  Pinball Pb = recordPinball(16, 99);
+  Replayer Rep(Pb, interpOnly());
+  ASSERT_TRUE(Rep.valid());
+  EXPECT_EQ(Rep.traceCache(), nullptr);
+  Rep.run(StepBudget);
+  EXPECT_EQ(Rep.compiledInstructions(), 0u);
+  EXPECT_EQ(Rep.interpretedInstructions(), Rep.replayedInstructions());
+}
