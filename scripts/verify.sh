@@ -11,6 +11,9 @@
 #                                    # fuzz tests + bench_compile --smoke
 #   scripts/verify.sh --metrics-lint # docs/OBSERVABILITY.md covers the
 #                                    # metric_names.h catalog; no build
+#   scripts/verify.sh --chaos        # durability leg under ASan: kill -9 /
+#                                    # restart/recover rounds, drain+import
+#                                    # migration, and overload shedding
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -60,6 +63,21 @@ if [ "${1:-}" = "--compile" ]; then
   cmake --build build -j --target drdebug_tests bench_compile
   (cd build && ctest --output-on-failure -R 'TraceCompiler|BenchCompileSmoke' -j)
   echo "compile: OK"
+  exit 0
+fi
+
+# --chaos: the durability leg. drdebug_chaos kill -9s an ASan drdebugd
+# mid-verb (including under --inject'd journal faults) and asserts the
+# restarted daemon recovers every session byte-identically, then proves
+# drain + import migrates a session across two daemons and that admission
+# control sheds (and the client's retry-after backoff absorbs) overload.
+if [ "${1:-}" = "--chaos" ]; then
+  cmake --preset asan
+  cmake --build --preset asan -j --target drdebugd drdebug_chaos
+  build-asan/tools/drdebug_chaos --rounds 6
+  build-asan/tools/drdebug_chaos --migrate
+  build-asan/tools/drdebug_chaos --overload
+  echo "chaos: OK"
   exit 0
 fi
 

@@ -63,6 +63,7 @@ const std::vector<CommandInfo> &drdebug::commandTable() {
        ""},
       {"slice replay", "replay only the execution slice", "slice", ""},
       {"slice step", "step to the next slice statement", "slice", ""},
+      {"fault list", "the fault-injection site catalog", "fault", ""},
       {"help", "this text", "help", ""},
       {"quit | q", "leave", "quit", "q"},
   };

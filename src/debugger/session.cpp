@@ -8,6 +8,7 @@
 #include "replay/repository.h"
 #include "slicing/report.h"
 #include "slicing/slice_repository.h"
+#include "support/fault_injector.h"
 #include "support/tracing.h"
 
 #include <cassert>
@@ -187,7 +188,9 @@ bool DebugSession::loadProgramText(const std::string &AsmText) {
   Slicing.reset();
   SharedSlicing.reset();
   RegionPb.reset();
+  ++RegionPbGen;
   RegionPbFingerprint = 0;
+  RegionPbSourceDir.clear();
   SlicePb.reset();
   CurrentSlice.reset();
   SliceReplayActive = false;
@@ -419,6 +422,11 @@ bool DebugSession::dispatchCommand(const std::string &Line) {
     std::ostringstream Buf;
     Buf << IS.rdbuf();
     loadProgramText(Buf.str());
+    return true;
+  }
+
+  if (Cmd == "fault") {
+    cmdFault(Args);
     return true;
   }
 
@@ -760,6 +768,26 @@ void DebugSession::cmdList(std::istringstream &Args) {
     Out << "  " << disassembleAt(*Prog, Pc) << "\n";
 }
 
+void DebugSession::cmdFault(std::istringstream &Args) {
+  std::string Sub;
+  if (!(Args >> Sub) || Sub != "list") {
+    err() << "usage: fault list\n";
+    return;
+  }
+  Out << FaultInjector::global().describe();
+}
+
+bool DebugSession::snapshotExpressible() const {
+  return Replay && !SliceReplayActive && !Live && !Flight &&
+         !DivergenceAnnounced && Breakpoints.empty() && Watchpoints.empty() &&
+         !CurrentSlice && !SlicePb && !Slicing && !SharedSlicing &&
+         RegionPb.has_value();
+}
+
+uint64_t DebugSession::replayPosition() const {
+  return Replay ? Replay->position() : 0;
+}
+
 //===----------------------------------------------------------------------===//
 // Record / replay commands
 //===----------------------------------------------------------------------===//
@@ -799,7 +827,9 @@ void DebugSession::cmdRecord(std::istringstream &Args) {
   DefaultSyscalls World(Seed);
   LogResult Log = Logger::logRegion(*Prog, Sched, &World, Spec);
   RegionPb = std::move(Log.Pb);
+  ++RegionPbGen;
   RegionPbFingerprint = 0; // in-memory recording: not shareable by key
+  RegionPbSourceDir.clear();
   Slicing.reset();
   SharedSlicing.reset();
   CurrentSlice.reset();
@@ -883,7 +913,9 @@ void DebugSession::cmdRecordDump(std::istringstream &Args) {
   }
   FlightStatus S = Flight->status();
   RegionPb = std::move(Pb);
+  ++RegionPbGen;
   RegionPbFingerprint = 0; // in-memory dump: not shareable by key
+  RegionPbSourceDir.clear();
   Slicing.reset();
   SharedSlicing.reset();
   CurrentSlice.reset();
@@ -956,6 +988,7 @@ void DebugSession::cmdPinball(std::istringstream &Args) {
         return;
       }
       RegionPb = *Cached; // the repository keeps the parsed master copy
+      ++RegionPbGen;
     } else {
       // --no-verify bypasses the shared cache: an escape hatch must not
       // seed other sessions with an unchecked pinball.
@@ -967,8 +1000,10 @@ void DebugSession::cmdPinball(std::istringstream &Args) {
         return;
       }
       RegionPb = std::move(Pb);
+      ++RegionPbGen;
     }
     RegionPbFingerprint = PinballRepository::dirFingerprint(Dir);
+  RegionPbSourceDir = RegionPbFingerprint ? Dir : std::string();
     Slicing.reset();
     SharedSlicing.reset();
     CurrentSlice.reset();

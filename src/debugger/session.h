@@ -152,6 +152,30 @@ public:
   const std::optional<Pinball> &regionPinball() const { return RegionPb; }
   const std::optional<Slice> &currentSlice() const { return CurrentSlice; }
 
+  // --- Durable-session support (the server's journal compaction) ----------
+  /// True when this session's entire state is reproducible from its region
+  /// pinball plus the replay clock alone: replaying (not a slice replay),
+  /// no live machine or flight recorder, no breakpoints/watchpoints/slices,
+  /// and no divergence announced. The journal of such a session compacts to
+  /// [load, snap-pinball, replay, replay-seek].
+  bool snapshotExpressible() const;
+  /// The replay clock (0 when not replaying).
+  uint64_t replayPosition() const;
+  /// The assembly text the session last loaded (empty before any load).
+  const std::string &programText() const { return ProgramText; }
+  /// Monotonic counter bumped whenever the region pinball is replaced or
+  /// cleared — lets the server's compaction skip re-saving a snapshot
+  /// pinball that has not changed since the last one.
+  uint64_t regionGeneration() const { return RegionPbGen; }
+  /// Fingerprint of the directory the region pinball was loaded from
+  /// (0 for in-memory recordings): two loads with equal nonzero
+  /// fingerprints hold identical content even across generations.
+  uint64_t regionFingerprint() const { return RegionPbFingerprint; }
+  /// The directory the region pinball was loaded from (empty for
+  /// in-memory recordings) — lets the server's journal compaction
+  /// reference the source pinball instead of copying it.
+  const std::string &regionSourceDir() const { return RegionPbSourceDir; }
+
 private:
   class BreakpointObserver;
   class SinkStreambuf;
@@ -190,6 +214,7 @@ private:
   void cmdReverseNext();
   void cmdReverseWatch(std::istringstream &Args);
   void cmdSlice(std::istringstream &Args);
+  void cmdFault(std::istringstream &Args);
   void cmdWhere();
   void cmdList(std::istringstream &Args);
 
@@ -238,10 +263,15 @@ private:
 
   // Record / slice artifacts.
   std::optional<Pinball> RegionPb;
+  /// Bumped on every RegionPb replace/clear (see regionGeneration()).
+  uint64_t RegionPbGen = 0;
   /// Fingerprint of the directory RegionPb was loaded from (0 when the
   /// pinball was recorded in-memory or saved only) — the slice-repository
   /// sharing key.
   uint64_t RegionPbFingerprint = 0;
+  /// Where RegionPb was loaded from; empty whenever RegionPbFingerprint
+  /// is 0 (the two are set and cleared together).
+  std::string RegionPbSourceDir;
   std::optional<Pinball> SlicePb;
   std::unique_ptr<SliceSession> Slicing;
   std::shared_ptr<const SliceSession> SharedSlicing;

@@ -89,6 +89,22 @@ bool ProtocolClient::request(const std::string &VerbAndArgs,
     }
     if (RespSeq != Seq)
       continue; // stale response (e.g. to an earlier retransmission)
+    if (Code == static_cast<unsigned>(WireError::Overloaded) &&
+        Attempt < Policy.MaxRetries) {
+      // Admission control shed us. The message carries the server's own
+      // backoff hint; honor it instead of the exponential schedule, then
+      // retransmit the same sequence number (the rejection was not cached,
+      // so the retry re-runs admission).
+      ++Attempt;
+      ++RetriesTotal;
+      uint64_t HintMs = parseRetryAfterMs(Text);
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(HintMs ? HintMs : Policy.InitialBackoffMs));
+      if (T.send(Frame))
+        continue;
+      Error = "transport closed";
+      return false;
+    }
     if (Code != 0) {
       LastCode = Code;
       LastTransient = Transient;
@@ -118,4 +134,18 @@ bool ProtocolClient::load(uint64_t Sid, const std::string &ProgramText,
                           std::string &Output, std::string &Error) {
   return request("load " + std::to_string(Sid) + " " + escapeText(ProgramText),
                  Output, Error);
+}
+
+bool ProtocolClient::importBundle(const std::string &Dir, uint64_t &Sid,
+                                  std::string &Error) {
+  std::string Payload;
+  if (!request("import " + escapeText(Dir), Payload, Error))
+    return false;
+  std::istringstream IS(Payload);
+  std::string Tag;
+  if (!(IS >> Tag >> Sid) || Tag != "sid") {
+    Error = "malformed import response '" + Payload + "'";
+    return false;
+  }
+  return true;
 }

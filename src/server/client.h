@@ -127,6 +127,25 @@ public:
                    Output, Error);
   }
 
+  // Durability / operations verbs.
+  /// Gracefully drains the server: admissions stop, in-flight verbs finish
+  /// under the server's drain deadline, and (when \p BundleDir is non-empty)
+  /// every resident session is exported as a portable bundle under it.
+  /// \p Report receives the server's drain report.
+  bool drain(const std::string &BundleDir, std::string &Report,
+             std::string &Error) {
+    return request(BundleDir.empty() ? "drain"
+                                     : "drain " + escapeText(BundleDir),
+                   Report, Error);
+  }
+  /// Imports a session bundle exported by drain(); \p Sid gets the new
+  /// (detached) session's id — attach() to drive it.
+  bool importBundle(const std::string &Dir, uint64_t &Sid, std::string &Error);
+  /// The server's fault-injection site catalog and armed state.
+  bool faults(std::string &Catalog, std::string &Error) {
+    return request("faults", Catalog, Error);
+  }
+
   bool stats(std::string &Report, std::string &Error) {
     return request("stats", Report, Error);
   }

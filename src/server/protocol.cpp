@@ -2,6 +2,7 @@
 
 #include "server/protocol.h"
 
+#include <cstdlib>
 #include <sstream>
 
 using namespace drdebug;
@@ -22,12 +23,25 @@ const char *drdebug::wireErrorName(WireError E) {
     return "session-failed";
   case WireError::Timeout:
     return "deadline-timeout";
+  case WireError::Overloaded:
+    return "overloaded";
+  case WireError::Draining:
+    return "draining";
   }
   return "unknown-error";
 }
 
 bool drdebug::wireErrorIsTransient(WireError E) {
-  return E == WireError::BadChecksum || E == WireError::Timeout;
+  return E == WireError::BadChecksum || E == WireError::Timeout ||
+         E == WireError::Overloaded;
+}
+
+uint64_t drdebug::parseRetryAfterMs(const std::string &Message) {
+  static const std::string Tag = "retry-after-ms ";
+  size_t Pos = Message.rfind(Tag);
+  if (Pos == std::string::npos)
+    return 0;
+  return std::strtoull(Message.c_str() + Pos + Tag.size(), nullptr, 10);
 }
 
 std::string drdebug::escapeText(const std::string &Text) {

@@ -33,8 +33,10 @@
 namespace drdebug {
 
 /// Wire protocol version, reported by the `hello` verb. Version 2 added the
-/// transient/permanent class token in err responses and the Timeout code.
-inline constexpr unsigned ProtocolVersion = 2;
+/// transient/permanent class token in err responses and the Timeout code;
+/// version 3 added the durability verbs (drain/import/faults) and the
+/// Overloaded/Draining codes.
+inline constexpr unsigned ProtocolVersion = 3;
 
 /// Protocol-level error codes (the <code> field of an err response).
 enum class WireError : unsigned {
@@ -45,15 +47,23 @@ enum class WireError : unsigned {
   NoSuchSession = 5,///< session id unknown (or already evicted)
   SessionFailed = 6,///< the session rejected the operation
   Timeout = 7,      ///< the verb exceeded the server's per-verb deadline
+  Overloaded = 8,   ///< admission control shed the verb; retry after a delay
+  Draining = 9,     ///< the server is draining; reconnect to its successor
 };
 
 /// Short stable name for an error code ("malformed-frame", ...).
 const char *wireErrorName(WireError E);
 
 /// True for failures a client may safely retry (the fault was in transit or
-/// scheduling, not in the request): BadChecksum and Timeout. Everything else
-/// is permanent — retrying the same bytes yields the same answer.
+/// scheduling, not in the request): BadChecksum, Timeout and Overloaded.
+/// Everything else is permanent — retrying the same bytes yields the same
+/// answer (a draining server never un-drains).
 bool wireErrorIsTransient(WireError E);
+
+/// Overloaded responses embed a server-chosen backoff hint in the message:
+/// "... retry-after-ms <n>". \returns the hint, or 0 when \p Message does
+/// not carry one.
+uint64_t parseRetryAfterMs(const std::string &Message);
 
 /// Percent-escapes '%', '$', '#', '\n', '\r' so \p Text can travel inside a
 /// single-line frame body.

@@ -8,9 +8,11 @@
 #include "support/stopwatch.h"
 #include "support/tracing.h"
 
+#include <algorithm>
 #include <deque>
 #include <optional>
 #include <sstream>
+#include <thread>
 #include <unordered_map>
 
 using namespace drdebug;
@@ -37,6 +39,21 @@ DebugServer::DebugServer(ServerConfig CfgIn)
       Mgr(Repo, SliceRepo, Stats, Cfg.IdleTimeout, sliceOptionsFor(Cfg)),
       Pool(Cfg.Workers) {
   Repo.setVerify(Cfg.VerifyPinballs);
+  if (!Cfg.JournalDir.empty()) {
+    DurabilityOptions DO;
+    DO.JournalDir = Cfg.JournalDir;
+    DO.Fsync =
+        Cfg.JournalFsyncEach ? JournalFsync::EachRecord : JournalFsync::None;
+    DO.SnapshotEvery = Cfg.SnapshotEvery;
+    DO.CompactMinBytes = Cfg.CompactMinBytes;
+    std::string DErr;
+    if (Mgr.configureDurability(DO, DErr)) {
+      // Crash recovery: whatever journals the previous incarnation left
+      // behind become resident (detached) sessions again.
+      trace::TraceSpan Span("server.recover", "server");
+      Mgr.recover();
+    }
+  }
   // Values owned by the manager and the two caches are exposed as callback
   // metrics: one source of truth, sampled at scrape/stats time.
   using metrics::MetricType;
@@ -139,8 +156,9 @@ void DebugServer::serve(Transport &T) {
           continue;
         }
       }
-      std::string Resp = handleBody(Body, Attached);
-      if (HasSeq) {
+      bool Cacheable = true;
+      std::string Resp = handleBody(Body, Attached, Cacheable);
+      if (HasSeq && Cacheable) {
         if (DedupOrder.size() >= DedupCapacity) {
           DedupCache.erase(DedupOrder.front());
           DedupOrder.pop_front();
@@ -160,7 +178,8 @@ void DebugServer::serve(Transport &T) {
 }
 
 std::string DebugServer::handleBody(const std::string &Body,
-                                    std::set<uint64_t> &Attached) {
+                                    std::set<uint64_t> &Attached,
+                                    bool &Cacheable) {
   std::istringstream IS(Body);
   uint64_t Seq = 0;
   std::string Verb;
@@ -175,7 +194,7 @@ std::string DebugServer::handleBody(const std::string &Body,
   if (VH)
     Span.emplace(VH->Name, "server");
   Stopwatch VerbTimer;
-  std::string Resp = dispatchVerb(Seq, Verb, IS, Attached);
+  std::string Resp = dispatchVerb(Seq, Verb, IS, Attached, Cacheable);
   if (VH) {
     VH->Count.inc();
     VH->LatencyUs.record(static_cast<uint64_t>(VerbTimer.seconds() * 1e6));
@@ -185,7 +204,8 @@ std::string DebugServer::handleBody(const std::string &Body,
 
 std::string DebugServer::dispatchVerb(uint64_t Seq, const std::string &Verb,
                                       std::istringstream &IS,
-                                      std::set<uint64_t> &Attached) {
+                                      std::set<uint64_t> &Attached,
+                                      bool &Cacheable) {
   auto Err = [&](WireError E, const std::string &Msg) {
     Stats.ErrorsReturned.inc();
     return errBody(Seq, E, Msg);
@@ -203,6 +223,8 @@ std::string DebugServer::dispatchVerb(uint64_t Seq, const std::string &Verb,
                            std::to_string(ProtocolVersion));
 
   if (Verb == "open") {
+    if (draining())
+      return Err(WireError::Draining, "server is draining");
     uint64_t Id = Mgr.create();
     Attached.insert(Id);
     return okBody(Seq, "sid " + std::to_string(Id));
@@ -213,6 +235,8 @@ std::string DebugServer::dispatchVerb(uint64_t Seq, const std::string &Verb,
     if (!(IS >> Sid))
       return Err(WireError::BadArguments, "usage: " + Verb + " <sid>");
     if (Verb == "attach") {
+      if (draining())
+        return Err(WireError::Draining, "server is draining");
       std::string Why;
       if (!Mgr.attach(Sid, Why))
         return Err(Mgr.exists(Sid) ? WireError::SessionFailed
@@ -239,7 +263,7 @@ std::string DebugServer::dispatchVerb(uint64_t Seq, const std::string &Verb,
       return Err(WireError::BadArguments,
                  "usage: " + Verb + " <sid> <text>");
     return runSessionJob(Seq, Verb, Sid, unescapeText(RestOf()),
-                         /*IsLoad=*/Verb == "load", Attached);
+                         /*IsLoad=*/Verb == "load", Attached, Cacheable);
   }
 
   // Reverse-execution verbs: first-class wire names for the time-travel
@@ -267,7 +291,8 @@ std::string DebugServer::dispatchVerb(uint64_t Seq, const std::string &Verb,
     } else {
       Line = "replay-position";
     }
-    return runSessionJob(Seq, Verb, Sid, Line, /*IsLoad=*/false, Attached);
+    return runSessionJob(Seq, Verb, Sid, Line, /*IsLoad=*/false, Attached,
+                         Cacheable);
   }
 
   // Flight-recorder verbs: wire names for the always-on recorder, same
@@ -287,8 +312,30 @@ std::string DebugServer::dispatchVerb(uint64_t Seq, const std::string &Verb,
       std::string Dir = unescapeText(RestOf());
       Line = Dir.empty() ? "record dump" : "record dump " + Dir;
     }
-    return runSessionJob(Seq, Verb, Sid, Line, /*IsLoad=*/false, Attached);
+    return runSessionJob(Seq, Verb, Sid, Line, /*IsLoad=*/false, Attached,
+                         Cacheable);
   }
+
+  if (Verb == "drain") {
+    std::string Dir = unescapeText(RestOf());
+    return okBody(Seq, drain(Dir));
+  }
+
+  if (Verb == "import") {
+    if (draining())
+      return Err(WireError::Draining, "server is draining");
+    std::string Dir = unescapeText(RestOf());
+    if (Dir.empty())
+      return Err(WireError::BadArguments, "usage: import <bundle-dir>");
+    uint64_t NewId = 0;
+    std::string Why;
+    if (!Mgr.importBundle(Dir, NewId, Why))
+      return Err(WireError::SessionFailed, Why);
+    return okBody(Seq, "sid " + std::to_string(NewId));
+  }
+
+  if (Verb == "faults")
+    return okBody(Seq, FaultInjector::global().describe());
 
   if (Verb == "stats")
     return okBody(Seq, statsReport());
@@ -315,11 +362,38 @@ std::string DebugServer::dispatchVerb(uint64_t Seq, const std::string &Verb,
 std::string DebugServer::runSessionJob(uint64_t Seq, const std::string &Verb,
                                        uint64_t Sid, const std::string &Text,
                                        bool IsLoad,
-                                       std::set<uint64_t> &Attached) {
+                                       std::set<uint64_t> &Attached,
+                                       bool &Cacheable) {
   auto Err = [&](WireError E, const std::string &Msg) {
     Stats.ErrorsReturned.inc();
     return errBody(Seq, E, Msg);
   };
+  if (draining())
+    return Err(WireError::Draining, "server is draining");
+  // A quarantined session still has a deadline-overrun command wedged in
+  // it; queueing more work behind it would tie up another worker. Fail
+  // fast until the overdue command completes.
+  if (Mgr.isQuarantined(Sid))
+    return Err(WireError::SessionFailed,
+               "session " + std::to_string(Sid) +
+                   " is quarantined (a command overran its deadline and is "
+                   "still running)");
+  // Admission control: shed rather than queue without bound. The reply is
+  // transient and carries a backoff hint the client honors; it must never
+  // enter the dedup cache, or the retransmit would replay the rejection
+  // instead of re-trying admission.
+  size_t Depth = JobsInFlight.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (Cfg.AdmissionMaxQueue != 0 && Depth > Cfg.AdmissionMaxQueue) {
+    JobsInFlight.fetch_sub(1, std::memory_order_acq_rel);
+    Stats.AdmissionRejected.inc();
+    Cacheable = false;
+    uint64_t Hint = std::min<uint64_t>(
+        250, 25 * static_cast<uint64_t>(Depth - Cfg.AdmissionMaxQueue));
+    return Err(WireError::Overloaded,
+               "server overloaded (" + std::to_string(Depth - 1) +
+                   " verbs in flight); retry-after-ms " +
+                   std::to_string(Hint));
+  }
   // The job owns its state on the heap: when the per-verb deadline fires
   // this thread returns an error while the job may still be running, so
   // nothing the job touches can live on this stack frame.
@@ -344,21 +418,31 @@ std::string DebugServer::runSessionJob(uint64_t Seq, const std::string &Verb,
       Job->Status = Mgr.loadProgram(Sid, Text, Job->Output, Job->LoadOk);
     else
       Job->Status = Mgr.execute(Sid, Text, Job->Output);
+    JobsInFlight.fetch_sub(1, std::memory_order_acq_rel);
     Job->Completed.store(true, std::memory_order_release);
-    // If the deadline fired while we ran, settle the watchdog gauge
-    // (exactly one of us — this job or the dispatcher — decrements it).
+    // If the deadline fired while we ran, settle the watchdog gauge and
+    // lift the quarantine (exactly one of us — this job or the
+    // dispatcher — does so).
     if (Job->TimedOut.load(std::memory_order_acquire) &&
-        !Job->OverdueSettled.exchange(true))
+        !Job->OverdueSettled.exchange(true)) {
       Stats.OverdueJobs.sub();
+      Mgr.setQuarantined(Sid, false);
+    }
   });
   if (Cfg.CmdDeadline.count() > 0 &&
       Fut.wait_for(Cfg.CmdDeadline) == std::future_status::timeout) {
     Stats.DeadlineTimeouts.inc();
     Stats.OverdueJobs.add();
+    // Quarantine the session before publishing the timeout: new verbs for
+    // it fail fast instead of wedging more workers behind CmdMu. The job
+    // lifts the quarantine when it finally completes.
+    Mgr.setQuarantined(Sid, true);
     Job->TimedOut.store(true, std::memory_order_release);
     if (Job->Completed.load(std::memory_order_acquire) &&
-        !Job->OverdueSettled.exchange(true))
+        !Job->OverdueSettled.exchange(true)) {
       Stats.OverdueJobs.sub();
+      Mgr.setQuarantined(Sid, false);
+    }
     return Err(WireError::Timeout,
                Verb + " exceeded the " +
                    std::to_string(Cfg.CmdDeadline.count()) + "ms deadline");
@@ -372,6 +456,47 @@ std::string DebugServer::runSessionJob(uint64_t Seq, const std::string &Verb,
   if (IsLoad && !Job->LoadOk)
     return Err(WireError::SessionFailed, Job->Output);
   return okBody(Seq, Job->Output);
+}
+
+std::string DebugServer::drain(const std::string &BundleDir) {
+  trace::TraceSpan Span("server.drain", "server");
+  Draining.store(true, std::memory_order_release);
+  // In-flight session verbs finish under the drain deadline; new ones are
+  // already being refused with `err draining`.
+  auto Deadline = std::chrono::steady_clock::now() + Cfg.DrainDeadline;
+  while (JobsInFlight.load(std::memory_order_acquire) != 0 &&
+         std::chrono::steady_clock::now() < Deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  std::ostringstream OS;
+  size_t Remaining = JobsInFlight.load(std::memory_order_acquire);
+  if (Remaining)
+    OS << "warning: " << Remaining
+       << " verbs still in flight past the drain deadline\n";
+  size_t Exported = 0, Failed = 0;
+  if (!BundleDir.empty()) {
+    for (uint64_t Id : Mgr.ids()) {
+      if (Mgr.isQuarantined(Id)) {
+        // A wedged command still owns the session's command mutex; an
+        // export would block behind it indefinitely.
+        OS << "skipped session " << Id << " (quarantined)\n";
+        ++Failed;
+        continue;
+      }
+      std::string Dir = BundleDir + "/session-" + std::to_string(Id);
+      std::string Why;
+      if (Mgr.exportBundle(Id, Dir, Why)) {
+        OS << "exported session " << Id << " -> " << Dir << "\n";
+        ++Exported;
+      } else {
+        OS << "export of session " << Id << " failed: " << Why << "\n";
+        ++Failed;
+      }
+    }
+  }
+  OS << "drained " << Exported << " bundles";
+  if (Failed)
+    OS << " (" << Failed << " failed)";
+  return OS.str();
 }
 
 namespace {
@@ -405,6 +530,12 @@ constexpr LegacyStatAlias kLegacyStatAliases[] = {
     {"slices.cache_hits", mn::ServerSliceCacheHits},
     {"slices.cache_misses", mn::ServerSliceCacheMisses},
     {"slices.evicted", mn::ServerSliceCacheEvicted},
+    {"durability.sessions_recovered", mn::ServerSessionsRecovered},
+    {"durability.sessions_journaled", mn::ServerSessionsJournaled},
+    {"durability.journal_bytes", mn::ServerJournalBytes},
+    {"durability.compactions", mn::ServerJournalCompactions},
+    {"admission.rejected", mn::ServerAdmissionRejected},
+    {"quarantine.sessions", mn::ServerSessionsQuarantined},
 };
 
 } // namespace

@@ -14,8 +14,9 @@
 /// matter how many users replay it, and an optional janitor thread evicts
 /// idle sessions.
 ///
-/// Verbs: hello, open, attach, detach, close, load, cmd, stats, metrics,
-/// evict, shutdown — see docs/SERVER.md for the full wire grammar.
+/// Verbs: hello, open, attach, detach, close, load, cmd, drain, import,
+/// faults, stats, metrics, evict, shutdown (plus the reverse-execution and
+/// flight-recorder verbs) — see docs/SERVER.md for the full wire grammar.
 ///
 /// Every server owns a MetricsRegistry: ServerStats registers its handles
 /// there, live values (active sessions, cache sizes) are exposed through
@@ -54,10 +55,26 @@ struct ServerConfig {
   size_t SliceCacheEntries = 8;
   /// Per-verb deadline for load/cmd (0 disables): a verb still running when
   /// it expires gets an `err deadline-timeout` response while the job
-  /// finishes in the background under the watchdog gauge.
+  /// finishes in the background under the watchdog gauge — and its session
+  /// is quarantined until the overdue command completes.
   std::chrono::milliseconds CmdDeadline{0};
   /// Verify pinball manifests on load (the server-side --no-verify switch).
   bool VerifyPinballs = true;
+  /// Per-session write-ahead journal directory (empty disables durability).
+  /// At construction the server recovers every session journaled there.
+  std::string JournalDir;
+  /// fsync each journal append (survives OS crashes, not just kill -9).
+  bool JournalFsyncEach = false;
+  /// Journaled commands between journal compaction attempts (0: never).
+  unsigned SnapshotEvery = 64;
+  /// Journals smaller than this never compact: rewriting a journal that
+  /// recovers in negligible time costs more than it saves (0: no floor).
+  uint64_t CompactMinBytes = 32 * 1024;
+  /// Admission control: maximum session verbs in flight or queued on the
+  /// worker pool before new ones are shed with `err overloaded` (0: never).
+  size_t AdmissionMaxQueue = 0;
+  /// How long drain() waits for in-flight verbs before exporting bundles.
+  std::chrono::milliseconds DrainDeadline{5000};
 };
 
 class DebugServer {
@@ -78,6 +95,17 @@ public:
     return Shutdown.load(std::memory_order_acquire);
   }
 
+  /// Graceful drain — the shutdown/migration primitive. Stops admitting
+  /// session-mutating verbs (they get `err draining`), waits up to
+  /// DrainDeadline for in-flight verbs, then exports every resident
+  /// session as a portable bundle under \p BundleDir (skipped when empty).
+  /// \returns the human-readable drain report the `drain` verb echoes.
+  /// Idempotent; also run by drdebugd's SIGTERM handler.
+  std::string drain(const std::string &BundleDir);
+
+  /// True once a drain began: new sessions are refused.
+  bool draining() const { return Draining.load(std::memory_order_acquire); }
+
   /// The `stats` verb payload ("key value" lines): the legacy keys,
   /// re-rendered from the metrics registry via the alias map.
   std::string statsReport() const;
@@ -94,17 +122,20 @@ public:
 
 private:
   /// Dispatches one request body; \returns the response body. Also stamps
-  /// the per-verb counters/latency histograms.
-  std::string handleBody(const std::string &Body, std::set<uint64_t> &Attached);
+  /// the per-verb counters/latency histograms. \p Cacheable comes back
+  /// false for responses that must NOT enter the dedup cache (overload
+  /// rejections: a retransmit must re-try admission, not replay the shed).
+  std::string handleBody(const std::string &Body, std::set<uint64_t> &Attached,
+                         bool &Cacheable);
   std::string dispatchVerb(uint64_t Seq, const std::string &Verb,
                            std::istringstream &IS,
-                           std::set<uint64_t> &Attached);
+                           std::set<uint64_t> &Attached, bool &Cacheable);
   /// Runs one session command (a `load`/`cmd` body, or a reverse-execution
   /// verb translated to its debugger command line) on the worker pool with
   /// the per-verb deadline; the shared back half of every session verb.
   std::string runSessionJob(uint64_t Seq, const std::string &Verb,
                             uint64_t Sid, const std::string &Text, bool IsLoad,
-                            std::set<uint64_t> &Attached);
+                            std::set<uint64_t> &Attached, bool &Cacheable);
 
   ServerConfig Cfg;
   /// Declared before Stats/Mgr: the handles they hold point into it.
@@ -115,6 +146,10 @@ private:
   SessionManager Mgr;
   ThreadPool Pool;
   std::atomic<bool> Shutdown{false};
+  std::atomic<bool> Draining{false};
+  /// Session verbs currently queued or executing on the worker pool — the
+  /// admission-control depth and the drain barrier.
+  std::atomic<size_t> JobsInFlight{0};
 
   std::mutex JanitorMu;
   std::condition_variable JanitorCv;

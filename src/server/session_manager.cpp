@@ -2,18 +2,46 @@
 
 #include "server/session_manager.h"
 
+#include "replay/pinball.h"
 #include "replay/repository.h"
 #include "slicing/slice_repository.h"
 #include "support/fault_injector.h"
 
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
 #include <vector>
 
 using namespace drdebug;
 
+namespace fs = std::filesystem;
+
+bool drdebug::isMutatingCommand(const std::string &Line) {
+  std::istringstream IS(Line);
+  std::string Cmd;
+  if (!(IS >> Cmd))
+    return false;
+  // Everything that only *inspects* state. `slice list`/`slice deps` are
+  // read-only too, but journaling every slice command is harmless (replay
+  // is deterministic) and keeps the classifier a one-token lookup.
+  static const char *const ReadOnly[] = {
+      "help",  "info", "x",      "print",           "p",     "backtrace",
+      "bt",    "where", "list",  "output",          "replay-position",
+      "fault"};
+  for (const char *R : ReadOnly)
+    if (Cmd == R)
+      return false;
+  return true;
+}
+
 /// One resident session: the DebugSession and the mutex that serializes
 /// commands against it. Output capture moved into the session itself
 /// (CommandResult::Text), so the sink just discards; LastUsed is guarded
-/// by CmdMu, Attached by the manager's Mu.
+/// by CmdMu, Attached by the manager's Mu. History/Journal/SinceCompact
+/// (the durability state) are guarded by CmdMu; Quarantined is atomic so
+/// the server's watchdog can flip it without the (possibly wedged) CmdMu.
 struct SessionManager::ManagedSession {
   ManagedSession(uint64_t Id, PinballRepository &Repo,
                  SliceSessionRepository &SliceRepo,
@@ -31,6 +59,25 @@ struct SessionManager::ManagedSession {
   DebugSession Session;
   Clock::time_point LastUsed;
   bool Attached = true;
+
+  // Durability state (CmdMu).
+  /// In-memory mirror of the journal: the session's mutating history. Kept
+  /// even without a journal directory so drain/export always works.
+  std::vector<JournalRecord> History;
+  std::unique_ptr<JournalWriter> Journal;
+  /// Whether a snapshot pinball is on disk, and the regionGeneration() /
+  /// regionFingerprint() it captured — an unchanged region skips the
+  /// re-save at compaction.
+  bool SnapSaved = false;
+  uint64_t SnapSavedGen = 0;
+  uint64_t SnapSavedFp = 0;
+  /// Journaled commands since the last successful compaction.
+  unsigned SinceCompact = 0;
+  /// This session's current contribution to the JournalBytes gauge.
+  uint64_t GaugeBytes = 0;
+  /// Set by the server when a command overruns its deadline; cleared when
+  /// the overdue command finally completes.
+  std::atomic<bool> Quarantined{false};
 };
 
 SessionManager::SessionManager(PinballRepository &Repo,
@@ -41,13 +88,241 @@ SessionManager::SessionManager(PinballRepository &Repo,
     : Repo(Repo), SliceRepo(SliceRepo), Stats(Stats), IdleTimeout(IdleTimeout),
       SliceOpts(SliceOpts) {}
 
+bool SessionManager::configureDurability(const DurabilityOptions &O,
+                                         std::string &Error) {
+  if (O.JournalDir.empty()) {
+    Durability = O;
+    return true;
+  }
+  std::error_code Ec;
+  fs::create_directories(O.JournalDir, Ec);
+  if (Ec) {
+    Error = "cannot create journal directory " + O.JournalDir + ": " +
+            Ec.message();
+    return false;
+  }
+  Durability = O;
+  return true;
+}
+
+std::string SessionManager::journalPath(uint64_t Id) const {
+  return Durability.JournalDir + "/session-" + std::to_string(Id) + ".journal";
+}
+
+std::string SessionManager::snapshotPath(uint64_t Id) const {
+  return Durability.JournalDir + "/session-" + std::to_string(Id) + ".pinball";
+}
+
 uint64_t SessionManager::create() {
   std::lock_guard<std::mutex> Lock(Mu);
   uint64_t Id = NextId++;
-  Sessions.emplace(Id, std::make_shared<ManagedSession>(Id, Repo, SliceRepo,
-                                                        SliceOpts, Stats));
+  auto S = std::make_shared<ManagedSession>(Id, Repo, SliceRepo, SliceOpts,
+                                            Stats);
+  if (durabilityEnabled()) {
+    S->Journal = std::make_unique<JournalWriter>();
+    std::string Err;
+    if (S->Journal->open(journalPath(Id), Durability.Fsync, Err)) {
+      Stats.SessionsJournaled.inc();
+      updateJournalGauge(*S);
+    } else {
+      // journalAppend() retries the open on the first mutating command; if
+      // the directory is still unwritable then, that command fails loudly.
+      S->Journal.reset();
+    }
+  }
+  Sessions.emplace(Id, std::move(S));
   Stats.SessionsCreated.inc();
   return Id;
+}
+
+size_t SessionManager::recover() {
+  if (!durabilityEnabled())
+    return 0;
+  size_t Recovered = 0;
+  std::error_code Ec;
+  std::vector<std::pair<uint64_t, std::string>> Found;
+  for (const auto &Ent : fs::directory_iterator(Durability.JournalDir, Ec)) {
+    std::string Name = Ent.path().filename().string();
+    if (Name.rfind("session-", 0) != 0)
+      continue;
+    const std::string Suffix = ".journal";
+    if (Name.size() <= 8 + Suffix.size() ||
+        Name.compare(Name.size() - Suffix.size(), Suffix.size(), Suffix) != 0)
+      continue;
+    char *End = nullptr;
+    uint64_t Id = std::strtoull(Name.c_str() + 8, &End, 10);
+    if (Id == 0 || End != Name.c_str() + Name.size() - Suffix.size())
+      continue;
+    Found.emplace_back(Id, Ent.path().string());
+  }
+  // Deterministic recovery order (directory iteration order is not).
+  std::sort(Found.begin(), Found.end());
+  for (const auto &[Id, Path] : Found) {
+    std::vector<JournalRecord> Records;
+    bool Torn = false;
+    uint64_t Clean = 0;
+    std::string Err;
+    if (!readJournal(Path, Records, Torn, Clean, Err))
+      continue; // not a journal after all; leave it alone
+    auto S = std::make_shared<ManagedSession>(Id, Repo, SliceRepo, SliceOpts,
+                                              Stats);
+    S->Attached = false;
+    if (!applyRecords(*S, Records, snapshotPath(Id), Err))
+      continue; // snapshot gone or journal ends the session: unrecoverable
+    S->Journal = std::make_unique<JournalWriter>();
+    // Re-opening truncates the torn tail a kill -9 mid-append left behind.
+    if (S->Journal->open(Path, Durability.Fsync, Err))
+      Stats.SessionsJournaled.inc();
+    else
+      S->Journal.reset();
+    S->History = std::move(Records);
+    updateJournalGauge(*S);
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      NextId = std::max(NextId, Id + 1);
+      Sessions.emplace(Id, std::move(S));
+    }
+    Stats.SessionsRecovered.inc();
+    ++Recovered;
+  }
+  return Recovered;
+}
+
+bool SessionManager::applyRecords(ManagedSession &S,
+                                  const std::vector<JournalRecord> &Records,
+                                  const std::string &SnapDir,
+                                  std::string &Error) {
+  for (const JournalRecord &R : Records) {
+    CommandResult Res;
+    switch (R.K) {
+    case JournalRecord::Kind::Load:
+      Res = S.Session.loadProgram(R.Payload);
+      break;
+    case JournalRecord::Kind::Cmd:
+      Res = S.Session.executeCommand(R.Payload);
+      break;
+    case JournalRecord::Kind::Snap:
+      Res = S.Session.executeCommand("pinball load " + SnapDir);
+      if (Res.Status == CommandStatus::Error) {
+        // A failed Cmd record merely re-fails the way it originally did
+        // (deterministically); a failed snapshot load means the state is
+        // genuinely unreconstructible.
+        Error = "snapshot pinball: " + Res.Text;
+        return false;
+      }
+      break;
+    }
+    if (Res.Status == CommandStatus::Exited) {
+      Error = "journal ends the session";
+      return false;
+    }
+  }
+  return true;
+}
+
+void SessionManager::updateJournalGauge(ManagedSession &S) {
+  uint64_t Now =
+      S.Journal && S.Journal->isOpen() ? S.Journal->sizeBytes() : 0;
+  if (Now >= S.GaugeBytes)
+    Stats.JournalBytes.add(static_cast<int64_t>(Now - S.GaugeBytes));
+  else
+    Stats.JournalBytes.sub(static_cast<int64_t>(S.GaugeBytes - Now));
+  S.GaugeBytes = Now;
+}
+
+void SessionManager::dropDurableState(ManagedSession &S) {
+  if (S.Journal)
+    S.Journal->close();
+  S.Journal.reset();
+  updateJournalGauge(S);
+  if (!durabilityEnabled())
+    return;
+  std::error_code Ec;
+  fs::remove(journalPath(S.Id), Ec);
+  fs::remove_all(snapshotPath(S.Id), Ec);
+}
+
+bool SessionManager::journalAppend(ManagedSession &S, const JournalRecord &R,
+                                   std::string &Error) {
+  if (!durabilityEnabled()) {
+    S.History.push_back(R);
+    ++S.SinceCompact;
+    return true;
+  }
+  if (!S.Journal)
+    S.Journal = std::make_unique<JournalWriter>();
+  if (!S.Journal->isOpen() &&
+      !S.Journal->open(journalPath(S.Id), Durability.Fsync, Error))
+    return false;
+  if (!S.Journal->append(R, Error)) {
+    // Heal whatever tail the failed append left (re-open truncates it) so
+    // the next attempt lands after the last clean record. The command
+    // itself must not run: write-ahead means no record, no execution.
+    std::string Path = S.Journal->path();
+    S.Journal->close();
+    std::string ReopenErr;
+    if (!S.Journal->open(Path, Durability.Fsync, ReopenErr))
+      S.Journal->close();
+    updateJournalGauge(S);
+    return false;
+  }
+  S.History.push_back(R);
+  ++S.SinceCompact;
+  updateJournalGauge(S);
+  return true;
+}
+
+void SessionManager::maybeCompact(ManagedSession &S) {
+  if (!S.Journal || !S.Journal->isOpen() || Durability.SnapshotEvery == 0)
+    return;
+  if (S.SinceCompact < Durability.SnapshotEvery)
+    return;
+  if (S.Journal->sizeBytes() < Durability.CompactMinBytes)
+    return; // too small for the rewrite to buy anything
+  if (!S.Session.snapshotExpressible())
+    return;
+  std::string Err;
+  std::vector<JournalRecord> Recs;
+  Recs.push_back({JournalRecord::Kind::Load, S.Session.programText()});
+  // A session whose region pinball came from `pinball load <dir>` — and
+  // whose dir is still byte-identical (same fingerprint) — compacts to a
+  // journal that simply re-loads it on recovery. Only in-memory recordings
+  // (record region / record failure / flight dumps) need the snapshot
+  // pinball copied next to the journal; copying a ~50KB pinball every
+  // SnapshotEvery commands would otherwise dominate the journaling cost.
+  const std::string &SrcDir = S.Session.regionSourceDir();
+  uint64_t SrcFp = S.Session.regionFingerprint();
+  if (!SrcDir.empty() && SrcFp != 0 &&
+      PinballRepository::dirFingerprint(SrcDir) == SrcFp) {
+    Recs.push_back({JournalRecord::Kind::Cmd, "pinball load " + SrcDir});
+  } else {
+    // The snapshot pinball only needs re-saving when the session's region
+    // pinball actually changed since the last compaction. "Unchanged" is
+    // either the same region generation (no reload at all) or the same
+    // nonzero directory fingerprint (reloaded, but from the same bytes).
+    bool SameSnap =
+        S.SnapSaved && (S.SnapSavedGen == S.Session.regionGeneration() ||
+                        (S.SnapSavedFp != 0 &&
+                         S.SnapSavedFp == S.Session.regionFingerprint()));
+    if (!SameSnap) {
+      if (!S.Session.regionPinball()->save(snapshotPath(S.Id), Err))
+        return; // keep the longer journal; nothing is lost
+      S.SnapSaved = true;
+      S.SnapSavedGen = S.Session.regionGeneration();
+      S.SnapSavedFp = S.Session.regionFingerprint();
+    }
+    Recs.push_back({JournalRecord::Kind::Snap, ""});
+  }
+  Recs.push_back({JournalRecord::Kind::Cmd, "replay"});
+  if (uint64_t Pos = S.Session.replayPosition())
+    Recs.push_back(
+        {JournalRecord::Kind::Cmd, "replay-seek " + std::to_string(Pos)});
+  if (!S.Journal->rewrite(Recs, Err))
+    return;
+  S.History = std::move(Recs);
+  S.SinceCompact = 0;
+  Stats.JournalCompactions.inc();
+  updateJournalGauge(S);
 }
 
 bool SessionManager::attach(uint64_t Id, std::string &Error) {
@@ -86,6 +361,7 @@ bool SessionManager::close(uint64_t Id) {
   }
   // Let any in-flight command drain before destruction.
   std::lock_guard<std::mutex> CmdLock(Doomed->CmdMu);
+  dropDurableState(*Doomed);
   Stats.SessionsClosed.inc();
   return true;
 }
@@ -100,6 +376,15 @@ size_t SessionManager::activeCount() const {
   return Sessions.size();
 }
 
+std::vector<uint64_t> SessionManager::ids() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::vector<uint64_t> Ids;
+  Ids.reserve(Sessions.size());
+  for (const auto &[Id, S] : Sessions)
+    Ids.push_back(Id);
+  return Ids;
+}
+
 std::shared_ptr<SessionManager::ManagedSession>
 SessionManager::find(uint64_t Id) const {
   std::lock_guard<std::mutex> Lock(Mu);
@@ -110,6 +395,21 @@ SessionManager::find(uint64_t Id) const {
 void SessionManager::remove(uint64_t Id) {
   std::lock_guard<std::mutex> Lock(Mu);
   Sessions.erase(Id);
+}
+
+void SessionManager::setQuarantined(uint64_t Id, bool On) {
+  std::shared_ptr<ManagedSession> S = find(Id);
+  if (!S)
+    return;
+  if (On && !S->Quarantined.exchange(true))
+    Stats.SessionsQuarantined.inc();
+  if (!On)
+    S->Quarantined.store(false);
+}
+
+bool SessionManager::isQuarantined(uint64_t Id) const {
+  std::shared_ptr<ManagedSession> S = find(Id);
+  return S && S->Quarantined.load();
 }
 
 SessionManager::ExecStatus
@@ -124,16 +424,29 @@ SessionManager::execute(uint64_t Id, const std::string &Line,
     // Deterministic slow-command hook: lets the deadline tests make a verb
     // overrun its budget without depending on machine speed.
     FaultInjector::global().maybeDelay("session.execute");
+    if (isMutatingCommand(Line)) {
+      std::string JErr;
+      if (!journalAppend(*S, {JournalRecord::Kind::Cmd, Line}, JErr)) {
+        Output = "error: journal: " + JErr + "\n";
+        S->LastUsed = Clock::now();
+        Stats.CommandsServed.inc();
+        Stats.CommandsFailed.inc();
+        return ExecStatus::Ok;
+      }
+    }
     CommandResult R = S->Session.executeCommand(Line);
     Status = R.Status;
     Output = std::move(R.Text);
     S->LastUsed = Clock::now();
+    if (Status != CommandStatus::Exited)
+      maybeCompact(*S);
   }
   Stats.CommandsServed.inc();
   if (Status == CommandStatus::Error)
     Stats.CommandsFailed.inc();
   if (Status == CommandStatus::Exited) {
     remove(Id);
+    dropDurableState(*S);
     Stats.SessionsClosed.inc();
     return ExecStatus::Ended;
   }
@@ -148,6 +461,15 @@ SessionManager::loadProgram(uint64_t Id, const std::string &Text,
     return ExecStatus::NoSuchSession;
   {
     std::lock_guard<std::mutex> CmdLock(S->CmdMu);
+    std::string JErr;
+    if (!journalAppend(*S, {JournalRecord::Kind::Load, Text}, JErr)) {
+      Output = "error: journal: " + JErr + "\n";
+      LoadOk = false;
+      S->LastUsed = Clock::now();
+      Stats.CommandsServed.inc();
+      Stats.CommandsFailed.inc();
+      return ExecStatus::Ok;
+    }
     CommandResult R = S->Session.loadProgram(Text);
     LoadOk = R.Status != CommandStatus::Error;
     Output = std::move(R.Text);
@@ -157,6 +479,97 @@ SessionManager::loadProgram(uint64_t Id, const std::string &Text,
   if (!LoadOk)
     Stats.CommandsFailed.inc();
   return ExecStatus::Ok;
+}
+
+bool SessionManager::exportBundle(uint64_t Id, const std::string &Dir,
+                                  std::string &Error) {
+  std::shared_ptr<ManagedSession> S = find(Id);
+  if (!S) {
+    Error = "no such session";
+    return false;
+  }
+  std::lock_guard<std::mutex> CmdLock(S->CmdMu);
+  std::error_code Ec;
+  fs::create_directories(Dir, Ec);
+  if (Ec) {
+    Error = "cannot create bundle directory " + Dir + ": " + Ec.message();
+    return false;
+  }
+  if (!rewriteJournal(Dir + "/journal", S->History, Error))
+    return false;
+  bool HasSnap =
+      std::any_of(S->History.begin(), S->History.end(),
+                  [](const JournalRecord &R) {
+                    return R.K == JournalRecord::Kind::Snap;
+                  });
+  if (HasSnap) {
+    Pinball P;
+    std::string PErr;
+    if (!P.load(snapshotPath(Id), PErr)) {
+      Error = "snapshot pinball: " + PErr;
+      return false;
+    }
+    if (!P.save(Dir + "/pinball", PErr)) {
+      Error = "bundle pinball: " + PErr;
+      return false;
+    }
+  }
+  return true;
+}
+
+bool SessionManager::importBundle(const std::string &Dir, uint64_t &NewId,
+                                  std::string &Error) {
+  std::vector<JournalRecord> Records;
+  bool Torn = false;
+  uint64_t Clean = 0;
+  if (!readJournal(Dir + "/journal", Records, Torn, Clean, Error))
+    return false;
+  uint64_t Id;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Id = NextId++;
+  }
+  auto S = std::make_shared<ManagedSession>(Id, Repo, SliceRepo, SliceOpts,
+                                            Stats);
+  S->Attached = false;
+  std::string BundleSnap = Dir + "/pinball";
+  bool HasSnap =
+      std::any_of(Records.begin(), Records.end(), [](const JournalRecord &R) {
+        return R.K == JournalRecord::Kind::Snap;
+      });
+  if (durabilityEnabled() && HasSnap) {
+    // The snapshot must live next to the new journal for future recovery.
+    Pinball P;
+    std::string PErr;
+    if (!P.load(BundleSnap, PErr)) {
+      Error = "bundle pinball: " + PErr;
+      return false;
+    }
+    if (!P.save(snapshotPath(Id), PErr)) {
+      Error = "snapshot pinball: " + PErr;
+      return false;
+    }
+  }
+  if (!applyRecords(*S, Records, BundleSnap, Error))
+    return false;
+  if (durabilityEnabled()) {
+    if (!rewriteJournal(journalPath(Id), Records, Error))
+      return false;
+    S->Journal = std::make_unique<JournalWriter>();
+    std::string JErr;
+    if (S->Journal->open(journalPath(Id), Durability.Fsync, JErr))
+      Stats.SessionsJournaled.inc();
+    else
+      S->Journal.reset();
+  }
+  S->History = std::move(Records);
+  updateJournalGauge(*S);
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Sessions.emplace(Id, std::move(S));
+  }
+  NewId = Id;
+  return true;
 }
 
 size_t SessionManager::evictIdle() {
@@ -184,6 +597,9 @@ size_t SessionManager::evictIdle() {
       }
     }
   }
+  // Eviction is a close, not a crash: the durable state goes with it.
+  for (const std::shared_ptr<ManagedSession> &S : Evicted)
+    dropDurableState(*S);
   Stats.SessionsEvicted.inc(Evicted.size());
   return Evicted.size();
 }

@@ -13,6 +13,19 @@
 /// configured timeout are evicted; a session busy executing a command is
 /// never evicted mid-command.
 ///
+/// Durability: with a journal directory configured, every state-mutating
+/// command is appended to a per-session CRC32C-framed write-ahead journal
+/// *before* it executes (support/journal.h). Because replay is
+/// deterministic, re-executing the journal rebuilds the session exactly, so
+/// recover() brings every journaled session back after a crash — including
+/// a kill -9 mid-append, whose torn tail the journal reader tolerates.
+/// Journals compact periodically: once a session's whole state is
+/// expressible as "load, snapshot pinball, replay, seek", the journal is
+/// atomically rewritten to those four records. The same record stream
+/// doubles as the migration format: exportBundle() writes it (plus the
+/// snapshot pinball) into a portable directory, importBundle() replays one
+/// into a fresh session on any server.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DRDEBUG_SERVER_SESSION_MANAGER_H
@@ -20,16 +33,35 @@
 
 #include "debugger/session.h"
 #include "server/stats.h"
+#include "support/journal.h"
 
 #include <chrono>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <vector>
 
 namespace drdebug {
 
 class PinballRepository;
 class SliceSessionRepository;
+
+/// Where and how sessions journal. An empty JournalDir disables the whole
+/// durability layer (sessions are memory-only, as before).
+struct DurabilityOptions {
+  std::string JournalDir;
+  JournalFsync Fsync = JournalFsync::None;
+  /// Journaled commands between compaction attempts (0 = never compact).
+  unsigned SnapshotEvery = 64;
+  /// Minimum journal size before compaction is worth the rewrite (0 = no
+  /// floor). A journal below this recovers in negligible time anyway.
+  uint64_t CompactMinBytes = 32 * 1024;
+};
+
+/// True when the first token of \p Line is a command that can change
+/// session state (and must therefore be journaled). Conservative: anything
+/// not on the read-only list counts as mutating.
+bool isMutatingCommand(const std::string &Line);
 
 class SessionManager {
 public:
@@ -43,6 +75,17 @@ public:
                  ServerStats &Stats, std::chrono::milliseconds IdleTimeout,
                  SliceSessionOptions SliceOpts = SliceSessionOptions());
 
+  /// Enables journaling (call before any session exists). Creates the
+  /// journal directory if needed. \returns false when it cannot.
+  bool configureDurability(const DurabilityOptions &O, std::string &Error);
+  bool durabilityEnabled() const { return !Durability.JournalDir.empty(); }
+
+  /// Rebuilds every session whose journal lives in the configured journal
+  /// directory by re-executing its records (deterministic replay makes the
+  /// result byte-identical to the pre-crash session). Recovered sessions
+  /// come back detached, under their original ids. \returns how many.
+  size_t recover();
+
   /// Creates a new (attached) session. \returns its id.
   uint64_t create();
 
@@ -53,11 +96,14 @@ public:
   /// Detaches (the session stays resident and re-attachable).
   bool detach(uint64_t Id);
 
-  /// Destroys a session. \returns false when the id is unknown.
+  /// Destroys a session (and deletes its journal + snapshot: closing is a
+  /// durability event, not a crash). \returns false when the id is unknown.
   bool close(uint64_t Id);
 
   bool exists(uint64_t Id) const;
   size_t activeCount() const;
+  /// Every resident session id, ascending.
+  std::vector<uint64_t> ids() const;
   std::chrono::milliseconds idleTimeout() const { return IdleTimeout; }
 
   enum class ExecStatus {
@@ -67,6 +113,8 @@ public:
   };
 
   /// Runs one debugger command in session \p Id, capturing its output.
+  /// Mutating commands are journaled first; if the append fails the command
+  /// does NOT run (strict write-ahead) and Output carries the error.
   ExecStatus execute(uint64_t Id, const std::string &Line,
                      std::string &Output);
 
@@ -74,6 +122,21 @@ public:
   /// success; \p Output carries the session's message either way.
   ExecStatus loadProgram(uint64_t Id, const std::string &Text,
                          std::string &Output, bool &LoadOk);
+
+  /// Writes session \p Id as a portable bundle directory: `journal` (the
+  /// record stream) plus `pinball/` when the history references a snapshot.
+  /// The bundle imports into any server via importBundle().
+  bool exportBundle(uint64_t Id, const std::string &Dir, std::string &Error);
+
+  /// Replays the bundle at \p Dir into a fresh session (new id, detached).
+  bool importBundle(const std::string &Dir, uint64_t &NewId,
+                    std::string &Error);
+
+  /// Marks / unmarks a session as quarantined (a command overran its
+  /// deadline and may still be running). The server refuses new verbs for
+  /// quarantined sessions instead of queueing behind the wedged command.
+  void setQuarantined(uint64_t Id, bool On);
+  bool isQuarantined(uint64_t Id) const;
 
   /// Evicts every session idle for at least the configured timeout.
   /// \returns the number evicted. No-op when the timeout is zero.
@@ -84,12 +147,32 @@ private:
 
   std::shared_ptr<ManagedSession> find(uint64_t Id) const;
   void remove(uint64_t Id);
+  std::string journalPath(uint64_t Id) const;
+  std::string snapshotPath(uint64_t Id) const;
+  /// Appends \p R to the session's history and journal (if open), updating
+  /// the byte gauge. Caller holds CmdMu.
+  bool journalAppend(ManagedSession &S, const JournalRecord &R,
+                     std::string &Error);
+  /// Compacts the journal to [load, snap, replay, seek] when due and the
+  /// session state allows it. Caller holds CmdMu.
+  void maybeCompact(ManagedSession &S);
+  /// Re-executes \p Records against \p S (output discarded). \p SnapDir
+  /// resolves `snap` records. \returns false when a record ends the session.
+  bool applyRecords(ManagedSession &S,
+                    const std::vector<JournalRecord> &Records,
+                    const std::string &SnapDir, std::string &Error);
+  /// Re-points the JournalBytes gauge at the session's current file size.
+  void updateJournalGauge(ManagedSession &S);
+  /// Deletes the session's on-disk journal + snapshot and zeroes its gauge
+  /// contribution.
+  void dropDurableState(ManagedSession &S);
 
   PinballRepository &Repo;
   SliceSessionRepository &SliceRepo;
   ServerStats &Stats;
   const std::chrono::milliseconds IdleTimeout;
   const SliceSessionOptions SliceOpts;
+  DurabilityOptions Durability;
 
   mutable std::mutex Mu;
   std::map<uint64_t, std::shared_ptr<ManagedSession>> Sessions;

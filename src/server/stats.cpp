@@ -33,7 +33,21 @@ ServerStats::ServerStats(metrics::MetricsRegistry &Reg)
                                  "load/cmd service latency (us)")),
       QueueWaitUs(Reg.histogram(
           mn::ServerQueueWaitUs, {},
-          "Worker-pool schedule wait before a load/cmd job runs (us)")) {
+          "Worker-pool schedule wait before a load/cmd job runs (us)")),
+      SessionsRecovered(Reg.counter(mn::ServerSessionsRecovered, {},
+                                    "Sessions rebuilt from journals at "
+                                    "startup")),
+      SessionsJournaled(Reg.counter(mn::ServerSessionsJournaled, {},
+                                    "Sessions with a write-ahead journal")),
+      JournalBytes(Reg.gauge(mn::ServerJournalBytes, {},
+                             "Clean journal bytes on disk")),
+      JournalCompactions(Reg.counter(mn::ServerJournalCompactions, {},
+                                     "Journals compacted to a snapshot")),
+      AdmissionRejected(Reg.counter(mn::ServerAdmissionRejected, {},
+                                    "Verbs shed by admission control")),
+      SessionsQuarantined(Reg.counter(mn::ServerSessionsQuarantined, {},
+                                      "Sessions quarantined after a deadline "
+                                      "overrun")) {
   // Eager per-verb registration: every protocol verb has its counter and
   // latency histogram from the first scrape, and the drift test can assert
   // the table and the registry never diverge.

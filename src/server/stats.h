@@ -38,6 +38,7 @@ inline constexpr const char *ServerVerbNames[] = {
     "hello",  "open",  "attach", "detach",  "close",  "load",
     "cmd",    "rstep", "rcont",  "rnext",   "rwatch", "rpos",
     "rattach", "rstatus", "rdump",
+    "drain",  "import", "faults",
     "stats",  "metrics", "evict", "shutdown"};
 inline constexpr size_t NumServerVerbs =
     sizeof(ServerVerbNames) / sizeof(ServerVerbNames[0]);
@@ -76,6 +77,20 @@ public:
   /// Time a load/cmd job spent queued before a pool worker picked it up —
   /// the server-side schedule-wait.
   metrics::LatencyHistogram &QueueWaitUs;
+  // Durability layer (the write-ahead journal + recovery + drain stack).
+  /// Sessions rebuilt from their journals at server startup.
+  metrics::Counter &SessionsRecovered;
+  /// Sessions that got a write-ahead journal (created, recovered, imported).
+  metrics::Counter &SessionsJournaled;
+  /// Gauge: clean journal bytes currently on disk across all sessions
+  /// (grows on append, shrinks on compaction and session close).
+  metrics::Gauge &JournalBytes;
+  /// Journals rewritten down to a snapshot (pinball ref + replay position).
+  metrics::Counter &JournalCompactions;
+  /// Verbs shed by admission control with an `overloaded` error.
+  metrics::Counter &AdmissionRejected;
+  /// Sessions quarantined because a command overran its deadline.
+  metrics::Counter &SessionsQuarantined;
 
   /// Per-verb service handles. `Name` is the canonical (static) verb
   /// string, usable as a trace-span name.

@@ -28,6 +28,43 @@ const char *drdebug::faultKindName(FaultKind K) {
   return "unknown";
 }
 
+/// Every probe site in the codebase, by subsystem. Transport sites exist
+/// once per decorator prefix ("server": drdebugd's side, "client": the
+/// drdebug --connect side, "bench": the throughput benchmark's pipes).
+/// Keep this table in sync with the probe calls — the FaultInjection tests
+/// arm each entry and assert it fires.
+static const FaultSiteInfo kKnownSites[] = {
+    {"server.send", "server-side transport send (bitflip/truncate/latency)"},
+    {"server.recv", "server-side transport receive"},
+    {"server.latency", "server-side injected transport delay"},
+    {"client.send", "client-side transport send"},
+    {"client.recv", "client-side transport receive"},
+    {"client.latency", "client-side injected transport delay"},
+    {"bench.send", "benchmark transport send"},
+    {"bench.recv", "benchmark transport receive"},
+    {"bench.latency", "benchmark injected transport delay"},
+    {"pinball.read", "pinball file reads (shortread)"},
+    {"pinball.write", "pinball file writes (shortwrite/diskfull)"},
+    {"pinball.crash", "kill -9 between pinball payload write and rename"},
+    {"session.execute", "debugger command execution (latency)"},
+    {"journal.read", "session journal reads (shortread)"},
+    {"journal.append", "session journal appends (shortwrite/diskfull)"},
+    {"journal.crash", "kill -9 before journal-compaction commit"},
+};
+
+const std::vector<FaultSiteInfo> &drdebug::knownFaultSites() {
+  static const std::vector<FaultSiteInfo> Sites(std::begin(kKnownSites),
+                                                std::end(kKnownSites));
+  return Sites;
+}
+
+bool drdebug::isKnownFaultSite(const std::string &Site) {
+  for (const FaultSiteInfo &S : knownFaultSites())
+    if (Site == S.Name)
+      return true;
+  return false;
+}
+
 static bool parseKind(const std::string &Name, FaultKind &K) {
   for (FaultKind Kind :
        {FaultKind::ShortRead, FaultKind::ShortWrite, FaultKind::DiskFull,
@@ -79,6 +116,13 @@ bool FaultInjector::armFromSpec(const std::string &Spec, std::string &Error) {
         !std::getline(Fields, KindName, ':') ||
         !std::getline(Fields, Tok, ':')) {
       Error = "bad fault spec '" + One + "' (want site:kind:period[:phase[:arg]])";
+      return false;
+    }
+    if (!isKnownFaultSite(SiteName)) {
+      // A typo'd site used to arm silently and never fire; fail instead and
+      // point at the catalog.
+      Error = "unknown fault site '" + SiteName +
+              "' (run `fault list` for the catalog)";
       return false;
     }
     FaultKind Kind;
@@ -172,6 +216,35 @@ void FaultInjector::maybeDelay(const std::string &SiteName) {
   }
   // Sleep outside the lock: latency injection must not serialize peers.
   std::this_thread::sleep_for(std::chrono::milliseconds(Ms));
+}
+
+std::string FaultInjector::describe() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::ostringstream OS;
+  OS << "fault sites (" << knownFaultSites().size() << " known):\n";
+  for (const FaultSiteInfo &Info : knownFaultSites()) {
+    OS << "  " << Info.Name;
+    auto It = Sites.find(Info.Name);
+    if (It != Sites.end()) {
+      const Site &S = It->second;
+      OS << " [armed " << faultKindName(S.Kind) << " period " << S.Period
+         << " phase " << S.Phase;
+      if (S.Arg)
+        OS << " arg " << S.Arg;
+      OS << ", fired " << S.Fired << "]";
+    }
+    OS << " - " << Info.Description << "\n";
+  }
+  // Sites armed directly via arm() outside the catalog (tests may do this)
+  // still show up, so the report never hides an active fault.
+  for (const auto &[Name, S] : Sites) {
+    if (isKnownFaultSite(Name))
+      continue;
+    OS << "  " << Name << " [armed " << faultKindName(S.Kind) << " period "
+       << S.Period << " phase " << S.Phase << ", fired " << S.Fired
+       << "] - uncatalogued site\n";
+  }
+  return OS.str();
 }
 
 uint64_t FaultInjector::firedCount(const std::string &SiteName) const {

@@ -46,6 +46,21 @@ enum class FaultKind : uint8_t {
 /// Stable lowercase name ("bitflip", "diskfull", ...) for spec strings.
 const char *faultKindName(FaultKind K);
 
+/// One entry of the probe-site catalog: every site name the codebase
+/// actually probes, with a one-liner of what firing there simulates.
+/// armFromSpec() rejects names outside this catalog, so a typo'd --inject
+/// spec fails loudly instead of arming a site that never fires.
+struct FaultSiteInfo {
+  const char *Name;
+  const char *Description;
+};
+
+/// The full probe-site catalog (the `fault list` surface).
+const std::vector<FaultSiteInfo> &knownFaultSites();
+
+/// True when \p Site names a catalogued probe site.
+bool isKnownFaultSite(const std::string &Site);
+
 /// The process-wide injector. Thread-safe; all decisions are per-site
 /// probe-counter based, hence deterministic for a deterministic probe order.
 class FaultInjector {
@@ -60,9 +75,15 @@ public:
 
   /// Arms sites from a spec string:
   ///   <site>:<kind>:<period>[:<phase>[:<arg>]][,<more>...]
-  /// e.g. "transport.send:bitflip:64,transport.recv:bitflip:100:3".
-  /// \returns false (with \p Error set) on an unparsable spec.
+  /// e.g. "server.send:bitflip:64,server.recv:bitflip:100:3".
+  /// \returns false (with \p Error set) on an unparsable spec or a site
+  /// name outside the knownFaultSites() catalog.
   bool armFromSpec(const std::string &Spec, std::string &Error);
+
+  /// Human-readable catalog + armed-state report (the `fault list`
+  /// debugger command and the server's `faults` verb): one line per known
+  /// site — name, description, and the armed spec / fired count when armed.
+  std::string describe() const;
 
   /// Disarms every site and resets probe/fired counters and the seed.
   void reset(uint64_t Seed = 1);

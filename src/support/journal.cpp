@@ -1,0 +1,304 @@
+//===- support/journal.cpp - CRC32C-framed write-ahead journal ----------------===//
+
+#include "support/journal.h"
+
+#include "support/crc32c.h"
+#include "support/fault_injector.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+using namespace drdebug;
+
+namespace {
+
+constexpr const char *kHeader = "drdebugj 1\n";
+
+std::string crcHex(uint32_t Crc) {
+  char Buf[16];
+  std::snprintf(Buf, sizeof(Buf), "%08x", Crc);
+  return Buf;
+}
+
+/// Renders one record in its on-disk framing.
+std::string encodeRecord(const JournalRecord &R) {
+  std::string Out = "r ";
+  Out += journalRecordKindName(R.K);
+  Out += ' ';
+  Out += std::to_string(R.Payload.size());
+  Out += ' ';
+  Out += crcHex(crc32c(R.Payload));
+  Out += '\n';
+  Out += R.Payload;
+  Out += '\n';
+  return Out;
+}
+
+bool parseKindName(const std::string &Name, JournalRecord::Kind &K) {
+  for (JournalRecord::Kind Kind :
+       {JournalRecord::Kind::Load, JournalRecord::Kind::Cmd,
+        JournalRecord::Kind::Snap}) {
+    if (Name == journalRecordKindName(Kind)) {
+      K = Kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Scans \p Buf (the whole file) from the end of the header, collecting
+/// clean records. \returns the byte offset where the clean prefix ends.
+uint64_t scanRecords(const std::string &Buf, size_t HeaderEnd,
+                     std::vector<JournalRecord> &Records, bool &TornTail) {
+  size_t Pos = HeaderEnd;
+  TornTail = false;
+  while (Pos < Buf.size()) {
+    size_t Eol = Buf.find('\n', Pos);
+    if (Eol == std::string::npos) {
+      TornTail = true; // header line cut short mid-append
+      break;
+    }
+    std::istringstream HeaderIS(Buf.substr(Pos, Eol - Pos));
+    std::string Tag, KindName, CrcText;
+    uint64_t Len = 0;
+    JournalRecord::Kind Kind;
+    if (!(HeaderIS >> Tag >> KindName >> Len >> CrcText) || Tag != "r" ||
+        !parseKindName(KindName, Kind) || CrcText.size() != 8) {
+      TornTail = true; // garbage where a record header should be
+      break;
+    }
+    size_t PayloadStart = Eol + 1;
+    // Payload plus its trailing newline must be fully present.
+    if (PayloadStart + Len + 1 > Buf.size() ||
+        Buf[PayloadStart + Len] != '\n') {
+      TornTail = true;
+      break;
+    }
+    std::string Payload = Buf.substr(PayloadStart, Len);
+    if (crcHex(crc32c(Payload)) != CrcText) {
+      TornTail = true; // bit rot or a torn overwrite: stop here
+      break;
+    }
+    Records.push_back(JournalRecord{Kind, std::move(Payload)});
+    Pos = PayloadStart + Len + 1;
+  }
+  if (Pos < Buf.size())
+    TornTail = true;
+  return Pos;
+}
+
+} // namespace
+
+const char *drdebug::journalRecordKindName(JournalRecord::Kind K) {
+  switch (K) {
+  case JournalRecord::Kind::Load:
+    return "load";
+  case JournalRecord::Kind::Cmd:
+    return "cmd";
+  case JournalRecord::Kind::Snap:
+    return "snap";
+  }
+  return "unknown";
+}
+
+bool drdebug::readJournal(const std::string &Path,
+                          std::vector<JournalRecord> &Records, bool &TornTail,
+                          uint64_t &CleanBytes, std::string &Error) {
+  Records.clear();
+  TornTail = false;
+  CleanBytes = 0;
+  if (FaultInjector::global().shouldFail("journal.read",
+                                         FaultKind::ShortRead)) {
+    Error = Path + ": short read (injected)";
+    return false;
+  }
+  std::ifstream IS(Path, std::ios::binary);
+  if (!IS) {
+    Error = "cannot open journal " + Path;
+    return false;
+  }
+  std::ostringstream Buf;
+  Buf << IS.rdbuf();
+  std::string Bytes = Buf.str();
+  size_t HeaderLen = std::strlen(kHeader);
+  if (Bytes.compare(0, HeaderLen, kHeader) != 0) {
+    Error = Path + ": not a drdebug journal";
+    return false;
+  }
+  CleanBytes = scanRecords(Bytes, HeaderLen, Records, TornTail);
+  return true;
+}
+
+JournalWriter::~JournalWriter() { close(); }
+
+void JournalWriter::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+bool JournalWriter::open(const std::string &NewPath, JournalFsync Policy,
+                         std::string &Error) {
+  close();
+  Path = NewPath;
+  Fsync = Policy;
+  Bytes = 0;
+  bool Existing = ::access(Path.c_str(), F_OK) == 0;
+  if (Existing) {
+    // Truncate away any torn tail so appends continue after the last clean
+    // record instead of burying garbage mid-file.
+    std::vector<JournalRecord> Ignored;
+    bool Torn = false;
+    uint64_t Clean = 0;
+    if (!readJournal(Path, Ignored, Torn, Clean, Error))
+      return false;
+    if (Torn && ::truncate(Path.c_str(), static_cast<off_t>(Clean)) != 0) {
+      Error = "cannot truncate torn tail of " + Path;
+      return false;
+    }
+    Bytes = Clean;
+  }
+  Fd = ::open(Path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (Fd < 0) {
+    Error = "cannot open journal " + Path + " for append";
+    return false;
+  }
+  if (!Existing) {
+    size_t N = std::strlen(kHeader);
+    if (::write(Fd, kHeader, N) != static_cast<ssize_t>(N)) {
+      Error = "cannot write journal header to " + Path;
+      close();
+      return false;
+    }
+    Bytes = N;
+  }
+  return true;
+}
+
+bool JournalWriter::append(const JournalRecord &R, std::string &Error) {
+  if (Fd < 0) {
+    Error = "journal is not open";
+    return false;
+  }
+  FaultInjector &FI = FaultInjector::global();
+  if (FI.shouldFail("journal.append", FaultKind::DiskFull)) {
+    Error = Path + ": no space left on device (injected)";
+    return false;
+  }
+  std::string Frame = encodeRecord(R);
+  // ShortWrite persists a prefix before failing — the torn tail the reader
+  // and the re-opening writer must both survive.
+  size_t N = FI.shouldFail("journal.append", FaultKind::ShortWrite)
+                 ? Frame.size() / 2
+                 : Frame.size();
+  size_t Off = 0;
+  while (Off < N) {
+    ssize_t W = ::write(Fd, Frame.data() + Off, N - Off);
+    if (W < 0) {
+      Error = "journal append to " + Path + " failed";
+      return false;
+    }
+    Off += static_cast<size_t>(W);
+  }
+  if (N != Frame.size()) {
+    Error = Path + ": short write (injected)";
+    return false;
+  }
+  if (Fsync == JournalFsync::EachRecord && ::fsync(Fd) != 0) {
+    Error = "journal fsync of " + Path + " failed";
+    return false;
+  }
+  Bytes += Frame.size();
+  return true;
+}
+
+namespace {
+
+/// The shared core of rewriteJournal / JournalWriter::rewrite: writes the
+/// records to a temp file, then renames it over \p Path. On success the fd
+/// the temp was written through — which now refers to the file at \p Path,
+/// positioned at end-of-file — is handed back via \p FdOut along with the
+/// byte count; the caller owns closing or adopting it.
+bool rewriteToFd(const std::string &Path,
+                 const std::vector<JournalRecord> &Records, JournalFsync Sync,
+                 int &FdOut, uint64_t &BytesOut, std::string &Error) {
+  std::string Tmp = Path + ".tmp-" + std::to_string(::getpid());
+  int Fd = ::open(Tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (Fd < 0) {
+    Error = "cannot create " + Tmp;
+    return false;
+  }
+  std::string Buf = kHeader;
+  for (const JournalRecord &R : Records)
+    Buf += encodeRecord(R);
+  size_t Off = 0;
+  while (Off < Buf.size()) {
+    ssize_t W = ::write(Fd, Buf.data() + Off, Buf.size() - Off);
+    if (W < 0) {
+      ::close(Fd);
+      ::unlink(Tmp.c_str());
+      Error = "cannot write " + Tmp;
+      return false;
+    }
+    Off += static_cast<size_t>(W);
+  }
+  if (Sync == JournalFsync::EachRecord && ::fsync(Fd) != 0) {
+    ::close(Fd);
+    ::unlink(Tmp.c_str());
+    Error = "cannot fsync " + Tmp;
+    return false;
+  }
+  // Crash probe: kill -9 after the compacted journal is durable but before
+  // it replaces the old one — recovery must still see a valid journal
+  // (the old one; the orphan temp file is ignored).
+  if (FaultInjector::global().shouldFail("journal.crash", FaultKind::Crash)) {
+    ::close(Fd);
+    ::unlink(Tmp.c_str());
+    Error = Path + ": crashed before compaction commit (injected)";
+    return false;
+  }
+  if (::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    ::close(Fd);
+    ::unlink(Tmp.c_str());
+    Error = "cannot rename " + Tmp + " into place";
+    return false;
+  }
+  FdOut = Fd;
+  BytesOut = Buf.size();
+  return true;
+}
+
+} // namespace
+
+bool drdebug::rewriteJournal(const std::string &Path,
+                             const std::vector<JournalRecord> &Records,
+                             std::string &Error, JournalFsync Sync) {
+  int Fd = -1;
+  uint64_t Bytes = 0;
+  if (!rewriteToFd(Path, Records, Sync, Fd, Bytes, Error))
+    return false;
+  ::close(Fd);
+  return true;
+}
+
+bool JournalWriter::rewrite(const std::vector<JournalRecord> &Records,
+                            std::string &Error) {
+  if (Fd < 0) {
+    Error = "journal is not open";
+    return false;
+  }
+  int NewFd = -1;
+  uint64_t NewBytes = 0;
+  if (!rewriteToFd(Path, Records, Fsync, NewFd, NewBytes, Error))
+    return false;
+  ::close(Fd); // the old inode; the rename already unlinked it
+  Fd = NewFd;
+  Bytes = NewBytes;
+  return true;
+}

@@ -1,0 +1,128 @@
+//===- support/journal.h - CRC32C-framed write-ahead journal ----*- C++ -*-===//
+//
+// Part of the DrDebug reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-session write-ahead journal behind drdebugd's durable sessions.
+/// Because replay is deterministic, a debug session is fully reconstructible
+/// from the ordered list of state-mutating commands fed to it (plus a region
+/// pinball snapshot, when one exists): the journal is exactly that list, on
+/// disk, appended *before* each command executes.
+///
+/// File format (text headers, raw payloads):
+///
+///   drdebugj 1\n
+///   r <kind> <len> <crc32c-hex8>\n<payload bytes>\n
+///   r <kind> <len> <crc32c-hex8>\n<payload bytes>\n
+///   ...
+///
+/// where <kind> is `load` (payload: program assembly text), `cmd` (payload:
+/// one debugger command line) or `snap` (payload empty: "load the snapshot
+/// pinball that lives next to this journal" — the compaction record). The
+/// CRC32C covers the payload only.
+///
+/// Reads are torn-tail tolerant: scanning stops at the first incomplete or
+/// checksum-damaged record and reports how many clean records precede it —
+/// exactly the state a kill -9 mid-append leaves behind. Re-opening a
+/// journal for append truncates that torn tail first, so the file never
+/// grows garbage in the middle.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRDEBUG_SUPPORT_JOURNAL_H
+#define DRDEBUG_SUPPORT_JOURNAL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace drdebug {
+
+/// When appends reach the disk. None trusts the OS (survives a process
+/// kill -9 — written bytes belong to the kernel — but not a machine crash);
+/// EachRecord fsyncs every append (survives both, costs a disk flush per
+/// state-mutating command).
+enum class JournalFsync : uint8_t {
+  None,
+  EachRecord,
+};
+
+/// One journaled event.
+struct JournalRecord {
+  enum class Kind : uint8_t {
+    Load, ///< program text was loaded into the session
+    Cmd,  ///< a state-mutating debugger command line
+    Snap, ///< compaction marker: load the sibling snapshot pinball
+  };
+  Kind K = Kind::Cmd;
+  std::string Payload;
+};
+
+/// Stable name for a record kind ("load", "cmd", "snap").
+const char *journalRecordKindName(JournalRecord::Kind K);
+
+/// Reads every clean record of the journal at \p Path. \returns false (with
+/// \p Error set) when the file is missing or not a journal at all. A torn
+/// tail is NOT an error: the valid prefix is returned, \p TornTail is set,
+/// and \p CleanBytes reports where the damage starts.
+bool readJournal(const std::string &Path, std::vector<JournalRecord> &Records,
+                 bool &TornTail, uint64_t &CleanBytes, std::string &Error);
+
+/// Append-only writer over one journal file. Not thread-safe: the caller
+/// (the session manager) serializes appends per session.
+class JournalWriter {
+public:
+  JournalWriter() = default;
+  ~JournalWriter();
+
+  JournalWriter(const JournalWriter &) = delete;
+  JournalWriter &operator=(const JournalWriter &) = delete;
+
+  /// Opens \p Path for appending, creating it (with its header) when new.
+  /// An existing file is scanned and its torn tail, if any, truncated away
+  /// so the next append lands after the last clean record.
+  bool open(const std::string &Path, JournalFsync Fsync, std::string &Error);
+
+  /// Appends one record (probes the `journal.append` fault site: DiskFull
+  /// fails outright, ShortWrite leaves a torn tail behind — the crash the
+  /// reader must tolerate). \returns false with \p Error set on failure.
+  bool append(const JournalRecord &R, std::string &Error);
+
+  /// Atomically replaces the open journal's contents with \p Records
+  /// (compaction) and keeps appending through the replacement: the fd the
+  /// temp file was written through still refers to the renamed file and
+  /// already sits at end-of-file, so no close/rescan/reopen cycle is
+  /// needed — that rescan dominated the compaction cost. On failure the
+  /// old journal (and this writer) are untouched.
+  bool rewrite(const std::vector<JournalRecord> &Records, std::string &Error);
+
+  void close();
+  bool isOpen() const { return Fd >= 0; }
+  const std::string &path() const { return Path; }
+  /// Bytes of clean journal currently on disk (header + records).
+  uint64_t sizeBytes() const { return Bytes; }
+
+private:
+  int Fd = -1;
+  std::string Path;
+  JournalFsync Fsync = JournalFsync::None;
+  uint64_t Bytes = 0;
+};
+
+/// Atomically replaces the journal at \p Path with \p Records (compaction:
+/// the caller has turned the session's history into a shorter equivalent
+/// prefix). Writes a temp file, fsyncs it, then renames into place — a crash
+/// at any point leaves either the old or the new journal, never a mix
+/// (probes `journal.crash` between write and rename). \p Sync of None skips
+/// the pre-rename fsync: safe against kill -9 (the kernel has the bytes),
+/// not against a machine crash — the same trade the append policy makes.
+bool rewriteJournal(const std::string &Path,
+                    const std::vector<JournalRecord> &Records,
+                    std::string &Error,
+                    JournalFsync Sync = JournalFsync::EachRecord);
+
+} // namespace drdebug
+
+#endif // DRDEBUG_SUPPORT_JOURNAL_H

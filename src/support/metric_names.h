@@ -71,6 +71,19 @@ inline constexpr const char *ServerSliceCacheMisses =
     "drdebug_server_slice_cache_misses_total";
 inline constexpr const char *ServerSliceCacheEvicted =
     "drdebug_server_slice_cache_evicted_total";
+// Durability layer (journaling, recovery, drain, admission, quarantine).
+inline constexpr const char *ServerSessionsRecovered =
+    "drdebug_server_sessions_recovered_total";
+inline constexpr const char *ServerSessionsJournaled =
+    "drdebug_server_sessions_journaled_total";
+inline constexpr const char *ServerJournalBytes =
+    "drdebug_server_journal_bytes";
+inline constexpr const char *ServerJournalCompactions =
+    "drdebug_server_journal_compactions_total";
+inline constexpr const char *ServerAdmissionRejected =
+    "drdebug_server_admission_rejected_total";
+inline constexpr const char *ServerSessionsQuarantined =
+    "drdebug_server_sessions_quarantined_total";
 
 // --- Logger (global registry) --------------------------------------------
 inline constexpr const char *LogRegions = "drdebug_log_regions_total";
@@ -167,6 +180,12 @@ inline constexpr MetricInfo AllMetrics[] = {
     {ServerSliceCacheHits, "counter"},
     {ServerSliceCacheMisses, "counter"},
     {ServerSliceCacheEvicted, "counter"},
+    {ServerSessionsRecovered, "counter"},
+    {ServerSessionsJournaled, "counter"},
+    {ServerJournalBytes, "gauge"},
+    {ServerJournalCompactions, "counter"},
+    {ServerAdmissionRejected, "counter"},
+    {ServerSessionsQuarantined, "counter"},
     {LogRegions, "counter"},
     {LogInstructions, "counter"},
     {LogFastForwardUs, "histogram"},

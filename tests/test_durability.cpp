@@ -1,0 +1,884 @@
+//===- tests/test_durability.cpp - Durable session tests ----------------------===//
+//
+// The durability layer end-to-end: the CRC32C-framed journal (torn tails,
+// damaged records, fault-injected appends, atomic compaction rewrites),
+// crash recovery (restart a journaled server and get byte-identical
+// sessions back), snapshot compaction, drain/import migration, admission
+// control with the client's retry-after backoff, and the wedged-session
+// quarantine. These run alongside test_server.cpp under the tsan preset.
+//
+//===----------------------------------------------------------------------===//
+
+#include "debugger/session.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "server/server.h"
+#include "server/transport.h"
+#include "support/fault_injector.h"
+#include "support/journal.h"
+#include "workloads/figure5.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <unistd.h>
+
+using namespace drdebug;
+namespace fs = std::filesystem;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Helpers
+//===----------------------------------------------------------------------===//
+
+/// A scratch directory removed on destruction.
+struct TempDir {
+  fs::path Dir;
+  explicit TempDir(const char *Tag) {
+    Dir = fs::temp_directory_path() /
+          (std::string("drdebug_durability_") + Tag + "_" +
+           std::to_string(::getpid()));
+    fs::remove_all(Dir);
+    fs::create_directories(Dir);
+  }
+  ~TempDir() { fs::remove_all(Dir); }
+};
+
+/// Disarms the global fault injector when a test exits, pass or fail.
+struct InjectorGuard {
+  ~InjectorGuard() { FaultInjector::global().reset(); }
+};
+
+/// Runs \p Setup then \p Probes in a plain single-threaded DebugSession and
+/// returns only the probe output — the reference a recovered/imported
+/// session must match byte for byte.
+std::string localProbes(const std::string &AsmText,
+                        const std::vector<std::string> &Setup,
+                        const std::vector<std::string> &Probes) {
+  std::ostringstream OS;
+  DebugSession S(OS);
+  S.loadProgramText(AsmText);
+  for (const std::string &C : Setup)
+    S.execute(C);
+  std::string Out;
+  for (const std::string &C : Probes)
+    Out += S.executeCommand(C).Text;
+  return Out;
+}
+
+/// Runs \p Probes over an already-attached remote session.
+std::string remoteProbes(ProtocolClient &Client, uint64_t Sid,
+                         const std::vector<std::string> &Probes) {
+  std::string Out, Chunk, Error;
+  for (const std::string &C : Probes) {
+    if (!Client.cmd(Sid, C, Chunk, Error)) {
+      ADD_FAILURE() << "probe '" << C << "' failed: " << Error;
+      break;
+    }
+    Out += Chunk;
+  }
+  return Out;
+}
+
+/// Opens a session on a fresh connection to \p Srv, loads Figure 5 and runs
+/// \p Setup, then drops the connection without closing the session (the
+/// simulated crash leaves the journal behind). \returns the session id.
+uint64_t runFigure5Session(DebugServer &Srv,
+                           const std::vector<std::string> &Setup) {
+  Program P = workloads::makeFigure5();
+  auto [ClientEnd, ServerEnd] = makePipePair();
+  std::thread ServerThread([&, T = ServerEnd.get()] { Srv.serve(*T); });
+  uint64_t Sid = 0;
+  {
+    ProtocolClient Client(*ClientEnd);
+    std::string Out, Error;
+    EXPECT_TRUE(Client.open(Sid, Error)) << Error;
+    EXPECT_TRUE(Client.load(Sid, P.SourceText, Out, Error)) << Error;
+    for (const std::string &C : Setup)
+      EXPECT_TRUE(Client.cmd(Sid, C, Out, Error)) << C << ": " << Error;
+  }
+  ClientEnd->close();
+  ServerThread.join();
+  return Sid;
+}
+
+/// Attaches to session \p Sid on \p Srv and returns the probe output.
+std::string probeRecovered(DebugServer &Srv, uint64_t Sid,
+                           const std::vector<std::string> &Probes) {
+  auto [ClientEnd, ServerEnd] = makePipePair();
+  std::thread ServerThread([&, T = ServerEnd.get()] { Srv.serve(*T); });
+  std::string Out;
+  {
+    ProtocolClient Client(*ClientEnd);
+    std::string Resp, Error;
+    EXPECT_TRUE(
+        Client.request("attach " + std::to_string(Sid), Resp, Error))
+        << Error;
+    Out = remoteProbes(Client, Sid, Probes);
+  }
+  ClientEnd->close();
+  ServerThread.join();
+  return Out;
+}
+
+/// Records the journal at \p Path (must exist and parse cleanly).
+std::vector<JournalRecord> mustRead(const fs::path &Path,
+                                    bool *TornOut = nullptr) {
+  std::vector<JournalRecord> Recs;
+  bool Torn = false;
+  uint64_t Clean = 0;
+  std::string Error;
+  EXPECT_TRUE(readJournal(Path.string(), Recs, Torn, Clean, Error)) << Error;
+  if (TornOut)
+    *TornOut = Torn;
+  return Recs;
+}
+
+//===----------------------------------------------------------------------===//
+// The journal file format
+//===----------------------------------------------------------------------===//
+
+TEST(Durability, JournalWriterReaderRoundTrip) {
+  TempDir Tmp("roundtrip");
+  fs::path Path = Tmp.Dir / "s.journal";
+  std::string Error;
+  {
+    JournalWriter W;
+    ASSERT_TRUE(W.open(Path.string(), JournalFsync::None, Error)) << Error;
+    ASSERT_TRUE(W.append({JournalRecord::Kind::Load, "mov r0, 1\n"}, Error));
+    ASSERT_TRUE(W.append({JournalRecord::Kind::Cmd, "record failure"}, Error));
+    ASSERT_TRUE(W.append({JournalRecord::Kind::Snap, ""}, Error));
+    EXPECT_EQ(W.sizeBytes(), fs::file_size(Path));
+  }
+  bool Torn = true;
+  std::vector<JournalRecord> Recs = mustRead(Path, &Torn);
+  EXPECT_FALSE(Torn);
+  ASSERT_EQ(Recs.size(), 3u);
+  EXPECT_EQ(Recs[0].K, JournalRecord::Kind::Load);
+  EXPECT_EQ(Recs[0].Payload, "mov r0, 1\n");
+  EXPECT_EQ(Recs[1].K, JournalRecord::Kind::Cmd);
+  EXPECT_EQ(Recs[1].Payload, "record failure");
+  EXPECT_EQ(Recs[2].K, JournalRecord::Kind::Snap);
+  EXPECT_EQ(Recs[2].Payload, "");
+
+  // Re-opening appends after the existing records.
+  {
+    JournalWriter W;
+    ASSERT_TRUE(W.open(Path.string(), JournalFsync::EachRecord, Error));
+    ASSERT_TRUE(W.append({JournalRecord::Kind::Cmd, "replay"}, Error));
+  }
+  Recs = mustRead(Path);
+  ASSERT_EQ(Recs.size(), 4u);
+  EXPECT_EQ(Recs[3].Payload, "replay");
+}
+
+TEST(Durability, JournalTornTailToleratedAndTruncatedOnReopen) {
+  TempDir Tmp("torn");
+  fs::path Path = Tmp.Dir / "s.journal";
+  std::string Error;
+  {
+    JournalWriter W;
+    ASSERT_TRUE(W.open(Path.string(), JournalFsync::None, Error)) << Error;
+    ASSERT_TRUE(W.append({JournalRecord::Kind::Cmd, "one"}, Error));
+    ASSERT_TRUE(W.append({JournalRecord::Kind::Cmd, "two"}, Error));
+  }
+  // Simulate a kill -9 mid-append: a record header with no payload behind it.
+  {
+    std::ofstream OS(Path, std::ios::app | std::ios::binary);
+    OS << "r cmd 40 0badc0de\npart";
+  }
+  std::vector<JournalRecord> Recs;
+  bool Torn = false;
+  uint64_t Clean = 0;
+  ASSERT_TRUE(readJournal(Path.string(), Recs, Torn, Clean, Error)) << Error;
+  EXPECT_TRUE(Torn);
+  ASSERT_EQ(Recs.size(), 2u);
+  EXPECT_LT(Clean, fs::file_size(Path));
+
+  // Re-opening for append truncates the torn tail before writing.
+  {
+    JournalWriter W;
+    ASSERT_TRUE(W.open(Path.string(), JournalFsync::None, Error)) << Error;
+    EXPECT_EQ(fs::file_size(Path), Clean);
+    ASSERT_TRUE(W.append({JournalRecord::Kind::Cmd, "three"}, Error));
+  }
+  Recs = mustRead(Path, &Torn);
+  EXPECT_FALSE(Torn);
+  ASSERT_EQ(Recs.size(), 3u);
+  EXPECT_EQ(Recs[2].Payload, "three");
+}
+
+TEST(Durability, JournalChecksumDamageStopsTheScan) {
+  TempDir Tmp("crc");
+  fs::path Path = Tmp.Dir / "s.journal";
+  std::string Error;
+  {
+    JournalWriter W;
+    ASSERT_TRUE(W.open(Path.string(), JournalFsync::None, Error)) << Error;
+    ASSERT_TRUE(W.append({JournalRecord::Kind::Cmd, "alpha"}, Error));
+    ASSERT_TRUE(W.append({JournalRecord::Kind::Cmd, "beta"}, Error));
+  }
+  // Flip one payload byte of the second record in place.
+  std::string Bytes;
+  {
+    std::ifstream IS(Path, std::ios::binary);
+    std::ostringstream OS;
+    OS << IS.rdbuf();
+    Bytes = OS.str();
+  }
+  size_t At = Bytes.find("beta");
+  ASSERT_NE(At, std::string::npos);
+  Bytes[At] = 'x';
+  {
+    std::ofstream OS(Path, std::ios::trunc | std::ios::binary);
+    OS << Bytes;
+  }
+  std::vector<JournalRecord> Recs;
+  bool Torn = false;
+  uint64_t Clean = 0;
+  ASSERT_TRUE(readJournal(Path.string(), Recs, Torn, Clean, Error)) << Error;
+  EXPECT_TRUE(Torn);
+  ASSERT_EQ(Recs.size(), 1u);
+  EXPECT_EQ(Recs[0].Payload, "alpha");
+}
+
+TEST(Durability, JournalRejectsNonJournalFiles) {
+  TempDir Tmp("notajournal");
+  fs::path Path = Tmp.Dir / "readme.txt";
+  {
+    std::ofstream OS(Path);
+    OS << "this is not a journal\n";
+  }
+  std::vector<JournalRecord> Recs;
+  bool Torn = false;
+  uint64_t Clean = 0;
+  std::string Error;
+  EXPECT_FALSE(readJournal(Path.string(), Recs, Torn, Clean, Error));
+  EXPECT_FALSE(Error.empty());
+  EXPECT_FALSE(
+      readJournal((Tmp.Dir / "missing.journal").string(), Recs, Torn, Clean,
+                  Error));
+}
+
+TEST(Durability, JournalFaultInjectedAppends) {
+  InjectorGuard Guard;
+  TempDir Tmp("faulty");
+  fs::path Path = Tmp.Dir / "s.journal";
+  std::string Error;
+  JournalWriter W;
+  ASSERT_TRUE(W.open(Path.string(), JournalFsync::None, Error)) << Error;
+  ASSERT_TRUE(W.append({JournalRecord::Kind::Cmd, "clean"}, Error));
+
+  // ENOSPC: the append fails and writes nothing.
+  FaultInjector::global().arm("journal.append", FaultKind::DiskFull, 1);
+  EXPECT_FALSE(W.append({JournalRecord::Kind::Cmd, "lost"}, Error));
+  FaultInjector::global().reset();
+  EXPECT_EQ(mustRead(Path).size(), 1u);
+
+  // Short write: the append fails AND leaves a torn tail behind.
+  FaultInjector::global().arm("journal.append", FaultKind::ShortWrite, 1);
+  EXPECT_FALSE(W.append({JournalRecord::Kind::Cmd, "half-written"}, Error));
+  FaultInjector::global().reset();
+  W.close();
+  bool Torn = false;
+  EXPECT_EQ(mustRead(Path, &Torn).size(), 1u);
+  EXPECT_TRUE(Torn);
+
+  // Re-opening heals the tail; the journal keeps growing cleanly.
+  ASSERT_TRUE(W.open(Path.string(), JournalFsync::None, Error)) << Error;
+  ASSERT_TRUE(W.append({JournalRecord::Kind::Cmd, "after-heal"}, Error));
+  std::vector<JournalRecord> Recs = mustRead(Path, &Torn);
+  EXPECT_FALSE(Torn);
+  ASSERT_EQ(Recs.size(), 2u);
+  EXPECT_EQ(Recs[1].Payload, "after-heal");
+}
+
+TEST(Durability, CompactionRewriteSurvivesSimulatedCrash) {
+  InjectorGuard Guard;
+  TempDir Tmp("rewrite");
+  fs::path Path = Tmp.Dir / "s.journal";
+  std::string Error;
+  {
+    JournalWriter W;
+    ASSERT_TRUE(W.open(Path.string(), JournalFsync::None, Error)) << Error;
+    ASSERT_TRUE(W.append({JournalRecord::Kind::Cmd, "a"}, Error));
+    ASSERT_TRUE(W.append({JournalRecord::Kind::Cmd, "b"}, Error));
+    ASSERT_TRUE(W.append({JournalRecord::Kind::Cmd, "c"}, Error));
+  }
+  // A crash between temp-file write and rename must leave the old journal.
+  FaultInjector::global().arm("journal.crash", FaultKind::Crash, 1);
+  std::vector<JournalRecord> Compacted = {{JournalRecord::Kind::Snap, ""},
+                                          {JournalRecord::Kind::Cmd, "replay"}};
+  EXPECT_FALSE(rewriteJournal(Path.string(), Compacted, Error));
+  FaultInjector::global().reset();
+  EXPECT_EQ(mustRead(Path).size(), 3u);
+
+  // Without the fault the rewrite replaces the journal atomically.
+  ASSERT_TRUE(rewriteJournal(Path.string(), Compacted, Error)) << Error;
+  std::vector<JournalRecord> Recs = mustRead(Path);
+  ASSERT_EQ(Recs.size(), 2u);
+  EXPECT_EQ(Recs[0].K, JournalRecord::Kind::Snap);
+  EXPECT_EQ(Recs[1].Payload, "replay");
+}
+
+TEST(Durability, MutatingCommandClassification) {
+  EXPECT_TRUE(isMutatingCommand("record failure"));
+  EXPECT_TRUE(isMutatingCommand("replay"));
+  EXPECT_TRUE(isMutatingCommand("stepi 5"));
+  EXPECT_TRUE(isMutatingCommand("break 4"));
+  EXPECT_FALSE(isMutatingCommand("where"));
+  EXPECT_FALSE(isMutatingCommand("backtrace"));
+  EXPECT_FALSE(isMutatingCommand("print X"));
+  EXPECT_FALSE(isMutatingCommand("replay-position"));
+  EXPECT_FALSE(isMutatingCommand("fault list"));
+  EXPECT_FALSE(isMutatingCommand("output"));
+}
+
+//===----------------------------------------------------------------------===//
+// Crash recovery
+//===----------------------------------------------------------------------===//
+
+const std::vector<std::string> RecoverySetup = {"record failure", "replay",
+                                                "reverse-stepi 5"};
+const std::vector<std::string> RecoveryProbes = {"where", "replay-position",
+                                                 "backtrace", "output"};
+
+TEST(Durability, ServerRecoversSessionsByteIdentical) {
+  TempDir Tmp("recover");
+  Program P = workloads::makeFigure5();
+  const std::string Reference =
+      localProbes(P.SourceText, RecoverySetup, RecoveryProbes);
+  ASSERT_FALSE(Reference.empty());
+
+  ServerConfig Cfg;
+  Cfg.JournalDir = Tmp.Dir.string();
+  uint64_t Sid = 0;
+  {
+    DebugServer Srv(Cfg);
+    Sid = runFigure5Session(Srv, RecoverySetup);
+    EXPECT_GE(Srv.stats().SessionsJournaled.load(), 1u);
+    EXPECT_GT(Srv.stats().JournalBytes.load(), 0);
+    // Simulated kill -9: the server dies here with the journal on disk.
+  }
+  ASSERT_TRUE(fs::exists(Tmp.Dir / ("session-" + std::to_string(Sid) +
+                                    ".journal")));
+  {
+    DebugServer Srv(Cfg);
+    EXPECT_EQ(Srv.sessions().activeCount(), 1u);
+    EXPECT_EQ(Srv.stats().SessionsRecovered.load(), 1u);
+    EXPECT_EQ(probeRecovered(Srv, Sid, RecoveryProbes), Reference);
+  }
+}
+
+TEST(Durability, RepeatedRecoveryIsExactlyOnce) {
+  TempDir Tmp("rerecover");
+  Program P = workloads::makeFigure5();
+  const std::string Reference =
+      localProbes(P.SourceText, RecoverySetup, RecoveryProbes);
+
+  ServerConfig Cfg;
+  Cfg.JournalDir = Tmp.Dir.string();
+  uint64_t Sid = 0;
+  {
+    DebugServer Srv(Cfg);
+    Sid = runFigure5Session(Srv, RecoverySetup);
+  }
+  fs::path Journal = Tmp.Dir / ("session-" + std::to_string(Sid) + ".journal");
+  const size_t RecordCount = mustRead(Journal).size();
+  // Three crash/restart cycles: the state never drifts and recovery never
+  // re-journals what it replays (each record applies exactly once).
+  for (int Cycle = 0; Cycle < 3; ++Cycle) {
+    DebugServer Srv(Cfg);
+    ASSERT_EQ(Srv.sessions().activeCount(), 1u) << "cycle " << Cycle;
+    EXPECT_EQ(probeRecovered(Srv, Sid, RecoveryProbes), Reference)
+        << "cycle " << Cycle;
+  }
+  EXPECT_EQ(mustRead(Journal).size(), RecordCount);
+}
+
+TEST(Durability, RetransmitAfterRestartReExecutesSafely) {
+  // The duplicate-response cache is per-connection, in memory only: it does
+  // NOT survive a restart (docs/SERVER.md). What makes that safe is journal
+  // replay idempotence — recovery applies each journaled record exactly
+  // once, so a client that reconnects and re-issues a command gets exactly
+  // one additional application, never a double-replayed history.
+  TempDir Tmp("dedup");
+  Program P = workloads::makeFigure5();
+  const std::vector<std::string> Setup = {"record failure", "replay",
+                                          "reverse-stepi 1"};
+  const std::vector<std::string> Probes = {"replay-position", "where"};
+  const std::string AfterOnce = localProbes(P.SourceText, Setup, Probes);
+  std::vector<std::string> SetupTwice = Setup;
+  SetupTwice.push_back("reverse-stepi 1");
+  const std::string AfterTwice =
+      localProbes(P.SourceText, SetupTwice, Probes);
+  ASSERT_NE(AfterOnce, AfterTwice);
+
+  ServerConfig Cfg;
+  Cfg.JournalDir = Tmp.Dir.string();
+  uint64_t Sid = 0;
+  {
+    DebugServer Srv(Cfg);
+    Sid = runFigure5Session(Srv, Setup);
+  }
+  DebugServer Srv(Cfg);
+  // Recovery applied "stepi 1" exactly once...
+  EXPECT_EQ(probeRecovered(Srv, Sid, Probes), AfterOnce);
+  // ...and a reconnecting client re-issuing it executes it again (the old
+  // connection's dedup cache is gone), which is one more step, no more.
+  auto [ClientEnd, ServerEnd] = makePipePair();
+  std::thread ServerThread([&, T = ServerEnd.get()] { Srv.serve(*T); });
+  {
+    ProtocolClient Client(*ClientEnd);
+    std::string Out, Error;
+    ASSERT_TRUE(Client.request("attach " + std::to_string(Sid), Out, Error))
+        << Error;
+    ASSERT_TRUE(Client.cmd(Sid, "reverse-stepi 1", Out, Error)) << Error;
+    EXPECT_EQ(remoteProbes(Client, Sid, Probes), AfterTwice);
+  }
+  ClientEnd->close();
+  ServerThread.join();
+}
+
+TEST(Durability, SnapshotCompactionTruncatesJournal) {
+  TempDir Tmp("compact");
+  Program P = workloads::makeFigure5();
+  // replay-seek recovery and reverse-stepi recovery take different
+  // checkpoint paths, so probe only position-determined state here.
+  const std::vector<std::string> Setup = {"record failure", "replay",
+                                          "reverse-stepi 2"};
+  const std::vector<std::string> Probes = {"where", "output"};
+  const std::string Reference = localProbes(P.SourceText, Setup, Probes);
+
+  ServerConfig Cfg;
+  Cfg.JournalDir = Tmp.Dir.string();
+  Cfg.SnapshotEvery = 4; // load + 3 commands trigger the first compaction
+  Cfg.CompactMinBytes = 0; // no size floor: tiny test journals must compact
+  uint64_t Sid = 0;
+  {
+    DebugServer Srv(Cfg);
+    Sid = runFigure5Session(Srv, Setup);
+    EXPECT_GE(Srv.stats().JournalCompactions.load(), 1u);
+  }
+  // The journal collapsed to load + snapshot-marker + replay + seek, and
+  // the snapshot pinball sits next to it.
+  fs::path Journal = Tmp.Dir / ("session-" + std::to_string(Sid) + ".journal");
+  std::vector<JournalRecord> Recs = mustRead(Journal);
+  ASSERT_EQ(Recs.size(), 4u);
+  EXPECT_EQ(Recs[0].K, JournalRecord::Kind::Load);
+  EXPECT_EQ(Recs[1].K, JournalRecord::Kind::Snap);
+  EXPECT_EQ(Recs[2].Payload, "replay");
+  EXPECT_EQ(Recs[3].Payload.rfind("replay-seek ", 0), 0u);
+  EXPECT_TRUE(fs::exists(Tmp.Dir / ("session-" + std::to_string(Sid) +
+                                    ".pinball")));
+
+  // Recovery through the snapshot lands on the same state.
+  DebugServer Srv(Cfg);
+  ASSERT_EQ(Srv.sessions().activeCount(), 1u);
+  EXPECT_EQ(probeRecovered(Srv, Sid, Probes), Reference);
+}
+
+TEST(Durability, DiskBackedSessionsCompactToAReference) {
+  TempDir Tmp("refcompact");
+  Program P = workloads::makeFigure5();
+  // A pinball on disk, the way a user would hand one to the server.
+  fs::path PbDir = Tmp.Dir / "source-pinball";
+  {
+    std::ostringstream Sink;
+    DebugSession S(Sink);
+    ASSERT_TRUE(S.loadProgramText(P.SourceText));
+    ASSERT_TRUE(S.execute("record failure"));
+    ASSERT_TRUE(S.execute("pinball save " + PbDir.string()));
+  }
+  const std::vector<std::string> Setup = {"pinball load " + PbDir.string(),
+                                          "replay", "reverse-stepi 2"};
+  const std::vector<std::string> Probes = {"where", "output"};
+  const std::string Reference = localProbes(P.SourceText, Setup, Probes);
+
+  ServerConfig Cfg;
+  Cfg.JournalDir = (Tmp.Dir / "journals").string();
+  Cfg.SnapshotEvery = 4;
+  Cfg.CompactMinBytes = 0;
+  uint64_t Sid = 0;
+  {
+    DebugServer Srv(Cfg);
+    Sid = runFigure5Session(Srv, Setup);
+    EXPECT_GE(Srv.stats().JournalCompactions.load(), 1u);
+  }
+  // The compacted journal references the still-intact source pinball
+  // instead of copying it: a pinball-load record, and no snapshot dir.
+  fs::path Journal =
+      fs::path(Cfg.JournalDir) / ("session-" + std::to_string(Sid) + ".journal");
+  std::vector<JournalRecord> Recs = mustRead(Journal);
+  ASSERT_EQ(Recs.size(), 4u);
+  EXPECT_EQ(Recs[0].K, JournalRecord::Kind::Load);
+  EXPECT_EQ(Recs[1].Payload, "pinball load " + PbDir.string());
+  EXPECT_EQ(Recs[2].Payload, "replay");
+  EXPECT_EQ(Recs[3].Payload.rfind("replay-seek ", 0), 0u);
+  EXPECT_FALSE(fs::exists(fs::path(Cfg.JournalDir) /
+                          ("session-" + std::to_string(Sid) + ".pinball")));
+
+  // Recovery re-loads the referenced pinball and lands on the same state.
+  DebugServer Srv(Cfg);
+  ASSERT_EQ(Srv.sessions().activeCount(), 1u);
+  EXPECT_EQ(probeRecovered(Srv, Sid, Probes), Reference);
+}
+
+TEST(Durability, CompactionRespectsTheSizeFloor) {
+  TempDir Tmp("floor");
+  ServerConfig Cfg;
+  Cfg.JournalDir = Tmp.Dir.string();
+  Cfg.SnapshotEvery = 4; // count threshold reached...
+  // ...but the default CompactMinBytes floor stands: a journal this small
+  // recovers in negligible time, so rewriting it buys nothing.
+  uint64_t Sid = 0;
+  {
+    DebugServer Srv(Cfg);
+    Sid = runFigure5Session(Srv, RecoverySetup);
+    EXPECT_EQ(Srv.stats().JournalCompactions.load(), 0u);
+  }
+  fs::path Journal = Tmp.Dir / ("session-" + std::to_string(Sid) + ".journal");
+  std::vector<JournalRecord> Recs = mustRead(Journal);
+  ASSERT_EQ(Recs.size(), 4u); // the raw history, not the compacted form
+  EXPECT_EQ(Recs[1].K, JournalRecord::Kind::Cmd);
+  EXPECT_EQ(Recs[1].Payload, "record failure");
+
+  DebugServer Srv(Cfg);
+  EXPECT_EQ(probeRecovered(Srv, Sid, RecoveryProbes),
+            localProbes(workloads::makeFigure5().SourceText, RecoverySetup,
+                        RecoveryProbes));
+}
+
+TEST(Durability, ClosingASessionDeletesItsDurableState) {
+  TempDir Tmp("close");
+  ServerConfig Cfg;
+  Cfg.JournalDir = Tmp.Dir.string();
+  DebugServer Srv(Cfg);
+  Program P = workloads::makeFigure5();
+  auto [ClientEnd, ServerEnd] = makePipePair();
+  std::thread ServerThread([&, T = ServerEnd.get()] { Srv.serve(*T); });
+  {
+    ProtocolClient Client(*ClientEnd);
+    std::string Out, Error;
+    uint64_t Sid = 0;
+    ASSERT_TRUE(Client.open(Sid, Error)) << Error;
+    ASSERT_TRUE(Client.load(Sid, P.SourceText, Out, Error)) << Error;
+    fs::path Journal =
+        Tmp.Dir / ("session-" + std::to_string(Sid) + ".journal");
+    EXPECT_TRUE(fs::exists(Journal));
+    // Closing is a durability event, not a crash: nothing to recover.
+    ASSERT_TRUE(Client.request("close " + std::to_string(Sid), Out, Error))
+        << Error;
+    EXPECT_FALSE(fs::exists(Journal));
+  }
+  ClientEnd->close();
+  ServerThread.join();
+  DebugServer Fresh(Cfg);
+  EXPECT_EQ(Fresh.sessions().activeCount(), 0u);
+}
+
+TEST(Durability, JournalAppendFailureFailsTheCommandFirst) {
+  InjectorGuard Guard;
+  TempDir Tmp("wal");
+  ServerConfig Cfg;
+  Cfg.JournalDir = Tmp.Dir.string();
+  DebugServer Srv(Cfg);
+  Program P = workloads::makeFigure5();
+  auto [ClientEnd, ServerEnd] = makePipePair();
+  std::thread ServerThread([&, T = ServerEnd.get()] { Srv.serve(*T); });
+  {
+    ProtocolClient Client(*ClientEnd);
+    std::string Out, Error;
+    uint64_t Sid = 0;
+    ASSERT_TRUE(Client.open(Sid, Error)) << Error;
+    ASSERT_TRUE(Client.load(Sid, P.SourceText, Out, Error)) << Error;
+    // Strict write-ahead: if the append cannot land, the command does not
+    // run at all.
+    FaultInjector::global().arm("journal.append", FaultKind::DiskFull, 1);
+    ASSERT_TRUE(Client.cmd(Sid, "record failure", Out, Error)) << Error;
+    EXPECT_NE(Out.find("error: journal:"), std::string::npos) << Out;
+    FaultInjector::global().reset();
+    // The writer healed; the same command now journals and runs.
+    ASSERT_TRUE(Client.cmd(Sid, "record failure", Out, Error)) << Error;
+    EXPECT_NE(Out.find("recorded region pinball"), std::string::npos) << Out;
+  }
+  ClientEnd->close();
+  ServerThread.join();
+}
+
+//===----------------------------------------------------------------------===//
+// Drain and migration
+//===----------------------------------------------------------------------===//
+
+TEST(Durability, DrainExportsBundlesAndImportRestoresThem) {
+  TempDir JDirA("drain_a"), JDirB("drain_b"), Bundles("drain_bundles");
+  Program P = workloads::makeFigure5();
+  const std::string Reference =
+      localProbes(P.SourceText, RecoverySetup, RecoveryProbes);
+
+  ServerConfig CfgA;
+  CfgA.JournalDir = JDirA.Dir.string();
+  DebugServer SrvA(CfgA);
+  uint64_t Sid = runFigure5Session(SrvA, RecoverySetup);
+
+  // Drain: the report names the exported bundle, and the server refuses
+  // new sessions from then on with the permanent `draining` error.
+  auto [ClientEnd, ServerEnd] = makePipePair();
+  std::thread ServerThread([&, T = ServerEnd.get()] { SrvA.serve(*T); });
+  {
+    ProtocolClient Client(*ClientEnd);
+    std::string Report, Out, Error;
+    ASSERT_TRUE(Client.drain(Bundles.Dir.string(), Report, Error)) << Error;
+    EXPECT_NE(Report.find("exported session " + std::to_string(Sid)),
+              std::string::npos)
+        << Report;
+    EXPECT_NE(Report.find("drained 1 bundles"), std::string::npos) << Report;
+    uint64_t Ignored = 0;
+    EXPECT_FALSE(Client.open(Ignored, Error));
+    EXPECT_EQ(Client.lastErrorCode(),
+              static_cast<unsigned>(WireError::Draining));
+    EXPECT_FALSE(Client.lastErrorTransient());
+    EXPECT_FALSE(Client.cmd(Sid, "where", Out, Error));
+    EXPECT_EQ(Client.lastErrorCode(),
+              static_cast<unsigned>(WireError::Draining));
+  }
+  ClientEnd->close();
+  ServerThread.join();
+
+  fs::path Bundle = Bundles.Dir / ("session-" + std::to_string(Sid));
+  ASSERT_TRUE(fs::exists(Bundle / "journal"));
+
+  // Import into a different server (its own journal dir): the migrated
+  // session replays to the same bytes.
+  ServerConfig CfgB;
+  CfgB.JournalDir = JDirB.Dir.string();
+  DebugServer SrvB(CfgB);
+  auto [ClientEnd2, ServerEnd2] = makePipePair();
+  std::thread ServerThread2([&, T = ServerEnd2.get()] { SrvB.serve(*T); });
+  {
+    ProtocolClient Client(*ClientEnd2);
+    std::string Out, Error;
+    uint64_t NewSid = 0;
+    ASSERT_TRUE(Client.importBundle(Bundle.string(), NewSid, Error)) << Error;
+    ASSERT_TRUE(
+        Client.request("attach " + std::to_string(NewSid), Out, Error))
+        << Error;
+    EXPECT_EQ(remoteProbes(Client, NewSid, RecoveryProbes), Reference);
+  }
+  ClientEnd2->close();
+  ServerThread2.join();
+}
+
+TEST(Durability, BundlesCarryTheirSnapshotPinball) {
+  TempDir JDir("bsnap_j"), Bundles("bsnap_b");
+  Program P = workloads::makeFigure5();
+  const std::vector<std::string> Setup = {"record failure", "replay",
+                                          "reverse-stepi 2"};
+  const std::vector<std::string> Probes = {"where", "output"};
+  const std::string Reference = localProbes(P.SourceText, Setup, Probes);
+
+  ServerConfig Cfg;
+  Cfg.JournalDir = JDir.Dir.string();
+  Cfg.SnapshotEvery = 4;
+  Cfg.CompactMinBytes = 0;
+  DebugServer SrvA(Cfg);
+  uint64_t Sid = runFigure5Session(SrvA, Setup);
+  ASSERT_GE(SrvA.stats().JournalCompactions.load(), 1u);
+  fs::path Bundle = Bundles.Dir / "bundle";
+  std::string Error;
+  ASSERT_TRUE(SrvA.sessions().exportBundle(Sid, Bundle.string(), Error))
+      << Error;
+  EXPECT_TRUE(fs::exists(Bundle / "journal"));
+  EXPECT_TRUE(fs::exists(Bundle / "pinball"));
+
+  // A memory-only server (no journal dir) can still import it.
+  DebugServer SrvB;
+  uint64_t NewSid = 0;
+  ASSERT_TRUE(SrvB.sessions().importBundle(Bundle.string(), NewSid, Error))
+      << Error;
+  EXPECT_EQ(probeRecovered(SrvB, NewSid, Probes), Reference);
+}
+
+TEST(Durability, DrainWorksWithoutJournaling) {
+  // Drain/export must not require durability: in-memory history is enough.
+  TempDir Bundles("mem_bundles");
+  Program P = workloads::makeFigure5();
+  const std::string Reference =
+      localProbes(P.SourceText, RecoverySetup, RecoveryProbes);
+  DebugServer SrvA; // no JournalDir
+  uint64_t Sid = runFigure5Session(SrvA, RecoverySetup);
+  std::string Report = SrvA.drain(Bundles.Dir.string());
+  EXPECT_NE(Report.find("drained 1 bundles"), std::string::npos) << Report;
+  DebugServer SrvB;
+  uint64_t NewSid = 0;
+  std::string Error;
+  ASSERT_TRUE(SrvB.sessions().importBundle(
+      (Bundles.Dir / ("session-" + std::to_string(Sid))).string(), NewSid,
+      Error))
+      << Error;
+  EXPECT_EQ(probeRecovered(SrvB, NewSid, RecoveryProbes), Reference);
+}
+
+//===----------------------------------------------------------------------===//
+// Admission control and quarantine
+//===----------------------------------------------------------------------===//
+
+TEST(Durability, AdmissionControlShedsAndRetryAfterRecovers) {
+  InjectorGuard Guard;
+  ServerConfig Cfg;
+  Cfg.Workers = 2;
+  Cfg.AdmissionMaxQueue = 1;
+  DebugServer Srv(Cfg);
+
+  auto [C1, S1] = makePipePair();
+  auto [C2, S2] = makePipePair();
+  std::thread SrvT1([&, T = S1.get()] { Srv.serve(*T); });
+  std::thread SrvT2([&, T = S2.get()] { Srv.serve(*T); });
+
+  ProtocolClient Client1(*C1);
+  ProtocolClient Client2(*C2);
+  std::string Out, Error;
+  uint64_t Sid1 = 0, Sid2 = 0;
+  ASSERT_TRUE(Client1.open(Sid1, Error)) << Error;
+  ASSERT_TRUE(Client2.open(Sid2, Error)) << Error;
+
+  // Wedge the one admission slot with a deliberately slow command.
+  FaultInjector::global().arm("session.execute", FaultKind::Latency, 1, 0,
+                              600);
+  std::string SlowOut, SlowError;
+  std::thread Slow([&] {
+    EXPECT_TRUE(Client1.cmd(Sid1, "where", SlowOut, SlowError)) << SlowError;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+
+  // A zero-retry client sees the transient overload error with the
+  // server's backoff hint in it.
+  RetryPolicy NoRetry;
+  NoRetry.MaxRetries = 0;
+  Client2.setRetryPolicy(NoRetry);
+  std::string Shed;
+  EXPECT_FALSE(Client2.cmd(Sid2, "where", Out, Shed));
+  EXPECT_EQ(Client2.lastErrorCode(),
+            static_cast<unsigned>(WireError::Overloaded));
+  EXPECT_TRUE(Client2.lastErrorTransient());
+  EXPECT_GT(parseRetryAfterMs(Shed), 0u) << Shed;
+
+  // With retries enabled the client honors retry-after-ms and eventually
+  // gets through once the slot frees up.
+  FaultInjector::global().reset();
+  RetryPolicy Retry;
+  Retry.MaxRetries = 50;
+  Retry.InitialBackoffMs = 10;
+  Client2.setRetryPolicy(Retry);
+  ASSERT_TRUE(Client2.cmd(Sid2, "where", Out, Error)) << Error;
+  Slow.join();
+  EXPECT_GE(Srv.stats().AdmissionRejected.load(), 1u);
+
+  ASSERT_TRUE(Client1.stats(Out, Error)) << Error;
+  EXPECT_NE(Out.find("admission.rejected"), std::string::npos) << Out;
+
+  C1->close();
+  C2->close();
+  SrvT1.join();
+  SrvT2.join();
+}
+
+TEST(Durability, DeadlineOverrunQuarantinesTheSession) {
+  InjectorGuard Guard;
+  ServerConfig Cfg;
+  Cfg.Workers = 2;
+  Cfg.CmdDeadline = std::chrono::milliseconds(100);
+  DebugServer Srv(Cfg);
+
+  auto [ClientEnd, ServerEnd] = makePipePair();
+  std::thread ServerThread([&, T = ServerEnd.get()] { Srv.serve(*T); });
+  {
+    ProtocolClient Client(*ClientEnd);
+    std::string Out, Error;
+    uint64_t Sid = 0;
+    ASSERT_TRUE(Client.open(Sid, Error)) << Error;
+
+    // One command overruns its deadline...
+    FaultInjector::global().arm("session.execute", FaultKind::Latency, 1, 0,
+                                800);
+    EXPECT_FALSE(Client.cmd(Sid, "where", Out, Error));
+    EXPECT_EQ(Client.lastErrorCode(),
+              static_cast<unsigned>(WireError::Timeout));
+    FaultInjector::global().reset();
+
+    // ...so the session is quarantined: new verbs are refused instead of
+    // queueing behind the wedged command's mutex.
+    EXPECT_TRUE(Srv.sessions().isQuarantined(Sid));
+    EXPECT_FALSE(Client.cmd(Sid, "where", Out, Error));
+    EXPECT_EQ(Client.lastErrorCode(),
+              static_cast<unsigned>(WireError::SessionFailed));
+    EXPECT_NE(Error.find("quarantined"), std::string::npos) << Error;
+
+    // Once the overdue command finally completes the quarantine lifts.
+    auto Deadline = std::chrono::steady_clock::now() +
+                    std::chrono::seconds(10);
+    bool Recovered = false;
+    while (std::chrono::steady_clock::now() < Deadline) {
+      if (Client.cmd(Sid, "where", Out, Error)) {
+        Recovered = true;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    EXPECT_TRUE(Recovered) << Error;
+    EXPECT_GE(Srv.stats().SessionsQuarantined.load(), 1u);
+  }
+  ClientEnd->close();
+  ServerThread.join();
+}
+
+//===----------------------------------------------------------------------===//
+// The fault-site catalog surfaces
+//===----------------------------------------------------------------------===//
+
+TEST(Durability, FaultListCommandAndFaultsVerb) {
+  InjectorGuard Guard;
+  // The in-session command (works before any program is loaded).
+  {
+    std::ostringstream OS;
+    DebugSession S(OS);
+    EXPECT_TRUE(S.execute("fault list"));
+    std::string Catalog = OS.str();
+    EXPECT_NE(Catalog.find("journal.append"), std::string::npos) << Catalog;
+    EXPECT_NE(Catalog.find("session.execute"), std::string::npos) << Catalog;
+    OS.str("");
+    S.execute("fault arm");
+    EXPECT_NE(OS.str().find("usage: fault list"), std::string::npos);
+  }
+  // The server verb reports the same catalog, including armed state.
+  FaultInjector::global().arm("journal.append", FaultKind::DiskFull, 7);
+  DebugServer Srv;
+  auto [ClientEnd, ServerEnd] = makePipePair();
+  std::thread ServerThread([&, T = ServerEnd.get()] { Srv.serve(*T); });
+  {
+    ProtocolClient Client(*ClientEnd);
+    std::string Catalog, Error;
+    ASSERT_TRUE(Client.faults(Catalog, Error)) << Error;
+    EXPECT_NE(Catalog.find("journal.append"), std::string::npos) << Catalog;
+    EXPECT_NE(Catalog.find("diskfull"), std::string::npos) << Catalog;
+  }
+  ClientEnd->close();
+  ServerThread.join();
+}
+
+TEST(Durability, ArmFromSpecRejectsUnknownSites) {
+  InjectorGuard Guard;
+  std::string Error;
+  EXPECT_FALSE(
+      FaultInjector::global().armFromSpec("no.such.site:diskfull:1", Error));
+  EXPECT_NE(Error.find("no.such.site"), std::string::npos) << Error;
+  EXPECT_TRUE(
+      FaultInjector::global().armFromSpec("journal.append:diskfull:4", Error))
+      << Error;
+}
+
+} // namespace

@@ -541,13 +541,26 @@ TEST_F(FaultInjection, ServerCountsIntegrityFailuresAndDivergences) {
 TEST_F(FaultInjection, FaultSpecParsing) {
   FaultInjector &FI = FaultInjector::global();
   std::string Error;
-  EXPECT_TRUE(FI.armFromSpec(
-      "t.send:bitflip:64,t.recv:shortread:100:3,s.x:latency:1:0:25", Error))
+  EXPECT_TRUE(FI.armFromSpec("server.send:bitflip:64,server.recv:shortread:"
+                             "100:3,session.execute:latency:1:0:25",
+                             Error))
       << Error;
   EXPECT_TRUE(FI.enabled());
   EXPECT_FALSE(FI.armFromSpec("nokind", Error));
-  EXPECT_FALSE(FI.armFromSpec("site:frobnicate:1", Error));
-  EXPECT_FALSE(FI.armFromSpec("site:bitflip:0", Error));
+  EXPECT_FALSE(FI.armFromSpec("server.send:frobnicate:1", Error));
+  EXPECT_FALSE(FI.armFromSpec("server.send:bitflip:0", Error));
+  // A typo'd site name used to arm a never-firing site silently; it is now
+  // rejected against the probe-site catalog.
+  EXPECT_FALSE(FI.armFromSpec("transporf.send:bitflip:64", Error));
+  EXPECT_NE(Error.find("unknown fault site"), std::string::npos) << Error;
+  EXPECT_TRUE(isKnownFaultSite("pinball.crash"));
+  EXPECT_FALSE(isKnownFaultSite("pinball.crsh"));
+  // The catalog report lists every known site and marks armed ones.
+  std::string Report = FI.describe();
+  EXPECT_NE(Report.find("journal.append"), std::string::npos);
+  EXPECT_NE(Report.find("server.send [armed bitflip period 64"),
+            std::string::npos)
+      << Report;
   FI.reset();
   EXPECT_FALSE(FI.enabled());
 }

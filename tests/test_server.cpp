@@ -177,7 +177,7 @@ TEST(Server, HelloStatsAndErrorPaths) {
     std::string Payload, Error;
     ASSERT_TRUE(Client.hello(Payload, Error)) << Error;
     EXPECT_NE(Payload.find("drdebugd"), std::string::npos);
-    EXPECT_NE(Payload.find("proto 2"), std::string::npos);
+    EXPECT_NE(Payload.find("proto 3"), std::string::npos);
 
     // Unknown verb.
     EXPECT_FALSE(Client.request("frobnicate 1 2", Payload, Error));

@@ -1,0 +1,450 @@
+//===- tools/drdebug_chaos.cpp - kill -9 chaos harness for drdebugd -----------===//
+//
+// Proves the durability contract against a REAL drdebugd process, not an
+// in-process server:
+//
+//   crash mode (default)   for each round: start drdebugd --journal-dir,
+//                          run the Figure 5 cyclic-debugging setup, fire one
+//                          more verb and kill -9 the daemon mid-verb, then
+//                          restart it on the same journal dir and assert the
+//                          recovered session's probe output is byte-identical
+//                          to an uninterrupted reference (with or without
+//                          the in-flight command, depending on whether its
+//                          journal append survived the kill — both are
+//                          legal outcomes, anything else is corruption).
+//
+//   --migrate              SIGTERM a daemon with sessions resident, assert
+//                          the graceful drain exported bundles, import them
+//                          into a second daemon and compare probe output.
+//
+//   --overload             hammer a daemon configured with a tiny admission
+//                          queue and an injected per-command delay; assert
+//                          verbs are shed with `err overloaded` AND that
+//                          every client eventually succeeds via the
+//                          retry-after backoff.
+//
+// Used by `scripts/verify.sh --chaos` (which runs all three under ASan).
+// Exit code 0 = every assertion held.
+//
+//===----------------------------------------------------------------------===//
+
+#include "debugger/session.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "server/transport.h"
+#include "workloads/figure5.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace drdebug;
+namespace fs = std::filesystem;
+
+namespace {
+
+#ifndef DRDEBUG_DAEMON_PATH
+#define DRDEBUG_DAEMON_PATH "drdebugd"
+#endif
+
+/// The cyclic-debugging session every mode replays, and the read-only
+/// probes whose bytes define "the same session".
+const std::vector<std::string> Setup = {"record failure", "replay",
+                                        "reverse-stepi 5"};
+const std::string KillVerb = "reverse-stepi 1";
+const std::vector<std::string> Probes = {"where", "replay-position",
+                                         "backtrace", "output"};
+
+int Failures = 0;
+
+void check(bool Ok, const std::string &What) {
+  if (Ok) {
+    std::printf("  ok: %s\n", What.c_str());
+  } else {
+    std::printf("  FAIL: %s\n", What.c_str());
+    ++Failures;
+  }
+}
+
+/// Reference probe output from an uninterrupted in-process session running
+/// \p Cmds — what the recovered/migrated remote session must reproduce.
+std::string referenceProbes(const std::vector<std::string> &Cmds) {
+  std::ostringstream OS;
+  DebugSession S(OS);
+  S.loadProgramText(workloads::makeFigure5().SourceText);
+  for (const std::string &C : Cmds)
+    S.execute(C);
+  std::string Out;
+  for (const std::string &C : Probes)
+    Out += S.executeCommand(C).Text;
+  return Out;
+}
+
+/// One forked drdebugd. Stdout is piped back so the harness can parse the
+/// ephemeral port (and see the recovery/drain banners when debugging).
+struct Daemon {
+  pid_t Pid = -1;
+  uint16_t Port = 0;
+  int OutFd = -1;
+
+  bool start(const std::string &DaemonPath, std::vector<std::string> Args) {
+    int Pipe[2];
+    if (::pipe(Pipe) != 0)
+      return false;
+    Pid = ::fork();
+    if (Pid < 0)
+      return false;
+    if (Pid == 0) {
+      ::dup2(Pipe[1], STDOUT_FILENO);
+      ::close(Pipe[0]);
+      ::close(Pipe[1]);
+      Args.insert(Args.begin(), DaemonPath);
+      Args.push_back("--port");
+      Args.push_back("0");
+      std::vector<char *> Argv;
+      for (std::string &A : Args)
+        Argv.push_back(A.data());
+      Argv.push_back(nullptr);
+      ::execv(DaemonPath.c_str(), Argv.data());
+      std::perror("execv");
+      ::_exit(127);
+    }
+    ::close(Pipe[1]);
+    OutFd = Pipe[0];
+    // Scan the banner lines for "listening on 127.0.0.1:<port>".
+    std::string Buf;
+    char C;
+    while (Port == 0 && ::read(OutFd, &C, 1) == 1) {
+      if (C != '\n') {
+        Buf += C;
+        continue;
+      }
+      size_t At = Buf.find("listening on 127.0.0.1:");
+      if (At != std::string::npos)
+        Port = static_cast<uint16_t>(
+            std::strtoul(Buf.c_str() + At + std::strlen("listening on "
+                                                        "127.0.0.1:"),
+                         nullptr, 10));
+      Buf.clear();
+    }
+    return Port != 0;
+  }
+
+  /// Drains remaining stdout (so the child never blocks on a full pipe)
+  /// and returns it.
+  std::string reapOutput() {
+    std::string Out;
+    char Buf[512];
+    ssize_t N;
+    while ((N = ::read(OutFd, Buf, sizeof(Buf))) > 0)
+      Out.append(Buf, static_cast<size_t>(N));
+    ::close(OutFd);
+    OutFd = -1;
+    return Out;
+  }
+
+  void kill9() {
+    ::kill(Pid, SIGKILL);
+    wait();
+  }
+
+  void sigterm() { ::kill(Pid, SIGTERM); }
+
+  void wait() {
+    int Status = 0;
+    ::waitpid(Pid, &Status, 0);
+    if (OutFd >= 0)
+      reapOutput();
+    Pid = -1;
+  }
+};
+
+std::unique_ptr<Transport> connectTo(const Daemon &D) {
+  std::string Error;
+  for (int Try = 0; Try < 50; ++Try) {
+    if (auto T = tcpConnect("127.0.0.1", D.Port, Error))
+      return T;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  std::printf("  FAIL: cannot connect to daemon: %s\n", Error.c_str());
+  ++Failures;
+  return nullptr;
+}
+
+/// Opens a session, loads Figure 5 and runs Setup over \p T. \returns the
+/// session id (0 on failure).
+uint64_t driveSetup(Transport &T) {
+  ProtocolClient Client(T);
+  std::string Out, Error;
+  uint64_t Sid = 0;
+  if (!Client.open(Sid, Error) ||
+      !Client.load(Sid, workloads::makeFigure5().SourceText, Out, Error)) {
+    std::printf("  FAIL: setup: %s\n", Error.c_str());
+    ++Failures;
+    return 0;
+  }
+  for (const std::string &C : Setup)
+    if (!Client.cmd(Sid, C, Out, Error)) {
+      std::printf("  FAIL: setup cmd '%s': %s\n", C.c_str(), Error.c_str());
+      ++Failures;
+      return 0;
+    }
+  return Sid;
+}
+
+std::string attachAndProbe(Transport &T, uint64_t Sid) {
+  ProtocolClient Client(T);
+  std::string Out, Chunk, Error;
+  if (!Client.request("attach " + std::to_string(Sid), Chunk, Error)) {
+    std::printf("  FAIL: attach %llu: %s\n",
+                static_cast<unsigned long long>(Sid), Error.c_str());
+    ++Failures;
+    return "";
+  }
+  for (const std::string &C : Probes) {
+    if (!Client.cmd(Sid, C, Chunk, Error)) {
+      std::printf("  FAIL: probe '%s': %s\n", C.c_str(), Error.c_str());
+      ++Failures;
+      return "";
+    }
+    Out += Chunk;
+  }
+  return Out;
+}
+
+/// A scratch dir under TMPDIR, removed on destruction unless --keep.
+struct Scratch {
+  fs::path Dir;
+  static bool Keep;
+  explicit Scratch(const char *Tag) {
+    Dir = fs::temp_directory_path() /
+          (std::string("drdebug_chaos_") + Tag + "_" +
+           std::to_string(::getpid()));
+    fs::remove_all(Dir);
+    fs::create_directories(Dir);
+  }
+  ~Scratch() {
+    if (!Keep)
+      fs::remove_all(Dir);
+  }
+};
+bool Scratch::Keep = false;
+
+//===----------------------------------------------------------------------===//
+// crash mode: kill -9 mid-verb, restart, byte-identical recovery
+//===----------------------------------------------------------------------===//
+
+void runCrashRound(const std::string &DaemonPath, const fs::path &JournalDir,
+                   int Round, const std::string &RefWithout,
+                   const std::string &RefWith) {
+  std::printf("round %d:\n", Round);
+  fs::remove_all(JournalDir);
+  fs::create_directories(JournalDir);
+
+  Daemon D;
+  check(D.start(DaemonPath, {"--journal-dir", JournalDir.string()}),
+        "daemon started");
+  uint64_t Sid = 0;
+  {
+    std::unique_ptr<Transport> T = connectTo(D);
+    if (!T) {
+      D.kill9();
+      return;
+    }
+    Sid = driveSetup(*T);
+    if (!Sid) {
+      D.kill9();
+      return;
+    }
+    // Fire one more mutating verb and kill the daemon while it is (maybe
+    // still) journaling/executing it. The per-round delay sweeps the kill
+    // across the verb's lifetime: some rounds die before the append, some
+    // mid-append (a torn tail), some after execution.
+    T->send(encodeFrame("9999 cmd " + std::to_string(Sid) + " " +
+                        escapeText(KillVerb)));
+    std::this_thread::sleep_for(std::chrono::microseconds(Round * 700));
+  }
+  D.kill9();
+
+  Daemon D2;
+  check(D2.start(DaemonPath, {"--journal-dir", JournalDir.string()}),
+        "daemon restarted on the same journal dir");
+  std::unique_ptr<Transport> T = connectTo(D2);
+  if (!T) {
+    D2.kill9();
+    return;
+  }
+  std::string Got = attachAndProbe(*T, Sid);
+  if (Got == RefWithout)
+    check(true, "recovered byte-identical (in-flight verb not journaled)");
+  else if (Got == RefWith)
+    check(true, "recovered byte-identical (in-flight verb journaled)");
+  else
+    check(false, "recovered session matches neither legal pre-crash state");
+  T->close();
+  D2.kill9();
+}
+
+//===----------------------------------------------------------------------===//
+// --migrate: SIGTERM drain -> bundles -> import into a successor
+//===----------------------------------------------------------------------===//
+
+void runMigrate(const std::string &DaemonPath) {
+  std::printf("migrate:\n");
+  Scratch JDirA("mig_a"), JDirB("mig_b"), Bundles("mig_bundles");
+  const std::string Reference = referenceProbes(Setup);
+
+  Daemon A;
+  check(A.start(DaemonPath, {"--journal-dir", JDirA.Dir.string(),
+                             "--drain-dir", Bundles.Dir.string()}),
+        "daemon A started");
+  uint64_t Sid = 0;
+  {
+    std::unique_ptr<Transport> T = connectTo(A);
+    if (!T) {
+      A.kill9();
+      return;
+    }
+    Sid = driveSetup(*T);
+    T->close();
+  }
+  A.sigterm();
+  A.wait();
+  fs::path Bundle = Bundles.Dir / ("session-" + std::to_string(Sid));
+  check(fs::exists(Bundle / "journal"),
+        "SIGTERM drain exported the session bundle");
+
+  Daemon B;
+  check(B.start(DaemonPath, {"--journal-dir", JDirB.Dir.string()}),
+        "daemon B started");
+  std::unique_ptr<Transport> T = connectTo(B);
+  if (!T) {
+    B.kill9();
+    return;
+  }
+  ProtocolClient Client(*T);
+  std::string Error;
+  uint64_t NewSid = 0;
+  check(Client.importBundle(Bundle.string(), NewSid, Error),
+        "bundle imported into daemon B (" + Error + ")");
+  if (NewSid) {
+    T->close();
+    std::unique_ptr<Transport> T2 = connectTo(B);
+    if (T2)
+      check(attachAndProbe(*T2, NewSid) == Reference,
+            "migrated session byte-identical to the original");
+  }
+  B.sigterm();
+  B.wait();
+}
+
+//===----------------------------------------------------------------------===//
+// --overload: admission control sheds, retry-after recovers
+//===----------------------------------------------------------------------===//
+
+void runOverload(const std::string &DaemonPath) {
+  std::printf("overload:\n");
+  Daemon D;
+  // Two workers, one admission slot, 25 ms injected per command: most of
+  // the 8 hammering clients must get shed at least once.
+  check(D.start(DaemonPath,
+                {"--workers", "2", "--admission-queue", "1", "--inject",
+                 "session.execute:latency:1:0:25"}),
+        "daemon started");
+  constexpr unsigned Clients = 8, PerClient = 6;
+  std::atomic<uint64_t> Succeeded{0}, Retried{0};
+  std::vector<std::thread> Threads;
+  for (unsigned I = 0; I != Clients; ++I)
+    Threads.emplace_back([&] {
+      std::unique_ptr<Transport> T = connectTo(D);
+      if (!T)
+        return;
+      RetryPolicy Policy;
+      Policy.MaxRetries = 100;
+      Policy.InitialBackoffMs = 5;
+      ProtocolClient Client(*T, Policy);
+      std::string Out, Error;
+      uint64_t Sid = 0;
+      if (!Client.open(Sid, Error))
+        return;
+      for (unsigned R = 0; R != PerClient; ++R)
+        if (Client.cmd(Sid, "where", Out, Error))
+          Succeeded.fetch_add(1);
+      Retried.fetch_add(Client.retries());
+      T->close();
+    });
+  for (std::thread &Th : Threads)
+    Th.join();
+  check(Succeeded.load() == uint64_t(Clients) * PerClient,
+        "every verb eventually succeeded (" +
+            std::to_string(Succeeded.load()) + "/" +
+            std::to_string(Clients * PerClient) + ")");
+  check(Retried.load() > 0, "admission control shed at least one verb (" +
+                                std::to_string(Retried.load()) +
+                                " retransmissions)");
+  D.sigterm();
+  D.wait();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string DaemonPath = DRDEBUG_DAEMON_PATH;
+  int Rounds = 8;
+  bool Migrate = false, Overload = false, Crash = false;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--daemon") == 0 && I + 1 < Argc)
+      DaemonPath = Argv[++I];
+    else if (std::strcmp(Argv[I], "--rounds") == 0 && I + 1 < Argc)
+      Rounds = std::atoi(Argv[++I]);
+    else if (std::strcmp(Argv[I], "--migrate") == 0)
+      Migrate = true;
+    else if (std::strcmp(Argv[I], "--overload") == 0)
+      Overload = true;
+    else if (std::strcmp(Argv[I], "--crash") == 0)
+      Crash = true;
+    else if (std::strcmp(Argv[I], "--keep") == 0)
+      Scratch::Keep = true;
+    else {
+      std::fprintf(stderr,
+                   "usage: drdebug_chaos [--daemon <drdebugd>] [--rounds N] "
+                   "[--crash] [--migrate] [--overload] [--keep]\n");
+      return 2;
+    }
+  }
+  if (!Migrate && !Overload && !Crash)
+    Crash = true; // default mode
+  // SIGPIPE arrives when a killed daemon's socket is written to; ignore.
+  ::signal(SIGPIPE, SIG_IGN);
+
+  if (Crash) {
+    Scratch JDir("crash");
+    const std::string RefWithout = referenceProbes(Setup);
+    std::vector<std::string> WithKill = Setup;
+    WithKill.push_back(KillVerb);
+    const std::string RefWith = referenceProbes(WithKill);
+    for (int R = 0; R != Rounds; ++R)
+      runCrashRound(DaemonPath, JDir.Dir / "journals", R, RefWithout,
+                    RefWith);
+  }
+  if (Migrate)
+    runMigrate(DaemonPath);
+  if (Overload)
+    runOverload(DaemonPath);
+
+  if (Failures) {
+    std::printf("drdebug_chaos: %d FAILURE(S)\n", Failures);
+    return 1;
+  }
+  std::printf("drdebug_chaos: all checks passed\n");
+  return 0;
+}

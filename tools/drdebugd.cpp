@@ -7,7 +7,16 @@
 //   drdebugd                          serve on 127.0.0.1:7321
 //   drdebugd --port 0                 serve on an ephemeral port (printed)
 //   drdebugd --workers 8 --idle-timeout-ms 60000
+//   drdebugd --journal-dir /var/lib/drdebugd   durable sessions: journal every
+//                                     mutating command, recover on restart
+//   drdebugd --drain-dir /tmp/bundles  where SIGTERM exports session bundles
 //   drdebugd --once                   exit after the first client disconnects
+//
+// Shutdown contract (docs/SERVER.md): SIGTERM and SIGINT trigger a graceful
+// drain — admissions stop, in-flight verbs finish under the drain deadline,
+// sessions are exported as bundles (when --drain-dir is set), then the
+// process exits. Journaled sessions additionally survive kill -9: the next
+// start recovers them from their journals.
 //
 // Connect with: drdebug --connect 127.0.0.1:<port> [program.asm] [-x script]
 //
@@ -18,9 +27,11 @@
 #include "support/fault_injector.h"
 #include "support/tracing.h"
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -32,9 +43,26 @@ int usage() {
   std::fprintf(stderr,
                "usage: drdebugd [--port N] [--workers N] "
                "[--idle-timeout-ms N] [--deadline-ms N] [--no-verify] "
+               "[--journal-dir <dir>] [--journal-fsync] [--snapshot-every N] "
+               "[--compact-min-bytes N] "
+               "[--admission-queue N] [--drain-dir <dir>] "
+               "[--drain-deadline-ms N] "
                "[--inject <site:kind:period[:phase[:arg]]>,...] "
                "[--trace-out <file>] [--once]\n");
   return 2;
+}
+
+/// Set by the SIGTERM/SIGINT handler; the accept loop turns it into a
+/// graceful drain.
+volatile std::sig_atomic_t SignalDrain = 0;
+/// The listener the handler closes to unblock accept(). TcpListener::close
+/// only touches an atomic fd with ::close, which is async-signal-safe.
+TcpListener *SignalListener = nullptr;
+
+void onTermSignal(int) {
+  SignalDrain = 1;
+  if (SignalListener)
+    SignalListener->close();
 }
 
 } // namespace
@@ -42,6 +70,7 @@ int usage() {
 int main(int Argc, char **Argv) {
   uint16_t Port = 7321;
   std::string TraceOut;
+  std::string DrainDir;
   bool Once = false;
   bool Faulty = false;
   ServerConfig Cfg;
@@ -64,6 +93,20 @@ int main(int Argc, char **Argv) {
       Cfg.CmdDeadline = std::chrono::milliseconds(V);
     } else if (std::strcmp(Argv[I], "--no-verify") == 0) {
       Cfg.VerifyPinballs = false;
+    } else if (std::strcmp(Argv[I], "--journal-dir") == 0 && I + 1 < Argc) {
+      Cfg.JournalDir = Argv[++I];
+    } else if (std::strcmp(Argv[I], "--journal-fsync") == 0) {
+      Cfg.JournalFsyncEach = true;
+    } else if (std::strcmp(Argv[I], "--snapshot-every") == 0 && IntArg(V)) {
+      Cfg.SnapshotEvery = static_cast<unsigned>(V);
+    } else if (std::strcmp(Argv[I], "--compact-min-bytes") == 0 && IntArg(V)) {
+      Cfg.CompactMinBytes = static_cast<uint64_t>(V);
+    } else if (std::strcmp(Argv[I], "--admission-queue") == 0 && IntArg(V)) {
+      Cfg.AdmissionMaxQueue = static_cast<size_t>(V);
+    } else if (std::strcmp(Argv[I], "--drain-dir") == 0 && I + 1 < Argc) {
+      DrainDir = Argv[++I];
+    } else if (std::strcmp(Argv[I], "--drain-deadline-ms") == 0 && IntArg(V)) {
+      Cfg.DrainDeadline = std::chrono::milliseconds(V);
     } else if (std::strcmp(Argv[I], "--inject") == 0 && I + 1 < Argc) {
       std::string Error;
       if (!FaultInjector::global().armFromSpec(Argv[++I], Error)) {
@@ -90,20 +133,30 @@ int main(int Argc, char **Argv) {
     trace::Tracer::global().setEnabled(true);
 
   DebugServer Server(Cfg);
+  if (!Cfg.JournalDir.empty() && Server.sessions().activeCount() > 0)
+    std::printf("drdebugd: recovered %zu session(s) from %s\n",
+                Server.sessions().activeCount(), Cfg.JournalDir.c_str());
   TcpListener Listener;
   std::string Error;
   if (!Listener.listen(Port, Error)) {
     std::fprintf(stderr, "drdebugd: %s\n", Error.c_str());
     return 1;
   }
+  SignalListener = &Listener;
+  std::signal(SIGTERM, onTermSignal);
+  std::signal(SIGINT, onTermSignal);
   std::printf("drdebugd %s listening on 127.0.0.1:%u (%u workers, "
               "idle timeout %lld ms)\n",
               DrDebugVersion, Listener.port(), Cfg.Workers,
               static_cast<long long>(Cfg.IdleTimeout.count()));
   std::fflush(stdout);
 
+  // Every live connection transport, so the drain path can close them and
+  // unblock their serve() threads (which otherwise wait in recv forever).
+  std::mutex ConnMu;
+  std::vector<std::weak_ptr<Transport>> ConnTransports;
   std::vector<std::thread> Connections;
-  while (!Server.shutdownRequested()) {
+  while (!Server.shutdownRequested() && !SignalDrain) {
     std::unique_ptr<Transport> Conn = Listener.accept();
     if (!Conn)
       break;
@@ -113,15 +166,29 @@ int main(int Argc, char **Argv) {
       Server.serve(*Conn);
       break;
     }
-    Connections.emplace_back(
-        [&Server, &Listener, C = std::shared_ptr<Transport>(std::move(Conn))] {
-          Server.serve(*C);
-          // A client asked for shutdown: unblock the accept loop.
-          if (Server.shutdownRequested())
-            Listener.close();
-        });
+    auto Shared = std::shared_ptr<Transport>(std::move(Conn));
+    {
+      std::lock_guard<std::mutex> Lock(ConnMu);
+      ConnTransports.emplace_back(Shared);
+    }
+    Connections.emplace_back([&Server, &Listener, C = Shared] {
+      Server.serve(*C);
+      // A client asked for shutdown: unblock the accept loop.
+      if (Server.shutdownRequested())
+        Listener.close();
+    });
   }
   Listener.close();
+  if (SignalDrain) {
+    std::string Report = Server.drain(DrainDir);
+    std::printf("drdebugd: drain on signal\n%s\n", Report.c_str());
+    std::fflush(stdout);
+    // Unhook the remaining clients so their serve threads can exit.
+    std::lock_guard<std::mutex> Lock(ConnMu);
+    for (const std::weak_ptr<Transport> &W : ConnTransports)
+      if (std::shared_ptr<Transport> C = W.lock())
+        C->close();
+  }
   for (std::thread &T : Connections)
     T.join();
   if (!TraceOut.empty()) {
