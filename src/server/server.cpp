@@ -421,12 +421,13 @@ std::string DebugServer::runSessionJob(uint64_t Seq, const std::string &Verb,
     JobsInFlight.fetch_sub(1, std::memory_order_acq_rel);
     Job->Completed.store(true, std::memory_order_release);
     // If the deadline fired while we ran, settle the watchdog gauge and
-    // lift the quarantine (exactly one of us — this job or the
-    // dispatcher — does so).
+    // drop this job's quarantine count (exactly one of us — this job or
+    // the dispatcher — does so). The quarantine itself only lifts once
+    // every overdue job on the session has settled.
     if (Job->TimedOut.load(std::memory_order_acquire) &&
         !Job->OverdueSettled.exchange(true)) {
       Stats.OverdueJobs.sub();
-      Mgr.setQuarantined(Sid, false);
+      Mgr.unquarantine(Sid);
     }
   });
   if (Cfg.CmdDeadline.count() > 0 &&
@@ -434,14 +435,15 @@ std::string DebugServer::runSessionJob(uint64_t Seq, const std::string &Verb,
     Stats.DeadlineTimeouts.inc();
     Stats.OverdueJobs.add();
     // Quarantine the session before publishing the timeout: new verbs for
-    // it fail fast instead of wedging more workers behind CmdMu. The job
-    // lifts the quarantine when it finally completes.
-    Mgr.setQuarantined(Sid, true);
+    // it fail fast instead of wedging more workers behind CmdMu. Counted,
+    // not flagged: two overlapping overruns keep the session quarantined
+    // until the *last* overdue command settles.
+    Mgr.quarantine(Sid);
     Job->TimedOut.store(true, std::memory_order_release);
     if (Job->Completed.load(std::memory_order_acquire) &&
         !Job->OverdueSettled.exchange(true)) {
       Stats.OverdueJobs.sub();
-      Mgr.setQuarantined(Sid, false);
+      Mgr.unquarantine(Sid);
     }
     return Err(WireError::Timeout,
                Verb + " exceeded the " +

@@ -18,6 +18,29 @@ using namespace drdebug;
 
 namespace fs = std::filesystem;
 
+namespace {
+
+/// Ref-record payload codec: `<fingerprint> <pinball-dir>`. The directory
+/// may contain spaces, so it is everything after the first separator.
+std::string makeRefPayload(uint64_t Fp, const std::string &Dir) {
+  return std::to_string(Fp) + " " + Dir;
+}
+
+bool parseRefPayload(const std::string &Payload, uint64_t &Fp,
+                     std::string &Dir) {
+  size_t Sep = Payload.find(' ');
+  if (Sep == 0 || Sep == std::string::npos || Sep + 1 >= Payload.size())
+    return false;
+  char *End = nullptr;
+  Fp = std::strtoull(Payload.c_str(), &End, 10);
+  if (End != Payload.c_str() + Sep)
+    return false;
+  Dir = Payload.substr(Sep + 1);
+  return true;
+}
+
+} // namespace
+
 bool drdebug::isMutatingCommand(const std::string &Line) {
   std::istringstream IS(Line);
   std::string Cmd;
@@ -41,7 +64,7 @@ bool drdebug::isMutatingCommand(const std::string &Line) {
 /// (CommandResult::Text), so the sink just discards; LastUsed is guarded
 /// by CmdMu, Attached by the manager's Mu. History/Journal/SinceCompact
 /// (the durability state) are guarded by CmdMu; Quarantined is atomic so
-/// the server's watchdog can flip it without the (possibly wedged) CmdMu.
+/// the server's watchdog can bump it without the (possibly wedged) CmdMu.
 struct SessionManager::ManagedSession {
   ManagedSession(uint64_t Id, PinballRepository &Repo,
                  SliceSessionRepository &SliceRepo,
@@ -59,6 +82,12 @@ struct SessionManager::ManagedSession {
   DebugSession Session;
   Clock::time_point LastUsed;
   bool Attached = true;
+  /// Set (under CmdMu) when the session is torn down — `quit`, close, or
+  /// eviction. A concurrent verb that grabbed the shared_ptr before the
+  /// map erase checks this after acquiring CmdMu and bails instead of
+  /// journaling into (and thereby resurrecting) durable state that
+  /// dropDurableState is deleting.
+  bool Ended = false;
 
   // Durability state (CmdMu).
   /// In-memory mirror of the journal: the session's mutating history. Kept
@@ -71,13 +100,20 @@ struct SessionManager::ManagedSession {
   bool SnapSaved = false;
   uint64_t SnapSavedGen = 0;
   uint64_t SnapSavedFp = 0;
+  /// Where this session's snapshot pinball lives, when its history carries
+  /// a Snap record. Usually snapshotPath(Id), but an import into a server
+  /// without durability remembers the bundle's own pinball here so a later
+  /// drain/export can still resolve it.
+  std::string SnapPath;
   /// Journaled commands since the last successful compaction.
   unsigned SinceCompact = 0;
   /// This session's current contribution to the JournalBytes gauge.
   uint64_t GaugeBytes = 0;
-  /// Set by the server when a command overruns its deadline; cleared when
-  /// the overdue command finally completes.
-  std::atomic<bool> Quarantined{false};
+  /// Commands past their deadline that are still (possibly) running: one
+  /// increment per overrun, one decrement per settle. A count, not a flag:
+  /// two overlapping overruns must keep the session quarantined until the
+  /// *second* one settles.
+  std::atomic<unsigned> Quarantined{0};
 };
 
 SessionManager::SessionManager(PinballRepository &Repo,
@@ -138,6 +174,7 @@ uint64_t SessionManager::create() {
 size_t SessionManager::recover() {
   if (!durabilityEnabled())
     return 0;
+  RecoveryCasualties.clear();
   size_t Recovered = 0;
   std::error_code Ec;
   std::vector<std::pair<uint64_t, std::string>> Found;
@@ -157,7 +194,34 @@ size_t SessionManager::recover() {
   }
   // Deterministic recovery order (directory iteration order is not).
   std::sort(Found.begin(), Found.end());
+  // An unrecoverable journal is renamed aside (with its snapshot), not left
+  // in place: leaving it would make every future restart re-execute the
+  // whole history just to fail the same way, forever. The `.dead` suffix
+  // keeps the bytes for a postmortem while excluding them from the scan.
+  auto Retire = [&](uint64_t Id, const std::string &Path,
+                    const std::string &Why) {
+    RecoveryCasualties.push_back(Path + ": " + Why + "; retired to " +
+                                 fs::path(Path).filename().string() + ".dead");
+    std::error_code RenEc;
+    fs::remove_all(Path + ".dead", RenEc);
+    fs::rename(Path, Path + ".dead", RenEc);
+    if (RenEc)
+      fs::remove(Path, RenEc); // rename failed (odd fs): drop it instead
+    std::string Snap = snapshotPath(Id);
+    if (fs::exists(Snap, RenEc)) {
+      fs::remove_all(Snap + ".dead", RenEc);
+      fs::rename(Snap, Snap + ".dead", RenEc);
+      if (RenEc)
+        fs::remove_all(Snap, RenEc);
+    }
+  };
   for (const auto &[Id, Path] : Found) {
+    {
+      // Even an unrecoverable id is burnt: a fresh session must never
+      // collide with the retired files of a dead one.
+      std::lock_guard<std::mutex> Lock(Mu);
+      NextId = std::max(NextId, Id + 1);
+    }
     std::vector<JournalRecord> Records;
     bool Torn = false;
     uint64_t Clean = 0;
@@ -167,8 +231,15 @@ size_t SessionManager::recover() {
     auto S = std::make_shared<ManagedSession>(Id, Repo, SliceRepo, SliceOpts,
                                               Stats);
     S->Attached = false;
-    if (!applyRecords(*S, Records, snapshotPath(Id), Err))
-      continue; // snapshot gone or journal ends the session: unrecoverable
+    if (!applyRecords(*S, Records, snapshotPath(Id), Err)) {
+      // Snapshot gone, referenced pinball changed, or the journal ends the
+      // session: unrecoverable now and on every future restart.
+      Retire(Id, Path, Err.empty() ? "unrecoverable history" : Err);
+      continue;
+    }
+    for (const JournalRecord &R : Records)
+      if (R.K == JournalRecord::Kind::Snap)
+        S->SnapPath = snapshotPath(Id);
     S->Journal = std::make_unique<JournalWriter>();
     // Re-opening truncates the torn tail a kill -9 mid-append left behind.
     if (S->Journal->open(Path, Durability.Fsync, Err))
@@ -179,7 +250,6 @@ size_t SessionManager::recover() {
     updateJournalGauge(*S);
     {
       std::lock_guard<std::mutex> Lock(Mu);
-      NextId = std::max(NextId, Id + 1);
       Sessions.emplace(Id, std::move(S));
     }
     Stats.SessionsRecovered.inc();
@@ -211,6 +281,30 @@ bool SessionManager::applyRecords(ManagedSession &S,
         return false;
       }
       break;
+    case JournalRecord::Kind::Ref: {
+      uint64_t WantFp = 0;
+      std::string Dir;
+      if (!parseRefPayload(R.Payload, WantFp, Dir)) {
+        Error = "malformed ref record";
+        return false;
+      }
+      // The record was written only after the directory's fingerprint was
+      // checked; a mismatch now means the pinball was deleted or modified
+      // since compaction. Loading it anyway would rebuild a silently wrong
+      // session, so fail recovery loudly instead.
+      if (PinballRepository::dirFingerprint(Dir) != WantFp) {
+        Error = "referenced pinball " + Dir +
+                " is missing or changed since compaction (fingerprint "
+                "mismatch)";
+        return false;
+      }
+      Res = S.Session.executeCommand("pinball load " + Dir);
+      if (Res.Status == CommandStatus::Error) {
+        Error = "referenced pinball: " + Res.Text;
+        return false;
+      }
+      break;
+    }
     }
     if (Res.Status == CommandStatus::Exited) {
       Error = "journal ends the session";
@@ -286,15 +380,23 @@ void SessionManager::maybeCompact(ManagedSession &S) {
   Recs.push_back({JournalRecord::Kind::Load, S.Session.programText()});
   // A session whose region pinball came from `pinball load <dir>` — and
   // whose dir is still byte-identical (same fingerprint) — compacts to a
-  // journal that simply re-loads it on recovery. Only in-memory recordings
-  // (record region / record failure / flight dumps) need the snapshot
-  // pinball copied next to the journal; copying a ~50KB pinball every
-  // SnapshotEvery commands would otherwise dominate the journaling cost.
+  // journal that re-loads it on recovery: a `ref` record carrying the
+  // expected fingerprint (re-checked at recovery, which fails loudly on a
+  // mismatch) and the absolutized directory (so recovery from a different
+  // cwd resolves the same bytes). Only in-memory recordings (record region
+  // / record failure / flight dumps) need the snapshot pinball copied next
+  // to the journal; copying a ~50KB pinball every SnapshotEvery commands
+  // would otherwise dominate the journaling cost.
   const std::string &SrcDir = S.Session.regionSourceDir();
   uint64_t SrcFp = S.Session.regionFingerprint();
-  if (!SrcDir.empty() && SrcFp != 0 &&
-      PinballRepository::dirFingerprint(SrcDir) == SrcFp) {
-    Recs.push_back({JournalRecord::Kind::Cmd, "pinball load " + SrcDir});
+  std::error_code AbsEc;
+  fs::path AbsSrc = SrcDir.empty() ? fs::path()
+                                   : fs::absolute(SrcDir, AbsEc)
+                                         .lexically_normal();
+  if (!SrcDir.empty() && !AbsEc && SrcFp != 0 &&
+      PinballRepository::dirFingerprint(AbsSrc.string()) == SrcFp) {
+    Recs.push_back(
+        {JournalRecord::Kind::Ref, makeRefPayload(SrcFp, AbsSrc.string())});
   } else {
     // The snapshot pinball only needs re-saving when the session's region
     // pinball actually changed since the last compaction. "Unchanged" is
@@ -310,6 +412,7 @@ void SessionManager::maybeCompact(ManagedSession &S) {
       S.SnapSaved = true;
       S.SnapSavedGen = S.Session.regionGeneration();
       S.SnapSavedFp = S.Session.regionFingerprint();
+      S.SnapPath = snapshotPath(S.Id);
     }
     Recs.push_back({JournalRecord::Kind::Snap, ""});
   }
@@ -361,6 +464,7 @@ bool SessionManager::close(uint64_t Id) {
   }
   // Let any in-flight command drain before destruction.
   std::lock_guard<std::mutex> CmdLock(Doomed->CmdMu);
+  Doomed->Ended = true;
   dropDurableState(*Doomed);
   Stats.SessionsClosed.inc();
   return true;
@@ -397,19 +501,30 @@ void SessionManager::remove(uint64_t Id) {
   Sessions.erase(Id);
 }
 
-void SessionManager::setQuarantined(uint64_t Id, bool On) {
+void SessionManager::quarantine(uint64_t Id) {
   std::shared_ptr<ManagedSession> S = find(Id);
   if (!S)
     return;
-  if (On && !S->Quarantined.exchange(true))
+  if (S->Quarantined.fetch_add(1, std::memory_order_acq_rel) == 0)
     Stats.SessionsQuarantined.inc();
-  if (!On)
-    S->Quarantined.store(false);
+}
+
+void SessionManager::unquarantine(uint64_t Id) {
+  std::shared_ptr<ManagedSession> S = find(Id);
+  if (!S)
+    return;
+  // Defensive floor: quarantine()/unquarantine() calls are paired by the
+  // server's settle-exactly-once protocol, so this CAS loop only guards
+  // against a future unpaired caller wrapping the counter.
+  unsigned Cur = S->Quarantined.load(std::memory_order_acquire);
+  while (Cur != 0 && !S->Quarantined.compare_exchange_weak(
+                         Cur, Cur - 1, std::memory_order_acq_rel))
+    ;
 }
 
 bool SessionManager::isQuarantined(uint64_t Id) const {
   std::shared_ptr<ManagedSession> S = find(Id);
-  return S && S->Quarantined.load();
+  return S && S->Quarantined.load(std::memory_order_acquire) != 0;
 }
 
 SessionManager::ExecStatus
@@ -421,6 +536,11 @@ SessionManager::execute(uint64_t Id, const std::string &Line,
   CommandStatus Status;
   {
     std::lock_guard<std::mutex> CmdLock(S->CmdMu);
+    // We may have grabbed the shared_ptr just before a quit/close/eviction
+    // tore the session down; journaling now would resurrect its deleted
+    // durable state as a phantom session.
+    if (S->Ended)
+      return ExecStatus::NoSuchSession;
     // Deterministic slow-command hook: lets the deadline tests make a verb
     // overrun its budget without depending on machine speed.
     FaultInjector::global().maybeDelay("session.execute");
@@ -438,15 +558,22 @@ SessionManager::execute(uint64_t Id, const std::string &Line,
     Status = R.Status;
     Output = std::move(R.Text);
     S->LastUsed = Clock::now();
-    if (Status != CommandStatus::Exited)
+    if (Status != CommandStatus::Exited) {
       maybeCompact(*S);
+    } else {
+      // Tear the durable state down while still holding CmdMu: a
+      // concurrent verb on the same sid already past find() would
+      // otherwise race its journalAppend against Journal->close() here.
+      // Ended keeps it from re-creating the journal afterwards.
+      S->Ended = true;
+      dropDurableState(*S);
+    }
   }
   Stats.CommandsServed.inc();
   if (Status == CommandStatus::Error)
     Stats.CommandsFailed.inc();
   if (Status == CommandStatus::Exited) {
     remove(Id);
-    dropDurableState(*S);
     Stats.SessionsClosed.inc();
     return ExecStatus::Ended;
   }
@@ -461,6 +588,8 @@ SessionManager::loadProgram(uint64_t Id, const std::string &Text,
     return ExecStatus::NoSuchSession;
   {
     std::lock_guard<std::mutex> CmdLock(S->CmdMu);
+    if (S->Ended)
+      return ExecStatus::NoSuchSession;
     std::string JErr;
     if (!journalAppend(*S, {JournalRecord::Kind::Load, Text}, JErr)) {
       Output = "error: journal: " + JErr + "\n";
@@ -489,23 +618,47 @@ bool SessionManager::exportBundle(uint64_t Id, const std::string &Dir,
     return false;
   }
   std::lock_guard<std::mutex> CmdLock(S->CmdMu);
+  if (S->Ended) {
+    Error = "no such session";
+    return false;
+  }
   std::error_code Ec;
   fs::create_directories(Dir, Ec);
   if (Ec) {
     Error = "cannot create bundle directory " + Dir + ": " + Ec.message();
     return false;
   }
-  if (!rewriteJournal(Dir + "/journal", S->History, Error))
+  // Bundles are self-contained: a by-reference (`ref`) record would point
+  // at a directory that does not exist on the machine the bundle migrates
+  // to, so the referenced pinball is verified and materialized into the
+  // bundle, and the record rewritten as `snap`.
+  std::vector<JournalRecord> BundleRecs;
+  BundleRecs.reserve(S->History.size());
+  std::string SnapSrc;
+  for (const JournalRecord &R : S->History) {
+    if (R.K == JournalRecord::Kind::Ref) {
+      uint64_t WantFp = 0;
+      std::string RefDir;
+      if (!parseRefPayload(R.Payload, WantFp, RefDir) ||
+          PinballRepository::dirFingerprint(RefDir) != WantFp) {
+        Error = "referenced pinball " + RefDir +
+                " is missing or changed since compaction";
+        return false;
+      }
+      SnapSrc = RefDir;
+      BundleRecs.push_back({JournalRecord::Kind::Snap, ""});
+      continue;
+    }
+    if (R.K == JournalRecord::Kind::Snap)
+      SnapSrc = S->SnapPath.empty() ? snapshotPath(Id) : S->SnapPath;
+    BundleRecs.push_back(R);
+  }
+  if (!rewriteJournal(Dir + "/journal", BundleRecs, Error))
     return false;
-  bool HasSnap =
-      std::any_of(S->History.begin(), S->History.end(),
-                  [](const JournalRecord &R) {
-                    return R.K == JournalRecord::Kind::Snap;
-                  });
-  if (HasSnap) {
+  if (!SnapSrc.empty()) {
     Pinball P;
     std::string PErr;
-    if (!P.load(snapshotPath(Id), PErr)) {
+    if (!P.load(SnapSrc, PErr)) {
       Error = "snapshot pinball: " + PErr;
       return false;
     }
@@ -550,6 +703,11 @@ bool SessionManager::importBundle(const std::string &Dir, uint64_t &NewId,
       return false;
     }
   }
+  if (HasSnap)
+    // Without durability the bundle's own pinball is the only copy; a
+    // later drain/export resolves the snapshot through SnapPath, so
+    // remember where it lives rather than assuming snapshotPath(Id).
+    S->SnapPath = durabilityEnabled() ? snapshotPath(Id) : BundleSnap;
   if (!applyRecords(*S, Records, BundleSnap, Error))
     return false;
   if (durabilityEnabled()) {
@@ -598,8 +756,14 @@ size_t SessionManager::evictIdle() {
     }
   }
   // Eviction is a close, not a crash: the durable state goes with it.
-  for (const std::shared_ptr<ManagedSession> &S : Evicted)
+  // Re-taking CmdMu (blocking is fine, Mu is released) closes the window
+  // where a verb that grabbed the shared_ptr before the erase could
+  // journal against the JournalWriter this drop is destroying.
+  for (const std::shared_ptr<ManagedSession> &S : Evicted) {
+    std::lock_guard<std::mutex> CmdLock(S->CmdMu);
+    S->Ended = true;
     dropDurableState(*S);
+  }
   Stats.SessionsEvicted.inc(Evicted.size());
   return Evicted.size();
 }

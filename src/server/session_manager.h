@@ -83,8 +83,17 @@ public:
   /// Rebuilds every session whose journal lives in the configured journal
   /// directory by re-executing its records (deterministic replay makes the
   /// result byte-identical to the pre-crash session). Recovered sessions
-  /// come back detached, under their original ids. \returns how many.
+  /// come back detached, under their original ids. Journals that cannot be
+  /// recovered (missing/changed snapshot source, or a history that ends the
+  /// session) are renamed aside with a `.dead` suffix so later restarts do
+  /// not re-execute them just to fail again. \returns how many recovered.
   size_t recover();
+
+  /// One line per journal recover() retired, with the reason — the caller
+  /// (drdebugd) surfaces these so a dead session never disappears silently.
+  const std::vector<std::string> &recoveryCasualties() const {
+    return RecoveryCasualties;
+  }
 
   /// Creates a new (attached) session. \returns its id.
   uint64_t create();
@@ -125,17 +134,25 @@ public:
 
   /// Writes session \p Id as a portable bundle directory: `journal` (the
   /// record stream) plus `pinball/` when the history references a snapshot.
-  /// The bundle imports into any server via importBundle().
+  /// By-reference (`ref`) records are materialized: the referenced pinball
+  /// is fingerprint-verified, copied into the bundle, and the record is
+  /// rewritten as `snap`, so a bundle is always self-contained and imports
+  /// into any server (any machine) via importBundle().
   bool exportBundle(uint64_t Id, const std::string &Dir, std::string &Error);
 
   /// Replays the bundle at \p Dir into a fresh session (new id, detached).
   bool importBundle(const std::string &Dir, uint64_t &NewId,
                     std::string &Error);
 
-  /// Marks / unmarks a session as quarantined (a command overran its
-  /// deadline and may still be running). The server refuses new verbs for
-  /// quarantined sessions instead of queueing behind the wedged command.
-  void setQuarantined(uint64_t Id, bool On);
+  /// Quarantine bookkeeping: a session counts one quarantine per command
+  /// that overran its deadline and may still be running, and stays
+  /// quarantined until *every* overdue command has settled (two overlapping
+  /// overruns need two unquarantine() calls — a boolean would lift the
+  /// quarantine while the second command is still wedged on the session
+  /// mutex). The server refuses new verbs for quarantined sessions instead
+  /// of queueing behind the wedged command.
+  void quarantine(uint64_t Id);
+  void unquarantine(uint64_t Id);
   bool isQuarantined(uint64_t Id) const;
 
   /// Evicts every session idle for at least the configured timeout.
@@ -177,6 +194,7 @@ private:
   mutable std::mutex Mu;
   std::map<uint64_t, std::shared_ptr<ManagedSession>> Sessions;
   uint64_t NextId = 1;
+  std::vector<std::string> RecoveryCasualties; // written only by recover()
 };
 
 } // namespace drdebug

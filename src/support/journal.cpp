@@ -42,7 +42,7 @@ std::string encodeRecord(const JournalRecord &R) {
 bool parseKindName(const std::string &Name, JournalRecord::Kind &K) {
   for (JournalRecord::Kind Kind :
        {JournalRecord::Kind::Load, JournalRecord::Kind::Cmd,
-        JournalRecord::Kind::Snap}) {
+        JournalRecord::Kind::Snap, JournalRecord::Kind::Ref}) {
     if (Name == journalRecordKindName(Kind)) {
       K = Kind;
       return true;
@@ -102,6 +102,8 @@ const char *drdebug::journalRecordKindName(JournalRecord::Kind K) {
     return "cmd";
   case JournalRecord::Kind::Snap:
     return "snap";
+  case JournalRecord::Kind::Ref:
+    return "ref";
   }
   return "unknown";
 }

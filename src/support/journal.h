@@ -19,9 +19,13 @@
 ///   ...
 ///
 /// where <kind> is `load` (payload: program assembly text), `cmd` (payload:
-/// one debugger command line) or `snap` (payload empty: "load the snapshot
-/// pinball that lives next to this journal" — the compaction record). The
-/// CRC32C covers the payload only.
+/// one debugger command line), `snap` (payload empty: "load the snapshot
+/// pinball that lives next to this journal" — the compaction record) or
+/// `ref` (payload: `<fingerprint> <pinball-dir>` — the by-reference
+/// compaction record: load the named pinball directory, but only after
+/// verifying its content fingerprint still matches; a changed or deleted
+/// directory fails recovery loudly instead of rebuilding a silently wrong
+/// session). The CRC32C covers the payload only.
 ///
 /// Reads are torn-tail tolerant: scanning stops at the first incomplete or
 /// checksum-damaged record and reports how many clean records precede it —
@@ -55,12 +59,14 @@ struct JournalRecord {
     Load, ///< program text was loaded into the session
     Cmd,  ///< a state-mutating debugger command line
     Snap, ///< compaction marker: load the sibling snapshot pinball
+    Ref,  ///< compaction marker: load `<fingerprint> <dir>` after verifying
+          ///< the directory's fingerprint still matches
   };
   Kind K = Kind::Cmd;
   std::string Payload;
 };
 
-/// Stable name for a record kind ("load", "cmd", "snap").
+/// Stable name for a record kind ("load", "cmd", "snap", "ref").
 const char *journalRecordKindName(JournalRecord::Kind K);
 
 /// Reads every clean record of the journal at \p Path. \returns false (with

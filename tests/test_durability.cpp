@@ -10,6 +10,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "debugger/session.h"
+#include "replay/repository.h"
 #include "server/client.h"
 #include "server/protocol.h"
 #include "server/server.h"
@@ -510,13 +511,17 @@ TEST(Durability, DiskBackedSessionsCompactToAReference) {
     EXPECT_GE(Srv.stats().JournalCompactions.load(), 1u);
   }
   // The compacted journal references the still-intact source pinball
-  // instead of copying it: a pinball-load record, and no snapshot dir.
+  // instead of copying it: a `ref` record carrying the expected directory
+  // fingerprint (re-verified at recovery) and its path; no snapshot dir.
   fs::path Journal =
       fs::path(Cfg.JournalDir) / ("session-" + std::to_string(Sid) + ".journal");
   std::vector<JournalRecord> Recs = mustRead(Journal);
   ASSERT_EQ(Recs.size(), 4u);
   EXPECT_EQ(Recs[0].K, JournalRecord::Kind::Load);
-  EXPECT_EQ(Recs[1].Payload, "pinball load " + PbDir.string());
+  EXPECT_EQ(Recs[1].K, JournalRecord::Kind::Ref);
+  EXPECT_EQ(Recs[1].Payload,
+            std::to_string(PinballRepository::dirFingerprint(PbDir.string())) +
+                " " + PbDir.string());
   EXPECT_EQ(Recs[2].Payload, "replay");
   EXPECT_EQ(Recs[3].Payload.rfind("replay-seek ", 0), 0u);
   EXPECT_FALSE(fs::exists(fs::path(Cfg.JournalDir) /
@@ -526,6 +531,82 @@ TEST(Durability, DiskBackedSessionsCompactToAReference) {
   DebugServer Srv(Cfg);
   ASSERT_EQ(Srv.sessions().activeCount(), 1u);
   EXPECT_EQ(probeRecovered(Srv, Sid, Probes), Reference);
+}
+
+TEST(Durability, ChangedReferencePinballFailsRecoveryLoudly) {
+  TempDir Tmp("refdrift");
+  Program P = workloads::makeFigure5();
+  fs::path PbDir = Tmp.Dir / "source-pinball";
+  {
+    std::ostringstream Sink;
+    DebugSession S(Sink);
+    ASSERT_TRUE(S.loadProgramText(P.SourceText));
+    ASSERT_TRUE(S.execute("record failure"));
+    ASSERT_TRUE(S.execute("pinball save " + PbDir.string()));
+  }
+  ServerConfig Cfg;
+  Cfg.JournalDir = (Tmp.Dir / "journals").string();
+  Cfg.SnapshotEvery = 4;
+  Cfg.CompactMinBytes = 0;
+  uint64_t Sid = 0;
+  {
+    DebugServer Srv(Cfg);
+    Sid = runFigure5Session(Srv, {"pinball load " + PbDir.string(), "replay",
+                                  "reverse-stepi 2"});
+    EXPECT_GE(Srv.stats().JournalCompactions.load(), 1u);
+  }
+  // The referenced pinball changes under the compacted journal's feet. A
+  // recovery that re-loaded it anyway would rebuild a silently wrong
+  // session; the `ref` record's fingerprint makes it fail loudly instead.
+  fs::remove_all(PbDir);
+  fs::path Journal = fs::path(Cfg.JournalDir) /
+                     ("session-" + std::to_string(Sid) + ".journal");
+  {
+    DebugServer Srv(Cfg);
+    EXPECT_EQ(Srv.sessions().activeCount(), 0u);
+    EXPECT_EQ(Srv.stats().SessionsRecovered.load(), 0u);
+    // The casualty is reported with its reason, not dropped silently.
+    ASSERT_EQ(Srv.sessions().recoveryCasualties().size(), 1u);
+    EXPECT_NE(Srv.sessions().recoveryCasualties()[0].find("fingerprint"),
+              std::string::npos);
+    // ...and the id is burnt, never recycled onto the dead files.
+    uint64_t FreshId = Srv.sessions().create();
+    EXPECT_GT(FreshId, Sid);
+    Srv.sessions().close(FreshId);
+  }
+  // The unrecoverable journal was retired aside, not left to be fully
+  // re-executed (and re-failed) by every future restart.
+  EXPECT_FALSE(fs::exists(Journal));
+  EXPECT_TRUE(fs::exists(Journal.string() + ".dead"));
+  DebugServer Again(Cfg);
+  EXPECT_EQ(Again.sessions().activeCount(), 0u);
+}
+
+TEST(Durability, JournalEndingTheSessionIsRetiredOnRecovery) {
+  // A crash between appending `quit` and dropDurableState leaves a journal
+  // whose replay ends the session: unrecoverable, and retired as such.
+  TempDir Tmp("deadquit");
+  Program P = workloads::makeFigure5();
+  fs::path Journal = Tmp.Dir / "session-7.journal";
+  {
+    JournalWriter W;
+    std::string Error;
+    ASSERT_TRUE(W.open(Journal.string(), JournalFsync::None, Error)) << Error;
+    ASSERT_TRUE(W.append({JournalRecord::Kind::Load, P.SourceText}, Error));
+    ASSERT_TRUE(W.append({JournalRecord::Kind::Cmd, "quit"}, Error));
+  }
+  ServerConfig Cfg;
+  Cfg.JournalDir = Tmp.Dir.string();
+  {
+    DebugServer Srv(Cfg);
+    EXPECT_EQ(Srv.sessions().activeCount(), 0u);
+    EXPECT_FALSE(fs::exists(Journal));
+    EXPECT_TRUE(fs::exists(Journal.string() + ".dead"));
+    ASSERT_EQ(Srv.sessions().recoveryCasualties().size(), 1u);
+    EXPECT_NE(Srv.sessions().recoveryCasualties()[0].find("ends the session"),
+              std::string::npos);
+    EXPECT_GT(Srv.sessions().create(), 7u);
+  }
 }
 
 TEST(Durability, CompactionRespectsTheSizeFloor) {
@@ -703,6 +784,96 @@ TEST(Durability, BundlesCarryTheirSnapshotPinball) {
   EXPECT_EQ(probeRecovered(SrvB, NewSid, Probes), Reference);
 }
 
+TEST(Durability, BundlesMaterializeReferencedPinballs) {
+  // A ref-compacted journal points at a directory on *this* machine; the
+  // exported bundle must carry the pinball bytes themselves, or migration
+  // to another host (or past a deletion) silently breaks.
+  TempDir Tmp("refbundle");
+  Program P = workloads::makeFigure5();
+  fs::path PbDir = Tmp.Dir / "source-pinball";
+  {
+    std::ostringstream Sink;
+    DebugSession S(Sink);
+    ASSERT_TRUE(S.loadProgramText(P.SourceText));
+    ASSERT_TRUE(S.execute("record failure"));
+    ASSERT_TRUE(S.execute("pinball save " + PbDir.string()));
+  }
+  const std::vector<std::string> Setup = {"pinball load " + PbDir.string(),
+                                          "replay", "reverse-stepi 2"};
+  const std::vector<std::string> Probes = {"where", "output"};
+  const std::string Reference = localProbes(P.SourceText, Setup, Probes);
+
+  ServerConfig Cfg;
+  Cfg.JournalDir = (Tmp.Dir / "journals").string();
+  Cfg.SnapshotEvery = 4;
+  Cfg.CompactMinBytes = 0;
+  DebugServer SrvA(Cfg);
+  uint64_t Sid = runFigure5Session(SrvA, Setup);
+  ASSERT_GE(SrvA.stats().JournalCompactions.load(), 1u);
+
+  fs::path Bundle = Tmp.Dir / "bundle";
+  std::string Error;
+  ASSERT_TRUE(SrvA.sessions().exportBundle(Sid, Bundle.string(), Error))
+      << Error;
+  EXPECT_TRUE(fs::exists(Bundle / "pinball"));
+  std::vector<JournalRecord> Recs = mustRead(Bundle / "journal");
+  ASSERT_GE(Recs.size(), 2u);
+  EXPECT_EQ(Recs[1].K, JournalRecord::Kind::Snap);
+
+  // The source pinball dies; the bundle still imports byte-identically.
+  fs::remove_all(PbDir);
+  DebugServer SrvB;
+  uint64_t NewSid = 0;
+  ASSERT_TRUE(SrvB.sessions().importBundle(Bundle.string(), NewSid, Error))
+      << Error;
+  EXPECT_EQ(probeRecovered(SrvB, NewSid, Probes), Reference);
+
+  // A fresh export of the original session now fails loudly (the
+  // reference is gone) instead of writing a bundle with no pinball.
+  EXPECT_FALSE(
+      SrvA.sessions().exportBundle(Sid, (Tmp.Dir / "bundle2").string(), Error));
+  EXPECT_NE(Error.find("pinball"), std::string::npos) << Error;
+}
+
+TEST(Durability, MemoryOnlyServerReexportsImportedSnapshot) {
+  // Chained migration: a server without --journal-dir imports a compacted
+  // bundle, then itself drains. The re-export must resolve the snapshot
+  // from the imported bundle, not from a journal dir it never had.
+  TempDir JDir("chain_j"), Bundles("chain_b");
+  Program P = workloads::makeFigure5();
+  const std::vector<std::string> Setup = {"record failure", "replay",
+                                          "reverse-stepi 2"};
+  const std::vector<std::string> Probes = {"where", "output"};
+  const std::string Reference = localProbes(P.SourceText, Setup, Probes);
+
+  ServerConfig Cfg;
+  Cfg.JournalDir = JDir.Dir.string();
+  Cfg.SnapshotEvery = 4;
+  Cfg.CompactMinBytes = 0;
+  DebugServer SrvA(Cfg);
+  uint64_t Sid = runFigure5Session(SrvA, Setup);
+  ASSERT_GE(SrvA.stats().JournalCompactions.load(), 1u);
+  fs::path BundleA = Bundles.Dir / "hop1";
+  std::string Error;
+  ASSERT_TRUE(SrvA.sessions().exportBundle(Sid, BundleA.string(), Error))
+      << Error;
+
+  DebugServer SrvB; // no JournalDir
+  uint64_t SidB = 0;
+  ASSERT_TRUE(SrvB.sessions().importBundle(BundleA.string(), SidB, Error))
+      << Error;
+  fs::path BundleB = Bundles.Dir / "hop2";
+  ASSERT_TRUE(SrvB.sessions().exportBundle(SidB, BundleB.string(), Error))
+      << Error;
+  EXPECT_TRUE(fs::exists(BundleB / "pinball"));
+
+  DebugServer SrvC; // second hop lands intact
+  uint64_t SidC = 0;
+  ASSERT_TRUE(SrvC.sessions().importBundle(BundleB.string(), SidC, Error))
+      << Error;
+  EXPECT_EQ(probeRecovered(SrvC, SidC, Probes), Reference);
+}
+
 TEST(Durability, DrainWorksWithoutJournaling) {
   // Drain/export must not require durability: in-memory history is enough.
   TempDir Bundles("mem_bundles");
@@ -834,6 +1005,61 @@ TEST(Durability, DeadlineOverrunQuarantinesTheSession) {
   }
   ClientEnd->close();
   ServerThread.join();
+}
+
+TEST(Durability, QuarantineCountsOverlappingOverruns) {
+  // Two commands on one session both overran their deadlines: the first
+  // settling must NOT lift the quarantine while the second is still wedged
+  // on the session mutex — quarantine is a count, not a flag.
+  DebugServer Srv;
+  SessionManager &Mgr = Srv.sessions();
+  uint64_t Sid = Mgr.create();
+  Mgr.quarantine(Sid);
+  Mgr.quarantine(Sid);
+  EXPECT_TRUE(Mgr.isQuarantined(Sid));
+  Mgr.unquarantine(Sid);
+  EXPECT_TRUE(Mgr.isQuarantined(Sid)); // one overdue command still out
+  Mgr.unquarantine(Sid);
+  EXPECT_FALSE(Mgr.isQuarantined(Sid));
+  Mgr.unquarantine(Sid); // unpaired extra: clamped, no wraparound
+  EXPECT_FALSE(Mgr.isQuarantined(Sid));
+  // The metric counts sessions entering quarantine, not every overrun.
+  EXPECT_EQ(Srv.stats().SessionsQuarantined.load(), 1u);
+}
+
+TEST(Durability, QuitRacingAVerbLeavesNoDurableState) {
+  // A verb that grabbed the session just before `quit` tore it down must
+  // not journal into (and resurrect) the deleted durable state. Under TSan
+  // this also exercises the journalAppend-vs-dropDurableState race.
+  TempDir Tmp("quitrace");
+  Program P = workloads::makeFigure5();
+  ServerConfig Cfg;
+  Cfg.JournalDir = Tmp.Dir.string();
+  for (int Round = 0; Round < 8; ++Round) {
+    DebugServer Srv(Cfg);
+    SessionManager &Mgr = Srv.sessions();
+    uint64_t Sid = Mgr.create();
+    std::string Out;
+    bool LoadOk = false;
+    ASSERT_EQ(Mgr.loadProgram(Sid, P.SourceText, Out, LoadOk),
+              SessionManager::ExecStatus::Ok);
+    ASSERT_TRUE(LoadOk) << Out;
+    std::thread Racer([&] {
+      std::string ROut;
+      while (Mgr.execute(Sid, "record failure", ROut) !=
+             SessionManager::ExecStatus::NoSuchSession)
+        ;
+    });
+    std::string QOut;
+    EXPECT_EQ(Mgr.execute(Sid, "quit", QOut),
+              SessionManager::ExecStatus::Ended);
+    Racer.join();
+    EXPECT_FALSE(fs::exists(
+        Tmp.Dir / ("session-" + std::to_string(Sid) + ".journal")))
+        << "round " << Round << ": quit resurrected the journal";
+  }
+  DebugServer Fresh(Cfg);
+  EXPECT_EQ(Fresh.sessions().activeCount(), 0u);
 }
 
 //===----------------------------------------------------------------------===//

@@ -136,6 +136,8 @@ int main(int Argc, char **Argv) {
   if (!Cfg.JournalDir.empty() && Server.sessions().activeCount() > 0)
     std::printf("drdebugd: recovered %zu session(s) from %s\n",
                 Server.sessions().activeCount(), Cfg.JournalDir.c_str());
+  for (const std::string &Line : Server.sessions().recoveryCasualties())
+    std::fprintf(stderr, "drdebugd: unrecoverable journal %s\n", Line.c_str());
   TcpListener Listener;
   std::string Error;
   if (!Listener.listen(Port, Error)) {
