@@ -103,11 +103,16 @@ Row runScenario(const ScenarioOpts &O, const std::string &PinballDir,
     Clients.emplace_back([&, T = ClientEnds[I].get()] {
       ProtocolClient Client = Policy ? ProtocolClient(*T, *Policy)
                                      : ProtocolClient(*T);
-      std::string Out, Error;
-      uint64_t Sid = 0;
-      if (!Client.open(Sid, Error) ||
-          !Client.load(Sid, ProgText, Out, Error)) {
-        std::fprintf(stderr, "bench client setup failed: %s\n", Error.c_str());
+      ClientResult<uint64_t> Opened = Client.open();
+      if (!Opened.ok()) {
+        std::fprintf(stderr, "bench client setup failed: %s\n",
+                     Opened.errorText().c_str());
+        return;
+      }
+      uint64_t Sid = Opened.value();
+      if (ClientResult<> L = Client.load(Sid, ProgText); !L.ok()) {
+        std::fprintf(stderr, "bench client setup failed: %s\n",
+                     L.errorText().c_str());
         return;
       }
       const std::vector<std::string> Round = {
@@ -119,8 +124,9 @@ Row runScenario(const ScenarioOpts &O, const std::string &PinballDir,
         for (const std::string &C : Round) {
           uint64_t RetriesBefore = Client.retries();
           Stopwatch CmdSW;
-          if (!Client.cmd(Sid, C, Out, Error)) {
-            std::fprintf(stderr, "bench cmd failed: %s\n", Error.c_str());
+          if (ClientResult<> CR = Client.cmd(Sid, C); !CR.ok()) {
+            std::fprintf(stderr, "bench cmd failed: %s\n",
+                         CR.errorText().c_str());
             return;
           }
           if (O.FirstTrySamplesUs && Client.retries() == RetriesBefore)

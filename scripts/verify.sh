@@ -14,6 +14,10 @@
 #   scripts/verify.sh --chaos        # durability leg under ASan: kill -9 /
 #                                    # restart/recover rounds, drain+import
 #                                    # migration, and overload shedding
+#   scripts/verify.sh --fleet        # gateway tier: registry/docs drift,
+#                                    # routed transcripts, and a failover
+#                                    # chaos round (1 gw + 3 backends, one
+#                                    # hard-killed; zero journaled loss)
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -78,6 +82,22 @@ if [ "${1:-}" = "--chaos" ]; then
   build-asan/tools/drdebug_chaos --migrate
   build-asan/tools/drdebug_chaos --overload
   echo "chaos: OK"
+  exit 0
+fi
+
+# --fleet: the gateway-tier leg (docs/FLEET.md). The Fleet/VerbRegistry/
+# ClientResult suites prove rendezvous determinism, byte-identical routed
+# transcripts, edge capability gating, the generated-docs drift bars, and
+# the 1-gateway + 3-backend failover round (one backend hard-killed, every
+# journaled session re-imported byte-identically). bench_fleet --smoke
+# re-runs the failover chaos round and exits nonzero on any session loss.
+if [ "${1:-}" = "--fleet" ]; then
+  cmake -B build -S .
+  cmake --build build -j --target drdebug_tests bench_fleet drdebug_gw
+  (cd build && ctest --output-on-failure -R 'Fleet|VerbRegistry|ClientResult' -j)
+  build/bench/bench_fleet --smoke --json build/BENCH_fleet_smoke.json
+  build/tools/drdebug_gw --dump-verbs > /dev/null
+  echo "fleet: OK"
   exit 0
 fi
 

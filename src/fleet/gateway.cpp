@@ -1,0 +1,573 @@
+//===- fleet/gateway.cpp - The sharded drdebugd gateway tier -----------------===//
+
+#include "fleet/gateway.h"
+
+#include "debugger/commands.h"
+#include "server/server.h"
+#include "server/verbs.h"
+
+#include <deque>
+#include <filesystem>
+#include <sstream>
+#include <unordered_map>
+
+using namespace drdebug;
+
+namespace fs = std::filesystem;
+
+uint64_t drdebug::rendezvousWeight(uint64_t SessionId,
+                                   const std::string &BackendName) {
+  // FNV-1a over the backend name, then the session id bytes: cheap,
+  // well-mixed, and dependent only on stable inputs — a rebuilt gateway
+  // ranks backends for a session exactly as its predecessor did.
+  uint64_t H = 1469598103934665603ull;
+  auto Mix = [&H](unsigned char C) {
+    H ^= C;
+    H *= 1099511628211ull;
+  };
+  for (unsigned char C : BackendName)
+    Mix(C);
+  for (int I = 0; I != 8; ++I)
+    Mix(static_cast<unsigned char>(SessionId >> (8 * I)));
+  return H;
+}
+
+Gateway::Gateway(GatewayConfig CfgIn) : Cfg(std::move(CfgIn)) {
+  for (const GatewayBackend &BC : Cfg.Backends) {
+    auto B = std::make_unique<Backend>();
+    B->Cfg = BC;
+    Backends.push_back(std::move(B));
+  }
+  // Capability probe: one hello per backend. A backend that cannot even
+  // say hello is born dead — it never held a session, so there is nothing
+  // to fail over.
+  for (size_t I = 0; I != Backends.size(); ++I) {
+    std::unique_ptr<Pooled> P = acquire(I);
+    if (!P) {
+      Backends[I]->Alive.store(false, std::memory_order_release);
+      continue;
+    }
+    ClientResult<HelloInfo> H = P->C->hello();
+    if (!H.ok()) {
+      Backends[I]->Alive.store(false, std::memory_order_release);
+      continue;
+    }
+    Backends[I]->Proto = H.value().Proto;
+    Backends[I]->Verbs.insert(H.value().Verbs.begin(), H.value().Verbs.end());
+    release(I, std::move(P));
+  }
+}
+
+Gateway::~Gateway() = default;
+
+size_t Gateway::aliveCount() const {
+  size_t N = 0;
+  for (const auto &B : Backends)
+    N += B->Alive.load(std::memory_order_acquire) ? 1 : 0;
+  return N;
+}
+
+size_t Gateway::placeSession(uint64_t Sid) const {
+  size_t Best = npos;
+  uint64_t BestW = 0;
+  for (size_t I = 0; I != Backends.size(); ++I) {
+    if (!Backends[I]->Alive.load(std::memory_order_acquire))
+      continue;
+    uint64_t W = rendezvousWeight(Sid, Backends[I]->Cfg.Name);
+    if (Best == npos || W > BestW || (W == BestW && I < Best)) {
+      Best = I;
+      BestW = W;
+    }
+  }
+  return Best;
+}
+
+std::unique_ptr<Gateway::Pooled> Gateway::acquire(size_t I) {
+  Backend &B = *Backends[I];
+  {
+    std::lock_guard<std::mutex> Lock(B.PoolMu);
+    if (!B.Idle.empty()) {
+      std::unique_ptr<Pooled> P = std::move(B.Idle.back());
+      B.Idle.pop_back();
+      return P;
+    }
+  }
+  std::unique_ptr<Transport> T = B.Cfg.Connect ? B.Cfg.Connect() : nullptr;
+  if (!T)
+    return nullptr;
+  auto P = std::make_unique<Pooled>();
+  P->T = std::move(T);
+  P->C = std::make_unique<ProtocolClient>(*P->T, Cfg.Retry);
+  return P;
+}
+
+void Gateway::release(size_t I, std::unique_ptr<Pooled> P) {
+  Backend &B = *Backends[I];
+  if (!B.Alive.load(std::memory_order_acquire))
+    return; // dead backends keep no pool
+  std::lock_guard<std::mutex> Lock(B.PoolMu);
+  if (B.Idle.size() < Cfg.PoolPerBackend)
+    B.Idle.push_back(std::move(P));
+}
+
+Gateway::ForwardOutcome Gateway::forward(size_t I,
+                                         const std::string &VerbAndArgs) {
+  ForwardOutcome Out;
+  if (!Backends[I]->Alive.load(std::memory_order_acquire)) {
+    Out.TransportDead = true;
+    Out.Response = ClientError{ErrClass::Transport, 0, 0, "backend is down"};
+    return Out;
+  }
+  // Two connection attempts: a pooled connection may have died idle; a
+  // failure on a *fresh* connection means the backend itself is gone.
+  for (int Attempt = 0; Attempt != 2; ++Attempt) {
+    std::unique_ptr<Pooled> P = acquire(I);
+    if (!P) {
+      Out.TransportDead = true;
+      Out.Response =
+          ClientError{ErrClass::Transport, 0, 0, "backend unreachable"};
+      return Out;
+    }
+    ClientResult<> R = P->C->request(VerbAndArgs);
+    if (R.errClass() == ErrClass::Transport) {
+      // Discard the broken connection and retry once on a fresh one.
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> Lock(CountersMu);
+      ++Stats.ForwardedVerbs;
+    }
+    release(I, std::move(P));
+    Out.Response = std::move(R);
+    return Out;
+  }
+  Out.TransportDead = true;
+  Out.Response =
+      ClientError{ErrClass::Transport, 0, 0, "backend connection lost"};
+  return Out;
+}
+
+bool Gateway::backendSupports(const Backend &B,
+                              const std::string &Verb) const {
+  if (!B.Verbs.empty())
+    return B.Verbs.count(Verb) != 0;
+  const VerbInfo *VI = findVerb(Verb);
+  return VI && VI->MinProtoVersion <= B.Proto;
+}
+
+std::string Gateway::helloBanner() const {
+  unsigned Proto = ProtocolVersion;
+  for (const auto &B : Backends)
+    if (B->Alive.load(std::memory_order_acquire) && B->Proto != 0)
+      Proto = std::min(Proto, B->Proto);
+  std::string Verbs;
+  for (const VerbInfo &V : verbRegistry()) {
+    bool Everywhere = true;
+    if (!(V.Name == std::string("hello") || V.Name == std::string("help")))
+      for (const auto &B : Backends)
+        if (B->Alive.load(std::memory_order_acquire) &&
+            !backendSupports(*B, V.Name))
+          Everywhere = false;
+    if (!Everywhere)
+      continue;
+    if (!Verbs.empty())
+      Verbs += ',';
+    Verbs += V.Name;
+  }
+  return std::string("drdebug-gw ") + DrDebugVersion + " proto " +
+         std::to_string(Proto) + " verbs " + Verbs;
+}
+
+void Gateway::serve(Transport &T) {
+  // Same framing, dedup, and at-most-once contract as DebugServer::serve:
+  // a client retransmission (same seq) is answered from the cache, so a
+  // verb the gateway already forwarded is never forwarded twice.
+  FrameBuffer FB;
+  std::string Bytes;
+  bool Open = true;
+  constexpr size_t DedupCapacity = 32;
+  std::unordered_map<uint64_t, std::string> DedupCache;
+  std::deque<uint64_t> DedupOrder;
+  while (Open && T.recv(Bytes)) {
+    FB.append(Bytes);
+    Bytes.clear();
+    std::string Body;
+    for (;;) {
+      FrameBuffer::Poll P = FB.poll(Body);
+      if (P == FrameBuffer::Poll::None)
+        break;
+      if (P != FrameBuffer::Poll::Frame) {
+        WireError E = P == FrameBuffer::Poll::BadChecksum
+                          ? WireError::BadChecksum
+                          : WireError::Malformed;
+        T.send(encodeFrame(errBody(0, E, wireErrorName(E))));
+        continue;
+      }
+      uint64_t Seq = 0;
+      bool HasSeq = (std::istringstream(Body) >> Seq) && Seq != 0;
+      if (HasSeq) {
+        auto It = DedupCache.find(Seq);
+        if (It != DedupCache.end()) {
+          T.send(encodeFrame(It->second));
+          continue;
+        }
+      }
+      bool Cacheable = true;
+      std::string Resp = handleBody(Body, Cacheable);
+      if (HasSeq && Cacheable) {
+        if (DedupOrder.size() >= DedupCapacity) {
+          DedupCache.erase(DedupOrder.front());
+          DedupOrder.pop_front();
+        }
+        DedupCache.emplace(Seq, Resp);
+        DedupOrder.push_back(Seq);
+      }
+      T.send(encodeFrame(Resp));
+      if (shutdownRequested()) {
+        Open = false;
+        break;
+      }
+    }
+  }
+}
+
+std::string Gateway::handleBody(const std::string &Body, bool &Cacheable) {
+  std::istringstream IS(Body);
+  uint64_t Seq = 0;
+  std::string Verb;
+  if (!(IS >> Seq >> Verb))
+    return errBody(0, WireError::Malformed, "missing sequence number or verb");
+  auto RestOf = [&IS]() {
+    std::string Rest;
+    std::getline(IS, Rest);
+    if (!Rest.empty() && Rest.front() == ' ')
+      Rest.erase(0, 1);
+    return Rest;
+  };
+  auto EdgeReject = [&](WireError E, const std::string &Msg) {
+    std::lock_guard<std::mutex> Lock(CountersMu);
+    ++Stats.EdgeRejects;
+    return errBody(Seq, E, Msg);
+  };
+
+  const VerbInfo *VI = findVerb(Verb);
+  if (!VI)
+    return EdgeReject(WireError::UnknownVerb, "unknown verb '" + Verb + "'");
+
+  // Answered at the edge: the gateway is the fleet's identity.
+  if (Verb == "hello")
+    return okBody(Seq, helloBanner());
+  if (Verb == "help")
+    return okBody(Seq, renderHelpPayload());
+
+  // Capability gate for mixed-version fleets: if any alive backend cannot
+  // serve the verb, fail it here as unknown-verb instead of mid-flight on
+  // whichever backend the session happens to land on.
+  for (const auto &B : Backends)
+    if (B->Alive.load(std::memory_order_acquire) &&
+        !backendSupports(*B, Verb))
+      return EdgeReject(WireError::UnknownVerb,
+                        "verb '" + Verb + "' not supported by backend " +
+                            B->Cfg.Name + " (proto " +
+                            std::to_string(B->Proto) + ")");
+
+  if (VI->Routing == VerbRouting::FanOut)
+    return handleFanOut(Seq, Verb, RestOf());
+
+  if (VI->Routing == VerbRouting::AnyBackend)
+    return handlePlacement(Seq, Verb, RestOf(), Cacheable);
+
+  // Session-routed: the first argument is the gateway-side session id.
+  uint64_t GwSid = 0;
+  if (!(IS >> GwSid))
+    return errBody(Seq, WireError::BadArguments,
+                   "usage: " + Verb + " <sid> ...");
+  return handleSessionRouted(Seq, Verb, GwSid, RestOf(), Cacheable);
+}
+
+std::string Gateway::handleFanOut(uint64_t Seq, const std::string &Verb,
+                                  const std::string &Args) {
+  std::string Dir = Verb == "drain" ? unescapeText(Args) : std::string();
+  std::ostringstream OS;
+  uint64_t EvictedTotal = 0;
+  size_t Reached = 0;
+  if (Verb == "stats")
+    OS << fleetReport();
+  for (size_t I = 0; I != Backends.size(); ++I) {
+    Backend &B = *Backends[I];
+    if (!B.Alive.load(std::memory_order_acquire))
+      continue;
+    std::string Line = Verb;
+    if (Verb == "drain" && !Dir.empty())
+      Line += " " + escapeText(Dir + "/" + B.Cfg.Name);
+    else if (!Args.empty())
+      Line += " " + Args;
+    ForwardOutcome Out = forward(I, Line);
+    if (Verb == "metrics")
+      OS << "# backend " << B.Cfg.Name << "\n";
+    else
+      OS << "== backend " << B.Cfg.Name << " ==\n";
+    if (!Out.Response.ok()) {
+      OS << "unreachable: " << Out.Response.errorText() << "\n";
+      continue;
+    }
+    ++Reached;
+    if (Verb == "evict") {
+      std::istringstream PIS(Out.Response.value());
+      std::string Tag;
+      uint64_t N = 0;
+      if (PIS >> Tag >> N)
+        EvictedTotal += N;
+    }
+    OS << Out.Response.value();
+    if (!Out.Response.value().empty() && Out.Response.value().back() != '\n')
+      OS << "\n";
+  }
+  if (Verb == "shutdown") {
+    Shutdown.store(true, std::memory_order_release);
+    return okBody(Seq, "shutting down");
+  }
+  if (Verb == "evict")
+    return okBody(Seq, "evicted " + std::to_string(EvictedTotal));
+  if (Reached == 0 && Verb != "stats")
+    return errBody(Seq, WireError::SessionFailed, "no alive backends");
+  return okBody(Seq, OS.str());
+}
+
+std::string Gateway::handlePlacement(uint64_t Seq, const std::string &Verb,
+                                     const std::string &Args,
+                                     bool &Cacheable) {
+  uint64_t GwSid;
+  {
+    std::lock_guard<std::mutex> Lock(MapMu);
+    GwSid = NextSid++;
+  }
+  std::string Line = Args.empty() ? Verb : Verb + " " + Args;
+  for (unsigned Attempt = 0; Attempt != Cfg.PlacementRetries; ++Attempt) {
+    size_t I = placeSession(GwSid);
+    if (I == npos)
+      return errBody(Seq, WireError::SessionFailed, "no alive backends");
+    ForwardOutcome Out = forward(I, Line);
+    if (Out.TransportDead ||
+        Out.Response.code() == static_cast<unsigned>(WireError::Draining)) {
+      failBackend(I);
+      continue; // re-place on the survivors
+    }
+    if (!Out.Response.ok()) {
+      if (Out.Response.code() ==
+          static_cast<unsigned>(WireError::Overloaded))
+        Cacheable = false;
+      return errBody(Seq,
+                     static_cast<WireError>(Out.Response.code()
+                                                ? Out.Response.code()
+                                                : static_cast<unsigned>(
+                                                      WireError::SessionFailed)),
+                     Out.Response.error().Message);
+    }
+    std::istringstream PIS(Out.Response.value());
+    std::string Tag;
+    uint64_t BackendSid = 0;
+    if (!(PIS >> Tag >> BackendSid) || Tag != "sid")
+      return errBody(Seq, WireError::SessionFailed,
+                     "malformed " + Verb + " reply from backend " +
+                         backendName(I));
+    {
+      std::lock_guard<std::mutex> Lock(MapMu);
+      Sessions[GwSid] = Placement{I, BackendSid};
+    }
+    return okBody(Seq, "sid " + std::to_string(GwSid));
+  }
+  return errBody(Seq, WireError::SessionFailed,
+                 "placement failed after " +
+                     std::to_string(Cfg.PlacementRetries) + " attempts");
+}
+
+std::string Gateway::handleSessionRouted(uint64_t Seq, const std::string &Verb,
+                                         uint64_t GwSid,
+                                         const std::string &Rest,
+                                         bool &Cacheable) {
+  for (unsigned Attempt = 0; Attempt != 2; ++Attempt) {
+    Placement P;
+    {
+      std::lock_guard<std::mutex> Lock(MapMu);
+      auto It = Sessions.find(GwSid);
+      if (It == Sessions.end())
+        return errBody(Seq, WireError::NoSuchSession, "no such session");
+      P = It->second;
+    }
+    std::string Line = Verb + " " + std::to_string(P.BackendSid) +
+                       (Rest.empty() ? "" : " " + Rest);
+    ForwardOutcome Out = forward(P.BackendIdx, Line);
+    if (Out.TransportDead ||
+        Out.Response.code() == static_cast<unsigned>(WireError::Draining)) {
+      // The backend is dying. Fail it over (idempotent — the first thread
+      // in does the work) and retry against the session's new home.
+      failBackend(P.BackendIdx);
+      continue;
+    }
+    if (!Out.Response.ok()) {
+      unsigned Code = Out.Response.code();
+      if (Code == static_cast<unsigned>(WireError::NoSuchSession)) {
+        // The backend lost the session (evicted or closed behind our
+        // back); drop the stale mapping so the error is stable.
+        std::lock_guard<std::mutex> Lock(MapMu);
+        Sessions.erase(GwSid);
+      }
+      if (Code == static_cast<unsigned>(WireError::Overloaded))
+        Cacheable = false;
+      return errBody(Seq,
+                     static_cast<WireError>(
+                         Code ? Code
+                              : static_cast<unsigned>(WireError::SessionFailed)),
+                     Out.Response.error().Message);
+    }
+    // Success. Keep the map coherent with session lifecycle verbs, and
+    // rewrite any backend sid in the payload back to the gateway sid.
+    std::string Payload = Out.Response.value();
+    if (Verb == "close") {
+      std::lock_guard<std::mutex> Lock(MapMu);
+      Sessions.erase(GwSid);
+    } else if (Verb == "attach") {
+      Payload = "sid " + std::to_string(GwSid);
+    } else if (Verb == "cmd") {
+      std::istringstream CIS(unescapeText(Rest));
+      std::string Word;
+      if (CIS >> Word && (Word == "quit" || Word == "q")) {
+        std::lock_guard<std::mutex> Lock(MapMu);
+        Sessions.erase(GwSid);
+      }
+    }
+    return okBody(Seq, Payload);
+  }
+  return errBody(Seq, WireError::NoSuchSession,
+                 "session " + std::to_string(GwSid) +
+                     " could not be re-homed");
+}
+
+std::string Gateway::failBackend(size_t I) {
+  std::lock_guard<std::mutex> FailLock(FailoverMu);
+  Backend &B = *Backends[I];
+  if (!B.Alive.load(std::memory_order_acquire))
+    return "backend " + B.Cfg.Name + " already failed over";
+  std::ostringstream Report;
+  Report << "failing over backend " << B.Cfg.Name << "\n";
+  // Mark dead first: placement and forwards exclude it from here on.
+  B.Alive.store(false, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> Lock(B.PoolMu);
+    B.Idle.clear();
+  }
+  // The sessions we owe a new home.
+  std::vector<std::pair<uint64_t, uint64_t>> Affected; // (gw sid, backend sid)
+  {
+    std::lock_guard<std::mutex> Lock(MapMu);
+    for (const auto &[GwSid, P] : Sessions)
+      if (P.BackendIdx == I)
+        Affected.emplace_back(GwSid, P.BackendSid);
+  }
+  uint64_t Reimported = 0, Lost = 0;
+  std::string Scratch;
+  if (!Cfg.FailoverDir.empty() && !Affected.empty()) {
+    std::string Safe = B.Cfg.Name;
+    for (char &C : Safe)
+      if (C == '/' || C == ':')
+        C = '-';
+    Scratch = Cfg.FailoverDir + "/failover-" + std::to_string(FailoverSeq++) +
+              "-" + Safe;
+    std::error_code Ec;
+    fs::create_directories(Scratch, Ec);
+    // Graceful first: if the backend still answers (it was draining, not
+    // dead), ask it to export its own bundles over the wire.
+    bool Exported = false;
+    if (std::unique_ptr<Transport> T = B.Cfg.Connect ? B.Cfg.Connect()
+                                                     : nullptr) {
+      ProtocolClient C(*T, Cfg.Retry);
+      ClientResult<> R = C.drain(Scratch);
+      if (R.ok()) {
+        Exported = true;
+        Report << "drain-exported by the backend:\n" << R.value() << "\n";
+      }
+    }
+    // Crashed outright: recover its journal directory in-process — the
+    // same recovery a restarted drdebugd would run — and drain the
+    // recovered server into the scratch directory. Destroying the
+    // recovery server leaves the journals on disk untouched.
+    if (!Exported && !B.Cfg.JournalDir.empty()) {
+      ServerConfig RC;
+      RC.JournalDir = B.Cfg.JournalDir;
+      RC.Workers = 2;
+      RC.IdleTimeout = std::chrono::milliseconds(0);
+      DebugServer Recovery(RC);
+      Report << "recovered " << Recovery.sessions().activeCount()
+             << " session(s) from " << B.Cfg.JournalDir << "\n";
+      Report << Recovery.drain(Scratch) << "\n";
+      Exported = true;
+    }
+    if (!Exported)
+      Report << "no export path (backend unreachable, no journal dir)\n";
+  }
+  for (const auto &[GwSid, BackendSid] : Affected) {
+    std::string Bundle = Scratch + "/session-" + std::to_string(BackendSid);
+    size_t S = placeSession(GwSid); // excludes the dead backend already
+    std::error_code Ec;
+    if (Scratch.empty() || S == npos || !fs::exists(Bundle, Ec)) {
+      std::lock_guard<std::mutex> Lock(MapMu);
+      Sessions.erase(GwSid);
+      ++Lost;
+      Report << "session " << GwSid << " lost (no bundle or no survivor)\n";
+      continue;
+    }
+    ForwardOutcome Out = forward(S, "import " + escapeText(Bundle));
+    std::istringstream PIS(Out.Response.ok() ? Out.Response.value()
+                                             : std::string());
+    std::string Tag;
+    uint64_t NewSid = 0;
+    if (Out.Response.ok() && (PIS >> Tag >> NewSid) && Tag == "sid") {
+      std::lock_guard<std::mutex> Lock(MapMu);
+      Sessions[GwSid] = Placement{S, NewSid};
+      ++Reimported;
+      Report << "session " << GwSid << " re-imported onto "
+             << backendName(S) << " (backend sid " << NewSid << ")\n";
+    } else {
+      std::lock_guard<std::mutex> Lock(MapMu);
+      Sessions.erase(GwSid);
+      ++Lost;
+      Report << "session " << GwSid
+             << " lost (import failed: " << Out.Response.errorText() << ")\n";
+    }
+  }
+  {
+    std::lock_guard<std::mutex> Lock(CountersMu);
+    ++Stats.Failovers;
+    Stats.SessionsReimported += Reimported;
+    Stats.SessionsLost += Lost;
+  }
+  Report << "failover complete: " << Reimported << " re-imported, " << Lost
+         << " lost";
+  return Report.str();
+}
+
+Gateway::Counters Gateway::counters() const {
+  std::lock_guard<std::mutex> Lock(CountersMu);
+  return Stats;
+}
+
+size_t Gateway::sessionCount() const {
+  std::lock_guard<std::mutex> Lock(MapMu);
+  return Sessions.size();
+}
+
+std::string Gateway::fleetReport() const {
+  Counters C = counters();
+  std::ostringstream OS;
+  OS << "gateway.version " << DrDebugVersion << "\n"
+     << "gateway.backends " << backendCount() << "\n"
+     << "gateway.backends_alive " << aliveCount() << "\n"
+     << "gateway.sessions " << sessionCount() << "\n"
+     << "gateway.forwarded " << C.ForwardedVerbs << "\n"
+     << "gateway.edge_rejects " << C.EdgeRejects << "\n"
+     << "gateway.failovers " << C.Failovers << "\n"
+     << "gateway.sessions_reimported " << C.SessionsReimported << "\n"
+     << "gateway.sessions_lost " << C.SessionsLost << "\n";
+  return OS.str();
+}

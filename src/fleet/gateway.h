@@ -1,0 +1,217 @@
+//===- fleet/gateway.h - The sharded drdebugd gateway tier ------*- C++ -*-===//
+//
+// Part of the DrDebug reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// drdebug-gw: one wire-protocol endpoint in front of N drdebugd backends.
+/// Clients speak the exact same framed protocol they would speak to a
+/// single drdebugd; the gateway owns the fleet topology:
+///
+///   - `open`/`import` place the new session on a backend chosen by
+///     rendezvous (highest-random-weight) hashing of the gateway session
+///     id over the alive backend names — deterministic, minimal movement
+///     when the backend set changes.
+///   - session-routed verbs follow the gateway's session→backend map; the
+///     gateway rewrites session ids both ways, so the id a client holds
+///     stays stable no matter where the session physically lives.
+///   - fan-out verbs (stats/metrics/faults/drain/evict/shutdown) broadcast
+///     to every alive backend and aggregate the replies into one payload.
+///   - verbs a backend does not support (mixed-version fleets, negotiated
+///     via the hello capability list) fail with `unknown-verb` at the
+///     edge, before any forwarding.
+///
+/// Backend loss is survived, not proxied: when a forward fails (transport
+/// death) or a backend starts refusing with `err draining`, the gateway
+/// fails the backend over — it drain-exports the dying backend's sessions
+/// as bundles (gracefully over the wire when the backend still answers,
+/// otherwise by recovering its journal directory in-process), re-imports
+/// each bundle onto a surviving backend, and updates the map. Client
+/// session ids never change across the move; only sessions with no
+/// journal (and no reachable backend) are lost.
+///
+/// Routing classes, deadline classes, and capability floors all come from
+/// the verb registry (server/verbs.h) — the gateway contains no verb list
+/// of its own. See docs/FLEET.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRDEBUG_FLEET_GATEWAY_H
+#define DRDEBUG_FLEET_GATEWAY_H
+
+#include "server/client.h"
+#include "server/transport.h"
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace drdebug {
+
+/// One drdebugd the gateway routes onto.
+struct GatewayBackend {
+  /// Stable identity (the rendezvous-hash input), e.g. "127.0.0.1:7321".
+  /// Placement depends only on this name and the session id, so a
+  /// restarted gateway with the same backend names places identically.
+  std::string Name;
+  /// Opens a fresh connection to the backend; null on failure. Pipe pairs
+  /// in tests and benchmarks, tcpConnect in the drdebug-gw tool.
+  std::function<std::unique_ptr<Transport>()> Connect;
+  /// The backend's --journal-dir, when the gateway can reach it (shared
+  /// filesystem / same host). Empty: a crashed backend's sessions are
+  /// unrecoverable (a *draining* one still drain-exports over the wire).
+  std::string JournalDir;
+};
+
+struct GatewayConfig {
+  std::vector<GatewayBackend> Backends;
+  /// Per-backend client retry policy (honors err 8 retry-after hints).
+  RetryPolicy Retry;
+  /// Scratch directory for failover bundles. Empty disables re-import:
+  /// a failed backend's sessions are simply lost.
+  std::string FailoverDir;
+  /// Idle pooled connections kept per backend.
+  unsigned PoolPerBackend = 8;
+  /// Placement attempts for open/import before giving up (a chosen
+  /// backend may die or start draining between choice and forward).
+  unsigned PlacementRetries = 3;
+};
+
+/// The rendezvous weight of (\p SessionId, \p BackendName): FNV-1a over
+/// the name bytes then the id bytes. Each session independently ranks all
+/// backends by weight and lives on the highest-ranked alive one.
+uint64_t rendezvousWeight(uint64_t SessionId, const std::string &BackendName);
+
+class Gateway {
+public:
+  explicit Gateway(GatewayConfig Cfg);
+  ~Gateway();
+
+  Gateway(const Gateway &) = delete;
+  Gateway &operator=(const Gateway &) = delete;
+
+  /// Serves one client connection until its peer disconnects (or a
+  /// shutdown fan-out completes). Blocking; one thread per connection.
+  void serve(Transport &T);
+
+  /// True once some client issued the `shutdown` verb (fanned out to the
+  /// whole fleet first).
+  bool shutdownRequested() const {
+    return Shutdown.load(std::memory_order_acquire);
+  }
+
+  size_t backendCount() const { return Backends.size(); }
+  size_t aliveCount() const;
+
+  /// Deterministic placement: the index of the alive backend that owns
+  /// gateway session id \p Sid, or npos when none is alive.
+  static constexpr size_t npos = static_cast<size_t>(-1);
+  size_t placeSession(uint64_t Sid) const;
+  const std::string &backendName(size_t I) const {
+    return Backends[I]->Cfg.Name;
+  }
+  bool backendAlive(size_t I) const {
+    return Backends[I]->Alive.load(std::memory_order_acquire);
+  }
+
+  /// Declares backend \p I dead and re-homes its sessions onto survivors:
+  /// drain-export over the wire when it still answers, journal-directory
+  /// recovery otherwise, then one wire `import` per bundle. Idempotent;
+  /// also triggered internally by forward failures. \returns a
+  /// human-readable failover report.
+  std::string failBackend(size_t I);
+
+  /// Gateway-level counters, rendered into the fan-out `stats` payload.
+  struct Counters {
+    uint64_t ForwardedVerbs = 0;
+    uint64_t EdgeRejects = 0;
+    uint64_t Failovers = 0;
+    uint64_t SessionsReimported = 0;
+    uint64_t SessionsLost = 0;
+  };
+  Counters counters() const;
+  /// "gateway.* <value>" stat lines (the fleet section of `stats`).
+  std::string fleetReport() const;
+  /// Resident gateway-side session mappings.
+  size_t sessionCount() const;
+
+  /// The gateway's own hello payload: identity plus the negotiated
+  /// protocol floor and verb intersection across alive backends.
+  std::string helloBanner() const;
+
+private:
+  /// One pooled backend connection: the transport and a client bound to
+  /// it. Checked out exclusively per request (a Transport supports one
+  /// reader + one writer).
+  struct Pooled {
+    std::unique_ptr<Transport> T;
+    std::unique_ptr<ProtocolClient> C;
+  };
+
+  struct Backend {
+    GatewayBackend Cfg;
+    std::atomic<bool> Alive{true};
+    /// Capabilities from the construction-time hello (empty Verbs +
+    /// Proto 0 when the probe failed and the backend was born dead).
+    unsigned Proto = 0;
+    std::set<std::string> Verbs;
+    std::mutex PoolMu;
+    std::vector<std::unique_ptr<Pooled>> Idle;
+  };
+
+  struct Placement {
+    size_t BackendIdx;
+    uint64_t BackendSid;
+  };
+
+  /// Outcome of one forward: the response (when Delivered) plus whether
+  /// the backend itself is gone (transport-level death after retries).
+  struct ForwardOutcome {
+    ClientResult<> Response{ClientError{}};
+    bool TransportDead = false;
+  };
+
+  std::unique_ptr<Pooled> acquire(size_t I);
+  void release(size_t I, std::unique_ptr<Pooled> P);
+  ForwardOutcome forward(size_t I, const std::string &VerbAndArgs);
+
+  /// True when backend \p I supports \p Verb (capability list, or the
+  /// registry's MinProtoVersion floor for pre-v4 backends).
+  bool backendSupports(const Backend &B, const std::string &Verb) const;
+
+  std::string handleBody(const std::string &Body, bool &Cacheable);
+  std::string handleFanOut(uint64_t Seq, const std::string &Verb,
+                           const std::string &Args);
+  std::string handlePlacement(uint64_t Seq, const std::string &Verb,
+                              const std::string &Args, bool &Cacheable);
+  std::string handleSessionRouted(uint64_t Seq, const std::string &Verb,
+                                  uint64_t GwSid, const std::string &Rest,
+                                  bool &Cacheable);
+
+  GatewayConfig Cfg;
+  std::vector<std::unique_ptr<Backend>> Backends;
+
+  mutable std::mutex MapMu;
+  std::map<uint64_t, Placement> Sessions;
+  uint64_t NextSid = 1;
+
+  /// Serializes failovers: the first thread to notice a dead backend runs
+  /// the re-home; everyone else blocks here, then re-resolves.
+  std::mutex FailoverMu;
+  unsigned FailoverSeq = 0;
+
+  std::atomic<bool> Shutdown{false};
+  mutable std::mutex CountersMu;
+  Counters Stats;
+};
+
+} // namespace drdebug
+
+#endif // DRDEBUG_FLEET_GATEWAY_H

@@ -2,11 +2,52 @@
 
 #include "server/client.h"
 
+#include "server/verbs.h"
+
+#include <algorithm>
 #include <chrono>
 #include <sstream>
 #include <thread>
 
 using namespace drdebug;
+
+std::string ClientError::text() const {
+  if (Class == ErrClass::None)
+    return "";
+  if (Class == ErrClass::Transport)
+    return Message;
+  return std::string(wireErrorName(static_cast<WireError>(Code))) + ": " +
+         Message;
+}
+
+bool HelloInfo::supports(const std::string &Verb) const {
+  if (!Verbs.empty())
+    return std::find(Verbs.begin(), Verbs.end(), Verb) != Verbs.end();
+  // Pre-v4 peers did not advertise a list; fall back to the registry's
+  // capability floor for whatever protocol they do speak.
+  const VerbInfo *VI = findVerb(Verb);
+  return VI && VI->MinProtoVersion <= Proto;
+}
+
+namespace {
+
+ClientError transportError(std::string Message) {
+  ClientError E;
+  E.Class = ErrClass::Transport;
+  E.Message = std::move(Message);
+  return E;
+}
+
+ClientError wireError(unsigned Code, bool Transient, std::string Message) {
+  ClientError E;
+  E.Class = Transient ? ErrClass::Transient : ErrClass::Permanent;
+  E.Code = Code;
+  E.RetryAfterMs = parseRetryAfterMs(Message);
+  E.Message = std::move(Message);
+  return E;
+}
+
+} // namespace
 
 bool ProtocolClient::retransmit(const std::string &Frame, unsigned &Attempt) {
   if (Attempt >= Policy.MaxRetries)
@@ -23,36 +64,28 @@ bool ProtocolClient::retransmit(const std::string &Frame, unsigned &Attempt) {
   return T.send(Frame);
 }
 
-bool ProtocolClient::request(const std::string &VerbAndArgs,
-                             std::string &Payload, std::string &Error) {
-  LastCode = 0;
-  LastTransient = false;
+ClientResult<> ProtocolClient::request(const std::string &VerbAndArgs) {
   uint64_t Seq = NextSeq++;
   const std::string Frame =
       encodeFrame(std::to_string(Seq) + " " + VerbAndArgs);
-  if (!T.send(Frame)) {
-    Error = "transport closed";
-    return false;
-  }
+  if (!T.send(Frame))
+    return transportError("transport closed");
   unsigned Attempt = 0;
   std::string Bytes, Body;
   for (;;) {
     FrameBuffer::Poll P = FB.poll(Body);
     if (P == FrameBuffer::Poll::None) {
       RecvStatus S = T.recvTimed(Bytes, Policy.RecvTimeoutMs);
-      if (S == RecvStatus::Closed) {
-        Error = "transport closed";
-        return false;
-      }
+      if (S == RecvStatus::Closed)
+        return transportError("transport closed");
       if (S == RecvStatus::Timeout) {
         // The request or its response was lost in transit. Retransmitting
         // the same sequence number is safe: if the verb already executed,
         // the server's duplicate cache replays the stored response.
-        if (!retransmit(Frame, Attempt)) {
-          Error = "timed out waiting for response (after " +
-                  std::to_string(Attempt) + " retransmission(s))";
-          return false;
-        }
+        if (!retransmit(Frame, Attempt))
+          return transportError("timed out waiting for response (after " +
+                                std::to_string(Attempt) +
+                                " retransmission(s))");
         continue;
       }
       FB.append(Bytes);
@@ -78,13 +111,8 @@ bool ProtocolClient::request(const std::string &VerbAndArgs,
       // response for our seq will come from that copy. Permanent (malformed
       // bytes of unknown origin): not attributable to this request, so keep
       // waiting — the timed recv, if configured, bounds the wait.
-      if (Transient && !retransmit(Frame, Attempt)) {
-        LastCode = Code;
-        LastTransient = Transient;
-        Error = std::string(wireErrorName(static_cast<WireError>(Code))) +
-                ": " + Text;
-        return false;
-      }
+      if (Transient && !retransmit(Frame, Attempt))
+        return wireError(Code, Transient, Text);
       continue;
     }
     if (RespSeq != Seq)
@@ -102,50 +130,67 @@ bool ProtocolClient::request(const std::string &VerbAndArgs,
           std::chrono::milliseconds(HintMs ? HintMs : Policy.InitialBackoffMs));
       if (T.send(Frame))
         continue;
-      Error = "transport closed";
-      return false;
+      return transportError("transport closed");
     }
-    if (Code != 0) {
-      LastCode = Code;
-      LastTransient = Transient;
-      Error = std::string(wireErrorName(static_cast<WireError>(Code))) +
-              ": " + Text;
-      return false;
+    if (Code != 0)
+      return wireError(Code, Transient, Text);
+    return ClientResult<>(std::move(Text));
+  }
+}
+
+ClientResult<HelloInfo> ProtocolClient::hello() {
+  ClientResult<> R = request("hello");
+  if (!R.ok())
+    return R.error();
+  HelloInfo H;
+  H.Banner = R.value();
+  std::istringstream IS(H.Banner);
+  std::string Tag;
+  if (!(IS >> H.Server >> H.Version)) {
+    ClientError E;
+    E.Class = ErrClass::Permanent;
+    E.Message = "malformed hello payload '" + H.Banner + "'";
+    return E;
+  }
+  while (IS >> Tag) {
+    if (Tag == "proto")
+      IS >> H.Proto;
+    else if (Tag == "verbs") {
+      std::string List;
+      if (IS >> List)
+        H.Verbs = parseVerbList(List);
     }
-    Payload = std::move(Text);
-    return true;
   }
+  return H;
 }
 
-bool ProtocolClient::open(uint64_t &Sid, std::string &Error) {
-  std::string Payload;
-  if (!request("open", Payload, Error))
-    return false;
-  std::istringstream IS(Payload);
+ClientResult<uint64_t> ProtocolClient::parseSid(ClientResult<> R,
+                                                const char *WhatFor) {
+  if (!R.ok())
+    return R.error();
+  std::istringstream IS(R.value());
   std::string Tag;
+  uint64_t Sid = 0;
   if (!(IS >> Tag >> Sid) || Tag != "sid") {
-    Error = "malformed open response '" + Payload + "'";
-    return false;
+    ClientError E;
+    E.Class = ErrClass::Permanent;
+    E.Message = std::string("malformed ") + WhatFor + " response '" +
+                R.value() + "'";
+    return E;
   }
-  return true;
+  return Sid;
 }
 
-bool ProtocolClient::load(uint64_t Sid, const std::string &ProgramText,
-                          std::string &Output, std::string &Error) {
-  return request("load " + std::to_string(Sid) + " " + escapeText(ProgramText),
-                 Output, Error);
+ClientResult<uint64_t> ProtocolClient::open() {
+  return parseSid(request("open"), "open");
 }
 
-bool ProtocolClient::importBundle(const std::string &Dir, uint64_t &Sid,
-                                  std::string &Error) {
-  std::string Payload;
-  if (!request("import " + escapeText(Dir), Payload, Error))
-    return false;
-  std::istringstream IS(Payload);
-  std::string Tag;
-  if (!(IS >> Tag >> Sid) || Tag != "sid") {
-    Error = "malformed import response '" + Payload + "'";
-    return false;
-  }
-  return true;
+ClientResult<> ProtocolClient::load(uint64_t Sid,
+                                    const std::string &ProgramText) {
+  return request("load " + std::to_string(Sid) + " " +
+                 escapeText(ProgramText));
+}
+
+ClientResult<uint64_t> ProtocolClient::importBundle(const std::string &Dir) {
+  return parseSid(request("import " + escapeText(Dir)), "import");
 }

@@ -6,8 +6,15 @@
 ///
 /// \file
 /// The client half of the wire protocol: issues requests over a Transport
-/// and matches up responses by sequence number. Used by `drdebug --connect`,
-/// the server tests, and the throughput benchmark.
+/// and matches up responses by sequence number. Used by `drdebug
+/// --connect`, the gateway (drdebug-gw), the server tests, and the
+/// benchmarks.
+///
+/// Every helper returns a typed ClientResult<T>: success carries the
+/// parsed payload, failure carries the error class (transport vs
+/// transient vs permanent wire error), the wire code, the server's
+/// retry-after hint when one was sent, and the message. The old bool +
+/// out-parameter shims are gone.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -20,6 +27,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace drdebug {
 
@@ -40,6 +48,70 @@ struct RetryPolicy {
   uint64_t JitterSeed = 1;
 };
 
+/// Why a request failed, coarsely: the axis retry logic branches on.
+enum class ErrClass : unsigned char {
+  None,      ///< not an error (the result is a success)
+  Transport, ///< the connection died or the retry budget ran dry on silence
+  Transient, ///< server err classified transient — a retry may succeed
+  Permanent, ///< server err classified permanent — a retry will not
+};
+
+/// The failure half of a ClientResult.
+struct ClientError {
+  ErrClass Class = ErrClass::None;
+  /// WireError code of the err response; 0 for transport failures.
+  unsigned Code = 0;
+  /// The server's backoff hint (err 8 carries one); 0 when absent.
+  uint64_t RetryAfterMs = 0;
+  std::string Message;
+
+  /// Human-readable rendering: "<code-name>: <message>" for wire errors,
+  /// the bare message for transport failures (matching what the old bool
+  /// API put in its Error out-param).
+  std::string text() const;
+};
+
+/// Typed outcome of one protocol request: either a parsed payload of type
+/// \p T or a ClientError. \p T must be default-constructible.
+template <typename T = std::string> class ClientResult {
+public:
+  ClientResult(T Value) : Val(std::move(Value)) {}
+  ClientResult(ClientError E) : Err(std::move(E)) {}
+
+  bool ok() const { return Err.Class == ErrClass::None; }
+  explicit operator bool() const { return ok(); }
+
+  const T &value() const { return Val; }
+  T &value() { return Val; }
+
+  const ClientError &error() const { return Err; }
+  ErrClass errClass() const { return Err.Class; }
+  /// WireError code (0 on success or transport failure).
+  unsigned code() const { return Err.Code; }
+  bool transient() const { return Err.Class == ErrClass::Transient; }
+  uint64_t retryAfterMs() const { return Err.RetryAfterMs; }
+  std::string errorText() const { return Err.text(); }
+
+private:
+  T Val{};
+  ClientError Err;
+};
+
+/// What a v4 `hello` advertises: server identity plus the capability set
+/// the gateway negotiates version mixes with.
+struct HelloInfo {
+  std::string Banner; ///< the raw payload
+  std::string Server; ///< "drdebugd" / "drdebug-gw"
+  std::string Version;
+  unsigned Proto = 0;
+  /// Supported verb names; empty for pre-v4 servers (which did not
+  /// advertise one — derive support from Proto and the verb registry's
+  /// MinProtoVersion instead).
+  std::vector<std::string> Verbs;
+
+  bool supports(const std::string &Verb) const;
+};
+
 class ProtocolClient {
 public:
   explicit ProtocolClient(Transport &T) : T(T), Jitter(1) {}
@@ -56,121 +128,97 @@ public:
   uint64_t retries() const { return RetriesTotal; }
 
   /// Sends "<seq> <VerbAndArgs>" and waits for the matching response.
-  /// \returns false on transport failure or an err response (\p Error then
-  /// holds "<code-name>: <message>"). On success \p Payload is unescaped.
-  bool request(const std::string &VerbAndArgs, std::string &Payload,
-               std::string &Error);
+  ClientResult<> request(const std::string &VerbAndArgs);
 
-  bool hello(std::string &Banner, std::string &Error) {
-    return request("hello", Banner, Error);
-  }
-  /// Opens a fresh session; \p Sid receives its id.
-  bool open(uint64_t &Sid, std::string &Error);
-  /// Loads program text into session \p Sid. The session's "loaded
-  /// program: ..." message (or assembly error) lands in \p Output.
-  bool load(uint64_t Sid, const std::string &ProgramText, std::string &Output,
-            std::string &Error);
-  /// Runs one debugger command; \p Output is exactly what the command
+  /// Handshake + capability discovery.
+  ClientResult<HelloInfo> hello();
+  /// The server's verb registry, one line per verb.
+  ClientResult<> help() { return request("help"); }
+  /// Opens a fresh session; the value is its id.
+  ClientResult<uint64_t> open();
+  /// Loads program text into session \p Sid. The value is the session's
+  /// "loaded program: ..." message (load failures come back as
+  /// session-failed errors carrying the assembler's message).
+  ClientResult<> load(uint64_t Sid, const std::string &ProgramText);
+  /// Runs one debugger command; the value is exactly what the command
   /// printed in-session.
-  bool cmd(uint64_t Sid, const std::string &Line, std::string &Output,
-           std::string &Error) {
-    return request("cmd " + std::to_string(Sid) + " " + escapeText(Line),
-                   Output, Error);
+  ClientResult<> cmd(uint64_t Sid, const std::string &Line) {
+    return request("cmd " + std::to_string(Sid) + " " + escapeText(Line));
   }
   // Reverse-execution verbs (session must be replaying a pinball).
   /// Steps session \p Sid backwards \p N instructions.
-  bool reverseStep(uint64_t Sid, uint64_t N, std::string &Output,
-                   std::string &Error) {
-    return request("rstep " + std::to_string(Sid) + " " + std::to_string(N),
-                   Output, Error);
+  ClientResult<> reverseStep(uint64_t Sid, uint64_t N) {
+    return request("rstep " + std::to_string(Sid) + " " + std::to_string(N));
   }
   /// Runs backwards to the last breakpoint/watchpoint hit.
-  bool reverseContinue(uint64_t Sid, std::string &Output, std::string &Error) {
-    return request("rcont " + std::to_string(Sid), Output, Error);
+  ClientResult<> reverseContinue(uint64_t Sid) {
+    return request("rcont " + std::to_string(Sid));
   }
   /// Runs backwards to the current thread's previous instruction.
-  bool reverseNext(uint64_t Sid, std::string &Output, std::string &Error) {
-    return request("rnext " + std::to_string(Sid), Output, Error);
+  ClientResult<> reverseNext(uint64_t Sid) {
+    return request("rnext " + std::to_string(Sid));
   }
   /// Runs backwards to the last write of \p Global.
-  bool reverseWatch(uint64_t Sid, const std::string &Global,
-                    std::string &Output, std::string &Error) {
-    return request("rwatch " + std::to_string(Sid) + " " + Global, Output,
-                   Error);
+  ClientResult<> reverseWatch(uint64_t Sid, const std::string &Global) {
+    return request("rwatch " + std::to_string(Sid) + " " + Global);
   }
   /// Reports the session's replay clock and checkpoint memory.
-  bool replayPosition(uint64_t Sid, std::string &Output, std::string &Error) {
-    return request("rpos " + std::to_string(Sid), Output, Error);
+  ClientResult<> replayPosition(uint64_t Sid) {
+    return request("rpos " + std::to_string(Sid));
   }
   // Flight-recorder verbs (the always-on epoch-ring recorder).
   /// Attaches the flight recorder to session \p Sid (live machine, or a
   /// fresh seeded run when nothing is stopped mid-run).
-  bool recordAttach(uint64_t Sid, std::string &Output, std::string &Error) {
-    return request("rattach " + std::to_string(Sid), Output, Error);
+  ClientResult<> recordAttach(uint64_t Sid) {
+    return request("rattach " + std::to_string(Sid));
   }
-  bool recordAttach(uint64_t Sid, uint64_t Seed, std::string &Output,
-                    std::string &Error) {
+  ClientResult<> recordAttach(uint64_t Sid, uint64_t Seed) {
     return request("rattach " + std::to_string(Sid) + " " +
-                       std::to_string(Seed),
-                   Output, Error);
+                   std::to_string(Seed));
   }
   /// Reports the recorder's retained window, epochs and memory.
-  bool recordStatus(uint64_t Sid, std::string &Output, std::string &Error) {
-    return request("rstatus " + std::to_string(Sid), Output, Error);
+  ClientResult<> recordStatus(uint64_t Sid) {
+    return request("rstatus " + std::to_string(Sid));
   }
   /// Materializes the retained window as the session's region pinball,
   /// optionally saving it to \p Dir on the server's filesystem.
-  bool recordDump(uint64_t Sid, const std::string &Dir, std::string &Output,
-                  std::string &Error) {
+  ClientResult<> recordDump(uint64_t Sid, const std::string &Dir) {
     return request("rdump " + std::to_string(Sid) +
-                       (Dir.empty() ? "" : " " + escapeText(Dir)),
-                   Output, Error);
+                   (Dir.empty() ? "" : " " + escapeText(Dir)));
   }
 
   // Durability / operations verbs.
   /// Gracefully drains the server: admissions stop, in-flight verbs finish
-  /// under the server's drain deadline, and (when \p BundleDir is non-empty)
-  /// every resident session is exported as a portable bundle under it.
-  /// \p Report receives the server's drain report.
-  bool drain(const std::string &BundleDir, std::string &Report,
-             std::string &Error) {
+  /// under the server's drain deadline, and (when \p BundleDir is
+  /// non-empty) every resident session is exported as a portable bundle
+  /// under it. The value is the server's drain report.
+  ClientResult<> drain(const std::string &BundleDir) {
     return request(BundleDir.empty() ? "drain"
-                                     : "drain " + escapeText(BundleDir),
-                   Report, Error);
+                                     : "drain " + escapeText(BundleDir));
   }
-  /// Imports a session bundle exported by drain(); \p Sid gets the new
+  /// Imports a session bundle exported by drain(); the value is the new
   /// (detached) session's id — attach() to drive it.
-  bool importBundle(const std::string &Dir, uint64_t &Sid, std::string &Error);
+  ClientResult<uint64_t> importBundle(const std::string &Dir);
   /// The server's fault-injection site catalog and armed state.
-  bool faults(std::string &Catalog, std::string &Error) {
-    return request("faults", Catalog, Error);
-  }
+  ClientResult<> faults() { return request("faults"); }
 
-  bool stats(std::string &Report, std::string &Error) {
-    return request("stats", Report, Error);
-  }
+  ClientResult<> stats() { return request("stats"); }
   /// Prometheus text exposition of the server's metrics registry.
-  bool metrics(std::string &Exposition, std::string &Error) {
-    return request("metrics", Exposition, Error);
-  }
-
-  /// Error code of the last err response (0 when none).
-  unsigned lastErrorCode() const { return LastCode; }
-  /// Whether the last err response was classified transient.
-  bool lastErrorTransient() const { return LastTransient; }
+  ClientResult<> metrics() { return request("metrics"); }
 
 private:
   /// Backs off (exponential + jitter) and retransmits \p Frame. \returns
   /// false when the retry budget is exhausted or the transport is closed.
   bool retransmit(const std::string &Frame, unsigned &Attempt);
+  /// Parses a "sid <id>" payload (open/attach/import replies).
+  static ClientResult<uint64_t> parseSid(ClientResult<> R,
+                                         const char *WhatFor);
 
   Transport &T;
   FrameBuffer FB;
   RetryPolicy Policy;
   Rng Jitter;
   uint64_t NextSeq = 1;
-  unsigned LastCode = 0;
-  bool LastTransient = false;
   uint64_t RetriesTotal = 0;
 };
 

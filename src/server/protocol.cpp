@@ -2,38 +2,21 @@
 
 #include "server/protocol.h"
 
+#include "server/verbs.h"
+
 #include <cstdlib>
 #include <sstream>
 
 using namespace drdebug;
 
 const char *drdebug::wireErrorName(WireError E) {
-  switch (E) {
-  case WireError::Malformed:
-    return "malformed-frame";
-  case WireError::BadChecksum:
-    return "bad-checksum";
-  case WireError::UnknownVerb:
-    return "unknown-verb";
-  case WireError::BadArguments:
-    return "bad-arguments";
-  case WireError::NoSuchSession:
-    return "no-such-session";
-  case WireError::SessionFailed:
-    return "session-failed";
-  case WireError::Timeout:
-    return "deadline-timeout";
-  case WireError::Overloaded:
-    return "overloaded";
-  case WireError::Draining:
-    return "draining";
-  }
-  return "unknown-error";
+  const WireErrorInfo *I = findWireError(static_cast<unsigned>(E));
+  return I ? I->Name : "unknown-error";
 }
 
 bool drdebug::wireErrorIsTransient(WireError E) {
-  return E == WireError::BadChecksum || E == WireError::Timeout ||
-         E == WireError::Overloaded;
+  const WireErrorInfo *I = findWireError(static_cast<unsigned>(E));
+  return I && I->Transient;
 }
 
 uint64_t drdebug::parseRetryAfterMs(const std::string &Message) {

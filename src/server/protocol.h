@@ -35,29 +35,35 @@ namespace drdebug {
 /// Wire protocol version, reported by the `hello` verb. Version 2 added the
 /// transient/permanent class token in err responses and the Timeout code;
 /// version 3 added the durability verbs (drain/import/faults) and the
-/// Overloaded/Draining codes.
-inline constexpr unsigned ProtocolVersion = 3;
+/// Overloaded/Draining codes; version 4 added capability negotiation (the
+/// `verbs <list>` token in the hello payload) and the `help` verb.
+inline constexpr unsigned ProtocolVersion = 4;
 
-/// Protocol-level error codes (the <code> field of an err response).
+/// Protocol-level error codes (the <code> field of an err response). The
+/// names, retry classes, and meanings are declared once, in the wire-error
+/// registry (server/verbs.h, WireErrorInfo) — the functions below and the
+/// docs/SERVER.md error table are lookups into / renderings of that table.
 enum class WireError : unsigned {
-  Malformed = 1,    ///< unframed bytes, oversized frame, or bad hex
-  BadChecksum = 2,  ///< frame checksum mismatch
-  UnknownVerb = 3,  ///< verb not in the protocol
-  BadArguments = 4, ///< verb present but arguments unparsable
-  NoSuchSession = 5,///< session id unknown (or already evicted)
-  SessionFailed = 6,///< the session rejected the operation
-  Timeout = 7,      ///< the verb exceeded the server's per-verb deadline
-  Overloaded = 8,   ///< admission control shed the verb; retry after a delay
-  Draining = 9,     ///< the server is draining; reconnect to its successor
+  Malformed = 1,
+  BadChecksum = 2,
+  UnknownVerb = 3,
+  BadArguments = 4,
+  NoSuchSession = 5,
+  SessionFailed = 6,
+  Timeout = 7,
+  Overloaded = 8,
+  Draining = 9,
 };
 
-/// Short stable name for an error code ("malformed-frame", ...).
+/// Short stable name for an error code ("malformed-frame", ...), from the
+/// wire-error registry.
 const char *wireErrorName(WireError E);
 
 /// True for failures a client may safely retry (the fault was in transit or
 /// scheduling, not in the request): BadChecksum, Timeout and Overloaded.
 /// Everything else is permanent — retrying the same bytes yields the same
-/// answer (a draining server never un-drains).
+/// answer (a draining server never un-drains). From the wire-error
+/// registry.
 bool wireErrorIsTransient(WireError E);
 
 /// Overloaded responses embed a server-chosen backoff hint in the message:

@@ -4,6 +4,7 @@
 
 #include "debugger/commands.h"
 #include "server/protocol.h"
+#include "server/verbs.h"
 #include "support/fault_injector.h"
 #include "support/stopwatch.h"
 #include "support/tracing.h"
@@ -218,13 +219,24 @@ std::string DebugServer::dispatchVerb(uint64_t Seq, const std::string &Verb,
     return Rest;
   };
 
+  // The verb registry is the admission gate: existence and the draining
+  // policy are table lookups, not per-verb special cases. The per-verb
+  // behavior below still needs a branch each, but a verb missing from the
+  // registry no longer half-exists (and the drift test asserts the
+  // converse: every registry row dispatches).
+  const VerbInfo *VI = findVerb(Verb);
+  if (!VI)
+    return Err(WireError::UnknownVerb, "unknown verb '" + Verb + "'");
+  if (VI->RefuseWhenDraining && draining())
+    return Err(WireError::Draining, "server is draining");
+
   if (Verb == "hello")
-    return okBody(Seq, std::string("drdebugd ") + DrDebugVersion + " proto " +
-                           std::to_string(ProtocolVersion));
+    return okBody(Seq, helloPayload("drdebugd", DrDebugVersion));
+
+  if (Verb == "help")
+    return okBody(Seq, renderHelpPayload());
 
   if (Verb == "open") {
-    if (draining())
-      return Err(WireError::Draining, "server is draining");
     uint64_t Id = Mgr.create();
     Attached.insert(Id);
     return okBody(Seq, "sid " + std::to_string(Id));
@@ -235,8 +247,6 @@ std::string DebugServer::dispatchVerb(uint64_t Seq, const std::string &Verb,
     if (!(IS >> Sid))
       return Err(WireError::BadArguments, "usage: " + Verb + " <sid>");
     if (Verb == "attach") {
-      if (draining())
-        return Err(WireError::Draining, "server is draining");
       std::string Why;
       if (!Mgr.attach(Sid, Why))
         return Err(Mgr.exists(Sid) ? WireError::SessionFailed
@@ -322,8 +332,6 @@ std::string DebugServer::dispatchVerb(uint64_t Seq, const std::string &Verb,
   }
 
   if (Verb == "import") {
-    if (draining())
-      return Err(WireError::Draining, "server is draining");
     std::string Dir = unescapeText(RestOf());
     if (Dir.empty())
       return Err(WireError::BadArguments, "usage: import <bundle-dir>");
@@ -356,7 +364,10 @@ std::string DebugServer::dispatchVerb(uint64_t Seq, const std::string &Verb,
     return okBody(Seq, "shutting down");
   }
 
-  return Err(WireError::UnknownVerb, "unknown verb '" + Verb + "'");
+  // Registered in the verb registry but not handled above — a drift the
+  // registry dispatch test turns into a failure before a release does.
+  return Err(WireError::UnknownVerb,
+             "verb '" + Verb + "' is registered but unimplemented");
 }
 
 std::string DebugServer::runSessionJob(uint64_t Seq, const std::string &Verb,
@@ -368,8 +379,6 @@ std::string DebugServer::runSessionJob(uint64_t Seq, const std::string &Verb,
     Stats.ErrorsReturned.inc();
     return errBody(Seq, E, Msg);
   };
-  if (draining())
-    return Err(WireError::Draining, "server is draining");
   // A quarantined session still has a deadline-overrun command wedged in
   // it; queueing more work behind it would tie up another worker. Fail
   // fast until the overdue command completes.
@@ -556,15 +565,15 @@ std::string DebugServer::statsReport() const {
      << "latency.cmd_us.p99 " << Stats.CmdLatencyUs.quantileUpperBoundUs(0.99)
      << "\n"
      << Stats.CmdLatencyUs.report("latency.cmd_us");
-  for (const char *Name : ServerVerbNames) {
-    const ServerStats::VerbHandle *VH = Stats.verb(Name);
+  for (const VerbInfo &V : verbRegistry()) {
+    const ServerStats::VerbHandle *VH = Stats.verb(V.Name);
     uint64_t N = VH->Count.value();
     if (N == 0)
       continue;
-    OS << "verb." << Name << ".count " << N << "\n"
-       << "verb." << Name << ".us.p50 "
+    OS << "verb." << V.Name << ".count " << N << "\n"
+       << "verb." << V.Name << ".us.p50 "
        << VH->LatencyUs.quantileUpperBoundUs(0.50) << "\n"
-       << "verb." << Name << ".us.p99 "
+       << "verb." << V.Name << ".us.p99 "
        << VH->LatencyUs.quantileUpperBoundUs(0.99) << "\n";
   }
   // Flight-recorder state lives in the process-global registry (recorders

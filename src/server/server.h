@@ -14,9 +14,8 @@
 /// matter how many users replay it, and an optional janitor thread evicts
 /// idle sessions.
 ///
-/// Verbs: hello, open, attach, detach, close, load, cmd, drain, import,
-/// faults, stats, metrics, evict, shutdown (plus the reverse-execution and
-/// flight-recorder verbs) — see docs/SERVER.md for the full wire grammar.
+/// The verb set is declared once, in the verb registry (server/verbs.h);
+/// dispatch, stats, and the docs/SERVER.md wire grammar all derive from it.
 ///
 /// Every server owns a MetricsRegistry: ServerStats registers its handles
 /// there, live values (active sessions, cache sizes) are exposed through

@@ -4,6 +4,7 @@
 
 #include "replay/pinball.h"
 #include "replay/repository.h"
+#include "server/verbs.h"
 #include "slicing/slice_repository.h"
 #include "support/fault_injector.h"
 
@@ -46,17 +47,10 @@ bool drdebug::isMutatingCommand(const std::string &Line) {
   std::string Cmd;
   if (!(IS >> Cmd))
     return false;
-  // Everything that only *inspects* state. `slice list`/`slice deps` are
-  // read-only too, but journaling every slice command is harmless (replay
-  // is deterministic) and keeps the classifier a one-token lookup.
-  static const char *const ReadOnly[] = {
-      "help",  "info", "x",      "print",           "p",     "backtrace",
-      "bt",    "where", "list",  "output",          "replay-position",
-      "fault"};
-  for (const char *R : ReadOnly)
-    if (Cmd == R)
-      return false;
-  return true;
+  // The read-only word list lives in the verb registry (server/verbs.cpp)
+  // next to the verb-level mutating flags, so there is one place that
+  // declares what can change session state.
+  return !isReadOnlyCommandWord(Cmd);
 }
 
 /// One resident session: the DebugSession and the mutex that serializes

@@ -2,6 +2,8 @@
 
 #include "server/stats.h"
 
+#include "server/verbs.h"
+
 using namespace drdebug;
 
 namespace mn = drdebug::metricnames;
@@ -48,14 +50,15 @@ ServerStats::ServerStats(metrics::MetricsRegistry &Reg)
       SessionsQuarantined(Reg.counter(mn::ServerSessionsQuarantined, {},
                                       "Sessions quarantined after a deadline "
                                       "overrun")) {
-  // Eager per-verb registration: every protocol verb has its counter and
-  // latency histogram from the first scrape, and the drift test can assert
-  // the table and the registry never diverge.
-  for (const char *Name : ServerVerbNames) {
-    metrics::Labels L{{"verb", Name}};
+  // Eager per-verb registration driven by the protocol's verb registry:
+  // every verb has its counter and latency histogram from the first
+  // scrape, and the drift test can assert the table and the metrics
+  // registry never diverge.
+  for (const VerbInfo &V : verbRegistry()) {
+    metrics::Labels L{{"verb", V.Name}};
     Verbs.emplace(
-        Name,
-        VerbHandle{Name,
+        V.Name,
+        VerbHandle{V.Name,
                    Reg.counter(mn::ServerVerbRequests, L,
                                "Requests per protocol verb"),
                    Reg.histogram(mn::ServerVerbLatencyUs, L,

@@ -33,16 +33,6 @@ namespace drdebug {
 /// the bucket-boundary off-by-one fixed); server code keeps the old name.
 using LatencyHistogram = metrics::LatencyHistogram;
 
-/// Every verb the protocol knows, in dispatch order.
-inline constexpr const char *ServerVerbNames[] = {
-    "hello",  "open",  "attach", "detach",  "close",  "load",
-    "cmd",    "rstep", "rcont",  "rnext",   "rwatch", "rpos",
-    "rattach", "rstatus", "rdump",
-    "drain",  "import", "faults",
-    "stats",  "metrics", "evict", "shutdown"};
-inline constexpr size_t NumServerVerbs =
-    sizeof(ServerVerbNames) / sizeof(ServerVerbNames[0]);
-
 /// All server-level counters, as stable handles into one MetricsRegistry.
 /// Field names (and `load()` on the handles) match the pre-registry struct
 /// so existing call sites read unchanged.
@@ -101,9 +91,10 @@ public:
   };
 
   /// The registry label lookup that replaced verbIndex(): \returns the
-  /// handle for \p Verb, or null for unknown verbs. Every ServerVerbNames
-  /// entry is registered eagerly at construction, so `metrics` exposition
-  /// and the drift test see all verbs even before first use.
+  /// handle for \p Verb, or null for unknown verbs. Every verb in the
+  /// protocol's verb registry (server/verbs.h) is registered eagerly at
+  /// construction, so `metrics` exposition and the drift test see all
+  /// verbs even before first use.
   VerbHandle *verb(const std::string &Verb) {
     auto It = Verbs.find(Verb);
     return It == Verbs.end() ? nullptr : &It->second;

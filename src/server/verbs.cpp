@@ -1,0 +1,225 @@
+//===- server/verbs.cpp - The declarative protocol verb registry -------------===//
+
+#include "server/verbs.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace drdebug;
+
+namespace {
+
+using VR = VerbRouting;
+using VD = VerbDeadline;
+
+// The one verb table. Adding a verb here is the whole registration story:
+// dispatch admits it, stats registers its counters, the gateway routes it,
+// hello advertises it, and help/--dump-verbs/docs render it. The drift
+// tests fail if server.cpp forgets to actually implement it.
+const std::vector<VerbInfo> Registry = {
+    {"hello", "—", "`<server> <version> proto <n> verbs <v1,v2,...>`",
+     /*Mutating=*/false, /*RefuseWhenDraining=*/false, VR::AnyBackend,
+     VD::Inline, 1},
+    {"help", "—", "the verb registry, one line per verb",
+     false, false, VR::AnyBackend, VD::Inline, 4},
+    {"open", "—", "`sid <id>` (creates a session, attached to this connection)",
+     true, true, VR::AnyBackend, VD::Inline, 1},
+    {"attach", "`<sid>`", "`sid <id>` (adopt a detached session)",
+     true, true, VR::SessionRouted, VD::Inline, 1},
+    {"detach", "`<sid>`", "— (session stays alive for later attach)",
+     true, false, VR::SessionRouted, VD::Inline, 1},
+    {"close", "`<sid>`", "— (destroys the session)",
+     true, false, VR::SessionRouted, VD::Inline, 1},
+    {"load", "`<sid> <escaped asm text>`", "the loader's output",
+     true, true, VR::SessionRouted, VD::Command, 1},
+    {"cmd", "`<sid> <escaped command line>`", "the command's output, verbatim",
+     true, true, VR::SessionRouted, VD::Command, 1},
+    {"rstep", "`<sid> [n]`",
+     "reverse-step n instructions (`reverse-stepi`)",
+     true, true, VR::SessionRouted, VD::Command, 2},
+    {"rcont", "`<sid>`", "reverse-continue to the last break/watch hit",
+     true, true, VR::SessionRouted, VD::Command, 2},
+    {"rnext", "`<sid>`", "reverse-next: last position of the current thread",
+     true, true, VR::SessionRouted, VD::Command, 2},
+    {"rwatch", "`<sid> <global>`",
+     "reverse-watch: last write that changed the global",
+     true, true, VR::SessionRouted, VD::Command, 2},
+    {"rpos", "`<sid>`", "replay clock position + checkpoint memory",
+     false, true, VR::SessionRouted, VD::Command, 2},
+    {"rattach", "`<sid> [seed]`",
+     "attach the always-on flight recorder (`record attach` — "
+     "[FLIGHT.md](FLIGHT.md))",
+     true, true, VR::SessionRouted, VD::Command, 3},
+    {"rstatus", "`<sid>`",
+     "the recorder's window, epochs and memory (`record status`)",
+     true, true, VR::SessionRouted, VD::Command, 3},
+    {"rdump", "`<sid> [escaped dir]`",
+     "materialize the retained window as the session's region pinball "
+     "(`record dump`)",
+     true, true, VR::SessionRouted, VD::Command, 3},
+    {"drain", "`[escaped dir]`",
+     "stops admissions, exports every session as a bundle under `dir`, "
+     "replies with the export report ([ROBUSTNESS.md](ROBUSTNESS.md))",
+     true, false, VR::FanOut, VD::Operation, 3},
+    {"import", "`<escaped bundle-dir>`",
+     "`sid <id>` (restores a drained bundle as a fresh session)",
+     true, true, VR::AnyBackend, VD::Operation, 3},
+    {"faults", "—",
+     "the `FaultInjector` site catalog with armed specs and fired counts",
+     false, false, VR::FanOut, VD::Inline, 3},
+    {"stats", "—", "`key value` lines (see below)",
+     false, false, VR::FanOut, VD::Inline, 1},
+    {"metrics", "—",
+     "Prometheus text exposition ([docs/OBSERVABILITY.md](OBSERVABILITY.md))",
+     false, false, VR::FanOut, VD::Inline, 1},
+    {"evict", "—", "`evicted <n>` (runs one idle-eviction sweep now)",
+     true, false, VR::FanOut, VD::Inline, 1},
+    {"shutdown", "—",
+     "`shutting down` (connection ends; daemon stops listening)",
+     true, false, VR::FanOut, VD::Inline, 1},
+};
+
+// The error taxonomy. protocol.cpp's wireErrorName/wireErrorIsTransient
+// are lookups into this table; the docs error table renders from it.
+const std::vector<WireErrorInfo> Errors = {
+    {WireError::Malformed, "malformed-frame", false,
+     "garbage bytes, no parsable `<seq> <verb>`"},
+    {WireError::BadChecksum, "bad-checksum", true,
+     "frame arrived, checksum mismatch"},
+    {WireError::UnknownVerb, "unknown-verb", false,
+     "verb not in the table above"},
+    {WireError::BadArguments, "bad-arguments", false,
+     "verb recognized, arguments unusable"},
+    {WireError::NoSuchSession, "no-such-session", false,
+     "sid unknown (never existed, closed, or evicted)"},
+    {WireError::SessionFailed, "session-failed", false,
+     "session-level failure (load error, attach conflict)"},
+    {WireError::Timeout, "deadline-timeout", true,
+     "the verb ran past the per-verb deadline"},
+    {WireError::Overloaded, "overloaded", true,
+     "admission control shed the verb; the message carries a "
+     "`retry-after-ms <n>` hint"},
+    {WireError::Draining, "draining", false,
+     "the server is draining (or drained): no new sessions or commands"},
+};
+
+} // namespace
+
+const std::vector<VerbInfo> &drdebug::verbRegistry() { return Registry; }
+
+const VerbInfo *drdebug::findVerb(const std::string &Name) {
+  for (const VerbInfo &V : Registry)
+    if (Name == V.Name)
+      return &V;
+  return nullptr;
+}
+
+const char *drdebug::verbRoutingName(VerbRouting R) {
+  switch (R) {
+  case VerbRouting::SessionRouted:
+    return "session-routed";
+  case VerbRouting::AnyBackend:
+    return "any-backend";
+  case VerbRouting::FanOut:
+    return "fan-out";
+  }
+  return "unknown";
+}
+
+const char *drdebug::verbDeadlineName(VerbDeadline D) {
+  switch (D) {
+  case VerbDeadline::Inline:
+    return "inline";
+  case VerbDeadline::Command:
+    return "command";
+  case VerbDeadline::Operation:
+    return "operation";
+  }
+  return "unknown";
+}
+
+std::string drdebug::verbListToken() {
+  std::string Out;
+  for (const VerbInfo &V : Registry) {
+    if (!Out.empty())
+      Out += ',';
+    Out += V.Name;
+  }
+  return Out;
+}
+
+std::vector<std::string> drdebug::parseVerbList(const std::string &Token) {
+  std::vector<std::string> Out;
+  std::string Cur;
+  std::istringstream IS(Token);
+  while (std::getline(IS, Cur, ','))
+    if (!Cur.empty())
+      Out.push_back(Cur);
+  return Out;
+}
+
+std::string drdebug::helloPayload(const std::string &ServerName,
+                                  const std::string &Version) {
+  return ServerName + " " + Version + " proto " +
+         std::to_string(ProtocolVersion) + " verbs " + verbListToken();
+}
+
+std::string drdebug::renderHelpPayload() {
+  std::ostringstream OS;
+  OS << "verbs (proto " << ProtocolVersion << "):\n";
+  for (const VerbInfo &V : Registry) {
+    OS << "  " << V.Name;
+    if (std::string(V.Args) != "—")
+      OS << " " << V.Args;
+    OS << "  [" << verbRoutingName(V.Routing) << ", "
+       << (V.Mutating ? "mutating" : "read-only") << ", "
+       << verbDeadlineName(V.Deadline) << " deadline, since proto v"
+       << V.MinProtoVersion << "]\n";
+  }
+  return OS.str();
+}
+
+bool drdebug::isReadOnlyCommandWord(const std::string &Word) {
+  // Everything that only *inspects* session state. `slice list`/`slice
+  // deps` are read-only too, but journaling every slice command is
+  // harmless (replay is deterministic) and keeps this a one-token lookup.
+  static const char *const ReadOnly[] = {
+      "help",  "info",  "x",    "print",  "p",      "backtrace",
+      "bt",    "where", "list", "output", "replay-position",
+      "fault"};
+  return std::any_of(std::begin(ReadOnly), std::end(ReadOnly),
+                     [&](const char *R) { return Word == R; });
+}
+
+const std::vector<WireErrorInfo> &drdebug::wireErrorRegistry() {
+  return Errors;
+}
+
+const WireErrorInfo *drdebug::findWireError(unsigned Code) {
+  for (const WireErrorInfo &E : Errors)
+    if (static_cast<unsigned>(E.Code) == Code)
+      return &E;
+  return nullptr;
+}
+
+std::string drdebug::renderVerbTableMarkdown() {
+  std::ostringstream OS;
+  OS << "| verb | args | routing | mutating | reply payload |\n"
+     << "|---|---|---|---|---|\n";
+  for (const VerbInfo &V : Registry)
+    OS << "| `" << V.Name << "` | " << V.Args << " | "
+       << verbRoutingName(V.Routing) << " | " << (V.Mutating ? "yes" : "no")
+       << " | " << V.Reply << " |\n";
+  return OS.str();
+}
+
+std::string drdebug::renderErrorTableMarkdown() {
+  std::ostringstream OS;
+  OS << "| code | name | class | meaning |\n"
+     << "|---|---|---|---|\n";
+  for (const WireErrorInfo &E : Errors)
+    OS << "| " << static_cast<unsigned>(E.Code) << " | `" << E.Name << "` | "
+       << (E.Transient ? "transient" : "permanent") << " | " << E.Meaning
+       << " |\n";
+  return OS.str();
+}

@@ -1,0 +1,124 @@
+//===- server/verbs.h - The declarative protocol verb registry --*- C++ -*-===//
+//
+// Part of the DrDebug reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The single source of truth for the wire protocol's verb set. Every verb
+/// is one VerbInfo row: its name, argument schema, reply sketch, mutating
+/// flag, routing class (how a fleet gateway forwards it), deadline class,
+/// and the protocol version that introduced it. Everything that used to be
+/// hand-maintained knowledge spread across the codebase is derived from
+/// this table:
+///
+///   - server dispatch (unknown-verb and draining gates, per-verb metrics)
+///   - SessionManager::isMutatingCommand's read-only command word list
+///   - the gateway router (drdebug-gw routing + capability negotiation)
+///   - ProtocolClient helpers and the `hello` capability payload
+///   - the `help` verb, `drdebugd --dump-verbs`, and the docs/SERVER.md
+///     verb and error tables (drift-tested against the renderers here)
+///
+/// The wire error taxonomy lives here too (WireErrorInfo), for the same
+/// reason: protocol.cpp's name/class functions are lookups into it, and
+/// the docs table is rendered from it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRDEBUG_SERVER_VERBS_H
+#define DRDEBUG_SERVER_VERBS_H
+
+#include "server/protocol.h"
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace drdebug {
+
+/// How a fleet gateway (drdebug-gw) forwards a verb.
+enum class VerbRouting : unsigned char {
+  SessionRouted, ///< first argument is a session id; follows the sid map
+  AnyBackend,    ///< no session affinity; the gateway picks a placement
+  FanOut,        ///< broadcast to every alive backend, aggregate replies
+};
+
+/// Which deadline bounds a verb's execution.
+enum class VerbDeadline : unsigned char {
+  Inline,    ///< answered on the connection thread; effectively instant
+  Command,   ///< runs a session command under ServerConfig::CmdDeadline
+  Operation, ///< bounded by its own operation deadline (e.g. drain)
+};
+
+/// One protocol verb, declaratively.
+struct VerbInfo {
+  const char *Name;
+  /// Wire argument schema, docs notation ("`<sid> [n]`"; "—" when none).
+  const char *Args;
+  /// Reply payload sketch for the docs table and the help verb.
+  const char *Reply;
+  /// True when the verb can change server or session state. The finer
+  /// command-level classification (is *this* `cmd` line mutating?) is
+  /// isReadOnlyCommandWord below.
+  bool Mutating;
+  /// True when a draining server refuses the verb with `err draining`.
+  bool RefuseWhenDraining;
+  VerbRouting Routing;
+  VerbDeadline Deadline;
+  /// Protocol version that introduced the verb (capability floor for
+  /// mixed-version fleets).
+  unsigned MinProtoVersion;
+};
+
+/// Every verb the protocol knows, in dispatch/stats order.
+const std::vector<VerbInfo> &verbRegistry();
+
+/// \returns the registry row for \p Name, or null for unknown verbs.
+const VerbInfo *findVerb(const std::string &Name);
+
+const char *verbRoutingName(VerbRouting R);
+const char *verbDeadlineName(VerbDeadline D);
+
+/// The comma-joined verb name list the `hello` verb advertises
+/// ("hello,help,open,...").
+std::string verbListToken();
+
+/// Splits a hello capability token back into verb names.
+std::vector<std::string> parseVerbList(const std::string &Token);
+
+/// The `hello` payload: "<server> <version> proto <n> verbs <list>".
+std::string helloPayload(const std::string &ServerName,
+                         const std::string &Version);
+
+/// The `help` verb payload: one line per verb, rendered from the registry.
+std::string renderHelpPayload();
+
+/// True when debugger command word \p Word only inspects session state —
+/// the word list behind SessionManager::isMutatingCommand. Conservative:
+/// anything not listed counts as mutating (and is journaled).
+bool isReadOnlyCommandWord(const std::string &Word);
+
+/// One wire error code, declaratively (name, retry class, meaning).
+struct WireErrorInfo {
+  WireError Code;
+  const char *Name;
+  bool Transient;
+  const char *Meaning;
+};
+
+/// Every error code, ascending.
+const std::vector<WireErrorInfo> &wireErrorRegistry();
+
+/// \returns the registry row for \p Code, or null when out of range.
+const WireErrorInfo *findWireError(unsigned Code);
+
+/// The docs/SERVER.md verb table, rendered from the registry (the
+/// `--dump-verbs` output; the docs drift test compares against this).
+std::string renderVerbTableMarkdown();
+
+/// The docs/SERVER.md error table, rendered from wireErrorRegistry().
+std::string renderErrorTableMarkdown();
+
+} // namespace drdebug
+
+#endif // DRDEBUG_SERVER_VERBS_H

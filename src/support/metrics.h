@@ -167,8 +167,8 @@ public:
                         std::function<int64_t()> Fn, const Labels &L = {},
                         const std::string &Help = "");
 
-  /// The registry label lookup that replaced ServerVerbNames' linear scan:
-  /// \returns the counter registered under (name, labels), or null.
+  /// Label-aware lookup: \returns the counter registered under
+  /// (name, labels), or null.
   const Counter *findCounter(const std::string &Name,
                              const Labels &L = {}) const;
   const LatencyHistogram *findHistogram(const std::string &Name,

@@ -74,13 +74,14 @@ std::string localProbes(const std::string &AsmText,
 /// Runs \p Probes over an already-attached remote session.
 std::string remoteProbes(ProtocolClient &Client, uint64_t Sid,
                          const std::vector<std::string> &Probes) {
-  std::string Out, Chunk, Error;
+  std::string Out;
   for (const std::string &C : Probes) {
-    if (!Client.cmd(Sid, C, Chunk, Error)) {
-      ADD_FAILURE() << "probe '" << C << "' failed: " << Error;
+    ClientResult<> R = Client.cmd(Sid, C);
+    if (!R.ok()) {
+      ADD_FAILURE() << "probe '" << C << "' failed: " << R.errorText();
       break;
     }
-    Out += Chunk;
+    Out += R.value();
   }
   return Out;
 }
@@ -96,11 +97,15 @@ uint64_t runFigure5Session(DebugServer &Srv,
   uint64_t Sid = 0;
   {
     ProtocolClient Client(*ClientEnd);
-    std::string Out, Error;
-    EXPECT_TRUE(Client.open(Sid, Error)) << Error;
-    EXPECT_TRUE(Client.load(Sid, P.SourceText, Out, Error)) << Error;
-    for (const std::string &C : Setup)
-      EXPECT_TRUE(Client.cmd(Sid, C, Out, Error)) << C << ": " << Error;
+    ClientResult<uint64_t> Opened = Client.open();
+    EXPECT_TRUE(Opened.ok()) << Opened.errorText();
+    Sid = Opened.value();
+    ClientResult<> Loaded = Client.load(Sid, P.SourceText);
+    EXPECT_TRUE(Loaded.ok()) << Loaded.errorText();
+    for (const std::string &C : Setup) {
+      ClientResult<> R = Client.cmd(Sid, C);
+      EXPECT_TRUE(R.ok()) << C << ": " << R.errorText();
+    }
   }
   ClientEnd->close();
   ServerThread.join();
@@ -115,10 +120,8 @@ std::string probeRecovered(DebugServer &Srv, uint64_t Sid,
   std::string Out;
   {
     ProtocolClient Client(*ClientEnd);
-    std::string Resp, Error;
-    EXPECT_TRUE(
-        Client.request("attach " + std::to_string(Sid), Resp, Error))
-        << Error;
+    ClientResult<> Attached = Client.request("attach " + std::to_string(Sid));
+    EXPECT_TRUE(Attached.ok()) << Attached.errorText();
     Out = remoteProbes(Client, Sid, Probes);
   }
   ClientEnd->close();
@@ -435,10 +438,10 @@ TEST(Durability, RetransmitAfterRestartReExecutesSafely) {
   std::thread ServerThread([&, T = ServerEnd.get()] { Srv.serve(*T); });
   {
     ProtocolClient Client(*ClientEnd);
-    std::string Out, Error;
-    ASSERT_TRUE(Client.request("attach " + std::to_string(Sid), Out, Error))
-        << Error;
-    ASSERT_TRUE(Client.cmd(Sid, "reverse-stepi 1", Out, Error)) << Error;
+    ClientResult<> R = Client.request("attach " + std::to_string(Sid));
+    ASSERT_TRUE(R.ok()) << R.errorText();
+    R = Client.cmd(Sid, "reverse-stepi 1");
+    ASSERT_TRUE(R.ok()) << R.errorText();
     EXPECT_EQ(remoteProbes(Client, Sid, Probes), AfterTwice);
   }
   ClientEnd->close();
@@ -644,16 +647,17 @@ TEST(Durability, ClosingASessionDeletesItsDurableState) {
   std::thread ServerThread([&, T = ServerEnd.get()] { Srv.serve(*T); });
   {
     ProtocolClient Client(*ClientEnd);
-    std::string Out, Error;
-    uint64_t Sid = 0;
-    ASSERT_TRUE(Client.open(Sid, Error)) << Error;
-    ASSERT_TRUE(Client.load(Sid, P.SourceText, Out, Error)) << Error;
+    ClientResult<uint64_t> Opened = Client.open();
+    ASSERT_TRUE(Opened.ok()) << Opened.errorText();
+    uint64_t Sid = Opened.value();
+    ClientResult<> R = Client.load(Sid, P.SourceText);
+    ASSERT_TRUE(R.ok()) << R.errorText();
     fs::path Journal =
         Tmp.Dir / ("session-" + std::to_string(Sid) + ".journal");
     EXPECT_TRUE(fs::exists(Journal));
     // Closing is a durability event, not a crash: nothing to recover.
-    ASSERT_TRUE(Client.request("close " + std::to_string(Sid), Out, Error))
-        << Error;
+    R = Client.request("close " + std::to_string(Sid));
+    ASSERT_TRUE(R.ok()) << R.errorText();
     EXPECT_FALSE(fs::exists(Journal));
   }
   ClientEnd->close();
@@ -673,19 +677,24 @@ TEST(Durability, JournalAppendFailureFailsTheCommandFirst) {
   std::thread ServerThread([&, T = ServerEnd.get()] { Srv.serve(*T); });
   {
     ProtocolClient Client(*ClientEnd);
-    std::string Out, Error;
-    uint64_t Sid = 0;
-    ASSERT_TRUE(Client.open(Sid, Error)) << Error;
-    ASSERT_TRUE(Client.load(Sid, P.SourceText, Out, Error)) << Error;
+    ClientResult<uint64_t> Opened = Client.open();
+    ASSERT_TRUE(Opened.ok()) << Opened.errorText();
+    uint64_t Sid = Opened.value();
+    ClientResult<> R = Client.load(Sid, P.SourceText);
+    ASSERT_TRUE(R.ok()) << R.errorText();
     // Strict write-ahead: if the append cannot land, the command does not
     // run at all.
     FaultInjector::global().arm("journal.append", FaultKind::DiskFull, 1);
-    ASSERT_TRUE(Client.cmd(Sid, "record failure", Out, Error)) << Error;
-    EXPECT_NE(Out.find("error: journal:"), std::string::npos) << Out;
+    R = Client.cmd(Sid, "record failure");
+    ASSERT_TRUE(R.ok()) << R.errorText();
+    EXPECT_NE(R.value().find("error: journal:"), std::string::npos)
+        << R.value();
     FaultInjector::global().reset();
     // The writer healed; the same command now journals and runs.
-    ASSERT_TRUE(Client.cmd(Sid, "record failure", Out, Error)) << Error;
-    EXPECT_NE(Out.find("recorded region pinball"), std::string::npos) << Out;
+    R = Client.cmd(Sid, "record failure");
+    ASSERT_TRUE(R.ok()) << R.errorText();
+    EXPECT_NE(R.value().find("recorded region pinball"), std::string::npos)
+        << R.value();
   }
   ClientEnd->close();
   ServerThread.join();
@@ -712,19 +721,20 @@ TEST(Durability, DrainExportsBundlesAndImportRestoresThem) {
   std::thread ServerThread([&, T = ServerEnd.get()] { SrvA.serve(*T); });
   {
     ProtocolClient Client(*ClientEnd);
-    std::string Report, Out, Error;
-    ASSERT_TRUE(Client.drain(Bundles.Dir.string(), Report, Error)) << Error;
+    ClientResult<> Drained = Client.drain(Bundles.Dir.string());
+    ASSERT_TRUE(Drained.ok()) << Drained.errorText();
+    const std::string &Report = Drained.value();
     EXPECT_NE(Report.find("exported session " + std::to_string(Sid)),
               std::string::npos)
         << Report;
     EXPECT_NE(Report.find("drained 1 bundles"), std::string::npos) << Report;
-    uint64_t Ignored = 0;
-    EXPECT_FALSE(Client.open(Ignored, Error));
-    EXPECT_EQ(Client.lastErrorCode(),
-              static_cast<unsigned>(WireError::Draining));
-    EXPECT_FALSE(Client.lastErrorTransient());
-    EXPECT_FALSE(Client.cmd(Sid, "where", Out, Error));
-    EXPECT_EQ(Client.lastErrorCode(),
+    ClientResult<uint64_t> Refused = Client.open();
+    EXPECT_FALSE(Refused.ok());
+    EXPECT_EQ(Refused.code(), static_cast<unsigned>(WireError::Draining));
+    EXPECT_EQ(Refused.errClass(), ErrClass::Permanent);
+    ClientResult<> RefusedCmd = Client.cmd(Sid, "where");
+    EXPECT_FALSE(RefusedCmd.ok());
+    EXPECT_EQ(RefusedCmd.code(),
               static_cast<unsigned>(WireError::Draining));
   }
   ClientEnd->close();
@@ -742,12 +752,12 @@ TEST(Durability, DrainExportsBundlesAndImportRestoresThem) {
   std::thread ServerThread2([&, T = ServerEnd2.get()] { SrvB.serve(*T); });
   {
     ProtocolClient Client(*ClientEnd2);
-    std::string Out, Error;
-    uint64_t NewSid = 0;
-    ASSERT_TRUE(Client.importBundle(Bundle.string(), NewSid, Error)) << Error;
-    ASSERT_TRUE(
-        Client.request("attach " + std::to_string(NewSid), Out, Error))
-        << Error;
+    ClientResult<uint64_t> Imported = Client.importBundle(Bundle.string());
+    ASSERT_TRUE(Imported.ok()) << Imported.errorText();
+    uint64_t NewSid = Imported.value();
+    ClientResult<> Attached =
+        Client.request("attach " + std::to_string(NewSid));
+    ASSERT_TRUE(Attached.ok()) << Attached.errorText();
     EXPECT_EQ(remoteProbes(Client, NewSid, RecoveryProbes), Reference);
   }
   ClientEnd2->close();
@@ -912,17 +922,19 @@ TEST(Durability, AdmissionControlShedsAndRetryAfterRecovers) {
 
   ProtocolClient Client1(*C1);
   ProtocolClient Client2(*C2);
-  std::string Out, Error;
-  uint64_t Sid1 = 0, Sid2 = 0;
-  ASSERT_TRUE(Client1.open(Sid1, Error)) << Error;
-  ASSERT_TRUE(Client2.open(Sid2, Error)) << Error;
+  ClientResult<uint64_t> Opened1 = Client1.open();
+  ASSERT_TRUE(Opened1.ok()) << Opened1.errorText();
+  uint64_t Sid1 = Opened1.value();
+  ClientResult<uint64_t> Opened2 = Client2.open();
+  ASSERT_TRUE(Opened2.ok()) << Opened2.errorText();
+  uint64_t Sid2 = Opened2.value();
 
   // Wedge the one admission slot with a deliberately slow command.
   FaultInjector::global().arm("session.execute", FaultKind::Latency, 1, 0,
                               600);
-  std::string SlowOut, SlowError;
   std::thread Slow([&] {
-    EXPECT_TRUE(Client1.cmd(Sid1, "where", SlowOut, SlowError)) << SlowError;
+    ClientResult<> R = Client1.cmd(Sid1, "where");
+    EXPECT_TRUE(R.ok()) << R.errorText();
   });
   std::this_thread::sleep_for(std::chrono::milliseconds(150));
 
@@ -931,12 +943,12 @@ TEST(Durability, AdmissionControlShedsAndRetryAfterRecovers) {
   RetryPolicy NoRetry;
   NoRetry.MaxRetries = 0;
   Client2.setRetryPolicy(NoRetry);
-  std::string Shed;
-  EXPECT_FALSE(Client2.cmd(Sid2, "where", Out, Shed));
-  EXPECT_EQ(Client2.lastErrorCode(),
-            static_cast<unsigned>(WireError::Overloaded));
-  EXPECT_TRUE(Client2.lastErrorTransient());
-  EXPECT_GT(parseRetryAfterMs(Shed), 0u) << Shed;
+  ClientResult<> Shed = Client2.cmd(Sid2, "where");
+  EXPECT_FALSE(Shed.ok());
+  EXPECT_EQ(Shed.code(), static_cast<unsigned>(WireError::Overloaded));
+  EXPECT_TRUE(Shed.transient());
+  // The typed result carries the parsed retry-after hint directly.
+  EXPECT_GT(Shed.retryAfterMs(), 0u) << Shed.errorText();
 
   // With retries enabled the client honors retry-after-ms and eventually
   // gets through once the slot frees up.
@@ -945,12 +957,15 @@ TEST(Durability, AdmissionControlShedsAndRetryAfterRecovers) {
   Retry.MaxRetries = 50;
   Retry.InitialBackoffMs = 10;
   Client2.setRetryPolicy(Retry);
-  ASSERT_TRUE(Client2.cmd(Sid2, "where", Out, Error)) << Error;
+  ClientResult<> R = Client2.cmd(Sid2, "where");
+  ASSERT_TRUE(R.ok()) << R.errorText();
   Slow.join();
   EXPECT_GE(Srv.stats().AdmissionRejected.load(), 1u);
 
-  ASSERT_TRUE(Client1.stats(Out, Error)) << Error;
-  EXPECT_NE(Out.find("admission.rejected"), std::string::npos) << Out;
+  ClientResult<> Stats = Client1.stats();
+  ASSERT_TRUE(Stats.ok()) << Stats.errorText();
+  EXPECT_NE(Stats.value().find("admission.rejected"), std::string::npos)
+      << Stats.value();
 
   C1->close();
   C2->close();
@@ -969,38 +984,43 @@ TEST(Durability, DeadlineOverrunQuarantinesTheSession) {
   std::thread ServerThread([&, T = ServerEnd.get()] { Srv.serve(*T); });
   {
     ProtocolClient Client(*ClientEnd);
-    std::string Out, Error;
-    uint64_t Sid = 0;
-    ASSERT_TRUE(Client.open(Sid, Error)) << Error;
+    ClientResult<uint64_t> Opened = Client.open();
+    ASSERT_TRUE(Opened.ok()) << Opened.errorText();
+    uint64_t Sid = Opened.value();
 
     // One command overruns its deadline...
     FaultInjector::global().arm("session.execute", FaultKind::Latency, 1, 0,
                                 800);
-    EXPECT_FALSE(Client.cmd(Sid, "where", Out, Error));
-    EXPECT_EQ(Client.lastErrorCode(),
-              static_cast<unsigned>(WireError::Timeout));
+    ClientResult<> Overrun = Client.cmd(Sid, "where");
+    EXPECT_FALSE(Overrun.ok());
+    EXPECT_EQ(Overrun.code(), static_cast<unsigned>(WireError::Timeout));
     FaultInjector::global().reset();
 
     // ...so the session is quarantined: new verbs are refused instead of
     // queueing behind the wedged command's mutex.
     EXPECT_TRUE(Srv.sessions().isQuarantined(Sid));
-    EXPECT_FALSE(Client.cmd(Sid, "where", Out, Error));
-    EXPECT_EQ(Client.lastErrorCode(),
+    ClientResult<> Refused = Client.cmd(Sid, "where");
+    EXPECT_FALSE(Refused.ok());
+    EXPECT_EQ(Refused.code(),
               static_cast<unsigned>(WireError::SessionFailed));
-    EXPECT_NE(Error.find("quarantined"), std::string::npos) << Error;
+    EXPECT_NE(Refused.error().Message.find("quarantined"), std::string::npos)
+        << Refused.errorText();
 
     // Once the overdue command finally completes the quarantine lifts.
     auto Deadline = std::chrono::steady_clock::now() +
                     std::chrono::seconds(10);
     bool Recovered = false;
+    std::string LastError;
     while (std::chrono::steady_clock::now() < Deadline) {
-      if (Client.cmd(Sid, "where", Out, Error)) {
+      ClientResult<> Probe = Client.cmd(Sid, "where");
+      if (Probe.ok()) {
         Recovered = true;
         break;
       }
+      LastError = Probe.errorText();
       std::this_thread::sleep_for(std::chrono::milliseconds(20));
     }
-    EXPECT_TRUE(Recovered) << Error;
+    EXPECT_TRUE(Recovered) << LastError;
     EXPECT_GE(Srv.stats().SessionsQuarantined.load(), 1u);
   }
   ClientEnd->close();
@@ -1087,10 +1107,12 @@ TEST(Durability, FaultListCommandAndFaultsVerb) {
   std::thread ServerThread([&, T = ServerEnd.get()] { Srv.serve(*T); });
   {
     ProtocolClient Client(*ClientEnd);
-    std::string Catalog, Error;
-    ASSERT_TRUE(Client.faults(Catalog, Error)) << Error;
-    EXPECT_NE(Catalog.find("journal.append"), std::string::npos) << Catalog;
-    EXPECT_NE(Catalog.find("diskfull"), std::string::npos) << Catalog;
+    ClientResult<> Faults = Client.faults();
+    ASSERT_TRUE(Faults.ok()) << Faults.errorText();
+    EXPECT_NE(Faults.value().find("journal.append"), std::string::npos)
+        << Faults.value();
+    EXPECT_NE(Faults.value().find("diskfull"), std::string::npos)
+        << Faults.value();
   }
   ClientEnd->close();
   ServerThread.join();

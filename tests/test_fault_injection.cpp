@@ -380,15 +380,17 @@ const std::vector<std::string> TinyScript = {
 /// Drives one session through \p Client; returns load + command output
 /// concatenated.
 std::string transcriptOver(ProtocolClient &Client) {
-  std::string Out, Chunk, Error;
-  uint64_t Sid = 0;
-  EXPECT_TRUE(Client.open(Sid, Error)) << Error;
-  EXPECT_TRUE(Client.load(Sid, TinyAsm, Chunk, Error)) << Error;
-  Out += Chunk;
+  std::string Out;
+  ClientResult<uint64_t> Opened = Client.open();
+  EXPECT_TRUE(Opened.ok()) << Opened.errorText();
+  uint64_t Sid = Opened.value();
+  ClientResult<> Loaded = Client.load(Sid, TinyAsm);
+  EXPECT_TRUE(Loaded.ok()) << Loaded.errorText();
+  Out += Loaded.value();
   for (const std::string &C : TinyScript) {
-    EXPECT_TRUE(Client.cmd(Sid, C, Chunk, Error)) << "cmd '" << C
-                                                  << "': " << Error;
-    Out += Chunk;
+    ClientResult<> R = Client.cmd(Sid, C);
+    EXPECT_TRUE(R.ok()) << "cmd '" << C << "': " << R.errorText();
+    Out += R.value();
   }
   return Out;
 }
@@ -436,11 +438,12 @@ TEST_F(FaultInjection, ClientRetriesToAByteIdenticalTranscript) {
   // at zero. (Same client: a fresh one would reuse low sequence numbers and
   // be answered from the duplicate cache.)
   FaultInjector::global().reset();
-  std::string Report, Error;
-  ASSERT_TRUE(Client.stats(Report, Error)) << Error;
-  EXPECT_NE(Report.find("retries.deduped"), std::string::npos) << Report;
-  EXPECT_NE(Report.find("faults.injected.total"), std::string::npos)
-      << Report;
+  ClientResult<> Stats = Client.stats();
+  ASSERT_TRUE(Stats.ok()) << Stats.errorText();
+  EXPECT_NE(Stats.value().find("retries.deduped"), std::string::npos)
+      << Stats.value();
+  EXPECT_NE(Stats.value().find("faults.injected.total"), std::string::npos)
+      << Stats.value();
   ClientEnd->close();
   ServerThread.join();
 }
@@ -457,24 +460,29 @@ TEST_F(FaultInjection, VerbDeadlineReturnsTimeoutErrorFrame) {
   std::thread ServerThread([&, SE = ServerEnd.get()] { Srv.serve(*SE); });
   {
     ProtocolClient Client(*ClientEnd);
-    std::string Out, Error;
-    uint64_t Sid = 0;
-    ASSERT_TRUE(Client.open(Sid, Error)) << Error;
-    ASSERT_TRUE(Client.load(Sid, TinyAsm, Out, Error)) << Error;
+    ClientResult<uint64_t> Opened = Client.open();
+    ASSERT_TRUE(Opened.ok()) << Opened.errorText();
+    uint64_t Sid = Opened.value();
+    ClientResult<> R = Client.load(Sid, TinyAsm);
+    ASSERT_TRUE(R.ok()) << R.errorText();
     FaultInjector::global().arm("session.execute", FaultKind::Latency,
                                 /*Period=*/1, /*Phase=*/0, /*Arg=*/200);
-    EXPECT_FALSE(Client.cmd(Sid, "run", Out, Error));
-    EXPECT_EQ(Client.lastErrorCode(),
-              static_cast<unsigned>(WireError::Timeout));
-    EXPECT_TRUE(Client.lastErrorTransient());
-    EXPECT_NE(Error.find("deadline"), std::string::npos) << Error;
+    ClientResult<> TimedOut = Client.cmd(Sid, "run");
+    EXPECT_FALSE(TimedOut.ok());
+    EXPECT_EQ(TimedOut.code(), static_cast<unsigned>(WireError::Timeout));
+    EXPECT_TRUE(TimedOut.transient());
+    EXPECT_NE(TimedOut.error().Message.find("deadline"), std::string::npos)
+        << TimedOut.errorText();
 
     // Let the overdue job drain, then check the counters.
     FaultInjector::global().reset();
     std::this_thread::sleep_for(std::chrono::milliseconds(300));
-    ASSERT_TRUE(Client.stats(Out, Error)) << Error;
-    EXPECT_NE(Out.find("deadline.timeouts 1"), std::string::npos) << Out;
-    EXPECT_NE(Out.find("watchdog.overdue 0"), std::string::npos) << Out;
+    R = Client.stats();
+    ASSERT_TRUE(R.ok()) << R.errorText();
+    EXPECT_NE(R.value().find("deadline.timeouts 1"), std::string::npos)
+        << R.value();
+    EXPECT_NE(R.value().find("watchdog.overdue 0"), std::string::npos)
+        << R.value();
   }
   ClientEnd->close();
   ServerThread.join();
@@ -512,27 +520,32 @@ TEST_F(FaultInjection, ServerCountsIntegrityFailuresAndDivergences) {
   std::thread ServerThread([&, SE = ServerEnd.get()] { Srv.serve(*SE); });
   {
     ProtocolClient Client(*ClientEnd);
-    std::string Out, Error;
-    uint64_t Sid = 0;
-    ASSERT_TRUE(Client.open(Sid, Error)) << Error;
-    ASSERT_TRUE(Client.load(Sid, TinyAsm, Out, Error)) << Error;
+    ClientResult<uint64_t> Opened = Client.open();
+    ASSERT_TRUE(Opened.ok()) << Opened.errorText();
+    uint64_t Sid = Opened.value();
+    ClientResult<> R = Client.load(Sid, TinyAsm);
+    ASSERT_TRUE(R.ok()) << R.errorText();
 
-    ASSERT_TRUE(
-        Client.cmd(Sid, "pinball load " + BadDir.string(), Out, Error))
-        << Error;
-    EXPECT_NE(Out.find("state.txt"), std::string::npos) << Out;
+    R = Client.cmd(Sid, "pinball load " + BadDir.string());
+    ASSERT_TRUE(R.ok()) << R.errorText();
+    EXPECT_NE(R.value().find("state.txt"), std::string::npos) << R.value();
 
-    ASSERT_TRUE(
-        Client.cmd(Sid, "pinball load " + DriftDir.string(), Out, Error))
-        << Error;
-    EXPECT_NE(Out.find("pinball loaded"), std::string::npos) << Out;
-    ASSERT_TRUE(Client.cmd(Sid, "replay", Out, Error)) << Error;
-    EXPECT_NE(Out.find("replay divergence"), std::string::npos) << Out;
+    R = Client.cmd(Sid, "pinball load " + DriftDir.string());
+    ASSERT_TRUE(R.ok()) << R.errorText();
+    EXPECT_NE(R.value().find("pinball loaded"), std::string::npos)
+        << R.value();
+    R = Client.cmd(Sid, "replay");
+    ASSERT_TRUE(R.ok()) << R.errorText();
+    EXPECT_NE(R.value().find("replay divergence"), std::string::npos)
+        << R.value();
 
-    ASSERT_TRUE(Client.stats(Out, Error)) << Error;
-    EXPECT_NE(Out.find("integrity.pinball_failures 1"), std::string::npos)
-        << Out;
-    EXPECT_NE(Out.find("integrity.divergences 1"), std::string::npos) << Out;
+    R = Client.stats();
+    ASSERT_TRUE(R.ok()) << R.errorText();
+    EXPECT_NE(R.value().find("integrity.pinball_failures 1"),
+              std::string::npos)
+        << R.value();
+    EXPECT_NE(R.value().find("integrity.divergences 1"), std::string::npos)
+        << R.value();
   }
   ClientEnd->close();
   ServerThread.join();

@@ -1,0 +1,572 @@
+//===- tests/test_fleet.cpp - Verb registry + gateway tier tests --------------===//
+//
+// The fleet layer (docs/FLEET.md): the declarative verb registry that
+// drives server dispatch, client capabilities, and the generated docs
+// tables; the typed ClientResult API; and the drdebug-gw gateway —
+// rendezvous placement determinism, byte-identical pass-through,
+// capability gating at the edge, fan-out aggregation, and backend-death
+// failover with journal recovery and zero session loss.
+//
+//===----------------------------------------------------------------------===//
+
+#include "debugger/session.h"
+#include "fleet/gateway.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "server/server.h"
+#include "server/transport.h"
+#include "server/verbs.h"
+#include "workloads/figure5.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <thread>
+#include <unistd.h>
+
+using namespace drdebug;
+namespace fs = std::filesystem;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Helpers
+//===----------------------------------------------------------------------===//
+
+/// A scratch directory removed on destruction.
+struct TempDir {
+  fs::path Dir;
+  explicit TempDir(const char *Tag) {
+    Dir = fs::temp_directory_path() /
+          (std::string("drdebug_fleet_") + Tag + "_" +
+           std::to_string(::getpid()));
+    fs::remove_all(Dir);
+    fs::create_directories(Dir);
+  }
+  ~TempDir() { fs::remove_all(Dir); }
+};
+
+/// Runs \p Cmds in a plain single-threaded DebugSession (the reference a
+/// gateway-routed transcript must match byte for byte).
+std::string localTranscript(const std::string &AsmText,
+                            const std::vector<std::string> &Cmds) {
+  std::ostringstream OS;
+  DebugSession S(OS);
+  S.loadProgramText(AsmText);
+  for (const std::string &C : Cmds)
+    if (!S.execute(C))
+      break;
+  return OS.str();
+}
+
+const std::vector<std::string> Figure5Script = {
+    "record failure", "replay",     "slice fail", "slice pinball",
+    "slice replay",   "slice step", "slice step", "where",
+    "quit",
+};
+
+/// One in-process drdebugd a Gateway can dial: every Connect() spawns a
+/// pipe pair plus a serve thread. kill() is a crash — transports die and
+/// the server object is destroyed, leaving only journals (if any).
+struct InProcBackend {
+  std::string Name;
+  ServerConfig Cfg;
+  std::unique_ptr<DebugServer> Srv;
+  std::atomic<bool> Dead{false};
+  std::mutex Mu;
+  std::vector<std::shared_ptr<Transport>> ServerEnds;
+  std::vector<std::thread> Threads;
+
+  InProcBackend(std::string Name, ServerConfig Cfg)
+      : Name(std::move(Name)), Cfg(std::move(Cfg)) {
+    Srv = std::make_unique<DebugServer>(this->Cfg);
+  }
+  ~InProcBackend() { kill(); }
+
+  GatewayBackend descriptor() {
+    GatewayBackend B;
+    B.Name = Name;
+    B.JournalDir = Cfg.JournalDir;
+    B.Connect = [this]() -> std::unique_ptr<Transport> {
+      std::lock_guard<std::mutex> Lock(Mu);
+      if (Dead.load(std::memory_order_acquire))
+        return nullptr;
+      auto [C, S] = makePipePair();
+      std::shared_ptr<Transport> SE = std::move(S);
+      ServerEnds.push_back(SE);
+      Threads.emplace_back([this, SE] { Srv->serve(*SE); });
+      return std::move(C);
+    };
+    return B;
+  }
+
+  void kill() {
+    std::vector<std::thread> Joinable;
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      Dead.store(true, std::memory_order_release);
+      for (const std::shared_ptr<Transport> &S : ServerEnds)
+        S->close();
+      Joinable.swap(Threads);
+    }
+    for (std::thread &T : Joinable)
+      T.join();
+    Srv.reset();
+  }
+};
+
+/// A client connection to a Gateway over a pipe pair, with its serve
+/// thread.
+struct GwConn {
+  std::unique_ptr<Transport> C;
+  std::unique_ptr<Transport> S;
+  std::thread T;
+  ProtocolClient Client;
+
+  static GwConn *make(Gateway &Gw) { return new GwConn(Gw); }
+  explicit GwConn(Gateway &Gw)
+      : GwConn(makePipePair(), Gw) {}
+  ~GwConn() {
+    C->close();
+    T.join();
+  }
+
+private:
+  GwConn(std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>> P,
+         Gateway &Gw)
+      : C(std::move(P.first)), S(std::move(P.second)),
+        T([&Gw, SE = S.get()] { Gw.serve(*SE); }), Client(*C) {}
+};
+
+ServerConfig backendConfig(const std::string &JournalDir = "") {
+  ServerConfig Cfg;
+  Cfg.JournalDir = JournalDir;
+  Cfg.IdleTimeout = std::chrono::milliseconds(0); // no eviction in tests
+  return Cfg;
+}
+
+//===----------------------------------------------------------------------===//
+// The verb registry
+//===----------------------------------------------------------------------===//
+
+TEST(VerbRegistry, LookupAndTokenRoundTrip) {
+  EXPECT_NE(findVerb("cmd"), nullptr);
+  EXPECT_NE(findVerb("hello"), nullptr);
+  EXPECT_EQ(findVerb("frobnicate"), nullptr);
+  // The capability token round-trips through the parser.
+  std::vector<std::string> Verbs = parseVerbList(verbListToken());
+  EXPECT_EQ(Verbs.size(), verbRegistry().size());
+  for (const VerbInfo &V : verbRegistry())
+    EXPECT_NE(std::find(Verbs.begin(), Verbs.end(), V.Name), Verbs.end())
+        << V.Name;
+}
+
+TEST(VerbRegistry, HelloPayloadCarriesProtoAndVerbs) {
+  std::string P = helloPayload("drdebugd", "9.9.9");
+  EXPECT_NE(P.find("drdebugd 9.9.9 proto " +
+                   std::to_string(ProtocolVersion)),
+            std::string::npos)
+      << P;
+  EXPECT_NE(P.find(" verbs "), std::string::npos) << P;
+  EXPECT_NE(P.find("cmd"), std::string::npos) << P;
+}
+
+TEST(VerbRegistry, WireErrorTableMatchesProtocolHelpers) {
+  for (const WireErrorInfo &E : wireErrorRegistry()) {
+    EXPECT_EQ(wireErrorName(E.Code), std::string(E.Name));
+    EXPECT_EQ(wireErrorIsTransient(E.Code), E.Transient);
+  }
+  EXPECT_EQ(findWireError(0), nullptr);
+  EXPECT_EQ(findWireError(99), nullptr);
+}
+
+// Every registered verb must actually dispatch: a well-formed request may
+// fail with a domain error, but never with err 3 unknown-verb — that
+// would mean the registry and the dispatcher drifted apart.
+TEST(VerbRegistry, EveryVerbDispatches) {
+  DebugServer Srv;
+  auto [C, S] = makePipePair();
+  std::thread T([&, SE = S.get()] { Srv.serve(*SE); });
+  {
+    ProtocolClient Client(*C);
+    ClientResult<uint64_t> Opened = Client.open();
+    ASSERT_TRUE(Opened.ok()) << Opened.errorText();
+    std::string Sid = std::to_string(Opened.value());
+    auto ArgsFor = [&](const std::string &V) -> std::string {
+      if (V == "load")
+        return Sid + " " + escapeText(".func main\n  halt\n.endfunc\n");
+      if (V == "cmd")
+        return Sid + " " + escapeText("where");
+      if (V == "rwatch")
+        return Sid + " g";
+      if (V == "import")
+        return escapeText("/nonexistent/drdebug_bundle");
+      if (V == "attach" || V == "detach" || V == "close" || V == "rstep" ||
+          V == "rcont" || V == "rnext" || V == "rpos" || V == "rattach" ||
+          V == "rstatus" || V == "rdump")
+        return Sid;
+      return "";
+    };
+    for (const VerbInfo &V : verbRegistry()) {
+      std::string Name = V.Name;
+      if (Name == "open" || Name == "close" || Name == "drain" ||
+          Name == "shutdown")
+        continue; // lifecycle verbs exercised below, in order
+      std::string Args = ArgsFor(Name);
+      ClientResult<> R = Client.request(Args.empty() ? Name
+                                                     : Name + " " + Args);
+      EXPECT_NE(R.code(), static_cast<unsigned>(WireError::UnknownVerb))
+          << Name << ": " << R.errorText();
+    }
+    EXPECT_NE(Client.request("close " + Sid).code(),
+              static_cast<unsigned>(WireError::UnknownVerb));
+    EXPECT_NE(Client.request("drain").code(),
+              static_cast<unsigned>(WireError::UnknownVerb));
+    EXPECT_NE(Client.request("shutdown").code(),
+              static_cast<unsigned>(WireError::UnknownVerb));
+  }
+  C->close();
+  T.join();
+}
+
+//===----------------------------------------------------------------------===//
+// Docs drift: the generated SERVER.md tables
+//===----------------------------------------------------------------------===//
+
+std::string slurpDoc(const char *Name) {
+  std::ifstream IS(std::string(DRDEBUG_DOCS_DIR) + "/" + Name);
+  EXPECT_TRUE(IS.good()) << Name;
+  std::ostringstream Buf;
+  Buf << IS.rdbuf();
+  return Buf.str();
+}
+
+std::string betweenMarkers(const std::string &Doc, const std::string &Tag) {
+  std::string Begin = "<!-- BEGIN GENERATED " + Tag;
+  std::string End = "<!-- END GENERATED " + Tag;
+  size_t B = Doc.find(Begin);
+  size_t E = Doc.find(End);
+  EXPECT_NE(B, std::string::npos) << Tag;
+  EXPECT_NE(E, std::string::npos) << Tag;
+  if (B == std::string::npos || E == std::string::npos)
+    return "";
+  B = Doc.find('\n', B);
+  return Doc.substr(B + 1, E - B - 1);
+}
+
+std::string trimmed(std::string S) {
+  while (!S.empty() && (S.back() == '\n' || S.back() == ' '))
+    S.pop_back();
+  size_t B = S.find_first_not_of("\n ");
+  return B == std::string::npos ? std::string() : S.substr(B);
+}
+
+TEST(VerbRegistry, ServerDocVerbTableMatchesRegistry) {
+  std::string Doc = slurpDoc("SERVER.md");
+  EXPECT_EQ(trimmed(betweenMarkers(Doc, "VERB TABLE")),
+            trimmed(renderVerbTableMarkdown()))
+      << "docs/SERVER.md verb table drifted — regenerate with "
+         "`drdebugd --dump-verbs`";
+}
+
+TEST(VerbRegistry, ServerDocErrorTableMatchesRegistry) {
+  std::string Doc = slurpDoc("SERVER.md");
+  EXPECT_EQ(trimmed(betweenMarkers(Doc, "ERROR TABLE")),
+            trimmed(renderErrorTableMarkdown()))
+      << "docs/SERVER.md error table drifted — regenerate with "
+         "`drdebugd --dump-verbs`";
+}
+
+//===----------------------------------------------------------------------===//
+// ClientResult
+//===----------------------------------------------------------------------===//
+
+TEST(ClientResult, TransportDeathIsTransportClass) {
+  auto [C, S] = makePipePair();
+  S->close();
+  ProtocolClient Client(*C);
+  ClientResult<> R = Client.request("hello");
+  EXPECT_FALSE(R.ok());
+  EXPECT_EQ(R.errClass(), ErrClass::Transport);
+  EXPECT_EQ(R.code(), 0u);
+  EXPECT_FALSE(R.errorText().empty());
+}
+
+TEST(ClientResult, HelloInfoSupportsFallsBackToProtoFloor) {
+  HelloInfo Old; // a pre-v4 server: proto only, no verb list
+  Old.Proto = 3;
+  EXPECT_TRUE(Old.supports("cmd"));
+  EXPECT_TRUE(Old.supports("rstep"));
+  EXPECT_TRUE(Old.supports("drain"));
+  EXPECT_FALSE(Old.supports("help")); // v4 verb
+  EXPECT_FALSE(Old.supports("frobnicate"));
+  HelloInfo V1;
+  V1.Proto = 1;
+  EXPECT_TRUE(V1.supports("cmd"));
+  EXPECT_FALSE(V1.supports("rstep")); // v2 verb
+  // An advertised list wins over the floor.
+  HelloInfo New;
+  New.Proto = 4;
+  New.Verbs = {"hello", "cmd"};
+  EXPECT_TRUE(New.supports("cmd"));
+  EXPECT_FALSE(New.supports("drain"));
+}
+
+//===----------------------------------------------------------------------===//
+// Rendezvous placement
+//===----------------------------------------------------------------------===//
+
+TEST(Fleet, RendezvousWeightIsDeterministicAndSpreads) {
+  const std::vector<std::string> Names = {"b0", "b1", "b2"};
+  std::map<std::string, int> Count;
+  for (uint64_t Sid = 1; Sid <= 300; ++Sid) {
+    size_t Best = 0;
+    uint64_t BestW = 0;
+    for (size_t I = 0; I != Names.size(); ++I) {
+      uint64_t W = rendezvousWeight(Sid, Names[I]);
+      EXPECT_EQ(W, rendezvousWeight(Sid, Names[I]));
+      if (I == 0 || W > BestW) {
+        BestW = W;
+        Best = I;
+      }
+    }
+    ++Count[Names[Best]];
+  }
+  // Well-mixed: every backend owns a healthy share of 300 sessions.
+  for (const auto &[Name, N] : Count)
+    EXPECT_GT(N, 50) << Name;
+}
+
+TEST(Fleet, PlacementIsStableAcrossGatewayRestarts) {
+  InProcBackend B0("b0", backendConfig()), B1("b1", backendConfig()),
+      B2("b2", backendConfig());
+  GatewayConfig Cfg;
+  Cfg.Backends = {B0.descriptor(), B1.descriptor(), B2.descriptor()};
+  std::vector<std::string> FirstRun;
+  {
+    Gateway Gw(Cfg);
+    ASSERT_EQ(Gw.aliveCount(), 3u);
+    for (uint64_t Sid = 1; Sid <= 32; ++Sid) {
+      size_t I = Gw.placeSession(Sid);
+      ASSERT_NE(I, Gateway::npos);
+      FirstRun.push_back(Gw.backendName(I));
+    }
+  }
+  // A rebuilt gateway (same backend names) places identically.
+  Gateway Gw2(Cfg);
+  for (uint64_t Sid = 1; Sid <= 32; ++Sid)
+    EXPECT_EQ(Gw2.backendName(Gw2.placeSession(Sid)), FirstRun[Sid - 1])
+        << "sid " << Sid;
+}
+
+//===----------------------------------------------------------------------===//
+// Gateway: pass-through, edge gating, fan-out
+//===----------------------------------------------------------------------===//
+
+TEST(Fleet, GatewayTranscriptIsByteIdenticalToDirect) {
+  Program P = workloads::makeFigure5();
+  const std::string Reference = localTranscript(P.SourceText, Figure5Script);
+  ASSERT_NE(Reference.find("assertion FAILED"), std::string::npos);
+
+  InProcBackend B0("b0", backendConfig()), B1("b1", backendConfig()),
+      B2("b2", backendConfig());
+  GatewayConfig Cfg;
+  Cfg.Backends = {B0.descriptor(), B1.descriptor(), B2.descriptor()};
+  Gateway Gw(Cfg);
+
+  // Two sessions back to back: different gateway sids may land on
+  // different backends; both transcripts must match the local run.
+  std::unique_ptr<GwConn> Conn(GwConn::make(Gw));
+  for (int Round = 0; Round != 2; ++Round) {
+    ClientResult<uint64_t> Opened = Conn->Client.open();
+    ASSERT_TRUE(Opened.ok()) << Opened.errorText();
+    uint64_t Sid = Opened.value();
+    ClientResult<> Loaded = Conn->Client.load(Sid, P.SourceText);
+    ASSERT_TRUE(Loaded.ok()) << Loaded.errorText();
+    std::string Out = Loaded.value();
+    for (const std::string &C : Figure5Script) {
+      ClientResult<> R = Conn->Client.cmd(Sid, C);
+      ASSERT_TRUE(R.ok()) << C << ": " << R.errorText();
+      Out += R.value();
+    }
+    EXPECT_EQ(Out, Reference) << "round " << Round;
+  }
+  // `quit` dropped both mappings.
+  EXPECT_EQ(Gw.sessionCount(), 0u);
+  EXPECT_GT(Gw.counters().ForwardedVerbs, 2 * Figure5Script.size());
+}
+
+TEST(Fleet, HelloHelpAndUnknownVerbAtTheEdge) {
+  InProcBackend B0("b0", backendConfig()), B1("b1", backendConfig());
+  GatewayConfig Cfg;
+  Cfg.Backends = {B0.descriptor(), B1.descriptor()};
+  Gateway Gw(Cfg);
+  std::unique_ptr<GwConn> Conn(GwConn::make(Gw));
+
+  ClientResult<HelloInfo> Hello = Conn->Client.hello();
+  ASSERT_TRUE(Hello.ok()) << Hello.errorText();
+  EXPECT_EQ(Hello.value().Server, "drdebug-gw");
+  EXPECT_EQ(Hello.value().Proto, ProtocolVersion);
+  EXPECT_TRUE(Hello.value().supports("cmd"));
+  EXPECT_TRUE(Hello.value().supports("drain"));
+
+  ClientResult<> Help = Conn->Client.help();
+  ASSERT_TRUE(Help.ok()) << Help.errorText();
+  EXPECT_NE(Help.value().find("cmd"), std::string::npos);
+
+  uint64_t Forwarded = Gw.counters().ForwardedVerbs;
+  ClientResult<> Bad = Conn->Client.request("frobnicate 1 2");
+  EXPECT_FALSE(Bad.ok());
+  EXPECT_EQ(Bad.code(), static_cast<unsigned>(WireError::UnknownVerb));
+  // Rejected at the edge: nothing was forwarded for it.
+  EXPECT_EQ(Gw.counters().ForwardedVerbs, Forwarded);
+  EXPECT_GE(Gw.counters().EdgeRejects, 1u);
+}
+
+TEST(Fleet, FanOutAggregatesStatsMetricsAndEvict) {
+  InProcBackend B0("b0", backendConfig()), B1("b1", backendConfig()),
+      B2("b2", backendConfig());
+  GatewayConfig Cfg;
+  Cfg.Backends = {B0.descriptor(), B1.descriptor(), B2.descriptor()};
+  Gateway Gw(Cfg);
+  std::unique_ptr<GwConn> Conn(GwConn::make(Gw));
+
+  ClientResult<> Stats = Conn->Client.stats();
+  ASSERT_TRUE(Stats.ok()) << Stats.errorText();
+  EXPECT_NE(Stats.value().find("gateway.backends 3"), std::string::npos)
+      << Stats.value();
+  EXPECT_NE(Stats.value().find("gateway.backends_alive 3"),
+            std::string::npos);
+  for (const char *Name : {"b0", "b1", "b2"})
+    EXPECT_NE(Stats.value().find(std::string("== backend ") + Name + " =="),
+              std::string::npos)
+        << Stats.value();
+  // Each backend's own report is embedded.
+  EXPECT_NE(Stats.value().find("server.version"), std::string::npos);
+
+  ClientResult<> Metrics = Conn->Client.metrics();
+  ASSERT_TRUE(Metrics.ok()) << Metrics.errorText();
+  EXPECT_NE(Metrics.value().find("# backend b1"), std::string::npos)
+      << Metrics.value();
+
+  ClientResult<> Evicted = Conn->Client.request("evict");
+  ASSERT_TRUE(Evicted.ok()) << Evicted.errorText();
+  EXPECT_EQ(Evicted.value(), "evicted 0");
+}
+
+//===----------------------------------------------------------------------===//
+// Failover: backend death loses zero journaled sessions
+//===----------------------------------------------------------------------===//
+
+TEST(Fleet, BackendDeathReimportsJournaledSessionsByteIdentically) {
+  TempDir J0("fo_j0"), J1("fo_j1"), J2("fo_j2"), FDir("fo_scratch");
+  auto B0 = std::make_unique<InProcBackend>(
+      "b0", backendConfig(J0.Dir.string()));
+  auto B1 = std::make_unique<InProcBackend>(
+      "b1", backendConfig(J1.Dir.string()));
+  auto B2 = std::make_unique<InProcBackend>(
+      "b2", backendConfig(J2.Dir.string()));
+  InProcBackend *All[3] = {B0.get(), B1.get(), B2.get()};
+
+  GatewayConfig Cfg;
+  Cfg.Backends = {B0->descriptor(), B1->descriptor(), B2->descriptor()};
+  Cfg.FailoverDir = FDir.Dir.string();
+  Gateway Gw(Cfg);
+  std::unique_ptr<GwConn> Conn(GwConn::make(Gw));
+
+  Program P = workloads::makeFigure5();
+  const std::vector<std::string> Setup = {"record failure", "replay",
+                                          "reverse-stepi 2"};
+  const std::vector<std::string> Probes = {"where", "output"};
+
+  // A handful of sessions, mutating setup journaled on their backends.
+  std::vector<uint64_t> Sids;
+  std::map<uint64_t, std::string> PreKill;
+  for (int I = 0; I != 4; ++I) {
+    ClientResult<uint64_t> Opened = Conn->Client.open();
+    ASSERT_TRUE(Opened.ok()) << Opened.errorText();
+    uint64_t Sid = Opened.value();
+    ClientResult<> Loaded = Conn->Client.load(Sid, P.SourceText);
+    ASSERT_TRUE(Loaded.ok()) << Loaded.errorText();
+    for (const std::string &C : Setup) {
+      ClientResult<> R = Conn->Client.cmd(Sid, C);
+      ASSERT_TRUE(R.ok()) << C << ": " << R.errorText();
+    }
+    // Read-only probes: not journaled, so the recovered session replays
+    // to exactly this state.
+    std::string Out;
+    for (const std::string &C : Probes) {
+      ClientResult<> R = Conn->Client.cmd(Sid, C);
+      ASSERT_TRUE(R.ok()) << R.errorText();
+      Out += R.value();
+    }
+    Sids.push_back(Sid);
+    PreKill[Sid] = Out;
+  }
+  ASSERT_EQ(Gw.sessionCount(), 4u);
+
+  // Kill the backend owning the first session — a crash, not a drain:
+  // its transports die and the server object is destroyed. Only the
+  // journal directory survives.
+  size_t Victim = Gw.placeSession(Sids[0]);
+  ASSERT_NE(Victim, Gateway::npos);
+  size_t VictimSessions = 0;
+  for (uint64_t Sid : Sids)
+    VictimSessions += Gw.placeSession(Sid) == Victim ? 1 : 0;
+  All[Victim]->kill();
+
+  // Every session still answers through the gateway — same sids, same
+  // bytes. The victim's sessions were recovered from its journals and
+  // re-imported onto survivors on first touch.
+  for (uint64_t Sid : Sids) {
+    std::string Out;
+    for (const std::string &C : Probes) {
+      ClientResult<> R = Conn->Client.cmd(Sid, C);
+      ASSERT_TRUE(R.ok()) << "sid " << Sid << ": " << R.errorText();
+      Out += R.value();
+    }
+    EXPECT_EQ(Out, PreKill[Sid]) << "sid " << Sid;
+  }
+  EXPECT_FALSE(Gw.backendAlive(Victim));
+  EXPECT_EQ(Gw.aliveCount(), 2u);
+  Gateway::Counters C = Gw.counters();
+  EXPECT_EQ(C.Failovers, 1u);
+  EXPECT_EQ(C.SessionsLost, 0u);
+  EXPECT_EQ(C.SessionsReimported, VictimSessions);
+  EXPECT_EQ(Gw.sessionCount(), 4u);
+}
+
+TEST(Fleet, UnjournaledBackendDeathLosesItsSessionsOnly) {
+  TempDir FDir("lossy_scratch");
+  // No journal dirs: a crashed backend's sessions are honestly lost.
+  auto B0 = std::make_unique<InProcBackend>("b0", backendConfig());
+  auto B1 = std::make_unique<InProcBackend>("b1", backendConfig());
+  InProcBackend *All[2] = {B0.get(), B1.get()};
+  GatewayConfig Cfg;
+  Cfg.Backends = {B0->descriptor(), B1->descriptor()};
+  Cfg.FailoverDir = FDir.Dir.string();
+  Gateway Gw(Cfg);
+  std::unique_ptr<GwConn> Conn(GwConn::make(Gw));
+
+  ClientResult<uint64_t> Opened = Conn->Client.open();
+  ASSERT_TRUE(Opened.ok()) << Opened.errorText();
+  uint64_t Sid = Opened.value();
+  size_t Owner = Gw.placeSession(Sid);
+  All[Owner]->kill();
+
+  ClientResult<> R = Conn->Client.cmd(Sid, "where");
+  EXPECT_FALSE(R.ok());
+  EXPECT_EQ(R.code(), static_cast<unsigned>(WireError::NoSuchSession));
+  EXPECT_EQ(Gw.counters().SessionsLost, 1u);
+  EXPECT_EQ(Gw.sessionCount(), 0u);
+
+  // The surviving backend still takes new sessions.
+  ClientResult<uint64_t> Fresh = Conn->Client.open();
+  EXPECT_TRUE(Fresh.ok()) << Fresh.errorText();
+}
+
+} // namespace

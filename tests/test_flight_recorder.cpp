@@ -445,20 +445,27 @@ TEST(Flight, ServerVerbs) {
   std::thread ServerThread([&, SE = ServerEnd.get()] { Srv.serve(*SE); });
   {
     ProtocolClient Client(*ClientEnd);
-    std::string Out, Error;
-    uint64_t Sid = 0;
-    ASSERT_TRUE(Client.open(Sid, Error)) << Error;
-    ASSERT_TRUE(Client.load(Sid, multiThreadedSource(), Out, Error)) << Error;
+    std::string Error;
+    ClientResult<uint64_t> Opened = Client.open();
+    ASSERT_TRUE(Opened.ok()) << Opened.errorText();
+    uint64_t Sid = Opened.value();
+    ClientResult<> R = Client.load(Sid, multiThreadedSource());
+    ASSERT_TRUE(R.ok()) << R.errorText();
 
-    ASSERT_TRUE(Client.recordAttach(Sid, /*Seed=*/3, Out, Error)) << Error;
-    EXPECT_NE(Out.find("recording in flight mode"), std::string::npos) << Out;
+    R = Client.recordAttach(Sid, /*Seed=*/3);
+    ASSERT_TRUE(R.ok()) << R.errorText();
+    EXPECT_NE(R.value().find("recording in flight mode"), std::string::npos)
+        << R.value();
 
-    ASSERT_TRUE(Client.recordStatus(Sid, Out, Error)) << Error;
-    EXPECT_NE(Out.find("flight recorder: window"), std::string::npos) << Out;
+    R = Client.recordStatus(Sid);
+    ASSERT_TRUE(R.ok()) << R.errorText();
+    EXPECT_NE(R.value().find("flight recorder: window"), std::string::npos)
+        << R.value();
 
     std::string Dir = (Scratch.Dir / "dump").string();
-    ASSERT_TRUE(Client.recordDump(Sid, Dir, Out, Error)) << Error;
-    EXPECT_NE(Out.find("flight dump:"), std::string::npos) << Out;
+    R = Client.recordDump(Sid, Dir);
+    ASSERT_TRUE(R.ok()) << R.errorText();
+    EXPECT_NE(R.value().find("flight dump:"), std::string::npos) << R.value();
     EXPECT_TRUE(fs::exists(fs::path(Dir) / "manifest.txt"));
 
     // The dumped pinball is a normal pinball: load + replay on our side.
@@ -471,7 +478,9 @@ TEST(Flight, ServerVerbs) {
     EXPECT_FALSE(Rep.divergence()) << Rep.divergence().Detail;
 
     // stats reports the flight.* block and the per-verb counters.
-    ASSERT_TRUE(Client.stats(Out, Error)) << Error;
+    R = Client.stats();
+    ASSERT_TRUE(R.ok()) << R.errorText();
+    const std::string &Out = R.value();
     EXPECT_NE(Out.find("flight.epochs_retained"), std::string::npos) << Out;
     EXPECT_NE(Out.find("flight.dumps"), std::string::npos) << Out;
     EXPECT_NE(Out.find("verb.rattach.count 1"), std::string::npos) << Out;

@@ -4,7 +4,7 @@
 // under the `tsan` CTest preset), Prometheus exposition format, the
 // histogram bucket-boundary fix, TraceSpan nesting and Chrome JSON export,
 // the `metrics` protocol verb on a live server, the drift test tying
-// ServerVerbNames to registered per-verb metrics, and the CommandResult
+// the verb registry to registered per-verb metrics, and the CommandResult
 // status classification that replaced DebugSession::execute's bool.
 //
 //===----------------------------------------------------------------------===//
@@ -14,6 +14,7 @@
 #include "server/server.h"
 #include "server/stats.h"
 #include "server/transport.h"
+#include "server/verbs.h"
 #include "support/metric_names.h"
 #include "support/metrics.h"
 #include "support/tracing.h"
@@ -306,9 +307,10 @@ TEST(MetricsServer, MetricsVerbRendersValidPrometheus) {
   std::thread ServerThread([&, SE = ServerEnd.get()] { Srv.serve(*SE); });
   {
     ProtocolClient Client(*ClientEnd);
-    std::string Payload, Error;
-    ASSERT_TRUE(Client.hello(Payload, Error)) << Error;
-    ASSERT_TRUE(Client.metrics(Payload, Error)) << Error;
+    ASSERT_TRUE(Client.hello().ok());
+    ClientResult<> Metrics = Client.metrics();
+    ASSERT_TRUE(Metrics.ok()) << Metrics.errorText();
+    const std::string &Payload = Metrics.value();
     EXPECT_EQ(firstInvalidPrometheusLine(Payload), "") << Payload;
     // The hello that preceded this request is visible per-verb...
     EXPECT_NE(
@@ -352,21 +354,21 @@ TEST(MetricsServer, StatsVerbKeepsLegacyKeys) {
 }
 
 TEST(MetricsServer, VerbNameDriftAgainstRegistry) {
-  // Every ServerVerbNames entry must have an eagerly-registered VerbHandle
+  // Every verb-registry entry must have an eagerly-registered VerbHandle
   // AND a labelled counter in the registry: adding a verb without metrics
   // (or renaming one) fails here.
   DebugServer Srv;
-  for (const char *Name : ServerVerbNames) {
-    EXPECT_NE(Srv.stats().verb(Name), nullptr) << Name;
+  for (const VerbInfo &V : verbRegistry()) {
+    EXPECT_NE(Srv.stats().verb(V.Name), nullptr) << V.Name;
     EXPECT_NE(
-        Srv.registry().findCounter(mn::ServerVerbRequests, {{"verb", Name}}),
+        Srv.registry().findCounter(mn::ServerVerbRequests, {{"verb", V.Name}}),
         nullptr)
-        << Name;
+        << V.Name;
     EXPECT_NE(
         Srv.registry().findHistogram(mn::ServerVerbLatencyUs,
-                                     {{"verb", Name}}),
+                                     {{"verb", V.Name}}),
         nullptr)
-        << Name;
+        << V.Name;
   }
 }
 

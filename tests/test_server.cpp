@@ -65,17 +65,20 @@ std::string localTranscript(const std::string &AsmText,
 std::string remoteTranscript(Transport &T, const std::string &AsmText,
                              const std::vector<std::string> &Cmds) {
   ProtocolClient Client(T);
-  std::string Out, Chunk, Error;
-  uint64_t Sid = 0;
-  EXPECT_TRUE(Client.open(Sid, Error)) << Error;
-  EXPECT_TRUE(Client.load(Sid, AsmText, Chunk, Error)) << Error;
-  Out += Chunk;
+  std::string Out;
+  ClientResult<uint64_t> Opened = Client.open();
+  EXPECT_TRUE(Opened.ok()) << Opened.errorText();
+  uint64_t Sid = Opened.value();
+  ClientResult<> Loaded = Client.load(Sid, AsmText);
+  EXPECT_TRUE(Loaded.ok()) << Loaded.errorText();
+  Out += Loaded.value();
   for (const std::string &C : Cmds) {
-    if (!Client.cmd(Sid, C, Chunk, Error)) {
-      ADD_FAILURE() << "cmd '" << C << "' failed: " << Error;
+    ClientResult<> R = Client.cmd(Sid, C);
+    if (!R.ok()) {
+      ADD_FAILURE() << "cmd '" << C << "' failed: " << R.errorText();
       break;
     }
-    Out += Chunk;
+    Out += R.value();
     std::string Word = C.substr(0, C.find(' '));
     if (Word == "quit" || Word == "q")
       break;
@@ -174,28 +177,38 @@ TEST(Server, HelloStatsAndErrorPaths) {
 
   {
     ProtocolClient Client(*ClientEnd);
-    std::string Payload, Error;
-    ASSERT_TRUE(Client.hello(Payload, Error)) << Error;
-    EXPECT_NE(Payload.find("drdebugd"), std::string::npos);
-    EXPECT_NE(Payload.find("proto 3"), std::string::npos);
+    ClientResult<HelloInfo> Hello = Client.hello();
+    ASSERT_TRUE(Hello.ok()) << Hello.errorText();
+    EXPECT_EQ(Hello.value().Server, "drdebugd");
+    EXPECT_EQ(Hello.value().Proto, ProtocolVersion);
+    EXPECT_NE(Hello.value().Banner.find("proto 4"), std::string::npos)
+        << Hello.value().Banner;
+    // v4 capability negotiation: the banner carries the verb list.
+    EXPECT_TRUE(Hello.value().supports("cmd"));
+    EXPECT_TRUE(Hello.value().supports("drain"));
+    EXPECT_FALSE(Hello.value().supports("frobnicate"));
 
     // Unknown verb.
-    EXPECT_FALSE(Client.request("frobnicate 1 2", Payload, Error));
-    EXPECT_EQ(Client.lastErrorCode(),
-              static_cast<unsigned>(WireError::UnknownVerb));
+    ClientResult<> Bad = Client.request("frobnicate 1 2");
+    EXPECT_FALSE(Bad.ok());
+    EXPECT_EQ(Bad.code(), static_cast<unsigned>(WireError::UnknownVerb));
+    EXPECT_EQ(Bad.errClass(), ErrClass::Permanent);
 
     // Command against a session that never existed.
-    EXPECT_FALSE(Client.cmd(424242, "where", Payload, Error));
-    EXPECT_EQ(Client.lastErrorCode(),
+    ClientResult<> NoSession = Client.cmd(424242, "where");
+    EXPECT_FALSE(NoSession.ok());
+    EXPECT_EQ(NoSession.code(),
               static_cast<unsigned>(WireError::NoSuchSession));
 
     // Malformed bytes: the server answers with an err frame (seq 0) and
     // keeps serving.
     ASSERT_TRUE(ClientEnd->send("garbage off the wire"));
     ASSERT_TRUE(ClientEnd->send(encodeFrame("zz not-a-seq")));
-    ASSERT_TRUE(Client.hello(Payload, Error)) << Error;
+    EXPECT_TRUE(Client.hello().ok());
 
-    ASSERT_TRUE(Client.stats(Payload, Error)) << Error;
+    ClientResult<> Stats = Client.stats();
+    ASSERT_TRUE(Stats.ok()) << Stats.errorText();
+    const std::string &Payload = Stats.value();
     EXPECT_NE(Payload.find("frames.malformed 1"), std::string::npos)
         << Payload;
     EXPECT_NE(Payload.find("errors.returned"), std::string::npos);
@@ -217,45 +230,60 @@ TEST(Server, ReverseExecutionVerbs) {
   std::thread ServerThread([&, SE = ServerEnd.get()] { Srv.serve(*SE); });
   {
     ProtocolClient Client(*ClientEnd);
-    std::string Out, Error;
-    uint64_t Sid = 0;
-    ASSERT_TRUE(Client.open(Sid, Error)) << Error;
-    ASSERT_TRUE(Client.load(Sid,
-                            ".data g 0\n.func main\n  movi r1, 10\n"
-                            "l:\n  lda r2, @g\n  addi r2, r2, 1\n"
-                            "  sta r2, @g\n  subi r1, r1, 1\n"
-                            "  bgt r1, r0, l\n  halt\n.endfunc\n",
-                            Out, Error))
-        << Error;
-    ASSERT_TRUE(Client.cmd(Sid, "record region 0 40", Out, Error)) << Error;
-    ASSERT_TRUE(Client.cmd(Sid, "replay", Out, Error)) << Error;
+    ClientResult<uint64_t> Opened = Client.open();
+    ASSERT_TRUE(Opened.ok()) << Opened.errorText();
+    uint64_t Sid = Opened.value();
+    ClientResult<> R = Client.load(Sid,
+                                   ".data g 0\n.func main\n  movi r1, 10\n"
+                                   "l:\n  lda r2, @g\n  addi r2, r2, 1\n"
+                                   "  sta r2, @g\n  subi r1, r1, 1\n"
+                                   "  bgt r1, r0, l\n  halt\n.endfunc\n");
+    ASSERT_TRUE(R.ok()) << R.errorText();
+    R = Client.cmd(Sid, "record region 0 40");
+    ASSERT_TRUE(R.ok()) << R.errorText();
+    R = Client.cmd(Sid, "replay");
+    ASSERT_TRUE(R.ok()) << R.errorText();
 
     // rstep: one backward step of n instructions.
-    ASSERT_TRUE(Client.reverseStep(Sid, 3, Out, Error)) << Error;
-    EXPECT_NE(Out.find("stepped backwards to position"), std::string::npos)
-        << Out;
-    // rpos: the honest replay clock.
-    ASSERT_TRUE(Client.replayPosition(Sid, Out, Error)) << Error;
-    EXPECT_NE(Out.find("replay position: "), std::string::npos) << Out;
-    EXPECT_NE(Out.find(" recorded instructions"), std::string::npos) << Out;
-    // rwatch: back to the last write of g.
-    ASSERT_TRUE(Client.reverseWatch(Sid, "g", Out, Error)) << Error;
-    EXPECT_NE(Out.find("reverse-watch: g last changed"), std::string::npos)
-        << Out;
-    // rcont without breakpoints rewinds to the region start...
-    ASSERT_TRUE(Client.reverseContinue(Sid, Out, Error)) << Error;
-    EXPECT_NE(Out.find("reached the beginning of the recording"),
+    R = Client.reverseStep(Sid, 3);
+    ASSERT_TRUE(R.ok()) << R.errorText();
+    EXPECT_NE(R.value().find("stepped backwards to position"),
               std::string::npos)
-        << Out;
+        << R.value();
+    // rpos: the honest replay clock.
+    R = Client.replayPosition(Sid);
+    ASSERT_TRUE(R.ok()) << R.errorText();
+    EXPECT_NE(R.value().find("replay position: "), std::string::npos)
+        << R.value();
+    EXPECT_NE(R.value().find(" recorded instructions"), std::string::npos)
+        << R.value();
+    // rwatch: back to the last write of g.
+    R = Client.reverseWatch(Sid, "g");
+    ASSERT_TRUE(R.ok()) << R.errorText();
+    EXPECT_NE(R.value().find("reverse-watch: g last changed"),
+              std::string::npos)
+        << R.value();
+    // rcont without breakpoints rewinds to the region start...
+    R = Client.reverseContinue(Sid);
+    ASSERT_TRUE(R.ok()) << R.errorText();
+    EXPECT_NE(R.value().find("reached the beginning of the recording"),
+              std::string::npos)
+        << R.value();
     // ...after which rnext has nowhere earlier to go.
-    ASSERT_TRUE(Client.reverseNext(Sid, Out, Error)) << Error;
-    EXPECT_NE(Out.find("does not run earlier"), std::string::npos) << Out;
+    R = Client.reverseNext(Sid);
+    ASSERT_TRUE(R.ok()) << R.errorText();
+    EXPECT_NE(R.value().find("does not run earlier"), std::string::npos)
+        << R.value();
 
     // The per-verb counters picked the new names up.
-    ASSERT_TRUE(Client.stats(Out, Error)) << Error;
-    EXPECT_NE(Out.find("verb.rstep.count 1"), std::string::npos) << Out;
-    EXPECT_NE(Out.find("verb.rcont.count 1"), std::string::npos) << Out;
-    EXPECT_NE(Out.find("verb.rpos.count 1"), std::string::npos) << Out;
+    R = Client.stats();
+    ASSERT_TRUE(R.ok()) << R.errorText();
+    EXPECT_NE(R.value().find("verb.rstep.count 1"), std::string::npos)
+        << R.value();
+    EXPECT_NE(R.value().find("verb.rcont.count 1"), std::string::npos)
+        << R.value();
+    EXPECT_NE(R.value().find("verb.rpos.count 1"), std::string::npos)
+        << R.value();
   }
   ClientEnd->close();
   ServerThread.join();
@@ -304,24 +332,31 @@ TEST(Server, SharedPinballRepositoryAcrossSessions) {
   std::thread ServerThread([&, SE = ServerEnd.get()] { Srv.serve(*SE); });
   {
     ProtocolClient Client(*ClientEnd);
-    std::string Out, Error;
     Program P = workloads::makeFigure5();
     // Two sessions load the same recording: the second is served from the
     // shared repository without re-reading the directory.
     for (int I = 0; I != 2; ++I) {
-      uint64_t Sid = 0;
-      ASSERT_TRUE(Client.open(Sid, Error)) << Error;
-      ASSERT_TRUE(Client.load(Sid, P.SourceText, Out, Error)) << Error;
-      ASSERT_TRUE(
-          Client.cmd(Sid, "pinball load " + PinballDir.string(), Out, Error))
-          << Error;
-      EXPECT_NE(Out.find("pinball loaded from"), std::string::npos) << Out;
-      ASSERT_TRUE(Client.cmd(Sid, "replay", Out, Error)) << Error;
-      EXPECT_NE(Out.find("assertion FAILED"), std::string::npos) << Out;
+      ClientResult<uint64_t> Opened = Client.open();
+      ASSERT_TRUE(Opened.ok()) << Opened.errorText();
+      uint64_t Sid = Opened.value();
+      ClientResult<> R = Client.load(Sid, P.SourceText);
+      ASSERT_TRUE(R.ok()) << R.errorText();
+      R = Client.cmd(Sid, "pinball load " + PinballDir.string());
+      ASSERT_TRUE(R.ok()) << R.errorText();
+      EXPECT_NE(R.value().find("pinball loaded from"), std::string::npos)
+          << R.value();
+      R = Client.cmd(Sid, "replay");
+      ASSERT_TRUE(R.ok()) << R.errorText();
+      EXPECT_NE(R.value().find("assertion FAILED"), std::string::npos)
+          << R.value();
     }
-    ASSERT_TRUE(Client.stats(Out, Error)) << Error;
-    EXPECT_NE(Out.find("pinballs.cache_hits 1"), std::string::npos) << Out;
-    EXPECT_NE(Out.find("pinballs.cache_misses 1"), std::string::npos) << Out;
+    ClientResult<> Stats = Client.stats();
+    ASSERT_TRUE(Stats.ok()) << Stats.errorText();
+    EXPECT_NE(Stats.value().find("pinballs.cache_hits 1"), std::string::npos)
+        << Stats.value();
+    EXPECT_NE(Stats.value().find("pinballs.cache_misses 1"),
+              std::string::npos)
+        << Stats.value();
   }
   ClientEnd->close();
   ServerThread.join();
@@ -337,26 +372,30 @@ TEST(Server, EvictionOnIdleTimeout) {
   std::thread ServerThread([&, SE = ServerEnd.get()] { Srv.serve(*SE); });
   {
     ProtocolClient Client(*ClientEnd);
-    std::string Out, Error;
-    uint64_t Sid = 0;
-    ASSERT_TRUE(Client.open(Sid, Error)) << Error;
+    ClientResult<uint64_t> Opened = Client.open();
+    ASSERT_TRUE(Opened.ok()) << Opened.errorText();
+    uint64_t Sid = Opened.value();
     EXPECT_EQ(Srv.sessions().activeCount(), 1u);
 
     // Not yet idle: the sweep must keep it.
-    ASSERT_TRUE(Client.request("evict", Out, Error)) << Error;
-    EXPECT_EQ(Out, "evicted 0");
+    ClientResult<> R = Client.request("evict");
+    ASSERT_TRUE(R.ok()) << R.errorText();
+    EXPECT_EQ(R.value(), "evicted 0");
 
     std::this_thread::sleep_for(std::chrono::milliseconds(80));
-    ASSERT_TRUE(Client.request("evict", Out, Error)) << Error;
-    EXPECT_EQ(Out, "evicted 1");
+    R = Client.request("evict");
+    ASSERT_TRUE(R.ok()) << R.errorText();
+    EXPECT_EQ(R.value(), "evicted 1");
     EXPECT_EQ(Srv.sessions().activeCount(), 0u);
 
     // The evicted session id is gone.
-    EXPECT_FALSE(Client.cmd(Sid, "where", Out, Error));
-    EXPECT_EQ(Client.lastErrorCode(),
-              static_cast<unsigned>(WireError::NoSuchSession));
-    ASSERT_TRUE(Client.stats(Out, Error)) << Error;
-    EXPECT_NE(Out.find("sessions.evicted 1"), std::string::npos) << Out;
+    ClientResult<> Gone = Client.cmd(Sid, "where");
+    EXPECT_FALSE(Gone.ok());
+    EXPECT_EQ(Gone.code(), static_cast<unsigned>(WireError::NoSuchSession));
+    R = Client.stats();
+    ASSERT_TRUE(R.ok()) << R.errorText();
+    EXPECT_NE(R.value().find("sessions.evicted 1"), std::string::npos)
+        << R.value();
   }
   ClientEnd->close();
   ServerThread.join();
@@ -381,26 +420,26 @@ TEST(Server, AttachDetachLifecycle) {
   std::thread ServerThread([&, SE = ServerEnd.get()] { Srv.serve(*SE); });
   {
     ProtocolClient Client(*ClientEnd);
-    std::string Out, Error;
-    uint64_t Sid = 0;
-    ASSERT_TRUE(Client.open(Sid, Error)) << Error;
+    ClientResult<uint64_t> Opened = Client.open();
+    ASSERT_TRUE(Opened.ok()) << Opened.errorText();
+    uint64_t Sid = Opened.value();
 
     // A second attach must be refused while the session is held.
-    EXPECT_FALSE(Client.request("attach " + std::to_string(Sid), Out, Error));
-    EXPECT_EQ(Client.lastErrorCode(),
-              static_cast<unsigned>(WireError::SessionFailed));
+    ClientResult<> Held = Client.request("attach " + std::to_string(Sid));
+    EXPECT_FALSE(Held.ok());
+    EXPECT_EQ(Held.code(), static_cast<unsigned>(WireError::SessionFailed));
 
-    ASSERT_TRUE(Client.request("detach " + std::to_string(Sid), Out, Error))
-        << Error;
-    ASSERT_TRUE(Client.request("attach " + std::to_string(Sid), Out, Error))
-        << Error;
-    EXPECT_EQ(Out, "sid " + std::to_string(Sid));
+    ClientResult<> R = Client.request("detach " + std::to_string(Sid));
+    ASSERT_TRUE(R.ok()) << R.errorText();
+    R = Client.request("attach " + std::to_string(Sid));
+    ASSERT_TRUE(R.ok()) << R.errorText();
+    EXPECT_EQ(R.value(), "sid " + std::to_string(Sid));
 
-    ASSERT_TRUE(Client.request("close " + std::to_string(Sid), Out, Error))
-        << Error;
-    EXPECT_FALSE(Client.request("attach " + std::to_string(Sid), Out, Error));
-    EXPECT_EQ(Client.lastErrorCode(),
-              static_cast<unsigned>(WireError::NoSuchSession));
+    R = Client.request("close " + std::to_string(Sid));
+    ASSERT_TRUE(R.ok()) << R.errorText();
+    ClientResult<> Gone = Client.request("attach " + std::to_string(Sid));
+    EXPECT_FALSE(Gone.ok());
+    EXPECT_EQ(Gone.code(), static_cast<unsigned>(WireError::NoSuchSession));
   }
   ClientEnd->close();
   ServerThread.join();
@@ -413,8 +452,9 @@ TEST(Server, DisconnectAutoDetaches) {
     auto [ClientEnd, ServerEnd] = makePipePair();
     std::thread ServerThread([&, SE = ServerEnd.get()] { Srv.serve(*SE); });
     ProtocolClient Client(*ClientEnd);
-    std::string Error;
-    ASSERT_TRUE(Client.open(Sid, Error)) << Error;
+    ClientResult<uint64_t> Opened = Client.open();
+    ASSERT_TRUE(Opened.ok()) << Opened.errorText();
+    Sid = Opened.value();
     ClientEnd->close(); // vanish without detaching
     ServerThread.join();
   }
@@ -423,9 +463,8 @@ TEST(Server, DisconnectAutoDetaches) {
   std::thread ServerThread([&, SE = ServerEnd.get()] { Srv.serve(*SE); });
   {
     ProtocolClient Client(*ClientEnd);
-    std::string Out, Error;
-    EXPECT_TRUE(Client.request("attach " + std::to_string(Sid), Out, Error))
-        << Error;
+    ClientResult<> R = Client.request("attach " + std::to_string(Sid));
+    EXPECT_TRUE(R.ok()) << R.errorText();
   }
   ClientEnd->close();
   ServerThread.join();
@@ -504,17 +543,21 @@ TEST(Transport, TcpEndToEnd) {
         tcpConnect("127.0.0.1", Listener.port(), Err);
     ASSERT_NE(Conn, nullptr) << Err;
     ProtocolClient Client(*Conn);
-    ASSERT_TRUE(Client.hello(Payload, Err)) << Err;
-    uint64_t Sid = 0;
-    ASSERT_TRUE(Client.open(Sid, Err)) << Err;
-    std::string Out;
-    ASSERT_TRUE(Client.load(Sid, ".func main\n  movi r1, 41\n  addi r1, r1, "
-                                 "1\n  syswrite r1\n  halt\n.endfunc\n",
-                            Out, Err))
-        << Err;
-    ASSERT_TRUE(Client.cmd(Sid, "run", Out, Err)) << Err;
-    ASSERT_TRUE(Client.cmd(Sid, "output", Out, Err)) << Err;
-    EXPECT_NE(Out.find("output: 42"), std::string::npos) << Out;
+    ClientResult<HelloInfo> Hello = Client.hello();
+    ASSERT_TRUE(Hello.ok()) << Hello.errorText();
+    Payload = Hello.value().Banner;
+    ClientResult<uint64_t> Opened = Client.open();
+    ASSERT_TRUE(Opened.ok()) << Opened.errorText();
+    uint64_t Sid = Opened.value();
+    ClientResult<> R =
+        Client.load(Sid, ".func main\n  movi r1, 41\n  addi r1, r1, "
+                         "1\n  syswrite r1\n  halt\n.endfunc\n");
+    ASSERT_TRUE(R.ok()) << R.errorText();
+    R = Client.cmd(Sid, "run");
+    ASSERT_TRUE(R.ok()) << R.errorText();
+    R = Client.cmd(Sid, "output");
+    ASSERT_TRUE(R.ok()) << R.errorText();
+    EXPECT_NE(R.value().find("output: 42"), std::string::npos) << R.value();
     Conn->close();
   });
 

@@ -184,17 +184,23 @@ std::unique_ptr<Transport> connectTo(const Daemon &D) {
 /// session id (0 on failure).
 uint64_t driveSetup(Transport &T) {
   ProtocolClient Client(T);
-  std::string Out, Error;
-  uint64_t Sid = 0;
-  if (!Client.open(Sid, Error) ||
-      !Client.load(Sid, workloads::makeFigure5().SourceText, Out, Error)) {
-    std::printf("  FAIL: setup: %s\n", Error.c_str());
+  ClientResult<uint64_t> Opened = Client.open();
+  if (!Opened.ok()) {
+    std::printf("  FAIL: setup: %s\n", Opened.errorText().c_str());
+    ++Failures;
+    return 0;
+  }
+  uint64_t Sid = Opened.value();
+  if (ClientResult<> R = Client.load(Sid, workloads::makeFigure5().SourceText);
+      !R.ok()) {
+    std::printf("  FAIL: setup: %s\n", R.errorText().c_str());
     ++Failures;
     return 0;
   }
   for (const std::string &C : Setup)
-    if (!Client.cmd(Sid, C, Out, Error)) {
-      std::printf("  FAIL: setup cmd '%s': %s\n", C.c_str(), Error.c_str());
+    if (ClientResult<> R = Client.cmd(Sid, C); !R.ok()) {
+      std::printf("  FAIL: setup cmd '%s': %s\n", C.c_str(),
+                  R.errorText().c_str());
       ++Failures;
       return 0;
     }
@@ -203,20 +209,24 @@ uint64_t driveSetup(Transport &T) {
 
 std::string attachAndProbe(Transport &T, uint64_t Sid) {
   ProtocolClient Client(T);
-  std::string Out, Chunk, Error;
-  if (!Client.request("attach " + std::to_string(Sid), Chunk, Error)) {
+  if (ClientResult<> R = Client.request("attach " + std::to_string(Sid));
+      !R.ok()) {
     std::printf("  FAIL: attach %llu: %s\n",
-                static_cast<unsigned long long>(Sid), Error.c_str());
+                static_cast<unsigned long long>(Sid),
+                R.errorText().c_str());
     ++Failures;
     return "";
   }
+  std::string Out;
   for (const std::string &C : Probes) {
-    if (!Client.cmd(Sid, C, Chunk, Error)) {
-      std::printf("  FAIL: probe '%s': %s\n", C.c_str(), Error.c_str());
+    ClientResult<> R = Client.cmd(Sid, C);
+    if (!R.ok()) {
+      std::printf("  FAIL: probe '%s': %s\n", C.c_str(),
+                  R.errorText().c_str());
       ++Failures;
       return "";
     }
-    Out += Chunk;
+    Out += R.value();
   }
   return Out;
 }
@@ -332,10 +342,10 @@ void runMigrate(const std::string &DaemonPath) {
     return;
   }
   ProtocolClient Client(*T);
-  std::string Error;
-  uint64_t NewSid = 0;
-  check(Client.importBundle(Bundle.string(), NewSid, Error),
-        "bundle imported into daemon B (" + Error + ")");
+  ClientResult<uint64_t> Imported = Client.importBundle(Bundle.string());
+  check(Imported.ok(),
+        "bundle imported into daemon B (" + Imported.errorText() + ")");
+  uint64_t NewSid = Imported.ok() ? Imported.value() : 0;
   if (NewSid) {
     T->close();
     std::unique_ptr<Transport> T2 = connectTo(B);
@@ -372,12 +382,12 @@ void runOverload(const std::string &DaemonPath) {
       Policy.MaxRetries = 100;
       Policy.InitialBackoffMs = 5;
       ProtocolClient Client(*T, Policy);
-      std::string Out, Error;
-      uint64_t Sid = 0;
-      if (!Client.open(Sid, Error))
+      ClientResult<uint64_t> Opened = Client.open();
+      if (!Opened.ok())
         return;
+      uint64_t Sid = Opened.value();
       for (unsigned R = 0; R != PerClient; ++R)
-        if (Client.cmd(Sid, "where", Out, Error))
+        if (Client.cmd(Sid, "where").ok())
           Succeeded.fetch_add(1);
       Retried.fetch_add(Client.retries());
       T->close();

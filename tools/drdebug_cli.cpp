@@ -120,37 +120,41 @@ int runConnected(const std::string &HostPort, const std::string &ProgramPath,
   if (Faulty)
     Conn = makeFaultyTransport(std::move(Conn), "client");
   ProtocolClient Client(*Conn, Policy);
-  std::string Banner;
-  if (!Client.hello(Banner, Error)) {
-    std::fprintf(stderr, "drdebug: handshake failed: %s\n", Error.c_str());
+  ClientResult<HelloInfo> Hello = Client.hello();
+  if (!Hello.ok()) {
+    std::fprintf(stderr, "drdebug: handshake failed: %s\n",
+                 Hello.errorText().c_str());
     return 1;
   }
-  std::cerr << "connected: " << Banner << "\n";
-  uint64_t Sid = 0;
-  if (!Client.open(Sid, Error)) {
-    std::fprintf(stderr, "drdebug: cannot open session: %s\n", Error.c_str());
+  std::cerr << "connected: " << Hello.value().Banner << "\n";
+  ClientResult<uint64_t> Opened = Client.open();
+  if (!Opened.ok()) {
+    std::fprintf(stderr, "drdebug: cannot open session: %s\n",
+                 Opened.errorText().c_str());
     return 1;
   }
+  uint64_t Sid = Opened.value();
 
   if (!ProgramPath.empty()) {
-    std::string Text, Output;
+    std::string Text;
     if (!readFile(ProgramPath, Text))
       return 1;
-    if (!Client.load(Sid, Text, Output, Error)) {
+    ClientResult<> Loaded = Client.load(Sid, Text);
+    if (!Loaded.ok()) {
       // An assembly failure carries the session's message in the error.
-      std::cout << Error << "\n";
+      std::cout << Loaded.errorText() << "\n";
       return 1;
     }
-    std::cout << Output;
+    std::cout << Loaded.value();
   }
 
   auto Execute = [&](const std::string &Line) {
-    std::string Output;
-    if (!Client.cmd(Sid, Line, Output, Error)) {
-      std::fprintf(stderr, "drdebug: %s\n", Error.c_str());
+    ClientResult<> R = Client.cmd(Sid, Line);
+    if (!R.ok()) {
+      std::fprintf(stderr, "drdebug: %s\n", R.errorText().c_str());
       return false;
     }
-    std::cout << Output;
+    std::cout << R.value();
     std::string Cmd = Line.substr(0, Line.find(' '));
     return Cmd != "quit" && Cmd != "q";
   };

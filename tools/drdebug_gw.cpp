@@ -1,0 +1,170 @@
+//===- tools/drdebug_gw.cpp - The drdebugd fleet gateway ----------------------===//
+//
+// The sharded gateway tier: one wire-protocol endpoint in front of N
+// drdebugd backends. Sessions are placed by rendezvous hashing, session
+// ids stay stable across backend failover, and fan-out verbs (stats,
+// metrics, drain, ...) aggregate the whole fleet. See docs/FLEET.md.
+//
+//   drdebug_gw --backend 127.0.0.1:7321 --backend 127.0.0.1:7322
+//   drdebug_gw --backend 127.0.0.1:7321=/var/lib/drdebugd-1 \
+//              --failover-dir /tmp/gw-failover
+//
+// A `=dir` suffix on --backend names the backend's --journal-dir (must be
+// reachable from the gateway host): when that backend dies without
+// draining, the gateway recovers the journals in-process and re-imports
+// the sessions onto the survivors.
+//
+// Connect with: drdebug --connect 127.0.0.1:<port> — the gateway speaks
+// the same protocol as drdebugd.
+//
+//===----------------------------------------------------------------------===//
+
+#include "debugger/commands.h"
+#include "fleet/gateway.h"
+#include "server/verbs.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+using namespace drdebug;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: drdebug_gw --backend host:port[=journal-dir] "
+               "[--backend ...] [--port N] [--pool N] "
+               "[--failover-dir <dir>] [--retries N] "
+               "[--retry-timeout-ms N] [--once] [--dump-verbs]\n");
+  return 2;
+}
+
+volatile std::sig_atomic_t SignalStop = 0;
+TcpListener *SignalListener = nullptr;
+
+void onTermSignal(int) {
+  SignalStop = 1;
+  if (SignalListener)
+    SignalListener->close();
+}
+
+/// Parses "host:port[=journal-dir]" into a GatewayBackend whose connector
+/// dials the address fresh on every pooled connection.
+bool parseBackend(const std::string &Spec, GatewayBackend &Out) {
+  std::string Addr = Spec, Journal;
+  size_t Eq = Spec.find('=');
+  if (Eq != std::string::npos) {
+    Addr = Spec.substr(0, Eq);
+    Journal = Spec.substr(Eq + 1);
+  }
+  size_t Colon = Addr.rfind(':');
+  if (Colon == std::string::npos || Colon + 1 >= Addr.size())
+    return false;
+  std::string Host = Addr.substr(0, Colon);
+  long Port = std::strtol(Addr.c_str() + Colon + 1, nullptr, 10);
+  if (Port <= 0 || Port > 65535)
+    return false;
+  Out.Name = Addr;
+  Out.JournalDir = Journal;
+  Out.Connect = [Host, Port]() -> std::unique_ptr<Transport> {
+    std::string Error;
+    return tcpConnect(Host, static_cast<uint16_t>(Port), Error);
+  };
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  uint16_t Port = 7322;
+  bool Once = false;
+  GatewayConfig Cfg;
+  for (int I = 1; I < Argc; ++I) {
+    auto IntArg = [&](long &Out) {
+      if (I + 1 >= Argc)
+        return false;
+      Out = std::strtol(Argv[++I], nullptr, 10);
+      return true;
+    };
+    long V = 0;
+    if (std::strcmp(Argv[I], "--backend") == 0 && I + 1 < Argc) {
+      GatewayBackend B;
+      if (!parseBackend(Argv[++I], B)) {
+        std::fprintf(stderr, "drdebug_gw: bad --backend spec '%s'\n", Argv[I]);
+        return 2;
+      }
+      Cfg.Backends.push_back(std::move(B));
+    } else if (std::strcmp(Argv[I], "--port") == 0 && IntArg(V)) {
+      Port = static_cast<uint16_t>(V);
+    } else if (std::strcmp(Argv[I], "--pool") == 0 && IntArg(V)) {
+      Cfg.PoolPerBackend = static_cast<unsigned>(V);
+    } else if (std::strcmp(Argv[I], "--failover-dir") == 0 && I + 1 < Argc) {
+      Cfg.FailoverDir = Argv[++I];
+    } else if (std::strcmp(Argv[I], "--retries") == 0 && IntArg(V)) {
+      Cfg.Retry.MaxRetries = static_cast<unsigned>(V);
+    } else if (std::strcmp(Argv[I], "--retry-timeout-ms") == 0 && IntArg(V)) {
+      Cfg.Retry.RecvTimeoutMs = static_cast<uint64_t>(V);
+    } else if (std::strcmp(Argv[I], "--once") == 0) {
+      Once = true;
+    } else if (std::strcmp(Argv[I], "--dump-verbs") == 0) {
+      std::printf("%s\n%s", renderVerbTableMarkdown().c_str(),
+                  renderErrorTableMarkdown().c_str());
+      return 0;
+    } else if (std::strcmp(Argv[I], "--version") == 0) {
+      std::printf("drdebug_gw %s\n", DrDebugVersion);
+      return 0;
+    } else {
+      return usage();
+    }
+  }
+  if (Cfg.Backends.empty()) {
+    std::fprintf(stderr, "drdebug_gw: at least one --backend is required\n");
+    return 2;
+  }
+
+  Gateway Gw(Cfg);
+  if (Gw.aliveCount() == 0)
+    std::fprintf(stderr,
+                 "drdebug_gw: warning: no backend answered hello "
+                 "(serving anyway; placement will fail)\n");
+  TcpListener Listener;
+  std::string Error;
+  if (!Listener.listen(Port, Error)) {
+    std::fprintf(stderr, "drdebug_gw: %s\n", Error.c_str());
+    return 1;
+  }
+  SignalListener = &Listener;
+  std::signal(SIGTERM, onTermSignal);
+  std::signal(SIGINT, onTermSignal);
+  std::printf("drdebug_gw %s listening on 127.0.0.1:%u (%zu backends, "
+              "%zu alive)\n",
+              DrDebugVersion, Listener.port(), Gw.backendCount(),
+              Gw.aliveCount());
+  std::fflush(stdout);
+
+  std::vector<std::thread> Connections;
+  while (!Gw.shutdownRequested() && !SignalStop) {
+    std::unique_ptr<Transport> Conn = Listener.accept();
+    if (!Conn)
+      break;
+    if (Once) {
+      Gw.serve(*Conn);
+      break;
+    }
+    auto Shared = std::shared_ptr<Transport>(std::move(Conn));
+    Connections.emplace_back([&Gw, &Listener, C = Shared] {
+      Gw.serve(*C);
+      if (Gw.shutdownRequested())
+        Listener.close();
+    });
+  }
+  Listener.close();
+  for (std::thread &T : Connections)
+    T.join();
+  std::printf("drdebug_gw: bye\n");
+  return 0;
+}

@@ -24,6 +24,7 @@
 
 #include "debugger/commands.h"
 #include "server/server.h"
+#include "server/verbs.h"
 #include "support/fault_injector.h"
 #include "support/tracing.h"
 
@@ -48,7 +49,7 @@ int usage() {
                "[--admission-queue N] [--drain-dir <dir>] "
                "[--drain-deadline-ms N] "
                "[--inject <site:kind:period[:phase[:arg]]>,...] "
-               "[--trace-out <file>] [--once]\n");
+               "[--trace-out <file>] [--once] [--dump-verbs]\n");
   return 2;
 }
 
@@ -119,6 +120,13 @@ int main(int Argc, char **Argv) {
       TraceOut = Argv[++I];
     } else if (std::strcmp(Argv[I], "--once") == 0) {
       Once = true;
+    } else if (std::strcmp(Argv[I], "--dump-verbs") == 0) {
+      // The docs/SERVER.md verb and error tables, rendered from the verb
+      // registry — paste between the GENERATED markers to update the docs
+      // (a drift test keeps them honest).
+      std::printf("%s\n%s", renderVerbTableMarkdown().c_str(),
+                  renderErrorTableMarkdown().c_str());
+      return 0;
     } else if (std::strcmp(Argv[I], "--version") == 0) {
       std::printf("drdebugd %s\n", DrDebugVersion);
       return 0;
