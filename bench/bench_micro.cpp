@@ -218,7 +218,9 @@ void BM_LpSlicerBlockSize(benchmark::State &State) {
   SliceOptions Opts;
   Opts.BlockSize = static_cast<size_t>(State.range(0));
   Opts.PruneSaveRestore = false;
-  LpSlicer Slicer(F.Global, nullptr, Opts);
+  DefUseIndex DUI;
+  DUI.build(F.Global);
+  LpSlicer Slicer(F.Global, nullptr, &DUI, Opts);
   uint32_t Criterion = static_cast<uint32_t>(F.Global.size() - 1);
   for (auto _ : State) {
     Slice Sl = Slicer.compute(Criterion);

@@ -18,6 +18,10 @@
 #                                    # routed transcripts, and a failover
 #                                    # chaos round (1 gw + 3 backends, one
 #                                    # hard-killed; zero journaled loss)
+#   scripts/verify.sh --index        # persistent def-use index: round-trip
+#                                    # + corruption-matrix suites, bench
+#                                    # smoke, and a CLI write/audit/corrupt
+#                                    # cycle that must fall back cleanly
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -98,6 +102,50 @@ if [ "${1:-}" = "--fleet" ]; then
   build/bench/bench_fleet --smoke --json build/BENCH_fleet_smoke.json
   build/tools/drdebug_gw --dump-verbs > /dev/null
   echo "fleet: OK"
+  exit 0
+fi
+
+# --index: the persistent def-use index leg. The SliceIndex suite proves
+# round-trip bit-identity and the corruption matrix (truncation, bit flips
+# at every offset, version/fingerprint/options skew); SliceRepository
+# proves the durable tier behind the LRU; bench_index --smoke proves the
+# warm session's slice reports byte-equal the cold ones. The CLI cycle
+# then writes an index with `pinball index`, audits it, corrupts one byte
+# on disk, and proves the audit reports the damage while slicing commands
+# still answer correctly from a clean re-prepare.
+if [ "${1:-}" = "--index" ]; then
+  cmake -B build -S .
+  cmake --build build -j --target drdebug_tests bench_index drdebug_cli
+  (cd build &&
+    ctest --output-on-failure -R 'SliceIndex|SliceRepository|BenchIndexSmoke' -j)
+  pb=build/index_smoke_pb
+  rm -rf "$pb"
+  printf '%s\n' "record failure" "pinball save $pb" "pinball index $pb" \
+    "pinball index verify $pb" "lastwrite x" > build/index_smoke.cmds
+  out=$(build/tools/drdebug --demo -x build/index_smoke.cmds)
+  for want in "slice index written to" "index OK: v" "last write"; do
+    case "$out" in *"$want"*) ;; *)
+      echo "index: CLI cycle missing '$want' in:" >&2
+      echo "$out" >&2
+      exit 1
+    ;; esac
+  done
+  # Flip one byte mid-file: the audit must fail loudly, and the debugger
+  # must warn, fall back to a full prepare, and still answer the query.
+  printf '\377' | dd of="$pb/sliceindex/defuse.col" bs=1 seek=512 count=1 \
+    conv=notrunc 2>/dev/null
+  printf '%s\n' "pinball load $pb" "pinball index verify $pb" "lastwrite x" \
+    > build/index_smoke.cmds
+  out=$(build/tools/drdebug --demo -x build/index_smoke.cmds 2>&1)
+  for want in "index FAILED" "slice index unusable" "last write"; do
+    case "$out" in *"$want"*) ;; *)
+      echo "index: corruption cycle missing '$want' in:" >&2
+      echo "$out" >&2
+      exit 1
+    ;; esac
+  done
+  rm -rf "$pb" build/index_smoke.cmds
+  echo "index: OK"
   exit 0
 fi
 

@@ -37,6 +37,8 @@ const std::vector<CommandInfo> &drdebug::commandTable() {
        "persist / import the region pinball", "pinball", ""},
       {"pinball verify <dir>", "check a pinball against its manifest",
        "pinball", ""},
+      {"pinball index [verify] <dir>", "build / check the on-disk slice index",
+       "pinball", ""},
       {"replay", "deterministic replay off the pinball", "replay", ""},
       {"reverse-stepi [n] | rsi", "step backwards during replay",
        "reverse-stepi", "rsi"},
@@ -63,6 +65,12 @@ const std::vector<CommandInfo> &drdebug::commandTable() {
        ""},
       {"slice replay", "replay only the execution slice", "slice", ""},
       {"slice step", "step to the next slice statement", "slice", ""},
+      {"lastwrite <loc> [pos]", "omniscient: last write to a location",
+       "lastwrite", ""},
+      {"valuesof <loc> [max]", "omniscient: every value a location held",
+       "valuesof", ""},
+      {"readersof <pos>", "omniscient: who read this entry's values",
+       "readersof", ""},
       {"fault list", "the fault-injection site catalog", "fault", ""},
       {"help", "this text", "help", ""},
       {"quit | q", "leave", "quit", "q"},

@@ -6,6 +6,7 @@
 #include "arch/disasm.h"
 #include "debugger/commands.h"
 #include "replay/repository.h"
+#include "slicing/index_store.h"
 #include "slicing/report.h"
 #include "slicing/slice_repository.h"
 #include "support/fault_injector.h"
@@ -312,19 +313,40 @@ bool DebugSession::ensureSliceSession() {
   std::string Error;
   if (SliceRepo && RegionPbFingerprint != 0) {
     // A fingerprinted (disk-loaded) pinball prepares once per server: the
-    // repository hands every attached session the same prepared instance.
-    SharedSlicing =
-        SliceRepo->acquire(RegionPbFingerprint, *RegionPb, SliceOpts, Error);
+    // repository hands every attached session the same prepared instance —
+    // and, through the durable tier, reuses the on-disk slice index across
+    // daemon restarts. An unusable index is surfaced as a warning (the
+    // fallback prepare still succeeds).
+    std::string Note;
+    SharedSlicing = SliceRepo->acquire(RegionPbFingerprint, RegionPbSourceDir,
+                                       *RegionPb, SliceOpts, Error, &Note);
     if (!SharedSlicing) {
       err() << "error: " << Error << "\n";
       return false;
     }
+    if (!Note.empty())
+      Out << "warning: " << Note << "\n";
   } else {
     Slicing = std::make_unique<SliceSession>(*RegionPb, SliceOpts);
-    if (!Slicing->prepare(Error)) {
+    bool Ready = false;
+    if (RegionPbFingerprint != 0 && !RegionPbSourceDir.empty()) {
+      // No repository (the standalone CLI): use the on-disk index directly.
+      std::string LoadErr;
+      Ready = Slicing->loadIndex(RegionPbSourceDir, RegionPbFingerprint,
+                                 LoadErr);
+      if (!Ready && !LoadErr.empty())
+        Out << "warning: on-disk slice index unusable, re-preparing ("
+            << LoadErr << ")\n";
+    }
+    if (!Ready && !Slicing->prepare(Error)) {
       err() << "error: " << Error << "\n";
       Slicing.reset();
       return false;
+    }
+    if (!Ready && RegionPbFingerprint != 0 && !RegionPbSourceDir.empty()) {
+      std::string SaveErr;
+      Slicing->saveIndex(RegionPbSourceDir, RegionPbFingerprint, SaveErr);
+      // A failed write costs only future warm loads; stay silent.
     }
   }
   Out << "slicing ready: " << slicing()->traces().totalEntries()
@@ -518,6 +540,12 @@ bool DebugSession::dispatchCommand(const std::string &Line) {
   }
   else if (Cmd == "slice")
     cmdSlice(Args);
+  else if (Cmd == "lastwrite")
+    cmdLastWrite(Args);
+  else if (Cmd == "valuesof")
+    cmdValuesOf(Args);
+  else if (Cmd == "readersof")
+    cmdReadersOf(Args);
   else if (Cmd == "where")
     cmdWhere();
   else if (Cmd == "list")
@@ -937,10 +965,58 @@ void DebugSession::cmdRecordDump(std::istringstream &Args) {
 void DebugSession::cmdPinball(std::istringstream &Args) {
   std::string What, Dir;
   if (!(Args >> What >> Dir)) {
-    err() << "usage: pinball save|load|verify <dir> [--no-verify]\n";
+    err() << "usage: pinball save|load|verify|index [verify] <dir>"
+             " [--no-verify]\n";
     return;
   }
   std::string Error;
+  if (What == "index") {
+    std::string Target = Dir;
+    bool CheckOnly = false;
+    if (Target == "verify") {
+      CheckOnly = true;
+      if (!(Args >> Target)) {
+        err() << "usage: pinball index [verify] <dir>\n";
+        return;
+      }
+    }
+    std::string IndexDir = SliceIndexStore::indexDirFor(Target);
+    if (CheckOnly) {
+      SliceIndexStore::FsckReport R;
+      if (!SliceIndexStore::fsck(IndexDir, R, Error)) {
+        err() << "index FAILED: " << Error << "\n";
+        return;
+      }
+      if (PinballRepository::dirFingerprint(Target) != R.Fingerprint) {
+        err() << "index STALE: fingerprint mismatch (pinball changed since "
+                 "the index was written)\n";
+        return;
+      }
+      Out << "index OK: v" << R.Version << ", fingerprint " << R.Fingerprint
+          << ", " << R.Entries << " trace entries, " << R.Threads
+          << " threads, " << R.DefLocations << " def locations, " << R.Bytes
+          << " bytes\n";
+      return;
+    }
+    Pinball Pb;
+    if (!Pb.load(Target, Error)) {
+      err() << "error: " << Error << "\n";
+      return;
+    }
+    uint64_t Fp = PinballRepository::dirFingerprint(Target);
+    if (!Fp) {
+      err() << "error: cannot fingerprint " << Target << "\n";
+      return;
+    }
+    SliceSession S(Pb, SliceOpts);
+    if (!S.prepare(Error) || !S.saveIndex(Target, Fp, Error)) {
+      err() << "error: " << Error << "\n";
+      return;
+    }
+    Out << "slice index written to " << IndexDir << " ("
+        << S.traces().totalEntries() << " trace entries)\n";
+    return;
+  }
   if (What == "save") {
     if (!RegionPb) {
       err() << "error: nothing recorded\n";
@@ -1003,7 +1079,7 @@ void DebugSession::cmdPinball(std::istringstream &Args) {
       ++RegionPbGen;
     }
     RegionPbFingerprint = PinballRepository::dirFingerprint(Dir);
-  RegionPbSourceDir = RegionPbFingerprint ? Dir : std::string();
+    RegionPbSourceDir = RegionPbFingerprint ? Dir : std::string();
     Slicing.reset();
     SharedSlicing.reset();
     CurrentSlice.reset();
@@ -1014,7 +1090,8 @@ void DebugSession::cmdPinball(std::istringstream &Args) {
         << RegionPb->instructionCount() << " instructions\n";
     return;
   }
-  err() << "usage: pinball save|load|verify <dir> [--no-verify]\n";
+  err() << "usage: pinball save|load|verify|index [verify] <dir>"
+           " [--no-verify]\n";
 }
 
 void DebugSession::cmdReplay() {
@@ -1471,4 +1548,164 @@ void DebugSession::cmdSlice(std::istringstream &Args) {
   err() << "usage: slice fail | slice <tid> <pc> [inst] | slice "
          "forward <tid> <pc> [inst] | slice "
          "list|deps|save|report|regions|pinball|replay|step\n";
+}
+
+//===----------------------------------------------------------------------===//
+// Omniscient queries (over the persistent def-use index)
+//===----------------------------------------------------------------------===//
+
+bool DebugSession::parseDataLocation(const std::string &Tok, Location &L) {
+  if (Tok.empty())
+    return false;
+  // r<n>[@t<tid>] — a register; without the thread suffix, the current one.
+  if (Tok[0] == 'r' && Tok.size() > 1 &&
+      std::isdigit(static_cast<unsigned char>(Tok[1]))) {
+    char *End = nullptr;
+    unsigned long Reg = std::strtoul(Tok.c_str() + 1, &End, 10);
+    uint32_t Tid = CurrentTid;
+    if (End && End[0] == '@' && End[1] == 't') {
+      char *TidEnd = nullptr;
+      Tid = static_cast<uint32_t>(std::strtoul(End + 2, &TidEnd, 10));
+      End = TidEnd;
+    }
+    if (End && *End == '\0' && Reg < 256) {
+      L = regLoc(Tid, static_cast<unsigned>(Reg));
+      return true;
+    }
+    // "r1" may also be a global name; fall through to the lookups below.
+  }
+  // m[<addr>] — explicit memory address.
+  if (Tok.size() > 3 && Tok.compare(0, 2, "m[") == 0 && Tok.back() == ']') {
+    char *End = nullptr;
+    uint64_t Addr = std::strtoull(Tok.c_str() + 2, &End, 0);
+    if (End && End == Tok.c_str() + Tok.size() - 1) {
+      L = memLoc(Addr);
+      return true;
+    }
+    return false;
+  }
+  // A global's name.
+  if (const GlobalVar *G = Prog->findGlobal(Tok)) {
+    L = memLoc(G->Addr);
+    return true;
+  }
+  // A bare numeric address.
+  if (std::isdigit(static_cast<unsigned char>(Tok[0]))) {
+    char *End = nullptr;
+    uint64_t Addr = std::strtoull(Tok.c_str(), &End, 0);
+    if (End && *End == '\0') {
+      L = memLoc(Addr);
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+/// Renders \p L the way the omniscient commands report locations: globals
+/// print as "name (m[addr])", everything else as locName().
+std::string dataLocName(const Program &P, Location L) {
+  if (!isRegLoc(L))
+    for (const GlobalVar &G : P.Globals)
+      if (G.Addr == locAddr(L))
+        return G.Name + " (" + locName(L) + ")";
+  return locName(L);
+}
+
+} // namespace
+
+void DebugSession::cmdLastWrite(std::istringstream &Args) {
+  std::string Tok;
+  if (!(Args >> Tok)) {
+    err() << "usage: lastwrite <loc> [pos]\n";
+    return;
+  }
+  if (!ensureSliceSession())
+    return;
+  Location L = 0;
+  if (!parseDataLocation(Tok, L)) {
+    err() << "error: bad location '" << Tok << "'\n";
+    return;
+  }
+  std::optional<uint32_t> Before;
+  uint32_t Pos = 0;
+  if (Args >> Pos)
+    Before = Pos;
+  auto W = slicing()->lastWrite(L, Before);
+  if (!W) {
+    err() << "error: " << dataLocName(*Prog, L) << " is never written"
+          << (Before ? " before that position" : " in the region") << "\n";
+    return;
+  }
+  Out << "last write to " << dataLocName(*Prog, L) << ": value " << W->Value
+      << " by tid " << W->Tid << " at pos " << W->Pos << ", line " << W->Line
+      << ": " << disassembleAt(*Prog, W->Pc) << "\n";
+}
+
+void DebugSession::cmdValuesOf(std::istringstream &Args) {
+  std::string Tok;
+  if (!(Args >> Tok)) {
+    err() << "usage: valuesof <loc> [max]\n";
+    return;
+  }
+  if (!ensureSliceSession())
+    return;
+  Location L = 0;
+  if (!parseDataLocation(Tok, L)) {
+    err() << "error: bad location '" << Tok << "'\n";
+    return;
+  }
+  size_t Max = 0;
+  Args >> Max;
+  auto Writes = slicing()->valuesOf(L, Max);
+  const auto *AllDefs = slicing()->defUse().defsOf(L);
+  size_t Total = AllDefs ? AllDefs->size() : 0;
+  if (Total == 0) {
+    err() << "error: " << dataLocName(*Prog, L)
+          << " is never written in the region\n";
+    return;
+  }
+  Out << dataLocName(*Prog, L) << ": " << Total << " writes";
+  if (Writes.size() < Total)
+    Out << " (showing last " << Writes.size() << ")";
+  Out << "\n";
+  for (const auto &W : Writes)
+    Out << "  pos " << W.Pos << " tid " << W.Tid << " line " << W.Line
+        << ": value " << W.Value << "  (" << disassembleAt(*Prog, W.Pc)
+        << ")\n";
+}
+
+void DebugSession::cmdReadersOf(std::istringstream &Args) {
+  uint32_t Pos = 0;
+  if (!(Args >> Pos)) {
+    err() << "usage: readersof <pos>\n";
+    return;
+  }
+  if (!ensureSliceSession())
+    return;
+  const GlobalTrace &GT = slicing()->globalTrace();
+  if (Pos >= GT.size()) {
+    err() << "error: position " << Pos << " is out of range (trace has "
+          << GT.size() << " entries)\n";
+    return;
+  }
+  auto Sets = slicing()->readersOf(Pos);
+  const TraceEntry &E = GT.entry(Pos);
+  Out << "readers of pos " << Pos << " (tid " << GT.ref(Pos).Tid << " line "
+      << E.Line << ": " << disassembleAt(*Prog, E.Pc) << "):\n";
+  if (Sets.empty()) {
+    Out << "  (no locations defined)\n";
+    return;
+  }
+  for (const auto &S : Sets) {
+    Out << "  " << dataLocName(*Prog, S.Loc) << ":";
+    if (S.Readers.empty()) {
+      Out << " no readers before the next write\n";
+      continue;
+    }
+    for (uint32_t R : S.Readers)
+      Out << " " << R;
+    Out << "\n";
+  }
 }

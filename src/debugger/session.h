@@ -38,6 +38,12 @@
 ///   reverse-next              run backwards to the current thread's previous
 ///                             instruction
 ///   reverse-watch <global>    run backwards to the last write of a global
+///   lastwrite <loc> [pos]     omniscient: last write to a location (before
+///                             a position) from the def-use index
+///   valuesof <loc> [max]      omniscient: every value a location held
+///   readersof <pos>           omniscient: who read the values this entry
+///                             defined
+///   pinball index [verify] <dir>   build / check the on-disk slice index
 ///   replay-position / replay-seek <n>   inspect / move the replay clock
 ///   where / output / quit
 ///
@@ -214,6 +220,9 @@ private:
   void cmdReverseNext();
   void cmdReverseWatch(std::istringstream &Args);
   void cmdSlice(std::istringstream &Args);
+  void cmdLastWrite(std::istringstream &Args);
+  void cmdValuesOf(std::istringstream &Args);
+  void cmdReadersOf(std::istringstream &Args);
   void cmdFault(std::istringstream &Args);
   void cmdWhere();
   void cmdList(std::istringstream &Args);
@@ -228,6 +237,10 @@ private:
   void reportStop(Machine::StopReason Reason);
   void printCurrentStatement(uint32_t Tid);
   bool parseLocation(const std::string &Tok, uint64_t &Pc);
+  /// Parses a data-location token for the omniscient queries: a global
+  /// name, `m[<addr>]`, a bare address, or `r<n>@t<tid>` (`r<n>` uses the
+  /// current thread). \returns false on an unresolvable token.
+  bool parseDataLocation(const std::string &Tok, Location &L);
   Scheduler &liveScheduler(uint64_t Seed);
 
   // When constructed with a sink, these own the stream Out refers to; they

@@ -166,6 +166,31 @@ public:
   ClientResult<> replayPosition(uint64_t Sid) {
     return request("rpos " + std::to_string(Sid));
   }
+  // Omniscient-query verbs (answered from the def-use index; \p Loc is a
+  // global name, `m[<addr>]`, a bare address, or `r<n>@t<tid>`).
+  /// The last write to \p Loc, before position \p Before when given.
+  ClientResult<> lastWrite(uint64_t Sid, const std::string &Loc) {
+    return request("lastwrite " + std::to_string(Sid) + " " + Loc);
+  }
+  ClientResult<> lastWrite(uint64_t Sid, const std::string &Loc,
+                           uint64_t Before) {
+    return request("lastwrite " + std::to_string(Sid) + " " + Loc + " " +
+                   std::to_string(Before));
+  }
+  /// Every value \p Loc held over the region (the last \p Max with the
+  /// two-argument form).
+  ClientResult<> valuesOf(uint64_t Sid, const std::string &Loc) {
+    return request("valuesof " + std::to_string(Sid) + " " + Loc);
+  }
+  ClientResult<> valuesOf(uint64_t Sid, const std::string &Loc, uint64_t Max) {
+    return request("valuesof " + std::to_string(Sid) + " " + Loc + " " +
+                   std::to_string(Max));
+  }
+  /// The readers of every value the entry at \p Pos defined.
+  ClientResult<> readersOf(uint64_t Sid, uint64_t Pos) {
+    return request("readersof " + std::to_string(Sid) + " " +
+                   std::to_string(Pos));
+  }
   // Flight-recorder verbs (the always-on epoch-ring recorder).
   /// Attaches the flight recorder to session \p Sid (live machine, or a
   /// fresh seeded run when nothing is stopped mid-run).

@@ -36,8 +36,10 @@ namespace drdebug {
 /// transient/permanent class token in err responses and the Timeout code;
 /// version 3 added the durability verbs (drain/import/faults) and the
 /// Overloaded/Draining codes; version 4 added capability negotiation (the
-/// `verbs <list>` token in the hello payload) and the `help` verb.
-inline constexpr unsigned ProtocolVersion = 4;
+/// `verbs <list>` token in the hello payload) and the `help` verb; version
+/// 5 added the omniscient-query verbs (lastwrite/valuesof/readersof) over
+/// the persistent def-use index.
+inline constexpr unsigned ProtocolVersion = 5;
 
 /// Protocol-level error codes (the <code> field of an err response). The
 /// names, retry classes, and meanings are declared once, in the wire-error

@@ -94,6 +94,18 @@ DebugServer::DebugServer(ServerConfig CfgIn)
       mn::ServerSliceCacheEvicted, MetricType::CallbackCounter,
       [this] { return static_cast<int64_t>(SliceRepo.evicted()); }, {},
       "Slice-session cache evictions");
+  Registry.registerCallback(
+      mn::ServerSliceIndexHits, MetricType::CallbackCounter,
+      [this] { return static_cast<int64_t>(SliceRepo.indexHits()); }, {},
+      "Slice sessions reconstructed from the on-disk index");
+  Registry.registerCallback(
+      mn::ServerSliceIndexWrites, MetricType::CallbackCounter,
+      [this] { return static_cast<int64_t>(SliceRepo.indexWrites()); }, {},
+      "On-disk slice indexes written after a full prepare");
+  Registry.registerCallback(
+      mn::ServerSliceIndexLoadFailures, MetricType::CallbackCounter,
+      [this] { return static_cast<int64_t>(SliceRepo.indexLoadFailures()); },
+      {}, "On-disk slice indexes rejected (fell back to a full prepare)");
   if (Cfg.JanitorPeriod.count() > 0) {
     Janitor = std::thread([this] {
       std::unique_lock<std::mutex> Lock(JanitorMu);
@@ -300,6 +312,32 @@ std::string DebugServer::dispatchVerb(uint64_t Seq, const std::string &Verb,
       Line = "reverse-watch " + Global;
     } else {
       Line = "replay-position";
+    }
+    return runSessionJob(Seq, Verb, Sid, Line, /*IsLoad=*/false, Attached,
+                         Cacheable);
+  }
+
+  // Omniscient-query verbs: wire names for the def-use-index queries, same
+  // translate-and-run-through-the-pool shape as the reverse verbs.
+  if (Verb == "lastwrite" || Verb == "valuesof" || Verb == "readersof") {
+    uint64_t Sid = 0;
+    if (!(IS >> Sid))
+      return Err(WireError::BadArguments, "usage: " + Verb + " <sid> ...");
+    std::string Line;
+    if (Verb == "readersof") {
+      uint64_t Pos = 0;
+      if (!(IS >> Pos))
+        return Err(WireError::BadArguments, "usage: readersof <sid> <pos>");
+      Line = "readersof " + std::to_string(Pos);
+    } else {
+      std::string Loc;
+      if (!(IS >> Loc))
+        return Err(WireError::BadArguments,
+                   "usage: " + Verb + " <sid> <loc> ...");
+      uint64_t N = 0;
+      Line = Verb + " " + Loc;
+      if (IS >> N)
+        Line += " " + std::to_string(N);
     }
     return runSessionJob(Seq, Verb, Sid, Line, /*IsLoad=*/false, Attached,
                          Cacheable);
@@ -541,6 +579,9 @@ constexpr LegacyStatAlias kLegacyStatAliases[] = {
     {"slices.cache_hits", mn::ServerSliceCacheHits},
     {"slices.cache_misses", mn::ServerSliceCacheMisses},
     {"slices.evicted", mn::ServerSliceCacheEvicted},
+    {"slices.index_hits", mn::ServerSliceIndexHits},
+    {"slices.index_writes", mn::ServerSliceIndexWrites},
+    {"slices.index_load_failures", mn::ServerSliceIndexLoadFailures},
     {"durability.sessions_recovered", mn::ServerSessionsRecovered},
     {"durability.sessions_journaled", mn::ServerSessionsJournaled},
     {"durability.journal_bytes", mn::ServerJournalBytes},

@@ -46,6 +46,16 @@ const std::vector<VerbInfo> Registry = {
      true, true, VR::SessionRouted, VD::Command, 2},
     {"rpos", "`<sid>`", "replay clock position + checkpoint memory",
      false, true, VR::SessionRouted, VD::Command, 2},
+    {"lastwrite", "`<sid> <loc> [pos]`",
+     "omniscient query: the last write to a location (before a position), "
+     "answered from the def-use index",
+     true, true, VR::SessionRouted, VD::Command, 5},
+    {"valuesof", "`<sid> <loc> [max]`",
+     "omniscient query: every value a location held over the region",
+     true, true, VR::SessionRouted, VD::Command, 5},
+    {"readersof", "`<sid> <pos>`",
+     "omniscient query: who read the values this trace entry defined",
+     true, true, VR::SessionRouted, VD::Command, 5},
     {"rattach", "`<sid> [seed]`",
      "attach the always-on flight recorder (`record attach` — "
      "[FLIGHT.md](FLIGHT.md))",

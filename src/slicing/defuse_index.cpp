@@ -1,0 +1,111 @@
+//===- slicing/defuse_index.cpp - Location def/use position index ------------===//
+
+#include "slicing/defuse_index.h"
+
+#include "support/thread_pool.h"
+#include "support/tracing.h"
+
+#include <algorithm>
+
+using namespace drdebug;
+
+namespace {
+
+/// Appends Pos to M[Loc], collapsing an instruction's duplicate accesses of
+/// the same location (one entry can define/use a location at most once per
+/// position in the index).
+void append(DefUseIndex::Map &M, Location Loc, size_t Pos) {
+  auto &Ps = M[Loc];
+  if (Ps.empty() || Ps.back() != Pos)
+    Ps.push_back(static_cast<uint32_t>(Pos));
+}
+
+void indexRange(const GlobalTrace &GT, size_t Lo, size_t Hi,
+                DefUseIndex::Map &Defs, DefUseIndex::Map &Uses) {
+  for (size_t Pos = Lo; Pos < Hi; ++Pos) {
+    const TraceEntry &E = GT.entry(Pos);
+    for (const auto &D : E.Defs)
+      append(Defs, D.Loc, Pos);
+    for (const auto &U : E.Uses)
+      append(Uses, U.Loc, Pos);
+  }
+}
+
+void mergeParts(std::vector<DefUseIndex::Map> &Parts, DefUseIndex::Map &Out) {
+  Out.reserve(Parts.front().size() * 2);
+  for (auto &Part : Parts)
+    for (auto &KV : Part) {
+      auto &Ps = Out[KV.first];
+      if (Ps.empty())
+        Ps = std::move(KV.second);
+      else
+        Ps.insert(Ps.end(), KV.second.begin(), KV.second.end());
+    }
+}
+
+} // namespace
+
+void DefUseIndex::build(const GlobalTrace &GT, ThreadPool *Pool) {
+  DefMap.clear();
+  UseMap.clear();
+  size_t N = GT.size();
+  size_t Chunks = Pool ? Pool->size() : 1;
+  if (Chunks <= 1 || N < 2 * Chunks) {
+    indexRange(GT, 0, N, DefMap, UseMap);
+    return;
+  }
+  // Chunked parallel build: task c indexes the contiguous position range
+  // [c*Len, (c+1)*Len) into chunk-local maps, so the trace is scanned once
+  // in total no matter the pool size. Merging the chunk maps in chunk order
+  // concatenates ascending runs (a position never spans two chunks, and an
+  // entry's duplicate accesses collapse within its own chunk), so the index
+  // is identical to the sequential build.
+  size_t Len = (N + Chunks - 1) / Chunks;
+  std::vector<Map> DefParts(Chunks), UseParts(Chunks);
+  Pool->parallelFor(Chunks, [&](size_t C) {
+    trace::TraceSpan Span("slice.defindex.chunk", "slicing");
+    size_t Lo = C * Len, Hi = std::min(N, Lo + Len);
+    indexRange(GT, Lo, Hi, DefParts[C], UseParts[C]);
+  });
+  mergeParts(DefParts, DefMap);
+  mergeParts(UseParts, UseMap);
+}
+
+void DefUseIndex::adopt(Map Defs, Map Uses) {
+  DefMap = std::move(Defs);
+  UseMap = std::move(Uses);
+}
+
+std::optional<uint32_t> DefUseIndex::lastDefBefore(Location L,
+                                                   uint32_t Bound) const {
+  const PositionList *Ds = defsOf(L);
+  if (!Ds)
+    return std::nullopt;
+  auto Lb = std::lower_bound(Ds->begin(), Ds->end(), Bound);
+  if (Lb == Ds->begin())
+    return std::nullopt;
+  return *std::prev(Lb);
+}
+
+std::optional<uint32_t> DefUseIndex::nextDefAfter(Location L,
+                                                  uint32_t Pos) const {
+  const PositionList *Ds = defsOf(L);
+  if (!Ds)
+    return std::nullopt;
+  auto Ub = std::upper_bound(Ds->begin(), Ds->end(), Pos);
+  if (Ub == Ds->end())
+    return std::nullopt;
+  return *Ub;
+}
+
+DefUseIndex::PositionList DefUseIndex::usesBetween(Location L, uint32_t Pos,
+                                                   uint32_t Until) const {
+  PositionList Out;
+  const PositionList *Us = usesOf(L);
+  if (!Us)
+    return Out;
+  for (auto It = std::upper_bound(Us->begin(), Us->end(), Pos);
+       It != Us->end() && *It <= Until; ++It)
+    Out.push_back(*It);
+  return Out;
+}

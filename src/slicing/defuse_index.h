@@ -1,0 +1,81 @@
+//===- slicing/defuse_index.h - Location def/use position index -*- C++ -*-===//
+//
+// Part of the DrDebug reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The location -> sorted-global-positions index over a built GlobalTrace:
+/// for every Location, the ascending positions that *define* it and the
+/// ascending positions that *use* it. The def half is what the LP slicer's
+/// indexed traversal binary-searches (it used to build a private copy); the
+/// use half is what makes the omniscient queries ("who read this def?")
+/// O(log n) instead of a trace scan. Built once per prepared session and
+/// shared — and, serialized by the index store, reloadable from disk so a
+/// later session skips the replay + analysis entirely.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRDEBUG_SLICING_DEFUSE_INDEX_H
+#define DRDEBUG_SLICING_DEFUSE_INDEX_H
+
+#include "slicing/global_trace.h"
+#include "vm/location.h"
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace drdebug {
+
+class ThreadPool;
+
+/// Ascending def/use positions per location over one global trace.
+class DefUseIndex {
+public:
+  using PositionList = std::vector<uint32_t>;
+  using Map = std::unordered_map<Location, PositionList>;
+
+  /// Builds both halves from \p GT. With a \p Pool the trace is indexed in
+  /// contiguous chunks merged in chunk order, so the result is identical to
+  /// the sequential build (the same scheme the LP slicer used).
+  void build(const GlobalTrace &GT, ThreadPool *Pool = nullptr);
+
+  /// Installs externally built maps (the index-store load path). Every
+  /// position list must already be ascending.
+  void adopt(Map Defs, Map Uses);
+
+  const Map &defs() const { return DefMap; }
+  const Map &uses() const { return UseMap; }
+
+  /// All definition positions of \p L, ascending; null if never defined.
+  const PositionList *defsOf(Location L) const { return listIn(DefMap, L); }
+  /// All use positions of \p L, ascending; null if never used.
+  const PositionList *usesOf(Location L) const { return listIn(UseMap, L); }
+
+  /// Greatest definition position of \p L strictly below \p Bound.
+  std::optional<uint32_t> lastDefBefore(Location L, uint32_t Bound) const;
+
+  /// Smallest definition position of \p L strictly above \p Pos.
+  std::optional<uint32_t> nextDefAfter(Location L, uint32_t Pos) const;
+
+  /// Use positions of \p L in the half-open interval (\p Pos, \p Until] —
+  /// the readers of the value defined at \p Pos when \p Until is the next
+  /// def (an instruction that both uses and redefines \p L reads the old
+  /// value, so the use at the next def's own position counts).
+  PositionList usesBetween(Location L, uint32_t Pos, uint32_t Until) const;
+
+private:
+  static const PositionList *listIn(const Map &M, Location L) {
+    auto It = M.find(L);
+    return It == M.end() ? nullptr : &It->second;
+  }
+
+  Map DefMap;
+  Map UseMap;
+};
+
+} // namespace drdebug
+
+#endif // DRDEBUG_SLICING_DEFUSE_INDEX_H

@@ -92,3 +92,12 @@ void GlobalTrace::fillPositionIndex() {
     Pos[R.Tid][R.LocalIdx] = static_cast<uint32_t>(P);
   }
 }
+
+void GlobalTrace::adopt(const TraceSet &TS, std::vector<GlobalRef> NewOrder,
+                        uint64_t NewSwitches,
+                        std::vector<std::vector<uint32_t>> PosIndex) {
+  Traces = &TS;
+  Order = std::move(NewOrder);
+  Switches = NewSwitches;
+  Pos = std::move(PosIndex);
+}

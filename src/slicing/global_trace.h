@@ -51,6 +51,14 @@ public:
   /// prepare pipeline overlaps it with the LP slicer's index build.
   void fillPositionIndex();
 
+  /// Installs a previously merged order wholesale — the slice-index-store
+  /// load path. \p PosIndex must be the position index the merge produced
+  /// (per tid: local idx -> global position); \p TS must outlive this
+  /// object and match the adopted order.
+  void adopt(const TraceSet &TS, std::vector<GlobalRef> NewOrder,
+             uint64_t NewSwitches,
+             std::vector<std::vector<uint32_t>> PosIndex);
+
   size_t size() const { return Order.size(); }
 
   const GlobalRef &ref(size_t Pos) const { return Order.at(Pos); }
@@ -63,6 +71,12 @@ public:
   /// Global position of the entry (Tid, LocalIdx).
   uint32_t posOf(uint32_t Tid, uint32_t LocalIdx) const {
     return Pos.at(Tid).at(LocalIdx);
+  }
+
+  /// The full (tid, local idx) -> position index (what fillPositionIndex
+  /// built); serialized by the slice index store.
+  const std::vector<std::vector<uint32_t>> &positionIndex() const {
+    return Pos;
   }
 
   const TraceSet &traces() const { return *Traces; }

@@ -1,0 +1,136 @@
+//===- slicing/index_store.h - On-disk omniscient slice index ---*- C++ -*-===//
+//
+// Part of the DrDebug reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The omniscient store: everything SliceSession::prepare() computes from a
+/// region pinball — per-thread traces with control dependences, order edges,
+/// the merged global trace, the position / pc-occurrence / def-site / use-
+/// site indexes, and the verified save/restore pairs — serialized into one
+/// compact binary column file (`sliceindex/defuse.col`) saved atomically
+/// *inside* the pinball directory via the same temp-dir/fsync/rename +
+/// manifest machinery pinballs use. Deterministic replay makes the prepared
+/// state a pure function of the pinball bytes, so a loaded index answers
+/// every slice and omniscient query bit-identically to a fresh prepare —
+/// across daemon restarts and across fleet backends sharing the directory.
+///
+/// Integrity is layered: the sidecar manifest.txt CRC32Cs the whole column
+/// file (truncation, bit flips), every section carries its own CRC32C (a
+/// diagnostic can name the damaged section), and the header binds the index
+/// to its producer: format version, region-pinball fingerprint, and the
+/// prepare options that shape the content (MaxSave, RefineCfg). Any
+/// mismatch makes load fail, and the caller falls back to a full prepare
+/// and rewrites — a corrupted index can cost time, never correctness.
+///
+/// Invalidation is structural: `PinballRepository::dirFingerprint` hashes
+/// only the named pinball payload files, so writing the index never changes
+/// the cache key, while `Pinball::save` atomically replaces the whole
+/// directory — taking any stale index with it. A fingerprint recorded in
+/// the header catches the remaining case (payload edited in place).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRDEBUG_SLICING_INDEX_STORE_H
+#define DRDEBUG_SLICING_INDEX_STORE_H
+
+#include "slicing/defuse_index.h"
+#include "slicing/save_restore.h"
+#include "slicing/trace.h"
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace drdebug {
+
+/// The serializable image of one prepared slice session. Plain data: the
+/// codec below reads/writes it, SliceSession converts it to/from its live
+/// members (rebuilding what is cheaper to reconstruct than to store).
+struct SliceIndexData {
+  // Header bindings.
+  uint64_t Fingerprint = 0; ///< region-pinball directory fingerprint
+  uint32_t MaxSave = 0;     ///< SliceSessionOptions::MaxSave at prepare
+  bool RefineCfg = true;    ///< SliceSessionOptions::RefineCfg at prepare
+
+  // Step (i): per-thread traces (CtrlDep already filled) + replay facts.
+  std::vector<ThreadTrace> Threads;
+  std::vector<OrderEdge> Edges;
+  std::set<std::pair<uint64_t, uint64_t>> IndirectTargets;
+  std::vector<GlobalRef> TrueOrder;
+
+  // Step (ii): the merged global order.
+  std::vector<GlobalRef> Order;
+  uint64_t Switches = 0;
+
+  // The prepared indexes. Maps are serialized key-sorted, so the encoding
+  // is byte-deterministic.
+  std::vector<std::vector<uint32_t>> PosIndex; ///< per tid: local idx -> pos
+  std::vector<std::map<uint64_t, std::vector<uint32_t>>>
+      PcIndex;           ///< per tid: pc -> ascending local indices
+  DefUseIndex::Map Defs; ///< location -> ascending def positions
+  DefUseIndex::Map Uses; ///< location -> ascending use positions
+
+  // §5.2: dynamically verified pairs (flat, tid order).
+  std::vector<SaveRestorePair> Pairs;
+};
+
+/// Codec + atomic persistence for SliceIndexData.
+class SliceIndexStore {
+public:
+  /// Bumped whenever the column layout changes; a file from another version
+  /// is rejected (and rebuilt), never guessed at.
+  static constexpr uint32_t FormatVersion = 1;
+  /// The index lives in `<pinball-dir>/sliceindex/`.
+  static constexpr const char *DirName = "sliceindex";
+  /// The column file inside the index directory.
+  static constexpr const char *ColumnFile = "defuse.col";
+
+  static std::string indexDirFor(const std::string &PinballDir);
+
+  /// Serializes \p D to the column format. \p VersionOverride exists for
+  /// the corruption-matrix tests (writing a "future" file whose CRCs are
+  /// all valid must still be rejected on load).
+  static std::string encode(const SliceIndexData &D,
+                            uint32_t VersionOverride = FormatVersion);
+
+  /// Parses and CRC-validates \p Bytes. \returns false with a diagnostic
+  /// naming the failure (bad magic / version skew / section CRC / short
+  /// payload) — never a partially filled \p Out that looks usable.
+  static bool decode(const std::string &Bytes, SliceIndexData &Out,
+                     std::string &Error);
+
+  /// Atomically (re)writes \p IndexDir with the encoded \p D plus a
+  /// manifest, using the pinball temp-dir/fsync/rename machinery.
+  static bool save(const SliceIndexData &D, const std::string &IndexDir,
+                   std::string &Error);
+
+  /// Loads and fully validates the index at \p IndexDir. \returns false
+  /// with an *empty* \p Error when no index exists there (a plain miss),
+  /// and false with a diagnostic when one exists but is unusable.
+  static bool load(const std::string &IndexDir, SliceIndexData &Out,
+                   std::string &Error);
+
+  /// What `pinball index verify` (the fsck) reports.
+  struct FsckReport {
+    uint32_t Version = 0;
+    uint64_t Fingerprint = 0;
+    uint64_t Entries = 0;     ///< total trace entries
+    uint64_t Threads = 0;
+    uint64_t DefLocations = 0;
+    uint64_t Bytes = 0;       ///< column-file size
+  };
+
+  /// Full integrity pass over the index at \p IndexDir: manifest, section
+  /// CRCs, and decode. \returns false with a diagnostic on any damage (or
+  /// "no slice index" when absent).
+  static bool fsck(const std::string &IndexDir, FsckReport &Out,
+                   std::string &Error);
+};
+
+} // namespace drdebug
+
+#endif // DRDEBUG_SLICING_INDEX_STORE_H

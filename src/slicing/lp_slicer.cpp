@@ -2,11 +2,9 @@
 
 #include "slicing/lp_slicer.h"
 
-#include "support/thread_pool.h"
-#include "support/tracing.h"
-
 #include <algorithm>
 #include <cassert>
+#include <optional>
 #include <queue>
 
 using namespace drdebug;
@@ -39,14 +37,13 @@ void finalizeSlice(Slice &Result, std::vector<uint32_t> Members) {
 } // namespace
 
 LpSlicer::LpSlicer(const GlobalTrace &GT, const SaveRestoreAnalysis *SR,
-                   SliceOptions Opts, ThreadPool *Pool)
-    : GT(GT), SR(SR), Opts(Opts) {
+                   const DefUseIndex *DUI, SliceOptions Opts)
+    : GT(GT), SR(SR), DUI(DUI), Opts(Opts) {
   assert(Opts.BlockSize > 0 && "block size must be positive");
   assert((!Opts.PruneSaveRestore || SR) &&
          "save/restore pruning needs the analysis");
-  if (Opts.UseDefIndex)
-    buildDefIndex(Pool);
-  else
+  assert((!Opts.UseDefIndex || DUI) && "indexed mode needs the def index");
+  if (!Opts.UseDefIndex)
     buildBlockSummaries();
 }
 
@@ -60,51 +57,6 @@ void LpSlicer::buildBlockSummaries() {
     for (const auto &D : E.Defs)
       Defs.insert(D.Loc);
   }
-}
-
-void LpSlicer::buildDefIndex(ThreadPool *Pool) {
-  size_t N = GT.size();
-  size_t Chunks = Pool ? Pool->size() : 1;
-  if (Chunks <= 1 || N < 2 * Chunks) {
-    for (size_t Pos = 0; Pos != N; ++Pos)
-      for (const auto &D : GT.entry(Pos).Defs) {
-        auto &Ds = DefIndex[D.Loc];
-        if (Ds.empty() || Ds.back() != Pos)
-          Ds.push_back(static_cast<uint32_t>(Pos));
-      }
-    return;
-  }
-  // Chunked parallel build: task c indexes the contiguous position range
-  // [c*Len, (c+1)*Len) into a chunk-local map, so the trace is scanned once
-  // in total no matter the pool size. Merging the chunk maps in chunk order
-  // concatenates ascending runs (a position never spans two chunks, and an
-  // entry's duplicate defs collapse within its own chunk), so the index is
-  // identical to the sequential build.
-  size_t Len = (N + Chunks - 1) / Chunks;
-  std::vector<std::unordered_map<Location, std::vector<uint32_t>>> Parts(
-      Chunks);
-  Pool->parallelFor(Chunks, [&](size_t C) {
-    // One span per pool worker's chunk: the Chrome trace shows the index
-    // build fanning out across worker tids.
-    trace::TraceSpan Span("slice.defindex.chunk", "slicing");
-    auto &Part = Parts[C];
-    size_t Lo = C * Len, Hi = std::min(N, Lo + Len);
-    for (size_t Pos = Lo; Pos < Hi; ++Pos)
-      for (const auto &D : GT.entry(Pos).Defs) {
-        auto &Ds = Part[D.Loc];
-        if (Ds.empty() || Ds.back() != Pos)
-          Ds.push_back(static_cast<uint32_t>(Pos));
-      }
-  });
-  DefIndex.reserve(Parts.front().size() * 2);
-  for (auto &Part : Parts)
-    for (auto &KV : Part) {
-      auto &Ds = DefIndex[KV.first];
-      if (Ds.empty())
-        Ds = std::move(KV.second);
-      else
-        Ds.insert(Ds.end(), KV.second.begin(), KV.second.end());
-    }
 }
 
 Slice LpSlicer::compute(uint32_t CriterionPos,
@@ -275,14 +227,10 @@ Slice LpSlicer::computeIndexed(uint32_t CriterionPos,
   // would survive the full backwards scan). An already-scheduled later
   // event covers this one: it keeps the use pending and reschedules it.
   auto schedule = [&](Location L, uint32_t Bound) {
-    auto It = DefIndex.find(L);
-    if (It == DefIndex.end())
+    std::optional<uint32_t> Def = DUI->lastDefBefore(L, Bound);
+    if (!Def)
       return;
-    const std::vector<uint32_t> &Ds = It->second;
-    auto Lb = std::lower_bound(Ds.begin(), Ds.end(), Bound);
-    if (Lb == Ds.begin())
-      return;
-    uint32_t Pos = *std::prev(Lb);
+    uint32_t Pos = *Def;
     auto [EIt, New] = EventAt.try_emplace(L, Pos);
     if (!New) {
       if (EIt->second >= Pos)

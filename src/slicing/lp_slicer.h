@@ -30,6 +30,7 @@
 #ifndef DRDEBUG_SLICING_LP_SLICER_H
 #define DRDEBUG_SLICING_LP_SLICER_H
 
+#include "slicing/defuse_index.h"
 #include "slicing/save_restore.h"
 #include "slicing/slice.h"
 
@@ -38,8 +39,6 @@
 #include <unordered_set>
 
 namespace drdebug {
-
-class ThreadPool;
 
 /// Tunables for the LP traversal.
 struct SliceOptions {
@@ -55,18 +54,18 @@ struct SliceOptions {
 };
 
 /// Backwards dynamic slicer over a built GlobalTrace. Construct once per
-/// trace (the def index / block summaries are preprocessed), then compute
-/// any number of slices — the cross-session reuse the paper gets from
-/// PinPlay's repeatability. compute() is const and safe to call from
-/// multiple threads concurrently (the skip counters are atomic).
+/// trace (block summaries are preprocessed; the def index is supplied by
+/// the caller, who owns it — it is also what the omniscient queries and the
+/// on-disk index store consume), then compute any number of slices — the
+/// cross-session reuse the paper gets from PinPlay's repeatability.
+/// compute() is const and safe to call from multiple threads concurrently
+/// (the skip counters are atomic).
 class LpSlicer {
 public:
-  /// \p SR may be null when PruneSaveRestore is false. With a \p Pool the
-  /// def index is built in parallel over contiguous trace chunks (the trace
-  /// is scanned once in total); the result is identical to the sequential
-  /// build.
+  /// \p SR may be null when PruneSaveRestore is false. \p DUI must outlive
+  /// the slicer and may be null only when UseDefIndex is false.
   LpSlicer(const GlobalTrace &GT, const SaveRestoreAnalysis *SR,
-           SliceOptions Opts = SliceOptions(), ThreadPool *Pool = nullptr);
+           const DefUseIndex *DUI, SliceOptions Opts = SliceOptions());
 
   /// Computes the backwards slice for the entry at \p CriterionPos. By
   /// default the criterion's data seeds are all its uses; pass a non-empty
@@ -88,7 +87,6 @@ private:
   };
 
   void buildBlockSummaries();
-  void buildDefIndex(ThreadPool *Pool);
 
   Slice computeBlockScan(uint32_t CriterionPos,
                          const std::vector<Location> &SeedLocs) const;
@@ -97,12 +95,12 @@ private:
 
   const GlobalTrace &GT;
   const SaveRestoreAnalysis *SR;
+  /// Externally owned location -> sorted-def-positions index (indexed mode
+  /// only; null in block-scan mode).
+  const DefUseIndex *DUI;
   SliceOptions Opts;
   /// Per block: set of locations defined within it (block-scan mode only).
   std::vector<std::unordered_set<Location>> BlockDefs;
-  /// Location -> ascending global positions of its definitions (indexed
-  /// mode only).
-  std::unordered_map<Location, std::vector<uint32_t>> DefIndex;
   mutable std::atomic<uint64_t> BlocksScanned{0};
   mutable std::atomic<uint64_t> BlocksSkipped{0};
 };

@@ -5,18 +5,23 @@
 using namespace drdebug;
 
 std::shared_ptr<const SliceSession>
-SliceSessionRepository::acquire(uint64_t Fingerprint, const Pinball &RegionPb,
+SliceSessionRepository::acquire(uint64_t Fingerprint,
+                                const std::string &SourceDir,
+                                const Pinball &RegionPb,
                                 const SliceSessionOptions &Opts,
-                                std::string &Error) {
+                                std::string &Error, std::string *Note) {
   std::shared_ptr<std::promise<Prepared>> Prom;
   std::shared_future<Prepared> Fut;
+  std::function<void(uint64_t)> Hook;
   uint64_t Seq = 0;
   {
     std::lock_guard<std::mutex> Lk(Mu);
     auto It = Entries.find(Fingerprint);
     if (It != Entries.end()) {
-      Hits.fetch_add(1, std::memory_order_relaxed);
-      It->second.LastUsed = std::chrono::steady_clock::now();
+      // Whether this is a hit is only known once the future resolves: a
+      // waiter sharing a prepare that ultimately fails got nothing from the
+      // cache. Classification happens after Fut.get() below.
+      touchLocked(It->second);
       Fut = It->second.Future;
     } else {
       Misses.fetch_add(1, std::memory_order_relaxed);
@@ -27,8 +32,11 @@ SliceSessionRepository::acquire(uint64_t Fingerprint, const Pinball &RegionPb,
       E.Seq = ++SeqCounter;
       Seq = E.Seq;
       Fut = E.Future;
+      LruOrder.push_front(Fingerprint);
+      E.LruIt = LruOrder.begin();
       Entries.emplace(Fingerprint, std::move(E));
       enforceCapLocked();
+      Hook = PrepareStartHook;
     }
   }
 
@@ -36,23 +44,56 @@ SliceSessionRepository::acquire(uint64_t Fingerprint, const Pinball &RegionPb,
     // This caller owns the prepare; it runs outside the lock so concurrent
     // acquires for other fingerprints proceed, and same-fingerprint callers
     // wait on the future instead of preparing again.
+    if (Hook)
+      Hook(Fingerprint);
     Prepared P;
     auto Session = std::make_shared<SliceSession>(RegionPb, Opts);
+    bool Loaded = false;
+    if (!SourceDir.empty()) {
+      // Durable tier: reconstruct from the on-disk index when a valid one
+      // exists. An unusable index (corrupt, stale, version-skewed) is a
+      // loud fallback — note it and rebuild below.
+      std::string LoadErr;
+      if (Session->loadIndex(SourceDir, Fingerprint, LoadErr)) {
+        Loaded = true;
+        IndexHits.fetch_add(1, std::memory_order_relaxed);
+      } else if (!LoadErr.empty()) {
+        IndexLoadFailures.fetch_add(1, std::memory_order_relaxed);
+        if (Note)
+          *Note = "on-disk slice index unusable, re-preparing (" + LoadErr +
+                  ")";
+      }
+    }
     std::string Err;
-    if (Session->prepare(Err))
-      P.Session = std::move(Session);
-    else
+    if (Loaded || Session->prepare(Err)) {
+      P.Session = Session;
+      if (!Loaded && !SourceDir.empty()) {
+        // Persist (or rewrite) the index so the next daemon — or another
+        // fleet backend sharing the directory — skips this prepare. A
+        // write failure costs only future loads; the session is fine.
+        std::string SaveErr;
+        if (Session->saveIndex(SourceDir, Fingerprint, SaveErr))
+          IndexWrites.fetch_add(1, std::memory_order_relaxed);
+      }
+    } else {
       P.Error = std::move(Err);
+    }
     Prom->set_value(P);
-    if (!P.Session) {
-      std::lock_guard<std::mutex> Lk(Mu);
-      auto It = Entries.find(Fingerprint);
-      if (It != Entries.end() && It->second.Seq == Seq)
-        Entries.erase(It);
+    std::lock_guard<std::mutex> Lk(Mu);
+    auto It = Entries.find(Fingerprint);
+    if (It != Entries.end() && It->second.Seq == Seq) {
+      if (!P.Session)
+        eraseLocked(It); // failures are never cached
+      else
+        touchLocked(It->second); // prepare time doesn't count as idle time
     }
   }
 
   Prepared P = Fut.get();
+  if (!Prom) {
+    // Waiter-side accounting, now that the outcome is known.
+    (P.Session ? Hits : Misses).fetch_add(1, std::memory_order_relaxed);
+  }
   if (!P.Session) {
     Error = P.Error;
     return nullptr;
@@ -60,15 +101,33 @@ SliceSessionRepository::acquire(uint64_t Fingerprint, const Pinball &RegionPb,
   return P.Session;
 }
 
+void SliceSessionRepository::touchLocked(Entry &E) {
+  E.LastUsed = std::chrono::steady_clock::now();
+  if (E.LruIt != LruOrder.begin())
+    LruOrder.splice(LruOrder.begin(), LruOrder, E.LruIt);
+}
+
+void SliceSessionRepository::eraseLocked(
+    std::unordered_map<uint64_t, Entry>::iterator It) {
+  LruOrder.erase(It->second.LruIt);
+  Entries.erase(It);
+}
+
 void SliceSessionRepository::enforceCapLocked() {
-  while (Entries.size() > MaxEntries) {
-    auto Victim = Entries.end();
-    for (auto It = Entries.begin(); It != Entries.end(); ++It)
-      if (Victim == Entries.end() || It->second.LastUsed < Victim->second.LastUsed)
-        Victim = It;
-    if (Victim == Entries.end())
-      return;
-    Entries.erase(Victim);
+  if (Entries.size() <= MaxEntries)
+    return;
+  // Walk from the LRU end; in-flight prepares are not evictable (evicting
+  // one would both double-count Evicted and let a concurrent acquire start
+  // a duplicate prepare for the same fingerprint).
+  for (auto LIt = LruOrder.end();
+       LIt != LruOrder.begin() && Entries.size() > MaxEntries;) {
+    --LIt;
+    auto It = Entries.find(*LIt);
+    if (It == Entries.end() || !readyLocked(It->second))
+      continue;
+    LIt = LruOrder.erase(LIt); // returns the successor: the loop resumes at
+                               // the victim's LRU-ward neighbor
+    Entries.erase(It);
     Evicted.fetch_add(1, std::memory_order_relaxed);
   }
 }
@@ -79,11 +138,10 @@ size_t SliceSessionRepository::evictIdle(
   size_t Count = 0;
   std::lock_guard<std::mutex> Lk(Mu);
   for (auto It = Entries.begin(); It != Entries.end();) {
-    if (Now - It->second.LastUsed > MaxIdle) {
-      It = Entries.erase(It);
+    auto Cur = It++;
+    if (Now - Cur->second.LastUsed > MaxIdle && readyLocked(Cur->second)) {
+      eraseLocked(Cur);
       ++Count;
-    } else {
-      ++It;
     }
   }
   Evicted.fetch_add(Count, std::memory_order_relaxed);
@@ -93,9 +151,16 @@ size_t SliceSessionRepository::evictIdle(
 void SliceSessionRepository::clear() {
   std::lock_guard<std::mutex> Lk(Mu);
   Entries.clear();
+  LruOrder.clear();
 }
 
 size_t SliceSessionRepository::cachedCount() const {
   std::lock_guard<std::mutex> Lk(Mu);
   return Entries.size();
+}
+
+void SliceSessionRepository::setPrepareStartHookForTest(
+    std::function<void(uint64_t)> Hook) {
+  std::lock_guard<std::mutex> Lk(Mu);
+  PrepareStartHook = std::move(Hook);
 }

@@ -16,6 +16,16 @@
 /// queries are const), so sharing them across server worker threads is
 /// safe. Failed prepares are reported but never cached.
 ///
+/// Below the LRU sits a durable tier: when the caller supplies the region
+/// pinball's directory, an in-memory miss first tries to reconstruct the
+/// session from the on-disk slice index (`<dir>/sliceindex/`, see
+/// slicing/index_store.h), and a full prepare writes that index back — so
+/// repeated slices over the same region are index hits instead of
+/// re-prepares across daemon restarts and across fleet backends sharing
+/// the pinball directory. A corrupt or stale index falls back to a full
+/// prepare (reported via the \p Note out-param and counted) and is
+/// rewritten.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DRDEBUG_SLICING_SLICE_REPOSITORY_H
@@ -26,7 +36,9 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <future>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -34,24 +46,40 @@
 
 namespace drdebug {
 
-/// Cache of prepared slice sessions, LRU-capped and idle-evictable.
+/// Cache of prepared slice sessions, LRU-capped and idle-evictable, with an
+/// optional on-disk tier underneath.
 class SliceSessionRepository {
 public:
   /// \p MaxEntries caps the number of cached sessions; the least recently
-  /// used entries are evicted when a new fingerprint would exceed it.
+  /// used *ready* entries are evicted when a new fingerprint would exceed
+  /// it (entries whose prepare is still in flight are never evicted — doing
+  /// so would let a concurrent same-fingerprint acquire start a duplicate
+  /// prepare).
   explicit SliceSessionRepository(size_t MaxEntries = 8)
       : MaxEntries(MaxEntries ? MaxEntries : 1) {}
 
-  /// Returns the prepared session for \p Fingerprint, running
-  /// SliceSession::prepare() on \p RegionPb (once, in the calling thread)
-  /// if it is not cached yet. \returns nullptr with \p Error set when the
-  /// prepare failed; failures are not cached, so a later call retries.
+  /// Returns the prepared session for \p Fingerprint, preparing it (once,
+  /// in the calling thread) on an in-memory miss. With a non-empty
+  /// \p SourceDir (the region pinball's directory), the durable tier is
+  /// active: a miss first tries the on-disk slice index, and a full prepare
+  /// (re)writes it. If the index existed but was unusable, the fallback is
+  /// reported through \p Note (when non-null) so the caller can surface it.
+  /// \returns nullptr with \p Error set when the prepare failed; failures
+  /// are not cached, so a later call retries.
+  std::shared_ptr<const SliceSession>
+  acquire(uint64_t Fingerprint, const std::string &SourceDir,
+          const Pinball &RegionPb, const SliceSessionOptions &Opts,
+          std::string &Error, std::string *Note = nullptr);
+
+  /// In-memory-only acquire (no durable tier).
   std::shared_ptr<const SliceSession>
   acquire(uint64_t Fingerprint, const Pinball &RegionPb,
-          const SliceSessionOptions &Opts, std::string &Error);
+          const SliceSessionOptions &Opts, std::string &Error) {
+    return acquire(Fingerprint, std::string(), RegionPb, Opts, Error);
+  }
 
-  /// Drops every session idle for longer than \p MaxIdle. \returns the
-  /// number of sessions evicted (wired into the server janitor).
+  /// Drops every *ready* session idle for longer than \p MaxIdle. \returns
+  /// the number of sessions evicted (wired into the server janitor).
   size_t evictIdle(std::chrono::steady_clock::duration MaxIdle);
 
   /// Drops all cached sessions (in-flight acquires are unaffected: waiters
@@ -62,6 +90,17 @@ public:
   uint64_t hits() const { return Hits.load(); }
   uint64_t misses() const { return Misses.load(); }
   uint64_t evicted() const { return Evicted.load(); }
+  /// Durable-tier accounting: sessions reconstructed from the on-disk
+  /// index, indexes written, and on-disk indexes that existed but failed
+  /// validation (each such failure fell back to a full prepare).
+  uint64_t indexHits() const { return IndexHits.load(); }
+  uint64_t indexWrites() const { return IndexWrites.load(); }
+  uint64_t indexLoadFailures() const { return IndexLoadFailures.load(); }
+
+  /// Test hook: invoked (outside the lock) with the fingerprint when this
+  /// thread becomes the owner of a prepare, before any work happens. Lets
+  /// tests hold a prepare in flight while exercising eviction paths.
+  void setPrepareStartHookForTest(std::function<void(uint64_t)> Hook);
 
 private:
   /// Outcome of one prepare, broadcast to every waiter.
@@ -73,17 +112,33 @@ private:
     std::shared_future<Prepared> Future;
     std::chrono::steady_clock::time_point LastUsed;
     uint64_t Seq = 0; ///< guards failure-erase against entry replacement
+    /// This entry's position in LruOrder (O(1) touch and erase).
+    std::list<uint64_t>::iterator LruIt;
   };
 
+  static bool readyLocked(const Entry &E) {
+    return E.Future.wait_for(std::chrono::seconds(0)) ==
+           std::future_status::ready;
+  }
+
+  void touchLocked(Entry &E);
+  void eraseLocked(std::unordered_map<uint64_t, Entry>::iterator It);
   void enforceCapLocked();
 
   size_t MaxEntries;
   mutable std::mutex Mu;
   std::unordered_map<uint64_t, Entry> Entries;
+  /// Fingerprints, most recently used first. Victim search walks from the
+  /// back instead of scanning the whole map.
+  std::list<uint64_t> LruOrder;
   uint64_t SeqCounter = 0;
+  std::function<void(uint64_t)> PrepareStartHook;
   std::atomic<uint64_t> Hits{0};
   std::atomic<uint64_t> Misses{0};
   std::atomic<uint64_t> Evicted{0};
+  std::atomic<uint64_t> IndexHits{0};
+  std::atomic<uint64_t> IndexWrites{0};
+  std::atomic<uint64_t> IndexLoadFailures{0};
 };
 
 } // namespace drdebug

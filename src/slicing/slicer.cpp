@@ -2,9 +2,11 @@
 
 #include "slicing/slicer.h"
 
+#include "arch/assembler.h"
 #include "replay/replayer.h"
 #include "slicing/control_dep.h"
 #include "slicing/forward.h"
+#include "slicing/index_store.h"
 #include "support/metric_names.h"
 #include "support/metrics.h"
 #include "support/stopwatch.h"
@@ -24,6 +26,93 @@ namespace mn = drdebug::metricnames;
 
 metrics::LatencyHistogram &sliceHistogram(const char *Name) {
   return metrics::MetricsRegistry::global().histogram(Name);
+}
+
+metrics::Counter &sliceCounter(const char *Name) {
+  return metrics::MetricsRegistry::global().counter(Name);
+}
+
+/// Cross-checks a decoded index image before it is adopted: every reference
+/// and position must land inside the trace it describes. The CRCs already
+/// reject accidental damage; this rejects a semantically inconsistent file
+/// (so a bad index can never make the queries read out of bounds).
+bool validateIndexData(const SliceIndexData &D, std::string &Why) {
+  size_t NumThreads = D.Threads.size();
+  size_t Total = 0;
+  for (const ThreadTrace &T : D.Threads)
+    Total += T.Entries.size();
+  auto RefOk = [&](const GlobalRef &R) {
+    return R.Tid < NumThreads && R.LocalIdx < D.Threads[R.Tid].Entries.size();
+  };
+
+  if (D.TrueOrder.size() != Total || D.Order.size() != Total) {
+    Why = "order length disagrees with thread traces";
+    return false;
+  }
+  for (const GlobalRef &R : D.TrueOrder)
+    if (!RefOk(R)) {
+      Why = "true-order reference out of range";
+      return false;
+    }
+  for (const GlobalRef &R : D.Order)
+    if (!RefOk(R)) {
+      Why = "order reference out of range";
+      return false;
+    }
+  for (const ThreadTrace &T : D.Threads)
+    for (const TraceEntry &E : T.Entries)
+      if (E.CtrlDep >= 0 &&
+          static_cast<size_t>(E.CtrlDep) >= T.Entries.size()) {
+        Why = "control dependence out of range";
+        return false;
+      }
+
+  if (D.PosIndex.size() != NumThreads) {
+    Why = "position index thread count mismatch";
+    return false;
+  }
+  for (size_t T = 0; T != NumThreads; ++T) {
+    if (D.PosIndex[T].size() != D.Threads[T].Entries.size()) {
+      Why = "position index length mismatch";
+      return false;
+    }
+    for (uint32_t P : D.PosIndex[T])
+      if (P >= Total) {
+        Why = "position index entry out of range";
+        return false;
+      }
+  }
+
+  if (D.PcIndex.size() != NumThreads) {
+    Why = "pc index thread count mismatch";
+    return false;
+  }
+  for (size_t T = 0; T != NumThreads; ++T)
+    for (const auto &KV : D.PcIndex[T])
+      for (uint32_t Idx : KV.second)
+        if (Idx >= D.Threads[T].Entries.size()) {
+          Why = "pc index entry out of range";
+          return false;
+        }
+
+  for (const DefUseIndex::Map *M : {&D.Defs, &D.Uses})
+    for (const auto &KV : *M) {
+      const auto &Ps = KV.second;
+      for (size_t I = 0; I != Ps.size(); ++I)
+        if (Ps[I] >= Total || (I && Ps[I] <= Ps[I - 1])) {
+          Why = "def/use index not ascending or out of range";
+          return false;
+        }
+    }
+
+  for (const SaveRestorePair &P : D.Pairs)
+    if (P.Tid >= NumThreads ||
+        P.SaveIdx >= D.Threads[P.Tid].Entries.size() ||
+        P.RestoreIdx >= D.Threads[P.Tid].Entries.size()) {
+      Why = "save/restore pair out of range";
+      return false;
+    }
+  return true;
 }
 
 } // namespace
@@ -119,6 +208,7 @@ bool SliceSession::prepare(std::string &Error) {
   SO.UseDefIndex = Opts.UseDefIndex;
   const SaveRestoreAnalysis *SR =
       Opts.PruneSaveRestore ? SaveRestores.get() : nullptr;
+  DefUse = std::make_unique<DefUseIndex>();
   if (Pool) {
     auto PosFill = Pool->async([this] {
       trace::TraceSpan S("slice.posindex", "slicing");
@@ -128,14 +218,15 @@ bool SliceSession::prepare(std::string &Error) {
       trace::TraceSpan S("slice.pcindex", "slicing");
       buildPcIndex();
     });
-    Slicer = std::make_unique<LpSlicer>(*Global, SR, SO, Pool.get());
+    DefUse->build(*Global, Pool.get());
     PosFill.get();
     PcIdx.get();
   } else {
     Global->fillPositionIndex();
     buildPcIndex();
-    Slicer = std::make_unique<LpSlicer>(*Global, SR, SO);
+    DefUse->build(*Global);
   }
+  Slicer = std::make_unique<LpSlicer>(*Global, SR, DefUse.get(), SO);
 
   AnalysisTime = AnalysisTimer.seconds();
   TraceTime = Timer.seconds();
@@ -144,6 +235,131 @@ bool SliceSession::prepare(std::string &Error) {
   sliceHistogram(mn::SlicePrepareUs)
       .record(static_cast<uint64_t>(TraceTime * 1e6));
   Prepared = true;
+  return true;
+}
+
+bool SliceSession::loadIndex(const std::string &PinballDir,
+                             uint64_t ExpectedFingerprint,
+                             std::string &Error) {
+  assert(!Prepared && "session already prepared");
+  trace::TraceSpan Span("slice.index.load", "slicing");
+  Stopwatch Timer;
+
+  auto Reject = [&](std::string Why) {
+    Error = std::move(Why);
+    sliceCounter(mn::SliceIndexLoadFailures).inc();
+    return false;
+  };
+
+  SliceIndexData D;
+  if (!SliceIndexStore::load(SliceIndexStore::indexDirFor(PinballDir), D,
+                             Error)) {
+    if (Error.empty())
+      return false; // no index on disk: a plain miss, not a failure
+    return Reject(Error);
+  }
+  if (D.Fingerprint != ExpectedFingerprint)
+    return Reject("slice index: fingerprint mismatch (pinball changed since "
+                  "the index was written)");
+  if (D.MaxSave != Opts.MaxSave || D.RefineCfg != Opts.RefineCfg)
+    return Reject("slice index: written under different session options");
+  std::string Why;
+  if (!validateIndexData(D, Why))
+    return Reject("slice index: " + Why);
+
+  // Everything below builds into locals and commits only at the end, so a
+  // failure leaves the session cleanly unprepared for the fallback path.
+  auto NewProg = std::make_unique<Program>();
+  if (!assemble(RegionPb.ProgramText, *NewProg, Error))
+    return Reject("slice index: pinball program: " + Error);
+
+  size_t NumThreads = D.Threads.size();
+  auto NewTraces = std::make_unique<TraceSet>(*NewProg);
+  std::vector<std::vector<SaveRestorePair>> PerThread(NumThreads);
+  for (const SaveRestorePair &P : D.Pairs)
+    PerThread[P.Tid].push_back(P);
+  NewTraces->adopt(std::move(D.Threads), std::move(D.Edges),
+                   std::move(D.IndirectTargets), std::move(D.TrueOrder));
+
+  auto NewSaveRestores =
+      std::make_unique<SaveRestoreAnalysis>(*NewProg, Opts.MaxSave);
+  NewSaveRestores->adopt(std::move(PerThread));
+
+  auto NewGlobal = std::make_unique<GlobalTrace>();
+  NewGlobal->adopt(*NewTraces, std::move(D.Order), D.Switches,
+                   std::move(D.PosIndex));
+
+  auto NewDefUse = std::make_unique<DefUseIndex>();
+  NewDefUse->adopt(std::move(D.Defs), std::move(D.Uses));
+
+  std::vector<std::unordered_map<uint64_t, std::vector<uint32_t>>> NewPcIndex(
+      NumThreads);
+  for (size_t T = 0; T != NumThreads; ++T) {
+    NewPcIndex[T].reserve(D.PcIndex[T].size());
+    for (auto &KV : D.PcIndex[T])
+      NewPcIndex[T].emplace(KV.first, std::move(KV.second));
+  }
+
+  SliceOptions SO;
+  SO.PruneSaveRestore = Opts.PruneSaveRestore;
+  SO.BlockSize = Opts.BlockSize;
+  SO.UseDefIndex = Opts.UseDefIndex;
+  const SaveRestoreAnalysis *SR =
+      Opts.PruneSaveRestore ? NewSaveRestores.get() : nullptr;
+  auto NewSlicer =
+      std::make_unique<LpSlicer>(*NewGlobal, SR, NewDefUse.get(), SO);
+
+  Prog = std::move(NewProg);
+  Traces = std::move(NewTraces);
+  SaveRestores = std::move(NewSaveRestores);
+  Global = std::move(NewGlobal);
+  DefUse = std::move(NewDefUse);
+  PcIndex = std::move(NewPcIndex);
+  Slicer = std::move(NewSlicer);
+  ReplayTime = 0;
+  AnalysisTime = TraceTime = Timer.seconds();
+  Prepared = true;
+  FromIndex = true;
+  sliceCounter(mn::SliceIndexLoads).inc();
+  sliceHistogram(mn::SliceIndexLoadUs)
+      .record(static_cast<uint64_t>(TraceTime * 1e6));
+  return true;
+}
+
+bool SliceSession::saveIndex(const std::string &PinballDir,
+                             uint64_t Fingerprint, std::string &Error) const {
+  assert(Prepared && "saveIndex() before prepare()");
+  trace::TraceSpan Span("slice.index.save", "slicing");
+  Stopwatch Timer;
+
+  SliceIndexData D;
+  D.Fingerprint = Fingerprint;
+  D.MaxSave = Opts.MaxSave;
+  D.RefineCfg = Opts.RefineCfg;
+  D.Threads = Traces->threads();
+  D.Edges = Traces->orderEdges();
+  D.IndirectTargets = Traces->indirectTargets();
+  D.TrueOrder = Traces->recordedOrder();
+  size_t N = Global->size();
+  D.Order.reserve(N);
+  for (size_t P = 0; P != N; ++P)
+    D.Order.push_back(Global->ref(P));
+  D.Switches = Global->threadSwitches();
+  D.PosIndex = Global->positionIndex();
+  D.PcIndex.resize(PcIndex.size());
+  for (size_t T = 0; T != PcIndex.size(); ++T)
+    for (const auto &KV : PcIndex[T])
+      D.PcIndex[T].emplace(KV.first, KV.second);
+  D.Defs = DefUse->defs();
+  D.Uses = DefUse->uses();
+  D.Pairs = SaveRestores->pairs();
+
+  if (!SliceIndexStore::save(D, SliceIndexStore::indexDirFor(PinballDir),
+                             Error))
+    return false;
+  sliceCounter(mn::SliceIndexSaves).inc();
+  sliceHistogram(mn::SliceIndexSaveUs)
+      .record(static_cast<uint64_t>(Timer.seconds() * 1e6));
   return true;
 }
 
@@ -287,4 +503,74 @@ uint64_t SliceSession::blocksScanned() const {
 uint64_t SliceSession::blocksSkipped() const {
   assert(Prepared);
   return Slicer->blocksSkipped();
+}
+
+const DefUseIndex &SliceSession::defUse() const {
+  assert(Prepared);
+  return *DefUse;
+}
+
+std::optional<SliceSession::WriteEvent>
+SliceSession::writeEventAt(Location L, uint32_t DefPos) const {
+  const TraceEntry &E = Global->entry(DefPos);
+  for (const auto &D : E.Defs)
+    if (D.Loc == L) {
+      WriteEvent W;
+      W.Pos = DefPos;
+      W.Value = D.Value;
+      W.Tid = Global->ref(DefPos).Tid;
+      W.Pc = E.Pc;
+      W.Line = E.Line;
+      return W;
+    }
+  return std::nullopt;
+}
+
+std::optional<SliceSession::WriteEvent>
+SliceSession::lastWrite(Location L, std::optional<uint32_t> Before) const {
+  assert(Prepared);
+  uint32_t Bound =
+      Before ? *Before : static_cast<uint32_t>(Global->size());
+  std::optional<uint32_t> Pos = DefUse->lastDefBefore(L, Bound);
+  if (!Pos)
+    return std::nullopt;
+  return writeEventAt(L, *Pos);
+}
+
+std::vector<SliceSession::WriteEvent> SliceSession::valuesOf(Location L,
+                                                             size_t Max) const {
+  assert(Prepared);
+  std::vector<WriteEvent> Out;
+  const DefUseIndex::PositionList *Ds = DefUse->defsOf(L);
+  if (!Ds)
+    return Out;
+  size_t First = Max && Ds->size() > Max ? Ds->size() - Max : 0;
+  Out.reserve(Ds->size() - First);
+  for (size_t I = First; I != Ds->size(); ++I)
+    if (std::optional<WriteEvent> W = writeEventAt(L, (*Ds)[I]))
+      Out.push_back(*W);
+  return Out;
+}
+
+std::vector<SliceSession::ReaderSet>
+SliceSession::readersOf(uint32_t Pos) const {
+  assert(Prepared);
+  std::vector<ReaderSet> Out;
+  if (Pos >= Global->size())
+    return Out;
+  const TraceEntry &E = Global->entry(Pos);
+  for (const auto &D : E.Defs) {
+    if (std::any_of(Out.begin(), Out.end(),
+                    [&](const ReaderSet &R) { return R.Loc == D.Loc; }))
+      continue; // an instruction listing the same location twice
+    ReaderSet RS;
+    RS.Loc = D.Loc;
+    // The value defined here is live until (and including the use side of)
+    // the next definition of the same location.
+    std::optional<uint32_t> Next = DefUse->nextDefAfter(D.Loc, Pos);
+    uint32_t Until = Next ? *Next : static_cast<uint32_t>(Global->size());
+    RS.Readers = DefUse->usesBetween(D.Loc, Pos, Until);
+    Out.push_back(std::move(RS));
+  }
+  return Out;
 }

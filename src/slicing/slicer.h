@@ -72,6 +72,27 @@ public:
   /// before any query below. \returns false with \p Error on bad pinballs.
   bool prepare(std::string &Error);
 
+  /// Alternative to prepare(): reconstructs the fully prepared session from
+  /// the on-disk slice index under \p PinballDir (written by saveIndex()),
+  /// skipping replay and analysis entirely. Validates checksums, the format
+  /// version, \p ExpectedFingerprint, and the session options against the
+  /// stored header; any mismatch leaves the session unprepared so the
+  /// caller can fall back to prepare(). \returns false with an *empty*
+  /// \p Error when no index exists (a plain miss) and with a diagnostic
+  /// when one exists but is unusable — surface the latter loudly.
+  bool loadIndex(const std::string &PinballDir, uint64_t ExpectedFingerprint,
+                 std::string &Error);
+
+  /// Serializes this prepared session's indexes to
+  /// `<PinballDir>/sliceindex/` (atomically; an existing index is
+  /// replaced). \p Fingerprint keys the index to the pinball bytes.
+  bool saveIndex(const std::string &PinballDir, uint64_t Fingerprint,
+                 std::string &Error) const;
+
+  /// True when the session was reconstructed by loadIndex() rather than a
+  /// full prepare() (exposed for stats and tests).
+  bool preparedFromIndex() const { return FromIndex; }
+
   // --- Post-prepare accessors ---------------------------------------------
   const Program &program() const;
   const TraceSet &traces() const;
@@ -121,12 +142,50 @@ public:
   uint64_t blocksScanned() const;
   uint64_t blocksSkipped() const;
 
+  // --- Omniscient queries (§"time-travel database") ------------------------
+  // O(log n) lookups over the def/use position index; they answer from the
+  // prepared (or index-loaded) state without touching the replayer.
+
+  /// One write to a location, as the omniscient queries report it.
+  struct WriteEvent {
+    uint32_t Pos = 0;   ///< global trace position of the write
+    int64_t Value = 0;  ///< value written
+    uint32_t Tid = 0;
+    uint64_t Pc = 0;
+    uint32_t Line = 0;
+  };
+
+  /// The readers of one location a write defined.
+  struct ReaderSet {
+    Location Loc = 0;
+    std::vector<uint32_t> Readers; ///< use positions, ascending
+  };
+
+  /// The last write to \p L strictly before \p Before (end of trace when
+  /// \p Before is nullopt) — "when was this location last written?".
+  std::optional<WriteEvent> lastWrite(Location L,
+                                      std::optional<uint32_t> Before =
+                                          std::nullopt) const;
+
+  /// Every write to \p L over the region in trace order — "show all values
+  /// of X over time". \p Max > 0 truncates to the *last* Max writes.
+  std::vector<WriteEvent> valuesOf(Location L, size_t Max = 0) const;
+
+  /// For the entry at \p Pos: per defined location, the positions that read
+  /// that value before it was overwritten — "who read this def?".
+  std::vector<ReaderSet> readersOf(uint32_t Pos) const;
+
+  /// The def/use position index (shared with the LP slicer).
+  const DefUseIndex &defUse() const;
+
 private:
   void buildPcIndex();
+  std::optional<WriteEvent> writeEventAt(Location L, uint32_t DefPos) const;
 
   Pinball RegionPb;
   SliceSessionOptions Opts;
   bool Prepared = false;
+  bool FromIndex = false;
   double TraceTime = 0;
   double ReplayTime = 0;
   double AnalysisTime = 0;
@@ -135,6 +194,9 @@ private:
   std::unique_ptr<CfgSet> Cfgs;
   std::unique_ptr<SaveRestoreAnalysis> SaveRestores;
   std::unique_ptr<GlobalTrace> Global;
+  /// Built once per prepare (or adopted from the on-disk index); owned here,
+  /// read by the LP slicer and the omniscient queries.
+  std::unique_ptr<DefUseIndex> DefUse;
   std::unique_ptr<LpSlicer> Slicer;
   /// Per thread: pc -> ascending local indices of its executions. Replaces
   /// the O(trace) scans in criterionPosition/failureCriterion/

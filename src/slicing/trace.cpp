@@ -78,3 +78,14 @@ void TraceSet::onExec(const Machine &, const ExecRecord &R) {
   T.Entries.push_back(E);
   TrueOrder.push_back(Ref);
 }
+
+void TraceSet::adopt(std::vector<ThreadTrace> NewThreads,
+                     std::vector<OrderEdge> NewEdges,
+                     std::set<std::pair<uint64_t, uint64_t>> NewIndirectTargets,
+                     std::vector<GlobalRef> NewTrueOrder) {
+  Threads = std::move(NewThreads);
+  Edges = std::move(NewEdges);
+  IndirectTargets = std::move(NewIndirectTargets);
+  TrueOrder = std::move(NewTrueOrder);
+  MemAccess.clear();
+}

@@ -81,6 +81,15 @@ public:
   const std::vector<ThreadTrace> &threads() const { return Threads; }
   std::vector<ThreadTrace> &threadsMutable() { return Threads; }
 
+  /// Installs previously recorded state wholesale — the slice-index-store
+  /// load path, which reconstructs a TraceSet without replaying. The
+  /// adopted data must be a faithful image of a recorded replay (the index
+  /// store checksums it end to end).
+  void adopt(std::vector<ThreadTrace> NewThreads,
+             std::vector<OrderEdge> NewEdges,
+             std::set<std::pair<uint64_t, uint64_t>> NewIndirectTargets,
+             std::vector<GlobalRef> NewTrueOrder);
+
   /// Inter-thread happens-before edges over conflicting shared accesses.
   const std::vector<OrderEdge> &orderEdges() const { return Edges; }
 

@@ -3,6 +3,7 @@
 #include "support/crc32c.h"
 
 #include <array>
+#include <cstring>
 
 using namespace drdebug;
 
@@ -30,12 +31,40 @@ std::array<std::array<uint32_t, 256>, 8> makeTables() {
   return T;
 }
 
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define DRDEBUG_CRC32C_HW 1
+
+/// The SSE4.2 CRC32 instruction implements exactly this polynomial in
+/// exactly this (reflected, unconditioned) form, so the hardware and table
+/// paths are bit-identical; dispatch is a load-time CPUID probe.
+__attribute__((target("sse4.2"))) uint32_t
+crc32cHardware(const unsigned char *P, size_t N, uint32_t C) {
+  uint64_t C64 = C;
+  while (N >= 8) {
+    uint64_t V;
+    std::memcpy(&V, P, 8);
+    C64 = __builtin_ia32_crc32di(C64, V);
+    P += 8;
+    N -= 8;
+  }
+  uint32_t C32 = static_cast<uint32_t>(C64);
+  while (N--)
+    C32 = __builtin_ia32_crc32qi(C32, *P++);
+  return C32;
+}
+#endif
+
 } // namespace
 
 uint32_t drdebug::crc32c(const void *Data, size_t N, uint32_t Crc) {
-  static const std::array<std::array<uint32_t, 256>, 8> T = makeTables();
   const auto *P = static_cast<const unsigned char *>(Data);
   uint32_t C = Crc ^ 0xFFFFFFFFu;
+#ifdef DRDEBUG_CRC32C_HW
+  static const bool HaveHw = __builtin_cpu_supports("sse4.2");
+  if (HaveHw)
+    return crc32cHardware(P, N, C) ^ 0xFFFFFFFFu;
+#endif
+  static const std::array<std::array<uint32_t, 256>, 8> T = makeTables();
   while (N >= 8) {
     uint32_t Lo = C ^ (static_cast<uint32_t>(P[0]) |
                        static_cast<uint32_t>(P[1]) << 8 |

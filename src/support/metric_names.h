@@ -71,6 +71,13 @@ inline constexpr const char *ServerSliceCacheMisses =
     "drdebug_server_slice_cache_misses_total";
 inline constexpr const char *ServerSliceCacheEvicted =
     "drdebug_server_slice_cache_evicted_total";
+// Durable tier under the slice cache (the on-disk omniscient store).
+inline constexpr const char *ServerSliceIndexHits =
+    "drdebug_server_slice_index_hits_total";
+inline constexpr const char *ServerSliceIndexWrites =
+    "drdebug_server_slice_index_writes_total";
+inline constexpr const char *ServerSliceIndexLoadFailures =
+    "drdebug_server_slice_index_load_failures_total";
 // Durability layer (journaling, recovery, drain, admission, quarantine).
 inline constexpr const char *ServerSessionsRecovered =
     "drdebug_server_sessions_recovered_total";
@@ -148,6 +155,15 @@ inline constexpr const char *SliceReplayUs = "drdebug_slice_replay_us";
 inline constexpr const char *SliceAnalysisUs = "drdebug_slice_analysis_us";
 inline constexpr const char *SliceQueries = "drdebug_slice_queries_total";
 inline constexpr const char *SliceQueryUs = "drdebug_slice_query_us";
+// On-disk slice index (the omniscient store).
+inline constexpr const char *SliceIndexLoads =
+    "drdebug_slice_index_loads_total";
+inline constexpr const char *SliceIndexLoadFailures =
+    "drdebug_slice_index_load_failures_total";
+inline constexpr const char *SliceIndexSaves =
+    "drdebug_slice_index_saves_total";
+inline constexpr const char *SliceIndexLoadUs = "drdebug_slice_index_load_us";
+inline constexpr const char *SliceIndexSaveUs = "drdebug_slice_index_save_us";
 
 /// One row per catalogued metric, for the drift test and the docs lint.
 struct MetricInfo {
@@ -180,6 +196,9 @@ inline constexpr MetricInfo AllMetrics[] = {
     {ServerSliceCacheHits, "counter"},
     {ServerSliceCacheMisses, "counter"},
     {ServerSliceCacheEvicted, "counter"},
+    {ServerSliceIndexHits, "counter"},
+    {ServerSliceIndexWrites, "counter"},
+    {ServerSliceIndexLoadFailures, "counter"},
     {ServerSessionsRecovered, "counter"},
     {ServerSessionsJournaled, "counter"},
     {ServerJournalBytes, "gauge"},
@@ -221,6 +240,11 @@ inline constexpr MetricInfo AllMetrics[] = {
     {SliceAnalysisUs, "histogram"},
     {SliceQueries, "counter"},
     {SliceQueryUs, "histogram"},
+    {SliceIndexLoads, "counter"},
+    {SliceIndexLoadFailures, "counter"},
+    {SliceIndexSaves, "counter"},
+    {SliceIndexLoadUs, "histogram"},
+    {SliceIndexSaveUs, "histogram"},
 };
 
 } // namespace metricnames

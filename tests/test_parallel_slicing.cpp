@@ -23,8 +23,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <filesystem>
 #include <memory>
+#include <mutex>
 #include <sstream>
 #include <thread>
 #include <unistd.h>
@@ -331,6 +334,146 @@ TEST(SliceRepository, FailedPrepareIsNotCached) {
   EXPECT_FALSE(Error.empty());
   EXPECT_EQ(Repo.misses(), 2u);
   EXPECT_EQ(Repo.hits(), 0u);
+}
+
+/// A latch the prepare-start hook can park a chosen fingerprint on, so a
+/// test can hold a prepare in flight while it probes the cache.
+struct PrepareGate {
+  std::mutex M;
+  std::condition_variable Cv;
+  bool Open = false;
+  std::atomic<unsigned> Started{0};
+
+  void block() {
+    Started.fetch_add(1);
+    std::unique_lock<std::mutex> L(M);
+    Cv.wait(L, [&] { return Open; });
+  }
+  void release() {
+    {
+      std::lock_guard<std::mutex> L(M);
+      Open = true;
+    }
+    Cv.notify_all();
+  }
+  void awaitStarted() {
+    while (Started.load() == 0)
+      std::this_thread::yield();
+  }
+};
+
+TEST(SliceRepository, CapPressureNeverEvictsAnInFlightPrepare) {
+  Pinball PbA = figure5Pinball();
+  RandomScheduler Sched(9, 1, 2);
+  Pinball PbB =
+      Logger::logWholeProgram(workloads::makeFigure5(), Sched, nullptr).Pb;
+
+  SliceSessionRepository Repo(1);
+  PrepareGate Gate;
+  std::atomic<unsigned> PreparesOf111{0};
+  Repo.setPrepareStartHookForTest([&](uint64_t Fp) {
+    if (Fp != 111)
+      return;
+    PreparesOf111.fetch_add(1);
+    Gate.block();
+  });
+
+  std::string ErrA;
+  std::shared_ptr<const SliceSession> A;
+  std::thread Owner([&] {
+    SliceSessionOptions O;
+    A = Repo.acquire(111, PbA, O, ErrA);
+  });
+  Gate.awaitStarted();
+
+  // Inserting a second fingerprint overflows the cap of one, but the only
+  // eviction candidate is mid-prepare: it must be skipped, not dropped
+  // (dropping it would let a third same-fingerprint acquire start a
+  // duplicate prepare of 111).
+  std::string Error;
+  SliceSessionOptions O;
+  ASSERT_NE(Repo.acquire(222, PbB, O, Error), nullptr) << Error;
+  EXPECT_EQ(Repo.evicted(), 0u);
+  EXPECT_EQ(Repo.cachedCount(), 2u);
+
+  Gate.release();
+  Owner.join();
+  ASSERT_NE(A, nullptr) << ErrA;
+
+  // The finished entry is served from cache — exactly one prepare of 111.
+  ASSERT_NE(Repo.acquire(111, PbA, O, Error), nullptr) << Error;
+  EXPECT_EQ(PreparesOf111.load(), 1u);
+  EXPECT_EQ(Repo.hits(), 1u);
+
+  // With nothing in flight any more, the next insert catches up on the
+  // deferred eviction and brings the cache back under its cap.
+  ASSERT_NE(Repo.acquire(333, PbB, O, Error), nullptr) << Error;
+  EXPECT_EQ(Repo.cachedCount(), 1u);
+  EXPECT_EQ(Repo.evicted(), 2u);
+}
+
+TEST(SliceRepository, IdleEvictionSkipsInFlightPrepares) {
+  Pinball Pb = figure5Pinball();
+  SliceSessionRepository Repo(4);
+  PrepareGate Gate;
+  Repo.setPrepareStartHookForTest([&](uint64_t) { Gate.block(); });
+
+  std::shared_ptr<const SliceSession> S;
+  std::string ErrA;
+  std::thread Owner([&] {
+    SliceSessionOptions O;
+    S = Repo.acquire(111, Pb, O, ErrA);
+  });
+  Gate.awaitStarted();
+
+  // Zero idle tolerance, but the entry is mid-prepare: not evictable.
+  EXPECT_EQ(Repo.evictIdle(std::chrono::seconds(0)), 0u);
+  EXPECT_EQ(Repo.cachedCount(), 1u);
+
+  Gate.release();
+  Owner.join();
+  ASSERT_NE(S, nullptr) << ErrA;
+
+  // Once resolved (and idle), the same sweep reclaims it.
+  EXPECT_EQ(Repo.evictIdle(std::chrono::seconds(0)), 1u);
+  EXPECT_EQ(Repo.cachedCount(), 0u);
+}
+
+TEST(SliceRepository, ConcurrentWaiterOnFailedPrepareCountsAMiss) {
+  SliceSessionRepository Repo(4);
+  PrepareGate Gate;
+  Repo.setPrepareStartHookForTest([&](uint64_t) { Gate.block(); });
+
+  Pinball Bogus; // empty pinball: the replayer rejects it
+  std::string ErrOwner, ErrWaiter;
+  std::shared_ptr<const SliceSession> FromOwner, FromWaiter;
+  std::thread Owner([&] {
+    SliceSessionOptions O;
+    FromOwner = Repo.acquire(77, Bogus, O, ErrOwner);
+  });
+  Gate.awaitStarted();
+
+  std::thread Waiter([&] {
+    SliceSessionOptions O;
+    FromWaiter = Repo.acquire(77, Bogus, O, ErrWaiter);
+  });
+  // Give the waiter time to join the in-flight future before the owner's
+  // prepare is allowed to fail.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  Gate.release();
+  Owner.join();
+  Waiter.join();
+
+  // Both callers see the failure; a share of a failed prepare is a miss,
+  // not a hit (the old accounting classified by promise ownership and
+  // counted the waiter as a hit before the future had resolved).
+  EXPECT_EQ(FromOwner, nullptr);
+  EXPECT_EQ(FromWaiter, nullptr);
+  EXPECT_FALSE(ErrOwner.empty());
+  EXPECT_FALSE(ErrWaiter.empty());
+  EXPECT_EQ(Repo.hits(), 0u);
+  EXPECT_EQ(Repo.misses(), 2u);
+  EXPECT_EQ(Repo.cachedCount(), 0u);
 }
 
 TEST(SliceRepository, ServerSessionsShareCachedSlices) {

@@ -181,7 +181,7 @@ TEST(Server, HelloStatsAndErrorPaths) {
     ASSERT_TRUE(Hello.ok()) << Hello.errorText();
     EXPECT_EQ(Hello.value().Server, "drdebugd");
     EXPECT_EQ(Hello.value().Proto, ProtocolVersion);
-    EXPECT_NE(Hello.value().Banner.find("proto 4"), std::string::npos)
+    EXPECT_NE(Hello.value().Banner.find("proto 5"), std::string::npos)
         << Hello.value().Banner;
     // v4 capability negotiation: the banner carries the verb list.
     EXPECT_TRUE(Hello.value().supports("cmd"));
